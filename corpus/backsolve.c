@@ -1,0 +1,17 @@
+/* The §6 example: a typical loop used in backsolving linear systems.
+ * q reads values stored through p on the previous iteration, so the loop
+ * cannot run in vector or parallel — but the dependence is regular and
+ * the Titan compiler pulls it into a register, schedules around it, and
+ * strength-reduces the subscripts. */
+float x[1026], y[1026], z[1026];
+
+int main(void)
+{
+    float *p, *q;
+    int i;
+    p = &x[1];
+    q = &x[0];
+    for (i = 0; i < 1024; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/* A small BLAS-1 library, compiled into a catalog (§7) and used as a base
+ * for cross-file inlining, the way the Titan compiler used its math
+ * library databases. */
+void blas_daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}
+
+void blas_copy(float *dst, float *src, int n)
+{
+    while (n) {
+        *dst++ = *src++;
+        n--;
+    }
+}
+
+void blas_scal(float *x, float alpha, int n)
+{
+    while (n) {
+        *x = *x * alpha;
+        x++;
+        n--;
+    }
+}
+
+void blas_set(float *x, float value, int n)
+{
+    while (n) {
+        *x++ = value;
+        n--;
+    }
+}

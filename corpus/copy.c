@@ -1,0 +1,19 @@
+/* The §5.3 example: a pointer-walking vector copy. Induction-variable
+ * substitution with backtracking exposes the subscripts; the pragma
+ * asserts the pointers do not overlap (C provides no way to prove it). */
+float dst[8192], src[8192];
+
+int main(void)
+{
+    float *a, *b;
+    int n;
+    a = &dst[0];
+    b = &src[0];
+    n = 8192;
+#pragma safe
+    while (n) {
+        *a++ = *b++;
+        n--;
+    }
+    return 0;
+}

@@ -1,0 +1,19 @@
+/* The paper's §9 driving example: a C analog of the BLAS daxpy routine,
+ * inlined into main and then vectorized and parallelized. */
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}
+
+float a[100], b[100], c[100];
+
+int main(void)
+{
+    daxpy(a, b, c, 1.0, 100);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/* The §10 planned enhancement: a while loop walking a linked list cannot
+ * vectorize, but its work can be spread across processors once the pointer
+ * chase is pulled into the serialized portion of the parallel loop —
+ * assuming each motion down a pointer goes to independent storage. */
+struct node {
+    float v;
+    float out;
+    struct node *next;
+};
+
+struct node pool[1024];
+
+void build(void)
+{
+    int i;
+    for (i = 0; i < 1023; i++) {
+        pool[i].v = i;
+        pool[i].next = &pool[i + 1];
+    }
+    pool[1023].v = 1023;
+    pool[1023].next = (struct node *)0;
+}
+
+void work(struct node *p)
+{
+    while (p) {
+        p->out = p->v * p->v + 0.5f * p->v + 1.0f;
+        p = p->next;
+    }
+}
+
+int main(void)
+{
+    build();
+    work(&pool[0]);
+    return (int)pool[1023].out;
+}

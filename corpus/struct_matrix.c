@@ -1,0 +1,26 @@
+/* The §10 lesson from Doré: arrays embedded within structures appear
+ * everywhere in graphics code. A 4x4 transform applied to a vertex list. */
+struct matrix {
+    float m[4][4];
+};
+struct vertex {
+    float v[4];
+};
+
+struct matrix xf;
+struct vertex pts[256], out_pts[256];
+
+int main(void)
+{
+    int i, r, c;
+    float acc;
+    for (i = 0; i < 256; i++) {
+        for (r = 0; r < 4; r++) {
+            acc = 0.0f;
+            for (c = 0; c < 4; c++)
+                acc += xf.m[r][c] * pts[i].v[c];
+            out_pts[i].v[r] = acc;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* The §1 example: a legitimate (and common) device-polling fragment.
+ * Without `volatile` this loop looks infinite; with it, every read must
+ * go to memory and no phase may fold, hoist or vectorize it. */
+volatile int keyboard_status;
+
+int main(void)
+{
+    keyboard_status = 0;
+    while (!keyboard_status);
+    return keyboard_status;
+}

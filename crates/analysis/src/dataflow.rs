@@ -1,0 +1,436 @@
+//! Scalar dataflow: reaching definitions (→ use-def chains, §5.2's
+//! prerequisite) and live variables (→ dead-code elimination).
+//!
+//! Both analyses track only *register candidates*: scalar variables whose
+//! address is never taken and that are not volatile, static or global.
+//! Anything else can be modified through memory, so chain-driven
+//! optimizations must simply leave it alone — exactly the conservatism the
+//! paper ascribes to C's `&` operator (§1 item 7).
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, NodeId};
+use std::collections::HashMap;
+use titanc_il::{Procedure, StmtId, Storage, VarId};
+
+/// A definition site: a statement defining a variable, or the virtual
+/// entry definition (parameter value / uninitialized).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct DefSite {
+    /// The defining statement; `None` for the entry definition.
+    pub stmt: Option<StmtId>,
+    /// The variable defined.
+    pub var: VarId,
+}
+
+/// Use–def chains built from reaching definitions.
+#[derive(Debug)]
+pub struct UseDef {
+    tracked: Vec<bool>,
+    defs: Vec<DefSite>,
+    def_index: HashMap<DefSite, usize>,
+    #[allow(dead_code)]
+    defs_of_var: Vec<Vec<usize>>,
+    /// reaching-in per CFG node.
+    reach_in: Vec<BitSet>,
+    node_of_stmt: HashMap<StmtId, NodeId>,
+}
+
+impl UseDef {
+    /// Builds use–def chains for a procedure.
+    pub fn build(proc: &Procedure, cfg: &Cfg) -> UseDef {
+        let nvars = proc.vars.len();
+        let tracked: Vec<bool> = proc
+            .vars
+            .iter()
+            .map(|v| {
+                v.ty.scalar().is_some()
+                    && !v.addressed
+                    && !v.volatile
+                    && matches!(v.storage, Storage::Auto | Storage::Param | Storage::Temp)
+            })
+            .collect();
+
+        // enumerate definition sites
+        let mut defs: Vec<DefSite> = Vec::new();
+        let mut def_index = HashMap::new();
+        let mut defs_of_var: Vec<Vec<usize>> = vec![Vec::new(); nvars];
+        let mut add_def = |d: DefSite, defs: &mut Vec<DefSite>| {
+            let idx = defs.len();
+            defs.push(d);
+            def_index.insert(d, idx);
+            defs_of_var[d.var.index()].push(idx);
+            idx
+        };
+        // virtual entry defs for every tracked var
+        for (i, is_tracked) in tracked.iter().enumerate() {
+            if *is_tracked {
+                add_def(
+                    DefSite {
+                        stmt: None,
+                        var: VarId::from_index(i),
+                    },
+                    &mut defs,
+                );
+            }
+        }
+        let mut node_of_stmt = HashMap::new();
+        proc.for_each_stmt(&mut |s| {
+            if let Some(n) = cfg.node_of(s.id) {
+                node_of_stmt.insert(s.id, n);
+            }
+            if let Some(v) = s.defined_var() {
+                if tracked[v.index()] {
+                    add_def(
+                        DefSite {
+                            stmt: Some(s.id),
+                            var: v,
+                        },
+                        &mut defs,
+                    );
+                }
+            }
+        });
+
+        let ndefs = defs.len();
+        // gen/kill per node
+        let mut gen: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(ndefs)).collect();
+        let mut kill: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(ndefs)).collect();
+        // entry node generates all virtual defs
+        for (i, d) in defs.iter().enumerate() {
+            if d.stmt.is_none() {
+                gen[cfg.entry].insert(i);
+            }
+        }
+        proc.for_each_stmt(&mut |s| {
+            let n = match cfg.node_of(s.id) {
+                Some(n) => n,
+                None => return,
+            };
+            if let Some(v) = s.defined_var() {
+                if tracked[v.index()] {
+                    let me = def_index[&DefSite {
+                        stmt: Some(s.id),
+                        var: v,
+                    }];
+                    gen[n].insert(me);
+                    for &other in &defs_of_var[v.index()] {
+                        if other != me {
+                            kill[n].insert(other);
+                        }
+                    }
+                }
+            }
+        });
+
+        // forward may analysis to fixpoint, in RPO
+        let order = cfg.rpo();
+        let mut reach_in: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(ndefs)).collect();
+        let mut reach_out: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(ndefs)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in &order {
+                let mut inn = BitSet::new(ndefs);
+                for &p in &cfg.preds[n] {
+                    inn.union_with(&reach_out[p]);
+                }
+                let mut out = inn.clone();
+                out.subtract(&kill[n]);
+                out.union_with(&gen[n]);
+                if out != reach_out[n] {
+                    reach_out[n] = out;
+                    changed = true;
+                }
+                reach_in[n] = inn;
+            }
+        }
+
+        UseDef {
+            tracked,
+            defs,
+            def_index,
+            defs_of_var,
+            reach_in,
+            node_of_stmt,
+        }
+    }
+
+    /// True when the variable's chains are maintained (non-addressed scalar
+    /// auto/param/temp).
+    pub fn tracked(&self, v: VarId) -> bool {
+        self.tracked.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// The definition sites of `var` that reach the *top* of statement
+    /// `at`. `None` entries denote the entry definition.
+    pub fn reaching_defs(&self, at: StmtId, var: VarId) -> Vec<Option<StmtId>> {
+        let n = match self.node_of_stmt.get(&at) {
+            Some(n) => *n,
+            None => return Vec::new(),
+        };
+        self.reach_in[n]
+            .iter()
+            .filter(|&i| self.defs[i].var == var)
+            .map(|i| self.defs[i].stmt)
+            .collect()
+    }
+
+    /// The unique *statement* definition of `var` reaching `at`, if there
+    /// is exactly one reaching def and it is a real statement.
+    pub fn unique_reaching_def(&self, at: StmtId, var: VarId) -> Option<StmtId> {
+        let defs = self.reaching_defs(at, var);
+        match defs.as_slice() {
+            [Some(s)] => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Every statement whose use of `var` may see the definition made by
+    /// `def_stmt` (the def-use direction of the chains).
+    pub fn uses_of_def(&self, proc: &Procedure, def_stmt: StmtId, var: VarId) -> Vec<StmtId> {
+        let key = DefSite {
+            stmt: Some(def_stmt),
+            var,
+        };
+        let idx = match self.def_index.get(&key) {
+            Some(i) => *i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        proc.for_each_stmt(&mut |s| {
+            let n = match self.node_of_stmt.get(&s.id) {
+                Some(n) => *n,
+                None => return,
+            };
+            if !self.reach_in[n].contains(idx) {
+                return;
+            }
+            let reads = s.exprs().iter().any(|e| e.reads_var(var));
+            if reads {
+                out.push(s.id);
+            }
+        });
+        out
+    }
+
+    /// Count of definition sites (including virtual entry defs).
+    pub fn num_defs(&self) -> usize {
+        self.defs.len()
+    }
+}
+
+/// Live-variable analysis over register candidates.
+#[derive(Debug)]
+pub struct Liveness {
+    tracked: Vec<bool>,
+    live_out: Vec<BitSet>,
+    node_of_stmt: HashMap<StmtId, NodeId>,
+    nvars: usize,
+}
+
+impl Liveness {
+    /// Runs the backward analysis.
+    pub fn build(proc: &Procedure, cfg: &Cfg) -> Liveness {
+        let nvars = proc.vars.len();
+        let tracked: Vec<bool> = proc
+            .vars
+            .iter()
+            .map(|v| {
+                v.ty.scalar().is_some()
+                    && !v.addressed
+                    && !v.volatile
+                    && matches!(v.storage, Storage::Auto | Storage::Param | Storage::Temp)
+            })
+            .collect();
+        let mut uses: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(nvars)).collect();
+        let mut defs: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(nvars)).collect();
+        let mut node_of_stmt = HashMap::new();
+        proc.for_each_stmt(&mut |s| {
+            let n = match cfg.node_of(s.id) {
+                Some(n) => n,
+                None => return,
+            };
+            node_of_stmt.insert(s.id, n);
+            for e in s.exprs() {
+                for v in e.vars_read() {
+                    if tracked[v.index()] {
+                        uses[n].insert(v.index());
+                    }
+                }
+            }
+            if let Some(v) = s.defined_var() {
+                if tracked[v.index()] && !uses[n].contains(v.index()) {
+                    defs[n].insert(v.index());
+                }
+            }
+        });
+
+        let mut order = cfg.rpo();
+        order.reverse();
+        let mut live_in: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(nvars)).collect();
+        let mut live_out: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(nvars)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in &order {
+                let mut out = BitSet::new(nvars);
+                for &s in &cfg.succs[n] {
+                    out.union_with(&live_in[s]);
+                }
+                let mut inn = out.clone();
+                inn.subtract(&defs[n]);
+                inn.union_with(&uses[n]);
+                if inn != live_in[n] {
+                    live_in[n] = inn;
+                    changed = true;
+                }
+                live_out[n] = out;
+            }
+        }
+        Liveness {
+            tracked,
+            live_out,
+            node_of_stmt,
+            nvars,
+        }
+    }
+
+    /// True when `var`'s value may be read after statement `at` executes.
+    /// Untracked variables are always considered live (conservative).
+    pub fn live_after(&self, at: StmtId, var: VarId) -> bool {
+        if !self.tracked.get(var.index()).copied().unwrap_or(false) {
+            return true;
+        }
+        match self.node_of_stmt.get(&at) {
+            Some(&n) => self.live_out[n].contains(var.index()),
+            None => true,
+        }
+    }
+
+    /// Number of variables in the underlying procedure.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_il::{Stmt, StmtKind};
+    use titanc_lower::compile_to_il;
+
+    fn setup(src: &str) -> (Procedure, Cfg) {
+        let prog = compile_to_il(src).unwrap();
+        let proc = prog.procs[0].clone();
+        let cfg = Cfg::build(&proc);
+        (proc, cfg)
+    }
+
+    fn stmt_matching(proc: &Procedure, pred: impl Fn(&Stmt) -> bool) -> Stmt {
+        let mut found = None;
+        proc.for_each_stmt(&mut |s| {
+            if found.is_none() && pred(s) {
+                found = Some(s.clone());
+            }
+        });
+        found.expect("statement")
+    }
+
+    #[test]
+    fn unique_def_in_straight_line() {
+        let (proc, cfg) = setup("int f(void) { int x, y; x = 3; y = x + 1; return y; }");
+        let ud = UseDef::build(&proc, &cfg);
+        let x = proc.var_by_name("x").unwrap();
+        let use_stmt = stmt_matching(&proc, |s| {
+            s.exprs().iter().any(|e| e.reads_var(x))
+        });
+        let def = ud.unique_reaching_def(use_stmt.id, x);
+        assert!(def.is_some());
+    }
+
+    #[test]
+    fn branch_merges_two_defs() {
+        let (proc, cfg) = setup(
+            "int f(int c) { int x; if (c) x = 1; else x = 2; return x; }",
+        );
+        let ud = UseDef::build(&proc, &cfg);
+        let x = proc.var_by_name("x").unwrap();
+        let ret = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::Return(Some(_))));
+        let defs = ud.reaching_defs(ret.id, x);
+        assert_eq!(defs.len(), 2);
+        assert!(ud.unique_reaching_def(ret.id, x).is_none());
+    }
+
+    #[test]
+    fn param_use_sees_entry_def() {
+        let (proc, cfg) = setup("int f(int n) { return n; }");
+        let ud = UseDef::build(&proc, &cfg);
+        let n = proc.var_by_name("n").unwrap();
+        let ret = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::Return(Some(_))));
+        let defs = ud.reaching_defs(ret.id, n);
+        assert_eq!(defs, vec![None], "entry definition");
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_header() {
+        let (proc, cfg) = setup("void f(int n) { while (n) { n = n - 1; } }");
+        let ud = UseDef::build(&proc, &cfg);
+        let n = proc.var_by_name("n").unwrap();
+        let w = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::While { .. }));
+        let defs = ud.reaching_defs(w.id, n);
+        assert_eq!(defs.len(), 2, "entry def + loop body def: {defs:?}");
+    }
+
+    #[test]
+    fn addressed_vars_untracked() {
+        let (proc, cfg) = setup("int f(void) { int x; int *p; p = &x; x = 1; *p = 2; return x; }");
+        let ud = UseDef::build(&proc, &cfg);
+        let x = proc.var_by_name("x").unwrap();
+        assert!(!ud.tracked(x), "addressed variable is not chain-tracked");
+        let p = proc.var_by_name("p").unwrap();
+        assert!(ud.tracked(p));
+    }
+
+    #[test]
+    fn uses_of_def_finds_reader() {
+        let (proc, cfg) = setup("int f(void) { int x; x = 3; return x + x; }");
+        let ud = UseDef::build(&proc, &cfg);
+        let x = proc.var_by_name("x").unwrap();
+        let def = stmt_matching(&proc, |s| s.defined_var() == Some(x));
+        let uses = ud.uses_of_def(&proc, def.id, x);
+        assert_eq!(uses.len(), 1, "the return reads x");
+    }
+
+    #[test]
+    fn dead_store_not_live() {
+        let (proc, cfg) = setup("int f(void) { int x, y; x = 1; x = 2; y = x; return y; }");
+        let lv = Liveness::build(&proc, &cfg);
+        let x = proc.var_by_name("x").unwrap();
+        let first = proc.body[0].clone();
+        assert_eq!(first.defined_var(), Some(x));
+        assert!(
+            !lv.live_after(first.id, x),
+            "x is overwritten before any read"
+        );
+        let second = proc.body[1].clone();
+        assert!(lv.live_after(second.id, x));
+    }
+
+    #[test]
+    fn loop_variable_is_live_across_back_edge() {
+        let (proc, cfg) = setup("void f(int n) { while (n) { n = n - 1; } }");
+        let lv = Liveness::build(&proc, &cfg);
+        let n = proc.var_by_name("n").unwrap();
+        let def = stmt_matching(&proc, |s| s.defined_var() == Some(n));
+        assert!(lv.live_after(def.id, n), "read again by the loop condition");
+    }
+
+    #[test]
+    fn untracked_is_always_live() {
+        let (proc, cfg) = setup("volatile int v; void f(void) { v = 1; }");
+        let lv = Liveness::build(&proc, &cfg);
+        let v = proc.var_by_name("v").unwrap();
+        let def = proc.body[0].clone();
+        assert!(lv.live_after(def.id, v));
+    }
+}

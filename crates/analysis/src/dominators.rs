@@ -1,0 +1,210 @@
+//! Dominator computation (Cooper–Harvey–Kennedy "a simple, fast dominance
+//! algorithm").
+//!
+//! Dominance underlies the classical loop framework the paper inherits
+//! from the Fortran world: a back edge `t → h` defines a natural loop only
+//! when `h` dominates `t`. The while→DO conversion works on the structured
+//! tree and does not need this, but the CFG-level view is exposed for
+//! analyses over goto-heavy (post-inlining) code.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// Immediate-dominator tree over a [`Cfg`].
+#[derive(Debug)]
+pub struct Dominators {
+    idom: Vec<Option<NodeId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators from the CFG's entry node.
+    pub fn build(cfg: &Cfg) -> Dominators {
+        let rpo = cfg.rpo();
+        let mut rpo_index = vec![usize::MAX; cfg.len()];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_index[n] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; cfg.len()];
+        idom[cfg.entry] = Some(cfg.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                // first processed predecessor
+                let mut new_idom: Option<NodeId> = None;
+                for &p in &cfg.preds[n] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[n] != Some(ni) {
+                        idom[n] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `n` (entry's idom is itself). `None` for
+    /// unreachable nodes.
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom.get(n).copied().flatten()
+    }
+
+    /// True when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Back edges `(tail, head)` where the head dominates the tail — each
+    /// defines a natural loop.
+    pub fn back_edges(&self, cfg: &Cfg) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for n in 0..cfg.len() {
+            for &s in &cfg.succs[n] {
+                if self.idom(n).is_some() && self.dominates(s, n) {
+                    out.push((n, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// The natural loop of a back edge: all nodes that can reach `tail`
+    /// without passing through `head`, plus `head`.
+    pub fn natural_loop(&self, cfg: &Cfg, tail: NodeId, head: NodeId) -> Vec<NodeId> {
+        let mut in_loop = vec![false; cfg.len()];
+        in_loop[head] = true;
+        let mut stack = vec![tail];
+        while let Some(n) = stack.pop() {
+            if in_loop[n] {
+                continue;
+            }
+            in_loop[n] = true;
+            for &p in &cfg.preds[n] {
+                stack.push(p);
+            }
+        }
+        (0..cfg.len()).filter(|&n| in_loop[n]).collect()
+    }
+
+    /// Number of nodes with a computed dominator.
+    pub fn reachable_count(&self) -> usize {
+        self.idom.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The RPO index used for intersection (exposed for tests).
+    pub fn rpo_index(&self, n: NodeId) -> usize {
+        self.rpo_index[n]
+    }
+}
+
+fn intersect(
+    idom: &[Option<NodeId>],
+    rpo_index: &[usize],
+    mut a: NodeId,
+    mut b: NodeId,
+) -> NodeId {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_lower::compile_to_il;
+
+    fn dom_of(src: &str) -> (titanc_il::Procedure, Cfg, Dominators) {
+        let prog = compile_to_il(src).unwrap();
+        let proc = prog.procs[0].clone();
+        let cfg = Cfg::build(&proc);
+        let dom = Dominators::build(&cfg);
+        (proc, cfg, dom)
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let (_p, cfg, dom) = dom_of(
+            "int f(int a) { if (a) a = 1; else a = 2; while (a) a--; return a; }",
+        );
+        for n in 0..cfg.len() {
+            if dom.idom(n).is_some() {
+                assert!(dom.dominates(cfg.entry, n));
+            }
+        }
+        assert_eq!(dom.idom(cfg.entry), Some(cfg.entry));
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_the_join() {
+        let (p, cfg, dom) = dom_of(
+            "int f(int a) { int r; if (a) r = 1; else r = 2; return r; }",
+        );
+        // find the two assignment nodes and the return node
+        let mut assigns = Vec::new();
+        let mut ret = None;
+        p.for_each_stmt(&mut |s| match &s.kind {
+            titanc_il::StmtKind::Assign { .. } => {
+                assigns.push(cfg.node_of(s.id).unwrap())
+            }
+            titanc_il::StmtKind::Return(_) => ret = Some(cfg.node_of(s.id).unwrap()),
+            _ => {}
+        });
+        let ret = ret.unwrap();
+        for &a in &assigns {
+            assert!(!dom.dominates(a, ret), "an arm cannot dominate the join");
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body_and_back_edge_found() {
+        let (_p, cfg, dom) = dom_of("void f(int n) { while (n) { n = n - 1; } }");
+        let back = dom.back_edges(&cfg);
+        assert_eq!(back.len(), 1, "one natural loop");
+        let (tail, head) = back[0];
+        assert!(dom.dominates(head, tail));
+        let nodes = dom.natural_loop(&cfg, tail, head);
+        assert!(nodes.len() >= 2, "header + body: {nodes:?}");
+    }
+
+    #[test]
+    fn goto_loop_is_a_natural_loop_too() {
+        let (_p, cfg, dom) = dom_of(
+            "int f(int n) { int s; s = 0; top: s += n; n--; if (n) goto top; return s; }",
+        );
+        let back = dom.back_edges(&cfg);
+        assert_eq!(back.len(), 1, "{back:?}");
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let (p, cfg, dom) = dom_of("int f(int a) { return 1; a = 2; return a; }");
+        let dead = p.body[1].id;
+        let n = cfg.node_of(dead).unwrap();
+        assert!(dom.idom(n).is_none());
+        assert!(dom.reachable_count() < cfg.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! # titanc-analysis — scalar analysis
+//!
+//! The control-flow graph, use–def chains, and live-variable analysis that
+//! drive the scalar optimizations of §5–§6. The paper's ordering constraint
+//! — *"the proper place to convert while loops is immediately after use-def
+//! chains have been constructed"* (§5.2) — is honoured by `titanc-opt`,
+//! which builds these structures and runs the conversion first.
+//!
+//! ## Example
+//!
+//! ```
+//! use titanc_analysis::{Cfg, UseDef};
+//!
+//! let prog = titanc_lower::compile_to_il(
+//!     "int f(int n) { int s; s = 0; while (n) { s = s + n; n = n - 1; } return s; }",
+//! ).unwrap();
+//! let proc = prog.proc_by_name("f").unwrap();
+//! let cfg = Cfg::build(proc);
+//! let ud = UseDef::build(proc, &cfg);
+//! let n = proc.var_by_name("n").unwrap();
+//! assert!(ud.tracked(n));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod cfg;
+pub mod dataflow;
+pub mod dominators;
+pub mod loops;
+
+pub use bitset::BitSet;
+pub use cfg::{Cfg, NodeId};
+pub use dataflow::{DefSite, Liveness, UseDef};
+pub use dominators::Dominators;
+
+/// The call graph of a program: which procedures each procedure calls.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[i]` lists callee names of procedure `i` (in
+    /// [`titanc_il::Program::procs`] order), with repeats.
+    pub calls: Vec<Vec<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph.
+    pub fn build(prog: &titanc_il::Program) -> CallGraph {
+        let mut calls = Vec::with_capacity(prog.procs.len());
+        for p in &prog.procs {
+            let mut list = Vec::new();
+            p.for_each_stmt(&mut |s| {
+                if let titanc_il::StmtKind::Call { callee, .. } = &s.kind {
+                    list.push(callee.clone());
+                }
+            });
+            calls.push(list);
+        }
+        CallGraph { calls }
+    }
+
+    /// True when `name` can (transitively) call itself — inlining it
+    /// without care would never terminate (§7).
+    pub fn is_recursive(&self, prog: &titanc_il::Program, name: &str) -> bool {
+        let idx = match prog.procs.iter().position(|p| p.name == name) {
+            Some(i) => i,
+            None => return false,
+        };
+        let mut stack = vec![idx];
+        let mut seen = vec![false; prog.procs.len()];
+        while let Some(i) = stack.pop() {
+            for callee in &self.calls[i] {
+                if callee == name {
+                    return true;
+                }
+                if let Some(j) = prog.procs.iter().position(|p| &p.name == callee) {
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_graph_and_recursion() {
+        let prog = titanc_lower::compile_to_il(
+            r#"
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int helper(int n) { return fib(n); }
+int leaf(int n) { return n + 1; }
+"#,
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        assert!(cg.is_recursive(&prog, "fib"));
+        assert!(!cg.is_recursive(&prog, "helper"));
+        assert!(!cg.is_recursive(&prog, "leaf"));
+        assert_eq!(cg.calls[0].len(), 2);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let prog = titanc_lower::compile_to_il(
+            r#"
+int odd(int n);
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+"#,
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        assert!(cg.is_recursive(&prog, "even"));
+        assert!(cg.is_recursive(&prog, "odd"));
+    }
+}

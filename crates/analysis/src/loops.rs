@@ -1,0 +1,141 @@
+//! Tree-level loop facts.
+
+use std::collections::HashSet;
+use titanc_il::{LabelId, Stmt, StmtId, StmtKind};
+
+/// All statement ids inside a statement's nested blocks (excluding the
+/// statement itself).
+pub fn stmt_ids_in(s: &Stmt) -> HashSet<StmtId> {
+    let mut out = HashSet::new();
+    fn walk(block: &[Stmt], out: &mut HashSet<StmtId>) {
+        for s in block {
+            out.insert(s.id);
+            for b in s.blocks() {
+                walk(b, out);
+            }
+        }
+    }
+    for b in s.blocks() {
+        walk(b, &mut out);
+    }
+    out
+}
+
+/// Labels defined inside a statement's nested blocks.
+pub fn labels_in(s: &Stmt) -> HashSet<LabelId> {
+    let mut out = HashSet::new();
+    visit(s, &mut |inner| {
+        if let StmtKind::Label(l) = inner.kind {
+            out.insert(l);
+        }
+    });
+    out
+}
+
+/// Branch targets referenced from inside a statement's nested blocks.
+pub fn goto_targets_in(s: &Stmt) -> HashSet<LabelId> {
+    let mut out = HashSet::new();
+    visit(s, &mut |inner| match inner.kind {
+        StmtKind::Goto(l) | StmtKind::IfGoto { target: l, .. } => {
+            out.insert(l);
+        }
+        _ => {}
+    });
+    out
+}
+
+/// True when the statement tree contains a `Return`.
+pub fn has_return(s: &Stmt) -> bool {
+    let mut found = false;
+    visit(s, &mut |inner| {
+        if matches!(inner.kind, StmtKind::Return(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// True when the statement tree contains a procedure call.
+pub fn has_call(s: &Stmt) -> bool {
+    let mut found = false;
+    visit(s, &mut |inner| {
+        if matches!(inner.kind, StmtKind::Call { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// True when any branch inside the tree leaves it (targets a label not
+/// defined inside) — an early exit, which defeats DO conversion (§5.2).
+pub fn has_branch_out(s: &Stmt) -> bool {
+    let labels = labels_in(s);
+    goto_targets_in(s).iter().any(|l| !labels.contains(l))
+}
+
+fn visit(s: &Stmt, f: &mut dyn FnMut(&Stmt)) {
+    for b in s.blocks() {
+        for inner in b {
+            f(inner);
+            visit(inner, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_il::{Expr, StmtKind};
+
+    fn with_loop(src: &str) -> Stmt {
+        let prog = titanc_lower::compile_to_il(src).unwrap();
+        let proc = prog.procs[0].clone();
+        let mut found = None;
+        proc.for_each_stmt(&mut |s| {
+            if s.is_loop() && found.is_none() {
+                found = Some(s.clone());
+            }
+        });
+        found.expect("loop")
+    }
+
+    #[test]
+    fn ids_in_excludes_self() {
+        let w = with_loop("void f(int n) { while (n) { n = n - 1; } }");
+        let ids = stmt_ids_in(&w);
+        assert!(!ids.contains(&w.id));
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn break_is_a_branch_out() {
+        let w = with_loop("void f(int n) { while (n) { if (n == 2) break; n = n - 1; } }");
+        assert!(has_branch_out(&w));
+    }
+
+    #[test]
+    fn continue_is_not_a_branch_out() {
+        let w = with_loop("void f(int n) { while (n) { if (n == 2) continue; n = n - 1; } }");
+        assert!(!has_branch_out(&w), "continue targets a label inside the loop");
+    }
+
+    #[test]
+    fn return_detected() {
+        let w = with_loop("int f(int n) { while (n) { if (n == 2) return 1; n = n - 1; } return 0; }");
+        assert!(has_return(&w));
+        let w2 = with_loop("void f(int n) { while (n) { n = n - 1; } }");
+        assert!(!has_return(&w2));
+    }
+
+    #[test]
+    fn call_detected() {
+        let w = with_loop("void g(void); void f(int n) { while (n) { g(); n = n - 1; } }");
+        assert!(has_call(&w));
+    }
+
+    #[test]
+    fn nop_has_no_inner_ids() {
+        let s = Stmt::new(titanc_il::StmtId(0), StmtKind::Return(Some(Expr::int(0))));
+        assert!(stmt_ids_in(&s).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Compile-time benchmarks: the costs the paper reasons about when
+//! rejecting the "theoretically elegant" algorithms.
+//!
+//! * EXP4: constant propagation with the §8 heuristic vs the rejected
+//!   CFG-rebuild strategy.
+//! * EXP6: induction-variable substitution as the blocked-chain count
+//!   grows (worst case n passes, average ~1).
+//! * Front-end throughput on the corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use titanc_bench::{corpus, ivsub_chain_source};
+use titanc_inline::{inline_program, InlineOptions};
+use titanc_lower::compile_to_il;
+use titanc_opt::{convert_while_loops, induction_substitution};
+
+fn exp4_constprop_strategies(c: &mut Criterion) {
+    let src = r#"
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--) *x++ = *y++ + alpha * *z++;
+}
+float a[100], b[100], c[100];
+int main(void) { daxpy(a, b, c, 0.0, 100); return 0; }
+"#;
+    let inlined = {
+        let mut prog = compile_to_il(src).unwrap();
+        inline_program(&mut prog, &InlineOptions::default());
+        prog.proc_by_name("main").unwrap().clone()
+    };
+    let mut group = c.benchmark_group("exp4_constprop");
+    group.bench_function("heuristic_8", |b| {
+        b.iter(|| {
+            let mut p = inlined.clone();
+            titanc_opt::constant_propagation(&mut p);
+            black_box(p.len())
+        })
+    });
+    group.bench_function("cfg_rebuild_baseline", |b| {
+        b.iter(|| {
+            let mut p = inlined.clone();
+            loop {
+                let before = p.len();
+                titanc_opt::constant_propagation_no_unreachable(&mut p);
+                titanc_opt::constant_propagation(&mut p);
+                titanc_opt::eliminate_unreachable_cfg(&mut p);
+                if p.len() == before {
+                    break;
+                }
+            }
+            black_box(p.len())
+        })
+    });
+    group.finish();
+}
+
+fn exp6_ivsub_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp6_ivsub");
+    for k in [1usize, 8, 32] {
+        let src = ivsub_chain_source(k, 64);
+        let prepared = {
+            let prog = compile_to_il(&src).unwrap();
+            let mut p = prog.procs[0].clone();
+            convert_while_loops(&mut p);
+            p
+        };
+        group.bench_with_input(BenchmarkId::new("chains", k), &prepared, |b, p| {
+            b.iter(|| {
+                let mut q = p.clone();
+                black_box(induction_substitution(&mut q))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn frontend_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for (name, src) in [
+        ("daxpy", corpus::DAXPY),
+        ("struct_matrix", corpus::STRUCT_MATRIX),
+        ("blaslib", corpus::BLASLIB),
+    ] {
+        group.bench_function(BenchmarkId::new("parse_lower", name), |b| {
+            b.iter(|| black_box(compile_to_il(black_box(src)).unwrap().len()))
+        });
+        group.bench_function(BenchmarkId::new("full_o2", name), |b| {
+            b.iter(|| {
+                black_box(
+                    titanc::compile(black_box(src), &titanc::Options::o2())
+                        .unwrap()
+                        .program
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = exp4_constprop_strategies, exp6_ivsub_scaling, frontend_throughput
+);
+criterion_main!(benches);

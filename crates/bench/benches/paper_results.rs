@@ -1,0 +1,123 @@
+//! Criterion wrappers over the paper's performance results.
+//!
+//! Each group regenerates one evaluation number from the paper by running
+//! the compiled kernel on the Titan simulator. The wall-clock numbers
+//! Criterion reports are host simulation time; the *reproduced results*
+//! (cycles, MFLOPS, speedups) are printed once per group so
+//! `cargo bench` output doubles as the experiment log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use titanc::Options;
+use titanc_bench::{backsolve_source, copy_source, daxpy_source, mflops, run};
+use titanc_titan::MachineConfig;
+
+/// EXP1: the §5.3 pointer-walk copy, scalar vs vectorized.
+fn exp1_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1_copy");
+    for n in [100usize, 1024] {
+        let src = copy_source(n);
+        let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
+        let vector = run(&src, &Options::o2(), MachineConfig::optimized(1));
+        println!(
+            "[exp1 n={n}] scalar {:.0}cy, vector {:.0}cy, speedup {:.2}x",
+            scalar.cycles,
+            vector.cycles,
+            scalar.cycles / vector.cycles
+        );
+        group.bench_with_input(BenchmarkId::new("scalar", n), &src, |b, src| {
+            b.iter(|| run(black_box(src), &Options::o1(), MachineConfig::scalar()))
+        });
+        group.bench_with_input(BenchmarkId::new("vector", n), &src, |b, src| {
+            b.iter(|| run(black_box(src), &Options::o2(), MachineConfig::optimized(1)))
+        });
+    }
+    group.finish();
+}
+
+/// EXP2: backsolve, 0.5 → 1.9 MFLOPS (§6).
+fn exp2_backsolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_backsolve");
+    let src = backsolve_source(1024);
+    let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
+    let opt = run(&src, &Options::o2(), MachineConfig::optimized(1));
+    println!(
+        "[exp2] scalar {:.2} MFLOPS, dependence-driven {:.2} MFLOPS (paper: 0.5 -> 1.9)",
+        mflops(&scalar),
+        mflops(&opt)
+    );
+    group.bench_function("scalar_only", |b| {
+        b.iter(|| run(black_box(&src), &Options::o1(), MachineConfig::scalar()))
+    });
+    group.bench_function("dependence_driven", |b| {
+        b.iter(|| run(black_box(&src), &Options::o2(), MachineConfig::optimized(1)))
+    });
+    group.finish();
+}
+
+/// EXP3: daxpy, 12× on two processors (§9).
+fn exp3_daxpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3_daxpy");
+    let src = daxpy_source(100);
+    let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
+    for procs in [1u32, 2, 4] {
+        let par = run(&src, &Options::parallel(), MachineConfig::optimized(procs));
+        println!(
+            "[exp3 procs={procs}] {:.0}cy vs scalar {:.0}cy: speedup {:.2}x (paper: 12x at 2 procs)",
+            par.cycles,
+            scalar.cycles,
+            scalar.cycles / par.cycles
+        );
+        group.bench_with_input(BenchmarkId::new("parallel", procs), &procs, |b, &p| {
+            b.iter(|| run(black_box(&src), &Options::parallel(), MachineConfig::optimized(p)))
+        });
+    }
+    group.bench_function("scalar", |b| {
+        b.iter(|| run(black_box(&src), &Options::o1(), MachineConfig::scalar()))
+    });
+    group.finish();
+}
+
+/// EXP7: instruction-scheduling overlap on/off (§6 item 2).
+fn exp7_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp7_overlap");
+    let src = backsolve_source(1024);
+    let off = run(&src, &Options::o1(), MachineConfig::scalar());
+    let on = run(
+        &src,
+        &Options::o1(),
+        MachineConfig {
+            overlap: true,
+            ..MachineConfig::scalar()
+        },
+    );
+    println!(
+        "[exp7] overlap off {:.0}cy, on {:.0}cy: {:.2}x",
+        off.cycles,
+        on.cycles,
+        off.cycles / on.cycles
+    );
+    group.bench_function("overlap_off", |b| {
+        b.iter(|| run(black_box(&src), &Options::o1(), MachineConfig::scalar()))
+    });
+    group.bench_function("overlap_on", |b| {
+        b.iter(|| {
+            run(
+                black_box(&src),
+                &Options::o1(),
+                MachineConfig {
+                    overlap: true,
+                    ..MachineConfig::scalar()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = exp1_copy, exp2_backsolve, exp3_daxpy, exp7_overlap
+);
+criterion_main!(benches);

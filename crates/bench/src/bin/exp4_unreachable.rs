@@ -1,0 +1,113 @@
+//! EXP4 (§8): constant propagation with unreachable-code elimination.
+//!
+//! The paper rejects IF-conversion, basic-block reconstruction and
+//! Wegman–Zadeck in favour of a heuristic that re-seeds propagation when
+//! eliminated definitions unblock constants, plus a quick postpass for
+//! code behind always-taken branches. This experiment compares the
+//! heuristic against the rejected "rebuild basic blocks" strategy on the
+//! §8 daxpy(alpha = 0) specialization: statements eliminated and compile
+//! time.
+
+use std::time::Instant;
+use titanc_bench::print_table;
+use titanc_bench::Row;
+use titanc_inline::{inline_program, InlineOptions};
+use titanc_lower::compile_to_il;
+
+const SRC: &str = r#"
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}
+float a[100], b[100], c[100];
+int main(void)
+{
+    daxpy(a, b, c, 0.0, 100);
+    return 0;
+}
+"#;
+
+fn inlined_main() -> titanc_il::Procedure {
+    let mut prog = compile_to_il(SRC).expect("compiles");
+    inline_program(&mut prog, &InlineOptions::default());
+    prog.proc_by_name("main").unwrap().clone()
+}
+
+fn main() {
+    let reps = 200;
+
+    // strategy A: the paper's heuristic (propagation + branch folding +
+    // postpass, re-seeded each round)
+    let base_len = inlined_main().len();
+    let mut removed_a = 0;
+    let mut len_a = 0;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut p = inlined_main();
+        let r = titanc_opt::constant_propagation(&mut p);
+        titanc_opt::eliminate_dead_code(&mut p);
+        removed_a = r.removed;
+        len_a = p.len();
+    }
+    let time_a = t.elapsed().as_secs_f64() / reps as f64;
+
+    // strategy B: propagation without branch simplification, alternated
+    // with full-CFG unreachable elimination ("rebuild basic blocks")
+    let mut removed_b = 0;
+    let mut len_b = 0;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut p = inlined_main();
+        let mut total = 0;
+        loop {
+            titanc_opt::constant_propagation_no_unreachable(&mut p);
+            // fold branch conditions so reachability sees the constants:
+            // the CFG rebuild itself only removes graph-unreachable code,
+            // which is why the paper found it needed repeated reanalysis
+            let before = p.len();
+            let r1 = titanc_opt::constant_propagation(&mut p);
+            let r2 = titanc_opt::eliminate_unreachable_cfg(&mut p);
+            total += r1.removed + r2;
+            if p.len() == before {
+                break;
+            }
+        }
+        titanc_opt::eliminate_dead_code(&mut p);
+        removed_b = total;
+        len_b = p.len();
+    }
+    let time_b = t.elapsed().as_secs_f64() / reps as f64;
+
+    print_table(
+        "EXP4 unreachable-code elimination after inlining daxpy(alpha = 0)",
+        "the heuristic removes (almost) all unreachable code at lower compile cost than block reconstruction",
+        &[
+            Row {
+                label: "inlined main, statements before".into(),
+                value: base_len as f64,
+                note: "statements".into(),
+            },
+            Row {
+                label: "heuristic (§8): statements removed".into(),
+                value: removed_a as f64,
+                note: format!("final {len_a} stmts, {:.1} µs/compile", time_a * 1e6),
+            },
+            Row {
+                label: "CFG rebuild baseline: statements removed".into(),
+                value: removed_b as f64,
+                note: format!("final {len_b} stmts, {:.1} µs/compile", time_b * 1e6),
+            },
+        ],
+    );
+    assert!(len_a <= base_len / 2, "specialization shrinks main sharply");
+    assert!(
+        len_a <= len_b + 2,
+        "the heuristic is about as effective as block reconstruction"
+    );
+    println!("EXP4 ok");
+}

@@ -1,0 +1,40 @@
+//! EXP5 (§5.2): while→DO conversion coverage.
+//!
+//! "While the conversion of while loops to iterative loops may seem
+//! straightforward, there are a surprising number of intricacies involved"
+//! — this table runs the loop-form corpus and reports which forms convert
+//! and why the rest are rejected.
+
+use titanc_bench::whiledo_corpus;
+use titanc_lower::compile_to_il;
+use titanc_opt::convert_while_loops;
+
+fn main() {
+    println!("== EXP5 while→DO conversion coverage (§5.2)");
+    let mut converted = 0;
+    let mut total = 0;
+    for (name, src, expect) in whiledo_corpus() {
+        let prog = compile_to_il(&src).expect("corpus compiles");
+        let mut proc = prog.procs[0].clone();
+        let rep = convert_while_loops(&mut proc);
+        let did = rep.converted > 0;
+        let reason = rep
+            .rejects
+            .first()
+            .map(|(_, r)| format!("{r:?}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "   {:<44} {:<9} {}",
+            name,
+            if did { "converted" } else { "rejected" },
+            if did { String::from("-") } else { reason }
+        );
+        assert_eq!(did, expect, "unexpected outcome for `{name}`");
+        total += 1;
+        if did {
+            converted += 1;
+        }
+    }
+    println!("   {converted}/{total} loop forms converted\n");
+    println!("EXP5 ok");
+}

@@ -1,0 +1,306 @@
+//! # titanc-bench — the experiment harness
+//!
+//! One binary per experiment in `DESIGN.md`'s index (EXP1–EXP10), each
+//! regenerating the corresponding paper result; `benches/` wraps the same
+//! measurements in Criterion for `cargo bench`. Run a binary with
+//! `cargo run --release -p titanc-bench --bin exp2_backsolve`.
+
+#![forbid(unsafe_code)]
+
+use titanc::{compile, Options};
+use titanc_titan::{ExecStats, MachineConfig, Simulator};
+
+/// The paper's corpus, embedded.
+pub mod corpus {
+    /// §9 daxpy example.
+    pub const DAXPY: &str = include_str!("../../../corpus/daxpy.c");
+    /// §6 backsolve loop.
+    pub const BACKSOLVE: &str = include_str!("../../../corpus/backsolve.c");
+    /// §5.3 pointer-walk copy.
+    pub const COPY: &str = include_str!("../../../corpus/copy.c");
+    /// §1 volatile poll loop.
+    pub const VOLATILE_POLL: &str = include_str!("../../../corpus/volatile_poll.c");
+    /// §10 struct-embedded arrays (graphics transform).
+    pub const STRUCT_MATRIX: &str = include_str!("../../../corpus/struct_matrix.c");
+    /// BLAS-1 library used for catalog inlining.
+    pub const BLASLIB: &str = include_str!("../../../corpus/blaslib.c");
+    /// §10 linked-list walk (future-work spreading).
+    pub const LISTWALK: &str = include_str!("../../../corpus/listwalk.c");
+}
+
+/// Compiles `src` with `options` and runs `main` on `machine`, returning
+/// the run statistics.
+///
+/// # Panics
+///
+/// Panics on compile or runtime errors — experiments are supposed to work.
+pub fn run(src: &str, options: &Options, machine: MachineConfig) -> ExecStats {
+    let compiled = compile(src, options).expect("experiment source compiles");
+    let mut sim = Simulator::new(&compiled.program, machine);
+    let result = sim.run("main", &[]).expect("experiment runs");
+    result.stats
+}
+
+/// Compiles with `options` and returns the program plus reports (for
+/// compile-time/shape experiments).
+pub fn compile_only(src: &str, options: &Options) -> titanc::Compilation {
+    compile(src, options).expect("experiment source compiles")
+}
+
+/// MFLOPS at the Titan's 16 MHz clock.
+pub fn mflops(stats: &ExecStats) -> f64 {
+    stats.mflops(16.0)
+}
+
+/// A row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Configuration label.
+    pub label: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit/notes.
+    pub note: String,
+}
+
+/// Prints an experiment table with a title and the paper's claim.
+pub fn print_table(title: &str, paper_claim: &str, rows: &[Row]) {
+    println!("== {title}");
+    println!("   paper: {paper_claim}");
+    for r in rows {
+        println!("   {:<42} {:>12.3}  {}", r.label, r.value, r.note);
+    }
+    println!();
+}
+
+/// Builds a parameterized daxpy-style kernel source.
+pub fn daxpy_source(n: usize) -> String {
+    format!(
+        r#"
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}}
+float a[{n}], b[{n}], c[{n}];
+int main(void)
+{{
+    daxpy(a, b, c, 1.0, {n});
+    return 0;
+}}
+"#
+    )
+}
+
+/// Builds the §5.3 pointer-copy kernel of a given size.
+pub fn copy_source(n: usize) -> String {
+    format!(
+        r#"
+float dst[{n}], src[{n}];
+int main(void)
+{{
+    float *a, *b;
+    int n;
+    a = &dst[0];
+    b = &src[0];
+    n = {n};
+#pragma safe
+    while (n) {{
+        *a++ = *b++;
+        n--;
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// Builds the §6 backsolve kernel of a given size.
+pub fn backsolve_source(n: usize) -> String {
+    let arr = n + 2;
+    format!(
+        r#"
+float x[{arr}], y[{arr}], z[{arr}];
+int main(void)
+{{
+    float *p, *q;
+    int i;
+    p = &x[1];
+    q = &x[0];
+    for (i = 0; i < {n}; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The EXP5 loop-form corpus: `(name, source, expected to convert)`.
+pub fn whiledo_corpus() -> Vec<(&'static str, String, bool)> {
+    vec![
+        (
+            "canonical for (i = 0; i < n; i++)",
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0; }".into(),
+            true,
+        ),
+        (
+            "countdown while (n) { ... n--; }",
+            "void f(float *a, int n) { while (n) { *a++ = 0; n--; } }".into(),
+            true,
+        ),
+        (
+            "paper §5.2: i = n; while (i) i = temp - s",
+            "void f(int n, int s) { int i, temp; i = n; while (i) { temp = i; i = temp - s; } }"
+                .into(),
+            true,
+        ),
+        (
+            "for (i = n; i >= 0; i--)",
+            "void f(float *a, int n) { int i; for (i = n; i >= 0; i--) a[i] = 0; }".into(),
+            true,
+        ),
+        (
+            "stride 4: for (i = 0; i < n; i += 4)",
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i += 4) a[i] = 0; }".into(),
+            true,
+        ),
+        (
+            "i != n with unit step",
+            "void f(float *a, int n) { int i; for (i = 0; i != n; i++) a[i] = 0; }".into(),
+            true,
+        ),
+        (
+            "branch into loop",
+            "void f(int n) { if (n > 5) goto ins; while (n) { ins: n = n - 1; } }".into(),
+            false,
+        ),
+        (
+            "break out of loop",
+            "void f(int n) { while (n) { if (n == 3) break; n--; } }".into(),
+            false,
+        ),
+        (
+            "return inside loop",
+            "int f(int n) { while (n) { if (n == 2) return 1; n--; } return 0; }".into(),
+            false,
+        ),
+        (
+            "volatile condition (true while loop)",
+            "volatile int st; void f(void) { while (!st); }".into(),
+            false,
+        ),
+        (
+            "bound varies in loop",
+            "void f(int n, int b) { int i; for (i = 0; i < b; i++) b = b - 1; }".into(),
+            false,
+        ),
+        (
+            "stride varies in loop",
+            "void f(int n, int s) { int i; for (i = 0; i < n; i += s) s = s + 1; }".into(),
+            false,
+        ),
+        (
+            "conditional step",
+            "void f(int n, int c) { int i; i = 0; while (i < n) { if (c) i = i + 1; } }".into(),
+            false,
+        ),
+        (
+            "linked-list walk (true while loop)",
+            "struct nd { int v; struct nd *next; };\nvoid f(struct nd *p) { while (p) p = p->next; }"
+                .into(),
+            false,
+        ),
+        (
+            "wrong direction",
+            "void f(int n) { int i; for (i = 0; i < n; i--) { ; } }".into(),
+            false,
+        ),
+        (
+            "i != n with stride 2 (may step over)",
+            "void f(int n) { int i; for (i = 0; i != n; i += 2) { ; } }".into(),
+            false,
+        ),
+    ]
+}
+
+/// Generates a loop whose body contains a chain of `k` interdependent
+/// copy/increment pairs — the EXP6 backtracking stressor. Each pointer's
+/// increment hides behind the previous pointer's copy temporary.
+pub fn ivsub_chain_source(k: usize, n: usize) -> String {
+    let mut decls = String::new();
+    let mut init = String::new();
+    let mut body = String::new();
+    for j in 0..k {
+        decls.push_str(&format!("    float *p{j};\n"));
+        init.push_str(&format!("    p{j} = &data[{j}];\n"));
+        body.push_str(&format!("        *p{j}++ = {j}.0f;\n"));
+    }
+    format!(
+        r#"
+float data[{size}];
+int main(void)
+{{
+{decls}    int n;
+{init}    n = {n};
+    while (n) {{
+{body}        n--;
+    }}
+    return 0;
+}}
+"#,
+        size = n * 2 + k + 2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_compiles_at_o2() {
+        for (name, src) in [
+            ("daxpy", corpus::DAXPY),
+            ("backsolve", corpus::BACKSOLVE),
+            ("copy", corpus::COPY),
+            ("volatile", corpus::VOLATILE_POLL),
+            ("struct_matrix", corpus::STRUCT_MATRIX),
+            ("blaslib", corpus::BLASLIB),
+            ("listwalk", corpus::LISTWALK),
+        ] {
+            compile(src, &Options::o2()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generators_compile_and_run() {
+        for src in [daxpy_source(16), copy_source(16), backsolve_source(16)] {
+            let stats = run(&src, &Options::o2(), MachineConfig::optimized(1));
+            assert!(stats.cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn whiledo_corpus_is_consistent() {
+        for (name, src, expect) in whiledo_corpus() {
+            let prog = titanc_lower::compile_to_il(&src)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut proc = prog.procs[0].clone();
+            let rep = titanc_opt::convert_while_loops(&mut proc);
+            assert_eq!(rep.converted > 0, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn ivsub_chain_generator_scales() {
+        let src = ivsub_chain_source(4, 8);
+        let prog = titanc_lower::compile_to_il(&src).unwrap();
+        let mut proc = prog.procs[0].clone();
+        titanc_opt::convert_while_loops(&mut proc);
+        let rep = titanc_opt::induction_substitution(&mut proc);
+        assert!(rep.substituted >= 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Diagnostics with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A line/column source position (1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A front-end error message anchored to a source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Where the problem was detected.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_position_and_message() {
+        let d = Diagnostic::new("unexpected token", Span { line: 3, col: 7 });
+        assert_eq!(d.to_string(), "3:7: unexpected token");
+    }
+}

@@ -1,0 +1,226 @@
+//! The `titanc` command-line driver.
+//!
+//! ```text
+//! titanc [options] file.c
+//!
+//!   -O0 | -O1 | -O2          optimization level (default -O2)
+//!   --parallel               emit `do parallel` loops
+//!   --spread-lists           spread linked-list while loops (§10)
+//!   --procs N                simulate N processors (1-4, default 1)
+//!   --fortran-aliasing       assume pointer parameters do not alias (§9)
+//!   --no-inline              disable inline expansion
+//!   --strip N                vector strip length (default 32)
+//!   --print-il               print the optimized IL for every procedure
+//!   --snapshots              print every procedure after every phase
+//!   --catalog FILE           link a procedure catalog (repeatable)
+//!   --emit-catalog FILE      write the compiled program as a catalog
+//!   --run [ENTRY]            execute on the simulated Titan (default main)
+//!   --volatile-values LIST   comma-separated device-register script
+//!   --stats                  print pass statistics
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! titanc --parallel --procs 2 --run --stats corpus/daxpy.c
+//! ```
+
+use std::process::ExitCode;
+use titanc::{compile, Aliasing, Catalog, Options};
+use titanc_titan::{MachineConfig, Simulator};
+
+struct Cli {
+    file: Option<String>,
+    options: Options,
+    procs: u32,
+    print_il: bool,
+    stats: bool,
+    run: bool,
+    entry: String,
+    emit_catalog: Option<String>,
+    volatile_values: Vec<i64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: titanc [-O0|-O1|-O2] [--parallel] [--procs N] [--fortran-aliasing]\n\
+         \x20             [--no-inline] [--strip N] [--print-il] [--snapshots]\n\
+         \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
+         \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats] file.c"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        file: None,
+        options: Options::o2(),
+        procs: 1,
+        print_il: false,
+        stats: false,
+        run: false,
+        entry: "main".to_string(),
+        emit_catalog: None,
+        volatile_values: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-O0" => cli.options = Options::o0(),
+            "-O1" => cli.options = Options::o1(),
+            "-O2" => cli.options = Options::o2(),
+            "--parallel" => cli.options.parallelize = true,
+            "--spread-lists" => cli.options.spread_lists = true,
+            "--fortran-aliasing" => cli.options.aliasing = Aliasing::Fortran,
+            "--no-inline" => cli.options.inline = false,
+            "--snapshots" => cli.options.snapshots = true,
+            "--print-il" => cli.print_il = true,
+            "--stats" => cli.stats = true,
+            "--procs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.procs = v.parse().unwrap_or_else(|_| usage());
+                if !(1..=4).contains(&cli.procs) {
+                    eprintln!("titanc: --procs must be 1-4 (the Titan had up to four)");
+                    std::process::exit(2);
+                }
+            }
+            "--strip" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.options.strip = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--catalog" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                match Catalog::load(&path) {
+                    Ok(c) => cli.options.catalogs.push(c),
+                    Err(e) => {
+                        eprintln!("titanc: cannot load catalog {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--emit-catalog" => {
+                cli.emit_catalog = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--run" => {
+                cli.run = true;
+                if let Some(next) = args.peek() {
+                    if !next.starts_with('-') && !next.ends_with(".c") {
+                        cli.entry = args.next().unwrap();
+                    }
+                }
+            }
+            "--volatile-values" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.volatile_values = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("titanc: unknown option `{arg}`");
+                usage();
+            }
+            _ => {
+                if cli.file.replace(arg).is_some() {
+                    eprintln!("titanc: exactly one input file, please");
+                    usage();
+                }
+            }
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    let file = match &cli.file {
+        Some(f) => f.clone(),
+        None => usage(),
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("titanc: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let compiled = match compile(&src, &cli.options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.options.snapshots {
+        for (phase, proc, text) in &compiled.snapshots {
+            println!("===== {proc} after {phase} =====\n{text}");
+        }
+    }
+    if cli.print_il {
+        for p in &compiled.program.procs {
+            println!("{}", titanc_il::pretty_proc(p));
+        }
+    }
+    if cli.stats {
+        let r = &compiled.reports;
+        println!("inline:     {} sites ({} recursive skipped)", r.inline.inlined, r.inline.skipped_recursive);
+        println!("while->DO:  {} converted, {} rejected", r.whiledo.converted, r.whiledo.rejects.len());
+        println!("ivsub:      {} variables, {} passes, {} backtracks", r.ivsub.substituted, r.ivsub.passes, r.ivsub.backtracks);
+        println!("forward:    {} substitutions", r.forward.substituted);
+        println!("constprop:  {} replaced, {} removed, {} rounds", r.constprop.replaced, r.constprop.removed, r.constprop.rounds);
+        println!("dce:        {} removed", r.dce.removed);
+        println!("vectorizer: {} vectorized, {} spread, {} scalar", r.vector.vectorized, r.vector.spread, r.vector.scalar);
+        println!("strength:   {} promoted, {} reduced, {} hoisted", r.strength.promoted, r.strength.reduced, r.strength.hoisted);
+    }
+
+    if let Some(path) = &cli.emit_catalog {
+        let name = std::path::Path::new(&file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().to_string())
+            .unwrap_or_else(|| "catalog".into());
+        let catalog = Catalog::from_program(name, &compiled.program);
+        if let Err(e) = catalog.save(path) {
+            eprintln!("titanc: cannot write catalog {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("catalog written to {path}");
+    }
+
+    if cli.run {
+        let mut machine = MachineConfig::optimized(cli.procs);
+        if cli.options.opt == titanc::OptLevel::O1 || cli.options.opt == titanc::OptLevel::O0 {
+            machine = MachineConfig::scalar();
+            machine.num_procs = cli.procs;
+        }
+        let mut sim = Simulator::new(&compiled.program, machine);
+        sim.push_volatile_values(&cli.volatile_values);
+        match sim.run(&cli.entry, &[]) {
+            Ok(result) => {
+                for line in &result.stats.output {
+                    println!("{line}");
+                }
+                println!(
+                    "[titan] {:.0} cycles, {:.3} ms at 16 MHz, {:.2} MFLOPS, exit {}",
+                    result.stats.cycles,
+                    result.stats.seconds(16.0) * 1e3,
+                    result.stats.mflops(16.0),
+                    result
+                        .value
+                        .map(|v| v.as_int().to_string())
+                        .unwrap_or_else(|| "void".into())
+                );
+                if let Some(v) = result.value {
+                    return ExitCode::from((v.as_int() & 0xff) as u8);
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

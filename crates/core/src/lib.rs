@@ -1,0 +1,332 @@
+//! # titanc — a reproduction of the Titan C vectorizing compiler
+//!
+//! This crate is the driver for a full reimplementation of the compiler
+//! described in R. Allen & S. Johnson, *Compiling C for Vectorization,
+//! Parallelization, and Inline Expansion* (PLDI 1988): a C front end that
+//! recasts expressions into side-effect-free (statement-list, expression)
+//! pairs, scalar optimization built on use–def chains (while→DO
+//! conversion, induction-variable substitution with backtracking, constant
+//! propagation with unreachable-code elimination, dead-code elimination),
+//! data-dependence analysis, an Allen–Kennedy-style vectorizer with strip
+//! mining and `do parallel` loop spreading, cross-file inlining from
+//! procedure catalogs, and the §6 dependence-driven scalar optimizations.
+//! Compiled programs execute on a cycle-cost simulator of the Ardent Titan
+//! (`titanc-titan`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use titanc::{compile, Options};
+//! use titanc_titan::{MachineConfig, Simulator};
+//!
+//! let src = r#"
+//! float a[100], b[100], c[100];
+//! int main(void)
+//! {
+//!     int i;
+//!     for (i = 0; i < 100; i++) a[i] = b[i] + c[i];
+//!     return 0;
+//! }
+//! "#;
+//! let result = compile(src, &Options::o2())?;
+//! assert!(result.reports.vector.vectorized >= 1);
+//! let mut sim = Simulator::new(&result.program, MachineConfig::optimized(2));
+//! sim.run("main", &[]).unwrap();
+//! # Ok::<(), titanc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub use titanc_deps::Aliasing;
+pub use titanc_il::{Catalog, Program};
+pub use titanc_inline::InlineOptions;
+pub use titanc_vector::VectorOptions;
+
+/// Optimization level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// Front end only: parse and lower, no optimization.
+    O0,
+    /// Scalar optimization: while→DO, induction-variable substitution,
+    /// forward substitution, constant propagation, DCE.
+    O1,
+    /// O1 + vectorization + the §6 dependence-driven scalar optimizations.
+    O2,
+}
+
+/// Compiler options (§2's strategy knobs).
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Inline procedure calls (§7).
+    pub inline: bool,
+    /// Inlining policy.
+    pub inline_opts: InlineOptions,
+    /// Spread loops across processors (`do parallel`).
+    pub parallelize: bool,
+    /// Spread linked-list `while` loops with a serialized pointer chase
+    /// (§10 future work). Requires the paper's assumption that "each
+    /// motion down a pointer goes to independent storage", so it is a
+    /// separate opt-in even when `parallelize` is set.
+    pub spread_lists: bool,
+    /// Aliasing regime (§9's Fortran-parameter-semantics option).
+    pub aliasing: Aliasing,
+    /// Strip length for parallel vector loops.
+    pub strip: i64,
+    /// Maximum single vector length.
+    pub max_vl: i64,
+    /// Catalogs to link for cross-file inlining (§7).
+    pub catalogs: Vec<Catalog>,
+    /// Capture a pretty-printed snapshot of every procedure after each
+    /// phase (the §9 walkthrough).
+    pub snapshots: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            opt: OptLevel::O2,
+            inline: true,
+            inline_opts: InlineOptions::default(),
+            parallelize: false,
+            spread_lists: false,
+            aliasing: Aliasing::C,
+            strip: 32,
+            max_vl: 2048,
+            catalogs: Vec::new(),
+            snapshots: false,
+        }
+    }
+}
+
+impl Options {
+    /// Front end only.
+    pub fn o0() -> Options {
+        Options {
+            opt: OptLevel::O0,
+            inline: false,
+            ..Options::default()
+        }
+    }
+
+    /// Scalar optimization only (the paper's baseline configuration: "when
+    /// the original loop is compiled with only scalar optimization").
+    pub fn o1() -> Options {
+        Options {
+            opt: OptLevel::O1,
+            inline: false,
+            ..Options::default()
+        }
+    }
+
+    /// Full single-processor optimization.
+    pub fn o2() -> Options {
+        Options::default()
+    }
+
+    /// Full optimization with multiprocessor spreading.
+    pub fn parallel() -> Options {
+        Options {
+            parallelize: true,
+            ..Options::default()
+        }
+    }
+}
+
+/// Aggregated pass statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Reports {
+    /// while→DO conversions across all procedures.
+    pub whiledo: titanc_opt::WhileDoReport,
+    /// Induction-variable substitution.
+    pub ivsub: titanc_opt::IvSubReport,
+    /// Forward substitution.
+    pub forward: titanc_opt::ForwardReport,
+    /// Constant propagation.
+    pub constprop: titanc_opt::ConstPropReport,
+    /// Dead-code elimination.
+    pub dce: titanc_opt::DceReport,
+    /// Vectorizer outcomes.
+    pub vector: titanc_vector::VectorReport,
+    /// §6 scalar optimizations.
+    pub strength: titanc_vector::StrengthReport,
+    /// Local common-subexpression elimination.
+    pub cse: titanc_opt::CseReport,
+    /// §10 linked-list loop spreading.
+    pub spread: titanc_vector::SpreadReport,
+    /// Inliner outcomes.
+    pub inline: titanc_inline::InlineReport,
+}
+
+/// The result of a compilation.
+#[derive(Clone, Debug)]
+pub struct Compilation {
+    /// The optimized program, ready for the Titan simulator.
+    pub program: Program,
+    /// Pass statistics.
+    pub reports: Reports,
+    /// `(phase, procedure, pretty IL)` snapshots when
+    /// [`Options::snapshots`] was set.
+    pub snapshots: Vec<(String, String, String)>,
+}
+
+/// A front-end failure (lex/parse/lowering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// Rendered message with source position.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "titanc: {}", self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Compiles C source with the given options.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical, syntactic or semantic errors;
+/// optimization never fails.
+pub fn compile(src: &str, options: &Options) -> Result<Compilation, CompileError> {
+    let tu = titanc_cfront::parse(src).map_err(|e| CompileError {
+        message: e.to_string(),
+    })?;
+    let mut program = titanc_lower::lower(&tu).map_err(|e| CompileError {
+        message: e.to_string(),
+    })?;
+
+    let mut reports = Reports::default();
+    let mut snapshots = Vec::new();
+    let snap = |phase: &str, program: &Program, out: &mut Vec<(String, String, String)>| {
+        if options.snapshots {
+            for p in &program.procs {
+                out.push((
+                    phase.to_string(),
+                    p.name.clone(),
+                    titanc_il::pretty_proc(p),
+                ));
+            }
+        }
+    };
+    snap("lower", &program, &mut snapshots);
+
+    // §7: link catalogs and inline before scalar optimization, so §8's
+    // specialization opportunities exist.
+    for catalog in &options.catalogs {
+        catalog.link_into(&mut program);
+    }
+    if options.inline {
+        let r = titanc_inline::inline_program(&mut program, &options.inline_opts);
+        merge_inline(&mut reports.inline, r);
+        snap("inline", &program, &mut snapshots);
+    }
+
+    if options.opt == OptLevel::O0 {
+        return Ok(Compilation {
+            program,
+            reports,
+            snapshots,
+        });
+    }
+
+    // scalar optimization, per §5.2's ordering: conversion immediately
+    // after use–def chains, before the simplifying passes
+    for proc in &mut program.procs {
+        let r = titanc_opt::convert_while_loops(proc);
+        reports.whiledo.converted += r.converted;
+        reports.whiledo.rejects.extend(r.rejects);
+
+        let r = titanc_opt::induction_substitution(proc);
+        reports.ivsub.substituted += r.substituted;
+        reports.ivsub.passes += r.passes;
+        reports.ivsub.backtracks += r.backtracks;
+
+        let r = titanc_opt::forward_substitute(proc);
+        reports.forward.substituted += r.substituted;
+
+        let r = titanc_opt::constant_propagation(proc);
+        reports.constprop.replaced += r.replaced;
+        reports.constprop.removed += r.removed;
+        reports.constprop.rounds += r.rounds;
+
+        let r = titanc_opt::eliminate_dead_code(proc);
+        reports.dce.removed += r.removed;
+        reports.dce.rounds += r.rounds;
+    }
+    snap("scalar", &program, &mut snapshots);
+
+    if options.opt == OptLevel::O2 {
+        let vopts = VectorOptions {
+            aliasing: options.aliasing,
+            parallelize: options.parallelize,
+            strip: options.strip,
+            max_vl: options.max_vl,
+        };
+        for proc in &mut program.procs {
+            if options.spread_lists && options.parallelize {
+                let r = titanc_vector::spread_list_loops(proc);
+                reports.spread.spread += r.spread;
+            }
+            let r = titanc_vector::vectorize(proc, &vopts);
+            reports.vector.vectorized += r.vectorized;
+            reports.vector.spread += r.spread;
+            reports.vector.scalar += r.scalar;
+
+            let r = titanc_vector::strength_reduce(proc, options.aliasing);
+            reports.strength.promoted += r.promoted;
+            reports.strength.reduced += r.reduced;
+            reports.strength.hoisted += r.hoisted;
+
+            // §6 cleanup: strength reduction leaves dead index arithmetic
+            titanc_opt::forward_substitute(proc);
+            let r = titanc_opt::local_cse(proc);
+            reports.cse.commoned += r.commoned;
+            reports.cse.replaced += r.replaced;
+            let r = titanc_opt::eliminate_dead_code(proc);
+            reports.dce.removed += r.removed;
+        }
+        snap("vector", &program, &mut snapshots);
+    }
+
+    Ok(Compilation {
+        program,
+        reports,
+        snapshots,
+    })
+}
+
+fn merge_inline(acc: &mut titanc_inline::InlineReport, r: titanc_inline::InlineReport) {
+    acc.inlined += r.inlined;
+    acc.skipped_recursive += r.skipped_recursive;
+    acc.skipped_size += r.skipped_size;
+    acc.statics_externalized += r.statics_externalized;
+}
+
+/// Compiles and immediately runs `entry` on a Titan with the given
+/// configuration — the one-call path used by examples and benchmarks.
+///
+/// # Errors
+///
+/// Returns the compile error or the simulator fault as a string.
+pub fn compile_and_run(
+    src: &str,
+    options: &Options,
+    machine: titanc_titan::MachineConfig,
+    entry: &str,
+) -> Result<titanc_titan::RunResult, String> {
+    let c = compile(src, options).map_err(|e| e.to_string())?;
+    let mut sim = titanc_titan::Simulator::new(&c.program, machine);
+    sim.run(entry, &[]).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests;

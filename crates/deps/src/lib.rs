@@ -1,0 +1,50 @@
+//! # titanc-deps — data-dependence analysis
+//!
+//! Affine subscript extraction (through C's star-expression addressing),
+//! the ZIV/SIV/GCD/Banerjee dependence tests, and the statement dependence
+//! graph with SCC condensation used by the vectorizer (§5) and by the
+//! dependence-driven scalar optimizations (§6).
+//!
+//! ## Example
+//!
+//! ```
+//! use titanc_deps::{Aliasing, DepGraph};
+//! use titanc_il::StmtKind;
+//!
+//! let prog = titanc_lower::compile_to_il(
+//!     "float a[64], b[64];\nvoid f(void) { int i; for (i = 0; i < 64; i++) a[i] = b[i]; }",
+//! ).unwrap();
+//! let mut proc = prog.procs[0].clone();
+//! titanc_opt::convert_while_loops(&mut proc);
+//! titanc_opt::induction_substitution(&mut proc);
+//! titanc_opt::forward_substitute(&mut proc);
+//! titanc_opt::eliminate_dead_code(&mut proc);
+//! let mut found = None;
+//! proc.for_each_stmt(&mut |s| {
+//!     if let StmtKind::DoLoop { var, body, .. } = &s.kind {
+//!         found.get_or_insert((*var, body.clone()));
+//!     }
+//! });
+//! let (lv, body) = found.unwrap();
+//! let g = DepGraph::build(&proc, &body, lv, Some(64), Aliasing::C);
+//! assert!(g.iterations_independent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod graph;
+pub mod test;
+
+pub use affine::{decompose, Affine};
+pub use graph::{Aliasing, DepEdge, DepGraph, DepKind, MemRef};
+pub use test::{test_pair, Verdict};
+
+/// The constant trip count of a DO loop, when its bounds fold.
+pub fn const_trip_count(lo: &titanc_il::Expr, hi: &titanc_il::Expr, step: &titanc_il::Expr) -> Option<i64> {
+    match (lo.as_int(), hi.as_int(), step.as_int()) {
+        (Some(l), Some(h), Some(s)) if s != 0 => Some(((h - l + s) / s).max(0)),
+        _ => None,
+    }
+}

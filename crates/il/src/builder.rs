@@ -1,0 +1,288 @@
+//! Ergonomic construction of IL procedures.
+//!
+//! Tests, examples and the workload generators build IL directly through
+//! [`ProcBuilder`]; the C front end goes through `titanc-lower` instead.
+
+use crate::expr::{Expr, LValue};
+use crate::ids::{LabelId, VarId};
+use crate::program::{Procedure, Storage, VarInfo};
+use crate::stmt::{Stmt, StmtKind};
+use crate::types::Type;
+
+/// Builds a [`Procedure`] statement by statement.
+#[derive(Debug)]
+pub struct ProcBuilder {
+    proc: Procedure,
+}
+
+impl ProcBuilder {
+    /// Starts a procedure with the given name and return type.
+    pub fn new(name: impl Into<String>, ret: Type) -> ProcBuilder {
+        ProcBuilder {
+            proc: Procedure::new(name, ret),
+        }
+    }
+
+    /// Declares a parameter.
+    pub fn param(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        let addressed = ty.scalar().is_none();
+        let id = self.proc.add_var(VarInfo {
+            name: name.into(),
+            ty,
+            storage: Storage::Param,
+            volatile: false,
+            addressed,
+            init: None,
+        });
+        self.proc.params.push(id);
+        id
+    }
+
+    /// Declares a local (auto) variable.
+    pub fn local(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        let addressed = ty.scalar().is_none();
+        self.proc.add_var(VarInfo {
+            name: name.into(),
+            ty,
+            storage: Storage::Auto,
+            volatile: false,
+            addressed,
+            init: None,
+        })
+    }
+
+    /// Declares a volatile local.
+    pub fn volatile_local(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        let id = self.local(name, ty);
+        self.proc.var_mut(id).volatile = true;
+        self.proc.var_mut(id).addressed = true;
+        id
+    }
+
+    /// Declares a reference to a program global of the same name.
+    pub fn global(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        self.proc.add_var(VarInfo {
+            name: name.into(),
+            ty,
+            storage: Storage::Global,
+            volatile: false,
+            addressed: true,
+            init: None,
+        })
+    }
+
+    /// A fresh temporary.
+    pub fn temp(&mut self, ty: Type) -> VarId {
+        self.proc.fresh_temp(ty)
+    }
+
+    /// A fresh label.
+    pub fn label_id(&mut self) -> LabelId {
+        self.proc.fresh_label()
+    }
+
+    /// Opens a nested block builder (for loop and branch bodies).
+    pub fn block(&mut self) -> BlockBuilder<'_> {
+        BlockBuilder {
+            proc: &mut self.proc,
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Finishes and returns the procedure.
+    pub fn finish(self) -> Procedure {
+        self.proc
+    }
+
+    /// Access to the procedure under construction.
+    pub fn proc(&self) -> &Procedure {
+        &self.proc
+    }
+}
+
+macro_rules! emit_methods {
+    ($pusher:ident) => {
+        /// Emits `lhs = rhs` for a variable target.
+        pub fn assign_var(&mut self, lhs: VarId, rhs: Expr) {
+            self.$pusher(StmtKind::Assign {
+                lhs: LValue::Var(lhs),
+                rhs,
+            });
+        }
+
+        /// Emits `lhs = rhs` for any target.
+        pub fn assign(&mut self, lhs: LValue, rhs: Expr) {
+            self.$pusher(StmtKind::Assign { lhs, rhs });
+        }
+
+        /// Emits a structured `if`.
+        pub fn if_(&mut self, cond: Expr, then_blk: Vec<Stmt>, else_blk: Vec<Stmt>) {
+            self.$pusher(StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            });
+        }
+
+        /// Emits a `while` loop.
+        pub fn while_(&mut self, cond: Expr, body: Vec<Stmt>) {
+            self.$pusher(StmtKind::While {
+                cond,
+                body,
+                safe: false,
+            });
+        }
+
+        /// Emits a Fortran-style DO loop.
+        pub fn do_loop(&mut self, var: VarId, lo: Expr, hi: Expr, step: Expr, body: Vec<Stmt>) {
+            self.$pusher(StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                safe: false,
+            });
+        }
+
+        /// Emits a `return`.
+        pub fn ret(&mut self, value: Option<Expr>) {
+            self.$pusher(StmtKind::Return(value));
+        }
+
+        /// Emits a call statement.
+        pub fn call(&mut self, dst: Option<LValue>, callee: impl Into<String>, args: Vec<Expr>) {
+            self.$pusher(StmtKind::Call {
+                dst,
+                callee: callee.into(),
+                args,
+            });
+        }
+
+        /// Emits a label.
+        pub fn label(&mut self, l: LabelId) {
+            self.$pusher(StmtKind::Label(l));
+        }
+
+        /// Emits an unconditional branch.
+        pub fn goto(&mut self, l: LabelId) {
+            self.$pusher(StmtKind::Goto(l));
+        }
+
+        /// Emits a conditional branch.
+        pub fn if_goto(&mut self, cond: Expr, target: LabelId) {
+            self.$pusher(StmtKind::IfGoto { cond, target });
+        }
+    };
+}
+
+impl ProcBuilder {
+    fn push_kind(&mut self, kind: StmtKind) {
+        self.proc.push(kind);
+    }
+
+    emit_methods!(push_kind);
+}
+
+/// Builds a statement block nested inside a [`ProcBuilder`] (loop or branch
+/// bodies). Finish with [`BlockBuilder::stmts`].
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    proc: &'a mut Procedure,
+    stmts: Vec<Stmt>,
+}
+
+impl<'a> BlockBuilder<'a> {
+    fn push_kind(&mut self, kind: StmtKind) {
+        let s = self.proc.stamp(kind);
+        self.stmts.push(s);
+    }
+
+    emit_methods!(push_kind);
+
+    /// A fresh temporary (allocated in the enclosing procedure).
+    pub fn temp(&mut self, ty: Type) -> VarId {
+        self.proc.fresh_temp(ty)
+    }
+
+    /// A fresh label (allocated in the enclosing procedure).
+    pub fn label_id(&mut self) -> LabelId {
+        self.proc.fresh_label()
+    }
+
+    /// Opens a further nested block.
+    pub fn block(&mut self) -> BlockBuilder<'_> {
+        BlockBuilder {
+            proc: self.proc,
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Finishes the block, returning its statements.
+    pub fn stmts(self) -> Vec<Stmt> {
+        self.stmts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn builds_counted_sum() {
+        let mut b = ProcBuilder::new("sum", Type::Int);
+        let n = b.param("n", Type::Int);
+        let s = b.local("s", Type::Int);
+        let i = b.local("i", Type::Int);
+        b.assign_var(s, Expr::int(0));
+        let body = {
+            let mut lb = b.block();
+            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            lb.stmts()
+        };
+        b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
+        b.ret(Some(Expr::var(s)));
+        let p = b.finish();
+        assert_eq!(p.params.len(), 1);
+        assert_eq!(p.body.len(), 3);
+        assert_eq!(p.len(), 4);
+        // stamps are unique
+        let mut ids = Vec::new();
+        p.for_each_stmt(&mut |s| ids.push(s.id));
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+
+    #[test]
+    fn nested_blocks_share_temp_counter() {
+        let mut b = ProcBuilder::new("f", Type::Void);
+        let t0 = b.temp(Type::Int);
+        let t1 = {
+            let mut lb = b.block();
+            let t = lb.temp(Type::Int);
+            let _ = lb.stmts();
+            t
+        };
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn volatile_local_is_marked() {
+        let mut b = ProcBuilder::new("f", Type::Void);
+        let ks = b.volatile_local("keyboard_status", Type::Int);
+        assert!(b.proc().var(ks).volatile);
+        assert!(b.proc().var(ks).addressed);
+    }
+
+    #[test]
+    fn array_param_is_addressed() {
+        let mut b = ProcBuilder::new("f", Type::Void);
+        let a = b.local("a", Type::array_of(Type::Float, 100));
+        assert!(b.proc().var(a).addressed);
+        let p = b.param("x", Type::ptr_to(Type::Float));
+        assert!(!b.proc().var(p).addressed);
+    }
+}

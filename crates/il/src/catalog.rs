@@ -1,0 +1,200 @@
+//! Procedure catalogs — the §7 inlining databases.
+//!
+//! Because the IL contains no hard pointers, parsed procedures can be
+//! serialized into a *catalog* ("math libraries can be 'compiled' into
+//! databases and used as a base for inlining, much as include directories
+//! are used as a source for header files"). A catalog carries the
+//! procedures plus the struct layouts and globals they reference, so a
+//! compilation can link any subset in by name.
+
+use crate::program::{Procedure, Program, StructDef, VarInfo};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A serializable library of parsed procedures (§7).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Catalog name (e.g. `"blas"`).
+    pub name: String,
+    /// The stored procedures.
+    pub procs: Vec<Procedure>,
+    /// Struct layouts the procedures reference.
+    pub structs: Vec<StructDef>,
+    /// Globals the procedures reference — including statics that were
+    /// externalized when the procedure was cataloged (§7).
+    pub globals: Vec<VarInfo>,
+}
+
+impl Catalog {
+    /// An empty catalog with the given name.
+    pub fn new(name: impl Into<String>) -> Catalog {
+        Catalog {
+            name: name.into(),
+            ..Catalog::default()
+        }
+    }
+
+    /// Builds a catalog from an entire compiled program.
+    pub fn from_program(name: impl Into<String>, prog: &Program) -> Catalog {
+        Catalog {
+            name: name.into(),
+            procs: prog.procs.clone(),
+            structs: prog.structs.clone(),
+            globals: prog.globals.clone(),
+        }
+    }
+
+    /// Adds a procedure.
+    pub fn add(&mut self, proc: Procedure) {
+        self.procs.push(proc);
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<&Procedure> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Serializes the catalog to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (it cannot for well-formed
+    /// catalogs).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a catalog from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON is not a valid catalog.
+    pub fn from_json(s: &str) -> serde_json::Result<Catalog> {
+        serde_json::from_str(s)
+    }
+
+    /// Saves the catalog to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a catalog from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error, or an `InvalidData` error when the file is
+    /// not a valid catalog.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Catalog> {
+        let text = std::fs::read_to_string(path)?;
+        Catalog::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Links every procedure, struct and global of the catalog into `prog`
+    /// (procedures already present by name are left untouched).
+    ///
+    /// Struct ids are *not* remapped: catalogs produced against the same
+    /// front-end session share the program's struct table; catalogs with
+    /// their own structs append them. This mirrors the paper's scheme of
+    /// self-contained relocatable tables.
+    pub fn link_into(&self, prog: &mut Program) {
+        for g in &self.globals {
+            prog.ensure_global(g.clone());
+        }
+        for sd in &self.structs {
+            if !prog.structs.iter().any(|s| s.name == sd.name) {
+                prog.structs.push(sd.clone());
+            }
+        }
+        for p in &self.procs {
+            if prog.proc_by_name(&p.name).is_none() {
+                prog.add_proc(p.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::expr::Expr;
+    use crate::types::Type;
+
+    fn sample_proc(name: &str) -> Procedure {
+        let mut b = ProcBuilder::new(name, Type::Int);
+        let n = b.param("n", Type::Int);
+        b.ret(Some(Expr::var(n)));
+        b.finish()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_procedures() {
+        let mut c = Catalog::new("blas");
+        c.add(sample_proc("daxpy"));
+        c.add(sample_proc("ddot"));
+        let json = c.to_json().unwrap();
+        let back = Catalog::from_json(&json).unwrap();
+        assert_eq!(c, back);
+        assert!(back.proc_by_name("ddot").is_some());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut c = Catalog::new("lib");
+        c.add(sample_proc("f"));
+        let dir = std::env::temp_dir().join("titanc-catalog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.json");
+        c.save(&path).unwrap();
+        let back = Catalog::load(&path).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn link_into_does_not_clobber_existing() {
+        let mut prog = Program::new();
+        let mut local = sample_proc("daxpy");
+        local.ret = Type::Void; // distinguishable from the catalog's copy
+        prog.add_proc(local);
+
+        let mut c = Catalog::new("blas");
+        c.add(sample_proc("daxpy"));
+        c.add(sample_proc("ddot"));
+        c.link_into(&mut prog);
+
+        assert_eq!(prog.procs.len(), 2);
+        assert_eq!(prog.proc_by_name("daxpy").unwrap().ret, Type::Void);
+        assert!(prog.proc_by_name("ddot").is_some());
+    }
+
+    #[test]
+    fn link_merges_globals_and_structs_once() {
+        let mut c = Catalog::new("g");
+        c.globals.push(VarInfo {
+            name: "shared".into(),
+            ty: Type::Int,
+            storage: crate::program::Storage::Global,
+            volatile: false,
+            addressed: true,
+            init: None,
+        });
+        c.structs.push(StructDef {
+            name: "pt".into(),
+            fields: vec![],
+            size: 0,
+        });
+        let mut prog = Program::new();
+        c.link_into(&mut prog);
+        c.link_into(&mut prog);
+        assert_eq!(prog.globals.len(), 1);
+        assert_eq!(prog.structs.len(), 1);
+    }
+}

@@ -1,0 +1,618 @@
+//! Side-effect-free IL expressions.
+//!
+//! Per §4 of the paper, the front end forces *every* operation that changes
+//! memory to be an explicit statement, so expressions here are pure: there
+//! is no assignment operator, no `++`/`--`, no `?:`/`&&`/`||`, and no
+//! function calls (calls are [`crate::StmtKind::Call`] statements). The only
+//! observable effect an expression can have is a *volatile read*, which is
+//! marked explicitly so every phase can treat it as pinned (§1, §3).
+
+use crate::ids::VarId;
+use crate::types::ScalarType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators. Comparisons yield an `Int` 0/1; `Min`/`Max` are IL
+/// intrinsics used by strip mining (§9's `vr = min(99, vi+31)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder (integers only).
+    Rem,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Minimum (strip-mining intrinsic).
+    Min,
+    /// Maximum (strip-mining intrinsic).
+    Max,
+}
+
+impl BinOp {
+    /// True for `==`, `!=`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True when `a op b == b op a` for all operands of the operand kind.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::BitAnd
+                | BinOp::BitOr
+                | BinOp::BitXor
+                | BinOp::Min
+                | BinOp::Max
+        )
+    }
+
+    /// The C spelling used by the pretty-printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (yields 0/1).
+    Not,
+    /// Bitwise complement (integers only).
+    BitNot,
+}
+
+impl UnOp {
+    /// The C spelling used by the pretty-printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+/// A pure IL expression.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// An integer constant (also used for char and pointer constants).
+    IntConst(i64),
+    /// A floating constant of the given kind.
+    FloatConst(f64, ScalarType),
+    /// The value of a scalar variable.
+    Var(VarId),
+    /// The address of a variable (`&v`; also an array base address).
+    AddrOf(VarId),
+    /// A memory load `*(ty *)addr`. `volatile` reads are pinned: they may
+    /// never be removed, duplicated, reordered across other volatile
+    /// accesses, or vectorized (§1 item 6).
+    Load {
+        /// Byte address of the cell.
+        addr: Box<Expr>,
+        /// Scalar kind loaded.
+        ty: ScalarType,
+        /// True when the access is to a volatile object.
+        volatile: bool,
+    },
+    /// A unary operation on operands of kind `ty`.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand kind.
+        ty: ScalarType,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operation whose operands have kind `ty`. Comparisons produce
+    /// an `Int` regardless of `ty`.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Operand kind.
+        ty: ScalarType,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A conversion to `to` from an operand of kind `from`.
+    Cast {
+        /// Result kind.
+        to: ScalarType,
+        /// Operand kind.
+        from: ScalarType,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// A vector triplet section: `len` elements of kind `ty` starting at
+    /// byte address `base`, consecutive elements `stride` *bytes* apart.
+    /// This is the IL form of the paper's `a[lo:hi:stride]` notation (§9).
+    Section {
+        /// Byte address of element 0.
+        base: Box<Expr>,
+        /// Element count (evaluated at entry to the vector statement).
+        len: Box<Expr>,
+        /// Byte distance between consecutive elements.
+        stride: Box<Expr>,
+        /// Element kind.
+        ty: ScalarType,
+    },
+}
+
+impl Expr {
+    /// An `Int` constant.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntConst(v)
+    }
+
+    /// A `Float` constant.
+    pub fn float(v: f64) -> Expr {
+        Expr::FloatConst(v, ScalarType::Float)
+    }
+
+    /// A `Double` constant.
+    pub fn double(v: f64) -> Expr {
+        Expr::FloatConst(v, ScalarType::Double)
+    }
+
+    /// The value of variable `v`.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// The address of variable `v`.
+    pub fn addr_of(v: VarId) -> Expr {
+        Expr::AddrOf(v)
+    }
+
+    /// A non-volatile load of kind `ty` from `addr`.
+    pub fn load(addr: Expr, ty: ScalarType) -> Expr {
+        Expr::Load {
+            addr: Box::new(addr),
+            ty,
+            volatile: false,
+        }
+    }
+
+    /// A binary operation on `Int` operands.
+    pub fn ibinary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(op, ScalarType::Int, lhs, rhs)
+    }
+
+    /// A binary operation on operands of kind `ty`.
+    pub fn binary(op: BinOp, ty: ScalarType, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            ty,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// A unary operation on an operand of kind `ty`.
+    pub fn unary(op: UnOp, ty: ScalarType, arg: Expr) -> Expr {
+        Expr::Unary {
+            op,
+            ty,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// A cast of `arg` from kind `from` to kind `to`.
+    pub fn cast(to: ScalarType, from: ScalarType, arg: Expr) -> Expr {
+        if to == from {
+            arg
+        } else {
+            Expr::Cast {
+                to,
+                from,
+                arg: Box::new(arg),
+            }
+        }
+    }
+
+    /// The scalar kind of this expression's value.
+    pub fn result_type(&self, var_type: &dyn Fn(VarId) -> ScalarType) -> ScalarType {
+        match self {
+            Expr::IntConst(_) => ScalarType::Int,
+            Expr::FloatConst(_, ty) => *ty,
+            Expr::Var(v) => var_type(*v),
+            Expr::AddrOf(_) => ScalarType::Ptr,
+            Expr::Load { ty, .. } => *ty,
+            Expr::Unary { op: UnOp::Not, .. } => ScalarType::Int,
+            Expr::Unary { ty, .. } => *ty,
+            Expr::Binary { op, ty, .. } => {
+                if op.is_comparison() {
+                    ScalarType::Int
+                } else {
+                    *ty
+                }
+            }
+            Expr::Cast { to, .. } => *to,
+            Expr::Section { ty, .. } => *ty,
+        }
+    }
+
+    /// Returns the constant integer value if this is `IntConst`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntConst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if the expression is a literal constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::IntConst(_) | Expr::FloatConst(..))
+    }
+
+    /// Immutable child expressions, for generic traversal.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::IntConst(_) | Expr::FloatConst(..) | Expr::Var(_) | Expr::AddrOf(_) => vec![],
+            Expr::Load { addr, .. } => vec![addr],
+            Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => vec![arg],
+            Expr::Binary { lhs, rhs, .. } => vec![lhs, rhs],
+            Expr::Section {
+                base, len, stride, ..
+            } => vec![base, len, stride],
+        }
+    }
+
+    /// Mutable child expressions, for generic rewriting.
+    pub fn children_mut(&mut self) -> Vec<&mut Expr> {
+        match self {
+            Expr::IntConst(_) | Expr::FloatConst(..) | Expr::Var(_) | Expr::AddrOf(_) => vec![],
+            Expr::Load { addr, .. } => vec![addr],
+            Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => vec![arg],
+            Expr::Binary { lhs, rhs, .. } => vec![lhs, rhs],
+            Expr::Section {
+                base, len, stride, ..
+            } => vec![base, len, stride],
+        }
+    }
+
+    /// Collects every variable whose *value* is read (not `AddrOf`).
+    pub fn vars_read(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars_read(&mut out);
+        out
+    }
+
+    fn collect_vars_read(&self, out: &mut Vec<VarId>) {
+        if let Expr::Var(v) = self {
+            out.push(*v);
+        }
+        for c in self.children() {
+            c.collect_vars_read(out);
+        }
+    }
+
+    /// True if the expression reads the value of `v`.
+    pub fn reads_var(&self, v: VarId) -> bool {
+        match self {
+            Expr::Var(w) => *w == v,
+            _ => self.children().iter().any(|c| c.reads_var(v)),
+        }
+    }
+
+    /// True if the expression contains a memory load.
+    pub fn has_load(&self) -> bool {
+        match self {
+            Expr::Load { .. } => true,
+            _ => self.children().iter().any(|c| c.has_load()),
+        }
+    }
+
+    /// True if the expression contains a volatile load.
+    pub fn has_volatile_load(&self) -> bool {
+        match self {
+            Expr::Load { volatile: true, .. } => true,
+            _ => self.children().iter().any(|c| c.has_volatile_load()),
+        }
+    }
+
+    /// True if the expression contains a vector section.
+    pub fn has_section(&self) -> bool {
+        match self {
+            Expr::Section { .. } => true,
+            _ => self.children().iter().any(|c| c.has_section()),
+        }
+    }
+
+    /// Node count, used as a substitution-size heuristic.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Replaces every read of `v` with a copy of `replacement`, returning
+    /// the number of replacements made.
+    pub fn substitute_var(&mut self, v: VarId, replacement: &Expr) -> usize {
+        if let Expr::Var(w) = self {
+            if *w == v {
+                *self = replacement.clone();
+                return 1;
+            }
+            return 0;
+        }
+        let mut n = 0;
+        for c in self.children_mut() {
+            n += c.substitute_var(v, replacement);
+        }
+        n
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_expr(self, f)
+    }
+}
+
+/// The target of an assignment statement.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(VarId),
+    /// A memory cell `*(ty *)addr`.
+    Deref {
+        /// Byte address of the cell.
+        addr: Expr,
+        /// Scalar kind stored.
+        ty: ScalarType,
+        /// True when the access is to a volatile object.
+        volatile: bool,
+    },
+    /// A vector section store (see [`Expr::Section`]).
+    Section {
+        /// Byte address of element 0.
+        base: Expr,
+        /// Element count.
+        len: Expr,
+        /// Byte distance between consecutive elements.
+        stride: Expr,
+        /// Element kind.
+        ty: ScalarType,
+    },
+}
+
+impl LValue {
+    /// A non-volatile store target `*(ty *)addr`.
+    pub fn deref(addr: Expr, ty: ScalarType) -> LValue {
+        LValue::Deref {
+            addr,
+            ty,
+            volatile: false,
+        }
+    }
+
+    /// The variable assigned, if the target is a scalar variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            LValue::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Expressions evaluated to compute the target address (empty for
+    /// variables).
+    pub fn address_exprs(&self) -> Vec<&Expr> {
+        match self {
+            LValue::Var(_) => vec![],
+            LValue::Deref { addr, .. } => vec![addr],
+            LValue::Section {
+                base, len, stride, ..
+            } => vec![base, len, stride],
+        }
+    }
+
+    /// Mutable version of [`LValue::address_exprs`].
+    pub fn address_exprs_mut(&mut self) -> Vec<&mut Expr> {
+        match self {
+            LValue::Var(_) => vec![],
+            LValue::Deref { addr, .. } => vec![addr],
+            LValue::Section {
+                base, len, stride, ..
+            } => vec![base, len, stride],
+        }
+    }
+
+    /// True when assigning through this target touches memory (not a plain
+    /// variable).
+    pub fn is_memory(&self) -> bool {
+        !matches!(self, LValue::Var(_))
+    }
+
+    /// True when the store is volatile-qualified.
+    pub fn is_volatile(&self) -> bool {
+        matches!(self, LValue::Deref { volatile: true, .. })
+    }
+
+    /// The scalar kind stored, given variable kinds.
+    pub fn store_type(&self, var_type: &dyn Fn(VarId) -> ScalarType) -> ScalarType {
+        match self {
+            LValue::Var(v) => var_type(*v),
+            LValue::Deref { ty, .. } | LValue::Section { ty, .. } => *ty,
+        }
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_lvalue(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn constructors_and_queries() {
+        let e = Expr::ibinary(BinOp::Add, Expr::var(v(0)), Expr::int(1));
+        assert_eq!(e.size(), 3);
+        assert!(e.reads_var(v(0)));
+        assert!(!e.reads_var(v(1)));
+        assert!(!e.is_const());
+        assert!(Expr::int(3).is_const());
+        assert_eq!(Expr::int(3).as_int(), Some(3));
+        assert_eq!(e.as_int(), None);
+    }
+
+    #[test]
+    fn addr_of_is_not_a_value_read() {
+        let e = Expr::addr_of(v(4));
+        assert!(e.vars_read().is_empty());
+        assert!(!e.reads_var(v(4)));
+    }
+
+    #[test]
+    fn cast_identity_collapses() {
+        let e = Expr::cast(ScalarType::Int, ScalarType::Int, Expr::int(5));
+        assert_eq!(e, Expr::int(5));
+        let e2 = Expr::cast(ScalarType::Float, ScalarType::Int, Expr::int(5));
+        assert!(matches!(e2, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn substitution_replaces_all_reads() {
+        let mut e = Expr::ibinary(
+            BinOp::Mul,
+            Expr::var(v(1)),
+            Expr::ibinary(BinOp::Add, Expr::var(v(1)), Expr::int(2)),
+        );
+        let n = e.substitute_var(v(1), &Expr::int(7));
+        assert_eq!(n, 2);
+        assert!(!e.reads_var(v(1)));
+    }
+
+    #[test]
+    fn volatile_load_detection() {
+        let e = Expr::ibinary(
+            BinOp::Add,
+            Expr::Load {
+                addr: Box::new(Expr::addr_of(v(0))),
+                ty: ScalarType::Int,
+                volatile: true,
+            },
+            Expr::int(1),
+        );
+        assert!(e.has_volatile_load());
+        assert!(e.has_load());
+        let pure = Expr::load(Expr::addr_of(v(0)), ScalarType::Int);
+        assert!(!pure.has_volatile_load());
+        assert!(pure.has_load());
+    }
+
+    #[test]
+    fn result_types() {
+        let vt = |_: VarId| ScalarType::Float;
+        let cmp = Expr::binary(BinOp::Lt, ScalarType::Float, Expr::var(v(0)), Expr::float(1.0));
+        assert_eq!(cmp.result_type(&vt), ScalarType::Int);
+        let add = Expr::binary(BinOp::Add, ScalarType::Float, Expr::var(v(0)), Expr::float(1.0));
+        assert_eq!(add.result_type(&vt), ScalarType::Float);
+        assert_eq!(Expr::addr_of(v(0)).result_type(&vt), ScalarType::Ptr);
+    }
+
+    #[test]
+    fn comparison_and_commutativity_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Mul.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Div.is_commutative());
+    }
+
+    #[test]
+    fn lvalue_queries() {
+        let lv = LValue::deref(Expr::var(v(2)), ScalarType::Float);
+        assert!(lv.is_memory());
+        assert!(!lv.is_volatile());
+        assert_eq!(lv.as_var(), None);
+        assert_eq!(LValue::Var(v(3)).as_var(), Some(v(3)));
+        assert_eq!(lv.address_exprs().len(), 1);
+    }
+
+    #[test]
+    fn section_children() {
+        let s = Expr::Section {
+            base: Box::new(Expr::addr_of(v(0))),
+            len: Box::new(Expr::int(32)),
+            stride: Box::new(Expr::int(4)),
+            ty: ScalarType::Float,
+        };
+        assert_eq!(s.children().len(), 3);
+        assert!(s.has_section());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Expr::binary(
+            BinOp::Mul,
+            ScalarType::Double,
+            Expr::double(2.5),
+            Expr::load(Expr::addr_of(v(9)), ScalarType::Double),
+        );
+        let js = serde_json::to_string(&e).unwrap();
+        let back: Expr = serde_json::from_str(&js).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,70 @@
+//! # titanc-il — the high-level intermediate language
+//!
+//! This crate defines the intermediate language (IL) of the `titanc`
+//! compiler, a reproduction of the Ardent Titan C compiler described in
+//! Allen & Johnson, *Compiling C for Vectorization, Parallelization, and
+//! Inline Expansion* (PLDI 1988).
+//!
+//! The IL's design follows §3–§4 of the paper:
+//!
+//! * **All side effects are statements.** The IL has an assignment
+//!   *statement* ([`StmtKind::Assign`]) but no assignment *operator*; the C
+//!   operators `?:`, `&&`, `||`, `,`, `++`, `--` and embedded assignments are
+//!   not representable inside an [`Expr`]. The front end recasts every C
+//!   expression as a *(statement list, expression)* pair (see
+//!   `titanc-lower`).
+//! * **Loops and subscripts stay explicit.** There are structured
+//!   [`StmtKind::While`], Fortran-style [`StmtKind::DoLoop`] and parallel
+//!   [`StmtKind::DoParallel`] forms, plus vector triplet sections
+//!   ([`Expr::Section`]) so the vectorizer can express `a[lo:len:stride]`
+//!   assignments directly in the IL.
+//! * **No hard pointers.** Every cross-reference is an index
+//!   ([`VarId`], [`ProcId`], [`LabelId`], [`StmtId`]), so procedures can be
+//!   serialized into inlining *catalogs* (§7) and paged or shipped between
+//!   compilations; see the [`catalog`] module.
+//!
+//! ## Example
+//!
+//! ```
+//! use titanc_il::{Procedure, ProcBuilder, Type, Expr, BinOp};
+//!
+//! // Build:  int f(int n) { s = 0; DO i = 1, n, 1 { s = s + i; } return s; }
+//! let mut b = ProcBuilder::new("f", Type::Int);
+//! let n = b.param("n", Type::Int);
+//! let s = b.local("s", Type::Int);
+//! let i = b.local("i", Type::Int);
+//! b.assign_var(s, Expr::int(0));
+//! let body = {
+//!     let mut lb = b.block();
+//!     lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+//!     lb.stmts()
+//! };
+//! b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
+//! b.ret(Some(Expr::var(s)));
+//! let proc: Procedure = b.finish();
+//! assert_eq!(proc.name, "f");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod expr;
+pub mod fold;
+pub mod ids;
+pub mod pretty;
+pub mod program;
+pub mod stmt;
+pub mod types;
+pub mod visit;
+
+pub use builder::{BlockBuilder, ProcBuilder};
+pub use catalog::Catalog;
+pub use expr::{BinOp, Expr, LValue, UnOp};
+pub use fold::{fold_expr, Value};
+pub use ids::{LabelId, ProcId, StmtId, StructId, VarId};
+pub use pretty::{pretty_block, pretty_expr, pretty_proc};
+pub use program::{ConstInit, Field, Procedure, Program, Storage, StructDef, VarInfo};
+pub use stmt::{block_len, Stmt, StmtKind};
+pub use types::{ScalarType, Type};

@@ -1,0 +1,339 @@
+//! Pretty-printing of IL in a C-like surface syntax.
+//!
+//! Vector statements print in the paper's triplet notation
+//! (`a[0:100:1] = …`, modulo byte strides), DO loops print as
+//! `do fortran`/`do parallel` exactly like §9's listings, so transformed
+//! programs can be eyeballed against the paper.
+
+use crate::expr::{Expr, LValue};
+use crate::program::Procedure;
+use crate::stmt::{Stmt, StmtKind};
+use std::fmt::{self, Write as _};
+
+/// Formats an expression with positional (`v0`) variable names.
+pub fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut s = String::new();
+    write_expr(&mut s, e, None);
+    f.write_str(&s)
+}
+
+/// Formats an lvalue with positional variable names.
+pub fn fmt_lvalue(lv: &LValue, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut s = String::new();
+    write_lvalue(&mut s, lv, None);
+    f.write_str(&s)
+}
+
+/// Renders an expression with the procedure's variable names.
+pub fn pretty_expr(proc: &Procedure, e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, Some(proc));
+    s
+}
+
+/// Renders a whole procedure.
+pub fn pretty_proc(proc: &Procedure) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{} {}(...)", proc.ret, proc.name);
+    let _ = writeln!(s, "{{");
+    write_block(&mut s, &proc.body, proc, 1);
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders a statement block at the given indent depth.
+pub fn pretty_block(proc: &Procedure, block: &[Stmt], indent: usize) -> String {
+    let mut s = String::new();
+    write_block(&mut s, block, proc, indent);
+    s
+}
+
+fn var_name(proc: Option<&Procedure>, v: crate::ids::VarId) -> String {
+    match proc {
+        Some(p) if v.index() < p.vars.len() => p.var(v).name.clone(),
+        _ => format!("{v}"),
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, proc: Option<&Procedure>) {
+    match e {
+        Expr::IntConst(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::FloatConst(v, ty) => {
+            let _ = write!(out, "{v:?}");
+            if *ty == crate::types::ScalarType::Float {
+                out.push('f');
+            }
+        }
+        Expr::Var(v) => out.push_str(&var_name(proc, *v)),
+        Expr::AddrOf(v) => {
+            out.push('&');
+            out.push_str(&var_name(proc, *v));
+        }
+        Expr::Load { addr, ty, volatile } => {
+            let _ = write!(out, "*({ty}{} *)(", if *volatile { " volatile" } else { "" });
+            write_expr(out, addr, proc);
+            out.push(')');
+        }
+        Expr::Unary { op, arg, .. } => {
+            out.push_str(op.symbol());
+            out.push('(');
+            write_expr(out, arg, proc);
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            if matches!(op, crate::expr::BinOp::Min | crate::expr::BinOp::Max) {
+                out.push_str(op.symbol());
+                out.push('(');
+                write_expr(out, lhs, proc);
+                out.push_str(", ");
+                write_expr(out, rhs, proc);
+                out.push(')');
+            } else {
+                out.push('(');
+                write_expr(out, lhs, proc);
+                let _ = write!(out, " {} ", op.symbol());
+                write_expr(out, rhs, proc);
+                out.push(')');
+            }
+        }
+        Expr::Cast { to, arg, .. } => {
+            let _ = write!(out, "({to})(");
+            write_expr(out, arg, proc);
+            out.push(')');
+        }
+        Expr::Section {
+            base, len, stride, ty,
+        } => {
+            let _ = write!(out, "({ty})[");
+            write_expr(out, base, proc);
+            out.push_str(" : ");
+            write_expr(out, len, proc);
+            out.push_str(" : ");
+            write_expr(out, stride, proc);
+            out.push(']');
+        }
+    }
+}
+
+fn write_lvalue(out: &mut String, lv: &LValue, proc: Option<&Procedure>) {
+    match lv {
+        LValue::Var(v) => out.push_str(&var_name(proc, *v)),
+        LValue::Deref { addr, ty, volatile } => {
+            let _ = write!(out, "*({ty}{} *)(", if *volatile { " volatile" } else { "" });
+            write_expr(out, addr, proc);
+            out.push(')');
+        }
+        LValue::Section {
+            base, len, stride, ty,
+        } => {
+            let _ = write!(out, "({ty})[");
+            write_expr(out, base, proc);
+            out.push_str(" : ");
+            write_expr(out, len, proc);
+            out.push_str(" : ");
+            write_expr(out, stride, proc);
+            out.push(']');
+        }
+    }
+}
+
+fn write_block(out: &mut String, block: &[Stmt], proc: &Procedure, depth: usize) {
+    for s in block {
+        write_stmt(out, s, proc, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            out.push_str(&pad);
+            write_lvalue(out, lhs, Some(proc));
+            out.push_str(" = ");
+            write_expr(out, rhs, Some(proc));
+            out.push_str(";\n");
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            write_expr(out, cond, Some(proc));
+            out.push_str(") {\n");
+            write_block(out, then_blk, proc, depth + 1);
+            if else_blk.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                write_block(out, else_blk, proc, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        StmtKind::While { cond, body, safe } => {
+            out.push_str(&pad);
+            if *safe {
+                out.push_str("/* pragma safe */ ");
+            }
+            out.push_str("while (");
+            write_expr(out, cond, Some(proc));
+            out.push_str(") {\n");
+            write_block(out, body, proc, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            safe,
+        } => {
+            out.push_str(&pad);
+            if *safe {
+                out.push_str("/* pragma safe */ ");
+            }
+            let _ = write!(out, "do fortran {} = ", proc.var(*var).name);
+            write_expr(out, lo, Some(proc));
+            out.push_str(", ");
+            write_expr(out, hi, Some(proc));
+            out.push_str(", ");
+            write_expr(out, step, Some(proc));
+            out.push_str(" {\n");
+            write_block(out, body, proc, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        StmtKind::DoParallel {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            out.push_str(&pad);
+            let _ = write!(out, "do parallel {} = ", proc.var(*var).name);
+            write_expr(out, lo, Some(proc));
+            out.push_str(", ");
+            write_expr(out, hi, Some(proc));
+            out.push_str(", ");
+            write_expr(out, step, Some(proc));
+            out.push_str(" {\n");
+            write_block(out, body, proc, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        StmtKind::WhileSpread {
+            cond,
+            parallel,
+            serial,
+        } => {
+            out.push_str(&pad);
+            out.push_str("while spread (");
+            write_expr(out, cond, Some(proc));
+            out.push_str(") {\n");
+            write_block(out, parallel, proc, depth + 1);
+            let _ = writeln!(out, "{pad}  next:");
+            write_block(out, serial, proc, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        StmtKind::Label(l) => {
+            let _ = writeln!(out, "{}lb_{}:;", "    ".repeat(depth.saturating_sub(1)), l.0);
+        }
+        StmtKind::Goto(l) => {
+            let _ = writeln!(out, "{pad}goto lb_{};", l.0);
+        }
+        StmtKind::IfGoto { cond, target } => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            write_expr(out, cond, Some(proc));
+            let _ = writeln!(out, ") goto lb_{};", target.0);
+        }
+        StmtKind::Call { dst, callee, args } => {
+            out.push_str(&pad);
+            if let Some(d) = dst {
+                write_lvalue(out, d, Some(proc));
+                out.push_str(" = ");
+            }
+            let _ = write!(out, "{callee}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, Some(proc));
+            }
+            out.push_str(");\n");
+        }
+        StmtKind::Return(v) => {
+            out.push_str(&pad);
+            out.push_str("return");
+            if let Some(e) = v {
+                out.push(' ');
+                write_expr(out, e, Some(proc));
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Nop => {
+            let _ = writeln!(out, "{pad};");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::expr::BinOp;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_do_fortran() {
+        let mut b = ProcBuilder::new("f", Type::Void);
+        let i = b.local("i", Type::Int);
+        let s = b.local("s", Type::Int);
+        let body = {
+            let mut lb = b.block();
+            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            lb.stmts()
+        };
+        b.do_loop(i, Expr::int(0), Expr::int(99), Expr::int(1), body);
+        let p = b.finish();
+        let text = pretty_proc(&p);
+        assert!(text.contains("do fortran i = 0, 99, 1 {"), "{text}");
+        assert!(text.contains("s = (s + i);"), "{text}");
+    }
+
+    #[test]
+    fn display_uses_positional_names() {
+        let e = Expr::ibinary(BinOp::Mul, Expr::var(crate::ids::VarId(2)), Expr::int(4));
+        assert_eq!(e.to_string(), "(v2 * 4)");
+    }
+
+    #[test]
+    fn section_prints_triplet() {
+        let e = Expr::Section {
+            base: Box::new(Expr::addr_of(crate::ids::VarId(0))),
+            len: Box::new(Expr::int(100)),
+            stride: Box::new(Expr::int(4)),
+            ty: crate::types::ScalarType::Float,
+        };
+        assert_eq!(e.to_string(), "(float)[&v0 : 100 : 4]");
+    }
+
+    #[test]
+    fn float_constants_tagged() {
+        assert_eq!(Expr::float(1.0).to_string(), "1.0f");
+        assert_eq!(Expr::double(1.0).to_string(), "1.0");
+    }
+
+    #[test]
+    fn volatile_load_is_visible() {
+        let e = Expr::Load {
+            addr: Box::new(Expr::addr_of(crate::ids::VarId(0))),
+            ty: crate::types::ScalarType::Int,
+            volatile: true,
+        };
+        assert!(e.to_string().contains("volatile"));
+    }
+}

@@ -1,0 +1,500 @@
+//! Procedures, programs, symbol tables.
+
+use crate::expr::Expr;
+use crate::ids::{LabelId, ProcId, StmtId, StructId, VarId};
+use crate::stmt::{Stmt, StmtKind};
+use crate::types::{ScalarType, Type};
+use serde::{Deserialize, Serialize};
+
+/// Where a variable lives.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Storage {
+    /// Stack local.
+    Auto,
+    /// Formal parameter.
+    Param,
+    /// Compiler-generated temporary. The paper's global register allocator
+    /// makes temporaries nearly free (§4); the simulator charges them as
+    /// registers.
+    Temp,
+    /// Function-scoped `static`. Inlining externalizes these (§7).
+    Static,
+    /// A reference to the program-level global of the same name.
+    Global,
+}
+
+/// A symbol-table entry for one variable.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct VarInfo {
+    /// Source-level (or generated) name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Storage class.
+    pub storage: Storage,
+    /// `volatile`-qualified (§1 item 6): reads/writes are pinned.
+    pub volatile: bool,
+    /// True when `&v` is taken somewhere or the variable is an
+    /// array/struct; such variables are memory-resident and stores through
+    /// pointers may alias them.
+    pub addressed: bool,
+    /// Constant initializer (globals/statics only; locals lower their
+    /// initializers to assignments).
+    pub init: Option<ConstInit>,
+}
+
+/// A constant initializer for a global or static variable.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ConstInit {
+    /// Integral initializer.
+    Int(i64),
+    /// Floating initializer.
+    Float(f64),
+}
+
+impl VarInfo {
+    /// The scalar register kind, if the variable is scalar.
+    pub fn scalar(&self) -> Option<ScalarType> {
+        self.ty.scalar()
+    }
+}
+
+/// One field of a struct definition.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset from the struct base.
+    pub offset: i64,
+}
+
+/// A struct layout, offsets already computed by the front end.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// Total size in bytes (including trailing padding).
+    pub size: i64,
+}
+
+impl StructDef {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// One procedure: signature, symbol table, label table, statement tree.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Procedure {
+    /// Procedure name (global linkage).
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameter variables, in order (indexes into `vars`).
+    pub params: Vec<VarId>,
+    /// The variable table.
+    pub vars: Vec<VarInfo>,
+    /// Number of labels allocated.
+    pub num_labels: u32,
+    /// The body.
+    pub body: Vec<Stmt>,
+    next_stmt: u32,
+    next_temp: u32,
+}
+
+impl Procedure {
+    /// Creates an empty procedure.
+    pub fn new(name: impl Into<String>, ret: Type) -> Procedure {
+        Procedure {
+            name: name.into(),
+            ret,
+            params: Vec::new(),
+            vars: Vec::new(),
+            num_labels: 0,
+            body: Vec::new(),
+            next_stmt: 0,
+            next_temp: 0,
+        }
+    }
+
+    /// The symbol-table entry for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of this procedure.
+    pub fn var(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// Mutable access to the symbol-table entry for `v`.
+    pub fn var_mut(&mut self, v: VarId) -> &mut VarInfo {
+        &mut self.vars[v.index()]
+    }
+
+    /// The scalar kind of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not scalar (arrays and structs have no register
+    /// kind).
+    pub fn var_scalar(&self, v: VarId) -> ScalarType {
+        self.var(v)
+            .scalar()
+            .unwrap_or_else(|| panic!("variable {} is not scalar", self.var(v).name))
+    }
+
+    /// Adds a variable and returns its id.
+    pub fn add_var(&mut self, info: VarInfo) -> VarId {
+        let id = VarId::from_index(self.vars.len());
+        self.vars.push(info);
+        id
+    }
+
+    /// Adds a fresh compiler temporary of scalar type `ty`.
+    pub fn fresh_temp(&mut self, ty: Type) -> VarId {
+        let n = self.next_temp;
+        self.next_temp += 1;
+        self.add_var(VarInfo {
+            name: format!("temp_{n}"),
+            ty,
+            storage: Storage::Temp,
+            volatile: false,
+            addressed: false,
+            init: None,
+        })
+    }
+
+    /// Allocates a fresh label.
+    pub fn fresh_label(&mut self) -> LabelId {
+        let id = LabelId(self.num_labels);
+        self.num_labels += 1;
+        id
+    }
+
+    /// Allocates a fresh statement stamp.
+    pub fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Builds a statement with a fresh stamp.
+    pub fn stamp(&mut self, kind: StmtKind) -> Stmt {
+        Stmt::new(self.fresh_stmt_id(), kind)
+    }
+
+    /// Finds a variable by name (first match).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(VarId::from_index)
+    }
+
+    /// Total statement count of the body tree.
+    pub fn len(&self) -> usize {
+        crate::stmt::block_len(&self.body)
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Iterates over every statement in the tree (preorder), calling `f`.
+    pub fn for_each_stmt(&self, f: &mut dyn FnMut(&Stmt)) {
+        fn walk(block: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
+            for s in block {
+                f(s);
+                for b in s.blocks() {
+                    walk(b, f);
+                }
+            }
+        }
+        walk(&self.body, f);
+    }
+
+    /// Finds a statement by stamp (preorder search).
+    pub fn find_stmt(&self, id: StmtId) -> Option<&Stmt> {
+        fn walk(block: &[Stmt], id: StmtId) -> Option<&Stmt> {
+            for s in block {
+                if s.id == id {
+                    return Some(s);
+                }
+                for b in s.blocks() {
+                    if let Some(found) = walk(b, id) {
+                        return Some(found);
+                    }
+                }
+            }
+            None
+        }
+        walk(&self.body, id)
+    }
+
+    /// Re-stamps every statement with fresh consecutive ids (used after an
+    /// inlined body is spliced in, whose stamps would otherwise collide).
+    pub fn restamp(&mut self) {
+        let mut next = 0u32;
+        fn walk(block: &mut [Stmt], next: &mut u32) {
+            for s in block {
+                s.id = StmtId(*next);
+                *next += 1;
+                for b in s.blocks_mut() {
+                    walk(b, next);
+                }
+            }
+        }
+        walk(&mut self.body, &mut next);
+        self.next_stmt = next;
+    }
+
+    /// True if any statement satisfies the predicate.
+    pub fn any_stmt(&self, mut pred: impl FnMut(&Stmt) -> bool) -> bool {
+        let mut found = false;
+        self.for_each_stmt(&mut |s| {
+            if pred(s) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Convenience: append a statement to the body with a fresh stamp.
+    pub fn push(&mut self, kind: StmtKind) {
+        let s = self.stamp(kind);
+        self.body.push(s);
+    }
+
+    /// All `DoLoop`/`DoParallel`/`While` statement stamps, preorder.
+    pub fn loop_ids(&self) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        self.for_each_stmt(&mut |s| {
+            if s.is_loop() {
+                out.push(s.id);
+            }
+        });
+        out
+    }
+}
+
+/// A whole program: procedures, globals, struct layouts.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// All procedures.
+    pub procs: Vec<Procedure>,
+    /// Program-level globals (referenced from procedures by name via
+    /// [`Storage::Global`] entries).
+    pub globals: Vec<VarInfo>,
+    /// Struct layouts.
+    pub structs: Vec<StructDef>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a procedure, returning its id.
+    pub fn add_proc(&mut self, p: Procedure) -> ProcId {
+        let id = ProcId::from_index(self.procs.len());
+        self.procs.push(p);
+        id
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<&Procedure> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn proc_by_name_mut(&mut self, name: &str) -> Option<&mut Procedure> {
+        self.procs.iter_mut().find(|p| p.name == name)
+    }
+
+    /// Adds (or finds) a global by name.
+    pub fn ensure_global(&mut self, info: VarInfo) -> usize {
+        if let Some(i) = self.globals.iter().position(|g| g.name == info.name) {
+            i
+        } else {
+            self.globals.push(info);
+            self.globals.len() - 1
+        }
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<&VarInfo> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// The size of struct `sid` in bytes.
+    pub fn struct_size(&self, sid: StructId) -> i64 {
+        self.structs[sid.index()].size
+    }
+
+    /// The byte size of a type in this program.
+    pub fn type_size(&self, ty: &Type) -> i64 {
+        ty.size_with(&|sid| self.struct_size(sid))
+    }
+
+    /// Total statement count across all procedures.
+    pub fn len(&self) -> usize {
+        self.procs.iter().map(Procedure::len).sum()
+    }
+
+    /// True when there are no procedures.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+/// Helper: an `Expr` that evaluates a variable's current value, or its
+/// address if the variable is an array (C decay).
+pub fn var_value_or_decay(proc: &Procedure, v: VarId) -> Expr {
+    match proc.var(v).ty {
+        Type::Array(..) => Expr::addr_of(v),
+        _ => Expr::var(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LValue;
+
+    #[test]
+    fn fresh_temps_are_distinct() {
+        let mut p = Procedure::new("f", Type::Void);
+        let a = p.fresh_temp(Type::Int);
+        let b = p.fresh_temp(Type::Float);
+        assert_ne!(a, b);
+        assert_eq!(p.var(a).name, "temp_0");
+        assert_eq!(p.var(b).name, "temp_1");
+        assert_eq!(p.var(b).storage, Storage::Temp);
+    }
+
+    #[test]
+    fn stamps_are_unique_and_restamp_renumbers() {
+        let mut p = Procedure::new("f", Type::Void);
+        p.push(StmtKind::Nop);
+        p.push(StmtKind::Nop);
+        assert_ne!(p.body[0].id, p.body[1].id);
+        p.restamp();
+        assert_eq!(p.body[0].id, StmtId(0));
+        assert_eq!(p.body[1].id, StmtId(1));
+    }
+
+    #[test]
+    fn find_stmt_searches_nested_blocks() {
+        let mut p = Procedure::new("f", Type::Void);
+        let inner = p.stamp(StmtKind::Nop);
+        let inner_id = inner.id;
+        let w = p.stamp(StmtKind::While {
+            cond: Expr::int(1),
+            body: vec![inner],
+            safe: false,
+        });
+        p.body.push(w);
+        assert!(p.find_stmt(inner_id).is_some());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut prog = Program::new();
+        prog.add_proc(Procedure::new("main", Type::Int));
+        prog.add_proc(Procedure::new("daxpy", Type::Void));
+        assert!(prog.proc_by_name("daxpy").is_some());
+        assert!(prog.proc_by_name("missing").is_none());
+        assert_eq!(prog.procs.len(), 2);
+    }
+
+    #[test]
+    fn ensure_global_dedups_by_name() {
+        let mut prog = Program::new();
+        let g = VarInfo {
+            name: "keyboard_status".into(),
+            ty: Type::Int,
+            storage: Storage::Global,
+            volatile: true,
+            addressed: true,
+            init: None,
+        };
+        let i1 = prog.ensure_global(g.clone());
+        let i2 = prog.ensure_global(g);
+        assert_eq!(i1, i2);
+        assert_eq!(prog.globals.len(), 1);
+        assert!(prog.global_by_name("keyboard_status").unwrap().volatile);
+    }
+
+    #[test]
+    fn var_by_name_finds_params() {
+        let mut p = Procedure::new("f", Type::Void);
+        let x = p.add_var(VarInfo {
+            name: "x".into(),
+            ty: Type::ptr_to(Type::Float),
+            storage: Storage::Param,
+            volatile: false,
+            addressed: false,
+            init: None,
+        });
+        p.params.push(x);
+        assert_eq!(p.var_by_name("x"), Some(x));
+        assert_eq!(p.var_by_name("y"), None);
+    }
+
+    #[test]
+    fn array_var_decays_to_address() {
+        let mut p = Procedure::new("f", Type::Void);
+        let a = p.add_var(VarInfo {
+            name: "a".into(),
+            ty: Type::array_of(Type::Float, 100),
+            storage: Storage::Auto,
+            volatile: false,
+            addressed: true,
+            init: None,
+        });
+        let i = p.fresh_temp(Type::Int);
+        assert_eq!(var_value_or_decay(&p, a), Expr::addr_of(a));
+        assert_eq!(var_value_or_decay(&p, i), Expr::var(i));
+    }
+
+    #[test]
+    fn defined_var_via_assign() {
+        let mut p = Procedure::new("f", Type::Void);
+        let t = p.fresh_temp(Type::Int);
+        p.push(StmtKind::Assign {
+            lhs: LValue::Var(t),
+            rhs: Expr::int(0),
+        });
+        assert_eq!(p.body[0].defined_var(), Some(t));
+    }
+
+    #[test]
+    fn struct_field_lookup() {
+        let s = StructDef {
+            name: "pt".into(),
+            fields: vec![
+                Field {
+                    name: "x".into(),
+                    ty: Type::Float,
+                    offset: 0,
+                },
+                Field {
+                    name: "y".into(),
+                    ty: Type::Float,
+                    offset: 4,
+                },
+            ],
+            size: 8,
+        };
+        assert_eq!(s.field("y").unwrap().offset, 4);
+        assert!(s.field("z").is_none());
+    }
+}

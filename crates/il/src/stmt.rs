@@ -1,0 +1,410 @@
+//! IL statements.
+//!
+//! Every memory mutation in the IL is an explicit statement (§4). Control
+//! flow is mostly structured ([`StmtKind::If`], [`StmtKind::While`],
+//! [`StmtKind::DoLoop`]) but `goto`/labels are first-class because C
+//! permits branches into loops (§1 item 3) — the while→DO conversion uses
+//! the control-flow graph to reject exactly those loops (§5.2).
+
+use crate::expr::{Expr, LValue};
+use crate::ids::{LabelId, StmtId, VarId};
+use serde::{Deserialize, Serialize};
+
+/// A statement with a stable per-procedure identity stamp.
+///
+/// The stamp survives tree rewrites so use–def chains and dependence edges
+/// can refer to statements across transformation phases; passes that create
+/// statements allocate fresh stamps from
+/// [`crate::Procedure::fresh_stmt_id`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Stmt {
+    /// The stable stamp.
+    pub id: StmtId,
+    /// What the statement does.
+    pub kind: StmtKind,
+}
+
+/// The payload of a [`Stmt`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// `lhs = rhs` — the IL's only scalar mutation. When both sides are
+    /// vector sections this is a vector statement in the paper's triplet
+    /// notation.
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned value.
+        rhs: Expr,
+    },
+    /// Structured two-way branch.
+    If {
+        /// Condition (nonzero = taken).
+        cond: Expr,
+        /// Statements executed when the condition is nonzero.
+        then_blk: Vec<Stmt>,
+        /// Statements executed when the condition is zero.
+        else_blk: Vec<Stmt>,
+    },
+    /// Pre-tested loop. `safe` is the §9 vectorization pragma: the user
+    /// asserts iterations are independent.
+    While {
+        /// Loop condition (nonzero = continue).
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// User-asserted independence pragma.
+        safe: bool,
+    },
+    /// Fortran-style counted loop: `var` runs `lo, lo+step, …` while
+    /// `var <= hi` (for `step > 0`) or `var >= hi` (for `step < 0`). This is
+    /// the §5.2 target form, written `do fortran` in the paper's examples.
+    DoLoop {
+        /// Induction variable.
+        var: VarId,
+        /// Initial value.
+        lo: Expr,
+        /// Inclusive bound.
+        hi: Expr,
+        /// Increment (must be nonzero; sign fixed at entry).
+        step: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// User-asserted independence pragma.
+        safe: bool,
+    },
+    /// A counted loop whose iterations the compiler has proven independent;
+    /// the Titan spreads them across processors (§9's `do parallel`).
+    DoParallel {
+        /// Induction variable.
+        var: VarId,
+        /// Initial value.
+        lo: Expr,
+        /// Inclusive bound.
+        hi: Expr,
+        /// Increment.
+        step: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A *true* while loop whose iterations are spread across processors
+    /// while the pointer chase stays serialized — the §10 future-work
+    /// extension ("pulling the code for moving to the next element into
+    /// the serialized portion of the parallel loop"). Per iteration the
+    /// `parallel` work runs on some processor; the `serial` advance runs
+    /// in order. Emitted only under the explicit independent-storage
+    /// assumption the paper states.
+    WhileSpread {
+        /// Loop condition (nonzero = continue), evaluated serially.
+        cond: Expr,
+        /// The distributable work of one iteration.
+        parallel: Vec<Stmt>,
+        /// The serialized advance (pointer chase).
+        serial: Vec<Stmt>,
+    },
+    /// A branch target.
+    Label(LabelId),
+    /// An unconditional branch.
+    Goto(LabelId),
+    /// A conditional branch `if (cond) goto target` (used for inlined early
+    /// returns and for `break`/`continue` lowering).
+    IfGoto {
+        /// Branch condition (nonzero = taken).
+        cond: Expr,
+        /// Branch target.
+        target: LabelId,
+    },
+    /// A procedure call `dst = callee(args…)`. Calls are statements, never
+    /// expressions, so argument evaluation order and side effects are
+    /// explicit.
+    Call {
+        /// Where the return value goes, if used.
+        dst: Option<LValue>,
+        /// Callee name (resolved by name so catalogs can be linked in).
+        callee: String,
+        /// Actual arguments (pure expressions).
+        args: Vec<Expr>,
+    },
+    /// Return from the procedure.
+    Return(Option<Expr>),
+    /// A no-op left behind by deleting passes; swept by cleanup.
+    Nop,
+}
+
+impl Stmt {
+    /// Builds a statement from a stamp and kind.
+    pub fn new(id: StmtId, kind: StmtKind) -> Stmt {
+        Stmt { id, kind }
+    }
+
+    /// The nested statement blocks, in source order.
+    pub fn blocks(&self) -> Vec<&Vec<Stmt>> {
+        match &self.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => vec![then_blk, else_blk],
+            StmtKind::While { body, .. }
+            | StmtKind::DoLoop { body, .. }
+            | StmtKind::DoParallel { body, .. } => vec![body],
+            StmtKind::WhileSpread {
+                parallel, serial, ..
+            } => vec![parallel, serial],
+            _ => vec![],
+        }
+    }
+
+    /// Mutable access to the nested statement blocks.
+    pub fn blocks_mut(&mut self) -> Vec<&mut Vec<Stmt>> {
+        match &mut self.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => vec![then_blk, else_blk],
+            StmtKind::While { body, .. }
+            | StmtKind::DoLoop { body, .. }
+            | StmtKind::DoParallel { body, .. } => vec![body],
+            StmtKind::WhileSpread {
+                parallel, serial, ..
+            } => vec![parallel, serial],
+            _ => vec![],
+        }
+    }
+
+    /// The expressions this statement evaluates directly (not those in
+    /// nested blocks). For an `Assign` this includes the target's address
+    /// expressions.
+    pub fn exprs(&self) -> Vec<&Expr> {
+        match &self.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let mut v = lhs.address_exprs();
+                v.push(rhs);
+                v
+            }
+            StmtKind::If { cond, .. }
+            | StmtKind::While { cond, .. }
+            | StmtKind::WhileSpread { cond, .. }
+            | StmtKind::IfGoto { cond, .. } => vec![cond],
+            StmtKind::DoLoop { lo, hi, step, .. } | StmtKind::DoParallel { lo, hi, step, .. } => {
+                vec![lo, hi, step]
+            }
+            StmtKind::Call { dst, args, .. } => {
+                let mut v: Vec<&Expr> = dst.iter().flat_map(|d| d.address_exprs()).collect();
+                v.extend(args.iter());
+                v
+            }
+            StmtKind::Return(Some(e)) => vec![e],
+            StmtKind::Label(_) | StmtKind::Goto(_) | StmtKind::Return(None) | StmtKind::Nop => {
+                vec![]
+            }
+        }
+    }
+
+    /// Mutable version of [`Stmt::exprs`].
+    pub fn exprs_mut(&mut self) -> Vec<&mut Expr> {
+        match &mut self.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let mut v = lhs.address_exprs_mut();
+                v.push(rhs);
+                v
+            }
+            StmtKind::If { cond, .. }
+            | StmtKind::While { cond, .. }
+            | StmtKind::WhileSpread { cond, .. }
+            | StmtKind::IfGoto { cond, .. } => vec![cond],
+            StmtKind::DoLoop { lo, hi, step, .. } | StmtKind::DoParallel { lo, hi, step, .. } => {
+                vec![lo, hi, step]
+            }
+            StmtKind::Call { dst, args, .. } => {
+                let mut v: Vec<&mut Expr> = dst
+                    .iter_mut()
+                    .flat_map(|d| d.address_exprs_mut())
+                    .collect();
+                v.extend(args.iter_mut());
+                v
+            }
+            StmtKind::Return(Some(e)) => vec![e],
+            StmtKind::Label(_) | StmtKind::Goto(_) | StmtKind::Return(None) | StmtKind::Nop => {
+                vec![]
+            }
+        }
+    }
+
+    /// The scalar variable this statement defines, if any. `DoLoop` and
+    /// `DoParallel` define their induction variable.
+    pub fn defined_var(&self) -> Option<VarId> {
+        match &self.kind {
+            StmtKind::Assign {
+                lhs: LValue::Var(v),
+                ..
+            } => Some(*v),
+            StmtKind::Call {
+                dst: Some(LValue::Var(v)),
+                ..
+            } => Some(*v),
+            StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => Some(*var),
+            _ => None,
+        }
+    }
+
+    /// True when the statement (directly) stores through memory.
+    pub fn writes_memory(&self) -> bool {
+        match &self.kind {
+            StmtKind::Assign { lhs, .. } => lhs.is_memory(),
+            StmtKind::Call { .. } => true, // worst case: callee may write anything
+            _ => false,
+        }
+    }
+
+    /// True when any directly evaluated expression loads from memory.
+    pub fn reads_memory(&self) -> bool {
+        self.exprs().iter().any(|e| e.has_load())
+    }
+
+    /// True when this statement performs a volatile access (directly).
+    pub fn has_volatile_access(&self) -> bool {
+        let lhs_volatile = match &self.kind {
+            StmtKind::Assign { lhs, .. } => lhs.is_volatile(),
+            _ => false,
+        };
+        lhs_volatile || self.exprs().iter().any(|e| e.has_volatile_load())
+    }
+
+    /// Total number of statements in this tree (including nested blocks).
+    pub fn tree_len(&self) -> usize {
+        1 + self
+            .blocks()
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(Stmt::tree_len)
+            .sum::<usize>()
+    }
+
+    /// True when the statement is a structured or counted loop head.
+    pub fn is_loop(&self) -> bool {
+        matches!(
+            self.kind,
+            StmtKind::While { .. }
+                | StmtKind::DoLoop { .. }
+                | StmtKind::DoParallel { .. }
+                | StmtKind::WhileSpread { .. }
+        )
+    }
+}
+
+/// Total number of statements in a block tree.
+pub fn block_len(block: &[Stmt]) -> usize {
+    block.iter().map(Stmt::tree_len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::types::ScalarType;
+
+    fn st(kind: StmtKind) -> Stmt {
+        Stmt::new(StmtId(0), kind)
+    }
+
+    #[test]
+    fn assign_exprs_include_lhs_address() {
+        let s = st(StmtKind::Assign {
+            lhs: LValue::deref(Expr::var(VarId(0)), ScalarType::Float),
+            rhs: Expr::float(1.0),
+        });
+        assert_eq!(s.exprs().len(), 2);
+        assert!(s.writes_memory());
+        assert!(!s.reads_memory());
+        assert_eq!(s.defined_var(), None);
+    }
+
+    #[test]
+    fn var_assign_defines() {
+        let s = st(StmtKind::Assign {
+            lhs: LValue::Var(VarId(3)),
+            rhs: Expr::int(1),
+        });
+        assert_eq!(s.defined_var(), Some(VarId(3)));
+        assert!(!s.writes_memory());
+    }
+
+    #[test]
+    fn do_loop_defines_induction_var() {
+        let s = st(StmtKind::DoLoop {
+            var: VarId(7),
+            lo: Expr::int(0),
+            hi: Expr::int(9),
+            step: Expr::int(1),
+            body: vec![],
+            safe: false,
+        });
+        assert_eq!(s.defined_var(), Some(VarId(7)));
+        assert!(s.is_loop());
+        assert_eq!(s.exprs().len(), 3);
+    }
+
+    #[test]
+    fn tree_len_counts_nested() {
+        let inner = st(StmtKind::Nop);
+        let s = st(StmtKind::While {
+            cond: Expr::int(1),
+            body: vec![inner.clone(), inner],
+            safe: false,
+        });
+        assert_eq!(s.tree_len(), 3);
+        assert_eq!(block_len(&[s.clone(), st(StmtKind::Nop)]), 4);
+    }
+
+    #[test]
+    fn call_is_worst_case_memory_writer() {
+        let s = st(StmtKind::Call {
+            dst: None,
+            callee: "f".into(),
+            args: vec![Expr::int(1)],
+        });
+        assert!(s.writes_memory());
+        assert_eq!(s.exprs().len(), 1);
+    }
+
+    #[test]
+    fn volatile_access_detection() {
+        let s = st(StmtKind::Assign {
+            lhs: LValue::Var(VarId(0)),
+            rhs: Expr::Load {
+                addr: Box::new(Expr::addr_of(VarId(1))),
+                ty: ScalarType::Int,
+                volatile: true,
+            },
+        });
+        assert!(s.has_volatile_access());
+        let pure = st(StmtKind::Assign {
+            lhs: LValue::Var(VarId(0)),
+            rhs: Expr::ibinary(BinOp::Add, Expr::var(VarId(1)), Expr::int(1)),
+        });
+        assert!(!pure.has_volatile_access());
+    }
+
+    #[test]
+    fn while_spread_blocks_and_exprs() {
+        let s = st(StmtKind::WhileSpread {
+            cond: Expr::var(VarId(0)),
+            parallel: vec![st(StmtKind::Nop)],
+            serial: vec![st(StmtKind::Nop), st(StmtKind::Nop)],
+        });
+        assert_eq!(s.blocks().len(), 2);
+        assert_eq!(s.blocks()[0].len(), 1);
+        assert_eq!(s.blocks()[1].len(), 2);
+        assert_eq!(s.exprs().len(), 1);
+        assert!(s.is_loop());
+        assert_eq!(s.tree_len(), 4);
+    }
+
+    #[test]
+    fn if_blocks() {
+        let s = st(StmtKind::If {
+            cond: Expr::int(1),
+            then_blk: vec![st(StmtKind::Nop)],
+            else_blk: vec![],
+        });
+        assert_eq!(s.blocks().len(), 2);
+        assert_eq!(s.blocks()[0].len(), 1);
+    }
+}

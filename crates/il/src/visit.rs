@@ -1,0 +1,159 @@
+//! Generic statement/expression walkers and rewriters.
+//!
+//! Optimization passes share these helpers instead of each hand-rolling
+//! recursion over the statement tree.
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+
+/// Preorder walk over every statement in a block tree.
+pub fn walk_block(block: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
+    for s in block {
+        f(s);
+        for b in s.blocks() {
+            walk_block(b, f);
+        }
+    }
+}
+
+/// Preorder walk with mutable access to every statement.
+///
+/// The callback runs before nested blocks are visited; it may rewrite the
+/// statement's expressions but should not change its block structure
+/// mid-walk.
+pub fn walk_block_mut(block: &mut [Stmt], f: &mut dyn FnMut(&mut Stmt)) {
+    for s in block {
+        f(s);
+        for b in s.blocks_mut() {
+            walk_block_mut(b, f);
+        }
+    }
+}
+
+/// Visits every expression evaluated anywhere in the block tree
+/// (including nested subexpressions, visited preorder).
+pub fn for_each_expr(block: &[Stmt], f: &mut dyn FnMut(&Expr)) {
+    walk_block(block, &mut |s| {
+        for e in s.exprs() {
+            walk_expr(e, f);
+        }
+    });
+}
+
+/// Preorder walk over an expression tree.
+pub fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    for c in e.children() {
+        walk_expr(c, f);
+    }
+}
+
+/// Bottom-up (postorder) rewrite of an expression tree in place.
+pub fn rewrite_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    for c in e.children_mut() {
+        rewrite_expr(c, f);
+    }
+    f(e);
+}
+
+/// Applies a bottom-up expression rewrite to every expression in the block
+/// tree.
+pub fn rewrite_exprs_in_block(block: &mut [Stmt], f: &mut dyn FnMut(&mut Expr)) {
+    walk_block_mut(block, &mut |s| {
+        for e in s.exprs_mut() {
+            rewrite_expr(e, f);
+        }
+    });
+}
+
+/// Removes every `Nop` statement from a block tree, recursively.
+pub fn sweep_nops(block: &mut Vec<Stmt>) {
+    block.retain(|s| !matches!(s.kind, crate::stmt::StmtKind::Nop));
+    for s in block {
+        for b in s.blocks_mut() {
+            sweep_nops(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, LValue};
+    use crate::ids::{StmtId, VarId};
+    use crate::stmt::StmtKind;
+
+    fn assign(id: u32, v: u32, rhs: Expr) -> Stmt {
+        Stmt::new(
+            StmtId(id),
+            StmtKind::Assign {
+                lhs: LValue::Var(VarId(v)),
+                rhs,
+            },
+        )
+    }
+
+    #[test]
+    fn walk_visits_nested() {
+        let inner = assign(1, 0, Expr::int(1));
+        let outer = Stmt::new(
+            StmtId(0),
+            StmtKind::While {
+                cond: Expr::var(VarId(9)),
+                body: vec![inner],
+                safe: false,
+            },
+        );
+        let mut count = 0;
+        walk_block(&[outer], &mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn for_each_expr_reaches_subexpressions() {
+        let s = assign(
+            0,
+            0,
+            Expr::ibinary(BinOp::Add, Expr::var(VarId(1)), Expr::int(2)),
+        );
+        let mut seen = 0;
+        for_each_expr(&[s], &mut |_| seen += 1);
+        assert_eq!(seen, 3); // Binary, Var, IntConst
+    }
+
+    #[test]
+    fn rewrite_is_bottom_up() {
+        // Fold 1+2 by rewriting: the parent sees already-rewritten children.
+        let mut e = Expr::ibinary(
+            BinOp::Add,
+            Expr::ibinary(BinOp::Add, Expr::int(1), Expr::int(2)),
+            Expr::int(4),
+        );
+        rewrite_expr(&mut e, &mut |node| {
+            if let Expr::Binary { op: BinOp::Add, lhs, rhs, .. } = node {
+                if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
+                    *node = Expr::int(a + b);
+                }
+            }
+        });
+        assert_eq!(e, Expr::int(7));
+    }
+
+    #[test]
+    fn sweep_removes_nested_nops() {
+        let mut block = vec![
+            Stmt::new(StmtId(0), StmtKind::Nop),
+            Stmt::new(
+                StmtId(1),
+                StmtKind::While {
+                    cond: Expr::int(1),
+                    body: vec![Stmt::new(StmtId(2), StmtKind::Nop), assign(3, 0, Expr::int(1))],
+                    safe: false,
+                },
+            ),
+        ];
+        sweep_nops(&mut block);
+        assert_eq!(block.len(), 1);
+        assert_eq!(block[0].blocks()[0].len(), 1);
+    }
+}

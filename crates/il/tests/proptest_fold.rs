@@ -1,0 +1,147 @@
+//! Property tests for the IL's arithmetic semantics: folding a constant
+//! expression must agree with direct evaluation, and expressions round-trip
+//! through serde.
+
+use proptest::prelude::*;
+use titanc_il::fold::{const_value, eval_binop, eval_cast, eval_unop, fold_expr, Value};
+use titanc_il::{BinOp, Expr, ScalarType, UnOp};
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+    ]
+}
+
+fn int_kind_strategy() -> impl Strategy<Value = ScalarType> {
+    prop_oneof![
+        Just(ScalarType::Char),
+        Just(ScalarType::Int),
+        Just(ScalarType::Ptr),
+    ]
+}
+
+/// A constant integer expression tree plus its reference value.
+fn const_int_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = (-100i64..100).prop_map(Expr::int);
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        (
+            binop_strategy(),
+            int_kind_strategy(),
+            inner.clone(),
+            inner.clone(),
+        )
+            .prop_map(|(op, ty, l, r)| Expr::binary(op, ty, l, r))
+    })
+    .boxed()
+}
+
+/// Reference evaluator: evaluate the tree directly with the shared
+/// operator semantics. Returns None when any subexpression traps.
+fn reference_eval(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::IntConst(v) => Some(Value::Int(*v)),
+        Expr::FloatConst(f, ty) => Some(titanc_il::fold::normalize(Value::Float(*f), *ty)),
+        Expr::Binary { op, ty, lhs, rhs } => {
+            let a = reference_eval(lhs)?;
+            let b = reference_eval(rhs)?;
+            eval_binop(*op, *ty, a, b)
+        }
+        Expr::Unary { op, ty, arg } => Some(eval_unop(*op, *ty, reference_eval(arg)?)),
+        Expr::Cast { to, from, arg } => Some(eval_cast(*to, *from, reference_eval(arg)?)),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Folding a fully-constant tree yields exactly the reference value
+    /// (or leaves a trapping subtree alone).
+    #[test]
+    fn fold_agrees_with_reference(e in const_int_expr(4)) {
+        let reference = reference_eval(&e);
+        let mut folded = e.clone();
+        fold_expr(&mut folded);
+        match reference {
+            Some(v) => {
+                let got = const_value(&folded);
+                prop_assert_eq!(got, Some(v), "tree: {}", e);
+            }
+            None => {
+                // a division by zero somewhere: fold must not produce a
+                // constant for the whole tree out of thin air
+                prop_assert!(const_value(&folded).is_none() || reference_eval(&folded).is_some());
+            }
+        }
+    }
+
+    /// Folding is idempotent.
+    #[test]
+    fn fold_is_idempotent(e in const_int_expr(4)) {
+        let mut once = e.clone();
+        fold_expr(&mut once);
+        let mut twice = once.clone();
+        fold_expr(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Expressions survive a serde round-trip.
+    #[test]
+    fn expr_serde_roundtrip(e in const_int_expr(3)) {
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Expr = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(e, back);
+    }
+
+    /// Folding never changes the size class upward (no expression growth).
+    #[test]
+    fn fold_never_grows(e in const_int_expr(4)) {
+        let before = e.size();
+        let mut folded = e;
+        fold_expr(&mut folded);
+        prop_assert!(folded.size() <= before);
+    }
+
+    /// Int kinds stay in range after normalization.
+    #[test]
+    fn normalization_ranges(v in any::<i64>()) {
+        use titanc_il::fold::normalize;
+        match normalize(Value::Int(v), ScalarType::Char) {
+            Value::Int(c) => prop_assert!((-128..=127).contains(&c)),
+            _ => prop_assert!(false),
+        }
+        match normalize(Value::Int(v), ScalarType::Int) {
+            Value::Int(c) => prop_assert!((i32::MIN as i64..=i32::MAX as i64).contains(&c)),
+            _ => prop_assert!(false),
+        }
+        match normalize(Value::Int(v), ScalarType::Ptr) {
+            Value::Int(c) => prop_assert!((0..=u32::MAX as i64).contains(&c)),
+            _ => prop_assert!(false),
+        }
+    }
+
+    /// `UnOp::Not` is an involution on truthiness.
+    #[test]
+    fn not_not_is_truthiness(v in any::<i64>()) {
+        let once = eval_unop(UnOp::Not, ScalarType::Int, Value::Int(v));
+        let twice = eval_unop(UnOp::Not, ScalarType::Int, once);
+        prop_assert_eq!(twice, Value::Int(i64::from(v != 0)));
+    }
+}

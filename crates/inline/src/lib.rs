@@ -1,0 +1,459 @@
+//! # titanc-inline — inline expansion (§7, §8)
+//!
+//! Procedure calls "disrupt both vectorization and register allocation"
+//! (§2); the Titan compiler therefore inlines aggressively, including from
+//! *catalogs* of pre-parsed library procedures (`titanc_il::Catalog`).
+//! This crate implements:
+//!
+//! * **call-site expansion**: parameters bind to `in_*` temporaries, the
+//!   callee body is spliced in with variables and labels renamed, and
+//!   `return`s become branches to a landing label — reproducing the §9
+//!   listing shape exactly;
+//! * **static externalization** (§7): function-scoped `static` variables
+//!   are promoted to program globals named `<proc>.<var>` so values stay
+//!   correct "regardless of whether the procedure is called normally or
+//!   through inlining";
+//! * **recursion protection and bottom-up ordering** (§7): recursive
+//!   procedures are never inlined, and call sites are expanded leaves-first
+//!   so inlined functions may inline other functions;
+//! * **catalog linking**: `link_and_inline` pulls procedures out of a
+//!   serialized catalog the way the Titan compiler used its math-library
+//!   databases.
+//!
+//! The §8 *special inlining optimizations* (constant propagation with
+//! unreachable-code elimination, dead-code elimination) live in
+//! `titanc-opt` and run after this pass; the promotion of array-row
+//! parameter references into standard form falls out of binding parameters
+//! to `in_*` temporaries plus forward substitution.
+//!
+//! ## Example
+//!
+//! ```
+//! use titanc_inline::{inline_program, InlineOptions};
+//!
+//! let mut prog = titanc_lower::compile_to_il(
+//!     "int square(int x) { return x * x; }\n\
+//!      int main(void) { return square(6) + square(7); }",
+//! ).unwrap();
+//! let report = inline_program(&mut prog, &InlineOptions::default());
+//! assert_eq!(report.inlined, 2);
+//! let main = prog.proc_by_name("main").unwrap();
+//! let mut calls = 0;
+//! main.for_each_stmt(&mut |s| {
+//!     if matches!(s.kind, titanc_il::StmtKind::Call { .. }) { calls += 1; }
+//! });
+//! assert_eq!(calls, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use titanc_analysis::CallGraph;
+use titanc_il::{
+    Catalog, Expr, LValue, LabelId, Procedure, Program, Stmt, StmtKind, Storage, VarId, VarInfo,
+};
+
+/// Inlining policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InlineOptions {
+    /// Maximum rounds of expansion (inlined bodies may contain further
+    /// calls; each round expands one layer, leaves-first).
+    pub max_depth: u32,
+    /// Skip callees larger than this many statements.
+    pub max_callee_size: usize,
+}
+
+impl Default for InlineOptions {
+    fn default() -> InlineOptions {
+        InlineOptions {
+            max_depth: 4,
+            max_callee_size: 400,
+        }
+    }
+}
+
+/// What the inliner did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InlineReport {
+    /// Call sites expanded.
+    pub inlined: usize,
+    /// Call sites skipped because the callee is (mutually) recursive.
+    pub skipped_recursive: usize,
+    /// Call sites skipped by the size budget.
+    pub skipped_size: usize,
+    /// `static` variables externalized.
+    pub statics_externalized: usize,
+}
+
+/// Links a catalog into the program (§7's database-based inlining), then
+/// inlines.
+pub fn link_and_inline(
+    prog: &mut Program,
+    catalog: &Catalog,
+    opts: &InlineOptions,
+) -> InlineReport {
+    catalog.link_into(prog);
+    inline_program(prog, opts)
+}
+
+/// Expands eligible call sites throughout the program.
+pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport {
+    let mut report = InlineReport::default();
+    report.statics_externalized = externalize_statics(prog);
+    for _round in 0..opts.max_depth {
+        let mut any = false;
+        let cg = CallGraph::build(prog);
+        for ci in 0..prog.procs.len() {
+            let caller_name = prog.procs[ci].name.clone();
+            // Statement ids change on every restamp, so sites are
+            // re-collected after each successful expansion; sites that
+            // cannot inline are remembered by position to guarantee
+            // progress.
+            let mut skip = 0usize;
+            // one round expands only the call sites present at round
+            // start — calls introduced by inlined bodies wait for the
+            // next round (layer-by-layer, bounded by `max_depth`)
+            let mut budget = call_sites(&prog.procs[ci]).len();
+            loop {
+                if budget == 0 {
+                    break;
+                }
+                let sites = call_sites(&prog.procs[ci]);
+                let mut expanded = false;
+                for &site in sites.iter().skip(skip) {
+                    let callee_name = match callee_of(&prog.procs[ci], site) {
+                        Some(n) => n,
+                        None => {
+                            skip += 1;
+                            continue;
+                        }
+                    };
+                    let inlinable = if callee_name == caller_name
+                        || cg.is_recursive(prog, &callee_name)
+                    {
+                        report.skipped_recursive += 1;
+                        false
+                    } else {
+                        match prog.proc_by_name(&callee_name) {
+                            None => false, // intrinsic / external
+                            Some(c) if c.len() > opts.max_callee_size => {
+                                report.skipped_size += 1;
+                                false
+                            }
+                            Some(_) => true,
+                        }
+                    };
+                    if !inlinable {
+                        skip += 1;
+                        continue;
+                    }
+                    let callee = prog.proc_by_name(&callee_name).unwrap().clone();
+                    let mut caller = prog.procs[ci].clone();
+                    if inline_site(&mut caller, site, &callee, prog) {
+                        caller.restamp();
+                        prog.procs[ci] = caller;
+                        report.inlined += 1;
+                        any = true;
+                        expanded = true;
+                        budget -= 1;
+                        // the inlined body's own calls belong to the next
+                        // round (its call sites start after `skip` anyway,
+                        // but ids moved — re-collect)
+                        break;
+                    }
+                    skip += 1;
+                }
+                if !expanded {
+                    break;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    report
+}
+
+/// Moves every function-scoped `static` to a program global named
+/// `<proc>.<var>` (§7). Returns how many were externalized.
+pub fn externalize_statics(prog: &mut Program) -> usize {
+    let mut count = 0;
+    for pi in 0..prog.procs.len() {
+        let pname = prog.procs[pi].name.clone();
+        let statics: Vec<VarId> = prog.procs[pi]
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.storage == Storage::Static)
+            .map(|(i, _)| VarId::from_index(i))
+            .collect();
+        for v in statics {
+            let info = prog.procs[pi].var(v).clone();
+            let global_name = format!("{pname}.{}", info.name);
+            prog.ensure_global(VarInfo {
+                name: global_name.clone(),
+                storage: Storage::Global,
+                addressed: true,
+                ..info
+            });
+            let entry = prog.procs[pi].var_mut(v);
+            entry.name = global_name;
+            entry.storage = Storage::Global;
+            entry.init = None; // initializer now lives on the global
+            count += 1;
+        }
+    }
+    count
+}
+
+fn call_sites(proc: &Procedure) -> Vec<titanc_il::StmtId> {
+    let mut out = Vec::new();
+    proc.for_each_stmt(&mut |s| {
+        if matches!(s.kind, StmtKind::Call { .. }) {
+            out.push(s.id);
+        }
+    });
+    out
+}
+
+fn callee_of(proc: &Procedure, site: titanc_il::StmtId) -> Option<String> {
+    proc.find_stmt(site).and_then(|s| match &s.kind {
+        StmtKind::Call { callee, .. } => Some(callee.clone()),
+        _ => None,
+    })
+}
+
+/// Expands one call site. Returns false when the site no longer exists or
+/// the argument count mismatches.
+fn inline_site(
+    caller: &mut Procedure,
+    site: titanc_il::StmtId,
+    callee: &Procedure,
+    prog: &mut Program,
+) -> bool {
+    let (dst, args) = match caller.find_stmt(site) {
+        Some(Stmt {
+            kind: StmtKind::Call { dst, args, .. },
+            ..
+        }) => (dst.clone(), args.clone()),
+        _ => return false,
+    };
+    if args.len() != callee.params.len() {
+        return false;
+    }
+
+    // 1. map callee variables into the caller
+    let mut var_map: HashMap<VarId, VarId> = HashMap::new();
+    for (i, info) in callee.vars.iter().enumerate() {
+        let old = VarId::from_index(i);
+        let new = match info.storage {
+            Storage::Param => caller.add_var(VarInfo {
+                name: format!("in_{}", info.name),
+                ty: info.ty.clone(),
+                storage: Storage::Temp,
+                volatile: info.volatile,
+                addressed: info.addressed,
+                init: None,
+            }),
+            Storage::Global => {
+                // share the caller's import of the same global (or add one)
+                match caller
+                    .vars
+                    .iter()
+                    .position(|v| v.storage == Storage::Global && v.name == info.name)
+                {
+                    Some(idx) => VarId::from_index(idx),
+                    None => {
+                        if prog.global_by_name(&info.name).is_none() {
+                            prog.ensure_global(info.clone());
+                        }
+                        caller.add_var(info.clone())
+                    }
+                }
+            }
+            Storage::Static => unreachable!("statics were externalized"),
+            _ => caller.add_var(VarInfo {
+                name: format!("in_{}_{}", callee.name, info.name),
+                ty: info.ty.clone(),
+                storage: info.storage.clone(),
+                volatile: info.volatile,
+                addressed: info.addressed,
+                init: None,
+            }),
+        };
+        var_map.insert(old, new);
+    }
+
+    // 2. map labels
+    let mut label_map: HashMap<LabelId, LabelId> = HashMap::new();
+    for l in 0..callee.num_labels {
+        label_map.insert(LabelId(l), caller.fresh_label());
+    }
+    let end_label = caller.fresh_label();
+
+    // return-value temp
+    let ret_tmp = callee
+        .ret
+        .scalar()
+        .filter(|_| dst.is_some())
+        .map(|_| {
+            caller.add_var(VarInfo {
+                name: format!("ret_{}", callee.name),
+                ty: callee.ret.clone(),
+                storage: Storage::Temp,
+                volatile: false,
+                addressed: false,
+                init: None,
+            })
+        });
+
+    // 3. parameter bindings
+    let mut replacement: Vec<Stmt> = Vec::new();
+    for (pi, &pv) in callee.params.iter().enumerate() {
+        let s = caller.stamp(StmtKind::Assign {
+            lhs: LValue::Var(var_map[&pv]),
+            rhs: args[pi].clone(),
+        });
+        replacement.push(s);
+    }
+
+    // 4. clone + rewrite the body
+    let mut body = callee.body.clone();
+    rewrite_block(&mut body, &var_map, &label_map, end_label, ret_tmp, caller);
+    replacement.extend(body);
+    let lbl = caller.stamp(StmtKind::Label(end_label));
+    replacement.push(lbl);
+    if let (Some(d), Some(rt)) = (dst, ret_tmp) {
+        let s = caller.stamp(StmtKind::Assign {
+            lhs: d,
+            rhs: Expr::var(rt),
+        });
+        replacement.push(s);
+    }
+
+    // 5. splice
+    splice(caller, site, replacement)
+}
+
+fn rewrite_block(
+    block: &mut Vec<Stmt>,
+    var_map: &HashMap<VarId, VarId>,
+    label_map: &HashMap<LabelId, LabelId>,
+    end_label: LabelId,
+    ret_tmp: Option<VarId>,
+    caller: &mut Procedure,
+) {
+    let mut i = 0;
+    while i < block.len() {
+        // rewrite nested blocks first
+        for b in block[i].blocks_mut() {
+            rewrite_block(b, var_map, label_map, end_label, ret_tmp, caller);
+        }
+        // remap variables in expressions
+        for e in block[i].exprs_mut() {
+            remap_expr(e, var_map);
+        }
+        // remap assignment targets and labels. Careful: `exprs_mut` above
+        // already remapped the *address expressions* of memory targets, so
+        // only plain variable targets are touched here (a second pass over
+        // an address would re-map a caller id that collides with a callee
+        // id).
+        let new_kind: Option<Vec<Stmt>> = match &mut block[i].kind {
+            StmtKind::Assign {
+                lhs: LValue::Var(v),
+                ..
+            } => {
+                if let Some(n) = var_map.get(v) {
+                    *v = *n;
+                }
+                None
+            }
+            StmtKind::Call {
+                dst: Some(LValue::Var(v)),
+                ..
+            } => {
+                if let Some(n) = var_map.get(v) {
+                    *v = *n;
+                }
+                None
+            }
+            StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => {
+                *var = var_map[var];
+                None
+            }
+            StmtKind::Label(l) => {
+                *l = label_map[l];
+                None
+            }
+            StmtKind::Goto(l) => {
+                *l = label_map[l];
+                None
+            }
+            StmtKind::IfGoto { target, .. } => {
+                *target = label_map[target];
+                None
+            }
+            StmtKind::Return(v) => {
+                // return E  =>  [ret_tmp = E;] goto end
+                let mut seq = Vec::new();
+                if let (Some(rt), Some(e)) = (ret_tmp, v.take()) {
+                    seq.push(caller.stamp(StmtKind::Assign {
+                        lhs: LValue::Var(rt),
+                        rhs: e,
+                    }));
+                }
+                seq.push(caller.stamp(StmtKind::Goto(end_label)));
+                Some(seq)
+            }
+            _ => None,
+        };
+        match new_kind {
+            Some(seq) => {
+                let n = seq.len();
+                block.splice(i..=i, seq);
+                i += n;
+            }
+            None => i += 1,
+        }
+    }
+}
+
+fn remap_expr(e: &mut Expr, var_map: &HashMap<VarId, VarId>) {
+    match e {
+        Expr::Var(v) | Expr::AddrOf(v) => {
+            if let Some(n) = var_map.get(v) {
+                *v = *n;
+            }
+        }
+        _ => {}
+    }
+    for c in e.children_mut() {
+        remap_expr(c, var_map);
+    }
+}
+
+fn splice(proc: &mut Procedure, site: titanc_il::StmtId, replacement: Vec<Stmt>) -> bool {
+    fn walk(block: &mut Vec<Stmt>, site: titanc_il::StmtId, repl: &mut Option<Vec<Stmt>>) -> bool {
+        for i in 0..block.len() {
+            if block[i].id == site {
+                block.splice(i..=i, repl.take().unwrap());
+                return true;
+            }
+            for b in block[i].blocks_mut() {
+                if walk(b, site, repl) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut body = std::mem::take(&mut proc.body);
+    let ok = walk(&mut body, site, &mut Some(replacement));
+    proc.body = body;
+    ok
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,1485 @@
+//! Lowering of one function body.
+//!
+//! The central convention (§4): lowering an expression *emits* the
+//! statement list SL into the current block and *returns* the pure IL
+//! expression E. Contexts that need C's value semantics (embedded
+//! assignment, `++` as a value, calls as values) introduce temporaries,
+//! trusting the Titan's global register allocation to make them free.
+
+use crate::types::{common_kind, cvt_qualtype, type_size, Env};
+use crate::LowerError;
+use std::collections::HashMap;
+use titanc_cfront::ast::{self, CBinOp, CType, CUnOp, ExprKind, QualType};
+use titanc_cfront::Span;
+use titanc_il::{
+    BinOp, Expr, LValue, LabelId, Procedure, ScalarType, Stmt, StmtKind, Storage, Type, UnOp,
+    VarId, VarInfo,
+};
+
+/// Lowers one function definition to an IL procedure.
+pub fn lower_function(
+    env: &Env,
+    f: &ast::FuncDef,
+) -> Result<Procedure, LowerError> {
+    let (ret, _vol) = cvt_qualtype(env, &f.ret, f.span)?;
+    let mut lw = FuncLowerer {
+        env,
+        proc: Procedure::new(&f.name, ret),
+        scopes: vec![HashMap::new()],
+        ctypes: HashMap::new(),
+        global_imports: HashMap::new(),
+        user_labels: HashMap::new(),
+        loops: Vec::new(),
+        pending_safe: false,
+    };
+    for (i, p) in f.params.iter().enumerate() {
+        let name = p
+            .name
+            .clone()
+            .ok_or_else(|| LowerError::new(format!("parameter {i} needs a name"), f.span))?;
+        let (ty, _vol) = cvt_qualtype(env, &p.ty, f.span)?;
+        if ty.scalar().is_none() {
+            return Err(LowerError::new(
+                format!("parameter `{name}` must be scalar (structs pass by pointer)"),
+                f.span,
+            ));
+        }
+        let id = lw.proc.add_var(VarInfo {
+            name: name.clone(),
+            ty,
+            storage: Storage::Param,
+            volatile: false,
+            addressed: false,
+            init: None,
+        });
+        lw.proc.params.push(id);
+        lw.scopes.last_mut().unwrap().insert(name, id);
+        lw.ctypes.insert(id, p.ty.clone());
+    }
+    let mut out = Vec::new();
+    for s in &f.body {
+        lw.stmt(s, &mut out)?;
+    }
+    lw.proc.body = out;
+    Ok(lw.proc)
+}
+
+/// A typed rvalue: the E of an (SL, E) pair plus its C type.
+#[derive(Clone, Debug)]
+struct TV {
+    e: Expr,
+    ty: QualType,
+}
+
+/// An lvalue: where a store goes.
+#[derive(Clone, Debug)]
+enum Place {
+    Var(VarId),
+    Mem {
+        addr: Expr,
+        kind: ScalarType,
+        volatile: bool,
+    },
+}
+
+struct LoopCtx {
+    break_l: LabelId,
+    /// `None` inside a `switch`: `continue` binds to the enclosing loop.
+    cont_l: Option<LabelId>,
+    break_used: bool,
+    cont_used: bool,
+}
+
+struct FuncLowerer<'e> {
+    env: &'e Env,
+    proc: Procedure,
+    scopes: Vec<HashMap<String, VarId>>,
+    ctypes: HashMap<VarId, QualType>,
+    global_imports: HashMap<String, VarId>,
+    user_labels: HashMap<String, LabelId>,
+    loops: Vec<LoopCtx>,
+    pending_safe: bool,
+}
+
+/// The scalar register kind of a C type; arrays decay to pointers.
+fn scalar_kind(q: &QualType) -> Option<ScalarType> {
+    match &q.ty {
+        CType::Char => Some(ScalarType::Char),
+        CType::Int => Some(ScalarType::Int),
+        CType::Float => Some(ScalarType::Float),
+        CType::Double => Some(ScalarType::Double),
+        CType::Ptr(_) | CType::Array(..) => Some(ScalarType::Ptr),
+        CType::Void | CType::Struct(_) => None,
+    }
+}
+
+fn pointee(q: &QualType) -> Option<&QualType> {
+    match &q.ty {
+        CType::Ptr(inner) | CType::Array(inner, _) => Some(inner),
+        _ => None,
+    }
+}
+
+fn int_ty() -> QualType {
+    QualType::plain(CType::Int)
+}
+
+impl<'e> FuncLowerer<'e> {
+    fn err(&self, msg: impl Into<String>, span: Span) -> LowerError {
+        LowerError::new(msg, span)
+    }
+
+    fn emit(&mut self, out: &mut Vec<Stmt>, kind: StmtKind) {
+        let s = self.proc.stamp(kind);
+        out.push(s);
+    }
+
+    fn temp(&mut self, kind: ScalarType) -> VarId {
+        let ty = match kind {
+            ScalarType::Char => Type::Char,
+            ScalarType::Int => Type::Int,
+            ScalarType::Float => Type::Float,
+            ScalarType::Double => Type::Double,
+            ScalarType::Ptr => Type::ptr_to(Type::Void),
+        };
+        self.proc.fresh_temp(ty)
+    }
+
+    fn lookup(&mut self, name: &str, span: Span) -> Result<VarId, LowerError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(*v);
+            }
+        }
+        if let Some(v) = self.global_imports.get(name) {
+            return Ok(*v);
+        }
+        if let Some(q) = self.env.globals.get(name).cloned() {
+            let (ty, volatile) = cvt_qualtype(self.env, &q, span)?;
+            let id = self.proc.add_var(VarInfo {
+                name: name.to_string(),
+                ty,
+                storage: Storage::Global,
+                volatile,
+                addressed: true,
+                init: None,
+            });
+            self.global_imports.insert(name.to_string(), id);
+            self.ctypes.insert(id, q);
+            return Ok(id);
+        }
+        Err(self.err(format!("undeclared identifier `{name}`"), span))
+    }
+
+    fn ctype_of(&self, v: VarId) -> QualType {
+        self.ctypes
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| QualType::plain(CType::Int))
+    }
+
+    fn size_of_ctype(&self, q: &QualType, span: Span) -> Result<i64, LowerError> {
+        let (ty, _) = cvt_qualtype(self.env, q, span)?;
+        Ok(type_size(self.env, &ty))
+    }
+
+    fn user_label(&mut self, name: &str) -> LabelId {
+        if let Some(l) = self.user_labels.get(name) {
+            return *l;
+        }
+        let l = self.proc.fresh_label();
+        self.user_labels.insert(name.to_string(), l);
+        l
+    }
+
+    /// Converts an rvalue to a target scalar kind.
+    fn convert(&self, tv: TV, to: ScalarType, span: Span) -> Result<Expr, LowerError> {
+        let from = scalar_kind(&tv.ty)
+            .ok_or_else(|| self.err("expected a scalar value", span))?;
+        Ok(Expr::cast(to, from, tv.e))
+    }
+
+    // ------------------------------------------------------------------
+    // statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self, s: &ast::Stmt, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+        let was_safe = self.pending_safe;
+        self.pending_safe = false;
+        match s {
+            ast::Stmt::PragmaSafe => {
+                self.pending_safe = true;
+            }
+            ast::Stmt::Empty => {}
+            ast::Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for inner in stmts {
+                    self.stmt(inner, out)?;
+                }
+                self.scopes.pop();
+            }
+            ast::Stmt::Decl(ds) => {
+                for d in ds {
+                    self.decl(d, out)?;
+                }
+            }
+            ast::Stmt::Expr(e) => self.expr_discard(e, out)?,
+            ast::Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let c = self.rvalue(cond, out)?;
+                let ce = self.truth(c, cond.span)?;
+                let mut then_blk = Vec::new();
+                self.stmt(then_s, &mut then_blk)?;
+                let mut else_blk = Vec::new();
+                if let Some(es) = else_s {
+                    self.stmt(es, &mut else_blk)?;
+                }
+                self.emit(
+                    out,
+                    StmtKind::If {
+                        cond: ce,
+                        then_blk,
+                        else_blk,
+                    },
+                );
+            }
+            ast::Stmt::While { cond, body } => {
+                self.lower_while(cond, None, body, was_safe, out)?;
+            }
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.expr_discard(i, out)?;
+                }
+                let one = ast::Expr::new(ExprKind::IntLit(1), Span::default());
+                let cond_e = cond.as_ref().unwrap_or(&one);
+                self.lower_while(cond_e, step.as_ref(), body, was_safe, out)?;
+            }
+            ast::Stmt::DoWhile { body, cond } => {
+                let top = self.proc.fresh_label();
+                let break_l = self.proc.fresh_label();
+                let cont_l = self.proc.fresh_label();
+                self.emit(out, StmtKind::Label(top));
+                self.loops.push(LoopCtx {
+                    break_l,
+                    cont_l: Some(cont_l),
+                    break_used: false,
+                    cont_used: false,
+                });
+                let mut blk = Vec::new();
+                self.stmt(body, &mut blk)?;
+                let ctx = self.loops.pop().unwrap();
+                out.extend(blk);
+                if ctx.cont_used {
+                    self.emit(out, StmtKind::Label(cont_l));
+                }
+                let c = self.rvalue(cond, out)?;
+                let ce = self.truth(c, cond.span)?;
+                self.emit(out, StmtKind::IfGoto { cond: ce, target: top });
+                if ctx.break_used {
+                    self.emit(out, StmtKind::Label(break_l));
+                }
+            }
+            ast::Stmt::Return(v) => {
+                let value = match v {
+                    None => None,
+                    Some(e) => {
+                        let tv = self.rvalue(e, out)?;
+                        let to = self
+                            .proc
+                            .ret
+                            .scalar()
+                            .ok_or_else(|| self.err("returning a value from void function", e.span))?;
+                        Some(self.convert(tv, to, e.span)?)
+                    }
+                };
+                self.emit(out, StmtKind::Return(value));
+            }
+            ast::Stmt::Break => {
+                let l = match self.loops.last_mut() {
+                    Some(ctx) => {
+                        ctx.break_used = true;
+                        ctx.break_l
+                    }
+                    None => return Err(self.err("break outside a loop", Span::default())),
+                };
+                self.emit(out, StmtKind::Goto(l));
+            }
+            ast::Stmt::Continue => {
+                // `continue` binds to the nearest enclosing *loop*,
+                // skipping switches
+                let l = match self
+                    .loops
+                    .iter_mut()
+                    .rev()
+                    .find(|ctx| ctx.cont_l.is_some())
+                {
+                    Some(ctx) => {
+                        ctx.cont_used = true;
+                        ctx.cont_l.unwrap()
+                    }
+                    None => return Err(self.err("continue outside a loop", Span::default())),
+                };
+                self.emit(out, StmtKind::Goto(l));
+            }
+            ast::Stmt::Goto(name) => {
+                let l = self.user_label(name);
+                self.emit(out, StmtKind::Goto(l));
+            }
+            ast::Stmt::Switch { cond, body } => self.lower_switch(cond, body, out)?,
+            ast::Stmt::Case(_) | ast::Stmt::Default => {
+                return Err(self.err(
+                    "case/default outside the immediate switch body",
+                    Span::default(),
+                ));
+            }
+            ast::Stmt::Label(name, inner) => {
+                let l = self.user_label(name);
+                self.emit(out, StmtKind::Label(l));
+                self.stmt(inner, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers `while (cond) body` (and `for`, which passes its step).
+    ///
+    /// Per §4, the cond's statement list SL is emitted once before the loop
+    /// and duplicated at the end of the body:
+    /// `SL; while (E) { body; [cont:] step; SL' }`.
+    fn lower_while(
+        &mut self,
+        cond: &ast::Expr,
+        step: Option<&ast::Expr>,
+        body: &ast::Stmt,
+        safe: bool,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        let mut sl = Vec::new();
+        let c = self.rvalue(cond, &mut sl)?;
+        let ce = self.truth(c, cond.span)?;
+        out.extend(sl.iter().cloned().map(|mut s| {
+            s.id = self.proc.fresh_stmt_id();
+            s
+        }));
+
+        let break_l = self.proc.fresh_label();
+        let cont_l = self.proc.fresh_label();
+        self.loops.push(LoopCtx {
+            break_l,
+            cont_l: Some(cont_l),
+            break_used: false,
+            cont_used: false,
+        });
+        let mut blk = Vec::new();
+        self.stmt(body, &mut blk)?;
+        let ctx = self.loops.pop().unwrap();
+        if ctx.cont_used {
+            self.emit(&mut blk, StmtKind::Label(cont_l));
+        }
+        if let Some(st) = step {
+            self.expr_discard(st, &mut blk)?;
+        }
+        // duplicate SL at the bottom of the body with fresh stamps
+        blk.extend(sl.into_iter().map(|mut s| {
+            s.id = self.proc.fresh_stmt_id();
+            s
+        }));
+        self.emit(
+            out,
+            StmtKind::While {
+                cond: ce,
+                body: blk,
+                safe,
+            },
+        );
+        if ctx.break_used {
+            self.emit(out, StmtKind::Label(break_l));
+        }
+        Ok(())
+    }
+
+    /// Lowers `switch` to a dispatch chain of conditional branches into a
+    /// label-marked body — fallthrough comes for free, `break` jumps to the
+    /// end label.
+    fn lower_switch(
+        &mut self,
+        cond: &ast::Expr,
+        body: &[ast::Stmt],
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        let tv = self.rvalue(cond, out)?;
+        let scrut = self.convert(tv, ScalarType::Int, cond.span)?;
+        let t = self.temp(ScalarType::Int);
+        self.emit(
+            out,
+            StmtKind::Assign {
+                lhs: LValue::Var(t),
+                rhs: scrut,
+            },
+        );
+        // allocate labels for every case marker
+        let mut case_labels: Vec<(i64, LabelId)> = Vec::new();
+        let mut default_label: Option<LabelId> = None;
+        for s in body {
+            match s {
+                ast::Stmt::Case(v) => case_labels.push((*v, self.proc.fresh_label())),
+                ast::Stmt::Default => {
+                    if default_label.is_some() {
+                        return Err(self.err("duplicate default label", Span::default()));
+                    }
+                    default_label = Some(self.proc.fresh_label());
+                }
+                _ => {}
+            }
+        }
+        let end_l = self.proc.fresh_label();
+        self.loops.push(LoopCtx {
+            break_l: end_l,
+            cont_l: None,
+            break_used: false,
+            cont_used: false,
+        });
+        // dispatch chain
+        for (v, l) in &case_labels {
+            self.emit(
+                out,
+                StmtKind::IfGoto {
+                    cond: Expr::ibinary(BinOp::Eq, Expr::var(t), Expr::int(*v)),
+                    target: *l,
+                },
+            );
+        }
+        self.emit(out, StmtKind::Goto(default_label.unwrap_or(end_l)));
+        // body with markers replaced by labels
+        let mut next_case = 0usize;
+        for s in body {
+            match s {
+                ast::Stmt::Case(_) => {
+                    let (_, l) = case_labels[next_case];
+                    next_case += 1;
+                    self.emit(out, StmtKind::Label(l));
+                }
+                ast::Stmt::Default => {
+                    self.emit(out, StmtKind::Label(default_label.unwrap()));
+                }
+                other => self.stmt(other, out)?,
+            }
+        }
+        self.loops.pop();
+        self.emit(out, StmtKind::Label(end_l));
+        Ok(())
+    }
+
+    fn decl(&mut self, d: &ast::VarDecl, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+        let (ty, volatile) = cvt_qualtype(self.env, &d.ty, d.span)?;
+        let is_static = d.storage == ast::StorageClass::Static;
+        let storage = if is_static { Storage::Static } else { Storage::Auto };
+        let addressed = ty.scalar().is_none() || volatile;
+        let init_const = if is_static {
+            match &d.init {
+                None => None,
+                Some(e) => Some(crate::types::const_init(e)?),
+            }
+        } else {
+            None
+        };
+        let id = self.proc.add_var(VarInfo {
+            name: d.name.clone(),
+            ty,
+            storage,
+            volatile,
+            addressed,
+            init: init_const,
+        });
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(d.name.clone(), id);
+        self.ctypes.insert(id, d.ty.clone());
+        if !is_static {
+            if let Some(e) = &d.init {
+                let tv = self.rvalue(e, out)?;
+                let kind = scalar_kind(&self.ctype_of(id))
+                    .ok_or_else(|| self.err("cannot initialize aggregates", d.span))?;
+                let value = self.convert(tv, kind, d.span)?;
+                self.store(Place::for_var(self, id), value, out);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // places (lvalues)
+    // ------------------------------------------------------------------
+
+    fn place(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<(Place, QualType), LowerError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                let v = self.lookup(name, e.span)?;
+                let q = self.ctype_of(v);
+                Ok((Place::for_var(self, v), q))
+            }
+            ExprKind::Unary(CUnOp::Deref, inner) => {
+                let ptr = self.rvalue(inner, out)?;
+                let pt = pointee(&ptr.ty)
+                    .cloned()
+                    .ok_or_else(|| self.err("dereferencing a non-pointer", e.span))?;
+                let kind = scalar_kind(&pt)
+                    .ok_or_else(|| self.err("dereferencing to a non-scalar", e.span))?;
+                Ok((
+                    Place::Mem {
+                        addr: ptr.e,
+                        kind,
+                        volatile: pt.volatile,
+                    },
+                    pt,
+                ))
+            }
+            ExprKind::Index(base, idx) => {
+                let (addr, elem) = self.element_addr(base, idx, out, e.span)?;
+                let kind = scalar_kind(&elem)
+                    .ok_or_else(|| self.err("indexing to a non-scalar", e.span))?;
+                Ok((
+                    Place::Mem {
+                        addr,
+                        kind,
+                        volatile: elem.volatile,
+                    },
+                    elem,
+                ))
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (addr, fty) = self.member_addr(base, field, *arrow, out, e.span)?;
+                let kind = scalar_kind(&fty)
+                    .ok_or_else(|| self.err("assigning to an aggregate field", e.span))?;
+                Ok((
+                    Place::Mem {
+                        addr,
+                        kind,
+                        volatile: fty.volatile,
+                    },
+                    fty,
+                ))
+            }
+            _ => Err(self.err("expression is not assignable", e.span)),
+        }
+    }
+
+    /// The address of `base[idx]` and the element's type.
+    fn element_addr(
+        &mut self,
+        base: &ast::Expr,
+        idx: &ast::Expr,
+        out: &mut Vec<Stmt>,
+        span: Span,
+    ) -> Result<(Expr, QualType), LowerError> {
+        let b = self.rvalue(base, out)?;
+        let elem = pointee(&b.ty)
+            .cloned()
+            .ok_or_else(|| self.err("indexing a non-array", span))?;
+        let i = self.rvalue(idx, out)?;
+        let i_e = self.convert(i, ScalarType::Int, span)?;
+        let size = self.size_of_ctype(&elem, span)?;
+        let scaled = Expr::ibinary(BinOp::Mul, i_e, Expr::int(size));
+        let addr = Expr::binary(BinOp::Add, ScalarType::Ptr, b.e, scaled);
+        Ok((addr, elem))
+    }
+
+    /// The address of `base.field` / `base->field` and the field's type.
+    fn member_addr(
+        &mut self,
+        base: &ast::Expr,
+        field: &str,
+        arrow: bool,
+        out: &mut Vec<Stmt>,
+        span: Span,
+    ) -> Result<(Expr, QualType), LowerError> {
+        let (base_addr, sq) = if arrow {
+            let p = self.rvalue(base, out)?;
+            let pt = pointee(&p.ty)
+                .cloned()
+                .ok_or_else(|| self.err("`->` on a non-pointer", span))?;
+            (p.e, pt)
+        } else {
+            let (pl, q) = self.place(base, out).or_else(|_| {
+                // base may itself be a struct-valued member chain; handle
+                // via struct rvalue = address
+                let tv = self.rvalue(base, out)?;
+                Ok::<_, LowerError>((
+                    Place::Mem {
+                        addr: tv.e.clone(),
+                        kind: ScalarType::Ptr,
+                        volatile: false,
+                    },
+                    tv.ty,
+                ))
+            })?;
+            let addr = match pl {
+                Place::Var(v) => {
+                    self.proc.var_mut(v).addressed = true;
+                    Expr::addr_of(v)
+                }
+                Place::Mem { addr, .. } => addr,
+            };
+            (addr, q)
+        };
+        let tag = match &sq.ty {
+            CType::Struct(tag) => tag.clone(),
+            _ => return Err(self.err("member access on a non-struct", span)),
+        };
+        let sid = self
+            .env
+            .structs
+            .get(&tag)
+            .ok_or_else(|| self.err(format!("unknown struct `{tag}`"), span))?;
+        let def = self.env.struct_def(*sid);
+        let fld = def
+            .field(field)
+            .ok_or_else(|| self.err(format!("struct `{tag}` has no field `{field}`"), span))?;
+        let offset = fld.offset;
+        // recover the AST-level type of the field for further lowering
+        let fq = self
+            .field_qualtype(&tag, field)
+            .ok_or_else(|| self.err("field type unavailable", span))?;
+        let addr = Expr::binary(BinOp::Add, ScalarType::Ptr, base_addr, Expr::int(offset));
+        Ok((addr, fq))
+    }
+
+    fn field_qualtype(&self, tag: &str, field: &str) -> Option<QualType> {
+        // Reconstruct from the IL field type (qualifiers are dropped on
+        // fields in this subset).
+        let sid = self.env.structs.get(tag)?;
+        let def = self.env.struct_def(*sid);
+        let f = def.field(field)?;
+        Some(il_to_qualtype(self.env, &f.ty))
+    }
+
+    fn store(&mut self, place: Place, value: Expr, out: &mut Vec<Stmt>) {
+        let kind = match &place {
+            Place::Var(v) => {
+                let v = *v;
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Var(v),
+                        rhs: value,
+                    },
+                );
+                return;
+            }
+            Place::Mem { kind, .. } => *kind,
+        };
+        if let Place::Mem { addr, volatile, .. } = place {
+            self.emit(
+                out,
+                StmtKind::Assign {
+                    lhs: LValue::Deref {
+                        addr,
+                        ty: kind,
+                        volatile,
+                    },
+                    rhs: value,
+                },
+            );
+        }
+    }
+
+    fn load_place(&mut self, place: &Place, q: &QualType) -> TV {
+        match place {
+            Place::Var(v) => TV {
+                e: Expr::var(*v),
+                ty: q.clone(),
+            },
+            Place::Mem {
+                addr,
+                kind,
+                volatile,
+            } => TV {
+                e: Expr::Load {
+                    addr: Box::new(addr.clone()),
+                    ty: *kind,
+                    volatile: *volatile,
+                },
+                ty: q.clone(),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // expressions
+    // ------------------------------------------------------------------
+
+    /// Lowers an expression for its value.
+    fn rvalue(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<TV, LowerError> {
+        self.expr(e, out, true)
+            .map(|tv| tv.expect("value requested"))
+    }
+
+    /// Lowers an expression purely for its side effects.
+    fn expr_discard(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+        self.expr(e, out, false).map(|_| ())
+    }
+
+    /// C truthiness of a scalar: pointers/floats compare against zero so
+    /// the IL condition is always an `Int`.
+    fn truth(&self, tv: TV, span: Span) -> Result<Expr, LowerError> {
+        let kind = scalar_kind(&tv.ty)
+            .ok_or_else(|| self.err("condition must be scalar", span))?;
+        Ok(match kind {
+            ScalarType::Int => tv.e,
+            ScalarType::Char => Expr::cast(ScalarType::Int, ScalarType::Char, tv.e),
+            ScalarType::Ptr => Expr::binary(BinOp::Ne, ScalarType::Ptr, tv.e, Expr::int(0)),
+            ScalarType::Float | ScalarType::Double => Expr::binary(
+                BinOp::Ne,
+                kind,
+                tv.e,
+                Expr::FloatConst(0.0, kind),
+            ),
+        })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn expr(
+        &mut self,
+        e: &ast::Expr,
+        out: &mut Vec<Stmt>,
+        value_needed: bool,
+    ) -> Result<Option<TV>, LowerError> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Some(TV {
+                e: Expr::int(*v),
+                ty: int_ty(),
+            })),
+            ExprKind::CharLit(v) => Ok(Some(TV {
+                e: Expr::int(*v),
+                ty: int_ty(),
+            })),
+            ExprKind::FloatLit(v, single) => Ok(Some(TV {
+                e: if *single { Expr::float(*v) } else { Expr::double(*v) },
+                ty: QualType::plain(if *single { CType::Float } else { CType::Double }),
+            })),
+            ExprKind::StrLit(_) => Err(self.err(
+                "string literals are not supported by this subset",
+                span,
+            )),
+            ExprKind::Ident(name) => {
+                let v = self.lookup(name, span)?;
+                let q = self.ctype_of(v);
+                if matches!(q.ty, CType::Array(..)) {
+                    // array decays to its address
+                    return Ok(Some(TV {
+                        e: Expr::addr_of(v),
+                        ty: q,
+                    }));
+                }
+                if matches!(q.ty, CType::Struct(_)) {
+                    // struct rvalue = its address (used by member access)
+                    self.proc.var_mut(v).addressed = true;
+                    return Ok(Some(TV {
+                        e: Expr::addr_of(v),
+                        ty: q,
+                    }));
+                }
+                let info = self.proc.var(v);
+                if info.volatile {
+                    let kind = scalar_kind(&q)
+                        .ok_or_else(|| self.err("volatile aggregate read", span))?;
+                    return Ok(Some(TV {
+                        e: Expr::Load {
+                            addr: Box::new(Expr::addr_of(v)),
+                            ty: kind,
+                            volatile: true,
+                        },
+                        ty: q,
+                    }));
+                }
+                Ok(Some(TV {
+                    e: Expr::var(v),
+                    ty: q,
+                }))
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                self.lower_assign(op, lhs, rhs, out, value_needed, span)
+            }
+            ExprKind::IncDec { inc, prefix, arg } => {
+                self.lower_incdec(*inc, *prefix, arg, out, value_needed, span)
+            }
+            ExprKind::Unary(op, arg) => self.lower_unary(*op, arg, out, value_needed, span),
+            ExprKind::Binary(op, l, r) => self.lower_binary(*op, l, r, out, value_needed, span),
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let c = self.rvalue(cond, out)?;
+                let ce = self.truth(c, span)?;
+                let mut then_blk = Vec::new();
+                let t_tv = self.rvalue(then_e, &mut then_blk)?;
+                let mut else_blk = Vec::new();
+                let e_tv = self.rvalue(else_e, &mut else_blk)?;
+                let tk = scalar_kind(&t_tv.ty)
+                    .ok_or_else(|| self.err("non-scalar ?: branch", span))?;
+                let ek = scalar_kind(&e_tv.ty)
+                    .ok_or_else(|| self.err("non-scalar ?: branch", span))?;
+                let k = common_kind(tk, ek);
+                let result_ty = t_tv.ty.clone();
+                let tmp = self.temp(k);
+                let tval = self.convert(t_tv, k, span)?;
+                let s = self.proc.stamp(StmtKind::Assign {
+                    lhs: LValue::Var(tmp),
+                    rhs: tval,
+                });
+                then_blk.push(s);
+                let eval = self.convert(e_tv, k, span)?;
+                let s = self.proc.stamp(StmtKind::Assign {
+                    lhs: LValue::Var(tmp),
+                    rhs: eval,
+                });
+                else_blk.push(s);
+                self.emit(
+                    out,
+                    StmtKind::If {
+                        cond: ce,
+                        then_blk,
+                        else_blk,
+                    },
+                );
+                let ty = match k {
+                    ScalarType::Ptr => result_ty,
+                    ScalarType::Int => int_ty(),
+                    ScalarType::Float => QualType::plain(CType::Float),
+                    ScalarType::Double => QualType::plain(CType::Double),
+                    ScalarType::Char => int_ty(),
+                };
+                Ok(Some(TV {
+                    e: Expr::var(tmp),
+                    ty,
+                }))
+            }
+            ExprKind::Comma(l, r) => {
+                self.expr_discard_keeping_volatile(l, out)?;
+                self.expr(r, out, value_needed)
+            }
+            ExprKind::Call { name, args } => {
+                let sig = self.env.signatures.get(name).cloned();
+                let mut arg_exprs = Vec::new();
+                for (i, a) in args.iter().enumerate() {
+                    let tv = self.rvalue(a, out)?;
+                    let converted = match sig.as_ref().and_then(|s| s.params.get(i)) {
+                        Some(pq) => {
+                            let to = scalar_kind(pq)
+                                .ok_or_else(|| self.err("aggregate argument", a.span))?;
+                            self.convert(tv, to, a.span)?
+                        }
+                        None => tv.e,
+                    };
+                    arg_exprs.push(converted);
+                }
+                let ret_q = sig
+                    .as_ref()
+                    .map(|s| s.ret.clone())
+                    .unwrap_or_else(int_ty);
+                if value_needed {
+                    let kind = scalar_kind(&ret_q)
+                        .ok_or_else(|| self.err("using a void return value", span))?;
+                    let tmp = self.temp(kind);
+                    self.emit(
+                        out,
+                        StmtKind::Call {
+                            dst: Some(LValue::Var(tmp)),
+                            callee: name.clone(),
+                            args: arg_exprs,
+                        },
+                    );
+                    Ok(Some(TV {
+                        e: Expr::var(tmp),
+                        ty: ret_q,
+                    }))
+                } else {
+                    self.emit(
+                        out,
+                        StmtKind::Call {
+                            dst: None,
+                            callee: name.clone(),
+                            args: arg_exprs,
+                        },
+                    );
+                    Ok(None)
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let (addr, elem) = self.element_addr(base, idx, out, span)?;
+                if matches!(elem.ty, CType::Array(..) | CType::Struct(_)) {
+                    // multi-dim: the element decays again
+                    return Ok(Some(TV { e: addr, ty: elem }));
+                }
+                let kind = scalar_kind(&elem)
+                    .ok_or_else(|| self.err("indexing to non-scalar", span))?;
+                Ok(Some(TV {
+                    e: Expr::Load {
+                        addr: Box::new(addr),
+                        ty: kind,
+                        volatile: elem.volatile,
+                    },
+                    ty: elem,
+                }))
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (addr, fty) = self.member_addr(base, field, *arrow, out, span)?;
+                if matches!(fty.ty, CType::Array(..) | CType::Struct(_)) {
+                    return Ok(Some(TV { e: addr, ty: fty }));
+                }
+                let kind = scalar_kind(&fty)
+                    .ok_or_else(|| self.err("aggregate member value", span))?;
+                Ok(Some(TV {
+                    e: Expr::Load {
+                        addr: Box::new(addr),
+                        ty: kind,
+                        volatile: fty.volatile,
+                    },
+                    ty: fty,
+                }))
+            }
+            ExprKind::Cast(q, arg) => {
+                let tv = self.rvalue(arg, out)?;
+                let to = scalar_kind(q)
+                    .ok_or_else(|| self.err("cast to non-scalar type", span))?;
+                let ex = self.convert(tv, to, span)?;
+                Ok(Some(TV {
+                    e: ex,
+                    ty: q.clone(),
+                }))
+            }
+            ExprKind::SizeofTy(q) => {
+                let size = self.size_of_ctype(q, span)?;
+                Ok(Some(TV {
+                    e: Expr::int(size),
+                    ty: int_ty(),
+                }))
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let q = self.type_of(inner)?;
+                let size = self.size_of_ctype(&q, span)?;
+                Ok(Some(TV {
+                    e: Expr::int(size),
+                    ty: int_ty(),
+                }))
+            }
+        }
+    }
+
+    /// Discards an expression's value but keeps a volatile read alive by
+    /// assigning it to a temporary (reading a volatile is an effect).
+    fn expr_discard_keeping_volatile(
+        &mut self,
+        e: &ast::Expr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        let before = out.len();
+        let tv = self.expr(e, out, false)?;
+        if let Some(tv) = tv {
+            if tv.e.has_volatile_load() {
+                if let Some(kind) = scalar_kind(&tv.ty) {
+                    let tmp = self.temp(kind);
+                    self.emit(
+                        out,
+                        StmtKind::Assign {
+                            lhs: LValue::Var(tmp),
+                            rhs: tv.e,
+                        },
+                    );
+                }
+            }
+        }
+        let _ = before;
+        Ok(())
+    }
+
+    fn lower_assign(
+        &mut self,
+        op: &Option<CBinOp>,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        out: &mut Vec<Stmt>,
+        value_needed: bool,
+        span: Span,
+    ) -> Result<Option<TV>, LowerError> {
+        let (place, q) = self.place(lhs, out)?;
+        let kind = scalar_kind(&q)
+            .ok_or_else(|| self.err("assignment to aggregate", span))?;
+        // Pin the address in a temporary when we must use it twice
+        // (compound assignment) — evaluate once, per C semantics.
+        let place = match (&place, op) {
+            (Place::Mem { addr, kind, volatile }, Some(_)) if !addr.is_const() => {
+                let taddr = self.temp(ScalarType::Ptr);
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Var(taddr),
+                        rhs: addr.clone(),
+                    },
+                );
+                Place::Mem {
+                    addr: Expr::var(taddr),
+                    kind: *kind,
+                    volatile: *volatile,
+                }
+            }
+            _ => place,
+        };
+        let rhs_tv = self.rvalue(rhs, out)?;
+        let new_value = match op {
+            None => self.convert(rhs_tv, kind, span)?,
+            Some(cop) => {
+                let old = self.load_place(&place, &q);
+                let tv = self.arith(*cop, old, rhs_tv, span)?;
+                self.convert(tv, kind, span)?
+            }
+        };
+        if value_needed {
+            // (SL1; SL2; t = E2; E1 = t, t) — §4's temporary scheme: the
+            // value of the assignment is the temporary, so a volatile
+            // target is written once and never read.
+            let tmp = self.temp(kind);
+            self.emit(
+                out,
+                StmtKind::Assign {
+                    lhs: LValue::Var(tmp),
+                    rhs: new_value,
+                },
+            );
+            self.store(place, Expr::var(tmp), out);
+            Ok(Some(TV {
+                e: Expr::var(tmp),
+                ty: q,
+            }))
+        } else {
+            self.store(place, new_value, out);
+            Ok(None)
+        }
+    }
+
+    fn lower_incdec(
+        &mut self,
+        inc: bool,
+        prefix: bool,
+        arg: &ast::Expr,
+        out: &mut Vec<Stmt>,
+        value_needed: bool,
+        span: Span,
+    ) -> Result<Option<TV>, LowerError> {
+        let (place, q) = self.place(arg, out)?;
+        let kind = scalar_kind(&q)
+            .ok_or_else(|| self.err("++/-- on aggregate", span))?;
+        let delta: Expr = match (&q.ty, kind) {
+            (CType::Ptr(inner), _) => {
+                let sz = self.size_of_ctype(inner, span)?;
+                Expr::int(sz)
+            }
+            (_, ScalarType::Float) => Expr::float(1.0),
+            (_, ScalarType::Double) => Expr::double(1.0),
+            _ => Expr::int(1),
+        };
+        let op = if inc { BinOp::Add } else { BinOp::Sub };
+        match place {
+            Place::Var(v) => {
+                if value_needed && !prefix {
+                    // §5.3 shape: temp_1 = a; a = temp_1 + 4
+                    let tmp = self.temp(kind);
+                    self.emit(
+                        out,
+                        StmtKind::Assign {
+                            lhs: LValue::Var(tmp),
+                            rhs: Expr::var(v),
+                        },
+                    );
+                    self.emit(
+                        out,
+                        StmtKind::Assign {
+                            lhs: LValue::Var(v),
+                            rhs: Expr::binary(op, kind, Expr::var(tmp), delta),
+                        },
+                    );
+                    Ok(Some(TV {
+                        e: Expr::var(tmp),
+                        ty: q,
+                    }))
+                } else {
+                    self.emit(
+                        out,
+                        StmtKind::Assign {
+                            lhs: LValue::Var(v),
+                            rhs: Expr::binary(op, kind, Expr::var(v), delta),
+                        },
+                    );
+                    Ok(value_needed.then(|| TV {
+                        e: Expr::var(v),
+                        ty: q,
+                    }))
+                }
+            }
+            Place::Mem {
+                addr,
+                kind: mkind,
+                volatile,
+            } => {
+                // pin the address once
+                let taddr = self.temp(ScalarType::Ptr);
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Var(taddr),
+                        rhs: addr,
+                    },
+                );
+                let load = Expr::Load {
+                    addr: Box::new(Expr::var(taddr)),
+                    ty: mkind,
+                    volatile,
+                };
+                let told = self.temp(mkind);
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Var(told),
+                        rhs: load,
+                    },
+                );
+                let newv = Expr::binary(op, kind, Expr::var(told), delta);
+                let tnew = self.temp(mkind);
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Var(tnew),
+                        rhs: newv,
+                    },
+                );
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Deref {
+                            addr: Expr::var(taddr),
+                            ty: mkind,
+                            volatile,
+                        },
+                        rhs: Expr::var(tnew),
+                    },
+                );
+                let result = if prefix { tnew } else { told };
+                Ok(value_needed.then(|| TV {
+                    e: Expr::var(result),
+                    ty: q,
+                }))
+            }
+        }
+    }
+
+    fn lower_unary(
+        &mut self,
+        op: CUnOp,
+        arg: &ast::Expr,
+        out: &mut Vec<Stmt>,
+        value_needed: bool,
+        span: Span,
+    ) -> Result<Option<TV>, LowerError> {
+        match op {
+            CUnOp::AddrOf => {
+                match self.place(arg, out) {
+                    Ok((place, q)) => {
+                        let addr = match place {
+                            Place::Var(v) => {
+                                self.proc.var_mut(v).addressed = true;
+                                Expr::addr_of(v)
+                            }
+                            Place::Mem { addr, .. } => addr,
+                        };
+                        Ok(Some(TV {
+                            e: addr,
+                            ty: q.ptr(),
+                        }))
+                    }
+                    Err(e) => {
+                        // aggregates (struct/array elements) have no scalar
+                        // place, but their rvalue *is* their address
+                        let tv = self.rvalue(arg, out)?;
+                        if matches!(tv.ty.ty, CType::Struct(_) | CType::Array(..)) {
+                            Ok(Some(TV {
+                                e: tv.e,
+                                ty: tv.ty.ptr(),
+                            }))
+                        } else {
+                            Err(e)
+                        }
+                    }
+                }
+            }
+            CUnOp::Deref => {
+                let ptr = self.rvalue(arg, out)?;
+                let pt = pointee(&ptr.ty)
+                    .cloned()
+                    .ok_or_else(|| self.err("dereferencing a non-pointer", span))?;
+                if matches!(pt.ty, CType::Array(..) | CType::Struct(_)) {
+                    return Ok(Some(TV { e: ptr.e, ty: pt }));
+                }
+                let kind = scalar_kind(&pt)
+                    .ok_or_else(|| self.err("dereferencing void pointer", span))?;
+                Ok(Some(TV {
+                    e: Expr::Load {
+                        addr: Box::new(ptr.e),
+                        ty: kind,
+                        volatile: pt.volatile,
+                    },
+                    ty: pt,
+                }))
+            }
+            CUnOp::Plus => self.expr(arg, out, value_needed),
+            CUnOp::Neg => {
+                let tv = self.rvalue(arg, out)?;
+                let kind = scalar_kind(&tv.ty)
+                    .ok_or_else(|| self.err("negating a non-scalar", span))?;
+                let kind = if kind == ScalarType::Char { ScalarType::Int } else { kind };
+                let ex = self.convert(tv.clone(), kind, span)?;
+                Ok(Some(TV {
+                    e: Expr::unary(UnOp::Neg, kind, ex),
+                    ty: promote(tv.ty),
+                }))
+            }
+            CUnOp::Not => {
+                let tv = self.rvalue(arg, out)?;
+                let truth = self.truth(tv, span)?;
+                Ok(Some(TV {
+                    e: Expr::unary(UnOp::Not, ScalarType::Int, truth),
+                    ty: int_ty(),
+                }))
+            }
+            CUnOp::BitNot => {
+                let tv = self.rvalue(arg, out)?;
+                let ex = self.convert(tv, ScalarType::Int, span)?;
+                Ok(Some(TV {
+                    e: Expr::unary(UnOp::BitNot, ScalarType::Int, ex),
+                    ty: int_ty(),
+                }))
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: CBinOp,
+        l: &ast::Expr,
+        r: &ast::Expr,
+        out: &mut Vec<Stmt>,
+        value_needed: bool,
+        span: Span,
+    ) -> Result<Option<TV>, LowerError> {
+        match op {
+            CBinOp::LogAnd | CBinOp::LogOr => {
+                let is_and = op == CBinOp::LogAnd;
+                let ltv = self.rvalue(l, out)?;
+                let lc = self.truth(ltv, span)?;
+                let tmp = self.temp(ScalarType::Int);
+                // t = (E_l != 0); if (t ==/!= 0) { SL_r; t = (E_r != 0); }
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Var(tmp),
+                        rhs: Expr::unary(
+                            UnOp::Not,
+                            ScalarType::Int,
+                            Expr::unary(UnOp::Not, ScalarType::Int, lc),
+                        ),
+                    },
+                );
+                let guard = if is_and {
+                    Expr::var(tmp)
+                } else {
+                    Expr::unary(UnOp::Not, ScalarType::Int, Expr::var(tmp))
+                };
+                let mut inner = Vec::new();
+                let rtv = self.rvalue(r, &mut inner)?;
+                let rc = self.truth(rtv, span)?;
+                let s = self.proc.stamp(StmtKind::Assign {
+                    lhs: LValue::Var(tmp),
+                    rhs: Expr::unary(
+                        UnOp::Not,
+                        ScalarType::Int,
+                        Expr::unary(UnOp::Not, ScalarType::Int, rc),
+                    ),
+                });
+                inner.push(s);
+                self.emit(
+                    out,
+                    StmtKind::If {
+                        cond: guard,
+                        then_blk: inner,
+                        else_blk: Vec::new(),
+                    },
+                );
+                let _ = value_needed;
+                Ok(Some(TV {
+                    e: Expr::var(tmp),
+                    ty: int_ty(),
+                }))
+            }
+            _ => {
+                let ltv = self.rvalue(l, out)?;
+                let rtv = self.rvalue(r, out)?;
+                Ok(Some(self.arith(op, ltv, rtv, span)?))
+            }
+        }
+    }
+
+    /// Arithmetic with C's conversions, including pointer arithmetic.
+    fn arith(&mut self, op: CBinOp, l: TV, r: TV, span: Span) -> Result<TV, LowerError> {
+        let lk = scalar_kind(&l.ty)
+            .ok_or_else(|| self.err("non-scalar operand", span))?;
+        let rk = scalar_kind(&r.ty)
+            .ok_or_else(|| self.err("non-scalar operand", span))?;
+        let bop = match op {
+            CBinOp::Add => BinOp::Add,
+            CBinOp::Sub => BinOp::Sub,
+            CBinOp::Mul => BinOp::Mul,
+            CBinOp::Div => BinOp::Div,
+            CBinOp::Rem => BinOp::Rem,
+            CBinOp::Shl => BinOp::Shl,
+            CBinOp::Shr => BinOp::Shr,
+            CBinOp::Lt => BinOp::Lt,
+            CBinOp::Gt => BinOp::Gt,
+            CBinOp::Le => BinOp::Le,
+            CBinOp::Ge => BinOp::Ge,
+            CBinOp::Eq => BinOp::Eq,
+            CBinOp::Ne => BinOp::Ne,
+            CBinOp::BitAnd => BinOp::BitAnd,
+            CBinOp::BitXor => BinOp::BitXor,
+            CBinOp::BitOr => BinOp::BitOr,
+            CBinOp::LogAnd | CBinOp::LogOr => unreachable!("handled by lower_binary"),
+        };
+        // pointer arithmetic
+        let l_is_ptr = lk == ScalarType::Ptr;
+        let r_is_ptr = rk == ScalarType::Ptr;
+        if (op == CBinOp::Add || op == CBinOp::Sub) && (l_is_ptr ^ r_is_ptr) {
+            let (ptv, itv, pfirst) = if l_is_ptr { (l, r, true) } else { (r, l, false) };
+            if !pfirst && op == CBinOp::Sub {
+                return Err(self.err("cannot subtract a pointer from an integer", span));
+            }
+            let elem = pointee(&ptv.ty)
+                .cloned()
+                .ok_or_else(|| self.err("pointer arithmetic on non-pointer", span))?;
+            let size = self.size_of_ctype(&elem, span)?;
+            let idx = self.convert(itv, ScalarType::Int, span)?;
+            let scaled = Expr::ibinary(BinOp::Mul, idx, Expr::int(size));
+            let e = Expr::binary(bop, ScalarType::Ptr, ptv.e.clone(), scaled);
+            return Ok(TV { e, ty: ptv.ty });
+        }
+        if op == CBinOp::Sub && l_is_ptr && r_is_ptr {
+            let elem = pointee(&l.ty)
+                .cloned()
+                .ok_or_else(|| self.err("pointer difference on non-pointer", span))?;
+            let size = self.size_of_ctype(&elem, span)?;
+            let diff = Expr::binary(BinOp::Sub, ScalarType::Ptr, l.e, r.e);
+            let cast = Expr::cast(ScalarType::Int, ScalarType::Ptr, diff);
+            return Ok(TV {
+                e: Expr::ibinary(BinOp::Div, cast, Expr::int(size)),
+                ty: int_ty(),
+            });
+        }
+        let k = common_kind(lk, rk);
+        let le = self.convert(l.clone(), k, span)?;
+        let re = self.convert(r.clone(), k, span)?;
+        let e = Expr::binary(bop, k, le, re);
+        let ty = if bop.is_comparison() {
+            int_ty()
+        } else {
+            match k {
+                ScalarType::Int | ScalarType::Char => int_ty(),
+                ScalarType::Float => QualType::plain(CType::Float),
+                ScalarType::Double => QualType::plain(CType::Double),
+                ScalarType::Ptr => {
+                    if l_is_ptr {
+                        l.ty
+                    } else {
+                        r.ty
+                    }
+                }
+            }
+        };
+        Ok(TV { e, ty })
+    }
+
+    /// Type of an expression without lowering it (for `sizeof`).
+    fn type_of(&mut self, e: &ast::Expr) -> Result<QualType, LowerError> {
+        Ok(match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) => int_ty(),
+            ExprKind::FloatLit(_, single) => {
+                QualType::plain(if *single { CType::Float } else { CType::Double })
+            }
+            ExprKind::Ident(name) => {
+                let v = self.lookup(name, e.span)?;
+                self.ctype_of(v)
+            }
+            ExprKind::Unary(CUnOp::Deref, inner) => {
+                let q = self.type_of(inner)?;
+                pointee(&q)
+                    .cloned()
+                    .ok_or_else(|| self.err("dereferencing a non-pointer", e.span))?
+            }
+            ExprKind::Unary(CUnOp::AddrOf, inner) => self.type_of(inner)?.ptr(),
+            ExprKind::Index(base, _) => {
+                let q = self.type_of(base)?;
+                pointee(&q)
+                    .cloned()
+                    .ok_or_else(|| self.err("indexing a non-array", e.span))?
+            }
+            ExprKind::Cast(q, _) => q.clone(),
+            _ => int_ty(),
+        })
+    }
+}
+
+impl Place {
+    fn for_var(lw: &FuncLowerer<'_>, v: VarId) -> Place {
+        let info = lw.proc.var(v);
+        if info.volatile {
+            Place::Mem {
+                addr: Expr::addr_of(v),
+                kind: info.ty.scalar().unwrap_or(ScalarType::Int),
+                volatile: true,
+            }
+        } else {
+            Place::Var(v)
+        }
+    }
+}
+
+/// Integer promotion at the AST type level.
+fn promote(q: QualType) -> QualType {
+    match q.ty {
+        CType::Char => QualType::plain(CType::Int),
+        _ => q,
+    }
+}
+
+/// Reconstructs an AST type from an IL type (used for struct fields).
+fn il_to_qualtype(env: &Env, t: &Type) -> QualType {
+    QualType::plain(match t {
+        Type::Void => CType::Void,
+        Type::Char => CType::Char,
+        Type::Int => CType::Int,
+        Type::Float => CType::Float,
+        Type::Double => CType::Double,
+        Type::Ptr(inner) => CType::Ptr(Box::new(il_to_qualtype(env, inner))),
+        Type::Array(inner, n) => {
+            CType::Array(Box::new(il_to_qualtype(env, inner)), Some(*n))
+        }
+        Type::Struct(sid) => CType::Struct(env.struct_def(*sid).name.clone()),
+    })
+}

@@ -1,0 +1,510 @@
+//! Constant propagation with unreachable-code elimination (§8).
+//!
+//! "Inlining tailors a procedure designed to handle many cases to a
+//! specific invocation; as a result, large amounts of dead and unreachable
+//! code result." The paper rejects IF-conversion, basic-block
+//! reconstruction and Wegman–Zadeck in favour of a heuristic: propagate
+//! constants off the use–def chains, simplify branches whose conditions
+//! fold to constants, and — when a definition is eliminated as unreachable
+//! — re-seed the propagation worklist from the statements that definition
+//! reached. This module implements that heuristic as a round-based
+//! fixpoint (each structural simplification re-seeds the next round), the
+//! §8 *postpass* for code trapped behind always-taken branches, and the
+//! rejected "rebuild basic blocks" strategy as a measurable baseline.
+
+use titanc_analysis::{Cfg, UseDef};
+use titanc_il::fold::{const_value, fold_expr, value_to_expr, Value};
+use titanc_il::{Expr, Procedure, ScalarType, Stmt, StmtId, StmtKind};
+
+/// Propagation statistics (EXP4 compares these across strategies).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConstPropReport {
+    /// Variable reads replaced by constants.
+    pub replaced: usize,
+    /// Statements removed by branch simplification / unreachable
+    /// elimination.
+    pub removed: usize,
+    /// Fixpoint rounds (the paper's re-seeding events + 1).
+    pub rounds: usize,
+}
+
+/// Constant propagation with the §8 unreachable-code heuristic.
+pub fn constant_propagation(proc: &mut Procedure) -> ConstPropReport {
+    run(proc, true)
+}
+
+/// Constant propagation alone (no branch simplification) — one half of the
+/// "rebuild basic blocks" baseline.
+pub fn constant_propagation_no_unreachable(proc: &mut Procedure) -> ConstPropReport {
+    run(proc, false)
+}
+
+fn run(proc: &mut Procedure, simplify_branches: bool) -> ConstPropReport {
+    let mut report = ConstPropReport::default();
+    loop {
+        report.rounds += 1;
+        let mut changed = 0usize;
+
+        // 1. propagate constants along use-def chains
+        changed += propagate_once(proc, &mut report);
+
+        // 2. fold everything
+        let mut body = std::mem::take(&mut proc.body);
+        titanc_il::visit::rewrite_exprs_in_block(&mut body, &mut |e| fold_expr(e));
+        proc.body = body;
+
+        // 3. simplify constant branches (the unreachable-code elimination)
+        if simplify_branches {
+            let removed = simplify_constant_branches(proc);
+            report.removed += removed;
+            changed += removed;
+        }
+
+        if changed == 0 || report.rounds > 32 {
+            break;
+        }
+    }
+    report
+}
+
+/// One propagation sweep: replaces reads whose reaching definitions all
+/// assign the same literal.
+fn propagate_once(proc: &mut Procedure, report: &mut ConstPropReport) -> usize {
+    let cfg = Cfg::build(proc);
+    let ud = UseDef::build(proc, &cfg);
+
+    // constant value per defining statement
+    let mut const_defs: Vec<(StmtId, titanc_il::VarId, Value, ScalarType)> = Vec::new();
+    proc.for_each_stmt(&mut |s| {
+        if let StmtKind::Assign {
+            lhs: titanc_il::LValue::Var(v),
+            rhs,
+        } = &s.kind
+        {
+            if ud.tracked(*v) {
+                if let Some(val) = const_value(rhs) {
+                    let kind = proc.var_scalar(*v);
+                    const_defs.push((s.id, *v, val, kind));
+                }
+            }
+        }
+    });
+    let lookup = |def: StmtId, var: titanc_il::VarId| -> Option<(Value, ScalarType)> {
+        const_defs
+            .iter()
+            .find(|(s, v, _, _)| *s == def && *v == var)
+            .map(|(_, _, val, k)| (*val, *k))
+    };
+
+    // decide the replacement per (stmt, var)
+    let mut plan: Vec<(StmtId, titanc_il::VarId, Expr)> = Vec::new();
+    proc.for_each_stmt(&mut |s| {
+        let mut vars: Vec<titanc_il::VarId> = Vec::new();
+        for e in s.exprs() {
+            for v in e.vars_read() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        for v in vars {
+            if !ud.tracked(v) {
+                continue;
+            }
+            let defs = ud.reaching_defs(s.id, v);
+            if defs.is_empty() || defs.iter().any(Option::is_none) {
+                continue; // entry def (param/uninitialized) reaches
+            }
+            let consts: Option<Vec<(Value, ScalarType)>> = defs
+                .iter()
+                .map(|d| lookup(d.unwrap(), v))
+                .collect();
+            if let Some(cs) = consts {
+                let (first, kind) = cs[0];
+                if cs.iter().all(|(c, _)| *c == first) {
+                    plan.push((s.id, v, value_to_expr(first, kind)));
+                }
+            }
+        }
+    });
+
+    let count = plan.len();
+    if count == 0 {
+        return 0;
+    }
+    let mut body = std::mem::take(&mut proc.body);
+    apply_plan(&mut body, &plan, report);
+    proc.body = body;
+    count
+}
+
+fn apply_plan(
+    block: &mut [Stmt],
+    plan: &[(StmtId, titanc_il::VarId, Expr)],
+    report: &mut ConstPropReport,
+) {
+    for s in block.iter_mut() {
+        for (id, v, rep) in plan {
+            if s.id == *id {
+                for e in s.exprs_mut() {
+                    report.replaced += e.substitute_var(*v, rep);
+                }
+            }
+        }
+        for b in s.blocks_mut() {
+            apply_plan(b, plan, report);
+        }
+    }
+}
+
+/// Replaces branches with constant conditions by the taken path; removes
+/// zero-trip loops. Returns statements eliminated.
+fn simplify_constant_branches(proc: &mut Procedure) -> usize {
+    let mut removed = 0usize;
+    let mut body = std::mem::take(&mut proc.body);
+    simplify_block(&mut body, &mut removed);
+    // the quick §8 postpass
+    removed += postpass_block(&mut body);
+    proc.body = body;
+    removed
+}
+
+fn simplify_block(block: &mut Vec<Stmt>, removed: &mut usize) {
+    let mut i = 0;
+    while i < block.len() {
+        for b in block[i].blocks_mut() {
+            simplify_block(b, removed);
+        }
+        let replace: Option<Vec<Stmt>> = match &mut block[i].kind {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => match const_value(cond) {
+                Some(v) if !cond.has_volatile_load() => {
+                    let (taken, dead) = if v.is_truthy() {
+                        (std::mem::take(then_blk), else_blk.len())
+                    } else {
+                        (std::mem::take(else_blk), then_blk.len())
+                    };
+                    *removed += 1 + titanc_il::block_len(
+                        &if v.is_truthy() { std::mem::take(else_blk) } else { std::mem::take(then_blk) },
+                    );
+                    let _ = dead;
+                    Some(taken)
+                }
+                _ => None,
+            },
+            StmtKind::While { cond, body, .. } => match const_value(cond) {
+                Some(v) if !v.is_truthy() && !cond.has_volatile_load() => {
+                    *removed += 1 + titanc_il::block_len(body);
+                    Some(Vec::new())
+                }
+                _ => None,
+            },
+            StmtKind::DoLoop {
+                lo, hi, step, body, ..
+            } => {
+                match (const_value(lo), const_value(hi), const_value(step)) {
+                    (Some(l), Some(h), Some(st)) => {
+                        let (l, h, st) = (l.as_int(), h.as_int(), st.as_int());
+                        let zero_trip =
+                            st != 0 && ((st > 0 && l > h) || (st < 0 && l < h));
+                        if zero_trip {
+                            *removed += 1 + titanc_il::block_len(body);
+                            Some(Vec::new())
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            StmtKind::IfGoto { cond, target } => match const_value(cond) {
+                Some(v) if !cond.has_volatile_load() => {
+                    if v.is_truthy() {
+                        let t = *target;
+                        block[i].kind = StmtKind::Goto(t);
+                        None
+                    } else {
+                        *removed += 1;
+                        Some(Vec::new())
+                    }
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(repl) = replace {
+            let n = repl.len();
+            block.splice(i..=i, repl);
+            i += n;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The §8 postpass: statements that lexically follow an unconditional
+/// `goto`/`return` up to the next label in the same block are unreachable.
+/// "A quick heuristic … not as effective as reconstructing basic blocks",
+/// but cheap. Returns statements removed.
+pub fn unreachable_postpass(proc: &mut Procedure) -> usize {
+    let mut body = std::mem::take(&mut proc.body);
+    let removed = postpass_block(&mut body);
+    proc.body = body;
+    removed
+}
+
+fn postpass_block(block: &mut Vec<Stmt>) -> usize {
+    let mut removed = 0;
+    for s in block.iter_mut() {
+        for b in s.blocks_mut() {
+            removed += postpass_block(b);
+        }
+    }
+    let mut i = 0;
+    while i < block.len() {
+        let is_jump = matches!(block[i].kind, StmtKind::Goto(_) | StmtKind::Return(_));
+        if is_jump {
+            let mut j = i + 1;
+            while j < block.len() && !matches!(block[j].kind, StmtKind::Label(_)) {
+                j += 1;
+            }
+            if j > i + 1 {
+                removed += block[i + 1..j]
+                    .iter()
+                    .map(Stmt::tree_len)
+                    .sum::<usize>();
+                block.drain(i + 1..j);
+            }
+        }
+        i += 1;
+    }
+    removed
+}
+
+/// The rejected baseline: full CFG reachability ("rebuild basic blocks")
+/// and removal of every unreachable statement. Returns statements removed.
+pub fn eliminate_unreachable_cfg(proc: &mut Procedure) -> usize {
+    let cfg = Cfg::build(proc);
+    let dead_nodes = cfg.unreachable_nodes();
+    let dead_ids: Vec<StmtId> = dead_nodes
+        .iter()
+        .filter_map(|&n| cfg.stmt_of[n])
+        .collect();
+    if dead_ids.is_empty() {
+        return 0;
+    }
+    let mut removed = 0;
+    let mut body = std::mem::take(&mut proc.body);
+    remove_ids(&mut body, &dead_ids, &mut removed);
+    proc.body = body;
+    removed
+}
+
+fn remove_ids(block: &mut Vec<Stmt>, ids: &[StmtId], removed: &mut usize) {
+    for s in block.iter_mut() {
+        for b in s.blocks_mut() {
+            remove_ids(b, ids, removed);
+        }
+    }
+    let before = block.len();
+    block.retain(|s| !ids.contains(&s.id));
+    *removed += before - block.len();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_il::pretty_proc;
+    use titanc_lower::compile_to_il;
+
+    fn cp(src: &str) -> (Procedure, ConstPropReport) {
+        let prog = compile_to_il(src).unwrap();
+        let mut proc = prog.procs[0].clone();
+        let rep = constant_propagation(&mut proc);
+        (proc, rep)
+    }
+
+    #[test]
+    fn propagates_simple_constant() {
+        let (proc, rep) = cp("int f(void) { int x; x = 3; return x + 4; }");
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return 7;"), "{text}");
+        assert!(rep.replaced >= 1);
+    }
+
+    #[test]
+    fn does_not_merge_conflicting_defs() {
+        let (proc, _rep) = cp(
+            "int f(int c) { int x; if (c) x = 1; else x = 2; return x; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return x;"), "{text}");
+    }
+
+    #[test]
+    fn merges_agreeing_defs() {
+        let (proc, _rep) = cp(
+            "int f(int c) { int x; if (c) x = 7; else x = 7; return x; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return 7;"), "{text}");
+    }
+
+    #[test]
+    fn eliminates_false_branch() {
+        let (proc, rep) = cp(
+            "int f(void) { int a; a = 0; if (a == 0) return 1; return 2; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return 1;"), "{text}");
+        assert!(!text.contains("return 2;"), "postpass removes it: {text}");
+        assert!(rep.removed >= 1);
+    }
+
+    #[test]
+    fn daxpy_alpha_zero_unreachable() {
+        // the §8 example: inlined daxpy with in_a == 0.0 — the FP
+        // assignment is unreachable once constants propagate.
+        let src = r#"
+void f(float *x, float y, float z)
+{
+    float in_a;
+    in_a = 0.0f;
+    if (in_a == 0.0f)
+        return;
+    *x = y + in_a * z;
+}
+"#;
+        let (proc, _rep) = cp(src);
+        let text = pretty_proc(&proc);
+        assert!(
+            !text.contains("in_a *"),
+            "floating assignment eliminated: {text}"
+        );
+    }
+
+    #[test]
+    fn removes_zero_trip_loop() {
+        // pipeline order: while→DO conversion first (§5.2), then constant
+        // propagation sees the constant bounds and removes the loop
+        let prog = compile_to_il(
+            "void f(float *a) { int i, n; n = 0; for (i = 0; i < n; i++) a[i] = 1; }",
+        )
+        .unwrap();
+        let mut proc = prog.procs[0].clone();
+        crate::whiledo::convert_while_loops(&mut proc);
+        let rep = constant_propagation(&mut proc);
+        let text = pretty_proc(&proc);
+        assert!(!text.contains("do fortran"), "{text}");
+        assert!(rep.removed >= 1);
+    }
+
+    #[test]
+    fn constant_propagates_through_rounds() {
+        // needs two rounds: eliminating the branch exposes b's constancy
+        let src = r#"
+int f(void)
+{
+    int a, b;
+    a = 1;
+    if (a) b = 5; else b = 9;
+    return b * 2;
+}
+"#;
+        let (proc, rep) = cp(src);
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return 10;"), "{text}");
+        assert!(rep.rounds >= 2);
+    }
+
+    #[test]
+    fn volatile_conditions_never_fold() {
+        let (proc, _rep) = cp(
+            "volatile int s; int f(void) { if (s == 0) return 1; return 2; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("if ("), "{text}");
+    }
+
+    #[test]
+    fn postpass_removes_code_after_goto() {
+        let src = r#"
+int f(int a)
+{
+    goto end;
+    a = a + 1;
+    a = a + 2;
+end:
+    return a;
+}
+"#;
+        let prog = compile_to_il(src).unwrap();
+        let mut proc = prog.procs[0].clone();
+        let removed = unreachable_postpass(&mut proc);
+        assert_eq!(removed, 2);
+    }
+
+    #[test]
+    fn cfg_baseline_matches_postpass_on_simple_code() {
+        let src = "int f(int a) { return 1; a = 2; a = 3; return a; }";
+        let prog = compile_to_il(src).unwrap();
+        let mut p1 = prog.procs[0].clone();
+        let mut p2 = prog.procs[0].clone();
+        let by_postpass = unreachable_postpass(&mut p1);
+        let by_cfg = eliminate_unreachable_cfg(&mut p2);
+        assert_eq!(by_postpass, 3);
+        assert_eq!(by_cfg, 3);
+    }
+
+    #[test]
+    fn cfg_baseline_catches_what_postpass_misses() {
+        // unreachable code guarded by an if whose both arms jump away:
+        // the postpass (straight-line) cannot see it, the CFG can.
+        let src = r#"
+int f(int c)
+{
+    if (c) goto a; else goto b;
+    c = 99;
+a:
+    return 1;
+b:
+    return 2;
+}
+"#;
+        let prog = compile_to_il(src).unwrap();
+        let mut p1 = prog.procs[0].clone();
+        let mut p2 = prog.procs[0].clone();
+        let by_postpass = unreachable_postpass(&mut p1);
+        let by_cfg = eliminate_unreachable_cfg(&mut p2);
+        assert_eq!(by_postpass, 0, "straight-line heuristic is blind here");
+        assert!(by_cfg >= 1, "CFG reachability sees it");
+    }
+
+    #[test]
+    fn equivalence_on_simulator() {
+        let src = r#"
+int out_g[1];
+int main(void)
+{
+    int a, b, i;
+    a = 4;
+    b = 0;
+    if (a > 2) b = a * 3;
+    for (i = 0; i < a; i++) b = b + 1;
+    out_g[0] = b;
+    return b;
+}
+"#;
+        let prog = compile_to_il(src).unwrap();
+        let mut opt = prog.clone();
+        constant_propagation(&mut opt.procs[0]);
+        let g = [("out_g", ScalarType::Int, 1)];
+        let cfg = titanc_titan::MachineConfig::default;
+        let (b, _) = titanc_titan::observe(&prog, cfg(), "main", &g).unwrap();
+        let (a, _) = titanc_titan::observe(&opt, cfg(), "main", &g).unwrap();
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,253 @@
+//! Forward (copy/expression) substitution.
+//!
+//! Propagates `x = expr` forward into later reads of `x`, block by block.
+//! The front end's copy temporaries (`temp_1 = a; … *temp_1 …`) and the
+//! affine expressions produced by induction-variable substitution both
+//! reach their use sites through this pass; the paper's compiler is "safe
+//! in propagating address constants … because it knows that strength
+//! reduction and subexpression elimination will undo any damage" (§11).
+//!
+//! A substitution stops at a redefinition of `x` or of any variable the
+//! expression reads; expressions containing (non-volatile) loads
+//! additionally stop at stores and calls. Expressions with volatile loads
+//! never move.
+
+use crate::util::{defined_in, register_candidate};
+use titanc_il::{Expr, LValue, Procedure, Stmt, StmtKind, VarId};
+
+/// Substitution statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ForwardReport {
+    /// Reads replaced.
+    pub substituted: usize,
+}
+
+/// Runs forward substitution over every block of the procedure.
+pub fn forward_substitute(proc: &mut Procedure) -> ForwardReport {
+    let mut report = ForwardReport::default();
+    let mut body = std::mem::take(&mut proc.body);
+    run_block(proc, &mut body, &mut report);
+    proc.body = body;
+    report
+}
+
+fn run_block(proc: &Procedure, block: &mut [Stmt], report: &mut ForwardReport) {
+    // recurse into nested blocks first
+    for s in block.iter_mut() {
+        for b in s.blocks_mut() {
+            run_block(proc, b, report);
+        }
+    }
+    let len = block.len();
+    for i in 0..len {
+        let (x, rhs) = match &block[i].kind {
+            StmtKind::Assign {
+                lhs: LValue::Var(x),
+                rhs,
+            } => (*x, rhs.clone()),
+            _ => continue,
+        };
+        if !register_candidate(proc, x) {
+            continue;
+        }
+        if rhs.has_volatile_load() || rhs.has_section() {
+            continue;
+        }
+        if rhs.reads_var(x) {
+            continue; // x = f(x): nothing to forward
+        }
+        // avoid exponential growth: cap the substituted expression size
+        if rhs.size() > 24 {
+            continue;
+        }
+        let deps: Vec<VarId> = rhs.vars_read();
+        let has_loads = rhs.has_load();
+        let mut j = i + 1;
+        while j < len {
+            // control-flow joins and departures end the straight-line
+            // window: a label may be reached from elsewhere (the def does
+            // not dominate it), and nothing after an unconditional goto is
+            // reached by fallthrough.
+            if matches!(block[j].kind, StmtKind::Label(_) | StmtKind::Goto(_)) {
+                break;
+            }
+            // a statement may read x before (possibly) redefining it
+            let stmt = &mut block[j];
+
+            // nested blocks: only substitute inside when the block cannot
+            // invalidate the expression or x
+            let nested_safe = {
+                let blocks = stmt.blocks();
+                blocks.iter().all(|b| {
+                    !defined_in(b, x)
+                        && deps.iter().all(|&d| !defined_in(b, d))
+                        && (!has_loads || !block_may_write_memory(b))
+                })
+            };
+
+            // substitute reads in the statement's own expressions
+            if nested_safe || stmt.blocks().is_empty() {
+                for e in stmt.exprs_mut() {
+                    report.substituted += e.substitute_var(x, &rhs);
+                }
+            } else {
+                // cannot see through the nested block: stop
+                break;
+            }
+            if nested_safe && !stmt.blocks().is_empty() {
+                for b in stmt.blocks_mut() {
+                    report.substituted += subst_in_block(b, x, &rhs);
+                }
+            }
+
+            // stop conditions, evaluated after the reads of stmt j
+            let stmt = &block[j];
+            if stmt.defined_var() == Some(x) {
+                break;
+            }
+            if stmt.blocks().iter().any(|b| defined_in(b, x)) {
+                break;
+            }
+            if deps
+                .iter()
+                .any(|&d| stmt.defined_var() == Some(d)
+                    || stmt.blocks().iter().any(|b| defined_in(b, d)))
+            {
+                break;
+            }
+            if has_loads && stmt_may_write_memory(stmt) {
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+fn subst_in_block(block: &mut [Stmt], x: VarId, rhs: &Expr) -> usize {
+    let mut n = 0;
+    for s in block {
+        for e in s.exprs_mut() {
+            n += e.substitute_var(x, rhs);
+        }
+        for b in s.blocks_mut() {
+            n += subst_in_block(b, x, rhs);
+        }
+    }
+    n
+}
+
+fn stmt_may_write_memory(s: &Stmt) -> bool {
+    s.writes_memory() || s.blocks().iter().any(|b| block_may_write_memory(b))
+}
+
+fn block_may_write_memory(block: &[Stmt]) -> bool {
+    block.iter().any(stmt_may_write_memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_il::pretty_proc;
+    use titanc_lower::compile_to_il;
+
+    fn fwd(src: &str) -> Procedure {
+        let prog = compile_to_il(src).unwrap();
+        let mut proc = prog.procs[0].clone();
+        forward_substitute(&mut proc);
+        proc
+    }
+
+    #[test]
+    fn copies_propagate() {
+        let proc = fwd("int f(int a) { int t; t = a; return t + t; }");
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return (a + a);"), "{text}");
+    }
+
+    #[test]
+    fn stops_at_source_redefinition() {
+        let proc = fwd("int f(int a) { int t; t = a; a = 0; return t; }");
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return t;"), "a changed: {text}");
+    }
+
+    #[test]
+    fn stops_at_target_redefinition() {
+        // the first copy (t = a) must NOT reach past t = 5; the second
+        // definition forwards instead.
+        let proc = fwd("int f(int a) { int t; t = a; t = 5; return t; }");
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return 5;"), "{text}");
+        assert!(!text.contains("return a;"), "{text}");
+    }
+
+    #[test]
+    fn loads_stop_at_stores() {
+        let proc = fwd(
+            "int f(int *p, int *q) { int t; t = *p; *q = 9; return t; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("return t;"), "store may alias *p: {text}");
+    }
+
+    #[test]
+    fn loads_pass_pure_statements() {
+        let proc = fwd("int f(int *p) { int t, u; t = *p; u = 3; return t + u; }");
+        let text = pretty_proc(&proc);
+        assert!(text.contains("*(int *)(p) + "), "{text}");
+    }
+
+    #[test]
+    fn volatile_reads_never_move() {
+        let proc = fwd(
+            "volatile int s; int f(void) { int t; t = s; return t + t; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(
+            text.matches("volatile").count() == 1,
+            "exactly one volatile read remains: {text}"
+        );
+    }
+
+    #[test]
+    fn substitutes_into_safe_nested_blocks() {
+        let proc = fwd(
+            "int f(int a, int c) { int t, r; t = a * 2; r = 0; if (c) { r = t; } return r; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("r = (a * 2)"), "{text}");
+    }
+
+    #[test]
+    fn stops_at_unsafe_nested_blocks() {
+        let proc = fwd(
+            "int f(int a, int c) { int t, r; t = a; if (c) { a = 1; } r = t; return r; }",
+        );
+        let text = pretty_proc(&proc);
+        assert!(text.contains("r = t"), "conditional redef of a: {text}");
+    }
+
+    #[test]
+    fn equivalence_on_simulator() {
+        let src = r#"
+int out_g[1];
+int main(void)
+{
+    int a, t, u;
+    a = 6;
+    t = a * 7;
+    u = t + 1;
+    out_g[0] = u - 1;
+    return t;
+}
+"#;
+        let prog = compile_to_il(src).unwrap();
+        let mut opt = prog.clone();
+        forward_substitute(&mut opt.procs[0]);
+        let cfg = titanc_titan::MachineConfig::default;
+        let g = [("out_g", titanc_il::ScalarType::Int, 1)];
+        let (b, _) = titanc_titan::observe(&prog, cfg(), "main", &g).unwrap();
+        let (a, _) = titanc_titan::observe(&opt, cfg(), "main", &g).unwrap();
+        assert_eq!(b, a);
+    }
+}

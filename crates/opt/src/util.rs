@@ -1,0 +1,231 @@
+//! Shared helpers for the scalar passes: loop-invariance, copy-chain
+//! resolution, and position-aware use replacement.
+
+use titanc_il::{Expr, Procedure, Stmt, StmtKind, VarId};
+
+/// True when `v` is a register candidate: scalar, never addressed, not
+/// volatile, not static/global. Only these participate in chain-driven
+/// rewrites (§1 item 7 conservatism).
+pub fn register_candidate(proc: &Procedure, v: VarId) -> bool {
+    let info = proc.var(v);
+    info.ty.scalar().is_some()
+        && !info.addressed
+        && !info.volatile
+        && matches!(
+            info.storage,
+            titanc_il::Storage::Auto | titanc_il::Storage::Param | titanc_il::Storage::Temp
+        )
+}
+
+/// True when some statement in `block` (recursively) defines `v`.
+pub fn defined_in(block: &[Stmt], v: VarId) -> bool {
+    block.iter().any(|s| {
+        s.defined_var() == Some(v) || s.blocks().iter().any(|b| defined_in(b, v))
+    })
+}
+
+/// True when `e` is invariant with respect to `body`: it reads no memory,
+/// and every variable it reads is a register candidate with no definition
+/// inside `body`.
+pub fn invariant_in(proc: &Procedure, body: &[Stmt], e: &Expr) -> bool {
+    if e.has_load() || e.has_section() {
+        return false;
+    }
+    e.vars_read()
+        .iter()
+        .all(|&v| register_candidate(proc, v) && !defined_in(body, v))
+}
+
+/// Resolves `w` backwards through top-level copies to an "origin" variable,
+/// looking at statements `body[..pos]` in reverse: a copy `w = u` passes
+/// the search to `u` provided neither `w` nor `u` is redefined in between.
+/// Returns the origin (possibly `w` itself).
+pub fn resolve_copy(proc: &Procedure, body: &[Stmt], pos: usize, w: VarId) -> VarId {
+    if !register_candidate(proc, w) {
+        return w;
+    }
+    let mut target = w;
+    let mut limit = pos;
+    // walk backwards looking for the most recent def of `target`
+    'outer: loop {
+        for i in (0..limit).rev() {
+            let s = &body[i];
+            // a nested def anywhere kills resolution (conditional def)
+            if s.blocks().iter().any(|b| defined_in(b, target)) {
+                return target;
+            }
+            if s.defined_var() == Some(target) {
+                if let StmtKind::Assign {
+                    rhs: Expr::Var(u), ..
+                } = &s.kind
+                {
+                    if *u != target && register_candidate(proc, *u) {
+                        // ensure u not redefined between i+1..pos
+                        let redefined = body[i + 1..pos]
+                            .iter()
+                            .any(|t| t.defined_var() == Some(*u)
+                                || t.blocks().iter().any(|b| defined_in(b, *u)));
+                        if !redefined {
+                            target = *u;
+                            limit = i;
+                            continue 'outer;
+                        }
+                    }
+                }
+                return target;
+            }
+        }
+        return target;
+    }
+}
+
+/// Replaces every read of `v` in the statement (including nested blocks)
+/// with `replacement`; returns replacements made.
+pub fn replace_reads(s: &mut Stmt, v: VarId, replacement: &Expr) -> usize {
+    let mut n = 0;
+    for e in s.exprs_mut() {
+        n += e.substitute_var(v, replacement);
+    }
+    for b in s.blocks_mut() {
+        for inner in b {
+            n += replace_reads(inner, v, replacement);
+        }
+    }
+    n
+}
+
+/// Counts reads of `v` in a statement tree.
+pub fn count_reads(s: &Stmt, v: VarId) -> usize {
+    let mut n = 0;
+    for e in s.exprs() {
+        n += e.vars_read().iter().filter(|&&w| w == v).count();
+    }
+    for b in s.blocks() {
+        for inner in b {
+            n += count_reads(inner, v);
+        }
+    }
+    n
+}
+
+/// Counts reads of `v` across a block.
+pub fn count_reads_block(block: &[Stmt], v: VarId) -> usize {
+    block.iter().map(|s| count_reads(s, v)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_il::{BinOp, LValue, ProcBuilder, Type};
+
+    fn proc_with(body_builder: impl FnOnce(&mut ProcBuilder)) -> Procedure {
+        let mut b = ProcBuilder::new("t", Type::Void);
+        body_builder(&mut b);
+        b.finish()
+    }
+
+    #[test]
+    fn invariance_basic() {
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let x = b.local("x", Type::Int);
+        let y = b.local("y", Type::Int);
+        b.assign_var(y, Expr::int(0));
+        let p = b.finish();
+        let body = p.body.clone(); // contains def of y only
+        assert!(invariant_in(&p, &body, &Expr::var(x)));
+        assert!(!invariant_in(&p, &body, &Expr::var(y)));
+        assert!(!invariant_in(
+            &p,
+            &body,
+            &Expr::load(Expr::var(x), titanc_il::ScalarType::Int)
+        ));
+    }
+
+    #[test]
+    fn resolve_through_single_copy() {
+        // temp = i; i2 = temp - 1  — resolving temp at pos 1 yields i
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let i = b.local("i", Type::Int);
+        let temp = b.local("temp", Type::Int);
+        b.assign_var(temp, Expr::var(i));
+        b.assign_var(
+            i,
+            Expr::ibinary(BinOp::Sub, Expr::var(temp), Expr::int(1)),
+        );
+        let p = b.finish();
+        assert_eq!(resolve_copy(&p, &p.body, 1, temp), i);
+    }
+
+    #[test]
+    fn resolution_stops_at_interleaved_redefinition() {
+        // temp = i; i = 0; use temp at pos 2 — temp still resolves to...
+        // the copy source i was redefined between, so resolution must stop
+        // at temp.
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let i = b.local("i", Type::Int);
+        let temp = b.local("temp", Type::Int);
+        b.assign_var(temp, Expr::var(i));
+        b.assign_var(i, Expr::int(0));
+        b.assign_var(i, Expr::var(temp));
+        let p = b.finish();
+        assert_eq!(resolve_copy(&p, &p.body, 2, temp), temp);
+    }
+
+    #[test]
+    fn replace_reads_descends_blocks() {
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let x = b.local("x", Type::Int);
+        let y = b.local("y", Type::Int);
+        let body = {
+            let mut lb = b.block();
+            lb.assign_var(y, Expr::var(x));
+            lb.stmts()
+        };
+        b.if_(Expr::var(x), body, vec![]);
+        let mut p = b.finish();
+        let mut s = p.body.remove(0);
+        let n = replace_reads(&mut s, x, &Expr::int(3));
+        assert_eq!(n, 2, "cond + nested rhs");
+    }
+
+    #[test]
+    fn count_reads_counts_duplicates() {
+        let p = proc_with(|b| {
+            let x = b.local("x", Type::Int);
+            b.assign_var(x, Expr::ibinary(BinOp::Add, Expr::var(x), Expr::var(x)));
+        });
+        let x = p.var_by_name("x").unwrap();
+        assert_eq!(count_reads_block(&p.body, x), 2);
+    }
+
+    #[test]
+    fn addressed_is_not_candidate() {
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let x = b.local("x", Type::Int);
+        let a = b.local("arr", Type::array_of(Type::Int, 4));
+        let v = b.volatile_local("vol", Type::Int);
+        let p = {
+            let mut p = b.finish();
+            p.var_mut(x).addressed = true;
+            p
+        };
+        assert!(!register_candidate(&p, x));
+        assert!(!register_candidate(&p, a));
+        assert!(!register_candidate(&p, v));
+    }
+
+    #[test]
+    fn defined_in_sees_nested() {
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let x = b.local("x", Type::Int);
+        let inner = {
+            let mut lb = b.block();
+            lb.assign_var(x, Expr::int(1));
+            lb.stmts()
+        };
+        b.while_(Expr::int(1), inner);
+        let p = b.finish();
+        assert!(defined_in(&p.body, x));
+        let _ = LValue::Var(x);
+    }
+}

@@ -1,0 +1,614 @@
+//! Conversion of `while` loops into Fortran-style DO loops (§5.2).
+//!
+//! The C front end represents `for` loops as `while` loops, so this
+//! conversion is what makes counted C loops eligible for vectorization. It
+//! runs *immediately after use–def chains are constructed* and consults the
+//! control-flow graph to reject loops that branches enter (§5.2's two
+//! stated requirements).
+//!
+//! A loop converts when its condition compares a register-candidate
+//! induction variable against a loop-invariant bound (or tests it against
+//! zero, the paper's `i = n; while (i) { … i = temp - s; }` form), and the
+//! body advances the variable by a loop-invariant step exactly once per
+//! iteration — possibly through the copy temporaries the front end
+//! introduces. The body is left untouched: a fresh *dummy* counter drives
+//! the iteration, exactly as in the paper's example, and induction-variable
+//! substitution plus dead-code elimination subsequently clean up the
+//! original variable.
+
+use crate::util::{defined_in, invariant_in, register_candidate, resolve_copy};
+use titanc_analysis::{loops, Cfg};
+use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId};
+
+/// Why a `while` loop was not converted (the EXP5 coverage table).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reject {
+    /// A branch from outside enters the loop body (§5.2 requirement 1).
+    BranchInto,
+    /// A branch inside the loop leaves it (early exit).
+    BranchOut,
+    /// The body contains a `return`.
+    HasReturn,
+    /// The condition reads a volatile object — a true `while` loop (§1).
+    VolatileCond,
+    /// The condition is not a recognizable iteration test.
+    CondForm,
+    /// The tested variable is addressed/volatile/global.
+    NotCandidate,
+    /// No single once-per-iteration step of the tested variable was found.
+    NoStep,
+    /// The variable is stepped more than once (or conditionally).
+    MultipleSteps,
+    /// The bound varies inside the loop (§5.2 requirement 2).
+    VaryingBound,
+    /// The step varies inside the loop.
+    VaryingStep,
+    /// Step direction can never satisfy the exit test (or `!=` with |step|
+    /// ≠ 1, which may step over the bound).
+    Direction,
+}
+
+/// Conversion statistics for one procedure.
+#[derive(Clone, Debug, Default)]
+pub struct WhileDoReport {
+    /// Number of loops converted.
+    pub converted: usize,
+    /// Rejected loops with reasons.
+    pub rejects: Vec<(StmtId, Reject)>,
+}
+
+/// Converts every eligible `while` loop of the procedure into a `DoLoop`.
+pub fn convert_while_loops(proc: &mut Procedure) -> WhileDoReport {
+    let mut report = WhileDoReport::default();
+    let mut done: Vec<StmtId> = Vec::new();
+    loop {
+        let cfg = Cfg::build(proc);
+        // find the first unprocessed while loop (preorder)
+        let mut target: Option<Stmt> = None;
+        proc.for_each_stmt(&mut |s| {
+            if target.is_none()
+                && matches!(s.kind, StmtKind::While { .. })
+                && !done.contains(&s.id)
+            {
+                target = Some(s.clone());
+            }
+        });
+        let w = match target {
+            Some(w) => w,
+            None => break,
+        };
+        done.push(w.id);
+        match analyze(proc, &cfg, &w) {
+            Ok(plan) => {
+                apply(proc, w.id, plan);
+                report.converted += 1;
+            }
+            Err(r) => report.rejects.push((w.id, r)),
+        }
+    }
+    report
+}
+
+struct Plan {
+    iv: VarId,
+    hi_adjust: i64,
+    bound: Expr,
+    step: Expr,
+    safe: bool,
+}
+
+/// The induction step found in the body: `iv = iv ± c`.
+struct StepInfo {
+    positive: bool,
+    c: Expr,
+}
+
+fn analyze(proc: &Procedure, cfg: &Cfg, w: &Stmt) -> Result<Plan, Reject> {
+    let (cond, body, safe) = match &w.kind {
+        StmtKind::While { cond, body, safe } => (cond, body, *safe),
+        _ => unreachable!("analyze called on non-while"),
+    };
+    if cond.has_volatile_load() {
+        return Err(Reject::VolatileCond);
+    }
+    if loops::has_return(w) {
+        return Err(Reject::HasReturn);
+    }
+    if loops::has_branch_out(w) {
+        return Err(Reject::BranchOut);
+    }
+    if cfg.has_branch_into(proc, w) {
+        return Err(Reject::BranchInto);
+    }
+
+    // Parse the condition into (iv, relation, bound).
+    let (iv, rel, bound) = parse_condition(proc, body, cond)?;
+    if !register_candidate(proc, iv) {
+        return Err(Reject::NotCandidate);
+    }
+    if !invariant_in(proc, body, &bound) {
+        return Err(Reject::VaryingBound);
+    }
+
+    // Find the unique once-per-iteration step of iv.
+    let step = find_step(proc, body, iv)?;
+    if !invariant_in(proc, body, &step.c) {
+        return Err(Reject::VaryingStep);
+    }
+
+    // Direction analysis.
+    let c_const = step.c.as_int();
+    let step_expr;
+    let hi_adjust;
+    match rel {
+        BinOp::Lt | BinOp::Le => {
+            // needs a positive step
+            match (step.positive, c_const) {
+                (true, _) => {}
+                (false, _) => return Err(Reject::Direction),
+            }
+            step_expr = step.c.clone();
+            hi_adjust = if rel == BinOp::Lt { -1 } else { 0 };
+        }
+        BinOp::Gt | BinOp::Ge => {
+            if step.positive {
+                return Err(Reject::Direction);
+            }
+            step_expr = negate(step.c.clone());
+            hi_adjust = if rel == BinOp::Gt { 1 } else { 0 };
+        }
+        BinOp::Ne => {
+            // `while (i != b)` (and `while (i)` as b = 0).
+            if step.positive {
+                // counting up: must step by exactly 1 to hit b
+                if c_const != Some(1) {
+                    return Err(Reject::Direction);
+                }
+                step_expr = Expr::int(1);
+                hi_adjust = -1;
+            } else {
+                // counting down. The paper's form: `DO dummy = n, 1, -s`
+                // (termination of the original loop implies s divides the
+                // distance, so the trip counts agree).
+                if bound.as_int() != Some(0) && c_const != Some(1) {
+                    return Err(Reject::Direction);
+                }
+                step_expr = negate(step.c.clone());
+                hi_adjust = 1;
+            }
+        }
+        _ => return Err(Reject::CondForm),
+    }
+
+    Ok(Plan {
+        iv,
+        hi_adjust,
+        bound,
+        step: step_expr,
+        safe,
+    })
+}
+
+/// Parses the loop condition into `(iv, relation, bound)`, normalizing so
+/// the variable is on the left.
+fn parse_condition(
+    proc: &Procedure,
+    body: &[Stmt],
+    cond: &Expr,
+) -> Result<(VarId, BinOp, Expr), Reject> {
+    match cond {
+        Expr::Var(v) => Ok((*v, BinOp::Ne, Expr::int(0))),
+        Expr::Binary { op, lhs, rhs, .. } if op.is_comparison() => {
+            // prefer the side that is stepped in the body
+            let lv = as_var(lhs);
+            let rv = as_var(rhs);
+            let l_step = lv.map(|v| find_step(proc, body, v));
+            let r_step = rv.map(|v| find_step(proc, body, v));
+            if let (Some(v), Some(Ok(_))) = (lv, &l_step) {
+                return Ok((v, *op, (**rhs).clone()));
+            }
+            if let (Some(v), Some(Ok(_))) = (rv, &r_step) {
+                return Ok((v, flip(*op), (**lhs).clone()));
+            }
+            // propagate the more specific failure when a side looked like
+            // an induction variable but was stepped conditionally
+            for st in [l_step, r_step].into_iter().flatten() {
+                if let Err(Reject::MultipleSteps) = st {
+                    return Err(Reject::MultipleSteps);
+                }
+            }
+            Err(Reject::NoStep)
+        }
+        _ => Err(Reject::CondForm),
+    }
+}
+
+fn as_var(e: &Expr) -> Option<VarId> {
+    match e {
+        Expr::Var(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn negate(e: Expr) -> Expr {
+    match e.as_int() {
+        Some(v) => Expr::int(-v),
+        None => Expr::unary(titanc_il::UnOp::Neg, ScalarType::Int, e),
+    }
+}
+
+/// Finds the unique top-level step `iv = iv ± c` (possibly via front-end
+/// copy temporaries) in the body.
+fn find_step(proc: &Procedure, body: &[Stmt], iv: VarId) -> Result<StepInfo, Reject> {
+    // nested (conditional) definitions disqualify
+    for s in body {
+        if s.blocks().iter().any(|b| defined_in(b, iv)) {
+            return Err(Reject::MultipleSteps);
+        }
+    }
+    let defs: Vec<(usize, &Stmt)> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.defined_var() == Some(iv))
+        .collect();
+    match defs.as_slice() {
+        [] => Err(Reject::NoStep),
+        [(pos, s)] => {
+            if let StmtKind::Assign {
+                lhs: LValue::Var(_),
+                rhs: Expr::Binary { op, lhs, rhs, .. },
+            } = &s.kind
+            {
+                let l_origin = as_var(lhs).map(|v| resolve_copy(proc, body, *pos, v));
+                let r_origin = as_var(rhs).map(|v| resolve_copy(proc, body, *pos, v));
+                match op {
+                    BinOp::Add if l_origin == Some(iv) => Ok(StepInfo {
+                        positive: true,
+                        c: (**rhs).clone(),
+                    }),
+                    BinOp::Add if r_origin == Some(iv) => Ok(StepInfo {
+                        positive: true,
+                        c: (**lhs).clone(),
+                    }),
+                    BinOp::Sub if l_origin == Some(iv) => Ok(StepInfo {
+                        positive: false,
+                        c: (**rhs).clone(),
+                    }),
+                    _ => Err(Reject::NoStep),
+                }
+            } else {
+                Err(Reject::NoStep)
+            }
+        }
+        _ => Err(Reject::MultipleSteps),
+    }
+}
+
+/// Replaces the while statement with `t_lo = iv; t_hi = bound±adj;
+/// DO dummy = t_lo, t_hi, step { body }`.
+fn apply(proc: &mut Procedure, while_id: StmtId, plan: Plan) {
+    let dummy = proc.fresh_temp(Type::Int);
+    proc.var_mut(dummy).name = format!("dummy_{}", dummy.index());
+    let t_lo = proc.fresh_temp(Type::Int);
+    let t_hi = proc.fresh_temp(Type::Int);
+
+    let iv_kind = proc.var_scalar(plan.iv);
+    let lo_assign = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(t_lo),
+        rhs: Expr::cast(ScalarType::Int, iv_kind, Expr::var(plan.iv)),
+    });
+    let mut hi_rhs = plan.bound.clone();
+    if plan.hi_adjust != 0 {
+        hi_rhs = Expr::ibinary(BinOp::Add, hi_rhs, Expr::int(plan.hi_adjust));
+    }
+    titanc_il::fold::fold_expr(&mut hi_rhs);
+    let hi_assign = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(t_hi),
+        rhs: hi_rhs,
+    });
+    let do_id = proc.fresh_stmt_id();
+
+    // splice: find the while statement and replace it in its block
+    fn splice(
+        block: &mut Vec<Stmt>,
+        while_id: StmtId,
+        make: &mut dyn FnMut(Vec<Stmt>, bool) -> Vec<Stmt>,
+    ) -> bool {
+        for i in 0..block.len() {
+            if block[i].id == while_id {
+                if let StmtKind::While { body, safe, .. } = std::mem::replace(
+                    &mut block[i].kind,
+                    StmtKind::Nop,
+                ) {
+                    let replacement = make(body, safe);
+                    block.splice(i..=i, replacement);
+                    return true;
+                }
+                return false;
+            }
+            for b in block[i].blocks_mut() {
+                if splice(b, while_id, make) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    let step = plan.step;
+    let safe_flag = plan.safe;
+    let mut body_tmp = proc.body.clone();
+    let mut make = |body: Vec<Stmt>, safe: bool| {
+        vec![
+            lo_assign.clone(),
+            hi_assign.clone(),
+            Stmt::new(
+                do_id,
+                StmtKind::DoLoop {
+                    var: dummy,
+                    lo: Expr::var(t_lo),
+                    hi: Expr::var(t_hi),
+                    step: step.clone(),
+                    body,
+                    safe: safe || safe_flag,
+                },
+            ),
+        ]
+    };
+    let ok = splice(&mut body_tmp, while_id, &mut make);
+    debug_assert!(ok, "while statement not found for splice");
+    proc.body = body_tmp;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_lower::compile_to_il;
+
+    fn convert(src: &str) -> (Procedure, WhileDoReport) {
+        let prog = compile_to_il(src).unwrap();
+        let mut proc = prog.procs[0].clone();
+        let report = convert_while_loops(&mut proc);
+        (proc, report)
+    }
+
+    fn first_do(proc: &Procedure) -> Option<Stmt> {
+        let mut found = None;
+        proc.for_each_stmt(&mut |s| {
+            if found.is_none() && matches!(s.kind, StmtKind::DoLoop { .. }) {
+                found = Some(s.clone());
+            }
+        });
+        found
+    }
+
+    #[test]
+    fn converts_canonical_for_loop() {
+        let (proc, rep) = convert(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0; }",
+        );
+        assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
+        let d = first_do(&proc).unwrap();
+        if let StmtKind::DoLoop { step, .. } = &d.kind {
+            assert_eq!(step.as_int(), Some(1));
+        }
+    }
+
+    #[test]
+    fn converts_paper_countdown_with_symbolic_stride() {
+        // §5.2's example: i = n; while (i) { … temp = i; i = temp - s; }
+        let src = r#"
+void f(int n, int s)
+{
+    int i, temp;
+    i = n;
+    while (i) {
+        temp = i;
+        i = temp - s;
+    }
+}
+"#;
+        let (proc, rep) = convert(src);
+        assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
+        let d = first_do(&proc).unwrap();
+        if let StmtKind::DoLoop { hi, step, .. } = &d.kind {
+            // DO dummy = n, 1, -s
+            assert!(matches!(step, Expr::Unary { .. }), "negated symbolic stride");
+            let _ = hi;
+        }
+    }
+
+    #[test]
+    fn converts_pointer_walk_countdown() {
+        let (proc, rep) = convert(
+            "void copy(float *a, float *b, int n) { while (n) { *a++ = *b++; n--; } }",
+        );
+        assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
+        let d = first_do(&proc).unwrap();
+        if let StmtKind::DoLoop { step, .. } = &d.kind {
+            assert_eq!(step.as_int(), Some(-1));
+        }
+    }
+
+    #[test]
+    fn rejects_branch_into_loop() {
+        let src = r#"
+void f(int n)
+{
+    if (n > 5) goto inside;
+    while (n) {
+inside:
+        n = n - 1;
+    }
+}
+"#;
+        let (_proc, rep) = convert(src);
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::BranchInto);
+    }
+
+    #[test]
+    fn rejects_break_out() {
+        let (_p, rep) = convert(
+            "void f(int n) { while (n) { if (n == 3) break; n--; } }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::BranchOut);
+    }
+
+    #[test]
+    fn rejects_varying_bound() {
+        let (_p, rep) = convert(
+            "void f(int n, int b) { int i; for (i = 0; i < b; i++) { b = b - 1; } }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::VaryingBound);
+    }
+
+    #[test]
+    fn rejects_varying_stride() {
+        let (_p, rep) = convert(
+            "void f(int n, int s) { int i; for (i = 0; i < n; i += s) { s = s + 1; } }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::VaryingStep);
+    }
+
+    #[test]
+    fn rejects_volatile_condition() {
+        let (_p, rep) = convert(
+            "volatile int status; void f(void) { while (!status); }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::VolatileCond);
+    }
+
+    #[test]
+    fn rejects_conditional_step() {
+        let (_p, rep) = convert(
+            "void f(int n, int c) { int i; i = 0; while (i < n) { if (c) i = i + 1; } }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::MultipleSteps);
+    }
+
+    #[test]
+    fn rejects_linked_list_walk() {
+        // a true while loop: pointer chasing has no recognizable step
+        let src = r#"
+struct node { int v; struct node *next; };
+void f(struct node *p) { while (p) { p = p->next; } }
+"#;
+        let (_p, rep) = convert(src);
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::NoStep);
+    }
+
+    #[test]
+    fn rejects_return_inside() {
+        let (_p, rep) = convert(
+            "int f(int n) { while (n) { if (n == 2) return 1; n--; } return 0; }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert!(rep
+            .rejects
+            .iter()
+            .any(|(_, r)| matches!(r, Reject::HasReturn | Reject::BranchOut)));
+    }
+
+    #[test]
+    fn converts_ge_countdown() {
+        let (proc, rep) = convert(
+            "void f(float *a, int n) { int i; for (i = n; i >= 0; i--) a[i] = 0; }",
+        );
+        assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
+        let d = first_do(&proc).unwrap();
+        if let StmtKind::DoLoop { step, .. } = &d.kind {
+            assert_eq!(step.as_int(), Some(-1));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_direction() {
+        let (_p, rep) = convert(
+            "void f(int n) { int i; for (i = 0; i < n; i--) { ; } }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::Direction);
+    }
+
+    #[test]
+    fn ne_condition_requires_unit_step() {
+        let (_p, rep) = convert(
+            "void f(int n) { int i; for (i = 0; i != n; i += 2) { ; } }",
+        );
+        assert_eq!(rep.converted, 0);
+        assert_eq!(rep.rejects[0].1, Reject::Direction);
+        let (_p2, rep2) = convert(
+            "void f(int n) { int i; for (i = 0; i != n; i++) { ; } }",
+        );
+        assert_eq!(rep2.converted, 1);
+    }
+
+    #[test]
+    fn nested_loops_both_convert() {
+        let src = r#"
+void f(float *a, int n, int m)
+{
+    int i, j;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < m; j++)
+            a[i * m + j] = 0;
+}
+"#;
+        let (_p, rep) = convert(src);
+        assert_eq!(rep.converted, 2, "{:?}", rep.rejects);
+    }
+
+    #[test]
+    fn safe_pragma_survives_conversion() {
+        let src = "void f(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
+        let (proc, rep) = convert(src);
+        assert_eq!(rep.converted, 1);
+        let d = first_do(&proc).unwrap();
+        assert!(matches!(d.kind, StmtKind::DoLoop { safe: true, .. }));
+    }
+
+    #[test]
+    fn conversion_preserves_semantics() {
+        // executed on the simulator before and after
+        let src = r#"
+int out_g[1];
+int main(void)
+{
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i++)
+        s += i * i;
+    out_g[0] = s;
+    return s;
+}
+"#;
+        let prog = compile_to_il(src).unwrap();
+        let mut opt_prog = prog.clone();
+        let rep = convert_while_loops(&mut opt_prog.procs[0]);
+        assert_eq!(rep.converted, 1);
+        let cfg = titanc_titan::MachineConfig::default;
+        let (before, _) =
+            titanc_titan::observe(&prog, cfg(), "main", &[("out_g", ScalarType::Int, 1)]).unwrap();
+        let (after, _) =
+            titanc_titan::observe(&opt_prog, cfg(), "main", &[("out_g", ScalarType::Int, 1)])
+                .unwrap();
+        assert_eq!(before, after);
+    }
+}

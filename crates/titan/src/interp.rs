@@ -1,0 +1,975 @@
+//! The IL interpreter / cycle-cost simulator.
+//!
+//! Executes an IL [`Program`] with Titan cost accounting. The interpreter
+//! is the arbiter of IL semantics: optimization passes are validated by
+//! running the same program before and after a transformation and comparing
+//! observable state (return value, `print_*` output, global memory).
+
+use crate::machine::{ExecStats, MachineConfig};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use titanc_il::fold::{eval_binop, eval_cast, eval_unop, normalize, Value};
+use titanc_il::{
+    BinOp, ConstInit, Expr, LValue, LabelId, Procedure, Program, ScalarType, Stmt, StmtKind,
+    Storage, Type, VarId,
+};
+
+/// A runtime error: out-of-bounds access, division by zero, missing
+/// procedure, runaway loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SimError {
+    fn new(m: impl Into<String>) -> SimError {
+        SimError { message: m.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "titan: {}", self.message)
+    }
+}
+
+impl Error for SimError {}
+
+const MEM_SIZE: usize = 1 << 24; // 16 MiB
+const GLOBAL_BASE: u32 = 0x1000;
+const STACK_BASE: u32 = 0x40_0000;
+
+/// The result of running a procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// The entry procedure's return value, if any.
+    pub value: Option<Value>,
+    /// Cycle/operation statistics.
+    pub stats: ExecStats,
+}
+
+#[derive(Default, Clone, Copy, Debug)]
+struct Bucket {
+    int: u64,
+    fp: u64,
+    mem: u64,
+}
+
+enum Flow {
+    Normal,
+    Return(Option<Value>),
+    Goto(LabelId),
+}
+
+struct Frame {
+    proc_index: usize,
+    regs: Vec<Value>,
+    addrs: Vec<Option<u32>>,
+    saved_sp: u32,
+}
+
+/// The Titan simulator.
+///
+/// # Example
+///
+/// ```
+/// use titanc_titan::{Simulator, MachineConfig};
+/// let prog = titanc_lower::compile_to_il(
+///     "int main(void) { int i, s; s = 0; for (i = 1; i <= 10; i++) s += i; return s; }",
+/// ).unwrap();
+/// let mut sim = Simulator::new(&prog, MachineConfig::default());
+/// let r = sim.run("main", &[]).unwrap();
+/// assert_eq!(r.value.unwrap().as_int(), 55);
+/// ```
+pub struct Simulator<'p> {
+    prog: &'p Program,
+    cfg: MachineConfig,
+    mem: Vec<u8>,
+    globals: HashMap<String, u32>,
+    statics: HashMap<(String, String), u32>,
+    alloc_ptr: u32,
+    sp: u32,
+    stats: ExecStats,
+    bucket: Bucket,
+    volatile_script: VecDeque<i64>,
+    depth: u32,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator for a program; globals are allocated and
+    /// initialized immediately.
+    pub fn new(prog: &'p Program, cfg: MachineConfig) -> Simulator<'p> {
+        let mut sim = Simulator {
+            prog,
+            cfg,
+            mem: vec![0u8; MEM_SIZE],
+            globals: HashMap::new(),
+            statics: HashMap::new(),
+            alloc_ptr: GLOBAL_BASE,
+            sp: STACK_BASE,
+            stats: ExecStats::default(),
+            bucket: Bucket::default(),
+            volatile_script: VecDeque::new(),
+            depth: 0,
+        };
+        for g in &prog.globals {
+            sim.alloc_global(g);
+        }
+        sim
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Queues values that successive *volatile loads* will observe: before
+    /// each volatile load, the next queued value is stored to the loaded
+    /// address (simulating a device register changing outside the program,
+    /// §1 item 6).
+    pub fn push_volatile_values(&mut self, values: &[i64]) {
+        self.volatile_script.extend(values.iter().copied());
+    }
+
+    fn alloc_global(&mut self, g: &titanc_il::VarInfo) -> u32 {
+        if let Some(a) = self.globals.get(&g.name) {
+            return *a;
+        }
+        let size = self.prog.type_size(&g.ty).max(1) as u32;
+        let addr = align_up(self.alloc_ptr, 8);
+        self.alloc_ptr = addr + size;
+        self.globals.insert(g.name.clone(), addr);
+        if let Some(init) = g.init {
+            self.write_init(addr, &g.ty, init);
+        }
+        addr
+    }
+
+    fn write_init(&mut self, addr: u32, ty: &Type, init: ConstInit) {
+        if let Some(kind) = ty.scalar() {
+            let v = match init {
+                ConstInit::Int(i) => Value::Int(i),
+                ConstInit::Float(f) => Value::Float(f),
+            };
+            let v = coerce(v, kind);
+            let _ = self.write_mem(addr, kind, v);
+        }
+    }
+
+    /// The address of a named global, if the program declares one.
+    pub fn global_addr(&self, name: &str) -> Option<u32> {
+        self.globals.get(name).copied()
+    }
+
+    /// Reads element `index` of the named global viewed as an array of
+    /// `kind` (element 0 is the global's base address).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the global does not exist or the access is out
+    /// of bounds.
+    pub fn read_global(
+        &self,
+        name: &str,
+        kind: ScalarType,
+        index: u32,
+    ) -> Result<Value, SimError> {
+        let base = self
+            .global_addr(name)
+            .ok_or_else(|| SimError::new(format!("no global `{name}`")))?;
+        self.read_mem(base + index * kind.size() as u32, kind)
+    }
+
+    /// Writes element `index` of the named global.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the global does not exist or the access is out
+    /// of bounds.
+    pub fn write_global(
+        &mut self,
+        name: &str,
+        kind: ScalarType,
+        index: u32,
+        v: Value,
+    ) -> Result<(), SimError> {
+        let base = self
+            .global_addr(name)
+            .ok_or_else(|| SimError::new(format!("no global `{name}`")))?;
+        self.write_mem(base + index * kind.size() as u32, kind, v)
+    }
+
+    /// Runs the named procedure with the given arguments and returns its
+    /// value and the accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on runtime faults (bad memory access,
+    /// division by zero, unknown procedure, step-limit exceeded).
+    pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<RunResult, SimError> {
+        let value = self.call(entry, args)?;
+        self.flush(0);
+        Ok(RunResult {
+            value,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn proc_by_name(&self, name: &str) -> Option<(usize, &'p Procedure)> {
+        self.prog
+            .procs
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.name == name)
+    }
+
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, SimError> {
+        if let Some(v) = self.intrinsic(name, args)? {
+            return Ok(v.into_value());
+        }
+        let (idx, proc) = self
+            .proc_by_name(name)
+            .ok_or_else(|| SimError::new(format!("undefined procedure `{name}`")))?;
+        if proc.params.len() != args.len() {
+            return Err(SimError::new(format!(
+                "procedure `{name}` expects {} arguments, got {}",
+                proc.params.len(),
+                args.len()
+            )));
+        }
+        self.depth += 1;
+        if self.depth > 512 {
+            self.depth -= 1;
+            return Err(SimError::new("call depth exceeded (runaway recursion?)"));
+        }
+        self.charge_int(self.cfg.costs.call);
+
+        let mut frame = Frame {
+            proc_index: idx,
+            regs: vec![Value::Int(0); proc.vars.len()],
+            addrs: vec![None; proc.vars.len()],
+            saved_sp: self.sp,
+        };
+        // Allocate memory-resident variables.
+        for (i, info) in proc.vars.iter().enumerate() {
+            let needs_memory = match info.storage {
+                Storage::Global => {
+                    let addr = match self.globals.get(&info.name) {
+                        Some(a) => *a,
+                        None => self.alloc_global(info),
+                    };
+                    frame.addrs[i] = Some(addr);
+                    continue;
+                }
+                Storage::Static => {
+                    let key = (proc.name.clone(), info.name.clone());
+                    let addr = match self.statics.get(&key) {
+                        Some(a) => *a,
+                        None => {
+                            let size = self.prog.type_size(&info.ty).max(1) as u32;
+                            let addr = align_up(self.alloc_ptr, 8);
+                            self.alloc_ptr = addr + size;
+                            self.statics.insert(key, addr);
+                            if let Some(init) = info.init {
+                                self.write_init(addr, &info.ty, init);
+                            }
+                            addr
+                        }
+                    };
+                    frame.addrs[i] = Some(addr);
+                    continue;
+                }
+                Storage::Auto | Storage::Param | Storage::Temp => {
+                    info.addressed || info.ty.scalar().is_none() || info.volatile
+                }
+            };
+            if needs_memory {
+                let size = self.prog.type_size(&info.ty).max(1) as u32;
+                let addr = align_up(self.sp, 8);
+                self.sp = addr + size;
+                if self.sp as usize >= MEM_SIZE {
+                    return Err(SimError::new("stack overflow"));
+                }
+                // stack slots are not cleared on the real machine, but a
+                // deterministic simulator zeroes them
+                for b in &mut self.mem[addr as usize..self.sp as usize] {
+                    *b = 0;
+                }
+                frame.addrs[i] = Some(addr);
+            }
+        }
+        // Bind parameters.
+        for (pi, &pv) in proc.params.iter().enumerate() {
+            let kind = proc.var_scalar(pv);
+            let v = coerce(args[pi], kind);
+            if let Some(addr) = frame.addrs[pv.index()] {
+                self.write_mem(addr, kind, v)?;
+            } else {
+                frame.regs[pv.index()] = v;
+            }
+        }
+
+        let flow = self.exec_block(&mut frame, &proc.body)?;
+        self.sp = frame.saved_sp;
+        self.depth -= 1;
+        self.charge_int(self.cfg.costs.call / 2);
+        match flow {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None),
+            Flow::Goto(l) => Err(SimError::new(format!(
+                "goto {l} escaped procedure `{name}` (label not found)"
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // statement execution
+    // ------------------------------------------------------------------
+
+    fn exec_block(&mut self, frame: &mut Frame, block: &[Stmt]) -> Result<Flow, SimError> {
+        let mut i = 0usize;
+        while i < block.len() {
+            let flow = self.exec_stmt(frame, &block[i])?;
+            match flow {
+                Flow::Normal => i += 1,
+                Flow::Return(v) => return Ok(Flow::Return(v)),
+                Flow::Goto(l) => {
+                    // resume at a top-level label of this block, else
+                    // propagate outward
+                    match block
+                        .iter()
+                        .position(|s| matches!(s.kind, StmtKind::Label(m) if m == l))
+                    {
+                        Some(pos) => i = pos + 1,
+                        None => return Ok(Flow::Goto(l)),
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn step_guard(&mut self) -> Result<(), SimError> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.cfg.max_steps {
+            return Err(SimError::new("step limit exceeded (infinite loop?)"));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_stmt(&mut self, frame: &mut Frame, s: &Stmt) -> Result<Flow, SimError> {
+        self.step_guard()?;
+        match &s.kind {
+            StmtKind::Nop | StmtKind::Label(_) => Ok(Flow::Normal),
+            StmtKind::Assign { lhs, rhs } => {
+                if matches!(lhs, LValue::Section { .. }) || rhs.has_section() {
+                    self.exec_vector_assign(frame, lhs, rhs)?;
+                    return Ok(Flow::Normal);
+                }
+                let v = self.eval(frame, rhs)?;
+                self.store(frame, lhs, v)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.eval(frame, cond)?;
+                self.flush(self.cfg.costs.branch);
+                if c.is_truthy() {
+                    self.exec_block(frame, then_blk)
+                } else {
+                    self.exec_block(frame, else_blk)
+                }
+            }
+            StmtKind::While { cond, body, .. } => loop {
+                self.step_guard()?;
+                let c = self.eval(frame, cond)?;
+                self.flush(self.cfg.costs.branch);
+                if !c.is_truthy() {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec_block(frame, body)? {
+                    Flow::Normal => {}
+                    other => return Ok(other),
+                }
+            },
+            StmtKind::WhileSpread {
+                cond,
+                parallel,
+                serial,
+            } => {
+                // §10 list spreading: the parallel work of each iteration
+                // is divided across processors; the condition and the
+                // pointer chase stay serial. One fork/join for the loop.
+                let procs = f64::from(self.cfg.num_procs.max(1));
+                self.flush(0);
+                self.stats.cycles += self.cfg.costs.fork_join as f64;
+                loop {
+                    self.step_guard()?;
+                    let c = self.eval(frame, cond)?;
+                    self.flush(self.cfg.costs.branch);
+                    if !c.is_truthy() {
+                        return Ok(Flow::Normal);
+                    }
+                    let before = self.stats.cycles;
+                    match self.exec_block(frame, parallel)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                    self.flush(0);
+                    let delta = self.stats.cycles - before;
+                    self.stats.cycles = before + delta / procs;
+                    match self.exec_block(frame, serial)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+            }
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => self.exec_do(frame, *var, lo, hi, step, body),
+            StmtKind::DoParallel {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                self.flush(0);
+                let before = self.stats.cycles;
+                let flow = self.exec_do(frame, *var, lo, hi, step, body)?;
+                self.flush(0);
+                let delta = self.stats.cycles - before;
+                let procs = f64::from(self.cfg.num_procs.max(1));
+                self.stats.cycles = before + delta / procs + self.cfg.costs.fork_join as f64;
+                Ok(flow)
+            }
+            StmtKind::Goto(l) => {
+                self.flush(self.cfg.costs.branch);
+                Ok(Flow::Goto(*l))
+            }
+            StmtKind::IfGoto { cond, target } => {
+                let c = self.eval(frame, cond)?;
+                self.flush(self.cfg.costs.branch);
+                if c.is_truthy() {
+                    Ok(Flow::Goto(*target))
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::Call { dst, callee, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(frame, a)?);
+                }
+                self.flush(0);
+                let ret = self.call(callee, &vals)?;
+                if let Some(d) = dst {
+                    let v = ret.ok_or_else(|| {
+                        SimError::new(format!("procedure `{callee}` returned no value"))
+                    })?;
+                    self.store(frame, d, v)?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(v) => {
+                let value = match v {
+                    None => None,
+                    Some(e) => Some(self.eval(frame, e)?),
+                };
+                self.flush(self.cfg.costs.branch);
+                Ok(Flow::Return(value))
+            }
+        }
+    }
+
+    fn exec_do(
+        &mut self,
+        frame: &mut Frame,
+        var: VarId,
+        lo: &Expr,
+        hi: &Expr,
+        step: &Expr,
+        body: &[Stmt],
+    ) -> Result<Flow, SimError> {
+        let proc = &self.prog.procs[frame.proc_index];
+        let kind = proc.var_scalar(var);
+        let lo_v = self.eval(frame, lo)?.as_int();
+        let hi_v = self.eval(frame, hi)?.as_int();
+        let step_v = self.eval(frame, step)?.as_int();
+        if step_v == 0 {
+            return Err(SimError::new("DO loop with zero step"));
+        }
+        let mut iv = lo_v;
+        loop {
+            self.step_guard()?;
+            let cont = if step_v > 0 { iv <= hi_v } else { iv >= hi_v };
+            // loop control: increment + compare
+            self.charge_int(2 * self.cfg.costs.int_alu);
+            self.flush(self.cfg.costs.branch);
+            if !cont {
+                break;
+            }
+            self.store_var(frame, var, coerce(Value::Int(iv), kind))?;
+            match self.exec_block(frame, body)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+            iv = iv.wrapping_add(step_v);
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ------------------------------------------------------------------
+    // vector execution
+    // ------------------------------------------------------------------
+
+    /// Executes a vector (triplet-section) assignment, charging the vector
+    /// unit's cost model: one instruction per vector load, per FP/int
+    /// vector operation, and per vector store; each instruction costs
+    /// `startup + len`.
+    fn exec_vector_assign(
+        &mut self,
+        frame: &mut Frame,
+        lhs: &LValue,
+        rhs: &Expr,
+    ) -> Result<(), SimError> {
+        let (base, len, stride, kind) = match lhs {
+            LValue::Section {
+                base, len, stride, ty,
+            } => (base, len, stride, *ty),
+            _ => {
+                return Err(SimError::new(
+                    "vector expression assigned to a scalar target",
+                ))
+            }
+        };
+        let base_v = self.eval(frame, base)?.as_int() as u32;
+        let len_v = self.eval(frame, len)?.as_int();
+        let stride_v = self.eval(frame, stride)?.as_int();
+        if len_v < 0 {
+            return Err(SimError::new("negative vector length"));
+        }
+        let len_u = len_v as u64;
+
+        // Pre-evaluate every section operand in the rhs (base/stride), and
+        // count vector instructions.
+        let mut sections = Vec::new();
+        collect_sections(rhs, &mut sections);
+        let mut resolved = Vec::new();
+        for sec in &sections {
+            if let Expr::Section {
+                base, len, stride, ty,
+            } = sec
+            {
+                let b = self.eval(frame, base)?.as_int() as u32;
+                let l = self.eval(frame, len)?.as_int();
+                let st = self.eval(frame, stride)?.as_int();
+                if l != len_v {
+                    return Err(SimError::new(format!(
+                        "vector length mismatch: {l} vs {len_v}"
+                    )));
+                }
+                resolved.push((b, st, *ty));
+            }
+        }
+        let ops = count_vector_ops(rhs);
+        let n_instr = sections.len() as u64 + ops + 1; // loads + ops + store
+        self.stats.vector_instrs += n_instr;
+        self.stats.vector_elems += len_u * n_instr;
+        let c = &self.cfg.costs;
+        self.stats.cycles += (n_instr * (c.vector_startup + c.vector_per_elem * len_u)) as f64;
+        if kind.is_float() {
+            self.stats.flops += ops * len_u;
+        }
+
+        // Element-wise semantics (vector stores complete after all loads of
+        // the statement — IL vector statements are only emitted for proven
+        // independent accesses, so gather-then-scatter order is safe).
+        let mut results = Vec::with_capacity(len_u as usize);
+        for k in 0..len_v {
+            let mut idx = 0usize;
+            let v = self.eval_vector_elem(frame, rhs, k, &resolved, &mut idx)?;
+            results.push(coerce(v, kind));
+        }
+        for (k, v) in results.into_iter().enumerate() {
+            let addr = (base_v as i64 + k as i64 * stride_v) as u32;
+            self.write_mem(addr, kind, v)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the rhs of a vector statement for element `k`; `resolved`
+    /// holds pre-evaluated (base, stride, ty) per section in traversal
+    /// order.
+    fn eval_vector_elem(
+        &mut self,
+        frame: &mut Frame,
+        e: &Expr,
+        k: i64,
+        resolved: &[(u32, i64, ScalarType)],
+        idx: &mut usize,
+    ) -> Result<Value, SimError> {
+        match e {
+            Expr::Section { .. } => {
+                let (b, st, ty) = resolved[*idx];
+                *idx += 1;
+                let addr = (b as i64 + k * st) as u32;
+                self.read_mem(addr, ty)
+            }
+            Expr::Binary { op, ty, lhs, rhs } => {
+                let a = self.eval_vector_elem(frame, lhs, k, resolved, idx)?;
+                let b = self.eval_vector_elem(frame, rhs, k, resolved, idx)?;
+                eval_binop(*op, *ty, a, b)
+                    .ok_or_else(|| SimError::new("division by zero in vector statement"))
+            }
+            Expr::Unary { op, ty, arg } => {
+                let a = self.eval_vector_elem(frame, arg, k, resolved, idx)?;
+                Ok(eval_unop(*op, *ty, a))
+            }
+            Expr::Cast { to, from, arg } => {
+                let a = self.eval_vector_elem(frame, arg, k, resolved, idx)?;
+                Ok(eval_cast(*to, *from, a))
+            }
+            // scalar (loop-invariant) operand: evaluate without charging
+            // per-element cost — it is held in a register
+            other => self.eval_quiet(frame, other),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // expression evaluation
+    // ------------------------------------------------------------------
+
+    fn eval(&mut self, frame: &mut Frame, e: &Expr) -> Result<Value, SimError> {
+        match e {
+            Expr::IntConst(v) => Ok(Value::Int(*v)),
+            Expr::FloatConst(f, ty) => Ok(normalize(Value::Float(*f), *ty)),
+            Expr::Var(v) => self.load_var(frame, *v),
+            Expr::AddrOf(v) => {
+                self.charge_int(self.cfg.costs.int_alu);
+                let addr = frame.addrs[v.index()].ok_or_else(|| {
+                    SimError::new(format!(
+                        "address taken of register variable {} (not memory-resident)",
+                        self.prog.procs[frame.proc_index].var(*v).name
+                    ))
+                })?;
+                Ok(Value::Int(addr as i64))
+            }
+            Expr::Load { addr, ty, volatile } => {
+                let a = self.eval(frame, addr)?.as_int() as u32;
+                if *volatile {
+                    if let Some(next) = self.volatile_script.pop_front() {
+                        self.write_mem(a, *ty, coerce(Value::Int(next), *ty))?;
+                    }
+                }
+                self.bucket.mem += self.cfg.costs.load;
+                self.stats.loads += 1;
+                self.read_mem(a, *ty)
+            }
+            Expr::Unary { op, ty, arg } => {
+                let a = self.eval(frame, arg)?;
+                self.charge_op_cost(*ty, false);
+                Ok(eval_unop(*op, *ty, a))
+            }
+            Expr::Binary { op, ty, lhs, rhs } => {
+                let a = self.eval(frame, lhs)?;
+                let b = self.eval(frame, rhs)?;
+                self.charge_binop_cost(*op, *ty);
+                eval_binop(*op, *ty, a, b).ok_or_else(|| SimError::new("division by zero"))
+            }
+            Expr::Cast { to, from, arg } => {
+                let a = self.eval(frame, arg)?;
+                if to.is_float() != from.is_float() {
+                    self.bucket.fp += self.cfg.costs.fp_cvt;
+                } else {
+                    self.charge_int(self.cfg.costs.int_alu);
+                }
+                Ok(eval_cast(*to, *from, a))
+            }
+            Expr::Section { .. } => Err(SimError::new(
+                "vector section used outside a vector statement",
+            )),
+        }
+    }
+
+    /// Evaluates without charging costs (used for loop-invariant scalar
+    /// operands of vector statements, already in registers).
+    fn eval_quiet(&mut self, frame: &mut Frame, e: &Expr) -> Result<Value, SimError> {
+        let save_bucket = self.bucket;
+        let save_loads = self.stats.loads;
+        let save_flops = self.stats.flops;
+        let v = self.eval(frame, e)?;
+        self.bucket = save_bucket;
+        self.stats.loads = save_loads;
+        self.stats.flops = save_flops;
+        Ok(v)
+    }
+
+    fn load_var(&mut self, frame: &mut Frame, v: VarId) -> Result<Value, SimError> {
+        let proc = &self.prog.procs[frame.proc_index];
+        match frame.addrs[v.index()] {
+            Some(addr) => {
+                let kind = proc.var_scalar(v);
+                self.bucket.mem += self.cfg.costs.load;
+                self.stats.loads += 1;
+                self.read_mem(addr, kind)
+            }
+            None => Ok(frame.regs[v.index()]),
+        }
+    }
+
+    fn store_var(&mut self, frame: &mut Frame, v: VarId, value: Value) -> Result<(), SimError> {
+        let proc = &self.prog.procs[frame.proc_index];
+        let kind = proc.var_scalar(v);
+        let value = coerce(value, kind);
+        match frame.addrs[v.index()] {
+            Some(addr) => {
+                self.bucket.mem += self.cfg.costs.store;
+                self.stats.stores += 1;
+                self.write_mem(addr, kind, value)
+            }
+            None => {
+                self.charge_int(self.cfg.costs.int_alu);
+                frame.regs[v.index()] = value;
+                Ok(())
+            }
+        }
+    }
+
+    fn store(&mut self, frame: &mut Frame, lhs: &LValue, value: Value) -> Result<(), SimError> {
+        match lhs {
+            LValue::Var(v) => self.store_var(frame, *v, value),
+            LValue::Deref { addr, ty, .. } => {
+                let a = self.eval(frame, addr)?.as_int() as u32;
+                self.bucket.mem += self.cfg.costs.store;
+                self.stats.stores += 1;
+                self.write_mem(a, *ty, coerce(value, *ty))
+            }
+            LValue::Section { .. } => Err(SimError::new(
+                "scalar value assigned to a vector section",
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // memory
+    // ------------------------------------------------------------------
+
+    fn check(&self, addr: u32, size: u32) -> Result<(), SimError> {
+        if addr < 4 || (addr + size) as usize > MEM_SIZE {
+            return Err(SimError::new(format!(
+                "memory access out of range: {addr:#x}+{size}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn read_mem(&self, addr: u32, kind: ScalarType) -> Result<Value, SimError> {
+        self.check(addr, kind.size() as u32)?;
+        let i = addr as usize;
+        Ok(match kind {
+            ScalarType::Char => Value::Int(self.mem[i] as i8 as i64),
+            ScalarType::Int => {
+                Value::Int(i32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as i64)
+            }
+            ScalarType::Ptr => {
+                Value::Int(u32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as i64)
+            }
+            ScalarType::Float => Value::Float(
+                f32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as f64,
+            ),
+            ScalarType::Double => {
+                Value::Float(f64::from_le_bytes(self.mem[i..i + 8].try_into().unwrap()))
+            }
+        })
+    }
+
+    fn write_mem(&mut self, addr: u32, kind: ScalarType, v: Value) -> Result<(), SimError> {
+        self.check(addr, kind.size() as u32)?;
+        let i = addr as usize;
+        match kind {
+            ScalarType::Char => self.mem[i] = v.as_int() as u8,
+            ScalarType::Int => {
+                self.mem[i..i + 4].copy_from_slice(&(v.as_int() as i32).to_le_bytes());
+            }
+            ScalarType::Ptr => {
+                self.mem[i..i + 4].copy_from_slice(&(v.as_int() as u32).to_le_bytes());
+            }
+            ScalarType::Float => {
+                self.mem[i..i + 4].copy_from_slice(&(v.as_float() as f32).to_le_bytes());
+            }
+            ScalarType::Double => {
+                self.mem[i..i + 8].copy_from_slice(&v.as_float().to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // costs
+    // ------------------------------------------------------------------
+
+    fn charge_int(&mut self, c: u64) {
+        self.bucket.int += c;
+    }
+
+    fn charge_op_cost(&mut self, ty: ScalarType, div: bool) {
+        let c = &self.cfg.costs;
+        if ty.is_float() {
+            self.bucket.fp += if div { c.fp_div } else { c.fp_op };
+            self.stats.flops += 1;
+        } else {
+            self.bucket.int += c.int_alu;
+        }
+    }
+
+    fn charge_binop_cost(&mut self, op: BinOp, ty: ScalarType) {
+        let c = &self.cfg.costs;
+        if ty.is_float() {
+            self.bucket.fp += match op {
+                BinOp::Div => c.fp_div,
+                _ => c.fp_op,
+            };
+            if !op.is_comparison() {
+                self.stats.flops += 1;
+            }
+        } else {
+            self.bucket.int += match op {
+                BinOp::Mul => c.int_mul,
+                BinOp::Div | BinOp::Rem => c.int_div,
+                _ => c.int_alu,
+            };
+        }
+    }
+
+    /// Ends a straight-line region: with overlap scheduling the region
+    /// costs the maximum of the three unit streams (§6 item 2); without it,
+    /// their sum.
+    fn flush(&mut self, extra: u64) {
+        let b = self.bucket;
+        let region = if self.cfg.overlap {
+            b.int.max(b.fp).max(b.mem)
+        } else {
+            b.int + b.fp + b.mem
+        };
+        self.stats.cycles += (region + extra) as f64;
+        self.bucket = Bucket::default();
+    }
+
+    // ------------------------------------------------------------------
+    // intrinsics
+    // ------------------------------------------------------------------
+
+    fn intrinsic(&mut self, name: &str, args: &[Value]) -> Result<Option<Intrinsic>, SimError> {
+        let need = |n: usize| -> Result<(), SimError> {
+            if args.len() != n {
+                Err(SimError::new(format!(
+                    "intrinsic `{name}` expects {n} argument(s)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let c = &self.cfg.costs;
+        Ok(match name {
+            "print_int" => {
+                need(1)?;
+                let line = format!("{}", args[0].as_int());
+                self.stats.output.push(line);
+                Some(Intrinsic::Void)
+            }
+            "print_float" | "print_double" => {
+                need(1)?;
+                let line = format!("{:.6}", args[0].as_float());
+                self.stats.output.push(line);
+                Some(Intrinsic::Void)
+            }
+            "sqrt" | "sqrtf" => {
+                need(1)?;
+                self.bucket.fp += c.fp_div;
+                self.stats.flops += 1;
+                Some(Intrinsic::Value(Value::Float(args[0].as_float().sqrt())))
+            }
+            "fabs" | "fabsf" => {
+                need(1)?;
+                self.bucket.fp += c.fp_op;
+                self.stats.flops += 1;
+                Some(Intrinsic::Value(Value::Float(args[0].as_float().abs())))
+            }
+            "abs" => {
+                need(1)?;
+                self.bucket.int += c.int_alu;
+                Some(Intrinsic::Value(Value::Int(args[0].as_int().abs())))
+            }
+            _ => None,
+        })
+    }
+}
+
+enum Intrinsic {
+    Void,
+    Value(Value),
+}
+
+impl Intrinsic {
+    fn into_value(self) -> Option<Value> {
+        match self {
+            Intrinsic::Void => None,
+            Intrinsic::Value(v) => Some(v),
+        }
+    }
+}
+
+fn align_up(x: u32, a: u32) -> u32 {
+    x.div_ceil(a) * a
+}
+
+fn coerce(v: Value, kind: ScalarType) -> Value {
+    match kind {
+        ScalarType::Float | ScalarType::Double => {
+            normalize(Value::Float(v.as_float()), kind)
+        }
+        _ => normalize(Value::Int(v.as_int()), kind),
+    }
+}
+
+fn collect_sections<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if matches!(e, Expr::Section { .. }) {
+        out.push(e);
+        return;
+    }
+    for c in e.children() {
+        collect_sections(c, out);
+    }
+}
+
+/// Number of vector ALU operations in a vector rhs (operations with at
+/// least one section-derived operand).
+fn count_vector_ops(e: &Expr) -> u64 {
+    match e {
+        Expr::Binary { lhs, rhs, .. } => {
+            let mine = u64::from(lhs.has_section() || rhs.has_section());
+            mine + count_vector_ops(lhs) + count_vector_ops(rhs)
+        }
+        Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => {
+            u64::from(arg.has_section()) + count_vector_ops(arg)
+        }
+        _ => 0,
+    }
+}

@@ -1,0 +1,187 @@
+//! The Titan machine model (§2 of the paper).
+//!
+//! One Titan processor is a high-speed RISC integer unit plus a highly
+//! pipelined floating-point unit that executes all scalar FP and all vector
+//! instructions, fed from a very large vector register file (8192 words,
+//! addressable at any offset/length/stride). Up to four processors share
+//! memory over a high-speed bus. The simulator charges cycle costs per
+//! operation according to this table; with [`MachineConfig::overlap`]
+//! enabled, integer, floating and memory work in one straight-line region
+//! overlap (the §6 instruction-scheduling model), otherwise costs are
+//! summed.
+
+/// Cycle costs for each operation class.
+///
+/// Values are chosen to match the published Titan characteristics (16 MHz,
+/// pipelined scalar FP at ~6-cycle latency, one vector element per cycle
+/// after startup) and reproduce the *shape* of the paper's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Integer add/sub/logic/compare.
+    pub int_alu: u64,
+    /// Integer multiply (no hardware multiplier on the RISC core).
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+    /// Scalar FP add/sub/mul latency (pipelined).
+    pub fp_op: u64,
+    /// Scalar FP divide.
+    pub fp_div: u64,
+    /// Int↔float conversion.
+    pub fp_cvt: u64,
+    /// Scalar load (pipelined path to memory).
+    pub load: u64,
+    /// Scalar store.
+    pub store: u64,
+    /// Taken-branch / loop-back penalty.
+    pub branch: u64,
+    /// Procedure call/return overhead (save/restore, pipeline drain).
+    pub call: u64,
+    /// Vector instruction startup.
+    pub vector_startup: u64,
+    /// Per-element vector cost (1 element/cycle after startup).
+    pub vector_per_elem: u64,
+    /// Fork/join overhead for spreading a loop across processors.
+    pub fork_join: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            int_alu: 1,
+            int_mul: 12,
+            int_div: 35,
+            fp_op: 6,
+            fp_div: 20,
+            fp_cvt: 4,
+            load: 2,
+            store: 2,
+            branch: 2,
+            call: 16,
+            vector_startup: 12,
+            vector_per_elem: 1,
+            fork_join: 120,
+        }
+    }
+}
+
+/// Configuration of the simulated machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Clock in MHz (the Titan ran at 16 MHz).
+    pub clock_mhz: f64,
+    /// Number of processors applied to `do parallel` loops (1–4).
+    pub num_procs: u32,
+    /// Whether the instruction scheduler's integer/FP/memory overlap is
+    /// modeled (§6 item 2). Scalar-only compiles historically lacked the
+    /// dependence information to schedule aggressively, so baselines run
+    /// with this off.
+    pub overlap: bool,
+    /// The cycle-cost table.
+    pub costs: CostModel,
+    /// Maximum statements to execute before declaring runaway (guards
+    /// accidentally-infinite loops in tests).
+    pub max_steps: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            clock_mhz: 16.0,
+            num_procs: 1,
+            overlap: false,
+            costs: CostModel::default(),
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A scalar baseline machine: one processor, no scheduling overlap.
+    pub fn scalar() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    /// An optimizing configuration: overlap scheduling on, `n` processors.
+    pub fn optimized(num_procs: u32) -> MachineConfig {
+        MachineConfig {
+            num_procs,
+            overlap: true,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// Execution statistics accumulated by a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total cycles (fractional because parallel regions divide).
+    pub cycles: f64,
+    /// Statements executed.
+    pub steps: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Scalar loads.
+    pub loads: u64,
+    /// Scalar stores.
+    pub stores: u64,
+    /// Vector instructions issued.
+    pub vector_instrs: u64,
+    /// Vector elements processed.
+    pub vector_elems: u64,
+    /// Lines produced by `print_*` intrinsics.
+    pub output: Vec<String>,
+}
+
+impl ExecStats {
+    /// Achieved MFLOPS at the given clock.
+    pub fn mflops(&self, clock_mhz: f64) -> f64 {
+        if self.cycles == 0.0 {
+            return 0.0;
+        }
+        let seconds = self.cycles / (clock_mhz * 1e6);
+        self.flops as f64 / seconds / 1e6
+    }
+
+    /// Wall-clock seconds at the given clock.
+    pub fn seconds(&self, clock_mhz: f64) -> f64 {
+        self.cycles / (clock_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_titan_16mhz() {
+        let c = MachineConfig::default();
+        assert_eq!(c.clock_mhz, 16.0);
+        assert_eq!(c.num_procs, 1);
+        assert!(!c.overlap);
+    }
+
+    #[test]
+    fn optimized_enables_overlap() {
+        let c = MachineConfig::optimized(2);
+        assert!(c.overlap);
+        assert_eq!(c.num_procs, 2);
+    }
+
+    #[test]
+    fn mflops_arithmetic() {
+        let stats = ExecStats {
+            cycles: 16e6, // one second at 16 MHz
+            flops: 500_000,
+            ..ExecStats::default()
+        };
+        let m = stats.mflops(16.0);
+        assert!((m - 0.5).abs() < 1e-9, "{m}");
+        assert!((stats.seconds(16.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_zero_mflops() {
+        assert_eq!(ExecStats::default().mflops(16.0), 0.0);
+    }
+}

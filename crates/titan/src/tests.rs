@@ -1,0 +1,562 @@
+//! Simulator tests: semantics first, then the cost model.
+
+use crate::{MachineConfig, Simulator, Value};
+use titanc_il::{
+    BinOp, Expr, LValue, ProcBuilder, ScalarType, StmtKind, Type,
+};
+use titanc_lower::compile_to_il;
+
+fn run_c(src: &str) -> crate::RunResult {
+    let prog = compile_to_il(src).expect("compile");
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    sim.run("main", &[]).expect("run")
+}
+
+fn ret_int(src: &str) -> i64 {
+    run_c(src).value.expect("value").as_int()
+}
+
+#[test]
+fn arithmetic_and_loops() {
+    assert_eq!(ret_int("int main(void){ return 2 + 3 * 4; }"), 14);
+    assert_eq!(
+        ret_int("int main(void){ int i, s; s = 0; for (i = 1; i <= 10; i++) s += i; return s; }"),
+        55
+    );
+    assert_eq!(
+        ret_int("int main(void){ int n, r; n = 10; r = 1; while (n) { r = r + n; n--; } return r; }"),
+        56
+    );
+}
+
+#[test]
+fn pointer_walk_copy() {
+    let src = r#"
+float src_a[8], dst_a[8];
+int main(void)
+{
+    float *a, *b;
+    int n, i;
+    for (i = 0; i < 8; i++) src_a[i] = i * 1.5f;
+    a = &dst_a[0];
+    b = &src_a[0];
+    n = 8;
+    while (n) { *a++ = *b++; n--; }
+    return (int)dst_a[7];
+}
+"#;
+    let r = run_c(src);
+    assert_eq!(r.value.unwrap().as_int(), 10); // 7*1.5 = 10.5 -> 10
+}
+
+#[test]
+fn global_memory_is_observable() {
+    let src = r#"
+float x[4];
+int main(void) { int i; for (i = 0; i < 4; i++) x[i] = i + 0.5f; return 0; }
+"#;
+    let prog = compile_to_il(src).unwrap();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    sim.run("main", &[]).unwrap();
+    for i in 0..4 {
+        let v = sim.read_global("x", ScalarType::Float, i).unwrap();
+        assert_eq!(v.as_float(), i as f64 + 0.5);
+    }
+}
+
+#[test]
+fn procedure_calls_and_recursion() {
+    let src = r#"
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main(void) { return fib(12); }
+"#;
+    assert_eq!(ret_int(src), 144);
+}
+
+#[test]
+fn call_by_pointer_mutates_caller() {
+    let src = r#"
+void bump(int *p) { *p += 1; }
+int main(void) { int x; x = 41; bump(&x); return x; }
+"#;
+    assert_eq!(ret_int(src), 42);
+}
+
+#[test]
+fn static_locals_persist() {
+    let src = r#"
+int counter(void) { static int count = 5; count++; return count; }
+int main(void) { counter(); counter(); return counter(); }
+"#;
+    assert_eq!(ret_int(src), 8);
+}
+
+#[test]
+fn volatile_script_terminates_poll_loop() {
+    let src = r#"
+volatile int keyboard_status;
+int main(void)
+{
+    keyboard_status = 0;
+    while (!keyboard_status);
+    return keyboard_status;
+}
+"#;
+    let prog = compile_to_il(src).unwrap();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    sim.push_volatile_values(&[0, 0, 0, 7]);
+    let r = sim.run("main", &[]).unwrap();
+    assert_eq!(r.value.unwrap().as_int(), 7);
+}
+
+#[test]
+fn without_volatile_script_poll_loop_hits_step_limit() {
+    let src = r#"
+volatile int keyboard_status;
+int main(void)
+{
+    keyboard_status = 0;
+    while (!keyboard_status);
+    return 0;
+}
+"#;
+    let prog = compile_to_il(src).unwrap();
+    let mut cfg = MachineConfig::default();
+    cfg.max_steps = 10_000;
+    let mut sim = Simulator::new(&prog, cfg);
+    let err = sim.run("main", &[]).unwrap_err();
+    assert!(err.message.contains("step limit"), "{err}");
+}
+
+#[test]
+fn print_intrinsics_capture_output() {
+    let src = r#"
+int main(void) { print_int(42); print_float(1.5f); return 0; }
+"#;
+    let r = run_c(src);
+    assert_eq!(r.stats.output, vec!["42".to_string(), "1.500000".to_string()]);
+}
+
+#[test]
+fn math_intrinsics() {
+    let src = "int main(void) { double d; d = sqrt(9.0); return (int)d; }";
+    assert_eq!(ret_int(src), 3);
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let prog = compile_to_il("int main(void) { int z; z = 0; return 1 / z; }").unwrap();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let err = sim.run("main", &[]).unwrap_err();
+    assert!(err.message.contains("division"), "{err}");
+}
+
+#[test]
+fn goto_and_labels_execute() {
+    let src = r#"
+int main(void)
+{
+    int i, s;
+    i = 0; s = 0;
+loop:
+    s += i;
+    i++;
+    if (i < 5) goto loop;
+    return s;
+}
+"#;
+    assert_eq!(ret_int(src), 10);
+}
+
+#[test]
+fn char_arithmetic_wraps() {
+    let src = "int main(void) { char c; c = 127; c = c + 1; return c; }";
+    assert_eq!(ret_int(src), -128);
+}
+
+#[test]
+fn float_single_precision_rounds() {
+    // 0.1f is not 0.1
+    let src = "int main(void) { float f; f = 0.1f; return (int)(f * 10000000.0f); }";
+    let v = ret_int(src);
+    assert_eq!(v, 1000000, "f32 rounding visible: {v}");
+}
+
+#[test]
+fn do_loop_executes_fortran_semantics() {
+    // build directly in IL: DO i = 10, 1, -2 { s += i }
+    let mut b = ProcBuilder::new("main", Type::Int);
+    let i = b.local("i", Type::Int);
+    let s = b.local("s", Type::Int);
+    b.assign_var(s, Expr::int(0));
+    let body = {
+        let mut lb = b.block();
+        lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+        lb.stmts()
+    };
+    b.do_loop(i, Expr::int(10), Expr::int(1), Expr::int(-2), body);
+    b.ret(Some(Expr::var(s)));
+    let mut prog = titanc_il::Program::new();
+    prog.add_proc(b.finish());
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let r = sim.run("main", &[]).unwrap();
+    assert_eq!(r.value.unwrap().as_int(), 10 + 8 + 6 + 4 + 2);
+}
+
+#[test]
+fn zero_trip_do_loop_runs_zero_times() {
+    let mut b = ProcBuilder::new("main", Type::Int);
+    let i = b.local("i", Type::Int);
+    let s = b.local("s", Type::Int);
+    b.assign_var(s, Expr::int(7));
+    let body = {
+        let mut lb = b.block();
+        lb.assign_var(s, Expr::int(0));
+        lb.stmts()
+    };
+    b.do_loop(i, Expr::int(5), Expr::int(1), Expr::int(1), body);
+    b.ret(Some(Expr::var(s)));
+    let mut prog = titanc_il::Program::new();
+    prog.add_proc(b.finish());
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let r = sim.run("main", &[]).unwrap();
+    assert_eq!(r.value.unwrap().as_int(), 7);
+}
+
+#[test]
+fn vector_assign_matches_scalar_loop() {
+    // a[0:8:4] = b[0:8:4] + 2.0, built in IL directly
+    let mut b = ProcBuilder::new("main", Type::Int);
+    let a = b.global("va", Type::array_of(Type::Float, 8));
+    let bb = b.global("vb", Type::array_of(Type::Float, 8));
+    let i = b.local("i", Type::Int);
+    // init vb[i] = i
+    let body = {
+        let mut lb = b.block();
+        let addr = Expr::binary(
+            BinOp::Add,
+            ScalarType::Ptr,
+            Expr::addr_of(bb),
+            Expr::ibinary(BinOp::Mul, Expr::var(i), Expr::int(4)),
+        );
+        lb.assign(
+            LValue::deref(addr, ScalarType::Float),
+            Expr::cast(ScalarType::Float, ScalarType::Int, Expr::var(i)),
+        );
+        lb.stmts()
+    };
+    b.do_loop(i, Expr::int(0), Expr::int(7), Expr::int(1), body);
+    let section = |base: titanc_il::VarId| Expr::Section {
+        base: Box::new(Expr::addr_of(base)),
+        len: Box::new(Expr::int(8)),
+        stride: Box::new(Expr::int(4)),
+        ty: ScalarType::Float,
+    };
+    let rhs = Expr::binary(BinOp::Add, ScalarType::Float, section(bb), Expr::float(2.0));
+    b.assign(
+        LValue::Section {
+            base: Expr::addr_of(a),
+            len: Expr::int(8),
+            stride: Expr::int(4),
+            ty: ScalarType::Float,
+        },
+        rhs,
+    );
+    b.ret(Some(Expr::int(0)));
+    let mut prog = titanc_il::Program::new();
+    prog.ensure_global(titanc_il::VarInfo {
+        name: "va".into(),
+        ty: Type::array_of(Type::Float, 8),
+        storage: titanc_il::Storage::Global,
+        volatile: false,
+        addressed: true,
+        init: None,
+    });
+    prog.ensure_global(titanc_il::VarInfo {
+        name: "vb".into(),
+        ty: Type::array_of(Type::Float, 8),
+        storage: titanc_il::Storage::Global,
+        volatile: false,
+        addressed: true,
+        init: None,
+    });
+    prog.add_proc(b.finish());
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let r = sim.run("main", &[]).unwrap();
+    for k in 0..8 {
+        let v = sim.read_global("va", ScalarType::Float, k).unwrap();
+        assert_eq!(v.as_float(), k as f64 + 2.0);
+    }
+    assert!(r.stats.vector_instrs >= 2, "vector instructions counted");
+    assert!(r.stats.flops >= 8, "vector flops counted");
+}
+
+#[test]
+fn overlap_scheduling_is_faster() {
+    let src = r#"
+float x[1000], y[1000], z[1000];
+int main(void)
+{
+    int i;
+    for (i = 0; i < 1000; i++) {
+        x[i] = y[i] * z[i] + 0.5f;
+    }
+    return 0;
+}
+"#;
+    let prog = compile_to_il(src).unwrap();
+    let mut scalar = Simulator::new(&prog, MachineConfig::scalar());
+    let base = scalar.run("main", &[]).unwrap().stats.cycles;
+    let mut opt = Simulator::new(&prog, MachineConfig::optimized(1));
+    let fast = opt.run("main", &[]).unwrap().stats.cycles;
+    assert!(
+        fast < base * 0.8,
+        "overlap should shorten regions: {fast} vs {base}"
+    );
+}
+
+#[test]
+fn parallel_loop_divides_cycles() {
+    // a parallel DO over 1000 iterations of FP work
+    let build = |_nprocs: u32| {
+        let mut b = ProcBuilder::new("main", Type::Int);
+        let a = b.global("pa", Type::array_of(Type::Float, 1000));
+        let i = b.local("i", Type::Int);
+        let body = {
+            let mut lb = b.block();
+            let addr = Expr::binary(
+                BinOp::Add,
+                ScalarType::Ptr,
+                Expr::addr_of(a),
+                Expr::ibinary(BinOp::Mul, Expr::var(i), Expr::int(4)),
+            );
+            lb.assign(
+                LValue::deref(addr, ScalarType::Float),
+                Expr::binary(
+                    BinOp::Mul,
+                    ScalarType::Float,
+                    Expr::cast(ScalarType::Float, ScalarType::Int, Expr::var(i)),
+                    Expr::float(3.0),
+                ),
+            );
+            lb.stmts()
+        };
+        let s = b.proc().len();
+        let _ = s;
+        let do_par = StmtKind::DoParallel {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(999),
+            step: Expr::int(1),
+            body,
+        };
+        let mut proc = b.finish();
+        proc.push(do_par);
+        let sid = proc.stamp(StmtKind::Return(Some(Expr::int(0))));
+        proc.body.push(sid);
+        let mut prog = titanc_il::Program::new();
+        prog.ensure_global(titanc_il::VarInfo {
+            name: "pa".into(),
+            ty: Type::array_of(Type::Float, 1000),
+            storage: titanc_il::Storage::Global,
+            volatile: false,
+            addressed: true,
+            init: None,
+        });
+        prog.add_proc(proc);
+        prog
+    };
+    let prog = build(1);
+    let mut one = Simulator::new(&prog, MachineConfig::optimized(1));
+    let c1 = one.run("main", &[]).unwrap().stats.cycles;
+    let mut two = Simulator::new(&prog, MachineConfig::optimized(2));
+    let c2 = two.run("main", &[]).unwrap().stats.cycles;
+    let speedup = c1 / c2;
+    assert!(
+        speedup > 1.7 && speedup < 2.05,
+        "two processors halve the loop (+fork/join): {speedup}"
+    );
+    // results identical regardless of processor count
+    let v1 = one.read_global("pa", ScalarType::Float, 999).unwrap();
+    let v2 = two.read_global("pa", ScalarType::Float, 999).unwrap();
+    assert_eq!(v1, v2);
+    assert_eq!(v1.as_float(), 999.0 * 3.0);
+}
+
+#[test]
+fn out_of_bounds_access_traps() {
+    let src = "int main(void) { int *p; p = (int *)0; return *p; }";
+    let prog = compile_to_il(src).unwrap();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let err = sim.run("main", &[]).unwrap_err();
+    assert!(err.message.contains("memory access"), "{err}");
+}
+
+#[test]
+fn unknown_procedure_is_an_error() {
+    let src = "int main(void) { missing(); return 0; }";
+    let prog = compile_to_il(src).unwrap();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let err = sim.run("main", &[]).unwrap_err();
+    assert!(err.message.contains("undefined procedure"), "{err}");
+}
+
+#[test]
+fn struct_field_access_runs() {
+    let src = r#"
+struct pt { float x; float y; };
+struct pt g;
+int main(void)
+{
+    struct pt *p;
+    p = &g;
+    p->x = 3.0f;
+    p->y = 4.0f;
+    return (int)(p->x * p->x + p->y * p->y);
+}
+"#;
+    assert_eq!(ret_int(src), 25);
+}
+
+#[test]
+fn struct_embedded_array_runs() {
+    // §10: arrays embedded within structures (the Doré lesson)
+    let src = r#"
+struct matrix { float m[4][4]; };
+struct matrix g;
+int main(void)
+{
+    int i, j;
+    float s;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+            g.m[i][j] = i * 4 + j;
+    s = 0;
+    for (i = 0; i < 4; i++)
+        s += g.m[i][i];
+    return (int)s;
+}
+"#;
+    assert_eq!(ret_int(src), 5 + 10 + 15);
+}
+
+#[test]
+fn run_with_arguments() {
+    let src = "int add(int a, int b) { return a + b; }";
+    let prog = compile_to_il(src).unwrap();
+    let mut sim = Simulator::new(&prog, MachineConfig::default());
+    let r = sim
+        .run("add", &[Value::Int(30), Value::Int(12)])
+        .unwrap();
+    assert_eq!(r.value.unwrap().as_int(), 42);
+}
+
+#[test]
+fn observe_helper_snapshots_globals() {
+    let src = "int g_out[2]; int main(void) { g_out[0] = 5; g_out[1] = 6; print_int(1); return 9; }";
+    let prog = compile_to_il(src).unwrap();
+    let (obs, stats) = crate::observe(
+        &prog,
+        MachineConfig::default(),
+        "main",
+        &[("g_out", ScalarType::Int, 2)],
+    )
+    .unwrap();
+    assert_eq!(obs.value.unwrap().as_int(), 9);
+    assert_eq!(obs.output, vec!["1".to_string()]);
+    assert_eq!(obs.globals[0].1, vec![Value::Int(5), Value::Int(6)]);
+    assert!(stats.cycles > 0.0);
+}
+
+#[test]
+fn stats_count_flops() {
+    let src = r#"
+float acc;
+int main(void) { int i; acc = 0.0f; for (i = 0; i < 100; i++) acc = acc + 1.5f; return 0; }
+"#;
+    let r = run_c(src);
+    assert_eq!(r.stats.flops, 100);
+}
+
+#[test]
+fn while_spread_semantics_and_cost() {
+    // build directly in IL: p walks a chain of 3 cells; work doubles each
+    use titanc_il::{StmtKind, VarInfo, Storage};
+    let mut prog = titanc_il::Program::new();
+    prog.ensure_global(VarInfo {
+        name: "cells".into(),
+        ty: Type::array_of(Type::Int, 8),
+        storage: Storage::Global,
+        volatile: false,
+        addressed: true,
+        init: None,
+    });
+    // cells layout: pairs (value, next-addr); terminated by next = 0
+    let mut b = ProcBuilder::new("main", Type::Int);
+    let cells = b.global("cells", Type::array_of(Type::Int, 8));
+    let p = b.local("p", Type::ptr_to(Type::Int));
+    // init: cells[0]=5, cells[1]=&cells[2]; cells[2]=7, cells[3]=&cells[4]; cells[4]=9, cells[5]=0
+    let addr = |base: titanc_il::VarId, off: i64| {
+        Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::addr_of(base), Expr::int(off))
+    };
+    for (off, val) in [(0, 5i64), (8, 7), (16, 9)] {
+        b.assign(LValue::deref(addr(cells, off), ScalarType::Int), Expr::int(val));
+    }
+    // next pointers (stored as int addresses)
+    let next_of = |base, off: i64, target: Option<i64>| match target {
+        Some(t) => (LValue::deref(addr(base, off + 4), ScalarType::Int),
+                    Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::addr_of(base), Expr::int(t))),
+        None => (LValue::deref(addr(base, off + 4), ScalarType::Int), Expr::int(0)),
+    };
+    for (off, tgt) in [(0i64, Some(8i64)), (8, Some(16)), (16, None)] {
+        let (lhs, rhs) = next_of(cells, off, tgt);
+        b.assign(lhs, rhs);
+    }
+    b.assign_var(p, Expr::addr_of(cells));
+    let mut proc = b.finish();
+    // while spread (p != 0) { parallel: *p = *p * 2 } serial { p = *(p+4) }
+    let load_p = Expr::load(Expr::var(p), ScalarType::Int);
+    let work = proc.stamp(StmtKind::Assign {
+        lhs: LValue::deref(Expr::var(p), ScalarType::Int),
+        rhs: Expr::ibinary(BinOp::Mul, load_p, Expr::int(2)),
+    });
+    let chase = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(p),
+        rhs: Expr::load(
+            Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::var(p), Expr::int(4)),
+            ScalarType::Ptr,
+        ),
+    });
+    let spread = proc.stamp(StmtKind::WhileSpread {
+        cond: Expr::binary(BinOp::Ne, ScalarType::Ptr, Expr::var(p), Expr::int(0)),
+        parallel: vec![work],
+        serial: vec![chase],
+    });
+    proc.body.push(spread);
+    let ret = proc.stamp(StmtKind::Return(Some(Expr::load(
+        addr_expr(cells, 16),
+        ScalarType::Int,
+    ))));
+    proc.body.push(ret);
+    prog.add_proc(proc);
+
+    fn addr_expr(base: titanc_il::VarId, off: i64) -> Expr {
+        Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::addr_of(base), Expr::int(off))
+    }
+
+    let mut one = Simulator::new(&prog, MachineConfig::optimized(1));
+    let r1 = one.run("main", &[]).unwrap();
+    assert_eq!(r1.value.unwrap().as_int(), 18, "9 doubled");
+    assert_eq!(one.read_global("cells", ScalarType::Int, 0).unwrap().as_int(), 10);
+    assert_eq!(one.read_global("cells", ScalarType::Int, 2).unwrap().as_int(), 14);
+
+    let mut four = Simulator::new(&prog, MachineConfig::optimized(4));
+    let r4 = four.run("main", &[]).unwrap();
+    assert_eq!(r4.value, r1.value, "identical results on any processor count");
+    assert!(
+        r4.stats.cycles < r1.stats.cycles,
+        "work divides: {} !< {}",
+        r4.stats.cycles,
+        r1.stats.cycles
+    );
+}

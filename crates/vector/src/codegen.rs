@@ -1,0 +1,550 @@
+//! The vectorizer: DO loops → triplet-notation vector statements, strip
+//! mined and spread across processors (§5, §9).
+//!
+//! For each innermost DO loop the dependence graph is condensed into
+//! strongly connected components. When every component is a trivial
+//! (acyclic) vectorizable assignment, the loop is replaced by vector
+//! statements in topological order — the paper's
+//!
+//! ```text
+//! do parallel vi = 0,99,32 {
+//!     vr = min(99, vi+31);
+//!     a[vi:vr:1] = b[vi:vr:1] + c[vi:vr:1];
+//! }
+//! ```
+//!
+//! When a loop cannot be vectorized but its iterations are proven
+//! independent, it is converted to `do parallel` unchanged (loop
+//! spreading, §2 item 2).
+
+use titanc_deps::{const_trip_count, decompose, Aliasing, DepGraph};
+use titanc_il::{
+    BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId,
+};
+use titanc_opt::util::defined_in;
+
+/// Vectorizer configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VectorOptions {
+    /// Aliasing regime for unprovable base pairs.
+    pub aliasing: Aliasing,
+    /// Emit `do parallel` strip loops (multiprocessor spreading).
+    pub parallelize: bool,
+    /// Strip length when parallelizing (the paper's examples use 32).
+    pub strip: i64,
+    /// Maximum single vector length (the Titan register file holds
+    /// vectors up to 2048 elements).
+    pub max_vl: i64,
+}
+
+impl Default for VectorOptions {
+    fn default() -> VectorOptions {
+        VectorOptions {
+            aliasing: Aliasing::C,
+            parallelize: false,
+            strip: 32,
+            max_vl: 2048,
+        }
+    }
+}
+
+/// What happened to each loop.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VectorReport {
+    /// Loops fully vectorized.
+    pub vectorized: usize,
+    /// Loops converted to `do parallel` without vectorizing.
+    pub spread: usize,
+    /// Loops left scalar.
+    pub scalar: usize,
+}
+
+/// Vectorizes every innermost DO loop of the procedure.
+pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
+    let mut report = VectorReport::default();
+    let mut done: std::collections::HashSet<StmtId> = std::collections::HashSet::new();
+    loop {
+        let target = find_innermost_do(proc, &done);
+        let id = match target {
+            Some(id) => id,
+            None => break,
+        };
+        done.insert(id);
+        match try_vectorize_loop(proc, id, opts) {
+            Outcome::Vectorized => report.vectorized += 1,
+            Outcome::Spread => report.spread += 1,
+            Outcome::Scalar => report.scalar += 1,
+        }
+    }
+    report
+}
+
+enum Outcome {
+    Vectorized,
+    Spread,
+    Scalar,
+}
+
+/// Finds an unprocessed innermost `DoLoop` (bodies containing no loops).
+fn find_innermost_do(
+    proc: &Procedure,
+    done: &std::collections::HashSet<StmtId>,
+) -> Option<StmtId> {
+    let mut found = None;
+    proc.for_each_stmt(&mut |s| {
+        if found.is_some() {
+            return;
+        }
+        if let StmtKind::DoLoop { body, .. } = &s.kind {
+            let has_inner_loop = body.iter().any(contains_loop);
+            if !has_inner_loop && !done.contains(&s.id) {
+                found = Some(s.id);
+            }
+        }
+    });
+    found
+}
+
+fn contains_loop(s: &Stmt) -> bool {
+    if s.is_loop() {
+        return true;
+    }
+    s.blocks()
+        .iter()
+        .any(|b| b.iter().any(contains_loop))
+}
+
+struct VecStmtPlan {
+    /// original body index
+    #[allow(dead_code)]
+    index: usize,
+    lhs_affine: titanc_deps::Affine,
+    lhs_ty: ScalarType,
+    rhs: Expr,
+}
+
+fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) -> Outcome {
+    let (lv, lo, hi, step_e, body, safe) = {
+        let s = proc.find_stmt(id).expect("loop exists");
+        match &s.kind {
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                safe,
+            } => (
+                *var,
+                lo.clone(),
+                hi.clone(),
+                step.clone(),
+                body.clone(),
+                *safe,
+            ),
+            _ => unreachable!(),
+        }
+    };
+    let step = match step_e.as_int() {
+        Some(s) if s != 0 => s,
+        _ => return Outcome::Scalar,
+    };
+    let trips_const = const_trip_count(&lo, &hi, &step_e);
+    let aliasing = if safe { Aliasing::Fortran } else { opts.aliasing };
+    let graph = DepGraph::build_for_loop(
+        proc,
+        &body,
+        lv,
+        lo.as_int(),
+        step,
+        trips_const,
+        aliasing,
+    );
+
+    // When the user asserted safety, memory dependence edges are waived.
+    let blocking_cycle = |i: usize| !safe && graph.has_carried_self_cycle(i);
+
+    // Allen–Kennedy distribution: classify each strongly connected
+    // component of the dependence graph; trivial components whose
+    // statement is a vectorizable assignment become vector statements, the
+    // rest stay in residual scalar loops, all emitted in topological
+    // order. Scalar values flowing between statements force them into one
+    // component (the conservative scalar edges are cyclic), so
+    // distribution never separates a scalar def from its uses.
+    let sccs = graph.sccs();
+    #[allow(clippy::large_enum_variant)]
+    enum Group {
+        Vector(Vec<VecStmtPlan>),
+        Scalar(Vec<usize>),
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for comp in &sccs {
+        let plan = if comp.len() == 1 {
+            let i = comp[0];
+            if graph.pinned[i] || blocking_cycle(i) {
+                None
+            } else {
+                plan_stmt(proc, &body, lv, &body[i], i)
+            }
+        } else {
+            None
+        };
+        match plan {
+            Some(p) => match groups.last_mut() {
+                Some(Group::Vector(v)) => v.push(p),
+                _ => groups.push(Group::Vector(vec![p])),
+            },
+            None => match groups.last_mut() {
+                Some(Group::Scalar(v)) => v.extend(comp.iter().copied()),
+                _ => groups.push(Group::Scalar(comp.clone())),
+            },
+        }
+    }
+    let any_vector = groups.iter().any(|g| matches!(g, Group::Vector(_)));
+
+    if any_vector && !body.is_empty() {
+        let mut replacement: Vec<Stmt> = Vec::new();
+        let mut pre: Vec<Stmt> = Vec::new();
+        let trips_expr = trips_expression(proc, &lo, &hi, step, trips_const, &mut pre);
+        replacement.extend(pre);
+        for group in groups {
+            match group {
+                Group::Vector(plans) => {
+                    emit_vector_group(
+                        proc,
+                        lv,
+                        &body,
+                        &lo,
+                        step,
+                        trips_const,
+                        &trips_expr,
+                        plans,
+                        opts,
+                        &mut replacement,
+                    );
+                }
+                Group::Scalar(mut members) => {
+                    members.sort_unstable();
+                    let residual: Vec<Stmt> =
+                        members.iter().map(|&i| body[i].clone()).collect();
+                    let st = proc.stamp(StmtKind::DoLoop {
+                        var: lv,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        step: step_e.clone(),
+                        body: residual,
+                        safe,
+                    });
+                    replacement.push(st);
+                }
+            }
+        }
+        splice(proc, id, replacement);
+        return Outcome::Vectorized;
+    }
+
+    // Loop spreading: independent iterations, nothing pinned.
+    let spreadable = opts.parallelize
+        && (safe || graph.iterations_independent())
+        && !graph.pinned.iter().any(|&p| p);
+    if spreadable {
+        convert_to_parallel(proc, id);
+        return Outcome::Spread;
+    }
+    Outcome::Scalar
+}
+
+/// Materializes the trip-count expression, pushing a setup statement into
+/// `pre` when it is not a constant.
+fn trips_expression(
+    proc: &mut Procedure,
+    lo: &Expr,
+    hi: &Expr,
+    step: i64,
+    trips_const: Option<i64>,
+    pre: &mut Vec<Stmt>,
+) -> Expr {
+    match trips_const {
+        Some(n) => Expr::int(n),
+        None => {
+            let t = proc.fresh_temp(Type::Int);
+            let span = Expr::ibinary(
+                BinOp::Add,
+                Expr::ibinary(BinOp::Sub, hi.clone(), lo.clone()),
+                Expr::int(step),
+            );
+            let mut e = Expr::ibinary(
+                BinOp::Max,
+                Expr::int(0),
+                Expr::ibinary(BinOp::Div, span, Expr::int(step)),
+            );
+            titanc_il::fold_expr(&mut e);
+            let st = proc.stamp(StmtKind::Assign {
+                lhs: LValue::Var(t),
+                rhs: e,
+            });
+            pre.push(st);
+            Expr::var(t)
+        }
+    }
+}
+
+/// Checks one statement and extracts its vector plan.
+fn plan_stmt(
+    proc: &Procedure,
+    body: &[Stmt],
+    lv: VarId,
+    s: &Stmt,
+    index: usize,
+) -> Option<VecStmtPlan> {
+    let (lhs, rhs) = match &s.kind {
+        StmtKind::Assign { lhs, rhs } => (lhs, rhs),
+        _ => return None,
+    };
+    let (addr, ty) = match lhs {
+        LValue::Deref {
+            addr,
+            ty,
+            volatile: false,
+        } => (addr, *ty),
+        _ => return None,
+    };
+    let lhs_affine = decompose(proc, body, lv, addr)?;
+    if lhs_affine.coeff == 0 {
+        return None; // same cell every iteration
+    }
+    if !rhs_vectorizable(proc, body, lv, rhs) {
+        return None;
+    }
+    Some(VecStmtPlan {
+        index,
+        lhs_affine,
+        lhs_ty: ty,
+        rhs: rhs.clone(),
+    })
+}
+
+/// The rhs is elementwise-evaluable: loads are affine or invariant,
+/// scalars are invariant, and the loop variable appears only inside load
+/// addresses.
+fn rhs_vectorizable(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> bool {
+    match e {
+        Expr::Load {
+            addr,
+            volatile: false,
+            ..
+        } => decompose(proc, body, lv, addr).is_some(),
+        Expr::Load { .. } | Expr::Section { .. } => false,
+        Expr::Var(v) => *v != lv && !defined_in(body, *v),
+        Expr::AddrOf(_) | Expr::IntConst(_) | Expr::FloatConst(..) => true,
+        Expr::Unary { arg, .. } => rhs_vectorizable(proc, body, lv, arg),
+        Expr::Cast { arg, .. } => rhs_vectorizable(proc, body, lv, arg),
+        Expr::Binary { lhs, rhs, .. } => {
+            rhs_vectorizable(proc, body, lv, lhs) && rhs_vectorizable(proc, body, lv, rhs)
+        }
+    }
+}
+
+/// Emits the strip-mined vector construct for one run of vectorizable
+/// statements, appending to `replacement`.
+#[allow(clippy::too_many_arguments)]
+fn emit_vector_group(
+    proc: &mut Procedure,
+    lv: VarId,
+    body: &[Stmt],
+    lo: &Expr,
+    step: i64,
+    trips_const: Option<i64>,
+    trips_expr: &Expr,
+    plans: Vec<VecStmtPlan>,
+    opts: &VectorOptions,
+    replacement: &mut Vec<Stmt>,
+) {
+    let single_ok = !opts.parallelize && trips_const.is_some_and(|n| n <= opts.max_vl);
+    if single_ok {
+        let zero = Expr::int(0);
+        for plan in &plans {
+            let kind = vector_assign(proc, body, lv, lo, step, plan, &zero, trips_expr);
+            let st = proc.stamp(kind);
+            replacement.push(st);
+        }
+        return;
+    }
+    // strip loop: ks = 0 .. trips-1 step VL; len = min(VL, trips-ks)
+    let vl = if opts.parallelize { opts.strip } else { opts.max_vl };
+    let ks = proc.fresh_temp(Type::Int);
+    proc.var_mut(ks).name = format!("vi_{}", ks.index());
+    let t_len = proc.fresh_temp(Type::Int);
+    proc.var_mut(t_len).name = format!("vl_{}", t_len.index());
+    let mut inner: Vec<Stmt> = Vec::new();
+    let mut len_rhs = Expr::ibinary(
+        BinOp::Min,
+        Expr::int(vl),
+        Expr::ibinary(BinOp::Sub, trips_expr.clone(), Expr::var(ks)),
+    );
+    titanc_il::fold_expr(&mut len_rhs);
+    let len_assign = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(t_len),
+        rhs: len_rhs,
+    });
+    inner.push(len_assign);
+    let origin = Expr::var(ks);
+    let len = Expr::var(t_len);
+    for plan in &plans {
+        let kind = vector_assign(proc, body, lv, lo, step, plan, &origin, &len);
+        let st = proc.stamp(kind);
+        inner.push(st);
+    }
+    let hi_expr = Expr::ibinary(BinOp::Sub, trips_expr.clone(), Expr::int(1));
+    let kind = if opts.parallelize {
+        StmtKind::DoParallel {
+            var: ks,
+            lo: Expr::int(0),
+            hi: hi_expr,
+            step: Expr::int(vl),
+            body: inner,
+        }
+    } else {
+        StmtKind::DoLoop {
+            var: ks,
+            lo: Expr::int(0),
+            hi: hi_expr,
+            step: Expr::int(vl),
+            body: inner,
+            safe: true,
+        }
+    };
+    let st = proc.stamp(kind);
+    replacement.push(st);
+}
+
+/// The address of iteration `origin` for an affine reference:
+/// `A(lo) + origin * coeff * step`.
+fn addr_at(aff: &titanc_deps::Affine, lo: &Expr, step: i64, origin: &Expr) -> Expr {
+    let a0 = aff.materialize(lo);
+    let d = aff.coeff * step;
+    let mut e = Expr::binary(
+        BinOp::Add,
+        ScalarType::Ptr,
+        a0,
+        Expr::ibinary(BinOp::Mul, origin.clone(), Expr::int(d)),
+    );
+    titanc_il::fold_expr(&mut e);
+    e
+}
+
+/// Builds the vector assignment for one plan at a strip origin.
+#[allow(clippy::too_many_arguments)]
+fn vector_assign(
+    proc: &Procedure,
+    body: &[Stmt],
+    lv: VarId,
+    lo: &Expr,
+    step: i64,
+    plan: &VecStmtPlan,
+    origin: &Expr,
+    len: &Expr,
+) -> StmtKind {
+    let lhs = LValue::Section {
+        base: addr_at(&plan.lhs_affine, lo, step, origin),
+        len: len.clone(),
+        stride: Expr::int(plan.lhs_affine.coeff * step),
+        ty: plan.lhs_ty,
+    };
+    let mut rhs = plan.rhs.clone();
+    rewrite_loads(proc, body, lv, lo, step, origin, len, &mut rhs);
+    StmtKind::Assign { lhs, rhs }
+}
+
+/// Replaces every varying affine load in the rhs with a section; invariant
+/// loads stay scalar.
+#[allow(clippy::too_many_arguments)]
+fn rewrite_loads(
+    proc: &Procedure,
+    body: &[Stmt],
+    lv: VarId,
+    lo: &Expr,
+    step: i64,
+    origin: &Expr,
+    len: &Expr,
+    e: &mut Expr,
+) {
+    if let Expr::Load { addr, ty, volatile: false } = e {
+        if let Some(aff) = decompose(proc, body, lv, addr) {
+            if aff.coeff != 0 {
+                *e = Expr::Section {
+                    base: Box::new(addr_at(&aff, lo, step, origin)),
+                    len: Box::new(len.clone()),
+                    stride: Box::new(Expr::int(aff.coeff * step)),
+                    ty: *ty,
+                };
+                return;
+            }
+            // invariant load: rebuild its address at lv = lo so the loop
+            // variable does not leak into the vector statement
+            **addr = aff.materialize(lo);
+            return;
+        }
+    }
+    for c in e.children_mut() {
+        rewrite_loads(proc, body, lv, lo, step, origin, len, c);
+    }
+}
+
+fn convert_to_parallel(proc: &mut Procedure, id: StmtId) {
+    fn walk(block: &mut [Stmt], id: StmtId) -> bool {
+        for s in block {
+            if s.id == id {
+                if let StmtKind::DoLoop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    ..
+                } = std::mem::replace(&mut s.kind, StmtKind::Nop)
+                {
+                    s.kind = StmtKind::DoParallel {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    };
+                }
+                return true;
+            }
+            for b in s.blocks_mut() {
+                if walk(b, id) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut body = std::mem::take(&mut proc.body);
+    walk(&mut body, id);
+    proc.body = body;
+}
+
+fn splice(proc: &mut Procedure, id: StmtId, replacement: Vec<Stmt>) {
+    fn walk(block: &mut Vec<Stmt>, id: StmtId, replacement: &mut Option<Vec<Stmt>>) -> bool {
+        for i in 0..block.len() {
+            if block[i].id == id {
+                let repl = replacement.take().unwrap();
+                block.splice(i..=i, repl);
+                return true;
+            }
+            for b in block[i].blocks_mut() {
+                if walk(b, id, replacement) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut body = std::mem::take(&mut proc.body);
+    let mut r = Some(replacement);
+    walk(&mut body, id, &mut r);
+    proc.body = body;
+}

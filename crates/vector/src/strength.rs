@@ -1,0 +1,458 @@
+//! Dependence-driven scalar optimization (§6).
+//!
+//! "There are probably far more C programs that do not vectorize than do"
+//! — but the dependence graph built for vectorization still pays for
+//! itself on scalar loops:
+//!
+//! * **Register promotion** (§6 item 1): a loop-carried flow dependence
+//!   with distance 1 pinpoints a memory cell whose stored value is re-read
+//!   on the next iteration — the backsolve loop's `x[i+1] = …; … x[i] …`.
+//!   The value is pulled up into a register, eliminating the load and the
+//!   memory-order constraint on scheduling.
+//! * **Strength reduction** (§6 item 3): affine addresses
+//!   `base + coeff·lv + off` are replaced by pointer temporaries bumped by
+//!   `coeff·step` each iteration, removing the integer multiplies that
+//!   induction-variable substitution introduced (the "deoptimization" the
+//!   paper admits IVS causes on non-vector loops). Common affine addresses
+//!   share one temporary — the combined CSE the paper describes.
+//! * **Loop-invariant hoisting**: invariant top-level right-hand sides move
+//!   in front of the loop.
+
+use titanc_deps::{const_trip_count, decompose, Affine, Aliasing, DepGraph};
+use titanc_il::{
+    BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type,
+};
+use titanc_opt::util::invariant_in;
+
+/// What the pass did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StrengthReport {
+    /// Memory cells promoted to registers.
+    pub promoted: usize,
+    /// Distinct affine addresses strength-reduced to pointer walks.
+    pub reduced: usize,
+    /// Invariant statements hoisted.
+    pub hoisted: usize,
+}
+
+/// Runs the §6 optimizations on every remaining scalar DO loop.
+pub fn strength_reduce(proc: &mut Procedure, aliasing: Aliasing) -> StrengthReport {
+    let mut report = StrengthReport::default();
+    let ids: Vec<StmtId> = do_loop_ids(proc);
+    for id in ids {
+        promote_registers(proc, id, aliasing, &mut report);
+        hoist_invariants(proc, id, &mut report);
+        reduce_addresses(proc, id, &mut report);
+    }
+    report
+}
+
+fn do_loop_ids(proc: &Procedure) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    proc.for_each_stmt(&mut |s| {
+        if matches!(s.kind, StmtKind::DoLoop { .. }) {
+            out.push(s.id);
+        }
+    });
+    out
+}
+
+fn loop_parts(proc: &Procedure, id: StmtId) -> Option<(titanc_il::VarId, Expr, Expr, i64, Vec<Stmt>)> {
+    let s = proc.find_stmt(id)?;
+    match &s.kind {
+        StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } => {
+            let st = step.as_int()?;
+            if st == 0 {
+                return None;
+            }
+            Some((*var, lo.clone(), hi.clone(), st, body.clone()))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// register promotion
+// ---------------------------------------------------------------------
+
+/// Pulls a distance-1 store→load pair into a register:
+///
+/// ```text
+/// r = load(A(lo));                    // preheader
+/// DO lv { … t = rhs; store(W, t); r = t; …  load → r … }
+/// ```
+fn promote_registers(
+    proc: &mut Procedure,
+    id: StmtId,
+    aliasing: Aliasing,
+    report: &mut StrengthReport,
+) {
+    let (lv, lo, hi, step, body) = match loop_parts(proc, id) {
+        Some(p) => p,
+        None => return,
+    };
+    let trips = const_trip_count(&lo, &hi, &Expr::int(step));
+    let graph = DepGraph::build_for_loop(proc, &body, lv, lo.as_int(), step, trips, aliasing);
+    if graph.pinned.iter().any(|&p| p) {
+        return;
+    }
+    // find a store with distance-1 flow into a load, both analyzable
+    let cands = graph.carried_true_distances();
+    let pair = cands.iter().find(|(_, d)| *d == 1);
+    let (edge, _) = match pair {
+        Some(p) => *p,
+        None => return,
+    };
+    let store_idx = edge.from;
+    let load_idx = edge.to;
+
+    // the store statement: lhs Deref affine
+    let (store_aff, store_ty) = {
+        match &body[store_idx].kind {
+            StmtKind::Assign {
+                lhs: LValue::Deref { addr, ty, volatile: false },
+                ..
+            } => match decompose(proc, &body, lv, addr) {
+                Some(a) => (a, *ty),
+                None => return,
+            },
+            _ => return,
+        }
+    };
+    // the load: find the unique Load in the sink statement whose affine is
+    // store_aff shifted by exactly one iteration
+    let want_offset = store_aff.offset - store_aff.coeff * step;
+    let matches_load = |aff: &Affine| {
+        aff.same_base(&store_aff) && aff.coeff == store_aff.coeff && aff.offset == want_offset
+    };
+    // ensure no OTHER write may touch the promoted cell range
+    for r in &graph.refs {
+        if r.is_write && r.stmt != store_idx {
+            match &r.affine {
+                Some(a) if a.same_base(&store_aff) => return,
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+    // and the load must execute unconditionally at top level
+    if body[load_idx].blocks().iter().any(|b| !b.is_empty()) {
+        return;
+    }
+
+    // build the transformation
+    let reg = proc.fresh_temp(match store_ty {
+        ScalarType::Float => Type::Float,
+        ScalarType::Double => Type::Double,
+        ScalarType::Char => Type::Char,
+        ScalarType::Ptr => Type::ptr_to(Type::Void),
+        ScalarType::Int => Type::Int,
+    });
+    proc.var_mut(reg).name = format!("f_reg{}", reg.index());
+    let tval = proc.fresh_temp(proc.var(reg).ty.clone());
+
+    // preheader: reg = load(A_load(lo))
+    let load_aff = Affine {
+        terms: store_aff.terms.clone(),
+        coeff: store_aff.coeff,
+        offset: want_offset,
+    };
+    let pre = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(reg),
+        rhs: Expr::load(load_aff.materialize(&lo), store_ty),
+    });
+
+    // rewrite body
+    let mut new_body = body.clone();
+    // replace the matching load in the sink statement with reg
+    let mut replaced = false;
+    for e in new_body[load_idx].exprs_mut() {
+        replace_matching_load(proc, &body, lv, e, &matches_load, reg, &mut replaced);
+    }
+    if !replaced {
+        return;
+    }
+    // split the store: tval = rhs; store = tval; reg = tval
+    let (store_lhs, store_rhs) = match &new_body[store_idx].kind {
+        StmtKind::Assign { lhs, rhs } => (lhs.clone(), rhs.clone()),
+        _ => return,
+    };
+    let s1 = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(tval),
+        rhs: store_rhs,
+    });
+    let s2 = proc.stamp(StmtKind::Assign {
+        lhs: store_lhs,
+        rhs: Expr::var(tval),
+    });
+    let s3 = proc.stamp(StmtKind::Assign {
+        lhs: LValue::Var(reg),
+        rhs: Expr::var(tval),
+    });
+    new_body.splice(store_idx..=store_idx, [s1, s2, s3]);
+
+    replace_loop(proc, id, vec![pre], new_body, None);
+    report.promoted += 1;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replace_matching_load(
+    proc: &Procedure,
+    body: &[Stmt],
+    lv: titanc_il::VarId,
+    e: &mut Expr,
+    matches: &dyn Fn(&Affine) -> bool,
+    reg: titanc_il::VarId,
+    replaced: &mut bool,
+) {
+    if let Expr::Load { addr, volatile: false, .. } = e {
+        if let Some(aff) = decompose(proc, body, lv, addr) {
+            if matches(&aff) {
+                *e = Expr::var(reg);
+                *replaced = true;
+                return;
+            }
+        }
+    }
+    for c in e.children_mut() {
+        replace_matching_load(proc, body, lv, c, matches, reg, replaced);
+    }
+}
+
+// ---------------------------------------------------------------------
+// loop-invariant hoisting
+// ---------------------------------------------------------------------
+
+fn hoist_invariants(proc: &mut Procedure, id: StmtId, report: &mut StrengthReport) {
+    let (lv, lo, hi, step, body) = match loop_parts(proc, id) {
+        Some(p) => p,
+        None => return,
+    };
+    // Hoisting executes the assignment exactly once *before* the loop, so
+    // it is only sound when (a) the loop provably runs at least once —
+    // otherwise a post-loop reader would observe a write that never
+    // happened — and (b) nothing at or before the definition reads the
+    // variable, whose first-iteration value would otherwise still be the
+    // pre-loop one.
+    let runs_at_least_once = matches!(
+        const_trip_count(&lo, &hi, &Expr::int(step)),
+        Some(n) if n >= 1
+    );
+    if !runs_at_least_once {
+        return;
+    }
+    let mut hoisted: Vec<Stmt> = Vec::new();
+    let mut kept: Vec<Stmt> = Vec::new();
+    for (pos, s) in body.clone().into_iter().enumerate() {
+        let hoist = match &s.kind {
+            StmtKind::Assign {
+                lhs: LValue::Var(v),
+                rhs,
+            } => {
+                titanc_opt::util::register_candidate(proc, *v)
+                    && !rhs.reads_var(lv)
+                    && invariant_in(proc, &body, rhs)
+                    && body
+                        .iter()
+                        .filter(|t| t.defined_var() == Some(*v))
+                        .count()
+                        == 1
+                    && !body
+                        .iter()
+                        .any(|t| t.blocks().iter().any(|b| titanc_opt::util::defined_in(b, *v)))
+                    && titanc_opt::util::count_reads_block(&body[..=pos], *v) == 0
+            }
+            _ => false,
+        };
+        if hoist {
+            hoisted.push(s);
+        } else {
+            kept.push(s);
+        }
+    }
+    if hoisted.is_empty() {
+        return;
+    }
+    report.hoisted += hoisted.len();
+    replace_loop(proc, id, hoisted, kept, None);
+}
+
+// ---------------------------------------------------------------------
+// strength reduction of affine addresses
+// ---------------------------------------------------------------------
+
+/// (base key, coefficient, offset, representative affine)
+type AddrKey = (Vec<(String, i64)>, i64, i64, Affine);
+
+fn reduce_addresses(proc: &mut Procedure, id: StmtId, report: &mut StrengthReport) {
+    let (lv, lo, _hi, step, body) = match loop_parts(proc, id) {
+        Some(p) => p,
+        None => return,
+    };
+    // collect distinct varying affine addresses from loads and stores
+    let mut keys: Vec<AddrKey> = Vec::new();
+    for s in &body {
+        for e in s.exprs() {
+            collect_affine_addrs(proc, &body, lv, e, &mut keys);
+        }
+        if let StmtKind::Assign { lhs: LValue::Deref { addr, .. }, .. } = &s.kind {
+            if let Some(aff) = decompose(proc, &body, lv, addr) {
+                if aff.coeff != 0 {
+                    push_key(&mut keys, aff);
+                }
+            }
+        }
+    }
+    if keys.is_empty() {
+        return;
+    }
+
+    let mut pre = Vec::new();
+    let mut post_incs = Vec::new();
+    let mut new_body = body.clone();
+    for (_, coeff, _off, aff) in &keys {
+        let pt = proc.fresh_temp(Type::ptr_to(Type::Void));
+        proc.var_mut(pt).name = format!("sr_p{}", pt.index());
+        let init = proc.stamp(StmtKind::Assign {
+            lhs: LValue::Var(pt),
+            rhs: aff.materialize(&lo),
+        });
+        pre.push(init);
+        let bump = proc.stamp(StmtKind::Assign {
+            lhs: LValue::Var(pt),
+            rhs: Expr::binary(
+                BinOp::Add,
+                ScalarType::Ptr,
+                Expr::var(pt),
+                Expr::int(coeff * step),
+            ),
+        });
+        post_incs.push(bump);
+        // replace address expressions equal to this affine with Var(pt)
+        for s in &mut new_body {
+            for e in s.exprs_mut() {
+                replace_affine_addr(proc, &body, lv, e, aff, pt);
+            }
+            if let StmtKind::Assign { lhs: LValue::Deref { addr, .. }, .. } = &mut s.kind {
+                if let Some(a2) = decompose(proc, &body, lv, addr) {
+                    if a2 == *aff {
+                        *addr = Expr::var(pt);
+                    }
+                }
+            }
+        }
+        report.reduced += 1;
+    }
+    new_body.extend(post_incs);
+    replace_loop(proc, id, pre, new_body, None);
+}
+
+fn push_key(keys: &mut Vec<AddrKey>, aff: Affine) {
+    let key = (aff.base_key(), aff.coeff, aff.offset);
+    if !keys
+        .iter()
+        .any(|(b, c, o, _)| *b == key.0 && *c == key.1 && *o == key.2)
+    {
+        keys.push((key.0, key.1, key.2, aff));
+    }
+}
+
+fn collect_affine_addrs(
+    proc: &Procedure,
+    body: &[Stmt],
+    lv: titanc_il::VarId,
+    e: &Expr,
+    keys: &mut Vec<AddrKey>,
+) {
+    if let Expr::Load { addr, volatile: false, .. } = e {
+        if let Some(aff) = decompose(proc, body, lv, addr) {
+            if aff.coeff != 0 {
+                push_key(keys, aff);
+            }
+        }
+    }
+    for c in e.children() {
+        collect_affine_addrs(proc, body, lv, c, keys);
+    }
+}
+
+fn replace_affine_addr(
+    proc: &Procedure,
+    body: &[Stmt],
+    lv: titanc_il::VarId,
+    e: &mut Expr,
+    aff: &Affine,
+    pt: titanc_il::VarId,
+) {
+    if let Expr::Load { addr, volatile: false, .. } = e {
+        if let Some(a2) = decompose(proc, body, lv, addr) {
+            if a2 == *aff {
+                **addr = Expr::var(pt);
+                return;
+            }
+        }
+    }
+    for c in e.children_mut() {
+        replace_affine_addr(proc, body, lv, c, aff, pt);
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// Replaces the loop: `pre…; DO { new_body }; post…`.
+fn replace_loop(
+    proc: &mut Procedure,
+    id: StmtId,
+    pre: Vec<Stmt>,
+    new_body: Vec<Stmt>,
+    post: Option<Vec<Stmt>>,
+) {
+    fn walk(
+        block: &mut Vec<Stmt>,
+        id: StmtId,
+        pre: &mut Option<Vec<Stmt>>,
+        new_body: &mut Option<Vec<Stmt>>,
+        post: &mut Option<Vec<Stmt>>,
+    ) -> bool {
+        for i in 0..block.len() {
+            if block[i].id == id {
+                if let StmtKind::DoLoop { body, .. } = &mut block[i].kind {
+                    *body = new_body.take().unwrap();
+                }
+                let pre = pre.take().unwrap();
+                let n_pre = pre.len();
+                for (k, s) in pre.into_iter().enumerate() {
+                    block.insert(i + k, s);
+                }
+                if let Some(post) = post.take() {
+                    for (k, s) in post.into_iter().enumerate() {
+                        block.insert(i + n_pre + 1 + k, s);
+                    }
+                }
+                return true;
+            }
+            for b in block[i].blocks_mut() {
+                if walk(b, id, pre, new_body, post) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut body = std::mem::take(&mut proc.body);
+    walk(
+        &mut body,
+        id,
+        &mut Some(pre),
+        &mut Some(new_body),
+        &mut post.map(|p| p),
+    );
+    proc.body = body;
+}

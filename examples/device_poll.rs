@@ -1,0 +1,51 @@
+//! The §1 volatile example: a device-polling loop that must survive every
+//! optimization phase, demonstrated by scripting the "keyboard status
+//! register" from outside the program.
+//!
+//! ```sh
+//! cargo run --example device_poll
+//! ```
+
+use titanc_repro::titan::{MachineConfig, Simulator};
+use titanc_repro::titanc::{compile, Options};
+
+const SRC: &str = r#"
+volatile int keyboard_status;
+
+int main(void)
+{
+    keyboard_status = 0;
+    while (!keyboard_status);     /* looks infinite -- volatile makes it legal */
+    return keyboard_status;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let compiled = compile(SRC, &Options::o2())?;
+    println!(
+        "optimized main (the loop must survive):\n{}",
+        titanc_repro::il::pretty_proc(compiled.program.proc_by_name("main").unwrap())
+    );
+
+    let mut sim = Simulator::new(&compiled.program, MachineConfig::default());
+    // the "device" writes the register on the 4th poll
+    sim.push_volatile_values(&[0, 0, 0, 42]);
+    let run = sim.run("main", &[])?;
+    println!(
+        "loop terminated after the device wrote: returned {}, {} volatile loads executed",
+        run.value.unwrap().as_int(),
+        run.stats.loads
+    );
+
+    // and the non-volatile variant really spins forever
+    let broken = SRC.replace("volatile int", "int");
+    let compiled = compile(&broken, &Options::o2())?;
+    let mut cfg = MachineConfig::default();
+    cfg.max_steps = 100_000;
+    let mut sim = Simulator::new(&compiled.program, cfg);
+    match sim.run("main", &[]) {
+        Err(e) => println!("without volatile: {e} (as §1 warns)"),
+        Ok(_) => println!("unexpected: non-volatile loop terminated"),
+    }
+    Ok(())
+}

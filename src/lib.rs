@@ -1,0 +1,9 @@
+//! Umbrella crate for the `titanc` workspace.
+//!
+//! This crate exists so that repo-root `tests/` and `examples/` can exercise
+//! the whole compiler through one import. All functionality lives in the
+//! member crates; see [`titanc`] for the driver API.
+
+pub use titanc;
+pub use titanc_il as il;
+pub use titanc_titan as titan;

@@ -1,0 +1,273 @@
+//! Property-based differential testing: random C programs must behave
+//! identically at every optimization level.
+//!
+//! The generator produces structured programs (assignments, arithmetic,
+//! branches, bounded counted loops, array stores) over `int` scalars and a
+//! `float` array; observable state is the return value plus the contents
+//! of the output arrays. The Titan simulator is the semantic referee.
+
+use proptest::prelude::*;
+use titanc_repro::il::ScalarType;
+use titanc_repro::titan::MachineConfig;
+use titanc_repro::titanc::{compile, Options};
+
+const INT_VARS: [&str; 4] = ["va", "vb", "vc", "vd"];
+const OUT_LEN: usize = 16;
+
+#[derive(Clone, Debug)]
+enum E {
+    Const(i32),
+    Var(usize),
+    LoopVar,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    /// call the generated helper (fuzzes the inliner)
+    Call(Box<E>, Box<E>),
+}
+
+impl E {
+    /// `loop_level` = nesting depth of counted loops (0 = outside); nested
+    /// loops use distinct counters `l1…` — sharing one counter between
+    /// nests makes genuinely infinite programs (an inner loop leaving the
+    /// counter below the outer bound forever).
+    fn render(&self, loop_level: usize) -> String {
+        match self {
+            E::Const(c) => format!("{c}"),
+            E::Var(i) => INT_VARS[*i % INT_VARS.len()].to_string(),
+            E::LoopVar => {
+                if loop_level > 0 {
+                    format!("l{loop_level}")
+                } else {
+                    "1".into()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.render(loop_level), b.render(loop_level)),
+            E::Sub(a, b) => format!("({} - {})", a.render(loop_level), b.render(loop_level)),
+            E::Mul(a, b) => format!("({} * {})", a.render(loop_level), b.render(loop_level)),
+            E::Lt(a, b) => format!("({} < {})", a.render(loop_level), b.render(loop_level)),
+            E::Call(a, b) => format!(
+                "helper({}, {})",
+                a.render(loop_level),
+                b.render(loop_level)
+            ),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum S {
+    Assign(usize, E),
+    Store(usize, E),
+    If(E, Vec<S>, Vec<S>),
+    CountedLoop(u8, Vec<S>),
+    StoreAtLoopVar(E),
+    FloatStore(usize, E),
+}
+
+const MAX_LOOP_LEVEL: usize = 4;
+
+fn render_block(stmts: &[S], out: &mut String, depth: usize, loop_level: usize) {
+    let pad = "    ".repeat(depth);
+    for s in stmts {
+        match s {
+            S::Assign(v, e) => {
+                out.push_str(&format!(
+                    "{pad}{} = {};\n",
+                    INT_VARS[*v % INT_VARS.len()],
+                    e.render(loop_level)
+                ));
+            }
+            S::Store(idx, e) => {
+                out.push_str(&format!(
+                    "{pad}out_g[{}] = {};\n",
+                    idx % OUT_LEN,
+                    e.render(loop_level)
+                ));
+            }
+            S::FloatStore(idx, e) => {
+                out.push_str(&format!(
+                    "{pad}out_f[{}] = {} * 0.5f;\n",
+                    idx % OUT_LEN,
+                    e.render(loop_level)
+                ));
+            }
+            S::If(c, t, f) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", c.render(loop_level)));
+                render_block(t, out, depth + 1, loop_level);
+                if f.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    render_block(f, out, depth + 1, loop_level);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            S::CountedLoop(n, body) => {
+                let lv = (loop_level + 1).min(MAX_LOOP_LEVEL);
+                out.push_str(&format!(
+                    "{pad}for (l{lv} = 0; l{lv} < {}; l{lv}++) {{\n",
+                    n % 12 + 1
+                ));
+                render_block(body, out, depth + 1, lv);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::StoreAtLoopVar(e) => {
+                // counters stay < 12 < OUT_LEN
+                if loop_level > 0 {
+                    out.push_str(&format!(
+                        "{pad}out_g[l{loop_level}] = {};\n",
+                        e.render(loop_level)
+                    ));
+                } else {
+                    out.push_str(&format!("{pad}out_g[0] = {};\n", e.render(loop_level)));
+                }
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[S], helper: &[S], helper_ret: &E, ret: &E) -> String {
+    let mut body = String::new();
+    render_block(stmts, &mut body, 1, 0);
+    let mut hbody = String::new();
+    render_block(helper, &mut hbody, 1, 0);
+    let decls = "int va, vb, vc, vd, l1, l2, l3, l4;";
+    let inits = "l1 = 0; l2 = 0; l3 = 0; l4 = 0;";
+    format!(
+        "int out_g[{OUT_LEN}];\nfloat out_f[{OUT_LEN}];\n\
+         int helper(int ha, int hb)\n{{\n    {decls}\n    va = ha; vb = hb; vc = 3; vd = 4; {inits}\n{hbody}    return {};\n}}\n\
+         int main(void)\n{{\n    {decls}\n    va = 1; vb = 2; vc = 3; vd = 4; {inits}\n{body}    return {};\n}}\n",
+        helper_ret.render(0),
+        ret.render(0)
+    )
+}
+
+fn expr_strategy(depth: u32, allow_calls: bool) -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-20i32..20).prop_map(E::Const),
+        (0usize..4).prop_map(E::Var),
+        Just(E::LoopVar),
+    ];
+    leaf.prop_recursive(depth, 16, 2, move |inner| {
+        let call = (inner.clone(), inner.clone())
+            .prop_map(|(a, b)| E::Call(Box::new(a), Box::new(b)));
+        if allow_calls {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+                call,
+            ]
+            .boxed()
+        } else {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            ]
+            .boxed()
+        }
+    })
+}
+
+fn stmt_strategy(depth: u32, allow_calls: bool) -> BoxedStrategy<S> {
+    let leaf = prop_oneof![
+        (0usize..4, expr_strategy(2, allow_calls)).prop_map(|(v, e)| S::Assign(v, e)),
+        (0usize..OUT_LEN, expr_strategy(2, allow_calls)).prop_map(|(i, e)| S::Store(i, e)),
+        (0usize..OUT_LEN, expr_strategy(2, allow_calls)).prop_map(|(i, e)| S::FloatStore(i, e)),
+        expr_strategy(2, allow_calls).prop_map(S::StoreAtLoopVar),
+    ];
+    leaf.prop_recursive(depth, 24, 4, move |inner| {
+        prop_oneof![
+            (
+                expr_strategy(2, allow_calls),
+                prop::collection::vec(inner.clone(), 1..4),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            (any::<u8>(), prop::collection::vec(inner, 1..4))
+                .prop_map(|(n, b)| S::CountedLoop(n, b)),
+        ]
+    })
+    .boxed()
+}
+
+fn program_strategy() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(stmt_strategy(2, true), 1..8),
+        prop::collection::vec(stmt_strategy(1, false), 1..5),
+        expr_strategy(2, false),
+        expr_strategy(2, true),
+    )
+        .prop_map(|(stmts, helper, helper_ret, ret)| {
+            render_program(&stmts, &helper, &helper_ret, &ret)
+        })
+}
+
+fn observe(src: &str, opts: &Options, machine: MachineConfig) -> titanc_repro::titan::Observation {
+    let compiled = compile(src, opts).expect("generated program compiles");
+    titanc_repro::titan::observe(
+        &compiled.program,
+        machine,
+        "main",
+        &[
+            ("out_g", ScalarType::Int, OUT_LEN as u32),
+            ("out_f", ScalarType::Float, OUT_LEN as u32),
+        ],
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "run failed: {e}\nsource:\n{src}\nIL:\n{}",
+            titanc_repro::il::pretty_proc(compiled.program.proc_by_name("main").unwrap())
+        )
+    })
+    .0
+}
+
+fn fuzz_cases() -> u32 {
+    // differential cases are expensive (4 compiles + 4 simulator runs
+    // each); default modestly and let CI turn the dial
+    std::env::var("TITANC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: fuzz_cases(),
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// O1, O2 and O2-parallel agree with the unoptimized program.
+    #[test]
+    fn optimization_levels_agree(src in program_strategy()) {
+        let base = observe(&src, &Options::o0(), MachineConfig::default());
+        let o1 = observe(&src, &Options::o1(), MachineConfig::default());
+        prop_assert_eq!(&base, &o1, "O1 diverged on:\n{}", src);
+        let o2 = observe(&src, &Options::o2(), MachineConfig::optimized(1));
+        prop_assert_eq!(&base, &o2, "O2 diverged on:\n{}", src);
+        let par = observe(&src, &Options::parallel(), MachineConfig::optimized(4));
+        prop_assert_eq!(&base, &par, "O2-parallel diverged on:\n{}", src);
+    }
+
+    /// The parser round-trips through the lowering pipeline without
+    /// crashing for every generated program (fuzz smoke).
+    #[test]
+    fn front_end_total(src in program_strategy()) {
+        let tu = titanc_cfront::parse(&src).expect("parses");
+        let prog = titanc_lower::lower(&tu).expect("lowers");
+        prop_assert!(!prog.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Regression tests for miscompiles found by the property-based suite and
+//! the experiment harness during development. Each one is a distilled
+//! program that once diverged between optimization levels.
+
+use titanc_repro::il::ScalarType;
+use titanc_repro::titan::{observe, MachineConfig};
+use titanc_repro::titanc::{compile, Options};
+
+fn check(src: &str, globals: &[(&str, ScalarType, u32)]) {
+    let base = compile(src, &Options::o0()).expect("O0");
+    let (expect, _) =
+        observe(&base.program, MachineConfig::default(), "main", globals).expect("O0 runs");
+    for (name, opts) in [
+        ("O1", Options::o1()),
+        ("O2", Options::o2()),
+        ("O2-parallel", Options::parallel()),
+    ] {
+        let c = compile(src, &opts).unwrap();
+        let (got, _) = observe(&c.program, MachineConfig::optimized(2), "main", globals)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(expect, got, "{name} diverged");
+    }
+}
+
+/// Hoisting `vd = 11` above an earlier read of `vd` gave the first
+/// iteration the wrong value (found by proptest).
+#[test]
+fn hoist_must_not_pass_prior_reads() {
+    check(
+        r#"
+int out_g[16];
+float out_f[16];
+int main(void)
+{
+    int va, vd, li;
+    va = 1; vd = 4;
+    for (li = 0; li < 1; li++) {
+        if (li) {
+            va = 2;
+        } else {
+            out_f[1] = (0 - vd) * 0.5f;
+            out_g[li] = 1;
+        }
+        vd = 11;
+    }
+    return va;
+}
+"#,
+        &[
+            ("out_g", ScalarType::Int, 16),
+            ("out_f", ScalarType::Float, 16),
+        ],
+    );
+}
+
+/// Hoisting out of a zero-trip loop must not execute the assignment at
+/// all when the variable is read afterwards.
+#[test]
+fn hoist_must_not_fire_for_zero_trip_loops() {
+    check(
+        r#"
+int out_g[1];
+int main(void)
+{
+    int v, li, n;
+    v = 7;
+    n = 0;
+    for (li = 0; li < n; li++) {
+        v = 99;
+        out_g[0] = v;
+    }
+    return v;
+}
+"#,
+        &[("out_g", ScalarType::Int, 1)],
+    );
+}
+
+/// A countdown copy over overlapping pointers is a recurrence: the
+/// distance must be computed in iteration space, not loop-variable space
+/// (negative steps flipped true deps into anti deps and vectorized it).
+#[test]
+fn countdown_recurrence_must_not_vectorize() {
+    let src = r#"
+float buf[64];
+int main(void)
+{
+    float *a, *b;
+    int n;
+    a = &buf[1];
+    b = &buf[0];
+    buf[0] = 1.0f;
+    n = 32;
+    while (n) { *a++ = *b++ + 1.0f; n--; }
+    return (int)buf[32];
+}
+"#;
+    let c = compile(src, &Options::o2()).unwrap();
+    assert_eq!(
+        c.reports.vector.vectorized, 0,
+        "recurrence wrongly vectorized"
+    );
+    check(src, &[("buf", ScalarType::Float, 64)]);
+}
+
+/// Multi-term affine bases (outer-loop offsets riding along) must still
+/// disambiguate distinct named arrays — the 2-D copy failed to vectorize.
+#[test]
+fn two_d_distinct_arrays_vectorize() {
+    let src = r#"
+float m[32][32], v[32][32];
+int main(void)
+{
+    int i, j;
+    for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+            m[i][j] = v[i][j] * 2.0f;
+    return 0;
+}
+"#;
+    let c = compile(src, &Options::o2()).unwrap();
+    assert!(c.reports.vector.vectorized >= 1, "{:?}", c.reports.vector);
+    check(src, &[("m", ScalarType::Float, 1024)]);
+}
+
+/// Forward substitution across labels merged values from different paths
+/// (the inlined `classify` returned 0 for every input).
+#[test]
+fn forward_substitution_stops_at_joins() {
+    check(
+        r#"
+int classify(int x) { if (x > 10) return 2; if (x > 0) return 1; return 0; }
+int out_g[3];
+int main(void)
+{
+    out_g[0] = classify(-4);
+    out_g[1] = classify(4);
+    out_g[2] = classify(40);
+    return out_g[0] + out_g[1] * 10 + out_g[2] * 100;
+}
+"#,
+        &[("out_g", ScalarType::Int, 3)],
+    );
+}
+
+/// An accumulation is not an induction variable: `s += i` must not be
+/// "substituted" using the loop counter (the increment reads the loop
+/// variable, which the DO header defines).
+#[test]
+fn accumulation_is_not_an_induction_variable() {
+    check(
+        "int out_g[1]; int main(void) { int i, s; s = 0; for (i = 1; i <= 10; i++) s += i; out_g[0] = s; return s; }",
+        &[("out_g", ScalarType::Int, 1)],
+    );
+}
+
+/// Inlining remapped memory-target addresses twice; when a caller variable
+/// id collided with a callee id the store base changed arrays entirely
+/// (found via the graphics-transform example: stores to `out_pts` landed
+/// on `&in_transform_c`).
+#[test]
+fn inline_does_not_double_remap_store_addresses() {
+    check(
+        r#"
+float xf[4], pts[8], out_pts[8];
+void transform(void)
+{
+    int i;
+    float acc;
+    for (i = 0; i < 8; i++) {
+        acc = xf[i & 3] * pts[i];
+        out_pts[i] = acc;
+    }
+}
+int main(void)
+{
+    int i;
+    for (i = 0; i < 4; i++) xf[i] = i + 1;
+    for (i = 0; i < 8; i++) pts[i] = i;
+    transform();
+    return (int)out_pts[7];
+}
+"#,
+        &[("out_pts", ScalarType::Float, 8)],
+    );
+}
+
+/// Stores inside an `If` body were invisible to the dependence graph, so
+/// distribution hoisted a later store to the same cell above the branch
+/// (found by proptest with the multi-procedure generator).
+#[test]
+fn distribution_sees_stores_inside_branches() {
+    check(
+        r#"
+int out_g[16];
+int main(void)
+{
+    int vb, li;
+    vb = 2;
+    for (li = 0; li < 1; li++) {
+        if (vb - 1) {
+            vb = 0;
+            out_g[li] = 3 + li;
+        }
+        out_g[li] = 0;
+    }
+    return out_g[0];
+}
+"#,
+        &[("out_g", ScalarType::Int, 16)],
+    );
+}
+
+/// An inner loop vectorized into a Section statement left no memory
+/// references in the outer loop's dependence graph, so distribution moved
+/// a later store to the same array ahead of it (fuzzer case 1215).
+#[test]
+fn section_statements_constrain_outer_distribution() {
+    check(
+        r#"
+int out_g[16];
+int helper(int ha, int hb)
+{
+    int va, vb, l1;
+    va = ha; vb = hb;
+    for (l1 = 0; l1 < 11; l1++) {
+        out_g[l1] = (va * (vb + -4));
+    }
+    return 4;
+}
+int main(void)
+{
+    int vd, l1;
+    vd = 4;
+    for (l1 = 0; l1 < 8; l1++) {
+        out_g[l1] = helper((vd + vd), (vd + l1));
+    }
+    return 0;
+}
+"#,
+        &[("out_g", ScalarType::Int, 16)],
+    );
+}
