@@ -121,10 +121,7 @@ impl Cfg {
     /// inside it — the §5.2 "branches entering the loop" test.
     pub fn has_branch_into(&self, proc: &Procedure, loop_stmt: &Stmt) -> bool {
         let inside = stmt_ids_in(loop_stmt);
-        let inside_nodes: Vec<NodeId> = inside
-            .iter()
-            .filter_map(|s| self.node_of(*s))
-            .collect();
+        let inside_nodes: Vec<NodeId> = inside.iter().filter_map(|s| self.node_of(*s)).collect();
         let loop_node = match self.node_of(loop_stmt.id) {
             Some(n) => n,
             None => return false,

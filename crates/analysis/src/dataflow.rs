@@ -341,18 +341,14 @@ mod tests {
         let (proc, cfg) = setup("int f(void) { int x, y; x = 3; y = x + 1; return y; }");
         let ud = UseDef::build(&proc, &cfg);
         let x = proc.var_by_name("x").unwrap();
-        let use_stmt = stmt_matching(&proc, |s| {
-            s.exprs().iter().any(|e| e.reads_var(x))
-        });
+        let use_stmt = stmt_matching(&proc, |s| s.exprs().iter().any(|e| e.reads_var(x)));
         let def = ud.unique_reaching_def(use_stmt.id, x);
         assert!(def.is_some());
     }
 
     #[test]
     fn branch_merges_two_defs() {
-        let (proc, cfg) = setup(
-            "int f(int c) { int x; if (c) x = 1; else x = 2; return x; }",
-        );
+        let (proc, cfg) = setup("int f(int c) { int x; if (c) x = 1; else x = 2; return x; }");
         let ud = UseDef::build(&proc, &cfg);
         let x = proc.var_by_name("x").unwrap();
         let ret = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::Return(Some(_))));

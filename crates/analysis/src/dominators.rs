@@ -115,12 +115,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &[Option<NodeId>],
-    rpo_index: &[usize],
-    mut a: NodeId,
-    mut b: NodeId,
-) -> NodeId {
+fn intersect(idom: &[Option<NodeId>], rpo_index: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
     while a != b {
         while rpo_index[a] > rpo_index[b] {
             a = idom[a].expect("processed");
@@ -147,9 +142,8 @@ mod tests {
 
     #[test]
     fn entry_dominates_everything_reachable() {
-        let (_p, cfg, dom) = dom_of(
-            "int f(int a) { if (a) a = 1; else a = 2; while (a) a--; return a; }",
-        );
+        let (_p, cfg, dom) =
+            dom_of("int f(int a) { if (a) a = 1; else a = 2; while (a) a--; return a; }");
         for n in 0..cfg.len() {
             if dom.idom(n).is_some() {
                 assert!(dom.dominates(cfg.entry, n));
@@ -160,16 +154,12 @@ mod tests {
 
     #[test]
     fn branch_arms_do_not_dominate_the_join() {
-        let (p, cfg, dom) = dom_of(
-            "int f(int a) { int r; if (a) r = 1; else r = 2; return r; }",
-        );
+        let (p, cfg, dom) = dom_of("int f(int a) { int r; if (a) r = 1; else r = 2; return r; }");
         // find the two assignment nodes and the return node
         let mut assigns = Vec::new();
         let mut ret = None;
         p.for_each_stmt(&mut |s| match &s.kind {
-            titanc_il::StmtKind::Assign { .. } => {
-                assigns.push(cfg.node_of(s.id).unwrap())
-            }
+            titanc_il::StmtKind::Assign { .. } => assigns.push(cfg.node_of(s.id).unwrap()),
             titanc_il::StmtKind::Return(_) => ret = Some(cfg.node_of(s.id).unwrap()),
             _ => {}
         });
@@ -192,9 +182,8 @@ mod tests {
 
     #[test]
     fn goto_loop_is_a_natural_loop_too() {
-        let (_p, cfg, dom) = dom_of(
-            "int f(int n) { int s; s = 0; top: s += n; n--; if (n) goto top; return s; }",
-        );
+        let (_p, cfg, dom) =
+            dom_of("int f(int n) { int s; s = 0; top: s += n; n--; if (n) goto top; return s; }");
         let back = dom.back_edges(&cfg);
         assert_eq!(back.len(), 1, "{back:?}");
     }

@@ -116,12 +116,16 @@ mod tests {
     #[test]
     fn continue_is_not_a_branch_out() {
         let w = with_loop("void f(int n) { while (n) { if (n == 2) continue; n = n - 1; } }");
-        assert!(!has_branch_out(&w), "continue targets a label inside the loop");
+        assert!(
+            !has_branch_out(&w),
+            "continue targets a label inside the loop"
+        );
     }
 
     #[test]
     fn return_detected() {
-        let w = with_loop("int f(int n) { while (n) { if (n == 2) return 1; n = n - 1; } return 0; }");
+        let w =
+            with_loop("int f(int n) { while (n) { if (n == 2) return 1; n = n - 1; } return 0; }");
         assert!(has_return(&w));
         let w2 = with_loop("void f(int n) { while (n) { n = n - 1; } }");
         assert!(!has_return(&w2));

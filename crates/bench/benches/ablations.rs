@@ -8,9 +8,8 @@
 //!   (§1 item 5, §9).
 //! * **strip length**: the §9 listing strips at 32; sweep 8–2048.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use titanc::Options;
+use titanc_bench::harness::Bench;
 use titanc_bench::{copy_source, daxpy_source, run};
 use titanc_titan::{MachineConfig, Simulator};
 
@@ -40,7 +39,7 @@ fn cycles(prog: &titanc_il::Program) -> f64 {
     sim.run("main", &[]).expect("runs").stats.cycles
 }
 
-fn pass_ablations(c: &mut Criterion) {
+fn pass_ablations(bench: &Bench) {
     let src = copy_source(1024);
     let full = cycles(&compile_ablated(&src, true, true));
     let no_ivsub = cycles(&compile_ablated(&src, true, false));
@@ -50,23 +49,27 @@ fn pass_ablations(c: &mut Criterion) {
         no_ivsub / full,
         no_whiledo / full
     );
-    assert!(no_ivsub > full * 2.0, "IVS is load-bearing for the copy kernel");
-    assert!(no_whiledo > full * 2.0, "conversion gates everything downstream");
+    assert!(
+        no_ivsub > full * 2.0,
+        "IVS is load-bearing for the copy kernel"
+    );
+    assert!(
+        no_whiledo > full * 2.0,
+        "conversion gates everything downstream"
+    );
 
-    let mut group = c.benchmark_group("ablation_passes");
-    group.bench_function("full", |b| {
-        b.iter(|| cycles(&compile_ablated(black_box(&src), true, true)))
+    bench.time("ablation_passes/full", || {
+        cycles(&compile_ablated(&src, true, true))
     });
-    group.bench_function("no_ivsub", |b| {
-        b.iter(|| cycles(&compile_ablated(black_box(&src), true, false)))
+    bench.time("ablation_passes/no_ivsub", || {
+        cycles(&compile_ablated(&src, true, false))
     });
-    group.bench_function("no_whiledo", |b| {
-        b.iter(|| cycles(&compile_ablated(black_box(&src), false, false)))
+    bench.time("ablation_passes/no_whiledo", || {
+        cycles(&compile_ablated(&src, false, false))
     });
-    group.finish();
 }
 
-fn inline_ablation(c: &mut Criterion) {
+fn inline_ablation(bench: &Bench) {
     let src = daxpy_source(1024);
     let with = run(&src, &Options::o2(), MachineConfig::optimized(1));
     let without = run(
@@ -85,29 +88,24 @@ fn inline_ablation(c: &mut Criterion) {
     );
     assert!(without.cycles > with.cycles * 2.0);
 
-    let mut group = c.benchmark_group("ablation_inline");
-    group.bench_function("inline", |b| {
-        b.iter(|| run(black_box(&src), &Options::o2(), MachineConfig::optimized(1)).cycles)
+    bench.time("ablation_inline/inline", || {
+        run(&src, &Options::o2(), MachineConfig::optimized(1)).cycles
     });
-    group.bench_function("no_inline", |b| {
-        b.iter(|| {
-            run(
-                black_box(&src),
-                &Options {
-                    inline: false,
-                    ..Options::o2()
-                },
-                MachineConfig::optimized(1),
-            )
-            .cycles
-        })
+    bench.time("ablation_inline/no_inline", || {
+        run(
+            &src,
+            &Options {
+                inline: false,
+                ..Options::o2()
+            },
+            MachineConfig::optimized(1),
+        )
+        .cycles
     });
-    group.finish();
 }
 
-fn strip_length_sweep(c: &mut Criterion) {
+fn strip_length_sweep(bench: &Bench) {
     let src = daxpy_source(1024);
-    let mut group = c.benchmark_group("ablation_strip");
     for strip in [8i64, 16, 32, 64, 256, 2048] {
         let opts = Options {
             strip,
@@ -119,20 +117,15 @@ fn strip_length_sweep(c: &mut Criterion) {
             stats.cycles,
             stats.mflops(16.0)
         );
-        group.bench_with_input(BenchmarkId::new("strip", strip), &strip, |b, &s| {
-            let opts = Options {
-                strip: s,
-                ..Options::parallel()
-            };
-            b.iter(|| run(black_box(&src), &opts, MachineConfig::optimized(2)).cycles)
+        bench.time(&format!("ablation_strip/{strip}"), || {
+            run(&src, &opts, MachineConfig::optimized(2)).cycles
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = pass_ablations, inline_ablation, strip_length_sweep
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    pass_ablations(&bench);
+    inline_ablation(&bench);
+    strip_length_sweep(&bench);
+}

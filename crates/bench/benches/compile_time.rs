@@ -7,14 +7,14 @@
 //!   grows (worst case n passes, average ~1).
 //! * Front-end throughput on the corpus.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use titanc_bench::harness::Bench;
 use titanc_bench::{corpus, ivsub_chain_source};
 use titanc_inline::{inline_program, InlineOptions};
 use titanc_lower::compile_to_il;
 use titanc_opt::{convert_while_loops, induction_substitution};
 
-fn exp4_constprop_strategies(c: &mut Criterion) {
+fn exp4_constprop_strategies(bench: &Bench) {
     let src = r#"
 void daxpy(float *x, float *y, float *z, float alpha, int n)
 {
@@ -30,34 +30,27 @@ int main(void) { daxpy(a, b, c, 0.0, 100); return 0; }
         inline_program(&mut prog, &InlineOptions::default());
         prog.proc_by_name("main").unwrap().clone()
     };
-    let mut group = c.benchmark_group("exp4_constprop");
-    group.bench_function("heuristic_8", |b| {
-        b.iter(|| {
-            let mut p = inlined.clone();
+    bench.time("exp4_constprop/heuristic_8", || {
+        let mut p = inlined.clone();
+        titanc_opt::constant_propagation(&mut p);
+        black_box(p.len())
+    });
+    bench.time("exp4_constprop/cfg_rebuild_baseline", || {
+        let mut p = inlined.clone();
+        loop {
+            let before = p.len();
+            titanc_opt::constant_propagation_no_unreachable(&mut p);
             titanc_opt::constant_propagation(&mut p);
-            black_box(p.len())
-        })
-    });
-    group.bench_function("cfg_rebuild_baseline", |b| {
-        b.iter(|| {
-            let mut p = inlined.clone();
-            loop {
-                let before = p.len();
-                titanc_opt::constant_propagation_no_unreachable(&mut p);
-                titanc_opt::constant_propagation(&mut p);
-                titanc_opt::eliminate_unreachable_cfg(&mut p);
-                if p.len() == before {
-                    break;
-                }
+            titanc_opt::eliminate_unreachable_cfg(&mut p);
+            if p.len() == before {
+                break;
             }
-            black_box(p.len())
-        })
+        }
+        black_box(p.len())
     });
-    group.finish();
 }
 
-fn exp6_ivsub_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp6_ivsub");
+fn exp6_ivsub_scaling(bench: &Bench) {
     for k in [1usize, 8, 32] {
         let src = ivsub_chain_source(k, 64);
         let prepared = {
@@ -66,43 +59,36 @@ fn exp6_ivsub_scaling(c: &mut Criterion) {
             convert_while_loops(&mut p);
             p
         };
-        group.bench_with_input(BenchmarkId::new("chains", k), &prepared, |b, p| {
-            b.iter(|| {
-                let mut q = p.clone();
-                black_box(induction_substitution(&mut q))
-            })
+        bench.time(&format!("exp6_ivsub/chains/{k}"), || {
+            let mut q = prepared.clone();
+            black_box(induction_substitution(&mut q))
         });
     }
-    group.finish();
 }
 
-fn frontend_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frontend");
+fn frontend_throughput(bench: &Bench) {
     for (name, src) in [
         ("daxpy", corpus::DAXPY),
         ("struct_matrix", corpus::STRUCT_MATRIX),
         ("blaslib", corpus::BLASLIB),
     ] {
-        group.bench_function(BenchmarkId::new("parse_lower", name), |b| {
-            b.iter(|| black_box(compile_to_il(black_box(src)).unwrap().len()))
+        bench.time(&format!("frontend/parse_lower/{name}"), || {
+            black_box(compile_to_il(black_box(src)).unwrap().len())
         });
-        group.bench_function(BenchmarkId::new("full_o2", name), |b| {
-            b.iter(|| {
-                black_box(
-                    titanc::compile(black_box(src), &titanc::Options::o2())
-                        .unwrap()
-                        .program
-                        .len(),
-                )
-            })
+        bench.time(&format!("frontend/full_o2/{name}"), || {
+            black_box(
+                titanc::compile(black_box(src), &titanc::Options::o2())
+                    .unwrap()
+                    .program
+                    .len(),
+            )
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = exp4_constprop_strategies, exp6_ivsub_scaling, frontend_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    exp4_constprop_strategies(&bench);
+    exp6_ivsub_scaling(&bench);
+    frontend_throughput(&bench);
+}

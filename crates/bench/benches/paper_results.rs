@@ -1,20 +1,18 @@
-//! Criterion wrappers over the paper's performance results.
+//! Timing wrappers over the paper's performance results.
 //!
 //! Each group regenerates one evaluation number from the paper by running
-//! the compiled kernel on the Titan simulator. The wall-clock numbers
-//! Criterion reports are host simulation time; the *reproduced results*
+//! the compiled kernel on the Titan simulator. The wall-clock numbers the
+//! harness reports are host simulation time; the *reproduced results*
 //! (cycles, MFLOPS, speedups) are printed once per group so
 //! `cargo bench` output doubles as the experiment log.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use titanc::Options;
+use titanc_bench::harness::Bench;
 use titanc_bench::{backsolve_source, copy_source, daxpy_source, mflops, run};
 use titanc_titan::MachineConfig;
 
 /// EXP1: the §5.3 pointer-walk copy, scalar vs vectorized.
-fn exp1_copy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp1_copy");
+fn exp1_copy(bench: &Bench) {
     for n in [100usize, 1024] {
         let src = copy_source(n);
         let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
@@ -25,19 +23,17 @@ fn exp1_copy(c: &mut Criterion) {
             vector.cycles,
             scalar.cycles / vector.cycles
         );
-        group.bench_with_input(BenchmarkId::new("scalar", n), &src, |b, src| {
-            b.iter(|| run(black_box(src), &Options::o1(), MachineConfig::scalar()))
+        bench.time(&format!("exp1_copy/scalar/{n}"), || {
+            run(&src, &Options::o1(), MachineConfig::scalar())
         });
-        group.bench_with_input(BenchmarkId::new("vector", n), &src, |b, src| {
-            b.iter(|| run(black_box(src), &Options::o2(), MachineConfig::optimized(1)))
+        bench.time(&format!("exp1_copy/vector/{n}"), || {
+            run(&src, &Options::o2(), MachineConfig::optimized(1))
         });
     }
-    group.finish();
 }
 
 /// EXP2: backsolve, 0.5 → 1.9 MFLOPS (§6).
-fn exp2_backsolve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp2_backsolve");
+fn exp2_backsolve(bench: &Bench) {
     let src = backsolve_source(1024);
     let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
     let opt = run(&src, &Options::o2(), MachineConfig::optimized(1));
@@ -46,18 +42,16 @@ fn exp2_backsolve(c: &mut Criterion) {
         mflops(&scalar),
         mflops(&opt)
     );
-    group.bench_function("scalar_only", |b| {
-        b.iter(|| run(black_box(&src), &Options::o1(), MachineConfig::scalar()))
+    bench.time("exp2_backsolve/scalar_only", || {
+        run(&src, &Options::o1(), MachineConfig::scalar())
     });
-    group.bench_function("dependence_driven", |b| {
-        b.iter(|| run(black_box(&src), &Options::o2(), MachineConfig::optimized(1)))
+    bench.time("exp2_backsolve/dependence_driven", || {
+        run(&src, &Options::o2(), MachineConfig::optimized(1))
     });
-    group.finish();
 }
 
 /// EXP3: daxpy, 12× on two processors (§9).
-fn exp3_daxpy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp3_daxpy");
+fn exp3_daxpy(bench: &Bench) {
     let src = daxpy_source(100);
     let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
     for procs in [1u32, 2, 4] {
@@ -68,19 +62,17 @@ fn exp3_daxpy(c: &mut Criterion) {
             scalar.cycles,
             scalar.cycles / par.cycles
         );
-        group.bench_with_input(BenchmarkId::new("parallel", procs), &procs, |b, &p| {
-            b.iter(|| run(black_box(&src), &Options::parallel(), MachineConfig::optimized(p)))
+        bench.time(&format!("exp3_daxpy/parallel/{procs}"), || {
+            run(&src, &Options::parallel(), MachineConfig::optimized(procs))
         });
     }
-    group.bench_function("scalar", |b| {
-        b.iter(|| run(black_box(&src), &Options::o1(), MachineConfig::scalar()))
+    bench.time("exp3_daxpy/scalar", || {
+        run(&src, &Options::o1(), MachineConfig::scalar())
     });
-    group.finish();
 }
 
 /// EXP7: instruction-scheduling overlap on/off (§6 item 2).
-fn exp7_overlap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exp7_overlap");
+fn exp7_overlap(bench: &Bench) {
     let src = backsolve_source(1024);
     let off = run(&src, &Options::o1(), MachineConfig::scalar());
     let on = run(
@@ -97,27 +89,25 @@ fn exp7_overlap(c: &mut Criterion) {
         on.cycles,
         off.cycles / on.cycles
     );
-    group.bench_function("overlap_off", |b| {
-        b.iter(|| run(black_box(&src), &Options::o1(), MachineConfig::scalar()))
+    bench.time("exp7_overlap/overlap_off", || {
+        run(&src, &Options::o1(), MachineConfig::scalar())
     });
-    group.bench_function("overlap_on", |b| {
-        b.iter(|| {
-            run(
-                black_box(&src),
-                &Options::o1(),
-                MachineConfig {
-                    overlap: true,
-                    ..MachineConfig::scalar()
-                },
-            )
-        })
+    bench.time("exp7_overlap/overlap_on", || {
+        run(
+            &src,
+            &Options::o1(),
+            MachineConfig {
+                overlap: true,
+                ..MachineConfig::scalar()
+            },
+        )
     });
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = exp1_copy, exp2_backsolve, exp3_daxpy, exp7_overlap
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    exp1_copy(&bench);
+    exp2_backsolve(&bench);
+    exp3_daxpy(&bench);
+    exp7_overlap(&bench);
+}

@@ -36,8 +36,10 @@ fn main() {
     // step limit fires), proving the qualifier is what pins the read
     let non_volatile = corpus::VOLATILE_POLL.replace("volatile int", "int");
     let c = titanc::compile(&non_volatile, &Options::o2()).expect("compiles");
-    let mut cfg = MachineConfig::default();
-    cfg.max_steps = 50_000;
+    let cfg = MachineConfig {
+        max_steps: 50_000,
+        ..MachineConfig::default()
+    };
     let mut sim = Simulator::new(&c.program, cfg);
     sim.push_volatile_values(&[0, 0, 0, 7]); // ignored: no volatile reads
     let err = sim.run("main", &[]).expect_err("spins forever");

@@ -42,7 +42,10 @@ fn main() {
                 },
             ],
         );
-        assert!(m_scalar < 1.0, "scalar baseline should be well under 1 MFLOPS");
+        assert!(
+            m_scalar < 1.0,
+            "scalar baseline should be well under 1 MFLOPS"
+        );
         assert!(m_opt > 2.0 * m_scalar, "dependence-driven wins clearly");
         assert_eq!(optimized.vector_instrs, 0, "the loop must stay scalar");
     }

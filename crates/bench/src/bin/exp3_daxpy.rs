@@ -22,9 +22,9 @@ fn main() {
     )
     .expect("compiles");
     println!("== EXP3 stage walkthrough (main after each phase)");
-    for (phase, proc, text) in &c.snapshots {
-        if proc == "main" {
-            println!("-- after {phase} --\n{text}");
+    for snap in &c.snapshots {
+        if snap.proc == "main" {
+            println!("-- after {} --\n{}", snap.phase, snap.il);
         }
     }
 

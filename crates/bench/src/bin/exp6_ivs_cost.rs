@@ -42,5 +42,26 @@ fn main() {
         "worst case n passes over the loop; in practice ~1 productive pass, backtracking rare",
         &rows,
     );
+
+    // where the whole pipeline spends its time on the worst kernel: the
+    // pass manager's trace gives per-pass wall-clock for free
+    let src = ivsub_chain_source(32, 64);
+    let c = titanc::compile(&src, &titanc::Options::o2()).expect("compiles");
+    let total = c.trace.total_duration().as_secs_f64() * 1e6;
+    println!("== EXP6 per-pass timing (32 chains, full O2 pipeline)");
+    for rec in &c.trace.records {
+        let us = rec.duration.as_secs_f64() * 1e6;
+        println!(
+            "  {:<12} {us:>8.0} µs  {:>5.1}% {}",
+            rec.name,
+            100.0 * us / total,
+            if rec.changed { "" } else { "(no change)" }
+        );
+    }
+    println!("  {:<12} {total:>8.0} µs", "total");
+    assert!(
+        c.trace.record("ivsub").is_some(),
+        "O2 pipeline must include induction-variable substitution"
+    );
     println!("EXP6 ok");
 }

@@ -22,8 +22,16 @@ fn main() {
         "all three nest levels convert"
     );
 
-    let scalar = run(corpus::STRUCT_MATRIX, &Options::o1(), MachineConfig::scalar());
-    let opt = run(corpus::STRUCT_MATRIX, &Options::o2(), MachineConfig::optimized(1));
+    let scalar = run(
+        corpus::STRUCT_MATRIX,
+        &Options::o1(),
+        MachineConfig::scalar(),
+    );
+    let opt = run(
+        corpus::STRUCT_MATRIX,
+        &Options::o2(),
+        MachineConfig::optimized(1),
+    );
     print_table(
         "EXP8 struct-embedded arrays (the Doré lesson, §10)",
         "graphics 4x4 transforms with arrays inside structs are analyzed and optimized",
@@ -40,6 +48,9 @@ fn main() {
             },
         ],
     );
-    assert!(opt.cycles < scalar.cycles, "optimization helps the transform");
+    assert!(
+        opt.cycles < scalar.cycles,
+        "optimization helps the transform"
+    );
     println!("EXP8 ok");
 }

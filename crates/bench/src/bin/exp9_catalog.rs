@@ -27,9 +27,13 @@ fn main() {
     // build the catalog from the separately-compiled library
     let lib = titanc_lower::compile_to_il(corpus::BLASLIB).expect("library compiles");
     let catalog = Catalog::from_program("blas", &lib);
-    let json = catalog.to_json().expect("serializes");
+    let json = catalog.to_json();
     let catalog = Catalog::from_json(&json).expect("round-trips");
-    println!("catalog `blas`: {} procedures, {} bytes serialized", catalog.procs.len(), json.len());
+    println!(
+        "catalog `blas`: {} procedures, {} bytes serialized",
+        catalog.procs.len(),
+        json.len()
+    );
 
     // cross-file: app + catalog
     let cross = titanc::compile(
@@ -72,7 +76,13 @@ fn main() {
         ],
     );
     assert_eq!(cross.reports.inline.inlined, same.reports.inline.inlined);
-    assert!((s_cross.cycles - s_same.cycles).abs() < 1e-9, "identical code quality");
-    assert!(cross.reports.vector.vectorized >= 1, "library loops vectorize after inlining");
+    assert!(
+        (s_cross.cycles - s_same.cycles).abs() < 1e-9,
+        "identical code quality"
+    );
+    assert!(
+        cross.reports.vector.vectorized >= 1,
+        "library loops vectorize after inlining"
+    );
     println!("EXP9 ok");
 }

@@ -2,10 +2,12 @@
 //!
 //! One binary per experiment in `DESIGN.md`'s index (EXP1–EXP10), each
 //! regenerating the corresponding paper result; `benches/` wraps the same
-//! measurements in Criterion for `cargo bench`. Run a binary with
-//! `cargo run --release -p titanc-bench --bin exp2_backsolve`.
+//! measurements in the [`harness`] timer for `cargo bench`. Run a binary
+//! with `cargo run --release -p titanc-bench --bin exp2_backsolve`.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use titanc::{compile, Options};
 use titanc_titan::{ExecStats, MachineConfig, Simulator};
@@ -286,8 +288,7 @@ mod tests {
     #[test]
     fn whiledo_corpus_is_consistent() {
         for (name, src, expect) in whiledo_corpus() {
-            let prog = titanc_lower::compile_to_il(&src)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let prog = titanc_lower::compile_to_il(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
             let mut proc = prog.procs[0].clone();
             let rep = titanc_opt::convert_while_loops(&mut proc);
             assert_eq!(rep.converted > 0, expect, "{name}");

@@ -388,8 +388,8 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             let text = std::str::from_utf8(&self.src[hs..self.pos]).unwrap();
-            let v = i64::from_str_radix(text, 16)
-                .map_err(|_| self.err("hex literal out of range"))?;
+            let v =
+                i64::from_str_radix(text, 16).map_err(|_| self.err("hex literal out of range"))?;
             while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
                 self.bump();
             }
@@ -433,7 +433,9 @@ impl<'a> Lexer<'a> {
             while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
                 self.bump();
             }
-            let v: i64 = text.parse().map_err(|_| self.err("int literal out of range"))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err("int literal out of range"))?;
             Ok(Tok::IntLit(v))
         }
     }
@@ -616,7 +618,10 @@ mod tests {
     fn keywords_vs_identifiers() {
         assert_eq!(toks("volatile")[0], Tok::Kw(Kw::Volatile));
         assert_eq!(toks("volatiles")[0], Tok::Ident("volatiles".into()));
-        assert_eq!(toks("keyboard_status")[0], Tok::Ident("keyboard_status".into()));
+        assert_eq!(
+            toks("keyboard_status")[0],
+            Tok::Ident("keyboard_status".into())
+        );
     }
 
     #[test]

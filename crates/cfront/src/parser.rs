@@ -88,7 +88,11 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(self.err(format!("expected `{}`, found `{}`", p.as_str(), self.peek())))
+            Err(self.err(format!(
+                "expected `{}`, found `{}`",
+                p.as_str(),
+                self.peek()
+            )))
         }
     }
 
@@ -139,11 +143,7 @@ impl Parser {
     }
 
     fn starts_decl(&self) -> bool {
-        self.starts_type()
-            || matches!(
-                self.peek(),
-                Tok::Kw(Kw::Static | Kw::Extern | Kw::Register)
-            )
+        self.starts_type() || matches!(self.peek(), Tok::Kw(Kw::Static | Kw::Extern | Kw::Register))
     }
 
     /// Parses declaration specifiers: storage class + qualifiers + base type.
@@ -353,7 +353,11 @@ impl Parser {
         let _ = span;
         // enum definition? `enum [Tag] { A, B = 5, C };`
         if *self.peek() == Tok::Kw(Kw::Enum) {
-            let brace_at = if matches!(self.peek2(), Tok::Ident(_)) { 2 } else { 1 };
+            let brace_at = if matches!(self.peek2(), Tok::Ident(_)) {
+                2
+            } else {
+                1
+            };
             if self.toks[(self.pos + brace_at).min(self.toks.len() - 1)].tok
                 == Tok::Punct(Punct::LBrace)
             {
@@ -617,9 +621,8 @@ impl Parser {
                 }
                 Ok(Stmt::Switch { cond, body })
             }
-            Tok::Kw(Kw::Case | Kw::Default) => {
-                Err(self.err("`case`/`default` labels are only supported directly inside a switch body"))
-            }
+            Tok::Kw(Kw::Case | Kw::Default) => Err(self
+                .err("`case`/`default` labels are only supported directly inside a switch body")),
             _ if self.starts_decl() => {
                 let span = self.span();
                 let (storage, base) = self.decl_specifiers()?;

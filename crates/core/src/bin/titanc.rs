@@ -12,11 +12,13 @@
 //!   --strip N                vector strip length (default 32)
 //!   --print-il               print the optimized IL for every procedure
 //!   --snapshots              print every procedure after every phase
+//!   --verify                 run the IL verifier between passes
+//!   --time                   print per-pass wall-clock timings
 //!   --catalog FILE           link a procedure catalog (repeatable)
 //!   --emit-catalog FILE      write the compiled program as a catalog
 //!   --run [ENTRY]            execute on the simulated Titan (default main)
 //!   --volatile-values LIST   comma-separated device-register script
-//!   --stats                  print pass statistics
+//!   --stats                  print pass statistics (per-pass deltas)
 //! ```
 //!
 //! Example:
@@ -35,6 +37,7 @@ struct Cli {
     procs: u32,
     print_il: bool,
     stats: bool,
+    time: bool,
     run: bool,
     entry: String,
     emit_catalog: Option<String>,
@@ -45,6 +48,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: titanc [-O0|-O1|-O2] [--parallel] [--procs N] [--fortran-aliasing]\n\
          \x20             [--no-inline] [--strip N] [--print-il] [--snapshots]\n\
+         \x20             [--verify] [--time]\n\
          \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
          \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats] file.c"
     );
@@ -58,6 +62,7 @@ fn parse_args() -> Cli {
         procs: 1,
         print_il: false,
         stats: false,
+        time: false,
         run: false,
         entry: "main".to_string(),
         emit_catalog: None,
@@ -66,14 +71,27 @@ fn parse_args() -> Cli {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "-O0" => cli.options = Options::o0(),
-            "-O1" => cli.options = Options::o1(),
-            "-O2" => cli.options = Options::o2(),
+            // set only the level-dependent fields so `-On` composes with
+            // other flags regardless of argument order
+            "-O0" => {
+                cli.options.opt = titanc::OptLevel::O0;
+                cli.options.inline = false;
+            }
+            "-O1" => {
+                cli.options.opt = titanc::OptLevel::O1;
+                cli.options.inline = false;
+            }
+            "-O2" => {
+                cli.options.opt = titanc::OptLevel::O2;
+                cli.options.inline = true;
+            }
             "--parallel" => cli.options.parallelize = true,
             "--spread-lists" => cli.options.spread_lists = true,
             "--fortran-aliasing" => cli.options.aliasing = Aliasing::Fortran,
             "--no-inline" => cli.options.inline = false,
             "--snapshots" => cli.options.snapshots = true,
+            "--verify" => cli.options.verify = true,
+            "--time" => cli.time = true,
             "--print-il" => cli.print_il = true,
             "--stats" => cli.stats = true,
             "--procs" => {
@@ -155,8 +173,11 @@ fn main() -> ExitCode {
     };
 
     if cli.options.snapshots {
-        for (phase, proc, text) in &compiled.snapshots {
-            println!("===== {proc} after {phase} =====\n{text}");
+        for snap in &compiled.snapshots {
+            println!(
+                "===== {} after {} =====\n{}",
+                snap.proc, snap.phase, snap.il
+            );
         }
     }
     if cli.print_il {
@@ -166,14 +187,47 @@ fn main() -> ExitCode {
     }
     if cli.stats {
         let r = &compiled.reports;
-        println!("inline:     {} sites ({} recursive skipped)", r.inline.inlined, r.inline.skipped_recursive);
-        println!("while->DO:  {} converted, {} rejected", r.whiledo.converted, r.whiledo.rejects.len());
-        println!("ivsub:      {} variables, {} passes, {} backtracks", r.ivsub.substituted, r.ivsub.passes, r.ivsub.backtracks);
+        println!(
+            "inline:     {} sites ({} recursive skipped)",
+            r.inline.inlined, r.inline.skipped_recursive
+        );
+        println!(
+            "while->DO:  {} converted, {} rejected",
+            r.whiledo.converted,
+            r.whiledo.rejects.len()
+        );
+        println!(
+            "ivsub:      {} variables, {} passes, {} backtracks",
+            r.ivsub.substituted, r.ivsub.passes, r.ivsub.backtracks
+        );
         println!("forward:    {} substitutions", r.forward.substituted);
-        println!("constprop:  {} replaced, {} removed, {} rounds", r.constprop.replaced, r.constprop.removed, r.constprop.rounds);
+        println!(
+            "constprop:  {} replaced, {} removed, {} rounds",
+            r.constprop.replaced, r.constprop.removed, r.constprop.rounds
+        );
         println!("dce:        {} removed", r.dce.removed);
-        println!("vectorizer: {} vectorized, {} spread, {} scalar", r.vector.vectorized, r.vector.spread, r.vector.scalar);
-        println!("strength:   {} promoted, {} reduced, {} hoisted", r.strength.promoted, r.strength.reduced, r.strength.hoisted);
+        println!(
+            "vectorizer: {} vectorized, {} spread, {} scalar",
+            r.vector.vectorized, r.vector.spread, r.vector.scalar
+        );
+        println!(
+            "strength:   {} promoted, {} reduced, {} hoisted",
+            r.strength.promoted, r.strength.reduced, r.strength.hoisted
+        );
+    }
+    if cli.time {
+        for rec in &compiled.trace.records {
+            println!(
+                "pass {:<12} {:>9.3} ms{}",
+                rec.name,
+                rec.duration.as_secs_f64() * 1e3,
+                if rec.changed { "" } else { "  (no change)" }
+            );
+        }
+        println!(
+            "pass total     {:>9.3} ms",
+            compiled.trace.total_duration().as_secs_f64() * 1e3
+        );
     }
 
     if let Some(path) = &cli.emit_catalog {

@@ -38,9 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pass;
+
 use std::error::Error;
 use std::fmt;
 
+pub use pass::{Pass, PassContext, PassOutcome, PassRecord, PassTrace, Pipeline, Snapshot};
 pub use titanc_deps::Aliasing;
 pub use titanc_il::{Catalog, Program};
 pub use titanc_inline::InlineOptions;
@@ -85,6 +88,9 @@ pub struct Options {
     /// Capture a pretty-printed snapshot of every procedure after each
     /// phase (the §9 walkthrough).
     pub snapshots: bool,
+    /// Run the IL verifier between passes even in release builds (debug
+    /// builds always verify). A violation is an internal compiler error.
+    pub verify: bool,
 }
 
 impl Default for Options {
@@ -100,6 +106,7 @@ impl Default for Options {
             max_vl: 2048,
             catalogs: Vec::new(),
             snapshots: false,
+            verify: false,
         }
     }
 }
@@ -163,16 +170,36 @@ pub struct Reports {
     pub inline: titanc_inline::InlineReport,
 }
 
+impl Reports {
+    /// Folds another aggregate into this one, field by field. The pass
+    /// manager uses this to combine per-pass deltas into the compilation
+    /// total.
+    pub fn merge(&mut self, other: Reports) {
+        self.whiledo.merge(other.whiledo);
+        self.ivsub.merge(other.ivsub);
+        self.forward.merge(other.forward);
+        self.constprop.merge(other.constprop);
+        self.dce.merge(other.dce);
+        self.vector.merge(other.vector);
+        self.strength.merge(other.strength);
+        self.cse.merge(other.cse);
+        self.spread.merge(other.spread);
+        self.inline.merge(other.inline);
+    }
+}
+
 /// The result of a compilation.
 #[derive(Clone, Debug)]
 pub struct Compilation {
     /// The optimized program, ready for the Titan simulator.
     pub program: Program,
-    /// Pass statistics.
+    /// Pass statistics, aggregated across the whole pipeline.
     pub reports: Reports,
-    /// `(phase, procedure, pretty IL)` snapshots when
-    /// [`Options::snapshots`] was set.
-    pub snapshots: Vec<(String, String, String)>,
+    /// Per-pass execution records: wall-clock time and the statistics
+    /// delta each pass contributed.
+    pub trace: PassTrace,
+    /// Typed per-phase snapshots when [`Options::snapshots`] was set.
+    pub snapshots: Vec<Snapshot>,
 }
 
 /// A front-end failure (lex/parse/lowering).
@@ -204,111 +231,29 @@ pub fn compile(src: &str, options: &Options) -> Result<Compilation, CompileError
         message: e.to_string(),
     })?;
 
-    let mut reports = Reports::default();
     let mut snapshots = Vec::new();
-    let snap = |phase: &str, program: &Program, out: &mut Vec<(String, String, String)>| {
-        if options.snapshots {
-            for p in &program.procs {
-                out.push((
-                    phase.to_string(),
-                    p.name.clone(),
-                    titanc_il::pretty_proc(p),
-                ));
-            }
-        }
-    };
-    snap("lower", &program, &mut snapshots);
+    if options.snapshots {
+        pass::snapshot_all("lower", &program, &mut snapshots);
+    }
+    if cfg!(debug_assertions) || options.verify {
+        pass::verify_or_ice("lower", &program);
+    }
 
-    // §7: link catalogs and inline before scalar optimization, so §8's
-    // specialization opportunities exist.
+    // §7: link catalogs before the pipeline runs, so the inline pass can
+    // expand cross-file calls.
     for catalog in &options.catalogs {
         catalog.link_into(&mut program);
     }
-    if options.inline {
-        let r = titanc_inline::inline_program(&mut program, &options.inline_opts);
-        merge_inline(&mut reports.inline, r);
-        snap("inline", &program, &mut snapshots);
-    }
 
-    if options.opt == OptLevel::O0 {
-        return Ok(Compilation {
-            program,
-            reports,
-            snapshots,
-        });
-    }
-
-    // scalar optimization, per §5.2's ordering: conversion immediately
-    // after use–def chains, before the simplifying passes
-    for proc in &mut program.procs {
-        let r = titanc_opt::convert_while_loops(proc);
-        reports.whiledo.converted += r.converted;
-        reports.whiledo.rejects.extend(r.rejects);
-
-        let r = titanc_opt::induction_substitution(proc);
-        reports.ivsub.substituted += r.substituted;
-        reports.ivsub.passes += r.passes;
-        reports.ivsub.backtracks += r.backtracks;
-
-        let r = titanc_opt::forward_substitute(proc);
-        reports.forward.substituted += r.substituted;
-
-        let r = titanc_opt::constant_propagation(proc);
-        reports.constprop.replaced += r.replaced;
-        reports.constprop.removed += r.removed;
-        reports.constprop.rounds += r.rounds;
-
-        let r = titanc_opt::eliminate_dead_code(proc);
-        reports.dce.removed += r.removed;
-        reports.dce.rounds += r.rounds;
-    }
-    snap("scalar", &program, &mut snapshots);
-
-    if options.opt == OptLevel::O2 {
-        let vopts = VectorOptions {
-            aliasing: options.aliasing,
-            parallelize: options.parallelize,
-            strip: options.strip,
-            max_vl: options.max_vl,
-        };
-        for proc in &mut program.procs {
-            if options.spread_lists && options.parallelize {
-                let r = titanc_vector::spread_list_loops(proc);
-                reports.spread.spread += r.spread;
-            }
-            let r = titanc_vector::vectorize(proc, &vopts);
-            reports.vector.vectorized += r.vectorized;
-            reports.vector.spread += r.spread;
-            reports.vector.scalar += r.scalar;
-
-            let r = titanc_vector::strength_reduce(proc, options.aliasing);
-            reports.strength.promoted += r.promoted;
-            reports.strength.reduced += r.reduced;
-            reports.strength.hoisted += r.hoisted;
-
-            // §6 cleanup: strength reduction leaves dead index arithmetic
-            titanc_opt::forward_substitute(proc);
-            let r = titanc_opt::local_cse(proc);
-            reports.cse.commoned += r.commoned;
-            reports.cse.replaced += r.replaced;
-            let r = titanc_opt::eliminate_dead_code(proc);
-            reports.dce.removed += r.removed;
-        }
-        snap("vector", &program, &mut snapshots);
-    }
+    let pipeline = Pipeline::for_options(options);
+    let (reports, trace) = pipeline.run(&mut program, options, &mut snapshots);
 
     Ok(Compilation {
         program,
         reports,
+        trace,
         snapshots,
     })
-}
-
-fn merge_inline(acc: &mut titanc_inline::InlineReport, r: titanc_inline::InlineReport) {
-    acc.inlined += r.inlined;
-    acc.skipped_recursive += r.skipped_recursive;
-    acc.skipped_size += r.skipped_size;
-    acc.statics_externalized += r.statics_externalized;
 }
 
 /// Compiles and immediately runs `entry` on a Titan with the given

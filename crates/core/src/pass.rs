@@ -1,0 +1,433 @@
+//! The pass manager.
+//!
+//! Every transformation of the compiler — the §5 scalar optimizations, the
+//! §9 vectorizer, the §6 dependence-driven scalar improvements and the §7
+//! inliner — runs behind the uniform [`Pass`] interface. A [`Pipeline`] is
+//! the declarative description of one compilation strategy: `-O1` and
+//! `-O2` are nothing more than different pipeline constructions (see
+//! [`Pipeline::for_options`]), mirroring the paper's presentation of the
+//! compiler as a fixed sequence of cooperating phases.
+//!
+//! Running a pipeline produces three artifacts beyond the transformed
+//! program:
+//!
+//! * a [`PassTrace`] with one [`PassRecord`] per executed pass — its
+//!   wall-clock duration and the per-pass *delta* of the aggregate
+//!   [`Reports`], so regressions in either compile time or pass
+//!   effectiveness are visible per pass rather than per compilation;
+//! * typed [`Snapshot`]s of every procedure after every pass (when
+//!   [`Options::snapshots`] is set) — the §9 walkthrough artifacts;
+//! * verifier coverage: after every pass the IL is re-checked with
+//!   [`titanc_il::verify_program`] in debug builds (and in release builds
+//!   when [`Options::verify`] is set), so a pass that breaks an IL
+//!   invariant is caught at the boundary where it fired.
+
+use std::time::{Duration, Instant};
+
+use titanc_il::Program;
+
+use crate::{OptLevel, Options, Reports, VectorOptions};
+
+/// Read-only context handed to every pass.
+pub struct PassContext<'a> {
+    /// The compilation options the pipeline was built from.
+    pub options: &'a Options,
+}
+
+/// What a pass did, as far as the manager is concerned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PassOutcome {
+    /// True when the pass changed the program.
+    pub changed: bool,
+}
+
+impl PassOutcome {
+    /// An outcome flagged as having changed the program.
+    pub fn changed() -> PassOutcome {
+        PassOutcome { changed: true }
+    }
+
+    /// An outcome flagged as a no-op.
+    pub fn unchanged() -> PassOutcome {
+        PassOutcome { changed: false }
+    }
+}
+
+/// A uniform interface over every program transformation.
+///
+/// A pass transforms the whole [`Program`] (per-procedure passes loop over
+/// `program.procs` internally) and accounts for its work by merging counts
+/// into `delta`, a fresh [`Reports`] value the manager aggregates and
+/// records in the [`PassTrace`].
+pub trait Pass {
+    /// Stable pass name, used in traces, snapshots and `--stats` output.
+    fn name(&self) -> &'static str;
+
+    /// Transforms `program`, recording statistics into `delta`.
+    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome;
+}
+
+/// One executed pass in a [`PassTrace`].
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// The pass name.
+    pub name: &'static str,
+    /// Wall-clock time the pass took.
+    pub duration: Duration,
+    /// The statistics this pass alone contributed.
+    pub delta: Reports,
+    /// Whether the pass reported changing the program.
+    pub changed: bool,
+}
+
+/// The per-pass execution record of one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PassTrace {
+    /// One record per executed pass, in execution order.
+    pub records: Vec<PassRecord>,
+}
+
+impl PassTrace {
+    /// The position of the first record with the given pass name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.records.iter().position(|r| r.name == name)
+    }
+
+    /// The first record with the given pass name.
+    pub fn record(&self, name: &str) -> Option<&PassRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// Total wall-clock time across all passes.
+    pub fn total_duration(&self) -> Duration {
+        self.records.iter().map(|r| r.duration).sum()
+    }
+}
+
+/// A pretty-printed procedure image captured after one phase.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Snapshot {
+    /// The phase that just ran (`"lower"` or a pass name).
+    pub phase: String,
+    /// The procedure name.
+    pub proc: String,
+    /// The pretty-printed IL.
+    pub il: String,
+}
+
+/// Captures a snapshot of every procedure under the given phase name.
+pub(crate) fn snapshot_all(phase: &str, program: &Program, out: &mut Vec<Snapshot>) {
+    for p in &program.procs {
+        out.push(Snapshot {
+            phase: phase.to_string(),
+            proc: p.name.clone(),
+            il: titanc_il::pretty_proc(p),
+        });
+    }
+}
+
+/// Panics with an internal-compiler-error report when the IL is broken.
+pub(crate) fn verify_or_ice(phase: &str, program: &Program) {
+    if let Err(errors) = titanc_il::verify_program(program) {
+        let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        panic!(
+            "internal compiler error: IL verification failed after `{phase}`:\n  {}",
+            rendered.join("\n  ")
+        );
+    }
+}
+
+/// A declarative sequence of passes.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline { passes: Vec::new() }
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// The pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Builds the pipeline the given options describe.
+    ///
+    /// * Inlining (§7) always runs first when enabled, so §8's
+    ///   specialization opportunities exist before scalar optimization.
+    /// * `-O1` is the §5.2 scalar sequence: while→DO conversion right
+    ///   after use–def chains, induction-variable substitution, forward
+    ///   substitution, constant propagation, dead-code elimination.
+    /// * `-O2` appends the vector phase: optional §10 list spreading, the
+    ///   Allen–Kennedy vectorizer, the §6 strength reduction, and a
+    ///   cleanup round (forward substitution, local CSE, DCE) for the dead
+    ///   index arithmetic strength reduction leaves behind.
+    pub fn for_options(options: &Options) -> Pipeline {
+        let mut pl = Pipeline::new();
+        if options.inline {
+            pl.push(InlinePass);
+        }
+        if options.opt == OptLevel::O0 {
+            return pl;
+        }
+        pl.push(WhileDoPass);
+        pl.push(IvSubPass);
+        pl.push(ForwardPass);
+        pl.push(ConstPropPass);
+        pl.push(DcePass);
+        if options.opt == OptLevel::O2 {
+            if options.spread_lists && options.parallelize {
+                pl.push(SpreadListsPass);
+            }
+            pl.push(VectorizePass);
+            pl.push(StrengthPass);
+            pl.push(ForwardPass);
+            pl.push(CsePass);
+            pl.push(DcePass);
+        }
+        pl
+    }
+
+    /// Runs every pass in order over `program`.
+    ///
+    /// Returns the aggregated [`Reports`] and the [`PassTrace`]; when
+    /// [`Options::snapshots`] is set, a [`Snapshot`] of every procedure is
+    /// appended to `snapshots` after each pass. The IL verifier runs after
+    /// every pass in debug builds and, in release builds, when
+    /// [`Options::verify`] is set; a violation is an internal compiler
+    /// error and panics.
+    pub fn run(
+        &self,
+        program: &mut Program,
+        options: &Options,
+        snapshots: &mut Vec<Snapshot>,
+    ) -> (Reports, PassTrace) {
+        let cx = PassContext { options };
+        let verify = cfg!(debug_assertions) || options.verify;
+        let mut reports = Reports::default();
+        let mut trace = PassTrace::default();
+        for pass in &self.passes {
+            let mut delta = Reports::default();
+            let start = Instant::now();
+            let outcome = pass.run(program, &cx, &mut delta);
+            let duration = start.elapsed();
+            if verify {
+                verify_or_ice(pass.name(), program);
+            }
+            if options.snapshots {
+                snapshot_all(pass.name(), program, snapshots);
+            }
+            reports.merge(delta.clone());
+            trace.records.push(PassRecord {
+                name: pass.name(),
+                duration,
+                delta,
+                changed: outcome.changed,
+            });
+        }
+        (reports, trace)
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline::new()
+    }
+}
+
+/// §7 inline expansion (runs before scalar optimization).
+pub struct InlinePass;
+
+impl Pass for InlinePass {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        let r = titanc_inline::inline_program(program, &cx.options.inline_opts);
+        let changed = r.inlined > 0 || r.statics_externalized > 0;
+        delta.inline.merge(r);
+        PassOutcome { changed }
+    }
+}
+
+/// §5.2 while→DO conversion.
+pub struct WhileDoPass;
+
+impl Pass for WhileDoPass {
+    fn name(&self) -> &'static str {
+        "whiledo"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta.whiledo.merge(titanc_opt::convert_while_loops(proc));
+        }
+        PassOutcome {
+            changed: delta.whiledo.converted > 0,
+        }
+    }
+}
+
+/// §5.2 induction-variable substitution with backtracking.
+pub struct IvSubPass;
+
+impl Pass for IvSubPass {
+    fn name(&self) -> &'static str {
+        "ivsub"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta.ivsub.merge(titanc_opt::induction_substitution(proc));
+        }
+        PassOutcome {
+            changed: delta.ivsub.substituted > 0,
+        }
+    }
+}
+
+/// Forward substitution of single-use scalar definitions.
+pub struct ForwardPass;
+
+impl Pass for ForwardPass {
+    fn name(&self) -> &'static str {
+        "forward"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta.forward.merge(titanc_opt::forward_substitute(proc));
+        }
+        PassOutcome {
+            changed: delta.forward.substituted > 0,
+        }
+    }
+}
+
+/// §8 constant propagation with the unreachable-code heuristic.
+pub struct ConstPropPass;
+
+impl Pass for ConstPropPass {
+    fn name(&self) -> &'static str {
+        "constprop"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta
+                .constprop
+                .merge(titanc_opt::constant_propagation(proc));
+        }
+        PassOutcome {
+            changed: delta.constprop.replaced > 0 || delta.constprop.removed > 0,
+        }
+    }
+}
+
+/// Dead-code elimination.
+pub struct DcePass;
+
+impl Pass for DcePass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta.dce.merge(titanc_opt::eliminate_dead_code(proc));
+        }
+        PassOutcome {
+            changed: delta.dce.removed > 0,
+        }
+    }
+}
+
+/// Local common-subexpression elimination.
+pub struct CsePass;
+
+impl Pass for CsePass {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta.cse.merge(titanc_opt::local_cse(proc));
+        }
+        PassOutcome {
+            changed: delta.cse.commoned > 0,
+        }
+    }
+}
+
+/// §10 linked-list loop spreading (opt-in future work).
+pub struct SpreadListsPass;
+
+impl Pass for SpreadListsPass {
+    fn name(&self) -> &'static str {
+        "spread_lists"
+    }
+
+    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta.spread.merge(titanc_vector::spread_list_loops(proc));
+        }
+        PassOutcome {
+            changed: delta.spread.spread > 0,
+        }
+    }
+}
+
+/// The §9 Allen–Kennedy vectorizer (with strip mining and `do parallel`).
+pub struct VectorizePass;
+
+impl Pass for VectorizePass {
+    fn name(&self) -> &'static str {
+        "vectorize"
+    }
+
+    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        let vopts = VectorOptions {
+            aliasing: cx.options.aliasing,
+            parallelize: cx.options.parallelize,
+            strip: cx.options.strip,
+            max_vl: cx.options.max_vl,
+        };
+        for proc in &mut program.procs {
+            delta.vector.merge(titanc_vector::vectorize(proc, &vopts));
+        }
+        PassOutcome {
+            changed: delta.vector.vectorized > 0 || delta.vector.spread > 0,
+        }
+    }
+}
+
+/// The §6 dependence-driven scalar optimizations.
+pub struct StrengthPass;
+
+impl Pass for StrengthPass {
+    fn name(&self) -> &'static str {
+        "strength"
+    }
+
+    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        for proc in &mut program.procs {
+            delta
+                .strength
+                .merge(titanc_vector::strength_reduce(proc, cx.options.aliasing));
+        }
+        PassOutcome {
+            changed: delta.strength.promoted > 0
+                || delta.strength.reduced > 0
+                || delta.strength.hoisted > 0,
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Driver tests: end-to-end compilations at every optimization level,
 //! checked for observational equivalence, plus the §9 walkthrough.
 
-use crate::{compile, compile_and_run, Options, OptLevel};
+use crate::{compile, compile_and_run, OptLevel, Options};
 use titanc_il::ScalarType;
 use titanc_titan::MachineConfig;
 
@@ -24,18 +24,14 @@ fn check_all_levels(src: &str, globals: &[(&str, ScalarType, u32)]) {
         ),
     ] {
         let c = compile(src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let (got, _) = titanc_titan::observe(
-            &c.program,
-            MachineConfig::optimized(2),
-            "main",
-            globals,
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "{name} run failed: {e}\n{}",
-                titanc_il::pretty_proc(c.program.proc_by_name("main").unwrap())
-            )
-        });
+        let (got, _) =
+            titanc_titan::observe(&c.program, MachineConfig::optimized(2), "main", globals)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{name} run failed: {e}\n{}",
+                        titanc_il::pretty_proc(c.program.proc_by_name("main").unwrap())
+                    )
+                });
         assert_eq!(expect, got, "{name} diverged");
     }
 }
@@ -174,11 +170,14 @@ int main(void)
     let text = titanc_il::pretty_proc(c.program.proc_by_name("main").unwrap());
     assert!(text.contains("do parallel"), "{text}");
     // the early-out branches were specialized away
-    assert!(!text.contains("if ("), "constants removed the guards: {text}");
+    assert!(
+        !text.contains("if ("),
+        "constants removed the guards: {text}"
+    );
 }
 
 #[test]
-fn snapshots_capture_phases() {
+fn snapshots_capture_every_pass() {
     let src = "int main(void) { int i, s; s = 0; for (i = 0; i < 4; i++) s += i; return s; }";
     let c = compile(
         src,
@@ -188,10 +187,26 @@ fn snapshots_capture_phases() {
         },
     )
     .unwrap();
-    let phases: Vec<&str> = c.snapshots.iter().map(|(p, _, _)| p.as_str()).collect();
-    assert!(phases.contains(&"lower"));
-    assert!(phases.contains(&"scalar"));
-    assert!(phases.contains(&"vector"));
+    let phases: Vec<&str> = c.snapshots.iter().map(|s| s.phase.as_str()).collect();
+    // one snapshot after lowering, then one per executed pass
+    assert_eq!(phases[0], "lower");
+    for expected in [
+        "whiledo",
+        "ivsub",
+        "forward",
+        "constprop",
+        "dce",
+        "vectorize",
+        "strength",
+    ] {
+        assert!(phases.contains(&expected), "missing {expected}: {phases:?}");
+    }
+    // snapshots follow pipeline order
+    let order: Vec<usize> = ["whiledo", "vectorize"]
+        .iter()
+        .map(|p| phases.iter().position(|q| q == p).unwrap())
+        .collect();
+    assert!(order[0] < order[1]);
 }
 
 #[test]

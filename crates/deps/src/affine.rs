@@ -72,11 +72,8 @@ impl Affine {
     /// Sorted canonical keys of the symbolic part — two references have
     /// comparable subscripts only when these agree.
     pub fn base_key(&self) -> Vec<(String, i64)> {
-        let mut v: Vec<(String, i64)> = self
-            .terms
-            .iter()
-            .map(|(k, _, m)| (k.clone(), *m))
-            .collect();
+        let mut v: Vec<(String, i64)> =
+            self.terms.iter().map(|(k, _, m)| (k.clone(), *m)).collect();
         v.sort();
         v
     }
@@ -197,9 +194,7 @@ pub fn decompose(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> Option
             _ => invariant_term(proc, body, lv, e),
         },
         Expr::Unary {
-            op: UnOp::Neg,
-            arg,
-            ..
+            op: UnOp::Neg, arg, ..
         } => Some(decompose(proc, body, lv, arg)?.neg()),
         Expr::Cast { arg, .. } => decompose(proc, body, lv, arg),
         _ => invariant_term(proc, body, lv, e),
@@ -280,12 +275,7 @@ mod tests {
             BinOp::Add,
             ScalarType::Ptr,
             Expr::var(p),
-            Expr::binary(
-                BinOp::Add,
-                ScalarType::Ptr,
-                Expr::var(p),
-                Expr::var(lv),
-            ),
+            Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::var(p), Expr::var(lv)),
         );
         let a = decompose(&proc, &[], lv, &e).unwrap();
         assert_eq!(a.coeff, 1);
@@ -364,12 +354,7 @@ mod tests {
         b.assign_var(q, Expr::int(0)); // q defined in body
         let proc = b.finish();
         let body = proc.body.clone();
-        let e = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::var(q),
-            Expr::var(lv),
-        );
+        let e = Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::var(q), Expr::var(lv));
         assert!(decompose(&proc, &body, lv, &e).is_none());
     }
 }

@@ -643,7 +643,9 @@ mod tests {
     use super::*;
     use titanc_il::StmtKind;
     use titanc_lower::compile_to_il;
-    use titanc_opt::{convert_while_loops, eliminate_dead_code, forward_substitute, induction_substitution};
+    use titanc_opt::{
+        convert_while_loops, eliminate_dead_code, forward_substitute, induction_substitution,
+    };
 
     /// Compile, convert, substitute, clean — then find the first DO loop.
     fn prep(src: &str) -> (Procedure, VarId, Vec<Stmt>, Option<i64>) {
@@ -666,9 +668,7 @@ mod tests {
                 } = &s.kind
                 {
                     let trips = match (lo.as_int(), hi.as_int(), step.as_int()) {
-                        (Some(l), Some(h), Some(st)) if st != 0 => {
-                            Some(((h - l + st) / st).max(0))
-                        }
+                        (Some(l), Some(h), Some(st)) if st != 0 => Some(((h - l + st) / st).max(0)),
                         _ => None,
                     };
                     found = Some((*var, body.clone(), trips));
@@ -688,7 +688,9 @@ void f(void) { int i; for (i = 0; i < 100; i++) a[i] = b[i] + 1.0f; }
         let (proc, lv, body, trips) = prep(src);
         let g = DepGraph::build(&proc, &body, lv, trips, Aliasing::C);
         assert!(
-            g.edges.iter().all(|e| e.scalar || !e.verdict.may_depend() || !e.carried),
+            g.edges
+                .iter()
+                .all(|e| e.scalar || !e.verdict.may_depend() || !e.carried),
             "{:?}",
             g.edges
         );
@@ -714,7 +716,10 @@ void f(int n)
         let g = DepGraph::build(&proc, &body, lv, trips, Aliasing::C);
         let dists = g.carried_true_distances();
         assert_eq!(dists.len(), 1, "edges: {:#?}", g.edges);
-        assert_eq!(dists[0].1, 1, "x[i+1] stored, x[i] read one iteration later");
+        assert_eq!(
+            dists[0].1, 1,
+            "x[i+1] stored, x[i] read one iteration later"
+        );
         assert!(!g.iterations_independent());
     }
 
@@ -744,10 +749,7 @@ void f(int n) { int i; for (i = 0; i < n; i++) x[i + 1] = x[i] * 2.0f; }
 "#;
         let (proc, lv, body, trips) = prep(src);
         let g = DepGraph::build(&proc, &body, lv, trips, Aliasing::C);
-        let store_stmt = body
-            .iter()
-            .position(|s| s.writes_memory())
-            .unwrap();
+        let store_stmt = body.iter().position(|s| s.writes_memory()).unwrap();
         assert!(g.has_carried_self_cycle(store_stmt), "{:#?}", g.edges);
     }
 
@@ -812,7 +814,10 @@ void f(void)
         let sccs = g.sccs();
         // find positions of the two stores
         let pos_t = sccs.iter().position(|c| c.contains(&0)).unwrap();
-        let pos_b = sccs.iter().position(|c| c.contains(&(body.len() - 1))).unwrap();
+        let pos_b = sccs
+            .iter()
+            .position(|c| c.contains(&(body.len() - 1)))
+            .unwrap();
         assert!(pos_t < pos_b, "producer before consumer: {sccs:?}");
     }
 

@@ -42,7 +42,11 @@ pub use graph::{Aliasing, DepEdge, DepGraph, DepKind, MemRef};
 pub use test::{test_pair, Verdict};
 
 /// The constant trip count of a DO loop, when its bounds fold.
-pub fn const_trip_count(lo: &titanc_il::Expr, hi: &titanc_il::Expr, step: &titanc_il::Expr) -> Option<i64> {
+pub fn const_trip_count(
+    lo: &titanc_il::Expr,
+    hi: &titanc_il::Expr,
+    step: &titanc_il::Expr,
+) -> Option<i64> {
     match (lo.as_int(), hi.as_int(), step.as_int()) {
         (Some(l), Some(h), Some(s)) if s != 0 => Some(((h - l + s) / s).max(0)),
         _ => None,

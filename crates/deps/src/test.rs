@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn ziv() {
-        assert_eq!(test_pair(&aff(0, 4), &aff(0, 4), None), Verdict::Distance(0));
-        assert_eq!(test_pair(&aff(0, 4), &aff(0, 8), None), Verdict::Independent);
+        assert_eq!(
+            test_pair(&aff(0, 4), &aff(0, 4), None),
+            Verdict::Distance(0)
+        );
+        assert_eq!(
+            test_pair(&aff(0, 4), &aff(0, 8), None),
+            Verdict::Independent
+        );
     }
 
     #[test]
@@ -147,7 +153,10 @@ mod tests {
 
     #[test]
     fn strong_siv_same_element() {
-        assert_eq!(test_pair(&aff(4, 0), &aff(4, 0), None), Verdict::Distance(0));
+        assert_eq!(
+            test_pair(&aff(4, 0), &aff(4, 0), None),
+            Verdict::Distance(0)
+        );
     }
 
     #[test]
@@ -201,7 +210,10 @@ mod tests {
     #[test]
     fn banerjee_bounds_admit() {
         // 4*k1 + 0 = -4*k2 + 20 reachable within 10 iterations
-        assert_eq!(test_pair(&aff(4, 0), &aff(-4, 20), Some(10)), Verdict::Unknown);
+        assert_eq!(
+            test_pair(&aff(4, 0), &aff(-4, 20), Some(10)),
+            Verdict::Unknown
+        );
     }
 
     #[test]
@@ -214,7 +226,10 @@ mod tests {
 
     #[test]
     fn zero_trip_loop_is_independent() {
-        assert_eq!(test_pair(&aff(4, 0), &aff(8, 0), Some(0)), Verdict::Independent);
+        assert_eq!(
+            test_pair(&aff(4, 0), &aff(8, 0), Some(0)),
+            Verdict::Independent
+        );
     }
 
     #[test]
@@ -226,19 +241,37 @@ mod tests {
         assert!(!Verdict::Independent.may_depend());
     }
 
+    /// Deterministic xorshift64* generator (no external crates).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform value in `[lo, hi]`.
+        fn range(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (self.next() % (hi - lo + 1) as u64) as i64
+        }
+    }
+
     /// Soundness: brute-force check on random affine pairs — the test may
     /// report a false dependence but must never report independence when a
     /// concrete collision exists.
     #[test]
     fn soundness_vs_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11E);
+        let mut rng = Rng(0xA11E);
         for _ in 0..2000 {
-            let a1 = rng.gen_range(-6..=6i64);
-            let a2 = rng.gen_range(-6..=6i64);
-            let c1 = rng.gen_range(-24..=24i64);
-            let c2 = rng.gen_range(-24..=24i64);
-            let n = rng.gen_range(0..=12i64);
+            let a1 = rng.range(-6, 6);
+            let a2 = rng.range(-6, 6);
+            let c1 = rng.range(-24, 24);
+            let c2 = rng.range(-24, 24);
+            let n = rng.range(0, 12);
             let verdict = test_pair(&aff(a1, c1), &aff(a2, c2), Some(n));
             let mut collision = None;
             for k1 in 0..n {

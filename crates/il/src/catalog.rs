@@ -7,13 +7,13 @@
 //! procedures plus the struct layouts and globals they reference, so a
 //! compilation can link any subset in by name.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::program::{Procedure, Program, StructDef, VarInfo};
-use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
 /// A serializable library of parsed procedures (§7).
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Catalog {
     /// Catalog name (e.g. `"blas"`).
     pub name: String,
@@ -56,13 +56,14 @@ impl Catalog {
     }
 
     /// Serializes the catalog to a JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if serialization fails (it cannot for well-formed
-    /// catalogs).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("procs", self.procs.to_json()),
+            ("structs", self.structs.to_json()),
+            ("globals", self.globals.to_json()),
+        ])
+        .to_string_compact()
     }
 
     /// Parses a catalog from JSON.
@@ -70,8 +71,14 @@ impl Catalog {
     /// # Errors
     ///
     /// Returns an error when the JSON is not a valid catalog.
-    pub fn from_json(s: &str) -> serde_json::Result<Catalog> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Catalog, JsonError> {
+        let doc = crate::json::parse(s)?;
+        Ok(Catalog {
+            name: String::from_json(doc.field("name")?)?,
+            procs: Vec::from_json(doc.field("procs")?)?,
+            structs: Vec::from_json(doc.field("structs")?)?,
+            globals: Vec::from_json(doc.field("globals")?)?,
+        })
     }
 
     /// Saves the catalog to a file.
@@ -80,10 +87,7 @@ impl Catalog {
     ///
     /// Returns any I/O error from writing the file.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = self
-            .to_json()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json())
     }
 
     /// Loads a catalog from a file.
@@ -140,7 +144,7 @@ mod tests {
         let mut c = Catalog::new("blas");
         c.add(sample_proc("daxpy"));
         c.add(sample_proc("ddot"));
-        let json = c.to_json().unwrap();
+        let json = c.to_json();
         let back = Catalog::from_json(&json).unwrap();
         assert_eq!(c, back);
         assert!(back.proc_by_name("ddot").is_some());

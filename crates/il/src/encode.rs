@@ -1,0 +1,657 @@
+//! [`ToJson`]/[`FromJson`] conversions for the IL type tree.
+//!
+//! Only the types a [`crate::Catalog`] contains are encoded: procedures,
+//! statements, expressions, types, symbol-table entries and struct
+//! layouts. The encoding is externally tagged (unit variants as strings,
+//! data variants as single-key objects) so catalogs stay diffable.
+
+use crate::expr::{BinOp, Expr, LValue, UnOp};
+use crate::ids::{LabelId, ProcId, StmtId, StructId, VarId};
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::program::{ConstInit, Field, Procedure, Storage, StructDef, VarInfo};
+use crate::stmt::{Stmt, StmtKind};
+use crate::types::{ScalarType, Type};
+
+fn bad(what: &str, got: &str) -> JsonError {
+    JsonError {
+        message: format!("unknown {what} `{got}`"),
+        offset: 0,
+    }
+}
+
+macro_rules! id_json {
+    ($ty:ident) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(i64::from(self.0))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                Ok($ty(u32::from_json(v)?))
+            }
+        }
+    };
+}
+
+id_json!(VarId);
+id_json!(ProcId);
+id_json!(LabelId);
+id_json!(StmtId);
+id_json!(StructId);
+
+macro_rules! unit_enum_json {
+    ($ty:ident, $what:expr, [$($variant:ident),+ $(,)?]) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                Json::Str(name.to_string())
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                match v.as_str()? {
+                    $(stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err(bad($what, other)),
+                }
+            }
+        }
+    };
+}
+
+unit_enum_json!(ScalarType, "scalar type", [Char, Int, Float, Double, Ptr]);
+unit_enum_json!(
+    Storage,
+    "storage class",
+    [Auto, Param, Temp, Static, Global]
+);
+unit_enum_json!(
+    BinOp,
+    "binary operator",
+    [Add, Sub, Mul, Div, Rem, Eq, Ne, Lt, Le, Gt, Ge, BitAnd, BitOr, BitXor, Shl, Shr, Min, Max,]
+);
+unit_enum_json!(UnOp, "unary operator", [Neg, Not, BitNot]);
+
+impl ToJson for Type {
+    fn to_json(&self) -> Json {
+        match self {
+            Type::Void => Json::Str("Void".into()),
+            Type::Char => Json::Str("Char".into()),
+            Type::Int => Json::Str("Int".into()),
+            Type::Float => Json::Str("Float".into()),
+            Type::Double => Json::Str("Double".into()),
+            Type::Ptr(inner) => Json::tagged("Ptr", inner.to_json()),
+            Type::Array(elem, n) => {
+                Json::tagged("Array", Json::Arr(vec![elem.to_json(), n.to_json()]))
+            }
+            Type::Struct(sid) => Json::tagged("Struct", sid.to_json()),
+        }
+    }
+}
+
+impl FromJson for Type {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        match (tag, payload) {
+            ("Void", None) => Ok(Type::Void),
+            ("Char", None) => Ok(Type::Char),
+            ("Int", None) => Ok(Type::Int),
+            ("Float", None) => Ok(Type::Float),
+            ("Double", None) => Ok(Type::Double),
+            ("Ptr", Some(p)) => Ok(Type::Ptr(Box::from_json(p)?)),
+            ("Array", Some(p)) => {
+                let [elem, n] = two(p)?;
+                Ok(Type::Array(Box::from_json(elem)?, usize::from_json(n)?))
+            }
+            ("Struct", Some(p)) => Ok(Type::Struct(StructId::from_json(p)?)),
+            _ => Err(bad("type", tag)),
+        }
+    }
+}
+
+fn two(v: &Json) -> Result<[&Json; 2], JsonError> {
+    match v.as_arr()? {
+        [a, b] => Ok([a, b]),
+        _ => Err(JsonError {
+            message: "expected a 2-element array".into(),
+            offset: 0,
+        }),
+    }
+}
+
+impl ToJson for Expr {
+    fn to_json(&self) -> Json {
+        match self {
+            Expr::IntConst(v) => Json::tagged("IntConst", v.to_json()),
+            Expr::FloatConst(v, ty) => {
+                Json::tagged("FloatConst", Json::Arr(vec![v.to_json(), ty.to_json()]))
+            }
+            Expr::Var(v) => Json::tagged("Var", v.to_json()),
+            Expr::AddrOf(v) => Json::tagged("AddrOf", v.to_json()),
+            Expr::Load { addr, ty, volatile } => Json::tagged(
+                "Load",
+                Json::obj(vec![
+                    ("addr", addr.to_json()),
+                    ("ty", ty.to_json()),
+                    ("volatile", volatile.to_json()),
+                ]),
+            ),
+            Expr::Unary { op, ty, arg } => Json::tagged(
+                "Unary",
+                Json::obj(vec![
+                    ("op", op.to_json()),
+                    ("ty", ty.to_json()),
+                    ("arg", arg.to_json()),
+                ]),
+            ),
+            Expr::Binary { op, ty, lhs, rhs } => Json::tagged(
+                "Binary",
+                Json::obj(vec![
+                    ("op", op.to_json()),
+                    ("ty", ty.to_json()),
+                    ("lhs", lhs.to_json()),
+                    ("rhs", rhs.to_json()),
+                ]),
+            ),
+            Expr::Cast { to, from, arg } => Json::tagged(
+                "Cast",
+                Json::obj(vec![
+                    ("to", to.to_json()),
+                    ("from", from.to_json()),
+                    ("arg", arg.to_json()),
+                ]),
+            ),
+            Expr::Section {
+                base,
+                len,
+                stride,
+                ty,
+            } => Json::tagged(
+                "Section",
+                Json::obj(vec![
+                    ("base", base.to_json()),
+                    ("len", len.to_json()),
+                    ("stride", stride.to_json()),
+                    ("ty", ty.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Expr {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        let p = payload.ok_or_else(|| bad("expression", tag))?;
+        match tag {
+            "IntConst" => Ok(Expr::IntConst(i64::from_json(p)?)),
+            "FloatConst" => {
+                let [f, ty] = two(p)?;
+                Ok(Expr::FloatConst(
+                    f64::from_json(f)?,
+                    ScalarType::from_json(ty)?,
+                ))
+            }
+            "Var" => Ok(Expr::Var(VarId::from_json(p)?)),
+            "AddrOf" => Ok(Expr::AddrOf(VarId::from_json(p)?)),
+            "Load" => Ok(Expr::Load {
+                addr: Box::from_json(p.field("addr")?)?,
+                ty: ScalarType::from_json(p.field("ty")?)?,
+                volatile: bool::from_json(p.field("volatile")?)?,
+            }),
+            "Unary" => Ok(Expr::Unary {
+                op: UnOp::from_json(p.field("op")?)?,
+                ty: ScalarType::from_json(p.field("ty")?)?,
+                arg: Box::from_json(p.field("arg")?)?,
+            }),
+            "Binary" => Ok(Expr::Binary {
+                op: BinOp::from_json(p.field("op")?)?,
+                ty: ScalarType::from_json(p.field("ty")?)?,
+                lhs: Box::from_json(p.field("lhs")?)?,
+                rhs: Box::from_json(p.field("rhs")?)?,
+            }),
+            "Cast" => Ok(Expr::Cast {
+                to: ScalarType::from_json(p.field("to")?)?,
+                from: ScalarType::from_json(p.field("from")?)?,
+                arg: Box::from_json(p.field("arg")?)?,
+            }),
+            "Section" => Ok(Expr::Section {
+                base: Box::from_json(p.field("base")?)?,
+                len: Box::from_json(p.field("len")?)?,
+                stride: Box::from_json(p.field("stride")?)?,
+                ty: ScalarType::from_json(p.field("ty")?)?,
+            }),
+            other => Err(bad("expression", other)),
+        }
+    }
+}
+
+impl ToJson for LValue {
+    fn to_json(&self) -> Json {
+        match self {
+            LValue::Var(v) => Json::tagged("Var", v.to_json()),
+            LValue::Deref { addr, ty, volatile } => Json::tagged(
+                "Deref",
+                Json::obj(vec![
+                    ("addr", addr.to_json()),
+                    ("ty", ty.to_json()),
+                    ("volatile", volatile.to_json()),
+                ]),
+            ),
+            LValue::Section {
+                base,
+                len,
+                stride,
+                ty,
+            } => Json::tagged(
+                "Section",
+                Json::obj(vec![
+                    ("base", base.to_json()),
+                    ("len", len.to_json()),
+                    ("stride", stride.to_json()),
+                    ("ty", ty.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for LValue {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        let p = payload.ok_or_else(|| bad("lvalue", tag))?;
+        match tag {
+            "Var" => Ok(LValue::Var(VarId::from_json(p)?)),
+            "Deref" => Ok(LValue::Deref {
+                addr: Expr::from_json(p.field("addr")?)?,
+                ty: ScalarType::from_json(p.field("ty")?)?,
+                volatile: bool::from_json(p.field("volatile")?)?,
+            }),
+            "Section" => Ok(LValue::Section {
+                base: Expr::from_json(p.field("base")?)?,
+                len: Expr::from_json(p.field("len")?)?,
+                stride: Expr::from_json(p.field("stride")?)?,
+                ty: ScalarType::from_json(p.field("ty")?)?,
+            }),
+            other => Err(bad("lvalue", other)),
+        }
+    }
+}
+
+impl ToJson for Stmt {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.to_json()),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Stmt {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Stmt {
+            id: StmtId::from_json(v.field("id")?)?,
+            kind: StmtKind::from_json(v.field("kind")?)?,
+        })
+    }
+}
+
+impl ToJson for StmtKind {
+    fn to_json(&self) -> Json {
+        match self {
+            StmtKind::Assign { lhs, rhs } => Json::tagged(
+                "Assign",
+                Json::obj(vec![("lhs", lhs.to_json()), ("rhs", rhs.to_json())]),
+            ),
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => Json::tagged(
+                "If",
+                Json::obj(vec![
+                    ("cond", cond.to_json()),
+                    ("then_blk", then_blk.to_json()),
+                    ("else_blk", else_blk.to_json()),
+                ]),
+            ),
+            StmtKind::While { cond, body, safe } => Json::tagged(
+                "While",
+                Json::obj(vec![
+                    ("cond", cond.to_json()),
+                    ("body", body.to_json()),
+                    ("safe", safe.to_json()),
+                ]),
+            ),
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                safe,
+            } => Json::tagged(
+                "DoLoop",
+                Json::obj(vec![
+                    ("var", var.to_json()),
+                    ("lo", lo.to_json()),
+                    ("hi", hi.to_json()),
+                    ("step", step.to_json()),
+                    ("body", body.to_json()),
+                    ("safe", safe.to_json()),
+                ]),
+            ),
+            StmtKind::DoParallel {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => Json::tagged(
+                "DoParallel",
+                Json::obj(vec![
+                    ("var", var.to_json()),
+                    ("lo", lo.to_json()),
+                    ("hi", hi.to_json()),
+                    ("step", step.to_json()),
+                    ("body", body.to_json()),
+                ]),
+            ),
+            StmtKind::WhileSpread {
+                cond,
+                parallel,
+                serial,
+            } => Json::tagged(
+                "WhileSpread",
+                Json::obj(vec![
+                    ("cond", cond.to_json()),
+                    ("parallel", parallel.to_json()),
+                    ("serial", serial.to_json()),
+                ]),
+            ),
+            StmtKind::Label(l) => Json::tagged("Label", l.to_json()),
+            StmtKind::Goto(l) => Json::tagged("Goto", l.to_json()),
+            StmtKind::IfGoto { cond, target } => Json::tagged(
+                "IfGoto",
+                Json::obj(vec![("cond", cond.to_json()), ("target", target.to_json())]),
+            ),
+            StmtKind::Call { dst, callee, args } => Json::tagged(
+                "Call",
+                Json::obj(vec![
+                    ("dst", dst.to_json()),
+                    ("callee", callee.to_json()),
+                    ("args", args.to_json()),
+                ]),
+            ),
+            StmtKind::Return(e) => Json::tagged("Return", e.to_json()),
+            StmtKind::Nop => Json::Str("Nop".into()),
+        }
+    }
+}
+
+impl FromJson for StmtKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        if tag == "Nop" {
+            return Ok(StmtKind::Nop);
+        }
+        let p = payload.ok_or_else(|| bad("statement", tag))?;
+        match tag {
+            "Assign" => Ok(StmtKind::Assign {
+                lhs: LValue::from_json(p.field("lhs")?)?,
+                rhs: Expr::from_json(p.field("rhs")?)?,
+            }),
+            "If" => Ok(StmtKind::If {
+                cond: Expr::from_json(p.field("cond")?)?,
+                then_blk: Vec::from_json(p.field("then_blk")?)?,
+                else_blk: Vec::from_json(p.field("else_blk")?)?,
+            }),
+            "While" => Ok(StmtKind::While {
+                cond: Expr::from_json(p.field("cond")?)?,
+                body: Vec::from_json(p.field("body")?)?,
+                safe: bool::from_json(p.field("safe")?)?,
+            }),
+            "DoLoop" => Ok(StmtKind::DoLoop {
+                var: VarId::from_json(p.field("var")?)?,
+                lo: Expr::from_json(p.field("lo")?)?,
+                hi: Expr::from_json(p.field("hi")?)?,
+                step: Expr::from_json(p.field("step")?)?,
+                body: Vec::from_json(p.field("body")?)?,
+                safe: bool::from_json(p.field("safe")?)?,
+            }),
+            "DoParallel" => Ok(StmtKind::DoParallel {
+                var: VarId::from_json(p.field("var")?)?,
+                lo: Expr::from_json(p.field("lo")?)?,
+                hi: Expr::from_json(p.field("hi")?)?,
+                step: Expr::from_json(p.field("step")?)?,
+                body: Vec::from_json(p.field("body")?)?,
+            }),
+            "WhileSpread" => Ok(StmtKind::WhileSpread {
+                cond: Expr::from_json(p.field("cond")?)?,
+                parallel: Vec::from_json(p.field("parallel")?)?,
+                serial: Vec::from_json(p.field("serial")?)?,
+            }),
+            "Label" => Ok(StmtKind::Label(LabelId::from_json(p)?)),
+            "Goto" => Ok(StmtKind::Goto(LabelId::from_json(p)?)),
+            "IfGoto" => Ok(StmtKind::IfGoto {
+                cond: Expr::from_json(p.field("cond")?)?,
+                target: LabelId::from_json(p.field("target")?)?,
+            }),
+            "Call" => Ok(StmtKind::Call {
+                dst: Option::from_json(p.field("dst")?)?,
+                callee: String::from_json(p.field("callee")?)?,
+                args: Vec::from_json(p.field("args")?)?,
+            }),
+            "Return" => Ok(StmtKind::Return(Option::from_json(p)?)),
+            other => Err(bad("statement", other)),
+        }
+    }
+}
+
+impl ToJson for ConstInit {
+    fn to_json(&self) -> Json {
+        match self {
+            ConstInit::Int(v) => Json::tagged("Int", v.to_json()),
+            ConstInit::Float(v) => Json::tagged("Float", v.to_json()),
+        }
+    }
+}
+
+impl FromJson for ConstInit {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        let p = payload.ok_or_else(|| bad("initializer", tag))?;
+        match tag {
+            "Int" => Ok(ConstInit::Int(i64::from_json(p)?)),
+            "Float" => Ok(ConstInit::Float(f64::from_json(p)?)),
+            other => Err(bad("initializer", other)),
+        }
+    }
+}
+
+impl ToJson for VarInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("ty", self.ty.to_json()),
+            ("storage", self.storage.to_json()),
+            ("volatile", self.volatile.to_json()),
+            ("addressed", self.addressed.to_json()),
+            ("init", self.init.to_json()),
+        ])
+    }
+}
+
+impl FromJson for VarInfo {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(VarInfo {
+            name: String::from_json(v.field("name")?)?,
+            ty: Type::from_json(v.field("ty")?)?,
+            storage: Storage::from_json(v.field("storage")?)?,
+            volatile: bool::from_json(v.field("volatile")?)?,
+            addressed: bool::from_json(v.field("addressed")?)?,
+            init: Option::from_json(v.field("init")?)?,
+        })
+    }
+}
+
+impl ToJson for Field {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("ty", self.ty.to_json()),
+            ("offset", self.offset.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Field {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Field {
+            name: String::from_json(v.field("name")?)?,
+            ty: Type::from_json(v.field("ty")?)?,
+            offset: i64::from_json(v.field("offset")?)?,
+        })
+    }
+}
+
+impl ToJson for StructDef {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("fields", self.fields.to_json()),
+            ("size", self.size.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StructDef {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(StructDef {
+            name: String::from_json(v.field("name")?)?,
+            fields: Vec::from_json(v.field("fields")?)?,
+            size: i64::from_json(v.field("size")?)?,
+        })
+    }
+}
+
+impl ToJson for Procedure {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("ret", self.ret.to_json()),
+            ("params", self.params.to_json()),
+            ("vars", self.vars.to_json()),
+            ("num_labels", self.num_labels.to_json()),
+            ("body", self.body.to_json()),
+            ("next_stmt", self.next_stmt.to_json()),
+            ("next_temp", self.next_temp.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Procedure {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut p = Procedure::new(
+            String::from_json(v.field("name")?)?,
+            Type::from_json(v.field("ret")?)?,
+        );
+        p.params = Vec::from_json(v.field("params")?)?;
+        p.vars = Vec::from_json(v.field("vars")?)?;
+        p.num_labels = u32::from_json(v.field("num_labels")?)?;
+        p.body = Vec::from_json(v.field("body")?)?;
+        p.next_stmt = u32::from_json(v.field("next_stmt")?)?;
+        p.next_temp = u32::from_json(v.field("next_temp")?)?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+
+    #[test]
+    fn expr_roundtrip() {
+        let e = Expr::binary(
+            BinOp::Mul,
+            ScalarType::Double,
+            Expr::double(2.5),
+            Expr::load(Expr::addr_of(VarId(9)), ScalarType::Double),
+        );
+        let text = e.to_json().to_string_compact();
+        let back = Expr::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn procedure_roundtrip_preserves_counters() {
+        let mut b = ProcBuilder::new("f", Type::Int);
+        let n = b.param("n", Type::Int);
+        let s = b.local("s", Type::Int);
+        let i = b.local("i", Type::Int);
+        b.assign_var(s, Expr::int(0));
+        let body = {
+            let mut lb = b.block();
+            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            lb.stmts()
+        };
+        b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
+        b.ret(Some(Expr::var(s)));
+        let mut p = b.finish();
+        // exercise the private counters so the roundtrip must carry them
+        p.fresh_temp(Type::Float);
+        let text = p.to_json().to_string_compact();
+        let back = Procedure::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(p.next_stmt, back.next_stmt);
+        assert_eq!(p.next_temp, back.next_temp);
+    }
+
+    #[test]
+    fn all_statement_kinds_roundtrip() {
+        let kinds = vec![
+            StmtKind::Nop,
+            StmtKind::Label(LabelId(2)),
+            StmtKind::Goto(LabelId(2)),
+            StmtKind::Return(None),
+            StmtKind::Return(Some(Expr::int(1))),
+            StmtKind::IfGoto {
+                cond: Expr::int(1),
+                target: LabelId(0),
+            },
+            StmtKind::Call {
+                dst: Some(LValue::Var(VarId(0))),
+                callee: "f".into(),
+                args: vec![Expr::int(1), Expr::float(2.0)],
+            },
+            StmtKind::WhileSpread {
+                cond: Expr::var(VarId(0)),
+                parallel: vec![Stmt::new(StmtId(1), StmtKind::Nop)],
+                serial: vec![],
+            },
+            StmtKind::DoParallel {
+                var: VarId(1),
+                lo: Expr::int(0),
+                hi: Expr::int(9),
+                step: Expr::int(1),
+                body: vec![],
+            },
+        ];
+        for kind in kinds {
+            let s = Stmt::new(StmtId(7), kind);
+            let text = s.to_json().to_string_compact();
+            let back = Stmt::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_variant() {
+        let doc = crate::json::parse("{\"Bogus\":1}").unwrap();
+        assert!(Expr::from_json(&doc).is_err());
+        assert!(Type::from_json(&doc).is_err());
+    }
+}

@@ -9,12 +9,11 @@
 
 use crate::ids::VarId;
 use crate::types::ScalarType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Binary operators. Comparisons yield an `Int` 0/1; `Min`/`Max` are IL
 /// intrinsics used by strip mining (§9's `vr = min(99, vi+31)`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
     /// Addition.
     Add,
@@ -105,7 +104,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum UnOp {
     /// Arithmetic negation.
     Neg,
@@ -127,7 +126,7 @@ impl UnOp {
 }
 
 /// A pure IL expression.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Expr {
     /// An integer constant (also used for char and pointer constants).
     IntConst(i64),
@@ -404,7 +403,7 @@ impl fmt::Display for Expr {
 }
 
 /// The target of an assignment statement.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum LValue {
     /// A scalar variable.
     Var(VarId),
@@ -565,9 +564,19 @@ mod tests {
     #[test]
     fn result_types() {
         let vt = |_: VarId| ScalarType::Float;
-        let cmp = Expr::binary(BinOp::Lt, ScalarType::Float, Expr::var(v(0)), Expr::float(1.0));
+        let cmp = Expr::binary(
+            BinOp::Lt,
+            ScalarType::Float,
+            Expr::var(v(0)),
+            Expr::float(1.0),
+        );
         assert_eq!(cmp.result_type(&vt), ScalarType::Int);
-        let add = Expr::binary(BinOp::Add, ScalarType::Float, Expr::var(v(0)), Expr::float(1.0));
+        let add = Expr::binary(
+            BinOp::Add,
+            ScalarType::Float,
+            Expr::var(v(0)),
+            Expr::float(1.0),
+        );
         assert_eq!(add.result_type(&vt), ScalarType::Float);
         assert_eq!(Expr::addr_of(v(0)).result_type(&vt), ScalarType::Ptr);
     }
@@ -604,15 +613,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
+        use crate::json::{FromJson, ToJson};
         let e = Expr::binary(
             BinOp::Mul,
             ScalarType::Double,
             Expr::double(2.5),
             Expr::load(Expr::addr_of(v(9)), ScalarType::Double),
         );
-        let js = serde_json::to_string(&e).unwrap();
-        let back: Expr = serde_json::from_str(&js).unwrap();
+        let js = e.to_json().to_string_compact();
+        let back = Expr::from_json(&crate::json::parse(&js).unwrap()).unwrap();
         assert_eq!(e, back);
     }
 }

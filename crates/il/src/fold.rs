@@ -104,8 +104,9 @@ pub fn eval_binop(op: BinOp, ty: ScalarType, a: Value, b: Value) -> Option<Value
             BinOp::Le => return Some(Value::Int(i64::from(x <= y))),
             BinOp::Gt => return Some(Value::Int(i64::from(x > y))),
             BinOp::Ge => return Some(Value::Int(i64::from(x >= y))),
-            BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl
-            | BinOp::Shr => return None, // ill-typed on floats
+            BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                return None
+            } // ill-typed on floats
         };
         Some(normalize(Value::Float(r), ty))
     } else {
@@ -140,7 +141,11 @@ pub fn eval_binop(op: BinOp, ty: ScalarType, a: Value, b: Value) -> Option<Value
             BinOp::Min => x.min(y),
             BinOp::Max => x.max(y),
         };
-        let result_ty = if op.is_comparison() { ScalarType::Int } else { ty };
+        let result_ty = if op.is_comparison() {
+            ScalarType::Int
+        } else {
+            ty
+        };
         Some(normalize(Value::Int(r), result_ty))
     }
 }
@@ -175,7 +180,11 @@ fn fold_node(e: &mut Expr) {
     match e {
         Expr::Unary { op, ty, arg } => {
             if let Some(v) = const_value(arg) {
-                let result_ty = if *op == UnOp::Not { ScalarType::Int } else { *ty };
+                let result_ty = if *op == UnOp::Not {
+                    ScalarType::Int
+                } else {
+                    *ty
+                };
                 *e = value_to_expr(eval_unop(*op, *ty, v), result_ty);
             }
         }
@@ -187,7 +196,11 @@ fn fold_node(e: &mut Expr) {
         Expr::Binary { op, ty, lhs, rhs } => {
             if let (Some(a), Some(b)) = (const_value(lhs), const_value(rhs)) {
                 if let Some(v) = eval_binop(*op, *ty, a, b) {
-                    let result_ty = if op.is_comparison() { ScalarType::Int } else { *ty };
+                    let result_ty = if op.is_comparison() {
+                        ScalarType::Int
+                    } else {
+                        *ty
+                    };
                     *e = value_to_expr(v, result_ty);
                     return;
                 }
@@ -215,10 +228,9 @@ fn fold_node(e: &mut Expr) {
                         *e = (**rhs).clone();
                     }
                 }
-                BinOp::Sub
-                    if rhs_c.is_some_and(is_zero) => {
-                        *e = (**lhs).clone();
-                    }
+                BinOp::Sub if rhs_c.is_some_and(is_zero) => {
+                    *e = (**lhs).clone();
+                }
                 BinOp::Mul => {
                     if rhs_c.is_some_and(is_one) {
                         *e = (**lhs).clone();
@@ -232,10 +244,9 @@ fn fold_node(e: &mut Expr) {
                         *e = Expr::int(0);
                     }
                 }
-                BinOp::Div
-                    if rhs_c.is_some_and(is_one) => {
-                        *e = (**lhs).clone();
-                    }
+                BinOp::Div if rhs_c.is_some_and(is_one) => {
+                    *e = (**lhs).clone();
+                }
                 _ => {}
             }
         }
@@ -304,7 +315,12 @@ mod tests {
 
     #[test]
     fn comparisons_yield_int() {
-        let mut e = Expr::binary(BinOp::Lt, ScalarType::Double, Expr::double(1.0), Expr::double(2.0));
+        let mut e = Expr::binary(
+            BinOp::Lt,
+            ScalarType::Double,
+            Expr::double(1.0),
+            Expr::double(2.0),
+        );
         fold_expr(&mut e);
         assert_eq!(e, Expr::int(1));
     }

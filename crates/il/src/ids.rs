@@ -7,14 +7,13 @@
 //! table, a [`StmtId`] is a per-procedure unique statement stamp used by the
 //! analyses, and a [`ProcId`] indexes the [`crate::Program`] procedure list.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 
@@ -103,10 +102,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
+        use crate::json::{FromJson, ToJson};
         let p = ProcId(7);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: ProcId = serde_json::from_str(&json).unwrap();
+        let json = p.to_json().to_string_compact();
+        let back = ProcId::from_json(&crate::json::parse(&json).unwrap()).unwrap();
         assert_eq!(p, back);
     }
 }

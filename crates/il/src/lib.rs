@@ -50,13 +50,16 @@
 
 pub mod builder;
 pub mod catalog;
+pub mod encode;
 pub mod expr;
 pub mod fold;
 pub mod ids;
+pub mod json;
 pub mod pretty;
 pub mod program;
 pub mod stmt;
 pub mod types;
+pub mod verify;
 pub mod visit;
 
 pub use builder::{BlockBuilder, ProcBuilder};
@@ -64,7 +67,9 @@ pub use catalog::Catalog;
 pub use expr::{BinOp, Expr, LValue, UnOp};
 pub use fold::{fold_expr, Value};
 pub use ids::{LabelId, ProcId, StmtId, StructId, VarId};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pretty::{pretty_block, pretty_expr, pretty_proc};
 pub use program::{ConstInit, Field, Procedure, Program, Storage, StructDef, VarInfo};
 pub use stmt::{block_len, Stmt, StmtKind};
 pub use types::{ScalarType, Type};
+pub use verify::{verify_proc, verify_program, VerifyError};

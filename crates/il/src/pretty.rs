@@ -72,7 +72,11 @@ fn write_expr(out: &mut String, e: &Expr, proc: Option<&Procedure>) {
             out.push_str(&var_name(proc, *v));
         }
         Expr::Load { addr, ty, volatile } => {
-            let _ = write!(out, "*({ty}{} *)(", if *volatile { " volatile" } else { "" });
+            let _ = write!(
+                out,
+                "*({ty}{} *)(",
+                if *volatile { " volatile" } else { "" }
+            );
             write_expr(out, addr, proc);
             out.push(')');
         }
@@ -104,7 +108,10 @@ fn write_expr(out: &mut String, e: &Expr, proc: Option<&Procedure>) {
             out.push(')');
         }
         Expr::Section {
-            base, len, stride, ty,
+            base,
+            len,
+            stride,
+            ty,
         } => {
             let _ = write!(out, "({ty})[");
             write_expr(out, base, proc);
@@ -121,12 +128,19 @@ fn write_lvalue(out: &mut String, lv: &LValue, proc: Option<&Procedure>) {
     match lv {
         LValue::Var(v) => out.push_str(&var_name(proc, *v)),
         LValue::Deref { addr, ty, volatile } => {
-            let _ = write!(out, "*({ty}{} *)(", if *volatile { " volatile" } else { "" });
+            let _ = write!(
+                out,
+                "*({ty}{} *)(",
+                if *volatile { " volatile" } else { "" }
+            );
             write_expr(out, addr, proc);
             out.push(')');
         }
         LValue::Section {
-            base, len, stride, ty,
+            base,
+            len,
+            stride,
+            ty,
         } => {
             let _ = write!(out, "({ty})[");
             write_expr(out, base, proc);
@@ -239,7 +253,12 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
             let _ = writeln!(out, "{pad}}}");
         }
         StmtKind::Label(l) => {
-            let _ = writeln!(out, "{}lb_{}:;", "    ".repeat(depth.saturating_sub(1)), l.0);
+            let _ = writeln!(
+                out,
+                "{}lb_{}:;",
+                "    ".repeat(depth.saturating_sub(1)),
+                l.0
+            );
         }
         StmtKind::Goto(l) => {
             let _ = writeln!(out, "{pad}goto lb_{};", l.0);

@@ -4,10 +4,9 @@ use crate::expr::Expr;
 use crate::ids::{LabelId, ProcId, StmtId, StructId, VarId};
 use crate::stmt::{Stmt, StmtKind};
 use crate::types::{ScalarType, Type};
-use serde::{Deserialize, Serialize};
 
 /// Where a variable lives.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Storage {
     /// Stack local.
     Auto,
@@ -24,7 +23,7 @@ pub enum Storage {
 }
 
 /// A symbol-table entry for one variable.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct VarInfo {
     /// Source-level (or generated) name.
     pub name: String,
@@ -44,7 +43,7 @@ pub struct VarInfo {
 }
 
 /// A constant initializer for a global or static variable.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum ConstInit {
     /// Integral initializer.
     Int(i64),
@@ -60,7 +59,7 @@ impl VarInfo {
 }
 
 /// One field of a struct definition.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Field {
     /// Field name.
     pub name: String,
@@ -71,7 +70,7 @@ pub struct Field {
 }
 
 /// A struct layout, offsets already computed by the front end.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct StructDef {
     /// Struct tag.
     pub name: String,
@@ -89,7 +88,7 @@ impl StructDef {
 }
 
 /// One procedure: signature, symbol table, label table, statement tree.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Procedure {
     /// Procedure name (global linkage).
     pub name: String,
@@ -103,8 +102,8 @@ pub struct Procedure {
     pub num_labels: u32,
     /// The body.
     pub body: Vec<Stmt>,
-    next_stmt: u32,
-    next_temp: u32,
+    pub(crate) next_stmt: u32,
+    pub(crate) next_temp: u32,
 }
 
 impl Procedure {
@@ -284,7 +283,7 @@ impl Procedure {
 }
 
 /// A whole program: procedures, globals, struct layouts.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Program {
     /// All procedures.
     pub procs: Vec<Procedure>,

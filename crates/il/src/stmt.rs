@@ -8,7 +8,6 @@
 
 use crate::expr::{Expr, LValue};
 use crate::ids::{LabelId, StmtId, VarId};
-use serde::{Deserialize, Serialize};
 
 /// A statement with a stable per-procedure identity stamp.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// can refer to statements across transformation phases; passes that create
 /// statements allocate fresh stamps from
 /// [`crate::Procedure::fresh_stmt_id`].
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Stmt {
     /// The stable stamp.
     pub id: StmtId,
@@ -25,7 +24,7 @@ pub struct Stmt {
 }
 
 /// The payload of a [`Stmt`].
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum StmtKind {
     /// `lhs = rhs` — the IL's only scalar mutation. When both sides are
     /// vector sections this is a vector statement in the paper's triplet
@@ -213,10 +212,8 @@ impl Stmt {
                 vec![lo, hi, step]
             }
             StmtKind::Call { dst, args, .. } => {
-                let mut v: Vec<&mut Expr> = dst
-                    .iter_mut()
-                    .flat_map(|d| d.address_exprs_mut())
-                    .collect();
+                let mut v: Vec<&mut Expr> =
+                    dst.iter_mut().flat_map(|d| d.address_exprs_mut()).collect();
                 v.extend(args.iter_mut());
                 v
             }

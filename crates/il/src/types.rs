@@ -5,11 +5,10 @@
 //! end turns `*a++` on a `float *` into an explicit `a = a + 4`.
 
 use crate::ids::StructId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A machine scalar kind, the unit of loads, stores and arithmetic.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ScalarType {
     /// 1-byte signed character.
     Char,
@@ -59,7 +58,7 @@ impl fmt::Display for ScalarType {
 }
 
 /// A C-level type: scalars, pointers, arrays, structs, or `void`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Type {
     /// The absence of a value (function returns only).
     Void,

@@ -130,7 +130,13 @@ mod tests {
             Expr::int(4),
         );
         rewrite_expr(&mut e, &mut |node| {
-            if let Expr::Binary { op: BinOp::Add, lhs, rhs, .. } = node {
+            if let Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+                ..
+            } = node
+            {
                 if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
                     *node = Expr::int(a + b);
                 }
@@ -147,7 +153,10 @@ mod tests {
                 StmtId(1),
                 StmtKind::While {
                     cond: Expr::int(1),
-                    body: vec![Stmt::new(StmtId(2), StmtKind::Nop), assign(3, 0, Expr::int(1))],
+                    body: vec![
+                        Stmt::new(StmtId(2), StmtKind::Nop),
+                        assign(3, 0, Expr::int(1)),
+                    ],
                     safe: false,
                 },
             ),

@@ -1,55 +1,75 @@
 //! Property tests for the IL's arithmetic semantics: folding a constant
 //! expression must agree with direct evaluation, and expressions round-trip
-//! through serde.
+//! through the JSON encoding. Random trees come from a small deterministic
+//! generator (fixed-seed xorshift) so the suite needs no external crates
+//! and every run checks the same cases.
 
-use proptest::prelude::*;
-use titanc_il::fold::{const_value, eval_binop, eval_cast, eval_unop, fold_expr, Value};
-use titanc_il::{BinOp, Expr, ScalarType, UnOp};
+use titanc_il::fold::{const_value, eval_binop, eval_cast, eval_unop, fold_expr, normalize, Value};
+use titanc_il::{BinOp, Expr, FromJson, ScalarType, ToJson, UnOp};
 
-fn binop_strategy() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::Min),
-        Just(BinOp::Max),
-    ]
+const CASES: u64 = 512;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
 }
 
-fn int_kind_strategy() -> impl Strategy<Value = ScalarType> {
-    prop_oneof![
-        Just(ScalarType::Char),
-        Just(ScalarType::Int),
-        Just(ScalarType::Ptr),
-    ]
-}
+const BINOPS: [BinOp; 18] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Min,
+    BinOp::Max,
+];
 
-/// A constant integer expression tree plus its reference value.
-fn const_int_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = (-100i64..100).prop_map(Expr::int);
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        (
-            binop_strategy(),
-            int_kind_strategy(),
-            inner.clone(),
-            inner.clone(),
-        )
-            .prop_map(|(op, ty, l, r)| Expr::binary(op, ty, l, r))
-    })
-    .boxed()
+const INT_KINDS: [ScalarType; 3] = [ScalarType::Char, ScalarType::Int, ScalarType::Ptr];
+
+/// A random constant integer expression tree of the given maximum depth.
+fn const_int_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        return Expr::int(rng.range(-100, 100));
+    }
+    let op = BINOPS[rng.below(BINOPS.len() as u64) as usize];
+    let ty = INT_KINDS[rng.below(INT_KINDS.len() as u64) as usize];
+    let lhs = const_int_expr(rng, depth - 1);
+    let rhs = const_int_expr(rng, depth - 1);
+    Expr::binary(op, ty, lhs, rhs)
 }
 
 /// Reference evaluator: evaluate the tree directly with the shared
@@ -57,7 +77,7 @@ fn const_int_expr(depth: u32) -> BoxedStrategy<Expr> {
 fn reference_eval(e: &Expr) -> Option<Value> {
     match e {
         Expr::IntConst(v) => Some(Value::Int(*v)),
-        Expr::FloatConst(f, ty) => Some(titanc_il::fold::normalize(Value::Float(*f), *ty)),
+        Expr::FloatConst(f, ty) => Some(normalize(Value::Float(*f), *ty)),
         Expr::Binary { op, ty, lhs, rhs } => {
             let a = reference_eval(lhs)?;
             let b = reference_eval(rhs)?;
@@ -69,79 +89,101 @@ fn reference_eval(e: &Expr) -> Option<Value> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
-
-    /// Folding a fully-constant tree yields exactly the reference value
-    /// (or leaves a trapping subtree alone).
-    #[test]
-    fn fold_agrees_with_reference(e in const_int_expr(4)) {
+/// Folding a fully-constant tree yields exactly the reference value
+/// (or leaves a trapping subtree alone).
+#[test]
+fn fold_agrees_with_reference() {
+    let mut rng = Rng::new(0xF01D);
+    for _ in 0..CASES {
+        let e = const_int_expr(&mut rng, 4);
         let reference = reference_eval(&e);
         let mut folded = e.clone();
         fold_expr(&mut folded);
         match reference {
             Some(v) => {
                 let got = const_value(&folded);
-                prop_assert_eq!(got, Some(v), "tree: {}", e);
+                assert_eq!(got, Some(v), "tree: {e}");
             }
             None => {
                 // a division by zero somewhere: fold must not produce a
                 // constant for the whole tree out of thin air
-                prop_assert!(const_value(&folded).is_none() || reference_eval(&folded).is_some());
+                assert!(
+                    const_value(&folded).is_none() || reference_eval(&folded).is_some(),
+                    "tree: {e}"
+                );
             }
         }
     }
+}
 
-    /// Folding is idempotent.
-    #[test]
-    fn fold_is_idempotent(e in const_int_expr(4)) {
+/// Folding is idempotent.
+#[test]
+fn fold_is_idempotent() {
+    let mut rng = Rng::new(0x1DE0);
+    for _ in 0..CASES {
+        let e = const_int_expr(&mut rng, 4);
         let mut once = e.clone();
         fold_expr(&mut once);
         let mut twice = once.clone();
         fold_expr(&mut twice);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "tree: {e}");
     }
+}
 
-    /// Expressions survive a serde round-trip.
-    #[test]
-    fn expr_serde_roundtrip(e in const_int_expr(3)) {
-        let json = serde_json::to_string(&e).unwrap();
-        let back: Expr = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(e, back);
+/// Expressions survive a JSON round-trip.
+#[test]
+fn expr_json_roundtrip() {
+    let mut rng = Rng::new(0x105E);
+    for _ in 0..CASES {
+        let e = const_int_expr(&mut rng, 3);
+        let json = e.to_json().to_string_compact();
+        let back = Expr::from_json(&titanc_il::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(e, back);
     }
+}
 
-    /// Folding never changes the size class upward (no expression growth).
-    #[test]
-    fn fold_never_grows(e in const_int_expr(4)) {
+/// Folding never changes the size class upward (no expression growth).
+#[test]
+fn fold_never_grows() {
+    let mut rng = Rng::new(0x6064);
+    for _ in 0..CASES {
+        let e = const_int_expr(&mut rng, 4);
         let before = e.size();
-        let mut folded = e;
+        let mut folded = e.clone();
         fold_expr(&mut folded);
-        prop_assert!(folded.size() <= before);
+        assert!(folded.size() <= before, "tree: {e}");
     }
+}
 
-    /// Int kinds stay in range after normalization.
-    #[test]
-    fn normalization_ranges(v in any::<i64>()) {
-        use titanc_il::fold::normalize;
+/// Int kinds stay in range after normalization.
+#[test]
+fn normalization_ranges() {
+    let mut rng = Rng::new(0x4046);
+    for _ in 0..CASES {
+        let v = rng.next() as i64;
         match normalize(Value::Int(v), ScalarType::Char) {
-            Value::Int(c) => prop_assert!((-128..=127).contains(&c)),
-            _ => prop_assert!(false),
+            Value::Int(c) => assert!((-128..=127).contains(&c)),
+            _ => unreachable!("char normalization produced a float"),
         }
         match normalize(Value::Int(v), ScalarType::Int) {
-            Value::Int(c) => prop_assert!((i32::MIN as i64..=i32::MAX as i64).contains(&c)),
-            _ => prop_assert!(false),
+            Value::Int(c) => assert!((i32::MIN as i64..=i32::MAX as i64).contains(&c)),
+            _ => unreachable!("int normalization produced a float"),
         }
         match normalize(Value::Int(v), ScalarType::Ptr) {
-            Value::Int(c) => prop_assert!((0..=u32::MAX as i64).contains(&c)),
-            _ => prop_assert!(false),
+            Value::Int(c) => assert!((0..=u32::MAX as i64).contains(&c)),
+            _ => unreachable!("ptr normalization produced a float"),
         }
     }
+}
 
-    /// `UnOp::Not` is an involution on truthiness.
-    #[test]
-    fn not_not_is_truthiness(v in any::<i64>()) {
+/// `UnOp::Not` is an involution on truthiness.
+#[test]
+fn not_not_is_truthiness() {
+    let mut rng = Rng::new(0x0707);
+    for _ in 0..CASES {
+        let v = rng.next() as i64;
         let once = eval_unop(UnOp::Not, ScalarType::Int, Value::Int(v));
         let twice = eval_unop(UnOp::Not, ScalarType::Int, once);
-        prop_assert_eq!(twice, Value::Int(i64::from(v != 0)));
+        assert_eq!(twice, Value::Int(i64::from(v != 0)));
     }
 }

@@ -86,6 +86,17 @@ pub struct InlineReport {
     pub statics_externalized: usize,
 }
 
+impl InlineReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: InlineReport) {
+        self.inlined += other.inlined;
+        self.skipped_recursive += other.skipped_recursive;
+        self.skipped_size += other.skipped_size;
+        self.statics_externalized += other.statics_externalized;
+    }
+}
+
 /// Links a catalog into the program (§7's database-based inlining), then
 /// inlines.
 pub fn link_and_inline(
@@ -99,8 +110,10 @@ pub fn link_and_inline(
 
 /// Expands eligible call sites throughout the program.
 pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport {
-    let mut report = InlineReport::default();
-    report.statics_externalized = externalize_statics(prog);
+    let mut report = InlineReport {
+        statics_externalized: externalize_statics(prog),
+        ..InlineReport::default()
+    };
     for _round in 0..opts.max_depth {
         let mut any = false;
         let cg = CallGraph::build(prog);
@@ -129,21 +142,20 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                             continue;
                         }
                     };
-                    let inlinable = if callee_name == caller_name
-                        || cg.is_recursive(prog, &callee_name)
-                    {
-                        report.skipped_recursive += 1;
-                        false
-                    } else {
-                        match prog.proc_by_name(&callee_name) {
-                            None => false, // intrinsic / external
-                            Some(c) if c.len() > opts.max_callee_size => {
-                                report.skipped_size += 1;
-                                false
+                    let inlinable =
+                        if callee_name == caller_name || cg.is_recursive(prog, &callee_name) {
+                            report.skipped_recursive += 1;
+                            false
+                        } else {
+                            match prog.proc_by_name(&callee_name) {
+                                None => false, // intrinsic / external
+                                Some(c) if c.len() > opts.max_callee_size => {
+                                    report.skipped_size += 1;
+                                    false
+                                }
+                                Some(_) => true,
                             }
-                            Some(_) => true,
-                        }
-                    };
+                        };
                     if !inlinable {
                         skip += 1;
                         continue;
@@ -294,20 +306,16 @@ fn inline_site(
     let end_label = caller.fresh_label();
 
     // return-value temp
-    let ret_tmp = callee
-        .ret
-        .scalar()
-        .filter(|_| dst.is_some())
-        .map(|_| {
-            caller.add_var(VarInfo {
-                name: format!("ret_{}", callee.name),
-                ty: callee.ret.clone(),
-                storage: Storage::Temp,
-                volatile: false,
-                addressed: false,
-                init: None,
-            })
-        });
+    let ret_tmp = callee.ret.scalar().filter(|_| dst.is_some()).map(|_| {
+        caller.add_var(VarInfo {
+            name: format!("ret_{}", callee.name),
+            ty: callee.ret.clone(),
+            storage: Storage::Temp,
+            volatile: false,
+            addressed: false,
+            init: None,
+        })
+    });
 
     // 3. parameter bindings
     let mut replacement: Vec<Stmt> = Vec::new();

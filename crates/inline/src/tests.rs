@@ -132,7 +132,12 @@ int outer(int x) { return leaf(x) * 2; }
 int main(void) { return outer(10); }
 "#;
     let (_b, inl) = equivalent(src, &[]);
-    assert_eq!(count_calls(&inl, "main"), 0, "{}", pretty_proc(inl.proc_by_name("main").unwrap()));
+    assert_eq!(
+        count_calls(&inl, "main"),
+        0,
+        "{}",
+        pretty_proc(inl.proc_by_name("main").unwrap())
+    );
 }
 
 #[test]
@@ -229,7 +234,7 @@ fn catalog_inlining_matches_same_file() {
     let lib = compile_to_il(lib_src).unwrap();
     let catalog = Catalog::from_program("mathlib", &lib);
     // round-trip the catalog through JSON, as the on-disk database would
-    let catalog = Catalog::from_json(&catalog.to_json().unwrap()).unwrap();
+    let catalog = Catalog::from_json(&catalog.to_json()).unwrap();
 
     let app_src = r#"
 float scale(float x, float k);

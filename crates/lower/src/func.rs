@@ -17,10 +17,7 @@ use titanc_il::{
 };
 
 /// Lowers one function definition to an IL procedure.
-pub fn lower_function(
-    env: &Env,
-    f: &ast::FuncDef,
-) -> Result<Procedure, LowerError> {
+pub fn lower_function(env: &Env, f: &ast::FuncDef) -> Result<Procedure, LowerError> {
     let (ret, _vol) = cvt_qualtype(env, &f.ret, f.span)?;
     let mut lw = FuncLowerer {
         env,
@@ -194,8 +191,7 @@ impl<'e> FuncLowerer<'e> {
 
     /// Converts an rvalue to a target scalar kind.
     fn convert(&self, tv: TV, to: ScalarType, span: Span) -> Result<Expr, LowerError> {
-        let from = scalar_kind(&tv.ty)
-            .ok_or_else(|| self.err("expected a scalar value", span))?;
+        let from = scalar_kind(&tv.ty).ok_or_else(|| self.err("expected a scalar value", span))?;
         Ok(Expr::cast(to, from, tv.e))
     }
 
@@ -282,7 +278,13 @@ impl<'e> FuncLowerer<'e> {
                 }
                 let c = self.rvalue(cond, out)?;
                 let ce = self.truth(c, cond.span)?;
-                self.emit(out, StmtKind::IfGoto { cond: ce, target: top });
+                self.emit(
+                    out,
+                    StmtKind::IfGoto {
+                        cond: ce,
+                        target: top,
+                    },
+                );
                 if ctx.break_used {
                     self.emit(out, StmtKind::Label(break_l));
                 }
@@ -292,11 +294,9 @@ impl<'e> FuncLowerer<'e> {
                     None => None,
                     Some(e) => {
                         let tv = self.rvalue(e, out)?;
-                        let to = self
-                            .proc
-                            .ret
-                            .scalar()
-                            .ok_or_else(|| self.err("returning a value from void function", e.span))?;
+                        let to = self.proc.ret.scalar().ok_or_else(|| {
+                            self.err("returning a value from void function", e.span)
+                        })?;
                         Some(self.convert(tv, to, e.span)?)
                     }
                 };
@@ -315,12 +315,7 @@ impl<'e> FuncLowerer<'e> {
             ast::Stmt::Continue => {
                 // `continue` binds to the nearest enclosing *loop*,
                 // skipping switches
-                let l = match self
-                    .loops
-                    .iter_mut()
-                    .rev()
-                    .find(|ctx| ctx.cont_l.is_some())
-                {
+                let l = match self.loops.iter_mut().rev().find(|ctx| ctx.cont_l.is_some()) {
                     Some(ctx) => {
                         ctx.cont_used = true;
                         ctx.cont_l.unwrap()
@@ -481,7 +476,11 @@ impl<'e> FuncLowerer<'e> {
     fn decl(&mut self, d: &ast::VarDecl, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
         let (ty, volatile) = cvt_qualtype(self.env, &d.ty, d.span)?;
         let is_static = d.storage == ast::StorageClass::Static;
-        let storage = if is_static { Storage::Static } else { Storage::Auto };
+        let storage = if is_static {
+            Storage::Static
+        } else {
+            Storage::Auto
+        };
         let addressed = ty.scalar().is_none() || volatile;
         let init_const = if is_static {
             match &d.init {
@@ -499,10 +498,7 @@ impl<'e> FuncLowerer<'e> {
             addressed,
             init: init_const,
         });
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(d.name.clone(), id);
+        self.scopes.last_mut().unwrap().insert(d.name.clone(), id);
         self.ctypes.insert(id, d.ty.clone());
         if !is_static {
             if let Some(e) = &d.init {
@@ -520,7 +516,11 @@ impl<'e> FuncLowerer<'e> {
     // places (lvalues)
     // ------------------------------------------------------------------
 
-    fn place(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<(Place, QualType), LowerError> {
+    fn place(
+        &mut self,
+        e: &ast::Expr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(Place, QualType), LowerError> {
         match &e.kind {
             ExprKind::Ident(name) => {
                 let v = self.lookup(name, e.span)?;
@@ -731,18 +731,14 @@ impl<'e> FuncLowerer<'e> {
     /// C truthiness of a scalar: pointers/floats compare against zero so
     /// the IL condition is always an `Int`.
     fn truth(&self, tv: TV, span: Span) -> Result<Expr, LowerError> {
-        let kind = scalar_kind(&tv.ty)
-            .ok_or_else(|| self.err("condition must be scalar", span))?;
+        let kind = scalar_kind(&tv.ty).ok_or_else(|| self.err("condition must be scalar", span))?;
         Ok(match kind {
             ScalarType::Int => tv.e,
             ScalarType::Char => Expr::cast(ScalarType::Int, ScalarType::Char, tv.e),
             ScalarType::Ptr => Expr::binary(BinOp::Ne, ScalarType::Ptr, tv.e, Expr::int(0)),
-            ScalarType::Float | ScalarType::Double => Expr::binary(
-                BinOp::Ne,
-                kind,
-                tv.e,
-                Expr::FloatConst(0.0, kind),
-            ),
+            ScalarType::Float | ScalarType::Double => {
+                Expr::binary(BinOp::Ne, kind, tv.e, Expr::FloatConst(0.0, kind))
+            }
         })
     }
 
@@ -764,13 +760,16 @@ impl<'e> FuncLowerer<'e> {
                 ty: int_ty(),
             })),
             ExprKind::FloatLit(v, single) => Ok(Some(TV {
-                e: if *single { Expr::float(*v) } else { Expr::double(*v) },
+                e: if *single {
+                    Expr::float(*v)
+                } else {
+                    Expr::double(*v)
+                },
                 ty: QualType::plain(if *single { CType::Float } else { CType::Double }),
             })),
-            ExprKind::StrLit(_) => Err(self.err(
-                "string literals are not supported by this subset",
-                span,
-            )),
+            ExprKind::StrLit(_) => {
+                Err(self.err("string literals are not supported by this subset", span))
+            }
             ExprKind::Ident(name) => {
                 let v = self.lookup(name, span)?;
                 let q = self.ctype_of(v);
@@ -791,8 +790,8 @@ impl<'e> FuncLowerer<'e> {
                 }
                 let info = self.proc.var(v);
                 if info.volatile {
-                    let kind = scalar_kind(&q)
-                        .ok_or_else(|| self.err("volatile aggregate read", span))?;
+                    let kind =
+                        scalar_kind(&q).ok_or_else(|| self.err("volatile aggregate read", span))?;
                     return Ok(Some(TV {
                         e: Expr::Load {
                             addr: Box::new(Expr::addr_of(v)),
@@ -826,10 +825,10 @@ impl<'e> FuncLowerer<'e> {
                 let t_tv = self.rvalue(then_e, &mut then_blk)?;
                 let mut else_blk = Vec::new();
                 let e_tv = self.rvalue(else_e, &mut else_blk)?;
-                let tk = scalar_kind(&t_tv.ty)
-                    .ok_or_else(|| self.err("non-scalar ?: branch", span))?;
-                let ek = scalar_kind(&e_tv.ty)
-                    .ok_or_else(|| self.err("non-scalar ?: branch", span))?;
+                let tk =
+                    scalar_kind(&t_tv.ty).ok_or_else(|| self.err("non-scalar ?: branch", span))?;
+                let ek =
+                    scalar_kind(&e_tv.ty).ok_or_else(|| self.err("non-scalar ?: branch", span))?;
                 let k = common_kind(tk, ek);
                 let result_ty = t_tv.ty.clone();
                 let tmp = self.temp(k);
@@ -884,10 +883,7 @@ impl<'e> FuncLowerer<'e> {
                     };
                     arg_exprs.push(converted);
                 }
-                let ret_q = sig
-                    .as_ref()
-                    .map(|s| s.ret.clone())
-                    .unwrap_or_else(int_ty);
+                let ret_q = sig.as_ref().map(|s| s.ret.clone()).unwrap_or_else(int_ty);
                 if value_needed {
                     let kind = scalar_kind(&ret_q)
                         .ok_or_else(|| self.err("using a void return value", span))?;
@@ -922,8 +918,8 @@ impl<'e> FuncLowerer<'e> {
                     // multi-dim: the element decays again
                     return Ok(Some(TV { e: addr, ty: elem }));
                 }
-                let kind = scalar_kind(&elem)
-                    .ok_or_else(|| self.err("indexing to non-scalar", span))?;
+                let kind =
+                    scalar_kind(&elem).ok_or_else(|| self.err("indexing to non-scalar", span))?;
                 Ok(Some(TV {
                     e: Expr::Load {
                         addr: Box::new(addr),
@@ -938,8 +934,8 @@ impl<'e> FuncLowerer<'e> {
                 if matches!(fty.ty, CType::Array(..) | CType::Struct(_)) {
                     return Ok(Some(TV { e: addr, ty: fty }));
                 }
-                let kind = scalar_kind(&fty)
-                    .ok_or_else(|| self.err("aggregate member value", span))?;
+                let kind =
+                    scalar_kind(&fty).ok_or_else(|| self.err("aggregate member value", span))?;
                 Ok(Some(TV {
                     e: Expr::Load {
                         addr: Box::new(addr),
@@ -951,8 +947,7 @@ impl<'e> FuncLowerer<'e> {
             }
             ExprKind::Cast(q, arg) => {
                 let tv = self.rvalue(arg, out)?;
-                let to = scalar_kind(q)
-                    .ok_or_else(|| self.err("cast to non-scalar type", span))?;
+                let to = scalar_kind(q).ok_or_else(|| self.err("cast to non-scalar type", span))?;
                 let ex = self.convert(tv, to, span)?;
                 Ok(Some(TV {
                     e: ex,
@@ -1014,12 +1009,18 @@ impl<'e> FuncLowerer<'e> {
         span: Span,
     ) -> Result<Option<TV>, LowerError> {
         let (place, q) = self.place(lhs, out)?;
-        let kind = scalar_kind(&q)
-            .ok_or_else(|| self.err("assignment to aggregate", span))?;
+        let kind = scalar_kind(&q).ok_or_else(|| self.err("assignment to aggregate", span))?;
         // Pin the address in a temporary when we must use it twice
         // (compound assignment) — evaluate once, per C semantics.
         let place = match (&place, op) {
-            (Place::Mem { addr, kind, volatile }, Some(_)) if !addr.is_const() => {
+            (
+                Place::Mem {
+                    addr,
+                    kind,
+                    volatile,
+                },
+                Some(_),
+            ) if !addr.is_const() => {
                 let taddr = self.temp(ScalarType::Ptr);
                 self.emit(
                     out,
@@ -1078,8 +1079,7 @@ impl<'e> FuncLowerer<'e> {
         span: Span,
     ) -> Result<Option<TV>, LowerError> {
         let (place, q) = self.place(arg, out)?;
-        let kind = scalar_kind(&q)
-            .ok_or_else(|| self.err("++/-- on aggregate", span))?;
+        let kind = scalar_kind(&q).ok_or_else(|| self.err("++/-- on aggregate", span))?;
         let delta: Expr = match (&q.ty, kind) {
             (CType::Ptr(inner), _) => {
                 let sz = self.size_of_ctype(inner, span)?;
@@ -1230,8 +1230,8 @@ impl<'e> FuncLowerer<'e> {
                 if matches!(pt.ty, CType::Array(..) | CType::Struct(_)) {
                     return Ok(Some(TV { e: ptr.e, ty: pt }));
                 }
-                let kind = scalar_kind(&pt)
-                    .ok_or_else(|| self.err("dereferencing void pointer", span))?;
+                let kind =
+                    scalar_kind(&pt).ok_or_else(|| self.err("dereferencing void pointer", span))?;
                 Ok(Some(TV {
                     e: Expr::Load {
                         addr: Box::new(ptr.e),
@@ -1244,9 +1244,13 @@ impl<'e> FuncLowerer<'e> {
             CUnOp::Plus => self.expr(arg, out, value_needed),
             CUnOp::Neg => {
                 let tv = self.rvalue(arg, out)?;
-                let kind = scalar_kind(&tv.ty)
-                    .ok_or_else(|| self.err("negating a non-scalar", span))?;
-                let kind = if kind == ScalarType::Char { ScalarType::Int } else { kind };
+                let kind =
+                    scalar_kind(&tv.ty).ok_or_else(|| self.err("negating a non-scalar", span))?;
+                let kind = if kind == ScalarType::Char {
+                    ScalarType::Int
+                } else {
+                    kind
+                };
                 let ex = self.convert(tv.clone(), kind, span)?;
                 Ok(Some(TV {
                     e: Expr::unary(UnOp::Neg, kind, ex),
@@ -1340,10 +1344,8 @@ impl<'e> FuncLowerer<'e> {
 
     /// Arithmetic with C's conversions, including pointer arithmetic.
     fn arith(&mut self, op: CBinOp, l: TV, r: TV, span: Span) -> Result<TV, LowerError> {
-        let lk = scalar_kind(&l.ty)
-            .ok_or_else(|| self.err("non-scalar operand", span))?;
-        let rk = scalar_kind(&r.ty)
-            .ok_or_else(|| self.err("non-scalar operand", span))?;
+        let lk = scalar_kind(&l.ty).ok_or_else(|| self.err("non-scalar operand", span))?;
+        let rk = scalar_kind(&r.ty).ok_or_else(|| self.err("non-scalar operand", span))?;
         let bop = match op {
             CBinOp::Add => BinOp::Add,
             CBinOp::Sub => BinOp::Sub,
@@ -1367,7 +1369,11 @@ impl<'e> FuncLowerer<'e> {
         let l_is_ptr = lk == ScalarType::Ptr;
         let r_is_ptr = rk == ScalarType::Ptr;
         if (op == CBinOp::Add || op == CBinOp::Sub) && (l_is_ptr ^ r_is_ptr) {
-            let (ptv, itv, pfirst) = if l_is_ptr { (l, r, true) } else { (r, l, false) };
+            let (ptv, itv, pfirst) = if l_is_ptr {
+                (l, r, true)
+            } else {
+                (r, l, false)
+            };
             if !pfirst && op == CBinOp::Sub {
                 return Err(self.err("cannot subtract a pointer from an integer", span));
             }
@@ -1477,9 +1483,7 @@ fn il_to_qualtype(env: &Env, t: &Type) -> QualType {
         Type::Float => CType::Float,
         Type::Double => CType::Double,
         Type::Ptr(inner) => CType::Ptr(Box::new(il_to_qualtype(env, inner))),
-        Type::Array(inner, n) => {
-            CType::Array(Box::new(il_to_qualtype(env, inner)), Some(*n))
-        }
+        Type::Array(inner, n) => CType::Array(Box::new(il_to_qualtype(env, inner)), Some(*n)),
         Type::Struct(sid) => CType::Struct(env.struct_def(*sid).name.clone()),
     })
 }

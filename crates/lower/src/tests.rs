@@ -1,9 +1,7 @@
 //! Lowering tests: the §4/§5.3 shapes.
 
 use crate::compile_to_il;
-use titanc_il::{
-    pretty_proc, BinOp, Expr, LValue, Procedure, Program, ScalarType, Stmt, StmtKind,
-};
+use titanc_il::{pretty_proc, BinOp, Expr, LValue, Procedure, Program, ScalarType, Stmt, StmtKind};
 
 fn lower_one(src: &str, name: &str) -> (Program, Procedure) {
     let prog = compile_to_il(src).expect("compile");
@@ -35,7 +33,15 @@ fn pointer_walk_produces_the_5_3_shape() {
     let body_stmts = flat(&proc);
     let star_assigns: Vec<_> = body_stmts
         .iter()
-        .filter(|s| matches!(&s.kind, StmtKind::Assign { lhs: LValue::Deref { .. }, .. }))
+        .filter(|s| {
+            matches!(
+                &s.kind,
+                StmtKind::Assign {
+                    lhs: LValue::Deref { .. },
+                    ..
+                }
+            )
+        })
         .collect();
     assert_eq!(star_assigns.len(), 1, "{text}");
 }
@@ -43,10 +49,7 @@ fn pointer_walk_produces_the_5_3_shape() {
 #[test]
 fn while_condition_side_effects_are_duplicated() {
     // §4: while((SL,E)) => SL; while(E) { body; SL }
-    let (_p, proc) = lower_one(
-        "void f(int n) { while (n--) { ; } }",
-        "f",
-    );
+    let (_p, proc) = lower_one("void f(int n) { while (n--) { ; } }", "f");
     // n-- lowers to temp=n; n=temp-1 — must appear both before the loop and
     // at the end of the body.
     let pre_loop: Vec<_> = proc
@@ -97,25 +100,22 @@ fn volatile_poll_loop_reads_every_iteration() {
         .find(|s| matches!(s.kind, StmtKind::While { .. }))
         .expect("loop");
     if let StmtKind::While { cond, .. } = &w.kind {
-        assert!(cond.has_volatile_load(), "condition must re-read the register");
+        assert!(
+            cond.has_volatile_load(),
+            "condition must re-read the register"
+        );
     }
 }
 
 #[test]
 fn logical_and_short_circuits() {
-    let (_p, proc) = lower_one(
-        "int f(int a, int b) { return a && b / a; }",
-        "f",
-    );
+    let (_p, proc) = lower_one("int f(int a, int b) { return a && b / a; }", "f");
     // the division must be guarded by an If
     let has_guarded_div = proc.any_stmt(|s| {
         if let StmtKind::If { then_blk, .. } = &s.kind {
-            then_blk.iter().any(|inner| {
-                inner
-                    .exprs()
-                    .iter()
-                    .any(|e| format!("{e}").contains('/'))
-            })
+            then_blk
+                .iter()
+                .any(|inner| inner.exprs().iter().any(|e| format!("{e}").contains('/')))
         } else {
             false
         }
@@ -149,10 +149,7 @@ fn for_becomes_while() {
 
 #[test]
 fn subscript_scales_by_element_size() {
-    let (_p, proc) = lower_one(
-        "void f(double *a, int i) { a[i] = 1.0; }",
-        "f",
-    );
+    let (_p, proc) = lower_one("void f(double *a, int i) { a[i] = 1.0; }", "f");
     let text = pretty_proc(&proc);
     assert!(text.contains("* 8"), "double subscript scales by 8: {text}");
 }
@@ -166,10 +163,7 @@ fn pointer_difference_divides_by_size() {
 
 #[test]
 fn compound_assignment_pins_address() {
-    let (_p, proc) = lower_one(
-        "void f(float *a, int i) { a[i] += 1.0f; }",
-        "f",
-    );
+    let (_p, proc) = lower_one("void f(float *a, int i) { a[i] += 1.0f; }", "f");
     // the address a+4*i must be computed once into a pointer temp
     let stmts = flat(&proc);
     let ptr_temp_assigns = stmts
@@ -267,9 +261,9 @@ fn comma_keeps_volatile_reads() {
     let src = "volatile int status; int f(int x) { return (status, x); }";
     let (_p, proc) = lower_one(src, "f");
     let stmts = flat(&proc);
-    let keeps = stmts.iter().any(|s| {
-        matches!(&s.kind, StmtKind::Assign { rhs, .. } if rhs.has_volatile_load())
-    });
+    let keeps = stmts
+        .iter()
+        .any(|s| matches!(&s.kind, StmtKind::Assign { rhs, .. } if rhs.has_volatile_load()));
     assert!(keeps, "volatile read in discarded comma operand is kept");
 }
 
@@ -320,7 +314,9 @@ fn float_condition_compares_to_zero() {
         .unwrap();
     if let StmtKind::If { cond, .. } = &w.kind {
         match cond {
-            Expr::Binary { op: BinOp::Ne, ty, .. } => assert_eq!(*ty, ScalarType::Float),
+            Expr::Binary {
+                op: BinOp::Ne, ty, ..
+            } => assert_eq!(*ty, ScalarType::Float),
             other => panic!("expected != 0.0 comparison, got {other:?}"),
         }
     }
@@ -336,13 +332,20 @@ fn argument_conversions_follow_prototype() {
         .find(|s| matches!(s.kind, StmtKind::Call { .. }))
         .unwrap();
     if let StmtKind::Call { args, .. } = &call.kind {
-        assert!(matches!(args[0], Expr::Cast { to: ScalarType::Double, .. }));
+        assert!(matches!(
+            args[0],
+            Expr::Cast {
+                to: ScalarType::Double,
+                ..
+            }
+        ));
     }
 }
 
 #[test]
 fn pragma_safe_marks_loop() {
-    let src = "void f(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
+    let src =
+        "void f(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
     let (_p, proc) = lower_one(src, "f");
     let w = proc
         .body
@@ -500,7 +503,12 @@ int main(void)
     use titanc_il::fold::Value;
     assert_eq!(
         obs.globals[0].1,
-        vec![Value::Int(10), Value::Int(21), Value::Int(1), Value::Int(-1)]
+        vec![
+            Value::Int(10),
+            Value::Int(21),
+            Value::Int(1),
+            Value::Int(-1)
+        ]
     );
 }
 

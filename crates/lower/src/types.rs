@@ -61,9 +61,8 @@ fn cvt_ctype(env: &Env, t: &CType, span: Span) -> Result<Type, LowerError> {
         CType::Double => Type::Double,
         CType::Ptr(inner) => Type::ptr_to(cvt_ctype(env, &inner.ty, span)?),
         CType::Array(inner, n) => {
-            let len = n.ok_or_else(|| {
-                LowerError::new("array declaration requires a length here", span)
-            })?;
+            let len =
+                n.ok_or_else(|| LowerError::new("array declaration requires a length here", span))?;
             Type::array_of(cvt_ctype(env, &inner.ty, span)?, len)
         }
         CType::Struct(name) => {

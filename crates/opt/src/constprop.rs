@@ -28,6 +28,16 @@ pub struct ConstPropReport {
     pub rounds: usize,
 }
 
+impl ConstPropReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: ConstPropReport) {
+        self.replaced += other.replaced;
+        self.removed += other.removed;
+        self.rounds += other.rounds;
+    }
+}
+
 /// Constant propagation with the §8 unreachable-code heuristic.
 pub fn constant_propagation(proc: &mut Procedure) -> ConstPropReport {
     run(proc, true)
@@ -115,10 +125,8 @@ fn propagate_once(proc: &mut Procedure, report: &mut ConstPropReport) -> usize {
             if defs.is_empty() || defs.iter().any(Option::is_none) {
                 continue; // entry def (param/uninitialized) reaches
             }
-            let consts: Option<Vec<(Value, ScalarType)>> = defs
-                .iter()
-                .map(|d| lookup(d.unwrap(), v))
-                .collect();
+            let consts: Option<Vec<(Value, ScalarType)>> =
+                defs.iter().map(|d| lookup(d.unwrap(), v)).collect();
             if let Some(cs) = consts {
                 let (first, kind) = cs[0];
                 if cs.iter().all(|(c, _)| *c == first) {
@@ -187,9 +195,11 @@ fn simplify_block(block: &mut Vec<Stmt>, removed: &mut usize) {
                     } else {
                         (std::mem::take(else_blk), then_blk.len())
                     };
-                    *removed += 1 + titanc_il::block_len(
-                        &if v.is_truthy() { std::mem::take(else_blk) } else { std::mem::take(then_blk) },
-                    );
+                    *removed += 1 + titanc_il::block_len(&if v.is_truthy() {
+                        std::mem::take(else_blk)
+                    } else {
+                        std::mem::take(then_blk)
+                    });
                     let _ = dead;
                     Some(taken)
                 }
@@ -204,22 +214,19 @@ fn simplify_block(block: &mut Vec<Stmt>, removed: &mut usize) {
             },
             StmtKind::DoLoop {
                 lo, hi, step, body, ..
-            } => {
-                match (const_value(lo), const_value(hi), const_value(step)) {
-                    (Some(l), Some(h), Some(st)) => {
-                        let (l, h, st) = (l.as_int(), h.as_int(), st.as_int());
-                        let zero_trip =
-                            st != 0 && ((st > 0 && l > h) || (st < 0 && l < h));
-                        if zero_trip {
-                            *removed += 1 + titanc_il::block_len(body);
-                            Some(Vec::new())
-                        } else {
-                            None
-                        }
+            } => match (const_value(lo), const_value(hi), const_value(step)) {
+                (Some(l), Some(h), Some(st)) => {
+                    let (l, h, st) = (l.as_int(), h.as_int(), st.as_int());
+                    let zero_trip = st != 0 && ((st > 0 && l > h) || (st < 0 && l < h));
+                    if zero_trip {
+                        *removed += 1 + titanc_il::block_len(body);
+                        Some(Vec::new())
+                    } else {
+                        None
                     }
-                    _ => None,
                 }
-            }
+                _ => None,
+            },
             StmtKind::IfGoto { cond, target } => match const_value(cond) {
                 Some(v) if !cond.has_volatile_load() => {
                     if v.is_truthy() {
@@ -272,10 +279,7 @@ fn postpass_block(block: &mut Vec<Stmt>) -> usize {
                 j += 1;
             }
             if j > i + 1 {
-                removed += block[i + 1..j]
-                    .iter()
-                    .map(Stmt::tree_len)
-                    .sum::<usize>();
+                removed += block[i + 1..j].iter().map(Stmt::tree_len).sum::<usize>();
                 block.drain(i + 1..j);
             }
         }
@@ -289,10 +293,7 @@ fn postpass_block(block: &mut Vec<Stmt>) -> usize {
 pub fn eliminate_unreachable_cfg(proc: &mut Procedure) -> usize {
     let cfg = Cfg::build(proc);
     let dead_nodes = cfg.unreachable_nodes();
-    let dead_ids: Vec<StmtId> = dead_nodes
-        .iter()
-        .filter_map(|&n| cfg.stmt_of[n])
-        .collect();
+    let dead_ids: Vec<StmtId> = dead_nodes.iter().filter_map(|&n| cfg.stmt_of[n]).collect();
     if dead_ids.is_empty() {
         return 0;
     }
@@ -337,27 +338,21 @@ mod tests {
 
     #[test]
     fn does_not_merge_conflicting_defs() {
-        let (proc, _rep) = cp(
-            "int f(int c) { int x; if (c) x = 1; else x = 2; return x; }",
-        );
+        let (proc, _rep) = cp("int f(int c) { int x; if (c) x = 1; else x = 2; return x; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("return x;"), "{text}");
     }
 
     #[test]
     fn merges_agreeing_defs() {
-        let (proc, _rep) = cp(
-            "int f(int c) { int x; if (c) x = 7; else x = 7; return x; }",
-        );
+        let (proc, _rep) = cp("int f(int c) { int x; if (c) x = 7; else x = 7; return x; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("return 7;"), "{text}");
     }
 
     #[test]
     fn eliminates_false_branch() {
-        let (proc, rep) = cp(
-            "int f(void) { int a; a = 0; if (a == 0) return 1; return 2; }",
-        );
+        let (proc, rep) = cp("int f(void) { int a; a = 0; if (a == 0) return 1; return 2; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("return 1;"), "{text}");
         assert!(!text.contains("return 2;"), "postpass removes it: {text}");
@@ -422,9 +417,7 @@ int f(void)
 
     #[test]
     fn volatile_conditions_never_fold() {
-        let (proc, _rep) = cp(
-            "volatile int s; int f(void) { if (s == 0) return 1; return 2; }",
-        );
+        let (proc, _rep) = cp("volatile int s; int f(void) { if (s == 0) return 1; return 2; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("if ("), "{text}");
     }

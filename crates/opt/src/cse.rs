@@ -26,6 +26,15 @@ pub struct CseReport {
     pub replaced: usize,
 }
 
+impl CseReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: CseReport) {
+        self.commoned += other.commoned;
+        self.replaced += other.replaced;
+    }
+}
+
 /// Runs local CSE over every block of the procedure.
 pub fn local_cse(proc: &mut Procedure) -> CseReport {
     let mut report = CseReport::default();
@@ -149,7 +158,11 @@ fn try_common(
             .all(|b| deps.iter().all(|&v| !crate::util::defined_in(b, v)));
         if !nested_safe {
             // stop before descending into a block that redefines deps
-            total += s.exprs().iter().map(|e| count_occurrences(e, cand)).sum::<usize>();
+            total += s
+                .exprs()
+                .iter()
+                .map(|e| count_occurrences(e, cand))
+                .sum::<usize>();
             end = j;
             break;
         }
@@ -248,9 +261,7 @@ mod tests {
 
     #[test]
     fn loads_are_not_commoned_here() {
-        let (_proc, rep) = cse(
-            "int f(int *p) { int x, y; x = *p + 1; y = *p + 1; return x + y; }",
-        );
+        let (_proc, rep) = cse("int f(int *p) { int x, y; x = *p + 1; y = *p + 1; return x + y; }");
         assert_eq!(rep.commoned, 0, "memory expressions are out of scope");
     }
 
@@ -289,9 +300,8 @@ int main(void)
 
     #[test]
     fn volatile_untouched() {
-        let (_proc, rep) = cse(
-            "volatile int s; int f(void) { int x, y; x = s + 1; y = s + 1; return x + y; }",
-        );
+        let (_proc, rep) =
+            cse("volatile int s; int f(void) { int x, y; x = s + 1; y = s + 1; return x + y; }");
         assert_eq!(rep.commoned, 0, "volatile reads must both happen");
     }
 }

@@ -20,6 +20,15 @@ pub struct DceReport {
     pub rounds: usize,
 }
 
+impl DceReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: DceReport) {
+        self.removed += other.removed;
+        self.rounds += other.rounds;
+    }
+}
+
 /// Runs dead-code elimination to a fixpoint.
 pub fn eliminate_dead_code(proc: &mut Procedure) -> DceReport {
     let mut report = DceReport::default();
@@ -101,7 +110,11 @@ fn eliminate_faint(proc: &mut Procedure) -> usize {
             for e in s.exprs() {
                 needed.extend(e.vars_read());
             }
-            if let StmtKind::Call { dst: Some(LValue::Var(v)), .. } = &s.kind {
+            if let StmtKind::Call {
+                dst: Some(LValue::Var(v)),
+                ..
+            } = &s.kind
+            {
                 // a call result must stay receivable
                 needed.insert(*v);
             }
@@ -140,10 +153,7 @@ fn eliminate_faint(proc: &mut Procedure) -> usize {
                 rhs,
             } = &s.kind
             {
-                if register_candidate(proc, *v)
-                    && !needed.contains(v)
-                    && !rhs.has_volatile_load()
-                {
+                if register_candidate(proc, *v) && !needed.contains(v) && !rhs.has_volatile_load() {
                     s.kind = StmtKind::Nop;
                     *removed += 1;
                 }
@@ -172,11 +182,7 @@ pub fn sweep(proc: &mut Procedure) -> usize {
     removed
 }
 
-fn sweep_block(
-    block: &mut Vec<Stmt>,
-    referenced: &[titanc_il::LabelId],
-    removed: &mut usize,
-) {
+fn sweep_block(block: &mut Vec<Stmt>, referenced: &[titanc_il::LabelId], removed: &mut usize) {
     for s in block.iter_mut() {
         for b in s.blocks_mut() {
             sweep_block(b, referenced, removed);
@@ -187,12 +193,10 @@ fn sweep_block(
                 cond,
                 then_blk,
                 else_blk,
+            } => then_blk.is_empty() && else_blk.is_empty() && !cond.has_volatile_load(),
+            StmtKind::DoLoop {
+                body, lo, hi, step, ..
             } => {
-                then_blk.is_empty()
-                    && else_blk.is_empty()
-                    && !cond.has_volatile_load()
-            }
-            StmtKind::DoLoop { body, lo, hi, step, .. } => {
                 body.is_empty()
                     && !lo.has_volatile_load()
                     && !hi.has_volatile_load()
@@ -278,9 +282,8 @@ mod tests {
 
     #[test]
     fn keeps_live_loop_updates() {
-        let proc = dce(
-            "int f(int n) { int s; s = 0; while (n) { s = s + n; n = n - 1; } return s; }",
-        );
+        let proc =
+            dce("int f(int n) { int s; s = 0; while (n) { s = s + n; n = n - 1; } return s; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("s = (s + n)"), "{text}");
         assert!(text.contains("n = (n - 1)"), "{text}");

@@ -22,6 +22,14 @@ pub struct ForwardReport {
     pub substituted: usize,
 }
 
+impl ForwardReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: ForwardReport) {
+        self.substituted += other.substituted;
+    }
+}
+
 /// Runs forward substitution over every block of the procedure.
 pub fn forward_substitute(proc: &mut Procedure) -> ForwardReport {
     let mut report = ForwardReport::default();
@@ -108,11 +116,9 @@ fn run_block(proc: &Procedure, block: &mut [Stmt], report: &mut ForwardReport) {
             if stmt.blocks().iter().any(|b| defined_in(b, x)) {
                 break;
             }
-            if deps
-                .iter()
-                .any(|&d| stmt.defined_var() == Some(d)
-                    || stmt.blocks().iter().any(|b| defined_in(b, d)))
-            {
+            if deps.iter().any(|&d| {
+                stmt.defined_var() == Some(d) || stmt.blocks().iter().any(|b| defined_in(b, d))
+            }) {
                 break;
             }
             if has_loads && stmt_may_write_memory(stmt) {
@@ -183,9 +189,7 @@ mod tests {
 
     #[test]
     fn loads_stop_at_stores() {
-        let proc = fwd(
-            "int f(int *p, int *q) { int t; t = *p; *q = 9; return t; }",
-        );
+        let proc = fwd("int f(int *p, int *q) { int t; t = *p; *q = 9; return t; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("return t;"), "store may alias *p: {text}");
     }
@@ -199,9 +203,7 @@ mod tests {
 
     #[test]
     fn volatile_reads_never_move() {
-        let proc = fwd(
-            "volatile int s; int f(void) { int t; t = s; return t + t; }",
-        );
+        let proc = fwd("volatile int s; int f(void) { int t; t = s; return t + t; }");
         let text = pretty_proc(&proc);
         assert!(
             text.matches("volatile").count() == 1,
@@ -211,18 +213,16 @@ mod tests {
 
     #[test]
     fn substitutes_into_safe_nested_blocks() {
-        let proc = fwd(
-            "int f(int a, int c) { int t, r; t = a * 2; r = 0; if (c) { r = t; } return r; }",
-        );
+        let proc =
+            fwd("int f(int a, int c) { int t, r; t = a * 2; r = 0; if (c) { r = t; } return r; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("r = (a * 2)"), "{text}");
     }
 
     #[test]
     fn stops_at_unsafe_nested_blocks() {
-        let proc = fwd(
-            "int f(int a, int c) { int t, r; t = a; if (c) { a = 1; } r = t; return r; }",
-        );
+        let proc =
+            fwd("int f(int a, int c) { int t, r; t = a; if (c) { a = 1; } r = t; return r; }");
         let text = pretty_proc(&proc);
         assert!(text.contains("r = t"), "conditional redef of a: {text}");
     }

@@ -17,9 +17,7 @@
 //! worst case `n` passes over the loop (§5.3).
 
 use crate::util::{invariant_in, register_candidate, resolve_copy};
-use titanc_il::{
-    BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtKind, Type, VarId,
-};
+use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtKind, Type, VarId};
 
 /// Substitution statistics (EXP6 measures `passes` and `backtracks`).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -31,6 +29,16 @@ pub struct IvSubReport {
     /// Candidates that succeeded only after being unblocked by an earlier
     /// substitution (the backtracking events).
     pub backtracks: usize,
+}
+
+impl IvSubReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: IvSubReport) {
+        self.substituted += other.substituted;
+        self.passes += other.passes;
+        self.backtracks += other.backtracks;
+    }
 }
 
 /// Runs induction-variable substitution on every DO loop of the procedure.
@@ -50,7 +58,10 @@ fn collect_do_loops_postorder(block: &[Stmt], out: &mut Vec<titanc_il::StmtId>) 
         for b in s.blocks() {
             collect_do_loops_postorder(b, out);
         }
-        if matches!(s.kind, StmtKind::DoLoop { .. } | StmtKind::DoParallel { .. }) {
+        if matches!(
+            s.kind,
+            StmtKind::DoLoop { .. } | StmtKind::DoParallel { .. }
+        ) {
             out.push(s.id);
         }
     }
@@ -71,11 +82,7 @@ struct Candidate {
     inc: Expr,
 }
 
-fn substitute_in_loop(
-    proc: &mut Procedure,
-    loop_id: titanc_il::StmtId,
-    report: &mut IvSubReport,
-) {
+fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: &mut IvSubReport) {
     // repeat until no candidate substitutes; the worklist effect of
     // blocking/backtracking is realized by the re-scan, and `backtracks`
     // counts successes after the first pass.
@@ -313,6 +320,7 @@ fn apply_candidate(
     });
 
     // rewrite the loop body in place
+    #[allow(clippy::too_many_arguments)]
     fn find_and_apply(
         block: &mut Vec<Stmt>,
         loop_id: titanc_il::StmtId,
@@ -342,7 +350,13 @@ fn apply_candidate(
             let fin_c = final_stmt.clone();
             for b in block[i].blocks_mut() {
                 if find_and_apply(
-                    b, loop_id, cand_v, def_pos, pre_value, post_value, pre_c.clone(),
+                    b,
+                    loop_id,
+                    cand_v,
+                    def_pos,
+                    pre_value,
+                    post_value,
+                    pre_c.clone(),
                     fin_c.clone(),
                 ) {
                     done = true;
@@ -387,9 +401,8 @@ mod tests {
 
     #[test]
     fn substitutes_pointer_walk() {
-        let mut proc = prep(
-            "void copy(float *a, float *b, int n) { while (n) { *a++ = *b++; n--; } }",
-        );
+        let mut proc =
+            prep("void copy(float *a, float *b, int n) { while (n) { *a++ = *b++; n--; } }");
         let rep = induction_substitution(&mut proc);
         // a, b and n are all auxiliary induction variables
         assert_eq!(rep.substituted, 3, "{}", pretty_proc(&proc));
@@ -401,9 +414,7 @@ mod tests {
 
     #[test]
     fn single_pass_for_simple_loops() {
-        let mut proc = prep(
-            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) *a++ = 0; }",
-        );
+        let mut proc = prep("void f(float *a, int n) { int i; for (i = 0; i < n; i++) *a++ = 0; }");
         let rep = induction_substitution(&mut proc);
         assert!(rep.substituted >= 1);
         // substitution finishes in one productive pass + one empty pass
@@ -514,27 +525,20 @@ int main(void)
         convert_while_loops(&mut opt_prog.procs[0]);
         let rep = induction_substitution(&mut opt_prog.procs[0]);
         let cfg = titanc_titan::MachineConfig::default;
-        let (before, _) = titanc_titan::observe(
-            &prog,
-            cfg(),
-            "main",
-            &[("out_x", ScalarType::Float, 8)],
-        )
-        .unwrap();
-        let (after, _) = titanc_titan::observe(
-            &opt_prog,
-            cfg(),
-            "main",
-            &[("out_x", ScalarType::Float, 8)],
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "optimized program failed: {e}\n{}",
-                pretty_proc(&opt_prog.procs[0])
-            )
-        });
+        let (before, _) =
+            titanc_titan::observe(&prog, cfg(), "main", &[("out_x", ScalarType::Float, 8)])
+                .unwrap();
+        let (after, _) =
+            titanc_titan::observe(&opt_prog, cfg(), "main", &[("out_x", ScalarType::Float, 8)])
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "optimized program failed: {e}\n{}",
+                        pretty_proc(&opt_prog.procs[0])
+                    )
+                });
         assert_eq!(
-            before, after,
+            before,
+            after,
             "report {rep:?}\n{}",
             pretty_proc(&opt_prog.procs[0])
         );

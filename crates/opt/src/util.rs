@@ -19,9 +19,9 @@ pub fn register_candidate(proc: &Procedure, v: VarId) -> bool {
 
 /// True when some statement in `block` (recursively) defines `v`.
 pub fn defined_in(block: &[Stmt], v: VarId) -> bool {
-    block.iter().any(|s| {
-        s.defined_var() == Some(v) || s.blocks().iter().any(|b| defined_in(b, v))
-    })
+    block
+        .iter()
+        .any(|s| s.defined_var() == Some(v) || s.blocks().iter().any(|b| defined_in(b, v)))
 }
 
 /// True when `e` is invariant with respect to `body`: it reads no memory,
@@ -61,10 +61,10 @@ pub fn resolve_copy(proc: &Procedure, body: &[Stmt], pos: usize, w: VarId) -> Va
                 {
                     if *u != target && register_candidate(proc, *u) {
                         // ensure u not redefined between i+1..pos
-                        let redefined = body[i + 1..pos]
-                            .iter()
-                            .any(|t| t.defined_var() == Some(*u)
-                                || t.blocks().iter().any(|b| defined_in(b, *u)));
+                        let redefined = body[i + 1..pos].iter().any(|t| {
+                            t.defined_var() == Some(*u)
+                                || t.blocks().iter().any(|b| defined_in(b, *u))
+                        });
                         if !redefined {
                             target = *u;
                             limit = i;
@@ -148,10 +148,7 @@ mod tests {
         let i = b.local("i", Type::Int);
         let temp = b.local("temp", Type::Int);
         b.assign_var(temp, Expr::var(i));
-        b.assign_var(
-            i,
-            Expr::ibinary(BinOp::Sub, Expr::var(temp), Expr::int(1)),
-        );
+        b.assign_var(i, Expr::ibinary(BinOp::Sub, Expr::var(temp), Expr::int(1)));
         let p = b.finish();
         assert_eq!(resolve_copy(&p, &p.body, 1, temp), i);
     }

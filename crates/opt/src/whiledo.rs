@@ -57,6 +57,15 @@ pub struct WhileDoReport {
     pub rejects: Vec<(StmtId, Reject)>,
 }
 
+impl WhileDoReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: WhileDoReport) {
+        self.converted += other.converted;
+        self.rejects.extend(other.rejects);
+    }
+}
+
 /// Converts every eligible `while` loop of the procedure into a `DoLoop`.
 pub fn convert_while_loops(proc: &mut Procedure) -> WhileDoReport {
     let mut report = WhileDoReport::default();
@@ -66,9 +75,7 @@ pub fn convert_while_loops(proc: &mut Procedure) -> WhileDoReport {
         // find the first unprocessed while loop (preorder)
         let mut target: Option<Stmt> = None;
         proc.for_each_stmt(&mut |s| {
-            if target.is_none()
-                && matches!(s.kind, StmtKind::While { .. })
-                && !done.contains(&s.id)
+            if target.is_none() && matches!(s.kind, StmtKind::While { .. }) && !done.contains(&s.id)
             {
                 target = Some(s.clone());
             }
@@ -326,10 +333,9 @@ fn apply(proc: &mut Procedure, while_id: StmtId, plan: Plan) {
     ) -> bool {
         for i in 0..block.len() {
             if block[i].id == while_id {
-                if let StmtKind::While { body, safe, .. } = std::mem::replace(
-                    &mut block[i].kind,
-                    StmtKind::Nop,
-                ) {
+                if let StmtKind::While { body, safe, .. } =
+                    std::mem::replace(&mut block[i].kind, StmtKind::Nop)
+                {
                     let replacement = make(body, safe);
                     block.splice(i..=i, replacement);
                     return true;
@@ -394,9 +400,8 @@ mod tests {
 
     #[test]
     fn converts_canonical_for_loop() {
-        let (proc, rep) = convert(
-            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0; }",
-        );
+        let (proc, rep) =
+            convert("void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0; }");
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
         if let StmtKind::DoLoop { step, .. } = &d.kind {
@@ -423,16 +428,18 @@ void f(int n, int s)
         let d = first_do(&proc).unwrap();
         if let StmtKind::DoLoop { hi, step, .. } = &d.kind {
             // DO dummy = n, 1, -s
-            assert!(matches!(step, Expr::Unary { .. }), "negated symbolic stride");
+            assert!(
+                matches!(step, Expr::Unary { .. }),
+                "negated symbolic stride"
+            );
             let _ = hi;
         }
     }
 
     #[test]
     fn converts_pointer_walk_countdown() {
-        let (proc, rep) = convert(
-            "void copy(float *a, float *b, int n) { while (n) { *a++ = *b++; n--; } }",
-        );
+        let (proc, rep) =
+            convert("void copy(float *a, float *b, int n) { while (n) { *a++ = *b++; n--; } }");
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
         if let StmtKind::DoLoop { step, .. } = &d.kind {
@@ -459,45 +466,38 @@ inside:
 
     #[test]
     fn rejects_break_out() {
-        let (_p, rep) = convert(
-            "void f(int n) { while (n) { if (n == 3) break; n--; } }",
-        );
+        let (_p, rep) = convert("void f(int n) { while (n) { if (n == 3) break; n--; } }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::BranchOut);
     }
 
     #[test]
     fn rejects_varying_bound() {
-        let (_p, rep) = convert(
-            "void f(int n, int b) { int i; for (i = 0; i < b; i++) { b = b - 1; } }",
-        );
+        let (_p, rep) =
+            convert("void f(int n, int b) { int i; for (i = 0; i < b; i++) { b = b - 1; } }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::VaryingBound);
     }
 
     #[test]
     fn rejects_varying_stride() {
-        let (_p, rep) = convert(
-            "void f(int n, int s) { int i; for (i = 0; i < n; i += s) { s = s + 1; } }",
-        );
+        let (_p, rep) =
+            convert("void f(int n, int s) { int i; for (i = 0; i < n; i += s) { s = s + 1; } }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::VaryingStep);
     }
 
     #[test]
     fn rejects_volatile_condition() {
-        let (_p, rep) = convert(
-            "volatile int status; void f(void) { while (!status); }",
-        );
+        let (_p, rep) = convert("volatile int status; void f(void) { while (!status); }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::VolatileCond);
     }
 
     #[test]
     fn rejects_conditional_step() {
-        let (_p, rep) = convert(
-            "void f(int n, int c) { int i; i = 0; while (i < n) { if (c) i = i + 1; } }",
-        );
+        let (_p, rep) =
+            convert("void f(int n, int c) { int i; i = 0; while (i < n) { if (c) i = i + 1; } }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::MultipleSteps);
     }
@@ -516,9 +516,8 @@ void f(struct node *p) { while (p) { p = p->next; } }
 
     #[test]
     fn rejects_return_inside() {
-        let (_p, rep) = convert(
-            "int f(int n) { while (n) { if (n == 2) return 1; n--; } return 0; }",
-        );
+        let (_p, rep) =
+            convert("int f(int n) { while (n) { if (n == 2) return 1; n--; } return 0; }");
         assert_eq!(rep.converted, 0);
         assert!(rep
             .rejects
@@ -528,9 +527,8 @@ void f(struct node *p) { while (p) { p = p->next; } }
 
     #[test]
     fn converts_ge_countdown() {
-        let (proc, rep) = convert(
-            "void f(float *a, int n) { int i; for (i = n; i >= 0; i--) a[i] = 0; }",
-        );
+        let (proc, rep) =
+            convert("void f(float *a, int n) { int i; for (i = n; i >= 0; i--) a[i] = 0; }");
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
         if let StmtKind::DoLoop { step, .. } = &d.kind {
@@ -540,23 +538,17 @@ void f(struct node *p) { while (p) { p = p->next; } }
 
     #[test]
     fn rejects_wrong_direction() {
-        let (_p, rep) = convert(
-            "void f(int n) { int i; for (i = 0; i < n; i--) { ; } }",
-        );
+        let (_p, rep) = convert("void f(int n) { int i; for (i = 0; i < n; i--) { ; } }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::Direction);
     }
 
     #[test]
     fn ne_condition_requires_unit_step() {
-        let (_p, rep) = convert(
-            "void f(int n) { int i; for (i = 0; i != n; i += 2) { ; } }",
-        );
+        let (_p, rep) = convert("void f(int n) { int i; for (i = 0; i != n; i += 2) { ; } }");
         assert_eq!(rep.converted, 0);
         assert_eq!(rep.rejects[0].1, Reject::Direction);
-        let (_p2, rep2) = convert(
-            "void f(int n) { int i; for (i = 0; i != n; i++) { ; } }",
-        );
+        let (_p2, rep2) = convert("void f(int n) { int i; for (i = 0; i != n; i++) { ; } }");
         assert_eq!(rep2.converted, 1);
     }
 
@@ -577,7 +569,8 @@ void f(float *a, int n, int m)
 
     #[test]
     fn safe_pragma_survives_conversion() {
-        let src = "void f(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
+        let src =
+            "void f(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
         let (proc, rep) = convert(src);
         assert_eq!(rep.converted, 1);
         let d = first_do(&proc).unwrap();

@@ -170,12 +170,7 @@ impl<'p> Simulator<'p> {
     ///
     /// Returns an error when the global does not exist or the access is out
     /// of bounds.
-    pub fn read_global(
-        &self,
-        name: &str,
-        kind: ScalarType,
-        index: u32,
-    ) -> Result<Value, SimError> {
+    pub fn read_global(&self, name: &str, kind: ScalarType, index: u32) -> Result<Value, SimError> {
         let base = self
             .global_addr(name)
             .ok_or_else(|| SimError::new(format!("no global `{name}`")))?;
@@ -551,7 +546,10 @@ impl<'p> Simulator<'p> {
     ) -> Result<(), SimError> {
         let (base, len, stride, kind) = match lhs {
             LValue::Section {
-                base, len, stride, ty,
+                base,
+                len,
+                stride,
+                ty,
             } => (base, len, stride, *ty),
             _ => {
                 return Err(SimError::new(
@@ -574,7 +572,10 @@ impl<'p> Simulator<'p> {
         let mut resolved = Vec::new();
         for sec in &sections {
             if let Expr::Section {
-                base, len, stride, ty,
+                base,
+                len,
+                stride,
+                ty,
             } = sec
             {
                 let b = self.eval(frame, base)?.as_int() as u32;
@@ -761,9 +762,9 @@ impl<'p> Simulator<'p> {
                 self.stats.stores += 1;
                 self.write_mem(a, *ty, coerce(value, *ty))
             }
-            LValue::Section { .. } => Err(SimError::new(
-                "scalar value assigned to a vector section",
-            )),
+            LValue::Section { .. } => {
+                Err(SimError::new("scalar value assigned to a vector section"))
+            }
         }
     }
 
@@ -791,9 +792,9 @@ impl<'p> Simulator<'p> {
             ScalarType::Ptr => {
                 Value::Int(u32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as i64)
             }
-            ScalarType::Float => Value::Float(
-                f32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as f64,
-            ),
+            ScalarType::Float => {
+                Value::Float(f32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as f64)
+            }
             ScalarType::Double => {
                 Value::Float(f64::from_le_bytes(self.mem[i..i + 8].try_into().unwrap()))
             }
@@ -942,9 +943,7 @@ fn align_up(x: u32, a: u32) -> u32 {
 
 fn coerce(v: Value, kind: ScalarType) -> Value {
     match kind {
-        ScalarType::Float | ScalarType::Double => {
-            normalize(Value::Float(v.as_float()), kind)
-        }
+        ScalarType::Float | ScalarType::Double => normalize(Value::Float(v.as_float()), kind),
         _ => normalize(Value::Int(v.as_int()), kind),
     }
 }

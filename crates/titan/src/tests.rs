@@ -1,9 +1,7 @@
 //! Simulator tests: semantics first, then the cost model.
 
 use crate::{MachineConfig, Simulator, Value};
-use titanc_il::{
-    BinOp, Expr, LValue, ProcBuilder, ScalarType, StmtKind, Type,
-};
+use titanc_il::{BinOp, Expr, LValue, ProcBuilder, ScalarType, StmtKind, Type};
 use titanc_lower::compile_to_il;
 
 fn run_c(src: &str) -> crate::RunResult {
@@ -24,7 +22,9 @@ fn arithmetic_and_loops() {
         55
     );
     assert_eq!(
-        ret_int("int main(void){ int n, r; n = 10; r = 1; while (n) { r = r + n; n--; } return r; }"),
+        ret_int(
+            "int main(void){ int n, r; n = 10; r = 1; while (n) { r = r + n; n--; } return r; }"
+        ),
         56
     );
 }
@@ -121,8 +121,10 @@ int main(void)
 }
 "#;
     let prog = compile_to_il(src).unwrap();
-    let mut cfg = MachineConfig::default();
-    cfg.max_steps = 10_000;
+    let cfg = MachineConfig {
+        max_steps: 10_000,
+        ..MachineConfig::default()
+    };
     let mut sim = Simulator::new(&prog, cfg);
     let err = sim.run("main", &[]).unwrap_err();
     assert!(err.message.contains("step limit"), "{err}");
@@ -134,7 +136,10 @@ fn print_intrinsics_capture_output() {
 int main(void) { print_int(42); print_float(1.5f); return 0; }
 "#;
     let r = run_c(src);
-    assert_eq!(r.stats.output, vec!["42".to_string(), "1.500000".to_string()]);
+    assert_eq!(
+        r.stats.output,
+        vec!["42".to_string(), "1.500000".to_string()]
+    );
 }
 
 #[test]
@@ -445,15 +450,14 @@ fn run_with_arguments() {
     let src = "int add(int a, int b) { return a + b; }";
     let prog = compile_to_il(src).unwrap();
     let mut sim = Simulator::new(&prog, MachineConfig::default());
-    let r = sim
-        .run("add", &[Value::Int(30), Value::Int(12)])
-        .unwrap();
+    let r = sim.run("add", &[Value::Int(30), Value::Int(12)]).unwrap();
     assert_eq!(r.value.unwrap().as_int(), 42);
 }
 
 #[test]
 fn observe_helper_snapshots_globals() {
-    let src = "int g_out[2]; int main(void) { g_out[0] = 5; g_out[1] = 6; print_int(1); return 9; }";
+    let src =
+        "int g_out[2]; int main(void) { g_out[0] = 5; g_out[1] = 6; print_int(1); return 9; }";
     let prog = compile_to_il(src).unwrap();
     let (obs, stats) = crate::observe(
         &prog,
@@ -481,7 +485,7 @@ int main(void) { int i; acc = 0.0f; for (i = 0; i < 100; i++) acc = acc + 1.5f; 
 #[test]
 fn while_spread_semantics_and_cost() {
     // build directly in IL: p walks a chain of 3 cells; work doubles each
-    use titanc_il::{StmtKind, VarInfo, Storage};
+    use titanc_il::{StmtKind, Storage, VarInfo};
     let mut prog = titanc_il::Program::new();
     prog.ensure_global(VarInfo {
         name: "cells".into(),
@@ -497,16 +501,34 @@ fn while_spread_semantics_and_cost() {
     let p = b.local("p", Type::ptr_to(Type::Int));
     // init: cells[0]=5, cells[1]=&cells[2]; cells[2]=7, cells[3]=&cells[4]; cells[4]=9, cells[5]=0
     let addr = |base: titanc_il::VarId, off: i64| {
-        Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::addr_of(base), Expr::int(off))
+        Expr::binary(
+            BinOp::Add,
+            ScalarType::Ptr,
+            Expr::addr_of(base),
+            Expr::int(off),
+        )
     };
     for (off, val) in [(0, 5i64), (8, 7), (16, 9)] {
-        b.assign(LValue::deref(addr(cells, off), ScalarType::Int), Expr::int(val));
+        b.assign(
+            LValue::deref(addr(cells, off), ScalarType::Int),
+            Expr::int(val),
+        );
     }
     // next pointers (stored as int addresses)
     let next_of = |base, off: i64, target: Option<i64>| match target {
-        Some(t) => (LValue::deref(addr(base, off + 4), ScalarType::Int),
-                    Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::addr_of(base), Expr::int(t))),
-        None => (LValue::deref(addr(base, off + 4), ScalarType::Int), Expr::int(0)),
+        Some(t) => (
+            LValue::deref(addr(base, off + 4), ScalarType::Int),
+            Expr::binary(
+                BinOp::Add,
+                ScalarType::Ptr,
+                Expr::addr_of(base),
+                Expr::int(t),
+            ),
+        ),
+        None => (
+            LValue::deref(addr(base, off + 4), ScalarType::Int),
+            Expr::int(0),
+        ),
     };
     for (off, tgt) in [(0i64, Some(8i64)), (8, Some(16)), (16, None)] {
         let (lhs, rhs) = next_of(cells, off, tgt);
@@ -541,18 +563,36 @@ fn while_spread_semantics_and_cost() {
     prog.add_proc(proc);
 
     fn addr_expr(base: titanc_il::VarId, off: i64) -> Expr {
-        Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::addr_of(base), Expr::int(off))
+        Expr::binary(
+            BinOp::Add,
+            ScalarType::Ptr,
+            Expr::addr_of(base),
+            Expr::int(off),
+        )
     }
 
     let mut one = Simulator::new(&prog, MachineConfig::optimized(1));
     let r1 = one.run("main", &[]).unwrap();
     assert_eq!(r1.value.unwrap().as_int(), 18, "9 doubled");
-    assert_eq!(one.read_global("cells", ScalarType::Int, 0).unwrap().as_int(), 10);
-    assert_eq!(one.read_global("cells", ScalarType::Int, 2).unwrap().as_int(), 14);
+    assert_eq!(
+        one.read_global("cells", ScalarType::Int, 0)
+            .unwrap()
+            .as_int(),
+        10
+    );
+    assert_eq!(
+        one.read_global("cells", ScalarType::Int, 2)
+            .unwrap()
+            .as_int(),
+        14
+    );
 
     let mut four = Simulator::new(&prog, MachineConfig::optimized(4));
     let r4 = four.run("main", &[]).unwrap();
-    assert_eq!(r4.value, r1.value, "identical results on any processor count");
+    assert_eq!(
+        r4.value, r1.value,
+        "identical results on any processor count"
+    );
     assert!(
         r4.stats.cycles < r1.stats.cycles,
         "work divides: {} !< {}",

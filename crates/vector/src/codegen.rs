@@ -18,9 +18,7 @@
 //! spreading, §2 item 2).
 
 use titanc_deps::{const_trip_count, decompose, Aliasing, DepGraph};
-use titanc_il::{
-    BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId,
-};
+use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId};
 use titanc_opt::util::defined_in;
 
 /// Vectorizer configuration.
@@ -59,6 +57,16 @@ pub struct VectorReport {
     pub scalar: usize,
 }
 
+impl VectorReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: VectorReport) {
+        self.vectorized += other.vectorized;
+        self.spread += other.spread;
+        self.scalar += other.scalar;
+    }
+}
+
 /// Vectorizes every innermost DO loop of the procedure.
 pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
     let mut report = VectorReport::default();
@@ -86,10 +94,7 @@ enum Outcome {
 }
 
 /// Finds an unprocessed innermost `DoLoop` (bodies containing no loops).
-fn find_innermost_do(
-    proc: &Procedure,
-    done: &std::collections::HashSet<StmtId>,
-) -> Option<StmtId> {
+fn find_innermost_do(proc: &Procedure, done: &std::collections::HashSet<StmtId>) -> Option<StmtId> {
     let mut found = None;
     proc.for_each_stmt(&mut |s| {
         if found.is_some() {
@@ -109,9 +114,7 @@ fn contains_loop(s: &Stmt) -> bool {
     if s.is_loop() {
         return true;
     }
-    s.blocks()
-        .iter()
-        .any(|b| b.iter().any(contains_loop))
+    s.blocks().iter().any(|b| b.iter().any(contains_loop))
 }
 
 struct VecStmtPlan {
@@ -150,16 +153,12 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
         _ => return Outcome::Scalar,
     };
     let trips_const = const_trip_count(&lo, &hi, &step_e);
-    let aliasing = if safe { Aliasing::Fortran } else { opts.aliasing };
-    let graph = DepGraph::build_for_loop(
-        proc,
-        &body,
-        lv,
-        lo.as_int(),
-        step,
-        trips_const,
-        aliasing,
-    );
+    let aliasing = if safe {
+        Aliasing::Fortran
+    } else {
+        opts.aliasing
+    };
+    let graph = DepGraph::build_for_loop(proc, &body, lv, lo.as_int(), step, trips_const, aliasing);
 
     // When the user asserted safety, memory dependence edges are waived.
     let blocking_cycle = |i: usize| !safe && graph.has_carried_self_cycle(i);
@@ -225,8 +224,7 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
                 }
                 Group::Scalar(mut members) => {
                     members.sort_unstable();
-                    let residual: Vec<Stmt> =
-                        members.iter().map(|&i| body[i].clone()).collect();
+                    let residual: Vec<Stmt> = members.iter().map(|&i| body[i].clone()).collect();
                     let st = proc.stamp(StmtKind::DoLoop {
                         var: lv,
                         lo: lo.clone(),
@@ -371,7 +369,11 @@ fn emit_vector_group(
         return;
     }
     // strip loop: ks = 0 .. trips-1 step VL; len = min(VL, trips-ks)
-    let vl = if opts.parallelize { opts.strip } else { opts.max_vl };
+    let vl = if opts.parallelize {
+        opts.strip
+    } else {
+        opts.max_vl
+    };
     let ks = proc.fresh_temp(Type::Int);
     proc.var_mut(ks).name = format!("vi_{}", ks.index());
     let t_len = proc.fresh_temp(Type::Int);
@@ -469,7 +471,12 @@ fn rewrite_loads(
     len: &Expr,
     e: &mut Expr,
 ) {
-    if let Expr::Load { addr, ty, volatile: false } = e {
+    if let Expr::Load {
+        addr,
+        ty,
+        volatile: false,
+    } = e
+    {
         if let Some(aff) = decompose(proc, body, lv, addr) {
             if aff.coeff != 0 {
                 *e = Expr::Section {

@@ -24,6 +24,14 @@ pub struct SpreadReport {
     pub spread: usize,
 }
 
+impl SpreadReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: SpreadReport) {
+        self.spread += other.spread;
+    }
+}
+
 /// Converts eligible pointer-chasing `while` loops into spread form.
 pub fn spread_list_loops(proc: &mut Procedure) -> SpreadReport {
     let mut report = SpreadReport::default();
@@ -90,15 +98,21 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
         return None;
     };
     let def_pos = *def_pos;
-    if body
-        .iter()
-        .any(|s| s.blocks().iter().any(|b| titanc_opt::util::defined_in(b, p)))
-    {
+    if body.iter().any(|s| {
+        s.blocks()
+            .iter()
+            .any(|b| titanc_opt::util::defined_in(b, p))
+    }) {
         return None;
     }
     let chase_ok = match &body[def_pos].kind {
         StmtKind::Assign {
-            rhs: Expr::Load { addr, volatile: false, .. },
+            rhs:
+                Expr::Load {
+                    addr,
+                    volatile: false,
+                    ..
+                },
             ..
         } => addr
             .vars_read()
@@ -156,7 +170,10 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
                     if j == i {
                         // reads in the defining statement's own rhs are a
                         // carried use unless it is a plain overwrite
-                        t.exprs().iter().map(|e| e.vars_read().iter().filter(|&&w| w == v).count()).sum()
+                        t.exprs()
+                            .iter()
+                            .map(|e| e.vars_read().iter().filter(|&&w| w == v).count())
+                            .sum()
                     } else {
                         count_reads_block(std::slice::from_ref(t), v)
                     }
@@ -276,12 +293,15 @@ int main(void)
             assert_eq!(rep.spread, 1);
         }
         let g = [("pool", titanc_il::ScalarType::Float, 8)];
-        let base = titanc_titan::observe(&prog, titanc_titan::MachineConfig::optimized(1), "main", &g)
-            .unwrap();
-        let one = titanc_titan::observe(&opt, titanc_titan::MachineConfig::optimized(1), "main", &g)
-            .unwrap();
-        let four = titanc_titan::observe(&opt, titanc_titan::MachineConfig::optimized(4), "main", &g)
-            .unwrap();
+        let base =
+            titanc_titan::observe(&prog, titanc_titan::MachineConfig::optimized(1), "main", &g)
+                .unwrap();
+        let one =
+            titanc_titan::observe(&opt, titanc_titan::MachineConfig::optimized(1), "main", &g)
+                .unwrap();
+        let four =
+            titanc_titan::observe(&opt, titanc_titan::MachineConfig::optimized(4), "main", &g)
+                .unwrap();
         assert_eq!(base.0, one.0, "semantics preserved");
         assert_eq!(base.0, four.0);
         assert!(

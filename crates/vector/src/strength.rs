@@ -19,9 +19,7 @@
 //!   in front of the loop.
 
 use titanc_deps::{const_trip_count, decompose, Affine, Aliasing, DepGraph};
-use titanc_il::{
-    BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type,
-};
+use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type};
 use titanc_opt::util::invariant_in;
 
 /// What the pass did.
@@ -33,6 +31,16 @@ pub struct StrengthReport {
     pub reduced: usize,
     /// Invariant statements hoisted.
     pub hoisted: usize,
+}
+
+impl StrengthReport {
+    /// Folds another report's counts into this one (used by the pass
+    /// manager to aggregate per-pass deltas).
+    pub fn merge(&mut self, other: StrengthReport) {
+        self.promoted += other.promoted;
+        self.reduced += other.reduced;
+        self.hoisted += other.hoisted;
+    }
 }
 
 /// Runs the §6 optimizations on every remaining scalar DO loop.
@@ -57,7 +65,10 @@ fn do_loop_ids(proc: &Procedure) -> Vec<StmtId> {
     out
 }
 
-fn loop_parts(proc: &Procedure, id: StmtId) -> Option<(titanc_il::VarId, Expr, Expr, i64, Vec<Stmt>)> {
+fn loop_parts(
+    proc: &Procedure,
+    id: StmtId,
+) -> Option<(titanc_il::VarId, Expr, Expr, i64, Vec<Stmt>)> {
     let s = proc.find_stmt(id)?;
     match &s.kind {
         StmtKind::DoLoop {
@@ -117,7 +128,12 @@ fn promote_registers(
     let (store_aff, store_ty) = {
         match &body[store_idx].kind {
             StmtKind::Assign {
-                lhs: LValue::Deref { addr, ty, volatile: false },
+                lhs:
+                    LValue::Deref {
+                        addr,
+                        ty,
+                        volatile: false,
+                    },
                 ..
             } => match decompose(proc, &body, lv, addr) {
                 Some(a) => (a, *ty),
@@ -212,7 +228,12 @@ fn replace_matching_load(
     reg: titanc_il::VarId,
     replaced: &mut bool,
 ) {
-    if let Expr::Load { addr, volatile: false, .. } = e {
+    if let Expr::Load {
+        addr,
+        volatile: false,
+        ..
+    } = e
+    {
         if let Some(aff) = decompose(proc, body, lv, addr) {
             if matches(&aff) {
                 *e = Expr::var(reg);
@@ -259,14 +280,12 @@ fn hoist_invariants(proc: &mut Procedure, id: StmtId, report: &mut StrengthRepor
                 titanc_opt::util::register_candidate(proc, *v)
                     && !rhs.reads_var(lv)
                     && invariant_in(proc, &body, rhs)
-                    && body
-                        .iter()
-                        .filter(|t| t.defined_var() == Some(*v))
-                        .count()
-                        == 1
-                    && !body
-                        .iter()
-                        .any(|t| t.blocks().iter().any(|b| titanc_opt::util::defined_in(b, *v)))
+                    && body.iter().filter(|t| t.defined_var() == Some(*v)).count() == 1
+                    && !body.iter().any(|t| {
+                        t.blocks()
+                            .iter()
+                            .any(|b| titanc_opt::util::defined_in(b, *v))
+                    })
                     && titanc_opt::util::count_reads_block(&body[..=pos], *v) == 0
             }
             _ => false,
@@ -302,7 +321,11 @@ fn reduce_addresses(proc: &mut Procedure, id: StmtId, report: &mut StrengthRepor
         for e in s.exprs() {
             collect_affine_addrs(proc, &body, lv, e, &mut keys);
         }
-        if let StmtKind::Assign { lhs: LValue::Deref { addr, .. }, .. } = &s.kind {
+        if let StmtKind::Assign {
+            lhs: LValue::Deref { addr, .. },
+            ..
+        } = &s.kind
+        {
             if let Some(aff) = decompose(proc, &body, lv, addr) {
                 if aff.coeff != 0 {
                     push_key(&mut keys, aff);
@@ -340,7 +363,11 @@ fn reduce_addresses(proc: &mut Procedure, id: StmtId, report: &mut StrengthRepor
             for e in s.exprs_mut() {
                 replace_affine_addr(proc, &body, lv, e, aff, pt);
             }
-            if let StmtKind::Assign { lhs: LValue::Deref { addr, .. }, .. } = &mut s.kind {
+            if let StmtKind::Assign {
+                lhs: LValue::Deref { addr, .. },
+                ..
+            } = &mut s.kind
+            {
                 if let Some(a2) = decompose(proc, &body, lv, addr) {
                     if a2 == *aff {
                         *addr = Expr::var(pt);
@@ -371,7 +398,12 @@ fn collect_affine_addrs(
     e: &Expr,
     keys: &mut Vec<AddrKey>,
 ) {
-    if let Expr::Load { addr, volatile: false, .. } = e {
+    if let Expr::Load {
+        addr,
+        volatile: false,
+        ..
+    } = e
+    {
         if let Some(aff) = decompose(proc, body, lv, addr) {
             if aff.coeff != 0 {
                 push_key(keys, aff);
@@ -391,7 +423,12 @@ fn replace_affine_addr(
     aff: &Affine,
     pt: titanc_il::VarId,
 ) {
-    if let Expr::Load { addr, volatile: false, .. } = e {
+    if let Expr::Load {
+        addr,
+        volatile: false,
+        ..
+    } = e
+    {
         if let Some(a2) = decompose(proc, body, lv, addr) {
             if a2 == *aff {
                 **addr = Expr::var(pt);
@@ -412,7 +449,7 @@ fn replace_loop(
     id: StmtId,
     pre: Vec<Stmt>,
     new_body: Vec<Stmt>,
-    post: Option<Vec<Stmt>>,
+    mut post: Option<Vec<Stmt>>,
 ) {
     fn walk(
         block: &mut Vec<Stmt>,
@@ -452,7 +489,7 @@ fn replace_loop(
         id,
         &mut Some(pre),
         &mut Some(new_body),
-        &mut post.map(|p| p),
+        &mut post,
     );
     proc.body = body;
 }

@@ -3,7 +3,7 @@
 
 use crate::{strength_reduce, vectorize, VectorOptions};
 use titanc_deps::Aliasing;
-use titanc_il::{pretty_proc, Procedure, Program, ScalarType, StmtKind};
+use titanc_il::{pretty_proc, Procedure, Program, ScalarType};
 use titanc_lower::compile_to_il;
 use titanc_titan::MachineConfig;
 
@@ -25,12 +25,14 @@ fn prep(src: &str) -> Program {
     out
 }
 
-fn observe(
-    prog: &Program,
-    globals: &[(&str, ScalarType, u32)],
-) -> titanc_titan::Observation {
+fn observe(prog: &Program, globals: &[(&str, ScalarType, u32)]) -> titanc_titan::Observation {
     titanc_titan::observe(prog, MachineConfig::optimized(2), "main", globals)
-        .unwrap_or_else(|e| panic!("run failed: {e}\n{}", pretty_proc(&prog.procs[prog.procs.len()-1])))
+        .unwrap_or_else(|e| {
+            panic!(
+                "run failed: {e}\n{}",
+                pretty_proc(&prog.procs[prog.procs.len() - 1])
+            )
+        })
         .0
 }
 
@@ -66,9 +68,17 @@ int main(void)
 "#;
     let base = prep(src);
     let mut vec_prog = base.clone();
-    let main_idx = vec_prog.procs.iter().position(|p| p.name == "main").unwrap();
+    let main_idx = vec_prog
+        .procs
+        .iter()
+        .position(|p| p.name == "main")
+        .unwrap();
     let rep = vectorize(&mut vec_prog.procs[main_idx], &VectorOptions::default());
-    assert!(rep.vectorized >= 1, "{}", pretty_proc(&vec_prog.procs[main_idx]));
+    assert!(
+        rep.vectorized >= 1,
+        "{}",
+        pretty_proc(&vec_prog.procs[main_idx])
+    );
     let g = [("a", ScalarType::Float, 512)];
     let before = observe(&base, &g);
     let after = observe(&vec_prog, &g);
@@ -88,16 +98,14 @@ int main(void)
     };
     let s_base = cycles(&base);
     let s_vec = cycles(&vec_prog);
-    assert!(
-        s_vec < s_base / 2.0,
-        "vector {s_vec} vs scalar {s_base}"
-    );
+    assert!(s_vec < s_base / 2.0, "vector {s_vec} vs scalar {s_base}");
 }
 
 #[test]
 fn pointer_copy_loop_vectorizes_with_pragma() {
     // EXP1 shape: the §5.3 pointer walk, vectorizable once asserted safe
-    let src = "void copy(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
+    let src =
+        "void copy(float *a, float *b, int n) {\n#pragma safe\nwhile (n) { *a++ = *b++; n--; } }";
     let mut prog = prep(src);
     let rep = vectorize(&mut prog.procs[0], &VectorOptions::default());
     assert_eq!(rep.vectorized, 1, "{}", pretty_proc(&prog.procs[0]));
@@ -331,10 +339,8 @@ int main(void)
     strength_reduce(&mut opt.procs[0], Aliasing::C);
     titanc_opt::eliminate_dead_code(&mut opt.procs[0]);
 
-    let (_, s_base) =
-        titanc_titan::observe(&base, MachineConfig::scalar(), "main", &[]).unwrap();
-    let (_, s_opt) =
-        titanc_titan::observe(&opt, MachineConfig::optimized(1), "main", &[]).unwrap();
+    let (_, s_base) = titanc_titan::observe(&base, MachineConfig::scalar(), "main", &[]).unwrap();
+    let (_, s_opt) = titanc_titan::observe(&opt, MachineConfig::optimized(1), "main", &[]).unwrap();
     let speedup = s_base.cycles / s_opt.cycles;
     assert!(
         speedup > 2.0,
@@ -376,11 +382,14 @@ int main(void)
     let g = [("a", ScalarType::Float, 64)];
     assert_eq!(observe(&base, &g), observe(&opt, &g));
     // integer multiply count drops
-    let (_, s_base) =
-        titanc_titan::observe(&base, MachineConfig::scalar(), "main", &[]).unwrap();
-    let (_, s_opt) =
-        titanc_titan::observe(&opt, MachineConfig::scalar(), "main", &[]).unwrap();
-    assert!(s_opt.cycles < s_base.cycles, "{} !< {}", s_opt.cycles, s_base.cycles);
+    let (_, s_base) = titanc_titan::observe(&base, MachineConfig::scalar(), "main", &[]).unwrap();
+    let (_, s_opt) = titanc_titan::observe(&opt, MachineConfig::scalar(), "main", &[]).unwrap();
+    assert!(
+        s_opt.cycles < s_base.cycles,
+        "{} !< {}",
+        s_opt.cycles,
+        s_base.cycles
+    );
 }
 
 #[test]
@@ -453,10 +462,8 @@ int main(void)
     assert!(rep.vectorized >= 1, "{}", pretty_proc(&opt.procs[0]));
 
     let g = [("xa", ScalarType::Float, 100)];
-    let b = titanc_titan::observe(&base, MachineConfig::scalar(), "main", &g)
-        .unwrap();
-    let o = titanc_titan::observe(&opt, MachineConfig::optimized(2), "main", &g)
-        .unwrap();
+    let b = titanc_titan::observe(&base, MachineConfig::scalar(), "main", &g).unwrap();
+    let o = titanc_titan::observe(&opt, MachineConfig::optimized(2), "main", &g).unwrap();
     assert_eq!(b.0.globals, o.0.globals);
     let speedup = b.1.cycles / o.1.cycles;
     assert!(speedup > 4.0, "vector+parallel speedup {speedup:.2}");
@@ -484,11 +491,11 @@ int main(void)
     assert_eq!(rep.vectorized, 1, "{}", pretty_proc(&opt.procs[0]));
     let text = pretty_proc(&opt.procs[0]);
     assert!(text.contains("(float)["), "vector part emitted: {text}");
-    assert!(text.contains("do fortran"), "residual scalar loop remains: {text}");
-    let g = [
-        ("a", ScalarType::Float, 64),
-        ("r", ScalarType::Float, 66),
-    ];
+    assert!(
+        text.contains("do fortran"),
+        "residual scalar loop remains: {text}"
+    );
+    let g = [("a", ScalarType::Float, 64), ("r", ScalarType::Float, 66)];
     assert_eq!(observe(&base, &g), observe(&opt, &g));
 }
 
@@ -516,10 +523,7 @@ int main(void)
     // recurrence with unknown-to-vector timing: the dependence keeps them
     // ordered. Whatever the classification, semantics must hold.
     let _ = rep;
-    let g = [
-        ("a", ScalarType::Float, 64),
-        ("r", ScalarType::Float, 66),
-    ];
+    let g = [("a", ScalarType::Float, 64), ("r", ScalarType::Float, 66)];
     assert_eq!(observe(&base, &g), observe(&opt, &g));
 }
 

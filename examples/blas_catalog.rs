@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("blas.catalog.json");
     catalog.save(&path)?;
-    println!("catalog written to {} ({} procedures)", path.display(), catalog.procs.len());
+    println!(
+        "catalog written to {} ({} procedures)",
+        path.display(),
+        catalog.procs.len()
+    );
 
     // a later compilation loads the catalog and inlines from it
     let catalog = Catalog::load(&path)?;

@@ -40,9 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    for (phase, proc, text) in &compiled.snapshots {
-        if proc == "main" {
-            println!("===== main after `{phase}` =====\n{text}");
+    for snap in &compiled.snapshots {
+        if snap.proc == "main" {
+            println!("===== main after `{}` =====\n{}", snap.phase, snap.il);
         }
     }
 

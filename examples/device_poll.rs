@@ -40,8 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // and the non-volatile variant really spins forever
     let broken = SRC.replace("volatile int", "int");
     let compiled = compile(&broken, &Options::o2())?;
-    let mut cfg = MachineConfig::default();
-    cfg.max_steps = 100_000;
+    let cfg = MachineConfig {
+        max_steps: 100_000,
+        ..MachineConfig::default()
+    };
     let mut sim = Simulator::new(&compiled.program, cfg);
     match sim.run("main", &[]) {
         Err(e) => println!("without volatile: {e} (as §1 warns)"),

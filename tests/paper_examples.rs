@@ -14,8 +14,8 @@ const BLASLIB: &str = include_str!("../corpus/blaslib.c");
 
 fn equivalence(src: &str, globals: &[(&str, ScalarType, u32)]) {
     let base = compile(src, &Options::o0()).expect("O0");
-    let (expect, _) = observe(&base.program, MachineConfig::default(), "main", globals)
-        .expect("O0 runs");
+    let (expect, _) =
+        observe(&base.program, MachineConfig::default(), "main", globals).expect("O0 runs");
     for (name, opts, procs) in [
         ("O1", Options::o1(), 1u32),
         ("O2", Options::o2(), 1),
@@ -67,8 +67,15 @@ fn backsolve_mflops_shape() {
     let m_scalar = s.mflops(16.0);
 
     let opt = compile(BACKSOLVE, &Options::o2()).unwrap();
-    assert!(opt.reports.strength.promoted >= 1, "{:?}", opt.reports.strength);
-    assert_eq!(opt.reports.vector.vectorized, 0, "recurrence must stay scalar");
+    assert!(
+        opt.reports.strength.promoted >= 1,
+        "{:?}",
+        opt.reports.strength
+    );
+    assert_eq!(
+        opt.reports.vector.vectorized, 0,
+        "recurrence must stay scalar"
+    );
     let mut sim = Simulator::new(&opt.program, MachineConfig::optimized(1));
     let o = sim.run("main", &[]).unwrap().stats;
     let m_opt = o.mflops(16.0);
@@ -111,7 +118,10 @@ fn pragma_safe_copy_emits_sections() {
     let c = compile(COPY, &Options::o2()).unwrap();
     let main = c.program.proc_by_name("main").unwrap();
     let text = titanc_repro::il::pretty_proc(main);
-    assert!(text.contains("(float)["), "triplet sections emitted:\n{text}");
+    assert!(
+        text.contains("(float)["),
+        "triplet sections emitted:\n{text}"
+    );
 }
 
 #[test]

@@ -8,10 +8,7 @@ use titanc_repro::titanc::{compile, compile_and_run, Aliasing, Options};
 
 #[test]
 fn catalog_file_round_trip_through_driver() {
-    let lib = titanc_lower::compile_to_il(
-        "float twice(float x) { return x * 2.0f; }",
-    )
-    .unwrap();
+    let lib = titanc_lower::compile_to_il("float twice(float x) { return x * 2.0f; }").unwrap();
     let catalog = Catalog::from_program("m", &lib);
     let dir = std::env::temp_dir().join("titanc-int-test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -101,7 +98,10 @@ int main(void)
 }
 "#;
     let c_strict = compile(src, &Options::o2()).unwrap();
-    assert_eq!(c_strict.reports.vector.vectorized, 0, "overlap detected: same base");
+    assert_eq!(
+        c_strict.reports.vector.vectorized, 0,
+        "overlap detected: same base"
+    );
     let c_fortran = compile(
         src,
         &Options {

@@ -5,14 +5,40 @@
 //! branches, bounded counted loops, array stores) over `int` scalars and a
 //! `float` array; observable state is the return value plus the contents
 //! of the output arrays. The Titan simulator is the semantic referee.
+//! Random programs come from a fixed-seed xorshift generator so the suite
+//! needs no external crates and every run checks the same cases
+//! (`TITANC_FUZZ_CASES` turns the dial).
 
-use proptest::prelude::*;
 use titanc_repro::il::ScalarType;
 use titanc_repro::titan::MachineConfig;
 use titanc_repro::titanc::{compile, Options};
 
 const INT_VARS: [&str; 4] = ["va", "vb", "vc", "vd"];
 const OUT_LEN: usize = 16;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
 
 #[derive(Clone, Debug)]
 enum E {
@@ -47,11 +73,7 @@ impl E {
             E::Sub(a, b) => format!("({} - {})", a.render(loop_level), b.render(loop_level)),
             E::Mul(a, b) => format!("({} * {})", a.render(loop_level), b.render(loop_level)),
             E::Lt(a, b) => format!("({} < {})", a.render(loop_level), b.render(loop_level)),
-            E::Call(a, b) => format!(
-                "helper({}, {})",
-                a.render(loop_level),
-                b.render(loop_level)
-            ),
+            E::Call(a, b) => format!("helper({}, {})", a.render(loop_level), b.render(loop_level)),
         }
     }
 }
@@ -144,74 +166,74 @@ fn render_program(stmts: &[S], helper: &[S], helper_ret: &E, ret: &E) -> String 
     )
 }
 
-fn expr_strategy(depth: u32, allow_calls: bool) -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-20i32..20).prop_map(E::Const),
-        (0usize..4).prop_map(E::Var),
-        Just(E::LoopVar),
-    ];
-    leaf.prop_recursive(depth, 16, 2, move |inner| {
-        let call = (inner.clone(), inner.clone())
-            .prop_map(|(a, b)| E::Call(Box::new(a), Box::new(b)));
-        if allow_calls {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-                (inner.clone(), inner).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-                call,
-            ]
-            .boxed()
-        } else {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-                (inner.clone(), inner).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-            ]
-            .boxed()
-        }
-    })
+fn gen_expr(rng: &mut Rng, depth: u32, allow_calls: bool) -> E {
+    if depth == 0 || rng.below(5) < 2 {
+        return match rng.below(3) {
+            0 => E::Const(rng.range(-20, 20) as i32),
+            1 => E::Var(rng.below(4) as usize),
+            _ => E::LoopVar,
+        };
+    }
+    let a = Box::new(gen_expr(rng, depth - 1, allow_calls));
+    let b = Box::new(gen_expr(rng, depth - 1, allow_calls));
+    match rng.below(if allow_calls { 5 } else { 4 }) {
+        0 => E::Add(a, b),
+        1 => E::Sub(a, b),
+        2 => E::Mul(a, b),
+        3 => E::Lt(a, b),
+        _ => E::Call(a, b),
+    }
 }
 
-fn stmt_strategy(depth: u32, allow_calls: bool) -> BoxedStrategy<S> {
-    let leaf = prop_oneof![
-        (0usize..4, expr_strategy(2, allow_calls)).prop_map(|(v, e)| S::Assign(v, e)),
-        (0usize..OUT_LEN, expr_strategy(2, allow_calls)).prop_map(|(i, e)| S::Store(i, e)),
-        (0usize..OUT_LEN, expr_strategy(2, allow_calls)).prop_map(|(i, e)| S::FloatStore(i, e)),
-        expr_strategy(2, allow_calls).prop_map(S::StoreAtLoopVar),
-    ];
-    leaf.prop_recursive(depth, 24, 4, move |inner| {
-        prop_oneof![
-            (
-                expr_strategy(2, allow_calls),
-                prop::collection::vec(inner.clone(), 1..4),
-                prop::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(c, t, f)| S::If(c, t, f)),
-            (any::<u8>(), prop::collection::vec(inner, 1..4))
-                .prop_map(|(n, b)| S::CountedLoop(n, b)),
-        ]
-    })
-    .boxed()
+fn gen_stmt(rng: &mut Rng, depth: u32, allow_calls: bool) -> S {
+    if depth > 0 && rng.below(3) == 0 {
+        return match rng.below(2) {
+            0 => {
+                let cond = gen_expr(rng, 2, allow_calls);
+                let then_len = rng.range(1, 4);
+                let else_len = rng.range(0, 3);
+                let t = (0..then_len)
+                    .map(|_| gen_stmt(rng, depth - 1, allow_calls))
+                    .collect();
+                let f = (0..else_len)
+                    .map(|_| gen_stmt(rng, depth - 1, allow_calls))
+                    .collect();
+                S::If(cond, t, f)
+            }
+            _ => {
+                let n = rng.below(256) as u8;
+                let body_len = rng.range(1, 4);
+                let body = (0..body_len)
+                    .map(|_| gen_stmt(rng, depth - 1, allow_calls))
+                    .collect();
+                S::CountedLoop(n, body)
+            }
+        };
+    }
+    match rng.below(4) {
+        0 => S::Assign(rng.below(4) as usize, gen_expr(rng, 2, allow_calls)),
+        1 => S::Store(
+            rng.below(OUT_LEN as u64) as usize,
+            gen_expr(rng, 2, allow_calls),
+        ),
+        2 => S::FloatStore(
+            rng.below(OUT_LEN as u64) as usize,
+            gen_expr(rng, 2, allow_calls),
+        ),
+        _ => S::StoreAtLoopVar(gen_expr(rng, 2, allow_calls)),
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = String> {
-    (
-        prop::collection::vec(stmt_strategy(2, true), 1..8),
-        prop::collection::vec(stmt_strategy(1, false), 1..5),
-        expr_strategy(2, false),
-        expr_strategy(2, true),
-    )
-        .prop_map(|(stmts, helper, helper_ret, ret)| {
-            render_program(&stmts, &helper, &helper_ret, &ret)
-        })
+fn gen_program(rng: &mut Rng) -> String {
+    let stmts: Vec<S> = (0..rng.range(1, 8))
+        .map(|_| gen_stmt(rng, 2, true))
+        .collect();
+    let helper: Vec<S> = (0..rng.range(1, 5))
+        .map(|_| gen_stmt(rng, 1, false))
+        .collect();
+    let helper_ret = gen_expr(rng, 2, false);
+    let ret = gen_expr(rng, 2, true);
+    render_program(&stmts, &helper, &helper_ret, &ret)
 }
 
 fn observe(src: &str, opts: &Options, machine: MachineConfig) -> titanc_repro::titan::Observation {
@@ -243,31 +265,31 @@ fn fuzz_cases() -> u32 {
         .unwrap_or(24)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: fuzz_cases(),
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    /// O1, O2 and O2-parallel agree with the unoptimized program.
-    #[test]
-    fn optimization_levels_agree(src in program_strategy()) {
+/// O1, O2 and O2-parallel agree with the unoptimized program.
+#[test]
+fn optimization_levels_agree() {
+    let mut rng = Rng(0xD1FF);
+    for _ in 0..fuzz_cases() {
+        let src = gen_program(&mut rng);
         let base = observe(&src, &Options::o0(), MachineConfig::default());
         let o1 = observe(&src, &Options::o1(), MachineConfig::default());
-        prop_assert_eq!(&base, &o1, "O1 diverged on:\n{}", src);
+        assert_eq!(base, o1, "O1 diverged on:\n{src}");
         let o2 = observe(&src, &Options::o2(), MachineConfig::optimized(1));
-        prop_assert_eq!(&base, &o2, "O2 diverged on:\n{}", src);
+        assert_eq!(base, o2, "O2 diverged on:\n{src}");
         let par = observe(&src, &Options::parallel(), MachineConfig::optimized(4));
-        prop_assert_eq!(&base, &par, "O2-parallel diverged on:\n{}", src);
+        assert_eq!(base, par, "O2-parallel diverged on:\n{src}");
     }
+}
 
-    /// The parser round-trips through the lowering pipeline without
-    /// crashing for every generated program (fuzz smoke).
-    #[test]
-    fn front_end_total(src in program_strategy()) {
+/// The parser round-trips through the lowering pipeline without
+/// crashing for every generated program (fuzz smoke).
+#[test]
+fn front_end_total() {
+    let mut rng = Rng(0xF207);
+    for _ in 0..fuzz_cases() {
+        let src = gen_program(&mut rng);
         let tu = titanc_cfront::parse(&src).expect("parses");
         let prog = titanc_lower::lower(&tu).expect("lowers");
-        prop_assert!(!prog.is_empty());
+        assert!(!prog.is_empty(), "empty lowering for:\n{src}");
     }
 }
