@@ -1,0 +1,438 @@
+//! Generation-keyed analysis memoization.
+//!
+//! The paper's compiler builds use–def chains **once** and incrementally
+//! repairs them while while→DO conversion and induction-variable
+//! substitution rewrite the loop (§5.2). This module is the modern shape
+//! of that idea: every [`titanc_il::Procedure`] carries a *generation
+//! counter* that mutating passes bump, and a [`ProcAnalyses`] slot
+//! memoizes the expensive analyses ([`Cfg`], [`UseDef`], [`Liveness`],
+//! [`Dominators`], [`LoopNest`]) keyed to the generation they were built
+//! against. A request at the same generation is a hit; a request after
+//! the generation moved drops the stale artifacts and rebuilds.
+//!
+//! Two escape hatches implement the §5.2 repair discipline:
+//!
+//! * [`ProcAnalyses::rekey`] — a pass that performed only *pure
+//!   expression rewrites* (no statement added/removed/restamped, no
+//!   control-flow edge or definition site changed) may adopt the new
+//!   generation without dropping the CFG, use–def chains, dominators, or
+//!   loop nest: those artifacts are still exact. Liveness is dropped —
+//!   rewrites can remove variable reads, and a stale over-approximation
+//!   is only *conservatively* correct, so it is rebuilt on next request.
+//! * A pass may hold the `Arc` of an artifact across its own mutations
+//!   when it can argue validity locally (while→DO conversion reuses one
+//!   CFG across every conversion of a procedure) and call
+//!   [`ProcAnalyses::note_repair`] to account for the reuse.
+//!
+//! Artifacts are shared as `Arc`s so a pass can hold an analysis while
+//! the cache stays borrowable; `Arc` (not `Rc`) keeps the slots `Send`,
+//! which lets the pass manager move each procedure's slot onto a worker
+//! thread. [`AnalysisCache`] is the per-compilation collection of slots,
+//! indexed by procedure position; [`CacheStats`] counts hits, builds,
+//! invalidations, and repairs so the cached-vs-rebuilt ratio is
+//! observable per pass (`--time`, EXP6, `BENCH_compile.json`).
+
+use std::sync::Arc;
+
+use titanc_il::Procedure;
+
+use crate::loops::LoopNest;
+use crate::{Cfg, Dominators, Liveness, UseDef};
+
+/// Hit/build counters for the generation-keyed analysis cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// CFG requests answered from the cache.
+    pub cfg_hits: usize,
+    /// CFG requests that ran [`Cfg::build`].
+    pub cfg_builds: usize,
+    /// Use–def requests answered from the cache.
+    pub usedef_hits: usize,
+    /// Use–def requests that ran [`UseDef::build`].
+    pub usedef_builds: usize,
+    /// Liveness requests answered from the cache.
+    pub liveness_hits: usize,
+    /// Liveness requests that ran [`Liveness::build`].
+    pub liveness_builds: usize,
+    /// Dominator requests answered from the cache.
+    pub dominators_hits: usize,
+    /// Dominator requests that ran [`Dominators::build`].
+    pub dominators_builds: usize,
+    /// Loop-nest requests answered from the cache.
+    pub loopnest_hits: usize,
+    /// Loop-nest requests that ran [`LoopNest::build`].
+    pub loopnest_builds: usize,
+    /// Times cached artifacts were dropped because the generation moved.
+    pub invalidations: usize,
+    /// Times artifacts survived a mutation via §5.2-style repair
+    /// ([`ProcAnalyses::rekey`] / [`ProcAnalyses::note_repair`]).
+    pub repairs: usize,
+}
+
+impl CacheStats {
+    /// Total requests answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.cfg_hits
+            + self.usedef_hits
+            + self.liveness_hits
+            + self.dominators_hits
+            + self.loopnest_hits
+    }
+
+    /// Total requests that had to build.
+    pub fn builds(&self) -> usize {
+        self.cfg_builds
+            + self.usedef_builds
+            + self.liveness_builds
+            + self.dominators_builds
+            + self.loopnest_builds
+    }
+
+    /// Total analysis requests.
+    pub fn requests(&self) -> usize {
+        self.hits() + self.builds()
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.cfg_hits += other.cfg_hits;
+        self.cfg_builds += other.cfg_builds;
+        self.usedef_hits += other.usedef_hits;
+        self.usedef_builds += other.usedef_builds;
+        self.liveness_hits += other.liveness_hits;
+        self.liveness_builds += other.liveness_builds;
+        self.dominators_hits += other.dominators_hits;
+        self.dominators_builds += other.dominators_builds;
+        self.loopnest_hits += other.loopnest_hits;
+        self.loopnest_builds += other.loopnest_builds;
+        self.invalidations += other.invalidations;
+        self.repairs += other.repairs;
+    }
+
+    /// The counters accumulated since `earlier` (fieldwise difference;
+    /// `earlier` must be a previous snapshot of the same counters).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            cfg_hits: self.cfg_hits - earlier.cfg_hits,
+            cfg_builds: self.cfg_builds - earlier.cfg_builds,
+            usedef_hits: self.usedef_hits - earlier.usedef_hits,
+            usedef_builds: self.usedef_builds - earlier.usedef_builds,
+            liveness_hits: self.liveness_hits - earlier.liveness_hits,
+            liveness_builds: self.liveness_builds - earlier.liveness_builds,
+            dominators_hits: self.dominators_hits - earlier.dominators_hits,
+            dominators_builds: self.dominators_builds - earlier.dominators_builds,
+            loopnest_hits: self.loopnest_hits - earlier.loopnest_hits,
+            loopnest_builds: self.loopnest_builds - earlier.loopnest_builds,
+            invalidations: self.invalidations - earlier.invalidations,
+            repairs: self.repairs - earlier.repairs,
+        }
+    }
+}
+
+/// Memoized analyses for one procedure, keyed by its generation counter.
+#[derive(Debug, Default)]
+pub struct ProcAnalyses {
+    /// The generation the cached artifacts were built against.
+    generation: Option<u64>,
+    cfg: Option<Arc<Cfg>>,
+    usedef: Option<Arc<UseDef>>,
+    liveness: Option<Arc<Liveness>>,
+    dominators: Option<Arc<Dominators>>,
+    loopnest: Option<Arc<LoopNest>>,
+    stats: CacheStats,
+}
+
+impl ProcAnalyses {
+    /// An empty cache slot.
+    pub fn new() -> ProcAnalyses {
+        ProcAnalyses::default()
+    }
+
+    /// The accumulated hit/build counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The generation the cached artifacts are keyed to, if any.
+    pub fn cached_generation(&self) -> Option<u64> {
+        self.generation
+    }
+
+    fn has_any(&self) -> bool {
+        self.cfg.is_some()
+            || self.usedef.is_some()
+            || self.liveness.is_some()
+            || self.dominators.is_some()
+            || self.loopnest.is_some()
+    }
+
+    fn drop_artifacts(&mut self) {
+        self.cfg = None;
+        self.usedef = None;
+        self.liveness = None;
+        self.dominators = None;
+        self.loopnest = None;
+    }
+
+    /// Drops stale artifacts when the procedure's generation has moved
+    /// past the cached one. Called on every request, so a stale artifact
+    /// is never served.
+    fn sync(&mut self, proc: &Procedure) {
+        let current = proc.generation();
+        if self.generation != Some(current) {
+            if self.has_any() {
+                self.stats.invalidations += 1;
+            }
+            self.drop_artifacts();
+            self.generation = Some(current);
+        }
+    }
+
+    /// Drops everything unconditionally (a pass made a structural edit it
+    /// cannot argue repair for).
+    pub fn invalidate(&mut self) {
+        if self.has_any() {
+            self.stats.invalidations += 1;
+        }
+        self.drop_artifacts();
+        self.generation = None;
+    }
+
+    /// §5.2 incremental repair: adopt the procedure's current generation
+    /// while keeping the CFG, use–def chains, dominators, and loop nest.
+    ///
+    /// Only sound after *pure expression rewrites*: the statement set,
+    /// statement ids, control-flow edges, and definition sites must be
+    /// unchanged (constant propagation's replace/fold rounds qualify;
+    /// branch simplification does not). Liveness is dropped — a rewrite
+    /// can remove reads, leaving cached liveness a sound but imprecise
+    /// over-approximation, so it is rebuilt on next request instead.
+    pub fn rekey(&mut self, proc: &Procedure) {
+        let current = proc.generation();
+        if self.generation == Some(current) {
+            return;
+        }
+        self.liveness = None;
+        self.generation = Some(current);
+        if self.has_any() {
+            self.stats.repairs += 1;
+        }
+    }
+
+    /// Accounts for an in-place artifact reuse a pass performed itself
+    /// (e.g. while→DO conversion holding one CFG across conversions).
+    pub fn note_repair(&mut self) {
+        self.stats.repairs += 1;
+    }
+
+    /// The control-flow graph at the procedure's current generation.
+    pub fn cfg(&mut self, proc: &Procedure) -> Arc<Cfg> {
+        self.sync(proc);
+        if let Some(c) = &self.cfg {
+            self.stats.cfg_hits += 1;
+            return Arc::clone(c);
+        }
+        self.stats.cfg_builds += 1;
+        let c = Arc::new(Cfg::build(proc));
+        self.cfg = Some(Arc::clone(&c));
+        c
+    }
+
+    /// Use–def chains at the procedure's current generation (builds the
+    /// CFG first if needed).
+    pub fn usedef(&mut self, proc: &Procedure) -> Arc<UseDef> {
+        let cfg = self.cfg(proc);
+        if let Some(ud) = &self.usedef {
+            self.stats.usedef_hits += 1;
+            return Arc::clone(ud);
+        }
+        self.stats.usedef_builds += 1;
+        let ud = Arc::new(UseDef::build(proc, &cfg));
+        self.usedef = Some(Arc::clone(&ud));
+        ud
+    }
+
+    /// Live-variable analysis at the procedure's current generation.
+    pub fn liveness(&mut self, proc: &Procedure) -> Arc<Liveness> {
+        let cfg = self.cfg(proc);
+        if let Some(lv) = &self.liveness {
+            self.stats.liveness_hits += 1;
+            return Arc::clone(lv);
+        }
+        self.stats.liveness_builds += 1;
+        let lv = Arc::new(Liveness::build(proc, &cfg));
+        self.liveness = Some(Arc::clone(&lv));
+        lv
+    }
+
+    /// The dominator tree at the procedure's current generation.
+    pub fn dominators(&mut self, proc: &Procedure) -> Arc<Dominators> {
+        let cfg = self.cfg(proc);
+        if let Some(d) = &self.dominators {
+            self.stats.dominators_hits += 1;
+            return Arc::clone(d);
+        }
+        self.stats.dominators_builds += 1;
+        let d = Arc::new(Dominators::build(&cfg));
+        self.dominators = Some(Arc::clone(&d));
+        d
+    }
+
+    /// The loop-nest forest at the procedure's current generation.
+    pub fn loop_nest(&mut self, proc: &Procedure) -> Arc<LoopNest> {
+        self.sync(proc);
+        if let Some(n) = &self.loopnest {
+            self.stats.loopnest_hits += 1;
+            return Arc::clone(n);
+        }
+        self.stats.loopnest_builds += 1;
+        let n = Arc::new(LoopNest::build(proc));
+        self.loopnest = Some(Arc::clone(&n));
+        n
+    }
+}
+
+/// Per-compilation analysis cache: one [`ProcAnalyses`] slot per
+/// procedure, indexed by position in [`titanc_il::Program::procs`]. The
+/// pass manager hands each worker thread the slot alongside its
+/// procedure, so a procedure's analyses follow it through the whole
+/// per-procedure pass sequence.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    slots: Vec<ProcAnalyses>,
+}
+
+impl AnalysisCache {
+    /// A cache with one slot per procedure.
+    pub fn with_procs(n: usize) -> AnalysisCache {
+        let mut c = AnalysisCache::default();
+        c.ensure(n);
+        c
+    }
+
+    /// Grows the cache to at least `n` slots (new slots start empty).
+    pub fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, ProcAnalyses::default);
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the cache has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot for procedure `index`.
+    pub fn slot_mut(&mut self, index: usize) -> &mut ProcAnalyses {
+        &mut self.slots[index]
+    }
+
+    /// Mutable access to all slots (the pass manager splits these across
+    /// worker threads alongside the procedures).
+    pub fn slots_mut(&mut self) -> &mut [ProcAnalyses] {
+        &mut self.slots
+    }
+
+    /// Counters merged across every slot.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.slots {
+            total.merge(&s.stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc_of(src: &str) -> Procedure {
+        titanc_lower::compile_to_il(src).unwrap().procs[0].clone()
+    }
+
+    #[test]
+    fn same_generation_hits() {
+        let proc =
+            proc_of("int f(int n) { int s; s = 0; while (n) { s = s + n; n = n - 1; } return s; }");
+        let mut a = ProcAnalyses::new();
+        let c1 = a.cfg(&proc);
+        let c2 = a.cfg(&proc);
+        assert!(Arc::ptr_eq(&c1, &c2), "second request is the same artifact");
+        let u1 = a.usedef(&proc);
+        let u2 = a.usedef(&proc);
+        assert!(Arc::ptr_eq(&u1, &u2));
+        let st = a.stats();
+        assert_eq!(st.cfg_builds, 1);
+        assert_eq!(st.usedef_builds, 1);
+        assert!(st.cfg_hits >= 2, "{st:?}"); // direct hit + usedef's cfg reuse
+        assert_eq!(st.usedef_hits, 1);
+        assert_eq!(st.invalidations, 0);
+    }
+
+    #[test]
+    fn bumped_generation_invalidates() {
+        let mut proc = proc_of("int f(int n) { return n; }");
+        let mut a = ProcAnalyses::new();
+        let u1 = a.usedef(&proc);
+        proc.bump_generation();
+        let u2 = a.usedef(&proc);
+        assert!(!Arc::ptr_eq(&u1, &u2), "stale use-def must not be served");
+        let st = a.stats();
+        assert_eq!(st.usedef_builds, 2);
+        assert_eq!(st.invalidations, 1);
+        assert_eq!(a.cached_generation(), Some(proc.generation()));
+    }
+
+    #[test]
+    fn rekey_keeps_usedef_but_drops_liveness() {
+        let mut proc = proc_of("int f(int n) { int s; s = n + 1; return s; }");
+        let mut a = ProcAnalyses::new();
+        let u1 = a.usedef(&proc);
+        let l1 = a.liveness(&proc);
+        proc.bump_generation(); // pretend a pure expression rewrite happened
+        a.rekey(&proc);
+        let u2 = a.usedef(&proc);
+        let l2 = a.liveness(&proc);
+        assert!(Arc::ptr_eq(&u1, &u2), "repair keeps the use-def chains");
+        assert!(!Arc::ptr_eq(&l1, &l2), "liveness is rebuilt after repair");
+        let st = a.stats();
+        assert_eq!(st.repairs, 1);
+        assert_eq!(st.usedef_builds, 1);
+        assert_eq!(st.liveness_builds, 2);
+    }
+
+    #[test]
+    fn stats_delta_and_merge() {
+        let proc = proc_of("void f(void) { ; }");
+        let mut a = ProcAnalyses::new();
+        let before = a.stats();
+        let _ = a.cfg(&proc);
+        let _ = a.loop_nest(&proc);
+        let d = a.stats().delta_since(&before);
+        assert_eq!(d.cfg_builds, 1);
+        assert_eq!(d.loopnest_builds, 1);
+        let mut total = CacheStats::default();
+        total.merge(&d);
+        total.merge(&d);
+        assert_eq!(total.builds(), 2 * d.builds());
+        assert_eq!(total.requests(), total.hits() + total.builds());
+    }
+
+    #[test]
+    fn cache_slots_per_proc() {
+        let mut cache = AnalysisCache::with_procs(3);
+        assert_eq!(cache.len(), 3);
+        let proc = proc_of("void f(void) { ; }");
+        let _ = cache.slot_mut(1).cfg(&proc);
+        assert_eq!(cache.stats().cfg_builds, 1);
+        cache.ensure(5);
+        assert_eq!(cache.len(), 5);
+        assert!(!cache.is_empty());
+    }
+}

@@ -25,15 +25,18 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod dominators;
 pub mod loops;
 
 pub use bitset::BitSet;
+pub use cache::{AnalysisCache, CacheStats, ProcAnalyses};
 pub use cfg::{Cfg, NodeId};
 pub use dataflow::{DefSite, Liveness, UseDef};
 pub use dominators::Dominators;
+pub use loops::{LoopNest, LoopNestEntry};
 
 /// The call graph of a program: which procedures each procedure calls.
 #[derive(Debug, Default)]

@@ -73,6 +73,74 @@ pub fn has_branch_out(s: &Stmt) -> bool {
     goto_targets_in(s).iter().any(|l| !labels.contains(l))
 }
 
+/// One loop of a procedure's loop-nest forest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LoopNestEntry {
+    /// The loop statement (`While`/`DoLoop`/`DoParallel`).
+    pub id: StmtId,
+    /// The innermost enclosing loop, if any.
+    pub parent: Option<StmtId>,
+    /// Nesting depth (outermost loops are depth 0).
+    pub depth: usize,
+}
+
+/// The loop-nest forest of a procedure, in preorder. The structured IL
+/// makes this a tree walk rather than a back-edge search; it is memoized
+/// per generation by the analysis cache so dependence-driven passes can
+/// ask "how deep is this loop" without re-walking the body.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LoopNest {
+    /// Every loop statement with its parent and depth, preorder.
+    pub loops: Vec<LoopNestEntry>,
+}
+
+impl LoopNest {
+    /// Builds the loop-nest forest of `proc`.
+    pub fn build(proc: &titanc_il::Procedure) -> LoopNest {
+        let mut nest = LoopNest::default();
+        fn walk(
+            block: &[Stmt],
+            parent: Option<StmtId>,
+            depth: usize,
+            out: &mut Vec<LoopNestEntry>,
+        ) {
+            for s in block {
+                let (p, d) = if s.is_loop() {
+                    out.push(LoopNestEntry {
+                        id: s.id,
+                        parent,
+                        depth,
+                    });
+                    (Some(s.id), depth + 1)
+                } else {
+                    (parent, depth)
+                };
+                for b in s.blocks() {
+                    walk(b, p, d, out);
+                }
+            }
+        }
+        walk(&proc.body, None, 0, &mut nest.loops);
+        nest
+    }
+
+    /// The entry for loop `id`, if it is a loop statement.
+    pub fn entry(&self, id: StmtId) -> Option<&LoopNestEntry> {
+        self.loops.iter().find(|e| e.id == id)
+    }
+
+    /// Nesting depth of loop `id` (outermost = 0).
+    pub fn depth_of(&self, id: StmtId) -> Option<usize> {
+        self.entry(id).map(|e| e.depth)
+    }
+
+    /// The maximum nesting depth, or `None` when the procedure has no
+    /// loops.
+    pub fn max_depth(&self) -> Option<usize> {
+        self.loops.iter().map(|e| e.depth).max()
+    }
+}
+
 fn visit(s: &Stmt, f: &mut dyn FnMut(&Stmt)) {
     for b in s.blocks() {
         for inner in b {
@@ -141,5 +209,21 @@ mod tests {
     fn nop_has_no_inner_ids() {
         let s = Stmt::new(titanc_il::StmtId(0), StmtKind::Return(Some(Expr::int(0))));
         assert!(stmt_ids_in(&s).is_empty());
+    }
+
+    #[test]
+    fn loop_nest_depths() {
+        let prog = titanc_lower::compile_to_il(
+            "void f(float *a, int n, int m) { int i, j; for (i = 0; i < n; i++) \
+             for (j = 0; j < m; j++) a[i * m + j] = 0; }",
+        )
+        .unwrap();
+        let nest = LoopNest::build(&prog.procs[0]);
+        assert_eq!(nest.loops.len(), 2);
+        assert_eq!(nest.loops[0].depth, 0);
+        assert_eq!(nest.loops[1].depth, 1);
+        assert_eq!(nest.loops[1].parent, Some(nest.loops[0].id));
+        assert_eq!(nest.max_depth(), Some(1));
+        assert_eq!(nest.depth_of(nest.loops[1].id), Some(1));
     }
 }

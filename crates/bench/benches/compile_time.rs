@@ -8,8 +8,9 @@
 //! * Front-end throughput on the corpus.
 
 use std::hint::black_box;
+use std::io::Write;
 use titanc_bench::harness::Bench;
-use titanc_bench::{corpus, ivsub_chain_source};
+use titanc_bench::{corpus, ivsub_chain_source, multi_proc_source};
 use titanc_inline::{inline_program, InlineOptions};
 use titanc_lower::compile_to_il;
 use titanc_opt::{convert_while_loops, induction_substitution};
@@ -86,8 +87,87 @@ fn frontend_throughput(bench: &Bench) {
     }
 }
 
+/// The parallel-pipeline benchmark: wall-clock for `--jobs 1` vs
+/// `--jobs 4` on a many-procedure corpus, plus the analysis-cache effect
+/// on `UseDef::build` invocations. Persists both figures to
+/// `BENCH_compile.json` at the workspace root.
+fn parallel_pipeline(bench: &Bench) {
+    let src = multi_proc_source(8, 30);
+    let opts = |jobs: usize| titanc::Options {
+        jobs,
+        ..titanc::Options::parallel()
+    };
+    let t1 = bench.stats("parallel/compile_8procs_jobs1", || {
+        black_box(
+            titanc::compile(black_box(&src), &opts(1))
+                .unwrap()
+                .program
+                .len(),
+        )
+    });
+    let t4 = bench.stats("parallel/compile_8procs_jobs4", || {
+        black_box(
+            titanc::compile(black_box(&src), &opts(4))
+                .unwrap()
+                .program
+                .len(),
+        )
+    });
+    // min-over-min: external load only inflates samples, so the fastest
+    // pair is the fairest estimate of the pipeline's own scaling
+    let speedup = t1.min.as_secs_f64() / t4.min.as_secs_f64().max(1e-9);
+    let speedup_median = t1.median.as_secs_f64() / t4.median.as_secs_f64().max(1e-9);
+
+    // cache effect: every use-def request the cache answered from a
+    // repaired/rekeyed artifact is a `UseDef::build` an uncached pipeline
+    // would have run
+    let c = titanc::compile(&src, &opts(1)).unwrap();
+    let totals = c.trace.cache_totals();
+    let requests = totals.usedef_hits + totals.usedef_builds;
+    let reduction = totals.usedef_hits as f64 / requests.max(1) as f64;
+    println!(
+        "bench parallel/usedef_builds: {} with cache, {requests} without ({:.0}% fewer)",
+        totals.usedef_builds,
+        100.0 * reduction
+    );
+    println!(
+        "bench parallel/speedup_jobs4_over_jobs1: {speedup:.2}x (median {speedup_median:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
+         \"compile_ms_jobs1\": {:.3},\n  \
+         \"compile_ms_jobs4\": {:.3},\n  \
+         \"compile_ms_jobs1_median\": {:.3},\n  \
+         \"compile_ms_jobs4_median\": {:.3},\n  \
+         \"speedup_jobs4_over_jobs1\": {speedup:.3},\n  \
+         \"speedup_jobs4_over_jobs1_median\": {speedup_median:.3},\n  \
+         \"usedef_builds_with_cache\": {},\n  \
+         \"usedef_builds_without_cache\": {requests},\n  \
+         \"usedef_build_reduction\": {reduction:.3},\n  \
+         \"cache\": {{\"hits\": {}, \"builds\": {}, \"repairs\": {}, \"invalidations\": {}}}\n}}\n",
+        t1.min.as_secs_f64() * 1e3,
+        t4.min.as_secs_f64() * 1e3,
+        t1.median.as_secs_f64() * 1e3,
+        t4.median.as_secs_f64() * 1e3,
+        totals.usedef_builds,
+        totals.hits(),
+        totals.builds(),
+        totals.repairs,
+        totals.invalidations,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("bench parallel: wrote {path}"),
+        Err(e) => eprintln!("bench parallel: cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let bench = Bench::from_env();
+    // first, on a fresh heap: the jobs comparison is the most sensitive to
+    // allocator state left behind by other benchmarks
+    parallel_pipeline(&bench);
     exp4_constprop_strategies(&bench);
     exp6_ivsub_scaling(&bench);
     frontend_throughput(&bench);

@@ -44,7 +44,8 @@ fn main() {
     );
 
     // where the whole pipeline spends its time on the worst kernel: the
-    // pass manager's trace gives per-pass wall-clock for free
+    // pass manager's trace gives per-pass wall-clock — and, since the
+    // analysis cache landed, per-pass hit/build counts — for free
     let src = ivsub_chain_source(32, 64);
     let c = titanc::compile(&src, &titanc::Options::o2()).expect("compiles");
     let total = c.trace.total_duration().as_secs_f64() * 1e6;
@@ -52,16 +53,30 @@ fn main() {
     for rec in &c.trace.records {
         let us = rec.duration.as_secs_f64() * 1e6;
         println!(
-            "  {:<12} {us:>8.0} µs  {:>5.1}% {}",
+            "  {:<12} {us:>8.0} µs  {:>5.1}%  cache {:>2} hits {:>2} builds {}",
             rec.name,
             100.0 * us / total,
+            rec.cache.hits(),
+            rec.cache.builds(),
             if rec.changed { "" } else { "(no change)" }
         );
     }
-    println!("  {:<12} {total:>8.0} µs", "total");
+    let totals = c.trace.cache_totals();
+    println!(
+        "  {:<12} {total:>8.0} µs          cache {:>2} hits {:>2} builds ({} repairs, {} invalidations)",
+        "total",
+        totals.hits(),
+        totals.builds(),
+        totals.repairs,
+        totals.invalidations
+    );
     assert!(
         c.trace.record("ivsub").is_some(),
         "O2 pipeline must include induction-variable substitution"
+    );
+    assert!(
+        totals.hits() > 0,
+        "the analysis cache must serve repeated requests: {totals:?}"
     );
     println!("EXP6 ok");
 }

@@ -4,6 +4,9 @@
 //! titanc [options] file.c
 //!
 //!   -O0 | -O1 | -O2          optimization level (default -O2)
+//!   -j N | --jobs N          compile procedures on N worker threads
+//!                            (default: available parallelism; output is
+//!                            byte-identical for every N)
 //!   --parallel               emit `do parallel` loops
 //!   --spread-lists           spread linked-list while loops (§10)
 //!   --procs N                simulate N processors (1-4, default 1)
@@ -46,7 +49,8 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: titanc [-O0|-O1|-O2] [--parallel] [--procs N] [--fortran-aliasing]\n\
+        "usage: titanc [-O0|-O1|-O2] [-j N|--jobs N] [--parallel] [--procs N]\n\
+         \x20             [--fortran-aliasing]\n\
          \x20             [--no-inline] [--strip N] [--print-il] [--snapshots]\n\
          \x20             [--verify] [--time]\n\
          \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
@@ -99,6 +103,14 @@ fn parse_args() -> Cli {
                 cli.procs = v.parse().unwrap_or_else(|_| usage());
                 if !(1..=4).contains(&cli.procs) {
                     eprintln!("titanc: --procs must be 1-4 (the Titan had up to four)");
+                    std::process::exit(2);
+                }
+            }
+            "-j" | "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.options.jobs = v.parse().unwrap_or_else(|_| usage());
+                if cli.options.jobs == 0 {
+                    eprintln!("titanc: --jobs must be at least 1 (omit the flag for auto)");
                     std::process::exit(2);
                 }
             }
@@ -218,15 +230,22 @@ fn main() -> ExitCode {
     if cli.time {
         for rec in &compiled.trace.records {
             println!(
-                "pass {:<12} {:>9.3} ms{}",
+                "pass {:<12} {:>9.3} ms  cache {:>3} hits {:>3} builds{}",
                 rec.name,
                 rec.duration.as_secs_f64() * 1e3,
+                rec.cache.hits(),
+                rec.cache.builds(),
                 if rec.changed { "" } else { "  (no change)" }
             );
         }
+        let totals = compiled.trace.cache_totals();
         println!(
-            "pass total     {:>9.3} ms",
-            compiled.trace.total_duration().as_secs_f64() * 1e3
+            "pass total     {:>9.3} ms  cache {:>3} hits {:>3} builds ({} repairs, {} invalidations)",
+            compiled.trace.total_duration().as_secs_f64() * 1e3,
+            totals.hits(),
+            totals.builds(),
+            totals.repairs,
+            totals.invalidations
         );
     }
 

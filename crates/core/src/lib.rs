@@ -43,7 +43,10 @@ pub mod pass;
 use std::error::Error;
 use std::fmt;
 
-pub use pass::{Pass, PassContext, PassOutcome, PassRecord, PassTrace, Pipeline, Snapshot};
+pub use pass::{
+    Pass, PassContext, PassOutcome, PassRecord, PassTrace, Pipeline, ProcPass, Snapshot,
+};
+pub use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
 pub use titanc_deps::Aliasing;
 pub use titanc_il::{Catalog, Program};
 pub use titanc_inline::InlineOptions;
@@ -91,6 +94,12 @@ pub struct Options {
     /// Run the IL verifier between passes even in release builds (debug
     /// builds always verify). A violation is an internal compiler error.
     pub verify: bool,
+    /// Worker threads for the per-procedure pass groups (`-j`/`--jobs`).
+    /// `0` means "use the machine's available parallelism"; requests
+    /// beyond the available parallelism are capped there, since extra
+    /// threads only add scheduler churn to a CPU-bound pipeline. The
+    /// output is byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Options {
@@ -107,6 +116,7 @@ impl Default for Options {
             catalogs: Vec::new(),
             snapshots: false,
             verify: false,
+            jobs: 0,
         }
     }
 }
@@ -141,6 +151,17 @@ impl Options {
         Options {
             parallelize: true,
             ..Options::default()
+        }
+    }
+
+    /// The worker-thread count the pipeline will actually use: `jobs`,
+    /// with `0` resolved to the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }

@@ -2,29 +2,65 @@
 //!
 //! Every transformation of the compiler — the §5 scalar optimizations, the
 //! §9 vectorizer, the §6 dependence-driven scalar improvements and the §7
-//! inliner — runs behind the uniform [`Pass`] interface. A [`Pipeline`] is
-//! the declarative description of one compilation strategy: `-O1` and
-//! `-O2` are nothing more than different pipeline constructions (see
+//! inliner — runs behind one of two uniform interfaces. Whole-program
+//! transformations (the inliner, which moves code *between* procedures)
+//! implement [`Pass`]; everything else is a per-procedure transformation
+//! and implements [`ProcPass`]. A [`Pipeline`] is the declarative
+//! description of one compilation strategy: `-O1` and `-O2` are nothing
+//! more than different pipeline constructions (see
 //! [`Pipeline::for_options`]), mirroring the paper's presentation of the
 //! compiler as a fixed sequence of cooperating phases.
+//!
+//! ## Parallel per-procedure execution
+//!
+//! Maximal runs of consecutive [`ProcPass`] stages are grouped: each
+//! procedure is sent through the *whole group* as one unit of work, and
+//! the procedures fan out across [`Options::jobs`] worker threads
+//! (`std::thread::scope`, no runtime dependency). Each unit carries the
+//! procedure, its [`ProcAnalyses`] cache slot, and produces a
+//! [`ProcResult`]: per-pass deltas, timings, cache counters and
+//! snapshots. Results are merged **in procedure order, pass-major**, and
+//! the serial path (`jobs = 1`) runs the exact same per-procedure chain,
+//! so `-j 1` and `-j N` produce byte-identical programs, reports, traces
+//! and snapshot sequences.
+//!
+//! ## The generation-keyed analysis cache
+//!
+//! Each worker threads a [`ProcAnalyses`] slot through its procedure's
+//! pass chain. Passes request the CFG, use–def chains, liveness,
+//! dominators, or loop nest from the slot; artifacts are memoized keyed
+//! to the procedure's *generation counter*, which every mutating pass
+//! bumps (the manager bumps defensively when a pass reports a change
+//! without moving the counter). Passes performing only pure expression
+//! rewrites repair instead of invalidating ([`ProcAnalyses::rekey`] —
+//! the §5.2 incremental use–def maintenance). Per-pass cache counters
+//! land in [`PassRecord::cache`].
 //!
 //! Running a pipeline produces three artifacts beyond the transformed
 //! program:
 //!
 //! * a [`PassTrace`] with one [`PassRecord`] per executed pass — its
-//!   wall-clock duration and the per-pass *delta* of the aggregate
-//!   [`Reports`], so regressions in either compile time or pass
-//!   effectiveness are visible per pass rather than per compilation;
-//! * typed [`Snapshot`]s of every procedure after every pass (when
-//!   [`Options::snapshots`] is set) — the §9 walkthrough artifacts;
-//! * verifier coverage: after every pass the IL is re-checked with
-//!   [`titanc_il::verify_program`] in debug builds (and in release builds
-//!   when [`Options::verify`] is set), so a pass that breaks an IL
-//!   invariant is caught at the boundary where it fired.
+//!   wall-clock duration (summed across workers for parallel groups), the
+//!   per-pass *delta* of the aggregate [`Reports`], and the cache
+//!   hit/build counters, so regressions in compile time, pass
+//!   effectiveness, or cache effectiveness are visible per pass;
+//! * typed [`Snapshot`]s (when [`Options::snapshots`] is set) of every
+//!   procedure **whose generation moved** during a pass — the §9
+//!   walkthrough artifacts, now without identical copies of untouched
+//!   procedures;
+//! * verifier coverage: procedures whose generation moved are re-checked
+//!   with [`titanc_il::verify_proc`] after the pass that moved them (in
+//!   debug builds, and in release builds when [`Options::verify`] is
+//!   set); a final whole-program [`titanc_il::verify_program`] closes the
+//!   run when anything changed. Unchanged procedures skip re-verification
+//!   entirely.
 
+use std::sync::Mutex;
+use std::thread;
 use std::time::{Duration, Instant};
 
-use titanc_il::Program;
+use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
+use titanc_il::{Procedure, Program};
 
 use crate::{OptLevel, Options, Reports, VectorOptions};
 
@@ -53,12 +89,15 @@ impl PassOutcome {
     }
 }
 
-/// A uniform interface over every program transformation.
+/// A whole-program transformation.
 ///
-/// A pass transforms the whole [`Program`] (per-procedure passes loop over
-/// `program.procs` internally) and accounts for its work by merging counts
-/// into `delta`, a fresh [`Reports`] value the manager aggregates and
-/// records in the [`PassTrace`].
+/// A pass transforms the whole [`Program`] and accounts for its work by
+/// merging counts into `delta`, a fresh [`Reports`] value the manager
+/// aggregates and records in the [`PassTrace`]. Implement this directly
+/// only for transformations that must see every procedure at once (the
+/// inliner); per-procedure transformations should implement [`ProcPass`]
+/// instead, which provides `Pass` via a blanket impl and additionally
+/// runs in parallel inside pipelines.
 pub trait Pass {
     /// Stable pass name, used in traces, snapshots and `--stats` output.
     fn name(&self) -> &'static str;
@@ -67,17 +106,65 @@ pub trait Pass {
     fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome;
 }
 
+/// A per-procedure transformation — the parallel unit of the pipeline.
+///
+/// The manager fans procedures across worker threads, so implementations
+/// must be `Sync` (they are shared by reference; all the built-in passes
+/// are stateless unit structs). `analyses` is the procedure's
+/// generation-keyed cache slot: request analyses from it instead of
+/// building them, and keep the generation honest — bump it on mutation
+/// (or let the underlying transformation do so), `rekey` after pure
+/// expression rewrites, `invalidate` after structural edits.
+pub trait ProcPass: Sync {
+    /// Stable pass name, used in traces, snapshots and `--stats` output.
+    fn name(&self) -> &'static str;
+
+    /// Transforms one procedure, recording statistics into `delta`.
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        cx: &PassContext<'_>,
+        analyses: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome;
+}
+
+/// Every per-procedure pass is also a whole-program pass: loop over the
+/// procedures serially with throwaway cache slots. This keeps custom
+/// pipelines built with [`Pipeline::push`] working unchanged; pipelines
+/// built with [`Pipeline::push_proc`] (and [`Pipeline::for_options`]) get
+/// the parallel, cache-threading execution instead.
+impl<T: ProcPass> Pass for T {
+    fn name(&self) -> &'static str {
+        ProcPass::name(self)
+    }
+
+    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+        let mut changed = false;
+        for proc in &mut program.procs {
+            let mut analyses = ProcAnalyses::new();
+            changed |= self.run_on(proc, cx, &mut analyses, delta).changed;
+        }
+        PassOutcome { changed }
+    }
+}
+
 /// One executed pass in a [`PassTrace`].
 #[derive(Clone, Debug)]
 pub struct PassRecord {
     /// The pass name.
     pub name: &'static str,
-    /// Wall-clock time the pass took.
+    /// Wall-clock time the pass took (summed across procedures for
+    /// parallel per-procedure groups, so it stays comparable between
+    /// `-j 1` and `-j N`).
     pub duration: Duration,
     /// The statistics this pass alone contributed.
     pub delta: Reports,
     /// Whether the pass reported changing the program.
     pub changed: bool,
+    /// Analysis-cache counters this pass alone contributed (always zero
+    /// for whole-program passes, which do not thread the cache).
+    pub cache: CacheStats,
 }
 
 /// The per-pass execution record of one pipeline run.
@@ -101,6 +188,15 @@ impl PassTrace {
     /// Total wall-clock time across all passes.
     pub fn total_duration(&self) -> Duration {
         self.records.iter().map(|r| r.duration).sum()
+    }
+
+    /// Analysis-cache counters summed across all passes.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for r in &self.records {
+            total.merge(&r.cache);
+        }
+        total
     }
 }
 
@@ -137,25 +233,136 @@ pub(crate) fn verify_or_ice(phase: &str, program: &Program) {
     }
 }
 
+/// Per-procedure flavour of [`verify_or_ice`] for the parallel path.
+fn verify_proc_or_ice(phase: &str, proc: &Procedure) {
+    if let Err(errors) = titanc_il::verify_proc(proc) {
+        let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        panic!(
+            "internal compiler error: IL verification failed after `{phase}` in `{}`:\n  {}",
+            proc.name,
+            rendered.join("\n  ")
+        );
+    }
+}
+
+/// One stage of a pipeline: a whole-program pass, or a per-procedure pass
+/// eligible for parallel grouped execution.
+enum Stage {
+    Program(Box<dyn Pass>),
+    Proc(Box<dyn ProcPass>),
+}
+
+impl Stage {
+    fn name(&self) -> &'static str {
+        match self {
+            Stage::Program(p) => p.name(),
+            Stage::Proc(p) => ProcPass::name(&**p),
+        }
+    }
+}
+
+/// What one procedure produced from one grouped per-procedure chain.
+struct ProcResult {
+    /// One cell per pass in the group, in group order.
+    cells: Vec<PassCell>,
+    /// Snapshots taken along the chain: (group pass index, snapshot).
+    snaps: Vec<(usize, Snapshot)>,
+    /// The procedure's generation when the chain finished.
+    final_gen: u64,
+}
+
+struct PassCell {
+    duration: Duration,
+    delta: Reports,
+    changed: bool,
+    cache: CacheStats,
+}
+
+/// Runs one procedure through a group of per-procedure passes. Both the
+/// serial and the parallel path execute exactly this function, which is
+/// what makes `-j 1` and `-j N` byte-identical.
+fn run_proc_chain(
+    group: &[&dyn ProcPass],
+    proc: &mut Procedure,
+    analyses: &mut ProcAnalyses,
+    cx: &PassContext<'_>,
+    verify: bool,
+    want_snaps: bool,
+    seen_gen: u64,
+) -> ProcResult {
+    let mut cells = Vec::with_capacity(group.len());
+    let mut snaps = Vec::new();
+    // the generation already covered by a snapshot + verification
+    let mut last_seen = seen_gen;
+    for (k, pass) in group.iter().enumerate() {
+        let stats_before = analyses.stats();
+        let gen_before = proc.generation();
+        let mut delta = Reports::default();
+        let start = Instant::now();
+        let outcome = pass.run_on(proc, cx, analyses, &mut delta);
+        if outcome.changed && proc.generation() == gen_before {
+            // defensive: a change must move the generation, or a later
+            // pass could be served stale analyses
+            proc.bump_generation();
+        }
+        let duration = start.elapsed();
+        let cache = analyses.stats().delta_since(&stats_before);
+        if proc.generation() != last_seen {
+            if verify {
+                verify_proc_or_ice(pass.name(), proc);
+            }
+            if want_snaps {
+                snaps.push((
+                    k,
+                    Snapshot {
+                        phase: pass.name().to_string(),
+                        proc: proc.name.clone(),
+                        il: titanc_il::pretty_proc(proc),
+                    },
+                ));
+            }
+            last_seen = proc.generation();
+        }
+        cells.push(PassCell {
+            duration,
+            delta,
+            changed: outcome.changed,
+            cache,
+        });
+    }
+    ProcResult {
+        cells,
+        snaps,
+        final_gen: proc.generation(),
+    }
+}
+
 /// A declarative sequence of passes.
 pub struct Pipeline {
-    passes: Vec<Box<dyn Pass>>,
+    stages: Vec<Stage>,
 }
 
 impl Pipeline {
     /// An empty pipeline.
     pub fn new() -> Pipeline {
-        Pipeline { passes: Vec::new() }
+        Pipeline { stages: Vec::new() }
     }
 
-    /// Appends a pass.
+    /// Appends a whole-program pass (runs serially on the main thread).
     pub fn push(&mut self, pass: impl Pass + 'static) {
-        self.passes.push(Box::new(pass));
+        self.stages.push(Stage::Program(Box::new(pass)));
+    }
+
+    /// Appends a per-procedure pass. Consecutive per-procedure passes are
+    /// grouped and each procedure runs the whole group on one worker,
+    /// fanned out across [`Options::jobs`] threads.
+    pub fn push_proc(&mut self, pass: impl ProcPass + 'static) {
+        self.stages.push(Stage::Proc(Box::new(pass)));
     }
 
     /// The pass names, in execution order.
     pub fn pass_names(&self) -> Vec<&'static str> {
-        self.passes.iter().map(|p| p.name()).collect()
+        self.stages.iter().map(Stage::name).collect()
     }
 
     /// Builds the pipeline the given options describe.
@@ -169,6 +376,9 @@ impl Pipeline {
     ///   Allen–Kennedy vectorizer, the §6 strength reduction, and a
     ///   cleanup round (forward substitution, local CSE, DCE) for the dead
     ///   index arithmetic strength reduction leaves behind.
+    ///
+    /// Everything after the inliner is per-procedure, so the entire
+    /// scalar + vector sequence forms one parallel group.
     pub fn for_options(options: &Options) -> Pipeline {
         let mut pl = Pipeline::new();
         if options.inline {
@@ -177,30 +387,31 @@ impl Pipeline {
         if options.opt == OptLevel::O0 {
             return pl;
         }
-        pl.push(WhileDoPass);
-        pl.push(IvSubPass);
-        pl.push(ForwardPass);
-        pl.push(ConstPropPass);
-        pl.push(DcePass);
+        pl.push_proc(WhileDoPass);
+        pl.push_proc(IvSubPass);
+        pl.push_proc(ForwardPass);
+        pl.push_proc(ConstPropPass);
+        pl.push_proc(DcePass);
         if options.opt == OptLevel::O2 {
             if options.spread_lists && options.parallelize {
-                pl.push(SpreadListsPass);
+                pl.push_proc(SpreadListsPass);
             }
-            pl.push(VectorizePass);
-            pl.push(StrengthPass);
-            pl.push(ForwardPass);
-            pl.push(CsePass);
-            pl.push(DcePass);
+            pl.push_proc(VectorizePass);
+            pl.push_proc(StrengthPass);
+            pl.push_proc(ForwardPass);
+            pl.push_proc(CsePass);
+            pl.push_proc(DcePass);
         }
         pl
     }
 
-    /// Runs every pass in order over `program`.
+    /// Runs every stage in order over `program`.
     ///
     /// Returns the aggregated [`Reports`] and the [`PassTrace`]; when
-    /// [`Options::snapshots`] is set, a [`Snapshot`] of every procedure is
-    /// appended to `snapshots` after each pass. The IL verifier runs after
-    /// every pass in debug builds and, in release builds, when
+    /// [`Options::snapshots`] is set, a [`Snapshot`] of every procedure
+    /// *whose generation moved* is appended to `snapshots` after the pass
+    /// that moved it (pass-major, procedure order). The IL verifier runs
+    /// over moved procedures in debug builds and, in release builds, when
     /// [`Options::verify`] is set; a violation is an internal compiler
     /// error and panics.
     pub fn run(
@@ -211,28 +422,268 @@ impl Pipeline {
     ) -> (Reports, PassTrace) {
         let cx = PassContext { options };
         let verify = cfg!(debug_assertions) || options.verify;
+        let want_snaps = options.snapshots;
+        let jobs = options.effective_jobs();
         let mut reports = Reports::default();
         let mut trace = PassTrace::default();
-        for pass in &self.passes {
-            let mut delta = Reports::default();
-            let start = Instant::now();
-            let outcome = pass.run(program, &cx, &mut delta);
-            let duration = start.elapsed();
-            if verify {
-                verify_or_ice(pass.name(), program);
+        let mut cache = AnalysisCache::with_procs(program.procs.len());
+        // generation already covered by snapshot/verification, per proc
+        // (the "lower" snapshot + verify ran before the pipeline)
+        let mut seen_gens: Vec<u64> = program.procs.iter().map(Procedure::generation).collect();
+        let initial_gens = seen_gens.clone();
+
+        let mut i = 0;
+        while i < self.stages.len() {
+            match &self.stages[i] {
+                Stage::Program(pass) => {
+                    run_program_stage(
+                        &**pass,
+                        program,
+                        &cx,
+                        verify,
+                        want_snaps,
+                        &mut cache,
+                        &mut seen_gens,
+                        &mut reports,
+                        &mut trace,
+                        snapshots,
+                    );
+                    i += 1;
+                }
+                Stage::Proc(_) => {
+                    let mut j = i;
+                    while j < self.stages.len() && matches!(self.stages[j], Stage::Proc(_)) {
+                        j += 1;
+                    }
+                    let group: Vec<&dyn ProcPass> = self.stages[i..j]
+                        .iter()
+                        .map(|s| match s {
+                            Stage::Proc(p) => &**p,
+                            Stage::Program(_) => unreachable!("group holds only proc stages"),
+                        })
+                        .collect();
+                    run_proc_group(
+                        &group,
+                        program,
+                        &cx,
+                        verify,
+                        want_snaps,
+                        jobs,
+                        &mut cache,
+                        &mut seen_gens,
+                        &mut reports,
+                        &mut trace,
+                        snapshots,
+                    );
+                    i = j;
+                }
             }
-            if options.snapshots {
-                snapshot_all(pass.name(), program, snapshots);
-            }
-            reports.merge(delta.clone());
-            trace.records.push(PassRecord {
-                name: pass.name(),
-                duration,
-                delta,
-                changed: outcome.changed,
-            });
+        }
+
+        // per-proc verification skips program-level invariants (call
+        // targets, globals); close the run with one whole-program check
+        // when anything moved
+        let moved = seen_gens != initial_gens;
+        if verify && moved {
+            verify_or_ice("pipeline", program);
         }
         (reports, trace)
+    }
+}
+
+/// Runs one whole-program stage, keeping the generation bookkeeping
+/// honest: a pass that reports a change without moving any generation
+/// gets every procedure bumped defensively, and snapshots/verification
+/// cover exactly the procedures whose generation moved.
+#[allow(clippy::too_many_arguments)]
+fn run_program_stage(
+    pass: &dyn Pass,
+    program: &mut Program,
+    cx: &PassContext<'_>,
+    verify: bool,
+    want_snaps: bool,
+    cache: &mut AnalysisCache,
+    seen_gens: &mut Vec<u64>,
+    reports: &mut Reports,
+    trace: &mut PassTrace,
+    snapshots: &mut Vec<Snapshot>,
+) {
+    let gens_before: Vec<u64> = program.procs.iter().map(Procedure::generation).collect();
+    let mut delta = Reports::default();
+    let start = Instant::now();
+    let outcome = pass.run(program, cx, &mut delta);
+    let duration = start.elapsed();
+
+    let len_changed = program.procs.len() != gens_before.len();
+    let moved = len_changed
+        || program
+            .procs
+            .iter()
+            .zip(&gens_before)
+            .any(|(p, g)| p.generation() != *g);
+    if outcome.changed && !moved {
+        // defensive: the pass mutated something without stamping it
+        for p in &mut program.procs {
+            p.bump_generation();
+        }
+    }
+    let moved = moved || outcome.changed;
+
+    if verify && moved {
+        verify_or_ice(pass.name(), program);
+    }
+    cache.ensure(program.procs.len());
+    // procedures the pass introduced count as never-seen
+    if seen_gens.len() < program.procs.len() {
+        seen_gens.resize(program.procs.len(), u64::MAX);
+    }
+    seen_gens.truncate(program.procs.len());
+    if want_snaps {
+        for (idx, p) in program.procs.iter().enumerate() {
+            if p.generation() != seen_gens[idx] {
+                snapshots.push(Snapshot {
+                    phase: pass.name().to_string(),
+                    proc: p.name.clone(),
+                    il: titanc_il::pretty_proc(p),
+                });
+            }
+        }
+    }
+    for (idx, p) in program.procs.iter().enumerate() {
+        seen_gens[idx] = p.generation();
+    }
+
+    reports.merge(delta.clone());
+    trace.records.push(PassRecord {
+        name: pass.name(),
+        duration,
+        delta,
+        changed: outcome.changed,
+        cache: CacheStats::default(),
+    });
+}
+
+/// Fans the procedures across worker threads, each running the whole
+/// group of per-procedure passes, then merges the results in procedure
+/// order so the output is independent of scheduling.
+#[allow(clippy::too_many_arguments)]
+fn run_proc_group(
+    group: &[&dyn ProcPass],
+    program: &mut Program,
+    cx: &PassContext<'_>,
+    verify: bool,
+    want_snaps: bool,
+    jobs: usize,
+    cache: &mut AnalysisCache,
+    seen_gens: &mut Vec<u64>,
+    reports: &mut Reports,
+    trace: &mut PassTrace,
+    snapshots: &mut Vec<Snapshot>,
+) {
+    let n = program.procs.len();
+    cache.ensure(n);
+    if seen_gens.len() < n {
+        seen_gens.resize(n, u64::MAX);
+    }
+
+    let mut results: Vec<Option<ProcResult>> = Vec::new();
+    results.resize_with(n, || None);
+
+    type Task<'t> = (
+        u64,
+        &'t mut Procedure,
+        &'t mut ProcAnalyses,
+        &'t mut Option<ProcResult>,
+    );
+    let tasks: Vec<Task<'_>> = program
+        .procs
+        .iter_mut()
+        .zip(cache.slots_mut().iter_mut())
+        .zip(results.iter_mut())
+        .enumerate()
+        .map(|(idx, ((proc, slot), out))| (seen_gens[idx], proc, slot, out))
+        .collect();
+
+    // more worker threads than hardware threads only adds scheduler churn
+    // to a CPU-bound pipeline, so the request is capped at the machine's
+    // available parallelism (and at the task count — spare workers would
+    // find an empty queue and exit immediately anyway)
+    let avail = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = jobs.min(avail).clamp(1, n.max(1));
+    if workers <= 1 {
+        for (seen, proc, slot, out) in tasks {
+            *out = Some(run_proc_chain(
+                group, proc, slot, cx, verify, want_snaps, seen,
+            ));
+        }
+    } else {
+        let queue = Mutex::new(tasks.into_iter());
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // take the lock only to pop; run outside it
+                    let task = queue.lock().unwrap().next();
+                    match task {
+                        Some((seen, proc, slot, out)) => {
+                            // run the chain on a worker-local clone: the
+                            // passes' allocation churn then stays in this
+                            // thread's malloc arena instead of contending
+                            // for the main thread's (the procedure itself
+                            // was built there), and the original is freed
+                            // in one sweep at write-back
+                            let mut local = proc.clone();
+                            *out = Some(run_proc_chain(
+                                group, &mut local, slot, cx, verify, want_snaps, seen,
+                            ));
+                            *proc = local;
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+
+    let results: Vec<ProcResult> = results
+        .into_iter()
+        .map(|r| r.expect("every procedure ran its pass chain"))
+        .collect();
+
+    // merge pass-major, procedure order: identical for any worker count
+    for (k, pass) in group.iter().enumerate() {
+        let mut delta = Reports::default();
+        let mut duration = Duration::ZERO;
+        let mut changed = false;
+        let mut cache_stats = CacheStats::default();
+        for r in &results {
+            let cell = &r.cells[k];
+            delta.merge(cell.delta.clone());
+            duration += cell.duration;
+            changed |= cell.changed;
+            cache_stats.merge(&cell.cache);
+        }
+        if want_snaps {
+            for r in &results {
+                for (ki, snap) in &r.snaps {
+                    if *ki == k {
+                        snapshots.push(snap.clone());
+                    }
+                }
+            }
+        }
+        reports.merge(delta.clone());
+        trace.records.push(PassRecord {
+            name: ProcPass::name(*pass),
+            duration,
+            delta,
+            changed,
+            cache: cache_stats,
+        });
+    }
+    for (idx, r) in results.iter().enumerate() {
+        seen_gens[idx] = r.final_gen;
     }
 }
 
@@ -242,7 +693,8 @@ impl Default for Pipeline {
     }
 }
 
-/// §7 inline expansion (runs before scalar optimization).
+/// §7 inline expansion (runs before scalar optimization). Whole-program:
+/// it moves code between procedures, so it cannot be a [`ProcPass`].
 pub struct InlinePass;
 
 impl Pass for InlinePass {
@@ -261,173 +713,203 @@ impl Pass for InlinePass {
 /// §5.2 while→DO conversion.
 pub struct WhileDoPass;
 
-impl Pass for WhileDoPass {
+impl ProcPass for WhileDoPass {
     fn name(&self) -> &'static str {
         "whiledo"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta.whiledo.merge(titanc_opt::convert_while_loops(proc));
-        }
-        PassOutcome {
-            changed: delta.whiledo.converted > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        analyses: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_opt::convert_while_loops_cached(proc, analyses);
+        let changed = r.converted > 0;
+        delta.whiledo.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// §5.2 induction-variable substitution with backtracking.
 pub struct IvSubPass;
 
-impl Pass for IvSubPass {
+impl ProcPass for IvSubPass {
     fn name(&self) -> &'static str {
         "ivsub"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta.ivsub.merge(titanc_opt::induction_substitution(proc));
-        }
-        PassOutcome {
-            changed: delta.ivsub.substituted > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        _: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_opt::induction_substitution(proc);
+        let changed = r.substituted > 0;
+        delta.ivsub.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// Forward substitution of single-use scalar definitions.
 pub struct ForwardPass;
 
-impl Pass for ForwardPass {
+impl ProcPass for ForwardPass {
     fn name(&self) -> &'static str {
         "forward"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta.forward.merge(titanc_opt::forward_substitute(proc));
-        }
-        PassOutcome {
-            changed: delta.forward.substituted > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        _: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_opt::forward_substitute(proc);
+        let changed = r.substituted > 0;
+        delta.forward.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// §8 constant propagation with the unreachable-code heuristic.
 pub struct ConstPropPass;
 
-impl Pass for ConstPropPass {
+impl ProcPass for ConstPropPass {
     fn name(&self) -> &'static str {
         "constprop"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta
-                .constprop
-                .merge(titanc_opt::constant_propagation(proc));
-        }
-        PassOutcome {
-            changed: delta.constprop.replaced > 0 || delta.constprop.removed > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        analyses: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_opt::constant_propagation_cached(proc, analyses);
+        let changed = r.replaced > 0 || r.removed > 0;
+        delta.constprop.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// Dead-code elimination.
 pub struct DcePass;
 
-impl Pass for DcePass {
+impl ProcPass for DcePass {
     fn name(&self) -> &'static str {
         "dce"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta.dce.merge(titanc_opt::eliminate_dead_code(proc));
-        }
-        PassOutcome {
-            changed: delta.dce.removed > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        analyses: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_opt::eliminate_dead_code_cached(proc, analyses);
+        let changed = r.removed > 0;
+        delta.dce.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// Local common-subexpression elimination.
 pub struct CsePass;
 
-impl Pass for CsePass {
+impl ProcPass for CsePass {
     fn name(&self) -> &'static str {
         "cse"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta.cse.merge(titanc_opt::local_cse(proc));
-        }
-        PassOutcome {
-            changed: delta.cse.commoned > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        _: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_opt::local_cse(proc);
+        let changed = r.commoned > 0;
+        delta.cse.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// §10 linked-list loop spreading (opt-in future work).
 pub struct SpreadListsPass;
 
-impl Pass for SpreadListsPass {
+impl ProcPass for SpreadListsPass {
     fn name(&self) -> &'static str {
         "spread_lists"
     }
 
-    fn run(&self, program: &mut Program, _: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta.spread.merge(titanc_vector::spread_list_loops(proc));
-        }
-        PassOutcome {
-            changed: delta.spread.spread > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _: &PassContext<'_>,
+        _: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_vector::spread_list_loops(proc);
+        let changed = r.spread > 0;
+        delta.spread.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// The §9 Allen–Kennedy vectorizer (with strip mining and `do parallel`).
 pub struct VectorizePass;
 
-impl Pass for VectorizePass {
+impl ProcPass for VectorizePass {
     fn name(&self) -> &'static str {
         "vectorize"
     }
 
-    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        cx: &PassContext<'_>,
+        _: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
         let vopts = VectorOptions {
             aliasing: cx.options.aliasing,
             parallelize: cx.options.parallelize,
             strip: cx.options.strip,
             max_vl: cx.options.max_vl,
         };
-        for proc in &mut program.procs {
-            delta.vector.merge(titanc_vector::vectorize(proc, &vopts));
-        }
-        PassOutcome {
-            changed: delta.vector.vectorized > 0 || delta.vector.spread > 0,
-        }
+        let r = titanc_vector::vectorize(proc, &vopts);
+        let changed = r.vectorized > 0 || r.spread > 0;
+        delta.vector.merge(r);
+        PassOutcome { changed }
     }
 }
 
 /// The §6 dependence-driven scalar optimizations.
 pub struct StrengthPass;
 
-impl Pass for StrengthPass {
+impl ProcPass for StrengthPass {
     fn name(&self) -> &'static str {
         "strength"
     }
 
-    fn run(&self, program: &mut Program, cx: &PassContext<'_>, delta: &mut Reports) -> PassOutcome {
-        for proc in &mut program.procs {
-            delta
-                .strength
-                .merge(titanc_vector::strength_reduce(proc, cx.options.aliasing));
-        }
-        PassOutcome {
-            changed: delta.strength.promoted > 0
-                || delta.strength.reduced > 0
-                || delta.strength.hoisted > 0,
-        }
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        cx: &PassContext<'_>,
+        _: &mut ProcAnalyses,
+        delta: &mut Reports,
+    ) -> PassOutcome {
+        let r = titanc_vector::strength_reduce(proc, cx.options.aliasing);
+        let changed = r.promoted > 0 || r.reduced > 0 || r.hoisted > 0;
+        delta.strength.merge(r);
+        PassOutcome { changed }
     }
 }

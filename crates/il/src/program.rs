@@ -88,7 +88,7 @@ impl StructDef {
 }
 
 /// One procedure: signature, symbol table, label table, statement tree.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Procedure {
     /// Procedure name (global linkage).
     pub name: String,
@@ -104,6 +104,27 @@ pub struct Procedure {
     pub body: Vec<Stmt>,
     pub(crate) next_stmt: u32,
     pub(crate) next_temp: u32,
+    /// IL generation counter: bumped whenever the procedure is mutated, so
+    /// analyses memoized against an older generation are known stale. Not
+    /// serialized and excluded from equality — it tracks identity over
+    /// time, not content.
+    pub(crate) generation: u64,
+}
+
+impl PartialEq for Procedure {
+    fn eq(&self, other: &Procedure) -> bool {
+        // `generation` is deliberately excluded: two procedures with the
+        // same content are equal regardless of their mutation history
+        // (catalog encode/decode round-trips rely on this).
+        self.name == other.name
+            && self.ret == other.ret
+            && self.params == other.params
+            && self.vars == other.vars
+            && self.num_labels == other.num_labels
+            && self.body == other.body
+            && self.next_stmt == other.next_stmt
+            && self.next_temp == other.next_temp
+    }
 }
 
 impl Procedure {
@@ -118,7 +139,22 @@ impl Procedure {
             body: Vec::new(),
             next_stmt: 0,
             next_temp: 0,
+            generation: 0,
         }
+    }
+
+    /// The IL generation counter. Analyses keyed to an older generation
+    /// are stale; analyses keyed to the current one are still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Marks the procedure as mutated. Every transformation that changes
+    /// the body, the symbol table, or the label table must call this (or
+    /// [`Procedure::restamp`], which bumps implicitly) so generation-keyed
+    /// analysis caches are never served stale.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     /// The symbol-table entry for `v`.
@@ -251,6 +287,8 @@ impl Procedure {
         }
         walk(&mut self.body, &mut next);
         self.next_stmt = next;
+        // every StmtId-keyed analysis is invalidated by a restamp
+        self.bump_generation();
     }
 
     /// True if any statement satisfies the predicate.
@@ -387,6 +425,20 @@ mod tests {
         p.restamp();
         assert_eq!(p.body[0].id, StmtId(0));
         assert_eq!(p.body[1].id, StmtId(1));
+    }
+
+    #[test]
+    fn generation_tracks_mutation_and_is_excluded_from_eq() {
+        let mut p = Procedure::new("f", Type::Void);
+        assert_eq!(p.generation(), 0);
+        p.bump_generation();
+        assert_eq!(p.generation(), 1);
+        let before = p.generation();
+        p.restamp();
+        assert!(p.generation() > before, "restamp bumps the generation");
+        let mut q = p.clone();
+        q.bump_generation();
+        assert_eq!(p, q, "equality ignores the generation counter");
     }
 
     #[test]

@@ -201,6 +201,7 @@ pub fn externalize_statics(prog: &mut Program) -> usize {
             .filter(|(_, v)| v.storage == Storage::Static)
             .map(|(i, _)| VarId::from_index(i))
             .collect();
+        let had_statics = !statics.is_empty();
         for v in statics {
             let info = prog.procs[pi].var(v).clone();
             let global_name = format!("{pname}.{}", info.name);
@@ -215,6 +216,9 @@ pub fn externalize_statics(prog: &mut Program) -> usize {
             entry.storage = Storage::Global;
             entry.init = None; // initializer now lives on the global
             count += 1;
+        }
+        if had_statics {
+            prog.procs[pi].bump_generation();
         }
     }
     count

@@ -12,7 +12,7 @@
 //! §8 *postpass* for code trapped behind always-taken branches, and the
 //! rejected "rebuild basic blocks" strategy as a measurable baseline.
 
-use titanc_analysis::{Cfg, UseDef};
+use titanc_analysis::{Cfg, ProcAnalyses};
 use titanc_il::fold::{const_value, fold_expr, value_to_expr, Value};
 use titanc_il::{Expr, Procedure, ScalarType, Stmt, StmtId, StmtKind};
 
@@ -40,34 +40,67 @@ impl ConstPropReport {
 
 /// Constant propagation with the §8 unreachable-code heuristic.
 pub fn constant_propagation(proc: &mut Procedure) -> ConstPropReport {
-    run(proc, true)
+    run(proc, true, &mut ProcAnalyses::new())
 }
 
 /// Constant propagation alone (no branch simplification) — one half of the
 /// "rebuild basic blocks" baseline.
 pub fn constant_propagation_no_unreachable(proc: &mut Procedure) -> ConstPropReport {
-    run(proc, false)
+    run(proc, false, &mut ProcAnalyses::new())
 }
 
-fn run(proc: &mut Procedure, simplify_branches: bool) -> ConstPropReport {
+/// Cache-aware constant propagation.
+///
+/// Each propagation round asks the cache for use–def chains instead of
+/// rebuilding them. Rounds that only *replace reads and fold expressions*
+/// preserve the statement set, definition sites, and control-flow edges,
+/// so the chains are repaired in place — the generation is bumped and the
+/// cache rekeyed ([`ProcAnalyses::rekey`], the §5.2 discipline) — and the
+/// next round's use–def request is a cache hit. Rounds that structurally
+/// simplify branches invalidate instead.
+pub fn constant_propagation_cached(
+    proc: &mut Procedure,
+    analyses: &mut ProcAnalyses,
+) -> ConstPropReport {
+    run(proc, true, analyses)
+}
+
+fn run(
+    proc: &mut Procedure,
+    simplify_branches: bool,
+    analyses: &mut ProcAnalyses,
+) -> ConstPropReport {
     let mut report = ConstPropReport::default();
     loop {
         report.rounds += 1;
         let mut changed = 0usize;
 
         // 1. propagate constants along use-def chains
-        changed += propagate_once(proc, &mut report);
+        let replaced = propagate_once(proc, analyses, &mut report);
+        changed += replaced;
 
         // 2. fold everything
         let mut body = std::mem::take(&mut proc.body);
         titanc_il::visit::rewrite_exprs_in_block(&mut body, &mut |e| fold_expr(e));
         proc.body = body;
 
+        if replaced > 0 {
+            // pure expression rewrites: repair the chains instead of
+            // invalidating them (§5.2) — the next round hits the cache
+            proc.bump_generation();
+            analyses.rekey(proc);
+        }
+
         // 3. simplify constant branches (the unreachable-code elimination)
         if simplify_branches {
             let removed = simplify_constant_branches(proc);
             report.removed += removed;
             changed += removed;
+            if removed > 0 {
+                // structural edit: statements vanished, edges moved
+                proc.bump_generation();
+                analyses.invalidate();
+            }
         }
 
         if changed == 0 || report.rounds > 32 {
@@ -79,9 +112,12 @@ fn run(proc: &mut Procedure, simplify_branches: bool) -> ConstPropReport {
 
 /// One propagation sweep: replaces reads whose reaching definitions all
 /// assign the same literal.
-fn propagate_once(proc: &mut Procedure, report: &mut ConstPropReport) -> usize {
-    let cfg = Cfg::build(proc);
-    let ud = UseDef::build(proc, &cfg);
+fn propagate_once(
+    proc: &mut Procedure,
+    analyses: &mut ProcAnalyses,
+    report: &mut ConstPropReport,
+) -> usize {
+    let ud = analyses.usedef(proc);
 
     // constant value per defining statement
     let mut const_defs: Vec<(StmtId, titanc_il::VarId, Value, ScalarType)> = Vec::new();
@@ -260,6 +296,9 @@ pub fn unreachable_postpass(proc: &mut Procedure) -> usize {
     let mut body = std::mem::take(&mut proc.body);
     let removed = postpass_block(&mut body);
     proc.body = body;
+    if removed > 0 {
+        proc.bump_generation();
+    }
     removed
 }
 
@@ -301,6 +340,9 @@ pub fn eliminate_unreachable_cfg(proc: &mut Procedure) -> usize {
     let mut body = std::mem::take(&mut proc.body);
     remove_ids(&mut body, &dead_ids, &mut removed);
     proc.body = body;
+    if removed > 0 {
+        proc.bump_generation();
+    }
     removed
 }
 

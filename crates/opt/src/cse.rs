@@ -41,6 +41,9 @@ pub fn local_cse(proc: &mut Procedure) -> CseReport {
     let mut body = std::mem::take(&mut proc.body);
     run_block(proc, &mut body, &mut report);
     proc.body = body;
+    if report.commoned > 0 || report.replaced > 0 {
+        proc.bump_generation();
+    }
     report
 }
 

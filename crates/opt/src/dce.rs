@@ -8,7 +8,7 @@
 //! `Nop`s, unreferenced labels, and empty branches, and iterates to a
 //! fixpoint.
 
-use titanc_analysis::{Cfg, Liveness};
+use titanc_analysis::{Liveness, ProcAnalyses};
 use titanc_il::{LValue, Procedure, Stmt, StmtKind};
 
 /// Elimination statistics.
@@ -31,14 +31,25 @@ impl DceReport {
 
 /// Runs dead-code elimination to a fixpoint.
 pub fn eliminate_dead_code(proc: &mut Procedure) -> DceReport {
+    eliminate_dead_code_cached(proc, &mut ProcAnalyses::new())
+}
+
+/// Cache-aware dead-code elimination.
+///
+/// Liveness comes from the analysis cache; the final (clean) fixpoint
+/// round rebuilds nothing it can reuse and deposits a CFG + liveness
+/// valid for the procedure's final generation, so a later pass asking
+/// for either gets a cache hit. Rounds that remove statements bump the
+/// generation and invalidate — removal changes the statement set and can
+/// change edges, so incremental repair would be unsound here.
+pub fn eliminate_dead_code_cached(proc: &mut Procedure, analyses: &mut ProcAnalyses) -> DceReport {
     let mut report = DceReport::default();
     loop {
         report.rounds += 1;
         let mut removed = 0;
 
         // liveness-driven dead stores
-        let cfg = Cfg::build(proc);
-        let live = Liveness::build(proc, &cfg);
+        let live = analyses.liveness(proc);
         let mut body = std::mem::take(&mut proc.body);
         kill_dead_stores(&live, &mut body, &mut removed);
         proc.body = body;
@@ -50,6 +61,10 @@ pub fn eliminate_dead_code(proc: &mut Procedure) -> DceReport {
         removed += sweep(proc);
 
         report.removed += removed;
+        if removed > 0 {
+            proc.bump_generation();
+            analyses.invalidate();
+        }
         if removed == 0 {
             break;
         }

@@ -36,6 +36,9 @@ pub fn forward_substitute(proc: &mut Procedure) -> ForwardReport {
     let mut body = std::mem::take(&mut proc.body);
     run_block(proc, &mut body, &mut report);
     proc.body = body;
+    if report.substituted > 0 {
+        proc.bump_generation();
+    }
     report
 }
 

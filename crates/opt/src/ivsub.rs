@@ -50,6 +50,9 @@ pub fn induction_substitution(proc: &mut Procedure) -> IvSubReport {
     for id in loop_ids {
         substitute_in_loop(proc, id, &mut report);
     }
+    if report.substituted > 0 {
+        proc.bump_generation();
+    }
     report
 }
 

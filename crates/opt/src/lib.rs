@@ -17,11 +17,11 @@ pub mod util;
 pub mod whiledo;
 
 pub use constprop::{
-    constant_propagation, constant_propagation_no_unreachable, eliminate_unreachable_cfg,
-    unreachable_postpass, ConstPropReport,
+    constant_propagation, constant_propagation_cached, constant_propagation_no_unreachable,
+    eliminate_unreachable_cfg, unreachable_postpass, ConstPropReport,
 };
 pub use cse::{local_cse, CseReport};
-pub use dce::{eliminate_dead_code, DceReport};
+pub use dce::{eliminate_dead_code, eliminate_dead_code_cached, DceReport};
 pub use forward::{forward_substitute, ForwardReport};
 pub use ivsub::{induction_substitution, IvSubReport};
-pub use whiledo::{convert_while_loops, Reject, WhileDoReport};
+pub use whiledo::{convert_while_loops, convert_while_loops_cached, Reject, WhileDoReport};

@@ -17,7 +17,7 @@
 //! original variable.
 
 use crate::util::{defined_in, invariant_in, register_candidate, resolve_copy};
-use titanc_analysis::{loops, Cfg};
+use titanc_analysis::{loops, Cfg, ProcAnalyses};
 use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId};
 
 /// Why a `while` loop was not converted (the EXP5 coverage table).
@@ -68,10 +68,30 @@ impl WhileDoReport {
 
 /// Converts every eligible `while` loop of the procedure into a `DoLoop`.
 pub fn convert_while_loops(proc: &mut Procedure) -> WhileDoReport {
+    convert_while_loops_cached(proc, &mut ProcAnalyses::new())
+}
+
+/// Cache-aware while→DO conversion: the §5.2 *incremental repair*.
+///
+/// The CFG is built **once** (through the analysis cache) and reused
+/// across every conversion of the procedure, exactly as the paper repairs
+/// its one set of use–def chains instead of reanalyzing. The reuse is
+/// sound because a conversion replaces the `While` header with two
+/// loop-invariant assignments and a `DoLoop` (all with fresh statement
+/// ids) and moves the body wholesale: surviving statement ids, labels,
+/// and goto edges are untouched, and preorder processing guarantees no
+/// later `While` has converted code in its subtree — so
+/// [`Cfg::has_branch_into`] answers identically on the original graph.
+/// Each conversion bumps the procedure's generation, so downstream passes
+/// see the cache invalidate instead of a stale graph.
+pub fn convert_while_loops_cached(
+    proc: &mut Procedure,
+    analyses: &mut ProcAnalyses,
+) -> WhileDoReport {
     let mut report = WhileDoReport::default();
     let mut done: Vec<StmtId> = Vec::new();
+    let cfg = analyses.cfg(proc);
     loop {
-        let cfg = Cfg::build(proc);
         // find the first unprocessed while loop (preorder)
         let mut target: Option<Stmt> = None;
         proc.for_each_stmt(&mut |s| {
@@ -85,9 +105,14 @@ pub fn convert_while_loops(proc: &mut Procedure) -> WhileDoReport {
             None => break,
         };
         done.push(w.id);
+        if report.converted > 0 {
+            // reusing the CFG past a mutation is the repaired-analysis path
+            analyses.note_repair();
+        }
         match analyze(proc, &cfg, &w) {
             Ok(plan) => {
                 apply(proc, w.id, plan);
+                proc.bump_generation();
                 report.converted += 1;
             }
             Err(r) => report.rejects.push((w.id, r)),

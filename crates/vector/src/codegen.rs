@@ -84,6 +84,9 @@ pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
             Outcome::Scalar => report.scalar += 1,
         }
     }
+    if report.vectorized > 0 || report.spread > 0 {
+        proc.bump_generation();
+    }
     report
 }
 

@@ -55,6 +55,9 @@ pub fn spread_list_loops(proc: &mut Procedure) -> SpreadReport {
         apply(proc, id, plan);
         report.spread += 1;
     }
+    if report.spread > 0 {
+        proc.bump_generation();
+    }
     report
 }
 

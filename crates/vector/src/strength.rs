@@ -52,6 +52,9 @@ pub fn strength_reduce(proc: &mut Procedure, aliasing: Aliasing) -> StrengthRepo
         hoist_invariants(proc, id, &mut report);
         reduce_addresses(proc, id, &mut report);
     }
+    if report.promoted > 0 || report.reduced > 0 || report.hoisted > 0 {
+        proc.bump_generation();
+    }
     report
 }
 
