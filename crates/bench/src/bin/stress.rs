@@ -1,0 +1,175 @@
+//! Differential stress harness for the fail-soft pipeline.
+//!
+//! Generates random C programs ([`titanc_bench::progen`]) and, for each:
+//!
+//! * compiles at `-O0` and `-O2`, and at `-O2` with `-j 1` and `-j 4`;
+//! * demands **zero contained incidents** — the optimizer must not fault
+//!   on well-formed input, even though a fault would be survivable;
+//! * runs every build on the Titan simulator and demands identical
+//!   observations (return value, output, both output arrays);
+//! * demands byte-identical IL between `-j 1` and `-j 4`;
+//! * treats an escaping panic anywhere in compile-or-run as a failure.
+//!
+//! ```text
+//! stress [--cases N] [--seed S] [--verbose]
+//! ```
+//!
+//! Exits `0` when every case agrees, `1` otherwise, printing the seed and
+//! the offending program so any failure reproduces with `--seed`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use titanc::{compile, Compilation, Options};
+use titanc_bench::progen;
+use titanc_il::{pretty_proc, ScalarType};
+use titanc_titan::{observe, MachineConfig, Observation};
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 100,
+        seed: 0x717A_2C57,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cases" => {
+                args.cases = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--verbose" => args.verbose = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: stress [--cases N] [--seed S] [--verbose]");
+    std::process::exit(2);
+}
+
+fn opts(opt: Options, jobs: usize) -> Options {
+    Options {
+        jobs,
+        verify: true,
+        ..opt
+    }
+}
+
+/// Compiles, requiring a clean front end and zero contained incidents.
+fn build(src: &str, options: &Options, what: &str) -> Result<Compilation, String> {
+    let compiled =
+        compile(src, options).map_err(|e| format!("{what}: front end rejected input: {e}"))?;
+    if compiled.has_incidents() {
+        return Err(format!(
+            "{what}: {} contained incident(s): {}",
+            compiled.trace.incidents.len(),
+            compiled
+                .trace
+                .incidents
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    Ok(compiled)
+}
+
+fn run(compiled: &Compilation, machine: MachineConfig, what: &str) -> Result<Observation, String> {
+    observe(
+        &compiled.program,
+        machine,
+        "main",
+        &[
+            ("out_g", ScalarType::Int, progen::OUT_LEN as u32),
+            ("out_f", ScalarType::Float, progen::OUT_LEN as u32),
+        ],
+    )
+    .map(|(obs, _stats)| obs)
+    .map_err(|e| format!("{what}: simulator fault: {e}"))
+}
+
+fn pretty_program(c: &Compilation) -> String {
+    c.program
+        .procs
+        .iter()
+        .map(pretty_proc)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// One differential case; returns a failure description, if any.
+fn check_case(src: &str) -> Result<(), String> {
+    let o0 = build(src, &opts(Options::o0(), 1), "O0")?;
+    let o2_j1 = build(src, &opts(Options::o2(), 1), "O2 -j1")?;
+    let o2_j4 = build(src, &opts(Options::o2(), 4), "O2 -j4")?;
+
+    // parallel pass groups must be invisible in the output
+    if pretty_program(&o2_j1) != pretty_program(&o2_j4) {
+        return Err("-j1 and -j4 produced different IL".to_string());
+    }
+
+    let base = run(&o0, MachineConfig::default(), "O0")?;
+    let fast1 = run(&o2_j1, MachineConfig::optimized(1), "O2 -j1")?;
+    let fast4 = run(&o2_j4, MachineConfig::optimized(1), "O2 -j4")?;
+    if base != fast1 {
+        return Err(format!(
+            "O0 vs O2 -j1 observation divergence:\n  O0: {base:?}\n  O2: {fast1:?}"
+        ));
+    }
+    if fast1 != fast4 {
+        return Err("O2 -j1 vs -j4 observation divergence".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rng = progen::Rng::new(args.seed);
+    let mut failures = 0u64;
+    for case in 0..args.cases {
+        let src = progen::program(&mut rng);
+        let verdict = catch_unwind(AssertUnwindSafe(|| check_case(&src)));
+        let failure = match verdict {
+            Ok(Ok(())) => None,
+            Ok(Err(why)) => Some(why),
+            Err(_) => Some("escaping panic (not contained by the pipeline)".to_string()),
+        };
+        if let Some(why) = failure {
+            failures += 1;
+            eprintln!(
+                "FAIL case {case} (seed {}): {why}\n--- program ---\n{src}---------------",
+                args.seed
+            );
+        } else if args.verbose {
+            eprintln!("ok case {case}");
+        }
+    }
+    if failures == 0 {
+        println!(
+            "stress: {} cases (seed {}), zero divergence, zero incidents",
+            args.cases, args.seed
+        );
+    } else {
+        println!(
+            "stress: {failures} of {} cases FAILED (seed {})",
+            args.cases, args.seed
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod progen;
 
 use titanc::{compile, Options};
 use titanc_titan::{ExecStats, MachineConfig, Simulator};

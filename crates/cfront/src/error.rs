@@ -1,4 +1,14 @@
-//! Diagnostics with source positions.
+//! Diagnostics with source positions, severities, and a collecting sink.
+//!
+//! The front end is *fail-soft*: instead of aborting on the first problem
+//! (the PCC discipline the seed implemented), the parser records every
+//! [`Diagnostic`] into a [`DiagnosticSink`] and synchronizes to the next
+//! statement or declaration. Errors are fatal to a compilation only in
+//! aggregate — the driver checks [`DiagnosticSink::has_errors`] once the
+//! whole translation unit has been attempted. Warnings and remarks (the
+//! vectorizer's "loop left scalar because ..." notes, the optimizer's
+//! budget-exhaustion notices) ride the same type so one renderer covers
+//! the entire compiler.
 
 use std::error::Error;
 use std::fmt;
@@ -12,15 +22,53 @@ pub struct Span {
     pub col: u32,
 }
 
+impl Span {
+    /// The "no position" span used by diagnostics that describe whole-
+    /// compilation facts (optimizer remarks) rather than source text.
+    pub fn none() -> Span {
+        Span::default()
+    }
+
+    /// True when the span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0 || self.col != 0
+    }
+}
+
 impl fmt::Display for Span {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.line, self.col)
     }
 }
 
-/// A front-end error message anchored to a source position.
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational note about an optimization decision (e.g. a loop
+    /// that stayed scalar, a budget that ran out). Never fails a build.
+    Remark,
+    /// Suspicious but compilable.
+    Warning,
+    /// The translation unit is not valid; compilation fails once the
+    /// front end finishes collecting.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Remark => "remark",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A front-end message anchored to a source position.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Diagnostic {
+    /// How serious the problem is.
+    pub severity: Severity,
     /// Human-readable message (lowercase, no trailing punctuation).
     pub message: String,
     /// Where the problem was detected.
@@ -28,9 +76,29 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// Builds a diagnostic.
+    /// Builds an error diagnostic (the historical constructor: everything
+    /// the lexer and parser report is an error).
     pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
         Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Builds a warning.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Builds a remark.
+    pub fn remark(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Remark,
             message: message.into(),
             span,
         }
@@ -39,11 +107,121 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.span, self.message)
+        // Errors keep the seed's bare `line:col: message` rendering (the
+        // CLI prefixes the file name); softer severities are labeled.
+        match (self.severity, self.span.is_known()) {
+            (Severity::Error, true) => write!(f, "{}: {}", self.span, self.message),
+            (Severity::Error, false) => write!(f, "{}", self.message),
+            (sev, true) => write!(f, "{}: {}: {}", self.span, sev, self.message),
+            (sev, false) => write!(f, "{}: {}", sev, self.message),
+        }
     }
 }
 
 impl Error for Diagnostic {}
+
+/// Collects diagnostics across a compilation, capping the error flood.
+///
+/// The cap applies to *errors only* — one mangled declaration can cascade
+/// into dozens of follow-on errors, and after `max_errors` of them the
+/// parser gives up on the translation unit ([`DiagnosticSink::at_limit`]
+/// tells it to stop). Warnings and remarks are never capped and never
+/// make [`DiagnosticSink::has_errors`] true.
+#[derive(Clone, Debug)]
+pub struct DiagnosticSink {
+    diags: Vec<Diagnostic>,
+    max_errors: usize,
+    errors: usize,
+    suppressed: usize,
+}
+
+/// Default error cap (the classic "too many errors" threshold).
+pub const DEFAULT_MAX_ERRORS: usize = 20;
+
+impl Default for DiagnosticSink {
+    fn default() -> DiagnosticSink {
+        DiagnosticSink::new(DEFAULT_MAX_ERRORS)
+    }
+}
+
+impl DiagnosticSink {
+    /// A sink that records at most `max_errors` errors (0 means "no cap").
+    pub fn new(max_errors: usize) -> DiagnosticSink {
+        DiagnosticSink {
+            diags: Vec::new(),
+            max_errors: if max_errors == 0 {
+                usize::MAX
+            } else {
+                max_errors
+            },
+            errors: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Records a diagnostic. Errors beyond the cap are counted but not
+    /// stored.
+    pub fn emit(&mut self, d: Diagnostic) {
+        if d.severity == Severity::Error {
+            if self.errors >= self.max_errors {
+                self.suppressed += 1;
+                return;
+            }
+            self.errors += 1;
+        }
+        self.diags.push(d);
+    }
+
+    /// Records an error at `span`.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.emit(Diagnostic::new(message, span));
+    }
+
+    /// Records a warning at `span`.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.emit(Diagnostic::warning(message, span));
+    }
+
+    /// Records a remark at `span`.
+    pub fn remark(&mut self, message: impl Into<String>, span: Span) {
+        self.emit(Diagnostic::remark(message, span));
+    }
+
+    /// True once the error cap is reached — the parser should stop.
+    pub fn at_limit(&self) -> bool {
+        self.errors >= self.max_errors
+    }
+
+    /// Number of errors recorded (capped ones included).
+    pub fn error_count(&self) -> usize {
+        self.errors + self.suppressed
+    }
+
+    /// Errors suppressed beyond the cap.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    /// True when at least one error was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.errors > 0
+    }
+
+    /// The recorded diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Consumes the sink, yielding the recorded diagnostics.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// The recorded errors only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -53,5 +231,52 @@ mod tests {
     fn displays_position_and_message() {
         let d = Diagnostic::new("unexpected token", Span { line: 3, col: 7 });
         assert_eq!(d.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn labels_soft_severities() {
+        let w = Diagnostic::warning("shadowed", Span { line: 2, col: 1 });
+        assert_eq!(w.to_string(), "2:1: warning: shadowed");
+        let r = Diagnostic::remark("loop left scalar", Span::none());
+        assert_eq!(r.to_string(), "remark: loop left scalar");
+    }
+
+    #[test]
+    fn sink_caps_errors_but_not_remarks() {
+        let mut sink = DiagnosticSink::new(2);
+        for i in 0..5 {
+            sink.error(
+                format!("e{i}"),
+                Span {
+                    line: 1,
+                    col: i + 1,
+                },
+            );
+            sink.remark(format!("r{i}"), Span::none());
+        }
+        assert!(sink.at_limit());
+        assert!(sink.has_errors());
+        assert_eq!(sink.error_count(), 5);
+        assert_eq!(sink.suppressed(), 3);
+        assert_eq!(sink.errors().count(), 2);
+        // remarks all survived the cap
+        assert_eq!(
+            sink.diagnostics()
+                .iter()
+                .filter(|d| d.severity == Severity::Remark)
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn zero_cap_means_uncapped() {
+        let mut sink = DiagnosticSink::new(0);
+        for _ in 0..100 {
+            sink.error("e", Span::none());
+        }
+        assert_eq!(sink.error_count(), 100);
+        assert_eq!(sink.suppressed(), 0);
+        assert!(!sink.at_limit());
     }
 }

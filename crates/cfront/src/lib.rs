@@ -34,5 +34,5 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::TranslationUnit;
-pub use error::{Diagnostic, Span};
-pub use parser::{parse, parse_expr};
+pub use error::{Diagnostic, DiagnosticSink, Severity, Span, DEFAULT_MAX_ERRORS};
+pub use parser::{parse, parse_expr, parse_recovering};

@@ -7,7 +7,7 @@
 //! Titan compiler required direct calls for inlining anyway).
 
 use crate::ast::*;
-use crate::error::{Diagnostic, Span};
+use crate::error::{Diagnostic, DiagnosticSink, Span};
 use crate::lexer::{lex, Kw, Punct, Tok, Token};
 
 /// Parses a translation unit.
@@ -15,10 +15,41 @@ use crate::lexer::{lex, Kw, Punct, Tok, Token};
 /// # Errors
 ///
 /// Returns the first diagnostic encountered (the front end is
-/// fail-fast, like PCC was).
+/// fail-fast, like PCC was). Use [`parse_recovering`] for the fail-soft
+/// entry point that collects every diagnostic.
 pub fn parse(src: &str) -> Result<TranslationUnit, Diagnostic> {
     let tokens = lex(src)?;
     Parser::new(tokens).translation_unit()
+}
+
+/// Parses a translation unit with error recovery.
+///
+/// One bad statement yields one diagnostic plus continued parsing: the
+/// parser records the diagnostic into `sink` and *synchronizes* — it
+/// skips tokens until a `;`, a block close, or something that starts a
+/// declaration, then picks up where C's statement structure resumes.
+/// Every item that parsed cleanly is kept, so a translation unit with
+/// errors still yields the recognizable part of the program (callers
+/// must check [`DiagnosticSink::has_errors`] before trusting it).
+///
+/// The sink's error cap bounds the cascade: once `max_errors` errors
+/// are recorded the rest of the file is abandoned.
+pub fn parse_recovering(src: &str, sink: &mut DiagnosticSink) -> TranslationUnit {
+    let tokens = match lex(src) {
+        Ok(t) => t,
+        Err(d) => {
+            // lexical errors are not recoverable: the token stream after
+            // a mangled literal is unbounded garbage
+            sink.emit(d);
+            return TranslationUnit { items: Vec::new() };
+        }
+    };
+    let mut p = Parser::new(tokens);
+    p.recovering = true;
+    p.sink = std::mem::take(sink);
+    let tu = p.translation_unit_recovering();
+    *sink = p.sink;
+    tu
 }
 
 /// Parses a single expression (used by tests and the REPL-style tools).
@@ -40,6 +71,10 @@ struct Parser {
     /// `enum` constants resolve to integer literals at parse time (the
     /// front end has no symbol table; enums are pure constants in C89).
     enum_consts: std::collections::HashMap<String, i64>,
+    /// Fail-soft mode: statement errors are recorded into `sink` and the
+    /// parser synchronizes instead of aborting.
+    recovering: bool,
+    sink: DiagnosticSink,
 }
 
 impl Parser {
@@ -48,6 +83,8 @@ impl Parser {
             toks,
             pos: 0,
             enum_consts: std::collections::HashMap::new(),
+            recovering: false,
+            sink: DiagnosticSink::default(),
         }
     }
 
@@ -348,6 +385,95 @@ impl Parser {
         Ok(TranslationUnit { items })
     }
 
+    /// Fail-soft top level: every item error is recorded and the parser
+    /// resynchronizes at the next plausible declaration start.
+    fn translation_unit_recovering(&mut self) -> TranslationUnit {
+        let mut items = Vec::new();
+        while *self.peek() != Tok::Eof {
+            if self.sink.at_limit() {
+                self.sink.emit(Diagnostic::remark(
+                    "too many errors; giving up on the rest of the file",
+                    self.span(),
+                ));
+                break;
+            }
+            let before = self.pos;
+            if let Err(d) = self.item(&mut items) {
+                self.sink.emit(d);
+                self.sync_top_level(before);
+            }
+        }
+        TranslationUnit { items }
+    }
+
+    /// Skips to the next top-level synchronization point: past a `;` or
+    /// the `}` that closes the offending definition, or up to a token
+    /// that starts a declaration. Always consumes at least one token so
+    /// recovery can never loop forever on garbage input.
+    fn sync_top_level(&mut self, before: usize) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Punct(Punct::Semi) if depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                Tok::Punct(Punct::LBrace) => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::Punct(Punct::RBrace) => {
+                    self.bump();
+                    if depth <= 1 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ if depth == 0 && self.pos > before && self.starts_decl() => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if self.pos == before && *self.peek() != Tok::Eof {
+            self.bump();
+        }
+    }
+
+    /// Statement-level synchronization: skip to just past the next `;`
+    /// (balancing braces opened inside the bad statement) or stop at the
+    /// `}` that closes the enclosing block, which the block loop eats.
+    fn sync_stmt(&mut self, before: usize) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Punct(Punct::Semi) if depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                Tok::Punct(Punct::LBrace) => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::Punct(Punct::RBrace) => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if self.pos == before && *self.peek() != Tok::Eof {
+            self.bump();
+        }
+    }
+
     fn item(&mut self, items: &mut Vec<Item>) -> Result<(), Diagnostic> {
         let span = self.span();
         let _ = span;
@@ -477,7 +603,19 @@ impl Parser {
             if *self.peek() == Tok::Eof {
                 return Err(self.err("unexpected end of file in block"));
             }
-            stmts.push(self.stmt()?);
+            let before = self.pos;
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(d) => {
+                    if !self.recovering || self.sink.at_limit() {
+                        return Err(d);
+                    }
+                    // fail-soft: one bad statement, one diagnostic, and
+                    // parsing continues at the next statement boundary
+                    self.sink.emit(d);
+                    self.sync_stmt(before);
+                }
+            }
         }
         Ok(stmts)
     }

@@ -22,7 +22,14 @@
 //!   --run [ENTRY]            execute on the simulated Titan (default main)
 //!   --volatile-values LIST   comma-separated device-register script
 //!   --stats                  print pass statistics (per-pass deltas)
+//!   --max-errors N           stop after N front-end errors (0 = no cap)
+//!   --strict                 fail (exit 3) if any pass incident was contained
 //! ```
+//!
+//! Exit codes: `0` success, `1` source diagnostics (or I/O / simulator
+//! failure), `2` usage error, `3` a contained pass incident under
+//! `--strict`. With `--run`, a successful simulation exits with the
+//! program's own return value instead.
 //!
 //! Example:
 //!
@@ -31,8 +38,36 @@
 //! ```
 
 use std::process::ExitCode;
-use titanc::{compile, Aliasing, Catalog, Options};
+use titanc::{compile_with, Aliasing, Catalog, Options, Pipeline};
 use titanc_titan::{MachineConfig, Simulator};
+
+/// Test-only fault injection (`TITANC_INJECT_PANIC=<proc>`): a pass that
+/// panics on the named procedure, used by the exit-code integration tests
+/// to exercise the fail-soft containment path end to end.
+struct InjectPanic {
+    target: String,
+}
+
+impl titanc::ProcPass for InjectPanic {
+    fn name(&self) -> &'static str {
+        "inject-panic"
+    }
+
+    fn run_on(
+        &self,
+        proc: &mut titanc_il::Procedure,
+        _cx: &titanc::PassContext<'_>,
+        _analyses: &mut titanc::ProcAnalyses,
+        _delta: &mut titanc::Reports,
+    ) -> titanc::PassOutcome {
+        assert!(
+            proc.name != self.target,
+            "injected fault in `{}`",
+            proc.name
+        );
+        titanc::PassOutcome::unchanged()
+    }
+}
 
 struct Cli {
     file: Option<String>,
@@ -42,17 +77,21 @@ struct Cli {
     stats: bool,
     time: bool,
     run: bool,
+    strict: bool,
     entry: String,
     emit_catalog: Option<String>,
     volatile_values: Vec<i64>,
 }
+
+/// A contained pass incident was reported and `--strict` was given.
+const EXIT_INCIDENT: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
         "usage: titanc [-O0|-O1|-O2] [-j N|--jobs N] [--parallel] [--procs N]\n\
          \x20             [--fortran-aliasing]\n\
          \x20             [--no-inline] [--strip N] [--print-il] [--snapshots]\n\
-         \x20             [--verify] [--time]\n\
+         \x20             [--verify] [--time] [--max-errors N] [--strict]\n\
          \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
          \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats] file.c"
     );
@@ -68,6 +107,7 @@ fn parse_args() -> Cli {
         stats: false,
         time: false,
         run: false,
+        strict: false,
         entry: "main".to_string(),
         emit_catalog: None,
         volatile_values: Vec::new(),
@@ -95,6 +135,11 @@ fn parse_args() -> Cli {
             "--no-inline" => cli.options.inline = false,
             "--snapshots" => cli.options.snapshots = true,
             "--verify" => cli.options.verify = true,
+            "--strict" => cli.strict = true,
+            "--max-errors" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.options.max_errors = v.parse().unwrap_or_else(|_| usage());
+            }
             "--time" => cli.time = true,
             "--print-il" => cli.print_il = true,
             "--stats" => cli.stats = true,
@@ -176,13 +221,38 @@ fn main() -> ExitCode {
         }
     };
 
-    let compiled = match compile(&src, &cli.options) {
+    let mut pipeline = Pipeline::for_options(&cli.options);
+    if let Ok(target) = std::env::var("TITANC_INJECT_PANIC") {
+        pipeline.push_proc(InjectPanic { target });
+    }
+    let compiled = match compile_with(&src, &cli.options, pipeline) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("{file}:{e}");
+            // the recovering front end collected every independent
+            // mistake; report them all, in source order
+            for d in &e.diagnostics {
+                eprintln!("{file}:{d}");
+            }
             return ExitCode::FAILURE;
         }
     };
+    // warnings and remarks from a successful compile (loops left scalar
+    // and the defeating dependence, exhausted budgets)
+    for d in &compiled.diagnostics {
+        eprintln!("{file}:{d}");
+    }
+    // contained faults: the affected procedures were rolled back to their
+    // last-verified IL and shipped unoptimized
+    for incident in &compiled.trace.incidents {
+        eprintln!("titanc: warning: {incident}");
+    }
+    if cli.strict && compiled.has_incidents() {
+        eprintln!(
+            "titanc: {} pass incident(s) contained; failing because of --strict",
+            compiled.trace.incidents.len()
+        );
+        return ExitCode::from(EXIT_INCIDENT);
+    }
 
     if cli.options.snapshots {
         for snap in &compiled.snapshots {
@@ -200,8 +270,8 @@ fn main() -> ExitCode {
     if cli.stats {
         let r = &compiled.reports;
         println!(
-            "inline:     {} sites ({} recursive skipped)",
-            r.inline.inlined, r.inline.skipped_recursive
+            "inline:     {} sites ({} recursive skipped, {} growth-budget skipped)",
+            r.inline.inlined, r.inline.skipped_recursive, r.inline.skipped_growth
         );
         println!(
             "while->DO:  {} converted, {} rejected",

@@ -44,9 +44,11 @@ use std::error::Error;
 use std::fmt;
 
 pub use pass::{
-    Pass, PassContext, PassOutcome, PassRecord, PassTrace, Pipeline, ProcPass, Snapshot,
+    IncidentKind, Pass, PassContext, PassIncident, PassOutcome, PassRecord, PassTrace, Pipeline,
+    ProcPass, Snapshot,
 };
 pub use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
+pub use titanc_cfront::{Diagnostic, DiagnosticSink, Severity, Span};
 pub use titanc_deps::Aliasing;
 pub use titanc_il::{Catalog, Program};
 pub use titanc_inline::InlineOptions;
@@ -100,6 +102,10 @@ pub struct Options {
     /// threads only add scheduler churn to a CPU-bound pipeline. The
     /// output is byte-identical for every value.
     pub jobs: usize,
+    /// Stop collecting front-end errors after this many (`--max-errors`;
+    /// `0` means no cap). One mangled declaration can cascade — past the
+    /// cap the rest of the file is abandoned.
+    pub max_errors: usize,
 }
 
 impl Default for Options {
@@ -117,6 +123,7 @@ impl Default for Options {
             snapshots: false,
             verify: false,
             jobs: 0,
+            max_errors: titanc_cfront::DEFAULT_MAX_ERRORS,
         }
     }
 }
@@ -216,18 +223,60 @@ pub struct Compilation {
     pub program: Program,
     /// Pass statistics, aggregated across the whole pipeline.
     pub reports: Reports,
-    /// Per-pass execution records: wall-clock time and the statistics
-    /// delta each pass contributed.
+    /// Per-pass execution records: wall-clock time, the statistics
+    /// delta each pass contributed, and any contained [`PassIncident`]s.
     pub trace: PassTrace,
     /// Typed per-phase snapshots when [`Options::snapshots`] was set.
     pub snapshots: Vec<Snapshot>,
+    /// Non-fatal diagnostics: warnings plus the optimizer's remarks
+    /// (loops left scalar and why, budgets that ran out).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Compilation {
+    /// True when any pass faulted (and was contained) during the run.
+    pub fn has_incidents(&self) -> bool {
+        self.trace.has_incidents()
+    }
 }
 
 /// A front-end failure (lex/parse/lowering).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompileError {
-    /// Rendered message with source position.
+    /// Rendered summary with the first error's source position.
     pub message: String,
+    /// Every collected diagnostic, in source order — the recovering
+    /// parser reports all independent mistakes, not just the first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileError {
+    fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> CompileError {
+        let message = diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "compilation failed".to_string());
+        CompileError {
+            message,
+            diagnostics,
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> CompileError {
+        let message = message.into();
+        CompileError {
+            diagnostics: vec![Diagnostic::new(message.clone(), Span::none())],
+            message,
+        }
+    }
+
+    /// The collected error diagnostics (excluding warnings/remarks).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -240,24 +289,57 @@ impl Error for CompileError {}
 
 /// Compiles C source with the given options.
 ///
+/// The front end is fail-soft: parsing continues past errors (up to
+/// [`Options::max_errors`]), so the returned [`CompileError`] carries
+/// *every* independent mistake. Optimization never fails — a pass that
+/// faults is contained and recorded on [`Compilation::trace`] as a
+/// [`PassIncident`], with the affected procedure rolled back to its
+/// last-verified IL.
+///
 /// # Errors
 ///
-/// Returns a [`CompileError`] for lexical, syntactic or semantic errors;
-/// optimization never fails.
+/// Returns a [`CompileError`] for lexical, syntactic or semantic errors.
 pub fn compile(src: &str, options: &Options) -> Result<Compilation, CompileError> {
-    let tu = titanc_cfront::parse(src).map_err(|e| CompileError {
-        message: e.to_string(),
-    })?;
-    let mut program = titanc_lower::lower(&tu).map_err(|e| CompileError {
-        message: e.to_string(),
-    })?;
+    compile_with(src, options, Pipeline::for_options(options))
+}
+
+/// [`compile`] with a caller-built [`Pipeline`] — the hook for custom
+/// pass stacks and for fault-injection tests that exercise the fail-soft
+/// containment path.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical, syntactic or semantic errors.
+pub fn compile_with(
+    src: &str,
+    options: &Options,
+    pipeline: Pipeline,
+) -> Result<Compilation, CompileError> {
+    let mut sink = DiagnosticSink::new(options.max_errors);
+    let tu = titanc_cfront::parse_recovering(src, &mut sink);
+    if sink.has_errors() {
+        return Err(CompileError::from_diagnostics(sink.into_diagnostics()));
+    }
+    let mut program = match titanc_lower::lower(&tu) {
+        Ok(p) => p,
+        Err(e) => {
+            sink.error(e.message.clone(), e.span);
+            return Err(CompileError::from_diagnostics(sink.into_diagnostics()));
+        }
+    };
 
     let mut snapshots = Vec::new();
     if options.snapshots {
         pass::snapshot_all("lower", &program, &mut snapshots);
     }
     if cfg!(debug_assertions) || options.verify {
-        pass::verify_or_ice("lower", &program);
+        // broken IL straight out of lowering has no last-good state to
+        // roll back to: report it as an (internal) error, don't panic
+        if let Err(detail) = pass::verify_program_check(&program) {
+            return Err(CompileError::internal(format!(
+                "internal error: IL verification failed after lowering: {detail}"
+            )));
+        }
     }
 
     // §7: link catalogs before the pipeline runs, so the inline pass can
@@ -266,15 +348,62 @@ pub fn compile(src: &str, options: &Options) -> Result<Compilation, CompileError
         catalog.link_into(&mut program);
     }
 
-    let pipeline = Pipeline::for_options(options);
     let (reports, trace) = pipeline.run(&mut program, options, &mut snapshots);
+
+    optimization_remarks(&reports, &mut sink);
 
     Ok(Compilation {
         program,
         reports,
         trace,
         snapshots,
+        diagnostics: sink.into_diagnostics(),
     })
+}
+
+/// Turns the aggregate pass reports into user-facing remarks: which loops
+/// defeated the vectorizer and why, and which fixpoint budgets ran out.
+fn optimization_remarks(reports: &Reports, sink: &mut DiagnosticSink) {
+    for note in &reports.vector.notes {
+        sink.remark(note.clone(), Span::none());
+    }
+    if reports.constprop.budget_exhausted {
+        sink.remark(
+            format!(
+                "constant propagation stopped at its {}-round budget; remaining \
+                 opportunities were left to later passes",
+                titanc_opt::constprop::MAX_ROUNDS
+            ),
+            Span::none(),
+        );
+    }
+    if reports.dce.budget_exhausted {
+        sink.remark(
+            format!(
+                "dead-code elimination stopped at its {}-round budget",
+                titanc_opt::dce::MAX_ROUNDS
+            ),
+            Span::none(),
+        );
+    }
+    if reports.ivsub.budget_exhausted {
+        sink.remark(
+            format!(
+                "induction-variable substitution stopped at its {}-pass budget",
+                titanc_opt::ivsub::MAX_PASSES
+            ),
+            Span::none(),
+        );
+    }
+    if reports.inline.skipped_growth > 0 {
+        sink.remark(
+            format!(
+                "{} call site(s) left unexpanded by the inline IL-growth budget",
+                reports.inline.skipped_growth
+            ),
+            Span::none(),
+        );
+    }
 }
 
 /// Compiles and immediately runs `entry` on a Titan with the given

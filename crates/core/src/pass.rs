@@ -55,7 +55,10 @@
 //!   run when anything changed. Unchanged procedures skip re-verification
 //!   entirely.
 
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, Once};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -167,14 +170,83 @@ pub struct PassRecord {
     pub cache: CacheStats,
 }
 
+/// Why a pass execution was abandoned and rolled back.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IncidentKind {
+    /// The pass panicked (an `unwrap`, index, or `panic!` deep in the
+    /// optimizer). The worker caught the unwind; nothing escaped.
+    Panic,
+    /// The pass completed but left IL the inter-pass verifier rejects.
+    VerifyFailed,
+}
+
+impl std::fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IncidentKind::Panic => "panic",
+            IncidentKind::VerifyFailed => "verifier rejection",
+        })
+    }
+}
+
+/// A contained pass failure: the fault, where it happened, and the fact
+/// that the procedure was rolled back to its last-verified IL.
+///
+/// Incidents are the pass manager's fail-soft currency. A pass that
+/// panics or produces unverifiable IL no longer aborts the compilation
+/// (or poisons a worker thread): the (pass × procedure) execution is
+/// abandoned, the procedure reverts to the IL that last passed
+/// verification, the procedure is marked *degraded* — its remaining
+/// optimization passes are skipped, mirroring the paper's "simply fails
+/// to vectorize" degradation — and the incident is recorded here. The
+/// driver decides whether incidents are fatal (`--strict`) or merely
+/// reported.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PassIncident {
+    /// The pass that faulted.
+    pub pass: &'static str,
+    /// The procedure being transformed (`None` for whole-program passes
+    /// and the final program-level verification).
+    pub proc: Option<String>,
+    /// What kind of fault was contained.
+    pub kind: IncidentKind,
+    /// The panic message or the verifier's rendered violation list.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PassIncident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.proc {
+            Some(p) => write!(
+                f,
+                "{} in pass `{}` on `{}` (rolled back): {}",
+                self.kind, self.pass, p, self.detail
+            ),
+            None => write!(
+                f,
+                "{} in pass `{}` (rolled back): {}",
+                self.kind, self.pass, self.detail
+            ),
+        }
+    }
+}
+
 /// The per-pass execution record of one pipeline run.
 #[derive(Clone, Debug, Default)]
 pub struct PassTrace {
     /// One record per executed pass, in execution order.
     pub records: Vec<PassRecord>,
+    /// Contained faults, in (pass, procedure) order. Empty on a healthy
+    /// compilation.
+    pub incidents: Vec<PassIncident>,
 }
 
 impl PassTrace {
+    /// True when any pass faulted (and was contained) during the run.
+    pub fn has_incidents(&self) -> bool {
+        !self.incidents.is_empty()
+    }
+
     /// The position of the first record with the given pass name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
         self.records.iter().position(|r| r.name == name)
@@ -222,26 +294,72 @@ pub(crate) fn snapshot_all(phase: &str, program: &Program, out: &mut Vec<Snapsho
     }
 }
 
-/// Panics with an internal-compiler-error report when the IL is broken.
-pub(crate) fn verify_or_ice(phase: &str, program: &Program) {
-    if let Err(errors) = titanc_il::verify_program(program) {
-        let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
-        panic!(
-            "internal compiler error: IL verification failed after `{phase}`:\n  {}",
-            rendered.join("\n  ")
-        );
+/// Whole-program IL verification, rendered for diagnostics. The seed
+/// `panic!`ed here ("internal compiler error"); the fail-soft pipeline
+/// instead routes violations through the [`PassIncident`] rollback path.
+pub(crate) fn verify_program_check(program: &Program) -> Result<(), String> {
+    match titanc_il::verify_program(program) {
+        Ok(()) => Ok(()),
+        Err(errors) => {
+            let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+            Err(rendered.join("; "))
+        }
     }
 }
 
-/// Per-procedure flavour of [`verify_or_ice`] for the parallel path.
-fn verify_proc_or_ice(phase: &str, proc: &Procedure) {
-    if let Err(errors) = titanc_il::verify_proc(proc) {
-        let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
-        panic!(
-            "internal compiler error: IL verification failed after `{phase}` in `{}`:\n  {}",
-            proc.name,
-            rendered.join("\n  ")
-        );
+/// Per-procedure flavour of [`verify_program_check`] for the parallel path.
+fn verify_proc_check(proc: &Procedure) -> Result<(), String> {
+    match titanc_il::verify_proc(proc) {
+        Ok(()) => Ok(()),
+        Err(errors) => {
+            let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+            Err(rendered.join("; "))
+        }
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside a contained pass execution; the
+    /// chained panic hook stays silent for panics that will be caught,
+    /// converted to a [`PassIncident`] and reported once, properly.
+    static CONTAINING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that delegates to the
+/// previous hook unless the panicking thread is inside a contained pass.
+/// Without this, every contained fault would still splat a backtrace on
+/// stderr before the incident report.
+fn install_containment_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINING.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under `catch_unwind` with the containment hook engaged, so a
+/// caught panic does not echo through the default hook.
+fn contain<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+    install_containment_hook();
+    CONTAINING.with(|c| c.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CONTAINING.with(|c| c.set(false));
+    result
+}
+
+/// Renders a caught panic payload (the `&str`/`String` carried by almost
+/// every `panic!`/`unwrap`) for the incident record.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -269,6 +387,9 @@ struct ProcResult {
     snaps: Vec<(usize, Snapshot)>,
     /// The procedure's generation when the chain finished.
     final_gen: u64,
+    /// The contained fault, if one happened: (group pass index, record).
+    /// Set at most once — the chain degrades after the first fault.
+    incident: Option<(usize, PassIncident)>,
 }
 
 struct PassCell {
@@ -278,9 +399,34 @@ struct PassCell {
     cache: CacheStats,
 }
 
+impl PassCell {
+    /// The cell recorded for a pass that was skipped (degraded proc) or
+    /// whose work was rolled back.
+    fn skipped(duration: Duration) -> PassCell {
+        PassCell {
+            duration,
+            delta: Reports::default(),
+            changed: false,
+            cache: CacheStats::default(),
+        }
+    }
+}
+
 /// Runs one procedure through a group of per-procedure passes. Both the
 /// serial and the parallel path execute exactly this function, which is
 /// what makes `-j 1` and `-j N` byte-identical.
+///
+/// ## Fault isolation
+///
+/// Each pass runs under `catch_unwind`. On a panic — or on a verifier
+/// rejection of the pass's output — the procedure is rolled back to
+/// `last_good` (the IL that last passed verification, starting from the
+/// chain's entry state), the cache slot is invalidated (artifacts built
+/// against the abandoned IL must not survive the rollback), a
+/// [`PassIncident`] is recorded, and the rest of the chain is skipped:
+/// the procedure is *degraded*. Panics never cross the worker-thread
+/// boundary, so one faulty procedure cannot poison the thread scope.
+#[allow(clippy::too_many_arguments)]
 fn run_proc_chain(
     group: &[&dyn ProcPass],
     proc: &mut Procedure,
@@ -289,17 +435,49 @@ fn run_proc_chain(
     verify: bool,
     want_snaps: bool,
     seen_gen: u64,
+    degraded_in: bool,
 ) -> ProcResult {
     let mut cells = Vec::with_capacity(group.len());
     let mut snaps = Vec::new();
     // the generation already covered by a snapshot + verification
     let mut last_seen = seen_gen;
+    let mut incident: Option<(usize, PassIncident)> = None;
+    let mut degraded = degraded_in;
+    // rollback point: without the verifier this is the state after the
+    // last completed pass; with it, the last *verified* state
+    let mut last_good = if degraded { None } else { Some(proc.clone()) };
     for (k, pass) in group.iter().enumerate() {
+        if degraded {
+            cells.push(PassCell::skipped(Duration::ZERO));
+            continue;
+        }
         let stats_before = analyses.stats();
         let gen_before = proc.generation();
         let mut delta = Reports::default();
         let start = Instant::now();
-        let outcome = pass.run_on(proc, cx, analyses, &mut delta);
+        let run = contain(|| pass.run_on(proc, cx, analyses, &mut delta));
+        let outcome = match run {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let detail = panic_message(payload.as_ref());
+                *proc = last_good
+                    .clone()
+                    .expect("non-degraded chain has a rollback point");
+                analyses.invalidate();
+                incident = Some((
+                    k,
+                    PassIncident {
+                        pass: pass.name(),
+                        proc: Some(proc.name.clone()),
+                        kind: IncidentKind::Panic,
+                        detail,
+                    },
+                ));
+                degraded = true;
+                cells.push(PassCell::skipped(start.elapsed()));
+                continue;
+            }
+        };
         if outcome.changed && proc.generation() == gen_before {
             // defensive: a change must move the generation, or a later
             // pass could be served stale analyses
@@ -309,7 +487,24 @@ fn run_proc_chain(
         let cache = analyses.stats().delta_since(&stats_before);
         if proc.generation() != last_seen {
             if verify {
-                verify_proc_or_ice(pass.name(), proc);
+                if let Err(detail) = verify_proc_check(proc) {
+                    *proc = last_good
+                        .clone()
+                        .expect("non-degraded chain has a rollback point");
+                    analyses.invalidate();
+                    incident = Some((
+                        k,
+                        PassIncident {
+                            pass: pass.name(),
+                            proc: Some(proc.name.clone()),
+                            kind: IncidentKind::VerifyFailed,
+                            detail,
+                        },
+                    ));
+                    degraded = true;
+                    cells.push(PassCell::skipped(duration));
+                    continue;
+                }
             }
             if want_snaps {
                 snaps.push((
@@ -322,6 +517,7 @@ fn run_proc_chain(
                 ));
             }
             last_seen = proc.generation();
+            last_good = Some(proc.clone());
         }
         cells.push(PassCell {
             duration,
@@ -334,6 +530,7 @@ fn run_proc_chain(
         cells,
         snaps,
         final_gen: proc.generation(),
+        incident,
     }
 }
 
@@ -412,8 +609,16 @@ impl Pipeline {
     /// *whose generation moved* is appended to `snapshots` after the pass
     /// that moved it (pass-major, procedure order). The IL verifier runs
     /// over moved procedures in debug builds and, in release builds, when
-    /// [`Options::verify`] is set; a violation is an internal compiler
-    /// error and panics.
+    /// [`Options::verify`] is set.
+    ///
+    /// The run is *fail-soft*: a pass that panics or produces
+    /// unverifiable IL is contained — the affected procedure (or, for
+    /// whole-program passes, the whole program) rolls back to its
+    /// last-verified IL, a [`PassIncident`] lands in the trace, and the
+    /// degraded procedure skips its remaining optimization passes. The
+    /// pipeline itself never panics on a pass fault and never fails:
+    /// callers inspect [`PassTrace::incidents`] to decide how strict to
+    /// be.
     pub fn run(
         &self,
         program: &mut Program,
@@ -431,6 +636,8 @@ impl Pipeline {
         // (the "lower" snapshot + verify ran before the pipeline)
         let mut seen_gens: Vec<u64> = program.procs.iter().map(Procedure::generation).collect();
         let initial_gens = seen_gens.clone();
+        // procedures that faulted: their remaining passes are skipped
+        let mut degraded: Vec<bool> = vec![false; program.procs.len()];
 
         let mut i = 0;
         while i < self.stages.len() {
@@ -444,6 +651,7 @@ impl Pipeline {
                         want_snaps,
                         &mut cache,
                         &mut seen_gens,
+                        &mut degraded,
                         &mut reports,
                         &mut trace,
                         snapshots,
@@ -471,6 +679,7 @@ impl Pipeline {
                         jobs,
                         &mut cache,
                         &mut seen_gens,
+                        &mut degraded,
                         &mut reports,
                         &mut trace,
                         snapshots,
@@ -485,7 +694,14 @@ impl Pipeline {
         // when anything moved
         let moved = seen_gens != initial_gens;
         if verify && moved {
-            verify_or_ice("pipeline", program);
+            if let Err(detail) = verify_program_check(program) {
+                trace.incidents.push(PassIncident {
+                    pass: "pipeline",
+                    proc: None,
+                    kind: IncidentKind::VerifyFailed,
+                    detail,
+                });
+            }
         }
         (reports, trace)
     }
@@ -495,6 +711,14 @@ impl Pipeline {
 /// honest: a pass that reports a change without moving any generation
 /// gets every procedure bumped defensively, and snapshots/verification
 /// cover exactly the procedures whose generation moved.
+///
+/// Whole-program passes are isolated at program granularity: on a panic
+/// or a verifier rejection the *entire program* rolls back to its state
+/// before the pass (there is no narrower verified unit — the pass may
+/// have moved code between procedures), an incident is recorded, and the
+/// pipeline continues with the remaining stages. No procedure is marked
+/// degraded: the rolled-back program is exactly the verified pre-pass
+/// state.
 #[allow(clippy::too_many_arguments)]
 fn run_program_stage(
     pass: &dyn Pass,
@@ -504,15 +728,41 @@ fn run_program_stage(
     want_snaps: bool,
     cache: &mut AnalysisCache,
     seen_gens: &mut Vec<u64>,
+    degraded: &mut Vec<bool>,
     reports: &mut Reports,
     trace: &mut PassTrace,
     snapshots: &mut Vec<Snapshot>,
 ) {
     let gens_before: Vec<u64> = program.procs.iter().map(Procedure::generation).collect();
+    let backup = program.clone();
     let mut delta = Reports::default();
     let start = Instant::now();
-    let outcome = pass.run(program, cx, &mut delta);
+    let run = contain(|| pass.run(program, cx, &mut delta));
     let duration = start.elapsed();
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let detail = panic_message(payload.as_ref());
+            *program = backup;
+            for slot in cache.slots_mut() {
+                slot.invalidate();
+            }
+            trace.incidents.push(PassIncident {
+                pass: pass.name(),
+                proc: None,
+                kind: IncidentKind::Panic,
+                detail,
+            });
+            trace.records.push(PassRecord {
+                name: pass.name(),
+                duration,
+                delta: Reports::default(),
+                changed: false,
+                cache: CacheStats::default(),
+            });
+            return;
+        }
+    };
 
     let len_changed = program.procs.len() != gens_before.len();
     let moved = len_changed
@@ -530,14 +780,37 @@ fn run_program_stage(
     let moved = moved || outcome.changed;
 
     if verify && moved {
-        verify_or_ice(pass.name(), program);
+        if let Err(detail) = verify_program_check(program) {
+            *program = backup;
+            for slot in cache.slots_mut() {
+                slot.invalidate();
+            }
+            trace.incidents.push(PassIncident {
+                pass: pass.name(),
+                proc: None,
+                kind: IncidentKind::VerifyFailed,
+                detail,
+            });
+            trace.records.push(PassRecord {
+                name: pass.name(),
+                duration,
+                delta: Reports::default(),
+                changed: false,
+                cache: CacheStats::default(),
+            });
+            return;
+        }
     }
     cache.ensure(program.procs.len());
-    // procedures the pass introduced count as never-seen
+    // procedures the pass introduced count as never-seen (and healthy)
     if seen_gens.len() < program.procs.len() {
         seen_gens.resize(program.procs.len(), u64::MAX);
     }
     seen_gens.truncate(program.procs.len());
+    if degraded.len() < program.procs.len() {
+        degraded.resize(program.procs.len(), false);
+    }
+    degraded.truncate(program.procs.len());
     if want_snaps {
         for (idx, p) in program.procs.iter().enumerate() {
             if p.generation() != seen_gens[idx] {
@@ -576,6 +849,7 @@ fn run_proc_group(
     jobs: usize,
     cache: &mut AnalysisCache,
     seen_gens: &mut Vec<u64>,
+    degraded: &mut Vec<bool>,
     reports: &mut Reports,
     trace: &mut PassTrace,
     snapshots: &mut Vec<Snapshot>,
@@ -585,12 +859,16 @@ fn run_proc_group(
     if seen_gens.len() < n {
         seen_gens.resize(n, u64::MAX);
     }
+    if degraded.len() < n {
+        degraded.resize(n, false);
+    }
 
     let mut results: Vec<Option<ProcResult>> = Vec::new();
     results.resize_with(n, || None);
 
     type Task<'t> = (
         u64,
+        bool,
         &'t mut Procedure,
         &'t mut ProcAnalyses,
         &'t mut Option<ProcResult>,
@@ -601,7 +879,7 @@ fn run_proc_group(
         .zip(cache.slots_mut().iter_mut())
         .zip(results.iter_mut())
         .enumerate()
-        .map(|(idx, ((proc, slot), out))| (seen_gens[idx], proc, slot, out))
+        .map(|(idx, ((proc, slot), out))| (seen_gens[idx], degraded[idx], proc, slot, out))
         .collect();
 
     // more worker threads than hardware threads only adds scheduler churn
@@ -613,9 +891,9 @@ fn run_proc_group(
         .unwrap_or(1);
     let workers = jobs.min(avail).clamp(1, n.max(1));
     if workers <= 1 {
-        for (seen, proc, slot, out) in tasks {
+        for (seen, skip, proc, slot, out) in tasks {
             *out = Some(run_proc_chain(
-                group, proc, slot, cx, verify, want_snaps, seen,
+                group, proc, slot, cx, verify, want_snaps, seen, skip,
             ));
         }
     } else {
@@ -626,16 +904,18 @@ fn run_proc_group(
                     // take the lock only to pop; run outside it
                     let task = queue.lock().unwrap().next();
                     match task {
-                        Some((seen, proc, slot, out)) => {
+                        Some((seen, skip, proc, slot, out)) => {
                             // run the chain on a worker-local clone: the
                             // passes' allocation churn then stays in this
                             // thread's malloc arena instead of contending
                             // for the main thread's (the procedure itself
                             // was built there), and the original is freed
-                            // in one sweep at write-back
+                            // in one sweep at write-back. Faults inside
+                            // the chain are caught there, so a panicking
+                            // pass cannot poison this scope.
                             let mut local = proc.clone();
                             *out = Some(run_proc_chain(
-                                group, &mut local, slot, cx, verify, want_snaps, seen,
+                                group, &mut local, slot, cx, verify, want_snaps, seen, skip,
                             ));
                             *proc = local;
                         }
@@ -681,9 +961,22 @@ fn run_proc_group(
             changed,
             cache: cache_stats,
         });
+        // incidents surface pass-major, procedure order — the same
+        // deterministic merge as everything else, so `-j 1` and `-j N`
+        // report identical traces
+        for r in &results {
+            if let Some((ki, inc)) = &r.incident {
+                if *ki == k {
+                    trace.incidents.push(inc.clone());
+                }
+            }
+        }
     }
     for (idx, r) in results.iter().enumerate() {
         seen_gens[idx] = r.final_gen;
+        if r.incident.is_some() {
+            degraded[idx] = true;
+        }
     }
 }
 

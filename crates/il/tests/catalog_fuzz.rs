@@ -1,0 +1,131 @@
+//! Catalog robustness fuzzing: random corruptions of a valid catalog
+//! document must surface as `JsonError` (via [`Catalog::from_json`]) or
+//! an `InvalidData` I/O error (via [`Catalog::load`]) — never a panic.
+
+use std::panic::catch_unwind;
+use titanc_il::{Catalog, Expr, ProcBuilder, Procedure, Type};
+
+fn sample_proc(name: &str) -> Procedure {
+    let mut b = ProcBuilder::new(name, Type::Int);
+    let n = b.param("n", Type::Int);
+    b.ret(Some(Expr::var(n)));
+    b.finish()
+}
+
+fn sample_catalog() -> Catalog {
+    let mut c = Catalog::new("fuzzlib");
+    c.add(sample_proc("daxpy"));
+    c.add(sample_proc("ddot"));
+    c
+}
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Bytes that stress a JSON decoder: structural characters, quotes,
+/// escapes, digits, NUL, and a non-ASCII byte.
+const POISON: &[u8] = b"{}[]\",:\\0919ee-+.xnulltrue\0\xff";
+
+#[test]
+fn byte_mutations_never_panic() {
+    let base = sample_catalog().to_json();
+    let mut rng = Rng(0xDEAD_BEEF_0BAD_CAFE);
+    let mut rejected = 0usize;
+    for _ in 0..500 {
+        let mut bytes = base.clone().into_bytes();
+        for _ in 0..1 + rng.below(4) {
+            let pos = rng.below(bytes.len());
+            match rng.below(3) {
+                0 => bytes[pos] = POISON[rng.below(POISON.len())],
+                1 => {
+                    bytes.truncate(pos.max(1));
+                }
+                _ => bytes.insert(pos, POISON[rng.below(POISON.len())]),
+            }
+        }
+        let doc = String::from_utf8_lossy(&bytes).into_owned();
+        let shown: String = doc.chars().take(120).collect();
+        let result = catch_unwind(|| Catalog::from_json(&doc).map(|_| ()));
+        match result {
+            Ok(Ok(())) => {} // mutation happened to stay well-formed
+            Ok(Err(_)) => rejected += 1,
+            Err(_) => panic!("Catalog::from_json panicked on: {shown}"),
+        }
+    }
+    // the corpus must actually exercise the error paths
+    assert!(rejected > 100, "only {rejected} of 500 mutations rejected");
+}
+
+#[test]
+fn structural_malformations_are_errors_not_panics() {
+    let base = sample_catalog().to_json();
+    let cases: Vec<String> = vec![
+        String::new(),
+        "null".into(),
+        "[]".into(),
+        "{}".into(),
+        "{\"name\": 3}".into(),
+        "{\"name\": \"x\"}".into(),
+        "{\"name\": \"x\", \"procs\": 7, \"structs\": [], \"globals\": []}".into(),
+        "{\"name\": \"x\", \"procs\": [[]], \"structs\": [], \"globals\": []}".into(),
+        base.replace("\"procs\"", "\"prosc\""),
+        base.replace('[', "{").replace(']', "}"),
+        base.chars().take(base.len() / 2).collect(),
+        "[".repeat(512),
+        format!("{base}{base}"),
+        "{\"name\": \"\\ud800\"}".into(),
+    ];
+    for (i, doc) in cases.iter().enumerate() {
+        let result = catch_unwind(|| Catalog::from_json(doc).map(|_| ()));
+        match result {
+            Ok(Ok(())) => panic!("case {i} unexpectedly parsed"),
+            Ok(Err(_)) => {}
+            Err(_) => panic!(
+                "case {i} panicked: {}",
+                doc.chars().take(120).collect::<String>()
+            ),
+        }
+    }
+}
+
+#[test]
+fn load_reports_malformed_files_as_invalid_data() {
+    let dir = std::env::temp_dir().join(format!("titanc-catalog-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let base = sample_catalog().to_json();
+    let mutants = [
+        base.replace("\"name\"", "\"nope\""),
+        base.chars().take(base.len() / 3).collect(),
+        "not json at all".to_string(),
+    ];
+    for (i, doc) in mutants.iter().enumerate() {
+        let path = dir.join(format!("mutant-{i}.json"));
+        std::fs::write(&path, doc).unwrap();
+        let err = Catalog::load(&path).expect_err("malformed catalog must not load");
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData,
+            "case {i}: {err}"
+        );
+    }
+
+    // and a round-trip still works from the same directory
+    let good = dir.join("good.json");
+    sample_catalog().save(&good).unwrap();
+    let back = Catalog::load(&good).unwrap();
+    assert_eq!(back, sample_catalog());
+}

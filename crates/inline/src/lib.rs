@@ -62,6 +62,12 @@ pub struct InlineOptions {
     pub max_depth: u32,
     /// Skip callees larger than this many statements.
     pub max_callee_size: usize,
+    /// Whole-program IL growth budget: once the program has grown past
+    /// `max_growth ×` its pre-inlining statement count (plus a small
+    /// absolute slack for tiny programs), further sites are skipped and
+    /// counted in [`InlineReport::skipped_growth`]. `0` disables the
+    /// budget.
+    pub max_growth: usize,
 }
 
 impl Default for InlineOptions {
@@ -69,6 +75,7 @@ impl Default for InlineOptions {
         InlineOptions {
             max_depth: 4,
             max_callee_size: 400,
+            max_growth: 8,
         }
     }
 }
@@ -82,6 +89,9 @@ pub struct InlineReport {
     pub skipped_recursive: usize,
     /// Call sites skipped by the size budget.
     pub skipped_size: usize,
+    /// Call sites skipped by the whole-program growth budget
+    /// ([`InlineOptions::max_growth`]).
+    pub skipped_growth: usize,
     /// `static` variables externalized.
     pub statics_externalized: usize,
 }
@@ -93,6 +103,7 @@ impl InlineReport {
         self.inlined += other.inlined;
         self.skipped_recursive += other.skipped_recursive;
         self.skipped_size += other.skipped_size;
+        self.skipped_growth += other.skipped_growth;
         self.statics_externalized += other.statics_externalized;
     }
 }
@@ -114,6 +125,14 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
         statics_externalized: externalize_statics(prog),
         ..InlineReport::default()
     };
+    // growth budget: measured against the pre-inlining program size, with
+    // absolute slack so tiny programs still get their first expansions
+    let initial: usize = prog.procs.iter().map(|p| p.len()).sum();
+    let growth_limit = if opts.max_growth == 0 {
+        usize::MAX
+    } else {
+        initial.saturating_mul(opts.max_growth).saturating_add(256)
+    };
     for _round in 0..opts.max_depth {
         let mut any = false;
         let cg = CallGraph::build(prog);
@@ -133,6 +152,7 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                     break;
                 }
                 let sites = call_sites(&prog.procs[ci]);
+                let total: usize = prog.procs.iter().map(|p| p.len()).sum();
                 let mut expanded = false;
                 for &site in sites.iter().skip(skip) {
                     let callee_name = match callee_of(&prog.procs[ci], site) {
@@ -151,6 +171,10 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                                 None => false, // intrinsic / external
                                 Some(c) if c.len() > opts.max_callee_size => {
                                     report.skipped_size += 1;
+                                    false
+                                }
+                                Some(c) if total.saturating_add(c.len()) > growth_limit => {
+                                    report.skipped_growth += 1;
                                     false
                                 }
                                 Some(_) => true,

@@ -16,6 +16,11 @@ use titanc_analysis::{Cfg, ProcAnalyses};
 use titanc_il::fold::{const_value, fold_expr, value_to_expr, Value};
 use titanc_il::{Expr, Procedure, ScalarType, Stmt, StmtId, StmtKind};
 
+/// Resource budget: maximum fixpoint rounds per procedure. Hitting the cap
+/// is sound (each round leaves verified IL) but is reported so the driver
+/// can emit a remark.
+pub const MAX_ROUNDS: usize = 32;
+
 /// Propagation statistics (EXP4 compares these across strategies).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConstPropReport {
@@ -26,6 +31,8 @@ pub struct ConstPropReport {
     pub removed: usize,
     /// Fixpoint rounds (the paper's re-seeding events + 1).
     pub rounds: usize,
+    /// The fixpoint was cut off by [`MAX_ROUNDS`] while still changing.
+    pub budget_exhausted: bool,
 }
 
 impl ConstPropReport {
@@ -35,6 +42,7 @@ impl ConstPropReport {
         self.replaced += other.replaced;
         self.removed += other.removed;
         self.rounds += other.rounds;
+        self.budget_exhausted |= other.budget_exhausted;
     }
 }
 
@@ -103,7 +111,11 @@ fn run(
             }
         }
 
-        if changed == 0 || report.rounds > 32 {
+        if changed == 0 {
+            break;
+        }
+        if report.rounds >= MAX_ROUNDS {
+            report.budget_exhausted = true;
             break;
         }
     }

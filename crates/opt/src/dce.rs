@@ -11,6 +11,11 @@
 use titanc_analysis::{Liveness, ProcAnalyses};
 use titanc_il::{LValue, Procedure, Stmt, StmtKind};
 
+/// Resource budget: maximum fixpoint rounds per procedure. Hitting the cap
+/// is sound (every completed round leaves verified IL) but is reported so
+/// the driver can emit a remark.
+pub const MAX_ROUNDS: usize = 32;
+
 /// Elimination statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DceReport {
@@ -18,6 +23,8 @@ pub struct DceReport {
     pub removed: usize,
     /// Fixpoint rounds.
     pub rounds: usize,
+    /// The fixpoint was cut off by [`MAX_ROUNDS`] while still changing.
+    pub budget_exhausted: bool,
 }
 
 impl DceReport {
@@ -26,6 +33,7 @@ impl DceReport {
     pub fn merge(&mut self, other: DceReport) {
         self.removed += other.removed;
         self.rounds += other.rounds;
+        self.budget_exhausted |= other.budget_exhausted;
     }
 }
 
@@ -68,7 +76,8 @@ pub fn eliminate_dead_code_cached(proc: &mut Procedure, analyses: &mut ProcAnaly
         if removed == 0 {
             break;
         }
-        if report.rounds > 32 {
+        if report.rounds >= MAX_ROUNDS {
+            report.budget_exhausted = true;
             break;
         }
     }

@@ -19,6 +19,12 @@
 use crate::util::{invariant_in, register_candidate, resolve_copy};
 use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtKind, Type, VarId};
 
+/// Resource budget: maximum scan passes per loop (worst case is `n`
+/// passes for a body of `n` statements, §5.3). Hitting the cap is sound —
+/// substitution simply stops early — but is reported so the driver can
+/// emit a remark.
+pub const MAX_PASSES: usize = 64;
+
 /// Substitution statistics (EXP6 measures `passes` and `backtracks`).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct IvSubReport {
@@ -29,6 +35,9 @@ pub struct IvSubReport {
     /// Candidates that succeeded only after being unblocked by an earlier
     /// substitution (the backtracking events).
     pub backtracks: usize,
+    /// Some loop's re-scan was cut off by [`MAX_PASSES`] while still
+    /// finding substitutions.
+    pub budget_exhausted: bool,
 }
 
 impl IvSubReport {
@@ -38,6 +47,7 @@ impl IvSubReport {
         self.substituted += other.substituted;
         self.passes += other.passes;
         self.backtracks += other.backtracks;
+        self.budget_exhausted |= other.budget_exhausted;
     }
 }
 
@@ -102,7 +112,8 @@ fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: 
             break;
         }
         // guard: worst case n passes (n = body length)
-        if pass > 64 {
+        if pass >= MAX_PASSES {
+            report.budget_exhausted = true;
             break;
         }
     }

@@ -17,7 +17,7 @@
 //! independent, it is converted to `do parallel` unchanged (loop
 //! spreading, §2 item 2).
 
-use titanc_deps::{const_trip_count, decompose, Aliasing, DepGraph};
+use titanc_deps::{const_trip_count, decompose, Aliasing, DepGraph, DepKind, Verdict};
 use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId};
 use titanc_opt::util::defined_in;
 
@@ -55,6 +55,9 @@ pub struct VectorReport {
     pub spread: usize,
     /// Loops left scalar.
     pub scalar: usize,
+    /// One human-readable note per scalar loop, naming the defeating
+    /// dependence or construct (surfaced as compiler remarks).
+    pub notes: Vec<String>,
 }
 
 impl VectorReport {
@@ -64,6 +67,7 @@ impl VectorReport {
         self.vectorized += other.vectorized;
         self.spread += other.spread;
         self.scalar += other.scalar;
+        self.notes.extend(other.notes);
     }
 }
 
@@ -81,7 +85,10 @@ pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
         match try_vectorize_loop(proc, id, opts) {
             Outcome::Vectorized => report.vectorized += 1,
             Outcome::Spread => report.spread += 1,
-            Outcome::Scalar => report.scalar += 1,
+            Outcome::Scalar(why) => {
+                report.scalar += 1;
+                report.notes.push(why);
+            }
         }
     }
     if report.vectorized > 0 || report.spread > 0 {
@@ -93,7 +100,8 @@ pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
 enum Outcome {
     Vectorized,
     Spread,
-    Scalar,
+    /// Left scalar; the payload names the defeating dependence.
+    Scalar(String),
 }
 
 /// Finds an unprocessed innermost `DoLoop` (bodies containing no loops).
@@ -151,9 +159,15 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
             _ => unreachable!(),
         }
     };
+    let lv_name = proc.var(lv).name.clone();
     let step = match step_e.as_int() {
         Some(s) if s != 0 => s,
-        _ => return Outcome::Scalar,
+        _ => {
+            return Outcome::Scalar(format!(
+                "{}: loop on `{}` left scalar: step is not a nonzero constant",
+                proc.name, lv_name
+            ))
+        }
     };
     let trips_const = const_trip_count(&lo, &hi, &step_e);
     let aliasing = if safe {
@@ -252,7 +266,65 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
         convert_to_parallel(proc, id);
         return Outcome::Spread;
     }
-    Outcome::Scalar
+    Outcome::Scalar(format!(
+        "{}: loop on `{}` left scalar: {}",
+        proc.name,
+        lv_name,
+        describe_defeat(&graph, &sccs, safe)
+    ))
+}
+
+/// Names the first construct or dependence that kept the loop scalar, in
+/// the order the vectorizer gives up: pinned statements, carried
+/// self-dependences, multi-statement dependence cycles, and finally
+/// statements that are simply not vector assignments.
+fn describe_defeat(graph: &DepGraph, sccs: &[Vec<usize>], safe: bool) -> String {
+    if let Some(i) = graph.pinned.iter().position(|&p| p) {
+        return format!(
+            "statement {i} is pinned (call, goto, volatile access, \
+             nested control flow, or non-affine subscript)"
+        );
+    }
+    if !safe {
+        if let Some(e) = graph.edges.iter().find(|e| {
+            e.from == e.to && e.carried && matches!(e.kind, DepKind::True | DepKind::Output)
+        }) {
+            let kind = match e.kind {
+                DepKind::True => "flow",
+                DepKind::Anti => "anti",
+                DepKind::Output => "output",
+            };
+            let via = if e.scalar { " through a scalar" } else { "" };
+            let dist = match e.verdict {
+                Verdict::Distance(d) => format!(" at distance {d}"),
+                _ => String::new(),
+            };
+            return format!(
+                "loop-carried {kind} dependence of statement {} on itself{via}{dist}",
+                e.from
+            );
+        }
+    }
+    if let Some(c) = sccs.iter().find(|c| c.len() > 1) {
+        if let Some(e) = graph
+            .edges
+            .iter()
+            .find(|e| e.carried && c.contains(&e.from) && c.contains(&e.to))
+        {
+            let kind = match e.kind {
+                DepKind::True => "flow",
+                DepKind::Anti => "anti",
+                DepKind::Output => "output",
+            };
+            return format!(
+                "dependence cycle among statements {c:?} (carried {kind} dependence \
+                 from statement {} to statement {})",
+                e.from, e.to
+            );
+        }
+        return format!("dependence cycle among statements {c:?}");
+    }
+    "no statement in the body is a vectorizable assignment".to_string()
 }
 
 /// Materializes the trip-count expression, pushing a setup statement into

@@ -1,0 +1,213 @@
+//! Fail-soft acceptance tests: a pass that faults on one procedure is
+//! contained — the procedure rolls back to its last-verified IL, every
+//! other procedure is still fully optimized, exactly one [`PassIncident`]
+//! lands on the trace, and the result is identical at `-j 1` and `-j 4`.
+
+use titanc_il::{pretty_proc, Procedure, Program, StmtKind};
+use titanc_repro::titanc::{
+    compile, compile_with, Compilation, IncidentKind, Options, Pass, PassContext, PassOutcome,
+    Pipeline, ProcAnalyses, ProcPass, Reports,
+};
+use titanc_titan::{MachineConfig, Simulator};
+
+/// Three independent procedures so containment in one is observable in
+/// the others: two vectorizable kernels and a faulty target.
+const KERNEL: &str = r#"
+float a[64], b[64], c[64];
+void left(void) { int i; for (i = 0; i < 64; i++) a[i] = b[i] + c[i]; }
+void faulty(void) { int i; for (i = 0; i < 64; i++) b[i] = 2.0f * c[i]; }
+void right(void) { int i; for (i = 0; i < 64; i++) c[i] = a[i] * a[i]; }
+int main(void) { left(); faulty(); right(); return 21; }
+"#;
+
+fn options(jobs: usize) -> Options {
+    Options {
+        inline: false, // keep the three procedures separate and comparable
+        verify: true,
+        jobs,
+        ..Options::o2()
+    }
+}
+
+/// Panics on the chosen procedure after wrecking it, so a surviving wreck
+/// would be visible: rollback must restore the pre-pass IL exactly.
+struct Boom;
+
+impl ProcPass for Boom {
+    fn name(&self) -> &'static str {
+        "boom"
+    }
+
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _cx: &PassContext<'_>,
+        _analyses: &mut ProcAnalyses,
+        _delta: &mut Reports,
+    ) -> PassOutcome {
+        if proc.name == "faulty" {
+            proc.body.clear();
+            proc.bump_generation();
+            panic!("injected fault in `{}`", proc.name);
+        }
+        PassOutcome::unchanged()
+    }
+}
+
+/// Corrupts the chosen procedure *without* panicking: a goto to a label
+/// that is never defined. The inter-pass verifier must catch it and the
+/// manager must roll back, exactly as for a panic.
+struct Corrupt;
+
+impl ProcPass for Corrupt {
+    fn name(&self) -> &'static str {
+        "corrupt"
+    }
+
+    fn run_on(
+        &self,
+        proc: &mut Procedure,
+        _cx: &PassContext<'_>,
+        _analyses: &mut ProcAnalyses,
+        _delta: &mut Reports,
+    ) -> PassOutcome {
+        if proc.name == "faulty" {
+            let dangling = proc.fresh_label();
+            let st = proc.stamp(StmtKind::Goto(dangling));
+            proc.body.push(st);
+            proc.bump_generation();
+            return PassOutcome::changed();
+        }
+        PassOutcome::unchanged()
+    }
+}
+
+fn compile_injected(pass: impl ProcPass + 'static, jobs: usize) -> Compilation {
+    let opts = options(jobs);
+    let mut pipeline = Pipeline::for_options(&opts);
+    pipeline.push_proc(pass);
+    compile_with(KERNEL, &opts, pipeline).expect("front end is clean")
+}
+
+fn pretty_all(program: &Program) -> Vec<(String, String)> {
+    program
+        .procs
+        .iter()
+        .map(|p| (p.name.clone(), pretty_proc(p)))
+        .collect()
+}
+
+#[test]
+fn injected_panic_is_contained_and_rolled_back() {
+    let reference = compile(KERNEL, &options(1)).expect("reference compile");
+    assert!(!reference.has_incidents());
+
+    let faulted = compile_injected(Boom, 1);
+
+    // exactly one incident, attributed to the right pass and procedure
+    assert_eq!(
+        faulted.trace.incidents.len(),
+        1,
+        "{:?}",
+        faulted.trace.incidents
+    );
+    let incident = &faulted.trace.incidents[0];
+    assert_eq!(incident.pass, "boom");
+    assert_eq!(incident.proc.as_deref(), Some("faulty"));
+    assert_eq!(incident.kind, IncidentKind::Panic);
+    assert!(incident.detail.contains("injected fault"));
+
+    // the faulty procedure rolled back to its last-verified IL — which,
+    // with the fault injected after the standard pipeline, is the fully
+    // optimized body — and every other procedure is untouched by the
+    // containment: the whole program matches the reference compile
+    assert_eq!(pretty_all(&faulted.program), pretty_all(&reference.program));
+
+    // and the other procedures really were optimized, not just preserved
+    assert!(
+        faulted.reports.vector.vectorized >= 2,
+        "{:?}",
+        faulted.reports.vector
+    );
+}
+
+#[test]
+fn verifier_rejection_is_contained_like_a_panic() {
+    let reference = compile(KERNEL, &options(1)).expect("reference compile");
+    let faulted = compile_injected(Corrupt, 1);
+
+    assert_eq!(
+        faulted.trace.incidents.len(),
+        1,
+        "{:?}",
+        faulted.trace.incidents
+    );
+    let incident = &faulted.trace.incidents[0];
+    assert_eq!(incident.pass, "corrupt");
+    assert_eq!(incident.proc.as_deref(), Some("faulty"));
+    assert_eq!(incident.kind, IncidentKind::VerifyFailed);
+
+    assert_eq!(pretty_all(&faulted.program), pretty_all(&reference.program));
+}
+
+#[test]
+fn containment_is_identical_across_job_counts() {
+    let j1 = compile_injected(Boom, 1);
+    let j4 = compile_injected(Boom, 4);
+
+    assert_eq!(j1.trace.incidents, j4.trace.incidents);
+    assert_eq!(pretty_all(&j1.program), pretty_all(&j4.program));
+    let names1: Vec<_> = j1.trace.records.iter().map(|r| r.name).collect();
+    let names4: Vec<_> = j4.trace.records.iter().map(|r| r.name).collect();
+    assert_eq!(names1, names4);
+}
+
+#[test]
+fn degraded_program_still_executes() {
+    let faulted = compile_injected(Boom, 4);
+    let mut sim = Simulator::new(&faulted.program, MachineConfig::optimized(1));
+    let result = sim.run("main", &[]).expect("degraded program runs");
+    assert_eq!(result.value.map(|v| v.as_int()), Some(21));
+}
+
+/// A whole-program pass that wrecks the program then panics: containment
+/// at program granularity must restore the backup wholesale.
+struct ProgramBoom;
+
+impl Pass for ProgramBoom {
+    fn name(&self) -> &'static str {
+        "program-boom"
+    }
+
+    fn run(
+        &self,
+        program: &mut Program,
+        _cx: &PassContext<'_>,
+        _delta: &mut Reports,
+    ) -> PassOutcome {
+        program.procs.clear();
+        panic!("injected whole-program fault");
+    }
+}
+
+#[test]
+fn whole_program_pass_panic_restores_the_backup() {
+    let reference = compile(KERNEL, &options(1)).expect("reference compile");
+    let opts = options(1);
+    let mut pipeline = Pipeline::for_options(&opts);
+    pipeline.push(ProgramBoom);
+    let faulted = compile_with(KERNEL, &opts, pipeline).expect("front end is clean");
+
+    assert_eq!(
+        faulted.trace.incidents.len(),
+        1,
+        "{:?}",
+        faulted.trace.incidents
+    );
+    let incident = &faulted.trace.incidents[0];
+    assert_eq!(incident.pass, "program-boom");
+    assert_eq!(incident.proc, None);
+    assert_eq!(incident.kind, IncidentKind::Panic);
+
+    assert_eq!(pretty_all(&faulted.program), pretty_all(&reference.program));
+}
