@@ -125,6 +125,25 @@ fn parallel_pipeline(bench: &Bench) {
     let totals = c.trace.cache_totals();
     let requests = totals.usedef_hits + totals.usedef_builds;
     let reduction = totals.usedef_hits as f64 / requests.max(1) as f64;
+
+    // counters: the vectorization rate is tracked alongside the timings
+    // and guarded — a rate collapse is an optimizer regression that no
+    // wall-clock figure would catch
+    let counters = titanc::Counters::from_run(&c.reports, &c.trace);
+    let vectorized = counters.get("loops.vectorized");
+    let parallelized = counters.get("loops.parallelized");
+    let scalar = counters.get("loops.scalar");
+    let accounted = vectorized + parallelized + scalar;
+    let vec_rate = vectorized as f64 / accounted.max(1) as f64;
+    assert!(accounted > 0, "no loops accounted for in the bench corpus");
+    assert!(
+        vec_rate >= 0.5,
+        "vectorization rate collapsed: {vectorized} of {accounted} loops \
+         ({vec_rate:.2}) — the bench corpus is built to vectorize"
+    );
+    println!(
+        "bench parallel/vectorization_rate: {vec_rate:.3} ({vectorized} of {accounted} loops)"
+    );
     println!(
         "bench parallel/usedef_builds: {} with cache, {requests} without ({:.0}% fewer)",
         totals.usedef_builds,
@@ -145,12 +164,15 @@ fn parallel_pipeline(bench: &Bench) {
          \"usedef_builds_with_cache\": {},\n  \
          \"usedef_builds_without_cache\": {requests},\n  \
          \"usedef_build_reduction\": {reduction:.3},\n  \
+         \"vectorization_rate\": {vec_rate:.3},\n  \
+         \"counters\": {},\n  \
          \"cache\": {{\"hits\": {}, \"builds\": {}, \"repairs\": {}, \"invalidations\": {}}}\n}}\n",
         t1.min.as_secs_f64() * 1e3,
         t4.min.as_secs_f64() * 1e3,
         t1.median.as_secs_f64() * 1e3,
         t4.median.as_secs_f64() * 1e3,
         totals.usedef_builds,
+        counters.to_json().to_string_compact(),
         totals.hits(),
         totals.builds(),
         totals.repairs,

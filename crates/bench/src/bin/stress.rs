@@ -11,11 +11,19 @@
 //! * treats an escaping panic anywhere in compile-or-run as a failure.
 //!
 //! ```text
-//! stress [--cases N] [--seed S] [--verbose]
+//! stress [--cases N] [--seed S] [--case-seed S] [--verbose]
 //! ```
 //!
-//! Exits `0` when every case agrees, `1` otherwise, printing the seed and
-//! the offending program so any failure reproduces with `--seed`.
+//! Each case gets its own generator seed, mixed (splitmix64-style) from
+//! the run seed and the case index, so one case's program depends only on
+//! `(run seed, index)` — not on how many programs were generated before
+//! it. A `FAIL` line prints the per-case seed, and `--case-seed` replays
+//! exactly that one program without regenerating the run. Seeds accept
+//! decimal or `0x`-prefixed hex (underscores allowed) and are printed in
+//! the same hex form they are accepted in.
+//!
+//! Exits `0` when every case agrees, `1` otherwise, printing the seeds
+//! and the offending program so any failure reproduces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use titanc::{compile, Compilation, Options};
@@ -23,16 +31,43 @@ use titanc_bench::progen;
 use titanc_il::{pretty_proc, ScalarType};
 use titanc_titan::{observe, MachineConfig, Observation};
 
+/// The default run seed (an arbitrary constant, fixed so a bare `stress`
+/// run is reproducible across machines and sessions).
+const DEFAULT_SEED: u64 = 0x717A_2C57;
+
 struct Args {
     cases: u64,
     seed: u64,
+    /// Replay exactly one case by its per-case seed.
+    case_seed: Option<u64>,
     verbose: bool,
+}
+
+/// Parses a seed in decimal or `0x`-prefixed hex; `_` separators are
+/// accepted in both forms (so printed seeds round-trip).
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.replace('_', "");
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Derives case `i`'s generator seed from the run seed — the splitmix64
+/// finalizer over a golden-ratio stride, so nearby indices land far
+/// apart and case programs are independent of generation order.
+fn case_seed(run_seed: u64, case: u64) -> u64 {
+    let mut z = run_seed.wrapping_add(case.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         cases: 100,
-        seed: 0x717A_2C57,
+        seed: DEFAULT_SEED,
+        case_seed: None,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -47,8 +82,15 @@ fn parse_args() -> Args {
             "--seed" => {
                 args.seed = it
                     .next()
-                    .and_then(|v| v.parse().ok())
+                    .and_then(|v| parse_seed(&v))
                     .unwrap_or_else(|| usage());
+            }
+            "--case-seed" => {
+                args.case_seed = Some(
+                    it.next()
+                        .and_then(|v| parse_seed(&v))
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--verbose" => args.verbose = true,
             _ => usage(),
@@ -58,7 +100,8 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: stress [--cases N] [--seed S] [--verbose]");
+    eprintln!("usage: stress [--cases N] [--seed S] [--case-seed S] [--verbose]");
+    eprintln!("       seeds are decimal or 0x-prefixed hex");
     std::process::exit(2);
 }
 
@@ -138,38 +181,91 @@ fn check_case(src: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Generates and checks the program for one per-case seed; returns the
+/// failure description, if any.
+fn run_one(cseed: u64) -> Option<String> {
+    let mut rng = progen::Rng::new(cseed);
+    let src = progen::program(&mut rng);
+    let verdict = catch_unwind(AssertUnwindSafe(|| check_case(&src)));
+    let failure = match verdict {
+        Ok(Ok(())) => None,
+        Ok(Err(why)) => Some(why),
+        Err(_) => Some("escaping panic (not contained by the pipeline)".to_string()),
+    };
+    failure.map(|why| format!("{why}\n--- program ---\n{src}---------------"))
+}
+
 fn main() {
     let args = parse_args();
-    let mut rng = progen::Rng::new(args.seed);
+
+    // --case-seed: replay exactly one generated program
+    if let Some(cseed) = args.case_seed {
+        match run_one(cseed) {
+            Some(why) => {
+                eprintln!("FAIL case seed 0x{cseed:X}: {why}");
+                println!("stress: case seed 0x{cseed:X} FAILED");
+                std::process::exit(1);
+            }
+            None => {
+                println!("stress: case seed 0x{cseed:X} ok");
+                return;
+            }
+        }
+    }
+
     let mut failures = 0u64;
     for case in 0..args.cases {
-        let src = progen::program(&mut rng);
-        let verdict = catch_unwind(AssertUnwindSafe(|| check_case(&src)));
-        let failure = match verdict {
-            Ok(Ok(())) => None,
-            Ok(Err(why)) => Some(why),
-            Err(_) => Some("escaping panic (not contained by the pipeline)".to_string()),
-        };
-        if let Some(why) = failure {
+        let cseed = case_seed(args.seed, case);
+        if let Some(why) = run_one(cseed) {
             failures += 1;
             eprintln!(
-                "FAIL case {case} (seed {}): {why}\n--- program ---\n{src}---------------",
+                "FAIL case {case} (case seed 0x{cseed:X}, run seed 0x{:X}): {why}\n\
+                 replay with: stress --case-seed 0x{cseed:X}",
                 args.seed
             );
         } else if args.verbose {
-            eprintln!("ok case {case}");
+            eprintln!("ok case {case} (case seed 0x{cseed:X})");
         }
     }
     if failures == 0 {
         println!(
-            "stress: {} cases (seed {}), zero divergence, zero incidents",
+            "stress: {} cases (run seed 0x{:X}), zero divergence, zero incidents",
             args.cases, args.seed
         );
     } else {
         println!(
-            "stress: {failures} of {} cases FAILED (seed {})",
+            "stress: {failures} of {} cases FAILED (run seed 0x{:X})",
             args.cases, args.seed
         );
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parsing_round_trips() {
+        assert_eq!(parse_seed("1903832151"), Some(1903832151));
+        assert_eq!(parse_seed("0x717A_2C57"), Some(0x717A_2C57));
+        assert_eq!(parse_seed("0X717a2c57"), Some(0x717A_2C57));
+        assert_eq!(parse_seed("1_903_832_151"), Some(1903832151));
+        assert_eq!(parse_seed("0x"), None);
+        assert_eq!(parse_seed("nope"), None);
+        // printed form (`0x{:X}`) parses back to the same value
+        let s = case_seed(DEFAULT_SEED, 17);
+        assert_eq!(parse_seed(&format!("0x{s:X}")), Some(s));
+    }
+
+    #[test]
+    fn case_seeds_are_order_independent_and_spread() {
+        let a = case_seed(DEFAULT_SEED, 0);
+        let b = case_seed(DEFAULT_SEED, 1);
+        assert_ne!(a, b);
+        // stable: same (run seed, index) -> same case seed
+        assert_eq!(a, case_seed(DEFAULT_SEED, 0));
+        // different run seeds decorrelate the same index
+        assert_ne!(a, case_seed(DEFAULT_SEED + 1, 0));
     }
 }

@@ -22,6 +22,10 @@
 //!   --run [ENTRY]            execute on the simulated Titan (default main)
 //!   --volatile-values LIST   comma-separated device-register script
 //!   --stats                  print pass statistics (per-pass deltas)
+//!   --opt-report[=json]      per-loop optimization report (text or JSON);
+//!                            byte-identical for every -j value
+//!   --trace-json FILE        write pass timings and worker lanes as a
+//!                            Chrome trace-event file (chrome://tracing)
 //!   --max-errors N           stop after N front-end errors (0 = no cap)
 //!   --strict                 fail (exit 3) if any pass incident was contained
 //! ```
@@ -75,6 +79,9 @@ struct Cli {
     procs: u32,
     print_il: bool,
     stats: bool,
+    /// `Some(false)` = text report, `Some(true)` = JSON.
+    opt_report: Option<bool>,
+    trace_json: Option<String>,
     time: bool,
     run: bool,
     strict: bool,
@@ -92,6 +99,7 @@ fn usage() -> ! {
          \x20             [--fortran-aliasing]\n\
          \x20             [--no-inline] [--strip N] [--print-il] [--snapshots]\n\
          \x20             [--verify] [--time] [--max-errors N] [--strict]\n\
+         \x20             [--opt-report[=json]] [--trace-json FILE]\n\
          \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
          \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats] file.c"
     );
@@ -105,6 +113,8 @@ fn parse_args() -> Cli {
         procs: 1,
         print_il: false,
         stats: false,
+        opt_report: None,
+        trace_json: None,
         time: false,
         run: false,
         strict: false,
@@ -143,6 +153,11 @@ fn parse_args() -> Cli {
             "--time" => cli.time = true,
             "--print-il" => cli.print_il = true,
             "--stats" => cli.stats = true,
+            "--opt-report" | "--opt-report=text" => cli.opt_report = Some(false),
+            "--opt-report=json" => cli.opt_report = Some(true),
+            "--trace-json" => {
+                cli.trace_json = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--procs" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.procs = v.parse().unwrap_or_else(|_| usage());
@@ -296,6 +311,21 @@ fn main() -> ExitCode {
             "strength:   {} promoted, {} reduced, {} hoisted",
             r.strength.promoted, r.strength.reduced, r.strength.hoisted
         );
+    }
+    if let Some(json) = cli.opt_report {
+        let report = titanc::OptReport::build(&compiled.reports, &compiled.trace);
+        if json {
+            println!("{}", report.to_json().to_string_compact());
+        } else {
+            print!("{}", report.render());
+        }
+    }
+    if let Some(path) = &cli.trace_json {
+        let trace = titanc::chrome_trace(&compiled.trace).to_string_compact();
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("titanc: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if cli.time {
         for rec in &compiled.trace.records {

@@ -39,13 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod pass;
+pub mod trace;
 
 use std::error::Error;
 use std::fmt;
 
 pub use pass::{
     IncidentKind, Pass, PassContext, PassIncident, PassOutcome, PassRecord, PassTrace, Pipeline,
-    ProcPass, Snapshot,
+    ProcPass, Snapshot, WorkItem,
 };
 pub use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
 pub use titanc_cfront::{Diagnostic, DiagnosticSink, Severity, Span};
@@ -53,6 +54,7 @@ pub use titanc_deps::Aliasing;
 pub use titanc_il::{Catalog, Program};
 pub use titanc_inline::InlineOptions;
 pub use titanc_vector::VectorOptions;
+pub use trace::{chrome_trace, Counters, LoopReport, OptReport};
 
 /// Optimization level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -318,6 +320,18 @@ pub fn compile_with(
     let mut sink = DiagnosticSink::new(options.max_errors);
     let tu = titanc_cfront::parse_recovering(src, &mut sink);
     if sink.has_errors() {
+        // make the cap visible: the reported list is shorter than the
+        // real error count when --max-errors stopped the front end early
+        if sink.suppressed() > 0 {
+            sink.warning(
+                format!(
+                    "{} further error(s) suppressed by --max-errors (total {})",
+                    sink.suppressed(),
+                    sink.error_count()
+                ),
+                Span::none(),
+            );
+        }
         return Err(CompileError::from_diagnostics(sink.into_diagnostics()));
     }
     let mut program = match titanc_lower::lower(&tu) {

@@ -159,7 +159,9 @@ pub struct PassRecord {
     pub name: &'static str,
     /// Wall-clock time the pass took (summed across procedures for
     /// parallel per-procedure groups, so it stays comparable between
-    /// `-j 1` and `-j N`).
+    /// `-j 1` and `-j N`). Skipped (pass × procedure) cells contribute
+    /// exactly zero; faulted cells contribute the time spent before the
+    /// fault was contained.
     pub duration: Duration,
     /// The statistics this pass alone contributed.
     pub delta: Reports,
@@ -168,6 +170,32 @@ pub struct PassRecord {
     /// Analysis-cache counters this pass alone contributed (always zero
     /// for whole-program passes, which do not thread the cache).
     pub cache: CacheStats,
+    /// Procedures that skipped this pass because an earlier pass had
+    /// already degraded them (their cells carry zero duration).
+    pub skipped_procs: usize,
+    /// Procedures on which this pass itself faulted (panic or verifier
+    /// rejection) and was rolled back.
+    pub faulted_procs: usize,
+}
+
+/// One (pass × procedure) execution interval, stamped against the
+/// pipeline's start instant — the raw material of `--trace-json`'s Chrome
+/// trace-event export. Unlike [`PassRecord`]s and [`Reports`], the
+/// timeline is *timing* data: wall-clock offsets and worker-lane
+/// assignments legitimately differ between runs and between `-j` values.
+#[derive(Clone, Debug)]
+pub struct WorkItem {
+    /// The pass that ran.
+    pub pass: &'static str,
+    /// The procedure it ran on (empty for whole-program passes).
+    pub proc: String,
+    /// Worker lane: `0` for the main thread (serial groups and
+    /// whole-program passes), `1..=N` for parallel group workers.
+    pub lane: usize,
+    /// Offset of the execution's start from the pipeline's start.
+    pub start: Duration,
+    /// How long the execution took.
+    pub duration: Duration,
 }
 
 /// Why a pass execution was abandoned and rolled back.
@@ -239,6 +267,12 @@ pub struct PassTrace {
     /// Contained faults, in (pass, procedure) order. Empty on a healthy
     /// compilation.
     pub incidents: Vec<PassIncident>,
+    /// Per-(pass × procedure) execution intervals with worker-lane
+    /// assignments, for the Chrome trace-event export. Merged in
+    /// procedure order, but the *timestamps inside* are genuine
+    /// wall-clock data and vary run to run — tools must not expect this
+    /// to be reproducible the way [`PassTrace::records`] is.
+    pub timeline: Vec<WorkItem>,
 }
 
 impl PassTrace {
@@ -385,6 +419,8 @@ struct ProcResult {
     cells: Vec<PassCell>,
     /// Snapshots taken along the chain: (group pass index, snapshot).
     snaps: Vec<(usize, Snapshot)>,
+    /// Execution intervals for the passes that actually ran.
+    items: Vec<WorkItem>,
     /// The procedure's generation when the chain finished.
     final_gen: u64,
     /// The contained fault, if one happened: (group pass index, record).
@@ -392,22 +428,54 @@ struct ProcResult {
     incident: Option<(usize, PassIncident)>,
 }
 
+/// How one (pass × procedure) cell was accounted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CellStatus {
+    /// The pass ran to completion (changed or not).
+    Ran,
+    /// The pass faulted on this procedure and was rolled back; the cell
+    /// keeps the time spent before containment.
+    Faulted,
+    /// The pass never ran — the procedure was already degraded. Skipped
+    /// cells always carry [`Duration::ZERO`] so per-pass durations stay
+    /// comparable across `-j` values and across healthy/degraded runs.
+    Skipped,
+}
+
 struct PassCell {
     duration: Duration,
     delta: Reports,
     changed: bool,
     cache: CacheStats,
+    status: CellStatus,
 }
 
 impl PassCell {
-    /// The cell recorded for a pass that was skipped (degraded proc) or
-    /// whose work was rolled back.
-    fn skipped(duration: Duration) -> PassCell {
+    /// The cell recorded for a pass that was skipped outright because the
+    /// procedure was already degraded. No work happened, so no time is
+    /// charged — previously the two skip paths disagreed (zero here,
+    /// elapsed time on the fault path), which made `duration` drift
+    /// depending on where in the chain a fault landed.
+    fn skipped() -> PassCell {
+        PassCell {
+            duration: Duration::ZERO,
+            delta: Reports::default(),
+            changed: false,
+            cache: CacheStats::default(),
+            status: CellStatus::Skipped,
+        }
+    }
+
+    /// The cell recorded for the pass execution that faulted (and rolled
+    /// back). The time spent before containment is real work and stays
+    /// charged to the pass.
+    fn faulted(duration: Duration) -> PassCell {
         PassCell {
             duration,
             delta: Reports::default(),
             changed: false,
             cache: CacheStats::default(),
+            status: CellStatus::Faulted,
         }
     }
 }
@@ -436,9 +504,12 @@ fn run_proc_chain(
     want_snaps: bool,
     seen_gen: u64,
     degraded_in: bool,
+    epoch: Instant,
+    lane: usize,
 ) -> ProcResult {
     let mut cells = Vec::with_capacity(group.len());
     let mut snaps = Vec::new();
+    let mut items = Vec::new();
     // the generation already covered by a snapshot + verification
     let mut last_seen = seen_gen;
     let mut incident: Option<(usize, PassIncident)> = None;
@@ -448,18 +519,29 @@ fn run_proc_chain(
     let mut last_good = if degraded { None } else { Some(proc.clone()) };
     for (k, pass) in group.iter().enumerate() {
         if degraded {
-            cells.push(PassCell::skipped(Duration::ZERO));
+            cells.push(PassCell::skipped());
             continue;
         }
         let stats_before = analyses.stats();
         let gen_before = proc.generation();
         let mut delta = Reports::default();
         let start = Instant::now();
+        let start_offset = start.duration_since(epoch);
+        let pname = proc.name.clone();
+        let item = move |duration: Duration| WorkItem {
+            pass: pass.name(),
+            proc: pname.clone(),
+            lane,
+            start: start_offset,
+            duration,
+        };
         let run = contain(|| pass.run_on(proc, cx, analyses, &mut delta));
         let outcome = match run {
             Ok(outcome) => outcome,
             Err(payload) => {
                 let detail = panic_message(payload.as_ref());
+                let elapsed = start.elapsed();
+                items.push(item(elapsed));
                 *proc = last_good
                     .clone()
                     .expect("non-degraded chain has a rollback point");
@@ -474,7 +556,7 @@ fn run_proc_chain(
                     },
                 ));
                 degraded = true;
-                cells.push(PassCell::skipped(start.elapsed()));
+                cells.push(PassCell::faulted(elapsed));
                 continue;
             }
         };
@@ -484,6 +566,7 @@ fn run_proc_chain(
             proc.bump_generation();
         }
         let duration = start.elapsed();
+        items.push(item(duration));
         let cache = analyses.stats().delta_since(&stats_before);
         if proc.generation() != last_seen {
             if verify {
@@ -502,7 +585,7 @@ fn run_proc_chain(
                         },
                     ));
                     degraded = true;
-                    cells.push(PassCell::skipped(duration));
+                    cells.push(PassCell::faulted(duration));
                     continue;
                 }
             }
@@ -524,11 +607,13 @@ fn run_proc_chain(
             delta,
             changed: outcome.changed,
             cache,
+            status: CellStatus::Ran,
         });
     }
     ProcResult {
         cells,
         snaps,
+        items,
         final_gen: proc.generation(),
         incident,
     }
@@ -629,6 +714,8 @@ impl Pipeline {
         let verify = cfg!(debug_assertions) || options.verify;
         let want_snaps = options.snapshots;
         let jobs = options.effective_jobs();
+        // every timeline interval is an offset from this instant
+        let epoch = Instant::now();
         let mut reports = Reports::default();
         let mut trace = PassTrace::default();
         let mut cache = AnalysisCache::with_procs(program.procs.len());
@@ -649,6 +736,7 @@ impl Pipeline {
                         &cx,
                         verify,
                         want_snaps,
+                        epoch,
                         &mut cache,
                         &mut seen_gens,
                         &mut degraded,
@@ -677,6 +765,7 @@ impl Pipeline {
                         verify,
                         want_snaps,
                         jobs,
+                        epoch,
                         &mut cache,
                         &mut seen_gens,
                         &mut degraded,
@@ -726,6 +815,7 @@ fn run_program_stage(
     cx: &PassContext<'_>,
     verify: bool,
     want_snaps: bool,
+    epoch: Instant,
     cache: &mut AnalysisCache,
     seen_gens: &mut Vec<u64>,
     degraded: &mut Vec<bool>,
@@ -737,8 +827,16 @@ fn run_program_stage(
     let backup = program.clone();
     let mut delta = Reports::default();
     let start = Instant::now();
+    let start_offset = start.duration_since(epoch);
     let run = contain(|| pass.run(program, cx, &mut delta));
     let duration = start.elapsed();
+    trace.timeline.push(WorkItem {
+        pass: pass.name(),
+        proc: String::new(),
+        lane: 0,
+        start: start_offset,
+        duration,
+    });
     let outcome = match run {
         Ok(outcome) => outcome,
         Err(payload) => {
@@ -759,6 +857,8 @@ fn run_program_stage(
                 delta: Reports::default(),
                 changed: false,
                 cache: CacheStats::default(),
+                skipped_procs: 0,
+                faulted_procs: 0,
             });
             return;
         }
@@ -797,6 +897,8 @@ fn run_program_stage(
                 delta: Reports::default(),
                 changed: false,
                 cache: CacheStats::default(),
+                skipped_procs: 0,
+                faulted_procs: 0,
             });
             return;
         }
@@ -833,6 +935,8 @@ fn run_program_stage(
         delta,
         changed: outcome.changed,
         cache: CacheStats::default(),
+        skipped_procs: 0,
+        faulted_procs: 0,
     });
 }
 
@@ -847,6 +951,7 @@ fn run_proc_group(
     verify: bool,
     want_snaps: bool,
     jobs: usize,
+    epoch: Instant,
     cache: &mut AnalysisCache,
     seen_gens: &mut Vec<u64>,
     degraded: &mut Vec<bool>,
@@ -893,14 +998,15 @@ fn run_proc_group(
     if workers <= 1 {
         for (seen, skip, proc, slot, out) in tasks {
             *out = Some(run_proc_chain(
-                group, proc, slot, cx, verify, want_snaps, seen, skip,
+                group, proc, slot, cx, verify, want_snaps, seen, skip, epoch, 0,
             ));
         }
     } else {
         let queue = Mutex::new(tasks.into_iter());
         thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
+            for lane in 1..=workers {
+                let queue = &queue;
+                s.spawn(move || loop {
                     // take the lock only to pop; run outside it
                     let task = queue.lock().unwrap().next();
                     match task {
@@ -915,7 +1021,8 @@ fn run_proc_group(
                             // pass cannot poison this scope.
                             let mut local = proc.clone();
                             *out = Some(run_proc_chain(
-                                group, &mut local, slot, cx, verify, want_snaps, seen, skip,
+                                group, &mut local, slot, cx, verify, want_snaps, seen, skip, epoch,
+                                lane,
                             ));
                             *proc = local;
                         }
@@ -937,12 +1044,19 @@ fn run_proc_group(
         let mut duration = Duration::ZERO;
         let mut changed = false;
         let mut cache_stats = CacheStats::default();
+        let mut skipped_procs = 0usize;
+        let mut faulted_procs = 0usize;
         for r in &results {
             let cell = &r.cells[k];
             delta.merge(cell.delta.clone());
             duration += cell.duration;
             changed |= cell.changed;
             cache_stats.merge(&cell.cache);
+            match cell.status {
+                CellStatus::Ran => {}
+                CellStatus::Faulted => faulted_procs += 1,
+                CellStatus::Skipped => skipped_procs += 1,
+            }
         }
         if want_snaps {
             for r in &results {
@@ -960,6 +1074,8 @@ fn run_proc_group(
             delta,
             changed,
             cache: cache_stats,
+            skipped_procs,
+            faulted_procs,
         });
         // incidents surface pass-major, procedure order — the same
         // deterministic merge as everything else, so `-j 1` and `-j N`
@@ -977,6 +1093,11 @@ fn run_proc_group(
         if r.incident.is_some() {
             degraded[idx] = true;
         }
+    }
+    // the timeline is appended in procedure order too; the timestamps
+    // inside are wall-clock data and carry the real worker interleaving
+    for r in &results {
+        trace.timeline.extend(r.items.iter().cloned());
     }
 }
 

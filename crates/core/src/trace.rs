@@ -1,0 +1,489 @@
+//! Compiler-wide observability: named counters, the per-source-loop
+//! optimization report, and the Chrome trace-event export.
+//!
+//! The paper sells the compiler by *what happened to each loop* — EXP5's
+//! coverage table, §9's walkthrough of one loop through every phase. This
+//! module rebuilds those artifacts from the decision events the optimizing
+//! crates attach to their reports ([`titanc_il::LoopEvent`],
+//! [`titanc_il::InlineEvent`]):
+//!
+//! * [`Counters`] — a flat, sorted name → value map of the compilation
+//!   (loops vectorized, call sites expanded, cache hits…), merged into the
+//!   benchmark harness so vectorization *rates* are tracked like timings;
+//! * [`OptReport`] — the `--opt-report` surface: every source loop with
+//!   its final classification and the decision history that led there.
+//!   Events ride per-pass report deltas, which the pass manager merges
+//!   pass-major in procedure order, so the report is **byte-identical
+//!   between `-j 1` and `-j N`**;
+//! * [`chrome_trace`] — the `--trace-json` surface: [`PassTrace`] records
+//!   and the per-(pass × procedure) timeline with worker-lane assignments
+//!   in Chrome trace-event format (load it at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>). Unlike the opt report, the timeline is
+//!   real timing data and varies run to run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use titanc_il::{InlineEvent, Json, LoopDecision, LoopEvent, SrcSpan};
+
+use crate::pass::PassTrace;
+use crate::Reports;
+
+/// Named compilation counters, sorted by name.
+///
+/// The names are stable — the bench harness records them in
+/// `BENCH_compile.json` and guards the vectorization rate, so renaming a
+/// counter is a breaking change to the performance baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Counter name → value, sorted by name.
+    pub values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Builds the counter set from one compilation's aggregate reports
+    /// and pass trace.
+    pub fn from_run(reports: &Reports, trace: &PassTrace) -> Counters {
+        let mut c = Counters::default();
+        let mut set = |k: &str, v: usize| {
+            c.values.insert(k.to_string(), v as u64);
+        };
+        set("loops.do_converted", reports.whiledo.converted);
+        set("loops.do_rejected", reports.whiledo.rejects.len());
+        set("loops.iv_substituted", reports.ivsub.substituted);
+        set("loops.vectorized", reports.vector.vectorized);
+        set("loops.parallelized", reports.vector.spread);
+        set("loops.scalar", reports.vector.scalar);
+        set("loops.list_spread", reports.spread.spread);
+        set("inline.expanded", reports.inline.inlined);
+        set("inline.skipped_recursive", reports.inline.skipped_recursive);
+        set("inline.skipped_size", reports.inline.skipped_size);
+        set("inline.skipped_growth", reports.inline.skipped_growth);
+        let cache = trace.cache_totals();
+        set("cache.hits", cache.hits());
+        set("cache.builds", cache.builds());
+        set("cache.invalidations", cache.invalidations);
+        set("cache.repairs", cache.repairs);
+        set(
+            "pipeline.cells_skipped",
+            trace.records.iter().map(|r| r.skipped_procs).sum(),
+        );
+        set(
+            "pipeline.cells_faulted",
+            trace.records.iter().map(|r| r.faulted_procs).sum(),
+        );
+        set("pipeline.incidents", trace.incidents.len());
+        c
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// The counters as a JSON object, keys sorted.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.values
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "  {k:<26} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One source loop's aggregated story: the decision events every pass
+/// recorded at the same (procedure, span), and the classification they
+/// add up to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopReport {
+    /// The procedure holding the loop (after inlining, the caller the
+    /// loop was expanded into).
+    pub proc: String,
+    /// The loop's controlling variable, when any pass identified one.
+    pub var: String,
+    /// Source position of the loop head.
+    pub span: SrcSpan,
+    /// Final classification: `"vectorized"`, `"parallelized"`,
+    /// `"spread"`, or `"scalar"`.
+    pub classification: &'static str,
+    /// For scalar loops, the defeating dependence or construct.
+    pub reason: Option<String>,
+    /// The full decision history, in pass order.
+    pub events: Vec<LoopEvent>,
+}
+
+/// The `--opt-report` artifact: every loop accounted for, plus inlining
+/// decisions and the compilation counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptReport {
+    /// One entry per (procedure, source span) that any pass made a loop
+    /// decision about, in first-decision order.
+    pub loops: Vec<LoopReport>,
+    /// Call-site decisions, deduplicated (the inliner revisits skipped
+    /// sites every round).
+    pub inline: Vec<InlineEvent>,
+    /// The compilation counters.
+    pub counters: Counters,
+}
+
+impl OptReport {
+    /// Correlates the decision events of one compilation into the
+    /// per-loop report. Deterministic: events arrive in the pass
+    /// manager's pass-major, procedure-order merge, and grouping
+    /// preserves first-seen order.
+    pub fn build(reports: &Reports, trace: &PassTrace) -> OptReport {
+        let mut loops: Vec<LoopReport> = Vec::new();
+        // (proc, span) -> index in `loops`; linear scan keeps first-seen
+        // order without hashing a float-free key type
+        let find = |loops: &[LoopReport], e: &LoopEvent| {
+            loops
+                .iter()
+                .position(|l| l.proc == e.proc && l.span == e.span)
+        };
+        let all_events = reports
+            .whiledo
+            .events
+            .iter()
+            .chain(&reports.ivsub.events)
+            .chain(&reports.spread.events)
+            .chain(&reports.vector.events);
+        for e in all_events {
+            match find(&loops, e) {
+                Some(i) => {
+                    if loops[i].var.is_empty() && !e.var.is_empty() {
+                        loops[i].var = e.var.clone();
+                    }
+                    if !loops[i].events.contains(e) {
+                        loops[i].events.push(e.clone());
+                    }
+                }
+                None => loops.push(LoopReport {
+                    proc: e.proc.clone(),
+                    var: e.var.clone(),
+                    span: e.span,
+                    classification: "scalar",
+                    reason: None,
+                    events: vec![e.clone()],
+                }),
+            }
+        }
+        for l in &mut loops {
+            let (class, reason) = classify(&l.events);
+            l.classification = class;
+            l.reason = reason;
+        }
+        let mut inline: Vec<InlineEvent> = Vec::new();
+        for e in &reports.inline.events {
+            if !inline.contains(e) {
+                inline.push(e.clone());
+            }
+        }
+        OptReport {
+            loops,
+            inline,
+            counters: Counters::from_run(reports, trace),
+        }
+    }
+
+    /// Renders the report as text, grouped by procedure in
+    /// first-decision order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("== optimization report ==\n");
+        if self.loops.is_empty() {
+            out.push_str("no loops\n");
+        }
+        let mut seen_procs: Vec<&str> = Vec::new();
+        for l in &self.loops {
+            if !seen_procs.contains(&l.proc.as_str()) {
+                seen_procs.push(&l.proc);
+            }
+        }
+        for proc in seen_procs {
+            let _ = writeln!(out, "{proc}:");
+            for l in self.loops.iter().filter(|l| l.proc == proc) {
+                let head = if l.var.is_empty() {
+                    format!("loop at {}", l.span)
+                } else {
+                    format!("loop on `{}` at {}", l.var, l.span)
+                };
+                match &l.reason {
+                    Some(r) => {
+                        let _ = writeln!(out, "  {head}: {} — {r}", l.classification);
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {head}: {}", l.classification);
+                    }
+                }
+                for e in &l.events {
+                    let _ = writeln!(out, "      - {}", e.decision);
+                }
+            }
+        }
+        if !self.inline.is_empty() {
+            out.push_str("inline decisions:\n");
+            for e in &self.inline {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+        out.push_str("counters:\n");
+        let _ = write!(out, "{}", self.counters);
+        out
+    }
+
+    /// The report as JSON (the `--opt-report=json` surface).
+    pub fn to_json(&self) -> Json {
+        let loops = self
+            .loops
+            .iter()
+            .map(|l| {
+                let mut fields = vec![
+                    ("proc", Json::Str(l.proc.clone())),
+                    ("var", Json::Str(l.var.clone())),
+                    ("line", Json::Int(i64::from(l.span.line))),
+                    ("col", Json::Int(i64::from(l.span.col))),
+                    ("classification", Json::Str(l.classification.to_string())),
+                ];
+                if let Some(r) = &l.reason {
+                    fields.push(("reason", Json::Str(r.clone())));
+                }
+                fields.push((
+                    "events",
+                    Json::Arr(
+                        l.events
+                            .iter()
+                            .map(|e| {
+                                Json::obj(vec![
+                                    ("tag", Json::Str(e.decision.tag().to_string())),
+                                    ("detail", Json::Str(e.decision.to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                Json::obj(fields)
+            })
+            .collect();
+        let inline = self
+            .inline
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("caller", Json::Str(e.caller.clone())),
+                    ("callee", Json::Str(e.callee.clone())),
+                    ("line", Json::Int(i64::from(e.span.line))),
+                    ("col", Json::Int(i64::from(e.span.col))),
+                    ("outcome", Json::Str(e.outcome.tag().to_string())),
+                    ("detail", Json::Str(e.outcome.to_string())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("loops", Json::Arr(loops)),
+            ("inline", Json::Arr(inline)),
+            ("counters", self.counters.to_json()),
+        ])
+    }
+}
+
+/// Reduces a loop's event history to its final classification. The
+/// strongest outcome wins: vectorized, then list-spread, then
+/// parallelized; otherwise the loop is scalar and the first defeating
+/// reason (a vectorizer defeat or a DO-conversion rejection) is kept.
+fn classify(events: &[LoopEvent]) -> (&'static str, Option<String>) {
+    let mut scalar_reason: Option<String> = None;
+    let mut rejected_reason: Option<String> = None;
+    for e in events {
+        match &e.decision {
+            LoopDecision::Vectorized { .. } => return ("vectorized", None),
+            LoopDecision::ListSpread => return ("spread", None),
+            _ => {}
+        }
+    }
+    for e in events {
+        match &e.decision {
+            LoopDecision::Parallelized => return ("parallelized", None),
+            LoopDecision::Scalar(why) if scalar_reason.is_none() => {
+                scalar_reason = Some(why.clone());
+            }
+            LoopDecision::DoRejected(why) if rejected_reason.is_none() => {
+                rejected_reason = Some(why.clone());
+            }
+            _ => {}
+        }
+    }
+    ("scalar", scalar_reason.or(rejected_reason))
+}
+
+/// Exports the pass trace in Chrome trace-event format: one complete
+/// (`"ph": "X"`) event per (pass × procedure) execution, with worker
+/// lanes as thread ids, plus thread-name metadata. Load the file at
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(trace: &PassTrace) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let mut lanes: Vec<usize> = trace.timeline.iter().map(|w| w.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in lanes {
+        let name = if lane == 0 {
+            "main".to_string()
+        } else {
+            format!("worker-{lane}")
+        };
+        events.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::Int(0)),
+            ("tid", Json::Int(lane as i64)),
+            ("args", Json::obj(vec![("name", Json::Str(name))])),
+        ]));
+    }
+    for w in &trace.timeline {
+        events.push(Json::obj(vec![
+            ("name", Json::Str(w.pass.to_string())),
+            ("cat", Json::Str("pass".to_string())),
+            ("ph", Json::Str("X".to_string())),
+            ("ts", Json::Int(w.start.as_micros() as i64)),
+            ("dur", Json::Int(w.duration.as_micros() as i64)),
+            ("pid", Json::Int(0)),
+            ("tid", Json::Int(w.lane as i64)),
+            ("args", Json::obj(vec![("proc", Json::Str(w.proc.clone()))])),
+        ]));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titanc_il::LoopDecision;
+
+    fn ev(proc: &str, var: &str, line: u32, decision: LoopDecision) -> LoopEvent {
+        LoopEvent {
+            proc: proc.to_string(),
+            var: var.to_string(),
+            span: SrcSpan::new(line, 1),
+            decision,
+        }
+    }
+
+    #[test]
+    fn classification_precedence() {
+        let events = vec![
+            ev("f", "i", 3, LoopDecision::DoConverted),
+            ev("f", "i", 3, LoopDecision::IvSubstituted { substituted: 1 }),
+            ev(
+                "f",
+                "i",
+                3,
+                LoopDecision::Vectorized {
+                    stripped: true,
+                    parallel: false,
+                    residual: true,
+                },
+            ),
+            ev("f", "i", 3, LoopDecision::Scalar("residual".into())),
+        ];
+        let (class, reason) = classify(&events);
+        assert_eq!(class, "vectorized");
+        assert!(reason.is_none());
+    }
+
+    #[test]
+    fn scalar_keeps_the_defeat() {
+        let events = vec![
+            ev(
+                "f",
+                "",
+                9,
+                LoopDecision::DoRejected("volatile condition".into()),
+            ),
+            ev(
+                "f",
+                "",
+                9,
+                LoopDecision::Scalar("`while` loop was not converted to DO form".into()),
+            ),
+        ];
+        let (class, reason) = classify(&events);
+        assert_eq!(class, "scalar");
+        // the sweep's generic note loses to nothing, but the first
+        // Scalar payload wins over the rejection detail
+        assert_eq!(
+            reason.as_deref(),
+            Some("`while` loop was not converted to DO form")
+        );
+    }
+
+    #[test]
+    fn opt_report_groups_by_proc_and_span() {
+        let mut reports = Reports::default();
+        reports
+            .whiledo
+            .events
+            .push(ev("f", "i", 3, LoopDecision::DoConverted));
+        reports.vector.events.push(ev(
+            "f",
+            "dummy_3",
+            3,
+            LoopDecision::Vectorized {
+                stripped: false,
+                parallel: false,
+                residual: false,
+            },
+        ));
+        reports.vector.events.push(ev(
+            "f",
+            "j",
+            7,
+            LoopDecision::Scalar("dependence cycle".into()),
+        ));
+        let trace = PassTrace::default();
+        let report = OptReport::build(&reports, &trace);
+        assert_eq!(report.loops.len(), 2);
+        assert_eq!(report.loops[0].classification, "vectorized");
+        assert_eq!(report.loops[0].var, "i");
+        assert_eq!(report.loops[0].events.len(), 2);
+        assert_eq!(report.loops[1].classification, "scalar");
+        assert_eq!(report.loops[1].reason.as_deref(), Some("dependence cycle"));
+        let text = report.render();
+        assert!(text.contains("loop on `i` at 3:1: vectorized"), "{text}");
+        let json = report.to_json().to_string_compact();
+        titanc_il::json::parse(&json).expect("opt report json parses");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let mut trace = PassTrace::default();
+        trace.timeline.push(crate::pass::WorkItem {
+            pass: "vectorize",
+            proc: "main".to_string(),
+            lane: 2,
+            start: std::time::Duration::from_micros(15),
+            duration: std::time::Duration::from_micros(120),
+        });
+        let json = chrome_trace(&trace).to_string_compact();
+        let parsed = titanc_il::json::parse(&json).expect("chrome trace parses");
+        let evs = parsed.field("traceEvents").unwrap().as_arr().unwrap();
+        // one thread_name metadata record + one complete event
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(evs[1].field("ts").unwrap().as_i64().unwrap(), 15);
+        assert_eq!(evs[1].field("dur").unwrap().as_i64().unwrap(), 120);
+        assert_eq!(evs[1].field("tid").unwrap().as_i64().unwrap(), 2);
+    }
+}

@@ -9,6 +9,7 @@ use crate::expr::{BinOp, Expr, LValue, UnOp};
 use crate::ids::{LabelId, ProcId, StmtId, StructId, VarId};
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::program::{ConstInit, Field, Procedure, Storage, StructDef, VarInfo};
+use crate::span::SrcSpan;
 use crate::stmt::{Stmt, StmtKind};
 use crate::types::{ScalarType, Type};
 
@@ -282,18 +283,39 @@ impl FromJson for LValue {
 
 impl ToJson for Stmt {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("id", self.id.to_json()),
-            ("kind", self.kind.to_json()),
-        ])
+        let mut pairs = vec![("id", self.id.to_json()), ("kind", self.kind.to_json())];
+        if self.span.is_known() {
+            // spans are emitted only when present so catalogs of
+            // synthesized procedures stay compact (and older catalogs,
+            // which predate spans, decode unchanged)
+            pairs.push((
+                "span",
+                Json::Arr(vec![
+                    Json::Int(i64::from(self.span.line)),
+                    Json::Int(i64::from(self.span.col)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 
 impl FromJson for Stmt {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let span = match v.get("span") {
+            Some(s) => {
+                let arr = s.as_arr()?;
+                if arr.len() != 2 {
+                    return Err(bad("span", "expected [line, col]"));
+                }
+                SrcSpan::new(u32::from_json(&arr[0])?, u32::from_json(&arr[1])?)
+            }
+            None => SrcSpan::NONE,
+        };
         Ok(Stmt {
             id: StmtId::from_json(v.field("id")?)?,
             kind: StmtKind::from_json(v.field("kind")?)?,
+            span,
         })
     }
 }

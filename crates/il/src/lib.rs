@@ -57,7 +57,9 @@ pub mod ids;
 pub mod json;
 pub mod pretty;
 pub mod program;
+pub mod span;
 pub mod stmt;
+pub mod trace;
 pub mod types;
 pub mod verify;
 pub mod visit;
@@ -70,6 +72,8 @@ pub use ids::{LabelId, ProcId, StmtId, StructId, VarId};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pretty::{pretty_block, pretty_expr, pretty_proc};
 pub use program::{ConstInit, Field, Procedure, Program, Storage, StructDef, VarInfo};
+pub use span::SrcSpan;
 pub use stmt::{block_len, Stmt, StmtKind};
+pub use trace::{InlineEvent, InlineOutcome, LoopDecision, LoopEvent};
 pub use types::{ScalarType, Type};
 pub use verify::{verify_proc, verify_program, VerifyError};

@@ -223,6 +223,12 @@ impl Procedure {
         Stmt::new(self.fresh_stmt_id(), kind)
     }
 
+    /// Builds a statement with a fresh stamp anchored to a source
+    /// position (passes replacing a statement carry its span over).
+    pub fn stamp_at(&mut self, kind: StmtKind, span: crate::span::SrcSpan) -> Stmt {
+        Stmt::new_at(self.fresh_stmt_id(), kind, span)
+    }
+
     /// Finds a variable by name (first match).
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
         self.vars

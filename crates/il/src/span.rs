@@ -1,0 +1,71 @@
+//! Source positions carried on IL statements.
+//!
+//! The front end anchors diagnostics to line/column positions; the
+//! observability layer needs the same anchors on the IL so per-loop
+//! optimization decisions (while→DO conversion, vectorization,
+//! spreading, inlining) can be reported *over the source* rather than
+//! over pretty-printed IL. [`SrcSpan`] is the IL-side mirror of the
+//! front end's span type — a plain (line, column) pair, 1-based, with
+//! `(0, 0)` meaning "no position" (compiler-synthesized statements).
+
+use std::fmt;
+
+/// A 1-based line/column source position attached to an IL statement.
+/// `(0, 0)` means "unknown" — the statement was synthesized by the
+/// compiler rather than lowered from source text.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SrcSpan {
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// 1-based source column (0 = unknown).
+    pub col: u32,
+}
+
+impl SrcSpan {
+    /// The "no position" span of compiler-synthesized statements.
+    pub const NONE: SrcSpan = SrcSpan { line: 0, col: 0 };
+
+    /// Builds a span from a 1-based line/column pair.
+    pub fn new(line: u32, col: u32) -> SrcSpan {
+        SrcSpan { line, col }
+    }
+
+    /// True when the span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0 || self.col != 0
+    }
+}
+
+impl fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            f.write_str("?:?")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unknown() {
+        assert!(!SrcSpan::NONE.is_known());
+        assert!(SrcSpan::new(1, 1).is_known());
+        assert!(SrcSpan::new(3, 0).is_known());
+    }
+
+    #[test]
+    fn displays_position() {
+        assert_eq!(SrcSpan::new(4, 9).to_string(), "4:9");
+        assert_eq!(SrcSpan::NONE.to_string(), "?:?");
+    }
+
+    #[test]
+    fn orders_by_line_then_col() {
+        assert!(SrcSpan::new(2, 9) < SrcSpan::new(3, 1));
+        assert!(SrcSpan::new(3, 1) < SrcSpan::new(3, 2));
+    }
+}

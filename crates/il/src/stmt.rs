@@ -8,6 +8,7 @@
 
 use crate::expr::{Expr, LValue};
 use crate::ids::{LabelId, StmtId, VarId};
+use crate::span::SrcSpan;
 
 /// A statement with a stable per-procedure identity stamp.
 ///
@@ -21,6 +22,13 @@ pub struct Stmt {
     pub id: StmtId,
     /// What the statement does.
     pub kind: StmtKind,
+    /// Source position this statement was lowered from
+    /// ([`SrcSpan::NONE`] for compiler-synthesized statements). Passes
+    /// that rewrite a statement in place, or replace one with an
+    /// equivalent form (while→DO, DO→`do parallel`, vector statements),
+    /// carry the span over so optimization reports stay anchored to the
+    /// source.
+    pub span: SrcSpan,
 }
 
 /// The payload of a [`Stmt`].
@@ -130,9 +138,24 @@ pub enum StmtKind {
 }
 
 impl Stmt {
-    /// Builds a statement from a stamp and kind.
+    /// Builds a statement from a stamp and kind, with no source position.
     pub fn new(id: StmtId, kind: StmtKind) -> Stmt {
-        Stmt { id, kind }
+        Stmt {
+            id,
+            kind,
+            span: SrcSpan::NONE,
+        }
+    }
+
+    /// Builds a statement anchored to a source position.
+    pub fn new_at(id: StmtId, kind: StmtKind, span: SrcSpan) -> Stmt {
+        Stmt { id, kind, span }
+    }
+
+    /// Returns the statement re-anchored to `span` (builder style).
+    pub fn at(mut self, span: SrcSpan) -> Stmt {
+        self.span = span;
+        self
     }
 
     /// The nested statement blocks, in source order.

@@ -51,7 +51,8 @@
 use std::collections::HashMap;
 use titanc_analysis::CallGraph;
 use titanc_il::{
-    Catalog, Expr, LValue, LabelId, Procedure, Program, Stmt, StmtKind, Storage, VarId, VarInfo,
+    Catalog, Expr, InlineEvent, InlineOutcome, LValue, LabelId, Procedure, Program, SrcSpan, Stmt,
+    StmtKind, Storage, VarId, VarInfo,
 };
 
 /// Inlining policy.
@@ -94,6 +95,10 @@ pub struct InlineReport {
     pub skipped_growth: usize,
     /// `static` variables externalized.
     pub statics_externalized: usize,
+    /// Per-call-site decisions (expanded / skipped with budget state),
+    /// anchored to the call's source span. A site the round loop revisits
+    /// appears once per visit; consumers dedupe by (caller, callee, span).
+    pub events: Vec<InlineEvent>,
 }
 
 impl InlineReport {
@@ -105,6 +110,7 @@ impl InlineReport {
         self.skipped_size += other.skipped_size;
         self.skipped_growth += other.skipped_growth;
         self.statics_externalized += other.statics_externalized;
+        self.events.extend(other.events);
     }
 }
 
@@ -162,19 +168,40 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                             continue;
                         }
                     };
+                    let site_span = prog.procs[ci]
+                        .find_stmt(site)
+                        .map(|s| s.span)
+                        .unwrap_or(SrcSpan::NONE);
+                    let event = |outcome: InlineOutcome| InlineEvent {
+                        caller: caller_name.clone(),
+                        callee: callee_name.clone(),
+                        span: site_span,
+                        outcome,
+                    };
                     let inlinable =
                         if callee_name == caller_name || cg.is_recursive(prog, &callee_name) {
                             report.skipped_recursive += 1;
+                            report.events.push(event(InlineOutcome::SkippedRecursive));
                             false
                         } else {
                             match prog.proc_by_name(&callee_name) {
                                 None => false, // intrinsic / external
                                 Some(c) if c.len() > opts.max_callee_size => {
+                                    let e = event(InlineOutcome::SkippedSize {
+                                        callee_len: c.len(),
+                                        cap: opts.max_callee_size,
+                                    });
                                     report.skipped_size += 1;
+                                    report.events.push(e);
                                     false
                                 }
                                 Some(c) if total.saturating_add(c.len()) > growth_limit => {
+                                    let e = event(InlineOutcome::SkippedGrowth {
+                                        program_len: total,
+                                        budget: growth_limit,
+                                    });
                                     report.skipped_growth += 1;
+                                    report.events.push(e);
                                     false
                                 }
                                 Some(_) => true,
@@ -190,6 +217,7 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                         caller.restamp();
                         prog.procs[ci] = caller;
                         report.inlined += 1;
+                        report.events.push(event(InlineOutcome::Expanded));
                         any = true;
                         expanded = true;
                         budget -= 1;

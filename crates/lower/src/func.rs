@@ -12,9 +12,14 @@ use std::collections::HashMap;
 use titanc_cfront::ast::{self, CBinOp, CType, CUnOp, ExprKind, QualType};
 use titanc_cfront::Span;
 use titanc_il::{
-    BinOp, Expr, LValue, LabelId, Procedure, ScalarType, Stmt, StmtKind, Storage, Type, UnOp,
-    VarId, VarInfo,
+    BinOp, Expr, LValue, LabelId, Procedure, ScalarType, SrcSpan, Stmt, StmtKind, Storage, Type,
+    UnOp, VarId, VarInfo,
 };
+
+/// Maps a front-end span onto the IL's source-position type.
+fn src_span(s: Span) -> SrcSpan {
+    SrcSpan::new(s.line, s.col)
+}
 
 /// Lowers one function definition to an IL procedure.
 pub fn lower_function(env: &Env, f: &ast::FuncDef) -> Result<Procedure, LowerError> {
@@ -131,6 +136,14 @@ impl<'e> FuncLowerer<'e> {
         out.push(s);
     }
 
+    /// Emits a statement anchored to its source position. Loops, calls
+    /// and branches are anchored so the optimizer's per-loop decision
+    /// events can be reported over the source.
+    fn emit_at(&mut self, out: &mut Vec<Stmt>, kind: StmtKind, span: Span) {
+        let s = self.proc.stamp_at(kind, src_span(span));
+        out.push(s);
+    }
+
     fn temp(&mut self, kind: ScalarType) -> VarId {
         let ty = match kind {
             ScalarType::Char => Type::Char,
@@ -233,13 +246,14 @@ impl<'e> FuncLowerer<'e> {
                 if let Some(es) = else_s {
                     self.stmt(es, &mut else_blk)?;
                 }
-                self.emit(
+                self.emit_at(
                     out,
                     StmtKind::If {
                         cond: ce,
                         then_blk,
                         else_blk,
                     },
+                    cond.span,
                 );
             }
             ast::Stmt::While { cond, body } => {
@@ -254,7 +268,15 @@ impl<'e> FuncLowerer<'e> {
                 if let Some(i) = init {
                     self.expr_discard(i, out)?;
                 }
-                let one = ast::Expr::new(ExprKind::IntLit(1), Span::default());
+                // `for (;;)` has no condition to anchor the loop to; fall
+                // back to the init or step expression's position
+                let head_span = cond
+                    .as_ref()
+                    .map(|c| c.span)
+                    .or_else(|| init.as_ref().map(|i| i.span))
+                    .or_else(|| step.as_ref().map(|s| s.span))
+                    .unwrap_or_default();
+                let one = ast::Expr::new(ExprKind::IntLit(1), head_span);
                 let cond_e = cond.as_ref().unwrap_or(&one);
                 self.lower_while(cond_e, step.as_ref(), body, was_safe, out)?;
             }
@@ -387,13 +409,14 @@ impl<'e> FuncLowerer<'e> {
             s.id = self.proc.fresh_stmt_id();
             s
         }));
-        self.emit(
+        self.emit_at(
             out,
             StmtKind::While {
                 cond: ce,
                 body: blk,
                 safe,
             },
+            cond.span,
         );
         if ctx.break_used {
             self.emit(out, StmtKind::Label(break_l));
@@ -888,26 +911,28 @@ impl<'e> FuncLowerer<'e> {
                     let kind = scalar_kind(&ret_q)
                         .ok_or_else(|| self.err("using a void return value", span))?;
                     let tmp = self.temp(kind);
-                    self.emit(
+                    self.emit_at(
                         out,
                         StmtKind::Call {
                             dst: Some(LValue::Var(tmp)),
                             callee: name.clone(),
                             args: arg_exprs,
                         },
+                        span,
                     );
                     Ok(Some(TV {
                         e: Expr::var(tmp),
                         ty: ret_q,
                     }))
                 } else {
-                    self.emit(
+                    self.emit_at(
                         out,
                         StmtKind::Call {
                             dst: None,
                             callee: name.clone(),
                             args: arg_exprs,
                         },
+                        span,
                     );
                     Ok(None)
                 }

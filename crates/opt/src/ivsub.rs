@@ -38,6 +38,9 @@ pub struct IvSubReport {
     /// Some loop's re-scan was cut off by [`MAX_PASSES`] while still
     /// finding substitutions.
     pub budget_exhausted: bool,
+    /// Per-loop substitution events (loops where at least one auxiliary
+    /// induction variable was removed), with source spans.
+    pub events: Vec<titanc_il::LoopEvent>,
 }
 
 impl IvSubReport {
@@ -48,6 +51,7 @@ impl IvSubReport {
         self.passes += other.passes;
         self.backtracks += other.backtracks;
         self.budget_exhausted |= other.budget_exhausted;
+        self.events.extend(other.events);
     }
 }
 
@@ -100,11 +104,13 @@ fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: 
     // blocking/backtracking is realized by the re-scan, and `backtracks`
     // counts successes after the first pass.
     let mut pass = 0usize;
+    let mut loop_subs = 0usize;
     loop {
         pass += 1;
         report.passes += 1;
         let subs = one_pass(proc, loop_id);
         report.substituted += subs;
+        loop_subs += subs;
         if pass > 1 {
             report.backtracks += subs;
         }
@@ -115,6 +121,24 @@ fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: 
         if pass >= MAX_PASSES {
             report.budget_exhausted = true;
             break;
+        }
+    }
+    if loop_subs > 0 {
+        if let Some(s) = proc.find_stmt(loop_id) {
+            let var = match &s.kind {
+                StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => {
+                    proc.var(*var).name.clone()
+                }
+                _ => String::new(),
+            };
+            report.events.push(titanc_il::LoopEvent {
+                proc: proc.name.clone(),
+                var,
+                span: s.span,
+                decision: titanc_il::LoopDecision::IvSubstituted {
+                    substituted: loop_subs,
+                },
+            });
         }
     }
 }

@@ -18,7 +18,10 @@
 
 use crate::util::{defined_in, invariant_in, register_candidate, resolve_copy};
 use titanc_analysis::{loops, Cfg, ProcAnalyses};
-use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId};
+use titanc_il::{
+    BinOp, Expr, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, Stmt, StmtId, StmtKind,
+    Type, VarId,
+};
 
 /// Why a `while` loop was not converted (the EXP5 coverage table).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,6 +51,31 @@ pub enum Reject {
     Direction,
 }
 
+impl Reject {
+    /// A short human-readable reason, used by loop-level opt reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Reject::BranchInto => "branch into loop body",
+            Reject::BranchOut => "branch out of loop body",
+            Reject::HasReturn => "return inside loop body",
+            Reject::VolatileCond => "volatile condition",
+            Reject::CondForm => "unrecognized iteration test",
+            Reject::NotCandidate => "tested variable not a register candidate",
+            Reject::NoStep => "no once-per-iteration step",
+            Reject::MultipleSteps => "variable stepped more than once",
+            Reject::VaryingBound => "bound varies inside loop",
+            Reject::VaryingStep => "step varies inside loop",
+            Reject::Direction => "step direction cannot reach bound",
+        }
+    }
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
 /// Conversion statistics for one procedure.
 #[derive(Clone, Debug, Default)]
 pub struct WhileDoReport {
@@ -55,6 +83,8 @@ pub struct WhileDoReport {
     pub converted: usize,
     /// Rejected loops with reasons.
     pub rejects: Vec<(StmtId, Reject)>,
+    /// Per-loop decision events (converted / rejected) with source spans.
+    pub events: Vec<LoopEvent>,
 }
 
 impl WhileDoReport {
@@ -63,6 +93,7 @@ impl WhileDoReport {
     pub fn merge(&mut self, other: WhileDoReport) {
         self.converted += other.converted;
         self.rejects.extend(other.rejects);
+        self.events.extend(other.events);
     }
 }
 
@@ -111,11 +142,25 @@ pub fn convert_while_loops_cached(
         }
         match analyze(proc, &cfg, &w) {
             Ok(plan) => {
-                apply(proc, w.id, plan);
+                report.events.push(LoopEvent {
+                    proc: proc.name.clone(),
+                    var: proc.var(plan.iv).name.clone(),
+                    span: w.span,
+                    decision: LoopDecision::DoConverted,
+                });
+                apply(proc, w.id, w.span, plan);
                 proc.bump_generation();
                 report.converted += 1;
             }
-            Err(r) => report.rejects.push((w.id, r)),
+            Err(r) => {
+                report.events.push(LoopEvent {
+                    proc: proc.name.clone(),
+                    var: String::new(),
+                    span: w.span,
+                    decision: LoopDecision::DoRejected(r.describe().to_string()),
+                });
+                report.rejects.push((w.id, r));
+            }
         }
     }
     report
@@ -328,26 +373,32 @@ fn find_step(proc: &Procedure, body: &[Stmt], iv: VarId) -> Result<StepInfo, Rej
 
 /// Replaces the while statement with `t_lo = iv; t_hi = bound±adj;
 /// DO dummy = t_lo, t_hi, step { body }`.
-fn apply(proc: &mut Procedure, while_id: StmtId, plan: Plan) {
+fn apply(proc: &mut Procedure, while_id: StmtId, span: titanc_il::SrcSpan, plan: Plan) {
     let dummy = proc.fresh_temp(Type::Int);
     proc.var_mut(dummy).name = format!("dummy_{}", dummy.index());
     let t_lo = proc.fresh_temp(Type::Int);
     let t_hi = proc.fresh_temp(Type::Int);
 
     let iv_kind = proc.var_scalar(plan.iv);
-    let lo_assign = proc.stamp(StmtKind::Assign {
-        lhs: LValue::Var(t_lo),
-        rhs: Expr::cast(ScalarType::Int, iv_kind, Expr::var(plan.iv)),
-    });
+    let lo_assign = proc.stamp_at(
+        StmtKind::Assign {
+            lhs: LValue::Var(t_lo),
+            rhs: Expr::cast(ScalarType::Int, iv_kind, Expr::var(plan.iv)),
+        },
+        span,
+    );
     let mut hi_rhs = plan.bound.clone();
     if plan.hi_adjust != 0 {
         hi_rhs = Expr::ibinary(BinOp::Add, hi_rhs, Expr::int(plan.hi_adjust));
     }
     titanc_il::fold::fold_expr(&mut hi_rhs);
-    let hi_assign = proc.stamp(StmtKind::Assign {
-        lhs: LValue::Var(t_hi),
-        rhs: hi_rhs,
-    });
+    let hi_assign = proc.stamp_at(
+        StmtKind::Assign {
+            lhs: LValue::Var(t_hi),
+            rhs: hi_rhs,
+        },
+        span,
+    );
     let do_id = proc.fresh_stmt_id();
 
     // splice: find the while statement and replace it in its block
@@ -383,7 +434,7 @@ fn apply(proc: &mut Procedure, while_id: StmtId, plan: Plan) {
         vec![
             lo_assign.clone(),
             hi_assign.clone(),
-            Stmt::new(
+            Stmt::new_at(
                 do_id,
                 StmtKind::DoLoop {
                     var: dummy,
@@ -393,6 +444,7 @@ fn apply(proc: &mut Procedure, while_id: StmtId, plan: Plan) {
                     body,
                     safe: safe || safe_flag,
                 },
+                span,
             ),
         ]
     };

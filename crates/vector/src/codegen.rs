@@ -18,7 +18,10 @@
 //! spreading, §2 item 2).
 
 use titanc_deps::{const_trip_count, decompose, Aliasing, DepGraph, DepKind, Verdict};
-use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type, VarId};
+use titanc_il::{
+    BinOp, Expr, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, SrcSpan, Stmt, StmtId,
+    StmtKind, Type, VarId,
+};
 use titanc_opt::util::defined_in;
 
 /// Vectorizer configuration.
@@ -58,6 +61,12 @@ pub struct VectorReport {
     /// One human-readable note per scalar loop, naming the defeating
     /// dependence or construct (surfaced as compiler remarks).
     pub notes: Vec<String>,
+    /// Per-loop decision events with source spans, covering every loop of
+    /// the procedure: visited innermost loops (vectorized / spread /
+    /// scalar-with-reason) plus the end-of-pass sweep over loops the
+    /// vectorizer never considers (non-innermost DO loops, unconverted
+    /// `while` loops).
+    pub events: Vec<LoopEvent>,
 }
 
 impl VectorReport {
@@ -68,6 +77,7 @@ impl VectorReport {
         self.spread += other.spread;
         self.scalar += other.scalar;
         self.notes.extend(other.notes);
+        self.events.extend(other.events);
     }
 }
 
@@ -82,26 +92,127 @@ pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
             None => break,
         };
         done.insert(id);
+        let (var, span) = loop_head(proc, id);
         match try_vectorize_loop(proc, id, opts) {
-            Outcome::Vectorized => report.vectorized += 1,
-            Outcome::Spread => report.spread += 1,
-            Outcome::Scalar(why) => {
+            Outcome::Vectorized {
+                stripped,
+                parallel,
+                residual,
+                strip_ids,
+            } => {
+                report.vectorized += 1;
+                // strip loops are compiler-generated carriers for the
+                // vector statements; never revisit (or report) them
+                done.extend(strip_ids);
+                report.events.push(LoopEvent {
+                    proc: proc.name.clone(),
+                    var,
+                    span,
+                    decision: LoopDecision::Vectorized {
+                        stripped,
+                        parallel,
+                        residual,
+                    },
+                });
+            }
+            Outcome::Spread => {
+                report.spread += 1;
+                report.events.push(LoopEvent {
+                    proc: proc.name.clone(),
+                    var,
+                    span,
+                    decision: LoopDecision::Parallelized,
+                });
+            }
+            Outcome::Scalar { note, defeat } => {
                 report.scalar += 1;
-                report.notes.push(why);
+                report.notes.push(note);
+                report.events.push(LoopEvent {
+                    proc: proc.name.clone(),
+                    var,
+                    span,
+                    decision: LoopDecision::Scalar(defeat),
+                });
             }
         }
     }
+    sweep_unvisited_loops(proc, &done, &mut report);
     if report.vectorized > 0 || report.spread > 0 {
         proc.bump_generation();
     }
     report
 }
 
+/// The controlling variable's name and source span of a loop header.
+fn loop_head(proc: &Procedure, id: StmtId) -> (String, SrcSpan) {
+    match proc.find_stmt(id) {
+        Some(s) => {
+            let var = match &s.kind {
+                StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => {
+                    proc.var(*var).name.clone()
+                }
+                _ => String::new(),
+            };
+            (var, s.span)
+        }
+        None => (String::new(), SrcSpan::NONE),
+    }
+}
+
+/// Accounts for every loop the innermost-DO walk never visits, so the
+/// driver's `--opt-report` can classify all source loops: non-innermost DO
+/// loops (the vectorizer only considers innermost loops) and `while` loops
+/// that survived DO conversion. Spread (`WhileSpread`) and `do parallel`
+/// loops are already covered by their own events.
+fn sweep_unvisited_loops(
+    proc: &Procedure,
+    done: &std::collections::HashSet<StmtId>,
+    report: &mut VectorReport,
+) {
+    let mut events = Vec::new();
+    proc.for_each_stmt(&mut |s| match &s.kind {
+        StmtKind::DoLoop { var, .. } if !done.contains(&s.id) => {
+            events.push(LoopEvent {
+                proc: proc.name.clone(),
+                var: proc.var(*var).name.clone(),
+                span: s.span,
+                decision: LoopDecision::Scalar(
+                    "contains an inner loop (only innermost loops are vectorized)".to_string(),
+                ),
+            });
+        }
+        StmtKind::While { .. } => {
+            events.push(LoopEvent {
+                proc: proc.name.clone(),
+                var: String::new(),
+                span: s.span,
+                decision: LoopDecision::Scalar(
+                    "`while` loop was not converted to DO form".to_string(),
+                ),
+            });
+        }
+        _ => {}
+    });
+    report.events.extend(events);
+}
+
 enum Outcome {
-    Vectorized,
+    Vectorized {
+        /// Vector statements were wrapped in a strip loop.
+        stripped: bool,
+        /// The strip loop is a `do parallel`.
+        parallel: bool,
+        /// Unvectorizable statements stayed in a residual scalar loop.
+        residual: bool,
+        /// Ids of the compiler-generated strip loops.
+        strip_ids: Vec<StmtId>,
+    },
     Spread,
-    /// Left scalar; the payload names the defeating dependence.
-    Scalar(String),
+    /// Left scalar; `note` is the full remark, `defeat` just the reason.
+    Scalar {
+        note: String,
+        defeat: String,
+    },
 }
 
 /// Finds an unprocessed innermost `DoLoop` (bodies containing no loops).
@@ -138,7 +249,7 @@ struct VecStmtPlan {
 }
 
 fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) -> Outcome {
-    let (lv, lo, hi, step_e, body, safe) = {
+    let (lv, lo, hi, step_e, body, safe, loop_span) = {
         let s = proc.find_stmt(id).expect("loop exists");
         match &s.kind {
             StmtKind::DoLoop {
@@ -155,19 +266,20 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
                 step.clone(),
                 body.clone(),
                 *safe,
+                s.span,
             ),
             _ => unreachable!(),
         }
     };
     let lv_name = proc.var(lv).name.clone();
+    let proc_name = proc.name.clone();
+    let scalar = move |defeat: String| Outcome::Scalar {
+        note: format!("{proc_name}: loop on `{lv_name}` left scalar: {defeat}"),
+        defeat,
+    };
     let step = match step_e.as_int() {
         Some(s) if s != 0 => s,
-        _ => {
-            return Outcome::Scalar(format!(
-                "{}: loop on `{}` left scalar: step is not a nonzero constant",
-                proc.name, lv_name
-            ))
-        }
+        _ => return scalar("step is not a nonzero constant".to_string()),
     };
     let trips_const = const_trip_count(&lo, &hi, &step_e);
     let aliasing = if safe {
@@ -219,14 +331,19 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
     let any_vector = groups.iter().any(|g| matches!(g, Group::Vector(_)));
 
     if any_vector && !body.is_empty() {
+        let residual = groups.iter().any(|g| matches!(g, Group::Scalar(_)));
+        // single-VL case (short constant trip count, no spreading) skips
+        // the strip loop; everything else is strip-mined
+        let stripped = opts.parallelize || trips_const.is_none_or(|n| n > opts.max_vl);
+        let mut strip_ids: Vec<StmtId> = Vec::new();
         let mut replacement: Vec<Stmt> = Vec::new();
         let mut pre: Vec<Stmt> = Vec::new();
-        let trips_expr = trips_expression(proc, &lo, &hi, step, trips_const, &mut pre);
+        let trips_expr = trips_expression(proc, &lo, &hi, step, trips_const, loop_span, &mut pre);
         replacement.extend(pre);
         for group in groups {
             match group {
                 Group::Vector(plans) => {
-                    emit_vector_group(
+                    if let Some(sid) = emit_vector_group(
                         proc,
                         lv,
                         &body,
@@ -236,26 +353,37 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
                         &trips_expr,
                         plans,
                         opts,
+                        loop_span,
                         &mut replacement,
-                    );
+                    ) {
+                        strip_ids.push(sid);
+                    }
                 }
                 Group::Scalar(mut members) => {
                     members.sort_unstable();
                     let residual: Vec<Stmt> = members.iter().map(|&i| body[i].clone()).collect();
-                    let st = proc.stamp(StmtKind::DoLoop {
-                        var: lv,
-                        lo: lo.clone(),
-                        hi: hi.clone(),
-                        step: step_e.clone(),
-                        body: residual,
-                        safe,
-                    });
+                    let st = proc.stamp_at(
+                        StmtKind::DoLoop {
+                            var: lv,
+                            lo: lo.clone(),
+                            hi: hi.clone(),
+                            step: step_e.clone(),
+                            body: residual,
+                            safe,
+                        },
+                        loop_span,
+                    );
                     replacement.push(st);
                 }
             }
         }
         splice(proc, id, replacement);
-        return Outcome::Vectorized;
+        return Outcome::Vectorized {
+            stripped,
+            parallel: opts.parallelize,
+            residual,
+            strip_ids,
+        };
     }
 
     // Loop spreading: independent iterations, nothing pinned.
@@ -266,12 +394,7 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
         convert_to_parallel(proc, id);
         return Outcome::Spread;
     }
-    Outcome::Scalar(format!(
-        "{}: loop on `{}` left scalar: {}",
-        proc.name,
-        lv_name,
-        describe_defeat(&graph, &sccs, safe)
-    ))
+    scalar(describe_defeat(&graph, &sccs, safe))
 }
 
 /// Names the first construct or dependence that kept the loop scalar, in
@@ -335,6 +458,7 @@ fn trips_expression(
     hi: &Expr,
     step: i64,
     trips_const: Option<i64>,
+    loop_span: SrcSpan,
     pre: &mut Vec<Stmt>,
 ) -> Expr {
     match trips_const {
@@ -352,10 +476,13 @@ fn trips_expression(
                 Expr::ibinary(BinOp::Div, span, Expr::int(step)),
             );
             titanc_il::fold_expr(&mut e);
-            let st = proc.stamp(StmtKind::Assign {
-                lhs: LValue::Var(t),
-                rhs: e,
-            });
+            let st = proc.stamp_at(
+                StmtKind::Assign {
+                    lhs: LValue::Var(t),
+                    rhs: e,
+                },
+                loop_span,
+            );
             pre.push(st);
             Expr::var(t)
         }
@@ -419,7 +546,8 @@ fn rhs_vectorizable(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> boo
 }
 
 /// Emits the strip-mined vector construct for one run of vectorizable
-/// statements, appending to `replacement`.
+/// statements, appending to `replacement`. Returns the id of the strip
+/// loop when one was created, so the caller can mark it visited.
 #[allow(clippy::too_many_arguments)]
 fn emit_vector_group(
     proc: &mut Procedure,
@@ -431,17 +559,18 @@ fn emit_vector_group(
     trips_expr: &Expr,
     plans: Vec<VecStmtPlan>,
     opts: &VectorOptions,
+    loop_span: SrcSpan,
     replacement: &mut Vec<Stmt>,
-) {
+) -> Option<StmtId> {
     let single_ok = !opts.parallelize && trips_const.is_some_and(|n| n <= opts.max_vl);
     if single_ok {
         let zero = Expr::int(0);
         for plan in &plans {
             let kind = vector_assign(proc, body, lv, lo, step, plan, &zero, trips_expr);
-            let st = proc.stamp(kind);
+            let st = proc.stamp_at(kind, loop_span);
             replacement.push(st);
         }
-        return;
+        return None;
     }
     // strip loop: ks = 0 .. trips-1 step VL; len = min(VL, trips-ks)
     let vl = if opts.parallelize {
@@ -460,16 +589,19 @@ fn emit_vector_group(
         Expr::ibinary(BinOp::Sub, trips_expr.clone(), Expr::var(ks)),
     );
     titanc_il::fold_expr(&mut len_rhs);
-    let len_assign = proc.stamp(StmtKind::Assign {
-        lhs: LValue::Var(t_len),
-        rhs: len_rhs,
-    });
+    let len_assign = proc.stamp_at(
+        StmtKind::Assign {
+            lhs: LValue::Var(t_len),
+            rhs: len_rhs,
+        },
+        loop_span,
+    );
     inner.push(len_assign);
     let origin = Expr::var(ks);
     let len = Expr::var(t_len);
     for plan in &plans {
         let kind = vector_assign(proc, body, lv, lo, step, plan, &origin, &len);
-        let st = proc.stamp(kind);
+        let st = proc.stamp_at(kind, loop_span);
         inner.push(st);
     }
     let hi_expr = Expr::ibinary(BinOp::Sub, trips_expr.clone(), Expr::int(1));
@@ -491,8 +623,10 @@ fn emit_vector_group(
             safe: true,
         }
     };
-    let st = proc.stamp(kind);
+    let st = proc.stamp_at(kind, loop_span);
+    let sid = st.id;
     replacement.push(st);
+    Some(sid)
 }
 
 /// The address of iteration `origin` for an affine reference:

@@ -14,7 +14,9 @@
 //! work distributes. The independent-storage assumption is the user's to
 //! make, so the pass only runs when explicitly enabled.
 
-use titanc_il::{Expr, Procedure, ScalarType, Stmt, StmtId, StmtKind, VarId};
+use titanc_il::{
+    Expr, LoopDecision, LoopEvent, Procedure, ScalarType, Stmt, StmtId, StmtKind, VarId,
+};
 use titanc_opt::util::{count_reads_block, register_candidate, resolve_copy};
 
 /// How many loops were spread.
@@ -22,6 +24,8 @@ use titanc_opt::util::{count_reads_block, register_candidate, resolve_copy};
 pub struct SpreadReport {
     /// `while` loops converted to `WhileSpread`.
     pub spread: usize,
+    /// Per-loop spreading events with source spans.
+    pub events: Vec<LoopEvent>,
 }
 
 impl SpreadReport {
@@ -29,6 +33,7 @@ impl SpreadReport {
     /// manager to aggregate per-pass deltas).
     pub fn merge(&mut self, other: SpreadReport) {
         self.spread += other.spread;
+        self.events.extend(other.events);
     }
 }
 
@@ -37,21 +42,28 @@ pub fn spread_list_loops(proc: &mut Procedure) -> SpreadReport {
     let mut report = SpreadReport::default();
     let mut done: Vec<StmtId> = Vec::new();
     loop {
-        let mut target: Option<(StmtId, Plan)> = None;
+        let mut target: Option<(Stmt, Plan)> = None;
         proc.for_each_stmt(&mut |s| {
             if target.is_none() && !done.contains(&s.id) {
                 if let StmtKind::While { cond, body, .. } = &s.kind {
                     if let Some(plan) = analyze(proc, cond, body) {
-                        target = Some((s.id, plan));
+                        target = Some((s.clone(), plan));
                     }
                 }
             }
         });
-        let (id, plan) = match target {
+        let (head, plan) = match target {
             Some(t) => t,
             None => break,
         };
+        let id = head.id;
         done.push(id);
+        report.events.push(LoopEvent {
+            proc: proc.name.clone(),
+            var: proc.var(plan.p).name.clone(),
+            span: head.span,
+            decision: LoopDecision::ListSpread,
+        });
         apply(proc, id, plan);
         report.spread += 1;
     }
@@ -62,6 +74,8 @@ pub fn spread_list_loops(proc: &mut Procedure) -> SpreadReport {
 }
 
 struct Plan {
+    /// the chased pointer (the loop's controlling variable)
+    p: VarId,
     /// indices of body statements forming the serialized chase
     serial: Vec<usize>,
 }
@@ -187,7 +201,7 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
             }
         }
     }
-    Some(Plan { serial })
+    Some(Plan { p, serial })
 }
 
 fn structured_enough(s: &Stmt) -> bool {

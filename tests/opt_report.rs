@@ -1,0 +1,196 @@
+//! End-to-end tests for the observability layer: the per-loop
+//! optimization report accounts for every source loop in the corpus, is
+//! byte-identical across `-j` values, the Chrome trace export is valid
+//! JSON, and the front-end error cap reports what it suppressed.
+
+use titanc_repro::titanc::{chrome_trace, compile, OptReport, Options};
+
+fn corpus_files() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("corpus dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            if p.extension()? == "c" {
+                let name = p.file_name()?.to_string_lossy().to_string();
+                Some((name, std::fs::read_to_string(&p).ok()?))
+            } else {
+                None
+            }
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus is empty");
+    files
+}
+
+fn report_options(jobs: usize) -> Options {
+    Options {
+        jobs,
+        spread_lists: true,
+        ..Options::parallel()
+    }
+}
+
+/// Source lines that open a loop (`for`/`while` statement heads). The
+/// corpus is plain enough that a syntactic scan is exact.
+fn loop_lines(src: &str) -> Vec<u32> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim_start();
+            t.starts_with("for (") || t.starts_with("while (")
+        })
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+/// Acceptance: `--opt-report` accounts for every loop in `corpus/*.c` —
+/// each source line that opens a loop appears as a reported loop span.
+#[test]
+fn every_corpus_loop_is_accounted_for() {
+    for (name, src) in corpus_files() {
+        let c = compile(&src, &report_options(1)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = OptReport::build(&c.reports, &c.trace);
+        let lines = loop_lines(&src);
+        assert!(!lines.is_empty(), "{name}: corpus file with no loops?");
+        for line in lines {
+            assert!(
+                report.loops.iter().any(|l| l.span.line == line),
+                "{name}: loop at line {line} missing from the report:\n{}",
+                report.render()
+            );
+        }
+        // every reported loop carries a definite classification
+        for l in &report.loops {
+            assert!(
+                matches!(
+                    l.classification,
+                    "vectorized" | "parallelized" | "spread" | "scalar"
+                ),
+                "{name}: unclassified loop {l:?}"
+            );
+            if l.classification == "scalar" {
+                assert!(
+                    l.reason.is_some(),
+                    "{name}: scalar loop at {} has no defeating reason",
+                    l.span
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance: the report is byte-identical between `-j 1` and `-j 4`,
+/// in both text and JSON form.
+#[test]
+fn report_is_deterministic_across_jobs() {
+    for (name, src) in corpus_files() {
+        let c1 = compile(&src, &report_options(1)).unwrap();
+        let c4 = compile(&src, &report_options(4)).unwrap();
+        let r1 = OptReport::build(&c1.reports, &c1.trace);
+        let r4 = OptReport::build(&c4.reports, &c4.trace);
+        assert_eq!(r1.render(), r4.render(), "{name}: text report differs");
+        assert_eq!(
+            r1.to_json().to_string_compact(),
+            r4.to_json().to_string_compact(),
+            "{name}: JSON report differs"
+        );
+    }
+}
+
+/// The counters surface the paper's coverage numbers: the corpus has
+/// vectorized loops, spread loops, and inline expansions.
+#[test]
+fn counters_track_the_corpus() {
+    let mut vectorized = 0;
+    let mut spread = 0;
+    let mut inlined = 0;
+    for (_, src) in corpus_files() {
+        let c = compile(&src, &report_options(1)).unwrap();
+        let counters = OptReport::build(&c.reports, &c.trace).counters;
+        vectorized += counters.get("loops.vectorized");
+        spread += counters.get("loops.list_spread");
+        inlined += counters.get("inline.expanded");
+        // the JSON form parses back
+        let json = counters.to_json().to_string_compact();
+        titanc_repro::il::json::parse(&json).expect("counters JSON parses");
+    }
+    assert!(vectorized > 0, "corpus vectorizes nothing");
+    assert!(spread > 0, "corpus spreads no list walks");
+    assert!(inlined > 0, "corpus inlines nothing");
+}
+
+/// The Chrome trace export is valid JSON with one complete event per
+/// (pass × procedure) timeline entry and consistent worker lanes.
+#[test]
+fn chrome_trace_round_trips() {
+    let (_, src) = corpus_files().remove(0);
+    let c = compile(&src, &report_options(4)).unwrap();
+    let json = chrome_trace(&c.trace).to_string_compact();
+    let parsed = titanc_repro::il::json::parse(&json).expect("trace JSON parses");
+    let events = parsed
+        .field("traceEvents")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .to_vec();
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.field("ph").unwrap().as_str().unwrap() == "X")
+        .collect();
+    assert_eq!(
+        complete.len(),
+        c.trace.timeline.len(),
+        "one X event per timeline item"
+    );
+    assert!(!complete.is_empty(), "empty timeline");
+    for e in &complete {
+        assert!(e.field("ts").unwrap().as_i64().unwrap() >= 0);
+        assert!(e.field("dur").unwrap().as_i64().is_ok());
+        assert!(e.field("tid").unwrap().as_i64().is_ok());
+        assert!(e.field("name").unwrap().as_str().is_ok());
+    }
+}
+
+/// `--max-errors 1` stops the front end at the cap, still counts what it
+/// suppressed, and says so in the diagnostics.
+#[test]
+fn error_cap_reports_suppressed_count() {
+    let src = r#"
+int main(void)
+{
+    int x;
+    x = ;
+    x = ;
+    x = ;
+    return x;
+}
+"#;
+    let opts = Options {
+        max_errors: 1,
+        ..Options::o2()
+    };
+    let err = compile(src, &opts).expect_err("garbage must not compile");
+    let rendered: Vec<String> = err.diagnostics.iter().map(ToString::to_string).collect();
+    let errors = rendered
+        .iter()
+        .filter(|d| !d.contains("warning:") && !d.contains("remark:"))
+        .count();
+    assert_eq!(errors, 1, "cap of 1 stores exactly one error: {rendered:?}");
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.contains("suppressed by --max-errors")),
+        "suppressed count not reported: {rendered:?}"
+    );
+    // uncapped, the same source yields more than one stored error
+    let err = compile(src, &Options::o2()).expect_err("still garbage");
+    let stored = err
+        .diagnostics
+        .iter()
+        .map(ToString::to_string)
+        .filter(|d| !d.contains("warning:") && !d.contains("remark:"))
+        .count();
+    assert!(stored > 1, "expected several stored errors, got {stored}");
+}
