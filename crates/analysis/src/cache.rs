@@ -108,7 +108,27 @@ impl CacheStats {
         self.invalidations += other.invalidations;
         self.repairs += other.repairs;
     }
+}
 
+titanc_il::struct_json!(
+    CacheStats,
+    [
+        cfg_hits,
+        cfg_builds,
+        usedef_hits,
+        usedef_builds,
+        liveness_hits,
+        liveness_builds,
+        dominators_hits,
+        dominators_builds,
+        loopnest_hits,
+        loopnest_builds,
+        invalidations,
+        repairs,
+    ]
+);
+
+impl CacheStats {
     /// The counters accumulated since `earlier` (fieldwise difference;
     /// `earlier` must be a previous snapshot of the same counters).
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {

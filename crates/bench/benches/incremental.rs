@@ -1,0 +1,124 @@
+//! The incremental-session benchmark: cold compile vs fully warm
+//! rebuild through the persistent cache, on a many-procedure corpus.
+//!
+//! Guards the PR 5 acceptance bar and persists the figures to
+//! `BENCH_incremental.json` at the workspace root:
+//!
+//! * the warm rebuild executes **zero** optimization passes,
+//! * the warm optimized IL is byte-identical to the cold run's,
+//! * the warm rebuild is at least 2× faster than the cold compile.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::path::PathBuf;
+
+use titanc::{compile_session, Options, SourceFile};
+use titanc_bench::harness::Bench;
+use titanc_bench::multi_proc_source;
+
+fn il_text(program: &titanc_il::Program) -> String {
+    program
+        .procs
+        .iter()
+        .map(titanc_il::pretty_proc)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let bench = Bench::from_env();
+    let src = multi_proc_source(8, 30);
+    let files = [SourceFile::new("gen.c", src)];
+    let options = Options::parallel();
+
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/bench-cache"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // one priming run establishes the baseline artifacts and the
+    // cold-run reference output
+    let cold_ref = compile_session(&files, &options, Some(&dir)).expect("cold compile");
+    assert_eq!(
+        cold_ref.stats.hits, 0,
+        "the priming run must start from an empty cache"
+    );
+    let cold_il = il_text(&cold_ref.compilation.program);
+
+    // cold: every sample clears the cache first (the clear is inside the
+    // timed closure, but it is a directory removal against megabytes of
+    // optimization — it biases *against* the speedup claim, not for it)
+    let cold = bench.stats("incremental/cold_8procs", || {
+        let _ = std::fs::remove_dir_all(&dir);
+        black_box(
+            compile_session(&files, &options, Some(&dir))
+                .expect("cold compile")
+                .compilation
+                .program
+                .len(),
+        )
+    });
+
+    // prime once more, then measure fully warm rebuilds
+    let primed = compile_session(&files, &options, Some(&dir)).expect("prime compile");
+    assert!(primed.stats.full_warm || primed.stats.misses > 0);
+    let warm = bench.stats("incremental/warm_8procs", || {
+        black_box(
+            compile_session(&files, &options, Some(&dir))
+                .expect("warm compile")
+                .compilation
+                .program
+                .len(),
+        )
+    });
+
+    // acceptance: zero passes on the warm run, byte-identical output
+    let check = compile_session(&files, &options, Some(&dir)).expect("warm compile");
+    assert!(check.stats.full_warm, "rebuild must be fully warm");
+    assert_eq!(
+        check.stats.passes_executed, 0,
+        "a fully warm rebuild must execute zero optimization passes"
+    );
+    assert_eq!(
+        il_text(&check.compilation.program),
+        cold_il,
+        "warm IL must be byte-identical to the cold run's"
+    );
+
+    let speedup = cold.min.as_secs_f64() / warm.min.as_secs_f64().max(1e-9);
+    let speedup_median = cold.median.as_secs_f64() / warm.median.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "warm rebuild must be at least 2x faster than cold (got {speedup:.2}x)"
+    );
+    println!(
+        "bench incremental/speedup_warm_over_cold: {speedup:.2}x (median {speedup_median:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
+         \"compile_ms_cold\": {:.3},\n  \
+         \"compile_ms_warm\": {:.3},\n  \
+         \"compile_ms_cold_median\": {:.3},\n  \
+         \"compile_ms_warm_median\": {:.3},\n  \
+         \"speedup_warm_over_cold\": {speedup:.3},\n  \
+         \"speedup_warm_over_cold_median\": {speedup_median:.3},\n  \
+         \"warm_passes_executed\": {},\n  \
+         \"warm_hits\": {},\n  \
+         \"warm_full\": {},\n  \
+         \"byte_identical\": true\n}}\n",
+        cold.min.as_secs_f64() * 1e3,
+        warm.min.as_secs_f64() * 1e3,
+        cold.median.as_secs_f64() * 1e3,
+        warm.median.as_secs_f64() * 1e3,
+        check.stats.passes_executed,
+        check.stats.hits,
+        check.stats.full_warm,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("bench incremental: wrote {path}"),
+        Err(e) => eprintln!("bench incremental: cannot write {path}: {e}"),
+    }
+}

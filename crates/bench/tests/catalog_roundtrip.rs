@@ -1,0 +1,85 @@
+//! Property test: catalog encoding is a faithful, stable bijection.
+//!
+//! Over a population of progen-generated programs, asserts that
+//! `decode(encode(p)) == p` and that re-encoding the decoded catalog
+//! reproduces the original text byte for byte — both for span-bearing
+//! procedures (including origin-tagged spans, the PR-5 file dimension)
+//! and for legacy span-free catalogs, which predate spans entirely and
+//! must keep decoding.
+
+use titanc_bench::progen::{self, Rng};
+use titanc_cfront::DiagnosticSink;
+use titanc_il::{Catalog, Program};
+
+/// Parses and lowers one generated source into parsed IL.
+fn lower(src: &str) -> Program {
+    let mut sink = DiagnosticSink::new(0);
+    let tu = titanc_cfront::parse_recovering(src, &mut sink);
+    assert!(!sink.has_errors(), "progen emitted invalid C:\n{src}");
+    titanc_lower::lower(&tu).expect("progen program lowers")
+}
+
+/// One round trip: decode(encode(c)) == c, and the re-encoding is
+/// byte-identical.
+fn assert_roundtrip(catalog: &Catalog, what: &str) {
+    let text = catalog.to_json();
+    let decoded = Catalog::from_json(&text)
+        .unwrap_or_else(|e| panic!("{what}: decode failed: {e:?}\n{text}"));
+    assert_eq!(&decoded, catalog, "{what}: decode(encode(c)) != c");
+    assert_eq!(
+        decoded.to_json(),
+        text,
+        "{what}: re-encoding not byte-identical"
+    );
+}
+
+#[test]
+fn generated_programs_roundtrip_through_catalogs() {
+    for seed in 1..=32u64 {
+        let src = progen::program(&mut Rng::new(seed));
+        let program = lower(&src);
+        let catalog = Catalog::from_program(format!("gen{seed}"), &program);
+        assert_roundtrip(&catalog, &format!("seed {seed} (span-bearing)"));
+    }
+}
+
+#[test]
+fn origin_tagged_spans_roundtrip() {
+    for seed in 1..=8u64 {
+        let src = progen::program(&mut Rng::new(seed));
+        let mut program = lower(&src);
+        // simulate a session merge: tag every span as originating in a
+        // named file, so the catalog carries the file table too
+        let tag = program.intern_file(&format!("gen{seed}.c"));
+        let map = vec![tag];
+        for p in &mut program.procs {
+            p.retag_spans(&map);
+        }
+        let catalog = Catalog::from_program(format!("gen{seed}"), &program);
+        assert!(
+            catalog.to_json().contains("\"files\""),
+            "seed {seed}: tagged catalog should carry its file table"
+        );
+        assert_roundtrip(&catalog, &format!("seed {seed} (origin-tagged)"));
+    }
+}
+
+#[test]
+fn legacy_span_free_catalogs_still_decode() {
+    for seed in 1..=8u64 {
+        let src = progen::program(&mut Rng::new(seed));
+        let mut program = lower(&src);
+        // a catalog written before spans existed has no span fields at
+        // all; erasing every span reproduces that encoding exactly
+        for p in &mut program.procs {
+            p.for_each_stmt_mut(&mut |s| s.span = titanc_il::SrcSpan::NONE);
+        }
+        let catalog = Catalog::from_program(format!("gen{seed}"), &program);
+        let text = catalog.to_json();
+        assert!(
+            !text.contains("\"span\""),
+            "seed {seed}: span-free catalog must not encode spans"
+        );
+        assert_roundtrip(&catalog, &format!("seed {seed} (legacy span-free)"));
+    }
+}

@@ -1,12 +1,16 @@
 //! The `titanc` command-line driver.
 //!
 //! ```text
-//! titanc [options] file.c
+//! titanc [options] file.c [file.c ...]
 //!
 //!   -O0 | -O1 | -O2          optimization level (default -O2)
 //!   -j N | --jobs N          compile procedures on N worker threads
 //!                            (default: available parallelism; output is
 //!                            byte-identical for every N)
+//!   --cache-dir DIR          persistent compilation cache: procedures
+//!                            whose parsed IL, options and pass pipeline
+//!                            are unchanged skip optimization entirely on
+//!                            the next run (output stays byte-identical)
 //!   --parallel               emit `do parallel` loops
 //!   --spread-lists           spread linked-list while loops (§10)
 //!   --procs N                simulate N processors (1-4, default 1)
@@ -18,7 +22,12 @@
 //!   --verify                 run the IL verifier between passes
 //!   --time                   print per-pass wall-clock timings
 //!   --catalog FILE           link a procedure catalog (repeatable)
-//!   --emit-catalog FILE      write the compiled program as a catalog
+//!   --emit-catalog FILE      write the parsed (pre-optimization) program
+//!                            as a catalog, as §7 prescribes — the
+//!                            consumer's inliner optimizes in context
+//!   --emit-catalog-optimized FILE
+//!                            write the post-O2 program as a catalog
+//!                            (the pre-PR-5 --emit-catalog behavior)
 //!   --run [ENTRY]            execute on the simulated Titan (default main)
 //!   --volatile-values LIST   comma-separated device-register script
 //!   --stats                  print pass statistics (per-pass deltas)
@@ -41,8 +50,12 @@
 //! titanc --parallel --procs 2 --run --stats corpus/daxpy.c
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
-use titanc::{compile_with, Aliasing, Catalog, Options, Pipeline};
+use titanc::{
+    compile_session_with, compile_with, Aliasing, Catalog, Compilation, Options, Pipeline,
+    SessionStats, SourceFile,
+};
 use titanc_titan::{MachineConfig, Simulator};
 
 /// Test-only fault injection (`TITANC_INJECT_PANIC=<proc>`): a pass that
@@ -74,7 +87,7 @@ impl titanc::ProcPass for InjectPanic {
 }
 
 struct Cli {
-    file: Option<String>,
+    files: Vec<String>,
     options: Options,
     procs: u32,
     print_il: bool,
@@ -87,6 +100,8 @@ struct Cli {
     strict: bool,
     entry: String,
     emit_catalog: Option<String>,
+    emit_catalog_optimized: Option<String>,
+    cache_dir: Option<String>,
     volatile_values: Vec<i64>,
 }
 
@@ -96,19 +111,21 @@ const EXIT_INCIDENT: u8 = 3;
 fn usage() -> ! {
     eprintln!(
         "usage: titanc [-O0|-O1|-O2] [-j N|--jobs N] [--parallel] [--procs N]\n\
-         \x20             [--fortran-aliasing]\n\
+         \x20             [--fortran-aliasing] [--cache-dir DIR]\n\
          \x20             [--no-inline] [--strip N] [--print-il] [--snapshots]\n\
          \x20             [--verify] [--time] [--max-errors N] [--strict]\n\
          \x20             [--opt-report[=json]] [--trace-json FILE]\n\
          \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
-         \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats] file.c"
+         \x20             [--emit-catalog-optimized FILE]\n\
+         \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats]\n\
+         \x20             file.c [file.c ...]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Cli {
     let mut cli = Cli {
-        file: None,
+        files: Vec::new(),
         options: Options::o2(),
         procs: 1,
         print_il: false,
@@ -120,6 +137,8 @@ fn parse_args() -> Cli {
         strict: false,
         entry: "main".to_string(),
         emit_catalog: None,
+        emit_catalog_optimized: None,
+        cache_dir: None,
         volatile_values: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -190,6 +209,14 @@ fn parse_args() -> Cli {
             }
             "--emit-catalog" => {
                 cli.emit_catalog = Some(args.next().unwrap_or_else(|| usage()));
+                // the catalog wants the *parsed* program; keep it around
+                cli.options.keep_parsed = true;
+            }
+            "--emit-catalog-optimized" => {
+                cli.emit_catalog_optimized = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--cache-dir" => {
+                cli.cache_dir = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--run" => {
                 cli.run = true;
@@ -211,50 +238,98 @@ fn parse_args() -> Cli {
                 eprintln!("titanc: unknown option `{arg}`");
                 usage();
             }
-            _ => {
-                if cli.file.replace(arg).is_some() {
-                    eprintln!("titanc: exactly one input file, please");
-                    usage();
-                }
-            }
+            _ => cli.files.push(arg),
         }
     }
     cli
 }
 
+/// Prints a diagnostic: single-file invocations keep the classic
+/// `file:line:col: message` shape; multi-file sessions already carry the
+/// file name inside the message.
+fn print_diag(files: &[String], d: &impl std::fmt::Display) {
+    if let [file] = files {
+        eprintln!("{file}:{d}");
+    } else {
+        eprintln!("{d}");
+    }
+}
+
 fn main() -> ExitCode {
     let cli = parse_args();
-    let file = match &cli.file {
-        Some(f) => f.clone(),
-        None => usage(),
-    };
-    let src = match std::fs::read_to_string(&file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("titanc: cannot read {file}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    if cli.files.is_empty() {
+        usage();
+    }
+    let file = cli.files[0].clone();
 
     let mut pipeline = Pipeline::for_options(&cli.options);
     if let Ok(target) = std::env::var("TITANC_INJECT_PANIC") {
         pipeline.push_proc(InjectPanic { target });
     }
-    let compiled = match compile_with(&src, &cli.options, pipeline) {
-        Ok(c) => c,
-        Err(e) => {
-            // the recovering front end collected every independent
-            // mistake; report them all, in source order
-            for d in &e.diagnostics {
-                eprintln!("{file}:{d}");
+
+    // a plain single-file compile takes the classic path; several files
+    // or a cache directory make it a session
+    let session = cli.files.len() > 1 || cli.cache_dir.is_some();
+    let mut session_stats: Option<SessionStats> = None;
+    let compiled: Compilation = if session {
+        let mut sources = Vec::with_capacity(cli.files.len());
+        for f in &cli.files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => sources.push(SourceFile::new(f.clone(), src)),
+                Err(e) => {
+                    eprintln!("titanc: cannot read {f}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            return ExitCode::FAILURE;
+        }
+        let dir = cli.cache_dir.as_deref().map(Path::new);
+        match compile_session_with(&sources, &cli.options, pipeline, dir) {
+            Ok(sc) => {
+                session_stats = Some(sc.stats);
+                sc.compilation
+            }
+            Err(e) => {
+                for d in &e.diagnostics {
+                    print_diag(&cli.files, d);
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let src = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("titanc: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compile_with(&src, &cli.options, pipeline) {
+            Ok(c) => c,
+            Err(e) => {
+                // the recovering front end collected every independent
+                // mistake; report them all, in source order
+                for d in &e.diagnostics {
+                    eprintln!("{file}:{d}");
+                }
+                return ExitCode::FAILURE;
+            }
         }
     };
     // warnings and remarks from a successful compile (loops left scalar
     // and the defeating dependence, exhausted budgets)
     for d in &compiled.diagnostics {
-        eprintln!("{file}:{d}");
+        print_diag(&cli.files, d);
+    }
+    // the cache accounting line is stable: CI's cache-smoke job parses it
+    if let (Some(stats), Some(_)) = (&session_stats, &cli.cache_dir) {
+        eprintln!(
+            "titanc: cache: {} hit(s), {} miss(es), {} invalidated; {} pass execution(s){}",
+            stats.hits,
+            stats.misses,
+            stats.invalidated,
+            stats.passes_executed,
+            if stats.full_warm { " (fully warm)" } else { "" }
+        );
     }
     // contained faults: the affected procedures were rolled back to their
     // last-verified IL and shipped unoptimized
@@ -313,7 +388,11 @@ fn main() -> ExitCode {
         );
     }
     if let Some(json) = cli.opt_report {
-        let report = titanc::OptReport::build(&compiled.reports, &compiled.trace);
+        let report = titanc::OptReport::build_for(
+            &compiled.reports,
+            &compiled.trace,
+            &compiled.program.files,
+        );
         if json {
             println!("{}", report.to_json().to_string_compact());
         } else {
@@ -349,17 +428,30 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Some(path) = &cli.emit_catalog {
-        let name = std::path::Path::new(&file)
+    if cli.emit_catalog.is_some() || cli.emit_catalog_optimized.is_some() {
+        let name = Path::new(&file)
             .file_stem()
             .map(|s| s.to_string_lossy().to_string())
             .unwrap_or_else(|| "catalog".into());
-        let catalog = Catalog::from_program(name, &compiled.program);
-        if let Err(e) = catalog.save(path) {
-            eprintln!("titanc: cannot write catalog {path}: {e}");
-            return ExitCode::FAILURE;
+        if let Some(path) = &cli.emit_catalog {
+            // §7: catalogs hold parsed procedures, so the *consumer's*
+            // inliner can expand them in context and optimize the result
+            let parsed = compiled.parsed.as_ref().unwrap_or(&compiled.program);
+            let catalog = Catalog::from_program(name.clone(), parsed);
+            if let Err(e) = catalog.save(path) {
+                eprintln!("titanc: cannot write catalog {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("catalog written to {path}");
         }
-        println!("catalog written to {path}");
+        if let Some(path) = &cli.emit_catalog_optimized {
+            let catalog = Catalog::from_program(name, &compiled.program);
+            if let Err(e) = catalog.save(path) {
+                eprintln!("titanc: cannot write catalog {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("catalog written to {path}");
+        }
     }
 
     if cli.run {

@@ -39,14 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod pass;
+pub mod session;
 pub mod trace;
 
 use std::error::Error;
 use std::fmt;
 
 pub use pass::{
-    IncidentKind, Pass, PassContext, PassIncident, PassOutcome, PassRecord, PassTrace, Pipeline,
-    ProcPass, Snapshot, WorkItem,
+    CachedProc, IncidentKind, Pass, PassContext, PassIncident, PassOutcome, PassRecord, PassTrace,
+    Pipeline, ProcPass, RecordedCell, SessionReplay, Snapshot, WorkItem,
+};
+pub use session::{
+    compile_session, compile_session_with, SessionCompilation, SessionStats, SourceFile,
 };
 pub use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
 pub use titanc_cfront::{Diagnostic, DiagnosticSink, Severity, Span};
@@ -108,6 +112,11 @@ pub struct Options {
     /// `0` means no cap). One mangled declaration can cascade — past the
     /// cap the rest of the file is abandoned.
     pub max_errors: usize,
+    /// Keep a clone of the parsed (pre-pipeline, post-catalog-link)
+    /// program on [`Compilation::parsed`]. `--emit-catalog` needs it: §7
+    /// catalogs store *parsed* IL so the consumer compilation optimizes
+    /// inlined bodies in context.
+    pub keep_parsed: bool,
 }
 
 impl Default for Options {
@@ -126,6 +135,7 @@ impl Default for Options {
             verify: false,
             jobs: 0,
             max_errors: titanc_cfront::DEFAULT_MAX_ERRORS,
+            keep_parsed: false,
         }
     }
 }
@@ -218,6 +228,13 @@ impl Reports {
     }
 }
 
+// serialized into the incremental session cache (per-pass deltas ride
+// each cached cell so a warm run replays to byte-identical reports)
+titanc_il::struct_json!(
+    Reports,
+    [whiledo, ivsub, forward, constprop, dce, vector, strength, cse, spread, inline]
+);
+
 /// The result of a compilation.
 #[derive(Clone, Debug)]
 pub struct Compilation {
@@ -233,6 +250,9 @@ pub struct Compilation {
     /// Non-fatal diagnostics: warnings plus the optimizer's remarks
     /// (loops left scalar and why, budgets that ran out).
     pub diagnostics: Vec<Diagnostic>,
+    /// The parsed (pre-pipeline) program, kept only when
+    /// [`Options::keep_parsed`] is set — the `--emit-catalog` source.
+    pub parsed: Option<Program>,
 }
 
 impl Compilation {
@@ -358,9 +378,14 @@ pub fn compile_with(
 
     // §7: link catalogs before the pipeline runs, so the inline pass can
     // expand cross-file calls.
-    for catalog in &options.catalogs {
-        catalog.link_into(&mut program);
-    }
+    let origin = program
+        .procs
+        .iter()
+        .map(|p| (p.name.clone(), "the translation unit".to_string()))
+        .collect();
+    link_catalogs(&mut program, &options.catalogs, origin, &mut sink);
+
+    let parsed = options.keep_parsed.then(|| program.clone());
 
     let (reports, trace) = pipeline.run(&mut program, options, &mut snapshots);
 
@@ -372,7 +397,40 @@ pub fn compile_with(
         trace,
         snapshots,
         diagnostics: sink.into_diagnostics(),
+        parsed,
     })
+}
+
+/// Links catalogs in CLI order, warning about every shadowed procedure
+/// with both origins named. Earlier definitions win: the translation
+/// unit(s) first, then catalogs in the order given. `origin` seeds the
+/// name → origin map with where each already-present procedure came from.
+fn link_catalogs(
+    program: &mut Program,
+    catalogs: &[Catalog],
+    mut origin: Vec<(String, String)>,
+    sink: &mut DiagnosticSink,
+) {
+    for catalog in catalogs {
+        let report = catalog.link_into(program);
+        for name in &report.shadowed {
+            let earlier = origin
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, o)| o.as_str())
+                .unwrap_or("an earlier definition");
+            sink.warning(
+                format!(
+                    "procedure `{name}` from catalog `{}` is shadowed by {earlier}",
+                    catalog.name
+                ),
+                Span::none(),
+            );
+        }
+        for name in report.added {
+            origin.push((name, format!("catalog `{}`", catalog.name)));
+        }
+    }
 }
 
 /// Turns the aggregate pass reports into user-facing remarks: which loops

@@ -57,6 +57,7 @@
 
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, Once};
 use std::thread;
@@ -480,6 +481,74 @@ impl PassCell {
     }
 }
 
+/// One recorded (pass × procedure) execution in a form the incremental
+/// session cache can serialize and replay: the statistics delta the pass
+/// contributed, whether it changed the procedure, and its analysis-cache
+/// activity. Durations are deliberately absent — they are wall-clock data
+/// and replay as [`Duration::ZERO`], keeping everything the opt report
+/// derives from a warm run byte-identical to the cold run.
+#[derive(Clone, Debug, Default)]
+pub struct RecordedCell {
+    /// The pass name (matched against the pipeline's static pass names on
+    /// replay; the session cache key includes the pipeline fingerprint,
+    /// so a mismatch means a stale entry and the chain runs for real).
+    pub pass: String,
+    /// The statistics delta the pass contributed to this procedure.
+    pub delta: Reports,
+    /// Whether the pass changed the procedure.
+    pub changed: bool,
+    /// The analysis-cache counters of the original execution.
+    pub cache: CacheStats,
+}
+
+titanc_il::struct_json!(RecordedCell, [pass, delta, changed, cache]);
+
+/// A cache hit for one procedure: its fully optimized IL plus the
+/// per-pass cells recorded when it was last compiled, consumed group by
+/// group as the pipeline replays it.
+pub struct CachedProc {
+    /// The procedure's post-pipeline IL, decoded from the cache entry.
+    pub il: Procedure,
+    /// Recorded cells for every per-procedure pass, in pipeline order.
+    pub cells: Vec<RecordedCell>,
+    /// Consumption cursor: how many cells earlier proc groups used.
+    cursor: usize,
+}
+
+impl CachedProc {
+    /// A replayable hit from a decoded cache entry.
+    pub fn new(il: Procedure, cells: Vec<RecordedCell>) -> CachedProc {
+        CachedProc {
+            il,
+            cells,
+            cursor: 0,
+        }
+    }
+}
+
+/// Per-procedure replay and record state for an incremental session.
+///
+/// The session driver seeds [`SessionReplay::hits`] with the procedures
+/// whose content hash matched a cache entry; [`Pipeline::run_session`]
+/// substitutes their cached IL instead of running their pass chains and
+/// replays the recorded cells through the normal pass-major merge — so
+/// reports, traces and the opt report stay byte-identical to a cold run.
+/// Procedures that miss run normally and land in
+/// [`SessionReplay::recorded`] for the driver to persist; procedures
+/// whose chain faulted or degraded land in
+/// [`SessionReplay::uncacheable`] and must not be cached.
+#[derive(Default)]
+pub struct SessionReplay {
+    /// Procedure name → cached result to substitute for its pass chains.
+    pub hits: HashMap<String, CachedProc>,
+    /// Procedure name → cells recorded from cleanly executed chains.
+    pub recorded: HashMap<String, Vec<RecordedCell>>,
+    /// Procedures that faulted or were degraded during this run.
+    pub uncacheable: HashSet<String>,
+    /// Procedures whose cached IL was actually substituted.
+    pub replayed: HashSet<String>,
+}
+
 /// Runs one procedure through a group of per-procedure passes. Both the
 /// serial and the parallel path execute exactly this function, which is
 /// what makes `-j 1` and `-j N` byte-identical.
@@ -647,6 +716,17 @@ impl Pipeline {
         self.stages.iter().map(Stage::name).collect()
     }
 
+    /// `(whole-program stage count, per-procedure stage count)` — the
+    /// session driver sizes its pass-execution accounting from this.
+    pub fn stage_counts(&self) -> (usize, usize) {
+        let program = self
+            .stages
+            .iter()
+            .filter(|s| matches!(s, Stage::Program(_)))
+            .count();
+        (program, self.stages.len() - program)
+    }
+
     /// Builds the pipeline the given options describe.
     ///
     /// * Inlining (§7) always runs first when enabled, so §8's
@@ -710,6 +790,33 @@ impl Pipeline {
         options: &Options,
         snapshots: &mut Vec<Snapshot>,
     ) -> (Reports, PassTrace) {
+        self.run_inner(program, options, snapshots, None)
+    }
+
+    /// [`Pipeline::run`] with incremental-session replay: procedures with
+    /// a seeded hit in `session` skip their per-procedure pass chains —
+    /// their cached IL is substituted and their recorded cells replay
+    /// through the normal pass-major merge, so the output (program,
+    /// reports, opt report) is byte-identical to a cold run. Cleanly
+    /// executed chains are recorded into `session` for the driver to
+    /// persist.
+    pub fn run_session(
+        &self,
+        program: &mut Program,
+        options: &Options,
+        snapshots: &mut Vec<Snapshot>,
+        session: &mut SessionReplay,
+    ) -> (Reports, PassTrace) {
+        self.run_inner(program, options, snapshots, Some(session))
+    }
+
+    fn run_inner(
+        &self,
+        program: &mut Program,
+        options: &Options,
+        snapshots: &mut Vec<Snapshot>,
+        mut session: Option<&mut SessionReplay>,
+    ) -> (Reports, PassTrace) {
         let cx = PassContext { options };
         let verify = cfg!(debug_assertions) || options.verify;
         let want_snaps = options.snapshots;
@@ -772,6 +879,7 @@ impl Pipeline {
                         &mut reports,
                         &mut trace,
                         snapshots,
+                        session.as_deref_mut(),
                     );
                     i = j;
                 }
@@ -958,6 +1066,7 @@ fn run_proc_group(
     reports: &mut Reports,
     trace: &mut PassTrace,
     snapshots: &mut Vec<Snapshot>,
+    mut session: Option<&mut SessionReplay>,
 ) {
     let n = program.procs.len();
     cache.ensure(n);
@@ -970,6 +1079,64 @@ fn run_proc_group(
 
     let mut results: Vec<Option<ProcResult>> = Vec::new();
     results.resize_with(n, || None);
+
+    // session replay: a procedure with a cache hit skips its chain — the
+    // cached post-pipeline IL replaces it and the recorded cells feed the
+    // pass-major merge below exactly as live cells would, so a warm run
+    // merges to byte-identical reports and traces (durations excepted:
+    // replayed cells charge zero time)
+    let mut replayed_now = vec![false; n];
+    if let Some(sess) = session.as_deref_mut() {
+        let slots = cache.slots_mut();
+        for (idx, (proc, out)) in program.procs.iter_mut().zip(results.iter_mut()).enumerate() {
+            if degraded[idx] {
+                continue;
+            }
+            let Some(hit) = sess.hits.get_mut(&proc.name) else {
+                continue;
+            };
+            let end = hit.cursor + group.len();
+            let names_match = end <= hit.cells.len()
+                && group
+                    .iter()
+                    .enumerate()
+                    .all(|(k, p)| hit.cells[hit.cursor + k].pass == p.name());
+            if !names_match {
+                // stale or truncated entry — run the chain for real
+                continue;
+            }
+            let cells = hit.cells[hit.cursor..end]
+                .iter()
+                .map(|c| PassCell {
+                    duration: Duration::ZERO,
+                    delta: c.delta.clone(),
+                    changed: c.changed,
+                    cache: c.cache,
+                    status: CellStatus::Ran,
+                })
+                .collect();
+            hit.cursor = end;
+            let mut il = hit.il.clone();
+            // land strictly past the generation already covered so the
+            // closing whole-program verify re-checks the substituted IL
+            while il.generation() <= seen_gens[idx] {
+                il.bump_generation();
+            }
+            let final_gen = il.generation();
+            *proc = il;
+            // artifacts built against the pre-substitution IL are stale
+            slots[idx].invalidate();
+            *out = Some(ProcResult {
+                cells,
+                snaps: Vec::new(),
+                items: Vec::new(),
+                final_gen,
+                incident: None,
+            });
+            replayed_now[idx] = true;
+            sess.replayed.insert(proc.name.clone());
+        }
+    }
 
     type Task<'t> = (
         u64,
@@ -984,6 +1151,7 @@ fn run_proc_group(
         .zip(cache.slots_mut().iter_mut())
         .zip(results.iter_mut())
         .enumerate()
+        .filter(|(_, ((_, _), out))| out.is_none())
         .map(|(idx, ((proc, slot), out))| (seen_gens[idx], degraded[idx], proc, slot, out))
         .collect();
 
@@ -994,7 +1162,7 @@ fn run_proc_group(
     let avail = thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let workers = jobs.min(avail).clamp(1, n.max(1));
+    let workers = jobs.min(avail).clamp(1, tasks.len().max(1));
     if workers <= 1 {
         for (seen, skip, proc, slot, out) in tasks {
             *out = Some(run_proc_chain(
@@ -1092,6 +1260,34 @@ fn run_proc_group(
         seen_gens[idx] = r.final_gen;
         if r.incident.is_some() {
             degraded[idx] = true;
+        }
+    }
+    // record cleanly executed chains for the session cache; anything
+    // faulted, skipped, or only partially replayed must not be persisted
+    if let Some(sess) = session {
+        for (idx, r) in results.iter().enumerate() {
+            if replayed_now[idx] {
+                continue;
+            }
+            let name = &program.procs[idx].name;
+            let clean = r.incident.is_none()
+                && !degraded[idx]
+                && r.cells.iter().all(|c| c.status == CellStatus::Ran)
+                && !sess.replayed.contains(name);
+            if clean {
+                let rec = sess.recorded.entry(name.clone()).or_default();
+                for (k, cell) in r.cells.iter().enumerate() {
+                    rec.push(RecordedCell {
+                        pass: group[k].name().to_string(),
+                        delta: cell.delta.clone(),
+                        changed: cell.changed,
+                        cache: cell.cache,
+                    });
+                }
+            } else {
+                sess.recorded.remove(name);
+                sess.uncacheable.insert(name.clone());
+            }
         }
     }
     // the timeline is appended in procedure order too; the timestamps

@@ -1,0 +1,767 @@
+//! Multi-file compilation sessions and the persistent incremental cache.
+//!
+//! The paper's compiler was a whole-program system: §7 inlining works
+//! best when "the entire program" is visible, and catalogs exist exactly
+//! so separate files can feed one optimization. A *session* compiles
+//! several translation units in one invocation (`titanc a.c b.c c.c`),
+//! merges them through the same machinery catalogs use (struct tables
+//! deduplicated by tag with ids remapped, globals merged by name,
+//! duplicate procedures diagnosed with both origins named, earlier files
+//! winning), and then runs the normal pass pipeline over the combined
+//! program.
+//!
+//! ## The content-addressed cache
+//!
+//! With `--cache-dir DIR`, each procedure's fully optimized IL is keyed
+//! by a stable 128-bit content hash ([`titanc_il::StableHash`]) of:
+//!
+//! * the parsed procedure's catalog encoding (names, types, statement
+//!   tree, spans — everything the optimizer sees),
+//! * an [`Options`] fingerprint (every knob that can change generated
+//!   code: opt level, inlining policy, aliasing regime, strip length…),
+//! * the pipeline fingerprint (the exact pass sequence), and
+//! * with inlining enabled, the whole parsed program: the §7 growth
+//!   budget couples every call site to every other procedure's size, so
+//!   any edit must conservatively invalidate everything. `--no-inline`
+//!   sessions get true per-procedure invalidation.
+//!
+//! A cache entry stores the post-pipeline IL *plus* the per-pass
+//! [`RecordedCell`]s — the statistics deltas, changed flags, and
+//! analysis-cache counters of the original execution. On a warm run the
+//! pass manager substitutes the cached IL and replays the cells through
+//! its normal pass-major merge ([`Pipeline::run_session`]), so reports,
+//! counters, and `--opt-report` output are **byte-identical between cold
+//! and warm runs and across every `-j` value**. Only wall-clock data
+//! (durations, the timeline) and `--snapshots` differ: replayed work is
+//! charged zero time and produces no snapshots.
+//!
+//! When every procedure hits *and* a session manifest matches, the
+//! pipeline is skipped entirely — zero passes execute; the program,
+//! aggregate reports and trace records are reconstructed from the cache.
+//! Cache reads and writes are fail-soft: a missing, corrupt, or
+//! version-skewed entry is a miss, and an I/O error while persisting
+//! never fails the compilation.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use titanc_cfront::{Diagnostic, DiagnosticSink, Span};
+use titanc_il::json::{FromJson, Json, ToJson};
+use titanc_il::{Procedure, Program, StableHash, StableHasher, StructDef, StructId, Type, VarInfo};
+
+use crate::pass::{
+    snapshot_all, verify_program_check, CachedProc, PassRecord, PassTrace, RecordedCell,
+    SessionReplay,
+};
+use crate::{
+    link_catalogs, optimization_remarks, Compilation, CompileError, Options, Pipeline, Reports,
+};
+
+/// Bumped when the entry or manifest encoding changes shape; entries
+/// written by other versions are treated as misses.
+const ENTRY_VERSION: i64 = 1;
+
+/// Seeds every content hash so a format change invalidates wholesale.
+const CACHE_FORMAT: &str = "titanc-cache-v1";
+
+/// One input translation unit: a display name (normally the path) and
+/// its source text.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Display name, used for diagnostics and span file tags.
+    pub name: String,
+    /// The C source text.
+    pub src: String,
+}
+
+impl SourceFile {
+    /// Bundles a name and source text.
+    pub fn new(name: impl Into<String>, src: impl Into<String>) -> SourceFile {
+        SourceFile {
+            name: name.into(),
+            src: src.into(),
+        }
+    }
+}
+
+/// What the cache did during one session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Procedures served from the cache.
+    pub hits: usize,
+    /// Procedures compiled for real.
+    pub misses: usize,
+    /// Misses whose name was cached under a different key — an edited
+    /// procedure (or changed options/pipeline), not a cold one.
+    pub invalidated: usize,
+    /// Optimization-pass executions this run actually performed
+    /// (whole-program stages plus per-procedure chains for misses). A
+    /// fully warm run reports zero.
+    pub passes_executed: usize,
+    /// True when the whole pipeline was skipped and the result was
+    /// reconstructed from the session manifest.
+    pub full_warm: bool,
+}
+
+/// A [`Compilation`] plus the session's cache accounting. The stats stay
+/// *outside* [`Compilation`] deliberately: everything inside (reports,
+/// counters, the opt report) is byte-identical cold vs warm, and hit
+/// counts obviously are not.
+#[derive(Debug)]
+pub struct SessionCompilation {
+    /// The merged, optimized compilation.
+    pub compilation: Compilation,
+    /// Cache hit/miss/invalidation accounting.
+    pub stats: SessionStats,
+}
+
+/// Compiles a multi-file session with [`Pipeline::for_options`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] carrying every front-end diagnostic from
+/// every file (each file is parsed even when an earlier one failed).
+pub fn compile_session(
+    files: &[SourceFile],
+    options: &Options,
+    cache_dir: Option<&Path>,
+) -> Result<SessionCompilation, CompileError> {
+    compile_session_with(files, options, Pipeline::for_options(options), cache_dir)
+}
+
+/// [`compile_session`] with a caller-built [`Pipeline`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical, syntactic or semantic errors
+/// in any input file.
+pub fn compile_session_with(
+    files: &[SourceFile],
+    options: &Options,
+    pipeline: Pipeline,
+    cache_dir: Option<&Path>,
+) -> Result<SessionCompilation, CompileError> {
+    if files.is_empty() {
+        return Err(CompileError::internal("no input files"));
+    }
+    let multi = files.len() > 1;
+
+    // front end, one TU at a time; every file is processed even after a
+    // failure so one broken file cannot hide another's diagnostics
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut tus: Vec<(String, Program)> = Vec::new();
+    let mut failed = false;
+    for f in files {
+        let mut sink = DiagnosticSink::new(options.max_errors);
+        let tu = titanc_cfront::parse_recovering(&f.src, &mut sink);
+        if sink.has_errors() {
+            if sink.suppressed() > 0 {
+                sink.warning(
+                    format!(
+                        "{} further error(s) suppressed by --max-errors (total {})",
+                        sink.suppressed(),
+                        sink.error_count()
+                    ),
+                    Span::none(),
+                );
+            }
+            failed = true;
+            extend_tagged(&mut diagnostics, &f.name, sink.into_diagnostics(), multi);
+            continue;
+        }
+        match titanc_lower::lower(&tu) {
+            Ok(p) => {
+                extend_tagged(&mut diagnostics, &f.name, sink.into_diagnostics(), multi);
+                tus.push((f.name.clone(), p));
+            }
+            Err(e) => {
+                sink.error(e.message.clone(), e.span);
+                failed = true;
+                extend_tagged(&mut diagnostics, &f.name, sink.into_diagnostics(), multi);
+            }
+        }
+    }
+    if failed {
+        return Err(CompileError::from_diagnostics(diagnostics));
+    }
+
+    // merge the TUs (earlier files win), then link catalogs as usual
+    let mut sink = DiagnosticSink::new(0);
+    let mut program = Program::new();
+    let mut origin: Vec<(String, String)> = Vec::new();
+    for (name, tu) in tus {
+        merge_tu(&mut program, tu, &name, multi, &mut origin, &mut sink);
+    }
+    link_catalogs(&mut program, &options.catalogs, origin, &mut sink);
+
+    let mut snapshots = Vec::new();
+    if options.snapshots {
+        snapshot_all("lower", &program, &mut snapshots);
+    }
+    if cfg!(debug_assertions) || options.verify {
+        if let Err(detail) = verify_program_check(&program) {
+            return Err(CompileError::internal(format!(
+                "internal error: IL verification failed after lowering: {detail}"
+            )));
+        }
+    }
+
+    let parsed = options.keep_parsed.then(|| program.clone());
+
+    let pipeline_fp = pipeline.pass_names().join(",");
+    let hashes = proc_hashes(&program, options, &pipeline_fp);
+    let (program_stages, proc_stages) = pipeline.stage_counts();
+    let mut stats = SessionStats::default();
+
+    let cache = cache_dir.inspect(|d| {
+        let _ = std::fs::create_dir_all(d);
+    });
+    let mut index = cache.map(load_index).unwrap_or_default();
+
+    // fully warm? the manifest carries the aggregate records and the
+    // post-pipeline program environment, the entries carry the IL — no
+    // pass executes at all
+    if let Some(dir) = cache {
+        let key = session_hash(&program, options, &pipeline_fp, &hashes);
+        if let Some((warm, reports, trace)) =
+            load_full_warm(dir, &key, &program, &hashes, &pipeline)
+        {
+            let verified =
+                !(cfg!(debug_assertions) || options.verify) || verify_program_check(&warm).is_ok();
+            if verified {
+                optimization_remarks(&reports, &mut sink);
+                diagnostics.extend(sink.into_diagnostics());
+                stats.hits = warm.procs.len();
+                stats.full_warm = true;
+                return Ok(SessionCompilation {
+                    compilation: Compilation {
+                        program: warm,
+                        reports,
+                        trace,
+                        snapshots,
+                        diagnostics,
+                        parsed,
+                    },
+                    stats,
+                });
+            }
+            // a manifest that decodes but fails verification is corrupt:
+            // fall through and compile for real
+        }
+    }
+
+    // cold or partially warm: seed per-procedure hits and run the
+    // pipeline; hits replay, misses execute
+    let mut replay = SessionReplay::default();
+    if let Some(dir) = cache {
+        for (p, h) in program.procs.iter().zip(&hashes) {
+            if let Some((il, cells)) = load_entry(dir, h, &p.name) {
+                replay
+                    .hits
+                    .insert(p.name.clone(), CachedProc::new(il, cells));
+            } else if index.get(&p.name).is_some_and(|old| *old != h.hex()) {
+                stats.invalidated += 1;
+            }
+        }
+    }
+    let (reports, trace) = pipeline.run_session(&mut program, options, &mut snapshots, &mut replay);
+    optimization_remarks(&reports, &mut sink);
+    diagnostics.extend(sink.into_diagnostics());
+
+    stats.hits = replay.replayed.len();
+    stats.misses = program.procs.len().saturating_sub(stats.hits);
+    stats.passes_executed = program_stages + proc_stages * stats.misses;
+
+    if let Some(dir) = cache {
+        persist(
+            dir,
+            &program,
+            &hashes,
+            &pipeline,
+            &reports,
+            &trace,
+            &replay,
+            proc_stages,
+            &mut index,
+            options,
+            &pipeline_fp,
+        );
+    }
+
+    Ok(SessionCompilation {
+        compilation: Compilation {
+            program,
+            reports,
+            trace,
+            snapshots,
+            diagnostics,
+            parsed,
+        },
+        stats,
+    })
+}
+
+/// Appends `diags`, folding the file name (and the position, when
+/// known) into each message in multi-file sessions, so renderings read
+/// `file:line:col: message` with the file first. Single-file sessions
+/// keep the exact single-TU rendering, so artifacts stay byte-identical
+/// with [`crate::compile`].
+fn extend_tagged(out: &mut Vec<Diagnostic>, file: &str, diags: Vec<Diagnostic>, multi: bool) {
+    for mut d in diags {
+        if multi {
+            d.message = if d.span.is_known() {
+                format!("{file}:{}: {}", d.span, d.message)
+            } else {
+                format!("{file}: {}", d.message)
+            };
+            d.span = Span::none();
+        }
+        out.push(d);
+    }
+}
+
+/// Rewrites struct ids appearing in `ty` through `smap` (old TU-local
+/// index → merged session index).
+fn remap_type(ty: &mut Type, smap: &[usize]) {
+    match ty {
+        Type::Ptr(inner) => remap_type(inner, smap),
+        Type::Array(inner, _) => remap_type(inner, smap),
+        Type::Struct(sid) => {
+            if let Some(&j) = smap.get(sid.index()) {
+                *sid = StructId::from_index(j);
+            }
+        }
+        Type::Void | Type::Char | Type::Int | Type::Float | Type::Double => {}
+    }
+}
+
+/// Merges one lowered TU into the session program: struct layouts dedup
+/// by tag (ids remapped), globals merge by name, duplicate procedures
+/// are diagnosed and dropped (earlier files win), and in multi-file
+/// sessions every span is tagged with its origin file so `--opt-report`
+/// attributes loops to the right file.
+fn merge_tu(
+    program: &mut Program,
+    tu: Program,
+    file: &str,
+    multi: bool,
+    origin: &mut Vec<(String, String)>,
+    sink: &mut DiagnosticSink,
+) {
+    let mut smap: Vec<usize> = Vec::with_capacity(tu.structs.len());
+    let mut appended: Vec<usize> = Vec::new();
+    for sd in &tu.structs {
+        match program.structs.iter().position(|s| s.name == sd.name) {
+            Some(j) => {
+                if program.structs[j].size != sd.size
+                    || program.structs[j].fields.len() != sd.fields.len()
+                {
+                    sink.warning(
+                        format!(
+                            "struct `{}` in `{file}` differs from an earlier definition; \
+                             using the first",
+                            sd.name
+                        ),
+                        Span::none(),
+                    );
+                }
+                smap.push(j);
+            }
+            None => {
+                smap.push(program.structs.len());
+                appended.push(program.structs.len());
+                program.structs.push(sd.clone());
+            }
+        }
+    }
+    // newly appended layouts may reference other structs; remap their
+    // field types once the whole map is known
+    for &j in &appended {
+        let mut fields = std::mem::take(&mut program.structs[j].fields);
+        for f in &mut fields {
+            remap_type(&mut f.ty, &smap);
+        }
+        program.structs[j].fields = fields;
+    }
+
+    // span retag map: the TU's own spans (tag 0) plus any tags it already
+    // carries (a TU fresh from the front end has none, but be thorough)
+    let mut tag_map: Vec<u32> = Vec::new();
+    if multi {
+        tag_map.push(program.intern_file(file));
+        for f in &tu.files {
+            tag_map.push(program.intern_file(f));
+        }
+    }
+
+    for g in &tu.globals {
+        let mut g = g.clone();
+        remap_type(&mut g.ty, &smap);
+        if let Some(existing) = program.global_by_name(&g.name) {
+            if existing.ty != g.ty || existing.init != g.init {
+                sink.warning(
+                    format!(
+                        "global `{}` in `{file}` differs from an earlier definition; \
+                         using the first",
+                        g.name
+                    ),
+                    Span::none(),
+                );
+            }
+        } else {
+            program.ensure_global(g);
+        }
+    }
+
+    for mut p in tu.procs {
+        if let Some((_, earlier)) = origin.iter().find(|(n, _)| *n == p.name) {
+            sink.warning(
+                format!(
+                    "procedure `{}` in `{file}` is shadowed by the definition in {earlier}",
+                    p.name
+                ),
+                Span::none(),
+            );
+            continue;
+        }
+        remap_type(&mut p.ret, &smap);
+        for v in &mut p.vars {
+            remap_type(&mut v.ty, &smap);
+        }
+        if multi {
+            p.retag_spans(&tag_map);
+        }
+        origin.push((p.name.clone(), format!("`{file}`")));
+        program.add_proc(p);
+    }
+}
+
+/// Every option that can change generated code, flattened to a string
+/// the hasher folds in. `jobs`, `snapshots`, `verify` and `max_errors`
+/// are deliberately absent — they never change the output program.
+fn options_fingerprint(options: &Options) -> String {
+    format!(
+        "opt={:?} inline={} depth={} callee={} growth={} parallel={} spread={} \
+         aliasing={:?} strip={} maxvl={}",
+        options.opt,
+        options.inline,
+        options.inline_opts.max_depth,
+        options.inline_opts.max_callee_size,
+        options.inline_opts.max_growth,
+        options.parallelize,
+        options.spread_lists,
+        options.aliasing,
+        options.strip,
+        options.max_vl
+    )
+}
+
+/// One stable content hash per procedure of the parsed program.
+fn proc_hashes(program: &Program, options: &Options, pipeline_fp: &str) -> Vec<StableHash> {
+    let opts_fp = options_fingerprint(options);
+    // §7 inlining couples procedures: the growth budget means an edit to
+    // *any* procedure can flip a call site's decision elsewhere, so with
+    // inlining on, every key conservatively covers the whole parsed
+    // program. `--no-inline` sessions key each procedure on its own
+    // encoding and get fine-grained invalidation.
+    let program_wide = options.inline.then(|| {
+        let mut h = StableHasher::new();
+        for p in &program.procs {
+            h.write_str(&p.name);
+            h.write_str(&p.to_json().to_string_compact());
+        }
+        h.write_str(&program.globals.to_json().to_string_compact());
+        h.write_str(&program.structs.to_json().to_string_compact());
+        h.write_str(&program.files.to_json().to_string_compact());
+        h.finish().hex()
+    });
+    program
+        .procs
+        .iter()
+        .map(|p| {
+            let mut h = StableHasher::new();
+            h.write_str(CACHE_FORMAT);
+            h.write_str(&opts_fp);
+            h.write_str(pipeline_fp);
+            h.write_str(&p.name);
+            match &program_wide {
+                Some(pw) => h.write_str(pw),
+                None => h.write_str(&p.to_json().to_string_compact()),
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+/// The whole session's key: the per-procedure keys in program order plus
+/// the parsed program environment (globals can change — an initializer
+/// edit, say — without any procedure body changing).
+fn session_hash(
+    program: &Program,
+    options: &Options,
+    pipeline_fp: &str,
+    hashes: &[StableHash],
+) -> StableHash {
+    let mut h = StableHasher::new();
+    h.write_str(CACHE_FORMAT);
+    h.write_str(&options_fingerprint(options));
+    h.write_str(pipeline_fp);
+    for (p, ph) in program.procs.iter().zip(hashes) {
+        h.write_str(&p.name);
+        h.write_str(&ph.hex());
+    }
+    h.write_str(&program.globals.to_json().to_string_compact());
+    h.write_str(&program.structs.to_json().to_string_compact());
+    h.write_str(&program.files.to_json().to_string_compact());
+    h.finish()
+}
+
+/// One per-procedure cache entry on disk.
+struct CacheEntry {
+    version: i64,
+    proc: Procedure,
+    cells: Vec<RecordedCell>,
+}
+
+titanc_il::struct_json!(CacheEntry, [version, proc, cells]);
+
+/// One aggregate pass record in the session manifest (a serializable
+/// [`PassRecord`] minus the wall-clock duration).
+struct ManifestRecord {
+    name: String,
+    delta: Reports,
+    changed: bool,
+    cache: crate::CacheStats,
+    skipped: u64,
+    faulted: u64,
+}
+
+titanc_il::struct_json!(
+    ManifestRecord,
+    [name, delta, changed, cache, skipped, faulted]
+);
+
+/// The session manifest: everything a fully warm run needs beyond the
+/// per-procedure entries.
+struct Manifest {
+    version: i64,
+    records: Vec<ManifestRecord>,
+    globals: Vec<VarInfo>,
+    structs: Vec<StructDef>,
+    files: Vec<String>,
+}
+
+titanc_il::struct_json!(Manifest, [version, records, globals, structs, files]);
+
+fn entry_path(dir: &Path, hash: &StableHash) -> PathBuf {
+    dir.join(format!("{}.json", hash.hex()))
+}
+
+fn manifest_path(dir: &Path, key: &StableHash) -> PathBuf {
+    dir.join(format!("session-{}.json", key.hex()))
+}
+
+/// Loads one entry; any failure (missing, corrupt, version skew, name
+/// mismatch) is a miss.
+fn load_entry(dir: &Path, hash: &StableHash, name: &str) -> Option<(Procedure, Vec<RecordedCell>)> {
+    let text = std::fs::read_to_string(entry_path(dir, hash)).ok()?;
+    let doc = titanc_il::json::parse(&text).ok()?;
+    let entry = CacheEntry::from_json(&doc).ok()?;
+    (entry.version == ENTRY_VERSION && entry.proc.name == name).then_some((entry.proc, entry.cells))
+}
+
+/// Reconstructs a fully warm compilation: the program from the manifest
+/// environment plus per-procedure entries, the trace records with zero
+/// durations, and the aggregate reports re-merged from the per-pass
+/// deltas. `None` on any mismatch — the caller compiles for real.
+fn load_full_warm(
+    dir: &Path,
+    key: &StableHash,
+    program: &Program,
+    hashes: &[StableHash],
+    pipeline: &Pipeline,
+) -> Option<(Program, Reports, PassTrace)> {
+    let text = std::fs::read_to_string(manifest_path(dir, key)).ok()?;
+    let manifest = Manifest::from_json(&titanc_il::json::parse(&text).ok()?).ok()?;
+    if manifest.version != ENTRY_VERSION {
+        return None;
+    }
+    let names = pipeline.pass_names();
+    if manifest.records.len() != names.len() {
+        return None;
+    }
+    let mut reports = Reports::default();
+    let mut trace = PassTrace::default();
+    for (i, rec) in manifest.records.into_iter().enumerate() {
+        // the replayed record borrows the pipeline's static pass name;
+        // the fingerprint in the key guarantees the sequences agree
+        if rec.name != names[i] {
+            return None;
+        }
+        reports.merge(rec.delta.clone());
+        trace.records.push(PassRecord {
+            name: names[i],
+            duration: Duration::ZERO,
+            delta: rec.delta,
+            changed: rec.changed,
+            cache: rec.cache,
+            skipped_procs: rec.skipped as usize,
+            faulted_procs: rec.faulted as usize,
+        });
+    }
+    let mut procs = Vec::with_capacity(program.procs.len());
+    for (p, h) in program.procs.iter().zip(hashes) {
+        let (il, _) = load_entry(dir, h, &p.name)?;
+        procs.push(il);
+    }
+    Some((
+        Program {
+            procs,
+            globals: manifest.globals,
+            structs: manifest.structs,
+            files: manifest.files,
+        },
+        reports,
+        trace,
+    ))
+}
+
+/// Persists the run: per-procedure entries for cleanly compiled misses,
+/// the session manifest when every procedure is covered, and the name →
+/// key index that powers invalidation accounting. All failures are
+/// swallowed — the cache is an accelerator, never a correctness risk.
+#[allow(clippy::too_many_arguments)]
+fn persist(
+    dir: &Path,
+    program: &Program,
+    hashes: &[StableHash],
+    pipeline: &Pipeline,
+    reports: &Reports,
+    trace: &PassTrace,
+    replay: &SessionReplay,
+    proc_stages: usize,
+    index: &mut BTreeMap<String, String>,
+    options: &Options,
+    pipeline_fp: &str,
+) {
+    let _ = reports;
+    if trace.has_incidents() || program.procs.len() != hashes.len() {
+        // a degraded program must never be served from the cache, and a
+        // pass that changed the procedure count leaves the keys stale
+        return;
+    }
+    let mut all_cached = true;
+    for (p, h) in program.procs.iter().zip(hashes) {
+        if replay.replayed.contains(&p.name) {
+            index.insert(p.name.clone(), h.hex());
+            continue;
+        }
+        match replay.recorded.get(&p.name) {
+            Some(cells) if cells.len() == proc_stages && !replay.uncacheable.contains(&p.name) => {
+                let entry = CacheEntry {
+                    version: ENTRY_VERSION,
+                    proc: p.clone(),
+                    cells: cells.clone(),
+                };
+                if std::fs::write(entry_path(dir, h), entry.to_json().to_string_compact()).is_ok() {
+                    index.insert(p.name.clone(), h.hex());
+                } else {
+                    all_cached = false;
+                }
+            }
+            _ => all_cached = false,
+        }
+    }
+    let healthy = trace
+        .records
+        .iter()
+        .all(|r| r.skipped_procs == 0 && r.faulted_procs == 0);
+    if all_cached && healthy {
+        let records = trace
+            .records
+            .iter()
+            .map(|r| ManifestRecord {
+                name: r.name.to_string(),
+                delta: r.delta.clone(),
+                changed: r.changed,
+                cache: r.cache,
+                skipped: r.skipped_procs as u64,
+                faulted: r.faulted_procs as u64,
+            })
+            .collect();
+        let manifest = Manifest {
+            version: ENTRY_VERSION,
+            records,
+            globals: program.globals.clone(),
+            structs: program.structs.clone(),
+            files: program.files.clone(),
+        };
+        // the manifest key must match what the *next* run computes from
+        // its parsed program; `hashes` came from exactly that program
+        let key = {
+            let mut h = StableHasher::new();
+            h.write_str(CACHE_FORMAT);
+            h.write_str(&options_fingerprint(options));
+            h.write_str(pipeline_fp);
+            for (p, ph) in program.procs.iter().zip(hashes) {
+                h.write_str(&p.name);
+                h.write_str(&ph.hex());
+            }
+            h
+        };
+        let _ = pipeline;
+        let _ = std::fs::write(
+            manifest_path(dir, &key_with_env(key, program)),
+            manifest.to_json().to_string_compact(),
+        );
+    }
+    save_index(dir, index);
+}
+
+/// Folds the parsed-program environment into a partially built session
+/// key. **Caution:** the post-pipeline program's globals can differ from
+/// the parsed program's (inlining externalizes statics), so the caller
+/// must fold in the *parsed* environment — see [`persist`].
+fn key_with_env(mut h: StableHasher, program: &Program) -> StableHash {
+    h.write_str(&program.globals.to_json().to_string_compact());
+    h.write_str(&program.structs.to_json().to_string_compact());
+    h.write_str(&program.files.to_json().to_string_compact());
+    h.finish()
+}
+
+fn index_path(dir: &Path) -> PathBuf {
+    dir.join("index.json")
+}
+
+/// The name → key index (invalidation accounting only; lookups never
+/// depend on it).
+fn load_index(dir: &Path) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(index_path(dir)) else {
+        return map;
+    };
+    let Ok(doc) = titanc_il::json::parse(&text) else {
+        return map;
+    };
+    if let Some(Json::Obj(pairs)) = doc.get("procs") {
+        for (k, v) in pairs {
+            if let Ok(s) = v.as_str() {
+                map.insert(k.clone(), s.to_string());
+            }
+        }
+    }
+    map
+}
+
+fn save_index(dir: &Path, map: &BTreeMap<String, String>) {
+    let obj = Json::obj(vec![(
+        "procs",
+        Json::Obj(
+            map.iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        ),
+    )]);
+    let _ = std::fs::write(index_path(dir), obj.to_string_compact());
+}

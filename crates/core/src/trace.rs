@@ -134,14 +134,27 @@ pub struct OptReport {
     pub inline: Vec<InlineEvent>,
     /// The compilation counters.
     pub counters: Counters,
+    /// The program's file table, for resolving span origin tags: a span
+    /// tagged `f > 0` originated in `files[f - 1]` (a linked catalog or
+    /// another session TU), not the current translation unit.
+    pub files: Vec<String>,
 }
 
 impl OptReport {
+    /// [`OptReport::build_for`] without a file table; origin-tagged
+    /// spans render with their bare `@fN` tag.
+    pub fn build(reports: &Reports, trace: &PassTrace) -> OptReport {
+        OptReport::build_for(reports, trace, &[])
+    }
+
     /// Correlates the decision events of one compilation into the
-    /// per-loop report. Deterministic: events arrive in the pass
+    /// per-loop report, resolving span origin tags against `files` (the
+    /// program's file table) so loops and call sites that arrived via a
+    /// catalog or another session TU are attributed to the file they
+    /// were written in. Deterministic: events arrive in the pass
     /// manager's pass-major, procedure-order merge, and grouping
     /// preserves first-seen order.
-    pub fn build(reports: &Reports, trace: &PassTrace) -> OptReport {
+    pub fn build_for(reports: &Reports, trace: &PassTrace, files: &[String]) -> OptReport {
         let mut loops: Vec<LoopReport> = Vec::new();
         // (proc, span) -> index in `loops`; linear scan keeps first-seen
         // order without hashing a float-free key type
@@ -192,6 +205,25 @@ impl OptReport {
             loops,
             inline,
             counters: Counters::from_run(reports, trace),
+            files: files.to_vec(),
+        }
+    }
+
+    /// The origin file a span's tag resolves to, when it has one.
+    fn origin(&self, span: &SrcSpan) -> Option<&str> {
+        (span.file != 0)
+            .then(|| self.files.get(span.file as usize - 1))
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// A span rendered for the report: `file:line:col` when the origin
+    /// tag resolves, the span's own `Display` (`line:col`, or
+    /// `line:col@fN` for an unresolvable tag) otherwise.
+    fn span_label(&self, span: &SrcSpan) -> String {
+        match self.origin(span) {
+            Some(file) => format!("{file}:{}:{}", span.line, span.col),
+            None => span.to_string(),
         }
     }
 
@@ -213,10 +245,11 @@ impl OptReport {
         for proc in seen_procs {
             let _ = writeln!(out, "{proc}:");
             for l in self.loops.iter().filter(|l| l.proc == proc) {
+                let at = self.span_label(&l.span);
                 let head = if l.var.is_empty() {
-                    format!("loop at {}", l.span)
+                    format!("loop at {at}")
                 } else {
-                    format!("loop on `{}` at {}", l.var, l.span)
+                    format!("loop on `{}` at {at}", l.var)
                 };
                 match &l.reason {
                     Some(r) => {
@@ -234,7 +267,14 @@ impl OptReport {
         if !self.inline.is_empty() {
             out.push_str("inline decisions:\n");
             for e in &self.inline {
-                let _ = writeln!(out, "  {e}");
+                let _ = writeln!(
+                    out,
+                    "  call {}→{} at {}: {}",
+                    e.caller,
+                    e.callee,
+                    self.span_label(&e.span),
+                    e.outcome
+                );
             }
         }
         out.push_str("counters:\n");
@@ -255,6 +295,9 @@ impl OptReport {
                     ("col", Json::Int(i64::from(l.span.col))),
                     ("classification", Json::Str(l.classification.to_string())),
                 ];
+                if let Some(file) = self.origin(&l.span) {
+                    fields.push(("file", Json::Str(file.to_string())));
+                }
                 if let Some(r) = &l.reason {
                     fields.push(("reason", Json::Str(r.clone())));
                 }
@@ -279,14 +322,18 @@ impl OptReport {
             .inline
             .iter()
             .map(|e| {
-                Json::obj(vec![
+                let mut fields = vec![
                     ("caller", Json::Str(e.caller.clone())),
                     ("callee", Json::Str(e.callee.clone())),
                     ("line", Json::Int(i64::from(e.span.line))),
                     ("col", Json::Int(i64::from(e.span.col))),
-                    ("outcome", Json::Str(e.outcome.tag().to_string())),
-                    ("detail", Json::Str(e.outcome.to_string())),
-                ])
+                ];
+                if let Some(file) = self.origin(&e.span) {
+                    fields.push(("file", Json::Str(file.to_string())));
+                }
+                fields.push(("outcome", Json::Str(e.outcome.tag().to_string())));
+                fields.push(("detail", Json::Str(e.outcome.to_string())));
+                Json::obj(fields)
             })
             .collect();
         Json::obj(vec![

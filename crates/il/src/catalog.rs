@@ -24,6 +24,23 @@ pub struct Catalog {
     /// Globals the procedures reference — including statics that were
     /// externalized when the procedure was cataloged (§7).
     pub globals: Vec<VarInfo>,
+    /// Origin file table for span file tags carried by the stored
+    /// procedures (mirrors [`Program::files`]). Legacy catalogs without
+    /// the field decode to an empty table.
+    pub files: Vec<String>,
+}
+
+/// What [`Catalog::link_into`] did — the caller turns `shadowed` into
+/// diagnostics naming both origins (the IL crate has no diagnostic sink).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct LinkReport {
+    /// Procedure names newly added from the catalog.
+    pub added: Vec<String>,
+    /// Catalog procedures dropped because the program already defines the
+    /// name — earlier definitions win (TU first, then catalogs in CLI
+    /// order), so a repeated or overlapping `--catalog` must warn rather
+    /// than silently shadow.
+    pub shadowed: Vec<String>,
 }
 
 impl Catalog {
@@ -42,6 +59,7 @@ impl Catalog {
             procs: prog.procs.clone(),
             structs: prog.structs.clone(),
             globals: prog.globals.clone(),
+            files: prog.files.clone(),
         }
     }
 
@@ -57,13 +75,18 @@ impl Catalog {
 
     /// Serializes the catalog to a JSON string.
     pub fn to_json(&self) -> String {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("name", self.name.to_json()),
             ("procs", self.procs.to_json()),
             ("structs", self.structs.to_json()),
             ("globals", self.globals.to_json()),
-        ])
-        .to_string_compact()
+        ];
+        if !self.files.is_empty() {
+            // emitted only when present so catalogs without cross-file
+            // spans keep the legacy shape
+            pairs.push(("files", self.files.to_json()));
+        }
+        Json::obj(pairs).to_string_compact()
     }
 
     /// Parses a catalog from JSON.
@@ -78,6 +101,11 @@ impl Catalog {
             procs: Vec::from_json(doc.field("procs")?)?,
             structs: Vec::from_json(doc.field("structs")?)?,
             globals: Vec::from_json(doc.field("globals")?)?,
+            // legacy catalogs predate the file table
+            files: match doc.get("files") {
+                Some(f) => Vec::from_json(f)?,
+                None => Vec::new(),
+            },
         })
     }
 
@@ -102,13 +130,22 @@ impl Catalog {
     }
 
     /// Links every procedure, struct and global of the catalog into `prog`
-    /// (procedures already present by name are left untouched).
+    /// (procedures already present by name are left untouched — earlier
+    /// definitions win). The returned [`LinkReport`] names both the added
+    /// and the shadowed procedures so the driver can diagnose overlapping
+    /// `--catalog` flags instead of shadowing silently.
+    ///
+    /// Spans of linked procedures are retagged into `prog`'s file table:
+    /// the catalog's own origin files carry over, and spans from the
+    /// catalog's "current TU" are attributed to the catalog itself — so
+    /// `--opt-report` never charges a catalog loop to the consumer TU's
+    /// line numbers.
     ///
     /// Struct ids are *not* remapped: catalogs produced against the same
     /// front-end session share the program's struct table; catalogs with
     /// their own structs append them. This mirrors the paper's scheme of
     /// self-contained relocatable tables.
-    pub fn link_into(&self, prog: &mut Program) {
+    pub fn link_into(&self, prog: &mut Program) -> LinkReport {
         for g in &self.globals {
             prog.ensure_global(g.clone());
         }
@@ -117,11 +154,27 @@ impl Catalog {
                 prog.structs.push(sd.clone());
             }
         }
+        let mut report = LinkReport::default();
+        // tag map, built once a procedure is actually added: the
+        // catalog's tag 0 becomes a tag naming the catalog, its own file
+        // table entries carry over under fresh tags
+        let mut map: Option<Vec<u32>> = None;
         for p in &self.procs {
-            if prog.proc_by_name(&p.name).is_none() {
-                prog.add_proc(p.clone());
+            if prog.proc_by_name(&p.name).is_some() {
+                report.shadowed.push(p.name.clone());
+                continue;
             }
+            let map = map.get_or_insert_with(|| {
+                let mut m = vec![prog.intern_file(&self.name)];
+                m.extend(self.files.iter().map(|f| prog.intern_file(f)));
+                m
+            });
+            let mut p = p.clone();
+            p.retag_spans(map);
+            report.added.push(p.name.clone());
+            prog.add_proc(p);
         }
+        report
     }
 }
 
@@ -144,6 +197,7 @@ mod tests {
         let mut c = Catalog::new("blas");
         c.add(sample_proc("daxpy"));
         c.add(sample_proc("ddot"));
+        c.files.push("blas.c".into());
         let json = c.to_json();
         let back = Catalog::from_json(&json).unwrap();
         assert_eq!(c, back);
@@ -172,11 +226,35 @@ mod tests {
         let mut c = Catalog::new("blas");
         c.add(sample_proc("daxpy"));
         c.add(sample_proc("ddot"));
-        c.link_into(&mut prog);
+        let report = c.link_into(&mut prog);
 
         assert_eq!(prog.procs.len(), 2);
         assert_eq!(prog.proc_by_name("daxpy").unwrap().ret, Type::Void);
         assert!(prog.proc_by_name("ddot").is_some());
+        // the shadowing is reported, not silent
+        assert_eq!(report.shadowed, vec!["daxpy".to_string()]);
+        assert_eq!(report.added, vec!["ddot".to_string()]);
+    }
+
+    #[test]
+    fn link_retags_spans_to_the_catalog_origin() {
+        use crate::span::SrcSpan;
+        use crate::stmt::StmtKind;
+
+        let mut c = Catalog::new("blas");
+        let mut p = sample_proc("daxpy");
+        let s = p.stamp_at(StmtKind::Nop, SrcSpan::new(12, 3));
+        p.body.insert(0, s);
+        c.add(p);
+
+        let mut prog = Program::new();
+        prog.intern_file("other.c"); // occupy tag 1
+        c.link_into(&mut prog);
+
+        let linked = prog.proc_by_name("daxpy").unwrap();
+        let tag = linked.body[0].span.file;
+        assert_ne!(tag, 0, "catalog spans must not claim the current TU");
+        assert_eq!(prog.file_name(tag), Some("blas"));
     }
 
     #[test]

@@ -281,6 +281,32 @@ impl FromJson for LValue {
     }
 }
 
+impl ToJson for SrcSpan {
+    fn to_json(&self) -> Json {
+        // `[line, col]` for current-TU spans, `[line, col, file]` once an
+        // origin tag is attached — legacy two-element spans stay valid
+        let mut arr = vec![
+            Json::Int(i64::from(self.line)),
+            Json::Int(i64::from(self.col)),
+        ];
+        if self.file != 0 {
+            arr.push(Json::Int(i64::from(self.file)));
+        }
+        Json::Arr(arr)
+    }
+}
+
+impl FromJson for SrcSpan {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_arr()? {
+            [line, col] => Ok(SrcSpan::new(u32::from_json(line)?, u32::from_json(col)?)),
+            [line, col, file] => Ok(SrcSpan::new(u32::from_json(line)?, u32::from_json(col)?)
+                .in_file(u32::from_json(file)?)),
+            _ => Err(bad("span", "expected [line, col] or [line, col, file]")),
+        }
+    }
+}
+
 impl ToJson for Stmt {
     fn to_json(&self) -> Json {
         let mut pairs = vec![("id", self.id.to_json()), ("kind", self.kind.to_json())];
@@ -288,13 +314,7 @@ impl ToJson for Stmt {
             // spans are emitted only when present so catalogs of
             // synthesized procedures stay compact (and older catalogs,
             // which predate spans, decode unchanged)
-            pairs.push((
-                "span",
-                Json::Arr(vec![
-                    Json::Int(i64::from(self.span.line)),
-                    Json::Int(i64::from(self.span.col)),
-                ]),
-            ));
+            pairs.push(("span", self.span.to_json()));
         }
         Json::obj(pairs)
     }
@@ -303,13 +323,7 @@ impl ToJson for Stmt {
 impl FromJson for Stmt {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         let span = match v.get("span") {
-            Some(s) => {
-                let arr = s.as_arr()?;
-                if arr.len() != 2 {
-                    return Err(bad("span", "expected [line, col]"));
-                }
-                SrcSpan::new(u32::from_json(&arr[0])?, u32::from_json(&arr[1])?)
-            }
+            Some(s) => SrcSpan::from_json(s)?,
             None => SrcSpan::NONE,
         };
         Ok(Stmt {
@@ -668,6 +682,24 @@ mod tests {
             let back = Stmt::from_json(&crate::json::parse(&text).unwrap()).unwrap();
             assert_eq!(s, back);
         }
+    }
+
+    #[test]
+    fn span_file_tag_roundtrips_and_legacy_spans_decode() {
+        // tagged span: three-element form
+        let s = Stmt::new_at(StmtId(1), StmtKind::Nop, SrcSpan::new(4, 9).in_file(2));
+        let text = s.to_json().to_string_compact();
+        assert!(text.contains("[4,9,2]"), "{text}");
+        let back = Stmt::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(s, back);
+        // current-TU span: unchanged two-element form
+        let s = Stmt::new_at(StmtId(1), StmtKind::Nop, SrcSpan::new(4, 9));
+        let text = s.to_json().to_string_compact();
+        assert!(text.contains("[4,9]"), "{text}");
+        // legacy span-free statements still decode
+        let doc = crate::json::parse("{\"id\":3,\"kind\":\"Nop\"}").unwrap();
+        let back = Stmt::from_json(&doc).unwrap();
+        assert_eq!(back.span, SrcSpan::NONE);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Stable content hashing for cache keys.
+//!
+//! The persistent compilation cache keys a procedure's optimized IL by a
+//! content hash of its parsed encoding plus the option/pipeline
+//! fingerprints. The hash must be stable across runs, platforms and
+//! compiler versions of `titanc` itself — so it is defined over the
+//! canonical JSON encoding bytes (which `encode.rs` keeps deterministic)
+//! with a fixed algorithm, rather than over `std::hash` (whose output is
+//! explicitly unspecified and seeded per-process for `HashMap`).
+//!
+//! The algorithm is 128-bit FNV-1a: dependency-free, endian-independent
+//! (it consumes bytes), and wide enough that accidental collisions
+//! between cache keys are not a practical concern.
+
+use std::fmt;
+
+/// 128-bit FNV-1a offset basis.
+const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime.
+const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An incremental 128-bit FNV-1a hasher.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { state: OFFSET }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a string, length-prefixed so concatenations can't collide
+    /// (`"ab" + "c"` vs `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> StableHash {
+        StableHash(self.state)
+    }
+}
+
+/// A finished 128-bit stable digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StableHash(pub u128);
+
+impl StableHash {
+    /// Hashes a single string in one call.
+    pub fn of_str(s: &str) -> StableHash {
+        let mut h = StableHasher::new();
+        h.write_str(s);
+        h.finish()
+    }
+
+    /// The digest as 32 lowercase hex digits (cache file names).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for StableHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // 128-bit FNV-1a of the empty input is the offset basis
+        assert_eq!(StableHasher::new().finish().0, OFFSET);
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        // independently computed: offset ^ 'a' then * prime
+        let expected = (OFFSET ^ u128::from(b'a')).wrapping_mul(PRIME);
+        assert_eq!(h.finish().0, expected);
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(StableHash::of_str("daxpy"), StableHash::of_str("daxpy"));
+        assert_ne!(StableHash::of_str("daxpy"), StableHash::of_str("ddot"));
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_32_digits() {
+        let h = StableHash::of_str("x").hex();
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -542,6 +542,44 @@ impl FromJson for u32 {
     }
 }
 
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Int(i64::try_from(*self).unwrap_or(i64::MAX))
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u64::try_from(v.as_i64()?).map_err(|_| JsonError::new("u64 out of range"))
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a plain struct as an object
+/// with one key per listed field, in order. Every field type must itself
+/// implement both traits; the field list must be exhaustive (decode
+/// constructs the struct literally). Downstream crates use this for
+/// their per-pass report types so optimization results can persist in
+/// the session cache.
+#[macro_export]
+macro_rules! struct_json {
+    ($ty:ty, [$($field:ident),+ $(,)?]) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::obj(vec![
+                    $((stringify!($field), $crate::json::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self {
+                    $($field: $crate::json::FromJson::from_json(v.field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,7 @@ pub mod catalog;
 pub mod encode;
 pub mod expr;
 pub mod fold;
+pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod pretty;
@@ -65,9 +66,10 @@ pub mod verify;
 pub mod visit;
 
 pub use builder::{BlockBuilder, ProcBuilder};
-pub use catalog::Catalog;
+pub use catalog::{Catalog, LinkReport};
 pub use expr::{BinOp, Expr, LValue, UnOp};
 pub use fold::{fold_expr, Value};
+pub use hash::{StableHash, StableHasher};
 pub use ids::{LabelId, ProcId, StmtId, StructId, VarId};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pretty::{pretty_block, pretty_expr, pretty_proc};

@@ -324,6 +324,33 @@ impl Procedure {
         });
         out
     }
+
+    /// Iterates over every statement in the tree (preorder), mutably.
+    pub fn for_each_stmt_mut(&mut self, f: &mut dyn FnMut(&mut Stmt)) {
+        fn walk(block: &mut [Stmt], f: &mut dyn FnMut(&mut Stmt)) {
+            for s in block {
+                f(s);
+                for b in s.blocks_mut() {
+                    walk(b, f);
+                }
+            }
+        }
+        walk(&mut self.body, f);
+    }
+
+    /// Remaps the origin file tag of every known span through `map`
+    /// (`map[old_tag] = new_tag`). Used when a procedure crosses from a
+    /// catalog or another session TU into a program whose file table
+    /// numbers origins differently. Tags beyond `map` are left alone.
+    pub fn retag_spans(&mut self, map: &[u32]) {
+        self.for_each_stmt_mut(&mut |s| {
+            if s.span.is_known() {
+                if let Some(&new) = map.get(s.span.file as usize) {
+                    s.span.file = new;
+                }
+            }
+        });
+    }
 }
 
 /// A whole program: procedures, globals, struct layouts.
@@ -336,6 +363,9 @@ pub struct Program {
     pub globals: Vec<VarInfo>,
     /// Struct layouts.
     pub structs: Vec<StructDef>,
+    /// Origin file table for span file tags: a span with `file == f > 0`
+    /// originated in `files[f - 1]`; `file == 0` is the current TU.
+    pub files: Vec<String>,
 }
 
 impl Program {
@@ -374,6 +404,26 @@ impl Program {
     /// Looks up a global by name.
     pub fn global_by_name(&self, name: &str) -> Option<&VarInfo> {
         self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Interns an origin file name, returning its span file tag (`> 0`).
+    pub fn intern_file(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.files.iter().position(|f| f == name) {
+            (i + 1) as u32
+        } else {
+            self.files.push(name.to_string());
+            self.files.len() as u32
+        }
+    }
+
+    /// Resolves a span file tag to its origin file name (`None` for the
+    /// current TU or an out-of-range tag).
+    pub fn file_name(&self, tag: u32) -> Option<&str> {
+        if tag == 0 {
+            None
+        } else {
+            self.files.get(tag as usize - 1).map(String::as_str)
+        }
     }
 
     /// The size of struct `sid` in bytes.
@@ -531,6 +581,30 @@ mod tests {
             rhs: Expr::int(0),
         });
         assert_eq!(p.body[0].defined_var(), Some(t));
+    }
+
+    #[test]
+    fn intern_file_dedups_and_resolves() {
+        let mut prog = Program::new();
+        let a = prog.intern_file("a.c");
+        let b = prog.intern_file("b.c");
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_eq!(prog.intern_file("a.c"), a);
+        assert_eq!(prog.file_name(a), Some("a.c"));
+        assert_eq!(prog.file_name(0), None);
+        assert_eq!(prog.file_name(99), None);
+    }
+
+    #[test]
+    fn retag_spans_remaps_known_spans_only() {
+        let mut p = Procedure::new("f", Type::Void);
+        let s = p.stamp_at(StmtKind::Nop, crate::span::SrcSpan::new(3, 1));
+        p.body.push(s);
+        p.push(StmtKind::Nop); // synthesized, span unknown
+        p.retag_spans(&[2]);
+        assert_eq!(p.body[0].span.file, 2);
+        assert_eq!(p.body[1].span.file, 0, "unknown spans keep tag 0");
     }
 
     #[test]

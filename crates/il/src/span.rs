@@ -7,6 +7,13 @@
 //! over pretty-printed IL. [`SrcSpan`] is the IL-side mirror of the
 //! front end's span type — a plain (line, column) pair, 1-based, with
 //! `(0, 0)` meaning "no position" (compiler-synthesized statements).
+//!
+//! Spans also carry an *origin file tag* so positions stay meaningful
+//! once procedures cross translation units (catalog linking, multi-file
+//! sessions). Tag `0` means "the current TU"; a tag `f > 0` names entry
+//! `f - 1` of the owning [`crate::Program`]'s file table. Without the
+//! tag, a loop inlined from `blas.c` would be reported against the
+//! consumer TU's line numbers.
 
 use std::fmt;
 
@@ -19,15 +26,28 @@ pub struct SrcSpan {
     pub line: u32,
     /// 1-based source column (0 = unknown).
     pub col: u32,
+    /// Origin file tag: `0` is the current translation unit, `f > 0`
+    /// indexes entry `f - 1` of the owning program's file table (set
+    /// when the statement arrived via a catalog or another session TU).
+    pub file: u32,
 }
 
 impl SrcSpan {
     /// The "no position" span of compiler-synthesized statements.
-    pub const NONE: SrcSpan = SrcSpan { line: 0, col: 0 };
+    pub const NONE: SrcSpan = SrcSpan {
+        line: 0,
+        col: 0,
+        file: 0,
+    };
 
-    /// Builds a span from a 1-based line/column pair.
+    /// Builds a span from a 1-based line/column pair in the current TU.
     pub fn new(line: u32, col: u32) -> SrcSpan {
-        SrcSpan { line, col }
+        SrcSpan { line, col, file: 0 }
+    }
+
+    /// The same position, tagged as originating in file `file`.
+    pub fn in_file(self, file: u32) -> SrcSpan {
+        SrcSpan { file, ..self }
     }
 
     /// True when the span carries a real source position.
@@ -38,10 +58,14 @@ impl SrcSpan {
 
 impl fmt::Display for SrcSpan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_known() {
-            write!(f, "{}:{}", self.line, self.col)
-        } else {
+        if !self.is_known() {
             f.write_str("?:?")
+        } else if self.file != 0 {
+            // the bare tag — resolving it to a file name needs the
+            // program's file table, which the correlator has
+            write!(f, "{}:{}@f{}", self.line, self.col, self.file)
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
         }
     }
 }
@@ -61,11 +85,20 @@ mod tests {
     fn displays_position() {
         assert_eq!(SrcSpan::new(4, 9).to_string(), "4:9");
         assert_eq!(SrcSpan::NONE.to_string(), "?:?");
+        assert_eq!(SrcSpan::new(4, 9).in_file(2).to_string(), "4:9@f2");
     }
 
     #[test]
     fn orders_by_line_then_col() {
         assert!(SrcSpan::new(2, 9) < SrcSpan::new(3, 1));
         assert!(SrcSpan::new(3, 1) < SrcSpan::new(3, 2));
+    }
+
+    #[test]
+    fn file_tag_distinguishes_origins() {
+        let here = SrcSpan::new(7, 1);
+        let there = here.in_file(1);
+        assert_ne!(here, there);
+        assert!(there.is_known());
     }
 }

@@ -13,8 +13,16 @@
 //! `titanc-opt`, `titanc-vector` and `titanc-inline` can all produce
 //! them without depending on each other.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::span::SrcSpan;
 use std::fmt;
+
+fn bad(what: &str, got: &str) -> JsonError {
+    JsonError {
+        message: format!("unknown {what} `{got}`"),
+        offset: 0,
+    }
+}
 
 /// What one pass decided about one loop.
 #[derive(Clone, PartialEq, Debug)]
@@ -102,6 +110,55 @@ impl fmt::Display for LoopDecision {
     }
 }
 
+impl ToJson for LoopDecision {
+    fn to_json(&self) -> Json {
+        match self {
+            LoopDecision::DoConverted => Json::Str("DoConverted".into()),
+            LoopDecision::DoRejected(why) => Json::tagged("DoRejected", why.to_json()),
+            LoopDecision::IvSubstituted { substituted } => {
+                Json::tagged("IvSubstituted", substituted.to_json())
+            }
+            LoopDecision::Vectorized {
+                stripped,
+                parallel,
+                residual,
+            } => Json::tagged(
+                "Vectorized",
+                Json::obj(vec![
+                    ("stripped", stripped.to_json()),
+                    ("parallel", parallel.to_json()),
+                    ("residual", residual.to_json()),
+                ]),
+            ),
+            LoopDecision::Parallelized => Json::Str("Parallelized".into()),
+            LoopDecision::ListSpread => Json::Str("ListSpread".into()),
+            LoopDecision::Scalar(why) => Json::tagged("Scalar", why.to_json()),
+        }
+    }
+}
+
+impl FromJson for LoopDecision {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        match (tag, payload) {
+            ("DoConverted", None) => Ok(LoopDecision::DoConverted),
+            ("DoRejected", Some(p)) => Ok(LoopDecision::DoRejected(String::from_json(p)?)),
+            ("IvSubstituted", Some(p)) => Ok(LoopDecision::IvSubstituted {
+                substituted: usize::from_json(p)?,
+            }),
+            ("Vectorized", Some(p)) => Ok(LoopDecision::Vectorized {
+                stripped: bool::from_json(p.field("stripped")?)?,
+                parallel: bool::from_json(p.field("parallel")?)?,
+                residual: bool::from_json(p.field("residual")?)?,
+            }),
+            ("Parallelized", None) => Ok(LoopDecision::Parallelized),
+            ("ListSpread", None) => Ok(LoopDecision::ListSpread),
+            ("Scalar", Some(p)) => Ok(LoopDecision::Scalar(String::from_json(p)?)),
+            _ => Err(bad("loop decision", tag)),
+        }
+    }
+}
+
 /// One pass's decision about one loop, anchored to the loop's position in
 /// the source.
 #[derive(Clone, PartialEq, Debug)]
@@ -116,6 +173,28 @@ pub struct LoopEvent {
     pub span: SrcSpan,
     /// What the pass decided.
     pub decision: LoopDecision,
+}
+
+impl ToJson for LoopEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("proc", self.proc.to_json()),
+            ("var", self.var.to_json()),
+            ("span", self.span.to_json()),
+            ("decision", self.decision.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LoopEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(LoopEvent {
+            proc: String::from_json(v.field("proc")?)?,
+            var: String::from_json(v.field("var")?)?,
+            span: SrcSpan::from_json(v.field("span")?)?,
+            decision: LoopDecision::from_json(v.field("decision")?)?,
+        })
+    }
 }
 
 /// What the inliner decided about one call site.
@@ -172,6 +251,51 @@ impl fmt::Display for InlineOutcome {
     }
 }
 
+impl ToJson for InlineOutcome {
+    fn to_json(&self) -> Json {
+        match self {
+            InlineOutcome::Expanded => Json::Str("Expanded".into()),
+            InlineOutcome::SkippedRecursive => Json::Str("SkippedRecursive".into()),
+            InlineOutcome::SkippedSize { callee_len, cap } => Json::tagged(
+                "SkippedSize",
+                Json::obj(vec![
+                    ("callee_len", callee_len.to_json()),
+                    ("cap", cap.to_json()),
+                ]),
+            ),
+            InlineOutcome::SkippedGrowth {
+                program_len,
+                budget,
+            } => Json::tagged(
+                "SkippedGrowth",
+                Json::obj(vec![
+                    ("program_len", program_len.to_json()),
+                    ("budget", budget.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for InlineOutcome {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = v.variant()?;
+        match (tag, payload) {
+            ("Expanded", None) => Ok(InlineOutcome::Expanded),
+            ("SkippedRecursive", None) => Ok(InlineOutcome::SkippedRecursive),
+            ("SkippedSize", Some(p)) => Ok(InlineOutcome::SkippedSize {
+                callee_len: usize::from_json(p.field("callee_len")?)?,
+                cap: usize::from_json(p.field("cap")?)?,
+            }),
+            ("SkippedGrowth", Some(p)) => Ok(InlineOutcome::SkippedGrowth {
+                program_len: usize::from_json(p.field("program_len")?)?,
+                budget: usize::from_json(p.field("budget")?)?,
+            }),
+            _ => Err(bad("inline outcome", tag)),
+        }
+    }
+}
+
 /// One inlining decision at one call site.
 #[derive(Clone, PartialEq, Debug)]
 pub struct InlineEvent {
@@ -183,6 +307,28 @@ pub struct InlineEvent {
     pub span: SrcSpan,
     /// What the inliner decided.
     pub outcome: InlineOutcome,
+}
+
+impl ToJson for InlineEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("caller", self.caller.to_json()),
+            ("callee", self.callee.to_json()),
+            ("span", self.span.to_json()),
+            ("outcome", self.outcome.to_json()),
+        ])
+    }
+}
+
+impl FromJson for InlineEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(InlineEvent {
+            caller: String::from_json(v.field("caller")?)?,
+            callee: String::from_json(v.field("callee")?)?,
+            span: SrcSpan::from_json(v.field("span")?)?,
+            outcome: InlineOutcome::from_json(v.field("outcome")?)?,
+        })
+    }
 }
 
 impl fmt::Display for InlineEvent {
@@ -237,6 +383,57 @@ mod tests {
         let d = LoopDecision::Scalar("loop-carried flow dependence".into());
         assert_eq!(d.to_string(), "scalar: loop-carried flow dependence");
         assert_eq!(d.tag(), "scalar");
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let loops = vec![
+            LoopDecision::DoConverted,
+            LoopDecision::DoRejected("branch into body".into()),
+            LoopDecision::IvSubstituted { substituted: 2 },
+            LoopDecision::Vectorized {
+                stripped: true,
+                parallel: false,
+                residual: true,
+            },
+            LoopDecision::Parallelized,
+            LoopDecision::ListSpread,
+            LoopDecision::Scalar("volatile access".into()),
+        ];
+        for decision in loops {
+            let e = LoopEvent {
+                proc: "main".into(),
+                var: "i".into(),
+                span: SrcSpan::new(7, 5).in_file(1),
+                decision,
+            };
+            let text = e.to_json().to_string_compact();
+            let back = LoopEvent::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(e, back);
+        }
+        let outcomes = vec![
+            InlineOutcome::Expanded,
+            InlineOutcome::SkippedRecursive,
+            InlineOutcome::SkippedSize {
+                callee_len: 500,
+                cap: 400,
+            },
+            InlineOutcome::SkippedGrowth {
+                program_len: 900,
+                budget: 800,
+            },
+        ];
+        for outcome in outcomes {
+            let e = InlineEvent {
+                caller: "main".into(),
+                callee: "daxpy".into(),
+                span: SrcSpan::new(12, 3),
+                outcome,
+            };
+            let text = e.to_json().to_string_compact();
+            let back = InlineEvent::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(e, back);
+        }
     }
 
     #[test]

@@ -114,6 +114,18 @@ impl InlineReport {
     }
 }
 
+titanc_il::struct_json!(
+    InlineReport,
+    [
+        inlined,
+        skipped_recursive,
+        skipped_size,
+        skipped_growth,
+        statics_externalized,
+        events,
+    ]
+);
+
 /// Links a catalog into the program (§7's database-based inlining), then
 /// inlines.
 pub fn link_and_inline(

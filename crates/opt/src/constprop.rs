@@ -46,6 +46,11 @@ impl ConstPropReport {
     }
 }
 
+titanc_il::struct_json!(
+    ConstPropReport,
+    [replaced, removed, rounds, budget_exhausted]
+);
+
 /// Constant propagation with the §8 unreachable-code heuristic.
 pub fn constant_propagation(proc: &mut Procedure) -> ConstPropReport {
     run(proc, true, &mut ProcAnalyses::new())

@@ -35,6 +35,8 @@ impl CseReport {
     }
 }
 
+titanc_il::struct_json!(CseReport, [commoned, replaced]);
+
 /// Runs local CSE over every block of the procedure.
 pub fn local_cse(proc: &mut Procedure) -> CseReport {
     let mut report = CseReport::default();

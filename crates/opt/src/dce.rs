@@ -37,6 +37,8 @@ impl DceReport {
     }
 }
 
+titanc_il::struct_json!(DceReport, [removed, rounds, budget_exhausted]);
+
 /// Runs dead-code elimination to a fixpoint.
 pub fn eliminate_dead_code(proc: &mut Procedure) -> DceReport {
     eliminate_dead_code_cached(proc, &mut ProcAnalyses::new())

@@ -30,6 +30,8 @@ impl ForwardReport {
     }
 }
 
+titanc_il::struct_json!(ForwardReport, [substituted]);
+
 /// Runs forward substitution over every block of the procedure.
 pub fn forward_substitute(proc: &mut Procedure) -> ForwardReport {
     let mut report = ForwardReport::default();

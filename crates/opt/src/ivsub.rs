@@ -55,6 +55,11 @@ impl IvSubReport {
     }
 }
 
+titanc_il::struct_json!(
+    IvSubReport,
+    [substituted, passes, backtracks, budget_exhausted, events]
+);
+
 /// Runs induction-variable substitution on every DO loop of the procedure.
 pub fn induction_substitution(proc: &mut Procedure) -> IvSubReport {
     let mut report = IvSubReport::default();

@@ -18,6 +18,7 @@
 
 use crate::util::{defined_in, invariant_in, register_candidate, resolve_copy};
 use titanc_analysis::{loops, Cfg, ProcAnalyses};
+use titanc_il::json::{FromJson, Json, JsonError, ToJson};
 use titanc_il::{
     BinOp, Expr, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, Stmt, StmtId, StmtKind,
     Type, VarId,
@@ -94,6 +95,79 @@ impl WhileDoReport {
         self.converted += other.converted;
         self.rejects.extend(other.rejects);
         self.events.extend(other.events);
+    }
+}
+
+impl ToJson for Reject {
+    fn to_json(&self) -> Json {
+        // unit enum: the Debug name doubles as the JSON discriminant
+        Json::Str(format!("{self:?}"))
+    }
+}
+
+impl FromJson for Reject {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        const ALL: [Reject; 11] = [
+            Reject::BranchInto,
+            Reject::BranchOut,
+            Reject::HasReturn,
+            Reject::VolatileCond,
+            Reject::CondForm,
+            Reject::NotCandidate,
+            Reject::NoStep,
+            Reject::MultipleSteps,
+            Reject::VaryingBound,
+            Reject::VaryingStep,
+            Reject::Direction,
+        ];
+        let s = v.as_str()?;
+        ALL.iter()
+            .copied()
+            .find(|r| format!("{r:?}") == s)
+            .ok_or_else(|| JsonError {
+                message: format!("unknown reject `{s}`"),
+                offset: 0,
+            })
+    }
+}
+
+impl ToJson for WhileDoReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("converted", self.converted.to_json()),
+            (
+                "rejects",
+                Json::Arr(
+                    self.rejects
+                        .iter()
+                        .map(|(id, r)| Json::Arr(vec![id.to_json(), r.to_json()]))
+                        .collect(),
+                ),
+            ),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WhileDoReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut rejects = Vec::new();
+        for pair in v.field("rejects")?.as_arr()? {
+            match pair.as_arr()? {
+                [id, r] => rejects.push((StmtId::from_json(id)?, Reject::from_json(r)?)),
+                _ => {
+                    return Err(JsonError {
+                        message: "expected a [stmt, reject] pair".into(),
+                        offset: 0,
+                    })
+                }
+            }
+        }
+        Ok(WhileDoReport {
+            converted: usize::from_json(v.field("converted")?)?,
+            rejects,
+            events: Vec::from_json(v.field("events")?)?,
+        })
     }
 }
 

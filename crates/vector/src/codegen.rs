@@ -81,6 +81,8 @@ impl VectorReport {
     }
 }
 
+titanc_il::struct_json!(VectorReport, [vectorized, spread, scalar, notes, events]);
+
 /// Vectorizes every innermost DO loop of the procedure.
 pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
     let mut report = VectorReport::default();

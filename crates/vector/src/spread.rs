@@ -37,6 +37,8 @@ impl SpreadReport {
     }
 }
 
+titanc_il::struct_json!(SpreadReport, [spread, events]);
+
 /// Converts eligible pointer-chasing `while` loops into spread form.
 pub fn spread_list_loops(proc: &mut Procedure) -> SpreadReport {
     let mut report = SpreadReport::default();

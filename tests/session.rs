@@ -1,0 +1,267 @@
+//! End-to-end tests for multi-file sessions and the persistent
+//! compilation cache: warm runs are byte-identical to cold runs and to
+//! every `-j` value, a fully warm run executes zero optimization
+//! passes, `--no-inline` sessions invalidate per procedure, duplicate
+//! definitions are diagnosed with both origins named, and origin-tagged
+//! spans attribute loops to the file they were written in.
+
+use std::path::PathBuf;
+
+use titanc_repro::titanc::{compile_session, OptReport, Options, SessionCompilation, SourceFile};
+
+/// A fresh per-test cache directory under the target dir (parallel test
+/// threads must not share one).
+fn cache_dir(test: &str) -> PathBuf {
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/target/test-caches"))
+        .join(format!("{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus(name: &str) -> SourceFile {
+    let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")).join(name);
+    SourceFile::new(
+        format!("corpus/{name}"),
+        std::fs::read_to_string(path).expect("corpus file"),
+    )
+}
+
+const LIB_SRC: &str = "\
+float buf[64];
+void fill(int n, float v)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        buf[i] = v;
+}
+";
+
+const MAIN_SRC: &str = "\
+int total;
+int main(void)
+{
+    int i;
+    total = 0;
+    for (i = 0; i < 32; i++)
+        total = total + i;
+    return total;
+}
+";
+
+fn opt_report_json(sc: &SessionCompilation) -> String {
+    OptReport::build_for(
+        &sc.compilation.reports,
+        &sc.compilation.trace,
+        &sc.compilation.program.files,
+    )
+    .to_json()
+    .to_string_compact()
+}
+
+fn il_text(sc: &SessionCompilation) -> String {
+    sc.compilation
+        .program
+        .procs
+        .iter()
+        .map(titanc_il::pretty_proc)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Acceptance: the warm run is byte-identical to the cold run — same
+/// optimized IL, same `--opt-report=json` — while executing **zero**
+/// optimization passes.
+#[test]
+fn warm_run_is_byte_identical_and_runs_no_passes() {
+    let dir = cache_dir("warm-identical");
+    let files = [corpus("daxpy.c"), corpus("blaslib.c")];
+    let options = Options::o2();
+
+    let cold = compile_session(&files, &options, Some(&dir)).expect("cold compile");
+    assert!(cold.stats.hits == 0 && cold.stats.misses > 0 && !cold.stats.full_warm);
+    assert!(cold.stats.passes_executed > 0);
+
+    let warm = compile_session(&files, &options, Some(&dir)).expect("warm compile");
+    assert!(warm.stats.full_warm, "second run should be fully warm");
+    assert_eq!(warm.stats.passes_executed, 0, "warm run must run no passes");
+    assert_eq!(warm.stats.hits, warm.compilation.program.procs.len());
+
+    assert_eq!(il_text(&cold), il_text(&warm), "optimized IL must match");
+    assert_eq!(
+        opt_report_json(&cold),
+        opt_report_json(&warm),
+        "opt report must be byte-identical cold vs warm"
+    );
+    assert_eq!(
+        cold.compilation.diagnostics.len(),
+        warm.compilation.diagnostics.len(),
+        "remarks must replay on warm runs"
+    );
+}
+
+/// The warm run is also byte-identical across `-j` values, preserving
+/// the PR 2 invariant through the cache.
+#[test]
+fn warm_run_is_byte_identical_across_jobs() {
+    let dir = cache_dir("warm-jobs");
+    let files = [corpus("daxpy.c"), corpus("backsolve.c")];
+    let mut options = Options::o2();
+    options.jobs = 1;
+    let cold = compile_session(&files, &options, Some(&dir)).expect("cold compile");
+    options.jobs = 4;
+    let warm = compile_session(&files, &options, Some(&dir)).expect("warm compile");
+    assert!(warm.stats.full_warm);
+    assert_eq!(il_text(&cold), il_text(&warm));
+    assert_eq!(opt_report_json(&cold), opt_report_json(&warm));
+}
+
+/// With inlining off the growth budget no longer couples procedures, so
+/// editing one procedure invalidates exactly that procedure.
+#[test]
+fn no_inline_sessions_invalidate_per_procedure() {
+    let dir = cache_dir("per-proc");
+    let mut options = Options::o2();
+    options.inline = false;
+    let a = SourceFile::new("a.c", MAIN_SRC);
+    let b = SourceFile::new("b.c", LIB_SRC);
+
+    let cold =
+        compile_session(&[a.clone(), b.clone()], &options, Some(&dir)).expect("cold compile");
+    let n = cold.compilation.program.procs.len();
+    assert_eq!(cold.stats.misses, n);
+
+    // edit `fill` only: `main` must stay cached
+    let b2 = SourceFile::new("b.c", LIB_SRC.replace("buf[i] = v;", "buf[i] = v + 1.0;"));
+    let warm = compile_session(&[a, b2], &options, Some(&dir)).expect("edited compile");
+    assert_eq!(warm.stats.hits, n - 1, "unchanged procedures must hit");
+    assert_eq!(warm.stats.misses, 1, "only the edited procedure recompiles");
+    assert_eq!(
+        warm.stats.invalidated, 1,
+        "the edit is an invalidation, not a cold miss"
+    );
+    assert!(!warm.stats.full_warm);
+}
+
+/// With inlining on, any edit conservatively invalidates everything —
+/// the §7 growth budget makes every procedure's code depend on every
+/// other's size.
+#[test]
+fn inline_sessions_invalidate_wholesale() {
+    let dir = cache_dir("wholesale");
+    let options = Options::o2();
+    let a = SourceFile::new("a.c", MAIN_SRC);
+    let b = SourceFile::new("b.c", LIB_SRC);
+    compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
+    let b2 = SourceFile::new("b.c", LIB_SRC.replace("buf[i] = v;", "buf[i] = v + 1.0;"));
+    let warm = compile_session(&[a, b2], &options, Some(&dir)).expect("edited compile");
+    assert_eq!(
+        warm.stats.hits, 0,
+        "an edit under inlining must miss everywhere"
+    );
+}
+
+/// Duplicate procedure definitions keep the first (CLI order) and name
+/// both origins in the warning.
+#[test]
+fn duplicate_procedures_warn_with_both_origins() {
+    let first = SourceFile::new("one.c", "int f(void) { return 1; }\n");
+    let second = SourceFile::new(
+        "two.c",
+        "int f(void) { return 2; }\nint g(void) { return f(); }\n",
+    );
+    let sc = compile_session(&[first, second], &Options::o2(), None).expect("compiles");
+    let warning = sc
+        .compilation
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("shadowed"))
+        .expect("expected a shadow warning");
+    assert!(
+        warning.message.contains("`f`")
+            && warning.message.contains("two.c")
+            && warning.message.contains("one.c"),
+        "warning must name the procedure and both origins: {}",
+        warning.message
+    );
+    // first definition wins: g() returns 1 through the kept f()
+    let sim = titanc_repro::titan::Simulator::new(
+        &sc.compilation.program,
+        titanc_repro::titan::MachineConfig::optimized(1),
+    );
+    let mut sim = sim;
+    let result = sim.run("g", &[]).expect("g runs");
+    assert_eq!(result.value.expect("g returns").as_int(), 1);
+}
+
+/// Catalog procedures shadowed by the TU (or an earlier catalog) are
+/// diagnosed too — previously `Catalog::link_into` dropped them
+/// silently.
+#[test]
+fn shadowed_catalog_procedures_are_diagnosed() {
+    let lib = compile_session(&[SourceFile::new("lib.c", LIB_SRC)], &Options::o2(), None)
+        .expect("lib compiles");
+    let catalog = titanc_il::Catalog::from_program("libcat", &lib.compilation.program);
+    let mut options = Options::o2();
+    options.catalogs.push(catalog);
+    // the TU defines `fill` as well: the TU definition must win, with a
+    // warning naming the catalog
+    let src = format!("{LIB_SRC}{MAIN_SRC}");
+    let sc = compile_session(&[SourceFile::new("app.c", src)], &options, None).expect("compiles");
+    let warning = sc
+        .compilation
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("shadowed"))
+        .expect("expected a catalog shadow warning");
+    assert!(
+        warning.message.contains("`fill`") && warning.message.contains("libcat"),
+        "warning must name the procedure and the catalog: {}",
+        warning.message
+    );
+}
+
+/// Loops merged from another TU report against their origin file, not
+/// the consumer's line numbers.
+#[test]
+fn opt_report_attributes_loops_to_their_origin_file() {
+    let a = SourceFile::new("main.c", MAIN_SRC);
+    let b = SourceFile::new("lib.c", LIB_SRC);
+    let sc = compile_session(&[a, b], &Options::o2(), None).expect("compiles");
+    let report = OptReport::build_for(
+        &sc.compilation.reports,
+        &sc.compilation.trace,
+        &sc.compilation.program.files,
+    );
+    let rendered = report.render();
+    assert!(
+        rendered.contains("lib.c:5:"),
+        "fill's loop must be attributed to lib.c line 5:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("main.c:6:"),
+        "main's loop must be attributed to main.c line 6:\n{rendered}"
+    );
+    let json = report.to_json().to_string_compact();
+    assert!(json.contains("\"file\":\"lib.c\""), "{json}");
+}
+
+/// `keep_parsed` snapshots the program before any pass runs — the §7
+/// catalog payload.
+#[test]
+fn keep_parsed_snapshots_the_pre_pipeline_program() {
+    let mut options = Options::o2();
+    options.keep_parsed = true;
+    let sc = compile_session(&[corpus("daxpy.c")], &options, None).expect("compiles");
+    let parsed = sc.compilation.parsed.as_ref().expect("parsed snapshot");
+    assert_ne!(
+        parsed, &sc.compilation.program,
+        "the parsed snapshot must predate optimization"
+    );
+    // the snapshot still has the un-inlined call; the optimized main
+    // does not (daxpy was expanded into it)
+    let parsed_main = parsed.proc_by_name("main").expect("parsed main");
+    let opt_main = sc.compilation.program.proc_by_name("main").expect("main");
+    let calls = |p: &titanc_il::Procedure| titanc_il::pretty_proc(p).contains("daxpy(");
+    assert!(calls(parsed_main), "parsed main still calls daxpy");
+    assert!(!calls(opt_main), "optimized main has daxpy inlined away");
+}
