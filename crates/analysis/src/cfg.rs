@@ -8,7 +8,7 @@
 
 use crate::loops::stmt_ids_in;
 use std::collections::HashMap;
-use titanc_il::{LabelId, Procedure, Stmt, StmtId, StmtKind};
+use titanc_il::{LabelId, Procedure, StmtId, StmtKind, StmtPool};
 
 /// A CFG node index.
 pub type NodeId = usize;
@@ -47,9 +47,9 @@ impl Cfg {
             gotos: Vec::new(),
         };
         // pass 1: a node per statement, labels recorded
-        b.alloc_block(&proc.body);
+        b.alloc_block(&proc.stmts, &proc.body);
         // pass 2: structured edges; gotos collected
-        let (head, tails) = b.wire_block(&proc.body);
+        let (head, tails) = b.wire_block(&proc.stmts, &proc.body);
         let entry = b.cfg.entry;
         let exit = b.cfg.exit;
         match head {
@@ -119,14 +119,13 @@ impl Cfg {
 
     /// True if any branch from outside `loop_stmt`'s body targets a label
     /// inside it — the §5.2 "branches entering the loop" test.
-    pub fn has_branch_into(&self, proc: &Procedure, loop_stmt: &Stmt) -> bool {
-        let inside = stmt_ids_in(loop_stmt);
+    pub fn has_branch_into(&self, proc: &Procedure, loop_stmt: StmtId) -> bool {
+        let inside = stmt_ids_in(&proc.stmts, loop_stmt);
         let inside_nodes: Vec<NodeId> = inside.iter().filter_map(|s| self.node_of(*s)).collect();
-        let loop_node = match self.node_of(loop_stmt.id) {
+        let loop_node = match self.node_of(loop_stmt) {
             Some(n) => n,
             None => return false,
         };
-        let _ = proc;
         for &n in &inside_nodes {
             for &p in &self.preds[n] {
                 // a predecessor that is neither the loop header nor inside
@@ -146,18 +145,18 @@ struct Builder {
 }
 
 impl Builder {
-    fn alloc_block(&mut self, block: &[Stmt]) {
-        for s in block {
+    fn alloc_block(&mut self, pool: &StmtPool, block: &[StmtId]) {
+        for &s in block {
             let n = self.cfg.stmt_of.len();
-            self.cfg.stmt_of.push(Some(s.id));
+            self.cfg.stmt_of.push(Some(s));
             self.cfg.succs.push(Vec::new());
             self.cfg.preds.push(Vec::new());
-            self.cfg.node_of_stmt.insert(s.id, n);
-            if let StmtKind::Label(l) = s.kind {
+            self.cfg.node_of_stmt.insert(s, n);
+            if let StmtKind::Label(l) = pool[s] {
                 self.cfg.labels.insert(l, n);
             }
-            for b in s.blocks() {
-                self.alloc_block(b);
+            for b in pool[s].blocks() {
+                self.alloc_block(pool, b);
             }
         }
     }
@@ -169,16 +168,16 @@ impl Builder {
         }
     }
 
-    fn node(&self, s: &Stmt) -> NodeId {
-        self.cfg.node_of_stmt[&s.id]
+    fn node(&self, s: StmtId) -> NodeId {
+        self.cfg.node_of_stmt[&s]
     }
 
     /// Wires a block; returns (head node, dangling tails needing an edge to
     /// whatever follows the block).
-    fn wire_block(&mut self, block: &[Stmt]) -> (Option<NodeId>, Vec<NodeId>) {
+    fn wire_block(&mut self, pool: &StmtPool, block: &[StmtId]) -> (Option<NodeId>, Vec<NodeId>) {
         let mut head: Option<NodeId> = None;
         let mut tails: Vec<NodeId> = Vec::new();
-        for s in block {
+        for &s in block {
             let n = self.node(s);
             // connect previous tails to this statement
             if head.is_none() {
@@ -187,7 +186,7 @@ impl Builder {
             for t in tails.drain(..) {
                 self.edge(t, n);
             }
-            match &s.kind {
+            match &pool[s] {
                 StmtKind::Assign { .. }
                 | StmtKind::Call { .. }
                 | StmtKind::Nop
@@ -210,8 +209,8 @@ impl Builder {
                 StmtKind::If {
                     then_blk, else_blk, ..
                 } => {
-                    let (th, tt) = self.wire_block(then_blk);
-                    let (eh, et) = self.wire_block(else_blk);
+                    let (th, tt) = self.wire_block(pool, then_blk);
+                    let (eh, et) = self.wire_block(pool, else_blk);
                     match th {
                         Some(h) => self.edge(n, h),
                         None => tails.push(n),
@@ -226,7 +225,7 @@ impl Builder {
                 StmtKind::While { body, .. }
                 | StmtKind::DoLoop { body, .. }
                 | StmtKind::DoParallel { body, .. } => {
-                    let (bh, bt) = self.wire_block(body);
+                    let (bh, bt) = self.wire_block(pool, body);
                     match bh {
                         Some(h) => self.edge(n, h),
                         None => self.edge(n, n), // empty body loops on header
@@ -240,8 +239,8 @@ impl Builder {
                     parallel, serial, ..
                 } => {
                     // cond -> parallel -> serial -> cond (back edge)
-                    let (ph, pt) = self.wire_block(parallel);
-                    let (sh, st) = self.wire_block(serial);
+                    let (ph, pt) = self.wire_block(pool, parallel);
+                    let (sh, st) = self.wire_block(pool, serial);
                     let first = ph.or(sh);
                     match first {
                         Some(h) => self.edge(n, h),
@@ -298,9 +297,9 @@ mod tests {
         let if_stmt = p
             .body
             .iter()
-            .find(|s| matches!(s.kind, StmtKind::If { .. }))
+            .find(|&&s| matches!(p.stmts[s], StmtKind::If { .. }))
             .unwrap();
-        let n = cfg.node_of(if_stmt.id).unwrap();
+        let n = cfg.node_of(*if_stmt).unwrap();
         assert_eq!(cfg.succs[n].len(), 2);
     }
 
@@ -310,9 +309,9 @@ mod tests {
         let w = p
             .body
             .iter()
-            .find(|s| matches!(s.kind, StmtKind::While { .. }))
+            .find(|&&s| matches!(p.stmts[s], StmtKind::While { .. }))
             .unwrap();
-        let n = cfg.node_of(w.id).unwrap();
+        let n = cfg.node_of(*w).unwrap();
         assert_eq!(cfg.succs[n].len(), 2, "body + exit");
         assert!(cfg.preds[n].len() >= 2, "entry-side + back edge");
     }
@@ -322,7 +321,7 @@ mod tests {
         let (p, cfg) = cfg_of("int f(int a) { return 1; a = 2; return a; }", "f");
         // `a = 2` is unreachable
         let dead = cfg.unreachable_nodes();
-        let a2 = p.body[1].id;
+        let a2 = p.body[1];
         assert!(dead.contains(&cfg.node_of(a2).unwrap()));
     }
 
@@ -340,12 +339,12 @@ inside:
 "#;
         let (p, cfg) = cfg_of(src, "f");
         let mut loop_stmt = None;
-        p.for_each_stmt(&mut |s| {
-            if matches!(s.kind, StmtKind::While { .. }) {
-                loop_stmt = Some(s.clone());
+        p.for_each_stmt(&mut |s, k| {
+            if matches!(k, StmtKind::While { .. }) {
+                loop_stmt = Some(s);
             }
         });
-        assert!(cfg.has_branch_into(&p, &loop_stmt.unwrap()));
+        assert!(cfg.has_branch_into(&p, loop_stmt.unwrap()));
     }
 
     #[test]
@@ -354,9 +353,9 @@ inside:
         let w = p
             .body
             .iter()
-            .find(|s| matches!(s.kind, StmtKind::While { .. }))
+            .find(|&&s| matches!(p.stmts[s], StmtKind::While { .. }))
             .unwrap();
-        assert!(!cfg.has_branch_into(&p, w));
+        assert!(!cfg.has_branch_into(&p, *w));
     }
 
     #[test]
@@ -368,9 +367,9 @@ inside:
         let w = p
             .body
             .iter()
-            .find(|s| matches!(s.kind, StmtKind::While { .. }))
+            .find(|&&s| matches!(p.stmts[s], StmtKind::While { .. }))
             .unwrap();
-        assert!(!cfg.has_branch_into(&p, w));
+        assert!(!cfg.has_branch_into(&p, *w));
     }
 
     #[test]

@@ -74,15 +74,15 @@ impl UseDef {
             }
         }
         let mut node_of_stmt = HashMap::new();
-        proc.for_each_stmt(&mut |s| {
-            if let Some(n) = cfg.node_of(s.id) {
-                node_of_stmt.insert(s.id, n);
+        proc.for_each_stmt(&mut |s, k| {
+            if let Some(n) = cfg.node_of(s) {
+                node_of_stmt.insert(s, n);
             }
-            if let Some(v) = s.defined_var() {
+            if let Some(v) = k.defined_var() {
                 if tracked[v.index()] {
                     add_def(
                         DefSite {
-                            stmt: Some(s.id),
+                            stmt: Some(s),
                             var: v,
                         },
                         &mut defs,
@@ -101,15 +101,15 @@ impl UseDef {
                 gen[cfg.entry].insert(i);
             }
         }
-        proc.for_each_stmt(&mut |s| {
-            let n = match cfg.node_of(s.id) {
+        proc.for_each_stmt(&mut |s, k| {
+            let n = match cfg.node_of(s) {
                 Some(n) => n,
                 None => return,
             };
-            if let Some(v) = s.defined_var() {
+            if let Some(v) = k.defined_var() {
                 if tracked[v.index()] {
                     let me = def_index[&DefSite {
-                        stmt: Some(s.id),
+                        stmt: Some(s),
                         var: v,
                     }];
                     gen[n].insert(me);
@@ -197,17 +197,17 @@ impl UseDef {
             None => return Vec::new(),
         };
         let mut out = Vec::new();
-        proc.for_each_stmt(&mut |s| {
-            let n = match self.node_of_stmt.get(&s.id) {
+        proc.for_each_stmt(&mut |s, k| {
+            let n = match self.node_of_stmt.get(&s) {
                 Some(n) => *n,
                 None => return,
             };
             if !self.reach_in[n].contains(idx) {
                 return;
             }
-            let reads = s.exprs().iter().any(|e| e.reads_var(var));
+            let reads = k.exprs().iter().any(|&e| proc.exprs.reads_var(e, var));
             if reads {
-                out.push(s.id);
+                out.push(s);
             }
         });
         out
@@ -245,20 +245,20 @@ impl Liveness {
         let mut uses: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(nvars)).collect();
         let mut defs: Vec<BitSet> = (0..cfg.len()).map(|_| BitSet::new(nvars)).collect();
         let mut node_of_stmt = HashMap::new();
-        proc.for_each_stmt(&mut |s| {
-            let n = match cfg.node_of(s.id) {
+        proc.for_each_stmt(&mut |s, k| {
+            let n = match cfg.node_of(s) {
                 Some(n) => n,
                 None => return,
             };
-            node_of_stmt.insert(s.id, n);
-            for e in s.exprs() {
-                for v in e.vars_read() {
+            node_of_stmt.insert(s, n);
+            for e in k.exprs() {
+                for v in proc.exprs.vars_read(e) {
                     if tracked[v.index()] {
                         uses[n].insert(v.index());
                     }
                 }
             }
-            if let Some(v) = s.defined_var() {
+            if let Some(v) = k.defined_var() {
                 if tracked[v.index()] && !uses[n].contains(v.index()) {
                     defs[n].insert(v.index());
                 }
@@ -316,7 +316,7 @@ impl Liveness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use titanc_il::{Stmt, StmtKind};
+    use titanc_il::StmtKind;
     use titanc_lower::compile_to_il;
 
     fn setup(src: &str) -> (Procedure, Cfg) {
@@ -326,11 +326,11 @@ mod tests {
         (proc, cfg)
     }
 
-    fn stmt_matching(proc: &Procedure, pred: impl Fn(&Stmt) -> bool) -> Stmt {
+    fn stmt_matching(proc: &Procedure, pred: impl Fn(StmtId, &StmtKind) -> bool) -> StmtId {
         let mut found = None;
-        proc.for_each_stmt(&mut |s| {
-            if found.is_none() && pred(s) {
-                found = Some(s.clone());
+        proc.for_each_stmt(&mut |s, k| {
+            if found.is_none() && pred(s, k) {
+                found = Some(s);
             }
         });
         found.expect("statement")
@@ -341,8 +341,10 @@ mod tests {
         let (proc, cfg) = setup("int f(void) { int x, y; x = 3; y = x + 1; return y; }");
         let ud = UseDef::build(&proc, &cfg);
         let x = proc.var_by_name("x").unwrap();
-        let use_stmt = stmt_matching(&proc, |s| s.exprs().iter().any(|e| e.reads_var(x)));
-        let def = ud.unique_reaching_def(use_stmt.id, x);
+        let use_stmt = stmt_matching(&proc, |_, k| {
+            k.exprs().iter().any(|&e| proc.exprs.reads_var(e, x))
+        });
+        let def = ud.unique_reaching_def(use_stmt, x);
         assert!(def.is_some());
     }
 
@@ -351,10 +353,10 @@ mod tests {
         let (proc, cfg) = setup("int f(int c) { int x; if (c) x = 1; else x = 2; return x; }");
         let ud = UseDef::build(&proc, &cfg);
         let x = proc.var_by_name("x").unwrap();
-        let ret = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::Return(Some(_))));
-        let defs = ud.reaching_defs(ret.id, x);
+        let ret = stmt_matching(&proc, |_, k| matches!(k, StmtKind::Return(Some(_))));
+        let defs = ud.reaching_defs(ret, x);
         assert_eq!(defs.len(), 2);
-        assert!(ud.unique_reaching_def(ret.id, x).is_none());
+        assert!(ud.unique_reaching_def(ret, x).is_none());
     }
 
     #[test]
@@ -362,8 +364,8 @@ mod tests {
         let (proc, cfg) = setup("int f(int n) { return n; }");
         let ud = UseDef::build(&proc, &cfg);
         let n = proc.var_by_name("n").unwrap();
-        let ret = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::Return(Some(_))));
-        let defs = ud.reaching_defs(ret.id, n);
+        let ret = stmt_matching(&proc, |_, k| matches!(k, StmtKind::Return(Some(_))));
+        let defs = ud.reaching_defs(ret, n);
         assert_eq!(defs, vec![None], "entry definition");
     }
 
@@ -372,8 +374,8 @@ mod tests {
         let (proc, cfg) = setup("void f(int n) { while (n) { n = n - 1; } }");
         let ud = UseDef::build(&proc, &cfg);
         let n = proc.var_by_name("n").unwrap();
-        let w = stmt_matching(&proc, |s| matches!(s.kind, StmtKind::While { .. }));
-        let defs = ud.reaching_defs(w.id, n);
+        let w = stmt_matching(&proc, |_, k| matches!(k, StmtKind::While { .. }));
+        let defs = ud.reaching_defs(w, n);
         assert_eq!(defs.len(), 2, "entry def + loop body def: {defs:?}");
     }
 
@@ -392,8 +394,8 @@ mod tests {
         let (proc, cfg) = setup("int f(void) { int x; x = 3; return x + x; }");
         let ud = UseDef::build(&proc, &cfg);
         let x = proc.var_by_name("x").unwrap();
-        let def = stmt_matching(&proc, |s| s.defined_var() == Some(x));
-        let uses = ud.uses_of_def(&proc, def.id, x);
+        let def = stmt_matching(&proc, |_, k| k.defined_var() == Some(x));
+        let uses = ud.uses_of_def(&proc, def, x);
         assert_eq!(uses.len(), 1, "the return reads x");
     }
 
@@ -402,14 +404,11 @@ mod tests {
         let (proc, cfg) = setup("int f(void) { int x, y; x = 1; x = 2; y = x; return y; }");
         let lv = Liveness::build(&proc, &cfg);
         let x = proc.var_by_name("x").unwrap();
-        let first = proc.body[0].clone();
-        assert_eq!(first.defined_var(), Some(x));
-        assert!(
-            !lv.live_after(first.id, x),
-            "x is overwritten before any read"
-        );
-        let second = proc.body[1].clone();
-        assert!(lv.live_after(second.id, x));
+        let first = proc.body[0];
+        assert_eq!(proc.stmts[first].defined_var(), Some(x));
+        assert!(!lv.live_after(first, x), "x is overwritten before any read");
+        let second = proc.body[1];
+        assert!(lv.live_after(second, x));
     }
 
     #[test]
@@ -417,8 +416,8 @@ mod tests {
         let (proc, cfg) = setup("void f(int n) { while (n) { n = n - 1; } }");
         let lv = Liveness::build(&proc, &cfg);
         let n = proc.var_by_name("n").unwrap();
-        let def = stmt_matching(&proc, |s| s.defined_var() == Some(n));
-        assert!(lv.live_after(def.id, n), "read again by the loop condition");
+        let def = stmt_matching(&proc, |_, k| k.defined_var() == Some(n));
+        assert!(lv.live_after(def, n), "read again by the loop condition");
     }
 
     #[test]
@@ -426,7 +425,7 @@ mod tests {
         let (proc, cfg) = setup("volatile int v; void f(void) { v = 1; }");
         let lv = Liveness::build(&proc, &cfg);
         let v = proc.var_by_name("v").unwrap();
-        let def = proc.body[0].clone();
-        assert!(lv.live_after(def.id, v));
+        let def = proc.body[0];
+        assert!(lv.live_after(def, v));
     }
 }

@@ -158,9 +158,9 @@ mod tests {
         // find the two assignment nodes and the return node
         let mut assigns = Vec::new();
         let mut ret = None;
-        p.for_each_stmt(&mut |s| match &s.kind {
-            titanc_il::StmtKind::Assign { .. } => assigns.push(cfg.node_of(s.id).unwrap()),
-            titanc_il::StmtKind::Return(_) => ret = Some(cfg.node_of(s.id).unwrap()),
+        p.for_each_stmt(&mut |s, k| match k {
+            titanc_il::StmtKind::Assign { .. } => assigns.push(cfg.node_of(s).unwrap()),
+            titanc_il::StmtKind::Return(_) => ret = Some(cfg.node_of(s).unwrap()),
             _ => {}
         });
         let ret = ret.unwrap();
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn unreachable_nodes_have_no_idom() {
         let (p, cfg, dom) = dom_of("int f(int a) { return 1; a = 2; return a; }");
-        let dead = p.body[1].id;
+        let dead = p.body[1];
         let n = cfg.node_of(dead).unwrap();
         assert!(dom.idom(n).is_none());
         assert!(dom.reachable_count() < cfg.len());

@@ -52,8 +52,8 @@ impl CallGraph {
         let mut calls = Vec::with_capacity(prog.procs.len());
         for p in &prog.procs {
             let mut list = Vec::new();
-            p.for_each_stmt(&mut |s| {
-                if let titanc_il::StmtKind::Call { callee, .. } = &s.kind {
+            p.for_each_stmt(&mut |_, k| {
+                if let titanc_il::StmtKind::Call { callee, .. } = k {
                     list.push(callee.clone());
                 }
             });

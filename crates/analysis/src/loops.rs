@@ -1,43 +1,43 @@
 //! Tree-level loop facts.
 
 use std::collections::HashSet;
-use titanc_il::{LabelId, Stmt, StmtId, StmtKind};
+use titanc_il::{LabelId, StmtId, StmtKind, StmtPool};
 
 /// All statement ids inside a statement's nested blocks (excluding the
 /// statement itself).
-pub fn stmt_ids_in(s: &Stmt) -> HashSet<StmtId> {
+pub fn stmt_ids_in(pool: &StmtPool, s: StmtId) -> HashSet<StmtId> {
     let mut out = HashSet::new();
-    fn walk(block: &[Stmt], out: &mut HashSet<StmtId>) {
-        for s in block {
-            out.insert(s.id);
-            for b in s.blocks() {
-                walk(b, out);
+    fn walk(pool: &StmtPool, block: &[StmtId], out: &mut HashSet<StmtId>) {
+        for &s in block {
+            out.insert(s);
+            for b in pool[s].blocks() {
+                walk(pool, b, out);
             }
         }
     }
-    for b in s.blocks() {
-        walk(b, &mut out);
+    for b in pool[s].blocks() {
+        walk(pool, b, &mut out);
     }
     out
 }
 
 /// Labels defined inside a statement's nested blocks.
-pub fn labels_in(s: &Stmt) -> HashSet<LabelId> {
+pub fn labels_in(pool: &StmtPool, s: StmtId) -> HashSet<LabelId> {
     let mut out = HashSet::new();
-    visit(s, &mut |inner| {
-        if let StmtKind::Label(l) = inner.kind {
-            out.insert(l);
+    visit(pool, s, &mut |k| {
+        if let StmtKind::Label(l) = k {
+            out.insert(*l);
         }
     });
     out
 }
 
 /// Branch targets referenced from inside a statement's nested blocks.
-pub fn goto_targets_in(s: &Stmt) -> HashSet<LabelId> {
+pub fn goto_targets_in(pool: &StmtPool, s: StmtId) -> HashSet<LabelId> {
     let mut out = HashSet::new();
-    visit(s, &mut |inner| match inner.kind {
+    visit(pool, s, &mut |k| match k {
         StmtKind::Goto(l) | StmtKind::IfGoto { target: l, .. } => {
-            out.insert(l);
+            out.insert(*l);
         }
         _ => {}
     });
@@ -45,10 +45,10 @@ pub fn goto_targets_in(s: &Stmt) -> HashSet<LabelId> {
 }
 
 /// True when the statement tree contains a `Return`.
-pub fn has_return(s: &Stmt) -> bool {
+pub fn has_return(pool: &StmtPool, s: StmtId) -> bool {
     let mut found = false;
-    visit(s, &mut |inner| {
-        if matches!(inner.kind, StmtKind::Return(_)) {
+    visit(pool, s, &mut |k| {
+        if matches!(k, StmtKind::Return(_)) {
             found = true;
         }
     });
@@ -56,10 +56,10 @@ pub fn has_return(s: &Stmt) -> bool {
 }
 
 /// True when the statement tree contains a procedure call.
-pub fn has_call(s: &Stmt) -> bool {
+pub fn has_call(pool: &StmtPool, s: StmtId) -> bool {
     let mut found = false;
-    visit(s, &mut |inner| {
-        if matches!(inner.kind, StmtKind::Call { .. }) {
+    visit(pool, s, &mut |k| {
+        if matches!(k, StmtKind::Call { .. }) {
             found = true;
         }
     });
@@ -68,9 +68,9 @@ pub fn has_call(s: &Stmt) -> bool {
 
 /// True when any branch inside the tree leaves it (targets a label not
 /// defined inside) — an early exit, which defeats DO conversion (§5.2).
-pub fn has_branch_out(s: &Stmt) -> bool {
-    let labels = labels_in(s);
-    goto_targets_in(s).iter().any(|l| !labels.contains(l))
+pub fn has_branch_out(pool: &StmtPool, s: StmtId) -> bool {
+    let labels = labels_in(pool, s);
+    goto_targets_in(pool, s).iter().any(|l| !labels.contains(l))
 }
 
 /// One loop of a procedure's loop-nest forest.
@@ -99,28 +99,29 @@ impl LoopNest {
     pub fn build(proc: &titanc_il::Procedure) -> LoopNest {
         let mut nest = LoopNest::default();
         fn walk(
-            block: &[Stmt],
+            pool: &StmtPool,
+            block: &[StmtId],
             parent: Option<StmtId>,
             depth: usize,
             out: &mut Vec<LoopNestEntry>,
         ) {
-            for s in block {
-                let (p, d) = if s.is_loop() {
+            for &s in block {
+                let (p, d) = if pool[s].is_loop() {
                     out.push(LoopNestEntry {
-                        id: s.id,
+                        id: s,
                         parent,
                         depth,
                     });
-                    (Some(s.id), depth + 1)
+                    (Some(s), depth + 1)
                 } else {
                     (parent, depth)
                 };
-                for b in s.blocks() {
-                    walk(b, p, d, out);
+                for b in pool[s].blocks() {
+                    walk(pool, b, p, d, out);
                 }
             }
         }
-        walk(&proc.body, None, 0, &mut nest.loops);
+        walk(&proc.stmts, &proc.body, None, 0, &mut nest.loops);
         nest
     }
 
@@ -141,11 +142,11 @@ impl LoopNest {
     }
 }
 
-fn visit(s: &Stmt, f: &mut dyn FnMut(&Stmt)) {
-    for b in s.blocks() {
-        for inner in b {
-            f(inner);
-            visit(inner, f);
+fn visit(pool: &StmtPool, s: StmtId, f: &mut dyn FnMut(&StmtKind)) {
+    for b in pool[s].blocks() {
+        for &inner in b {
+            f(&pool[inner]);
+            visit(pool, inner, f);
         }
     }
 }
@@ -153,62 +154,64 @@ fn visit(s: &Stmt, f: &mut dyn FnMut(&Stmt)) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use titanc_il::{Expr, StmtKind};
+    use titanc_il::Procedure;
 
-    fn with_loop(src: &str) -> Stmt {
+    fn with_loop(src: &str) -> (Procedure, StmtId) {
         let prog = titanc_lower::compile_to_il(src).unwrap();
         let proc = prog.procs[0].clone();
         let mut found = None;
-        proc.for_each_stmt(&mut |s| {
-            if s.is_loop() && found.is_none() {
-                found = Some(s.clone());
+        proc.for_each_stmt(&mut |s, k| {
+            if k.is_loop() && found.is_none() {
+                found = Some(s);
             }
         });
-        found.expect("loop")
+        (proc, found.expect("loop"))
     }
 
     #[test]
     fn ids_in_excludes_self() {
-        let w = with_loop("void f(int n) { while (n) { n = n - 1; } }");
-        let ids = stmt_ids_in(&w);
-        assert!(!ids.contains(&w.id));
+        let (p, w) = with_loop("void f(int n) { while (n) { n = n - 1; } }");
+        let ids = stmt_ids_in(&p.stmts, w);
+        assert!(!ids.contains(&w));
         assert!(!ids.is_empty());
     }
 
     #[test]
     fn break_is_a_branch_out() {
-        let w = with_loop("void f(int n) { while (n) { if (n == 2) break; n = n - 1; } }");
-        assert!(has_branch_out(&w));
+        let (p, w) = with_loop("void f(int n) { while (n) { if (n == 2) break; n = n - 1; } }");
+        assert!(has_branch_out(&p.stmts, w));
     }
 
     #[test]
     fn continue_is_not_a_branch_out() {
-        let w = with_loop("void f(int n) { while (n) { if (n == 2) continue; n = n - 1; } }");
+        let (p, w) = with_loop("void f(int n) { while (n) { if (n == 2) continue; n = n - 1; } }");
         assert!(
-            !has_branch_out(&w),
+            !has_branch_out(&p.stmts, w),
             "continue targets a label inside the loop"
         );
     }
 
     #[test]
     fn return_detected() {
-        let w =
+        let (p, w) =
             with_loop("int f(int n) { while (n) { if (n == 2) return 1; n = n - 1; } return 0; }");
-        assert!(has_return(&w));
-        let w2 = with_loop("void f(int n) { while (n) { n = n - 1; } }");
-        assert!(!has_return(&w2));
+        assert!(has_return(&p.stmts, w));
+        let (p2, w2) = with_loop("void f(int n) { while (n) { n = n - 1; } }");
+        assert!(!has_return(&p2.stmts, w2));
     }
 
     #[test]
     fn call_detected() {
-        let w = with_loop("void g(void); void f(int n) { while (n) { g(); n = n - 1; } }");
-        assert!(has_call(&w));
+        let (p, w) = with_loop("void g(void); void f(int n) { while (n) { g(); n = n - 1; } }");
+        assert!(has_call(&p.stmts, w));
     }
 
     #[test]
     fn nop_has_no_inner_ids() {
-        let s = Stmt::new(titanc_il::StmtId(0), StmtKind::Return(Some(Expr::int(0))));
-        assert!(stmt_ids_in(&s).is_empty());
+        let mut p = Procedure::new("t", titanc_il::Type::Int);
+        let zero = p.exprs.int(0);
+        let s = p.stamp(titanc_il::StmtKind::Return(Some(zero)));
+        assert!(stmt_ids_in(&p.stmts, s).is_empty());
     }
 
     #[test]

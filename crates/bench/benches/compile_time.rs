@@ -129,7 +129,8 @@ fn parallel_pipeline(bench: &Bench) {
     // counters: the vectorization rate is tracked alongside the timings
     // and guarded — a rate collapse is an optimizer regression that no
     // wall-clock figure would catch
-    let counters = titanc::Counters::from_run(&c.reports, &c.trace);
+    let mut counters = titanc::Counters::from_run(&c.reports, &c.trace);
+    counters.record_program(&c.program);
     let vectorized = counters.get("loops.vectorized");
     let parallelized = counters.get("loops.parallelized");
     let scalar = counters.get("loops.scalar");
@@ -152,6 +153,23 @@ fn parallel_pipeline(bench: &Bench) {
     println!(
         "bench parallel/speedup_jobs4_over_jobs1: {speedup:.2}x (median {speedup_median:.2}x)"
     );
+
+    // speedup ratchet: with the arena IL, -j4 must beat -j1 by at least
+    // 1.19x on any machine that can actually run 4 workers; on smaller
+    // hosts the figure is recorded but not enforced (the workers would
+    // just time-slice one core)
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.19,
+            "parallel-pipeline speedup regressed below the ratchet: \
+             {speedup:.2}x < 1.19x on a {cores}-CPU host"
+        );
+    } else {
+        println!("bench parallel: speedup ratchet skipped ({cores} CPU(s) < 4)");
+    }
 
     let json = format!(
         "{{\n  \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \

@@ -63,7 +63,7 @@ use crate::{
 const ENTRY_VERSION: i64 = 1;
 
 /// Seeds every content hash so a format change invalidates wholesale.
-const CACHE_FORMAT: &str = "titanc-cache-v1";
+const CACHE_FORMAT: &str = "titanc-cache-v2";
 
 /// One input translation unit: a display name (normally the path) and
 /// its source text.
@@ -468,8 +468,7 @@ fn proc_hashes(program: &Program, options: &Options, pipeline_fp: &str) -> Vec<S
     let program_wide = options.inline.then(|| {
         let mut h = StableHasher::new();
         for p in &program.procs {
-            h.write_str(&p.name);
-            h.write_str(&p.to_json().to_string_compact());
+            titanc_il::write_proc(&mut h, p);
         }
         h.write_str(&program.globals.to_json().to_string_compact());
         h.write_str(&program.structs.to_json().to_string_compact());
@@ -487,7 +486,9 @@ fn proc_hashes(program: &Program, options: &Options, pipeline_fp: &str) -> Vec<S
             h.write_str(&p.name);
             match &program_wide {
                 Some(pw) => h.write_str(pw),
-                None => h.write_str(&p.to_json().to_string_compact()),
+                // hash the arena columns directly — a linear byte sweep
+                // instead of a JSON re-encode of the whole body
+                None => titanc_il::write_proc(&mut h, p),
             }
             h.finish()
         })

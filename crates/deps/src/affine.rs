@@ -8,8 +8,11 @@
 //! expressions C produces instead of explicit subscripts (§9's "implicit
 //! representation of subscripts as star operations … required some special
 //! tuning").
+//!
+//! Symbolic terms hold [`ExprId`]s into the procedure's arena (shared
+//! reads); [`Affine::materialize`] deep-copies them into fresh slots.
 
-use titanc_il::{BinOp, Expr, Procedure, Stmt, UnOp, VarId};
+use titanc_il::{pretty_expr_in, BinOp, Expr, ExprId, ExprPool, Procedure, StmtId, UnOp, VarId};
 use titanc_opt::util::invariant_in;
 
 /// An address decomposed as `Σ mult·term + coeff·lv + offset` where every
@@ -18,7 +21,7 @@ use titanc_opt::util::invariant_in;
 pub struct Affine {
     /// Invariant symbolic terms with integer multipliers, canonically
     /// keyed by their printed form.
-    pub terms: Vec<(String, Expr, i64)>,
+    pub terms: Vec<(String, ExprId, i64)>,
     /// Bytes per unit of the loop variable.
     pub coeff: i64,
     /// Constant byte offset.
@@ -34,9 +37,9 @@ impl Affine {
         }
     }
 
-    fn var_term(e: &Expr) -> Affine {
+    fn var_term(exprs: &ExprPool, e: ExprId) -> Affine {
         Affine {
-            terms: vec![(format!("{e}"), e.clone(), 1)],
+            terms: vec![(pretty_expr_in(exprs, e), e, 1)],
             coeff: 0,
             offset: 0,
         }
@@ -86,41 +89,48 @@ impl Affine {
 
     /// Rebuilds the address expression with the loop variable fixed to
     /// `lv_value` (used by vector code generation for the strip origin).
-    pub fn materialize(&self, lv_value: &Expr) -> Expr {
-        let mut acc: Option<Expr> = None;
-        fn push(acc: &mut Option<Expr>, e: Expr) {
+    /// Every symbolic term is deep-copied into fresh slots; `lv_value` is
+    /// consumed (referenced at most once).
+    pub fn materialize(&self, exprs: &mut ExprPool, lv_value: ExprId) -> ExprId {
+        let mut acc: Option<ExprId> = None;
+        fn push(exprs: &mut ExprPool, acc: &mut Option<ExprId>, e: ExprId) {
             *acc = Some(match acc.take() {
                 None => e,
-                Some(a) => Expr::binary(BinOp::Add, titanc_il::ScalarType::Ptr, a, e),
+                Some(a) => exprs.binary(BinOp::Add, titanc_il::ScalarType::Ptr, a, e),
             });
         }
         for (_, e, m) in &self.terms {
+            let copied = exprs.copy(*e);
             let scaled = if *m == 1 {
-                e.clone()
+                copied
             } else {
-                Expr::ibinary(BinOp::Mul, e.clone(), Expr::int(*m))
+                let mult = exprs.int(*m);
+                exprs.ibinary(BinOp::Mul, copied, mult)
             };
-            push(&mut acc, scaled);
+            push(exprs, &mut acc, scaled);
         }
         if self.coeff != 0 {
-            push(
-                &mut acc,
-                Expr::ibinary(BinOp::Mul, lv_value.clone(), Expr::int(self.coeff)),
-            );
+            let c = exprs.int(self.coeff);
+            let scaled = exprs.ibinary(BinOp::Mul, lv_value, c);
+            push(exprs, &mut acc, scaled);
         }
         if self.offset != 0 || acc.is_none() {
-            push(&mut acc, Expr::int(self.offset));
+            let off = exprs.int(self.offset);
+            push(exprs, &mut acc, off);
         }
-        let mut e = acc.expect("materialize produced a term");
-        titanc_il::fold_expr(&mut e);
+        let e = acc.expect("materialize produced a term");
+        titanc_il::fold_expr(exprs, e);
         e
     }
 
     /// The single `AddrOf` array this address is based on, if its symbolic
     /// part is exactly one `&array` term with multiplier 1.
-    pub fn array_base(&self) -> Option<VarId> {
+    pub fn array_base(&self, exprs: &ExprPool) -> Option<VarId> {
         match self.terms.as_slice() {
-            [(_, Expr::AddrOf(v), 1)] => Some(*v),
+            [(_, e, 1)] => match exprs[*e] {
+                Expr::AddrOf(v) => Some(v),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -129,10 +139,9 @@ impl Affine {
     /// term is an `AddrOf` with multiplier 1 (other terms may be loop
     /// bounds or outer-loop offsets). Addresses rooted in *different*
     /// named arrays can never collide.
-    pub fn array_root(&self) -> Option<VarId> {
-        let mut roots = self.terms.iter().filter_map(|(_, e, m)| match e {
-            Expr::AddrOf(v) if *m == 1 => Some(*v),
-            Expr::AddrOf(_) => None,
+    pub fn array_root(&self, exprs: &ExprPool) -> Option<VarId> {
+        let mut roots = self.terms.iter().filter_map(|(_, e, m)| match exprs[*e] {
+            Expr::AddrOf(v) if *m == 1 => Some(v),
             _ => None,
         });
         let first = roots.next()?;
@@ -143,15 +152,18 @@ impl Affine {
         let weird = self
             .terms
             .iter()
-            .any(|(_, e, m)| matches!(e, Expr::AddrOf(_)) && *m != 1);
+            .any(|(_, e, m)| matches!(exprs[*e], Expr::AddrOf(_)) && *m != 1);
         (!weird).then_some(first)
     }
 
     /// The single pointer variable this address is based on, if its
     /// symbolic part is exactly one `Var(p)` term with multiplier 1.
-    pub fn pointer_base(&self) -> Option<VarId> {
+    pub fn pointer_base(&self, exprs: &ExprPool) -> Option<VarId> {
         match self.terms.as_slice() {
-            [(_, Expr::Var(v), 1)] => Some(*v),
+            [(_, e, 1)] => match exprs[*e] {
+                Expr::Var(v) => Some(v),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -160,10 +172,10 @@ impl Affine {
 /// Decomposes `e` as an affine function of `lv`, with everything else
 /// required to be invariant in `body`. Returns `None` for non-affine
 /// addresses (the reference is then unanalyzable and pessimized).
-pub fn decompose(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> Option<Affine> {
-    match e {
-        Expr::IntConst(v) => Some(Affine::constant(*v)),
-        Expr::Var(v) if *v == lv => Some(Affine {
+pub fn decompose(proc: &Procedure, body: &[StmtId], lv: VarId, e: ExprId) -> Option<Affine> {
+    match proc.exprs[e] {
+        Expr::IntConst(v) => Some(Affine::constant(v)),
+        Expr::Var(v) if v == lv => Some(Affine {
             terms: Vec::new(),
             coeff: 1,
             offset: 0,
@@ -201,12 +213,12 @@ pub fn decompose(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> Option
     }
 }
 
-fn invariant_term(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> Option<Affine> {
-    if e.reads_var(lv) {
+fn invariant_term(proc: &Procedure, body: &[StmtId], lv: VarId, e: ExprId) -> Option<Affine> {
+    if proc.exprs.reads_var(e, lv) {
         return None;
     }
     if invariant_in(proc, body, e) {
-        Some(Affine::var_term(e))
+        Some(Affine::var_term(&proc.exprs, e))
     } else {
         None
     }
@@ -227,57 +239,48 @@ mod tests {
 
     #[test]
     fn decomposes_subscript_form() {
-        let (proc, lv, arr, _p) = setup();
+        let (mut proc, lv, arr, _p) = setup();
         // &x + (i * 4) + 8
-        let e = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::binary(
-                BinOp::Add,
-                ScalarType::Ptr,
-                Expr::addr_of(arr),
-                Expr::ibinary(BinOp::Mul, Expr::var(lv), Expr::int(4)),
-            ),
-            Expr::int(8),
-        );
-        let a = decompose(&proc, &[], lv, &e).unwrap();
+        let x = proc.exprs.addr_of(arr);
+        let i = proc.exprs.var(lv);
+        let four = proc.exprs.int(4);
+        let mul = proc.exprs.ibinary(BinOp::Mul, i, four);
+        let sum = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, x, mul);
+        let eight = proc.exprs.int(8);
+        let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, sum, eight);
+        let a = decompose(&proc, &[], lv, e).unwrap();
         assert_eq!(a.coeff, 4);
         assert_eq!(a.offset, 8);
-        assert_eq!(a.array_base(), Some(arr));
+        assert_eq!(a.array_base(&proc.exprs), Some(arr));
     }
 
     #[test]
     fn decomposes_reversed_induction() {
-        let (proc, lv, _arr, p) = setup();
-        // p + (n0 - i) * 4  where n0 is invariant (here: a param-free const stand-in)
-        let e = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::var(p),
-            Expr::ibinary(
-                BinOp::Mul,
-                Expr::ibinary(BinOp::Sub, Expr::int(50), Expr::var(lv)),
-                Expr::int(4),
-            ),
-        );
-        let a = decompose(&proc, &[], lv, &e).unwrap();
+        let (mut proc, lv, _arr, p) = setup();
+        // p + (50 - i) * 4
+        let pv = proc.exprs.var(p);
+        let fifty = proc.exprs.int(50);
+        let i = proc.exprs.var(lv);
+        let sub = proc.exprs.ibinary(BinOp::Sub, fifty, i);
+        let four = proc.exprs.int(4);
+        let mul = proc.exprs.ibinary(BinOp::Mul, sub, four);
+        let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, pv, mul);
+        let a = decompose(&proc, &[], lv, e).unwrap();
         assert_eq!(a.coeff, -4);
         assert_eq!(a.offset, 200);
-        assert_eq!(a.pointer_base(), Some(p));
+        assert_eq!(a.pointer_base(&proc.exprs), Some(p));
     }
 
     #[test]
     fn symbolic_invariant_terms_scale() {
-        let (proc, lv, _arr, p) = setup();
-        // p*?? — use (p + i*8) - p ... instead test term multiplication:
-        // 2*(p) via p + p
-        let e = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::var(p),
-            Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::var(p), Expr::var(lv)),
-        );
-        let a = decompose(&proc, &[], lv, &e).unwrap();
+        let (mut proc, lv, _arr, p) = setup();
+        // p + (p + i): the symbolic term p appears twice
+        let p1 = proc.exprs.var(p);
+        let p2 = proc.exprs.var(p);
+        let i = proc.exprs.var(lv);
+        let inner = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, p2, i);
+        let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, p1, inner);
+        let a = decompose(&proc, &[], lv, e).unwrap();
         assert_eq!(a.coeff, 1);
         assert_eq!(a.terms.len(), 1);
         assert_eq!(a.terms[0].2, 2);
@@ -285,62 +288,61 @@ mod tests {
 
     #[test]
     fn same_base_comparison() {
-        let (proc, lv, arr, p) = setup();
-        let mk = |base: Expr, off: i64| {
-            decompose(
-                &proc,
-                &[],
-                lv,
-                &Expr::binary(
-                    BinOp::Add,
-                    ScalarType::Ptr,
-                    base,
-                    Expr::ibinary(
-                        BinOp::Add,
-                        Expr::ibinary(BinOp::Mul, Expr::var(lv), Expr::int(4)),
-                        Expr::int(off),
-                    ),
-                ),
-            )
-            .unwrap()
+        let (mut proc, lv, arr, p) = setup();
+        let mk = |proc: &mut Procedure, base: ExprId, off: i64| {
+            let i = proc.exprs.var(lv);
+            let four = proc.exprs.int(4);
+            let mul = proc.exprs.ibinary(BinOp::Mul, i, four);
+            let o = proc.exprs.int(off);
+            let sum = proc.exprs.ibinary(BinOp::Add, mul, o);
+            let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, base, sum);
+            decompose(proc, &[], lv, e).unwrap()
         };
-        let a1 = mk(Expr::addr_of(arr), 0);
-        let a2 = mk(Expr::addr_of(arr), 4);
-        let a3 = mk(Expr::var(p), 0);
+        let b1 = proc.exprs.addr_of(arr);
+        let a1 = mk(&mut proc, b1, 0);
+        let b2 = proc.exprs.addr_of(arr);
+        let a2 = mk(&mut proc, b2, 4);
+        let b3 = proc.exprs.var(p);
+        let a3 = mk(&mut proc, b3, 0);
         assert!(a1.same_base(&a2));
         assert!(!a1.same_base(&a3));
     }
 
     #[test]
     fn non_affine_rejected() {
-        let (proc, lv, _arr, p) = setup();
+        let (mut proc, lv, _arr, p) = setup();
         // p + i*i is not affine
-        let e = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::var(p),
-            Expr::ibinary(BinOp::Mul, Expr::var(lv), Expr::var(lv)),
-        );
-        assert!(decompose(&proc, &[], lv, &e).is_none());
+        let pv = proc.exprs.var(p);
+        let i1 = proc.exprs.var(lv);
+        let i2 = proc.exprs.var(lv);
+        let sq = proc.exprs.ibinary(BinOp::Mul, i1, i2);
+        let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, pv, sq);
+        assert!(decompose(&proc, &[], lv, e).is_none());
         // loads are not invariant
-        let e2 = Expr::load(Expr::var(p), ScalarType::Ptr);
-        assert!(decompose(&proc, &[], lv, &e2).is_none());
+        let pv2 = proc.exprs.var(p);
+        let e2 = proc.exprs.load(pv2, ScalarType::Ptr);
+        assert!(decompose(&proc, &[], lv, e2).is_none());
     }
 
     #[test]
     fn materialize_round_trips() {
-        let (proc, lv, arr, _p) = setup();
-        let e = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::addr_of(arr),
-            Expr::ibinary(BinOp::Mul, Expr::var(lv), Expr::int(4)),
+        let (mut proc, lv, arr, _p) = setup();
+        let base = proc.exprs.addr_of(arr);
+        let i = proc.exprs.var(lv);
+        let four = proc.exprs.int(4);
+        let mul = proc.exprs.ibinary(BinOp::Mul, i, four);
+        let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, base, mul);
+        let a = decompose(&proc, &[], lv, e).unwrap();
+        let zero = proc.exprs.int(0);
+        let at_zero = a.materialize(&mut proc.exprs, zero);
+        let plain = proc.exprs.addr_of(arr);
+        assert_eq!(
+            pretty_expr_in(&proc.exprs, at_zero),
+            pretty_expr_in(&proc.exprs, plain)
         );
-        let a = decompose(&proc, &[], lv, &e).unwrap();
-        let at_zero = a.materialize(&Expr::int(0));
-        assert_eq!(format!("{at_zero}"), format!("{}", Expr::addr_of(arr)));
-        let at_five = a.materialize(&Expr::int(5));
-        let aff2 = decompose(&proc, &[], lv, &at_five).unwrap();
+        let five = proc.exprs.int(5);
+        let at_five = a.materialize(&mut proc.exprs, five);
+        let aff2 = decompose(&proc, &[], lv, at_five).unwrap();
         assert_eq!(aff2.offset, 20);
     }
 
@@ -351,10 +353,13 @@ mod tests {
         let mut b = ProcBuilder::new("t", Type::Void);
         let lv = b.local("i", Type::Int);
         let q = b.local("q", Type::ptr_to(Type::Float));
-        b.assign_var(q, Expr::int(0)); // q defined in body
-        let proc = b.finish();
+        let zero = b.int(0);
+        b.assign_var(q, zero); // q defined in body
+        let mut proc = b.finish();
         let body = proc.body.clone();
-        let e = Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::var(q), Expr::var(lv));
-        assert!(decompose(&proc, &body, lv, &e).is_none());
+        let qv = proc.exprs.var(q);
+        let i = proc.exprs.var(lv);
+        let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, qv, i);
+        assert!(decompose(&proc, &body, lv, e).is_none());
     }
 }

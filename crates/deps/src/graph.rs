@@ -5,7 +5,7 @@
 use crate::affine::{decompose, Affine};
 use crate::test::{test_pair, Verdict};
 use std::collections::HashMap;
-use titanc_il::{Expr, LValue, Procedure, Stmt, StmtKind, VarId};
+use titanc_il::{Expr, ExprId, ExprPool, LValue, Procedure, StmtId, StmtKind, VarId};
 use titanc_opt::util::register_candidate;
 
 /// The kind of a dependence edge.
@@ -82,7 +82,7 @@ impl DepGraph {
     /// [`DepGraph::build_for_loop`] when the loop's bounds are at hand.
     pub fn build(
         proc: &Procedure,
-        body: &[Stmt],
+        body: &[StmtId],
         lv: VarId,
         trips: Option<i64>,
         aliasing: Aliasing,
@@ -96,7 +96,7 @@ impl DepGraph {
     /// `lo_const` is the constant lower bound if known.
     pub fn build_for_loop(
         proc: &Procedure,
-        body: &[Stmt],
+        body: &[StmtId],
         lv: VarId,
         lo_const: Option<i64>,
         step: i64,
@@ -107,13 +107,13 @@ impl DepGraph {
         let mut refs = Vec::new();
         let mut pinned = vec![false; n];
 
-        for (i, s) in body.iter().enumerate() {
-            match &s.kind {
+        for (i, &s) in body.iter().enumerate() {
+            match &proc.stmts[s] {
                 StmtKind::Assign { lhs, rhs } => {
                     match lhs {
                         LValue::Var(_) => {}
                         LValue::Deref { addr, volatile, .. } => {
-                            let affine = decompose(proc, body, lv, addr);
+                            let affine = decompose(proc, body, lv, *addr);
                             if affine.is_none() || *volatile {
                                 pinned[i] = true;
                             }
@@ -137,9 +137,9 @@ impl DepGraph {
                             });
                         }
                     }
-                    collect_loads(proc, body, lv, rhs, i, &mut refs, &mut pinned);
+                    collect_loads(proc, body, lv, *rhs, i, &mut refs, &mut pinned);
                     for ae in lhs.address_exprs() {
-                        for c in ae.children() {
+                        for c in proc.exprs[ae].child_ids() {
                             collect_loads(proc, body, lv, c, i, &mut refs, &mut pinned);
                         }
                     }
@@ -164,7 +164,7 @@ impl DepGraph {
                 if r1.stmt == r2.stmt && std::ptr::eq(r1, r2) {
                     continue;
                 }
-                let verdict = classify_pair(r1, r2, lo_const, step, trips, aliasing);
+                let verdict = classify_pair(&proc.exprs, r1, r2, lo_const, step, trips, aliasing);
                 if verdict.may_depend() {
                     push_mem_edges(&mut edges, r1, r2, verdict);
                 }
@@ -231,20 +231,20 @@ impl DepGraph {
 /// statements whose nested blocks still constrain statement ordering).
 fn collect_refs_deep(
     proc: &Procedure,
-    body: &[Stmt],
+    body: &[StmtId],
     lv: VarId,
-    s: &Stmt,
+    s: StmtId,
     stmt: usize,
     refs: &mut Vec<MemRef>,
     pinned: &mut [bool],
 ) {
-    if let StmtKind::Assign { lhs, .. } = &s.kind {
+    if let StmtKind::Assign { lhs, .. } = &proc.stmts[s] {
         match lhs {
             LValue::Deref { addr, volatile, .. } => {
                 refs.push(MemRef {
                     stmt,
                     is_write: true,
-                    affine: decompose(proc, body, lv, addr),
+                    affine: decompose(proc, body, lv, *addr),
                     volatile: *volatile,
                 });
             }
@@ -259,7 +259,7 @@ fn collect_refs_deep(
             LValue::Var(_) => {}
         }
     }
-    if matches!(s.kind, StmtKind::Call { .. }) {
+    if matches!(proc.stmts[s], StmtKind::Call { .. }) {
         // worst case: the callee may read or write anything
         refs.push(MemRef {
             stmt,
@@ -268,11 +268,11 @@ fn collect_refs_deep(
             volatile: false,
         });
     }
-    for e in s.exprs() {
+    for e in proc.stmts[s].exprs() {
         collect_loads(proc, body, lv, e, stmt, refs, pinned);
     }
-    for b in s.blocks() {
-        for inner in b {
+    for b in proc.stmts[s].blocks() {
+        for &inner in b {
             collect_refs_deep(proc, body, lv, inner, stmt, refs, pinned);
         }
     }
@@ -280,24 +280,24 @@ fn collect_refs_deep(
 
 fn collect_loads(
     proc: &Procedure,
-    body: &[Stmt],
+    body: &[StmtId],
     lv: VarId,
-    e: &Expr,
+    e: ExprId,
     stmt: usize,
     refs: &mut Vec<MemRef>,
     pinned: &mut [bool],
 ) {
-    match e {
+    match proc.exprs[e] {
         Expr::Load { addr, volatile, .. } => {
             let affine = decompose(proc, body, lv, addr);
-            if affine.is_none() || *volatile {
+            if affine.is_none() || volatile {
                 pinned[stmt] = true;
             }
             refs.push(MemRef {
                 stmt,
                 is_write: false,
                 affine,
-                volatile: *volatile,
+                volatile,
             });
         }
         Expr::Section { .. } => {
@@ -312,12 +312,13 @@ fn collect_loads(
         }
         _ => {}
     }
-    for c in e.children() {
+    for c in proc.exprs[e].child_ids() {
         collect_loads(proc, body, lv, c, stmt, refs, pinned);
     }
 }
 
 fn classify_pair(
+    exprs: &ExprPool,
     r1: &MemRef,
     r2: &MemRef,
     lo_const: Option<i64>,
@@ -330,7 +331,7 @@ fn classify_pair(
             if a1.same_base(a2) {
                 test_in_iteration_space(a1, a2, lo_const, step, trips)
             } else {
-                bases_may_alias(a1, a2, aliasing)
+                bases_may_alias(exprs, a1, a2, aliasing)
             }
         }
         _ => Verdict::Unknown,
@@ -385,10 +386,10 @@ fn test_in_iteration_space(
 
 /// Distinct symbolic bases: named arrays never alias each other; under
 /// Fortran parameter semantics distinct pointer bases don't either.
-fn bases_may_alias(a1: &Affine, a2: &Affine, aliasing: Aliasing) -> Verdict {
+fn bases_may_alias(exprs: &ExprPool, a1: &Affine, a2: &Affine, aliasing: Aliasing) -> Verdict {
     // addresses rooted in different named arrays can never collide, even
     // when outer-loop terms ride along in the symbolic part
-    if let (Some(x), Some(y)) = (a1.array_root(), a2.array_root()) {
+    if let (Some(x), Some(y)) = (a1.array_root(exprs), a2.array_root(exprs)) {
         if x != y {
             return Verdict::Independent;
         }
@@ -485,27 +486,27 @@ fn reverse(kind: DepKind) -> DepKind {
 /// candidate the other touches. Conservatively carried in both directions
 /// (scalar cycles make a statement group sequential — accumulations stay
 /// scalar).
-fn scalar_edges(proc: &Procedure, body: &[Stmt], lv: VarId, edges: &mut Vec<DepEdge>) {
+fn scalar_edges(proc: &Procedure, body: &[StmtId], lv: VarId, edges: &mut Vec<DepEdge>) {
     let mut writes: HashMap<VarId, Vec<usize>> = HashMap::new();
     let mut reads: HashMap<VarId, Vec<usize>> = HashMap::new();
-    for (i, s) in body.iter().enumerate() {
-        if let Some(v) = s.defined_var() {
+    for (i, &s) in body.iter().enumerate() {
+        if let Some(v) = proc.stmts[s].defined_var() {
             if v != lv && register_candidate(proc, v) {
                 writes.entry(v).or_default().push(i);
             }
         }
         let mut rs: Vec<VarId> = Vec::new();
-        fn gather(s: &Stmt, out: &mut Vec<VarId>) {
-            for e in s.exprs() {
-                out.extend(e.vars_read());
+        fn gather(proc: &Procedure, s: StmtId, out: &mut Vec<VarId>) {
+            for e in proc.stmts[s].exprs() {
+                out.extend(proc.exprs.vars_read(e));
             }
-            for b in s.blocks() {
-                for inner in b {
-                    gather(inner, out);
+            for b in proc.stmts[s].blocks() {
+                for &inner in b {
+                    gather(proc, inner, out);
                 }
             }
         }
-        gather(s, &mut rs);
+        gather(proc, s, &mut rs);
         for v in rs {
             if v != lv && register_candidate(proc, v) {
                 reads.entry(v).or_default().push(i);
@@ -641,14 +642,14 @@ fn tarjan(n: usize, succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use titanc_il::StmtKind;
+    use titanc_il::{Block, StmtKind};
     use titanc_lower::compile_to_il;
     use titanc_opt::{
         convert_while_loops, eliminate_dead_code, forward_substitute, induction_substitution,
     };
 
     /// Compile, convert, substitute, clean — then find the first DO loop.
-    fn prep(src: &str) -> (Procedure, VarId, Vec<Stmt>, Option<i64>) {
+    fn prep(src: &str) -> (Procedure, VarId, Block, Option<i64>) {
         let prog = compile_to_il(src).unwrap();
         let mut proc = prog.procs[0].clone();
         convert_while_loops(&mut proc);
@@ -656,7 +657,7 @@ mod tests {
         forward_substitute(&mut proc);
         eliminate_dead_code(&mut proc);
         let mut found = None;
-        proc.for_each_stmt(&mut |s| {
+        proc.for_each_stmt(&mut |_, k| {
             if found.is_none() {
                 if let StmtKind::DoLoop {
                     var,
@@ -665,9 +666,13 @@ mod tests {
                     step,
                     body,
                     ..
-                } = &s.kind
+                } = k
                 {
-                    let trips = match (lo.as_int(), hi.as_int(), step.as_int()) {
+                    let trips = match (
+                        proc.exprs.as_int(*lo),
+                        proc.exprs.as_int(*hi),
+                        proc.exprs.as_int(*step),
+                    ) {
                         (Some(l), Some(h), Some(st)) if st != 0 => Some(((h - l + st) / st).max(0)),
                         _ => None,
                     };
@@ -749,7 +754,10 @@ void f(int n) { int i; for (i = 0; i < n; i++) x[i + 1] = x[i] * 2.0f; }
 "#;
         let (proc, lv, body, trips) = prep(src);
         let g = DepGraph::build(&proc, &body, lv, trips, Aliasing::C);
-        let store_stmt = body.iter().position(|s| s.writes_memory()).unwrap();
+        let store_stmt = body
+            .iter()
+            .position(|&s| proc.stmts[s].writes_memory())
+            .unwrap();
         assert!(g.has_carried_self_cycle(store_stmt), "{:#?}", g.edges);
     }
 
@@ -762,7 +770,10 @@ void f(int n) { int i; for (i = 0; i < n; i++) x[i] = x[i + 1]; }
 "#;
         let (proc, lv, body, trips) = prep(src);
         let g = DepGraph::build(&proc, &body, lv, trips, Aliasing::C);
-        let store_stmt = body.iter().position(|s| s.writes_memory()).unwrap();
+        let store_stmt = body
+            .iter()
+            .position(|&s| proc.stmts[s].writes_memory())
+            .unwrap();
         assert!(
             !g.has_carried_self_cycle(store_stmt),
             "anti deps do not block: {:#?}",

@@ -20,9 +20,11 @@
 //! titanc_opt::forward_substitute(&mut proc);
 //! titanc_opt::eliminate_dead_code(&mut proc);
 //! let mut found = None;
-//! proc.for_each_stmt(&mut |s| {
-//!     if let StmtKind::DoLoop { var, body, .. } = &s.kind {
-//!         found.get_or_insert((*var, body.clone()));
+//! proc.for_each_stmt(&mut |_, kind| {
+//!     if let StmtKind::DoLoop { var, body, .. } = kind {
+//!         if found.is_none() {
+//!             found = Some((*var, body.clone()));
+//!         }
 //!     }
 //! });
 //! let (lv, body) = found.unwrap();
@@ -43,11 +45,12 @@ pub use test::{test_pair, Verdict};
 
 /// The constant trip count of a DO loop, when its bounds fold.
 pub fn const_trip_count(
-    lo: &titanc_il::Expr,
-    hi: &titanc_il::Expr,
-    step: &titanc_il::Expr,
+    exprs: &titanc_il::ExprPool,
+    lo: titanc_il::ExprId,
+    hi: titanc_il::ExprId,
+    step: titanc_il::ExprId,
 ) -> Option<i64> {
-    match (lo.as_int(), hi.as_int(), step.as_int()) {
+    match (exprs.as_int(lo), exprs.as_int(hi), exprs.as_int(step)) {
         (Some(l), Some(h), Some(s)) if s != 0 => Some(((h - l + s) / s).max(0)),
         _ => None,
     }

@@ -122,8 +122,12 @@ mod tests {
     use crate::affine::Affine;
 
     fn aff(coeff: i64, offset: i64) -> Affine {
+        // the term id is only used as an opaque token here: the tests
+        // compare bases by their string key
+        let mut pool = titanc_il::ExprPool::new();
+        let e = pool.int(0);
         Affine {
-            terms: vec![("&x".into(), titanc_il::Expr::int(0), 1)],
+            terms: vec![("&x".into(), e, 1)],
             coeff,
             offset,
         }

@@ -2,12 +2,17 @@
 //!
 //! Tests, examples and the workload generators build IL directly through
 //! [`ProcBuilder`]; the C front end goes through `titanc-lower` instead.
+//!
+//! Because expressions live in the procedure's arena, the builder exposes
+//! expression constructors (`b.int(0)`, `b.var(v)`, `b.ibinary(..)`) that
+//! allocate in the pool and return [`ExprId`]s; nested expressions are
+//! built innermost-first.
 
-use crate::expr::{Expr, LValue};
-use crate::ids::{LabelId, VarId};
+use crate::expr::{BinOp, LValue, UnOp};
+use crate::ids::{ExprId, LabelId, VarId};
 use crate::program::{Procedure, Storage, VarInfo};
-use crate::stmt::{Stmt, StmtKind};
-use crate::types::Type;
+use crate::stmt::{Block, StmtKind};
+use crate::types::{ScalarType, Type};
 
 /// Builds a [`Procedure`] statement by statement.
 #[derive(Debug)]
@@ -103,7 +108,7 @@ impl ProcBuilder {
 macro_rules! emit_methods {
     ($pusher:ident) => {
         /// Emits `lhs = rhs` for a variable target.
-        pub fn assign_var(&mut self, lhs: VarId, rhs: Expr) {
+        pub fn assign_var(&mut self, lhs: VarId, rhs: ExprId) {
             self.$pusher(StmtKind::Assign {
                 lhs: LValue::Var(lhs),
                 rhs,
@@ -111,12 +116,12 @@ macro_rules! emit_methods {
         }
 
         /// Emits `lhs = rhs` for any target.
-        pub fn assign(&mut self, lhs: LValue, rhs: Expr) {
+        pub fn assign(&mut self, lhs: LValue, rhs: ExprId) {
             self.$pusher(StmtKind::Assign { lhs, rhs });
         }
 
         /// Emits a structured `if`.
-        pub fn if_(&mut self, cond: Expr, then_blk: Vec<Stmt>, else_blk: Vec<Stmt>) {
+        pub fn if_(&mut self, cond: ExprId, then_blk: Block, else_blk: Block) {
             self.$pusher(StmtKind::If {
                 cond,
                 then_blk,
@@ -125,7 +130,7 @@ macro_rules! emit_methods {
         }
 
         /// Emits a `while` loop.
-        pub fn while_(&mut self, cond: Expr, body: Vec<Stmt>) {
+        pub fn while_(&mut self, cond: ExprId, body: Block) {
             self.$pusher(StmtKind::While {
                 cond,
                 body,
@@ -134,7 +139,7 @@ macro_rules! emit_methods {
         }
 
         /// Emits a Fortran-style DO loop.
-        pub fn do_loop(&mut self, var: VarId, lo: Expr, hi: Expr, step: Expr, body: Vec<Stmt>) {
+        pub fn do_loop(&mut self, var: VarId, lo: ExprId, hi: ExprId, step: ExprId, body: Block) {
             self.$pusher(StmtKind::DoLoop {
                 var,
                 lo,
@@ -146,12 +151,12 @@ macro_rules! emit_methods {
         }
 
         /// Emits a `return`.
-        pub fn ret(&mut self, value: Option<Expr>) {
+        pub fn ret(&mut self, value: Option<ExprId>) {
             self.$pusher(StmtKind::Return(value));
         }
 
         /// Emits a call statement.
-        pub fn call(&mut self, dst: Option<LValue>, callee: impl Into<String>, args: Vec<Expr>) {
+        pub fn call(&mut self, dst: Option<LValue>, callee: impl Into<String>, args: Vec<ExprId>) {
             self.$pusher(StmtKind::Call {
                 dst,
                 callee: callee.into(),
@@ -170,8 +175,73 @@ macro_rules! emit_methods {
         }
 
         /// Emits a conditional branch.
-        pub fn if_goto(&mut self, cond: Expr, target: LabelId) {
+        pub fn if_goto(&mut self, cond: ExprId, target: LabelId) {
             self.$pusher(StmtKind::IfGoto { cond, target });
+        }
+    };
+}
+
+macro_rules! expr_methods {
+    () => {
+        /// Allocates an `Int` constant in the procedure's expression pool.
+        pub fn int(&mut self, v: i64) -> ExprId {
+            self.proc.exprs.int(v)
+        }
+
+        /// Allocates a `Float` constant.
+        pub fn float(&mut self, v: f64) -> ExprId {
+            self.proc.exprs.float(v)
+        }
+
+        /// Allocates a `Double` constant.
+        pub fn double(&mut self, v: f64) -> ExprId {
+            self.proc.exprs.double(v)
+        }
+
+        /// Allocates a variable read.
+        pub fn var(&mut self, v: VarId) -> ExprId {
+            self.proc.exprs.var(v)
+        }
+
+        /// Allocates an address-of.
+        pub fn addr_of(&mut self, v: VarId) -> ExprId {
+            self.proc.exprs.addr_of(v)
+        }
+
+        /// Allocates a non-volatile load.
+        pub fn load(&mut self, addr: ExprId, ty: ScalarType) -> ExprId {
+            self.proc.exprs.load(addr, ty)
+        }
+
+        /// Allocates an `Int` binary operation.
+        pub fn ibinary(&mut self, op: BinOp, lhs: ExprId, rhs: ExprId) -> ExprId {
+            self.proc.exprs.ibinary(op, lhs, rhs)
+        }
+
+        /// Allocates a binary operation on operands of kind `ty`.
+        pub fn binary(&mut self, op: BinOp, ty: ScalarType, lhs: ExprId, rhs: ExprId) -> ExprId {
+            self.proc.exprs.binary(op, ty, lhs, rhs)
+        }
+
+        /// Allocates a unary operation.
+        pub fn unary(&mut self, op: UnOp, ty: ScalarType, arg: ExprId) -> ExprId {
+            self.proc.exprs.unary(op, ty, arg)
+        }
+
+        /// Allocates a cast (identity casts collapse).
+        pub fn cast(&mut self, to: ScalarType, from: ScalarType, arg: ExprId) -> ExprId {
+            self.proc.exprs.cast(to, from, arg)
+        }
+
+        /// Allocates a vector triplet section.
+        pub fn section(
+            &mut self,
+            base: ExprId,
+            len: ExprId,
+            stride: ExprId,
+            ty: ScalarType,
+        ) -> ExprId {
+            self.proc.exprs.section(base, len, stride, ty)
         }
     };
 }
@@ -182,6 +252,7 @@ impl ProcBuilder {
     }
 
     emit_methods!(push_kind);
+    expr_methods!();
 }
 
 /// Builds a statement block nested inside a [`ProcBuilder`] (loop or branch
@@ -189,7 +260,7 @@ impl ProcBuilder {
 #[derive(Debug)]
 pub struct BlockBuilder<'a> {
     proc: &'a mut Procedure,
-    stmts: Vec<Stmt>,
+    stmts: Block,
 }
 
 impl<'a> BlockBuilder<'a> {
@@ -199,6 +270,7 @@ impl<'a> BlockBuilder<'a> {
     }
 
     emit_methods!(push_kind);
+    expr_methods!();
 
     /// A fresh temporary (allocated in the enclosing procedure).
     pub fn temp(&mut self, ty: Type) -> VarId {
@@ -218,8 +290,8 @@ impl<'a> BlockBuilder<'a> {
         }
     }
 
-    /// Finishes the block, returning its statements.
-    pub fn stmts(self) -> Vec<Stmt> {
+    /// Finishes the block, returning its statement ids.
+    pub fn stmts(self) -> Block {
         self.stmts
     }
 }
@@ -235,21 +307,29 @@ mod tests {
         let n = b.param("n", Type::Int);
         let s = b.local("s", Type::Int);
         let i = b.local("i", Type::Int);
-        b.assign_var(s, Expr::int(0));
+        let zero = b.int(0);
+        b.assign_var(s, zero);
         let body = {
             let mut lb = b.block();
-            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            let sv = lb.var(s);
+            let iv = lb.var(i);
+            let add = lb.ibinary(BinOp::Add, sv, iv);
+            lb.assign_var(s, add);
             lb.stmts()
         };
-        b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
-        b.ret(Some(Expr::var(s)));
+        let lo = b.int(1);
+        let hi = b.var(n);
+        let step = b.int(1);
+        b.do_loop(i, lo, hi, step, body);
+        let sv = b.var(s);
+        b.ret(Some(sv));
         let p = b.finish();
         assert_eq!(p.params.len(), 1);
         assert_eq!(p.body.len(), 3);
         assert_eq!(p.len(), 4);
         // stamps are unique
         let mut ids = Vec::new();
-        p.for_each_stmt(&mut |s| ids.push(s.id));
+        p.for_each_stmt(&mut |s, _| ids.push(s));
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();

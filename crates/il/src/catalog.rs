@@ -182,13 +182,13 @@ impl Catalog {
 mod tests {
     use super::*;
     use crate::builder::ProcBuilder;
-    use crate::expr::Expr;
     use crate::types::Type;
 
     fn sample_proc(name: &str) -> Procedure {
         let mut b = ProcBuilder::new(name, Type::Int);
         let n = b.param("n", Type::Int);
-        b.ret(Some(Expr::var(n)));
+        let nv = b.var(n);
+        b.ret(Some(nv));
         b.finish()
     }
 
@@ -252,7 +252,7 @@ mod tests {
         c.link_into(&mut prog);
 
         let linked = prog.proc_by_name("daxpy").unwrap();
-        let tag = linked.body[0].span.file;
+        let tag = linked.stmts.span(linked.body[0]).file;
         assert_ne!(tag, 0, "catalog spans must not claim the current TU");
         assert_eq!(prog.file_name(tag), Some("blas"));
     }

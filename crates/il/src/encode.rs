@@ -1,16 +1,26 @@
-//! [`ToJson`]/[`FromJson`] conversions for the IL type tree.
+//! JSON conversions for the IL type tree.
 //!
 //! Only the types a [`crate::Catalog`] contains are encoded: procedures,
 //! statements, expressions, types, symbol-table entries and struct
 //! layouts. The encoding is externally tagged (unit variants as strings,
 //! data variants as single-key objects) so catalogs stay diffable.
+//!
+//! The *wire format is the structural tree*, not the arena: expressions
+//! serialize as nested objects and statements as `{"id", "kind", "span"?}`
+//! objects with their blocks inline, exactly as when the IL was boxed.
+//! Arena layout is a memory detail that never leaks into catalogs, so
+//! pre-refactor catalogs decode unchanged and encoded output is
+//! byte-identical. Types that need pool context to resolve ids
+//! ([`crate::Expr`], [`crate::LValue`], statements) convert through the
+//! free functions here; self-contained types keep [`ToJson`]/[`FromJson`]
+//! impls.
 
-use crate::expr::{BinOp, Expr, LValue, UnOp};
-use crate::ids::{LabelId, ProcId, StmtId, StructId, VarId};
+use crate::expr::{BinOp, Expr, ExprPool, LValue, UnOp};
+use crate::ids::{ExprId, LabelId, ProcId, StmtId, StructId, VarId};
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::program::{ConstInit, Field, Procedure, Storage, StructDef, VarInfo};
 use crate::span::SrcSpan;
-use crate::stmt::{Stmt, StmtKind};
+use crate::stmt::{Block, StmtKind};
 use crate::types::{ScalarType, Type};
 
 fn bad(what: &str, got: &str) -> JsonError {
@@ -122,162 +132,158 @@ fn two(v: &Json) -> Result<[&Json; 2], JsonError> {
     }
 }
 
-impl ToJson for Expr {
-    fn to_json(&self) -> Json {
-        match self {
-            Expr::IntConst(v) => Json::tagged("IntConst", v.to_json()),
-            Expr::FloatConst(v, ty) => {
-                Json::tagged("FloatConst", Json::Arr(vec![v.to_json(), ty.to_json()]))
-            }
-            Expr::Var(v) => Json::tagged("Var", v.to_json()),
-            Expr::AddrOf(v) => Json::tagged("AddrOf", v.to_json()),
-            Expr::Load { addr, ty, volatile } => Json::tagged(
-                "Load",
-                Json::obj(vec![
-                    ("addr", addr.to_json()),
-                    ("ty", ty.to_json()),
-                    ("volatile", volatile.to_json()),
-                ]),
-            ),
-            Expr::Unary { op, ty, arg } => Json::tagged(
-                "Unary",
-                Json::obj(vec![
-                    ("op", op.to_json()),
-                    ("ty", ty.to_json()),
-                    ("arg", arg.to_json()),
-                ]),
-            ),
-            Expr::Binary { op, ty, lhs, rhs } => Json::tagged(
-                "Binary",
-                Json::obj(vec![
-                    ("op", op.to_json()),
-                    ("ty", ty.to_json()),
-                    ("lhs", lhs.to_json()),
-                    ("rhs", rhs.to_json()),
-                ]),
-            ),
-            Expr::Cast { to, from, arg } => Json::tagged(
-                "Cast",
-                Json::obj(vec![
-                    ("to", to.to_json()),
-                    ("from", from.to_json()),
-                    ("arg", arg.to_json()),
-                ]),
-            ),
-            Expr::Section {
-                base,
-                len,
-                stride,
-                ty,
-            } => Json::tagged(
-                "Section",
-                Json::obj(vec![
-                    ("base", base.to_json()),
-                    ("len", len.to_json()),
-                    ("stride", stride.to_json()),
-                    ("ty", ty.to_json()),
-                ]),
-            ),
+/// Encodes the expression subtree at `id` as a nested tagged tree.
+pub fn expr_to_json(pool: &ExprPool, id: ExprId) -> Json {
+    match pool[id] {
+        Expr::IntConst(v) => Json::tagged("IntConst", v.to_json()),
+        Expr::FloatConst(v, ty) => {
+            Json::tagged("FloatConst", Json::Arr(vec![v.to_json(), ty.to_json()]))
         }
+        Expr::Var(v) => Json::tagged("Var", v.to_json()),
+        Expr::AddrOf(v) => Json::tagged("AddrOf", v.to_json()),
+        Expr::Load { addr, ty, volatile } => Json::tagged(
+            "Load",
+            Json::obj(vec![
+                ("addr", expr_to_json(pool, addr)),
+                ("ty", ty.to_json()),
+                ("volatile", volatile.to_json()),
+            ]),
+        ),
+        Expr::Unary { op, ty, arg } => Json::tagged(
+            "Unary",
+            Json::obj(vec![
+                ("op", op.to_json()),
+                ("ty", ty.to_json()),
+                ("arg", expr_to_json(pool, arg)),
+            ]),
+        ),
+        Expr::Binary { op, ty, lhs, rhs } => Json::tagged(
+            "Binary",
+            Json::obj(vec![
+                ("op", op.to_json()),
+                ("ty", ty.to_json()),
+                ("lhs", expr_to_json(pool, lhs)),
+                ("rhs", expr_to_json(pool, rhs)),
+            ]),
+        ),
+        Expr::Cast { to, from, arg } => Json::tagged(
+            "Cast",
+            Json::obj(vec![
+                ("to", to.to_json()),
+                ("from", from.to_json()),
+                ("arg", expr_to_json(pool, arg)),
+            ]),
+        ),
+        Expr::Section {
+            base,
+            len,
+            stride,
+            ty,
+        } => Json::tagged(
+            "Section",
+            Json::obj(vec![
+                ("base", expr_to_json(pool, base)),
+                ("len", expr_to_json(pool, len)),
+                ("stride", expr_to_json(pool, stride)),
+                ("ty", ty.to_json()),
+            ]),
+        ),
     }
 }
 
-impl FromJson for Expr {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let (tag, payload) = v.variant()?;
-        let p = payload.ok_or_else(|| bad("expression", tag))?;
-        match tag {
-            "IntConst" => Ok(Expr::IntConst(i64::from_json(p)?)),
-            "FloatConst" => {
-                let [f, ty] = two(p)?;
-                Ok(Expr::FloatConst(
-                    f64::from_json(f)?,
-                    ScalarType::from_json(ty)?,
-                ))
-            }
-            "Var" => Ok(Expr::Var(VarId::from_json(p)?)),
-            "AddrOf" => Ok(Expr::AddrOf(VarId::from_json(p)?)),
-            "Load" => Ok(Expr::Load {
-                addr: Box::from_json(p.field("addr")?)?,
-                ty: ScalarType::from_json(p.field("ty")?)?,
-                volatile: bool::from_json(p.field("volatile")?)?,
-            }),
-            "Unary" => Ok(Expr::Unary {
-                op: UnOp::from_json(p.field("op")?)?,
-                ty: ScalarType::from_json(p.field("ty")?)?,
-                arg: Box::from_json(p.field("arg")?)?,
-            }),
-            "Binary" => Ok(Expr::Binary {
-                op: BinOp::from_json(p.field("op")?)?,
-                ty: ScalarType::from_json(p.field("ty")?)?,
-                lhs: Box::from_json(p.field("lhs")?)?,
-                rhs: Box::from_json(p.field("rhs")?)?,
-            }),
-            "Cast" => Ok(Expr::Cast {
-                to: ScalarType::from_json(p.field("to")?)?,
-                from: ScalarType::from_json(p.field("from")?)?,
-                arg: Box::from_json(p.field("arg")?)?,
-            }),
-            "Section" => Ok(Expr::Section {
-                base: Box::from_json(p.field("base")?)?,
-                len: Box::from_json(p.field("len")?)?,
-                stride: Box::from_json(p.field("stride")?)?,
-                ty: ScalarType::from_json(p.field("ty")?)?,
-            }),
-            other => Err(bad("expression", other)),
+/// Decodes a nested expression tree into the pool, returning the root id
+/// (children are allocated before parents, giving canonical postorder
+/// layout).
+pub fn expr_from_json(pool: &mut ExprPool, v: &Json) -> Result<ExprId, JsonError> {
+    let (tag, payload) = v.variant()?;
+    let p = payload.ok_or_else(|| bad("expression", tag))?;
+    let node = match tag {
+        "IntConst" => Expr::IntConst(i64::from_json(p)?),
+        "FloatConst" => {
+            let [f, ty] = two(p)?;
+            Expr::FloatConst(f64::from_json(f)?, ScalarType::from_json(ty)?)
         }
+        "Var" => Expr::Var(VarId::from_json(p)?),
+        "AddrOf" => Expr::AddrOf(VarId::from_json(p)?),
+        "Load" => Expr::Load {
+            addr: expr_from_json(pool, p.field("addr")?)?,
+            ty: ScalarType::from_json(p.field("ty")?)?,
+            volatile: bool::from_json(p.field("volatile")?)?,
+        },
+        "Unary" => Expr::Unary {
+            op: UnOp::from_json(p.field("op")?)?,
+            ty: ScalarType::from_json(p.field("ty")?)?,
+            arg: expr_from_json(pool, p.field("arg")?)?,
+        },
+        "Binary" => Expr::Binary {
+            op: BinOp::from_json(p.field("op")?)?,
+            ty: ScalarType::from_json(p.field("ty")?)?,
+            lhs: expr_from_json(pool, p.field("lhs")?)?,
+            rhs: expr_from_json(pool, p.field("rhs")?)?,
+        },
+        "Cast" => Expr::Cast {
+            to: ScalarType::from_json(p.field("to")?)?,
+            from: ScalarType::from_json(p.field("from")?)?,
+            arg: expr_from_json(pool, p.field("arg")?)?,
+        },
+        "Section" => Expr::Section {
+            base: expr_from_json(pool, p.field("base")?)?,
+            len: expr_from_json(pool, p.field("len")?)?,
+            stride: expr_from_json(pool, p.field("stride")?)?,
+            ty: ScalarType::from_json(p.field("ty")?)?,
+        },
+        other => return Err(bad("expression", other)),
+    };
+    Ok(pool.alloc(node))
+}
+
+/// Encodes an lvalue (address expressions inline as nested trees).
+pub fn lvalue_to_json(pool: &ExprPool, lv: &LValue) -> Json {
+    match *lv {
+        LValue::Var(v) => Json::tagged("Var", v.to_json()),
+        LValue::Deref { addr, ty, volatile } => Json::tagged(
+            "Deref",
+            Json::obj(vec![
+                ("addr", expr_to_json(pool, addr)),
+                ("ty", ty.to_json()),
+                ("volatile", volatile.to_json()),
+            ]),
+        ),
+        LValue::Section {
+            base,
+            len,
+            stride,
+            ty,
+        } => Json::tagged(
+            "Section",
+            Json::obj(vec![
+                ("base", expr_to_json(pool, base)),
+                ("len", expr_to_json(pool, len)),
+                ("stride", expr_to_json(pool, stride)),
+                ("ty", ty.to_json()),
+            ]),
+        ),
     }
 }
 
-impl ToJson for LValue {
-    fn to_json(&self) -> Json {
-        match self {
-            LValue::Var(v) => Json::tagged("Var", v.to_json()),
-            LValue::Deref { addr, ty, volatile } => Json::tagged(
-                "Deref",
-                Json::obj(vec![
-                    ("addr", addr.to_json()),
-                    ("ty", ty.to_json()),
-                    ("volatile", volatile.to_json()),
-                ]),
-            ),
-            LValue::Section {
-                base,
-                len,
-                stride,
-                ty,
-            } => Json::tagged(
-                "Section",
-                Json::obj(vec![
-                    ("base", base.to_json()),
-                    ("len", len.to_json()),
-                    ("stride", stride.to_json()),
-                    ("ty", ty.to_json()),
-                ]),
-            ),
-        }
-    }
-}
-
-impl FromJson for LValue {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let (tag, payload) = v.variant()?;
-        let p = payload.ok_or_else(|| bad("lvalue", tag))?;
-        match tag {
-            "Var" => Ok(LValue::Var(VarId::from_json(p)?)),
-            "Deref" => Ok(LValue::Deref {
-                addr: Expr::from_json(p.field("addr")?)?,
-                ty: ScalarType::from_json(p.field("ty")?)?,
-                volatile: bool::from_json(p.field("volatile")?)?,
-            }),
-            "Section" => Ok(LValue::Section {
-                base: Expr::from_json(p.field("base")?)?,
-                len: Expr::from_json(p.field("len")?)?,
-                stride: Expr::from_json(p.field("stride")?)?,
-                ty: ScalarType::from_json(p.field("ty")?)?,
-            }),
-            other => Err(bad("lvalue", other)),
-        }
+/// Decodes an lvalue, allocating its address expressions in the pool.
+pub fn lvalue_from_json(pool: &mut ExprPool, v: &Json) -> Result<LValue, JsonError> {
+    let (tag, payload) = v.variant()?;
+    let p = payload.ok_or_else(|| bad("lvalue", tag))?;
+    match tag {
+        "Var" => Ok(LValue::Var(VarId::from_json(p)?)),
+        "Deref" => Ok(LValue::Deref {
+            addr: expr_from_json(pool, p.field("addr")?)?,
+            ty: ScalarType::from_json(p.field("ty")?)?,
+            volatile: bool::from_json(p.field("volatile")?)?,
+        }),
+        "Section" => Ok(LValue::Section {
+            base: expr_from_json(pool, p.field("base")?)?,
+            len: expr_from_json(pool, p.field("len")?)?,
+            stride: expr_from_json(pool, p.field("stride")?)?,
+            ty: ScalarType::from_json(p.field("ty")?)?,
+        }),
+        other => Err(bad("lvalue", other)),
     }
 }
 
@@ -307,182 +313,254 @@ impl FromJson for SrcSpan {
     }
 }
 
-impl ToJson for Stmt {
-    fn to_json(&self) -> Json {
-        let mut pairs = vec![("id", self.id.to_json()), ("kind", self.kind.to_json())];
-        if self.span.is_known() {
-            // spans are emitted only when present so catalogs of
-            // synthesized procedures stay compact (and older catalogs,
-            // which predate spans, decode unchanged)
-            pairs.push(("span", self.span.to_json()));
-        }
-        Json::obj(pairs)
+/// Encodes one statement as `{"id": …, "kind": …, "span"?: …}` with nested
+/// blocks inline.
+pub fn stmt_to_json(proc: &Procedure, s: StmtId) -> Json {
+    let span = proc.stmts.span(s);
+    let mut pairs = vec![
+        ("id", s.to_json()),
+        ("kind", stmt_kind_to_json(proc, &proc.stmts[s])),
+    ];
+    if span.is_known() {
+        // spans are emitted only when present so catalogs of
+        // synthesized procedures stay compact (and older catalogs,
+        // which predate spans, decode unchanged)
+        pairs.push(("span", span.to_json()));
+    }
+    Json::obj(pairs)
+}
+
+/// Encodes a block as an array of statement objects.
+pub fn block_to_json(proc: &Procedure, block: &[StmtId]) -> Json {
+    Json::Arr(block.iter().map(|&s| stmt_to_json(proc, s)).collect())
+}
+
+fn stmt_kind_to_json(proc: &Procedure, kind: &StmtKind) -> Json {
+    let pool = &proc.exprs;
+    match kind {
+        StmtKind::Assign { lhs, rhs } => Json::tagged(
+            "Assign",
+            Json::obj(vec![
+                ("lhs", lvalue_to_json(pool, lhs)),
+                ("rhs", expr_to_json(pool, *rhs)),
+            ]),
+        ),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => Json::tagged(
+            "If",
+            Json::obj(vec![
+                ("cond", expr_to_json(pool, *cond)),
+                ("then_blk", block_to_json(proc, then_blk)),
+                ("else_blk", block_to_json(proc, else_blk)),
+            ]),
+        ),
+        StmtKind::While { cond, body, safe } => Json::tagged(
+            "While",
+            Json::obj(vec![
+                ("cond", expr_to_json(pool, *cond)),
+                ("body", block_to_json(proc, body)),
+                ("safe", safe.to_json()),
+            ]),
+        ),
+        StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            safe,
+        } => Json::tagged(
+            "DoLoop",
+            Json::obj(vec![
+                ("var", var.to_json()),
+                ("lo", expr_to_json(pool, *lo)),
+                ("hi", expr_to_json(pool, *hi)),
+                ("step", expr_to_json(pool, *step)),
+                ("body", block_to_json(proc, body)),
+                ("safe", safe.to_json()),
+            ]),
+        ),
+        StmtKind::DoParallel {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => Json::tagged(
+            "DoParallel",
+            Json::obj(vec![
+                ("var", var.to_json()),
+                ("lo", expr_to_json(pool, *lo)),
+                ("hi", expr_to_json(pool, *hi)),
+                ("step", expr_to_json(pool, *step)),
+                ("body", block_to_json(proc, body)),
+            ]),
+        ),
+        StmtKind::WhileSpread {
+            cond,
+            parallel,
+            serial,
+        } => Json::tagged(
+            "WhileSpread",
+            Json::obj(vec![
+                ("cond", expr_to_json(pool, *cond)),
+                ("parallel", block_to_json(proc, parallel)),
+                ("serial", block_to_json(proc, serial)),
+            ]),
+        ),
+        StmtKind::Label(l) => Json::tagged("Label", l.to_json()),
+        StmtKind::Goto(l) => Json::tagged("Goto", l.to_json()),
+        StmtKind::IfGoto { cond, target } => Json::tagged(
+            "IfGoto",
+            Json::obj(vec![
+                ("cond", expr_to_json(pool, *cond)),
+                ("target", target.to_json()),
+            ]),
+        ),
+        StmtKind::Call { dst, callee, args } => Json::tagged(
+            "Call",
+            Json::obj(vec![
+                (
+                    "dst",
+                    match dst {
+                        Some(d) => lvalue_to_json(pool, d),
+                        None => Json::Null,
+                    },
+                ),
+                ("callee", callee.to_json()),
+                (
+                    "args",
+                    Json::Arr(args.iter().map(|&a| expr_to_json(pool, a)).collect()),
+                ),
+            ]),
+        ),
+        StmtKind::Return(e) => Json::tagged(
+            "Return",
+            match e {
+                Some(e) => expr_to_json(pool, *e),
+                None => Json::Null,
+            },
+        ),
+        StmtKind::Nop => Json::Str("Nop".into()),
     }
 }
 
-impl FromJson for Stmt {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let span = match v.get("span") {
-            Some(s) => SrcSpan::from_json(s)?,
-            None => SrcSpan::NONE,
-        };
-        Ok(Stmt {
-            id: StmtId::from_json(v.field("id")?)?,
-            kind: StmtKind::from_json(v.field("kind")?)?,
-            span,
-        })
-    }
+/// Decodes one statement object into the procedure's arenas, placing it at
+/// its recorded stamp (the pool grows with `Nop` gap slots as needed) and
+/// returning that id.
+pub fn stmt_from_json(proc: &mut Procedure, v: &Json) -> Result<StmtId, JsonError> {
+    let id = StmtId::from_json(v.field("id")?)?;
+    check_stmt_gap(&proc.stmts, id.index() + 1)?;
+    let span = match v.get("span") {
+        Some(s) => SrcSpan::from_json(s)?,
+        None => SrcSpan::NONE,
+    };
+    let kind = stmt_kind_from_json(proc, v.field("kind")?)?;
+    proc.stmts.grow_to(id.index() + 1);
+    proc.stmts[id] = kind;
+    proc.stmts.set_span(id, span);
+    Ok(id)
 }
 
-impl ToJson for StmtKind {
-    fn to_json(&self) -> Json {
-        match self {
-            StmtKind::Assign { lhs, rhs } => Json::tagged(
-                "Assign",
-                Json::obj(vec![("lhs", lhs.to_json()), ("rhs", rhs.to_json())]),
+/// Real catalogs only have stamp gaps left by swept statements, so a
+/// recorded id far beyond the decoded arena is corruption — reject it
+/// instead of materializing gigabytes of gap slots.
+const MAX_STMT_GAP: usize = 1 << 20;
+
+fn check_stmt_gap(stmts: &crate::stmt::StmtPool, wanted: usize) -> Result<(), JsonError> {
+    if wanted > stmts.len().saturating_add(MAX_STMT_GAP) {
+        return Err(JsonError {
+            message: format!(
+                "statement id {} implausibly far beyond the {}-slot arena",
+                wanted - 1,
+                stmts.len()
             ),
-            StmtKind::If {
-                cond,
-                then_blk,
-                else_blk,
-            } => Json::tagged(
-                "If",
-                Json::obj(vec![
-                    ("cond", cond.to_json()),
-                    ("then_blk", then_blk.to_json()),
-                    ("else_blk", else_blk.to_json()),
-                ]),
-            ),
-            StmtKind::While { cond, body, safe } => Json::tagged(
-                "While",
-                Json::obj(vec![
-                    ("cond", cond.to_json()),
-                    ("body", body.to_json()),
-                    ("safe", safe.to_json()),
-                ]),
-            ),
-            StmtKind::DoLoop {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-                safe,
-            } => Json::tagged(
-                "DoLoop",
-                Json::obj(vec![
-                    ("var", var.to_json()),
-                    ("lo", lo.to_json()),
-                    ("hi", hi.to_json()),
-                    ("step", step.to_json()),
-                    ("body", body.to_json()),
-                    ("safe", safe.to_json()),
-                ]),
-            ),
-            StmtKind::DoParallel {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => Json::tagged(
-                "DoParallel",
-                Json::obj(vec![
-                    ("var", var.to_json()),
-                    ("lo", lo.to_json()),
-                    ("hi", hi.to_json()),
-                    ("step", step.to_json()),
-                    ("body", body.to_json()),
-                ]),
-            ),
-            StmtKind::WhileSpread {
-                cond,
-                parallel,
-                serial,
-            } => Json::tagged(
-                "WhileSpread",
-                Json::obj(vec![
-                    ("cond", cond.to_json()),
-                    ("parallel", parallel.to_json()),
-                    ("serial", serial.to_json()),
-                ]),
-            ),
-            StmtKind::Label(l) => Json::tagged("Label", l.to_json()),
-            StmtKind::Goto(l) => Json::tagged("Goto", l.to_json()),
-            StmtKind::IfGoto { cond, target } => Json::tagged(
-                "IfGoto",
-                Json::obj(vec![("cond", cond.to_json()), ("target", target.to_json())]),
-            ),
-            StmtKind::Call { dst, callee, args } => Json::tagged(
-                "Call",
-                Json::obj(vec![
-                    ("dst", dst.to_json()),
-                    ("callee", callee.to_json()),
-                    ("args", args.to_json()),
-                ]),
-            ),
-            StmtKind::Return(e) => Json::tagged("Return", e.to_json()),
-            StmtKind::Nop => Json::Str("Nop".into()),
-        }
+            offset: 0,
+        });
     }
+    Ok(())
 }
 
-impl FromJson for StmtKind {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let (tag, payload) = v.variant()?;
-        if tag == "Nop" {
-            return Ok(StmtKind::Nop);
-        }
-        let p = payload.ok_or_else(|| bad("statement", tag))?;
-        match tag {
-            "Assign" => Ok(StmtKind::Assign {
-                lhs: LValue::from_json(p.field("lhs")?)?,
-                rhs: Expr::from_json(p.field("rhs")?)?,
-            }),
-            "If" => Ok(StmtKind::If {
-                cond: Expr::from_json(p.field("cond")?)?,
-                then_blk: Vec::from_json(p.field("then_blk")?)?,
-                else_blk: Vec::from_json(p.field("else_blk")?)?,
-            }),
-            "While" => Ok(StmtKind::While {
-                cond: Expr::from_json(p.field("cond")?)?,
-                body: Vec::from_json(p.field("body")?)?,
-                safe: bool::from_json(p.field("safe")?)?,
-            }),
-            "DoLoop" => Ok(StmtKind::DoLoop {
-                var: VarId::from_json(p.field("var")?)?,
-                lo: Expr::from_json(p.field("lo")?)?,
-                hi: Expr::from_json(p.field("hi")?)?,
-                step: Expr::from_json(p.field("step")?)?,
-                body: Vec::from_json(p.field("body")?)?,
-                safe: bool::from_json(p.field("safe")?)?,
-            }),
-            "DoParallel" => Ok(StmtKind::DoParallel {
-                var: VarId::from_json(p.field("var")?)?,
-                lo: Expr::from_json(p.field("lo")?)?,
-                hi: Expr::from_json(p.field("hi")?)?,
-                step: Expr::from_json(p.field("step")?)?,
-                body: Vec::from_json(p.field("body")?)?,
-            }),
-            "WhileSpread" => Ok(StmtKind::WhileSpread {
-                cond: Expr::from_json(p.field("cond")?)?,
-                parallel: Vec::from_json(p.field("parallel")?)?,
-                serial: Vec::from_json(p.field("serial")?)?,
-            }),
-            "Label" => Ok(StmtKind::Label(LabelId::from_json(p)?)),
-            "Goto" => Ok(StmtKind::Goto(LabelId::from_json(p)?)),
-            "IfGoto" => Ok(StmtKind::IfGoto {
-                cond: Expr::from_json(p.field("cond")?)?,
-                target: LabelId::from_json(p.field("target")?)?,
-            }),
-            "Call" => Ok(StmtKind::Call {
-                dst: Option::from_json(p.field("dst")?)?,
+/// Decodes an array of statement objects into a block of ids.
+pub fn block_from_json(proc: &mut Procedure, v: &Json) -> Result<Block, JsonError> {
+    v.as_arr()?
+        .iter()
+        .map(|s| stmt_from_json(proc, s))
+        .collect()
+}
+
+fn stmt_kind_from_json(proc: &mut Procedure, v: &Json) -> Result<StmtKind, JsonError> {
+    let (tag, payload) = v.variant()?;
+    if tag == "Nop" {
+        return Ok(StmtKind::Nop);
+    }
+    let p = payload.ok_or_else(|| bad("statement", tag))?;
+    match tag {
+        "Assign" => Ok(StmtKind::Assign {
+            lhs: lvalue_from_json(&mut proc.exprs, p.field("lhs")?)?,
+            rhs: expr_from_json(&mut proc.exprs, p.field("rhs")?)?,
+        }),
+        "If" => Ok(StmtKind::If {
+            cond: expr_from_json(&mut proc.exprs, p.field("cond")?)?,
+            then_blk: block_from_json(proc, p.field("then_blk")?)?,
+            else_blk: block_from_json(proc, p.field("else_blk")?)?,
+        }),
+        "While" => Ok(StmtKind::While {
+            cond: expr_from_json(&mut proc.exprs, p.field("cond")?)?,
+            body: block_from_json(proc, p.field("body")?)?,
+            safe: bool::from_json(p.field("safe")?)?,
+        }),
+        "DoLoop" => Ok(StmtKind::DoLoop {
+            var: VarId::from_json(p.field("var")?)?,
+            lo: expr_from_json(&mut proc.exprs, p.field("lo")?)?,
+            hi: expr_from_json(&mut proc.exprs, p.field("hi")?)?,
+            step: expr_from_json(&mut proc.exprs, p.field("step")?)?,
+            body: block_from_json(proc, p.field("body")?)?,
+            safe: bool::from_json(p.field("safe")?)?,
+        }),
+        "DoParallel" => Ok(StmtKind::DoParallel {
+            var: VarId::from_json(p.field("var")?)?,
+            lo: expr_from_json(&mut proc.exprs, p.field("lo")?)?,
+            hi: expr_from_json(&mut proc.exprs, p.field("hi")?)?,
+            step: expr_from_json(&mut proc.exprs, p.field("step")?)?,
+            body: block_from_json(proc, p.field("body")?)?,
+        }),
+        "WhileSpread" => Ok(StmtKind::WhileSpread {
+            cond: expr_from_json(&mut proc.exprs, p.field("cond")?)?,
+            parallel: block_from_json(proc, p.field("parallel")?)?,
+            serial: block_from_json(proc, p.field("serial")?)?,
+        }),
+        "Label" => Ok(StmtKind::Label(LabelId::from_json(p)?)),
+        "Goto" => Ok(StmtKind::Goto(LabelId::from_json(p)?)),
+        "IfGoto" => Ok(StmtKind::IfGoto {
+            cond: expr_from_json(&mut proc.exprs, p.field("cond")?)?,
+            target: LabelId::from_json(p.field("target")?)?,
+        }),
+        "Call" => {
+            let dst = match p.field("dst")? {
+                Json::Null => None,
+                d => Some(lvalue_from_json(&mut proc.exprs, d)?),
+            };
+            let args = p
+                .field("args")?
+                .as_arr()?
+                .iter()
+                .map(|a| expr_from_json(&mut proc.exprs, a))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(StmtKind::Call {
+                dst,
                 callee: String::from_json(p.field("callee")?)?,
-                args: Vec::from_json(p.field("args")?)?,
-            }),
-            "Return" => Ok(StmtKind::Return(Option::from_json(p)?)),
-            other => Err(bad("statement", other)),
+                args,
+            })
         }
+        "Return" => Ok(StmtKind::Return(match p {
+            Json::Null => None,
+            e => Some(expr_from_json(&mut proc.exprs, e)?),
+        })),
+        other => Err(bad("statement", other)),
     }
 }
 
@@ -581,8 +659,8 @@ impl ToJson for Procedure {
             ("params", self.params.to_json()),
             ("vars", self.vars.to_json()),
             ("num_labels", self.num_labels.to_json()),
-            ("body", self.body.to_json()),
-            ("next_stmt", self.next_stmt.to_json()),
+            ("body", block_to_json(self, &self.body)),
+            ("next_stmt", self.next_stmt().to_json()),
             ("next_temp", self.next_temp.to_json()),
         ])
     }
@@ -597,8 +675,12 @@ impl FromJson for Procedure {
         p.params = Vec::from_json(v.field("params")?)?;
         p.vars = Vec::from_json(v.field("vars")?)?;
         p.num_labels = u32::from_json(v.field("num_labels")?)?;
-        p.body = Vec::from_json(v.field("body")?)?;
-        p.next_stmt = u32::from_json(v.field("next_stmt")?)?;
+        let body = block_from_json(&mut p, v.field("body")?)?;
+        p.body = body;
+        // honor the serialized stamp watermark: gap slots stay Nop
+        let next_stmt = u32::from_json(v.field("next_stmt")?)?;
+        check_stmt_gap(&p.stmts, next_stmt as usize)?;
+        p.stmts.grow_to(next_stmt as usize);
         p.next_temp = u32::from_json(v.field("next_temp")?)?;
         Ok(p)
     }
@@ -611,15 +693,15 @@ mod tests {
 
     #[test]
     fn expr_roundtrip() {
-        let e = Expr::binary(
-            BinOp::Mul,
-            ScalarType::Double,
-            Expr::double(2.5),
-            Expr::load(Expr::addr_of(VarId(9)), ScalarType::Double),
-        );
-        let text = e.to_json().to_string_compact();
-        let back = Expr::from_json(&crate::json::parse(&text).unwrap()).unwrap();
-        assert_eq!(e, back);
+        let mut pool = ExprPool::new();
+        let addr = pool.addr_of(VarId(9));
+        let ld = pool.load(addr, ScalarType::Double);
+        let k = pool.double(2.5);
+        let e = pool.binary(BinOp::Mul, ScalarType::Double, k, ld);
+        let text = expr_to_json(&pool, e).to_string_compact();
+        let mut pool2 = ExprPool::new();
+        let back = expr_from_json(&mut pool2, &crate::json::parse(&text).unwrap()).unwrap();
+        assert!(pool.expr_eq(e, &pool2, back));
     }
 
     #[test]
@@ -628,84 +710,110 @@ mod tests {
         let n = b.param("n", Type::Int);
         let s = b.local("s", Type::Int);
         let i = b.local("i", Type::Int);
-        b.assign_var(s, Expr::int(0));
+        let zero = b.int(0);
+        b.assign_var(s, zero);
         let body = {
             let mut lb = b.block();
-            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            let sv = lb.var(s);
+            let iv = lb.var(i);
+            let add = lb.ibinary(BinOp::Add, sv, iv);
+            lb.assign_var(s, add);
             lb.stmts()
         };
-        b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
-        b.ret(Some(Expr::var(s)));
+        let lo = b.int(1);
+        let hi = b.var(n);
+        let step = b.int(1);
+        b.do_loop(i, lo, hi, step, body);
+        let sv = b.var(s);
+        b.ret(Some(sv));
         let mut p = b.finish();
         // exercise the private counters so the roundtrip must carry them
         p.fresh_temp(Type::Float);
         let text = p.to_json().to_string_compact();
         let back = Procedure::from_json(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(p, back);
-        assert_eq!(p.next_stmt, back.next_stmt);
+        assert_eq!(p.next_stmt(), back.next_stmt());
         assert_eq!(p.next_temp, back.next_temp);
     }
 
     #[test]
     fn all_statement_kinds_roundtrip() {
-        let kinds = vec![
+        let mut p = Procedure::new("k", Type::Void);
+        let one = p.exprs.int(1);
+        let two = p.exprs.float(2.0);
+        let c0 = p.exprs.int(1);
+        let cv = p.exprs.var(VarId(0));
+        let lo = p.exprs.int(0);
+        let hi = p.exprs.int(9);
+        let step = p.exprs.int(1);
+        let r1 = p.exprs.int(1);
+        let inner = p.stamp(StmtKind::Nop);
+        for kind in [
             StmtKind::Nop,
             StmtKind::Label(LabelId(2)),
             StmtKind::Goto(LabelId(2)),
             StmtKind::Return(None),
-            StmtKind::Return(Some(Expr::int(1))),
+            StmtKind::Return(Some(r1)),
             StmtKind::IfGoto {
-                cond: Expr::int(1),
+                cond: c0,
                 target: LabelId(0),
             },
             StmtKind::Call {
                 dst: Some(LValue::Var(VarId(0))),
                 callee: "f".into(),
-                args: vec![Expr::int(1), Expr::float(2.0)],
+                args: vec![one, two],
             },
             StmtKind::WhileSpread {
-                cond: Expr::var(VarId(0)),
-                parallel: vec![Stmt::new(StmtId(1), StmtKind::Nop)],
+                cond: cv,
+                parallel: vec![inner],
                 serial: vec![],
             },
             StmtKind::DoParallel {
                 var: VarId(1),
-                lo: Expr::int(0),
-                hi: Expr::int(9),
-                step: Expr::int(1),
+                lo,
+                hi,
+                step,
                 body: vec![],
             },
-        ];
-        for kind in kinds {
-            let s = Stmt::new(StmtId(7), kind);
-            let text = s.to_json().to_string_compact();
-            let back = Stmt::from_json(&crate::json::parse(&text).unwrap()).unwrap();
-            assert_eq!(s, back);
+        ] {
+            let s = p.stamp(kind);
+            p.body = vec![s];
+            let text = stmt_to_json(&p, s).to_string_compact();
+            let mut q = Procedure::new("k", Type::Void);
+            let back = stmt_from_json(&mut q, &crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, s, "stamp preserved");
+            assert!(p.block_eq(&[s], &q, &[back]), "kind mismatch for {text}");
         }
     }
 
     #[test]
     fn span_file_tag_roundtrips_and_legacy_spans_decode() {
         // tagged span: three-element form
-        let s = Stmt::new_at(StmtId(1), StmtKind::Nop, SrcSpan::new(4, 9).in_file(2));
-        let text = s.to_json().to_string_compact();
+        let mut p = Procedure::new("f", Type::Void);
+        let s = p.stamp_at(StmtKind::Nop, SrcSpan::new(4, 9).in_file(2));
+        let text = stmt_to_json(&p, s).to_string_compact();
         assert!(text.contains("[4,9,2]"), "{text}");
-        let back = Stmt::from_json(&crate::json::parse(&text).unwrap()).unwrap();
-        assert_eq!(s, back);
+        let mut q = Procedure::new("f", Type::Void);
+        let back = stmt_from_json(&mut q, &crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(q.stmts.span(back), SrcSpan::new(4, 9).in_file(2));
         // current-TU span: unchanged two-element form
-        let s = Stmt::new_at(StmtId(1), StmtKind::Nop, SrcSpan::new(4, 9));
-        let text = s.to_json().to_string_compact();
+        let s = p.stamp_at(StmtKind::Nop, SrcSpan::new(4, 9));
+        let text = stmt_to_json(&p, s).to_string_compact();
         assert!(text.contains("[4,9]"), "{text}");
         // legacy span-free statements still decode
         let doc = crate::json::parse("{\"id\":3,\"kind\":\"Nop\"}").unwrap();
-        let back = Stmt::from_json(&doc).unwrap();
-        assert_eq!(back.span, SrcSpan::NONE);
+        let mut q = Procedure::new("f", Type::Void);
+        let back = stmt_from_json(&mut q, &doc).unwrap();
+        assert_eq!(back, StmtId(3));
+        assert_eq!(q.stmts.span(back), SrcSpan::NONE);
+        assert_eq!(q.stmts.len(), 4, "gap slots grown to cover the stamp");
     }
 
     #[test]
     fn decode_rejects_unknown_variant() {
         let doc = crate::json::parse("{\"Bogus\":1}").unwrap();
-        assert!(Expr::from_json(&doc).is_err());
+        let mut pool = ExprPool::new();
+        assert!(expr_from_json(&mut pool, &doc).is_err());
         assert!(Type::from_json(&doc).is_err());
     }
 }

@@ -9,7 +9,8 @@
 //! signed 8-bit byte, `int` a signed 32-bit word, pointers an unsigned
 //! 32-bit word. `float` rounds through IEEE single precision.
 
-use crate::expr::{BinOp, Expr, UnOp};
+use crate::expr::{BinOp, Expr, ExprPool, UnOp};
+use crate::ids::ExprId;
 use crate::types::ScalarType;
 
 /// A runtime (or compile-time) scalar value.
@@ -159,7 +160,7 @@ pub fn const_value(e: &Expr) -> Option<Value> {
     }
 }
 
-/// Converts a [`Value`] of kind `ty` back to a literal expression.
+/// Converts a [`Value`] of kind `ty` back to a literal expression node.
 pub fn value_to_expr(v: Value, ty: ScalarType) -> Expr {
     match normalize(v, ty) {
         Value::Int(i) => Expr::IntConst(i),
@@ -167,49 +168,48 @@ pub fn value_to_expr(v: Value, ty: ScalarType) -> Expr {
     }
 }
 
-/// Folds constant subtrees of `e` bottom-up and applies safe algebraic
-/// identities (`x+0`, `x*1`, `x-0`, `x/1`, `0*x` when `x` is volatile-free).
+/// Folds constant subtrees under `root` bottom-up, in place, and applies
+/// safe algebraic identities (`x+0`, `x*1`, `x-0`, `x/1`, `0*x` when `x` is
+/// volatile-free). The root slot id stays valid.
 ///
 /// Folding never changes observable behaviour: volatile loads are preserved
 /// and division by a constant zero is left in place.
-pub fn fold_expr(e: &mut Expr) {
-    crate::visit::rewrite_expr(e, &mut fold_node);
+pub fn fold_expr(pool: &mut ExprPool, root: ExprId) {
+    crate::visit::rewrite_expr(pool, root, &mut fold_node);
 }
 
-fn fold_node(e: &mut Expr) {
-    match e {
+fn fold_node(pool: &mut ExprPool, id: ExprId) {
+    match pool[id] {
         Expr::Unary { op, ty, arg } => {
-            if let Some(v) = const_value(arg) {
-                let result_ty = if *op == UnOp::Not {
-                    ScalarType::Int
-                } else {
-                    *ty
-                };
-                *e = value_to_expr(eval_unop(*op, *ty, v), result_ty);
+            if let Some(v) = const_value(&pool[arg]) {
+                let result_ty = if op == UnOp::Not { ScalarType::Int } else { ty };
+                pool[id] = value_to_expr(eval_unop(op, ty, v), result_ty);
             }
         }
         Expr::Cast { to, from, arg } => {
-            if let Some(v) = const_value(arg) {
-                *e = value_to_expr(eval_cast(*to, *from, v), *to);
+            if let Some(v) = const_value(&pool[arg]) {
+                pool[id] = value_to_expr(eval_cast(to, from, v), to);
             }
         }
         Expr::Binary { op, ty, lhs, rhs } => {
-            if let (Some(a), Some(b)) = (const_value(lhs), const_value(rhs)) {
-                if let Some(v) = eval_binop(*op, *ty, a, b) {
+            let lhs_c = const_value(&pool[lhs]);
+            let rhs_c = const_value(&pool[rhs]);
+            if let (Some(a), Some(b)) = (lhs_c, rhs_c) {
+                if let Some(v) = eval_binop(op, ty, a, b) {
                     let result_ty = if op.is_comparison() {
                         ScalarType::Int
                     } else {
-                        *ty
+                        ty
                     };
-                    *e = value_to_expr(v, result_ty);
+                    pool[id] = value_to_expr(v, result_ty);
                     return;
                 }
             }
-            // Algebraic identities. Integer-exact only, except x+0.0/x*1.0
-            // which are exact in IEEE for non-trapping code except for
+            // Algebraic identities, applied by hoisting the surviving
+            // child's *node* into this slot (children keep their ids, so
+            // no copying). Integer-exact only, except x+0.0/x*1.0 which
+            // are exact in IEEE for non-trapping code except for
             // signed-zero subtleties we accept (the 1988 compiler did too).
-            let lhs_c = const_value(lhs);
-            let rhs_c = const_value(rhs);
             let is_zero = |v: Value| match v {
                 Value::Int(0) => true,
                 Value::Float(f) => f == 0.0,
@@ -223,29 +223,29 @@ fn fold_node(e: &mut Expr) {
             match op {
                 BinOp::Add => {
                     if rhs_c.is_some_and(is_zero) {
-                        *e = (**lhs).clone();
+                        pool[id] = pool[lhs];
                     } else if lhs_c.is_some_and(is_zero) {
-                        *e = (**rhs).clone();
+                        pool[id] = pool[rhs];
                     }
                 }
                 BinOp::Sub if rhs_c.is_some_and(is_zero) => {
-                    *e = (**lhs).clone();
+                    pool[id] = pool[lhs];
                 }
                 BinOp::Mul => {
                     if rhs_c.is_some_and(is_one) {
-                        *e = (**lhs).clone();
+                        pool[id] = pool[lhs];
                     } else if lhs_c.is_some_and(is_one) {
-                        *e = (**rhs).clone();
+                        pool[id] = pool[rhs];
                     } else if !ty.is_float()
-                        && ((rhs_c.is_some_and(is_zero) && !lhs.has_volatile_load())
-                            || (lhs_c.is_some_and(is_zero) && !rhs.has_volatile_load()))
+                        && ((rhs_c.is_some_and(is_zero) && !pool.has_volatile_load(lhs))
+                            || (lhs_c.is_some_and(is_zero) && !pool.has_volatile_load(rhs)))
                     {
                         // 0*x -> 0 only when x has no volatile reads
-                        *e = Expr::int(0);
+                        pool[id] = Expr::IntConst(0);
                     }
                 }
                 BinOp::Div if rhs_c.is_some_and(is_one) => {
-                    *e = (**lhs).clone();
+                    pool[id] = pool[lhs];
                 }
                 _ => {}
             }
@@ -297,68 +297,76 @@ mod tests {
             eval_binop(BinOp::Div, ScalarType::Int, Value::Int(1), Value::Int(0)),
             None
         );
-        let mut e = Expr::ibinary(BinOp::Div, Expr::int(1), Expr::int(0));
-        fold_expr(&mut e);
-        assert!(matches!(e, Expr::Binary { .. }));
+        let mut p = ExprPool::new();
+        let one = p.int(1);
+        let zero = p.int(0);
+        let e = p.ibinary(BinOp::Div, one, zero);
+        fold_expr(&mut p, e);
+        assert!(matches!(p[e], Expr::Binary { .. }));
     }
 
     #[test]
     fn folds_nested_arithmetic() {
-        let mut e = Expr::ibinary(
-            BinOp::Mul,
-            Expr::ibinary(BinOp::Add, Expr::int(2), Expr::int(3)),
-            Expr::int(4),
-        );
-        fold_expr(&mut e);
-        assert_eq!(e, Expr::int(20));
+        let mut p = ExprPool::new();
+        let two = p.int(2);
+        let three = p.int(3);
+        let add = p.ibinary(BinOp::Add, two, three);
+        let four = p.int(4);
+        let e = p.ibinary(BinOp::Mul, add, four);
+        fold_expr(&mut p, e);
+        assert_eq!(p.as_int(e), Some(20));
     }
 
     #[test]
     fn comparisons_yield_int() {
-        let mut e = Expr::binary(
-            BinOp::Lt,
-            ScalarType::Double,
-            Expr::double(1.0),
-            Expr::double(2.0),
-        );
-        fold_expr(&mut e);
-        assert_eq!(e, Expr::int(1));
+        let mut p = ExprPool::new();
+        let one = p.double(1.0);
+        let two = p.double(2.0);
+        let e = p.binary(BinOp::Lt, ScalarType::Double, one, two);
+        fold_expr(&mut p, e);
+        assert_eq!(p[e], Expr::IntConst(1));
     }
 
     #[test]
     fn identity_add_zero() {
-        let mut e = Expr::ibinary(BinOp::Add, Expr::var(VarId(0)), Expr::int(0));
-        fold_expr(&mut e);
-        assert_eq!(e, Expr::var(VarId(0)));
+        let mut p = ExprPool::new();
+        let x = p.var(VarId(0));
+        let zero = p.int(0);
+        let e = p.ibinary(BinOp::Add, x, zero);
+        fold_expr(&mut p, e);
+        assert_eq!(p[e], Expr::Var(VarId(0)));
     }
 
     #[test]
     fn identity_mul_zero_respects_volatile() {
-        let volatile_load = Expr::Load {
-            addr: Box::new(Expr::addr_of(VarId(0))),
+        let mut p = ExprPool::new();
+        let addr = p.addr_of(VarId(0));
+        let vl = p.alloc(Expr::Load {
+            addr,
             ty: ScalarType::Int,
             volatile: true,
-        };
-        let mut e = Expr::ibinary(BinOp::Mul, volatile_load.clone(), Expr::int(0));
-        fold_expr(&mut e);
-        assert!(e.has_volatile_load(), "volatile read must not be deleted");
+        });
+        let zero = p.int(0);
+        let e = p.ibinary(BinOp::Mul, vl, zero);
+        fold_expr(&mut p, e);
+        assert!(p.has_volatile_load(e), "volatile read must not be deleted");
 
-        let mut pure = Expr::ibinary(BinOp::Mul, Expr::var(VarId(1)), Expr::int(0));
-        fold_expr(&mut pure);
-        assert_eq!(pure, Expr::int(0));
+        let y = p.var(VarId(1));
+        let zero2 = p.int(0);
+        let pure = p.ibinary(BinOp::Mul, y, zero2);
+        fold_expr(&mut p, pure);
+        assert_eq!(p.as_int(pure), Some(0));
     }
 
     #[test]
     fn float_mul_zero_is_not_folded() {
         // 0.0 * x is NOT 0.0 when x is NaN/inf; the fold must not apply.
-        let mut e = Expr::binary(
-            BinOp::Mul,
-            ScalarType::Double,
-            Expr::var(VarId(0)),
-            Expr::double(0.0),
-        );
-        fold_expr(&mut e);
-        assert!(matches!(e, Expr::Binary { .. }));
+        let mut p = ExprPool::new();
+        let x = p.var(VarId(0));
+        let zero = p.double(0.0);
+        let e = p.binary(BinOp::Mul, ScalarType::Double, x, zero);
+        fold_expr(&mut p, e);
+        assert!(matches!(p[e], Expr::Binary { .. }));
     }
 
     #[test]

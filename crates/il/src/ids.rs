@@ -65,11 +65,20 @@ id_type!(
     "L"
 );
 id_type!(
-    /// A per-procedure unique statement stamp. Stamps survive tree rewrites
-    /// so analyses (use-def chains, dependence edges) can refer to
-    /// statements stably.
+    /// A per-procedure unique statement stamp. A `StmtId` is simultaneously
+    /// the statement's *arena slot* in [`crate::StmtPool`]: stamps survive
+    /// tree rewrites so analyses (use-def chains, dependence edges) can
+    /// refer to statements stably, and resolve in O(1).
     StmtId,
     "s"
+);
+id_type!(
+    /// Identifies an expression node within a procedure's flat
+    /// [`crate::ExprPool`] arena. Operands of [`crate::Expr`] nodes are
+    /// `ExprId`s instead of boxed subtrees, so expression storage is
+    /// contiguous and procedure clones are `memcpy`-cheap.
+    ExprId,
+    "e"
 );
 id_type!(
     /// Identifies a struct definition within a [`crate::Program`].

@@ -19,28 +19,46 @@
 //!   ([`Expr::Section`]) so the vectorizer can express `a[lo:len:stride]`
 //!   assignments directly in the IL.
 //! * **No hard pointers.** Every cross-reference is an index
-//!   ([`VarId`], [`ProcId`], [`LabelId`], [`StmtId`]), so procedures can be
-//!   serialized into inlining *catalogs* (§7) and paged or shipped between
-//!   compilations; see the [`catalog`] module.
+//!   ([`VarId`], [`ProcId`], [`LabelId`], [`StmtId`], [`ExprId`]), so
+//!   procedures can be serialized into inlining *catalogs* (§7) and paged
+//!   or shipped between compilations; see the [`catalog`] module.
+//!
+//! ## Memory layout
+//!
+//! Each [`Procedure`] owns two flat arenas: an [`ExprPool`] of `Copy`
+//! expression nodes and a [`StmtPool`] of statement kinds with a parallel
+//! span column. Statements reference expressions by [`ExprId`] and child
+//! statements by [`StmtId`]; a [`stmt::Block`] is a `Vec<StmtId>`. Cloning
+//! a procedure is a handful of contiguous `memcpy`s, and content hashing
+//! ([`hash::hash_proc`]) sweeps the columns linearly. See
+//! `docs/architecture.md` for the pass-author's tour of the rewrite idiom.
 //!
 //! ## Example
 //!
 //! ```
-//! use titanc_il::{Procedure, ProcBuilder, Type, Expr, BinOp};
+//! use titanc_il::{Procedure, ProcBuilder, Type, BinOp};
 //!
 //! // Build:  int f(int n) { s = 0; DO i = 1, n, 1 { s = s + i; } return s; }
 //! let mut b = ProcBuilder::new("f", Type::Int);
 //! let n = b.param("n", Type::Int);
 //! let s = b.local("s", Type::Int);
 //! let i = b.local("i", Type::Int);
-//! b.assign_var(s, Expr::int(0));
+//! let zero = b.int(0);
+//! b.assign_var(s, zero);
 //! let body = {
 //!     let mut lb = b.block();
-//!     lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+//!     let sum = lb.var(s);
+//!     let iv = lb.var(i);
+//!     let add = lb.ibinary(BinOp::Add, sum, iv);
+//!     lb.assign_var(s, add);
 //!     lb.stmts()
 //! };
-//! b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
-//! b.ret(Some(Expr::var(s)));
+//! let lo = b.int(1);
+//! let hi = b.var(n);
+//! let step = b.int(1);
+//! b.do_loop(i, lo, hi, step, body);
+//! let sv = b.var(s);
+//! b.ret(Some(sv));
 //! let proc: Procedure = b.finish();
 //! assert_eq!(proc.name, "f");
 //! ```
@@ -67,15 +85,15 @@ pub mod visit;
 
 pub use builder::{BlockBuilder, ProcBuilder};
 pub use catalog::{Catalog, LinkReport};
-pub use expr::{BinOp, Expr, LValue, UnOp};
+pub use expr::{BinOp, Expr, ExprPool, LValue, UnOp};
 pub use fold::{fold_expr, Value};
-pub use hash::{StableHash, StableHasher};
-pub use ids::{LabelId, ProcId, StmtId, StructId, VarId};
+pub use hash::{hash_proc, write_proc, StableHash, StableHasher};
+pub use ids::{ExprId, LabelId, ProcId, StmtId, StructId, VarId};
 pub use json::{FromJson, Json, JsonError, ToJson};
-pub use pretty::{pretty_block, pretty_expr, pretty_proc};
+pub use pretty::{pretty_block, pretty_expr, pretty_expr_in, pretty_lvalue, pretty_proc};
 pub use program::{ConstInit, Field, Procedure, Program, Storage, StructDef, VarInfo};
 pub use span::SrcSpan;
-pub use stmt::{block_len, Stmt, StmtKind};
+pub use stmt::{block_len, Block, StmtKind, StmtPool};
 pub use trace::{InlineEvent, InlineOutcome, LoopDecision, LoopEvent};
 pub use types::{ScalarType, Type};
 pub use verify::{verify_proc, verify_program, VerifyError};

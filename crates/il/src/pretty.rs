@@ -4,30 +4,34 @@
 //! (`a[0:100:1] = …`, modulo byte strides), DO loops print as
 //! `do fortran`/`do parallel` exactly like §9's listings, so transformed
 //! programs can be eyeballed against the paper.
+//!
+//! All entry points resolve ids through the procedure's pools; the output
+//! depends only on the structural tree, never on arena layout.
 
-use crate::expr::{Expr, LValue};
+use crate::expr::{Expr, ExprPool, LValue};
+use crate::ids::{ExprId, StmtId};
 use crate::program::Procedure;
-use crate::stmt::{Stmt, StmtKind};
-use std::fmt::{self, Write as _};
-
-/// Formats an expression with positional (`v0`) variable names.
-pub fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    let mut s = String::new();
-    write_expr(&mut s, e, None);
-    f.write_str(&s)
-}
-
-/// Formats an lvalue with positional variable names.
-pub fn fmt_lvalue(lv: &LValue, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    let mut s = String::new();
-    write_lvalue(&mut s, lv, None);
-    f.write_str(&s)
-}
+use crate::stmt::StmtKind;
+use std::fmt::Write as _;
 
 /// Renders an expression with the procedure's variable names.
-pub fn pretty_expr(proc: &Procedure, e: &Expr) -> String {
+pub fn pretty_expr(proc: &Procedure, e: ExprId) -> String {
     let mut s = String::new();
-    write_expr(&mut s, e, Some(proc));
+    write_expr(&mut s, &proc.exprs, e, Some(proc));
+    s
+}
+
+/// Renders an expression with positional (`v0`) variable names.
+pub fn pretty_expr_in(pool: &ExprPool, e: ExprId) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, pool, e, None);
+    s
+}
+
+/// Renders an lvalue with the procedure's variable names.
+pub fn pretty_lvalue(proc: &Procedure, lv: &LValue) -> String {
+    let mut s = String::new();
+    write_lvalue(&mut s, &proc.exprs, lv, Some(proc));
     s
 }
 
@@ -42,7 +46,7 @@ pub fn pretty_proc(proc: &Procedure) -> String {
 }
 
 /// Renders a statement block at the given indent depth.
-pub fn pretty_block(proc: &Procedure, block: &[Stmt], indent: usize) -> String {
+pub fn pretty_block(proc: &Procedure, block: &[StmtId], indent: usize) -> String {
     let mut s = String::new();
     write_block(&mut s, block, proc, indent);
     s
@@ -55,56 +59,52 @@ fn var_name(proc: Option<&Procedure>, v: crate::ids::VarId) -> String {
     }
 }
 
-fn write_expr(out: &mut String, e: &Expr, proc: Option<&Procedure>) {
-    match e {
+fn write_expr(out: &mut String, pool: &ExprPool, id: ExprId, proc: Option<&Procedure>) {
+    match pool[id] {
         Expr::IntConst(v) => {
             let _ = write!(out, "{v}");
         }
         Expr::FloatConst(v, ty) => {
             let _ = write!(out, "{v:?}");
-            if *ty == crate::types::ScalarType::Float {
+            if ty == crate::types::ScalarType::Float {
                 out.push('f');
             }
         }
-        Expr::Var(v) => out.push_str(&var_name(proc, *v)),
+        Expr::Var(v) => out.push_str(&var_name(proc, v)),
         Expr::AddrOf(v) => {
             out.push('&');
-            out.push_str(&var_name(proc, *v));
+            out.push_str(&var_name(proc, v));
         }
         Expr::Load { addr, ty, volatile } => {
-            let _ = write!(
-                out,
-                "*({ty}{} *)(",
-                if *volatile { " volatile" } else { "" }
-            );
-            write_expr(out, addr, proc);
+            let _ = write!(out, "*({ty}{} *)(", if volatile { " volatile" } else { "" });
+            write_expr(out, pool, addr, proc);
             out.push(')');
         }
         Expr::Unary { op, arg, .. } => {
             out.push_str(op.symbol());
             out.push('(');
-            write_expr(out, arg, proc);
+            write_expr(out, pool, arg, proc);
             out.push(')');
         }
         Expr::Binary { op, lhs, rhs, .. } => {
             if matches!(op, crate::expr::BinOp::Min | crate::expr::BinOp::Max) {
                 out.push_str(op.symbol());
                 out.push('(');
-                write_expr(out, lhs, proc);
+                write_expr(out, pool, lhs, proc);
                 out.push_str(", ");
-                write_expr(out, rhs, proc);
+                write_expr(out, pool, rhs, proc);
                 out.push(')');
             } else {
                 out.push('(');
-                write_expr(out, lhs, proc);
+                write_expr(out, pool, lhs, proc);
                 let _ = write!(out, " {} ", op.symbol());
-                write_expr(out, rhs, proc);
+                write_expr(out, pool, rhs, proc);
                 out.push(')');
             }
         }
         Expr::Cast { to, arg, .. } => {
             let _ = write!(out, "({to})(");
-            write_expr(out, arg, proc);
+            write_expr(out, pool, arg, proc);
             out.push(')');
         }
         Expr::Section {
@@ -114,26 +114,22 @@ fn write_expr(out: &mut String, e: &Expr, proc: Option<&Procedure>) {
             ty,
         } => {
             let _ = write!(out, "({ty})[");
-            write_expr(out, base, proc);
+            write_expr(out, pool, base, proc);
             out.push_str(" : ");
-            write_expr(out, len, proc);
+            write_expr(out, pool, len, proc);
             out.push_str(" : ");
-            write_expr(out, stride, proc);
+            write_expr(out, pool, stride, proc);
             out.push(']');
         }
     }
 }
 
-fn write_lvalue(out: &mut String, lv: &LValue, proc: Option<&Procedure>) {
-    match lv {
-        LValue::Var(v) => out.push_str(&var_name(proc, *v)),
+fn write_lvalue(out: &mut String, pool: &ExprPool, lv: &LValue, proc: Option<&Procedure>) {
+    match *lv {
+        LValue::Var(v) => out.push_str(&var_name(proc, v)),
         LValue::Deref { addr, ty, volatile } => {
-            let _ = write!(
-                out,
-                "*({ty}{} *)(",
-                if *volatile { " volatile" } else { "" }
-            );
-            write_expr(out, addr, proc);
+            let _ = write!(out, "*({ty}{} *)(", if volatile { " volatile" } else { "" });
+            write_expr(out, pool, addr, proc);
             out.push(')');
         }
         LValue::Section {
@@ -143,30 +139,31 @@ fn write_lvalue(out: &mut String, lv: &LValue, proc: Option<&Procedure>) {
             ty,
         } => {
             let _ = write!(out, "({ty})[");
-            write_expr(out, base, proc);
+            write_expr(out, pool, base, proc);
             out.push_str(" : ");
-            write_expr(out, len, proc);
+            write_expr(out, pool, len, proc);
             out.push_str(" : ");
-            write_expr(out, stride, proc);
+            write_expr(out, pool, stride, proc);
             out.push(']');
         }
     }
 }
 
-fn write_block(out: &mut String, block: &[Stmt], proc: &Procedure, depth: usize) {
-    for s in block {
+fn write_block(out: &mut String, block: &[StmtId], proc: &Procedure, depth: usize) {
+    for &s in block {
         write_stmt(out, s, proc, depth);
     }
 }
 
-fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
+fn write_stmt(out: &mut String, s: StmtId, proc: &Procedure, depth: usize) {
+    let pool = &proc.exprs;
     let pad = "    ".repeat(depth);
-    match &s.kind {
+    match &proc.stmts[s] {
         StmtKind::Assign { lhs, rhs } => {
             out.push_str(&pad);
-            write_lvalue(out, lhs, Some(proc));
+            write_lvalue(out, pool, lhs, Some(proc));
             out.push_str(" = ");
-            write_expr(out, rhs, Some(proc));
+            write_expr(out, pool, *rhs, Some(proc));
             out.push_str(";\n");
         }
         StmtKind::If {
@@ -176,7 +173,7 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
         } => {
             out.push_str(&pad);
             out.push_str("if (");
-            write_expr(out, cond, Some(proc));
+            write_expr(out, pool, *cond, Some(proc));
             out.push_str(") {\n");
             write_block(out, then_blk, proc, depth + 1);
             if else_blk.is_empty() {
@@ -193,7 +190,7 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
                 out.push_str("/* pragma safe */ ");
             }
             out.push_str("while (");
-            write_expr(out, cond, Some(proc));
+            write_expr(out, pool, *cond, Some(proc));
             out.push_str(") {\n");
             write_block(out, body, proc, depth + 1);
             let _ = writeln!(out, "{pad}}}");
@@ -211,11 +208,11 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
                 out.push_str("/* pragma safe */ ");
             }
             let _ = write!(out, "do fortran {} = ", proc.var(*var).name);
-            write_expr(out, lo, Some(proc));
+            write_expr(out, pool, *lo, Some(proc));
             out.push_str(", ");
-            write_expr(out, hi, Some(proc));
+            write_expr(out, pool, *hi, Some(proc));
             out.push_str(", ");
-            write_expr(out, step, Some(proc));
+            write_expr(out, pool, *step, Some(proc));
             out.push_str(" {\n");
             write_block(out, body, proc, depth + 1);
             let _ = writeln!(out, "{pad}}}");
@@ -229,11 +226,11 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
         } => {
             out.push_str(&pad);
             let _ = write!(out, "do parallel {} = ", proc.var(*var).name);
-            write_expr(out, lo, Some(proc));
+            write_expr(out, pool, *lo, Some(proc));
             out.push_str(", ");
-            write_expr(out, hi, Some(proc));
+            write_expr(out, pool, *hi, Some(proc));
             out.push_str(", ");
-            write_expr(out, step, Some(proc));
+            write_expr(out, pool, *step, Some(proc));
             out.push_str(" {\n");
             write_block(out, body, proc, depth + 1);
             let _ = writeln!(out, "{pad}}}");
@@ -245,7 +242,7 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
         } => {
             out.push_str(&pad);
             out.push_str("while spread (");
-            write_expr(out, cond, Some(proc));
+            write_expr(out, pool, *cond, Some(proc));
             out.push_str(") {\n");
             write_block(out, parallel, proc, depth + 1);
             let _ = writeln!(out, "{pad}  next:");
@@ -266,13 +263,13 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
         StmtKind::IfGoto { cond, target } => {
             out.push_str(&pad);
             out.push_str("if (");
-            write_expr(out, cond, Some(proc));
+            write_expr(out, pool, *cond, Some(proc));
             let _ = writeln!(out, ") goto lb_{};", target.0);
         }
         StmtKind::Call { dst, callee, args } => {
             out.push_str(&pad);
             if let Some(d) = dst {
-                write_lvalue(out, d, Some(proc));
+                write_lvalue(out, pool, d, Some(proc));
                 out.push_str(" = ");
             }
             let _ = write!(out, "{callee}(");
@@ -280,7 +277,7 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_expr(out, a, Some(proc));
+                write_expr(out, pool, *a, Some(proc));
             }
             out.push_str(");\n");
         }
@@ -289,7 +286,7 @@ fn write_stmt(out: &mut String, s: &Stmt, proc: &Procedure, depth: usize) {
             out.push_str("return");
             if let Some(e) = v {
                 out.push(' ');
-                write_expr(out, e, Some(proc));
+                write_expr(out, pool, *e, Some(proc));
             }
             out.push_str(";\n");
         }
@@ -304,7 +301,8 @@ mod tests {
     use super::*;
     use crate::builder::ProcBuilder;
     use crate::expr::BinOp;
-    use crate::types::Type;
+    use crate::ids::VarId;
+    use crate::types::{ScalarType, Type};
 
     #[test]
     fn prints_do_fortran() {
@@ -313,10 +311,16 @@ mod tests {
         let s = b.local("s", Type::Int);
         let body = {
             let mut lb = b.block();
-            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            let sv = lb.var(s);
+            let iv = lb.var(i);
+            let add = lb.ibinary(BinOp::Add, sv, iv);
+            lb.assign_var(s, add);
             lb.stmts()
         };
-        b.do_loop(i, Expr::int(0), Expr::int(99), Expr::int(1), body);
+        let lo = b.int(0);
+        let hi = b.int(99);
+        let step = b.int(1);
+        b.do_loop(i, lo, hi, step, body);
         let p = b.finish();
         let text = pretty_proc(&p);
         assert!(text.contains("do fortran i = 0, 99, 1 {"), "{text}");
@@ -324,35 +328,42 @@ mod tests {
     }
 
     #[test]
-    fn display_uses_positional_names() {
-        let e = Expr::ibinary(BinOp::Mul, Expr::var(crate::ids::VarId(2)), Expr::int(4));
-        assert_eq!(e.to_string(), "(v2 * 4)");
+    fn positional_names_without_proc() {
+        let mut pool = ExprPool::new();
+        let x = pool.var(VarId(2));
+        let four = pool.int(4);
+        let e = pool.ibinary(BinOp::Mul, x, four);
+        assert_eq!(pretty_expr_in(&pool, e), "(v2 * 4)");
     }
 
     #[test]
     fn section_prints_triplet() {
-        let e = Expr::Section {
-            base: Box::new(Expr::addr_of(crate::ids::VarId(0))),
-            len: Box::new(Expr::int(100)),
-            stride: Box::new(Expr::int(4)),
-            ty: crate::types::ScalarType::Float,
-        };
-        assert_eq!(e.to_string(), "(float)[&v0 : 100 : 4]");
+        let mut pool = ExprPool::new();
+        let base = pool.addr_of(VarId(0));
+        let len = pool.int(100);
+        let stride = pool.int(4);
+        let e = pool.section(base, len, stride, ScalarType::Float);
+        assert_eq!(pretty_expr_in(&pool, e), "(float)[&v0 : 100 : 4]");
     }
 
     #[test]
     fn float_constants_tagged() {
-        assert_eq!(Expr::float(1.0).to_string(), "1.0f");
-        assert_eq!(Expr::double(1.0).to_string(), "1.0");
+        let mut pool = ExprPool::new();
+        let f = pool.float(1.0);
+        let d = pool.double(1.0);
+        assert_eq!(pretty_expr_in(&pool, f), "1.0f");
+        assert_eq!(pretty_expr_in(&pool, d), "1.0");
     }
 
     #[test]
     fn volatile_load_is_visible() {
-        let e = Expr::Load {
-            addr: Box::new(Expr::addr_of(crate::ids::VarId(0))),
-            ty: crate::types::ScalarType::Int,
+        let mut pool = ExprPool::new();
+        let addr = pool.addr_of(VarId(0));
+        let e = pool.alloc(Expr::Load {
+            addr,
+            ty: ScalarType::Int,
             volatile: true,
-        };
-        assert!(e.to_string().contains("volatile"));
+        });
+        assert!(pretty_expr_in(&pool, e).contains("volatile"));
     }
 }

@@ -1,8 +1,14 @@
 //! Procedures, programs, symbol tables.
+//!
+//! A [`Procedure`] owns two flat arenas — an [`ExprPool`] and a
+//! [`StmtPool`] — plus a [`Block`] of root statement ids. The pools are
+//! public fields precisely so passes can split-borrow them
+//! (`&proc.stmts[s]` while holding `&mut proc.exprs`), which is what makes
+//! the id-rebinding rewrite idiom ergonomic without interior mutability.
 
-use crate::expr::Expr;
-use crate::ids::{LabelId, ProcId, StmtId, StructId, VarId};
-use crate::stmt::{Stmt, StmtKind};
+use crate::expr::ExprPool;
+use crate::ids::{ExprId, LabelId, ProcId, StmtId, StructId, VarId};
+use crate::stmt::{Block, StmtKind, StmtPool};
 use crate::types::{ScalarType, Type};
 
 /// Where a variable lives.
@@ -87,7 +93,8 @@ impl StructDef {
     }
 }
 
-/// One procedure: signature, symbol table, label table, statement tree.
+/// One procedure: signature, symbol table, label table, and the two flat
+/// arenas holding its statement/expression storage.
 #[derive(Clone, Debug)]
 pub struct Procedure {
     /// Procedure name (global linkage).
@@ -100,9 +107,14 @@ pub struct Procedure {
     pub vars: Vec<VarInfo>,
     /// Number of labels allocated.
     pub num_labels: u32,
-    /// The body.
-    pub body: Vec<Stmt>,
-    pub(crate) next_stmt: u32,
+    /// Root statement ids, in execution order.
+    pub body: Block,
+    /// The expression arena. Public so passes can split-borrow it against
+    /// `stmts`.
+    pub exprs: ExprPool,
+    /// The statement arena (kind + span columns). `stmts.len()` is the
+    /// procedure's statement-stamp watermark (the serialized `next_stmt`).
+    pub stmts: StmtPool,
     pub(crate) next_temp: u32,
     /// IL generation counter: bumped whenever the procedure is mutated, so
     /// analyses memoized against an older generation are known stale. Not
@@ -115,15 +127,18 @@ impl PartialEq for Procedure {
     fn eq(&self, other: &Procedure) -> bool {
         // `generation` is deliberately excluded: two procedures with the
         // same content are equal regardless of their mutation history
-        // (catalog encode/decode round-trips rely on this).
+        // (catalog encode/decode round-trips rely on this). Arena *layout*
+        // is also excluded — the body is compared structurally, so a
+        // procedure equals its compacted self as long as statement stamps
+        // and spans match.
         self.name == other.name
             && self.ret == other.ret
             && self.params == other.params
             && self.vars == other.vars
             && self.num_labels == other.num_labels
-            && self.body == other.body
-            && self.next_stmt == other.next_stmt
             && self.next_temp == other.next_temp
+            && self.stmts.len() == other.stmts.len()
+            && self.block_eq(&self.body, other, &other.body)
     }
 }
 
@@ -137,7 +152,8 @@ impl Procedure {
             vars: Vec::new(),
             num_labels: 0,
             body: Vec::new(),
-            next_stmt: 0,
+            exprs: ExprPool::new(),
+            stmts: StmtPool::new(),
             next_temp: 0,
             generation: 0,
         }
@@ -155,6 +171,12 @@ impl Procedure {
     /// analysis caches are never served stale.
     pub fn bump_generation(&mut self) {
         self.generation += 1;
+    }
+
+    /// The statement-stamp watermark: one past the highest stamp ever
+    /// issued (serialized so stamps survive catalog round-trips).
+    pub fn next_stmt(&self) -> u32 {
+        self.stmts.len() as u32
     }
 
     /// The symbol-table entry for `v`.
@@ -211,22 +233,17 @@ impl Procedure {
         id
     }
 
-    /// Allocates a fresh statement stamp.
-    pub fn fresh_stmt_id(&mut self) -> StmtId {
-        let id = StmtId(self.next_stmt);
-        self.next_stmt += 1;
-        id
+    /// Allocates a statement with a fresh stamp and no source position,
+    /// returning its id. The statement is *not* linked into any block —
+    /// the caller places the id.
+    pub fn stamp(&mut self, kind: StmtKind) -> StmtId {
+        self.stmts.alloc(kind, crate::span::SrcSpan::NONE)
     }
 
-    /// Builds a statement with a fresh stamp.
-    pub fn stamp(&mut self, kind: StmtKind) -> Stmt {
-        Stmt::new(self.fresh_stmt_id(), kind)
-    }
-
-    /// Builds a statement with a fresh stamp anchored to a source
-    /// position (passes replacing a statement carry its span over).
-    pub fn stamp_at(&mut self, kind: StmtKind, span: crate::span::SrcSpan) -> Stmt {
-        Stmt::new_at(self.fresh_stmt_id(), kind, span)
+    /// Allocates a statement anchored to a source position (passes
+    /// replacing a statement carry its span over).
+    pub fn stamp_at(&mut self, kind: StmtKind, span: crate::span::SrcSpan) -> StmtId {
+        self.stmts.alloc(kind, span)
     }
 
     /// Finds a variable by name (first match).
@@ -239,7 +256,7 @@ impl Procedure {
 
     /// Total statement count of the body tree.
     pub fn len(&self) -> usize {
-        crate::stmt::block_len(&self.body)
+        crate::stmt::block_len(&self.stmts, &self.body)
     }
 
     /// True when the body is empty.
@@ -247,95 +264,300 @@ impl Procedure {
         self.body.is_empty()
     }
 
-    /// Iterates over every statement in the tree (preorder), calling `f`.
-    pub fn for_each_stmt(&self, f: &mut dyn FnMut(&Stmt)) {
-        fn walk(block: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
-            for s in block {
-                f(s);
-                for b in s.blocks() {
-                    walk(b, f);
+    /// Iterates over every reachable statement in the tree (preorder).
+    pub fn for_each_stmt(&self, f: &mut dyn FnMut(StmtId, &StmtKind)) {
+        fn walk(pool: &StmtPool, block: &[StmtId], f: &mut dyn FnMut(StmtId, &StmtKind)) {
+            for &s in block {
+                f(s, &pool[s]);
+                for b in pool[s].blocks() {
+                    walk(pool, b, f);
                 }
             }
         }
-        walk(&self.body, f);
+        walk(&self.stmts, &self.body, f);
     }
 
-    /// Finds a statement by stamp (preorder search).
-    pub fn find_stmt(&self, id: StmtId) -> Option<&Stmt> {
-        fn walk(block: &[Stmt], id: StmtId) -> Option<&Stmt> {
-            for s in block {
-                if s.id == id {
-                    return Some(s);
-                }
-                for b in s.blocks() {
-                    if let Some(found) = walk(b, id) {
-                        return Some(found);
-                    }
-                }
+    /// The reachable statement ids in preorder. Useful for passes that
+    /// need to mutate statements while walking: collect ids first, then
+    /// index the pool.
+    pub fn preorder_ids(&self) -> Vec<StmtId> {
+        let mut out = Vec::with_capacity(self.stmts.len());
+        self.for_each_stmt(&mut |s, _| out.push(s));
+        out
+    }
+
+    /// Finds a *reachable* statement by stamp (preorder search). An
+    /// orphaned arena slot — its id no longer linked from any block — is
+    /// not found, even though indexing the pool directly would still
+    /// resolve it.
+    pub fn find_stmt(&self, id: StmtId) -> Option<&StmtKind> {
+        let mut found = false;
+        self.for_each_stmt(&mut |s, _| {
+            if s == id {
+                found = true;
             }
+        });
+        if found {
+            Some(&self.stmts[id])
+        } else {
             None
         }
-        walk(&self.body, id)
     }
 
-    /// Re-stamps every statement with fresh consecutive ids (used after an
-    /// inlined body is spliced in, whose stamps would otherwise collide).
+    /// Compacts both arenas: rebuilds the statement pool with fresh
+    /// consecutive preorder stamps and the expression pool with only the
+    /// reachable nodes in canonical (postorder) layout. Used after an
+    /// inlined body is spliced in (whose stamps would otherwise collide)
+    /// and to garbage-collect slots orphaned by rewrites. Lifetime
+    /// allocation counters carry over.
     pub fn restamp(&mut self) {
-        let mut next = 0u32;
-        fn walk(block: &mut [Stmt], next: &mut u32) {
-            for s in block {
-                s.id = StmtId(*next);
-                *next += 1;
-                for b in s.blocks_mut() {
-                    walk(b, next);
+        let old_stmts = std::mem::take(&mut self.stmts);
+        let old_exprs = std::mem::take(&mut self.exprs);
+        let old_body = std::mem::take(&mut self.body);
+
+        fn walk(
+            block: &[StmtId],
+            old_stmts: &StmtPool,
+            old_exprs: &ExprPool,
+            new_stmts: &mut StmtPool,
+            new_exprs: &mut ExprPool,
+        ) -> Block {
+            let mut out = Block::with_capacity(block.len());
+            for &s in block {
+                let mut kind = old_stmts[s].clone();
+                for slot in kind.expr_slots_mut() {
+                    *slot = new_exprs.import(old_exprs, *slot);
                 }
+                // allocate before recursing so ids are preorder
+                let new_id = new_stmts.alloc(StmtKind::Nop, old_stmts.span(s));
+                for b in kind.blocks_mut() {
+                    let old_block = std::mem::take(b);
+                    *b = walk(&old_block, old_stmts, old_exprs, new_stmts, new_exprs);
+                }
+                new_stmts[new_id] = kind;
+                out.push(new_id);
             }
+            out
         }
-        walk(&mut self.body, &mut next);
-        self.next_stmt = next;
-        // every StmtId-keyed analysis is invalidated by a restamp
+
+        let mut new_stmts = StmtPool::new();
+        let mut new_exprs = ExprPool::new();
+        self.body = walk(
+            &old_body,
+            &old_stmts,
+            &old_exprs,
+            &mut new_stmts,
+            &mut new_exprs,
+        );
+        new_stmts.set_total_allocated(old_stmts.total_allocated());
+        new_exprs.set_total_allocated(old_exprs.total_allocated());
+        self.stmts = new_stmts;
+        self.exprs = new_exprs;
+        // every StmtId/ExprId-keyed analysis is invalidated by a restamp
         self.bump_generation();
     }
 
-    /// True if any statement satisfies the predicate.
-    pub fn any_stmt(&self, mut pred: impl FnMut(&Stmt) -> bool) -> bool {
+    /// True if any reachable statement satisfies the predicate.
+    pub fn any_stmt(&self, mut pred: impl FnMut(StmtId, &StmtKind) -> bool) -> bool {
         let mut found = false;
-        self.for_each_stmt(&mut |s| {
-            if pred(s) {
+        self.for_each_stmt(&mut |s, k| {
+            if pred(s, k) {
                 found = true;
             }
         });
         found
     }
 
-    /// Convenience: append a statement to the body with a fresh stamp.
+    /// Convenience: append a freshly stamped statement to the body.
     pub fn push(&mut self, kind: StmtKind) {
         let s = self.stamp(kind);
         self.body.push(s);
     }
 
+    /// Deep-copies the statement subtree at `s` into fresh slots — fresh
+    /// stamps for every nested statement and deep-copied expression trees,
+    /// so the copy shares no slots with the original and either can be
+    /// rewritten in place without aliasing the other. The copy keeps the
+    /// original's spans.
+    pub fn clone_stmt(&mut self, s: StmtId) -> StmtId {
+        let span = self.stmts.span(s);
+        let mut kind = self.stmts[s].clone();
+        for b in kind.blocks_mut() {
+            for id in b.iter_mut() {
+                *id = self.clone_stmt(*id);
+            }
+        }
+        for e in kind.expr_slots_mut() {
+            *e = self.exprs.copy(*e);
+        }
+        self.stamp_at(kind, span)
+    }
+
     /// All `DoLoop`/`DoParallel`/`While` statement stamps, preorder.
     pub fn loop_ids(&self) -> Vec<StmtId> {
         let mut out = Vec::new();
-        self.for_each_stmt(&mut |s| {
-            if s.is_loop() {
-                out.push(s.id);
+        self.for_each_stmt(&mut |s, k| {
+            if k.is_loop() {
+                out.push(s);
             }
         });
         out
     }
 
-    /// Iterates over every statement in the tree (preorder), mutably.
-    pub fn for_each_stmt_mut(&mut self, f: &mut dyn FnMut(&mut Stmt)) {
-        fn walk(block: &mut [Stmt], f: &mut dyn FnMut(&mut Stmt)) {
-            for s in block {
-                f(s);
-                for b in s.blocks_mut() {
-                    walk(b, f);
-                }
-            }
+    /// Structural equality of a block of this procedure against a block of
+    /// `other`: same length, and pairwise equal stamps, spans, and kinds
+    /// (expressions compared structurally across the two pools).
+    pub fn block_eq(&self, a: &[StmtId], other: &Procedure, b: &[StmtId]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|(&x, &y)| self.stmt_eq(x, other, y))
+    }
+
+    fn stmt_eq(&self, a: StmtId, other: &Procedure, b: StmtId) -> bool {
+        if a != b || self.stmts.span(a) != other.stmts.span(b) {
+            return false;
         }
-        walk(&mut self.body, f);
+        let (ep, eq) = (&self.exprs, &other.exprs);
+        match (&self.stmts[a], &other.stmts[b]) {
+            (StmtKind::Assign { lhs: la, rhs: ra }, StmtKind::Assign { lhs: lb, rhs: rb }) => {
+                ep.lvalue_eq(la, eq, lb) && ep.expr_eq(*ra, eq, *rb)
+            }
+            (
+                StmtKind::If {
+                    cond: ca,
+                    then_blk: ta,
+                    else_blk: ea,
+                },
+                StmtKind::If {
+                    cond: cb,
+                    then_blk: tb,
+                    else_blk: eb,
+                },
+            ) => {
+                ep.expr_eq(*ca, eq, *cb)
+                    && self.block_eq(ta, other, tb)
+                    && self.block_eq(ea, other, eb)
+            }
+            (
+                StmtKind::While {
+                    cond: ca,
+                    body: ba,
+                    safe: sa,
+                },
+                StmtKind::While {
+                    cond: cb,
+                    body: bb,
+                    safe: sb,
+                },
+            ) => sa == sb && ep.expr_eq(*ca, eq, *cb) && self.block_eq(ba, other, bb),
+            (
+                StmtKind::DoLoop {
+                    var: va,
+                    lo: la,
+                    hi: ha,
+                    step: pa,
+                    body: ba,
+                    safe: sa,
+                },
+                StmtKind::DoLoop {
+                    var: vb,
+                    lo: lb,
+                    hi: hb,
+                    step: pb,
+                    body: bb,
+                    safe: sb,
+                },
+            ) => {
+                va == vb
+                    && sa == sb
+                    && ep.expr_eq(*la, eq, *lb)
+                    && ep.expr_eq(*ha, eq, *hb)
+                    && ep.expr_eq(*pa, eq, *pb)
+                    && self.block_eq(ba, other, bb)
+            }
+            (
+                StmtKind::DoParallel {
+                    var: va,
+                    lo: la,
+                    hi: ha,
+                    step: pa,
+                    body: ba,
+                },
+                StmtKind::DoParallel {
+                    var: vb,
+                    lo: lb,
+                    hi: hb,
+                    step: pb,
+                    body: bb,
+                },
+            ) => {
+                va == vb
+                    && ep.expr_eq(*la, eq, *lb)
+                    && ep.expr_eq(*ha, eq, *hb)
+                    && ep.expr_eq(*pa, eq, *pb)
+                    && self.block_eq(ba, other, bb)
+            }
+            (
+                StmtKind::WhileSpread {
+                    cond: ca,
+                    parallel: pa,
+                    serial: sa,
+                },
+                StmtKind::WhileSpread {
+                    cond: cb,
+                    parallel: pb,
+                    serial: sb,
+                },
+            ) => {
+                ep.expr_eq(*ca, eq, *cb)
+                    && self.block_eq(pa, other, pb)
+                    && self.block_eq(sa, other, sb)
+            }
+            (StmtKind::Label(la), StmtKind::Label(lb)) => la == lb,
+            (StmtKind::Goto(la), StmtKind::Goto(lb)) => la == lb,
+            (
+                StmtKind::IfGoto {
+                    cond: ca,
+                    target: ta,
+                },
+                StmtKind::IfGoto {
+                    cond: cb,
+                    target: tb,
+                },
+            ) => ta == tb && ep.expr_eq(*ca, eq, *cb),
+            (
+                StmtKind::Call {
+                    dst: da,
+                    callee: na,
+                    args: aa,
+                },
+                StmtKind::Call {
+                    dst: db,
+                    callee: nb,
+                    args: ab,
+                },
+            ) => {
+                na == nb
+                    && match (da, db) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => ep.lvalue_eq(x, eq, y),
+                        _ => false,
+                    }
+                    && aa.len() == ab.len()
+                    && aa
+                        .iter()
+                        .zip(ab.iter())
+                        .all(|(&x, &y)| ep.expr_eq(x, eq, y))
+            }
+            (StmtKind::Return(ra), StmtKind::Return(rb)) => match (ra, rb) {
+                (None, None) => true,
+                (Some(x), Some(y)) => ep.expr_eq(*x, eq, *y),
+                _ => false,
+            },
+            (StmtKind::Nop, StmtKind::Nop) => true,
+            _ => false,
+        }
     }
 
     /// Remaps the origin file tag of every known span through `map`
@@ -343,13 +565,13 @@ impl Procedure {
     /// catalog or another session TU into a program whose file table
     /// numbers origins differently. Tags beyond `map` are left alone.
     pub fn retag_spans(&mut self, map: &[u32]) {
-        self.for_each_stmt_mut(&mut |s| {
-            if s.span.is_known() {
-                if let Some(&new) = map.get(s.span.file as usize) {
-                    s.span.file = new;
+        for span in self.stmts.spans_mut() {
+            if span.is_known() {
+                if let Some(&new) = map.get(span.file as usize) {
+                    span.file = new;
                 }
             }
-        });
+        }
     }
 }
 
@@ -447,19 +669,19 @@ impl Program {
     }
 }
 
-/// Helper: an `Expr` that evaluates a variable's current value, or its
-/// address if the variable is an array (C decay).
-pub fn var_value_or_decay(proc: &Procedure, v: VarId) -> Expr {
+/// Helper: allocates an expression that evaluates a variable's current
+/// value, or its address if the variable is an array (C decay).
+pub fn var_value_or_decay(proc: &mut Procedure, v: VarId) -> ExprId {
     match proc.var(v).ty {
-        Type::Array(..) => Expr::addr_of(v),
-        _ => Expr::var(v),
+        Type::Array(..) => proc.exprs.addr_of(v),
+        _ => proc.exprs.var(v),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::LValue;
+    use crate::expr::{Expr, LValue};
 
     #[test]
     fn fresh_temps_are_distinct() {
@@ -477,10 +699,40 @@ mod tests {
         let mut p = Procedure::new("f", Type::Void);
         p.push(StmtKind::Nop);
         p.push(StmtKind::Nop);
-        assert_ne!(p.body[0].id, p.body[1].id);
+        assert_ne!(p.body[0], p.body[1]);
         p.restamp();
-        assert_eq!(p.body[0].id, StmtId(0));
-        assert_eq!(p.body[1].id, StmtId(1));
+        assert_eq!(p.body[0], StmtId(0));
+        assert_eq!(p.body[1], StmtId(1));
+    }
+
+    #[test]
+    fn restamp_compacts_both_arenas() {
+        let mut p = Procedure::new("f", Type::Void);
+        let t = p.fresh_temp(Type::Int);
+        // orphaned garbage: an expr and a stmt never linked into the body
+        let _orphan = p.exprs.int(99);
+        let _dead = p.stamp(StmtKind::Nop);
+        let one = p.exprs.int(1);
+        p.push(StmtKind::Assign {
+            lhs: LValue::Var(t),
+            rhs: one,
+        });
+        let allocated_exprs = p.exprs.total_allocated();
+        let allocated_stmts = p.stmts.total_allocated();
+        p.restamp();
+        assert_eq!(p.stmts.len(), 1, "dead stmt slot collected");
+        assert_eq!(p.exprs.len(), 1, "orphan expr collected");
+        assert_eq!(p.body, vec![StmtId(0)]);
+        assert_eq!(
+            p.exprs.total_allocated(),
+            allocated_exprs,
+            "lifetime counter survives compaction"
+        );
+        assert_eq!(p.stmts.total_allocated(), allocated_stmts);
+        match &p.stmts[StmtId(0)] {
+            StmtKind::Assign { rhs, .. } => assert_eq!(p.exprs.as_int(*rhs), Some(1)),
+            k => panic!("unexpected kind {k:?}"),
+        }
     }
 
     #[test]
@@ -498,18 +750,40 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_arena_layout() {
+        let mut p = Procedure::new("f", Type::Void);
+        let t = p.fresh_temp(Type::Int);
+        let one = p.exprs.int(1);
+        p.push(StmtKind::Assign {
+            lhs: LValue::Var(t),
+            rhs: one,
+        });
+        let mut q = p.clone();
+        // same structure, different expr layout: orphan then rebuilt rhs
+        let _pad = q.exprs.int(7);
+        let one2 = q.exprs.int(1);
+        match &mut q.stmts[StmtId(0)] {
+            StmtKind::Assign { rhs, .. } => *rhs = one2,
+            _ => unreachable!(),
+        }
+        assert_eq!(p, q, "structural equality is layout-independent");
+    }
+
+    #[test]
     fn find_stmt_searches_nested_blocks() {
         let mut p = Procedure::new("f", Type::Void);
         let inner = p.stamp(StmtKind::Nop);
-        let inner_id = inner.id;
+        let cond = p.exprs.int(1);
         let w = p.stamp(StmtKind::While {
-            cond: Expr::int(1),
+            cond,
             body: vec![inner],
             safe: false,
         });
         p.body.push(w);
-        assert!(p.find_stmt(inner_id).is_some());
+        assert!(p.find_stmt(inner).is_some());
         assert_eq!(p.len(), 2);
+        let orphan = p.stamp(StmtKind::Nop);
+        assert!(p.find_stmt(orphan).is_none(), "orphans are unreachable");
     }
 
     #[test]
@@ -568,19 +842,22 @@ mod tests {
             init: None,
         });
         let i = p.fresh_temp(Type::Int);
-        assert_eq!(var_value_or_decay(&p, a), Expr::addr_of(a));
-        assert_eq!(var_value_or_decay(&p, i), Expr::var(i));
+        let ea = var_value_or_decay(&mut p, a);
+        assert_eq!(p.exprs[ea], Expr::AddrOf(a));
+        let ei = var_value_or_decay(&mut p, i);
+        assert_eq!(p.exprs[ei], Expr::Var(i));
     }
 
     #[test]
     fn defined_var_via_assign() {
         let mut p = Procedure::new("f", Type::Void);
         let t = p.fresh_temp(Type::Int);
+        let zero = p.exprs.int(0);
         p.push(StmtKind::Assign {
             lhs: LValue::Var(t),
-            rhs: Expr::int(0),
+            rhs: zero,
         });
-        assert_eq!(p.body[0].defined_var(), Some(t));
+        assert_eq!(p.stmts[p.body[0]].defined_var(), Some(t));
     }
 
     #[test]
@@ -603,8 +880,8 @@ mod tests {
         p.body.push(s);
         p.push(StmtKind::Nop); // synthesized, span unknown
         p.retag_spans(&[2]);
-        assert_eq!(p.body[0].span.file, 2);
-        assert_eq!(p.body[1].span.file, 0, "unknown spans keep tag 0");
+        assert_eq!(p.stmts.span(p.body[0]).file, 2);
+        assert_eq!(p.stmts.span(p.body[1]).file, 0, "unknown spans keep tag 0");
     }
 
     #[test]

@@ -1,37 +1,29 @@
-//! IL statements.
+//! IL statements, stored flat in a per-procedure arena.
 //!
 //! Every memory mutation in the IL is an explicit statement (§4). Control
 //! flow is mostly structured ([`StmtKind::If`], [`StmtKind::While`],
 //! [`StmtKind::DoLoop`]) but `goto`/labels are first-class because C
 //! permits branches into loops (§1 item 3) — the while→DO conversion uses
 //! the control-flow graph to reject exactly those loops (§5.2).
+//!
+//! A statement *is* its [`StmtId`]: the id is both the stable per-procedure
+//! stamp the analyses key on (use–def chains, dependence edges) and the
+//! statement's slot in the procedure's [`StmtPool`]. Blocks are plain
+//! `Vec<StmtId>` ([`Block`]), and a statement's kind and source span live in
+//! parallel arena columns, so procedure clones copy three flat vectors
+//! instead of walking a pointer tree.
 
-use crate::expr::{Expr, LValue};
-use crate::ids::{LabelId, StmtId, VarId};
+use crate::expr::{ExprPool, LValue};
+use crate::ids::{ExprId, LabelId, StmtId, VarId};
 use crate::span::SrcSpan;
+use std::ops::{Index, IndexMut};
 
-/// A statement with a stable per-procedure identity stamp.
-///
-/// The stamp survives tree rewrites so use–def chains and dependence edges
-/// can refer to statements across transformation phases; passes that create
-/// statements allocate fresh stamps from
-/// [`crate::Procedure::fresh_stmt_id`].
-#[derive(Clone, PartialEq, Debug)]
-pub struct Stmt {
-    /// The stable stamp.
-    pub id: StmtId,
-    /// What the statement does.
-    pub kind: StmtKind,
-    /// Source position this statement was lowered from
-    /// ([`SrcSpan::NONE`] for compiler-synthesized statements). Passes
-    /// that rewrite a statement in place, or replace one with an
-    /// equivalent form (while→DO, DO→`do parallel`, vector statements),
-    /// carry the span over so optimization reports stay anchored to the
-    /// source.
-    pub span: SrcSpan,
-}
+/// An ordered sequence of statements: ids into the owning [`StmtPool`].
+pub type Block = Vec<StmtId>;
 
-/// The payload of a [`Stmt`].
+/// What one statement does. Child statements are [`Block`]s of ids and
+/// operand expressions are [`ExprId`]s, both resolved through the owning
+/// procedure's pools.
 #[derive(Clone, PartialEq, Debug)]
 pub enum StmtKind {
     /// `lhs = rhs` — the IL's only scalar mutation. When both sides are
@@ -41,24 +33,24 @@ pub enum StmtKind {
         /// Assignment target.
         lhs: LValue,
         /// Assigned value.
-        rhs: Expr,
+        rhs: ExprId,
     },
     /// Structured two-way branch.
     If {
         /// Condition (nonzero = taken).
-        cond: Expr,
+        cond: ExprId,
         /// Statements executed when the condition is nonzero.
-        then_blk: Vec<Stmt>,
+        then_blk: Block,
         /// Statements executed when the condition is zero.
-        else_blk: Vec<Stmt>,
+        else_blk: Block,
     },
     /// Pre-tested loop. `safe` is the §9 vectorization pragma: the user
     /// asserts iterations are independent.
     While {
         /// Loop condition (nonzero = continue).
-        cond: Expr,
+        cond: ExprId,
         /// Loop body.
-        body: Vec<Stmt>,
+        body: Block,
         /// User-asserted independence pragma.
         safe: bool,
     },
@@ -69,13 +61,13 @@ pub enum StmtKind {
         /// Induction variable.
         var: VarId,
         /// Initial value.
-        lo: Expr,
+        lo: ExprId,
         /// Inclusive bound.
-        hi: Expr,
+        hi: ExprId,
         /// Increment (must be nonzero; sign fixed at entry).
-        step: Expr,
+        step: ExprId,
         /// Loop body.
-        body: Vec<Stmt>,
+        body: Block,
         /// User-asserted independence pragma.
         safe: bool,
     },
@@ -85,13 +77,13 @@ pub enum StmtKind {
         /// Induction variable.
         var: VarId,
         /// Initial value.
-        lo: Expr,
+        lo: ExprId,
         /// Inclusive bound.
-        hi: Expr,
+        hi: ExprId,
         /// Increment.
-        step: Expr,
+        step: ExprId,
         /// Loop body.
-        body: Vec<Stmt>,
+        body: Block,
     },
     /// A *true* while loop whose iterations are spread across processors
     /// while the pointer chase stays serialized — the §10 future-work
@@ -102,11 +94,11 @@ pub enum StmtKind {
     /// assumption the paper states.
     WhileSpread {
         /// Loop condition (nonzero = continue), evaluated serially.
-        cond: Expr,
+        cond: ExprId,
         /// The distributable work of one iteration.
-        parallel: Vec<Stmt>,
+        parallel: Block,
         /// The serialized advance (pointer chase).
-        serial: Vec<Stmt>,
+        serial: Block,
     },
     /// A branch target.
     Label(LabelId),
@@ -116,7 +108,7 @@ pub enum StmtKind {
     /// returns and for `break`/`continue` lowering).
     IfGoto {
         /// Branch condition (nonzero = taken).
-        cond: Expr,
+        cond: ExprId,
         /// Branch target.
         target: LabelId,
     },
@@ -129,38 +121,19 @@ pub enum StmtKind {
         /// Callee name (resolved by name so catalogs can be linked in).
         callee: String,
         /// Actual arguments (pure expressions).
-        args: Vec<Expr>,
+        args: Vec<ExprId>,
     },
     /// Return from the procedure.
-    Return(Option<Expr>),
-    /// A no-op left behind by deleting passes; swept by cleanup.
+    Return(Option<ExprId>),
+    /// A no-op left behind by deleting passes; swept by cleanup. Also fills
+    /// arena slots whose ids are no longer referenced by any block.
     Nop,
 }
 
-impl Stmt {
-    /// Builds a statement from a stamp and kind, with no source position.
-    pub fn new(id: StmtId, kind: StmtKind) -> Stmt {
-        Stmt {
-            id,
-            kind,
-            span: SrcSpan::NONE,
-        }
-    }
-
-    /// Builds a statement anchored to a source position.
-    pub fn new_at(id: StmtId, kind: StmtKind, span: SrcSpan) -> Stmt {
-        Stmt { id, kind, span }
-    }
-
-    /// Returns the statement re-anchored to `span` (builder style).
-    pub fn at(mut self, span: SrcSpan) -> Stmt {
-        self.span = span;
-        self
-    }
-
+impl StmtKind {
     /// The nested statement blocks, in source order.
-    pub fn blocks(&self) -> Vec<&Vec<Stmt>> {
-        match &self.kind {
+    pub fn blocks(&self) -> Vec<&Block> {
+        match self {
             StmtKind::If {
                 then_blk, else_blk, ..
             } => vec![then_blk, else_blk],
@@ -175,8 +148,8 @@ impl Stmt {
     }
 
     /// Mutable access to the nested statement blocks.
-    pub fn blocks_mut(&mut self) -> Vec<&mut Vec<Stmt>> {
-        match &mut self.kind {
+    pub fn blocks_mut(&mut self) -> Vec<&mut Block> {
+        match self {
             StmtKind::If {
                 then_blk, else_blk, ..
             } => vec![then_blk, else_blk],
@@ -190,38 +163,42 @@ impl Stmt {
         }
     }
 
-    /// The expressions this statement evaluates directly (not those in
-    /// nested blocks). For an `Assign` this includes the target's address
-    /// expressions.
-    pub fn exprs(&self) -> Vec<&Expr> {
-        match &self.kind {
+    /// Ids of the expressions this statement evaluates directly (not those
+    /// in nested blocks). For an `Assign` this includes the target's
+    /// address expressions.
+    pub fn exprs(&self) -> Vec<ExprId> {
+        match self {
             StmtKind::Assign { lhs, rhs } => {
-                let mut v = lhs.address_exprs();
-                v.push(rhs);
+                let mut v: Vec<ExprId> = lhs.address_exprs().to_vec();
+                v.push(*rhs);
                 v
             }
             StmtKind::If { cond, .. }
             | StmtKind::While { cond, .. }
             | StmtKind::WhileSpread { cond, .. }
-            | StmtKind::IfGoto { cond, .. } => vec![cond],
+            | StmtKind::IfGoto { cond, .. } => vec![*cond],
             StmtKind::DoLoop { lo, hi, step, .. } | StmtKind::DoParallel { lo, hi, step, .. } => {
-                vec![lo, hi, step]
+                vec![*lo, *hi, *step]
             }
             StmtKind::Call { dst, args, .. } => {
-                let mut v: Vec<&Expr> = dst.iter().flat_map(|d| d.address_exprs()).collect();
-                v.extend(args.iter());
+                let mut v: Vec<ExprId> = dst
+                    .iter()
+                    .flat_map(|d| d.address_exprs().to_vec())
+                    .collect();
+                v.extend(args.iter().copied());
                 v
             }
-            StmtKind::Return(Some(e)) => vec![e],
+            StmtKind::Return(Some(e)) => vec![*e],
             StmtKind::Label(_) | StmtKind::Goto(_) | StmtKind::Return(None) | StmtKind::Nop => {
                 vec![]
             }
         }
     }
 
-    /// Mutable version of [`Stmt::exprs`].
-    pub fn exprs_mut(&mut self) -> Vec<&mut Expr> {
-        match &mut self.kind {
+    /// Mutable slots holding this statement's operand expression ids, for
+    /// id rebinding (point an operand at a freshly built subtree).
+    pub fn expr_slots_mut(&mut self) -> Vec<&mut ExprId> {
+        match self {
             StmtKind::Assign { lhs, rhs } => {
                 let mut v = lhs.address_exprs_mut();
                 v.push(rhs);
@@ -235,7 +212,7 @@ impl Stmt {
                 vec![lo, hi, step]
             }
             StmtKind::Call { dst, args, .. } => {
-                let mut v: Vec<&mut Expr> =
+                let mut v: Vec<&mut ExprId> =
                     dst.iter_mut().flat_map(|d| d.address_exprs_mut()).collect();
                 v.extend(args.iter_mut());
                 v
@@ -250,7 +227,7 @@ impl Stmt {
     /// The scalar variable this statement defines, if any. `DoLoop` and
     /// `DoParallel` define their induction variable.
     pub fn defined_var(&self) -> Option<VarId> {
-        match &self.kind {
+        match self {
             StmtKind::Assign {
                 lhs: LValue::Var(v),
                 ..
@@ -266,7 +243,7 @@ impl Stmt {
 
     /// True when the statement (directly) stores through memory.
     pub fn writes_memory(&self) -> bool {
-        match &self.kind {
+        match self {
             StmtKind::Assign { lhs, .. } => lhs.is_memory(),
             StmtKind::Call { .. } => true, // worst case: callee may write anything
             _ => false,
@@ -274,33 +251,23 @@ impl Stmt {
     }
 
     /// True when any directly evaluated expression loads from memory.
-    pub fn reads_memory(&self) -> bool {
-        self.exprs().iter().any(|e| e.has_load())
+    pub fn reads_memory(&self, exprs: &ExprPool) -> bool {
+        self.exprs().into_iter().any(|e| exprs.has_load(e))
     }
 
     /// True when this statement performs a volatile access (directly).
-    pub fn has_volatile_access(&self) -> bool {
-        let lhs_volatile = match &self.kind {
+    pub fn has_volatile_access(&self, exprs: &ExprPool) -> bool {
+        let lhs_volatile = match self {
             StmtKind::Assign { lhs, .. } => lhs.is_volatile(),
             _ => false,
         };
-        lhs_volatile || self.exprs().iter().any(|e| e.has_volatile_load())
-    }
-
-    /// Total number of statements in this tree (including nested blocks).
-    pub fn tree_len(&self) -> usize {
-        1 + self
-            .blocks()
-            .iter()
-            .flat_map(|b| b.iter())
-            .map(Stmt::tree_len)
-            .sum::<usize>()
+        lhs_volatile || self.exprs().into_iter().any(|e| exprs.has_volatile_load(e))
     }
 
     /// True when the statement is a structured or counted loop head.
     pub fn is_loop(&self) -> bool {
         matches!(
-            self.kind,
+            self,
             StmtKind::While { .. }
                 | StmtKind::DoLoop { .. }
                 | StmtKind::DoParallel { .. }
@@ -309,122 +276,295 @@ impl Stmt {
     }
 }
 
+/// The flat statement arena of one procedure: parallel columns of
+/// [`StmtKind`] and [`SrcSpan`] indexed by [`StmtId`].
+///
+/// Slot `s` exists for every stamp ever issued (`len()` ≡ the procedure's
+/// `next_stmt`); slots no longer referenced by any block hold harmless
+/// garbage and are reclaimed by [`crate::Procedure::restamp`]. Decoding a
+/// serialized procedure may leave gap slots, which are filled with
+/// [`StmtKind::Nop`].
+#[derive(Clone, Debug, Default)]
+pub struct StmtPool {
+    kinds: Vec<StmtKind>,
+    spans: Vec<SrcSpan>,
+    total_allocated: u64,
+}
+
+impl Index<StmtId> for StmtPool {
+    type Output = StmtKind;
+
+    fn index(&self, id: StmtId) -> &StmtKind {
+        &self.kinds[id.index()]
+    }
+}
+
+impl IndexMut<StmtId> for StmtPool {
+    fn index_mut(&mut self, id: StmtId) -> &mut StmtKind {
+        &mut self.kinds[id.index()]
+    }
+}
+
+impl StmtPool {
+    /// An empty pool.
+    pub fn new() -> StmtPool {
+        StmtPool::default()
+    }
+
+    /// Number of stamps issued (arena slots, live and orphaned).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when no statement has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The raw kind column.
+    pub fn kinds(&self) -> &[StmtKind] {
+        &self.kinds
+    }
+
+    /// The raw span column (parallel to [`StmtPool::kinds`]).
+    pub fn spans(&self) -> &[SrcSpan] {
+        &self.spans
+    }
+
+    /// Mutable access to the span column (bulk retagging).
+    pub fn spans_mut(&mut self) -> &mut [SrcSpan] {
+        &mut self.spans
+    }
+
+    /// Carries the lifetime allocation count across a compaction rebuild.
+    pub(crate) fn set_total_allocated(&mut self, n: u64) {
+        self.total_allocated = n;
+    }
+
+    /// Arena size in bytes (kind and span columns).
+    pub fn bytes(&self) -> usize {
+        self.kinds.len() * std::mem::size_of::<StmtKind>()
+            + self.spans.len() * std::mem::size_of::<SrcSpan>()
+    }
+
+    /// Cumulative statement allocations over the pool's lifetime (survives
+    /// compaction; feeds the `il.stmts_allocated` counter).
+    pub fn total_allocated(&self) -> u64 {
+        self.total_allocated
+    }
+
+    /// Checked slot lookup (used by the verifier to reject dangling ids).
+    pub fn get_checked(&self, id: StmtId) -> Option<&StmtKind> {
+        self.kinds.get(id.index())
+    }
+
+    /// Allocates a statement with a fresh stamp.
+    pub fn alloc(&mut self, kind: StmtKind, span: SrcSpan) -> StmtId {
+        let id = StmtId::from_index(self.kinds.len());
+        self.kinds.push(kind);
+        self.spans.push(span);
+        self.total_allocated += 1;
+        id
+    }
+
+    /// Grows the arena with `Nop` slots until `len() == n` (decode uses
+    /// this to respect serialized stamps and their gaps).
+    pub fn grow_to(&mut self, n: usize) {
+        while self.kinds.len() < n {
+            self.alloc(StmtKind::Nop, SrcSpan::NONE);
+        }
+    }
+
+    /// The source span of statement `id`.
+    pub fn span(&self, id: StmtId) -> SrcSpan {
+        self.spans[id.index()]
+    }
+
+    /// Re-anchors statement `id` to `span`.
+    pub fn set_span(&mut self, id: StmtId, span: SrcSpan) {
+        self.spans[id.index()] = span;
+    }
+
+    /// Mutable access to the span column entry of `id`.
+    pub fn span_mut(&mut self, id: StmtId) -> &mut SrcSpan {
+        &mut self.spans[id.index()]
+    }
+
+    /// Total number of statements in the tree rooted at `id` (including
+    /// nested blocks).
+    pub fn tree_len(&self, id: StmtId) -> usize {
+        1 + self[id]
+            .blocks()
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|&s| self.tree_len(s))
+            .sum::<usize>()
+    }
+}
+
 /// Total number of statements in a block tree.
-pub fn block_len(block: &[Stmt]) -> usize {
-    block.iter().map(Stmt::tree_len).sum()
+pub fn block_len(stmts: &StmtPool, block: &[StmtId]) -> usize {
+    block.iter().map(|&s| stmts.tree_len(s)).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::BinOp;
+    use crate::expr::Expr;
     use crate::types::ScalarType;
 
-    fn st(kind: StmtKind) -> Stmt {
-        Stmt::new(StmtId(0), kind)
+    fn v(i: u32) -> VarId {
+        VarId(i)
     }
 
     #[test]
     fn assign_exprs_include_lhs_address() {
-        let s = st(StmtKind::Assign {
-            lhs: LValue::deref(Expr::var(VarId(0)), ScalarType::Float),
-            rhs: Expr::float(1.0),
-        });
+        let mut e = ExprPool::new();
+        let addr = e.var(v(0));
+        let one = e.float(1.0);
+        let s = StmtKind::Assign {
+            lhs: LValue::deref(addr, ScalarType::Float),
+            rhs: one,
+        };
         assert_eq!(s.exprs().len(), 2);
         assert!(s.writes_memory());
-        assert!(!s.reads_memory());
+        assert!(!s.reads_memory(&e));
         assert_eq!(s.defined_var(), None);
     }
 
     #[test]
     fn var_assign_defines() {
-        let s = st(StmtKind::Assign {
-            lhs: LValue::Var(VarId(3)),
-            rhs: Expr::int(1),
-        });
-        assert_eq!(s.defined_var(), Some(VarId(3)));
+        let mut e = ExprPool::new();
+        let one = e.int(1);
+        let s = StmtKind::Assign {
+            lhs: LValue::Var(v(3)),
+            rhs: one,
+        };
+        assert_eq!(s.defined_var(), Some(v(3)));
         assert!(!s.writes_memory());
     }
 
     #[test]
     fn do_loop_defines_induction_var() {
-        let s = st(StmtKind::DoLoop {
-            var: VarId(7),
-            lo: Expr::int(0),
-            hi: Expr::int(9),
-            step: Expr::int(1),
+        let mut e = ExprPool::new();
+        let lo = e.int(0);
+        let hi = e.int(9);
+        let step = e.int(1);
+        let s = StmtKind::DoLoop {
+            var: v(7),
+            lo,
+            hi,
+            step,
             body: vec![],
             safe: false,
-        });
-        assert_eq!(s.defined_var(), Some(VarId(7)));
+        };
+        assert_eq!(s.defined_var(), Some(v(7)));
         assert!(s.is_loop());
         assert_eq!(s.exprs().len(), 3);
     }
 
     #[test]
     fn tree_len_counts_nested() {
-        let inner = st(StmtKind::Nop);
-        let s = st(StmtKind::While {
-            cond: Expr::int(1),
-            body: vec![inner.clone(), inner],
-            safe: false,
-        });
-        assert_eq!(s.tree_len(), 3);
-        assert_eq!(block_len(&[s.clone(), st(StmtKind::Nop)]), 4);
+        let mut e = ExprPool::new();
+        let mut p = StmtPool::new();
+        let cond = e.int(1);
+        let n1 = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        let n2 = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        let w = p.alloc(
+            StmtKind::While {
+                cond,
+                body: vec![n1, n2],
+                safe: false,
+            },
+            SrcSpan::NONE,
+        );
+        assert_eq!(p.tree_len(w), 3);
+        let n3 = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        assert_eq!(block_len(&p, &[w, n3]), 4);
+        assert_eq!(p.total_allocated(), 4);
     }
 
     #[test]
     fn call_is_worst_case_memory_writer() {
-        let s = st(StmtKind::Call {
+        let mut e = ExprPool::new();
+        let one = e.int(1);
+        let s = StmtKind::Call {
             dst: None,
             callee: "f".into(),
-            args: vec![Expr::int(1)],
-        });
+            args: vec![one],
+        };
         assert!(s.writes_memory());
         assert_eq!(s.exprs().len(), 1);
     }
 
     #[test]
     fn volatile_access_detection() {
-        let s = st(StmtKind::Assign {
-            lhs: LValue::Var(VarId(0)),
-            rhs: Expr::Load {
-                addr: Box::new(Expr::addr_of(VarId(1))),
-                ty: ScalarType::Int,
-                volatile: true,
-            },
+        let mut e = ExprPool::new();
+        let a = e.addr_of(v(1));
+        let vl = e.alloc(Expr::Load {
+            addr: a,
+            ty: ScalarType::Int,
+            volatile: true,
         });
-        assert!(s.has_volatile_access());
-        let pure = st(StmtKind::Assign {
-            lhs: LValue::Var(VarId(0)),
-            rhs: Expr::ibinary(BinOp::Add, Expr::var(VarId(1)), Expr::int(1)),
-        });
-        assert!(!pure.has_volatile_access());
+        let s = StmtKind::Assign {
+            lhs: LValue::Var(v(0)),
+            rhs: vl,
+        };
+        assert!(s.has_volatile_access(&e));
+        let x = e.var(v(1));
+        let one = e.int(1);
+        let add = e.ibinary(BinOp::Add, x, one);
+        let pure = StmtKind::Assign {
+            lhs: LValue::Var(v(0)),
+            rhs: add,
+        };
+        assert!(!pure.has_volatile_access(&e));
     }
 
     #[test]
     fn while_spread_blocks_and_exprs() {
-        let s = st(StmtKind::WhileSpread {
-            cond: Expr::var(VarId(0)),
-            parallel: vec![st(StmtKind::Nop)],
-            serial: vec![st(StmtKind::Nop), st(StmtKind::Nop)],
-        });
+        let mut e = ExprPool::new();
+        let mut p = StmtPool::new();
+        let cond = e.var(v(0));
+        let a = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        let b = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        let c = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        let s = StmtKind::WhileSpread {
+            cond,
+            parallel: vec![a],
+            serial: vec![b, c],
+        };
         assert_eq!(s.blocks().len(), 2);
         assert_eq!(s.blocks()[0].len(), 1);
         assert_eq!(s.blocks()[1].len(), 2);
         assert_eq!(s.exprs().len(), 1);
         assert!(s.is_loop());
-        assert_eq!(s.tree_len(), 4);
+        let ws = p.alloc(s, SrcSpan::NONE);
+        assert_eq!(p.tree_len(ws), 4);
     }
 
     #[test]
     fn if_blocks() {
-        let s = st(StmtKind::If {
-            cond: Expr::int(1),
-            then_blk: vec![st(StmtKind::Nop)],
+        let mut e = ExprPool::new();
+        let mut p = StmtPool::new();
+        let cond = e.int(1);
+        let n = p.alloc(StmtKind::Nop, SrcSpan::NONE);
+        let s = StmtKind::If {
+            cond,
+            then_blk: vec![n],
             else_blk: vec![],
-        });
+        };
         assert_eq!(s.blocks().len(), 2);
         assert_eq!(s.blocks()[0].len(), 1);
+    }
+
+    #[test]
+    fn grow_to_fills_with_nops() {
+        let mut p = StmtPool::new();
+        p.grow_to(3);
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p[StmtId(2)], StmtKind::Nop));
+        assert_eq!(p.span(StmtId(1)), SrcSpan::NONE);
     }
 }

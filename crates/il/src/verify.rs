@@ -7,13 +7,21 @@
 //! invariants between passes so a buggy pass is caught at the pass boundary
 //! where it fired, not three phases later in the simulator.
 //!
+//! With arena storage the checker is also the backstop for id discipline:
+//! every [`ExprId`]/[`StmtId`] reachable from the body must index its
+//! procedure's own pools (an id leaked from another procedure — the classic
+//! inlining bug — shows up as an out-of-bounds or type-inconsistent slot),
+//! the expression graph must be acyclic (slot rewriting could otherwise tie
+//! a node to itself), no statement slot may appear twice in the tree, and
+//! the span column must stay in lock-step with the kind column.
+//!
 //! The pass manager (`titanc-core`) runs [`verify_program`] after every pass
 //! in debug builds, and in release builds when `Options::verify` is set.
 
 use crate::expr::{Expr, LValue};
-use crate::ids::{LabelId, StmtId, VarId};
+use crate::ids::{ExprId, LabelId, StmtId, VarId};
 use crate::program::{Procedure, Program, Storage};
-use crate::stmt::{Stmt, StmtKind};
+use crate::stmt::StmtKind;
 use crate::types::{ScalarType, Type};
 use std::collections::HashSet;
 use std::fmt;
@@ -42,6 +50,14 @@ impl fmt::Display for VerifyError {
 ///
 /// Verified properties:
 ///
+/// * every [`StmtId`] reachable from the body indexes the statement arena
+///   (a stamp at or beyond the allocation watermark is a leaked or corrupt
+///   id), and no slot appears twice in the statement tree;
+/// * every [`ExprId`] reachable from a statement indexes the expression
+///   arena, and the expression graph is acyclic (sharing is legal — folds
+///   hoist child nodes — but a slot may never reach itself);
+/// * the span column has exactly one entry per statement slot, and the
+///   lifetime allocation counters are at least the live arena lengths;
 /// * every [`VarId`] (params, reads, stores, induction variables) indexes
 ///   the procedure's variable table, and value reads name *scalar*
 ///   variables;
@@ -51,8 +67,7 @@ impl fmt::Display for VerifyError {
 ///   floating constants);
 /// * no volatile access appears inside a vector (section) assignment;
 /// * assignment value kinds agree with the stored kind (exactly for floats,
-///   up to integer promotion for `Char`/`Int`/`Ptr`);
-/// * statement stamps are unique and below the procedure's stamp counter.
+///   up to integer promotion for `Char`/`Int`/`Ptr`).
 ///
 /// # Errors
 ///
@@ -122,6 +137,8 @@ struct Checker<'a> {
     stamps: HashSet<StmtId>,
     defined_labels: HashSet<LabelId>,
     referenced_labels: Vec<(StmtId, LabelId)>,
+    /// Expression ids on the current DFS path (cycle detection).
+    expr_path: HashSet<ExprId>,
 }
 
 impl<'a> Checker<'a> {
@@ -133,6 +150,7 @@ impl<'a> Checker<'a> {
             stamps: HashSet::new(),
             defined_labels: HashSet::new(),
             referenced_labels: Vec::new(),
+            expr_path: HashSet::new(),
         }
     }
 
@@ -145,6 +163,18 @@ impl<'a> Checker<'a> {
     }
 
     fn run(&mut self) {
+        if self.proc.stmts.spans().len() != self.proc.stmts.len() {
+            self.error(None, "span column out of sync with statement arena".into());
+        }
+        if self.proc.stmts.total_allocated() < self.proc.stmts.len() as u64 {
+            self.error(None, "statement arena lifetime counter below length".into());
+        }
+        if self.proc.exprs.total_allocated() < self.proc.exprs.len() as u64 {
+            self.error(
+                None,
+                "expression arena lifetime counter below length".into(),
+            );
+        }
         for (i, &p) in self.proc.params.iter().enumerate() {
             if p.index() >= self.proc.vars.len() {
                 self.error(None, format!("param {i} ({p}) out of bounds"));
@@ -164,8 +194,7 @@ impl<'a> Checker<'a> {
                 }
             }
         }
-        let body: &[Stmt] = &self.proc.body;
-        self.check_block(body);
+        self.check_block(&self.proc.body.clone());
         for (stmt, label) in std::mem::take(&mut self.referenced_labels) {
             if !self.defined_labels.contains(&label) {
                 self.error(Some(stmt), format!("goto targets undefined label {label}"));
@@ -181,11 +210,16 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_block(&mut self, block: &[Stmt]) {
-        for s in block {
-            self.check_stmt(s);
-            for b in s.blocks() {
-                self.check_block(b);
+    fn check_block(&mut self, block: &[StmtId]) {
+        for &s in block {
+            if self.check_stmt(s) {
+                // recurse only into slots that are in bounds and newly
+                // visited — a block that reaches an ancestor would
+                // otherwise loop forever
+                let proc = self.proc;
+                for b in proc.stmts[s].blocks() {
+                    self.check_block(b);
+                }
             }
         }
     }
@@ -200,18 +234,35 @@ impl<'a> Checker<'a> {
         self.proc.var(v).scalar()
     }
 
-    /// Checks an expression tree and returns its result kind when it could
-    /// be determined.
-    fn check_expr(&mut self, stmt: StmtId, e: &Expr) -> Option<ScalarType> {
-        match e {
+    /// Checks the expression subgraph at `e` and returns its result kind
+    /// when it could be determined.
+    fn check_expr(&mut self, stmt: StmtId, e: ExprId) -> Option<ScalarType> {
+        let node = match self.proc.exprs.get_checked(e) {
+            Some(n) => *n,
+            None => {
+                self.error(Some(stmt), format!("expression id {e} out of bounds"));
+                return None;
+            }
+        };
+        if !self.expr_path.insert(e) {
+            self.error(Some(stmt), format!("expression cycle through {e}"));
+            return None;
+        }
+        let kind = self.check_expr_node(stmt, &node);
+        self.expr_path.remove(&e);
+        kind
+    }
+
+    fn check_expr_node(&mut self, stmt: StmtId, e: &Expr) -> Option<ScalarType> {
+        match *e {
             Expr::IntConst(_) => Some(ScalarType::Int),
-            Expr::FloatConst(_, ty) => Some(*ty),
+            Expr::FloatConst(_, ty) => Some(ty),
             Expr::Var(v) => {
-                let kind = self.check_var(stmt, *v, "read of");
+                let kind = self.check_var(stmt, v, "read of");
                 if kind.is_none() && v.index() < self.proc.vars.len() {
                     self.error(
                         Some(stmt),
-                        format!("value read of non-scalar {} ({v})", self.proc.var(*v).name),
+                        format!("value read of non-scalar {} ({v})", self.proc.var(v).name),
                     );
                 }
                 kind
@@ -228,14 +279,14 @@ impl<'a> Checker<'a> {
                         self.error(Some(stmt), format!("load address has kind {k}"));
                     }
                 }
-                Some(*ty)
+                Some(ty)
             }
             Expr::Unary { op, ty, arg } => {
                 self.check_expr(stmt, arg);
-                if *op == crate::expr::UnOp::Not {
+                if op == crate::expr::UnOp::Not {
                     Some(ScalarType::Int)
                 } else {
-                    Some(*ty)
+                    Some(ty)
                 }
             }
             Expr::Binary { op, ty, lhs, rhs } => {
@@ -244,12 +295,12 @@ impl<'a> Checker<'a> {
                 if op.is_comparison() {
                     Some(ScalarType::Int)
                 } else {
-                    Some(*ty)
+                    Some(ty)
                 }
             }
             Expr::Cast { to, arg, .. } => {
                 self.check_expr(stmt, arg);
-                Some(*to)
+                Some(to)
             }
             Expr::Section {
                 base,
@@ -265,7 +316,7 @@ impl<'a> Checker<'a> {
                         }
                     }
                 }
-                Some(*ty)
+                Some(ty)
             }
         }
     }
@@ -278,7 +329,7 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_loop_header(&mut self, stmt: StmtId, var: VarId, step: &Expr) {
+    fn check_loop_header(&mut self, stmt: StmtId, var: VarId, step: ExprId) {
         match self.check_var(stmt, var, "induction variable") {
             Some(kind) if kind.is_float() => {
                 self.error(
@@ -295,47 +346,47 @@ impl<'a> Checker<'a> {
             }
             None => {}
         }
-        match step {
-            Expr::IntConst(0) => {
+        match self.proc.exprs.get_checked(step) {
+            Some(Expr::IntConst(0)) => {
                 self.error(Some(stmt), "counted loop has zero step".into());
             }
-            Expr::FloatConst(..) => {
+            Some(Expr::FloatConst(..)) => {
                 self.error(Some(stmt), "counted loop has floating step".into());
             }
-            _ => {}
+            _ => {} // out-of-bounds reported by check_expr on the header
         }
     }
 
-    fn check_stmt(&mut self, s: &Stmt) {
-        if s.id.0 >= self.proc.next_stmt {
-            self.error(
-                Some(s.id),
-                "stamp beyond the procedure's stamp counter".into(),
-            );
+    /// Checks one statement slot; returns whether the caller should recurse
+    /// into its blocks.
+    fn check_stmt(&mut self, s: StmtId) -> bool {
+        let proc = self.proc;
+        if proc.stmts.get_checked(s).is_none() {
+            self.error(Some(s), "stamp beyond the procedure's stamp counter".into());
+            return false;
         }
-        if !self.stamps.insert(s.id) {
-            self.error(Some(s.id), "duplicate statement stamp".into());
+        if !self.stamps.insert(s) {
+            self.error(Some(s), "duplicate statement stamp".into());
+            return false;
         }
-        match &s.kind {
+        match &proc.stmts[s] {
             StmtKind::Assign { lhs, rhs } => {
-                let is_vector = matches!(lhs, LValue::Section { .. }) || rhs.has_section();
-                if is_vector && (lhs.is_volatile() || s.has_volatile_access()) {
-                    self.error(Some(s.id), "volatile access inside vector assign".into());
-                }
-                let store = match lhs {
+                let rhs = *rhs;
+                let errs_before = self.errors.len();
+                let store = match *lhs {
                     LValue::Var(v) => {
-                        let kind = self.check_var(s.id, *v, "store to");
+                        let kind = self.check_var(s, v, "store to");
                         if kind.is_none() && v.index() < self.proc.vars.len() {
                             self.error(
-                                Some(s.id),
-                                format!("store to non-scalar {} ({v})", self.proc.var(*v).name),
+                                Some(s),
+                                format!("store to non-scalar {} ({v})", self.proc.var(v).name),
                             );
                         }
                         kind
                     }
                     LValue::Deref { addr, ty, .. } => {
-                        self.check_expr(s.id, addr);
-                        Some(*ty)
+                        self.check_expr(s, addr);
+                        Some(ty)
                     }
                     LValue::Section {
                         base,
@@ -343,27 +394,38 @@ impl<'a> Checker<'a> {
                         stride,
                         ty,
                     } => {
-                        self.check_expr(s.id, base);
-                        self.check_expr(s.id, len);
-                        self.check_expr(s.id, stride);
-                        Some(*ty)
+                        self.check_expr(s, base);
+                        self.check_expr(s, len);
+                        self.check_expr(s, stride);
+                        Some(ty)
                     }
                 };
-                let value = self.check_expr(s.id, rhs);
+                let value = self.check_expr(s, rhs);
                 if let (Some(store), Some(value)) = (store, value) {
                     let agree = store == value || (store.is_integral() && value.is_integral());
                     if !agree {
                         self.error(
-                            Some(s.id),
+                            Some(s),
                             format!("assign stores {store} but value has kind {value}"),
                         );
+                    }
+                }
+                // recursive pool queries are only safe once the expression
+                // subgraph checked out (no dangling ids, no cycles)
+                if self.errors.len() == errs_before {
+                    let is_vector =
+                        matches!(lhs, LValue::Section { .. }) || proc.exprs.has_section(rhs);
+                    if is_vector
+                        && (lhs.is_volatile() || proc.stmts[s].has_volatile_access(&proc.exprs))
+                    {
+                        self.error(Some(s), "volatile access inside vector assign".into());
                     }
                 }
             }
             StmtKind::If { cond, .. }
             | StmtKind::While { cond, .. }
             | StmtKind::WhileSpread { cond, .. } => {
-                self.check_expr(s.id, cond);
+                self.check_expr(s, *cond);
             }
             StmtKind::DoLoop {
                 var, lo, hi, step, ..
@@ -371,48 +433,57 @@ impl<'a> Checker<'a> {
             | StmtKind::DoParallel {
                 var, lo, hi, step, ..
             } => {
-                self.check_loop_header(s.id, *var, step);
-                self.check_expr(s.id, lo);
-                self.check_expr(s.id, hi);
-                self.check_expr(s.id, step);
+                let (var, lo, hi, step) = (*var, *lo, *hi, *step);
+                self.check_loop_header(s, var, step);
+                self.check_expr(s, lo);
+                self.check_expr(s, hi);
+                self.check_expr(s, step);
             }
             StmtKind::Label(l) => {
+                let l = *l;
                 if l.0 >= self.proc.num_labels {
-                    self.error(Some(s.id), format!("label {l} out of bounds"));
-                } else if !self.defined_labels.insert(*l) {
-                    self.error(Some(s.id), format!("label {l} defined twice"));
+                    self.error(Some(s), format!("label {l} out of bounds"));
+                } else if !self.defined_labels.insert(l) {
+                    self.error(Some(s), format!("label {l} defined twice"));
                 }
             }
-            StmtKind::Goto(l) => self.check_label_use(s.id, *l),
+            StmtKind::Goto(l) => {
+                let l = *l;
+                self.check_label_use(s, l);
+            }
             StmtKind::IfGoto { cond, target } => {
-                self.check_expr(s.id, cond);
-                self.check_label_use(s.id, *target);
+                let (cond, target) = (*cond, *target);
+                self.check_expr(s, cond);
+                self.check_label_use(s, target);
             }
             StmtKind::Call { dst, args, .. } => {
+                let dst = *dst;
+                let args = args.clone();
                 if let Some(d) = dst {
                     match d {
                         LValue::Var(v) => {
-                            self.check_var(s.id, *v, "call result to");
+                            self.check_var(s, v, "call result to");
                         }
                         LValue::Deref { addr, .. } => {
-                            self.check_expr(s.id, addr);
+                            self.check_expr(s, addr);
                         }
                         LValue::Section { .. } => {
-                            self.error(Some(s.id), "call result stored to a section".into());
+                            self.error(Some(s), "call result stored to a section".into());
                         }
                     }
                 }
                 for a in args {
-                    self.check_expr(s.id, a);
+                    self.check_expr(s, a);
                 }
             }
             StmtKind::Return(e) => {
-                if let Some(e) = e {
-                    self.check_expr(s.id, e);
+                if let Some(e) = *e {
+                    self.check_expr(s, e);
                 }
             }
             StmtKind::Nop => {}
         }
+        true
     }
 }
 
@@ -427,14 +498,22 @@ mod tests {
         let n = b.param("n", Type::Int);
         let s = b.local("s", Type::Int);
         let i = b.local("i", Type::Int);
-        b.assign_var(s, Expr::int(0));
+        let zero = b.int(0);
+        b.assign_var(s, zero);
         let body = {
             let mut lb = b.block();
-            lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+            let sv = lb.var(s);
+            let iv = lb.var(i);
+            let add = lb.ibinary(BinOp::Add, sv, iv);
+            lb.assign_var(s, add);
             lb.stmts()
         };
-        b.do_loop(i, Expr::int(1), Expr::var(n), Expr::int(1), body);
-        b.ret(Some(Expr::var(s)));
+        let lo = b.int(1);
+        let hi = b.var(n);
+        let step = b.int(1);
+        b.do_loop(i, lo, hi, step, body);
+        let sv = b.var(s);
+        b.ret(Some(sv));
         b.finish()
     }
 
@@ -460,11 +539,14 @@ mod tests {
     fn zero_step_loop_is_rejected() {
         let mut p = Procedure::new("z", Type::Void);
         let i = p.fresh_temp(Type::Int);
+        let lo = p.exprs.int(0);
+        let hi = p.exprs.int(9);
+        let step = p.exprs.int(0);
         p.push(StmtKind::DoLoop {
             var: i,
-            lo: Expr::int(0),
-            hi: Expr::int(9),
-            step: Expr::int(0),
+            lo,
+            hi,
+            step,
             body: vec![],
             safe: false,
         });
@@ -476,9 +558,10 @@ mod tests {
     fn out_of_bounds_var_is_rejected() {
         let mut p = Procedure::new("v", Type::Void);
         let t = p.fresh_temp(Type::Int);
+        let rhs = p.exprs.var(VarId(99));
         p.push(StmtKind::Assign {
             lhs: LValue::Var(t),
-            rhs: Expr::var(VarId(99)),
+            rhs,
         });
         let errs = verify_proc(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("out of bounds")));
@@ -488,18 +571,23 @@ mod tests {
     fn volatile_in_vector_assign_is_rejected() {
         let mut p = Procedure::new("vv", Type::Void);
         let a = p.fresh_temp(Type::ptr_to(Type::Float));
+        let base = p.exprs.var(a);
+        let len = p.exprs.int(8);
+        let stride = p.exprs.int(4);
+        let addr = p.exprs.var(a);
+        let rhs = p.exprs.alloc(Expr::Load {
+            addr,
+            ty: ScalarType::Float,
+            volatile: true,
+        });
         p.push(StmtKind::Assign {
             lhs: LValue::Section {
-                base: Expr::var(a),
-                len: Expr::int(8),
-                stride: Expr::int(4),
+                base,
+                len,
+                stride,
                 ty: ScalarType::Float,
             },
-            rhs: Expr::Load {
-                addr: Box::new(Expr::var(a)),
-                ty: ScalarType::Float,
-                volatile: true,
-            },
+            rhs,
         });
         let errs = verify_proc(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("volatile")));
@@ -509,9 +597,10 @@ mod tests {
     fn float_to_int_assign_without_cast_is_rejected() {
         let mut p = Procedure::new("t", Type::Void);
         let t = p.fresh_temp(Type::Int);
+        let rhs = p.exprs.float(1.5);
         p.push(StmtKind::Assign {
             lhs: LValue::Var(t),
-            rhs: Expr::float(1.5),
+            rhs,
         });
         let errs = verify_proc(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("value has kind")));
@@ -521,10 +610,85 @@ mod tests {
     fn duplicate_stamps_are_rejected() {
         let mut p = Procedure::new("d", Type::Void);
         p.push(StmtKind::Nop);
-        let dup = p.body[0].id;
-        p.body.push(Stmt::new(dup, StmtKind::Nop));
+        let dup = p.body[0];
+        p.body.push(dup);
         let errs = verify_proc(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn dangling_expr_id_is_rejected() {
+        // a corrupted (out-of-pool) ExprId written into a statement is
+        // caught instead of panicking
+        let mut p = Procedure::new("c", Type::Void);
+        let t = p.fresh_temp(Type::Int);
+        p.push(StmtKind::Assign {
+            lhs: LValue::Var(t),
+            rhs: ExprId(999),
+        });
+        let errs = verify_proc(&p).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("expression id e999 out of bounds")),
+            "got: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_stmt_id_is_rejected() {
+        let mut p = Procedure::new("c", Type::Void);
+        let cond = p.exprs.int(1);
+        let w = p.stamp(StmtKind::While {
+            cond,
+            body: vec![StmtId(42)], // never allocated
+            safe: false,
+        });
+        p.body = vec![w];
+        let errs = verify_proc(&p).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.stmt == Some(StmtId(42)) && e.message.contains("stamp beyond")),
+            "got: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn expression_cycle_is_rejected() {
+        let mut p = Procedure::new("c", Type::Void);
+        let t = p.fresh_temp(Type::Int);
+        let a = p.exprs.int(1);
+        let b = p.exprs.int(2);
+        let root = p.exprs.ibinary(BinOp::Add, a, b);
+        // corrupt the slot so it references itself
+        p.exprs[root] = Expr::Binary {
+            op: BinOp::Add,
+            ty: ScalarType::Int,
+            lhs: a,
+            rhs: root,
+        };
+        p.push(StmtKind::Assign {
+            lhs: LValue::Var(t),
+            rhs: root,
+        });
+        let errs = verify_proc(&p).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("cycle")),
+            "got: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn shared_subtrees_are_not_cycles() {
+        // fold identities duplicate nodes across slots; a DAG must verify
+        let mut p = Procedure::new("dag", Type::Void);
+        let t = p.fresh_temp(Type::Int);
+        let shared = p.exprs.int(7);
+        let root = p.exprs.ibinary(BinOp::Add, shared, shared);
+        p.push(StmtKind::Assign {
+            lhs: LValue::Var(t),
+            rhs: root,
+        });
+        assert!(verify_proc(&p).is_ok());
     }
 
     #[test]

@@ -1,77 +1,100 @@
-//! Generic statement/expression walkers and rewriters.
+//! Generic statement/expression walkers and rewriters over the arenas.
 //!
 //! Optimization passes share these helpers instead of each hand-rolling
-//! recursion over the statement tree.
+//! recursion. The rewrite idiom is *in-place slot mutation*: an expression's
+//! root slot id is stable, so a pass can fold or rebuild a subtree through
+//! `&mut ExprPool` without writing any id back into the statement that
+//! references it. Walkers borrow the statement pool immutably while
+//! rewriters take the expression pool mutably — the two are separate
+//! [`crate::Procedure`] fields, so both borrows coexist.
 
-use crate::expr::Expr;
-use crate::stmt::Stmt;
+use crate::expr::{Expr, ExprPool};
+use crate::ids::{ExprId, StmtId};
+use crate::program::Procedure;
+use crate::stmt::{Block, StmtKind, StmtPool};
 
 /// Preorder walk over every statement in a block tree.
-pub fn walk_block(block: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
-    for s in block {
-        f(s);
-        for b in s.blocks() {
-            walk_block(b, f);
+pub fn walk_block(stmts: &StmtPool, block: &[StmtId], f: &mut dyn FnMut(StmtId, &StmtKind)) {
+    for &s in block {
+        f(s, &stmts[s]);
+        for b in stmts[s].blocks() {
+            walk_block(stmts, b, f);
         }
     }
 }
 
-/// Preorder walk with mutable access to every statement.
-///
-/// The callback runs before nested blocks are visited; it may rewrite the
-/// statement's expressions but should not change its block structure
-/// mid-walk.
-pub fn walk_block_mut(block: &mut [Stmt], f: &mut dyn FnMut(&mut Stmt)) {
-    for s in block {
-        f(s);
-        for b in s.blocks_mut() {
-            walk_block_mut(b, f);
-        }
+/// Preorder walk over an expression subtree.
+pub fn walk_expr(exprs: &ExprPool, id: ExprId, f: &mut dyn FnMut(ExprId, &Expr)) {
+    f(id, &exprs[id]);
+    for c in exprs[id].child_ids() {
+        walk_expr(exprs, c, f);
     }
 }
 
 /// Visits every expression evaluated anywhere in the block tree
 /// (including nested subexpressions, visited preorder).
-pub fn for_each_expr(block: &[Stmt], f: &mut dyn FnMut(&Expr)) {
-    walk_block(block, &mut |s| {
-        for e in s.exprs() {
-            walk_expr(e, f);
+pub fn for_each_expr(
+    stmts: &StmtPool,
+    exprs: &ExprPool,
+    block: &[StmtId],
+    f: &mut dyn FnMut(ExprId, &Expr),
+) {
+    walk_block(stmts, block, &mut |_, kind| {
+        for e in kind.exprs() {
+            walk_expr(exprs, e, f);
         }
     });
 }
 
-/// Preorder walk over an expression tree.
-pub fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
-    f(e);
-    for c in e.children() {
-        walk_expr(c, f);
+/// Bottom-up (postorder) rewrite of an expression subtree, in place.
+///
+/// The callback receives the pool and the id of the node being visited;
+/// children have already been rewritten. Replacing a node is writing a new
+/// [`Expr`] into `exprs[id]` — the slot id stays valid, so statements
+/// referencing the root never need updating.
+pub fn rewrite_expr(exprs: &mut ExprPool, id: ExprId, f: &mut dyn FnMut(&mut ExprPool, ExprId)) {
+    for c in exprs[id].child_ids() {
+        rewrite_expr(exprs, c, f);
     }
-}
-
-/// Bottom-up (postorder) rewrite of an expression tree in place.
-pub fn rewrite_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
-    for c in e.children_mut() {
-        rewrite_expr(c, f);
-    }
-    f(e);
+    f(exprs, id);
 }
 
 /// Applies a bottom-up expression rewrite to every expression in the block
-/// tree.
-pub fn rewrite_exprs_in_block(block: &mut [Stmt], f: &mut dyn FnMut(&mut Expr)) {
-    walk_block_mut(block, &mut |s| {
-        for e in s.exprs_mut() {
-            rewrite_expr(e, f);
-        }
-    });
+/// tree. Borrows the statement pool immutably (split borrow against
+/// `&mut exprs`).
+pub fn rewrite_exprs_in_block(
+    stmts: &StmtPool,
+    exprs: &mut ExprPool,
+    block: &[StmtId],
+    f: &mut dyn FnMut(&mut ExprPool, ExprId),
+) {
+    let mut roots = Vec::new();
+    walk_block(stmts, block, &mut |_, kind| roots.extend(kind.exprs()));
+    for r in roots {
+        rewrite_expr(exprs, r, f);
+    }
 }
 
-/// Removes every `Nop` statement from a block tree, recursively.
-pub fn sweep_nops(block: &mut Vec<Stmt>) {
-    block.retain(|s| !matches!(s.kind, crate::stmt::StmtKind::Nop));
-    for s in block {
-        for b in s.blocks_mut() {
-            sweep_nops(b);
+/// Applies a bottom-up expression rewrite to every expression in the
+/// procedure body.
+pub fn rewrite_exprs_in_proc(proc: &mut Procedure, f: &mut dyn FnMut(&mut ExprPool, ExprId)) {
+    rewrite_exprs_in_block(&proc.stmts, &mut proc.exprs, &proc.body, f);
+}
+
+/// Removes every `Nop` statement id from the body and from every block in
+/// the arena (a `Nop` never has children, so one flat sweep over the kind
+/// column is fully recursive).
+pub fn sweep_nops(stmts: &mut StmtPool, body: &mut Block) {
+    let is_nop: Vec<bool> = stmts
+        .kinds()
+        .iter()
+        .map(|k| matches!(k, StmtKind::Nop))
+        .collect();
+    body.retain(|s| !is_nop[s.index()]);
+    for i in 0..stmts.len() {
+        let id = StmtId::from_index(i);
+        for b in stmts[id].blocks_mut() {
+            b.retain(|s| !is_nop[s.index()]);
         }
     }
 }
@@ -80,89 +103,87 @@ pub fn sweep_nops(block: &mut Vec<Stmt>) {
 mod tests {
     use super::*;
     use crate::expr::{BinOp, LValue};
-    use crate::ids::{StmtId, VarId};
-    use crate::stmt::StmtKind;
+    use crate::ids::VarId;
+    use crate::program::Procedure;
+    use crate::types::Type;
 
-    fn assign(id: u32, v: u32, rhs: Expr) -> Stmt {
-        Stmt::new(
-            StmtId(id),
-            StmtKind::Assign {
-                lhs: LValue::Var(VarId(v)),
-                rhs,
-            },
-        )
+    fn assign(p: &mut Procedure, v: u32, rhs: ExprId) -> StmtId {
+        p.stamp(StmtKind::Assign {
+            lhs: LValue::Var(VarId(v)),
+            rhs,
+        })
     }
 
     #[test]
     fn walk_visits_nested() {
-        let inner = assign(1, 0, Expr::int(1));
-        let outer = Stmt::new(
-            StmtId(0),
-            StmtKind::While {
-                cond: Expr::var(VarId(9)),
-                body: vec![inner],
-                safe: false,
-            },
-        );
+        let mut p = Procedure::new("f", Type::Void);
+        let one = p.exprs.int(1);
+        let inner = assign(&mut p, 0, one);
+        let cond = p.exprs.var(VarId(9));
+        let outer = p.stamp(StmtKind::While {
+            cond,
+            body: vec![inner],
+            safe: false,
+        });
         let mut count = 0;
-        walk_block(&[outer], &mut |_| count += 1);
+        walk_block(&p.stmts, &[outer], &mut |_, _| count += 1);
         assert_eq!(count, 2);
     }
 
     #[test]
     fn for_each_expr_reaches_subexpressions() {
-        let s = assign(
-            0,
-            0,
-            Expr::ibinary(BinOp::Add, Expr::var(VarId(1)), Expr::int(2)),
-        );
+        let mut p = Procedure::new("f", Type::Void);
+        let x = p.exprs.var(VarId(1));
+        let two = p.exprs.int(2);
+        let add = p.exprs.ibinary(BinOp::Add, x, two);
+        let s = assign(&mut p, 0, add);
         let mut seen = 0;
-        for_each_expr(&[s], &mut |_| seen += 1);
+        for_each_expr(&p.stmts, &p.exprs, &[s], &mut |_, _| seen += 1);
         assert_eq!(seen, 3); // Binary, Var, IntConst
     }
 
     #[test]
-    fn rewrite_is_bottom_up() {
-        // Fold 1+2 by rewriting: the parent sees already-rewritten children.
-        let mut e = Expr::ibinary(
-            BinOp::Add,
-            Expr::ibinary(BinOp::Add, Expr::int(1), Expr::int(2)),
-            Expr::int(4),
-        );
-        rewrite_expr(&mut e, &mut |node| {
+    fn rewrite_is_bottom_up_and_in_place() {
+        // Fold (1+2)+4 by rewriting: the parent sees already-rewritten
+        // children, and the root slot id never changes.
+        let mut pool = ExprPool::new();
+        let one = pool.int(1);
+        let two = pool.int(2);
+        let inner = pool.ibinary(BinOp::Add, one, two);
+        let four = pool.int(4);
+        let root = pool.ibinary(BinOp::Add, inner, four);
+        rewrite_expr(&mut pool, root, &mut |p, id| {
             if let Expr::Binary {
                 op: BinOp::Add,
                 lhs,
                 rhs,
                 ..
-            } = node
+            } = p[id]
             {
-                if let (Some(a), Some(b)) = (lhs.as_int(), rhs.as_int()) {
-                    *node = Expr::int(a + b);
+                if let (Some(a), Some(b)) = (p.as_int(lhs), p.as_int(rhs)) {
+                    p[id] = Expr::IntConst(a + b);
                 }
             }
         });
-        assert_eq!(e, Expr::int(7));
+        assert_eq!(pool.as_int(root), Some(7));
     }
 
     #[test]
     fn sweep_removes_nested_nops() {
-        let mut block = vec![
-            Stmt::new(StmtId(0), StmtKind::Nop),
-            Stmt::new(
-                StmtId(1),
-                StmtKind::While {
-                    cond: Expr::int(1),
-                    body: vec![
-                        Stmt::new(StmtId(2), StmtKind::Nop),
-                        assign(3, 0, Expr::int(1)),
-                    ],
-                    safe: false,
-                },
-            ),
-        ];
-        sweep_nops(&mut block);
-        assert_eq!(block.len(), 1);
-        assert_eq!(block[0].blocks()[0].len(), 1);
+        let mut p = Procedure::new("f", Type::Void);
+        let n0 = p.stamp(StmtKind::Nop);
+        let n1 = p.stamp(StmtKind::Nop);
+        let one = p.exprs.int(1);
+        let live = assign(&mut p, 0, one);
+        let cond = p.exprs.int(1);
+        let w = p.stamp(StmtKind::While {
+            cond,
+            body: vec![n1, live],
+            safe: false,
+        });
+        p.body = vec![n0, w];
+        sweep_nops(&mut p.stmts, &mut p.body);
+        assert_eq!(p.body, vec![w]);
+        assert_eq!(p.stmts[w].blocks()[0], &vec![live]);
     }
 }

@@ -3,12 +3,13 @@
 //! an `InvalidData` I/O error (via [`Catalog::load`]) — never a panic.
 
 use std::panic::catch_unwind;
-use titanc_il::{Catalog, Expr, ProcBuilder, Procedure, Type};
+use titanc_il::{Catalog, ProcBuilder, Procedure, Type};
 
 fn sample_proc(name: &str) -> Procedure {
     let mut b = ProcBuilder::new(name, Type::Int);
     let n = b.param("n", Type::Int);
-    b.ret(Some(Expr::var(n)));
+    let nv = b.var(n);
+    b.ret(Some(nv));
     b.finish()
 }
 

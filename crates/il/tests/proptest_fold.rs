@@ -4,8 +4,10 @@
 //! generator (fixed-seed xorshift) so the suite needs no external crates
 //! and every run checks the same cases.
 
+use titanc_il::encode::{expr_from_json, expr_to_json};
 use titanc_il::fold::{const_value, eval_binop, eval_cast, eval_unop, fold_expr, normalize, Value};
-use titanc_il::{BinOp, Expr, FromJson, ScalarType, ToJson, UnOp};
+use titanc_il::pretty::pretty_expr_in;
+use titanc_il::{BinOp, Expr, ExprId, ExprPool, ScalarType, UnOp};
 
 const CASES: u64 = 512;
 
@@ -60,31 +62,32 @@ const BINOPS: [BinOp; 18] = [
 
 const INT_KINDS: [ScalarType; 3] = [ScalarType::Char, ScalarType::Int, ScalarType::Ptr];
 
-/// A random constant integer expression tree of the given maximum depth.
-fn const_int_expr(rng: &mut Rng, depth: u32) -> Expr {
+/// A random constant integer expression tree of the given maximum depth,
+/// allocated into `pool`.
+fn const_int_expr(rng: &mut Rng, depth: u32, pool: &mut ExprPool) -> ExprId {
     if depth == 0 || rng.below(3) == 0 {
-        return Expr::int(rng.range(-100, 100));
+        return pool.int(rng.range(-100, 100));
     }
     let op = BINOPS[rng.below(BINOPS.len() as u64) as usize];
     let ty = INT_KINDS[rng.below(INT_KINDS.len() as u64) as usize];
-    let lhs = const_int_expr(rng, depth - 1);
-    let rhs = const_int_expr(rng, depth - 1);
-    Expr::binary(op, ty, lhs, rhs)
+    let lhs = const_int_expr(rng, depth - 1, pool);
+    let rhs = const_int_expr(rng, depth - 1, pool);
+    pool.binary(op, ty, lhs, rhs)
 }
 
 /// Reference evaluator: evaluate the tree directly with the shared
 /// operator semantics. Returns None when any subexpression traps.
-fn reference_eval(e: &Expr) -> Option<Value> {
-    match e {
-        Expr::IntConst(v) => Some(Value::Int(*v)),
-        Expr::FloatConst(f, ty) => Some(normalize(Value::Float(*f), *ty)),
+fn reference_eval(pool: &ExprPool, id: ExprId) -> Option<Value> {
+    match pool[id] {
+        Expr::IntConst(v) => Some(Value::Int(v)),
+        Expr::FloatConst(f, ty) => Some(normalize(Value::Float(f), ty)),
         Expr::Binary { op, ty, lhs, rhs } => {
-            let a = reference_eval(lhs)?;
-            let b = reference_eval(rhs)?;
-            eval_binop(*op, *ty, a, b)
+            let a = reference_eval(pool, lhs)?;
+            let b = reference_eval(pool, rhs)?;
+            eval_binop(op, ty, a, b)
         }
-        Expr::Unary { op, ty, arg } => Some(eval_unop(*op, *ty, reference_eval(arg)?)),
-        Expr::Cast { to, from, arg } => Some(eval_cast(*to, *from, reference_eval(arg)?)),
+        Expr::Unary { op, ty, arg } => Some(eval_unop(op, ty, reference_eval(pool, arg)?)),
+        Expr::Cast { to, from, arg } => Some(eval_cast(to, from, reference_eval(pool, arg)?)),
         _ => None,
     }
 }
@@ -95,21 +98,23 @@ fn reference_eval(e: &Expr) -> Option<Value> {
 fn fold_agrees_with_reference() {
     let mut rng = Rng::new(0xF01D);
     for _ in 0..CASES {
-        let e = const_int_expr(&mut rng, 4);
-        let reference = reference_eval(&e);
-        let mut folded = e.clone();
-        fold_expr(&mut folded);
+        let mut pool = ExprPool::new();
+        let e = const_int_expr(&mut rng, 4, &mut pool);
+        let shown = pretty_expr_in(&pool, e);
+        let reference = reference_eval(&pool, e);
+        let mut folded = pool.clone();
+        fold_expr(&mut folded, e);
         match reference {
             Some(v) => {
-                let got = const_value(&folded);
-                assert_eq!(got, Some(v), "tree: {e}");
+                let got = const_value(&folded[e]);
+                assert_eq!(got, Some(v), "tree: {shown}");
             }
             None => {
                 // a division by zero somewhere: fold must not produce a
                 // constant for the whole tree out of thin air
                 assert!(
-                    const_value(&folded).is_none() || reference_eval(&folded).is_some(),
-                    "tree: {e}"
+                    const_value(&folded[e]).is_none() || reference_eval(&folded, e).is_some(),
+                    "tree: {shown}"
                 );
             }
         }
@@ -121,12 +126,14 @@ fn fold_agrees_with_reference() {
 fn fold_is_idempotent() {
     let mut rng = Rng::new(0x1DE0);
     for _ in 0..CASES {
-        let e = const_int_expr(&mut rng, 4);
-        let mut once = e.clone();
-        fold_expr(&mut once);
+        let mut pool = ExprPool::new();
+        let e = const_int_expr(&mut rng, 4, &mut pool);
+        let shown = pretty_expr_in(&pool, e);
+        let mut once = pool.clone();
+        fold_expr(&mut once, e);
         let mut twice = once.clone();
-        fold_expr(&mut twice);
-        assert_eq!(once, twice, "tree: {e}");
+        fold_expr(&mut twice, e);
+        assert!(once.expr_eq(e, &twice, e), "tree: {shown}");
     }
 }
 
@@ -135,10 +142,12 @@ fn fold_is_idempotent() {
 fn expr_json_roundtrip() {
     let mut rng = Rng::new(0x105E);
     for _ in 0..CASES {
-        let e = const_int_expr(&mut rng, 3);
-        let json = e.to_json().to_string_compact();
-        let back = Expr::from_json(&titanc_il::json::parse(&json).unwrap()).unwrap();
-        assert_eq!(e, back);
+        let mut pool = ExprPool::new();
+        let e = const_int_expr(&mut rng, 3, &mut pool);
+        let json = expr_to_json(&pool, e).to_string_compact();
+        let mut decoded = ExprPool::new();
+        let back = expr_from_json(&mut decoded, &titanc_il::json::parse(&json).unwrap()).unwrap();
+        assert!(pool.expr_eq(e, &decoded, back));
     }
 }
 
@@ -147,11 +156,15 @@ fn expr_json_roundtrip() {
 fn fold_never_grows() {
     let mut rng = Rng::new(0x6064);
     for _ in 0..CASES {
-        let e = const_int_expr(&mut rng, 4);
-        let before = e.size();
-        let mut folded = e.clone();
-        fold_expr(&mut folded);
-        assert!(folded.size() <= before, "tree: {e}");
+        let mut pool = ExprPool::new();
+        let e = const_int_expr(&mut rng, 4, &mut pool);
+        let shown = pretty_expr_in(&pool, e);
+        let before = pool.size(e);
+        let mut folded = pool.clone();
+        fold_expr(&mut folded, e);
+        assert!(folded.size(e) <= before, "tree: {shown}");
+        // in-place folding never allocates new slots either
+        assert_eq!(folded.len(), pool.len(), "tree: {shown}");
     }
 }
 

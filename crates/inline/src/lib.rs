@@ -26,6 +26,12 @@
 //! parameter references into standard form falls out of binding parameters
 //! to `in_*` temporaries plus forward substitution.
 //!
+//! Bodies cross procedure boundaries by *import*: every callee statement
+//! is re-stamped into the caller's statement arena and every callee
+//! expression tree is copied into the caller's expression arena
+//! ([`titanc_il::ExprPool::import`]), so the spliced code obeys the
+//! caller's single-ownership invariants.
+//!
 //! ## Example
 //!
 //! ```
@@ -39,8 +45,8 @@
 //! assert_eq!(report.inlined, 2);
 //! let main = prog.proc_by_name("main").unwrap();
 //! let mut calls = 0;
-//! main.for_each_stmt(&mut |s| {
-//!     if matches!(s.kind, titanc_il::StmtKind::Call { .. }) { calls += 1; }
+//! main.for_each_stmt(&mut |_, kind| {
+//!     if matches!(kind, titanc_il::StmtKind::Call { .. }) { calls += 1; }
 //! });
 //! assert_eq!(calls, 0);
 //! ```
@@ -51,8 +57,8 @@
 use std::collections::HashMap;
 use titanc_analysis::CallGraph;
 use titanc_il::{
-    Catalog, Expr, InlineEvent, InlineOutcome, LValue, LabelId, Procedure, Program, SrcSpan, Stmt,
-    StmtKind, Storage, VarId, VarInfo,
+    Block, Catalog, Expr, ExprId, ExprPool, InlineEvent, InlineOutcome, LValue, LabelId, Procedure,
+    Program, StmtId, StmtKind, Storage, VarId, VarInfo,
 };
 
 /// Inlining policy.
@@ -180,10 +186,7 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                             continue;
                         }
                     };
-                    let site_span = prog.procs[ci]
-                        .find_stmt(site)
-                        .map(|s| s.span)
-                        .unwrap_or(SrcSpan::NONE);
+                    let site_span = prog.procs[ci].stmts.span(site);
                     let event = |outcome: InlineOutcome| InlineEvent {
                         caller: caller_name.clone(),
                         callee: callee_name.clone(),
@@ -288,36 +291,50 @@ pub fn externalize_statics(prog: &mut Program) -> usize {
     count
 }
 
-fn call_sites(proc: &Procedure) -> Vec<titanc_il::StmtId> {
+fn call_sites(proc: &Procedure) -> Vec<StmtId> {
     let mut out = Vec::new();
-    proc.for_each_stmt(&mut |s| {
-        if matches!(s.kind, StmtKind::Call { .. }) {
-            out.push(s.id);
+    proc.for_each_stmt(&mut |s, kind| {
+        if matches!(kind, StmtKind::Call { .. }) {
+            out.push(s);
         }
     });
     out
 }
 
-fn callee_of(proc: &Procedure, site: titanc_il::StmtId) -> Option<String> {
-    proc.find_stmt(site).and_then(|s| match &s.kind {
+fn callee_of(proc: &Procedure, site: StmtId) -> Option<String> {
+    proc.find_stmt(site).and_then(|kind| match kind {
         StmtKind::Call { callee, .. } => Some(callee.clone()),
         _ => None,
     })
+}
+
+/// Copies one callee statement tree into the caller's arenas: nested
+/// blocks are imported recursively and every expression slot is deep
+/// copied across pools.
+fn import_stmt(caller: &mut Procedure, callee: &Procedure, s: StmtId) -> StmtId {
+    let span = callee.stmts.span(s);
+    let mut kind = callee.stmts[s].clone();
+    for b in kind.blocks_mut() {
+        for id in b.iter_mut() {
+            *id = import_stmt(caller, callee, *id);
+        }
+    }
+    for e in kind.expr_slots_mut() {
+        *e = caller.exprs.import(&callee.exprs, *e);
+    }
+    caller.stamp_at(kind, span)
 }
 
 /// Expands one call site. Returns false when the site no longer exists or
 /// the argument count mismatches.
 fn inline_site(
     caller: &mut Procedure,
-    site: titanc_il::StmtId,
+    site: StmtId,
     callee: &Procedure,
     prog: &mut Program,
 ) -> bool {
     let (dst, args) = match caller.find_stmt(site) {
-        Some(Stmt {
-            kind: StmtKind::Call { dst, args, .. },
-            ..
-        }) => (dst.clone(), args.clone()),
+        Some(StmtKind::Call { dst, args, .. }) => (*dst, args.clone()),
         _ => return false,
     };
     if args.len() != callee.params.len() {
@@ -385,26 +402,32 @@ fn inline_site(
         })
     });
 
-    // 3. parameter bindings
-    let mut replacement: Vec<Stmt> = Vec::new();
+    // 3. parameter bindings: the argument exprs move from the (garbage)
+    // call statement into the bindings, each used exactly once
+    let mut replacement: Block = Vec::new();
     for (pi, &pv) in callee.params.iter().enumerate() {
         let s = caller.stamp(StmtKind::Assign {
             lhs: LValue::Var(var_map[&pv]),
-            rhs: args[pi].clone(),
+            rhs: args[pi],
         });
         replacement.push(s);
     }
 
-    // 4. clone + rewrite the body
-    let mut body = callee.body.clone();
-    rewrite_block(&mut body, &var_map, &label_map, end_label, ret_tmp, caller);
+    // 4. import + rewrite the body
+    let mut body: Block = callee
+        .body
+        .iter()
+        .map(|&s| import_stmt(caller, callee, s))
+        .collect();
+    rewrite_block(caller, &mut body, &var_map, &label_map, end_label, ret_tmp);
     replacement.extend(body);
     let lbl = caller.stamp(StmtKind::Label(end_label));
     replacement.push(lbl);
     if let (Some(d), Some(rt)) = (dst, ret_tmp) {
+        let rt_read = caller.exprs.var(rt);
         let s = caller.stamp(StmtKind::Assign {
             lhs: d,
-            rhs: Expr::var(rt),
+            rhs: rt_read,
         });
         replacement.push(s);
     }
@@ -414,29 +437,30 @@ fn inline_site(
 }
 
 fn rewrite_block(
-    block: &mut Vec<Stmt>,
+    caller: &mut Procedure,
+    block: &mut Block,
     var_map: &HashMap<VarId, VarId>,
     label_map: &HashMap<LabelId, LabelId>,
     end_label: LabelId,
     ret_tmp: Option<VarId>,
-    caller: &mut Procedure,
 ) {
     let mut i = 0;
     while i < block.len() {
+        let sid = block[i];
+        let mut kind = std::mem::replace(&mut caller.stmts[sid], StmtKind::Nop);
         // rewrite nested blocks first
-        for b in block[i].blocks_mut() {
-            rewrite_block(b, var_map, label_map, end_label, ret_tmp, caller);
+        for b in kind.blocks_mut() {
+            rewrite_block(caller, b, var_map, label_map, end_label, ret_tmp);
         }
-        // remap variables in expressions
-        for e in block[i].exprs_mut() {
-            remap_expr(e, var_map);
+        // remap variables in expressions (covers memory-target address
+        // expressions too, via the statement's expr roots)
+        for e in kind.exprs() {
+            remap_expr(&mut caller.exprs, e, var_map);
         }
-        // remap assignment targets and labels. Careful: `exprs_mut` above
-        // already remapped the *address expressions* of memory targets, so
-        // only plain variable targets are touched here (a second pass over
-        // an address would re-map a caller id that collides with a callee
-        // id).
-        let new_kind: Option<Vec<Stmt>> = match &mut block[i].kind {
+        // remap assignment targets and labels. Plain variable targets only:
+        // address expressions were already handled above, and a second pass
+        // over one would re-map a caller id that collides with a callee id.
+        let replacement_seq: Option<Block> = match &mut kind {
             StmtKind::Assign {
                 lhs: LValue::Var(v),
                 ..
@@ -485,19 +509,24 @@ fn rewrite_block(
             }
             _ => None,
         };
-        match new_kind {
+        match replacement_seq {
             Some(seq) => {
+                // the original statement drops out of the block; its slot
+                // keeps the Nop already swapped in
                 let n = seq.len();
                 block.splice(i..=i, seq);
                 i += n;
             }
-            None => i += 1,
+            None => {
+                caller.stmts[sid] = kind;
+                i += 1;
+            }
         }
     }
 }
 
-fn remap_expr(e: &mut Expr, var_map: &HashMap<VarId, VarId>) {
-    match e {
+fn remap_expr(exprs: &mut ExprPool, e: ExprId, var_map: &HashMap<VarId, VarId>) {
+    match &mut exprs[e] {
         Expr::Var(v) | Expr::AddrOf(v) => {
             if let Some(n) = var_map.get(v) {
                 *v = *n;
@@ -505,28 +534,41 @@ fn remap_expr(e: &mut Expr, var_map: &HashMap<VarId, VarId>) {
         }
         _ => {}
     }
-    for c in e.children_mut() {
-        remap_expr(c, var_map);
+    for c in exprs[e].child_ids() {
+        remap_expr(exprs, c, var_map);
     }
 }
 
-fn splice(proc: &mut Procedure, site: titanc_il::StmtId, replacement: Vec<Stmt>) -> bool {
-    fn walk(block: &mut Vec<Stmt>, site: titanc_il::StmtId, repl: &mut Option<Vec<Stmt>>) -> bool {
+fn splice(proc: &mut Procedure, site: StmtId, replacement: Block) -> bool {
+    fn walk(
+        stmts: &mut titanc_il::StmtPool,
+        block: &mut Block,
+        site: StmtId,
+        repl: &mut Option<Block>,
+    ) -> bool {
         for i in 0..block.len() {
-            if block[i].id == site {
+            if block[i] == site {
                 block.splice(i..=i, repl.take().unwrap());
                 return true;
             }
-            for b in block[i].blocks_mut() {
-                if walk(b, site, repl) {
-                    return true;
+            let s = block[i];
+            let mut kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
+            let mut hit = false;
+            for b in kind.blocks_mut() {
+                if walk(stmts, b, site, repl) {
+                    hit = true;
+                    break;
                 }
+            }
+            stmts[s] = kind;
+            if hit {
+                return true;
             }
         }
         false
     }
     let mut body = std::mem::take(&mut proc.body);
-    let ok = walk(&mut body, site, &mut Some(replacement));
+    let ok = walk(&mut proc.stmts, &mut body, site, &mut Some(replacement));
     proc.body = body;
     ok
 }

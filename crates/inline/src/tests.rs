@@ -7,11 +7,13 @@ use titanc_titan::MachineConfig;
 
 fn count_calls(prog: &Program, name: &str) -> usize {
     let mut n = 0;
-    prog.proc_by_name(name).unwrap().for_each_stmt(&mut |s| {
-        if matches!(s.kind, StmtKind::Call { .. }) {
-            n += 1;
-        }
-    });
+    prog.proc_by_name(name)
+        .unwrap()
+        .for_each_stmt(&mut |_, kind| {
+            if matches!(kind, StmtKind::Call { .. }) {
+                n += 1;
+            }
+        });
     n
 }
 

@@ -5,6 +5,12 @@
 //! expression E. Contexts that need C's value semantics (embedded
 //! assignment, `++` as a value, calls as values) introduce temporaries,
 //! trusting the Titan's global register allocation to make them free.
+//!
+//! Expression nodes are allocated directly into the procedure's
+//! [`titanc_il::ExprPool`] as lowering proceeds — a [`TV`] carries an
+//! `ExprId`, never an owned tree. Children are allocated before their
+//! parents, so every procedure leaves lowering with its pool in
+//! bottom-up (postorder) layout.
 
 use crate::types::{common_kind, cvt_qualtype, type_size, Env};
 use crate::LowerError;
@@ -12,8 +18,8 @@ use std::collections::HashMap;
 use titanc_cfront::ast::{self, CBinOp, CType, CUnOp, ExprKind, QualType};
 use titanc_cfront::Span;
 use titanc_il::{
-    BinOp, Expr, LValue, LabelId, Procedure, ScalarType, SrcSpan, Stmt, StmtKind, Storage, Type,
-    UnOp, VarId, VarInfo,
+    BinOp, Block, Expr, ExprId, LValue, LabelId, Procedure, ScalarType, SrcSpan, StmtKind, Storage,
+    Type, UnOp, VarId, VarInfo,
 };
 
 /// Maps a front-end span onto the IL's source-position type.
@@ -69,16 +75,16 @@ pub fn lower_function(env: &Env, f: &ast::FuncDef) -> Result<Procedure, LowerErr
 /// A typed rvalue: the E of an (SL, E) pair plus its C type.
 #[derive(Clone, Debug)]
 struct TV {
-    e: Expr,
+    e: ExprId,
     ty: QualType,
 }
 
 /// An lvalue: where a store goes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Place {
     Var(VarId),
     Mem {
-        addr: Expr,
+        addr: ExprId,
         kind: ScalarType,
         volatile: bool,
     },
@@ -131,7 +137,7 @@ impl<'e> FuncLowerer<'e> {
         LowerError::new(msg, span)
     }
 
-    fn emit(&mut self, out: &mut Vec<Stmt>, kind: StmtKind) {
+    fn emit(&mut self, out: &mut Block, kind: StmtKind) {
         let s = self.proc.stamp(kind);
         out.push(s);
     }
@@ -139,7 +145,7 @@ impl<'e> FuncLowerer<'e> {
     /// Emits a statement anchored to its source position. Loops, calls
     /// and branches are anchored so the optimizer's per-loop decision
     /// events can be reported over the source.
-    fn emit_at(&mut self, out: &mut Vec<Stmt>, kind: StmtKind, span: Span) {
+    fn emit_at(&mut self, out: &mut Block, kind: StmtKind, span: Span) {
         let s = self.proc.stamp_at(kind, src_span(span));
         out.push(s);
     }
@@ -203,16 +209,16 @@ impl<'e> FuncLowerer<'e> {
     }
 
     /// Converts an rvalue to a target scalar kind.
-    fn convert(&self, tv: TV, to: ScalarType, span: Span) -> Result<Expr, LowerError> {
+    fn convert(&mut self, tv: TV, to: ScalarType, span: Span) -> Result<ExprId, LowerError> {
         let from = scalar_kind(&tv.ty).ok_or_else(|| self.err("expected a scalar value", span))?;
-        Ok(Expr::cast(to, from, tv.e))
+        Ok(self.proc.exprs.cast(to, from, tv.e))
     }
 
     // ------------------------------------------------------------------
     // statements
     // ------------------------------------------------------------------
 
-    fn stmt(&mut self, s: &ast::Stmt, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+    fn stmt(&mut self, s: &ast::Stmt, out: &mut Block) -> Result<(), LowerError> {
         let was_safe = self.pending_safe;
         self.pending_safe = false;
         match s {
@@ -377,15 +383,15 @@ impl<'e> FuncLowerer<'e> {
         step: Option<&ast::Expr>,
         body: &ast::Stmt,
         safe: bool,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
     ) -> Result<(), LowerError> {
         let mut sl = Vec::new();
         let c = self.rvalue(cond, &mut sl)?;
         let ce = self.truth(c, cond.span)?;
-        out.extend(sl.iter().cloned().map(|mut s| {
-            s.id = self.proc.fresh_stmt_id();
-            s
-        }));
+        // the pre-loop copy keeps the statements as lowered; the bottom
+        // duplicate gets fresh stamps and fresh expression slots so the
+        // two copies never alias
+        out.extend(sl.iter().copied());
 
         let break_l = self.proc.fresh_label();
         let cont_l = self.proc.fresh_label();
@@ -404,11 +410,11 @@ impl<'e> FuncLowerer<'e> {
         if let Some(st) = step {
             self.expr_discard(st, &mut blk)?;
         }
-        // duplicate SL at the bottom of the body with fresh stamps
-        blk.extend(sl.into_iter().map(|mut s| {
-            s.id = self.proc.fresh_stmt_id();
-            s
-        }));
+        // duplicate SL at the bottom of the body
+        for &s in &sl {
+            let dup = self.proc.clone_stmt(s);
+            blk.push(dup);
+        }
         self.emit_at(
             out,
             StmtKind::While {
@@ -431,7 +437,7 @@ impl<'e> FuncLowerer<'e> {
         &mut self,
         cond: &ast::Expr,
         body: &[ast::Stmt],
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
     ) -> Result<(), LowerError> {
         let tv = self.rvalue(cond, out)?;
         let scrut = self.convert(tv, ScalarType::Int, cond.span)?;
@@ -467,13 +473,10 @@ impl<'e> FuncLowerer<'e> {
         });
         // dispatch chain
         for (v, l) in &case_labels {
-            self.emit(
-                out,
-                StmtKind::IfGoto {
-                    cond: Expr::ibinary(BinOp::Eq, Expr::var(t), Expr::int(*v)),
-                    target: *l,
-                },
-            );
+            let tv = self.proc.exprs.var(t);
+            let cv = self.proc.exprs.int(*v);
+            let cond = self.proc.exprs.ibinary(BinOp::Eq, tv, cv);
+            self.emit(out, StmtKind::IfGoto { cond, target: *l });
         }
         self.emit(out, StmtKind::Goto(default_label.unwrap_or(end_l)));
         // body with markers replaced by labels
@@ -496,7 +499,7 @@ impl<'e> FuncLowerer<'e> {
         Ok(())
     }
 
-    fn decl(&mut self, d: &ast::VarDecl, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+    fn decl(&mut self, d: &ast::VarDecl, out: &mut Block) -> Result<(), LowerError> {
         let (ty, volatile) = cvt_qualtype(self.env, &d.ty, d.span)?;
         let is_static = d.storage == ast::StorageClass::Static;
         let storage = if is_static {
@@ -529,7 +532,8 @@ impl<'e> FuncLowerer<'e> {
                 let kind = scalar_kind(&self.ctype_of(id))
                     .ok_or_else(|| self.err("cannot initialize aggregates", d.span))?;
                 let value = self.convert(tv, kind, d.span)?;
-                self.store(Place::for_var(self, id), value, out);
+                let place = Place::for_var(self, id);
+                self.store(place, value, out);
             }
         }
         Ok(())
@@ -539,11 +543,7 @@ impl<'e> FuncLowerer<'e> {
     // places (lvalues)
     // ------------------------------------------------------------------
 
-    fn place(
-        &mut self,
-        e: &ast::Expr,
-        out: &mut Vec<Stmt>,
-    ) -> Result<(Place, QualType), LowerError> {
+    fn place(&mut self, e: &ast::Expr, out: &mut Block) -> Result<(Place, QualType), LowerError> {
         match &e.kind {
             ExprKind::Ident(name) => {
                 let v = self.lookup(name, e.span)?;
@@ -601,9 +601,9 @@ impl<'e> FuncLowerer<'e> {
         &mut self,
         base: &ast::Expr,
         idx: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         span: Span,
-    ) -> Result<(Expr, QualType), LowerError> {
+    ) -> Result<(ExprId, QualType), LowerError> {
         let b = self.rvalue(base, out)?;
         let elem = pointee(&b.ty)
             .cloned()
@@ -611,8 +611,12 @@ impl<'e> FuncLowerer<'e> {
         let i = self.rvalue(idx, out)?;
         let i_e = self.convert(i, ScalarType::Int, span)?;
         let size = self.size_of_ctype(&elem, span)?;
-        let scaled = Expr::ibinary(BinOp::Mul, i_e, Expr::int(size));
-        let addr = Expr::binary(BinOp::Add, ScalarType::Ptr, b.e, scaled);
+        let size_e = self.proc.exprs.int(size);
+        let scaled = self.proc.exprs.ibinary(BinOp::Mul, i_e, size_e);
+        let addr = self
+            .proc
+            .exprs
+            .binary(BinOp::Add, ScalarType::Ptr, b.e, scaled);
         Ok((addr, elem))
     }
 
@@ -622,9 +626,9 @@ impl<'e> FuncLowerer<'e> {
         base: &ast::Expr,
         field: &str,
         arrow: bool,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         span: Span,
-    ) -> Result<(Expr, QualType), LowerError> {
+    ) -> Result<(ExprId, QualType), LowerError> {
         let (base_addr, sq) = if arrow {
             let p = self.rvalue(base, out)?;
             let pt = pointee(&p.ty)
@@ -638,7 +642,7 @@ impl<'e> FuncLowerer<'e> {
                 let tv = self.rvalue(base, out)?;
                 Ok::<_, LowerError>((
                     Place::Mem {
-                        addr: tv.e.clone(),
+                        addr: tv.e,
                         kind: ScalarType::Ptr,
                         volatile: false,
                     },
@@ -648,7 +652,7 @@ impl<'e> FuncLowerer<'e> {
             let addr = match pl {
                 Place::Var(v) => {
                     self.proc.var_mut(v).addressed = true;
-                    Expr::addr_of(v)
+                    self.proc.exprs.addr_of(v)
                 }
                 Place::Mem { addr, .. } => addr,
             };
@@ -672,7 +676,11 @@ impl<'e> FuncLowerer<'e> {
         let fq = self
             .field_qualtype(&tag, field)
             .ok_or_else(|| self.err("field type unavailable", span))?;
-        let addr = Expr::binary(BinOp::Add, ScalarType::Ptr, base_addr, Expr::int(offset));
+        let off_e = self.proc.exprs.int(offset);
+        let addr = self
+            .proc
+            .exprs
+            .binary(BinOp::Add, ScalarType::Ptr, base_addr, off_e);
         Ok((addr, fq))
     }
 
@@ -685,10 +693,9 @@ impl<'e> FuncLowerer<'e> {
         Some(il_to_qualtype(self.env, &f.ty))
     }
 
-    fn store(&mut self, place: Place, value: Expr, out: &mut Vec<Stmt>) {
-        let kind = match &place {
+    fn store(&mut self, place: Place, value: ExprId, out: &mut Block) {
+        match place {
             Place::Var(v) => {
-                let v = *v;
                 self.emit(
                     out,
                     StmtKind::Assign {
@@ -696,43 +703,50 @@ impl<'e> FuncLowerer<'e> {
                         rhs: value,
                     },
                 );
-                return;
             }
-            Place::Mem { kind, .. } => *kind,
-        };
-        if let Place::Mem { addr, volatile, .. } = place {
-            self.emit(
-                out,
-                StmtKind::Assign {
-                    lhs: LValue::Deref {
-                        addr,
-                        ty: kind,
-                        volatile,
+            Place::Mem {
+                addr,
+                kind,
+                volatile,
+            } => {
+                self.emit(
+                    out,
+                    StmtKind::Assign {
+                        lhs: LValue::Deref {
+                            addr,
+                            ty: kind,
+                            volatile,
+                        },
+                        rhs: value,
                     },
-                    rhs: value,
-                },
-            );
+                );
+            }
         }
     }
 
     fn load_place(&mut self, place: &Place, q: &QualType) -> TV {
         match place {
             Place::Var(v) => TV {
-                e: Expr::var(*v),
+                e: self.proc.exprs.var(*v),
                 ty: q.clone(),
             },
             Place::Mem {
                 addr,
                 kind,
                 volatile,
-            } => TV {
-                e: Expr::Load {
-                    addr: Box::new(addr.clone()),
-                    ty: *kind,
-                    volatile: *volatile,
-                },
-                ty: q.clone(),
-            },
+            } => {
+                // copy the address so the load and the eventual store
+                // never share expression slots
+                let a = self.proc.exprs.copy(*addr);
+                TV {
+                    e: self.proc.exprs.alloc(Expr::Load {
+                        addr: a,
+                        ty: *kind,
+                        volatile: *volatile,
+                    }),
+                    ty: q.clone(),
+                }
+            }
         }
     }
 
@@ -741,26 +755,33 @@ impl<'e> FuncLowerer<'e> {
     // ------------------------------------------------------------------
 
     /// Lowers an expression for its value.
-    fn rvalue(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<TV, LowerError> {
+    fn rvalue(&mut self, e: &ast::Expr, out: &mut Block) -> Result<TV, LowerError> {
         self.expr(e, out, true)
             .map(|tv| tv.expect("value requested"))
     }
 
     /// Lowers an expression purely for its side effects.
-    fn expr_discard(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+    fn expr_discard(&mut self, e: &ast::Expr, out: &mut Block) -> Result<(), LowerError> {
         self.expr(e, out, false).map(|_| ())
     }
 
     /// C truthiness of a scalar: pointers/floats compare against zero so
     /// the IL condition is always an `Int`.
-    fn truth(&self, tv: TV, span: Span) -> Result<Expr, LowerError> {
+    fn truth(&mut self, tv: TV, span: Span) -> Result<ExprId, LowerError> {
         let kind = scalar_kind(&tv.ty).ok_or_else(|| self.err("condition must be scalar", span))?;
         Ok(match kind {
             ScalarType::Int => tv.e,
-            ScalarType::Char => Expr::cast(ScalarType::Int, ScalarType::Char, tv.e),
-            ScalarType::Ptr => Expr::binary(BinOp::Ne, ScalarType::Ptr, tv.e, Expr::int(0)),
+            ScalarType::Char => self
+                .proc
+                .exprs
+                .cast(ScalarType::Int, ScalarType::Char, tv.e),
+            ScalarType::Ptr => {
+                let z = self.proc.exprs.int(0);
+                self.proc.exprs.binary(BinOp::Ne, ScalarType::Ptr, tv.e, z)
+            }
             ScalarType::Float | ScalarType::Double => {
-                Expr::binary(BinOp::Ne, kind, tv.e, Expr::FloatConst(0.0, kind))
+                let z = self.proc.exprs.alloc(Expr::FloatConst(0.0, kind));
+                self.proc.exprs.binary(BinOp::Ne, kind, tv.e, z)
             }
         })
     }
@@ -769,24 +790,24 @@ impl<'e> FuncLowerer<'e> {
     fn expr(
         &mut self,
         e: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         value_needed: bool,
     ) -> Result<Option<TV>, LowerError> {
         let span = e.span;
         match &e.kind {
             ExprKind::IntLit(v) => Ok(Some(TV {
-                e: Expr::int(*v),
+                e: self.proc.exprs.int(*v),
                 ty: int_ty(),
             })),
             ExprKind::CharLit(v) => Ok(Some(TV {
-                e: Expr::int(*v),
+                e: self.proc.exprs.int(*v),
                 ty: int_ty(),
             })),
             ExprKind::FloatLit(v, single) => Ok(Some(TV {
                 e: if *single {
-                    Expr::float(*v)
+                    self.proc.exprs.float(*v)
                 } else {
-                    Expr::double(*v)
+                    self.proc.exprs.double(*v)
                 },
                 ty: QualType::plain(if *single { CType::Float } else { CType::Double }),
             })),
@@ -799,7 +820,7 @@ impl<'e> FuncLowerer<'e> {
                 if matches!(q.ty, CType::Array(..)) {
                     // array decays to its address
                     return Ok(Some(TV {
-                        e: Expr::addr_of(v),
+                        e: self.proc.exprs.addr_of(v),
                         ty: q,
                     }));
                 }
@@ -807,7 +828,7 @@ impl<'e> FuncLowerer<'e> {
                     // struct rvalue = its address (used by member access)
                     self.proc.var_mut(v).addressed = true;
                     return Ok(Some(TV {
-                        e: Expr::addr_of(v),
+                        e: self.proc.exprs.addr_of(v),
                         ty: q,
                     }));
                 }
@@ -815,17 +836,18 @@ impl<'e> FuncLowerer<'e> {
                 if info.volatile {
                     let kind =
                         scalar_kind(&q).ok_or_else(|| self.err("volatile aggregate read", span))?;
+                    let a = self.proc.exprs.addr_of(v);
                     return Ok(Some(TV {
-                        e: Expr::Load {
-                            addr: Box::new(Expr::addr_of(v)),
+                        e: self.proc.exprs.alloc(Expr::Load {
+                            addr: a,
                             ty: kind,
                             volatile: true,
-                        },
+                        }),
                         ty: q,
                     }));
                 }
                 Ok(Some(TV {
-                    e: Expr::var(v),
+                    e: self.proc.exprs.var(v),
                     ty: q,
                 }))
             }
@@ -883,7 +905,7 @@ impl<'e> FuncLowerer<'e> {
                     ScalarType::Char => int_ty(),
                 };
                 Ok(Some(TV {
-                    e: Expr::var(tmp),
+                    e: self.proc.exprs.var(tmp),
                     ty,
                 }))
             }
@@ -921,7 +943,7 @@ impl<'e> FuncLowerer<'e> {
                         span,
                     );
                     Ok(Some(TV {
-                        e: Expr::var(tmp),
+                        e: self.proc.exprs.var(tmp),
                         ty: ret_q,
                     }))
                 } else {
@@ -946,11 +968,11 @@ impl<'e> FuncLowerer<'e> {
                 let kind =
                     scalar_kind(&elem).ok_or_else(|| self.err("indexing to non-scalar", span))?;
                 Ok(Some(TV {
-                    e: Expr::Load {
-                        addr: Box::new(addr),
+                    e: self.proc.exprs.alloc(Expr::Load {
+                        addr,
                         ty: kind,
                         volatile: elem.volatile,
-                    },
+                    }),
                     ty: elem,
                 }))
             }
@@ -962,11 +984,11 @@ impl<'e> FuncLowerer<'e> {
                 let kind =
                     scalar_kind(&fty).ok_or_else(|| self.err("aggregate member value", span))?;
                 Ok(Some(TV {
-                    e: Expr::Load {
-                        addr: Box::new(addr),
+                    e: self.proc.exprs.alloc(Expr::Load {
+                        addr,
                         ty: kind,
                         volatile: fty.volatile,
-                    },
+                    }),
                     ty: fty,
                 }))
             }
@@ -982,7 +1004,7 @@ impl<'e> FuncLowerer<'e> {
             ExprKind::SizeofTy(q) => {
                 let size = self.size_of_ctype(q, span)?;
                 Ok(Some(TV {
-                    e: Expr::int(size),
+                    e: self.proc.exprs.int(size),
                     ty: int_ty(),
                 }))
             }
@@ -990,7 +1012,7 @@ impl<'e> FuncLowerer<'e> {
                 let q = self.type_of(inner)?;
                 let size = self.size_of_ctype(&q, span)?;
                 Ok(Some(TV {
-                    e: Expr::int(size),
+                    e: self.proc.exprs.int(size),
                     ty: int_ty(),
                 }))
             }
@@ -1002,12 +1024,11 @@ impl<'e> FuncLowerer<'e> {
     fn expr_discard_keeping_volatile(
         &mut self,
         e: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
     ) -> Result<(), LowerError> {
-        let before = out.len();
         let tv = self.expr(e, out, false)?;
         if let Some(tv) = tv {
-            if tv.e.has_volatile_load() {
+            if self.proc.exprs.has_volatile_load(tv.e) {
                 if let Some(kind) = scalar_kind(&tv.ty) {
                     let tmp = self.temp(kind);
                     self.emit(
@@ -1020,7 +1041,6 @@ impl<'e> FuncLowerer<'e> {
                 }
             }
         }
-        let _ = before;
         Ok(())
     }
 
@@ -1029,7 +1049,7 @@ impl<'e> FuncLowerer<'e> {
         op: &Option<CBinOp>,
         lhs: &ast::Expr,
         rhs: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         value_needed: bool,
         span: Span,
     ) -> Result<Option<TV>, LowerError> {
@@ -1037,7 +1057,7 @@ impl<'e> FuncLowerer<'e> {
         let kind = scalar_kind(&q).ok_or_else(|| self.err("assignment to aggregate", span))?;
         // Pin the address in a temporary when we must use it twice
         // (compound assignment) — evaluate once, per C semantics.
-        let place = match (&place, op) {
+        let place = match (place, op) {
             (
                 Place::Mem {
                     addr,
@@ -1045,19 +1065,19 @@ impl<'e> FuncLowerer<'e> {
                     volatile,
                 },
                 Some(_),
-            ) if !addr.is_const() => {
+            ) if !self.proc.exprs.is_const(addr) => {
                 let taddr = self.temp(ScalarType::Ptr);
                 self.emit(
                     out,
                     StmtKind::Assign {
                         lhs: LValue::Var(taddr),
-                        rhs: addr.clone(),
+                        rhs: addr,
                     },
                 );
                 Place::Mem {
-                    addr: Expr::var(taddr),
-                    kind: *kind,
-                    volatile: *volatile,
+                    addr: self.proc.exprs.var(taddr),
+                    kind,
+                    volatile,
                 }
             }
             _ => place,
@@ -1083,9 +1103,10 @@ impl<'e> FuncLowerer<'e> {
                     rhs: new_value,
                 },
             );
-            self.store(place, Expr::var(tmp), out);
+            let tv = self.proc.exprs.var(tmp);
+            self.store(place, tv, out);
             Ok(Some(TV {
-                e: Expr::var(tmp),
+                e: self.proc.exprs.var(tmp),
                 ty: q,
             }))
         } else {
@@ -1099,20 +1120,20 @@ impl<'e> FuncLowerer<'e> {
         inc: bool,
         prefix: bool,
         arg: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         value_needed: bool,
         span: Span,
     ) -> Result<Option<TV>, LowerError> {
         let (place, q) = self.place(arg, out)?;
         let kind = scalar_kind(&q).ok_or_else(|| self.err("++/-- on aggregate", span))?;
-        let delta: Expr = match (&q.ty, kind) {
+        let delta: ExprId = match (&q.ty, kind) {
             (CType::Ptr(inner), _) => {
                 let sz = self.size_of_ctype(inner, span)?;
-                Expr::int(sz)
+                self.proc.exprs.int(sz)
             }
-            (_, ScalarType::Float) => Expr::float(1.0),
-            (_, ScalarType::Double) => Expr::double(1.0),
-            _ => Expr::int(1),
+            (_, ScalarType::Float) => self.proc.exprs.float(1.0),
+            (_, ScalarType::Double) => self.proc.exprs.double(1.0),
+            _ => self.proc.exprs.int(1),
         };
         let op = if inc { BinOp::Add } else { BinOp::Sub };
         match place {
@@ -1120,34 +1141,39 @@ impl<'e> FuncLowerer<'e> {
                 if value_needed && !prefix {
                     // §5.3 shape: temp_1 = a; a = temp_1 + 4
                     let tmp = self.temp(kind);
+                    let rv = self.proc.exprs.var(v);
                     self.emit(
                         out,
                         StmtKind::Assign {
                             lhs: LValue::Var(tmp),
-                            rhs: Expr::var(v),
+                            rhs: rv,
                         },
                     );
+                    let tv = self.proc.exprs.var(tmp);
+                    let newv = self.proc.exprs.binary(op, kind, tv, delta);
                     self.emit(
                         out,
                         StmtKind::Assign {
                             lhs: LValue::Var(v),
-                            rhs: Expr::binary(op, kind, Expr::var(tmp), delta),
+                            rhs: newv,
                         },
                     );
                     Ok(Some(TV {
-                        e: Expr::var(tmp),
+                        e: self.proc.exprs.var(tmp),
                         ty: q,
                     }))
                 } else {
+                    let rv = self.proc.exprs.var(v);
+                    let newv = self.proc.exprs.binary(op, kind, rv, delta);
                     self.emit(
                         out,
                         StmtKind::Assign {
                             lhs: LValue::Var(v),
-                            rhs: Expr::binary(op, kind, Expr::var(v), delta),
+                            rhs: newv,
                         },
                     );
                     Ok(value_needed.then(|| TV {
-                        e: Expr::var(v),
+                        e: self.proc.exprs.var(v),
                         ty: q,
                     }))
                 }
@@ -1166,11 +1192,12 @@ impl<'e> FuncLowerer<'e> {
                         rhs: addr,
                     },
                 );
-                let load = Expr::Load {
-                    addr: Box::new(Expr::var(taddr)),
+                let la = self.proc.exprs.var(taddr);
+                let load = self.proc.exprs.alloc(Expr::Load {
+                    addr: la,
                     ty: mkind,
                     volatile,
-                };
+                });
                 let told = self.temp(mkind);
                 self.emit(
                     out,
@@ -1179,7 +1206,8 @@ impl<'e> FuncLowerer<'e> {
                         rhs: load,
                     },
                 );
-                let newv = Expr::binary(op, kind, Expr::var(told), delta);
+                let ov = self.proc.exprs.var(told);
+                let newv = self.proc.exprs.binary(op, kind, ov, delta);
                 let tnew = self.temp(mkind);
                 self.emit(
                     out,
@@ -1188,20 +1216,22 @@ impl<'e> FuncLowerer<'e> {
                         rhs: newv,
                     },
                 );
+                let sa = self.proc.exprs.var(taddr);
+                let nv = self.proc.exprs.var(tnew);
                 self.emit(
                     out,
                     StmtKind::Assign {
                         lhs: LValue::Deref {
-                            addr: Expr::var(taddr),
+                            addr: sa,
                             ty: mkind,
                             volatile,
                         },
-                        rhs: Expr::var(tnew),
+                        rhs: nv,
                     },
                 );
                 let result = if prefix { tnew } else { told };
                 Ok(value_needed.then(|| TV {
-                    e: Expr::var(result),
+                    e: self.proc.exprs.var(result),
                     ty: q,
                 }))
             }
@@ -1212,7 +1242,7 @@ impl<'e> FuncLowerer<'e> {
         &mut self,
         op: CUnOp,
         arg: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         value_needed: bool,
         span: Span,
     ) -> Result<Option<TV>, LowerError> {
@@ -1223,7 +1253,7 @@ impl<'e> FuncLowerer<'e> {
                         let addr = match place {
                             Place::Var(v) => {
                                 self.proc.var_mut(v).addressed = true;
-                                Expr::addr_of(v)
+                                self.proc.exprs.addr_of(v)
                             }
                             Place::Mem { addr, .. } => addr,
                         };
@@ -1258,11 +1288,11 @@ impl<'e> FuncLowerer<'e> {
                 let kind =
                     scalar_kind(&pt).ok_or_else(|| self.err("dereferencing void pointer", span))?;
                 Ok(Some(TV {
-                    e: Expr::Load {
-                        addr: Box::new(ptr.e),
+                    e: self.proc.exprs.alloc(Expr::Load {
+                        addr: ptr.e,
                         ty: kind,
                         volatile: pt.volatile,
-                    },
+                    }),
                     ty: pt,
                 }))
             }
@@ -1278,7 +1308,7 @@ impl<'e> FuncLowerer<'e> {
                 };
                 let ex = self.convert(tv.clone(), kind, span)?;
                 Ok(Some(TV {
-                    e: Expr::unary(UnOp::Neg, kind, ex),
+                    e: self.proc.exprs.unary(UnOp::Neg, kind, ex),
                     ty: promote(tv.ty),
                 }))
             }
@@ -1286,7 +1316,7 @@ impl<'e> FuncLowerer<'e> {
                 let tv = self.rvalue(arg, out)?;
                 let truth = self.truth(tv, span)?;
                 Ok(Some(TV {
-                    e: Expr::unary(UnOp::Not, ScalarType::Int, truth),
+                    e: self.proc.exprs.unary(UnOp::Not, ScalarType::Int, truth),
                     ty: int_ty(),
                 }))
             }
@@ -1294,7 +1324,7 @@ impl<'e> FuncLowerer<'e> {
                 let tv = self.rvalue(arg, out)?;
                 let ex = self.convert(tv, ScalarType::Int, span)?;
                 Ok(Some(TV {
-                    e: Expr::unary(UnOp::BitNot, ScalarType::Int, ex),
+                    e: self.proc.exprs.unary(UnOp::BitNot, ScalarType::Int, ex),
                     ty: int_ty(),
                 }))
             }
@@ -1306,7 +1336,7 @@ impl<'e> FuncLowerer<'e> {
         op: CBinOp,
         l: &ast::Expr,
         r: &ast::Expr,
-        out: &mut Vec<Stmt>,
+        out: &mut Block,
         value_needed: bool,
         span: Span,
     ) -> Result<Option<TV>, LowerError> {
@@ -1317,32 +1347,29 @@ impl<'e> FuncLowerer<'e> {
                 let lc = self.truth(ltv, span)?;
                 let tmp = self.temp(ScalarType::Int);
                 // t = (E_l != 0); if (t ==/!= 0) { SL_r; t = (E_r != 0); }
+                let lnot = self.proc.exprs.unary(UnOp::Not, ScalarType::Int, lc);
+                let lnorm = self.proc.exprs.unary(UnOp::Not, ScalarType::Int, lnot);
                 self.emit(
                     out,
                     StmtKind::Assign {
                         lhs: LValue::Var(tmp),
-                        rhs: Expr::unary(
-                            UnOp::Not,
-                            ScalarType::Int,
-                            Expr::unary(UnOp::Not, ScalarType::Int, lc),
-                        ),
+                        rhs: lnorm,
                     },
                 );
                 let guard = if is_and {
-                    Expr::var(tmp)
+                    self.proc.exprs.var(tmp)
                 } else {
-                    Expr::unary(UnOp::Not, ScalarType::Int, Expr::var(tmp))
+                    let tv = self.proc.exprs.var(tmp);
+                    self.proc.exprs.unary(UnOp::Not, ScalarType::Int, tv)
                 };
                 let mut inner = Vec::new();
                 let rtv = self.rvalue(r, &mut inner)?;
                 let rc = self.truth(rtv, span)?;
+                let rnot = self.proc.exprs.unary(UnOp::Not, ScalarType::Int, rc);
+                let rnorm = self.proc.exprs.unary(UnOp::Not, ScalarType::Int, rnot);
                 let s = self.proc.stamp(StmtKind::Assign {
                     lhs: LValue::Var(tmp),
-                    rhs: Expr::unary(
-                        UnOp::Not,
-                        ScalarType::Int,
-                        Expr::unary(UnOp::Not, ScalarType::Int, rc),
-                    ),
+                    rhs: rnorm,
                 });
                 inner.push(s);
                 self.emit(
@@ -1355,7 +1382,7 @@ impl<'e> FuncLowerer<'e> {
                 );
                 let _ = value_needed;
                 Ok(Some(TV {
-                    e: Expr::var(tmp),
+                    e: self.proc.exprs.var(tmp),
                     ty: int_ty(),
                 }))
             }
@@ -1407,8 +1434,9 @@ impl<'e> FuncLowerer<'e> {
                 .ok_or_else(|| self.err("pointer arithmetic on non-pointer", span))?;
             let size = self.size_of_ctype(&elem, span)?;
             let idx = self.convert(itv, ScalarType::Int, span)?;
-            let scaled = Expr::ibinary(BinOp::Mul, idx, Expr::int(size));
-            let e = Expr::binary(bop, ScalarType::Ptr, ptv.e.clone(), scaled);
+            let size_e = self.proc.exprs.int(size);
+            let scaled = self.proc.exprs.ibinary(BinOp::Mul, idx, size_e);
+            let e = self.proc.exprs.binary(bop, ScalarType::Ptr, ptv.e, scaled);
             return Ok(TV { e, ty: ptv.ty });
         }
         if op == CBinOp::Sub && l_is_ptr && r_is_ptr {
@@ -1416,17 +1444,21 @@ impl<'e> FuncLowerer<'e> {
                 .cloned()
                 .ok_or_else(|| self.err("pointer difference on non-pointer", span))?;
             let size = self.size_of_ctype(&elem, span)?;
-            let diff = Expr::binary(BinOp::Sub, ScalarType::Ptr, l.e, r.e);
-            let cast = Expr::cast(ScalarType::Int, ScalarType::Ptr, diff);
+            let diff = self
+                .proc
+                .exprs
+                .binary(BinOp::Sub, ScalarType::Ptr, l.e, r.e);
+            let cast = self.proc.exprs.cast(ScalarType::Int, ScalarType::Ptr, diff);
+            let size_e = self.proc.exprs.int(size);
             return Ok(TV {
-                e: Expr::ibinary(BinOp::Div, cast, Expr::int(size)),
+                e: self.proc.exprs.ibinary(BinOp::Div, cast, size_e),
                 ty: int_ty(),
             });
         }
         let k = common_kind(lk, rk);
         let le = self.convert(l.clone(), k, span)?;
         let re = self.convert(r.clone(), k, span)?;
-        let e = Expr::binary(bop, k, le, re);
+        let e = self.proc.exprs.binary(bop, k, le, re);
         let ty = if bop.is_comparison() {
             int_ty()
         } else {
@@ -1477,12 +1509,13 @@ impl<'e> FuncLowerer<'e> {
 }
 
 impl Place {
-    fn for_var(lw: &FuncLowerer<'_>, v: VarId) -> Place {
+    fn for_var(lw: &mut FuncLowerer<'_>, v: VarId) -> Place {
         let info = lw.proc.var(v);
         if info.volatile {
+            let kind = info.ty.scalar().unwrap_or(ScalarType::Int);
             Place::Mem {
-                addr: Expr::addr_of(v),
-                kind: info.ty.scalar().unwrap_or(ScalarType::Int),
+                addr: lw.proc.exprs.addr_of(v),
+                kind,
                 volatile: true,
             }
         } else {

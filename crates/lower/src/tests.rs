@@ -1,7 +1,9 @@
 //! Lowering tests: the §4/§5.3 shapes.
 
 use crate::compile_to_il;
-use titanc_il::{pretty_proc, BinOp, Expr, LValue, Procedure, Program, ScalarType, Stmt, StmtKind};
+use titanc_il::{
+    pretty_expr_in, pretty_proc, BinOp, Expr, LValue, Procedure, Program, ScalarType, StmtKind,
+};
 
 fn lower_one(src: &str, name: &str) -> (Program, Procedure) {
     let prog = compile_to_il(src).expect("compile");
@@ -9,10 +11,10 @@ fn lower_one(src: &str, name: &str) -> (Program, Procedure) {
     (prog, proc)
 }
 
-/// Collect every statement (flattened) of a procedure.
-fn flat(proc: &Procedure) -> Vec<Stmt> {
+/// Collect every statement kind (flattened) of a procedure.
+fn flat(proc: &Procedure) -> Vec<StmtKind> {
     let mut v = Vec::new();
-    proc.for_each_stmt(&mut |s| v.push(s.clone()));
+    proc.for_each_stmt(&mut |_, k| v.push(k.clone()));
     v
 }
 
@@ -33,9 +35,9 @@ fn pointer_walk_produces_the_5_3_shape() {
     let body_stmts = flat(&proc);
     let star_assigns: Vec<_> = body_stmts
         .iter()
-        .filter(|s| {
+        .filter(|k| {
             matches!(
-                &s.kind,
+                k,
                 StmtKind::Assign {
                     lhs: LValue::Deref { .. },
                     ..
@@ -55,15 +57,15 @@ fn while_condition_side_effects_are_duplicated() {
     let pre_loop: Vec<_> = proc
         .body
         .iter()
-        .take_while(|s| !matches!(s.kind, StmtKind::While { .. }))
+        .take_while(|&&s| !matches!(proc.stmts[s], StmtKind::While { .. }))
         .collect();
     assert!(pre_loop.len() >= 2, "SL emitted before loop");
     let w = proc
         .body
         .iter()
-        .find(|s| matches!(s.kind, StmtKind::While { .. }))
+        .find(|&&s| matches!(proc.stmts[s], StmtKind::While { .. }))
         .unwrap();
-    if let StmtKind::While { body, .. } = &w.kind {
+    if let StmtKind::While { body, .. } = &proc.stmts[*w] {
         assert!(body.len() >= 2, "SL duplicated at the end of the body");
     }
 }
@@ -76,12 +78,12 @@ fn chained_assignment_writes_volatile_once() {
     let stmts = flat(&proc);
     let mut volatile_stores = 0;
     let mut volatile_loads = 0;
-    for s in &stmts {
-        if let StmtKind::Assign { lhs, rhs } = &s.kind {
+    for k in &stmts {
+        if let StmtKind::Assign { lhs, rhs } = k {
             if lhs.is_volatile() {
                 volatile_stores += 1;
             }
-            if rhs.has_volatile_load() {
+            if proc.exprs.has_volatile_load(*rhs) {
                 volatile_loads += 1;
             }
         }
@@ -97,11 +99,11 @@ fn volatile_poll_loop_reads_every_iteration() {
     let w = proc
         .body
         .iter()
-        .find(|s| matches!(s.kind, StmtKind::While { .. }))
+        .find(|&&s| matches!(proc.stmts[s], StmtKind::While { .. }))
         .expect("loop");
-    if let StmtKind::While { cond, .. } = &w.kind {
+    if let StmtKind::While { cond, .. } = &proc.stmts[*w] {
         assert!(
-            cond.has_volatile_load(),
+            proc.exprs.has_volatile_load(*cond),
             "condition must re-read the register"
         );
     }
@@ -111,11 +113,14 @@ fn volatile_poll_loop_reads_every_iteration() {
 fn logical_and_short_circuits() {
     let (_p, proc) = lower_one("int f(int a, int b) { return a && b / a; }", "f");
     // the division must be guarded by an If
-    let has_guarded_div = proc.any_stmt(|s| {
-        if let StmtKind::If { then_blk, .. } = &s.kind {
-            then_blk
-                .iter()
-                .any(|inner| inner.exprs().iter().any(|e| format!("{e}").contains('/')))
+    let has_guarded_div = proc.any_stmt(|_, k| {
+        if let StmtKind::If { then_blk, .. } = k {
+            then_blk.iter().any(|&inner| {
+                proc.stmts[inner]
+                    .exprs()
+                    .iter()
+                    .any(|&e| pretty_expr_in(&proc.exprs, e).contains('/'))
+            })
         } else {
             false
         }
@@ -138,11 +143,11 @@ fn for_becomes_while() {
         "f",
     );
     assert!(
-        proc.any_stmt(|s| matches!(s.kind, StmtKind::While { .. })),
+        proc.any_stmt(|_, k| matches!(k, StmtKind::While { .. })),
         "for loops lower to while loops"
     );
     assert!(
-        !proc.any_stmt(|s| matches!(s.kind, StmtKind::DoLoop { .. })),
+        !proc.any_stmt(|_, k| matches!(k, StmtKind::DoLoop { .. })),
         "DO recognition happens in the optimizer, not the front end"
     );
 }
@@ -168,8 +173,8 @@ fn compound_assignment_pins_address() {
     let stmts = flat(&proc);
     let ptr_temp_assigns = stmts
         .iter()
-        .filter(|s| {
-            matches!(&s.kind, StmtKind::Assign { lhs: LValue::Var(v), .. }
+        .filter(|k| {
+            matches!(k, StmtKind::Assign { lhs: LValue::Var(v), .. }
                 if proc.var(*v).ty == titanc_il::Type::ptr_to(titanc_il::Type::Void))
         })
         .count();
@@ -201,12 +206,12 @@ fn call_results_go_through_temps() {
     let stmts = flat(&proc);
     let calls = stmts
         .iter()
-        .filter(|s| matches!(s.kind, StmtKind::Call { .. }))
+        .filter(|k| matches!(k, StmtKind::Call { .. }))
         .count();
     assert_eq!(calls, 2);
     // both calls assign to temporaries
-    for s in &stmts {
-        if let StmtKind::Call { dst, .. } = &s.kind {
+    for k in &stmts {
+        if let StmtKind::Call { dst, .. } = k {
             assert!(matches!(dst, Some(LValue::Var(_))));
         }
     }
@@ -241,19 +246,19 @@ fn break_and_continue_lower_to_gotos() {
     let src = "void f(int n) { while (n) { if (n == 3) break; if (n == 4) continue; n--; } }";
     let (_p, proc) = lower_one(src, "f");
     let stmts = flat(&proc);
-    assert!(stmts.iter().any(|s| matches!(s.kind, StmtKind::Goto(_))));
-    assert!(stmts.iter().any(|s| matches!(s.kind, StmtKind::Label(_))));
+    assert!(stmts.iter().any(|k| matches!(k, StmtKind::Goto(_))));
+    assert!(stmts.iter().any(|k| matches!(k, StmtKind::Label(_))));
 }
 
 #[test]
 fn do_while_executes_body_first() {
     let (_p, proc) = lower_one("void f(int n) { do { n--; } while (n); }", "f");
     // shape: Label; body; IfGoto
-    assert!(matches!(proc.body[0].kind, StmtKind::Label(_)));
+    assert!(matches!(proc.stmts[proc.body[0]], StmtKind::Label(_)));
     assert!(proc
         .body
         .iter()
-        .any(|s| matches!(s.kind, StmtKind::IfGoto { .. })));
+        .any(|&s| matches!(proc.stmts[s], StmtKind::IfGoto { .. })));
 }
 
 #[test]
@@ -263,7 +268,7 @@ fn comma_keeps_volatile_reads() {
     let stmts = flat(&proc);
     let keeps = stmts
         .iter()
-        .any(|s| matches!(&s.kind, StmtKind::Assign { rhs, .. } if rhs.has_volatile_load()));
+        .any(|k| matches!(k, StmtKind::Assign { rhs, .. } if proc.exprs.has_volatile_load(*rhs)));
     assert!(keeps, "volatile read in discarded comma operand is kept");
 }
 
@@ -278,8 +283,8 @@ fn comma_drops_pure_reads() {
 #[test]
 fn sizeof_is_constant() {
     let (_p, proc) = lower_one("int f(void) { return sizeof(double); }", "f");
-    match &proc.body[0].kind {
-        StmtKind::Return(Some(Expr::IntConst(8))) => {}
+    match &proc.stmts[proc.body[0]] {
+        StmtKind::Return(Some(e)) if matches!(proc.exprs[*e], Expr::IntConst(8)) => {}
         other => panic!("expected constant 8, got {other:?}"),
     }
 }
@@ -310,13 +315,13 @@ fn float_condition_compares_to_zero() {
     let w = proc
         .body
         .iter()
-        .find(|s| matches!(s.kind, StmtKind::If { .. }))
+        .find(|&&s| matches!(proc.stmts[s], StmtKind::If { .. }))
         .unwrap();
-    if let StmtKind::If { cond, .. } = &w.kind {
-        match cond {
+    if let StmtKind::If { cond, .. } = &proc.stmts[*w] {
+        match proc.exprs[*cond] {
             Expr::Binary {
                 op: BinOp::Ne, ty, ..
-            } => assert_eq!(*ty, ScalarType::Float),
+            } => assert_eq!(ty, ScalarType::Float),
             other => panic!("expected != 0.0 comparison, got {other:?}"),
         }
     }
@@ -329,11 +334,11 @@ fn argument_conversions_follow_prototype() {
     let stmts = flat(&proc);
     let call = stmts
         .iter()
-        .find(|s| matches!(s.kind, StmtKind::Call { .. }))
+        .find(|k| matches!(k, StmtKind::Call { .. }))
         .unwrap();
-    if let StmtKind::Call { args, .. } = &call.kind {
+    if let StmtKind::Call { args, .. } = call {
         assert!(matches!(
-            args[0],
+            proc.exprs[args[0]],
             Expr::Cast {
                 to: ScalarType::Double,
                 ..
@@ -350,9 +355,9 @@ fn pragma_safe_marks_loop() {
     let w = proc
         .body
         .iter()
-        .find(|s| matches!(s.kind, StmtKind::While { .. }))
+        .find(|&&s| matches!(proc.stmts[s], StmtKind::While { .. }))
         .unwrap();
-    assert!(matches!(w.kind, StmtKind::While { safe: true, .. }));
+    assert!(matches!(proc.stmts[*w], StmtKind::While { safe: true, .. }));
 }
 
 #[test]
@@ -414,8 +419,8 @@ void daxpy(float *x, float *y, float *z, float alpha, int n)
     let main = prog.proc_by_name("main").unwrap();
     let call = {
         let mut found = None;
-        main.for_each_stmt(&mut |s| {
-            if let StmtKind::Call { callee, args, .. } = &s.kind {
+        main.for_each_stmt(&mut |_, k| {
+            if let StmtKind::Call { callee, args, .. } = k {
                 found = Some((callee.clone(), args.len()));
             }
         });
@@ -451,12 +456,12 @@ int f(int x)
     let stmts = flat(&proc);
     let ifgotos = stmts
         .iter()
-        .filter(|s| matches!(s.kind, StmtKind::IfGoto { .. }))
+        .filter(|k| matches!(k, StmtKind::IfGoto { .. }))
         .count();
     assert_eq!(ifgotos, 3, "one dispatch branch per case");
     let labels = stmts
         .iter()
-        .filter(|s| matches!(s.kind, StmtKind::Label(_)))
+        .filter(|k| matches!(k, StmtKind::Label(_)))
         .count();
     assert!(labels >= 5, "case + default + end labels");
 }

@@ -14,7 +14,7 @@
 
 use titanc_analysis::{Cfg, ProcAnalyses};
 use titanc_il::fold::{const_value, fold_expr, value_to_expr, Value};
-use titanc_il::{Expr, Procedure, ScalarType, Stmt, StmtId, StmtKind};
+use titanc_il::{Block, Procedure, ScalarType, StmtId, StmtKind, StmtPool};
 
 /// Resource budget: maximum fixpoint rounds per procedure. Hitting the cap
 /// is sound (each round leaves verified IL) but is reported so the driver
@@ -92,10 +92,14 @@ fn run(
         let replaced = propagate_once(proc, analyses, &mut report);
         changed += replaced;
 
-        // 2. fold everything
-        let mut body = std::mem::take(&mut proc.body);
-        titanc_il::visit::rewrite_exprs_in_block(&mut body, &mut |e| fold_expr(e));
-        proc.body = body;
+        // 2. fold everything (slot rewrite: ids in statements stay valid)
+        let mut roots = Vec::new();
+        titanc_il::visit::walk_block(&proc.stmts, &proc.body, &mut |_, kind| {
+            roots.extend(kind.exprs())
+        });
+        for r in roots {
+            fold_expr(&mut proc.exprs, r);
+        }
 
         if replaced > 0 {
             // pure expression rewrites: repair the chains instead of
@@ -138,16 +142,16 @@ fn propagate_once(
 
     // constant value per defining statement
     let mut const_defs: Vec<(StmtId, titanc_il::VarId, Value, ScalarType)> = Vec::new();
-    proc.for_each_stmt(&mut |s| {
+    proc.for_each_stmt(&mut |s, kind| {
         if let StmtKind::Assign {
             lhs: titanc_il::LValue::Var(v),
             rhs,
-        } = &s.kind
+        } = kind
         {
             if ud.tracked(*v) {
-                if let Some(val) = const_value(rhs) {
-                    let kind = proc.var_scalar(*v);
-                    const_defs.push((s.id, *v, val, kind));
+                if let Some(val) = const_value(&proc.exprs[*rhs]) {
+                    let scalar = proc.var_scalar(*v);
+                    const_defs.push((s, *v, val, scalar));
                 }
             }
         }
@@ -160,11 +164,11 @@ fn propagate_once(
     };
 
     // decide the replacement per (stmt, var)
-    let mut plan: Vec<(StmtId, titanc_il::VarId, Expr)> = Vec::new();
-    proc.for_each_stmt(&mut |s| {
+    let mut plan: Vec<(StmtId, titanc_il::VarId, Value, ScalarType)> = Vec::new();
+    proc.for_each_stmt(&mut |s, kind| {
         let mut vars: Vec<titanc_il::VarId> = Vec::new();
-        for e in s.exprs() {
-            for v in e.vars_read() {
+        for e in kind.exprs() {
+            for v in proc.exprs.vars_read(e) {
                 if !vars.contains(&v) {
                     vars.push(v);
                 }
@@ -174,7 +178,7 @@ fn propagate_once(
             if !ud.tracked(v) {
                 continue;
             }
-            let defs = ud.reaching_defs(s.id, v);
+            let defs = ud.reaching_defs(s, v);
             if defs.is_empty() || defs.iter().any(Option::is_none) {
                 continue; // entry def (param/uninitialized) reaches
             }
@@ -183,7 +187,7 @@ fn propagate_once(
             if let Some(cs) = consts {
                 let (first, kind) = cs[0];
                 if cs.iter().all(|(c, _)| *c == first) {
-                    plan.push((s.id, v, value_to_expr(first, kind)));
+                    plan.push((s, v, first, kind));
                 }
             }
         }
@@ -193,29 +197,13 @@ fn propagate_once(
     if count == 0 {
         return 0;
     }
-    let mut body = std::mem::take(&mut proc.body);
-    apply_plan(&mut body, &plan, report);
-    proc.body = body;
-    count
-}
-
-fn apply_plan(
-    block: &mut [Stmt],
-    plan: &[(StmtId, titanc_il::VarId, Expr)],
-    report: &mut ConstPropReport,
-) {
-    for s in block.iter_mut() {
-        for (id, v, rep) in plan {
-            if s.id == *id {
-                for e in s.exprs_mut() {
-                    report.replaced += e.substitute_var(*v, rep);
-                }
-            }
-        }
-        for b in s.blocks_mut() {
-            apply_plan(b, plan, report);
+    for (s, v, val, scalar) in plan {
+        let rep = proc.exprs.alloc(value_to_expr(val, scalar));
+        for e in proc.stmts[s].exprs() {
+            report.replaced += proc.exprs.substitute_var(e, v, rep);
         }
     }
+    count
 }
 
 /// Replaces branches with constant conditions by the taken path; removes
@@ -223,68 +211,76 @@ fn apply_plan(
 fn simplify_constant_branches(proc: &mut Procedure) -> usize {
     let mut removed = 0usize;
     let mut body = std::mem::take(&mut proc.body);
-    simplify_block(&mut body, &mut removed);
+    simplify_block(proc, &mut body, &mut removed);
     // the quick §8 postpass
-    removed += postpass_block(&mut body);
+    removed += postpass_block(&mut proc.stmts, &mut body);
     proc.body = body;
     removed
 }
 
-fn simplify_block(block: &mut Vec<Stmt>, removed: &mut usize) {
+fn simplify_block(proc: &mut Procedure, block: &mut Block, removed: &mut usize) {
     let mut i = 0;
     while i < block.len() {
-        for b in block[i].blocks_mut() {
-            simplify_block(b, removed);
+        let s = block[i];
+        // recurse into nested blocks (take the kind out so the pool stays
+        // borrowable during the recursion)
+        let mut kind = std::mem::replace(&mut proc.stmts[s], StmtKind::Nop);
+        for b in kind.blocks_mut() {
+            simplify_block(proc, b, removed);
         }
-        let replace: Option<Vec<Stmt>> = match &mut block[i].kind {
+        proc.stmts[s] = kind;
+
+        let replace: Option<Block> = match &proc.stmts[s] {
             StmtKind::If {
                 cond,
                 then_blk,
                 else_blk,
-            } => match const_value(cond) {
-                Some(v) if !cond.has_volatile_load() => {
+            } => match const_value(&proc.exprs[*cond]) {
+                Some(v) if !proc.exprs.has_volatile_load(*cond) => {
                     let (taken, dead) = if v.is_truthy() {
-                        (std::mem::take(then_blk), else_blk.len())
+                        (then_blk.clone(), else_blk)
                     } else {
-                        (std::mem::take(else_blk), then_blk.len())
+                        (else_blk.clone(), then_blk)
                     };
-                    *removed += 1 + titanc_il::block_len(&if v.is_truthy() {
-                        std::mem::take(else_blk)
-                    } else {
-                        std::mem::take(then_blk)
-                    });
-                    let _ = dead;
+                    *removed += 1 + titanc_il::block_len(&proc.stmts, dead);
                     Some(taken)
                 }
                 _ => None,
             },
-            StmtKind::While { cond, body, .. } => match const_value(cond) {
-                Some(v) if !v.is_truthy() && !cond.has_volatile_load() => {
-                    *removed += 1 + titanc_il::block_len(body);
+            StmtKind::While { cond, body, .. } => match const_value(&proc.exprs[*cond]) {
+                Some(v) if !v.is_truthy() && !proc.exprs.has_volatile_load(*cond) => {
+                    *removed += 1 + titanc_il::block_len(&proc.stmts, body);
                     Some(Vec::new())
                 }
                 _ => None,
             },
             StmtKind::DoLoop {
                 lo, hi, step, body, ..
-            } => match (const_value(lo), const_value(hi), const_value(step)) {
-                (Some(l), Some(h), Some(st)) => {
-                    let (l, h, st) = (l.as_int(), h.as_int(), st.as_int());
-                    let zero_trip = st != 0 && ((st > 0 && l > h) || (st < 0 && l < h));
-                    if zero_trip {
-                        *removed += 1 + titanc_il::block_len(body);
-                        Some(Vec::new())
-                    } else {
-                        None
+            } => {
+                let consts = (
+                    const_value(&proc.exprs[*lo]),
+                    const_value(&proc.exprs[*hi]),
+                    const_value(&proc.exprs[*step]),
+                );
+                match consts {
+                    (Some(l), Some(h), Some(st)) => {
+                        let (l, h, st) = (l.as_int(), h.as_int(), st.as_int());
+                        let zero_trip = st != 0 && ((st > 0 && l > h) || (st < 0 && l < h));
+                        if zero_trip {
+                            *removed += 1 + titanc_il::block_len(&proc.stmts, body);
+                            Some(Vec::new())
+                        } else {
+                            None
+                        }
                     }
+                    _ => None,
                 }
-                _ => None,
-            },
-            StmtKind::IfGoto { cond, target } => match const_value(cond) {
-                Some(v) if !cond.has_volatile_load() => {
+            }
+            StmtKind::IfGoto { cond, target } => match const_value(&proc.exprs[*cond]) {
+                Some(v) if !proc.exprs.has_volatile_load(*cond) => {
                     if v.is_truthy() {
                         let t = *target;
-                        block[i].kind = StmtKind::Goto(t);
+                        proc.stmts[s] = StmtKind::Goto(t);
                         None
                     } else {
                         *removed += 1;
@@ -311,7 +307,7 @@ fn simplify_block(block: &mut Vec<Stmt>, removed: &mut usize) {
 /// but cheap. Returns statements removed.
 pub fn unreachable_postpass(proc: &mut Procedure) -> usize {
     let mut body = std::mem::take(&mut proc.body);
-    let removed = postpass_block(&mut body);
+    let removed = postpass_block(&mut proc.stmts, &mut body);
     proc.body = body;
     if removed > 0 {
         proc.bump_generation();
@@ -319,23 +315,28 @@ pub fn unreachable_postpass(proc: &mut Procedure) -> usize {
     removed
 }
 
-fn postpass_block(block: &mut Vec<Stmt>) -> usize {
+fn postpass_block(stmts: &mut StmtPool, block: &mut Block) -> usize {
     let mut removed = 0;
-    for s in block.iter_mut() {
-        for b in s.blocks_mut() {
-            removed += postpass_block(b);
+    for &s in block.iter() {
+        let mut kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
+        for b in kind.blocks_mut() {
+            removed += postpass_block(stmts, b);
         }
+        stmts[s] = kind;
     }
     let mut i = 0;
     while i < block.len() {
-        let is_jump = matches!(block[i].kind, StmtKind::Goto(_) | StmtKind::Return(_));
+        let is_jump = matches!(stmts[block[i]], StmtKind::Goto(_) | StmtKind::Return(_));
         if is_jump {
             let mut j = i + 1;
-            while j < block.len() && !matches!(block[j].kind, StmtKind::Label(_)) {
+            while j < block.len() && !matches!(stmts[block[j]], StmtKind::Label(_)) {
                 j += 1;
             }
             if j > i + 1 {
-                removed += block[i + 1..j].iter().map(Stmt::tree_len).sum::<usize>();
+                removed += block[i + 1..j]
+                    .iter()
+                    .map(|&s| stmts.tree_len(s))
+                    .sum::<usize>();
                 block.drain(i + 1..j);
             }
         }
@@ -355,7 +356,7 @@ pub fn eliminate_unreachable_cfg(proc: &mut Procedure) -> usize {
     }
     let mut removed = 0;
     let mut body = std::mem::take(&mut proc.body);
-    remove_ids(&mut body, &dead_ids, &mut removed);
+    remove_ids(&mut proc.stmts, &mut body, &dead_ids, &mut removed);
     proc.body = body;
     if removed > 0 {
         proc.bump_generation();
@@ -363,14 +364,16 @@ pub fn eliminate_unreachable_cfg(proc: &mut Procedure) -> usize {
     removed
 }
 
-fn remove_ids(block: &mut Vec<Stmt>, ids: &[StmtId], removed: &mut usize) {
-    for s in block.iter_mut() {
-        for b in s.blocks_mut() {
-            remove_ids(b, ids, removed);
+fn remove_ids(stmts: &mut StmtPool, block: &mut Block, ids: &[StmtId], removed: &mut usize) {
+    for &s in block.iter() {
+        let mut kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
+        for b in kind.blocks_mut() {
+            remove_ids(stmts, b, ids, removed);
         }
+        stmts[s] = kind;
     }
     let before = block.len();
-    block.retain(|s| !ids.contains(&s.id));
+    block.retain(|s| !ids.contains(s));
     *removed += before - block.len();
 }
 

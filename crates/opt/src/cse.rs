@@ -13,9 +13,14 @@
 //! sections): they can be hoisted to the first occurrence without regard
 //! to memory effects. Candidate windows end at control-flow statements and
 //! at redefinitions of any variable the expression reads.
+//!
+//! Candidates are compared *structurally* ([`ExprPool::expr_eq`]), so the
+//! arena layout of equal subtrees is irrelevant; the commoned definition
+//! gets a detached deep copy of the subtree so later slot rewrites of the
+//! occurrences cannot disturb it.
 
 use crate::util::register_candidate;
-use titanc_il::{Expr, LValue, Procedure, Stmt, StmtKind, Type, VarId};
+use titanc_il::{Block, Expr, ExprId, ExprPool, LValue, Procedure, StmtId, StmtKind, Type, VarId};
 
 /// CSE statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -49,9 +54,9 @@ pub fn local_cse(proc: &mut Procedure) -> CseReport {
     report
 }
 
-fn is_barrier(s: &Stmt) -> bool {
+fn is_barrier(kind: &StmtKind) -> bool {
     matches!(
-        s.kind,
+        kind,
         StmtKind::Label(_)
             | StmtKind::Goto(_)
             | StmtKind::IfGoto { .. }
@@ -60,28 +65,30 @@ fn is_barrier(s: &Stmt) -> bool {
     )
 }
 
-fn run_block(proc: &mut Procedure, block: &mut Vec<Stmt>, report: &mut CseReport) {
+fn run_block(proc: &mut Procedure, block: &mut Block, report: &mut CseReport) {
     // nested blocks first
-    for s in block.iter_mut() {
-        for b in s.blocks_mut() {
+    for &s in block.iter() {
+        let mut kind = std::mem::replace(&mut proc.stmts[s], StmtKind::Nop);
+        for b in kind.blocks_mut() {
             run_block(proc, b, report);
         }
+        proc.stmts[s] = kind;
     }
     let mut i = 0;
     while i < block.len() {
-        if is_barrier(&block[i]) {
+        if is_barrier(&proc.stmts[block[i]]) {
             i += 1;
             continue;
         }
         // candidate subexpressions of statement i, largest first
-        let mut cands: Vec<Expr> = Vec::new();
-        for e in block[i].exprs() {
-            collect_candidates(e, &mut cands);
+        let mut cands: Vec<ExprId> = Vec::new();
+        for e in proc.stmts[block[i]].exprs() {
+            collect_candidates(&proc.exprs, e, &mut cands);
         }
-        cands.sort_by_key(|e| std::cmp::Reverse(e.size()));
+        cands.sort_by_key(|&e| std::cmp::Reverse(proc.exprs.size(e)));
         let mut did = false;
         for cand in cands {
-            if try_common(proc, block, i, &cand, report) {
+            if try_common(proc, block, i, cand, report) {
                 did = true;
                 break; // statement i changed; rescan it
             }
@@ -93,40 +100,46 @@ fn run_block(proc: &mut Procedure, block: &mut Vec<Stmt>, report: &mut CseReport
 }
 
 /// Pure, load-free subexpressions worth commoning (size ≥ 3).
-fn collect_candidates(e: &Expr, out: &mut Vec<Expr>) {
-    if e.size() >= 3 && is_pure_register_expr(e) && !out.contains(e) {
-        out.push(e.clone());
+fn collect_candidates(exprs: &ExprPool, e: ExprId, out: &mut Vec<ExprId>) {
+    if exprs.size(e) >= 3
+        && is_pure_register_expr(exprs, e)
+        && !out.iter().any(|&o| exprs.expr_eq(o, exprs, e))
+    {
+        out.push(e);
     }
-    for c in e.children() {
-        collect_candidates(c, out);
+    for c in exprs[e].child_ids() {
+        collect_candidates(exprs, c, out);
     }
 }
 
-fn is_pure_register_expr(e: &Expr) -> bool {
-    match e {
+fn is_pure_register_expr(exprs: &ExprPool, e: ExprId) -> bool {
+    match exprs[e] {
         Expr::Load { .. } | Expr::Section { .. } => false,
-        _ => e.children().iter().all(|c| is_pure_register_expr(c)),
+        _ => exprs[e]
+            .child_ids()
+            .into_iter()
+            .all(|c| is_pure_register_expr(exprs, c)),
     }
 }
 
 /// Counts occurrences of `cand` in an expression tree.
-fn count_occurrences(e: &Expr, cand: &Expr) -> usize {
-    let mine = usize::from(e == cand);
-    mine + e
-        .children()
-        .iter()
-        .map(|c| count_occurrences(c, cand))
+fn count_occurrences(exprs: &ExprPool, e: ExprId, cand: ExprId) -> usize {
+    let mine = usize::from(exprs.expr_eq(e, exprs, cand));
+    mine + exprs[e]
+        .child_ids()
+        .into_iter()
+        .map(|c| count_occurrences(exprs, c, cand))
         .sum::<usize>()
 }
 
-fn replace_occurrences(e: &mut Expr, cand: &Expr, with: &Expr) -> usize {
-    if e == cand {
-        *e = with.clone();
+fn replace_occurrences(exprs: &mut ExprPool, e: ExprId, cand: ExprId, t: VarId) -> usize {
+    if exprs.expr_eq(e, exprs, cand) {
+        exprs[e] = Expr::Var(t);
         return 1;
     }
     let mut n = 0;
-    for c in e.children_mut() {
-        n += replace_occurrences(c, cand, with);
+    for c in exprs[e].child_ids() {
+        n += replace_occurrences(exprs, c, cand, t);
     }
     n
 }
@@ -135,12 +148,12 @@ fn replace_occurrences(e: &mut Expr, cand: &Expr, with: &Expr) -> usize {
 /// its valid window. Returns true when a rewrite happened.
 fn try_common(
     proc: &mut Procedure,
-    block: &mut Vec<Stmt>,
+    block: &mut Block,
     start: usize,
-    cand: &Expr,
+    cand_orig: ExprId,
     report: &mut CseReport,
 ) -> bool {
-    let deps: Vec<VarId> = cand.vars_read();
+    let deps: Vec<VarId> = proc.exprs.vars_read(cand_orig);
     if deps.iter().any(|&v| !register_candidate(proc, v)) {
         return false;
     }
@@ -149,31 +162,31 @@ fn try_common(
     // — occurrences in later statements then see a different value)
     let mut end = start;
     let mut total = 0usize;
-    for (j, s) in block.iter().enumerate().skip(start) {
-        if j > start && is_barrier(s) {
+    for (j, &s) in block.iter().enumerate().skip(start) {
+        if j > start && is_barrier(&proc.stmts[s]) {
             break;
         }
         // count occurrences in this statement (top-level exprs only; the
         // nested blocks of an If/loop may execute conditionally but the
         // candidate is pure, so replacing there is still sound as long as
         // deps are not redefined inside)
-        let nested_safe = s
-            .blocks()
-            .iter()
-            .all(|b| deps.iter().all(|&v| !crate::util::defined_in(b, v)));
+        let nested_safe = proc.stmts[s].blocks().iter().all(|b| {
+            deps.iter()
+                .all(|&v| !crate::util::defined_in(&proc.stmts, b, v))
+        });
         if !nested_safe {
             // stop before descending into a block that redefines deps
-            total += s
+            total += proc.stmts[s]
                 .exprs()
                 .iter()
-                .map(|e| count_occurrences(e, cand))
+                .map(|&e| count_occurrences(&proc.exprs, e, cand_orig))
                 .sum::<usize>();
             end = j;
             break;
         }
-        total += count_in_stmt(s, cand);
+        total += count_in_stmt(proc, s, cand_orig);
         end = j;
-        if deps.iter().any(|&v| s.defined_var() == Some(v)) {
+        if deps.iter().any(|&v| proc.stmts[s].defined_var() == Some(v)) {
             break;
         }
     }
@@ -181,9 +194,11 @@ fn try_common(
         return false;
     }
 
-    // materialize: t = cand, inserted before `start`
-    let kind = cand.result_type(&|v| proc.var_scalar(v));
-    let t = proc.fresh_temp(match kind {
+    // materialize: t = cand, inserted before `start`. The definition keeps
+    // a detached deep copy so replacing the occurrences (including the
+    // original subtree) cannot corrupt it.
+    let scalar = proc.exprs.result_type(cand_orig, &|v| proc.var_scalar(v));
+    let t = proc.fresh_temp(match scalar {
         titanc_il::ScalarType::Char => Type::Char,
         titanc_il::ScalarType::Int => Type::Int,
         titanc_il::ScalarType::Float => Type::Float,
@@ -191,15 +206,15 @@ fn try_common(
         titanc_il::ScalarType::Ptr => Type::ptr_to(Type::Void),
     });
     proc.var_mut(t).name = format!("cse_{}", t.index());
+    let cand = proc.exprs.copy(cand_orig);
     let def = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(t),
-        rhs: cand.clone(),
+        rhs: cand,
     });
-    let with = Expr::var(t);
     let mut replaced = 0;
-    for s in block.iter_mut().take(end + 1).skip(start) {
-        replaced += replace_in_stmt(s, cand, &with);
-        if deps.iter().any(|&v| s.defined_var() == Some(v)) {
+    for &s in block.iter().take(end + 1).skip(start) {
+        replaced += replace_in_stmt(proc, s, cand, t);
+        if deps.iter().any(|&v| proc.stmts[s].defined_var() == Some(v)) {
             break;
         }
     }
@@ -209,25 +224,32 @@ fn try_common(
     true
 }
 
-fn count_in_stmt(s: &Stmt, cand: &Expr) -> usize {
-    let mut n: usize = s.exprs().iter().map(|e| count_occurrences(e, cand)).sum();
-    for b in s.blocks() {
-        for inner in b {
-            n += count_in_stmt(inner, cand);
+fn count_in_stmt(proc: &Procedure, s: StmtId, cand: ExprId) -> usize {
+    let mut n: usize = proc.stmts[s]
+        .exprs()
+        .iter()
+        .map(|&e| count_occurrences(&proc.exprs, e, cand))
+        .sum();
+    for b in proc.stmts[s].blocks() {
+        for &inner in b {
+            n += count_in_stmt(proc, inner, cand);
         }
     }
     n
 }
 
-fn replace_in_stmt(s: &mut Stmt, cand: &Expr, with: &Expr) -> usize {
+fn replace_in_stmt(proc: &mut Procedure, s: StmtId, cand: ExprId, t: VarId) -> usize {
     let mut n = 0;
-    for e in s.exprs_mut() {
-        n += replace_occurrences(e, cand, with);
+    for e in proc.stmts[s].exprs() {
+        n += replace_occurrences(&mut proc.exprs, e, cand, t);
     }
-    for b in s.blocks_mut() {
-        for inner in b {
-            n += replace_in_stmt(inner, cand, with);
-        }
+    let nested: Vec<StmtId> = proc.stmts[s]
+        .blocks()
+        .iter()
+        .flat_map(|b| b.iter().copied())
+        .collect();
+    for inner in nested {
+        n += replace_in_stmt(proc, inner, cand, t);
     }
     n
 }

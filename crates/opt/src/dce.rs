@@ -9,7 +9,7 @@
 //! fixpoint.
 
 use titanc_analysis::{Liveness, ProcAnalyses};
-use titanc_il::{LValue, Procedure, Stmt, StmtKind};
+use titanc_il::{Block, LValue, Procedure, StmtId, StmtKind, StmtPool};
 
 /// Resource budget: maximum fixpoint rounds per procedure. Hitting the cap
 /// is sound (every completed round leaves verified IL) but is reported so
@@ -60,9 +60,7 @@ pub fn eliminate_dead_code_cached(proc: &mut Procedure, analyses: &mut ProcAnaly
 
         // liveness-driven dead stores
         let live = analyses.liveness(proc);
-        let mut body = std::mem::take(&mut proc.body);
-        kill_dead_stores(&live, &mut body, &mut removed);
-        proc.body = body;
+        kill_dead_stores(&live, proc, &mut removed);
 
         // faint variables: dead self-feeding counters (`waste = waste+1`)
         removed += eliminate_faint(proc);
@@ -86,21 +84,23 @@ pub fn eliminate_dead_code_cached(proc: &mut Procedure, analyses: &mut ProcAnaly
     report
 }
 
-fn kill_dead_stores(live: &Liveness, block: &mut [Stmt], removed: &mut usize) {
-    for s in block.iter_mut() {
-        for b in s.blocks_mut() {
-            kill_dead_stores(live, b, removed);
-        }
+fn kill_dead_stores(live: &Liveness, proc: &mut Procedure, removed: &mut usize) {
+    // decide first (shared walk), rewrite after: slot rewrites to Nop
+    let mut dead: Vec<StmtId> = Vec::new();
+    proc.for_each_stmt(&mut |s, kind| {
         if let StmtKind::Assign {
             lhs: LValue::Var(v),
             rhs,
-        } = &s.kind
+        } = kind
         {
-            if !rhs.has_volatile_load() && !live.live_after(s.id, *v) {
-                s.kind = StmtKind::Nop;
-                *removed += 1;
+            if !proc.exprs.has_volatile_load(*rhs) && !live.live_after(s, *v) {
+                dead.push(s);
             }
         }
+    });
+    for s in dead {
+        proc.stmts[s] = StmtKind::Nop;
+        *removed += 1;
     }
 }
 
@@ -118,28 +118,28 @@ fn eliminate_faint(proc: &mut Procedure) -> usize {
     // contributes[v] = vars read by assignments defining v
     let mut contributes: Vec<(VarId, Vec<VarId>)> = Vec::new();
     let mut needed: HashSet<VarId> = HashSet::new();
-    proc.for_each_stmt(&mut |s| match &s.kind {
+    proc.for_each_stmt(&mut |_, kind| match kind {
         StmtKind::Assign {
             lhs: LValue::Var(v),
             rhs,
-        } if register_candidate(proc, *v) && !rhs.has_volatile_load() => {
-            contributes.push((*v, rhs.vars_read()));
+        } if register_candidate(proc, *v) && !proc.exprs.has_volatile_load(*rhs) => {
+            contributes.push((*v, proc.exprs.vars_read(*rhs)));
         }
         StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => {
             // the loop's own counter drives iteration
             needed.insert(*var);
-            for e in s.exprs() {
-                needed.extend(e.vars_read());
+            for e in kind.exprs() {
+                needed.extend(proc.exprs.vars_read(e));
             }
         }
         _ => {
-            for e in s.exprs() {
-                needed.extend(e.vars_read());
+            for e in kind.exprs() {
+                needed.extend(proc.exprs.vars_read(e));
             }
             if let StmtKind::Call {
                 dst: Some(LValue::Var(v)),
                 ..
-            } = &s.kind
+            } = kind
             {
                 // a call result must stay receivable
                 needed.insert(*v);
@@ -161,33 +161,25 @@ fn eliminate_faint(proc: &mut Procedure) -> usize {
         }
     }
     // remove assignments to unneeded candidates
-    let mut removed = 0;
-    let mut body = std::mem::take(&mut proc.body);
-    fn kill(
-        block: &mut [Stmt],
-        proc: &Procedure,
-        needed: &std::collections::HashSet<titanc_il::VarId>,
-        removed: &mut usize,
-    ) {
-        use crate::util::register_candidate;
-        for s in block.iter_mut() {
-            for b in s.blocks_mut() {
-                kill(b, proc, needed, removed);
-            }
-            if let StmtKind::Assign {
-                lhs: LValue::Var(v),
-                rhs,
-            } = &s.kind
+    let mut dead: Vec<StmtId> = Vec::new();
+    proc.for_each_stmt(&mut |s, kind| {
+        if let StmtKind::Assign {
+            lhs: LValue::Var(v),
+            rhs,
+        } = kind
+        {
+            if register_candidate(proc, *v)
+                && !needed.contains(v)
+                && !proc.exprs.has_volatile_load(*rhs)
             {
-                if register_candidate(proc, *v) && !needed.contains(v) && !rhs.has_volatile_load() {
-                    s.kind = StmtKind::Nop;
-                    *removed += 1;
-                }
+                dead.push(s);
             }
         }
+    });
+    let removed = dead.len();
+    for s in dead {
+        proc.stmts[s] = StmtKind::Nop;
     }
-    kill(&mut body, proc, &needed, &mut removed);
-    proc.body = body;
     removed
 }
 
@@ -197,49 +189,60 @@ fn eliminate_faint(proc: &mut Procedure) -> usize {
 pub fn sweep(proc: &mut Procedure) -> usize {
     // collect referenced labels
     let mut referenced = Vec::new();
-    proc.for_each_stmt(&mut |s| match s.kind {
-        StmtKind::Goto(l) | StmtKind::IfGoto { target: l, .. } => referenced.push(l),
+    proc.for_each_stmt(&mut |_, kind| match kind {
+        StmtKind::Goto(l) | StmtKind::IfGoto { target: l, .. } => referenced.push(*l),
         _ => {}
     });
     let mut removed = 0;
     let mut body = std::mem::take(&mut proc.body);
-    sweep_block(&mut body, &referenced, &mut removed);
+    sweep_block(proc, &mut body, &referenced, &mut removed);
     proc.body = body;
     removed
 }
 
-fn sweep_block(block: &mut Vec<Stmt>, referenced: &[titanc_il::LabelId], removed: &mut usize) {
-    for s in block.iter_mut() {
-        for b in s.blocks_mut() {
-            sweep_block(b, referenced, removed);
+fn sweep_block(
+    proc: &mut Procedure,
+    block: &mut Block,
+    referenced: &[titanc_il::LabelId],
+    removed: &mut usize,
+) {
+    for &s in block.iter() {
+        let mut kind = std::mem::replace(&mut proc.stmts[s], StmtKind::Nop);
+        for b in kind.blocks_mut() {
+            sweep_block(proc, b, referenced, removed);
         }
-        let kill = match &s.kind {
+        proc.stmts[s] = kind;
+        let kill = match &proc.stmts[s] {
             StmtKind::Label(l) => !referenced.contains(l),
             StmtKind::If {
                 cond,
                 then_blk,
                 else_blk,
-            } => then_blk.is_empty() && else_blk.is_empty() && !cond.has_volatile_load(),
+            } => then_blk.is_empty() && else_blk.is_empty() && !proc.exprs.has_volatile_load(*cond),
             StmtKind::DoLoop {
                 body, lo, hi, step, ..
             } => {
                 body.is_empty()
-                    && !lo.has_volatile_load()
-                    && !hi.has_volatile_load()
-                    && !step.has_volatile_load()
+                    && !proc.exprs.has_volatile_load(*lo)
+                    && !proc.exprs.has_volatile_load(*hi)
+                    && !proc.exprs.has_volatile_load(*step)
             }
             _ => false,
         };
         if kill {
-            s.kind = StmtKind::Nop;
+            proc.stmts[s] = StmtKind::Nop;
             *removed += 1;
         }
     }
     let before = block.len();
-    block.retain(|s| !matches!(s.kind, StmtKind::Nop));
+    retain_non_nops(&proc.stmts, block);
     // Nops already counted when created by this pass; count only the
     // pre-existing ones swept here.
     *removed += before - block.len();
+}
+
+fn retain_non_nops(stmts: &StmtPool, block: &mut Block) {
+    block.retain(|&s| !matches!(stmts[s], StmtKind::Nop));
 }
 
 #[cfg(test)]
@@ -296,7 +299,7 @@ mod tests {
         let l = proc.fresh_label();
         proc.push(StmtKind::Label(l));
         eliminate_dead_code(&mut proc);
-        let has_label = proc.any_stmt(|s| matches!(s.kind, StmtKind::Label(_)));
+        let has_label = proc.any_stmt(|_, k| matches!(k, StmtKind::Label(_)));
         assert!(!has_label);
     }
 

@@ -11,9 +11,14 @@
 //! expression reads; expressions containing (non-volatile) loads
 //! additionally stop at stores and calls. Expressions with volatile loads
 //! never move.
+//!
+//! Substituted reads get a *deep copy* of the defining expression per
+//! occurrence ([`titanc_il::ExprPool::substitute_var`]), preserving the
+//! no-shared-slots invariant; the replaced `Var` nodes become arena
+//! garbage swept at the next compaction point.
 
-use crate::util::{defined_in, register_candidate};
-use titanc_il::{Expr, LValue, Procedure, Stmt, StmtKind, VarId};
+use crate::util::{defined_in, register_candidate, replace_reads};
+use titanc_il::{Block, LValue, Procedure, StmtId, StmtKind, StmtPool, VarId};
 
 /// Substitution statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -35,98 +40,88 @@ titanc_il::struct_json!(ForwardReport, [substituted]);
 /// Runs forward substitution over every block of the procedure.
 pub fn forward_substitute(proc: &mut Procedure) -> ForwardReport {
     let mut report = ForwardReport::default();
-    let mut body = std::mem::take(&mut proc.body);
-    run_block(proc, &mut body, &mut report);
-    proc.body = body;
+    let body = proc.body.clone();
+    run_block(proc, &body, &mut report);
     if report.substituted > 0 {
         proc.bump_generation();
     }
     report
 }
 
-fn run_block(proc: &Procedure, block: &mut [Stmt], report: &mut ForwardReport) {
-    // recurse into nested blocks first
-    for s in block.iter_mut() {
-        for b in s.blocks_mut() {
+fn run_block(proc: &mut Procedure, block: &[StmtId], report: &mut ForwardReport) {
+    // recurse into nested blocks first (no structural edits: id lists are
+    // cloned, statement kinds stay in place)
+    for &s in block {
+        let nested: Vec<Block> = proc.stmts[s].blocks().iter().map(|b| b.to_vec()).collect();
+        for b in &nested {
             run_block(proc, b, report);
         }
     }
     let len = block.len();
     for i in 0..len {
-        let (x, rhs) = match &block[i].kind {
+        let (x, rhs) = match &proc.stmts[block[i]] {
             StmtKind::Assign {
                 lhs: LValue::Var(x),
                 rhs,
-            } => (*x, rhs.clone()),
+            } => (*x, *rhs),
             _ => continue,
         };
         if !register_candidate(proc, x) {
             continue;
         }
-        if rhs.has_volatile_load() || rhs.has_section() {
+        if proc.exprs.has_volatile_load(rhs) || proc.exprs.has_section(rhs) {
             continue;
         }
-        if rhs.reads_var(x) {
+        if proc.exprs.reads_var(rhs, x) {
             continue; // x = f(x): nothing to forward
         }
         // avoid exponential growth: cap the substituted expression size
-        if rhs.size() > 24 {
+        if proc.exprs.size(rhs) > 24 {
             continue;
         }
-        let deps: Vec<VarId> = rhs.vars_read();
-        let has_loads = rhs.has_load();
+        let deps: Vec<VarId> = proc.exprs.vars_read(rhs);
+        let has_loads = proc.exprs.has_load(rhs);
         let mut j = i + 1;
         while j < len {
+            let s = block[j];
             // control-flow joins and departures end the straight-line
             // window: a label may be reached from elsewhere (the def does
             // not dominate it), and nothing after an unconditional goto is
             // reached by fallthrough.
-            if matches!(block[j].kind, StmtKind::Label(_) | StmtKind::Goto(_)) {
+            if matches!(proc.stmts[s], StmtKind::Label(_) | StmtKind::Goto(_)) {
                 break;
             }
-            // a statement may read x before (possibly) redefining it
-            let stmt = &mut block[j];
 
             // nested blocks: only substitute inside when the block cannot
-            // invalidate the expression or x
-            let nested_safe = {
-                let blocks = stmt.blocks();
-                blocks.iter().all(|b| {
-                    !defined_in(b, x)
-                        && deps.iter().all(|&d| !defined_in(b, d))
-                        && (!has_loads || !block_may_write_memory(b))
-                })
-            };
-
-            // substitute reads in the statement's own expressions
-            if nested_safe || stmt.blocks().is_empty() {
-                for e in stmt.exprs_mut() {
-                    report.substituted += e.substitute_var(x, &rhs);
-                }
-            } else {
+            // invalidate the expression or x (vacuously true for
+            // straight-line statements)
+            let nested_safe = proc.stmts[s].blocks().iter().all(|b| {
+                !defined_in(&proc.stmts, b, x)
+                    && deps.iter().all(|&d| !defined_in(&proc.stmts, b, d))
+                    && (!has_loads || !block_may_write_memory(&proc.stmts, b))
+            });
+            if !nested_safe {
                 // cannot see through the nested block: stop
                 break;
             }
-            if nested_safe && !stmt.blocks().is_empty() {
-                for b in stmt.blocks_mut() {
-                    report.substituted += subst_in_block(b, x, &rhs);
-                }
-            }
 
-            // stop conditions, evaluated after the reads of stmt j
-            let stmt = &block[j];
-            if stmt.defined_var() == Some(x) {
-                break;
-            }
-            if stmt.blocks().iter().any(|b| defined_in(b, x)) {
+            // a statement may read x before (possibly) redefining it;
+            // substitute first, then evaluate the stop conditions
+            report.substituted += replace_reads(&proc.stmts, &mut proc.exprs, s, x, rhs);
+
+            let kind = &proc.stmts[s];
+            if kind.defined_var() == Some(x)
+                || kind.blocks().iter().any(|b| defined_in(&proc.stmts, b, x))
+            {
                 break;
             }
             if deps.iter().any(|&d| {
-                stmt.defined_var() == Some(d) || stmt.blocks().iter().any(|b| defined_in(b, d))
+                kind.defined_var() == Some(d)
+                    || kind.blocks().iter().any(|b| defined_in(&proc.stmts, b, d))
             }) {
                 break;
             }
-            if has_loads && stmt_may_write_memory(stmt) {
+            if has_loads && stmt_may_write_memory(&proc.stmts, s) {
                 break;
             }
             j += 1;
@@ -134,25 +129,16 @@ fn run_block(proc: &Procedure, block: &mut [Stmt], report: &mut ForwardReport) {
     }
 }
 
-fn subst_in_block(block: &mut [Stmt], x: VarId, rhs: &Expr) -> usize {
-    let mut n = 0;
-    for s in block {
-        for e in s.exprs_mut() {
-            n += e.substitute_var(x, rhs);
-        }
-        for b in s.blocks_mut() {
-            n += subst_in_block(b, x, rhs);
-        }
-    }
-    n
+fn stmt_may_write_memory(pool: &StmtPool, s: StmtId) -> bool {
+    pool[s].writes_memory()
+        || pool[s]
+            .blocks()
+            .iter()
+            .any(|b| block_may_write_memory(pool, b))
 }
 
-fn stmt_may_write_memory(s: &Stmt) -> bool {
-    s.writes_memory() || s.blocks().iter().any(|b| block_may_write_memory(b))
-}
-
-fn block_may_write_memory(block: &[Stmt]) -> bool {
-    block.iter().any(stmt_may_write_memory)
+fn block_may_write_memory(pool: &StmtPool, block: &[StmtId]) -> bool {
+    block.iter().any(|&s| stmt_may_write_memory(pool, s))
 }
 
 #[cfg(test)]

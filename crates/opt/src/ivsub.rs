@@ -15,9 +15,17 @@
 //! blocked are re-examined. Backtracking therefore only happens when it is
 //! guaranteed to make progress, and the common case is a single pass —
 //! worst case `n` passes over the loop (§5.3).
+//!
+//! Arena discipline: the loop bounds and increment referenced by the plan
+//! are subtrees of the surviving loop header/body, so every derived affine
+//! tree is built from *deep copies*; the per-occurrence copies made by
+//! [`titanc_il::ExprPool::substitute_var`] keep replacement sites disjoint.
 
 use crate::util::{invariant_in, register_candidate, resolve_copy};
-use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtKind, Type, VarId};
+use titanc_il::{
+    BinOp, Block, Expr, ExprId, ExprPool, LValue, Procedure, ScalarType, StmtId, StmtKind,
+    StmtPool, Type, VarId,
+};
 
 /// Resource budget: maximum scan passes per loop (worst case is `n`
 /// passes for a body of `n` statements, §5.3). Hitting the cap is sound —
@@ -65,7 +73,7 @@ pub fn induction_substitution(proc: &mut Procedure) -> IvSubReport {
     let mut report = IvSubReport::default();
     // Collect DO-loop ids; process innermost-first (postorder).
     let mut loop_ids = Vec::new();
-    collect_do_loops_postorder(&proc.body, &mut loop_ids);
+    collect_do_loops_postorder(&proc.stmts, &proc.body, &mut loop_ids);
     for id in loop_ids {
         substitute_in_loop(proc, id, &mut report);
     }
@@ -75,24 +83,26 @@ pub fn induction_substitution(proc: &mut Procedure) -> IvSubReport {
     report
 }
 
-fn collect_do_loops_postorder(block: &[Stmt], out: &mut Vec<titanc_il::StmtId>) {
-    for s in block {
-        for b in s.blocks() {
-            collect_do_loops_postorder(b, out);
+fn collect_do_loops_postorder(pool: &StmtPool, block: &[StmtId], out: &mut Vec<StmtId>) {
+    for &s in block {
+        for b in pool[s].blocks() {
+            collect_do_loops_postorder(pool, b, out);
         }
         if matches!(
-            s.kind,
+            pool[s],
             StmtKind::DoLoop { .. } | StmtKind::DoParallel { .. }
         ) {
-            out.push(s.id);
+            out.push(s);
         }
     }
 }
 
+/// The loop header slots; `lo`/`hi` are the DoLoop's own expressions (read
+/// shared, deep-copied into derived trees).
 struct LoopShape {
     lv: VarId,
-    lo: Expr,
-    hi: Expr,
+    lo: ExprId,
+    hi: ExprId,
     step: i64,
 }
 
@@ -100,11 +110,18 @@ struct LoopShape {
 struct Candidate {
     v: VarId,
     def_pos: usize,
-    /// signed increment expression (already negated for `-=` forms)
-    inc: Expr,
+    /// signed increment (a subtree of the body's step statement)
+    inc: IncPlan,
 }
 
-fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: &mut IvSubReport) {
+/// How to materialize the increment; `Neg` defers the negation allocation
+/// so candidate discovery stays `&Procedure`.
+enum IncPlan {
+    Pos(ExprId),
+    Neg(ExprId),
+}
+
+fn substitute_in_loop(proc: &mut Procedure, loop_id: StmtId, report: &mut IvSubReport) {
     // repeat until no candidate substitutes; the worklist effect of
     // blocking/backtracking is realized by the re-scan, and `backtracks`
     // counts successes after the first pass.
@@ -129,8 +146,8 @@ fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: 
         }
     }
     if loop_subs > 0 {
-        if let Some(s) = proc.find_stmt(loop_id) {
-            let var = match &s.kind {
+        if let Some(kind) = proc.find_stmt(loop_id) {
+            let var = match kind {
                 StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => {
                     proc.var(*var).name.clone()
                 }
@@ -139,7 +156,7 @@ fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: 
             report.events.push(titanc_il::LoopEvent {
                 proc: proc.name.clone(),
                 var,
-                span: s.span,
+                span: proc.stmts.span(loop_id),
                 decision: titanc_il::LoopDecision::IvSubstituted {
                     substituted: loop_subs,
                 },
@@ -150,15 +167,9 @@ fn substitute_in_loop(proc: &mut Procedure, loop_id: titanc_il::StmtId, report: 
 
 /// Performs one scan over the loop, substituting every currently-unblocked
 /// candidate. Returns the number substituted.
-fn one_pass(proc: &mut Procedure, loop_id: titanc_il::StmtId) -> usize {
-    let shape;
-    let body_snapshot;
-    {
-        let s = match proc.find_stmt(loop_id) {
-            Some(s) => s,
-            None => return 0,
-        };
-        let (var, lo, hi, step, body) = match &s.kind {
+fn one_pass(proc: &mut Procedure, loop_id: StmtId) -> usize {
+    let (var, lo, hi, step, body) = match proc.find_stmt(loop_id) {
+        Some(
             StmtKind::DoLoop {
                 var,
                 lo,
@@ -173,26 +184,25 @@ fn one_pass(proc: &mut Procedure, loop_id: titanc_il::StmtId) -> usize {
                 hi,
                 step,
                 body,
-            } => (*var, lo.clone(), hi.clone(), step.clone(), body.clone()),
-            _ => return 0,
-        };
-        let step_c = match step.as_int() {
-            Some(c) if c != 0 => c,
-            _ => return 0, // symbolic stride: no substitution
-        };
-        if !invariant_in(proc, &body, &lo) || !invariant_in(proc, &body, &hi) {
-            return 0;
-        }
-        shape = LoopShape {
-            lv: var,
-            lo,
-            hi,
-            step: step_c,
-        };
-        body_snapshot = body;
+            },
+        ) => (*var, *lo, *hi, *step, body.clone()),
+        _ => return 0,
+    };
+    let step_c = match proc.exprs.as_int(step) {
+        Some(c) if c != 0 => c,
+        _ => return 0, // symbolic stride: no substitution
+    };
+    if !invariant_in(proc, &body, lo) || !invariant_in(proc, &body, hi) {
+        return 0;
     }
+    let shape = LoopShape {
+        lv: var,
+        lo,
+        hi,
+        step: step_c,
+    };
 
-    let candidates = find_candidates(proc, &shape, &body_snapshot);
+    let candidates = find_candidates(proc, &shape, &body);
     if candidates.is_empty() {
         return 0;
     }
@@ -207,10 +217,10 @@ fn one_pass(proc: &mut Procedure, loop_id: titanc_il::StmtId) -> usize {
 
 /// Finds unblocked candidates: single top-level def `v = origin ± c` where
 /// the origin resolves to `v` through copies and `c` is loop-invariant.
-fn find_candidates(proc: &Procedure, shape: &LoopShape, body: &[Stmt]) -> Vec<Candidate> {
+fn find_candidates(proc: &Procedure, shape: &LoopShape, body: &[StmtId]) -> Vec<Candidate> {
     let mut out = Vec::new();
-    for (pos, s) in body.iter().enumerate() {
-        let v = match s.defined_var() {
+    for (pos, &s) in body.iter().enumerate() {
+        let v = match proc.stmts[s].defined_var() {
             Some(v) => v,
             None => continue,
         };
@@ -218,40 +228,44 @@ fn find_candidates(proc: &Procedure, shape: &LoopShape, body: &[Stmt]) -> Vec<Ca
             continue;
         }
         // single def across the whole body
-        let total_defs = count_defs(body, v);
-        if total_defs != 1 {
+        if count_defs(&proc.stmts, body, v) != 1 {
             continue;
         }
-        let (op, lhs, rhs) = match &s.kind {
+        let rhs = match &proc.stmts[s] {
             StmtKind::Assign {
                 lhs: LValue::Var(_),
-                rhs: Expr::Binary { op, lhs, rhs, .. },
-            } => (*op, lhs, rhs),
+                rhs,
+            } => *rhs,
             _ => continue,
         };
-        let resolve = |e: &Expr| match e {
-            Expr::Var(w) => Some(resolve_copy(proc, body, pos, *w)),
+        let (op, lhs, rhs) = match proc.exprs[rhs] {
+            Expr::Binary { op, lhs, rhs, .. } => (op, lhs, rhs),
+            _ => continue,
+        };
+        let resolve = |e: ExprId| match proc.exprs[e] {
+            Expr::Var(w) => Some(resolve_copy(proc, body, pos, w)),
             _ => None,
         };
         let (origin_l, origin_r) = (resolve(lhs), resolve(rhs));
-        let (inc, _other_is_left) = match op {
-            BinOp::Add if origin_l == Some(v) => ((**rhs).clone(), false),
-            BinOp::Add if origin_r == Some(v) => ((**lhs).clone(), true),
-            BinOp::Sub if origin_l == Some(v) => (
-                Expr::unary(titanc_il::UnOp::Neg, ScalarType::Int, (**rhs).clone()),
-                false,
-            ),
+        let inc = match op {
+            BinOp::Add if origin_l == Some(v) => IncPlan::Pos(rhs),
+            BinOp::Add if origin_r == Some(v) => IncPlan::Pos(lhs),
+            BinOp::Sub if origin_l == Some(v) => IncPlan::Neg(rhs),
             _ => continue,
         };
         // the increment must be invariant; if it reads another candidate
         // the candidate is blocked — it will be re-examined next pass.
         // Note the loop variable is defined by the DO header, not by a
         // body statement, so it needs an explicit check.
-        if inc.reads_var(shape.lv) || inc.reads_var(v) || !invariant_in(proc, body, &inc) {
+        let inner = match inc {
+            IncPlan::Pos(e) | IncPlan::Neg(e) => e,
+        };
+        if proc.exprs.reads_var(inner, shape.lv)
+            || proc.exprs.reads_var(inner, v)
+            || !invariant_in(proc, body, inner)
+        {
             continue;
         }
-        let mut inc = inc;
-        titanc_il::fold::fold_expr(&mut inc);
         out.push(Candidate {
             v,
             def_pos: pos,
@@ -261,63 +275,62 @@ fn find_candidates(proc: &Procedure, shape: &LoopShape, body: &[Stmt]) -> Vec<Ca
     out
 }
 
-fn count_defs(body: &[Stmt], v: VarId) -> usize {
+fn count_defs(pool: &StmtPool, block: &[StmtId], v: VarId) -> usize {
     let mut n = 0;
-    for s in body {
-        if s.defined_var() == Some(v) {
+    for &s in block {
+        if pool[s].defined_var() == Some(v) {
             n += 1;
         }
-        for b in s.blocks() {
-            n += count_defs_deep(b, v);
-        }
-    }
-    n
-}
-
-fn count_defs_deep(block: &[Stmt], v: VarId) -> usize {
-    let mut n = 0;
-    for s in block {
-        if s.defined_var() == Some(v) {
-            n += 1;
-        }
-        for b in s.blocks() {
-            n += count_defs_deep(b, v);
+        for b in pool[s].blocks() {
+            n += count_defs(pool, b, v);
         }
     }
     n
 }
 
 /// The iteration-index expression `k` = (lv - lo) / step, simplified for
-/// unit strides.
-fn iteration_index(shape: &LoopShape) -> Expr {
-    let lv = Expr::var(shape.lv);
-    let mut k = match shape.step {
-        1 => Expr::ibinary(BinOp::Sub, lv, shape.lo.clone()),
-        -1 => Expr::ibinary(BinOp::Sub, shape.lo.clone(), lv),
-        s => Expr::ibinary(
-            BinOp::Div,
-            Expr::ibinary(BinOp::Sub, lv, shape.lo.clone()),
-            Expr::int(s),
-        ),
+/// unit strides. Builds a fresh tree (deep-copying `lo`).
+fn iteration_index(exprs: &mut ExprPool, shape: &LoopShape) -> ExprId {
+    let lv = exprs.var(shape.lv);
+    let lo = exprs.copy(shape.lo);
+    let k = match shape.step {
+        1 => exprs.ibinary(BinOp::Sub, lv, lo),
+        -1 => exprs.ibinary(BinOp::Sub, lo, lv),
+        s => {
+            let diff = exprs.ibinary(BinOp::Sub, lv, lo);
+            let sc = exprs.int(s);
+            exprs.ibinary(BinOp::Div, diff, sc)
+        }
     };
-    titanc_il::fold::fold_expr(&mut k);
+    titanc_il::fold::fold_expr(exprs, k);
     k
 }
 
-/// The trip-count expression `max(0, (hi - lo + step) / step)`.
-fn trip_count(shape: &LoopShape) -> Expr {
-    let span = Expr::ibinary(
-        BinOp::Add,
-        Expr::ibinary(BinOp::Sub, shape.hi.clone(), shape.lo.clone()),
-        Expr::int(shape.step),
-    );
-    let mut t = Expr::ibinary(
-        BinOp::Max,
-        Expr::int(0),
-        Expr::ibinary(BinOp::Div, span, Expr::int(shape.step)),
-    );
-    titanc_il::fold::fold_expr(&mut t);
+/// The trip-count expression `max(0, (hi - lo + step) / step)`. Builds a
+/// fresh tree (deep-copying `lo` and `hi`).
+fn trip_count(exprs: &mut ExprPool, shape: &LoopShape) -> ExprId {
+    let hi = exprs.copy(shape.hi);
+    let lo = exprs.copy(shape.lo);
+    let diff = exprs.ibinary(BinOp::Sub, hi, lo);
+    let st = exprs.int(shape.step);
+    let span = exprs.ibinary(BinOp::Add, diff, st);
+    let zero = exprs.int(0);
+    let st2 = exprs.int(shape.step);
+    let div = exprs.ibinary(BinOp::Div, span, st2);
+    let t = exprs.ibinary(BinOp::Max, zero, div);
+    titanc_il::fold::fold_expr(exprs, t);
     t
+}
+
+/// Materializes the signed increment as a fresh tree.
+fn make_inc(exprs: &mut ExprPool, inc: &IncPlan) -> ExprId {
+    match *inc {
+        IncPlan::Pos(e) => exprs.copy(e),
+        IncPlan::Neg(e) => {
+            let c = exprs.copy(e);
+            exprs.unary(titanc_il::UnOp::Neg, ScalarType::Int, c)
+        }
+    }
 }
 
 /// Substitutes one candidate: uses before the increment read
@@ -326,7 +339,7 @@ fn trip_count(shape: &LoopShape) -> Expr {
 /// any later readers (dead-code elimination removes both when unused).
 fn apply_candidate(
     proc: &mut Procedure,
-    loop_id: titanc_il::StmtId,
+    loop_id: StmtId,
     shape: &LoopShape,
     cand: &Candidate,
 ) -> bool {
@@ -338,24 +351,37 @@ fn apply_candidate(
         ScalarType::Float => Type::Float,
         ScalarType::Double => Type::Double,
     });
-    let k = iteration_index(shape);
-    let affine = |iters: Expr| {
-        let mut e = Expr::binary(
-            BinOp::Add,
-            kind,
-            Expr::var(v0),
-            Expr::ibinary(BinOp::Mul, iters, cand.inc.clone()),
-        );
-        titanc_il::fold::fold_expr(&mut e);
+    // three independent affine trees (templates): each gets its own
+    // copies of lo/hi/inc so no slots are shared between them
+    let affine = |exprs: &mut ExprPool, iters: ExprId, inc: ExprId| {
+        let v0e = exprs.var(v0);
+        let mul = exprs.ibinary(BinOp::Mul, iters, inc);
+        let e = exprs.binary(BinOp::Add, kind, v0e, mul);
+        titanc_il::fold::fold_expr(exprs, e);
         e
     };
-    let pre_value = affine(k.clone());
-    let post_value = affine(Expr::ibinary(BinOp::Add, k, Expr::int(1)));
-    let final_value = affine(trip_count(shape));
+    let pre_value = {
+        let k = iteration_index(&mut proc.exprs, shape);
+        let inc = make_inc(&mut proc.exprs, &cand.inc);
+        affine(&mut proc.exprs, k, inc)
+    };
+    let post_value = {
+        let k = iteration_index(&mut proc.exprs, shape);
+        let one = proc.exprs.int(1);
+        let k1 = proc.exprs.ibinary(BinOp::Add, k, one);
+        let inc = make_inc(&mut proc.exprs, &cand.inc);
+        affine(&mut proc.exprs, k1, inc)
+    };
+    let final_value = {
+        let t = trip_count(&mut proc.exprs, shape);
+        let inc = make_inc(&mut proc.exprs, &cand.inc);
+        affine(&mut proc.exprs, t, inc)
+    };
 
+    let v_read = proc.exprs.var(cand.v);
     let pre_stmt = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(v0),
-        rhs: Expr::var(cand.v),
+        rhs: v_read,
     });
     let final_stmt = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(cand.v),
@@ -365,47 +391,44 @@ fn apply_candidate(
     // rewrite the loop body in place
     #[allow(clippy::too_many_arguments)]
     fn find_and_apply(
-        block: &mut Vec<Stmt>,
-        loop_id: titanc_il::StmtId,
+        stmts: &mut StmtPool,
+        exprs: &mut ExprPool,
+        block: &mut Block,
+        loop_id: StmtId,
         cand_v: VarId,
         def_pos: usize,
-        pre_value: &Expr,
-        post_value: &Expr,
-        pre_stmt: Stmt,
-        final_stmt: Stmt,
+        pre_value: ExprId,
+        post_value: ExprId,
+        pre_stmt: StmtId,
+        final_stmt: StmtId,
     ) -> bool {
         for i in 0..block.len() {
-            if block[i].id == loop_id {
-                if let StmtKind::DoLoop { body, .. } | StmtKind::DoParallel { body, .. } =
-                    &mut block[i].kind
-                {
-                    for (p, s) in body.iter_mut().enumerate() {
+            let s = block[i];
+            if s == loop_id {
+                let kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
+                if let StmtKind::DoLoop { body, .. } | StmtKind::DoParallel { body, .. } = &kind {
+                    for (p, &inner) in body.iter().enumerate() {
                         let value = if p <= def_pos { pre_value } else { post_value };
-                        crate::util::replace_reads(s, cand_v, value);
+                        crate::util::replace_reads(stmts, exprs, inner, cand_v, value);
                     }
                 }
+                stmts[s] = kind;
                 block.insert(i, pre_stmt);
                 block.insert(i + 2, final_stmt);
                 return true;
             }
+            let mut kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
             let mut done = false;
-            let pre_c = pre_stmt.clone();
-            let fin_c = final_stmt.clone();
-            for b in block[i].blocks_mut() {
+            for b in kind.blocks_mut() {
                 if find_and_apply(
-                    b,
-                    loop_id,
-                    cand_v,
-                    def_pos,
-                    pre_value,
-                    post_value,
-                    pre_c.clone(),
-                    fin_c.clone(),
+                    stmts, exprs, b, loop_id, cand_v, def_pos, pre_value, post_value, pre_stmt,
+                    final_stmt,
                 ) {
                     done = true;
                     break;
                 }
             }
+            stmts[s] = kind;
             if done {
                 return true;
             }
@@ -415,12 +438,14 @@ fn apply_candidate(
 
     let mut body = std::mem::take(&mut proc.body);
     let ok = find_and_apply(
+        &mut proc.stmts,
+        &mut proc.exprs,
         &mut body,
         loop_id,
         cand.v,
         cand.def_pos,
-        &pre_value,
-        &post_value,
+        pre_value,
+        post_value,
         pre_stmt,
         final_stmt,
     );

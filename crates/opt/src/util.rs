@@ -1,7 +1,7 @@
 //! Shared helpers for the scalar passes: loop-invariance, copy-chain
 //! resolution, and position-aware use replacement.
 
-use titanc_il::{Expr, Procedure, Stmt, StmtKind, VarId};
+use titanc_il::{Expr, ExprId, ExprPool, Procedure, StmtId, StmtKind, StmtPool, VarId};
 
 /// True when `v` is a register candidate: scalar, never addressed, not
 /// volatile, not static/global. Only these participate in chain-driven
@@ -18,57 +18,58 @@ pub fn register_candidate(proc: &Procedure, v: VarId) -> bool {
 }
 
 /// True when some statement in `block` (recursively) defines `v`.
-pub fn defined_in(block: &[Stmt], v: VarId) -> bool {
-    block
-        .iter()
-        .any(|s| s.defined_var() == Some(v) || s.blocks().iter().any(|b| defined_in(b, v)))
+pub fn defined_in(pool: &StmtPool, block: &[StmtId], v: VarId) -> bool {
+    block.iter().any(|&s| {
+        pool[s].defined_var() == Some(v) || pool[s].blocks().iter().any(|b| defined_in(pool, b, v))
+    })
 }
 
 /// True when `e` is invariant with respect to `body`: it reads no memory,
 /// and every variable it reads is a register candidate with no definition
 /// inside `body`.
-pub fn invariant_in(proc: &Procedure, body: &[Stmt], e: &Expr) -> bool {
-    if e.has_load() || e.has_section() {
+pub fn invariant_in(proc: &Procedure, body: &[StmtId], e: ExprId) -> bool {
+    if proc.exprs.has_load(e) || proc.exprs.has_section(e) {
         return false;
     }
-    e.vars_read()
+    proc.exprs
+        .vars_read(e)
         .iter()
-        .all(|&v| register_candidate(proc, v) && !defined_in(body, v))
+        .all(|&v| register_candidate(proc, v) && !defined_in(&proc.stmts, body, v))
 }
 
 /// Resolves `w` backwards through top-level copies to an "origin" variable,
 /// looking at statements `body[..pos]` in reverse: a copy `w = u` passes
 /// the search to `u` provided neither `w` nor `u` is redefined in between.
 /// Returns the origin (possibly `w` itself).
-pub fn resolve_copy(proc: &Procedure, body: &[Stmt], pos: usize, w: VarId) -> VarId {
+pub fn resolve_copy(proc: &Procedure, body: &[StmtId], pos: usize, w: VarId) -> VarId {
     if !register_candidate(proc, w) {
         return w;
     }
+    let pool = &proc.stmts;
     let mut target = w;
     let mut limit = pos;
     // walk backwards looking for the most recent def of `target`
     'outer: loop {
         for i in (0..limit).rev() {
-            let s = &body[i];
+            let s = body[i];
             // a nested def anywhere kills resolution (conditional def)
-            if s.blocks().iter().any(|b| defined_in(b, target)) {
+            if pool[s].blocks().iter().any(|b| defined_in(pool, b, target)) {
                 return target;
             }
-            if s.defined_var() == Some(target) {
-                if let StmtKind::Assign {
-                    rhs: Expr::Var(u), ..
-                } = &s.kind
-                {
-                    if *u != target && register_candidate(proc, *u) {
-                        // ensure u not redefined between i+1..pos
-                        let redefined = body[i + 1..pos].iter().any(|t| {
-                            t.defined_var() == Some(*u)
-                                || t.blocks().iter().any(|b| defined_in(b, *u))
-                        });
-                        if !redefined {
-                            target = *u;
-                            limit = i;
-                            continue 'outer;
+            if pool[s].defined_var() == Some(target) {
+                if let StmtKind::Assign { rhs, .. } = &pool[s] {
+                    if let Expr::Var(u) = proc.exprs[*rhs] {
+                        if u != target && register_candidate(proc, u) {
+                            // ensure u not redefined between i+1..pos
+                            let redefined = body[i + 1..pos].iter().any(|&t| {
+                                pool[t].defined_var() == Some(u)
+                                    || pool[t].blocks().iter().any(|b| defined_in(pool, b, u))
+                            });
+                            if !redefined {
+                                target = u;
+                                limit = i;
+                                continue 'outer;
+                            }
                         }
                     }
                 }
@@ -79,38 +80,45 @@ pub fn resolve_copy(proc: &Procedure, body: &[Stmt], pos: usize, w: VarId) -> Va
     }
 }
 
-/// Replaces every read of `v` in the statement (including nested blocks)
-/// with `replacement`; returns replacements made.
-pub fn replace_reads(s: &mut Stmt, v: VarId, replacement: &Expr) -> usize {
+/// Replaces every read of `v` in the statement tree at `s` (including
+/// nested blocks) with a deep copy of the subtree at `replacement`;
+/// returns replacements made.
+pub fn replace_reads(
+    stmts: &StmtPool,
+    exprs: &mut ExprPool,
+    s: StmtId,
+    v: VarId,
+    replacement: ExprId,
+) -> usize {
     let mut n = 0;
-    for e in s.exprs_mut() {
-        n += e.substitute_var(v, replacement);
+    for e in stmts[s].exprs() {
+        n += exprs.substitute_var(e, v, replacement);
     }
-    for b in s.blocks_mut() {
-        for inner in b {
-            n += replace_reads(inner, v, replacement);
+    for b in stmts[s].blocks() {
+        for &inner in b {
+            n += replace_reads(stmts, exprs, inner, v, replacement);
         }
     }
     n
 }
 
 /// Counts reads of `v` in a statement tree.
-pub fn count_reads(s: &Stmt, v: VarId) -> usize {
+pub fn count_reads(stmts: &StmtPool, exprs: &ExprPool, s: StmtId, v: VarId) -> usize {
     let mut n = 0;
-    for e in s.exprs() {
-        n += e.vars_read().iter().filter(|&&w| w == v).count();
+    for e in stmts[s].exprs() {
+        n += exprs.vars_read(e).iter().filter(|&&w| w == v).count();
     }
-    for b in s.blocks() {
-        for inner in b {
-            n += count_reads(inner, v);
+    for b in stmts[s].blocks() {
+        for &inner in b {
+            n += count_reads(stmts, exprs, inner, v);
         }
     }
     n
 }
 
 /// Counts reads of `v` across a block.
-pub fn count_reads_block(block: &[Stmt], v: VarId) -> usize {
-    block.iter().map(|s| count_reads(s, v)).sum()
+pub fn count_reads_block(stmts: &StmtPool, exprs: &ExprPool, block: &[StmtId], v: VarId) -> usize {
+    block.iter().map(|&s| count_reads(stmts, exprs, s, v)).sum()
 }
 
 #[cfg(test)]
@@ -118,27 +126,23 @@ mod tests {
     use super::*;
     use titanc_il::{BinOp, LValue, ProcBuilder, Type};
 
-    fn proc_with(body_builder: impl FnOnce(&mut ProcBuilder)) -> Procedure {
-        let mut b = ProcBuilder::new("t", Type::Void);
-        body_builder(&mut b);
-        b.finish()
-    }
-
     #[test]
     fn invariance_basic() {
         let mut b = ProcBuilder::new("t", Type::Void);
         let x = b.local("x", Type::Int);
         let y = b.local("y", Type::Int);
-        b.assign_var(y, Expr::int(0));
-        let p = b.finish();
+        let zero = b.int(0);
+        b.assign_var(y, zero);
+        let mut p = b.finish();
+        // probe expressions allocated after the body exists
+        let ex = p.exprs.var(x);
+        let ey = p.exprs.var(y);
+        let ax = p.exprs.var(x);
+        let eload = p.exprs.load(ax, titanc_il::ScalarType::Int);
         let body = p.body.clone(); // contains def of y only
-        assert!(invariant_in(&p, &body, &Expr::var(x)));
-        assert!(!invariant_in(&p, &body, &Expr::var(y)));
-        assert!(!invariant_in(
-            &p,
-            &body,
-            &Expr::load(Expr::var(x), titanc_il::ScalarType::Int)
-        ));
+        assert!(invariant_in(&p, &body, ex));
+        assert!(!invariant_in(&p, &body, ey));
+        assert!(!invariant_in(&p, &body, eload));
     }
 
     #[test]
@@ -147,23 +151,29 @@ mod tests {
         let mut b = ProcBuilder::new("t", Type::Void);
         let i = b.local("i", Type::Int);
         let temp = b.local("temp", Type::Int);
-        b.assign_var(temp, Expr::var(i));
-        b.assign_var(i, Expr::ibinary(BinOp::Sub, Expr::var(temp), Expr::int(1)));
+        let ei = b.var(i);
+        b.assign_var(temp, ei);
+        let et = b.var(temp);
+        let one = b.int(1);
+        let sub = b.ibinary(BinOp::Sub, et, one);
+        b.assign_var(i, sub);
         let p = b.finish();
         assert_eq!(resolve_copy(&p, &p.body, 1, temp), i);
     }
 
     #[test]
     fn resolution_stops_at_interleaved_redefinition() {
-        // temp = i; i = 0; use temp at pos 2 — temp still resolves to...
-        // the copy source i was redefined between, so resolution must stop
-        // at temp.
+        // temp = i; i = 0; use temp at pos 2 — the copy source i was
+        // redefined between, so resolution must stop at temp.
         let mut b = ProcBuilder::new("t", Type::Void);
         let i = b.local("i", Type::Int);
         let temp = b.local("temp", Type::Int);
-        b.assign_var(temp, Expr::var(i));
-        b.assign_var(i, Expr::int(0));
-        b.assign_var(i, Expr::var(temp));
+        let ei = b.var(i);
+        b.assign_var(temp, ei);
+        let zero = b.int(0);
+        b.assign_var(i, zero);
+        let et = b.var(temp);
+        b.assign_var(i, et);
         let p = b.finish();
         assert_eq!(resolve_copy(&p, &p.body, 2, temp), temp);
     }
@@ -175,24 +185,29 @@ mod tests {
         let y = b.local("y", Type::Int);
         let body = {
             let mut lb = b.block();
-            lb.assign_var(y, Expr::var(x));
+            let ex = lb.var(x);
+            lb.assign_var(y, ex);
             lb.stmts()
         };
-        b.if_(Expr::var(x), body, vec![]);
+        let cond = b.var(x);
+        b.if_(cond, body, vec![]);
         let mut p = b.finish();
-        let mut s = p.body.remove(0);
-        let n = replace_reads(&mut s, x, &Expr::int(3));
+        let s = p.body[0];
+        let three = p.exprs.int(3);
+        let n = replace_reads(&p.stmts, &mut p.exprs, s, x, three);
         assert_eq!(n, 2, "cond + nested rhs");
     }
 
     #[test]
     fn count_reads_counts_duplicates() {
-        let p = proc_with(|b| {
-            let x = b.local("x", Type::Int);
-            b.assign_var(x, Expr::ibinary(BinOp::Add, Expr::var(x), Expr::var(x)));
-        });
-        let x = p.var_by_name("x").unwrap();
-        assert_eq!(count_reads_block(&p.body, x), 2);
+        let mut b = ProcBuilder::new("t", Type::Void);
+        let x = b.local("x", Type::Int);
+        let x1 = b.var(x);
+        let x2 = b.var(x);
+        let add = b.ibinary(BinOp::Add, x1, x2);
+        b.assign_var(x, add);
+        let p = b.finish();
+        assert_eq!(count_reads_block(&p.stmts, &p.exprs, &p.body, x), 2);
     }
 
     #[test]
@@ -217,12 +232,14 @@ mod tests {
         let x = b.local("x", Type::Int);
         let inner = {
             let mut lb = b.block();
-            lb.assign_var(x, Expr::int(1));
+            let one = lb.int(1);
+            lb.assign_var(x, one);
             lb.stmts()
         };
-        b.while_(Expr::int(1), inner);
+        let cond = b.int(1);
+        b.while_(cond, inner);
         let p = b.finish();
-        assert!(defined_in(&p.body, x));
+        assert!(defined_in(&p.stmts, &p.body, x));
         let _ = LValue::Var(x);
     }
 }

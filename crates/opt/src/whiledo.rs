@@ -15,13 +15,18 @@
 //! the iteration, exactly as in the paper's example, and induction-variable
 //! substitution plus dead-code elimination subsequently clean up the
 //! original variable.
+//!
+//! Arena discipline: the bound and step expressions referenced by the plan
+//! are subtrees of the surviving loop body, so the rewritten `DoLoop`
+//! header takes *deep copies* — sharing the slots would let a later body
+//! rewrite silently change the header.
 
 use crate::util::{defined_in, invariant_in, register_candidate, resolve_copy};
 use titanc_analysis::{loops, Cfg, ProcAnalyses};
 use titanc_il::json::{FromJson, Json, JsonError, ToJson};
 use titanc_il::{
-    BinOp, Expr, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, Stmt, StmtId, StmtKind,
-    Type, VarId,
+    BinOp, Block, Expr, ExprId, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, StmtId,
+    StmtKind, Type, VarId,
 };
 
 /// Why a `while` loop was not converted (the EXP5 coverage table).
@@ -198,31 +203,31 @@ pub fn convert_while_loops_cached(
     let cfg = analyses.cfg(proc);
     loop {
         // find the first unprocessed while loop (preorder)
-        let mut target: Option<Stmt> = None;
-        proc.for_each_stmt(&mut |s| {
-            if target.is_none() && matches!(s.kind, StmtKind::While { .. }) && !done.contains(&s.id)
-            {
-                target = Some(s.clone());
+        let mut target: Option<StmtId> = None;
+        proc.for_each_stmt(&mut |s, kind| {
+            if target.is_none() && matches!(kind, StmtKind::While { .. }) && !done.contains(&s) {
+                target = Some(s);
             }
         });
         let w = match target {
             Some(w) => w,
             None => break,
         };
-        done.push(w.id);
+        done.push(w);
+        let span = proc.stmts.span(w);
         if report.converted > 0 {
             // reusing the CFG past a mutation is the repaired-analysis path
             analyses.note_repair();
         }
-        match analyze(proc, &cfg, &w) {
+        match analyze(proc, &cfg, w) {
             Ok(plan) => {
                 report.events.push(LoopEvent {
                     proc: proc.name.clone(),
                     var: proc.var(plan.iv).name.clone(),
-                    span: w.span,
+                    span,
                     decision: LoopDecision::DoConverted,
                 });
-                apply(proc, w.id, w.span, plan);
+                apply(proc, w, span, plan);
                 proc.bump_generation();
                 report.converted += 1;
             }
@@ -230,10 +235,10 @@ pub fn convert_while_loops_cached(
                 report.events.push(LoopEvent {
                     proc: proc.name.clone(),
                     var: String::new(),
-                    span: w.span,
+                    span,
                     decision: LoopDecision::DoRejected(r.describe().to_string()),
                 });
-                report.rejects.push((w.id, r));
+                report.rejects.push((w, r));
             }
         }
     }
@@ -243,29 +248,39 @@ pub fn convert_while_loops_cached(
 struct Plan {
     iv: VarId,
     hi_adjust: i64,
-    bound: Expr,
-    step: Expr,
+    /// The bound expression (a subtree of the surviving condition) —
+    /// `None` encodes a zero bound (`while (v)` form).
+    bound: Option<ExprId>,
+    step: StepPlan,
     safe: bool,
+}
+
+/// How to materialize the DO step. Expression variants reference subtrees
+/// of the surviving body; [`apply`] deep-copies them.
+enum StepPlan {
+    Const(i64),
+    Expr(ExprId),
+    NegExpr(ExprId),
 }
 
 /// The induction step found in the body: `iv = iv ± c`.
 struct StepInfo {
     positive: bool,
-    c: Expr,
+    c: ExprId,
 }
 
-fn analyze(proc: &Procedure, cfg: &Cfg, w: &Stmt) -> Result<Plan, Reject> {
-    let (cond, body, safe) = match &w.kind {
-        StmtKind::While { cond, body, safe } => (cond, body, *safe),
+fn analyze(proc: &Procedure, cfg: &Cfg, w: StmtId) -> Result<Plan, Reject> {
+    let (cond, body, safe) = match &proc.stmts[w] {
+        StmtKind::While { cond, body, safe } => (*cond, body.clone(), *safe),
         _ => unreachable!("analyze called on non-while"),
     };
-    if cond.has_volatile_load() {
+    if proc.exprs.has_volatile_load(cond) {
         return Err(Reject::VolatileCond);
     }
-    if loops::has_return(w) {
+    if loops::has_return(&proc.stmts, w) {
         return Err(Reject::HasReturn);
     }
-    if loops::has_branch_out(w) {
+    if loops::has_branch_out(&proc.stmts, w) {
         return Err(Reject::BranchOut);
     }
     if cfg.has_branch_into(proc, w) {
@@ -273,39 +288,40 @@ fn analyze(proc: &Procedure, cfg: &Cfg, w: &Stmt) -> Result<Plan, Reject> {
     }
 
     // Parse the condition into (iv, relation, bound).
-    let (iv, rel, bound) = parse_condition(proc, body, cond)?;
+    let (iv, rel, bound) = parse_condition(proc, &body, cond)?;
     if !register_candidate(proc, iv) {
         return Err(Reject::NotCandidate);
     }
-    if !invariant_in(proc, body, &bound) {
-        return Err(Reject::VaryingBound);
+    if let Some(b) = bound {
+        if !invariant_in(proc, &body, b) {
+            return Err(Reject::VaryingBound);
+        }
     }
 
     // Find the unique once-per-iteration step of iv.
-    let step = find_step(proc, body, iv)?;
-    if !invariant_in(proc, body, &step.c) {
+    let step = find_step(proc, &body, iv)?;
+    if !invariant_in(proc, &body, step.c) {
         return Err(Reject::VaryingStep);
     }
 
     // Direction analysis.
-    let c_const = step.c.as_int();
-    let step_expr;
+    let c_const = proc.exprs.as_int(step.c);
+    let step_plan;
     let hi_adjust;
     match rel {
         BinOp::Lt | BinOp::Le => {
             // needs a positive step
-            match (step.positive, c_const) {
-                (true, _) => {}
-                (false, _) => return Err(Reject::Direction),
+            if !step.positive {
+                return Err(Reject::Direction);
             }
-            step_expr = step.c.clone();
+            step_plan = StepPlan::Expr(step.c);
             hi_adjust = if rel == BinOp::Lt { -1 } else { 0 };
         }
         BinOp::Gt | BinOp::Ge => {
             if step.positive {
                 return Err(Reject::Direction);
             }
-            step_expr = negate(step.c.clone());
+            step_plan = StepPlan::NegExpr(step.c);
             hi_adjust = if rel == BinOp::Gt { 1 } else { 0 };
         }
         BinOp::Ne => {
@@ -315,16 +331,17 @@ fn analyze(proc: &Procedure, cfg: &Cfg, w: &Stmt) -> Result<Plan, Reject> {
                 if c_const != Some(1) {
                     return Err(Reject::Direction);
                 }
-                step_expr = Expr::int(1);
+                step_plan = StepPlan::Const(1);
                 hi_adjust = -1;
             } else {
                 // counting down. The paper's form: `DO dummy = n, 1, -s`
                 // (termination of the original loop implies s divides the
                 // distance, so the trip counts agree).
-                if bound.as_int() != Some(0) && c_const != Some(1) {
+                let bound_is_zero = bound.is_none_or(|b| proc.exprs.as_int(b) == Some(0));
+                if !bound_is_zero && c_const != Some(1) {
                     return Err(Reject::Direction);
                 }
-                step_expr = negate(step.c.clone());
+                step_plan = StepPlan::NegExpr(step.c);
                 hi_adjust = 1;
             }
         }
@@ -335,31 +352,31 @@ fn analyze(proc: &Procedure, cfg: &Cfg, w: &Stmt) -> Result<Plan, Reject> {
         iv,
         hi_adjust,
         bound,
-        step: step_expr,
+        step: step_plan,
         safe,
     })
 }
 
 /// Parses the loop condition into `(iv, relation, bound)`, normalizing so
-/// the variable is on the left.
+/// the variable is on the left. A `None` bound means zero.
 fn parse_condition(
     proc: &Procedure,
-    body: &[Stmt],
-    cond: &Expr,
-) -> Result<(VarId, BinOp, Expr), Reject> {
-    match cond {
-        Expr::Var(v) => Ok((*v, BinOp::Ne, Expr::int(0))),
+    body: &[StmtId],
+    cond: ExprId,
+) -> Result<(VarId, BinOp, Option<ExprId>), Reject> {
+    match proc.exprs[cond] {
+        Expr::Var(v) => Ok((v, BinOp::Ne, None)),
         Expr::Binary { op, lhs, rhs, .. } if op.is_comparison() => {
             // prefer the side that is stepped in the body
-            let lv = as_var(lhs);
-            let rv = as_var(rhs);
+            let lv = as_var(proc, lhs);
+            let rv = as_var(proc, rhs);
             let l_step = lv.map(|v| find_step(proc, body, v));
             let r_step = rv.map(|v| find_step(proc, body, v));
             if let (Some(v), Some(Ok(_))) = (lv, &l_step) {
-                return Ok((v, *op, (**rhs).clone()));
+                return Ok((v, op, Some(rhs)));
             }
             if let (Some(v), Some(Ok(_))) = (rv, &r_step) {
-                return Ok((v, flip(*op), (**lhs).clone()));
+                return Ok((v, flip(op), Some(lhs)));
             }
             // propagate the more specific failure when a side looked like
             // an induction variable but was stepped conditionally
@@ -374,9 +391,9 @@ fn parse_condition(
     }
 }
 
-fn as_var(e: &Expr) -> Option<VarId> {
-    match e {
-        Expr::Var(v) => Some(*v),
+fn as_var(proc: &Procedure, e: ExprId) -> Option<VarId> {
+    match proc.exprs[e] {
+        Expr::Var(v) => Some(v),
         _ => None,
     }
 }
@@ -391,55 +408,55 @@ fn flip(op: BinOp) -> BinOp {
     }
 }
 
-fn negate(e: Expr) -> Expr {
-    match e.as_int() {
-        Some(v) => Expr::int(-v),
-        None => Expr::unary(titanc_il::UnOp::Neg, ScalarType::Int, e),
-    }
-}
-
 /// Finds the unique top-level step `iv = iv ± c` (possibly via front-end
-/// copy temporaries) in the body.
-fn find_step(proc: &Procedure, body: &[Stmt], iv: VarId) -> Result<StepInfo, Reject> {
+/// copy temporaries) in the body. The returned `c` is a subtree of the
+/// body's step statement.
+fn find_step(proc: &Procedure, body: &[StmtId], iv: VarId) -> Result<StepInfo, Reject> {
     // nested (conditional) definitions disqualify
-    for s in body {
-        if s.blocks().iter().any(|b| defined_in(b, iv)) {
+    for &s in body {
+        if proc.stmts[s]
+            .blocks()
+            .iter()
+            .any(|b| defined_in(&proc.stmts, b, iv))
+        {
             return Err(Reject::MultipleSteps);
         }
     }
-    let defs: Vec<(usize, &Stmt)> = body
+    let defs: Vec<(usize, StmtId)> = body
         .iter()
         .enumerate()
-        .filter(|(_, s)| s.defined_var() == Some(iv))
+        .filter(|(_, &s)| proc.stmts[s].defined_var() == Some(iv))
+        .map(|(i, &s)| (i, s))
         .collect();
     match defs.as_slice() {
         [] => Err(Reject::NoStep),
         [(pos, s)] => {
             if let StmtKind::Assign {
                 lhs: LValue::Var(_),
-                rhs: Expr::Binary { op, lhs, rhs, .. },
-            } = &s.kind
+                rhs,
+            } = &proc.stmts[*s]
             {
-                let l_origin = as_var(lhs).map(|v| resolve_copy(proc, body, *pos, v));
-                let r_origin = as_var(rhs).map(|v| resolve_copy(proc, body, *pos, v));
-                match op {
-                    BinOp::Add if l_origin == Some(iv) => Ok(StepInfo {
-                        positive: true,
-                        c: (**rhs).clone(),
-                    }),
-                    BinOp::Add if r_origin == Some(iv) => Ok(StepInfo {
-                        positive: true,
-                        c: (**lhs).clone(),
-                    }),
-                    BinOp::Sub if l_origin == Some(iv) => Ok(StepInfo {
-                        positive: false,
-                        c: (**rhs).clone(),
-                    }),
-                    _ => Err(Reject::NoStep),
+                if let Expr::Binary { op, lhs, rhs, .. } = proc.exprs[*rhs] {
+                    let l_origin = as_var(proc, lhs).map(|v| resolve_copy(proc, body, *pos, v));
+                    let r_origin = as_var(proc, rhs).map(|v| resolve_copy(proc, body, *pos, v));
+                    return match op {
+                        BinOp::Add if l_origin == Some(iv) => Ok(StepInfo {
+                            positive: true,
+                            c: rhs,
+                        }),
+                        BinOp::Add if r_origin == Some(iv) => Ok(StepInfo {
+                            positive: true,
+                            c: lhs,
+                        }),
+                        BinOp::Sub if l_origin == Some(iv) => Ok(StepInfo {
+                            positive: false,
+                            c: rhs,
+                        }),
+                        _ => Err(Reject::NoStep),
+                    };
                 }
-            } else {
-                Err(Reject::NoStep)
             }
+            Err(Reject::NoStep)
         }
         _ => Err(Reject::MultipleSteps),
     }
@@ -453,19 +470,27 @@ fn apply(proc: &mut Procedure, while_id: StmtId, span: titanc_il::SrcSpan, plan:
     let t_lo = proc.fresh_temp(Type::Int);
     let t_hi = proc.fresh_temp(Type::Int);
 
+    // materialize all header expressions up front; bound and step come
+    // from surviving subtrees, so they are deep-copied out
     let iv_kind = proc.var_scalar(plan.iv);
+    let iv_read = proc.exprs.var(plan.iv);
+    let lo_rhs = proc.exprs.cast(ScalarType::Int, iv_kind, iv_read);
     let lo_assign = proc.stamp_at(
         StmtKind::Assign {
             lhs: LValue::Var(t_lo),
-            rhs: Expr::cast(ScalarType::Int, iv_kind, Expr::var(plan.iv)),
+            rhs: lo_rhs,
         },
         span,
     );
-    let mut hi_rhs = plan.bound.clone();
+    let mut hi_rhs = match plan.bound {
+        Some(b) => proc.exprs.copy(b),
+        None => proc.exprs.int(0),
+    };
     if plan.hi_adjust != 0 {
-        hi_rhs = Expr::ibinary(BinOp::Add, hi_rhs, Expr::int(plan.hi_adjust));
+        let adj = proc.exprs.int(plan.hi_adjust);
+        hi_rhs = proc.exprs.ibinary(BinOp::Add, hi_rhs, adj);
     }
-    titanc_il::fold::fold_expr(&mut hi_rhs);
+    titanc_il::fold::fold_expr(&mut proc.exprs, hi_rhs);
     let hi_assign = proc.stamp_at(
         StmtKind::Assign {
             lhs: LValue::Var(t_hi),
@@ -473,56 +498,72 @@ fn apply(proc: &mut Procedure, while_id: StmtId, span: titanc_il::SrcSpan, plan:
         },
         span,
     );
-    let do_id = proc.fresh_stmt_id();
+    let step = match plan.step {
+        StepPlan::Const(c) => proc.exprs.int(c),
+        StepPlan::Expr(c) => proc.exprs.copy(c),
+        StepPlan::NegExpr(c) => match proc.exprs.as_int(c) {
+            Some(v) => proc.exprs.int(-v),
+            None => {
+                let cc = proc.exprs.copy(c);
+                proc.exprs.unary(titanc_il::UnOp::Neg, ScalarType::Int, cc)
+            }
+        },
+    };
+    let lo_read = proc.exprs.var(t_lo);
+    let hi_read = proc.exprs.var(t_hi);
 
     // splice: find the while statement and replace it in its block
     fn splice(
-        block: &mut Vec<Stmt>,
+        proc: &mut Procedure,
+        block: &mut Block,
         while_id: StmtId,
-        make: &mut dyn FnMut(Vec<Stmt>, bool) -> Vec<Stmt>,
+        mk: &mut dyn FnMut(&mut Procedure, Block, bool) -> Vec<StmtId>,
     ) -> bool {
         for i in 0..block.len() {
-            if block[i].id == while_id {
+            let s = block[i];
+            if s == while_id {
                 if let StmtKind::While { body, safe, .. } =
-                    std::mem::replace(&mut block[i].kind, StmtKind::Nop)
+                    std::mem::replace(&mut proc.stmts[s], StmtKind::Nop)
                 {
-                    let replacement = make(body, safe);
+                    let replacement = mk(proc, body, safe);
                     block.splice(i..=i, replacement);
                     return true;
                 }
                 return false;
             }
-            for b in block[i].blocks_mut() {
-                if splice(b, while_id, make) {
-                    return true;
+            let mut kind = std::mem::replace(&mut proc.stmts[s], StmtKind::Nop);
+            let mut found = false;
+            for b in kind.blocks_mut() {
+                if splice(proc, b, while_id, mk) {
+                    found = true;
+                    break;
                 }
+            }
+            proc.stmts[s] = kind;
+            if found {
+                return true;
             }
         }
         false
     }
 
-    let step = plan.step;
     let safe_flag = plan.safe;
-    let mut body_tmp = proc.body.clone();
-    let mut make = |body: Vec<Stmt>, safe: bool| {
-        vec![
-            lo_assign.clone(),
-            hi_assign.clone(),
-            Stmt::new_at(
-                do_id,
-                StmtKind::DoLoop {
-                    var: dummy,
-                    lo: Expr::var(t_lo),
-                    hi: Expr::var(t_hi),
-                    step: step.clone(),
-                    body,
-                    safe: safe || safe_flag,
-                },
-                span,
-            ),
-        ]
+    let mut body_tmp = std::mem::take(&mut proc.body);
+    let mut make = |proc: &mut Procedure, body: Block, safe: bool| {
+        let do_stmt = proc.stamp_at(
+            StmtKind::DoLoop {
+                var: dummy,
+                lo: lo_read,
+                hi: hi_read,
+                step,
+                body,
+                safe: safe || safe_flag,
+            },
+            span,
+        );
+        vec![lo_assign, hi_assign, do_stmt]
     };
-    let ok = splice(&mut body_tmp, while_id, &mut make);
+    let ok = splice(proc, &mut body_tmp, while_id, &mut make);
     debug_assert!(ok, "while statement not found for splice");
     proc.body = body_tmp;
 }
@@ -539,11 +580,11 @@ mod tests {
         (proc, report)
     }
 
-    fn first_do(proc: &Procedure) -> Option<Stmt> {
+    fn first_do(proc: &Procedure) -> Option<StmtKind> {
         let mut found = None;
-        proc.for_each_stmt(&mut |s| {
-            if found.is_none() && matches!(s.kind, StmtKind::DoLoop { .. }) {
-                found = Some(s.clone());
+        proc.for_each_stmt(&mut |_, k| {
+            if found.is_none() && matches!(k, StmtKind::DoLoop { .. }) {
+                found = Some(k.clone());
             }
         });
         found
@@ -555,8 +596,8 @@ mod tests {
             convert("void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0; }");
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
-        if let StmtKind::DoLoop { step, .. } = &d.kind {
-            assert_eq!(step.as_int(), Some(1));
+        if let StmtKind::DoLoop { step, .. } = &d {
+            assert_eq!(proc.exprs.as_int(*step), Some(1));
         }
     }
 
@@ -577,13 +618,11 @@ void f(int n, int s)
         let (proc, rep) = convert(src);
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
-        if let StmtKind::DoLoop { hi, step, .. } = &d.kind {
-            // DO dummy = n, 1, -s
+        if let StmtKind::DoLoop { step, .. } = &d {
             assert!(
-                matches!(step, Expr::Unary { .. }),
+                matches!(proc.exprs[*step], Expr::Unary { .. }),
                 "negated symbolic stride"
             );
-            let _ = hi;
         }
     }
 
@@ -593,8 +632,8 @@ void f(int n, int s)
             convert("void copy(float *a, float *b, int n) { while (n) { *a++ = *b++; n--; } }");
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
-        if let StmtKind::DoLoop { step, .. } = &d.kind {
-            assert_eq!(step.as_int(), Some(-1));
+        if let StmtKind::DoLoop { step, .. } = &d {
+            assert_eq!(proc.exprs.as_int(*step), Some(-1));
         }
     }
 
@@ -682,8 +721,8 @@ void f(struct node *p) { while (p) { p = p->next; } }
             convert("void f(float *a, int n) { int i; for (i = n; i >= 0; i--) a[i] = 0; }");
         assert_eq!(rep.converted, 1, "{:?}", rep.rejects);
         let d = first_do(&proc).unwrap();
-        if let StmtKind::DoLoop { step, .. } = &d.kind {
-            assert_eq!(step.as_int(), Some(-1));
+        if let StmtKind::DoLoop { step, .. } = &d {
+            assert_eq!(proc.exprs.as_int(*step), Some(-1));
         }
     }
 
@@ -725,7 +764,7 @@ void f(float *a, int n, int m)
         let (proc, rep) = convert(src);
         assert_eq!(rep.converted, 1);
         let d = first_do(&proc).unwrap();
-        assert!(matches!(d.kind, StmtKind::DoLoop { safe: true, .. }));
+        assert!(matches!(d, StmtKind::DoLoop { safe: true, .. }));
     }
 
     #[test]

@@ -11,8 +11,8 @@ use std::error::Error;
 use std::fmt;
 use titanc_il::fold::{eval_binop, eval_cast, eval_unop, normalize, Value};
 use titanc_il::{
-    BinOp, ConstInit, Expr, LValue, LabelId, Procedure, Program, ScalarType, Stmt, StmtKind,
-    Storage, Type, VarId,
+    BinOp, ConstInit, Expr, ExprId, ExprPool, LValue, LabelId, Procedure, Program, ScalarType,
+    StmtId, StmtKind, Storage, Type, VarId,
 };
 
 /// A runtime error: out-of-bounds access, division by zero, missing
@@ -225,6 +225,12 @@ impl<'p> Simulator<'p> {
             .find(|(_, p)| p.name == name)
     }
 
+    /// The procedure a frame is executing. The reference lives for `'p`
+    /// (the program borrow), independent of `&mut self`.
+    fn cur_proc(&self, frame: &Frame) -> &'p Procedure {
+        &self.prog.procs[frame.proc_index]
+    }
+
     fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, SimError> {
         if let Some(v) = self.intrinsic(name, args)? {
             return Ok(v.into_value());
@@ -328,19 +334,20 @@ impl<'p> Simulator<'p> {
     // statement execution
     // ------------------------------------------------------------------
 
-    fn exec_block(&mut self, frame: &mut Frame, block: &[Stmt]) -> Result<Flow, SimError> {
+    fn exec_block(&mut self, frame: &mut Frame, block: &[StmtId]) -> Result<Flow, SimError> {
         let mut i = 0usize;
         while i < block.len() {
-            let flow = self.exec_stmt(frame, &block[i])?;
+            let flow = self.exec_stmt(frame, block[i])?;
             match flow {
                 Flow::Normal => i += 1,
                 Flow::Return(v) => return Ok(Flow::Return(v)),
                 Flow::Goto(l) => {
                     // resume at a top-level label of this block, else
                     // propagate outward
+                    let stmts = &self.cur_proc(frame).stmts;
                     match block
                         .iter()
-                        .position(|s| matches!(s.kind, StmtKind::Label(m) if m == l))
+                        .position(|&s| matches!(stmts[s], StmtKind::Label(m) if m == l))
                     {
                         Some(pos) => i = pos + 1,
                         None => return Ok(Flow::Goto(l)),
@@ -360,16 +367,17 @@ impl<'p> Simulator<'p> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_stmt(&mut self, frame: &mut Frame, s: &Stmt) -> Result<Flow, SimError> {
+    fn exec_stmt(&mut self, frame: &mut Frame, s: StmtId) -> Result<Flow, SimError> {
         self.step_guard()?;
-        match &s.kind {
+        let proc = self.cur_proc(frame);
+        match &proc.stmts[s] {
             StmtKind::Nop | StmtKind::Label(_) => Ok(Flow::Normal),
             StmtKind::Assign { lhs, rhs } => {
-                if matches!(lhs, LValue::Section { .. }) || rhs.has_section() {
-                    self.exec_vector_assign(frame, lhs, rhs)?;
+                if matches!(lhs, LValue::Section { .. }) || proc.exprs.has_section(*rhs) {
+                    self.exec_vector_assign(frame, lhs, *rhs)?;
                     return Ok(Flow::Normal);
                 }
-                let v = self.eval(frame, rhs)?;
+                let v = self.eval(frame, *rhs)?;
                 self.store(frame, lhs, v)?;
                 Ok(Flow::Normal)
             }
@@ -378,7 +386,7 @@ impl<'p> Simulator<'p> {
                 then_blk,
                 else_blk,
             } => {
-                let c = self.eval(frame, cond)?;
+                let c = self.eval(frame, *cond)?;
                 self.flush(self.cfg.costs.branch);
                 if c.is_truthy() {
                     self.exec_block(frame, then_blk)
@@ -388,7 +396,7 @@ impl<'p> Simulator<'p> {
             }
             StmtKind::While { cond, body, .. } => loop {
                 self.step_guard()?;
-                let c = self.eval(frame, cond)?;
+                let c = self.eval(frame, *cond)?;
                 self.flush(self.cfg.costs.branch);
                 if !c.is_truthy() {
                     return Ok(Flow::Normal);
@@ -411,7 +419,7 @@ impl<'p> Simulator<'p> {
                 self.stats.cycles += self.cfg.costs.fork_join as f64;
                 loop {
                     self.step_guard()?;
-                    let c = self.eval(frame, cond)?;
+                    let c = self.eval(frame, *cond)?;
                     self.flush(self.cfg.costs.branch);
                     if !c.is_truthy() {
                         return Ok(Flow::Normal);
@@ -437,7 +445,7 @@ impl<'p> Simulator<'p> {
                 step,
                 body,
                 ..
-            } => self.exec_do(frame, *var, lo, hi, step, body),
+            } => self.exec_do(frame, *var, *lo, *hi, *step, body),
             StmtKind::DoParallel {
                 var,
                 lo,
@@ -447,7 +455,7 @@ impl<'p> Simulator<'p> {
             } => {
                 self.flush(0);
                 let before = self.stats.cycles;
-                let flow = self.exec_do(frame, *var, lo, hi, step, body)?;
+                let flow = self.exec_do(frame, *var, *lo, *hi, *step, body)?;
                 self.flush(0);
                 let delta = self.stats.cycles - before;
                 let procs = f64::from(self.cfg.num_procs.max(1));
@@ -459,7 +467,7 @@ impl<'p> Simulator<'p> {
                 Ok(Flow::Goto(*l))
             }
             StmtKind::IfGoto { cond, target } => {
-                let c = self.eval(frame, cond)?;
+                let c = self.eval(frame, *cond)?;
                 self.flush(self.cfg.costs.branch);
                 if c.is_truthy() {
                     Ok(Flow::Goto(*target))
@@ -469,7 +477,7 @@ impl<'p> Simulator<'p> {
             }
             StmtKind::Call { dst, callee, args } => {
                 let mut vals = Vec::with_capacity(args.len());
-                for a in args {
+                for &a in args {
                     vals.push(self.eval(frame, a)?);
                 }
                 self.flush(0);
@@ -485,7 +493,7 @@ impl<'p> Simulator<'p> {
             StmtKind::Return(v) => {
                 let value = match v {
                     None => None,
-                    Some(e) => Some(self.eval(frame, e)?),
+                    Some(e) => Some(self.eval(frame, *e)?),
                 };
                 self.flush(self.cfg.costs.branch);
                 Ok(Flow::Return(value))
@@ -497,12 +505,12 @@ impl<'p> Simulator<'p> {
         &mut self,
         frame: &mut Frame,
         var: VarId,
-        lo: &Expr,
-        hi: &Expr,
-        step: &Expr,
-        body: &[Stmt],
+        lo: ExprId,
+        hi: ExprId,
+        step: ExprId,
+        body: &'p [StmtId],
     ) -> Result<Flow, SimError> {
-        let proc = &self.prog.procs[frame.proc_index];
+        let proc = self.cur_proc(frame);
         let kind = proc.var_scalar(var);
         let lo_v = self.eval(frame, lo)?.as_int();
         let hi_v = self.eval(frame, hi)?.as_int();
@@ -542,15 +550,16 @@ impl<'p> Simulator<'p> {
         &mut self,
         frame: &mut Frame,
         lhs: &LValue,
-        rhs: &Expr,
+        rhs: ExprId,
     ) -> Result<(), SimError> {
+        let exprs = &self.cur_proc(frame).exprs;
         let (base, len, stride, kind) = match lhs {
             LValue::Section {
                 base,
                 len,
                 stride,
                 ty,
-            } => (base, len, stride, *ty),
+            } => (*base, *len, *stride, *ty),
             _ => {
                 return Err(SimError::new(
                     "vector expression assigned to a scalar target",
@@ -568,15 +577,15 @@ impl<'p> Simulator<'p> {
         // Pre-evaluate every section operand in the rhs (base/stride), and
         // count vector instructions.
         let mut sections = Vec::new();
-        collect_sections(rhs, &mut sections);
+        collect_sections(exprs, rhs, &mut sections);
         let mut resolved = Vec::new();
-        for sec in &sections {
+        for &sec in &sections {
             if let Expr::Section {
                 base,
                 len,
                 stride,
                 ty,
-            } = sec
+            } = exprs[sec]
             {
                 let b = self.eval(frame, base)?.as_int() as u32;
                 let l = self.eval(frame, len)?.as_int();
@@ -586,10 +595,10 @@ impl<'p> Simulator<'p> {
                         "vector length mismatch: {l} vs {len_v}"
                     )));
                 }
-                resolved.push((b, st, *ty));
+                resolved.push((b, st, ty));
             }
         }
-        let ops = count_vector_ops(rhs);
+        let ops = count_vector_ops(exprs, rhs);
         let n_instr = sections.len() as u64 + ops + 1; // loads + ops + store
         self.stats.vector_instrs += n_instr;
         self.stats.vector_elems += len_u * n_instr;
@@ -621,12 +630,12 @@ impl<'p> Simulator<'p> {
     fn eval_vector_elem(
         &mut self,
         frame: &mut Frame,
-        e: &Expr,
+        e: ExprId,
         k: i64,
         resolved: &[(u32, i64, ScalarType)],
         idx: &mut usize,
     ) -> Result<Value, SimError> {
-        match e {
+        match self.cur_proc(frame).exprs[e] {
             Expr::Section { .. } => {
                 let (b, st, ty) = resolved[*idx];
                 *idx += 1;
@@ -636,20 +645,20 @@ impl<'p> Simulator<'p> {
             Expr::Binary { op, ty, lhs, rhs } => {
                 let a = self.eval_vector_elem(frame, lhs, k, resolved, idx)?;
                 let b = self.eval_vector_elem(frame, rhs, k, resolved, idx)?;
-                eval_binop(*op, *ty, a, b)
+                eval_binop(op, ty, a, b)
                     .ok_or_else(|| SimError::new("division by zero in vector statement"))
             }
             Expr::Unary { op, ty, arg } => {
                 let a = self.eval_vector_elem(frame, arg, k, resolved, idx)?;
-                Ok(eval_unop(*op, *ty, a))
+                Ok(eval_unop(op, ty, a))
             }
             Expr::Cast { to, from, arg } => {
                 let a = self.eval_vector_elem(frame, arg, k, resolved, idx)?;
-                Ok(eval_cast(*to, *from, a))
+                Ok(eval_cast(to, from, a))
             }
             // scalar (loop-invariant) operand: evaluate without charging
             // per-element cost — it is held in a register
-            other => self.eval_quiet(frame, other),
+            _ => self.eval_quiet(frame, e),
         }
     }
 
@@ -657,42 +666,42 @@ impl<'p> Simulator<'p> {
     // expression evaluation
     // ------------------------------------------------------------------
 
-    fn eval(&mut self, frame: &mut Frame, e: &Expr) -> Result<Value, SimError> {
-        match e {
-            Expr::IntConst(v) => Ok(Value::Int(*v)),
-            Expr::FloatConst(f, ty) => Ok(normalize(Value::Float(*f), *ty)),
-            Expr::Var(v) => self.load_var(frame, *v),
+    fn eval(&mut self, frame: &mut Frame, e: ExprId) -> Result<Value, SimError> {
+        match self.cur_proc(frame).exprs[e] {
+            Expr::IntConst(v) => Ok(Value::Int(v)),
+            Expr::FloatConst(f, ty) => Ok(normalize(Value::Float(f), ty)),
+            Expr::Var(v) => self.load_var(frame, v),
             Expr::AddrOf(v) => {
                 self.charge_int(self.cfg.costs.int_alu);
                 let addr = frame.addrs[v.index()].ok_or_else(|| {
                     SimError::new(format!(
                         "address taken of register variable {} (not memory-resident)",
-                        self.prog.procs[frame.proc_index].var(*v).name
+                        self.prog.procs[frame.proc_index].var(v).name
                     ))
                 })?;
                 Ok(Value::Int(addr as i64))
             }
             Expr::Load { addr, ty, volatile } => {
                 let a = self.eval(frame, addr)?.as_int() as u32;
-                if *volatile {
+                if volatile {
                     if let Some(next) = self.volatile_script.pop_front() {
-                        self.write_mem(a, *ty, coerce(Value::Int(next), *ty))?;
+                        self.write_mem(a, ty, coerce(Value::Int(next), ty))?;
                     }
                 }
                 self.bucket.mem += self.cfg.costs.load;
                 self.stats.loads += 1;
-                self.read_mem(a, *ty)
+                self.read_mem(a, ty)
             }
             Expr::Unary { op, ty, arg } => {
                 let a = self.eval(frame, arg)?;
-                self.charge_op_cost(*ty, false);
-                Ok(eval_unop(*op, *ty, a))
+                self.charge_op_cost(ty, false);
+                Ok(eval_unop(op, ty, a))
             }
             Expr::Binary { op, ty, lhs, rhs } => {
                 let a = self.eval(frame, lhs)?;
                 let b = self.eval(frame, rhs)?;
-                self.charge_binop_cost(*op, *ty);
-                eval_binop(*op, *ty, a, b).ok_or_else(|| SimError::new("division by zero"))
+                self.charge_binop_cost(op, ty);
+                eval_binop(op, ty, a, b).ok_or_else(|| SimError::new("division by zero"))
             }
             Expr::Cast { to, from, arg } => {
                 let a = self.eval(frame, arg)?;
@@ -701,7 +710,7 @@ impl<'p> Simulator<'p> {
                 } else {
                     self.charge_int(self.cfg.costs.int_alu);
                 }
-                Ok(eval_cast(*to, *from, a))
+                Ok(eval_cast(to, from, a))
             }
             Expr::Section { .. } => Err(SimError::new(
                 "vector section used outside a vector statement",
@@ -711,7 +720,7 @@ impl<'p> Simulator<'p> {
 
     /// Evaluates without charging costs (used for loop-invariant scalar
     /// operands of vector statements, already in registers).
-    fn eval_quiet(&mut self, frame: &mut Frame, e: &Expr) -> Result<Value, SimError> {
+    fn eval_quiet(&mut self, frame: &mut Frame, e: ExprId) -> Result<Value, SimError> {
         let save_bucket = self.bucket;
         let save_loads = self.stats.loads;
         let save_flops = self.stats.flops;
@@ -723,7 +732,7 @@ impl<'p> Simulator<'p> {
     }
 
     fn load_var(&mut self, frame: &mut Frame, v: VarId) -> Result<Value, SimError> {
-        let proc = &self.prog.procs[frame.proc_index];
+        let proc = self.cur_proc(frame);
         match frame.addrs[v.index()] {
             Some(addr) => {
                 let kind = proc.var_scalar(v);
@@ -736,7 +745,7 @@ impl<'p> Simulator<'p> {
     }
 
     fn store_var(&mut self, frame: &mut Frame, v: VarId, value: Value) -> Result<(), SimError> {
-        let proc = &self.prog.procs[frame.proc_index];
+        let proc = self.cur_proc(frame);
         let kind = proc.var_scalar(v);
         let value = coerce(value, kind);
         match frame.addrs[v.index()] {
@@ -757,7 +766,7 @@ impl<'p> Simulator<'p> {
         match lhs {
             LValue::Var(v) => self.store_var(frame, *v, value),
             LValue::Deref { addr, ty, .. } => {
-                let a = self.eval(frame, addr)?.as_int() as u32;
+                let a = self.eval(frame, *addr)?.as_int() as u32;
                 self.bucket.mem += self.cfg.costs.store;
                 self.stats.stores += 1;
                 self.write_mem(a, *ty, coerce(value, *ty))
@@ -948,26 +957,26 @@ fn coerce(v: Value, kind: ScalarType) -> Value {
     }
 }
 
-fn collect_sections<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if matches!(e, Expr::Section { .. }) {
+fn collect_sections(pool: &ExprPool, e: ExprId, out: &mut Vec<ExprId>) {
+    if matches!(pool[e], Expr::Section { .. }) {
         out.push(e);
         return;
     }
-    for c in e.children() {
-        collect_sections(c, out);
+    for c in pool[e].child_ids() {
+        collect_sections(pool, c, out);
     }
 }
 
 /// Number of vector ALU operations in a vector rhs (operations with at
 /// least one section-derived operand).
-fn count_vector_ops(e: &Expr) -> u64 {
-    match e {
+fn count_vector_ops(pool: &ExprPool, e: ExprId) -> u64 {
+    match pool[e] {
         Expr::Binary { lhs, rhs, .. } => {
-            let mine = u64::from(lhs.has_section() || rhs.has_section());
-            mine + count_vector_ops(lhs) + count_vector_ops(rhs)
+            let mine = u64::from(pool.has_section(lhs) || pool.has_section(rhs));
+            mine + count_vector_ops(pool, lhs) + count_vector_ops(pool, rhs)
         }
         Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => {
-            u64::from(arg.has_section()) + count_vector_ops(arg)
+            u64::from(pool.has_section(arg)) + count_vector_ops(pool, arg)
         }
         _ => 0,
     }

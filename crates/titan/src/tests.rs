@@ -1,7 +1,7 @@
 //! Simulator tests: semantics first, then the cost model.
 
 use crate::{MachineConfig, Simulator, Value};
-use titanc_il::{BinOp, Expr, LValue, ProcBuilder, ScalarType, StmtKind, Type};
+use titanc_il::{BinOp, LValue, ProcBuilder, ScalarType, StmtKind, Type};
 use titanc_lower::compile_to_il;
 
 fn run_c(src: &str) -> crate::RunResult {
@@ -193,14 +193,20 @@ fn do_loop_executes_fortran_semantics() {
     let mut b = ProcBuilder::new("main", Type::Int);
     let i = b.local("i", Type::Int);
     let s = b.local("s", Type::Int);
-    b.assign_var(s, Expr::int(0));
+    let zero = b.int(0);
+    b.assign_var(s, zero);
     let body = {
         let mut lb = b.block();
-        lb.assign_var(s, Expr::ibinary(BinOp::Add, Expr::var(s), Expr::var(i)));
+        let sv = lb.var(s);
+        let iv = lb.var(i);
+        let add = lb.ibinary(BinOp::Add, sv, iv);
+        lb.assign_var(s, add);
         lb.stmts()
     };
-    b.do_loop(i, Expr::int(10), Expr::int(1), Expr::int(-2), body);
-    b.ret(Some(Expr::var(s)));
+    let (lo, hi, step) = (b.int(10), b.int(1), b.int(-2));
+    b.do_loop(i, lo, hi, step, body);
+    let sv = b.var(s);
+    b.ret(Some(sv));
     let mut prog = titanc_il::Program::new();
     prog.add_proc(b.finish());
     let mut sim = Simulator::new(&prog, MachineConfig::default());
@@ -213,14 +219,18 @@ fn zero_trip_do_loop_runs_zero_times() {
     let mut b = ProcBuilder::new("main", Type::Int);
     let i = b.local("i", Type::Int);
     let s = b.local("s", Type::Int);
-    b.assign_var(s, Expr::int(7));
+    let seven = b.int(7);
+    b.assign_var(s, seven);
     let body = {
         let mut lb = b.block();
-        lb.assign_var(s, Expr::int(0));
+        let zero = lb.int(0);
+        lb.assign_var(s, zero);
         lb.stmts()
     };
-    b.do_loop(i, Expr::int(5), Expr::int(1), Expr::int(1), body);
-    b.ret(Some(Expr::var(s)));
+    let (lo, hi, step) = (b.int(5), b.int(1), b.int(1));
+    b.do_loop(i, lo, hi, step, body);
+    let sv = b.var(s);
+    b.ret(Some(sv));
     let mut prog = titanc_il::Program::new();
     prog.add_proc(b.finish());
     let mut sim = Simulator::new(&prog, MachineConfig::default());
@@ -238,36 +248,38 @@ fn vector_assign_matches_scalar_loop() {
     // init vb[i] = i
     let body = {
         let mut lb = b.block();
-        let addr = Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::addr_of(bb),
-            Expr::ibinary(BinOp::Mul, Expr::var(i), Expr::int(4)),
-        );
-        lb.assign(
-            LValue::deref(addr, ScalarType::Float),
-            Expr::cast(ScalarType::Float, ScalarType::Int, Expr::var(i)),
-        );
+        let base = lb.addr_of(bb);
+        let iv = lb.var(i);
+        let four = lb.int(4);
+        let off = lb.ibinary(BinOp::Mul, iv, four);
+        let addr = lb.binary(BinOp::Add, ScalarType::Ptr, base, off);
+        let iv2 = lb.var(i);
+        let cast = lb.cast(ScalarType::Float, ScalarType::Int, iv2);
+        lb.assign(LValue::deref(addr, ScalarType::Float), cast);
         lb.stmts()
     };
-    b.do_loop(i, Expr::int(0), Expr::int(7), Expr::int(1), body);
-    let section = |base: titanc_il::VarId| Expr::Section {
-        base: Box::new(Expr::addr_of(base)),
-        len: Box::new(Expr::int(8)),
-        stride: Box::new(Expr::int(4)),
-        ty: ScalarType::Float,
-    };
-    let rhs = Expr::binary(BinOp::Add, ScalarType::Float, section(bb), Expr::float(2.0));
+    let (lo, hi, step) = (b.int(0), b.int(7), b.int(1));
+    b.do_loop(i, lo, hi, step, body);
+    let sec_base = b.addr_of(bb);
+    let sec_len = b.int(8);
+    let sec_stride = b.int(4);
+    let section = b.section(sec_base, sec_len, sec_stride, ScalarType::Float);
+    let two = b.float(2.0);
+    let rhs = b.binary(BinOp::Add, ScalarType::Float, section, two);
+    let lhs_base = b.addr_of(a);
+    let lhs_len = b.int(8);
+    let lhs_stride = b.int(4);
     b.assign(
         LValue::Section {
-            base: Expr::addr_of(a),
-            len: Expr::int(8),
-            stride: Expr::int(4),
+            base: lhs_base,
+            len: lhs_len,
+            stride: lhs_stride,
             ty: ScalarType::Float,
         },
         rhs,
     );
-    b.ret(Some(Expr::int(0)));
+    let zero = b.int(0);
+    b.ret(Some(zero));
     let mut prog = titanc_il::Program::new();
     prog.ensure_global(titanc_il::VarInfo {
         name: "va".into(),
@@ -329,36 +341,29 @@ fn parallel_loop_divides_cycles() {
         let i = b.local("i", Type::Int);
         let body = {
             let mut lb = b.block();
-            let addr = Expr::binary(
-                BinOp::Add,
-                ScalarType::Ptr,
-                Expr::addr_of(a),
-                Expr::ibinary(BinOp::Mul, Expr::var(i), Expr::int(4)),
-            );
-            lb.assign(
-                LValue::deref(addr, ScalarType::Float),
-                Expr::binary(
-                    BinOp::Mul,
-                    ScalarType::Float,
-                    Expr::cast(ScalarType::Float, ScalarType::Int, Expr::var(i)),
-                    Expr::float(3.0),
-                ),
-            );
+            let base = lb.addr_of(a);
+            let iv = lb.var(i);
+            let four = lb.int(4);
+            let off = lb.ibinary(BinOp::Mul, iv, four);
+            let addr = lb.binary(BinOp::Add, ScalarType::Ptr, base, off);
+            let iv2 = lb.var(i);
+            let cast = lb.cast(ScalarType::Float, ScalarType::Int, iv2);
+            let three = lb.float(3.0);
+            let rhs = lb.binary(BinOp::Mul, ScalarType::Float, cast, three);
+            lb.assign(LValue::deref(addr, ScalarType::Float), rhs);
             lb.stmts()
         };
-        let s = b.proc().len();
-        let _ = s;
-        let do_par = StmtKind::DoParallel {
-            var: i,
-            lo: Expr::int(0),
-            hi: Expr::int(999),
-            step: Expr::int(1),
-            body,
-        };
+        let (lo, hi, step) = (b.int(0), b.int(999), b.int(1));
+        let ret0 = b.int(0);
         let mut proc = b.finish();
-        proc.push(do_par);
-        let sid = proc.stamp(StmtKind::Return(Some(Expr::int(0))));
-        proc.body.push(sid);
+        proc.push(StmtKind::DoParallel {
+            var: i,
+            lo,
+            hi,
+            step,
+            body,
+        });
+        proc.push(StmtKind::Return(Some(ret0)));
         let mut prog = titanc_il::Program::new();
         prog.ensure_global(titanc_il::VarInfo {
             name: "pa".into(),
@@ -500,76 +505,62 @@ fn while_spread_semantics_and_cost() {
     let cells = b.global("cells", Type::array_of(Type::Int, 8));
     let p = b.local("p", Type::ptr_to(Type::Int));
     // init: cells[0]=5, cells[1]=&cells[2]; cells[2]=7, cells[3]=&cells[4]; cells[4]=9, cells[5]=0
-    let addr = |base: titanc_il::VarId, off: i64| {
-        Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::addr_of(base),
-            Expr::int(off),
-        )
-    };
+    fn addr(b: &mut ProcBuilder, base: titanc_il::VarId, off: i64) -> titanc_il::ExprId {
+        let ba = b.addr_of(base);
+        let o = b.int(off);
+        b.binary(BinOp::Add, ScalarType::Ptr, ba, o)
+    }
     for (off, val) in [(0, 5i64), (8, 7), (16, 9)] {
-        b.assign(
-            LValue::deref(addr(cells, off), ScalarType::Int),
-            Expr::int(val),
-        );
+        let a = addr(&mut b, cells, off);
+        let v = b.int(val);
+        b.assign(LValue::deref(a, ScalarType::Int), v);
     }
     // next pointers (stored as int addresses)
-    let next_of = |base, off: i64, target: Option<i64>| match target {
-        Some(t) => (
-            LValue::deref(addr(base, off + 4), ScalarType::Int),
-            Expr::binary(
-                BinOp::Add,
-                ScalarType::Ptr,
-                Expr::addr_of(base),
-                Expr::int(t),
-            ),
-        ),
-        None => (
-            LValue::deref(addr(base, off + 4), ScalarType::Int),
-            Expr::int(0),
-        ),
-    };
     for (off, tgt) in [(0i64, Some(8i64)), (8, Some(16)), (16, None)] {
-        let (lhs, rhs) = next_of(cells, off, tgt);
-        b.assign(lhs, rhs);
+        let a = addr(&mut b, cells, off + 4);
+        let rhs = match tgt {
+            Some(t) => addr(&mut b, cells, t),
+            None => b.int(0),
+        };
+        b.assign(LValue::deref(a, ScalarType::Int), rhs);
     }
-    b.assign_var(p, Expr::addr_of(cells));
+    let cells_addr = b.addr_of(cells);
+    b.assign_var(p, cells_addr);
     let mut proc = b.finish();
     // while spread (p != 0) { parallel: *p = *p * 2 } serial { p = *(p+4) }
-    let load_p = Expr::load(Expr::var(p), ScalarType::Int);
+    let pv = proc.exprs.var(p);
+    let load_p = proc.exprs.load(pv, ScalarType::Int);
+    let two = proc.exprs.int(2);
+    let doubled = proc.exprs.ibinary(BinOp::Mul, load_p, two);
+    let pv2 = proc.exprs.var(p);
     let work = proc.stamp(StmtKind::Assign {
-        lhs: LValue::deref(Expr::var(p), ScalarType::Int),
-        rhs: Expr::ibinary(BinOp::Mul, load_p, Expr::int(2)),
+        lhs: LValue::deref(pv2, ScalarType::Int),
+        rhs: doubled,
     });
+    let pv3 = proc.exprs.var(p);
+    let four_c = proc.exprs.int(4);
+    let next_addr = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, pv3, four_c);
+    let next = proc.exprs.load(next_addr, ScalarType::Ptr);
     let chase = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(p),
-        rhs: Expr::load(
-            Expr::binary(BinOp::Add, ScalarType::Ptr, Expr::var(p), Expr::int(4)),
-            ScalarType::Ptr,
-        ),
+        rhs: next,
     });
+    let pv4 = proc.exprs.var(p);
+    let zero_c = proc.exprs.int(0);
+    let cond = proc.exprs.binary(BinOp::Ne, ScalarType::Ptr, pv4, zero_c);
     let spread = proc.stamp(StmtKind::WhileSpread {
-        cond: Expr::binary(BinOp::Ne, ScalarType::Ptr, Expr::var(p), Expr::int(0)),
+        cond,
         parallel: vec![work],
         serial: vec![chase],
     });
     proc.body.push(spread);
-    let ret = proc.stamp(StmtKind::Return(Some(Expr::load(
-        addr_expr(cells, 16),
-        ScalarType::Int,
-    ))));
+    let ca = proc.exprs.addr_of(cells);
+    let off16 = proc.exprs.int(16);
+    let last_addr = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, ca, off16);
+    let last = proc.exprs.load(last_addr, ScalarType::Int);
+    let ret = proc.stamp(StmtKind::Return(Some(last)));
     proc.body.push(ret);
     prog.add_proc(proc);
-
-    fn addr_expr(base: titanc_il::VarId, off: i64) -> Expr {
-        Expr::binary(
-            BinOp::Add,
-            ScalarType::Ptr,
-            Expr::addr_of(base),
-            Expr::int(off),
-        )
-    }
 
     let mut one = Simulator::new(&prog, MachineConfig::optimized(1));
     let r1 = one.run("main", &[]).unwrap();

@@ -19,8 +19,8 @@
 
 use titanc_deps::{const_trip_count, decompose, Aliasing, DepGraph, DepKind, Verdict};
 use titanc_il::{
-    BinOp, Expr, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, SrcSpan, Stmt, StmtId,
-    StmtKind, Type, VarId,
+    BinOp, Block, Expr, ExprId, LValue, LoopDecision, LoopEvent, Procedure, ScalarType, SrcSpan,
+    StmtId, StmtKind, StmtPool, Type, VarId,
 };
 use titanc_opt::util::defined_in;
 
@@ -147,18 +147,13 @@ pub fn vectorize(proc: &mut Procedure, opts: &VectorOptions) -> VectorReport {
 
 /// The controlling variable's name and source span of a loop header.
 fn loop_head(proc: &Procedure, id: StmtId) -> (String, SrcSpan) {
-    match proc.find_stmt(id) {
-        Some(s) => {
-            let var = match &s.kind {
-                StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. } => {
-                    proc.var(*var).name.clone()
-                }
-                _ => String::new(),
-            };
-            (var, s.span)
+    let var = match proc.find_stmt(id) {
+        Some(StmtKind::DoLoop { var, .. } | StmtKind::DoParallel { var, .. }) => {
+            proc.var(*var).name.clone()
         }
-        None => (String::new(), SrcSpan::NONE),
-    }
+        _ => String::new(),
+    };
+    (var, proc.stmts.span(id))
 }
 
 /// Accounts for every loop the innermost-DO walk never visits, so the
@@ -172,12 +167,12 @@ fn sweep_unvisited_loops(
     report: &mut VectorReport,
 ) {
     let mut events = Vec::new();
-    proc.for_each_stmt(&mut |s| match &s.kind {
-        StmtKind::DoLoop { var, .. } if !done.contains(&s.id) => {
+    proc.for_each_stmt(&mut |s, kind| match kind {
+        StmtKind::DoLoop { var, .. } if !done.contains(&s) => {
             events.push(LoopEvent {
                 proc: proc.name.clone(),
                 var: proc.var(*var).name.clone(),
-                span: s.span,
+                span: proc.stmts.span(s),
                 decision: LoopDecision::Scalar(
                     "contains an inner loop (only innermost loops are vectorized)".to_string(),
                 ),
@@ -187,7 +182,7 @@ fn sweep_unvisited_loops(
             events.push(LoopEvent {
                 proc: proc.name.clone(),
                 var: String::new(),
-                span: s.span,
+                span: proc.stmts.span(s),
                 decision: LoopDecision::Scalar(
                     "`while` loop was not converted to DO form".to_string(),
                 ),
@@ -220,25 +215,28 @@ enum Outcome {
 /// Finds an unprocessed innermost `DoLoop` (bodies containing no loops).
 fn find_innermost_do(proc: &Procedure, done: &std::collections::HashSet<StmtId>) -> Option<StmtId> {
     let mut found = None;
-    proc.for_each_stmt(&mut |s| {
+    proc.for_each_stmt(&mut |s, kind| {
         if found.is_some() {
             return;
         }
-        if let StmtKind::DoLoop { body, .. } = &s.kind {
-            let has_inner_loop = body.iter().any(contains_loop);
-            if !has_inner_loop && !done.contains(&s.id) {
-                found = Some(s.id);
+        if let StmtKind::DoLoop { body, .. } = kind {
+            let has_inner_loop = body.iter().any(|&c| contains_loop(&proc.stmts, c));
+            if !has_inner_loop && !done.contains(&s) {
+                found = Some(s);
             }
         }
     });
     found
 }
 
-fn contains_loop(s: &Stmt) -> bool {
-    if s.is_loop() {
+fn contains_loop(pool: &StmtPool, s: StmtId) -> bool {
+    if pool[s].is_loop() {
         return true;
     }
-    s.blocks().iter().any(|b| b.iter().any(contains_loop))
+    pool[s]
+        .blocks()
+        .iter()
+        .any(|b| b.iter().any(|&c| contains_loop(pool, c)))
 }
 
 struct VecStmtPlan {
@@ -247,49 +245,41 @@ struct VecStmtPlan {
     index: usize,
     lhs_affine: titanc_deps::Affine,
     lhs_ty: ScalarType,
-    rhs: Expr,
+    /// The original rhs expression; deep-copied per emitted statement.
+    rhs: ExprId,
 }
 
 fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) -> Outcome {
-    let (lv, lo, hi, step_e, body, safe, loop_span) = {
-        let s = proc.find_stmt(id).expect("loop exists");
-        match &s.kind {
-            StmtKind::DoLoop {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-                safe,
-            } => (
-                *var,
-                lo.clone(),
-                hi.clone(),
-                step.clone(),
-                body.clone(),
-                *safe,
-                s.span,
-            ),
-            _ => unreachable!(),
-        }
+    let (lv, lo, hi, step_e, body, safe) = match proc.find_stmt(id) {
+        Some(StmtKind::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            safe,
+        }) => (*var, *lo, *hi, *step, body.clone(), *safe),
+        _ => unreachable!(),
     };
+    let loop_span = proc.stmts.span(id);
     let lv_name = proc.var(lv).name.clone();
     let proc_name = proc.name.clone();
     let scalar = move |defeat: String| Outcome::Scalar {
         note: format!("{proc_name}: loop on `{lv_name}` left scalar: {defeat}"),
         defeat,
     };
-    let step = match step_e.as_int() {
+    let step = match proc.exprs.as_int(step_e) {
         Some(s) if s != 0 => s,
         _ => return scalar("step is not a nonzero constant".to_string()),
     };
-    let trips_const = const_trip_count(&lo, &hi, &step_e);
+    let trips_const = const_trip_count(&proc.exprs, lo, hi, step_e);
     let aliasing = if safe {
         Aliasing::Fortran
     } else {
         opts.aliasing
     };
-    let graph = DepGraph::build_for_loop(proc, &body, lv, lo.as_int(), step, trips_const, aliasing);
+    let lo_const = proc.exprs.as_int(lo);
+    let graph = DepGraph::build_for_loop(proc, &body, lv, lo_const, step, trips_const, aliasing);
 
     // When the user asserted safety, memory dependence edges are waived.
     let blocking_cycle = |i: usize| !safe && graph.has_carried_self_cycle(i);
@@ -302,7 +292,6 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
     // component (the conservative scalar edges are cyclic), so
     // distribution never separates a scalar def from its uses.
     let sccs = graph.sccs();
-    #[allow(clippy::large_enum_variant)]
     enum Group {
         Vector(Vec<VecStmtPlan>),
         Scalar(Vec<usize>),
@@ -314,7 +303,7 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
             if graph.pinned[i] || blocking_cycle(i) {
                 None
             } else {
-                plan_stmt(proc, &body, lv, &body[i], i)
+                plan_stmt(proc, &body, lv, body[i], i)
             }
         } else {
             None
@@ -338,9 +327,9 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
         // the strip loop; everything else is strip-mined
         let stripped = opts.parallelize || trips_const.is_none_or(|n| n > opts.max_vl);
         let mut strip_ids: Vec<StmtId> = Vec::new();
-        let mut replacement: Vec<Stmt> = Vec::new();
-        let mut pre: Vec<Stmt> = Vec::new();
-        let trips_expr = trips_expression(proc, &lo, &hi, step, trips_const, loop_span, &mut pre);
+        let mut replacement: Block = Vec::new();
+        let mut pre: Block = Vec::new();
+        let trips_expr = trips_expression(proc, lo, hi, step, trips_const, loop_span, &mut pre);
         replacement.extend(pre);
         for group in groups {
             match group {
@@ -349,10 +338,10 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
                         proc,
                         lv,
                         &body,
-                        &lo,
+                        lo,
                         step,
                         trips_const,
-                        &trips_expr,
+                        trips_expr,
                         plans,
                         opts,
                         loop_span,
@@ -363,14 +352,20 @@ fn try_vectorize_loop(proc: &mut Procedure, id: StmtId, opts: &VectorOptions) ->
                 }
                 Group::Scalar(mut members) => {
                     members.sort_unstable();
-                    let residual: Vec<Stmt> = members.iter().map(|&i| body[i].clone()).collect();
+                    // the member statements move into the residual loop;
+                    // the loop header exprs are deep-copied so no two
+                    // reachable statements share expression slots
+                    let residual_body: Block = members.iter().map(|&i| body[i]).collect();
+                    let lo_c = proc.exprs.copy(lo);
+                    let hi_c = proc.exprs.copy(hi);
+                    let step_c = proc.exprs.copy(step_e);
                     let st = proc.stamp_at(
                         StmtKind::DoLoop {
                             var: lv,
-                            lo: lo.clone(),
-                            hi: hi.clone(),
-                            step: step_e.clone(),
-                            body: residual,
+                            lo: lo_c,
+                            hi: hi_c,
+                            step: step_c,
+                            body: residual_body,
                             safe,
                         },
                         loop_span,
@@ -453,31 +448,31 @@ fn describe_defeat(graph: &DepGraph, sccs: &[Vec<usize>], safe: bool) -> String 
 }
 
 /// Materializes the trip-count expression, pushing a setup statement into
-/// `pre` when it is not a constant.
+/// `pre` when it is not a constant. The returned id is a *template*:
+/// callers deep-copy it per use and never embed it directly.
 fn trips_expression(
     proc: &mut Procedure,
-    lo: &Expr,
-    hi: &Expr,
+    lo: ExprId,
+    hi: ExprId,
     step: i64,
     trips_const: Option<i64>,
     loop_span: SrcSpan,
-    pre: &mut Vec<Stmt>,
-) -> Expr {
+    pre: &mut Block,
+) -> ExprId {
     match trips_const {
-        Some(n) => Expr::int(n),
+        Some(n) => proc.exprs.int(n),
         None => {
             let t = proc.fresh_temp(Type::Int);
-            let span = Expr::ibinary(
-                BinOp::Add,
-                Expr::ibinary(BinOp::Sub, hi.clone(), lo.clone()),
-                Expr::int(step),
-            );
-            let mut e = Expr::ibinary(
-                BinOp::Max,
-                Expr::int(0),
-                Expr::ibinary(BinOp::Div, span, Expr::int(step)),
-            );
-            titanc_il::fold_expr(&mut e);
+            let hi_c = proc.exprs.copy(hi);
+            let lo_c = proc.exprs.copy(lo);
+            let diff = proc.exprs.ibinary(BinOp::Sub, hi_c, lo_c);
+            let step_c = proc.exprs.int(step);
+            let span_e = proc.exprs.ibinary(BinOp::Add, diff, step_c);
+            let zero = proc.exprs.int(0);
+            let step_c2 = proc.exprs.int(step);
+            let div = proc.exprs.ibinary(BinOp::Div, span_e, step_c2);
+            let e = proc.exprs.ibinary(BinOp::Max, zero, div);
+            titanc_il::fold_expr(&mut proc.exprs, e);
             let st = proc.stamp_at(
                 StmtKind::Assign {
                     lhs: LValue::Var(t),
@@ -486,7 +481,7 @@ fn trips_expression(
                 loop_span,
             );
             pre.push(st);
-            Expr::var(t)
+            proc.exprs.var(t)
         }
     }
 }
@@ -494,13 +489,13 @@ fn trips_expression(
 /// Checks one statement and extracts its vector plan.
 fn plan_stmt(
     proc: &Procedure,
-    body: &[Stmt],
+    body: &[StmtId],
     lv: VarId,
-    s: &Stmt,
+    s: StmtId,
     index: usize,
 ) -> Option<VecStmtPlan> {
-    let (lhs, rhs) = match &s.kind {
-        StmtKind::Assign { lhs, rhs } => (lhs, rhs),
+    let (lhs, rhs) = match &proc.stmts[s] {
+        StmtKind::Assign { lhs, rhs } => (lhs, *rhs),
         _ => return None,
     };
     let (addr, ty) = match lhs {
@@ -508,7 +503,7 @@ fn plan_stmt(
             addr,
             ty,
             volatile: false,
-        } => (addr, *ty),
+        } => (*addr, *ty),
         _ => return None,
     };
     let lhs_affine = decompose(proc, body, lv, addr)?;
@@ -522,25 +517,24 @@ fn plan_stmt(
         index,
         lhs_affine,
         lhs_ty: ty,
-        rhs: rhs.clone(),
+        rhs,
     })
 }
 
 /// The rhs is elementwise-evaluable: loads are affine or invariant,
 /// scalars are invariant, and the loop variable appears only inside load
 /// addresses.
-fn rhs_vectorizable(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> bool {
-    match e {
+fn rhs_vectorizable(proc: &Procedure, body: &[StmtId], lv: VarId, e: ExprId) -> bool {
+    match proc.exprs[e] {
         Expr::Load {
             addr,
             volatile: false,
             ..
         } => decompose(proc, body, lv, addr).is_some(),
         Expr::Load { .. } | Expr::Section { .. } => false,
-        Expr::Var(v) => *v != lv && !defined_in(body, *v),
+        Expr::Var(v) => v != lv && !defined_in(&proc.stmts, body, v),
         Expr::AddrOf(_) | Expr::IntConst(_) | Expr::FloatConst(..) => true,
-        Expr::Unary { arg, .. } => rhs_vectorizable(proc, body, lv, arg),
-        Expr::Cast { arg, .. } => rhs_vectorizable(proc, body, lv, arg),
+        Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => rhs_vectorizable(proc, body, lv, arg),
         Expr::Binary { lhs, rhs, .. } => {
             rhs_vectorizable(proc, body, lv, lhs) && rhs_vectorizable(proc, body, lv, rhs)
         }
@@ -554,21 +548,21 @@ fn rhs_vectorizable(proc: &Procedure, body: &[Stmt], lv: VarId, e: &Expr) -> boo
 fn emit_vector_group(
     proc: &mut Procedure,
     lv: VarId,
-    body: &[Stmt],
-    lo: &Expr,
+    body: &[StmtId],
+    lo: ExprId,
     step: i64,
     trips_const: Option<i64>,
-    trips_expr: &Expr,
+    trips_expr: ExprId,
     plans: Vec<VecStmtPlan>,
     opts: &VectorOptions,
     loop_span: SrcSpan,
-    replacement: &mut Vec<Stmt>,
+    replacement: &mut Block,
 ) -> Option<StmtId> {
     let single_ok = !opts.parallelize && trips_const.is_some_and(|n| n <= opts.max_vl);
     if single_ok {
-        let zero = Expr::int(0);
+        let zero = proc.exprs.int(0);
         for plan in &plans {
-            let kind = vector_assign(proc, body, lv, lo, step, plan, &zero, trips_expr);
+            let kind = vector_assign(proc, body, lv, lo, step, plan, zero, trips_expr);
             let st = proc.stamp_at(kind, loop_span);
             replacement.push(st);
         }
@@ -584,13 +578,13 @@ fn emit_vector_group(
     proc.var_mut(ks).name = format!("vi_{}", ks.index());
     let t_len = proc.fresh_temp(Type::Int);
     proc.var_mut(t_len).name = format!("vl_{}", t_len.index());
-    let mut inner: Vec<Stmt> = Vec::new();
-    let mut len_rhs = Expr::ibinary(
-        BinOp::Min,
-        Expr::int(vl),
-        Expr::ibinary(BinOp::Sub, trips_expr.clone(), Expr::var(ks)),
-    );
-    titanc_il::fold_expr(&mut len_rhs);
+    let mut inner: Block = Vec::new();
+    let vl_c = proc.exprs.int(vl);
+    let trips_c = proc.exprs.copy(trips_expr);
+    let ks_read = proc.exprs.var(ks);
+    let rem = proc.exprs.ibinary(BinOp::Sub, trips_c, ks_read);
+    let len_rhs = proc.exprs.ibinary(BinOp::Min, vl_c, rem);
+    titanc_il::fold_expr(&mut proc.exprs, len_rhs);
     let len_assign = proc.stamp_at(
         StmtKind::Assign {
             lhs: LValue::Var(t_len),
@@ -599,170 +593,187 @@ fn emit_vector_group(
         loop_span,
     );
     inner.push(len_assign);
-    let origin = Expr::var(ks);
-    let len = Expr::var(t_len);
+    let origin = proc.exprs.var(ks);
+    let len = proc.exprs.var(t_len);
     for plan in &plans {
-        let kind = vector_assign(proc, body, lv, lo, step, plan, &origin, &len);
+        let kind = vector_assign(proc, body, lv, lo, step, plan, origin, len);
         let st = proc.stamp_at(kind, loop_span);
         inner.push(st);
     }
-    let hi_expr = Expr::ibinary(BinOp::Sub, trips_expr.clone(), Expr::int(1));
+    let trips_c2 = proc.exprs.copy(trips_expr);
+    let one = proc.exprs.int(1);
+    let hi_expr = proc.exprs.ibinary(BinOp::Sub, trips_c2, one);
+    let lo_expr = proc.exprs.int(0);
+    let step_expr = proc.exprs.int(vl);
     let kind = if opts.parallelize {
         StmtKind::DoParallel {
             var: ks,
-            lo: Expr::int(0),
+            lo: lo_expr,
             hi: hi_expr,
-            step: Expr::int(vl),
+            step: step_expr,
             body: inner,
         }
     } else {
         StmtKind::DoLoop {
             var: ks,
-            lo: Expr::int(0),
+            lo: lo_expr,
             hi: hi_expr,
-            step: Expr::int(vl),
+            step: step_expr,
             body: inner,
             safe: true,
         }
     };
-    let st = proc.stamp_at(kind, loop_span);
-    let sid = st.id;
-    replacement.push(st);
+    let sid = proc.stamp_at(kind, loop_span);
+    replacement.push(sid);
     Some(sid)
 }
 
 /// The address of iteration `origin` for an affine reference:
-/// `A(lo) + origin * coeff * step`.
-fn addr_at(aff: &titanc_deps::Affine, lo: &Expr, step: i64, origin: &Expr) -> Expr {
-    let a0 = aff.materialize(lo);
+/// `A(lo) + origin * coeff * step`. Allocates a fresh tree (the `lo` and
+/// `origin` templates are deep-copied, never embedded).
+fn addr_at(
+    proc: &mut Procedure,
+    aff: &titanc_deps::Affine,
+    lo: ExprId,
+    step: i64,
+    origin: ExprId,
+) -> ExprId {
+    let lo_c = proc.exprs.copy(lo);
+    let a0 = aff.materialize(&mut proc.exprs, lo_c);
     let d = aff.coeff * step;
-    let mut e = Expr::binary(
-        BinOp::Add,
-        ScalarType::Ptr,
-        a0,
-        Expr::ibinary(BinOp::Mul, origin.clone(), Expr::int(d)),
-    );
-    titanc_il::fold_expr(&mut e);
+    let origin_c = proc.exprs.copy(origin);
+    let d_c = proc.exprs.int(d);
+    let mul = proc.exprs.ibinary(BinOp::Mul, origin_c, d_c);
+    let e = proc.exprs.binary(BinOp::Add, ScalarType::Ptr, a0, mul);
+    titanc_il::fold_expr(&mut proc.exprs, e);
     e
 }
 
 /// Builds the vector assignment for one plan at a strip origin.
 #[allow(clippy::too_many_arguments)]
 fn vector_assign(
-    proc: &Procedure,
-    body: &[Stmt],
+    proc: &mut Procedure,
+    body: &[StmtId],
     lv: VarId,
-    lo: &Expr,
+    lo: ExprId,
     step: i64,
     plan: &VecStmtPlan,
-    origin: &Expr,
-    len: &Expr,
+    origin: ExprId,
+    len: ExprId,
 ) -> StmtKind {
+    let base = addr_at(proc, &plan.lhs_affine, lo, step, origin);
+    let len_c = proc.exprs.copy(len);
+    let stride = proc.exprs.int(plan.lhs_affine.coeff * step);
     let lhs = LValue::Section {
-        base: addr_at(&plan.lhs_affine, lo, step, origin),
-        len: len.clone(),
-        stride: Expr::int(plan.lhs_affine.coeff * step),
+        base,
+        len: len_c,
+        stride,
         ty: plan.lhs_ty,
     };
-    let mut rhs = plan.rhs.clone();
-    rewrite_loads(proc, body, lv, lo, step, origin, len, &mut rhs);
+    let rhs = proc.exprs.copy(plan.rhs);
+    rewrite_loads(proc, body, lv, lo, step, origin, len, rhs);
     StmtKind::Assign { lhs, rhs }
 }
 
-/// Replaces every varying affine load in the rhs with a section; invariant
-/// loads stay scalar.
+/// Replaces every varying affine load in the (freshly copied) rhs tree
+/// with a section, rewriting slots in place; invariant loads stay scalar
+/// with their address rebuilt at `lv = lo`.
 #[allow(clippy::too_many_arguments)]
 fn rewrite_loads(
-    proc: &Procedure,
-    body: &[Stmt],
+    proc: &mut Procedure,
+    body: &[StmtId],
     lv: VarId,
-    lo: &Expr,
+    lo: ExprId,
     step: i64,
-    origin: &Expr,
-    len: &Expr,
-    e: &mut Expr,
+    origin: ExprId,
+    len: ExprId,
+    e: ExprId,
 ) {
     if let Expr::Load {
         addr,
         ty,
         volatile: false,
-    } = e
+    } = proc.exprs[e]
     {
         if let Some(aff) = decompose(proc, body, lv, addr) {
             if aff.coeff != 0 {
-                *e = Expr::Section {
-                    base: Box::new(addr_at(&aff, lo, step, origin)),
-                    len: Box::new(len.clone()),
-                    stride: Box::new(Expr::int(aff.coeff * step)),
-                    ty: *ty,
+                let base = addr_at(proc, &aff, lo, step, origin);
+                let len_c = proc.exprs.copy(len);
+                let stride = proc.exprs.int(aff.coeff * step);
+                proc.exprs[e] = Expr::Section {
+                    base,
+                    len: len_c,
+                    stride,
+                    ty,
                 };
                 return;
             }
             // invariant load: rebuild its address at lv = lo so the loop
             // variable does not leak into the vector statement
-            **addr = aff.materialize(lo);
+            let lo_c = proc.exprs.copy(lo);
+            let new_addr = aff.materialize(&mut proc.exprs, lo_c);
+            proc.exprs[addr] = proc.exprs[new_addr];
             return;
         }
     }
-    for c in e.children_mut() {
+    for c in proc.exprs[e].child_ids() {
         rewrite_loads(proc, body, lv, lo, step, origin, len, c);
     }
 }
 
 fn convert_to_parallel(proc: &mut Procedure, id: StmtId) {
-    fn walk(block: &mut [Stmt], id: StmtId) -> bool {
-        for s in block {
-            if s.id == id {
-                if let StmtKind::DoLoop {
-                    var,
-                    lo,
-                    hi,
-                    step,
-                    body,
-                    ..
-                } = std::mem::replace(&mut s.kind, StmtKind::Nop)
-                {
-                    s.kind = StmtKind::DoParallel {
-                        var,
-                        lo,
-                        hi,
-                        step,
-                        body,
-                    };
-                }
-                return true;
-            }
-            for b in s.blocks_mut() {
-                if walk(b, id) {
-                    return true;
-                }
-            }
-        }
-        false
+    if let StmtKind::DoLoop {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+        ..
+    } = std::mem::replace(&mut proc.stmts[id], StmtKind::Nop)
+    {
+        proc.stmts[id] = StmtKind::DoParallel {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        };
     }
-    let mut body = std::mem::take(&mut proc.body);
-    walk(&mut body, id);
-    proc.body = body;
 }
 
-fn splice(proc: &mut Procedure, id: StmtId, replacement: Vec<Stmt>) {
-    fn walk(block: &mut Vec<Stmt>, id: StmtId, replacement: &mut Option<Vec<Stmt>>) -> bool {
+/// Replaces statement `id` with `replacement` in whatever block contains
+/// it, recursing through nested blocks with the take/put-back idiom.
+fn splice(proc: &mut Procedure, id: StmtId, replacement: Block) {
+    fn walk(
+        stmts: &mut StmtPool,
+        block: &mut Block,
+        id: StmtId,
+        replacement: &mut Option<Block>,
+    ) -> bool {
         for i in 0..block.len() {
-            if block[i].id == id {
+            if block[i] == id {
                 let repl = replacement.take().unwrap();
                 block.splice(i..=i, repl);
                 return true;
             }
-            for b in block[i].blocks_mut() {
-                if walk(b, id, replacement) {
-                    return true;
+            let s = block[i];
+            let mut kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
+            let mut hit = false;
+            for b in kind.blocks_mut() {
+                if walk(stmts, b, id, replacement) {
+                    hit = true;
+                    break;
                 }
+            }
+            stmts[s] = kind;
+            if hit {
+                return true;
             }
         }
         false
     }
     let mut body = std::mem::take(&mut proc.body);
     let mut r = Some(replacement);
-    walk(&mut body, id, &mut r);
+    walk(&mut proc.stmts, &mut body, id, &mut r);
     proc.body = body;
 }

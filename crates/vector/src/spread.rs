@@ -15,7 +15,7 @@
 //! make, so the pass only runs when explicitly enabled.
 
 use titanc_il::{
-    Expr, LoopDecision, LoopEvent, Procedure, ScalarType, Stmt, StmtId, StmtKind, VarId,
+    Expr, ExprId, LoopDecision, LoopEvent, Procedure, ScalarType, StmtId, StmtKind, VarId,
 };
 use titanc_opt::util::{count_reads_block, register_candidate, resolve_copy};
 
@@ -44,26 +44,25 @@ pub fn spread_list_loops(proc: &mut Procedure) -> SpreadReport {
     let mut report = SpreadReport::default();
     let mut done: Vec<StmtId> = Vec::new();
     loop {
-        let mut target: Option<(Stmt, Plan)> = None;
-        proc.for_each_stmt(&mut |s| {
-            if target.is_none() && !done.contains(&s.id) {
-                if let StmtKind::While { cond, body, .. } = &s.kind {
-                    if let Some(plan) = analyze(proc, cond, body) {
-                        target = Some((s.clone(), plan));
+        let mut target: Option<(StmtId, Plan)> = None;
+        proc.for_each_stmt(&mut |s, kind| {
+            if target.is_none() && !done.contains(&s) {
+                if let StmtKind::While { cond, body, .. } = kind {
+                    if let Some(plan) = analyze(proc, *cond, body) {
+                        target = Some((s, plan));
                     }
                 }
             }
         });
-        let (head, plan) = match target {
+        let (id, plan) = match target {
             Some(t) => t,
             None => break,
         };
-        let id = head.id;
         done.push(id);
         report.events.push(LoopEvent {
             proc: proc.name.clone(),
             var: proc.var(plan.p).name.clone(),
-            span: head.span,
+            span: proc.stmts.span(id),
             decision: LoopDecision::ListSpread,
         });
         apply(proc, id, plan);
@@ -82,17 +81,17 @@ struct Plan {
     serial: Vec<usize>,
 }
 
-fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
+fn analyze(proc: &Procedure, cond: ExprId, body: &[StmtId]) -> Option<Plan> {
     // condition: p (pointer) or p != 0
-    let p = match cond {
-        Expr::Var(v) => *v,
+    let p = match proc.exprs[cond] {
+        Expr::Var(v) => v,
         Expr::Binary {
             op: titanc_il::BinOp::Ne,
             lhs,
             rhs,
             ..
-        } => match (&**lhs, rhs.as_int()) {
-            (Expr::Var(v), Some(0)) => *v,
+        } => match (proc.exprs[lhs], proc.exprs.as_int(rhs)) {
+            (Expr::Var(v), Some(0)) => v,
             _ => return None,
         },
         _ => return None,
@@ -102,7 +101,7 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
     }
     // the body must be straight-line assignments/ifs (no calls, gotos,
     // labels, returns, volatile, nested loops)
-    if !body.iter().all(structured_enough) {
+    if !body.iter().all(|&s| structured_enough(proc, s)) {
         return None;
     }
     // exactly one definition of p, at top level: p = Load(addr) where the
@@ -110,33 +109,34 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
     let defs: Vec<usize> = body
         .iter()
         .enumerate()
-        .filter(|(_, s)| s.defined_var() == Some(p))
+        .filter(|(_, &s)| proc.stmts[s].defined_var() == Some(p))
         .map(|(i, _)| i)
         .collect();
     let [def_pos] = defs.as_slice() else {
         return None;
     };
     let def_pos = *def_pos;
-    if body.iter().any(|s| {
-        s.blocks()
+    if body.iter().any(|&s| {
+        proc.stmts[s]
+            .blocks()
             .iter()
-            .any(|b| titanc_opt::util::defined_in(b, p))
+            .any(|b| titanc_opt::util::defined_in(&proc.stmts, b, p))
     }) {
         return None;
     }
-    let chase_ok = match &body[def_pos].kind {
-        StmtKind::Assign {
-            rhs:
-                Expr::Load {
-                    addr,
-                    volatile: false,
-                    ..
-                },
-            ..
-        } => addr
-            .vars_read()
-            .iter()
-            .any(|&w| resolve_copy(proc, body, def_pos, w) == p),
+    let chase_ok = match &proc.stmts[body[def_pos]] {
+        StmtKind::Assign { rhs, .. } => match proc.exprs[*rhs] {
+            Expr::Load {
+                addr,
+                volatile: false,
+                ..
+            } => proc
+                .exprs
+                .vars_read(addr)
+                .iter()
+                .any(|&w| resolve_copy(proc, body, def_pos, w) == p),
+            _ => false,
+        },
         _ => false,
     };
     if !chase_ok {
@@ -145,16 +145,21 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
 
     // the serial part: the chase plus the copy chains feeding it
     let mut serial = vec![def_pos];
-    let mut needed: Vec<VarId> = body[def_pos]
+    let mut needed: Vec<VarId> = proc.stmts[body[def_pos]]
         .exprs()
         .iter()
-        .flat_map(|e| e.vars_read())
+        .flat_map(|&e| proc.exprs.vars_read(e))
         .collect();
     for i in (0..def_pos).rev() {
-        if let Some(v) = body[i].defined_var() {
+        if let Some(v) = proc.stmts[body[i]].defined_var() {
             if needed.contains(&v) && register_candidate(proc, v) {
                 serial.push(i);
-                needed.extend(body[i].exprs().iter().flat_map(|e| e.vars_read()));
+                needed.extend(
+                    proc.stmts[body[i]]
+                        .exprs()
+                        .iter()
+                        .flat_map(|&e| proc.exprs.vars_read(e)),
+                );
             }
         }
     }
@@ -163,21 +168,23 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
     // parallel-part safety: each scalar defined by the work must be
     // iteration-private — never read before its own definition and never
     // read by the chase or the condition (accumulations disqualify)
-    for (i, s) in body.iter().enumerate() {
+    for (i, &s) in body.iter().enumerate() {
         if serial.contains(&i) {
             continue;
         }
-        if let Some(v) = s.defined_var() {
+        if let Some(v) = proc.stmts[s].defined_var() {
             if v == p || !register_candidate(proc, v) {
                 continue;
             }
-            if cond.reads_var(v) {
+            if proc.exprs.reads_var(cond, v) {
                 return None;
             }
-            if serial
-                .iter()
-                .any(|&j| body[j].exprs().iter().any(|e| e.reads_var(v)))
-            {
+            if serial.iter().any(|&j| {
+                proc.stmts[body[j]]
+                    .exprs()
+                    .iter()
+                    .any(|&e| proc.exprs.reads_var(e, v))
+            }) {
                 return None;
             }
             // read before def inside the work?
@@ -185,16 +192,17 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| !serial.contains(j))
-                .map(|(j, t)| {
+                .map(|(j, &t)| {
                     if j == i {
                         // reads in the defining statement's own rhs are a
                         // carried use unless it is a plain overwrite
-                        t.exprs()
+                        proc.stmts[t]
+                            .exprs()
                             .iter()
-                            .map(|e| e.vars_read().iter().filter(|&&w| w == v).count())
+                            .map(|&e| proc.exprs.vars_read(e).iter().filter(|&&w| w == v).count())
                             .sum()
                     } else {
-                        count_reads_block(std::slice::from_ref(t), v)
+                        count_reads_block(&proc.stmts, &proc.exprs, std::slice::from_ref(&t), v)
                     }
                 })
                 .sum();
@@ -206,55 +214,39 @@ fn analyze(proc: &Procedure, cond: &Expr, body: &[Stmt]) -> Option<Plan> {
     Some(Plan { p, serial })
 }
 
-fn structured_enough(s: &Stmt) -> bool {
-    match &s.kind {
-        StmtKind::Assign { .. } => !s.has_volatile_access(),
+fn structured_enough(proc: &Procedure, s: StmtId) -> bool {
+    match &proc.stmts[s] {
+        StmtKind::Assign { .. } => !proc.stmts[s].has_volatile_access(&proc.exprs),
         StmtKind::If {
             then_blk, else_blk, ..
         } => {
-            !s.has_volatile_access()
-                && then_blk.iter().all(structured_enough)
-                && else_blk.iter().all(structured_enough)
+            !proc.stmts[s].has_volatile_access(&proc.exprs)
+                && then_blk.iter().all(|&c| structured_enough(proc, c))
+                && else_blk.iter().all(|&c| structured_enough(proc, c))
         }
         _ => false,
     }
 }
 
 fn apply(proc: &mut Procedure, id: StmtId, plan: Plan) {
-    fn walk(block: &mut [Stmt], id: StmtId, plan: &Plan) -> bool {
-        for s in block.iter_mut() {
-            if s.id == id {
-                if let StmtKind::While { cond, body, .. } =
-                    std::mem::replace(&mut s.kind, StmtKind::Nop)
-                {
-                    let mut parallel = Vec::new();
-                    let mut serial = Vec::new();
-                    for (i, inner) in body.into_iter().enumerate() {
-                        if plan.serial.contains(&i) {
-                            serial.push(inner);
-                        } else {
-                            parallel.push(inner);
-                        }
-                    }
-                    s.kind = StmtKind::WhileSpread {
-                        cond,
-                        parallel,
-                        serial,
-                    };
-                }
-                return true;
-            }
-            for b in s.blocks_mut() {
-                if walk(b, id, plan) {
-                    return true;
-                }
+    if let StmtKind::While { cond, body, .. } =
+        std::mem::replace(&mut proc.stmts[id], StmtKind::Nop)
+    {
+        let mut parallel = Vec::new();
+        let mut serial = Vec::new();
+        for (i, inner) in body.into_iter().enumerate() {
+            if plan.serial.contains(&i) {
+                serial.push(inner);
+            } else {
+                parallel.push(inner);
             }
         }
-        false
+        proc.stmts[id] = StmtKind::WhileSpread {
+            cond,
+            parallel,
+            serial,
+        };
     }
-    let mut body = std::mem::take(&mut proc.body);
-    walk(&mut body, id, &plan);
-    proc.body = body;
 }
 
 #[cfg(test)]

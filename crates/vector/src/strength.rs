@@ -19,7 +19,9 @@
 //!   in front of the loop.
 
 use titanc_deps::{const_trip_count, decompose, Affine, Aliasing, DepGraph};
-use titanc_il::{BinOp, Expr, LValue, Procedure, ScalarType, Stmt, StmtId, StmtKind, Type};
+use titanc_il::{
+    BinOp, Block, Expr, ExprId, LValue, Procedure, ScalarType, StmtId, StmtKind, StmtPool, Type,
+};
 use titanc_opt::util::invariant_in;
 
 /// What the pass did.
@@ -62,20 +64,21 @@ pub fn strength_reduce(proc: &mut Procedure, aliasing: Aliasing) -> StrengthRepo
 
 fn do_loop_ids(proc: &Procedure) -> Vec<StmtId> {
     let mut out = Vec::new();
-    proc.for_each_stmt(&mut |s| {
-        if matches!(s.kind, StmtKind::DoLoop { .. }) {
-            out.push(s.id);
+    proc.for_each_stmt(&mut |s, kind| {
+        if matches!(kind, StmtKind::DoLoop { .. }) {
+            out.push(s);
         }
     });
     out
 }
 
+/// `(var, lo, hi, step constant, step expr, body)` of a DO loop with a
+/// nonzero constant step.
 fn loop_parts(
     proc: &Procedure,
     id: StmtId,
-) -> Option<(titanc_il::VarId, Expr, Expr, i64, Vec<Stmt>)> {
-    let s = proc.find_stmt(id)?;
-    match &s.kind {
+) -> Option<(titanc_il::VarId, ExprId, ExprId, i64, ExprId, Block)> {
+    match proc.find_stmt(id)? {
         StmtKind::DoLoop {
             var,
             lo,
@@ -84,14 +87,20 @@ fn loop_parts(
             body,
             ..
         } => {
-            let st = step.as_int()?;
+            let st = proc.exprs.as_int(*step)?;
             if st == 0 {
                 return None;
             }
-            Some((*var, lo.clone(), hi.clone(), st, body.clone()))
+            Some((*var, *lo, *hi, st, *step, body.clone()))
         }
         _ => None,
     }
+}
+
+/// Semantic affine equality: same symbolic base, coefficient, and offset
+/// (term *ids* differ between two decompositions of distinct loads).
+fn affine_eq(a: &Affine, b: &Affine) -> bool {
+    a.same_base(b) && a.coeff == b.coeff && a.offset == b.offset
 }
 
 // ---------------------------------------------------------------------
@@ -110,12 +119,13 @@ fn promote_registers(
     aliasing: Aliasing,
     report: &mut StrengthReport,
 ) {
-    let (lv, lo, hi, step, body) = match loop_parts(proc, id) {
+    let (lv, lo, hi, step, step_e, body) = match loop_parts(proc, id) {
         Some(p) => p,
         None => return,
     };
-    let trips = const_trip_count(&lo, &hi, &Expr::int(step));
-    let graph = DepGraph::build_for_loop(proc, &body, lv, lo.as_int(), step, trips, aliasing);
+    let trips = const_trip_count(&proc.exprs, lo, hi, step_e);
+    let lo_const = proc.exprs.as_int(lo);
+    let graph = DepGraph::build_for_loop(proc, &body, lv, lo_const, step, trips, aliasing);
     if graph.pinned.iter().any(|&p| p) {
         return;
     }
@@ -131,7 +141,7 @@ fn promote_registers(
 
     // the store statement: lhs Deref affine
     let (store_aff, store_ty) = {
-        match &body[store_idx].kind {
+        match &proc.stmts[body[store_idx]] {
             StmtKind::Assign {
                 lhs:
                     LValue::Deref {
@@ -140,7 +150,7 @@ fn promote_registers(
                         volatile: false,
                     },
                 ..
-            } => match decompose(proc, &body, lv, addr) {
+            } => match decompose(proc, &body, lv, *addr) {
                 Some(a) => (a, *ty),
                 None => return,
             },
@@ -164,7 +174,11 @@ fn promote_registers(
         }
     }
     // and the load must execute unconditionally at top level
-    if body[load_idx].blocks().iter().any(|b| !b.is_empty()) {
+    if proc.stmts[body[load_idx]]
+        .blocks()
+        .iter()
+        .any(|b| !b.is_empty())
+    {
         return;
     }
 
@@ -185,37 +199,42 @@ fn promote_registers(
         coeff: store_aff.coeff,
         offset: want_offset,
     };
+    let lo_c = proc.exprs.copy(lo);
+    let pre_addr = load_aff.materialize(&mut proc.exprs, lo_c);
+    let pre_rhs = proc.exprs.load(pre_addr, store_ty);
     let pre = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(reg),
-        rhs: Expr::load(load_aff.materialize(&lo), store_ty),
+        rhs: pre_rhs,
     });
 
     // rewrite body
     let mut new_body = body.clone();
     // replace the matching load in the sink statement with reg
     let mut replaced = false;
-    for e in new_body[load_idx].exprs_mut() {
+    for e in proc.stmts[new_body[load_idx]].exprs() {
         replace_matching_load(proc, &body, lv, e, &matches_load, reg, &mut replaced);
     }
     if !replaced {
         return;
     }
     // split the store: tval = rhs; store = tval; reg = tval
-    let (store_lhs, store_rhs) = match &new_body[store_idx].kind {
-        StmtKind::Assign { lhs, rhs } => (lhs.clone(), rhs.clone()),
+    let (store_lhs, store_rhs) = match &proc.stmts[new_body[store_idx]] {
+        StmtKind::Assign { lhs, rhs } => (*lhs, *rhs),
         _ => return,
     };
     let s1 = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(tval),
         rhs: store_rhs,
     });
+    let t_read = proc.exprs.var(tval);
     let s2 = proc.stamp(StmtKind::Assign {
         lhs: store_lhs,
-        rhs: Expr::var(tval),
+        rhs: t_read,
     });
+    let t_read2 = proc.exprs.var(tval);
     let s3 = proc.stamp(StmtKind::Assign {
         lhs: LValue::Var(reg),
-        rhs: Expr::var(tval),
+        rhs: t_read2,
     });
     new_body.splice(store_idx..=store_idx, [s1, s2, s3]);
 
@@ -223,12 +242,11 @@ fn promote_registers(
     report.promoted += 1;
 }
 
-#[allow(clippy::too_many_arguments)]
 fn replace_matching_load(
-    proc: &Procedure,
-    body: &[Stmt],
+    proc: &mut Procedure,
+    body: &[StmtId],
     lv: titanc_il::VarId,
-    e: &mut Expr,
+    e: ExprId,
     matches: &dyn Fn(&Affine) -> bool,
     reg: titanc_il::VarId,
     replaced: &mut bool,
@@ -237,17 +255,17 @@ fn replace_matching_load(
         addr,
         volatile: false,
         ..
-    } = e
+    } = proc.exprs[e]
     {
         if let Some(aff) = decompose(proc, body, lv, addr) {
             if matches(&aff) {
-                *e = Expr::var(reg);
+                proc.exprs[e] = Expr::Var(reg);
                 *replaced = true;
                 return;
             }
         }
     }
-    for c in e.children_mut() {
+    for c in proc.exprs[e].child_ids() {
         replace_matching_load(proc, body, lv, c, matches, reg, replaced);
     }
 }
@@ -257,7 +275,7 @@ fn replace_matching_load(
 // ---------------------------------------------------------------------
 
 fn hoist_invariants(proc: &mut Procedure, id: StmtId, report: &mut StrengthReport) {
-    let (lv, lo, hi, step, body) = match loop_parts(proc, id) {
+    let (lv, lo, hi, _step, step_e, body) = match loop_parts(proc, id) {
         Some(p) => p,
         None => return,
     };
@@ -268,30 +286,40 @@ fn hoist_invariants(proc: &mut Procedure, id: StmtId, report: &mut StrengthRepor
     // variable, whose first-iteration value would otherwise still be the
     // pre-loop one.
     let runs_at_least_once = matches!(
-        const_trip_count(&lo, &hi, &Expr::int(step)),
+        const_trip_count(&proc.exprs, lo, hi, step_e),
         Some(n) if n >= 1
     );
     if !runs_at_least_once {
         return;
     }
-    let mut hoisted: Vec<Stmt> = Vec::new();
-    let mut kept: Vec<Stmt> = Vec::new();
-    for (pos, s) in body.clone().into_iter().enumerate() {
-        let hoist = match &s.kind {
+    let mut hoisted: Block = Vec::new();
+    let mut kept: Block = Vec::new();
+    for (pos, &s) in body.iter().enumerate() {
+        let hoist = match &proc.stmts[s] {
             StmtKind::Assign {
                 lhs: LValue::Var(v),
                 rhs,
             } => {
                 titanc_opt::util::register_candidate(proc, *v)
-                    && !rhs.reads_var(lv)
-                    && invariant_in(proc, &body, rhs)
-                    && body.iter().filter(|t| t.defined_var() == Some(*v)).count() == 1
-                    && !body.iter().any(|t| {
-                        t.blocks()
+                    && !proc.exprs.reads_var(*rhs, lv)
+                    && invariant_in(proc, &body, *rhs)
+                    && body
+                        .iter()
+                        .filter(|&&t| proc.stmts[t].defined_var() == Some(*v))
+                        .count()
+                        == 1
+                    && !body.iter().any(|&t| {
+                        proc.stmts[t]
+                            .blocks()
                             .iter()
-                            .any(|b| titanc_opt::util::defined_in(b, *v))
+                            .any(|b| titanc_opt::util::defined_in(&proc.stmts, b, *v))
                     })
-                    && titanc_opt::util::count_reads_block(&body[..=pos], *v) == 0
+                    && titanc_opt::util::count_reads_block(
+                        &proc.stmts,
+                        &proc.exprs,
+                        &body[..=pos],
+                        *v,
+                    ) == 0
             }
             _ => false,
         };
@@ -316,22 +344,22 @@ fn hoist_invariants(proc: &mut Procedure, id: StmtId, report: &mut StrengthRepor
 type AddrKey = (Vec<(String, i64)>, i64, i64, Affine);
 
 fn reduce_addresses(proc: &mut Procedure, id: StmtId, report: &mut StrengthReport) {
-    let (lv, lo, _hi, step, body) = match loop_parts(proc, id) {
+    let (lv, lo, _hi, step, _step_e, body) = match loop_parts(proc, id) {
         Some(p) => p,
         None => return,
     };
     // collect distinct varying affine addresses from loads and stores
     let mut keys: Vec<AddrKey> = Vec::new();
-    for s in &body {
-        for e in s.exprs() {
+    for &s in &body {
+        for e in proc.stmts[s].exprs() {
             collect_affine_addrs(proc, &body, lv, e, &mut keys);
         }
         if let StmtKind::Assign {
             lhs: LValue::Deref { addr, .. },
             ..
-        } = &s.kind
+        } = &proc.stmts[s]
         {
-            if let Some(aff) = decompose(proc, &body, lv, addr) {
+            if let Some(aff) = decompose(proc, &body, lv, *addr) {
                 if aff.coeff != 0 {
                     push_key(&mut keys, aff);
                 }
@@ -348,34 +376,39 @@ fn reduce_addresses(proc: &mut Procedure, id: StmtId, report: &mut StrengthRepor
     for (_, coeff, _off, aff) in &keys {
         let pt = proc.fresh_temp(Type::ptr_to(Type::Void));
         proc.var_mut(pt).name = format!("sr_p{}", pt.index());
+        let lo_c = proc.exprs.copy(lo);
+        let init_rhs = aff.materialize(&mut proc.exprs, lo_c);
         let init = proc.stamp(StmtKind::Assign {
             lhs: LValue::Var(pt),
-            rhs: aff.materialize(&lo),
+            rhs: init_rhs,
         });
         pre.push(init);
+        let pt_read = proc.exprs.var(pt);
+        let delta = proc.exprs.int(coeff * step);
+        let bump_rhs = proc
+            .exprs
+            .binary(BinOp::Add, ScalarType::Ptr, pt_read, delta);
         let bump = proc.stamp(StmtKind::Assign {
             lhs: LValue::Var(pt),
-            rhs: Expr::binary(
-                BinOp::Add,
-                ScalarType::Ptr,
-                Expr::var(pt),
-                Expr::int(coeff * step),
-            ),
+            rhs: bump_rhs,
         });
         post_incs.push(bump);
         // replace address expressions equal to this affine with Var(pt)
-        for s in &mut new_body {
-            for e in s.exprs_mut() {
+        for &s in &new_body {
+            for e in proc.stmts[s].exprs() {
                 replace_affine_addr(proc, &body, lv, e, aff, pt);
             }
-            if let StmtKind::Assign {
-                lhs: LValue::Deref { addr, .. },
-                ..
-            } = &mut s.kind
-            {
+            let store_addr = match &proc.stmts[s] {
+                StmtKind::Assign {
+                    lhs: LValue::Deref { addr, .. },
+                    ..
+                } => Some(*addr),
+                _ => None,
+            };
+            if let Some(addr) = store_addr {
                 if let Some(a2) = decompose(proc, &body, lv, addr) {
-                    if a2 == *aff {
-                        *addr = Expr::var(pt);
+                    if affine_eq(&a2, aff) {
+                        proc.exprs[addr] = Expr::Var(pt);
                     }
                 }
             }
@@ -398,16 +431,16 @@ fn push_key(keys: &mut Vec<AddrKey>, aff: Affine) {
 
 fn collect_affine_addrs(
     proc: &Procedure,
-    body: &[Stmt],
+    body: &[StmtId],
     lv: titanc_il::VarId,
-    e: &Expr,
+    e: ExprId,
     keys: &mut Vec<AddrKey>,
 ) {
     if let Expr::Load {
         addr,
         volatile: false,
         ..
-    } = e
+    } = proc.exprs[e]
     {
         if let Some(aff) = decompose(proc, body, lv, addr) {
             if aff.coeff != 0 {
@@ -415,16 +448,18 @@ fn collect_affine_addrs(
             }
         }
     }
-    for c in e.children() {
+    for c in proc.exprs[e].child_ids() {
         collect_affine_addrs(proc, body, lv, c, keys);
     }
 }
 
+/// Overwrites the *address slot* of every load whose affine form equals
+/// `aff` with a read of the pointer temporary.
 fn replace_affine_addr(
-    proc: &Procedure,
-    body: &[Stmt],
+    proc: &mut Procedure,
+    body: &[StmtId],
     lv: titanc_il::VarId,
-    e: &mut Expr,
+    e: ExprId,
     aff: &Affine,
     pt: titanc_il::VarId,
 ) {
@@ -432,16 +467,16 @@ fn replace_affine_addr(
         addr,
         volatile: false,
         ..
-    } = e
+    } = proc.exprs[e]
     {
         if let Some(a2) = decompose(proc, body, lv, addr) {
-            if a2 == *aff {
-                **addr = Expr::var(pt);
+            if affine_eq(&a2, aff) {
+                proc.exprs[addr] = Expr::Var(pt);
                 return;
             }
         }
     }
-    for c in e.children_mut() {
+    for c in proc.exprs[e].child_ids() {
         replace_affine_addr(proc, body, lv, c, aff, pt);
     }
 }
@@ -452,49 +487,48 @@ fn replace_affine_addr(
 fn replace_loop(
     proc: &mut Procedure,
     id: StmtId,
-    pre: Vec<Stmt>,
-    new_body: Vec<Stmt>,
-    mut post: Option<Vec<Stmt>>,
+    pre: Block,
+    new_body: Block,
+    mut post: Option<Block>,
 ) {
+    if let StmtKind::DoLoop { body, .. } = &mut proc.stmts[id] {
+        *body = new_body;
+    }
     fn walk(
-        block: &mut Vec<Stmt>,
+        stmts: &mut StmtPool,
+        block: &mut Block,
         id: StmtId,
-        pre: &mut Option<Vec<Stmt>>,
-        new_body: &mut Option<Vec<Stmt>>,
-        post: &mut Option<Vec<Stmt>>,
+        pre: &mut Option<Block>,
+        post: &mut Option<Block>,
     ) -> bool {
         for i in 0..block.len() {
-            if block[i].id == id {
-                if let StmtKind::DoLoop { body, .. } = &mut block[i].kind {
-                    *body = new_body.take().unwrap();
-                }
-                let pre = pre.take().unwrap();
-                let n_pre = pre.len();
-                for (k, s) in pre.into_iter().enumerate() {
-                    block.insert(i + k, s);
-                }
-                if let Some(post) = post.take() {
-                    for (k, s) in post.into_iter().enumerate() {
-                        block.insert(i + n_pre + 1 + k, s);
-                    }
+            if block[i] == id {
+                let p = pre.take().unwrap();
+                let n_pre = p.len();
+                block.splice(i..i, p);
+                if let Some(po) = post.take() {
+                    let at = i + n_pre + 1;
+                    block.splice(at..at, po);
                 }
                 return true;
             }
-            for b in block[i].blocks_mut() {
-                if walk(b, id, pre, new_body, post) {
-                    return true;
+            let s = block[i];
+            let mut kind = std::mem::replace(&mut stmts[s], StmtKind::Nop);
+            let mut hit = false;
+            for b in kind.blocks_mut() {
+                if walk(stmts, b, id, pre, post) {
+                    hit = true;
+                    break;
                 }
+            }
+            stmts[s] = kind;
+            if hit {
+                return true;
             }
         }
         false
     }
     let mut body = std::mem::take(&mut proc.body);
-    walk(
-        &mut body,
-        id,
-        &mut Some(pre),
-        &mut Some(new_body),
-        &mut post,
-    );
+    walk(&mut proc.stmts, &mut body, id, &mut Some(pre), &mut post);
     proc.body = body;
 }
