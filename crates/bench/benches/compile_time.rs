@@ -168,11 +168,12 @@ fn parallel_pipeline(bench: &Bench) {
              {speedup:.2}x < 1.19x on a {cores}-CPU host"
         );
     } else {
-        println!("bench parallel: speedup ratchet skipped ({cores} CPU(s) < 4)");
+        println!("bench parallel: ratchet skipped: {cores} cpus (< 4)");
     }
 
     let json = format!(
-        "{{\n  \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
+        "{{\n  \"host_cpus\": {cores},\n  \
+         \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
          \"compile_ms_jobs1\": {:.3},\n  \
          \"compile_ms_jobs4\": {:.3},\n  \
          \"compile_ms_jobs1_median\": {:.3},\n  \

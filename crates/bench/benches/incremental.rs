@@ -96,8 +96,12 @@ fn main() {
         "bench incremental/speedup_warm_over_cold: {speedup:.2}x (median {speedup_median:.2}x)"
     );
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
+        "{{\n  \"host_cpus\": {host_cpus},\n  \
+         \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
          \"compile_ms_cold\": {:.3},\n  \
          \"compile_ms_warm\": {:.3},\n  \
          \"compile_ms_cold_median\": {:.3},\n  \

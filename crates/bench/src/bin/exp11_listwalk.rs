@@ -7,10 +7,12 @@
 //! the per-node work distributes.
 
 use titanc::Options;
-use titanc_bench::{corpus, print_table, run, Row};
+use titanc_bench::harness::{engine_arg, run_experiment, ExpCase};
+use titanc_bench::{corpus, print_table, Row};
 use titanc_titan::MachineConfig;
 
 fn main() {
+    let engine = engine_arg();
     let plain = Options::parallel();
     let spread = Options {
         spread_lists: true,
@@ -20,14 +22,21 @@ fn main() {
     // the walk appears twice: in `work` and inlined into `main`
     assert!(c.reports.spread.spread >= 1, "{:?}", c.reports.spread);
 
-    let base = run(corpus::LISTWALK, &plain, MachineConfig::optimized(1));
+    let mut cases = vec![ExpCase::new(plain, MachineConfig::optimized(1))];
+    for procs in [1u32, 2, 4] {
+        cases.push(ExpCase::new(
+            spread.clone(),
+            MachineConfig::optimized(procs),
+        ));
+    }
+    let stats = run_experiment(corpus::LISTWALK, &cases, engine);
+    let base = &stats[0];
     let mut rows = vec![Row {
         label: "list walk, no spreading".into(),
         value: base.cycles,
         note: "cycles".into(),
     }];
-    for procs in [1u32, 2, 4] {
-        let s = run(corpus::LISTWALK, &spread, MachineConfig::optimized(procs));
+    for (s, procs) in stats[1..].iter().zip([1u32, 2, 4]) {
         rows.push(Row {
             label: format!("spread across {procs} proc(s)"),
             value: s.cycles,

@@ -7,20 +7,31 @@
 //! aliasing guarantee C cannot.
 
 use titanc::Options;
-use titanc_bench::{copy_source, mflops, print_table, run, Row};
+use titanc_bench::harness::{engine_arg, run_experiment, ExpCase};
+use titanc_bench::{copy_source, mflops, print_table, Row};
 use titanc_titan::MachineConfig;
 
 fn main() {
+    let engine = engine_arg();
     for n in [64usize, 100, 1024, 8192] {
         let src = copy_source(n);
-        let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
-        let vector = run(&src, &Options::o2(), MachineConfig::optimized(1));
-        let par2 = run(&src, &Options::parallel(), MachineConfig::optimized(2));
+        let stats = run_experiment(
+            &src,
+            &[
+                ExpCase::new(Options::o1(), MachineConfig::scalar()),
+                ExpCase::new(Options::o2(), MachineConfig::optimized(1)),
+                ExpCase::new(Options::parallel(), MachineConfig::optimized(2)),
+            ],
+            engine,
+        );
+        let [scalar, vector, par2] = &stats[..] else {
+            unreachable!("three cases")
+        };
         let rows = vec![
             Row {
                 label: format!("scalar only (O1), n={n}"),
                 value: scalar.cycles,
-                note: format!("cycles ({:.3} MB/s eq)", mflops(&scalar)),
+                note: format!("cycles ({:.3} MB/s eq)", mflops(scalar)),
             },
             Row {
                 label: format!("vectorized (O2), n={n}"),

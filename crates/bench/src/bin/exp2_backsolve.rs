@@ -8,20 +8,31 @@
 //! optimizations** (within 5% of the best possible code for the loop).
 
 use titanc::Options;
-use titanc_bench::{backsolve_source, mflops, print_table, run, Row};
+use titanc_bench::harness::{engine_arg, run_experiment, ExpCase};
+use titanc_bench::{backsolve_source, mflops, print_table, Row};
 use titanc_titan::MachineConfig;
 
 fn main() {
+    let engine = engine_arg();
     for n in [100usize, 1024] {
         let src = backsolve_source(n);
-        // the paper's baseline: scalar optimization only, no dependence
-        // information for the scheduler (no overlap)
-        let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
-        // dependence-driven: register promotion + strength reduction +
-        // scheduling overlap
-        let optimized = run(&src, &Options::o2(), MachineConfig::optimized(1));
-        let m_scalar = mflops(&scalar);
-        let m_opt = mflops(&optimized);
+        let stats = run_experiment(
+            &src,
+            &[
+                // the paper's baseline: scalar optimization only, no
+                // dependence information for the scheduler (no overlap)
+                ExpCase::new(Options::o1(), MachineConfig::scalar()),
+                // dependence-driven: register promotion + strength
+                // reduction + scheduling overlap
+                ExpCase::new(Options::o2(), MachineConfig::optimized(1)),
+            ],
+            engine,
+        );
+        let [scalar, optimized] = &stats[..] else {
+            unreachable!("two cases")
+        };
+        let m_scalar = mflops(scalar);
+        let m_opt = mflops(optimized);
         print_table(
             &format!("EXP2 backsolve, n = {n}"),
             "0.5 MFLOPS scalar-only -> 1.9 MFLOPS with dependence-driven optimization (~3.8x)",

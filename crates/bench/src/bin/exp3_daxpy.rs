@@ -8,10 +8,12 @@
 //! routine."
 
 use titanc::Options;
-use titanc_bench::{corpus, daxpy_source, print_table, run, Row};
+use titanc_bench::harness::{engine_arg, run_experiment, ExpCase};
+use titanc_bench::{corpus, daxpy_source, print_table, Row};
 use titanc_titan::MachineConfig;
 
 fn main() {
+    let engine = engine_arg();
     // show the stage-by-stage walkthrough for the paper's n=100 case
     let c = titanc::compile(
         corpus::DAXPY,
@@ -30,14 +32,21 @@ fn main() {
 
     for n in [100usize, 1024] {
         let src = daxpy_source(n);
-        let scalar = run(&src, &Options::o1(), MachineConfig::scalar());
+        let mut cases = vec![ExpCase::new(Options::o1(), MachineConfig::scalar())];
+        for procs in [1u32, 2, 4] {
+            cases.push(ExpCase::new(
+                Options::parallel(),
+                MachineConfig::optimized(procs),
+            ));
+        }
+        let stats = run_experiment(&src, &cases, engine);
+        let scalar = &stats[0];
         let mut rows = vec![Row {
             label: format!("scalar (O1), n={n}"),
             value: scalar.cycles,
             note: "cycles".into(),
         }];
-        for procs in [1u32, 2, 4] {
-            let par = run(&src, &Options::parallel(), MachineConfig::optimized(procs));
+        for (par, procs) in stats[1..].iter().zip([1u32, 2, 4]) {
             rows.push(Row {
                 label: format!("inline+vector+parallel, {procs} proc(s), n={n}"),
                 value: par.cycles,

@@ -9,24 +9,34 @@
 //! identical optimization levels.
 
 use titanc::Options;
-use titanc_bench::{backsolve_source, daxpy_source, print_table, run, Row};
+use titanc_bench::harness::{engine_arg, run_experiment, ExpCase};
+use titanc_bench::{backsolve_source, daxpy_source, print_table, Row};
 use titanc_titan::MachineConfig;
 
 fn main() {
+    let engine = engine_arg();
     let mut rows = Vec::new();
     for (name, src) in [
         ("backsolve n=1024", backsolve_source(1024)),
         ("daxpy n=1024 (scalar compile)", daxpy_source(1024)),
     ] {
-        let off = run(&src, &Options::o2_scalar_only(), MachineConfig::scalar());
-        let on = run(
+        let stats = run_experiment(
             &src,
-            &Options::o2_scalar_only(),
-            MachineConfig {
-                overlap: true,
-                ..MachineConfig::scalar()
-            },
+            &[
+                ExpCase::new(Options::o2_scalar_only(), MachineConfig::scalar()),
+                ExpCase::new(
+                    Options::o2_scalar_only(),
+                    MachineConfig {
+                        overlap: true,
+                        ..MachineConfig::scalar()
+                    },
+                ),
+            ],
+            engine,
         );
+        let [off, on] = &stats[..] else {
+            unreachable!("two cases")
+        };
         rows.push(Row {
             label: format!("{name}: overlap off"),
             value: off.cycles,

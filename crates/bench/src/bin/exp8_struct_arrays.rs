@@ -8,10 +8,12 @@
 //! the gain.
 
 use titanc::Options;
-use titanc_bench::{corpus, print_table, run, Row};
+use titanc_bench::harness::{engine_arg, run_experiment, ExpCase};
+use titanc_bench::{corpus, print_table, Row};
 use titanc_titan::MachineConfig;
 
 fn main() {
+    let engine = engine_arg();
     let c = titanc::compile(corpus::STRUCT_MATRIX, &Options::o2()).expect("compiles");
     println!(
         "while->DO conversions: {}, IVs substituted: {}",
@@ -22,16 +24,17 @@ fn main() {
         "all three nest levels convert"
     );
 
-    let scalar = run(
+    let stats = run_experiment(
         corpus::STRUCT_MATRIX,
-        &Options::o1(),
-        MachineConfig::scalar(),
+        &[
+            ExpCase::new(Options::o1(), MachineConfig::scalar()),
+            ExpCase::new(Options::o2(), MachineConfig::optimized(1)),
+        ],
+        engine,
     );
-    let opt = run(
-        corpus::STRUCT_MATRIX,
-        &Options::o2(),
-        MachineConfig::optimized(1),
-    );
+    let [scalar, opt] = &stats[..] else {
+        unreachable!("two cases")
+    };
     print_table(
         "EXP8 struct-embedded arrays (the Doré lesson, §10)",
         "graphics 4x4 transforms with arrays inside structs are analyzed and optimized",

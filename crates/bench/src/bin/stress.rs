@@ -7,11 +7,15 @@
 //!   on well-formed input, even though a fault would be survivable;
 //! * runs every build on the Titan simulator and demands identical
 //!   observations (return value, output, both output arrays);
+//! * with `--engine both` (the default), runs every build under the
+//!   reference interpreter *and* the bytecode VM and demands identical
+//!   observations and identical execution statistics (cycle totals
+//!   included) between the engines;
 //! * demands byte-identical IL between `-j 1` and `-j 4`;
 //! * treats an escaping panic anywhere in compile-or-run as a failure.
 //!
 //! ```text
-//! stress [--cases N] [--seed S] [--case-seed S] [--verbose]
+//! stress [--cases N] [--seed S] [--case-seed S] [--engine interp|vm|both] [--verbose]
 //! ```
 //!
 //! Each case gets its own generator seed, mixed (splitmix64-style) from
@@ -29,17 +33,42 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use titanc::{compile, Compilation, Options};
 use titanc_bench::progen;
 use titanc_il::{pretty_proc, ScalarType};
-use titanc_titan::{observe, MachineConfig, Observation};
+use titanc_titan::{observe_with, ExecEngine, ExecStats, MachineConfig, Observation};
 
 /// The default run seed (an arbitrary constant, fixed so a bare `stress`
 /// run is reproducible across machines and sessions).
 const DEFAULT_SEED: u64 = 0x717A_2C57;
+
+/// Which engines a run exercises; `Both` adds the cross-engine
+/// differential to every case.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    One(ExecEngine),
+    Both,
+}
+
+impl EngineChoice {
+    fn engines(self) -> Vec<ExecEngine> {
+        match self {
+            EngineChoice::One(e) => vec![e],
+            EngineChoice::Both => vec![ExecEngine::Interp, ExecEngine::Vm],
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            EngineChoice::One(e) => e.name(),
+            EngineChoice::Both => "both",
+        }
+    }
+}
 
 struct Args {
     cases: u64,
     seed: u64,
     /// Replay exactly one case by its per-case seed.
     case_seed: Option<u64>,
+    engine: EngineChoice,
     verbose: bool,
 }
 
@@ -68,6 +97,7 @@ fn parse_args() -> Args {
         cases: 100,
         seed: DEFAULT_SEED,
         case_seed: None,
+        engine: EngineChoice::Both,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -92,6 +122,13 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--engine" => {
+                args.engine = match it.next().as_deref() {
+                    Some("both") => EngineChoice::Both,
+                    Some(e) => EngineChoice::One(e.parse().unwrap_or_else(|_| usage())),
+                    None => usage(),
+                };
+            }
             "--verbose" => args.verbose = true,
             _ => usage(),
         }
@@ -100,7 +137,9 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: stress [--cases N] [--seed S] [--case-seed S] [--verbose]");
+    eprintln!(
+        "usage: stress [--cases N] [--seed S] [--case-seed S] [--engine interp|vm|both] [--verbose]"
+    );
     eprintln!("       seeds are decimal or 0x-prefixed hex");
     std::process::exit(2);
 }
@@ -133,18 +172,47 @@ fn build(src: &str, options: &Options, what: &str) -> Result<Compilation, String
     Ok(compiled)
 }
 
-fn run(compiled: &Compilation, machine: MachineConfig, what: &str) -> Result<Observation, String> {
-    observe(
-        &compiled.program,
-        machine,
-        "main",
-        &[
-            ("out_g", ScalarType::Int, progen::OUT_LEN as u32),
-            ("out_f", ScalarType::Float, progen::OUT_LEN as u32),
-        ],
-    )
-    .map(|(obs, _stats)| obs)
-    .map_err(|e| format!("{what}: simulator fault: {e}"))
+/// Runs one build under every requested engine, demanding that the
+/// engines agree on the observation *and* on every execution statistic
+/// (cycle totals included). The failure string names the engine.
+fn run(
+    compiled: &Compilation,
+    machine: MachineConfig,
+    engines: &[ExecEngine],
+    what: &str,
+) -> Result<Observation, String> {
+    let mut first: Option<(ExecEngine, Observation, ExecStats)> = None;
+    for &engine in engines {
+        let (obs, stats) = observe_with(
+            &compiled.program,
+            machine.clone(),
+            engine,
+            "main",
+            &[
+                ("out_g", ScalarType::Int, progen::OUT_LEN as u32),
+                ("out_f", ScalarType::Float, progen::OUT_LEN as u32),
+            ],
+        )
+        .map_err(|e| format!("{what} [{engine}]: simulator fault: {e}"))?;
+        match &first {
+            None => first = Some((engine, obs, stats)),
+            Some((e0, obs0, stats0)) => {
+                if obs != *obs0 {
+                    return Err(format!(
+                        "{what}: engine observation divergence:\n  \
+                         {e0}: {obs0:?}\n  {engine}: {obs:?}"
+                    ));
+                }
+                if stats != *stats0 {
+                    return Err(format!(
+                        "{what}: engine statistics divergence:\n  \
+                         {e0}: {stats0:?}\n  {engine}: {stats:?}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(first.expect("at least one engine").1)
 }
 
 fn pretty_program(c: &Compilation) -> String {
@@ -157,7 +225,7 @@ fn pretty_program(c: &Compilation) -> String {
 }
 
 /// One differential case; returns a failure description, if any.
-fn check_case(src: &str) -> Result<(), String> {
+fn check_case(src: &str, engines: &[ExecEngine]) -> Result<(), String> {
     let o0 = build(src, &opts(Options::o0(), 1), "O0")?;
     let o2_j1 = build(src, &opts(Options::o2(), 1), "O2 -j1")?;
     let o2_j4 = build(src, &opts(Options::o2(), 4), "O2 -j4")?;
@@ -167,9 +235,9 @@ fn check_case(src: &str) -> Result<(), String> {
         return Err("-j1 and -j4 produced different IL".to_string());
     }
 
-    let base = run(&o0, MachineConfig::default(), "O0")?;
-    let fast1 = run(&o2_j1, MachineConfig::optimized(1), "O2 -j1")?;
-    let fast4 = run(&o2_j4, MachineConfig::optimized(1), "O2 -j4")?;
+    let base = run(&o0, MachineConfig::default(), engines, "O0")?;
+    let fast1 = run(&o2_j1, MachineConfig::optimized(1), engines, "O2 -j1")?;
+    let fast4 = run(&o2_j4, MachineConfig::optimized(1), engines, "O2 -j4")?;
     if base != fast1 {
         return Err(format!(
             "O0 vs O2 -j1 observation divergence:\n  O0: {base:?}\n  O2: {fast1:?}"
@@ -183,10 +251,10 @@ fn check_case(src: &str) -> Result<(), String> {
 
 /// Generates and checks the program for one per-case seed; returns the
 /// failure description, if any.
-fn run_one(cseed: u64) -> Option<String> {
+fn run_one(cseed: u64, engines: &[ExecEngine]) -> Option<String> {
     let mut rng = progen::Rng::new(cseed);
     let src = progen::program(&mut rng);
-    let verdict = catch_unwind(AssertUnwindSafe(|| check_case(&src)));
+    let verdict = catch_unwind(AssertUnwindSafe(|| check_case(&src, engines)));
     let failure = match verdict {
         Ok(Ok(())) => None,
         Ok(Err(why)) => Some(why),
@@ -197,17 +265,19 @@ fn run_one(cseed: u64) -> Option<String> {
 
 fn main() {
     let args = parse_args();
+    let engines = args.engine.engines();
+    let engine_name = args.engine.name();
 
     // --case-seed: replay exactly one generated program
     if let Some(cseed) = args.case_seed {
-        match run_one(cseed) {
+        match run_one(cseed, &engines) {
             Some(why) => {
-                eprintln!("FAIL case seed 0x{cseed:X}: {why}");
-                println!("stress: case seed 0x{cseed:X} FAILED");
+                eprintln!("FAIL case seed 0x{cseed:X} (engine {engine_name}): {why}");
+                println!("stress: case seed 0x{cseed:X} (engine {engine_name}) FAILED");
                 std::process::exit(1);
             }
             None => {
-                println!("stress: case seed 0x{cseed:X} ok");
+                println!("stress: case seed 0x{cseed:X} (engine {engine_name}) ok");
                 return;
             }
         }
@@ -216,25 +286,27 @@ fn main() {
     let mut failures = 0u64;
     for case in 0..args.cases {
         let cseed = case_seed(args.seed, case);
-        if let Some(why) = run_one(cseed) {
+        if let Some(why) = run_one(cseed, &engines) {
             failures += 1;
             eprintln!(
-                "FAIL case {case} (case seed 0x{cseed:X}, run seed 0x{:X}): {why}\n\
-                 replay with: stress --case-seed 0x{cseed:X}",
+                "FAIL case {case} (case seed 0x{cseed:X}, run seed 0x{:X}, engine {engine_name}): \
+                 {why}\n\
+                 replay with: stress --engine {engine_name} --case-seed 0x{cseed:X}",
                 args.seed
             );
         } else if args.verbose {
-            eprintln!("ok case {case} (case seed 0x{cseed:X})");
+            eprintln!("ok case {case} (case seed 0x{cseed:X}, engine {engine_name})");
         }
     }
     if failures == 0 {
         println!(
-            "stress: {} cases (run seed 0x{:X}), zero divergence, zero incidents",
+            "stress: {} cases (run seed 0x{:X}, engine {engine_name}), \
+             zero divergence, zero incidents",
             args.cases, args.seed
         );
     } else {
         println!(
-            "stress: {failures} of {} cases FAILED (run seed 0x{:X})",
+            "stress: {failures} of {} cases FAILED (run seed 0x{:X}, engine {engine_name})",
             args.cases, args.seed
         );
         std::process::exit(1);

@@ -8,6 +8,63 @@
 
 use std::time::{Duration, Instant};
 
+use titanc::Options;
+use titanc_titan::{ExecEngine, ExecStats, MachineConfig};
+
+/// One measured configuration of an experiment: a compile recipe plus a
+/// simulated machine.
+#[derive(Clone, Debug)]
+pub struct ExpCase {
+    /// Optimization pipeline.
+    pub options: Options,
+    /// Machine model to run on.
+    pub machine: MachineConfig,
+}
+
+impl ExpCase {
+    /// A case from an options/machine pair.
+    pub fn new(options: Options, machine: MachineConfig) -> ExpCase {
+        ExpCase { options, machine }
+    }
+}
+
+/// The shared compile-then-simulate loop behind the `exp*` binaries:
+/// compiles `src` once per case and runs `main` on that case's machine
+/// with the chosen engine, returning the statistics in case order.
+///
+/// # Panics
+///
+/// Panics on compile or runtime errors — experiments are supposed to work.
+pub fn run_experiment(src: &str, cases: &[ExpCase], engine: ExecEngine) -> Vec<ExecStats> {
+    cases
+        .iter()
+        .map(|c| crate::run_with(src, &c.options, c.machine.clone(), engine))
+        .collect()
+}
+
+/// Parses `--engine interp|vm` from the process arguments (both
+/// `--engine vm` and `--engine=vm` forms), defaulting to the reference
+/// interpreter. Exits with usage on an unknown engine so experiment
+/// binaries share one spelling of the flag.
+pub fn engine_arg() -> ExecEngine {
+    let mut it = std::env::args().skip(1);
+    let mut engine = ExecEngine::default();
+    while let Some(a) = it.next() {
+        let value = if a == "--engine" {
+            it.next()
+        } else {
+            a.strip_prefix("--engine=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            engine = v.parse().unwrap_or_else(|e: String| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    engine
+}
+
 /// Runs closures a fixed number of times and prints timing summaries.
 pub struct Bench {
     samples: usize,
@@ -48,13 +105,27 @@ impl Bench {
     /// inflates a sample — so speedup comparisons should prefer it.
     pub fn stats<R>(&self, label: &str, mut f: impl FnMut() -> R) -> Measurement {
         std::hint::black_box(f());
-        let mut times: Vec<Duration> = (0..self.samples)
+        let times = (0..self.samples)
             .map(|_| {
                 let t0 = Instant::now();
                 std::hint::black_box(f());
                 t0.elapsed()
             })
             .collect();
+        self.summarize(label, times)
+    }
+
+    /// Like [`Bench::stats`], but the closure times its own region of
+    /// interest and returns the elapsed time, so per-sample setup (e.g.
+    /// building a fresh simulator memory image) stays out of the
+    /// measurement.
+    pub fn stats_timed(&self, label: &str, mut f: impl FnMut() -> Duration) -> Measurement {
+        std::hint::black_box(f());
+        let times = (0..self.samples).map(|_| f()).collect();
+        self.summarize(label, times)
+    }
+
+    fn summarize(&self, label: &str, mut times: Vec<Duration>) -> Measurement {
         times.sort();
         let m = Measurement {
             min: times[0],

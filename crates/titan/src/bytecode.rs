@@ -1,0 +1,1011 @@
+//! One-pass lowering of final IL to register bytecode.
+//!
+//! Each procedure becomes a flat `Vec<Instr>` over a register file whose
+//! first `proc.vars.len()` slots are the procedure's register-resident
+//! variables (same indices as [`crate::interp::Frame::regs`]) and whose
+//! remaining slots are expression temporaries allocated by the lowerer.
+//! Control flow is explicit jumps; the structured `do`/`while`/spread
+//! constructs compile to the exact sequence of step-guards, cost charges
+//! and flushes the tree-walking interpreter performs, so cycle totals are
+//! byte-for-byte identical between engines.
+//!
+//! Vector statements compile to a [`VecPlan`]: operand registers plus a
+//! postorder [`VStep`] program the VM executes as chunked kernels over
+//! contiguous buffers (see `vm.rs`). Statements whose right-hand side
+//! contains a volatile load deoptimize to the interpreter's element loop
+//! ([`Instr::VecDeopt`]) to preserve per-element volatile-script pops.
+
+use crate::interp::{collect_sections, count_vector_ops, var_is_memory};
+use titanc_il::fold::{normalize, Value};
+use titanc_il::{
+    BinOp, Expr, ExprId, ExprPool, LValue, LabelId, Procedure, Program, ScalarType, StmtId,
+    StmtKind, UnOp, VarId,
+};
+
+/// Register index into `Frame::regs`.
+pub(crate) type Reg = u32;
+
+/// Sentinel for "no register" (e.g. a value-less `return`).
+pub(crate) const NO_REG: Reg = u32::MAX;
+
+/// Intrinsics recognized by name before procedure lookup, mirroring
+/// `Simulator::intrinsic`.
+pub(crate) const INTRINSICS: &[&str] = &[
+    "print_int",
+    "print_float",
+    "print_double",
+    "sqrt",
+    "sqrtf",
+    "fabs",
+    "fabsf",
+    "abs",
+];
+
+/// One bytecode instruction. Cost charges are explicit instructions or
+/// baked into the memory/ALU ops, mirroring the interpreter's charge
+/// points exactly.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Instr {
+    /// `step_guard()` — one simulated statement.
+    Step,
+    /// `flush(costs.branch)`.
+    FlushBranch,
+    /// `flush(0)`.
+    Flush0,
+    /// `cycles += fork_join` (spread-loop entry).
+    AddForkJoin,
+    /// `regs[dst] = val`.
+    Const { dst: Reg, val: Value },
+    /// Load a memory-resident variable (charges a scalar load).
+    LoadVarMem { dst: Reg, var: u32, ty: ScalarType },
+    /// Store to a memory-resident variable (charges a scalar store).
+    StoreVarMem { var: u32, ty: ScalarType, src: Reg },
+    /// Store to a register variable (charges one int ALU op).
+    StoreVarReg { var: u32, ty: ScalarType, src: Reg },
+    /// Address of a memory-resident variable (charges one int ALU op).
+    AddrOfVar { dst: Reg, var: u32 },
+    /// Load through a pointer register (charges a scalar load; volatile
+    /// loads pop the volatile script first).
+    LoadMem {
+        dst: Reg,
+        addr: Reg,
+        ty: ScalarType,
+        volatile: bool,
+    },
+    /// Store through a pointer register (charges a scalar store).
+    StoreMem { addr: Reg, ty: ScalarType, src: Reg },
+    /// Unary ALU op (charges per `charge_op_cost`).
+    Un {
+        dst: Reg,
+        op: UnOp,
+        ty: ScalarType,
+        src: Reg,
+    },
+    /// Binary ALU op (charges per `charge_binop_cost`).
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        ty: ScalarType,
+        a: Reg,
+        b: Reg,
+    },
+    /// Scalar conversion (charges fp_cvt or int_alu).
+    CastOp {
+        dst: Reg,
+        to: ScalarType,
+        from: ScalarType,
+        src: Reg,
+    },
+    /// Unconditional jump (cost-free; branch cycles are charged by the
+    /// explicit `FlushBranch` the structured lowering emits).
+    Jump { target: u32 },
+    /// Jump when `regs[cond]` is falsy.
+    JumpIfZero { cond: Reg, target: u32 },
+    /// DO-loop entry: latch lo/hi/step (as ints) into loop registers;
+    /// errors on a zero step.
+    DoEnter {
+        iv: Reg,
+        hi: Reg,
+        step: Reg,
+        lo_src: Reg,
+        hi_src: Reg,
+        step_src: Reg,
+    },
+    /// DO-loop head: step guard, loop-control charge, flush(branch), exit
+    /// when the trip test fails.
+    DoHead {
+        iv: Reg,
+        hi: Reg,
+        step: Reg,
+        exit: u32,
+    },
+    /// DO-loop back edge: `iv += step`, jump to head.
+    DoNext { iv: Reg, step: Reg, head: u32 },
+    /// `do parallel` entry: flush(0) then snapshot cycles.
+    ParEnter { slot: u32 },
+    /// `do parallel` exit: flush(0), divide the region's cycles by the
+    /// processor count, add fork/join overhead.
+    ParExit { slot: u32 },
+    /// Spread-loop iteration entry: snapshot cycles (no flush — the
+    /// preceding condition flush already drained the bucket).
+    SpreadEnter { slot: u32 },
+    /// Spread-loop iteration exit: flush(0) then divide (no fork/join —
+    /// it was charged once at loop entry).
+    SpreadExit { slot: u32 },
+    /// Save cost buckets (loop-invariant scalar operand evaluation in
+    /// vector statements is cost-free).
+    QuietSave,
+    /// Restore cost buckets.
+    QuietRestore,
+    /// Call via `calls[data]`.
+    Call { data: u32 },
+    /// Return `regs[src]` (or nothing when `src == NO_REG`).
+    Ret { src: Reg },
+    /// Vector statement: check `len >= 0`.
+    VecCheckLen { plan: u32 },
+    /// Vector statement: check section `idx`'s length matches the store's.
+    VecCheckSec { plan: u32, idx: u32 },
+    /// Execute a vector plan (charges the vector cost model).
+    VecRun { plan: u32 },
+    /// Fall back to the interpreter's element loop for this statement
+    /// (volatile loads on the rhs need per-element script pops).
+    VecDeopt { stmt: StmtId },
+    /// Raise `traps[msg]` as a `SimError`.
+    Trap { msg: u32 },
+}
+
+/// How a static call site resolves.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Callee {
+    /// Index into `Program::procs`.
+    Proc(u32),
+    /// A `print_*`/math intrinsic (dispatched by name).
+    Intrinsic,
+    /// No such procedure — errors if executed.
+    Unknown,
+}
+
+/// Side-table entry for a `Call` instruction.
+#[derive(Clone, Debug)]
+pub(crate) struct CallData {
+    pub(crate) callee: Callee,
+    pub(crate) name: String,
+    pub(crate) args: Vec<Reg>,
+    /// Destination register, `NO_REG` when the result is discarded.
+    pub(crate) dst: Reg,
+}
+
+/// A resolved rhs section operand of a vector plan.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SecRef {
+    pub(crate) base: Reg,
+    pub(crate) len: Reg,
+    pub(crate) stride: Reg,
+    pub(crate) ty: ScalarType,
+}
+
+/// One postorder step of a vector rhs program.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum VStep {
+    /// Push section `idx` (a strided vector load).
+    Sec(u32),
+    /// Push a loop-invariant scalar held in a register, splatted.
+    Splat(Reg),
+    /// Apply a unary op element-wise.
+    Un { op: UnOp, ty: ScalarType },
+    /// Apply a binary op element-wise (pops rhs then lhs).
+    Bin { op: BinOp, ty: ScalarType },
+    /// Convert element-wise.
+    Cast { to: ScalarType, from: ScalarType },
+}
+
+/// Side-table entry for one vector assignment.
+#[derive(Clone, Debug)]
+pub(crate) struct VecPlan {
+    /// Store base/len/stride operand registers.
+    pub(crate) base: Reg,
+    pub(crate) len: Reg,
+    pub(crate) stride: Reg,
+    /// Element type of the store.
+    pub(crate) kind: ScalarType,
+    pub(crate) sections: Vec<SecRef>,
+    pub(crate) steps: Vec<VStep>,
+    /// Vector ALU op count (for flop accounting).
+    pub(crate) ops: u64,
+    /// Total vector instructions: loads + ops + one store.
+    pub(crate) n_instr: u64,
+}
+
+/// Bytecode for one procedure.
+#[derive(Debug)]
+pub(crate) struct BcProc {
+    pub(crate) code: Vec<Instr>,
+    /// Register-file size: variable slots plus temporaries.
+    pub(crate) num_regs: u32,
+    /// Cycle-snapshot slots used by parallel/spread regions.
+    pub(crate) num_snaps: u32,
+    pub(crate) calls: Vec<CallData>,
+    pub(crate) plans: Vec<VecPlan>,
+    pub(crate) traps: Vec<String>,
+}
+
+/// Bytecode for a whole program, indexed like `Program::procs`.
+#[derive(Debug)]
+pub(crate) struct BcProgram {
+    pub(crate) procs: Vec<BcProc>,
+}
+
+/// Compiles every procedure of `prog` to bytecode.
+pub(crate) fn compile(prog: &Program) -> BcProgram {
+    BcProgram {
+        procs: prog.procs.iter().map(|p| lower_proc(prog, p)).collect(),
+    }
+}
+
+/// Cost-accounting region a block executes under, for goto/return
+/// unwinding: leaving a `Par` region must still divide its cycles.
+#[derive(Clone, Copy, Debug)]
+enum Region {
+    /// Plain serial code.
+    None,
+    /// Body of a `do parallel` — exiting runs `ParExit { slot }`.
+    Par(u32),
+    /// Parallel arm of a spread loop — interp propagates the escape
+    /// without dividing, so exiting emits nothing.
+    Discard,
+}
+
+/// Lexical block context: its top-level labels (first occurrence wins,
+/// like the interpreter's `position()` scan) and its region.
+struct BlockCtx {
+    labels: Vec<(LabelId, u32)>,
+    region: Region,
+}
+
+/// An expression result: a register, and whether it is a temporary the
+/// lowerer owns (variable registers are referenced in place).
+#[derive(Clone, Copy)]
+struct Operand {
+    reg: Reg,
+    temp: bool,
+}
+
+struct Lowerer<'a> {
+    prog: &'a Program,
+    proc: &'a Procedure,
+    mem_var: Vec<bool>,
+    code: Vec<Instr>,
+    calls: Vec<CallData>,
+    plans: Vec<VecPlan>,
+    traps: Vec<String>,
+    blocks: Vec<BlockCtx>,
+    /// One cell per (block, label); position set when the label lowers.
+    label_cells: Vec<Option<u32>>,
+    /// (pc, cell) jump fixups resolved after the whole body lowers.
+    label_fixups: Vec<(usize, u32)>,
+    next_reg: u32,
+    free_regs: Vec<Reg>,
+    max_regs: u32,
+    num_snaps: u32,
+}
+
+fn lower_proc(prog: &Program, proc: &Procedure) -> BcProc {
+    let nvars = proc.vars.len() as u32;
+    let mut lw = Lowerer {
+        prog,
+        proc,
+        mem_var: proc.vars.iter().map(var_is_memory).collect(),
+        code: Vec::new(),
+        calls: Vec::new(),
+        plans: Vec::new(),
+        traps: Vec::new(),
+        blocks: Vec::new(),
+        label_cells: Vec::new(),
+        label_fixups: Vec::new(),
+        next_reg: nvars,
+        free_regs: Vec::new(),
+        max_regs: nvars,
+        num_snaps: 0,
+    };
+    lw.lower_block(&proc.body, Region::None);
+    lw.code.push(Instr::Ret { src: NO_REG });
+    let fixups = std::mem::take(&mut lw.label_fixups);
+    for (pc, cell) in fixups {
+        let target = lw.label_cells[cell as usize].expect("label lowered with its block");
+        lw.patch(pc, target);
+    }
+    BcProc {
+        code: lw.code,
+        num_regs: lw.max_regs,
+        num_snaps: lw.num_snaps,
+        calls: lw.calls,
+        plans: lw.plans,
+        traps: lw.traps,
+    }
+}
+
+impl<'a> Lowerer<'a> {
+    fn exprs(&self) -> &'a ExprPool {
+        &self.proc.exprs
+    }
+
+    fn alloc_reg(&mut self) -> Reg {
+        if let Some(r) = self.free_regs.pop() {
+            return r;
+        }
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.max_regs = self.max_regs.max(self.next_reg);
+        r
+    }
+
+    fn free_reg(&mut self, r: Reg) {
+        self.free_regs.push(r);
+    }
+
+    fn free(&mut self, o: Operand) {
+        if o.temp {
+            self.free_regs.push(o.reg);
+        }
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emits a placeholder jump-class instruction, returning its pc for
+    /// later patching.
+    fn emit_pending(&mut self, i: Instr) -> usize {
+        let pc = self.code.len();
+        self.code.push(i);
+        pc
+    }
+
+    fn patch(&mut self, pc: usize, t: u32) {
+        match &mut self.code[pc] {
+            Instr::Jump { target } | Instr::JumpIfZero { target, .. } => *target = t,
+            Instr::DoHead { exit, .. } => *exit = t,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn trap(&mut self, msg: String) {
+        let idx = self.traps.len() as u32;
+        self.traps.push(msg);
+        self.code.push(Instr::Trap { msg: idx });
+    }
+
+    // --------------------------------------------------------------
+    // blocks and statements
+    // --------------------------------------------------------------
+
+    fn lower_block(&mut self, block: &[StmtId], region: Region) {
+        let mut labels = Vec::new();
+        for &s in block {
+            if let StmtKind::Label(l) = self.proc.stmts[s] {
+                if !labels.iter().any(|&(m, _)| m == l) {
+                    let cell = self.label_cells.len() as u32;
+                    self.label_cells.push(None);
+                    labels.push((l, cell));
+                }
+            }
+        }
+        self.blocks.push(BlockCtx { labels, region });
+        for &s in block {
+            self.lower_stmt(s);
+        }
+        self.blocks.pop();
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_stmt(&mut self, s: StmtId) {
+        self.code.push(Instr::Step);
+        match &self.proc.stmts[s] {
+            StmtKind::Nop => {}
+            StmtKind::Label(l) => {
+                let here = self.here();
+                let ctx = self.blocks.last().expect("in a block");
+                if let Some(&(_, cell)) = ctx.labels.iter().find(|&&(m, _)| m == *l) {
+                    let slot = &mut self.label_cells[cell as usize];
+                    // first occurrence wins, matching the interpreter's
+                    // forward scan
+                    if slot.is_none() {
+                        *slot = Some(here);
+                    }
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                if matches!(lhs, LValue::Section { .. }) || self.exprs().has_section(*rhs) {
+                    self.lower_vector_assign(s, lhs, *rhs);
+                } else {
+                    match *lhs {
+                        // rhs is evaluated before the destination address
+                        LValue::Deref { addr, ty, .. } => {
+                            let v = self.lower_expr(*rhs);
+                            let a = self.lower_expr(addr);
+                            self.code.push(Instr::StoreMem {
+                                addr: a.reg,
+                                ty,
+                                src: v.reg,
+                            });
+                            self.free(a);
+                            self.free(v);
+                        }
+                        _ => {
+                            let v = self.lower_expr(*rhs);
+                            self.lower_store(lhs, v.reg);
+                            self.free(v);
+                        }
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.lower_expr(*cond);
+                self.code.push(Instr::FlushBranch);
+                self.free(c);
+                let jz = self.emit_pending(Instr::JumpIfZero {
+                    cond: c.reg,
+                    target: 0,
+                });
+                self.lower_block(then_blk, Region::None);
+                if else_blk.is_empty() {
+                    let t = self.here();
+                    self.patch(jz, t);
+                } else {
+                    let jend = self.emit_pending(Instr::Jump { target: 0 });
+                    let t = self.here();
+                    self.patch(jz, t);
+                    self.lower_block(else_blk, Region::None);
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                let head = self.here();
+                self.code.push(Instr::Step);
+                let c = self.lower_expr(*cond);
+                self.code.push(Instr::FlushBranch);
+                self.free(c);
+                let jz = self.emit_pending(Instr::JumpIfZero {
+                    cond: c.reg,
+                    target: 0,
+                });
+                self.lower_block(body, Region::None);
+                self.code.push(Instr::Jump { target: head });
+                let exit = self.here();
+                self.patch(jz, exit);
+            }
+            StmtKind::WhileSpread {
+                cond,
+                parallel,
+                serial,
+            } => {
+                self.code.push(Instr::Flush0);
+                self.code.push(Instr::AddForkJoin);
+                let head = self.here();
+                self.code.push(Instr::Step);
+                let c = self.lower_expr(*cond);
+                self.code.push(Instr::FlushBranch);
+                self.free(c);
+                let jz = self.emit_pending(Instr::JumpIfZero {
+                    cond: c.reg,
+                    target: 0,
+                });
+                let slot = self.num_snaps;
+                self.num_snaps += 1;
+                self.code.push(Instr::SpreadEnter { slot });
+                self.lower_block(parallel, Region::Discard);
+                self.code.push(Instr::SpreadExit { slot });
+                self.lower_block(serial, Region::None);
+                self.code.push(Instr::Jump { target: head });
+                let exit = self.here();
+                self.patch(jz, exit);
+            }
+            StmtKind::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => self.lower_do(*var, *lo, *hi, *step, body, Region::None),
+            StmtKind::DoParallel {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let slot = self.num_snaps;
+                self.num_snaps += 1;
+                self.code.push(Instr::ParEnter { slot });
+                self.lower_do(*var, *lo, *hi, *step, body, Region::Par(slot));
+                self.code.push(Instr::ParExit { slot });
+            }
+            StmtKind::Goto(l) => {
+                self.code.push(Instr::FlushBranch);
+                self.lower_goto(*l);
+            }
+            StmtKind::IfGoto { cond, target } => {
+                let c = self.lower_expr(*cond);
+                self.code.push(Instr::FlushBranch);
+                self.free(c);
+                let jz = self.emit_pending(Instr::JumpIfZero {
+                    cond: c.reg,
+                    target: 0,
+                });
+                self.lower_goto(*target);
+                let t = self.here();
+                self.patch(jz, t);
+            }
+            StmtKind::Call { dst, callee, args } => {
+                let mut arg_ops = Vec::with_capacity(args.len());
+                for &a in args {
+                    arg_ops.push(self.lower_expr(a));
+                }
+                self.code.push(Instr::Flush0);
+                let dst_reg = if dst.is_some() {
+                    self.alloc_reg()
+                } else {
+                    NO_REG
+                };
+                let callee_k = if INTRINSICS.contains(&callee.as_str()) {
+                    Callee::Intrinsic
+                } else if let Some(i) = self.prog.procs.iter().position(|p| p.name == *callee) {
+                    Callee::Proc(i as u32)
+                } else {
+                    Callee::Unknown
+                };
+                let data = self.calls.len() as u32;
+                self.calls.push(CallData {
+                    callee: callee_k,
+                    name: callee.clone(),
+                    args: arg_ops.iter().map(|o| o.reg).collect(),
+                    dst: dst_reg,
+                });
+                self.code.push(Instr::Call { data });
+                for o in arg_ops {
+                    self.free(o);
+                }
+                if let Some(d) = dst {
+                    match *d {
+                        // the destination address is evaluated after the
+                        // call returns
+                        LValue::Deref { addr, ty, .. } => {
+                            let a = self.lower_expr(addr);
+                            self.code.push(Instr::StoreMem {
+                                addr: a.reg,
+                                ty,
+                                src: dst_reg,
+                            });
+                            self.free(a);
+                        }
+                        _ => self.lower_store(d, dst_reg),
+                    }
+                    self.free_reg(dst_reg);
+                }
+            }
+            StmtKind::Return(v) => {
+                let src = match v {
+                    None => NO_REG,
+                    Some(e) => {
+                        let o = self.lower_expr(*e);
+                        self.free(o);
+                        o.reg
+                    }
+                };
+                self.code.push(Instr::FlushBranch);
+                let exits: Vec<u32> = self
+                    .blocks
+                    .iter()
+                    .rev()
+                    .filter_map(|c| match c.region {
+                        Region::Par(slot) => Some(slot),
+                        _ => None,
+                    })
+                    .collect();
+                for slot in exits {
+                    self.code.push(Instr::ParExit { slot });
+                }
+                self.code.push(Instr::Ret { src });
+            }
+        }
+    }
+
+    /// Resolves a goto against the lexical block stack (innermost block
+    /// with a matching top-level label wins, like the interpreter's
+    /// dynamic unwinding), emitting region exits for every `do parallel`
+    /// body the jump leaves.
+    fn lower_goto(&mut self, l: LabelId) {
+        let found = self.blocks.iter().enumerate().rev().find_map(|(bi, ctx)| {
+            ctx.labels
+                .iter()
+                .find(|&&(m, _)| m == l)
+                .map(|&(_, cell)| (bi, cell))
+        });
+        match found {
+            Some((bi, cell)) => {
+                let exits: Vec<u32> = self.blocks[bi + 1..]
+                    .iter()
+                    .rev()
+                    .filter_map(|c| match c.region {
+                        Region::Par(slot) => Some(slot),
+                        _ => None,
+                    })
+                    .collect();
+                for slot in exits {
+                    self.code.push(Instr::ParExit { slot });
+                }
+                let pc = self.emit_pending(Instr::Jump { target: 0 });
+                self.label_fixups.push((pc, cell));
+            }
+            None => self.trap(format!(
+                "goto {l} escaped procedure `{}` (label not found)",
+                self.proc.name
+            )),
+        }
+    }
+
+    fn lower_do(
+        &mut self,
+        var: VarId,
+        lo: ExprId,
+        hi: ExprId,
+        step: ExprId,
+        body: &[StmtId],
+        region: Region,
+    ) {
+        let l = self.lower_expr(lo);
+        let h = self.lower_expr(hi);
+        let st = self.lower_expr(step);
+        let iv = self.alloc_reg();
+        let hi2 = self.alloc_reg();
+        let st2 = self.alloc_reg();
+        self.code.push(Instr::DoEnter {
+            iv,
+            hi: hi2,
+            step: st2,
+            lo_src: l.reg,
+            hi_src: h.reg,
+            step_src: st.reg,
+        });
+        self.free(l);
+        self.free(h);
+        self.free(st);
+        let head = self.emit_pending(Instr::DoHead {
+            iv,
+            hi: hi2,
+            step: st2,
+            exit: 0,
+        });
+        self.emit_store_var(var, iv);
+        self.lower_block(body, region);
+        self.code.push(Instr::DoNext {
+            iv,
+            step: st2,
+            head: head as u32,
+        });
+        let exit = self.here();
+        self.patch(head, exit);
+        self.free_reg(iv);
+        self.free_reg(hi2);
+        self.free_reg(st2);
+    }
+
+    // --------------------------------------------------------------
+    // stores
+    // --------------------------------------------------------------
+
+    fn emit_store_var(&mut self, v: VarId, src: Reg) {
+        let ty = self.proc.var_scalar(v);
+        let var = v.index() as u32;
+        if self.mem_var[v.index()] {
+            self.code.push(Instr::StoreVarMem { var, ty, src });
+        } else {
+            self.code.push(Instr::StoreVarReg { var, ty, src });
+        }
+    }
+
+    /// Stores `src` to an lvalue whose address operands (if any) are
+    /// evaluated here, after `src` was produced.
+    fn lower_store(&mut self, lhs: &LValue, src: Reg) {
+        match *lhs {
+            LValue::Var(v) => self.emit_store_var(v, src),
+            LValue::Deref { addr, ty, .. } => {
+                let a = self.lower_expr(addr);
+                self.code.push(Instr::StoreMem {
+                    addr: a.reg,
+                    ty,
+                    src,
+                });
+                self.free(a);
+            }
+            LValue::Section { .. } => {
+                self.trap("scalar value assigned to a vector section".to_string());
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // expressions
+    // --------------------------------------------------------------
+
+    fn lower_expr(&mut self, e: ExprId) -> Operand {
+        let temp = |reg| Operand { reg, temp: true };
+        match self.exprs()[e] {
+            Expr::IntConst(v) => {
+                let r = self.alloc_reg();
+                self.code.push(Instr::Const {
+                    dst: r,
+                    val: Value::Int(v),
+                });
+                temp(r)
+            }
+            Expr::FloatConst(f, ty) => {
+                let r = self.alloc_reg();
+                self.code.push(Instr::Const {
+                    dst: r,
+                    val: normalize(Value::Float(f), ty),
+                });
+                temp(r)
+            }
+            Expr::Var(v) => {
+                if self.mem_var[v.index()] {
+                    let r = self.alloc_reg();
+                    self.code.push(Instr::LoadVarMem {
+                        dst: r,
+                        var: v.index() as u32,
+                        ty: self.proc.var_scalar(v),
+                    });
+                    temp(r)
+                } else {
+                    Operand {
+                        reg: v.index() as u32,
+                        temp: false,
+                    }
+                }
+            }
+            Expr::AddrOf(v) => {
+                if self.mem_var[v.index()] {
+                    let r = self.alloc_reg();
+                    self.code.push(Instr::AddrOfVar {
+                        dst: r,
+                        var: v.index() as u32,
+                    });
+                    temp(r)
+                } else {
+                    self.trap(format!(
+                        "address taken of register variable {} (not memory-resident)",
+                        self.proc.var(v).name
+                    ));
+                    temp(self.alloc_reg())
+                }
+            }
+            Expr::Load { addr, ty, volatile } => {
+                let a = self.lower_expr(addr);
+                self.free(a);
+                let r = self.alloc_reg();
+                self.code.push(Instr::LoadMem {
+                    dst: r,
+                    addr: a.reg,
+                    ty,
+                    volatile,
+                });
+                temp(r)
+            }
+            Expr::Unary { op, ty, arg } => {
+                let a = self.lower_expr(arg);
+                self.free(a);
+                let r = self.alloc_reg();
+                self.code.push(Instr::Un {
+                    dst: r,
+                    op,
+                    ty,
+                    src: a.reg,
+                });
+                temp(r)
+            }
+            Expr::Binary { op, ty, lhs, rhs } => {
+                let a = self.lower_expr(lhs);
+                let b = self.lower_expr(rhs);
+                self.free(a);
+                self.free(b);
+                let r = self.alloc_reg();
+                self.code.push(Instr::Bin {
+                    dst: r,
+                    op,
+                    ty,
+                    a: a.reg,
+                    b: b.reg,
+                });
+                temp(r)
+            }
+            Expr::Cast { to, from, arg } => {
+                let a = self.lower_expr(arg);
+                self.free(a);
+                let r = self.alloc_reg();
+                self.code.push(Instr::CastOp {
+                    dst: r,
+                    to,
+                    from,
+                    src: a.reg,
+                });
+                temp(r)
+            }
+            Expr::Section { .. } => {
+                // errors before evaluating operands, like the interpreter
+                self.trap("vector section used outside a vector statement".to_string());
+                temp(self.alloc_reg())
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // vector statements
+    // --------------------------------------------------------------
+
+    fn lower_vector_assign(&mut self, s: StmtId, lhs: &LValue, rhs: ExprId) {
+        let exprs = self.exprs();
+        let (base, len, stride, kind) = match *lhs {
+            LValue::Section {
+                base,
+                len,
+                stride,
+                ty,
+            } => (base, len, stride, ty),
+            _ => {
+                self.trap("vector expression assigned to a scalar target".to_string());
+                return;
+            }
+        };
+        if exprs.has_volatile_load(rhs) {
+            // per-element volatile-script pops: run the interpreter's
+            // element loop for this one statement
+            self.code.push(Instr::VecDeopt { stmt: s });
+            return;
+        }
+        let b = self.lower_expr(base);
+        let l = self.lower_expr(len);
+        let strd = self.lower_expr(stride);
+        let plan_idx = self.plans.len() as u32;
+        self.code.push(Instr::VecCheckLen { plan: plan_idx });
+
+        let mut sec_ids = Vec::new();
+        collect_sections(exprs, rhs, &mut sec_ids);
+        let mut sec_refs = Vec::with_capacity(sec_ids.len());
+        let mut sec_ops = Vec::new();
+        for (i, &sid) in sec_ids.iter().enumerate() {
+            let Expr::Section {
+                base: sb,
+                len: sl,
+                stride: ss,
+                ty,
+            } = exprs[sid]
+            else {
+                unreachable!("collect_sections returns sections")
+            };
+            let ob = self.lower_expr(sb);
+            let ol = self.lower_expr(sl);
+            let os = self.lower_expr(ss);
+            sec_refs.push(SecRef {
+                base: ob.reg,
+                len: ol.reg,
+                stride: os.reg,
+                ty,
+            });
+            sec_ops.push((ob, ol, os));
+            // length checks interleave with operand evaluation, matching
+            // the interpreter's per-section check
+            self.code.push(Instr::VecCheckSec {
+                plan: plan_idx,
+                idx: i as u32,
+            });
+        }
+
+        // Loop-invariant scalar leaves evaluate once, cost-free. The
+        // interpreter only touches them inside the element loop, so a
+        // zero-length statement must skip them (their registers stay
+        // unread by a zero-length kernel).
+        let mut leaves = Vec::new();
+        collect_scalar_leaves(exprs, rhs, &mut leaves);
+        let mut leaf_ops = Vec::with_capacity(leaves.len());
+        if !leaves.is_empty() {
+            let skip = self.emit_pending(Instr::JumpIfZero {
+                cond: l.reg,
+                target: 0,
+            });
+            self.code.push(Instr::QuietSave);
+            for &le in &leaves {
+                leaf_ops.push(self.lower_expr(le));
+            }
+            self.code.push(Instr::QuietRestore);
+            let t = self.here();
+            self.patch(skip, t);
+        }
+
+        let mut steps = Vec::new();
+        let mut sec_i = 0u32;
+        let mut leaf_i = 0usize;
+        build_steps(exprs, rhs, &leaf_ops, &mut steps, &mut sec_i, &mut leaf_i);
+        let ops = count_vector_ops(exprs, rhs);
+        let n_instr = sec_ids.len() as u64 + ops + 1;
+        self.plans.push(VecPlan {
+            base: b.reg,
+            len: l.reg,
+            stride: strd.reg,
+            kind,
+            sections: sec_refs,
+            steps,
+            ops,
+            n_instr,
+        });
+        self.code.push(Instr::VecRun { plan: plan_idx });
+
+        for o in leaf_ops {
+            self.free(o);
+        }
+        for (ob, ol, os) in sec_ops {
+            self.free(ob);
+            self.free(ol);
+            self.free(os);
+        }
+        self.free(b);
+        self.free(l);
+        self.free(strd);
+    }
+}
+
+/// Scalar (loop-invariant) leaves of a vector rhs, in the order
+/// `eval_vector_elem` reaches them: everything that is not a section and
+/// not an interior Binary/Unary/Cast node.
+fn collect_scalar_leaves(pool: &ExprPool, e: ExprId, out: &mut Vec<ExprId>) {
+    match pool[e] {
+        Expr::Section { .. } => {}
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_scalar_leaves(pool, lhs, out);
+            collect_scalar_leaves(pool, rhs, out);
+        }
+        Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => collect_scalar_leaves(pool, arg, out),
+        _ => out.push(e),
+    }
+}
+
+/// Builds the postorder [`VStep`] program for a vector rhs. Section and
+/// leaf numbering follow the same traversal as `collect_sections` /
+/// `collect_scalar_leaves`.
+fn build_steps(
+    pool: &ExprPool,
+    e: ExprId,
+    leaf_ops: &[Operand],
+    steps: &mut Vec<VStep>,
+    sec_i: &mut u32,
+    leaf_i: &mut usize,
+) {
+    match pool[e] {
+        Expr::Section { .. } => {
+            steps.push(VStep::Sec(*sec_i));
+            *sec_i += 1;
+        }
+        Expr::Binary { op, ty, lhs, rhs } => {
+            build_steps(pool, lhs, leaf_ops, steps, sec_i, leaf_i);
+            build_steps(pool, rhs, leaf_ops, steps, sec_i, leaf_i);
+            steps.push(VStep::Bin { op, ty });
+        }
+        Expr::Unary { op, ty, arg } => {
+            build_steps(pool, arg, leaf_ops, steps, sec_i, leaf_i);
+            steps.push(VStep::Un { op, ty });
+        }
+        Expr::Cast { to, from, arg } => {
+            build_steps(pool, arg, leaf_ops, steps, sec_i, leaf_i);
+            steps.push(VStep::Cast { to, from });
+        }
+        _ => {
+            steps.push(VStep::Splat(leaf_ops[*leaf_i].reg));
+            *leaf_i += 1;
+        }
+    }
+}

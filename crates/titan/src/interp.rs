@@ -5,10 +5,11 @@
 //! running the same program before and after a transformation and comparing
 //! observable state (return value, `print_*` output, global memory).
 
-use crate::machine::{ExecStats, MachineConfig};
+use crate::machine::{ExecEngine, ExecStats, MachineConfig};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 use titanc_il::fold::{eval_binop, eval_cast, eval_unop, normalize, Value};
 use titanc_il::{
     BinOp, ConstInit, Expr, ExprId, ExprPool, LValue, LabelId, Procedure, Program, ScalarType,
@@ -24,7 +25,7 @@ pub struct SimError {
 }
 
 impl SimError {
-    fn new(m: impl Into<String>) -> SimError {
+    pub(crate) fn new(m: impl Into<String>) -> SimError {
         SimError { message: m.into() }
     }
 }
@@ -37,7 +38,7 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-const MEM_SIZE: usize = 1 << 24; // 16 MiB
+pub(crate) const MEM_SIZE: usize = 1 << 24; // 16 MiB
 const GLOBAL_BASE: u32 = 0x1000;
 const STACK_BASE: u32 = 0x40_0000;
 
@@ -48,13 +49,15 @@ pub struct RunResult {
     pub value: Option<Value>,
     /// Cycle/operation statistics.
     pub stats: ExecStats,
+    /// The backend that produced this result.
+    pub engine: ExecEngine,
 }
 
 #[derive(Default, Clone, Copy, Debug)]
-struct Bucket {
-    int: u64,
-    fp: u64,
-    mem: u64,
+pub(crate) struct Bucket {
+    pub(crate) int: u64,
+    pub(crate) fp: u64,
+    pub(crate) mem: u64,
 }
 
 enum Flow {
@@ -63,11 +66,27 @@ enum Flow {
     Goto(LabelId),
 }
 
-struct Frame {
-    proc_index: usize,
-    regs: Vec<Value>,
-    addrs: Vec<Option<u32>>,
-    saved_sp: u32,
+/// One activation record, shared by both engines. The interpreter sizes
+/// `regs` to the variable table; the VM appends expression temporaries
+/// after the variable slots.
+pub(crate) struct Frame {
+    pub(crate) proc_index: usize,
+    pub(crate) regs: Vec<Value>,
+    pub(crate) addrs: Vec<Option<u32>>,
+    pub(crate) saved_sp: u32,
+}
+
+/// True when a variable must live in simulated memory rather than a
+/// register: its address is taken, it is an aggregate, it is volatile, or
+/// it has static/global storage. Both engines and the bytecode lowerer
+/// must agree on this predicate, so it lives in one place.
+pub(crate) fn var_is_memory(info: &titanc_il::VarInfo) -> bool {
+    match info.storage {
+        Storage::Global | Storage::Static => true,
+        Storage::Auto | Storage::Param | Storage::Temp => {
+            info.addressed || info.ty.scalar().is_none() || info.volatile
+        }
+    }
 }
 
 /// The Titan simulator.
@@ -84,23 +103,33 @@ struct Frame {
 /// assert_eq!(r.value.unwrap().as_int(), 55);
 /// ```
 pub struct Simulator<'p> {
-    prog: &'p Program,
-    cfg: MachineConfig,
-    mem: Vec<u8>,
+    pub(crate) prog: &'p Program,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) mem: Vec<u8>,
     globals: HashMap<String, u32>,
     statics: HashMap<(String, String), u32>,
     alloc_ptr: u32,
-    sp: u32,
-    stats: ExecStats,
-    bucket: Bucket,
-    volatile_script: VecDeque<i64>,
-    depth: u32,
+    pub(crate) sp: u32,
+    pub(crate) stats: ExecStats,
+    pub(crate) bucket: Bucket,
+    pub(crate) volatile_script: VecDeque<i64>,
+    pub(crate) depth: u32,
+    engine: ExecEngine,
+    pub(crate) bc: Option<Rc<crate::bytecode::BcProgram>>,
+    pub(crate) vscratch: crate::vm::Scratch,
 }
 
 impl<'p> Simulator<'p> {
     /// Builds a simulator for a program; globals are allocated and
-    /// initialized immediately.
+    /// initialized immediately. Uses the reference interpreter engine.
     pub fn new(prog: &'p Program, cfg: MachineConfig) -> Simulator<'p> {
+        Simulator::with_engine(prog, cfg, ExecEngine::Interp)
+    }
+
+    /// Builds a simulator that executes with the chosen backend. Both
+    /// engines share memory layout and the cycle-cost model, so results
+    /// and statistics are identical; the VM is merely faster.
+    pub fn with_engine(prog: &'p Program, cfg: MachineConfig, engine: ExecEngine) -> Simulator<'p> {
         let mut sim = Simulator {
             prog,
             cfg,
@@ -113,6 +142,9 @@ impl<'p> Simulator<'p> {
             bucket: Bucket::default(),
             volatile_script: VecDeque::new(),
             depth: 0,
+            engine,
+            bc: None,
+            vscratch: crate::vm::Scratch::default(),
         };
         for g in &prog.globals {
             sim.alloc_global(g);
@@ -123,6 +155,11 @@ impl<'p> Simulator<'p> {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The execution backend this simulator runs with.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// Queues values that successive *volatile loads* will observe: before
@@ -204,11 +241,15 @@ impl<'p> Simulator<'p> {
     /// Returns a [`SimError`] on runtime faults (bad memory access,
     /// division by zero, unknown procedure, step-limit exceeded).
     pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<RunResult, SimError> {
-        let value = self.call(entry, args)?;
+        let value = match self.engine {
+            ExecEngine::Interp => self.call(entry, args)?,
+            ExecEngine::Vm => self.vm_entry(entry, args)?,
+        };
         self.flush(0);
         Ok(RunResult {
             value,
             stats: self.stats.clone(),
+            engine: self.engine,
         })
     }
 
@@ -217,7 +258,7 @@ impl<'p> Simulator<'p> {
         &self.stats
     }
 
-    fn proc_by_name(&self, name: &str) -> Option<(usize, &'p Procedure)> {
+    pub(crate) fn proc_by_name(&self, name: &str) -> Option<(usize, &'p Procedure)> {
         self.prog
             .procs
             .iter()
@@ -227,40 +268,26 @@ impl<'p> Simulator<'p> {
 
     /// The procedure a frame is executing. The reference lives for `'p`
     /// (the program borrow), independent of `&mut self`.
-    fn cur_proc(&self, frame: &Frame) -> &'p Procedure {
+    pub(crate) fn cur_proc(&self, frame: &Frame) -> &'p Procedure {
         &self.prog.procs[frame.proc_index]
     }
 
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, SimError> {
-        if let Some(v) = self.intrinsic(name, args)? {
-            return Ok(v.into_value());
-        }
-        let (idx, proc) = self
-            .proc_by_name(name)
-            .ok_or_else(|| SimError::new(format!("undefined procedure `{name}`")))?;
-        if proc.params.len() != args.len() {
-            return Err(SimError::new(format!(
-                "procedure `{name}` expects {} arguments, got {}",
-                proc.params.len(),
-                args.len()
-            )));
-        }
-        self.depth += 1;
-        if self.depth > 512 {
-            self.depth -= 1;
-            return Err(SimError::new("call depth exceeded (runaway recursion?)"));
-        }
-        self.charge_int(self.cfg.costs.call);
-
+    /// Builds an activation record for procedure `idx`: allocates stack
+    /// slots for memory-resident variables (zeroed), resolves global and
+    /// static addresses (allocating statics lazily), and sizes the register
+    /// file to `num_regs` slots. Address assignment order is part of the
+    /// engine-equivalence contract — both backends call this.
+    pub(crate) fn setup_frame(&mut self, idx: usize, num_regs: usize) -> Result<Frame, SimError> {
+        let proc: &'p Procedure = &self.prog.procs[idx];
         let mut frame = Frame {
             proc_index: idx,
-            regs: vec![Value::Int(0); proc.vars.len()],
+            regs: vec![Value::Int(0); num_regs],
             addrs: vec![None; proc.vars.len()],
             saved_sp: self.sp,
         };
         // Allocate memory-resident variables.
         for (i, info) in proc.vars.iter().enumerate() {
-            let needs_memory = match info.storage {
+            match info.storage {
                 Storage::Global => {
                     let addr = match self.globals.get(&info.name) {
                         Some(a) => *a,
@@ -287,11 +314,9 @@ impl<'p> Simulator<'p> {
                     frame.addrs[i] = Some(addr);
                     continue;
                 }
-                Storage::Auto | Storage::Param | Storage::Temp => {
-                    info.addressed || info.ty.scalar().is_none() || info.volatile
-                }
-            };
-            if needs_memory {
+                Storage::Auto | Storage::Param | Storage::Temp => {}
+            }
+            if var_is_memory(info) {
                 let size = self.prog.type_size(&info.ty).max(1) as u32;
                 let addr = align_up(self.sp, 8);
                 self.sp = addr + size;
@@ -306,7 +331,17 @@ impl<'p> Simulator<'p> {
                 frame.addrs[i] = Some(addr);
             }
         }
-        // Bind parameters.
+        Ok(frame)
+    }
+
+    /// Binds call arguments to parameter slots (uncharged, like register
+    /// passing on the real machine).
+    pub(crate) fn bind_params(
+        &mut self,
+        frame: &mut Frame,
+        args: &[Value],
+    ) -> Result<(), SimError> {
+        let proc = self.cur_proc(frame);
         for (pi, &pv) in proc.params.iter().enumerate() {
             let kind = proc.var_scalar(pv);
             let v = coerce(args[pi], kind);
@@ -316,6 +351,32 @@ impl<'p> Simulator<'p> {
                 frame.regs[pv.index()] = v;
             }
         }
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, SimError> {
+        if let Some(v) = self.intrinsic(name, args)? {
+            return Ok(v.into_value());
+        }
+        let (idx, proc) = self
+            .proc_by_name(name)
+            .ok_or_else(|| SimError::new(format!("undefined procedure `{name}`")))?;
+        if proc.params.len() != args.len() {
+            return Err(SimError::new(format!(
+                "procedure `{name}` expects {} arguments, got {}",
+                proc.params.len(),
+                args.len()
+            )));
+        }
+        self.depth += 1;
+        if self.depth > 512 {
+            self.depth -= 1;
+            return Err(SimError::new("call depth exceeded (runaway recursion?)"));
+        }
+        self.charge_int(self.cfg.costs.call);
+
+        let mut frame = self.setup_frame(idx, proc.vars.len())?;
+        self.bind_params(&mut frame, args)?;
 
         let flow = self.exec_block(&mut frame, &proc.body)?;
         self.sp = frame.saved_sp;
@@ -358,7 +419,7 @@ impl<'p> Simulator<'p> {
         Ok(Flow::Normal)
     }
 
-    fn step_guard(&mut self) -> Result<(), SimError> {
+    pub(crate) fn step_guard(&mut self) -> Result<(), SimError> {
         self.stats.steps += 1;
         if self.stats.steps > self.cfg.max_steps {
             return Err(SimError::new("step limit exceeded (infinite loop?)"));
@@ -546,7 +607,7 @@ impl<'p> Simulator<'p> {
     /// unit's cost model: one instruction per vector load, per FP/int
     /// vector operation, and per vector store; each instruction costs
     /// `startup + len`.
-    fn exec_vector_assign(
+    pub(crate) fn exec_vector_assign(
         &mut self,
         frame: &mut Frame,
         lhs: &LValue,
@@ -666,7 +727,7 @@ impl<'p> Simulator<'p> {
     // expression evaluation
     // ------------------------------------------------------------------
 
-    fn eval(&mut self, frame: &mut Frame, e: ExprId) -> Result<Value, SimError> {
+    pub(crate) fn eval(&mut self, frame: &mut Frame, e: ExprId) -> Result<Value, SimError> {
         match self.cur_proc(frame).exprs[e] {
             Expr::IntConst(v) => Ok(Value::Int(v)),
             Expr::FloatConst(f, ty) => Ok(normalize(Value::Float(f), ty)),
@@ -790,7 +851,7 @@ impl<'p> Simulator<'p> {
         Ok(())
     }
 
-    fn read_mem(&self, addr: u32, kind: ScalarType) -> Result<Value, SimError> {
+    pub(crate) fn read_mem(&self, addr: u32, kind: ScalarType) -> Result<Value, SimError> {
         self.check(addr, kind.size() as u32)?;
         let i = addr as usize;
         Ok(match kind {
@@ -810,7 +871,12 @@ impl<'p> Simulator<'p> {
         })
     }
 
-    fn write_mem(&mut self, addr: u32, kind: ScalarType, v: Value) -> Result<(), SimError> {
+    pub(crate) fn write_mem(
+        &mut self,
+        addr: u32,
+        kind: ScalarType,
+        v: Value,
+    ) -> Result<(), SimError> {
         self.check(addr, kind.size() as u32)?;
         let i = addr as usize;
         match kind {
@@ -835,11 +901,11 @@ impl<'p> Simulator<'p> {
     // costs
     // ------------------------------------------------------------------
 
-    fn charge_int(&mut self, c: u64) {
+    pub(crate) fn charge_int(&mut self, c: u64) {
         self.bucket.int += c;
     }
 
-    fn charge_op_cost(&mut self, ty: ScalarType, div: bool) {
+    pub(crate) fn charge_op_cost(&mut self, ty: ScalarType, div: bool) {
         let c = &self.cfg.costs;
         if ty.is_float() {
             self.bucket.fp += if div { c.fp_div } else { c.fp_op };
@@ -849,7 +915,7 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn charge_binop_cost(&mut self, op: BinOp, ty: ScalarType) {
+    pub(crate) fn charge_binop_cost(&mut self, op: BinOp, ty: ScalarType) {
         let c = &self.cfg.costs;
         if ty.is_float() {
             self.bucket.fp += match op {
@@ -871,7 +937,7 @@ impl<'p> Simulator<'p> {
     /// Ends a straight-line region: with overlap scheduling the region
     /// costs the maximum of the three unit streams (§6 item 2); without it,
     /// their sum.
-    fn flush(&mut self, extra: u64) {
+    pub(crate) fn flush(&mut self, extra: u64) {
         let b = self.bucket;
         let region = if self.cfg.overlap {
             b.int.max(b.fp).max(b.mem)
@@ -886,7 +952,11 @@ impl<'p> Simulator<'p> {
     // intrinsics
     // ------------------------------------------------------------------
 
-    fn intrinsic(&mut self, name: &str, args: &[Value]) -> Result<Option<Intrinsic>, SimError> {
+    pub(crate) fn intrinsic(
+        &mut self,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Intrinsic>, SimError> {
         let need = |n: usize| -> Result<(), SimError> {
             if args.len() != n {
                 Err(SimError::new(format!(
@@ -932,13 +1002,13 @@ impl<'p> Simulator<'p> {
     }
 }
 
-enum Intrinsic {
+pub(crate) enum Intrinsic {
     Void,
     Value(Value),
 }
 
 impl Intrinsic {
-    fn into_value(self) -> Option<Value> {
+    pub(crate) fn into_value(self) -> Option<Value> {
         match self {
             Intrinsic::Void => None,
             Intrinsic::Value(v) => Some(v),
@@ -950,14 +1020,14 @@ fn align_up(x: u32, a: u32) -> u32 {
     x.div_ceil(a) * a
 }
 
-fn coerce(v: Value, kind: ScalarType) -> Value {
+pub(crate) fn coerce(v: Value, kind: ScalarType) -> Value {
     match kind {
         ScalarType::Float | ScalarType::Double => normalize(Value::Float(v.as_float()), kind),
         _ => normalize(Value::Int(v.as_int()), kind),
     }
 }
 
-fn collect_sections(pool: &ExprPool, e: ExprId, out: &mut Vec<ExprId>) {
+pub(crate) fn collect_sections(pool: &ExprPool, e: ExprId, out: &mut Vec<ExprId>) {
     if matches!(pool[e], Expr::Section { .. }) {
         out.push(e);
         return;
@@ -969,7 +1039,7 @@ fn collect_sections(pool: &ExprPool, e: ExprId, out: &mut Vec<ExprId>) {
 
 /// Number of vector ALU operations in a vector rhs (operations with at
 /// least one section-derived operand).
-fn count_vector_ops(pool: &ExprPool, e: ExprId) -> u64 {
+pub(crate) fn count_vector_ops(pool: &ExprPool, e: ExprId) -> u64 {
     match pool[e] {
         Expr::Binary { lhs, rhs, .. } => {
             let mine = u64::from(pool.has_section(lhs) || pool.has_section(rhs));

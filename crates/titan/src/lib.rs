@@ -45,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytecode;
 mod interp;
 mod machine;
+mod vm;
 
 pub use interp::{RunResult, SimError, Simulator};
-pub use machine::{CostModel, ExecStats, MachineConfig};
+pub use machine::{CostModel, ExecEngine, ExecStats, MachineConfig};
 pub use titanc_il::fold::Value;
 
 /// Observable state of a run, for before/after-optimization comparisons.
@@ -75,7 +77,23 @@ pub fn observe(
     entry: &str,
     globals: &[(&str, titanc_il::ScalarType, u32)],
 ) -> Result<(Observation, ExecStats), SimError> {
-    let mut sim = Simulator::new(prog, cfg);
+    observe_with(prog, cfg, ExecEngine::Interp, entry, globals)
+}
+
+/// [`observe`], with an explicit choice of execution backend. Both engines
+/// produce identical observations and statistics; the VM is faster.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from execution or global inspection.
+pub fn observe_with(
+    prog: &titanc_il::Program,
+    cfg: MachineConfig,
+    engine: ExecEngine,
+    entry: &str,
+    globals: &[(&str, titanc_il::ScalarType, u32)],
+) -> Result<(Observation, ExecStats), SimError> {
+    let mut sim = Simulator::with_engine(prog, cfg, engine);
     let run = sim.run(entry, &[])?;
     let mut snap = Vec::new();
     for (name, kind, count) in globals {

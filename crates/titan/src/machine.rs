@@ -10,6 +10,49 @@
 //! overlap (the §6 instruction-scheduling model), otherwise costs are
 //! summed.
 
+/// Which backend executes the IL.
+///
+/// Both engines implement identical semantics and identical cycle-cost
+/// accounting (the cost model is side-band bookkeeping, independent of how
+/// statements are dispatched), so every measured number is byte-for-byte
+/// the same; the VM is simply faster in wall-clock terms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecEngine {
+    /// The tree-walking reference interpreter (`interp.rs`).
+    #[default]
+    Interp,
+    /// The compiled register-bytecode VM (`bytecode.rs` + `vm.rs`).
+    Vm,
+}
+
+impl ExecEngine {
+    /// Short lowercase name, as accepted by `--engine` flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Interp => "interp",
+            ExecEngine::Vm => "vm",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExecEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecEngine, String> {
+        match s {
+            "interp" => Ok(ExecEngine::Interp),
+            "vm" => Ok(ExecEngine::Vm),
+            other => Err(format!("unknown engine `{other}` (expected interp|vm)")),
+        }
+    }
+}
+
 /// Cycle costs for each operation class.
 ///
 /// Values are chosen to match the published Titan characteristics (16 MHz,

@@ -591,3 +591,287 @@ fn while_spread_semantics_and_cost() {
         r1.stats.cycles
     );
 }
+
+// ----------------------------------------------------------------------
+// VM / interpreter parity
+// ----------------------------------------------------------------------
+
+mod vm_parity {
+    use super::*;
+    use crate::ExecEngine;
+
+    /// Runs `main` under both engines, asserting identical results, full
+    /// statistics (including exact cycle totals) and final memory images.
+    fn run_both(
+        prog: &titanc_il::Program,
+        cfg: &MachineConfig,
+        script: &[i64],
+    ) -> crate::RunResult {
+        let mut interp = Simulator::with_engine(prog, cfg.clone(), ExecEngine::Interp);
+        interp.push_volatile_values(script);
+        let ri = interp.run("main", &[]).expect("interp run");
+        let mut vm = Simulator::with_engine(prog, cfg.clone(), ExecEngine::Vm);
+        vm.push_volatile_values(script);
+        let rv = vm.run("main", &[]).expect("vm run");
+        assert_eq!(ri.value, rv.value, "return value");
+        assert_eq!(ri.stats, rv.stats, "execution statistics");
+        assert!(interp.mem == vm.mem, "final memory images differ");
+        assert_eq!(ri.engine, ExecEngine::Interp);
+        assert_eq!(rv.engine, ExecEngine::Vm);
+        rv
+    }
+
+    fn parity_c(src: &str) -> crate::RunResult {
+        let prog = compile_to_il(src).expect("compile");
+        let r = run_both(&prog, &MachineConfig::default(), &[]);
+        run_both(&prog, &MachineConfig::optimized(2), &[]);
+        r
+    }
+
+    /// Both engines must fail with the identical error.
+    fn err_both(prog: &titanc_il::Program, cfg: &MachineConfig) -> String {
+        let e1 = Simulator::with_engine(prog, cfg.clone(), ExecEngine::Interp)
+            .run("main", &[])
+            .expect_err("interp should error");
+        let e2 = Simulator::with_engine(prog, cfg.clone(), ExecEngine::Vm)
+            .run("main", &[])
+            .expect_err("vm should error");
+        assert_eq!(e1, e2, "engines disagree on the error");
+        e1.message
+    }
+
+    #[test]
+    fn scalar_corpus_parity() {
+        let corpus: &[&str] = &[
+            "int main(void){ return 2 + 3 * 4; }",
+            "int main(void){ int i, s; s = 0; for (i = 1; i <= 10; i++) s += i; return s; }",
+            "int main(void){ int n, r; n = 10; r = 1; while (n) { r = r + n; n--; } return r; }",
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n             int main(void) { return fib(12); }",
+            "int counter(void) { static int count = 5; count++; return count; }\n             int main(void) { counter(); counter(); return counter(); }",
+            "void bump(int *p) { *p += 1; }\n             int main(void) { int x; x = 41; bump(&x); return x; }",
+            "int main(void) { char c; c = 127; c = c + 1; return c; }",
+            "int main(void) { float f; f = 0.1f; return (int)(f * 10000000.0f); }",
+            "int main(void) { print_int(42); print_float(1.5f); return 0; }",
+            "int main(void) { double d; d = sqrt(9.0); return (int)d; }",
+            "int main(void) { int a; a = -7; return abs(a) + (int)fabs(-2.5); }",
+            "int main(void)\n             {\n                 int i, s;\n                 i = 0; s = 0;\n             loop:\n                 s += i;\n                 i++;\n                 if (i < 5) goto loop;\n                 return s;\n             }",
+            "struct pt { float x; float y; };\n             struct pt g;\n             int main(void)\n             {\n                 struct pt *p;\n                 p = &g;\n                 p->x = 3.0f;\n                 p->y = 4.0f;\n                 return (int)(p->x * p->x + p->y * p->y);\n             }",
+            "float src_a[8], dst_a[8];\n             int main(void)\n             {\n                 float *a, *b;\n                 int n, i;\n                 for (i = 0; i < 8; i++) src_a[i] = i * 1.5f;\n                 a = &dst_a[0];\n                 b = &src_a[0];\n                 n = 8;\n                 while (n) { *a++ = *b++; n--; }\n                 return (int)dst_a[7];\n             }",
+            "float acc;\n             int main(void) { int i; acc = 0.0f; for (i = 0; i < 100; i++) acc = acc + 1.5f; return 0; }",
+        ];
+        for src in corpus {
+            parity_c(src);
+        }
+    }
+
+    #[test]
+    fn volatile_poll_loop_parity() {
+        let src = r#"
+volatile int keyboard_status;
+int main(void)
+{
+    keyboard_status = 0;
+    while (!keyboard_status);
+    return keyboard_status;
+}
+"#;
+        let prog = compile_to_il(src).unwrap();
+        let r = run_both(&prog, &MachineConfig::default(), &[0, 0, 0, 7]);
+        assert_eq!(r.value.unwrap().as_int(), 7);
+    }
+
+    #[test]
+    fn error_parity() {
+        let cfg = MachineConfig::default();
+        let div = compile_to_il("int main(void) { int z; z = 0; return 1 / z; }").unwrap();
+        assert!(err_both(&div, &cfg).contains("division by zero"));
+
+        let oob = compile_to_il("int main(void) { int *p; p = (int *)0; return *p; }").unwrap();
+        assert!(err_both(&oob, &cfg).contains("memory access out of range"));
+
+        let missing = compile_to_il("int main(void) { missing(); return 0; }").unwrap();
+        assert!(err_both(&missing, &cfg).contains("undefined procedure"));
+
+        // The interpreter walks 512 simulated frames of Rust recursion,
+        // which outgrows the default test-thread stack in debug builds;
+        // give this one case a roomy thread.
+        std::thread::Builder::new()
+            .stack_size(32 << 20)
+            .spawn(move || {
+                let cfg = MachineConfig::default();
+                let runaway = compile_to_il(
+                    "int r(int n) { return r(n + 1); } int main(void) { return r(0); }",
+                )
+                .unwrap();
+                assert!(err_both(&runaway, &cfg).contains("call depth exceeded"));
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+
+        let spin = compile_to_il("int main(void) { for (;;); return 0; }").unwrap();
+        let small = MachineConfig {
+            max_steps: 10_000,
+            ..MachineConfig::default()
+        };
+        assert!(err_both(&spin, &small).contains("step limit exceeded"));
+    }
+
+    /// `a[0:n:4] = b[0:n:4] * 2.0 + c`, built in IL, both engines: the
+    /// VM's chunked kernel must match the interpreter's element loop
+    /// bit-for-bit (values, flop counts, vector statistics).
+    #[test]
+    fn vector_statement_parity() {
+        let n = 64i64;
+        let mut b = ProcBuilder::new("main", Type::Int);
+        let va = b.global("va", Type::array_of(Type::Float, n as usize));
+        let vb = b.global("vb", Type::array_of(Type::Float, n as usize));
+        let i = b.local("i", Type::Int);
+        let body = {
+            let mut lb = b.block();
+            let base = lb.addr_of(vb);
+            let iv = lb.var(i);
+            let four = lb.int(4);
+            let off = lb.ibinary(BinOp::Mul, iv, four);
+            let addr = lb.binary(BinOp::Add, ScalarType::Ptr, base, off);
+            let iv2 = lb.var(i);
+            let cast = lb.cast(ScalarType::Float, ScalarType::Int, iv2);
+            lb.assign(LValue::deref(addr, ScalarType::Float), cast);
+            lb.stmts()
+        };
+        let (lo, hi, step) = (b.int(0), b.int(n - 1), b.int(1));
+        b.do_loop(i, lo, hi, step, body);
+        let sec_base = b.addr_of(vb);
+        let sec_len = b.int(n);
+        let sec_stride = b.int(4);
+        let section = b.section(sec_base, sec_len, sec_stride, ScalarType::Float);
+        let two = b.float(2.0);
+        let scaled = b.binary(BinOp::Mul, ScalarType::Float, section, two);
+        let half = b.float(0.5);
+        let rhs = b.binary(BinOp::Add, ScalarType::Float, scaled, half);
+        let lhs_base = b.addr_of(va);
+        let lhs_len = b.int(n);
+        let lhs_stride = b.int(4);
+        b.assign(
+            LValue::Section {
+                base: lhs_base,
+                len: lhs_len,
+                stride: lhs_stride,
+                ty: ScalarType::Float,
+            },
+            rhs,
+        );
+        let zero = b.int(0);
+        b.ret(Some(zero));
+        let mut prog = titanc_il::Program::new();
+        for name in ["va", "vb"] {
+            prog.ensure_global(titanc_il::VarInfo {
+                name: name.into(),
+                ty: Type::array_of(Type::Float, n as usize),
+                storage: titanc_il::Storage::Global,
+                volatile: false,
+                addressed: true,
+                init: None,
+            });
+        }
+        prog.add_proc(b.finish());
+        let r = run_both(&prog, &MachineConfig::optimized(1), &[]);
+        assert!(r.stats.vector_instrs >= 3, "loads + op + store counted");
+        run_both(&prog, &MachineConfig::scalar(), &[]);
+    }
+
+    /// A `do parallel` loop with an early `return` from inside the body:
+    /// the VM must apply the same cycle division + fork/join fixup the
+    /// interpreter applies when flow escapes the region.
+    #[test]
+    fn parallel_loop_early_return_parity() {
+        let mut b = ProcBuilder::new("main", Type::Int);
+        let a = b.global("pa", Type::array_of(Type::Float, 200));
+        let i = b.local("i", Type::Int);
+        let body = {
+            let mut lb = b.block();
+            let base = lb.addr_of(a);
+            let iv = lb.var(i);
+            let four = lb.int(4);
+            let off = lb.ibinary(BinOp::Mul, iv, four);
+            let addr = lb.binary(BinOp::Add, ScalarType::Ptr, base, off);
+            let iv2 = lb.var(i);
+            let cast = lb.cast(ScalarType::Float, ScalarType::Int, iv2);
+            let three = lb.float(3.0);
+            let rhs = lb.binary(BinOp::Mul, ScalarType::Float, cast, three);
+            lb.assign(LValue::deref(addr, ScalarType::Float), rhs);
+            lb.stmts()
+        };
+        let (lo, hi, step) = (b.int(0), b.int(199), b.int(1));
+        let mut proc = b.finish();
+        proc.push(StmtKind::DoParallel {
+            var: i,
+            lo,
+            hi,
+            step,
+            body,
+        });
+        let seven = proc.exprs.int(7);
+        let ret = proc.stamp(StmtKind::Return(Some(seven)));
+        proc.body.push(ret);
+        // variant with a conditional return inside the parallel body
+        let mut early = proc.clone();
+        if let StmtKind::DoParallel { body, .. } = &mut early.stmts[early.body[0]].clone() {
+            let iv = early.exprs.var(i);
+            let hundred = early.exprs.int(100);
+            let cond = early.exprs.ibinary(BinOp::Eq, iv, hundred);
+            let nine = early.exprs.int(9);
+            let ret9 = early.stamp(StmtKind::Return(Some(nine)));
+            let guard = early.stamp(StmtKind::If {
+                cond,
+                then_blk: vec![ret9],
+                else_blk: vec![],
+            });
+            let mut new_body = body.clone();
+            new_body.push(guard);
+            if let StmtKind::DoParallel { body: slot, .. } = &mut early.stmts[early.body[0]] {
+                *slot = new_body;
+            }
+        }
+        for p in [proc, early] {
+            let mut prog = titanc_il::Program::new();
+            prog.ensure_global(titanc_il::VarInfo {
+                name: "pa".into(),
+                ty: Type::array_of(Type::Float, 200),
+                storage: titanc_il::Storage::Global,
+                volatile: false,
+                addressed: true,
+                init: None,
+            });
+            prog.add_proc(p);
+            run_both(&prog, &MachineConfig::optimized(1), &[]);
+            run_both(&prog, &MachineConfig::optimized(4), &[]);
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_step_do_parity() {
+        for (lo, hi, step) in [(10i64, 1i64, -2i64), (5, 1, 1), (1, 5, 2)] {
+            let mut b = ProcBuilder::new("main", Type::Int);
+            let i = b.local("i", Type::Int);
+            let s = b.local("s", Type::Int);
+            let zero = b.int(0);
+            b.assign_var(s, zero);
+            let body = {
+                let mut lb = b.block();
+                let sv = lb.var(s);
+                let iv = lb.var(i);
+                let add = lb.ibinary(BinOp::Add, sv, iv);
+                lb.assign_var(s, add);
+                lb.stmts()
+            };
+            let (l, h, st) = (b.int(lo), b.int(hi), b.int(step));
+            b.do_loop(i, l, h, st, body);
+            let sv = b.var(s);
+            b.ret(Some(sv));
+            let mut prog = titanc_il::Program::new();
+            prog.add_proc(b.finish());
+            run_both(&prog, &MachineConfig::default(), &[]);
+        }
+    }
+}

@@ -1,0 +1,1017 @@
+//! The register-bytecode VM.
+//!
+//! A dispatch loop over [`crate::bytecode::Instr`] that shares the
+//! interpreter's memory image, frames, cost buckets and statistics, so
+//! every charge lands in the same order and every measured number is
+//! byte-for-byte identical to the tree-walking engine. Vector plans run
+//! as chunked kernels: each section is gathered into a contiguous
+//! `Vec<i64>`/`Vec<f64>` buffer, operations are tight element loops the
+//! host compiler can autovectorize, and the result is scattered back in
+//! one pass — with a pre-flight range check falling back to a per-element
+//! slow path that reproduces the interpreter's error behavior exactly.
+
+use crate::bytecode::{BcProc, BcProgram, Callee, Instr, VStep, VecPlan, NO_REG};
+use crate::interp::{coerce, Bucket, Frame, SimError, Simulator, MEM_SIZE};
+use titanc_il::fold::{eval_binop, eval_cast, eval_unop, Value};
+use titanc_il::{BinOp, ScalarType, StmtKind, UnOp};
+
+/// A vector value during kernel execution: every element in the integer
+/// or the float domain (mirroring [`Value`] element-wise).
+enum VBuf {
+    I(Vec<i64>),
+    F(Vec<f64>),
+}
+
+/// One live procedure activation of the VM.
+struct Act {
+    frame: Frame,
+    proc: usize,
+    pc: usize,
+    /// Cycle snapshots for parallel/spread regions.
+    snaps: Vec<f64>,
+    /// Saved (bucket, loads, flops) for quiet regions.
+    quiet: Vec<(Bucket, u64, u64)>,
+    /// Call-data index of the in-flight `Call` instruction.
+    pending_call: u32,
+}
+
+impl Act {
+    fn new(frame: Frame, proc: usize, bcp: &BcProc) -> Act {
+        Act {
+            frame,
+            proc,
+            pc: 0,
+            snaps: vec![0.0f64; bcp.num_snaps as usize],
+            quiet: Vec::new(),
+            pending_call: 0,
+        }
+    }
+}
+
+impl<'p> Simulator<'p> {
+    fn ensure_bc(&mut self) {
+        if self.bc.is_none() {
+            self.bc = Some(std::rc::Rc::new(crate::bytecode::compile(self.prog)));
+        }
+    }
+
+    /// VM entry point: resolves `entry` like the interpreter's `call`
+    /// (intrinsics first, then procedures by name).
+    pub(crate) fn vm_entry(
+        &mut self,
+        entry: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, SimError> {
+        self.ensure_bc();
+        if let Some(v) = self.intrinsic(entry, args)? {
+            return Ok(v.into_value());
+        }
+        let idx = self
+            .proc_by_name(entry)
+            .ok_or_else(|| SimError::new(format!("undefined procedure `{entry}`")))?
+            .0;
+        let bc = self.bc.clone().expect("bytecode compiled");
+        let frame = self.vm_prologue(&bc, idx, args)?;
+        self.vm_exec(frame, idx, &bc)
+    }
+
+    /// Call prologue, in the interpreter's exact order: argument-count
+    /// check, depth guard, call charge, frame setup, parameter binding.
+    fn vm_prologue(
+        &mut self,
+        bc: &BcProgram,
+        idx: usize,
+        args: &[Value],
+    ) -> Result<Frame, SimError> {
+        let proc = &self.prog.procs[idx];
+        if proc.params.len() != args.len() {
+            return Err(SimError::new(format!(
+                "procedure `{}` expects {} arguments, got {}",
+                proc.name,
+                proc.params.len(),
+                args.len()
+            )));
+        }
+        self.depth += 1;
+        if self.depth > 512 {
+            self.depth -= 1;
+            return Err(SimError::new("call depth exceeded (runaway recursion?)"));
+        }
+        self.charge_int(self.cfg.costs.call);
+        let mut frame = self.setup_frame(idx, bc.procs[idx].num_regs as usize)?;
+        self.bind_params(&mut frame, args)?;
+        Ok(frame)
+    }
+
+    /// The dispatch loop. Procedure calls are iterative — an explicit
+    /// activation stack instead of Rust recursion — so simulated call
+    /// depth (bounded at 512 by the same guard the interpreter uses)
+    /// never stresses the host stack. On error, `sp`/`depth` stay where
+    /// they were, matching the interpreter's propagation.
+    #[allow(clippy::too_many_lines)]
+    fn vm_exec(
+        &mut self,
+        frame: Frame,
+        idx: usize,
+        bc: &BcProgram,
+    ) -> Result<Option<Value>, SimError> {
+        let mut acts: Vec<Act> = Vec::new();
+        let mut cur = Act::new(frame, idx, &bc.procs[idx]);
+        'activation: loop {
+            let bcp = &bc.procs[cur.proc];
+            let code = &bcp.code;
+            loop {
+                match code[cur.pc] {
+                    Instr::Step => self.step_guard()?,
+                    Instr::FlushBranch => self.flush(self.cfg.costs.branch),
+                    Instr::Flush0 => self.flush(0),
+                    Instr::AddForkJoin => self.stats.cycles += self.cfg.costs.fork_join as f64,
+                    Instr::Const { dst, val } => cur.frame.regs[dst as usize] = val,
+                    Instr::LoadVarMem { dst, var, ty } => {
+                        let addr = cur.frame.addrs[var as usize].expect("memory-resident variable");
+                        self.bucket.mem += self.cfg.costs.load;
+                        self.stats.loads += 1;
+                        cur.frame.regs[dst as usize] = self.read_mem(addr, ty)?;
+                    }
+                    Instr::StoreVarMem { var, ty, src } => {
+                        let addr = cur.frame.addrs[var as usize].expect("memory-resident variable");
+                        let v = coerce(cur.frame.regs[src as usize], ty);
+                        self.bucket.mem += self.cfg.costs.store;
+                        self.stats.stores += 1;
+                        self.write_mem(addr, ty, v)?;
+                    }
+                    Instr::StoreVarReg { var, ty, src } => {
+                        let v = coerce(cur.frame.regs[src as usize], ty);
+                        self.charge_int(self.cfg.costs.int_alu);
+                        cur.frame.regs[var as usize] = v;
+                    }
+                    Instr::AddrOfVar { dst, var } => {
+                        self.charge_int(self.cfg.costs.int_alu);
+                        let addr = cur.frame.addrs[var as usize].expect("memory-resident variable");
+                        cur.frame.regs[dst as usize] = Value::Int(addr as i64);
+                    }
+                    Instr::LoadMem {
+                        dst,
+                        addr,
+                        ty,
+                        volatile,
+                    } => {
+                        let a = cur.frame.regs[addr as usize].as_int() as u32;
+                        if volatile {
+                            if let Some(next) = self.volatile_script.pop_front() {
+                                self.write_mem(a, ty, coerce(Value::Int(next), ty))?;
+                            }
+                        }
+                        self.bucket.mem += self.cfg.costs.load;
+                        self.stats.loads += 1;
+                        cur.frame.regs[dst as usize] = self.read_mem(a, ty)?;
+                    }
+                    Instr::StoreMem { addr, ty, src } => {
+                        let a = cur.frame.regs[addr as usize].as_int() as u32;
+                        let v = coerce(cur.frame.regs[src as usize], ty);
+                        self.bucket.mem += self.cfg.costs.store;
+                        self.stats.stores += 1;
+                        self.write_mem(a, ty, v)?;
+                    }
+                    Instr::Un { dst, op, ty, src } => {
+                        let a = cur.frame.regs[src as usize];
+                        self.charge_op_cost(ty, false);
+                        cur.frame.regs[dst as usize] = eval_unop(op, ty, a);
+                    }
+                    Instr::Bin { dst, op, ty, a, b } => {
+                        let x = cur.frame.regs[a as usize];
+                        let y = cur.frame.regs[b as usize];
+                        self.charge_binop_cost(op, ty);
+                        cur.frame.regs[dst as usize] = eval_binop(op, ty, x, y)
+                            .ok_or_else(|| SimError::new("division by zero"))?;
+                    }
+                    Instr::CastOp { dst, to, from, src } => {
+                        let a = cur.frame.regs[src as usize];
+                        if to.is_float() != from.is_float() {
+                            self.bucket.fp += self.cfg.costs.fp_cvt;
+                        } else {
+                            self.charge_int(self.cfg.costs.int_alu);
+                        }
+                        cur.frame.regs[dst as usize] = eval_cast(to, from, a);
+                    }
+                    Instr::Jump { target } => {
+                        cur.pc = target as usize;
+                        continue;
+                    }
+                    Instr::JumpIfZero { cond, target } => {
+                        if !cur.frame.regs[cond as usize].is_truthy() {
+                            cur.pc = target as usize;
+                            continue;
+                        }
+                    }
+                    Instr::DoEnter {
+                        iv,
+                        hi,
+                        step,
+                        lo_src,
+                        hi_src,
+                        step_src,
+                    } => {
+                        let lo_v = cur.frame.regs[lo_src as usize].as_int();
+                        let hi_v = cur.frame.regs[hi_src as usize].as_int();
+                        let st_v = cur.frame.regs[step_src as usize].as_int();
+                        if st_v == 0 {
+                            return Err(SimError::new("DO loop with zero step"));
+                        }
+                        cur.frame.regs[iv as usize] = Value::Int(lo_v);
+                        cur.frame.regs[hi as usize] = Value::Int(hi_v);
+                        cur.frame.regs[step as usize] = Value::Int(st_v);
+                    }
+                    Instr::DoHead { iv, hi, step, exit } => {
+                        self.step_guard()?;
+                        let ivv = cur.frame.regs[iv as usize].as_int();
+                        let hiv = cur.frame.regs[hi as usize].as_int();
+                        let stv = cur.frame.regs[step as usize].as_int();
+                        let cont = if stv > 0 { ivv <= hiv } else { ivv >= hiv };
+                        self.charge_int(2 * self.cfg.costs.int_alu);
+                        self.flush(self.cfg.costs.branch);
+                        if !cont {
+                            cur.pc = exit as usize;
+                            continue;
+                        }
+                    }
+                    Instr::DoNext { iv, step, head } => {
+                        let v = cur.frame.regs[iv as usize]
+                            .as_int()
+                            .wrapping_add(cur.frame.regs[step as usize].as_int());
+                        cur.frame.regs[iv as usize] = Value::Int(v);
+                        cur.pc = head as usize;
+                        continue;
+                    }
+                    Instr::ParEnter { slot } => {
+                        self.flush(0);
+                        cur.snaps[slot as usize] = self.stats.cycles;
+                    }
+                    Instr::ParExit { slot } => {
+                        self.flush(0);
+                        let before = cur.snaps[slot as usize];
+                        let delta = self.stats.cycles - before;
+                        let procs = f64::from(self.cfg.num_procs.max(1));
+                        self.stats.cycles =
+                            before + delta / procs + self.cfg.costs.fork_join as f64;
+                    }
+                    Instr::SpreadEnter { slot } => cur.snaps[slot as usize] = self.stats.cycles,
+                    Instr::SpreadExit { slot } => {
+                        self.flush(0);
+                        let before = cur.snaps[slot as usize];
+                        let delta = self.stats.cycles - before;
+                        let procs = f64::from(self.cfg.num_procs.max(1));
+                        self.stats.cycles = before + delta / procs;
+                    }
+                    Instr::QuietSave => {
+                        cur.quiet
+                            .push((self.bucket, self.stats.loads, self.stats.flops));
+                    }
+                    Instr::QuietRestore => {
+                        let (b, loads, flops) = cur.quiet.pop().expect("balanced quiet region");
+                        self.bucket = b;
+                        self.stats.loads = loads;
+                        self.stats.flops = flops;
+                    }
+                    Instr::Call { data } => {
+                        let cd = &bcp.calls[data as usize];
+                        let argv: Vec<Value> = cd
+                            .args
+                            .iter()
+                            .map(|&r| cur.frame.regs[r as usize])
+                            .collect();
+                        match cd.callee {
+                            Callee::Intrinsic => {
+                                let ret = self
+                                    .intrinsic(&cd.name, &argv)?
+                                    .expect("resolved intrinsic")
+                                    .into_value();
+                                if cd.dst != NO_REG {
+                                    let v = ret.ok_or_else(|| {
+                                        SimError::new(format!(
+                                            "procedure `{}` returned no value",
+                                            cd.name
+                                        ))
+                                    })?;
+                                    cur.frame.regs[cd.dst as usize] = v;
+                                }
+                            }
+                            Callee::Unknown => {
+                                return Err(SimError::new(format!(
+                                    "undefined procedure `{}`",
+                                    cd.name
+                                )));
+                            }
+                            Callee::Proc(i) => {
+                                let i = i as usize;
+                                let callee_frame = self.vm_prologue(bc, i, &argv)?;
+                                let callee = Act::new(callee_frame, i, &bc.procs[i]);
+                                cur.pending_call = data;
+                                acts.push(std::mem::replace(&mut cur, callee));
+                                continue 'activation;
+                            }
+                        }
+                    }
+                    Instr::Ret { src } => {
+                        let ret = if src == NO_REG {
+                            None
+                        } else {
+                            Some(cur.frame.regs[src as usize])
+                        };
+                        // callee epilogue, same order as the interpreter
+                        self.sp = cur.frame.saved_sp;
+                        self.depth -= 1;
+                        self.charge_int(self.cfg.costs.call / 2);
+                        match acts.pop() {
+                            None => return Ok(ret),
+                            Some(caller) => {
+                                cur = caller;
+                                let cd = &bc.procs[cur.proc].calls[cur.pending_call as usize];
+                                if cd.dst != NO_REG {
+                                    let v = ret.ok_or_else(|| {
+                                        SimError::new(format!(
+                                            "procedure `{}` returned no value",
+                                            cd.name
+                                        ))
+                                    })?;
+                                    cur.frame.regs[cd.dst as usize] = v;
+                                }
+                                cur.pc += 1;
+                                continue 'activation;
+                            }
+                        }
+                    }
+                    Instr::VecCheckLen { plan } => {
+                        let p = &bcp.plans[plan as usize];
+                        if cur.frame.regs[p.len as usize].as_int() < 0 {
+                            return Err(SimError::new("negative vector length"));
+                        }
+                    }
+                    Instr::VecCheckSec { plan, idx } => {
+                        let p = &bcp.plans[plan as usize];
+                        let len_v = cur.frame.regs[p.len as usize].as_int();
+                        let l = cur.frame.regs[p.sections[idx as usize].len as usize].as_int();
+                        if l != len_v {
+                            return Err(SimError::new(format!(
+                                "vector length mismatch: {l} vs {len_v}"
+                            )));
+                        }
+                    }
+                    Instr::VecRun { plan } => {
+                        self.vec_run(&cur.frame, &bcp.plans[plan as usize])?;
+                    }
+                    Instr::VecDeopt { stmt } => {
+                        let (lhs, rhs) = {
+                            let proc = self.cur_proc(&cur.frame);
+                            let StmtKind::Assign { lhs, rhs } = &proc.stmts[stmt] else {
+                                unreachable!("VecDeopt lowered from an assignment")
+                            };
+                            (*lhs, *rhs)
+                        };
+                        self.exec_vector_assign(&mut cur.frame, &lhs, rhs)?;
+                    }
+                    Instr::Trap { msg } => {
+                        return Err(SimError::new(bcp.traps[msg as usize].clone()));
+                    }
+                }
+                cur.pc += 1;
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // vector kernels
+    // --------------------------------------------------------------
+
+    fn vec_run(&mut self, frame: &Frame, plan: &VecPlan) -> Result<(), SimError> {
+        let base_v = frame.regs[plan.base as usize].as_int() as u32;
+        let len_v = frame.regs[plan.len as usize].as_int();
+        let stride_v = frame.regs[plan.stride as usize].as_int();
+        let len_u = len_v as u64; // VecCheckLen guaranteed len_v >= 0
+                                  // the scratch pool is taken out of `self` for the duration of the
+                                  // statement so buffers and `self.mem` borrow independently; a
+                                  // steady-state vector statement allocates nothing
+        let mut scratch = std::mem::take(&mut self.vscratch);
+        let mut resolved = std::mem::take(&mut scratch.secs);
+        resolved.clear();
+        for s in &plan.sections {
+            resolved.push((
+                frame.regs[s.base as usize].as_int() as u32,
+                frame.regs[s.stride as usize].as_int(),
+                s.ty,
+            ));
+        }
+        // vector cost model, identical to the interpreter
+        let c = &self.cfg.costs;
+        self.stats.vector_instrs += plan.n_instr;
+        self.stats.vector_elems += len_u * plan.n_instr;
+        self.stats.cycles += (plan.n_instr * (c.vector_startup + c.vector_per_elem * len_u)) as f64;
+        if plan.kind.is_float() {
+            self.stats.flops += plan.ops * len_u;
+        }
+        let r = if len_v == 0 {
+            Ok(())
+        } else {
+            let n = len_v as usize;
+            let fast = range_ok(base_v, stride_v, len_v, plan.kind.size())
+                && resolved
+                    .iter()
+                    .all(|&(b, st, ty)| range_ok(b, st, len_v, ty.size()));
+            if fast {
+                self.vec_kernel(frame, plan, base_v, stride_v, &resolved, n, &mut scratch)
+            } else {
+                self.vec_slow(frame, plan, base_v, stride_v, &resolved, len_v)
+            }
+        };
+        scratch.secs = resolved;
+        self.vscratch = scratch;
+        r
+    }
+
+    /// Chunked kernel path: gather sections into contiguous buffers, run
+    /// tight element loops, scatter the result. Every access was
+    /// range-checked up front, and all buffers come from the reusable
+    /// scratch pool — a steady-state kernel allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn vec_kernel(
+        &mut self,
+        frame: &Frame,
+        plan: &VecPlan,
+        base: u32,
+        stride: i64,
+        resolved: &[(u32, i64, ScalarType)],
+        n: usize,
+        scratch: &mut Scratch,
+    ) -> Result<(), SimError> {
+        let mut stack = std::mem::take(&mut scratch.stack);
+        let mut fail = None;
+        for step in &plan.steps {
+            match *step {
+                VStep::Sec(i) => {
+                    let (b, st, ty) = resolved[i as usize];
+                    stack.push(self.load_section(b, st, ty, n, scratch));
+                }
+                VStep::Splat(r) => stack.push(match frame.regs[r as usize] {
+                    Value::Int(v) => {
+                        let mut o = scratch.take_i(n);
+                        o.resize(n, v);
+                        VBuf::I(o)
+                    }
+                    Value::Float(f) => {
+                        let mut o = scratch.take_f(n);
+                        o.resize(n, f);
+                        VBuf::F(o)
+                    }
+                }),
+                VStep::Un { op, ty } => {
+                    let a = stack.pop().expect("kernel operand");
+                    stack.push(vec_un(op, ty, a, scratch));
+                }
+                VStep::Bin { op, ty } => {
+                    let b = stack.pop().expect("kernel operand");
+                    let a = stack.pop().expect("kernel operand");
+                    match vec_bin(op, ty, a, b, scratch) {
+                        Ok(v) => stack.push(v),
+                        Err(e) => {
+                            fail = Some(e);
+                            break;
+                        }
+                    }
+                }
+                VStep::Cast { to, .. } => {
+                    let a = stack.pop().expect("kernel operand");
+                    stack.push(vec_cast(to, a, scratch));
+                }
+            }
+        }
+        let r = match fail {
+            None => {
+                let root = stack.pop().expect("kernel result");
+                self.store_section(base, stride, plan.kind, &root, n, scratch);
+                scratch.give(root);
+                Ok(())
+            }
+            Some(e) => Err(e),
+        };
+        for b in stack.drain(..) {
+            scratch.give(b);
+        }
+        scratch.stack = stack;
+        r
+    }
+
+    /// Gathers one section into a contiguous buffer (the `Value` domain of
+    /// its element type), with a bounds-check-free contiguous fast case.
+    fn load_section(
+        &self,
+        b: u32,
+        st: i64,
+        ty: ScalarType,
+        n: usize,
+        scratch: &mut Scratch,
+    ) -> VBuf {
+        let start = b as usize;
+        let contiguous = st == ty.size();
+        match ty {
+            ScalarType::Char => {
+                let mut out = scratch.take_i(n);
+                if contiguous {
+                    out.extend(self.mem[start..start + n].iter().map(|&x| x as i8 as i64));
+                } else {
+                    for k in 0..n {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        out.push(self.mem[i] as i8 as i64);
+                    }
+                }
+                VBuf::I(out)
+            }
+            ScalarType::Int => {
+                let mut out = scratch.take_i(n);
+                if contiguous {
+                    out.extend(
+                        self.mem[start..start + n * 4]
+                            .chunks_exact(4)
+                            .map(|ch| i32::from_le_bytes(ch.try_into().unwrap()) as i64),
+                    );
+                } else {
+                    for k in 0..n {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        out.push(i32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as i64);
+                    }
+                }
+                VBuf::I(out)
+            }
+            ScalarType::Ptr => {
+                let mut out = scratch.take_i(n);
+                if contiguous {
+                    out.extend(
+                        self.mem[start..start + n * 4]
+                            .chunks_exact(4)
+                            .map(|ch| u32::from_le_bytes(ch.try_into().unwrap()) as i64),
+                    );
+                } else {
+                    for k in 0..n {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        out.push(u32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as i64);
+                    }
+                }
+                VBuf::I(out)
+            }
+            ScalarType::Float => {
+                let mut out = scratch.take_f(n);
+                if contiguous {
+                    out.extend(
+                        self.mem[start..start + n * 4]
+                            .chunks_exact(4)
+                            .map(|ch| f32::from_le_bytes(ch.try_into().unwrap()) as f64),
+                    );
+                } else {
+                    for k in 0..n {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        out.push(f32::from_le_bytes(self.mem[i..i + 4].try_into().unwrap()) as f64);
+                    }
+                }
+                VBuf::F(out)
+            }
+            ScalarType::Double => {
+                let mut out = scratch.take_f(n);
+                if contiguous {
+                    out.extend(
+                        self.mem[start..start + n * 8]
+                            .chunks_exact(8)
+                            .map(|ch| f64::from_le_bytes(ch.try_into().unwrap())),
+                    );
+                } else {
+                    for k in 0..n {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        out.push(f64::from_le_bytes(self.mem[i..i + 8].try_into().unwrap()));
+                    }
+                }
+                VBuf::F(out)
+            }
+        }
+    }
+
+    /// Scatters the kernel result, writing the same bytes `write_mem`
+    /// would after `coerce(v, kind)`.
+    #[allow(clippy::too_many_arguments)]
+    fn store_section(
+        &mut self,
+        b: u32,
+        st: i64,
+        kind: ScalarType,
+        root: &VBuf,
+        n: usize,
+        scratch: &mut Scratch,
+    ) {
+        match (kind.is_float(), root) {
+            (true, VBuf::F(v)) => self.store_f(b, st, kind, v, n),
+            (true, VBuf::I(v)) => {
+                let mut tmp = scratch.take_f(n);
+                tmp.extend(v.iter().map(|&x| x as f64));
+                self.store_f(b, st, kind, &tmp, n);
+                scratch.f.push(tmp);
+            }
+            (false, VBuf::I(v)) => self.store_i(b, st, kind, v, n),
+            (false, VBuf::F(v)) => {
+                let mut tmp = scratch.take_i(n);
+                tmp.extend(v.iter().map(|&x| x as i64));
+                self.store_i(b, st, kind, &tmp, n);
+                scratch.i.push(tmp);
+            }
+        }
+    }
+
+    fn store_f(&mut self, b: u32, st: i64, kind: ScalarType, vals: &[f64], n: usize) {
+        let start = b as usize;
+        let contiguous = st == kind.size();
+        match kind {
+            ScalarType::Float => {
+                if contiguous {
+                    for (ch, &v) in self.mem[start..start + n * 4].chunks_exact_mut(4).zip(vals) {
+                        ch.copy_from_slice(&(v as f32).to_le_bytes());
+                    }
+                } else {
+                    for (k, &v) in vals.iter().enumerate().take(n) {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        self.mem[i..i + 4].copy_from_slice(&(v as f32).to_le_bytes());
+                    }
+                }
+            }
+            _ => {
+                if contiguous {
+                    for (ch, &v) in self.mem[start..start + n * 8].chunks_exact_mut(8).zip(vals) {
+                        ch.copy_from_slice(&v.to_le_bytes());
+                    }
+                } else {
+                    for (k, &v) in vals.iter().enumerate().take(n) {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        self.mem[i..i + 8].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    fn store_i(&mut self, b: u32, st: i64, kind: ScalarType, vals: &[i64], n: usize) {
+        let start = b as usize;
+        let contiguous = st == kind.size();
+        match kind {
+            ScalarType::Char => {
+                if contiguous {
+                    for (m, &v) in self.mem[start..start + n].iter_mut().zip(vals) {
+                        *m = v as u8;
+                    }
+                } else {
+                    for (k, &v) in vals.iter().enumerate().take(n) {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        self.mem[i] = v as u8;
+                    }
+                }
+            }
+            // Int and Ptr both store the low 32 bits little-endian
+            _ => {
+                if contiguous {
+                    for (ch, &v) in self.mem[start..start + n * 4].chunks_exact_mut(4).zip(vals) {
+                        ch.copy_from_slice(&(v as i32).to_le_bytes());
+                    }
+                } else {
+                    for (k, &v) in vals.iter().enumerate().take(n) {
+                        let i = (b as i64 + k as i64 * st) as u32 as usize;
+                        self.mem[i..i + 4].copy_from_slice(&(v as i32).to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-element fallback, bit-identical to the interpreter's element
+    /// loop (same traversal, same checked memory ops, same error order).
+    fn vec_slow(
+        &mut self,
+        frame: &Frame,
+        plan: &VecPlan,
+        base: u32,
+        stride: i64,
+        resolved: &[(u32, i64, ScalarType)],
+        len_v: i64,
+    ) -> Result<(), SimError> {
+        let mut results = Vec::with_capacity(len_v as usize);
+        let mut stack: Vec<Value> = Vec::with_capacity(4);
+        for k in 0..len_v {
+            stack.clear();
+            for step in &plan.steps {
+                match *step {
+                    VStep::Sec(i) => {
+                        let (b, st, ty) = resolved[i as usize];
+                        let addr = (b as i64 + k * st) as u32;
+                        stack.push(self.read_mem(addr, ty)?);
+                    }
+                    VStep::Splat(r) => stack.push(frame.regs[r as usize]),
+                    VStep::Un { op, ty } => {
+                        let a = stack.pop().expect("element operand");
+                        stack.push(eval_unop(op, ty, a));
+                    }
+                    VStep::Bin { op, ty } => {
+                        let b = stack.pop().expect("element operand");
+                        let a = stack.pop().expect("element operand");
+                        stack.push(eval_binop(op, ty, a, b).ok_or_else(|| {
+                            SimError::new("division by zero in vector statement")
+                        })?);
+                    }
+                    VStep::Cast { to, from } => {
+                        let a = stack.pop().expect("element operand");
+                        stack.push(eval_cast(to, from, a));
+                    }
+                }
+            }
+            results.push(coerce(stack.pop().expect("element result"), plan.kind));
+        }
+        for (k, v) in results.into_iter().enumerate() {
+            let addr = (base as i64 + k as i64 * stride) as u32;
+            self.write_mem(addr, plan.kind, v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reusable kernel buffers. Gather/compute/scatter cycles return every
+/// buffer here, so steady-state vector execution allocates nothing —
+/// important for strip-mined loops where each kernel is only a few dozen
+/// elements.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    i: Vec<Vec<i64>>,
+    f: Vec<Vec<f64>>,
+    /// Resolved `(base, stride, type)` sections of the current statement.
+    secs: Vec<(u32, i64, ScalarType)>,
+    /// The kernel's operand stack.
+    stack: Vec<VBuf>,
+}
+
+impl Scratch {
+    fn take_i(&mut self, n: usize) -> Vec<i64> {
+        let mut v = self.i.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(n);
+        v
+    }
+
+    fn take_f(&mut self, n: usize) -> Vec<f64> {
+        let mut v = self.f.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(n);
+        v
+    }
+
+    fn give(&mut self, b: VBuf) {
+        match b {
+            VBuf::I(v) => self.i.push(v),
+            VBuf::F(v) => self.f.push(v),
+        }
+    }
+}
+
+/// True when every element of a section (or the store) lies inside
+/// simulated memory — the precondition for the unchecked kernel path. In
+/// range, `(base as i64 + k*stride) as u32` equals the i64 address, so
+/// the kernel and the interpreter touch identical bytes.
+fn range_ok(base: u32, stride: i64, len: i64, size: i64) -> bool {
+    let first = base as i64;
+    let Some(span) = (len - 1).checked_mul(stride) else {
+        return false;
+    };
+    let Some(last) = first.checked_add(span) else {
+        return false;
+    };
+    let lo = first.min(last);
+    let hi = first.max(last).saturating_add(size);
+    lo >= 4 && hi <= MEM_SIZE as i64
+}
+
+/// Moves a buffer into the float domain (recycling an integer source).
+fn to_f(b: VBuf, s: &mut Scratch) -> Vec<f64> {
+    match b {
+        VBuf::F(v) => v,
+        VBuf::I(v) => {
+            let mut o = s.take_f(v.len());
+            o.extend(v.iter().map(|&x| x as f64));
+            s.i.push(v);
+            o
+        }
+    }
+}
+
+/// Moves a buffer into the integer domain (recycling a float source).
+fn to_i(b: VBuf, s: &mut Scratch) -> Vec<i64> {
+    match b {
+        VBuf::I(v) => v,
+        VBuf::F(v) => {
+            let mut o = s.take_i(v.len());
+            o.extend(v.iter().map(|&x| x as i64));
+            s.f.push(v);
+            o
+        }
+    }
+}
+
+/// Applies `normalize(Value::Int(x), ty)` element-wise.
+fn norm_i(ty: ScalarType, v: &mut [i64]) {
+    match ty {
+        ScalarType::Char => {
+            for x in v {
+                *x = *x as i8 as i64;
+            }
+        }
+        ScalarType::Int => {
+            for x in v {
+                *x = *x as i32 as i64;
+            }
+        }
+        ScalarType::Ptr => {
+            for x in v {
+                *x = *x as u32 as i64;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rounds every element through f32, as `normalize` does for `Float`.
+fn norm_f(ty: ScalarType, v: &mut [f64]) {
+    if ty == ScalarType::Float {
+        for x in v {
+            *x = *x as f32 as f64;
+        }
+    }
+}
+
+/// In-place element-wise float arithmetic; the closure is monomorphized
+/// per call site so the loop compiles to straight vector code.
+fn arith_f(
+    mut x: Vec<f64>,
+    y: Vec<f64>,
+    ty: ScalarType,
+    s: &mut Scratch,
+    f: impl Fn(f64, f64) -> f64,
+) -> VBuf {
+    for (p, &q) in x.iter_mut().zip(&y) {
+        *p = f(*p, q);
+    }
+    norm_f(ty, &mut x);
+    s.f.push(y);
+    VBuf::F(x)
+}
+
+/// Element-wise float comparison into a fresh integer buffer (raw 0/1,
+/// as `eval_binop` returns for comparisons).
+fn cmp_f(x: Vec<f64>, y: Vec<f64>, s: &mut Scratch, f: impl Fn(f64, f64) -> bool) -> VBuf {
+    let mut o = s.take_i(x.len());
+    o.extend(x.iter().zip(&y).map(|(&p, &q)| i64::from(f(p, q))));
+    s.f.push(x);
+    s.f.push(y);
+    VBuf::I(o)
+}
+
+/// In-place element-wise integer arithmetic.
+fn arith_i(
+    mut x: Vec<i64>,
+    y: Vec<i64>,
+    ty: ScalarType,
+    s: &mut Scratch,
+    f: impl Fn(i64, i64) -> i64,
+) -> VBuf {
+    for (p, &q) in x.iter_mut().zip(&y) {
+        *p = f(*p, q);
+    }
+    norm_i(ty, &mut x);
+    s.i.push(y);
+    VBuf::I(x)
+}
+
+/// Element-wise integer comparison (raw 0/1).
+fn cmp_i(x: Vec<i64>, y: Vec<i64>, s: &mut Scratch, f: impl Fn(i64, i64) -> bool) -> VBuf {
+    let mut o = s.take_i(x.len());
+    o.extend(x.iter().zip(&y).map(|(&p, &q)| i64::from(f(p, q))));
+    s.i.push(x);
+    s.i.push(y);
+    VBuf::I(o)
+}
+
+/// Element-wise `eval_unop`, in place where the domain allows.
+fn vec_un(op: UnOp, ty: ScalarType, a: VBuf, s: &mut Scratch) -> VBuf {
+    match op {
+        UnOp::Neg if ty.is_float() => {
+            let mut v = to_f(a, s);
+            for x in &mut v {
+                *x = -*x;
+            }
+            norm_f(ty, &mut v);
+            VBuf::F(v)
+        }
+        UnOp::Neg => {
+            let mut v = to_i(a, s);
+            for x in &mut v {
+                *x = x.wrapping_neg();
+            }
+            norm_i(ty, &mut v);
+            VBuf::I(v)
+        }
+        UnOp::Not => match a {
+            VBuf::I(mut v) => {
+                for x in &mut v {
+                    *x = i64::from(*x == 0);
+                }
+                VBuf::I(v)
+            }
+            VBuf::F(v) => {
+                let mut o = s.take_i(v.len());
+                o.extend(v.iter().map(|&x| i64::from(x == 0.0)));
+                s.f.push(v);
+                VBuf::I(o)
+            }
+        },
+        UnOp::BitNot => {
+            let mut v = to_i(a, s);
+            for x in &mut v {
+                *x = !*x;
+            }
+            norm_i(ty, &mut v);
+            VBuf::I(v)
+        }
+    }
+}
+
+/// Element-wise `eval_cast` (which only looks at the target type).
+fn vec_cast(to: ScalarType, a: VBuf, s: &mut Scratch) -> VBuf {
+    if to.is_float() {
+        let mut v = to_f(a, s);
+        norm_f(to, &mut v);
+        VBuf::F(v)
+    } else {
+        let mut v = to_i(a, s);
+        norm_i(to, &mut v);
+        VBuf::I(v)
+    }
+}
+
+/// Element-wise `eval_binop` as tight single-domain loops.
+fn vec_bin(op: BinOp, ty: ScalarType, a: VBuf, b: VBuf, s: &mut Scratch) -> Result<VBuf, SimError> {
+    if ty.is_float() {
+        let x = to_f(a, s);
+        let y = to_f(b, s);
+        Ok(match op {
+            BinOp::Add => arith_f(x, y, ty, s, |p, q| p + q),
+            BinOp::Sub => arith_f(x, y, ty, s, |p, q| p - q),
+            BinOp::Mul => arith_f(x, y, ty, s, |p, q| p * q),
+            BinOp::Div => arith_f(x, y, ty, s, |p, q| p / q),
+            BinOp::Min => arith_f(x, y, ty, s, f64::min),
+            BinOp::Max => arith_f(x, y, ty, s, f64::max),
+            BinOp::Eq => cmp_f(x, y, s, |p, q| p == q),
+            BinOp::Ne => cmp_f(x, y, s, |p, q| p != q),
+            BinOp::Lt => cmp_f(x, y, s, |p, q| p < q),
+            BinOp::Le => cmp_f(x, y, s, |p, q| p <= q),
+            BinOp::Gt => cmp_f(x, y, s, |p, q| p > q),
+            BinOp::Ge => cmp_f(x, y, s, |p, q| p >= q),
+            // Rem/shift/bitwise on floats fold to None, which the
+            // interpreter reports as a vector division by zero
+            _ => return Err(SimError::new("division by zero in vector statement")),
+        })
+    } else {
+        let mut x = to_i(a, s);
+        let y = to_i(b, s);
+        Ok(match op {
+            BinOp::Add => arith_i(x, y, ty, s, i64::wrapping_add),
+            BinOp::Sub => arith_i(x, y, ty, s, i64::wrapping_sub),
+            BinOp::Mul => arith_i(x, y, ty, s, i64::wrapping_mul),
+            BinOp::Div | BinOp::Rem => {
+                for (p, &q) in x.iter_mut().zip(&y) {
+                    if q == 0 {
+                        return Err(SimError::new("division by zero in vector statement"));
+                    }
+                    *p = if matches!(op, BinOp::Div) {
+                        p.wrapping_div(q)
+                    } else {
+                        p.wrapping_rem(q)
+                    };
+                }
+                norm_i(ty, &mut x);
+                s.i.push(y);
+                VBuf::I(x)
+            }
+            BinOp::Eq => cmp_i(x, y, s, |p, q| p == q),
+            BinOp::Ne => cmp_i(x, y, s, |p, q| p != q),
+            BinOp::Lt => cmp_i(x, y, s, |p, q| p < q),
+            BinOp::Le => cmp_i(x, y, s, |p, q| p <= q),
+            BinOp::Gt => cmp_i(x, y, s, |p, q| p > q),
+            BinOp::Ge => cmp_i(x, y, s, |p, q| p >= q),
+            BinOp::BitAnd => arith_i(x, y, ty, s, |p, q| p & q),
+            BinOp::BitOr => arith_i(x, y, ty, s, |p, q| p | q),
+            BinOp::BitXor => arith_i(x, y, ty, s, |p, q| p ^ q),
+            BinOp::Shl => arith_i(x, y, ty, s, |p, q| p.wrapping_shl((q & 31) as u32)),
+            BinOp::Shr => arith_i(x, y, ty, s, |p, q| p.wrapping_shr((q & 31) as u32)),
+            BinOp::Min => arith_i(x, y, ty, s, |p, q| p.min(q)),
+            BinOp::Max => arith_i(x, y, ty, s, |p, q| p.max(q)),
+        })
+    }
+}
