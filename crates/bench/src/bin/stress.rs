@@ -16,7 +16,20 @@
 //!
 //! ```text
 //! stress [--cases N] [--seed S] [--case-seed S] [--engine interp|vm|both] [--verbose]
+//! stress --cache-faults [--cases N] [--seed S] [--case-seed S] [--verbose]
 //! ```
+//!
+//! `--cache-faults` switches to the **cache durability differential**:
+//! every case compiles a progen program with no cache (the reference)
+//! and then through a `--cache-dir` under escalating abuse — injected
+//! IO faults (fail/truncate/delay on reads, writes, renames), random
+//! byte flips and truncations of the on-disk entries and manifest, and
+//! two sessions racing into one directory — asserting after every
+//! scenario that the optimized IL and the opt report are byte-identical
+//! to the no-cache reference, that nothing panics, and that detected
+//! corruption is counted and quarantined. An aggregate accounting
+//! summary (hits, misses, corrupt, quarantined, lock-contended,
+//! write-failed) prints at the end; CI uploads it as an artifact.
 //!
 //! Each case gets its own generator seed, mixed (splitmix64-style) from
 //! the run seed and the case index, so one case's program depends only on
@@ -30,7 +43,11 @@
 //! and the offending program so any failure reproduces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use titanc::{compile, Compilation, Options};
+use std::path::{Path, PathBuf};
+use titanc::{
+    compile, compile_session, install_io_faults, Compilation, FaultMode, IoFaultSpec, IoOp,
+    OptReport, Options, SessionCompilation, SourceFile,
+};
 use titanc_bench::progen;
 use titanc_il::{pretty_proc, ScalarType};
 use titanc_titan::{observe_with, ExecEngine, ExecStats, MachineConfig, Observation};
@@ -69,6 +86,9 @@ struct Args {
     /// Replay exactly one case by its per-case seed.
     case_seed: Option<u64>,
     engine: EngineChoice,
+    /// Run the cache durability differential instead of the
+    /// execution differential.
+    cache_faults: bool,
     verbose: bool,
 }
 
@@ -98,6 +118,7 @@ fn parse_args() -> Args {
         seed: DEFAULT_SEED,
         case_seed: None,
         engine: EngineChoice::Both,
+        cache_faults: false,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -129,6 +150,7 @@ fn parse_args() -> Args {
                     None => usage(),
                 };
             }
+            "--cache-faults" => args.cache_faults = true,
             "--verbose" => args.verbose = true,
             _ => usage(),
         }
@@ -140,6 +162,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: stress [--cases N] [--seed S] [--case-seed S] [--engine interp|vm|both] [--verbose]"
     );
+    eprintln!("       stress --cache-faults [--cases N] [--seed S] [--case-seed S] [--verbose]");
     eprintln!("       seeds are decimal or 0x-prefixed hex");
     std::process::exit(2);
 }
@@ -263,8 +286,363 @@ fn run_one(cseed: u64, engines: &[ExecEngine]) -> Option<String> {
     failure.map(|why| format!("{why}\n--- program ---\n{src}---------------"))
 }
 
+// ---------------------------------------------------------------------------
+// cache durability differential (`--cache-faults`)
+// ---------------------------------------------------------------------------
+
+/// Aggregate cache accounting across every session a `--cache-faults`
+/// run performed; printed at the end and uploaded by CI as an artifact.
+#[derive(Default, Clone, Copy)]
+struct CacheTotals {
+    sessions: u64,
+    hits: u64,
+    misses: u64,
+    invalidated: u64,
+    corrupt: u64,
+    quarantined: u64,
+    lock_contended: u64,
+    write_failed: u64,
+}
+
+impl CacheTotals {
+    fn absorb(&mut self, sc: &SessionCompilation) {
+        self.sessions += 1;
+        self.hits += sc.stats.hits as u64;
+        self.misses += sc.stats.misses as u64;
+        self.invalidated += sc.stats.invalidated as u64;
+        self.corrupt += sc.stats.corrupt as u64;
+        self.quarantined += sc.stats.quarantined as u64;
+        self.lock_contended += sc.stats.lock_contended as u64;
+        self.write_failed += sc.stats.write_failed as u64;
+    }
+
+    fn merge(&mut self, other: CacheTotals) {
+        self.sessions += other.sessions;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidated += other.invalidated;
+        self.corrupt += other.corrupt;
+        self.quarantined += other.quarantined;
+        self.lock_contended += other.lock_contended;
+        self.write_failed += other.write_failed;
+    }
+}
+
+/// Pretty-prints a session's optimized IL, the byte-identity unit.
+fn session_il(sc: &SessionCompilation) -> String {
+    sc.compilation
+        .program
+        .procs
+        .iter()
+        .map(pretty_proc)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders a session's `--opt-report=json`, the second identity unit.
+fn session_report(sc: &SessionCompilation) -> String {
+    OptReport::build_for(
+        &sc.compilation.reports,
+        &sc.compilation.trace,
+        &sc.compilation.program.files,
+    )
+    .to_json()
+    .to_string_compact()
+}
+
+/// The fault mix a case runs under: every operation can fail, writes
+/// and reads can tear, and reads can stall — all at rates high enough
+/// that a 300-case sweep exercises each path hundreds of times.
+fn case_fault_spec(seed: u64) -> IoFaultSpec {
+    IoFaultSpec::new(seed)
+        .rule(IoOp::Read, FaultMode::Fail, 0.04)
+        .rule(IoOp::Read, FaultMode::Truncate, 0.04)
+        .rule(IoOp::Read, FaultMode::Delay, 0.02)
+        .rule(IoOp::Write, FaultMode::Fail, 0.05)
+        .rule(IoOp::Write, FaultMode::Truncate, 0.05)
+        .rule(IoOp::Rename, FaultMode::Fail, 0.05)
+}
+
+/// Compiles one session, absorbing its accounting into `totals` and
+/// verifying byte-identity against the no-cache reference.
+fn cache_run(
+    src: &str,
+    options: &Options,
+    dir: Option<&Path>,
+    totals: &mut CacheTotals,
+    reference: Option<(&str, &str)>,
+    what: &str,
+) -> Result<SessionCompilation, String> {
+    let files = [SourceFile::new("case.c", src)];
+    let sc = compile_session(&files, options, dir)
+        .map_err(|e| format!("{what}: front end rejected input: {e}"))?;
+    totals.absorb(&sc);
+    if let Some((ref_il, ref_report)) = reference {
+        if session_il(&sc) != ref_il {
+            return Err(format!("{what}: optimized IL diverged from no-cache run"));
+        }
+        if session_report(&sc) != ref_report {
+            return Err(format!("{what}: opt report diverged from no-cache run"));
+        }
+    }
+    Ok(sc)
+}
+
+/// Damages a populated cache directory in place: one random bit flip in
+/// one top-level `*.json` file and a random truncation of another (the
+/// same file when only one exists). `FORMAT`, lock files and the
+/// quarantine subdirectory are left alone, so every damaged file is one
+/// the warm run will actually read and must detect.
+fn corrupt_cache_dir(dir: &Path, rng: &mut progen::Rng) -> Result<(), String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err("populated cache dir has no *.json entries to corrupt".to_string());
+    }
+
+    // bit flip
+    let victim = &files[rng.below(files.len() as u64) as usize];
+    let mut bytes = std::fs::read(victim).map_err(|e| format!("read {}: {e}", victim.display()))?;
+    if bytes.is_empty() {
+        bytes.push(b'!');
+    } else {
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << rng.below(8);
+    }
+    std::fs::write(victim, &bytes).map_err(|e| format!("write {}: {e}", victim.display()))?;
+
+    // truncation
+    let victim = &files[rng.below(files.len() as u64) as usize];
+    let bytes = std::fs::read(victim).map_err(|e| format!("read {}: {e}", victim.display()))?;
+    let keep = rng.below(bytes.len().max(1) as u64) as usize;
+    std::fs::write(victim, &bytes[..keep.min(bytes.len())])
+        .map_err(|e| format!("write {}: {e}", victim.display()))?;
+    Ok(())
+}
+
+/// Installs `spec`, runs `f`, and uninstalls the fault hook even when
+/// `f` panics — faults are process-global, so leaking them would poison
+/// every later phase.
+fn with_faults<T>(spec: IoFaultSpec, f: impl FnOnce() -> T) -> T {
+    install_io_faults(Some(spec));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    install_io_faults(None);
+    match out {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// One cache durability case: a no-cache reference, then the same
+/// program through a cache directory under injected IO faults (cold and
+/// warm), on-disk corruption, and a two-session race — every scenario
+/// byte-compared against the reference.
+fn check_cache_case(cseed: u64, src: &str, totals: &mut CacheTotals) -> Result<(), String> {
+    let options = opts(Options::o2(), 1);
+
+    // phase 0: no-cache reference
+    let reference = cache_run(src, &options, None, totals, None, "reference")?;
+    let ref_il = session_il(&reference);
+    let ref_report = session_report(&reference);
+    let expect = Some((ref_il.as_str(), ref_report.as_str()));
+
+    let scratch = std::env::temp_dir().join(format!(
+        "titanc-cache-stress-{}-{cseed:016x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let result = (|| -> Result<(), String> {
+        // phase 1: cold populate under injected IO faults
+        let dir_faulty = scratch.join("faulty");
+        with_faults(case_fault_spec(cseed), || {
+            cache_run(
+                src,
+                &options,
+                Some(&dir_faulty),
+                totals,
+                expect,
+                "cold under IO faults",
+            )
+        })?;
+
+        // phase 2: warm read-back, still under (differently seeded) faults
+        with_faults(case_fault_spec(cseed ^ 0xA5A5_A5A5_A5A5_A5A5), || {
+            cache_run(
+                src,
+                &options,
+                Some(&dir_faulty),
+                totals,
+                expect,
+                "warm under IO faults",
+            )
+        })?;
+
+        // phase 3: clean populate, then flip/truncate bytes on disk; the
+        // warm run must detect the damage (count it corrupt) and still
+        // produce the reference output
+        let dir_corrupt = scratch.join("corrupt");
+        cache_run(
+            src,
+            &options,
+            Some(&dir_corrupt),
+            totals,
+            expect,
+            "clean populate",
+        )?;
+        let mut rng = progen::Rng::new(cseed ^ 0x5EED_C0DE);
+        corrupt_cache_dir(&dir_corrupt, &mut rng)?;
+        let damaged = cache_run(
+            src,
+            &options,
+            Some(&dir_corrupt),
+            totals,
+            expect,
+            "warm after on-disk corruption",
+        )?;
+        if damaged.stats.corrupt == 0 {
+            return Err(
+                "on-disk corruption went undetected (corrupt counter stayed zero)".to_string(),
+            );
+        }
+
+        // phase 4: two sessions racing into one fresh directory, then a
+        // warm run over whatever they left behind
+        let dir_race = scratch.join("race");
+        let mut race_totals = CacheTotals::default();
+        std::thread::scope(|scope| -> Result<(), String> {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let dir = &dir_race;
+                    let options = &options;
+                    scope.spawn(move || {
+                        let mut t = CacheTotals::default();
+                        let r = cache_run(
+                            src,
+                            options,
+                            Some(dir),
+                            &mut t,
+                            expect,
+                            &format!("racing session {i}"),
+                        )
+                        .map(|_| ());
+                        (t, r)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (t, r) = h
+                    .join()
+                    .map_err(|_| "racing session panicked".to_string())?;
+                race_totals.merge(t);
+                r?;
+            }
+            Ok(())
+        })?;
+        totals.merge(race_totals);
+        cache_run(
+            src,
+            &options,
+            Some(&dir_race),
+            totals,
+            expect,
+            "warm after race",
+        )?;
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+/// Generates and checks the cache durability case for one per-case
+/// seed; returns the failure description, if any.
+fn run_one_cache(cseed: u64, totals: &mut CacheTotals) -> Option<String> {
+    let mut rng = progen::Rng::new(cseed);
+    let src = progen::program(&mut rng);
+    let verdict = catch_unwind(AssertUnwindSafe(|| check_cache_case(cseed, &src, totals)));
+    install_io_faults(None); // belt and braces: never leak faults across cases
+    let failure = match verdict {
+        Ok(Ok(())) => None,
+        Ok(Err(why)) => Some(why),
+        Err(_) => Some("escaping panic (not contained by the pipeline)".to_string()),
+    };
+    failure.map(|why| format!("{why}\n--- program ---\n{src}---------------"))
+}
+
+/// Driver for `--cache-faults`; prints the aggregate accounting summary
+/// and exits non-zero on any divergence.
+fn run_cache_faults(args: &Args) -> ! {
+    let mut totals = CacheTotals::default();
+
+    if let Some(cseed) = args.case_seed {
+        let failed = match run_one_cache(cseed, &mut totals) {
+            Some(why) => {
+                eprintln!("FAIL case seed 0x{cseed:X} (cache-faults): {why}");
+                true
+            }
+            None => false,
+        };
+        print_cache_totals(&totals);
+        if failed {
+            println!("stress: cache-faults: case seed 0x{cseed:X} FAILED");
+            std::process::exit(1);
+        }
+        println!("stress: cache-faults: case seed 0x{cseed:X} ok");
+        std::process::exit(0);
+    }
+
+    let mut failures = 0u64;
+    for case in 0..args.cases {
+        let cseed = case_seed(args.seed, case);
+        if let Some(why) = run_one_cache(cseed, &mut totals) {
+            failures += 1;
+            eprintln!(
+                "FAIL case {case} (case seed 0x{cseed:X}, run seed 0x{:X}, cache-faults): {why}\n\
+                 replay with: stress --cache-faults --case-seed 0x{cseed:X}",
+                args.seed
+            );
+        } else if args.verbose {
+            eprintln!("ok case {case} (case seed 0x{cseed:X}, cache-faults)");
+        }
+    }
+    print_cache_totals(&totals);
+    if failures == 0 {
+        println!(
+            "stress: cache-faults: {} cases (run seed 0x{:X}), zero divergence",
+            args.cases, args.seed
+        );
+        std::process::exit(0);
+    }
+    println!(
+        "stress: cache-faults: {failures} of {} cases FAILED (run seed 0x{:X})",
+        args.cases, args.seed
+    );
+    std::process::exit(1);
+}
+
+fn print_cache_totals(t: &CacheTotals) {
+    println!(
+        "stress: cache-faults: totals over {} session(s): {} hit(s), {} miss(es), \
+         {} invalidated; {} corrupt, {} quarantined, {} lock-contended, {} write-failed",
+        t.sessions,
+        t.hits,
+        t.misses,
+        t.invalidated,
+        t.corrupt,
+        t.quarantined,
+        t.lock_contended,
+        t.write_failed
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.cache_faults {
+        run_cache_faults(&args);
+    }
     let engines = args.engine.engines();
     let engine_name = args.engine.name();
 

@@ -323,12 +323,17 @@ fn main() -> ExitCode {
     // the cache accounting line is stable: CI's cache-smoke job parses it
     if let (Some(stats), Some(_)) = (&session_stats, &cli.cache_dir) {
         eprintln!(
-            "titanc: cache: {} hit(s), {} miss(es), {} invalidated; {} pass execution(s){}",
+            "titanc: cache: {} hit(s), {} miss(es), {} invalidated; {} pass execution(s){}; \
+             {} corrupt, {} quarantined, {} lock-contended, {} write-failed",
             stats.hits,
             stats.misses,
             stats.invalidated,
             stats.passes_executed,
-            if stats.full_warm { " (fully warm)" } else { "" }
+            if stats.full_warm { " (fully warm)" } else { "" },
+            stats.corrupt,
+            stats.quarantined,
+            stats.lock_contended,
+            stats.write_failed,
         );
     }
     // contained faults: the affected procedures were rolled back to their

@@ -40,6 +40,7 @@
 
 pub mod pass;
 pub mod session;
+pub mod store;
 pub mod trace;
 
 use std::error::Error;
@@ -52,6 +53,7 @@ pub use pass::{
 pub use session::{
     compile_session, compile_session_with, SessionCompilation, SessionStats, SourceFile,
 };
+pub use store::{install_io_faults, FaultMode, IoFaultSpec, IoOp, StoreStats};
 pub use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
 pub use titanc_cfront::{Diagnostic, DiagnosticSink, Severity, Span};
 pub use titanc_deps::Aliasing;

@@ -342,8 +342,10 @@ pub(crate) fn verify_program_check(program: &Program) -> Result<(), String> {
     }
 }
 
-/// Per-procedure flavour of [`verify_program_check`] for the parallel path.
-fn verify_proc_check(proc: &Procedure) -> Result<(), String> {
+/// Per-procedure flavour of [`verify_program_check`] for the parallel
+/// path; also the gate every cache-replayed procedure passes before it
+/// is trusted (a parseable-but-wrong entry must demote to a cold miss).
+pub(crate) fn verify_proc_check(proc: &Procedure) -> Result<(), String> {
     match titanc_il::verify_proc(proc) {
         Ok(()) => Ok(()),
         Err(errors) => {

@@ -38,12 +38,19 @@
 //! When every procedure hits *and* a session manifest matches, the
 //! pipeline is skipped entirely — zero passes execute; the program,
 //! aggregate reports and trace records are reconstructed from the cache.
-//! Cache reads and writes are fail-soft: a missing, corrupt, or
-//! version-skewed entry is a miss, and an I/O error while persisting
-//! never fails the compilation.
+//!
+//! All on-disk interaction goes through the hardened
+//! [`CacheStore`](crate::store): entries are published atomically
+//! (temp-file, fsync, rename) inside a checksummed envelope, anything
+//! that fails the checksum or decode is quarantined and treated as a
+//! miss, replayed IL must pass the IL verifier before it is trusted,
+//! and concurrent sessions sharing one directory serialize their
+//! index/manifest updates through an advisory lock. Every degradation
+//! is counted ([`SessionStats`]) and surfaced on the `titanc: cache:`
+//! accounting line — a cache failure is never a compilation failure.
 
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::Duration;
 
 use titanc_cfront::{Diagnostic, DiagnosticSink, Span};
@@ -51,9 +58,10 @@ use titanc_il::json::{FromJson, Json, ToJson};
 use titanc_il::{Procedure, Program, StableHash, StableHasher, StructDef, StructId, Type, VarInfo};
 
 use crate::pass::{
-    snapshot_all, verify_program_check, CachedProc, PassRecord, PassTrace, RecordedCell,
-    SessionReplay,
+    snapshot_all, verify_proc_check, verify_program_check, CachedProc, PassRecord, PassTrace,
+    RecordedCell, SessionReplay,
 };
+use crate::store::{CacheStore, CACHE_FORMAT};
 use crate::{
     link_catalogs, optimization_remarks, Compilation, CompileError, Options, Pipeline, Reports,
 };
@@ -61,9 +69,6 @@ use crate::{
 /// Bumped when the entry or manifest encoding changes shape; entries
 /// written by other versions are treated as misses.
 const ENTRY_VERSION: i64 = 1;
-
-/// Seeds every content hash so a format change invalidates wholesale.
-const CACHE_FORMAT: &str = "titanc-cache-v2";
 
 /// One input translation unit: a display name (normally the path) and
 /// its source text.
@@ -102,6 +107,18 @@ pub struct SessionStats {
     /// True when the whole pipeline was skipped and the result was
     /// reconstructed from the session manifest.
     pub full_warm: bool,
+    /// Cache files whose checksum, decode, or IL verification failed;
+    /// each was demoted to a cold recompile.
+    pub corrupt: usize,
+    /// Corrupt files successfully moved into `quarantine/` (or
+    /// deleted) so they are never re-read.
+    pub quarantined: usize,
+    /// Times the advisory writer lock could not be acquired and the
+    /// index/manifest update was skipped (entries still published).
+    pub lock_contended: usize,
+    /// Cache files that could not be published (write/rename failure);
+    /// surfaced as a warning, never a compilation failure.
+    pub write_failed: usize,
 }
 
 /// A [`Compilation`] plus the session's cache accounting. The stats stay
@@ -214,23 +231,29 @@ pub fn compile_session_with(
     let (program_stages, proc_stages) = pipeline.stage_counts();
     let mut stats = SessionStats::default();
 
-    let cache = cache_dir.inspect(|d| {
-        let _ = std::fs::create_dir_all(d);
-    });
-    let mut index = cache.map(load_index).unwrap_or_default();
+    let mut store = cache_dir.map(CacheStore::open);
+    let index = store.as_mut().map(load_index).unwrap_or_default();
+    // the session key is computed on the *parsed* program — exactly what
+    // the next invocation computes before any pass runs, so the manifest
+    // a run persists is the manifest its successor looks up
+    let session_key = store
+        .as_ref()
+        .map(|_| session_hash(&program, options, &pipeline_fp, &hashes));
 
     // fully warm? the manifest carries the aggregate records and the
     // post-pipeline program environment, the entries carry the IL — no
-    // pass executes at all
-    if let Some(dir) = cache {
-        let key = session_hash(&program, options, &pipeline_fp, &hashes);
-        if let Some((warm, reports, trace)) =
-            load_full_warm(dir, &key, &program, &hashes, &pipeline)
+    // pass executes at all. Every entry is checksummed on read and its
+    // IL re-verified before being trusted; any rejection quarantines the
+    // file and falls through to a real compile.
+    if let (Some(st), Some(key)) = (store.as_mut(), &session_key) {
+        if let Some((warm, reports, trace)) = load_full_warm(st, key, &program, &hashes, &pipeline)
         {
             let verified =
                 !(cfg!(debug_assertions) || options.verify) || verify_program_check(&warm).is_ok();
             if verified {
                 optimization_remarks(&reports, &mut sink);
+                store_diagnostics(st, &mut sink);
+                fold_store_stats(st, &mut stats);
                 diagnostics.extend(sink.into_diagnostics());
                 stats.hits = warm.procs.len();
                 stats.full_warm = true;
@@ -254,9 +277,9 @@ pub fn compile_session_with(
     // cold or partially warm: seed per-procedure hits and run the
     // pipeline; hits replay, misses execute
     let mut replay = SessionReplay::default();
-    if let Some(dir) = cache {
+    if let Some(st) = store.as_mut() {
         for (p, h) in program.procs.iter().zip(&hashes) {
-            if let Some((il, cells)) = load_entry(dir, h, &p.name) {
+            if let Some((il, cells)) = load_entry(st, h, &p.name) {
                 replay
                     .hits
                     .insert(p.name.clone(), CachedProc::new(il, cells));
@@ -266,28 +289,20 @@ pub fn compile_session_with(
         }
     }
     let (reports, trace) = pipeline.run_session(&mut program, options, &mut snapshots, &mut replay);
-    optimization_remarks(&reports, &mut sink);
-    diagnostics.extend(sink.into_diagnostics());
 
     stats.hits = replay.replayed.len();
     stats.misses = program.procs.len().saturating_sub(stats.hits);
     stats.passes_executed = program_stages + proc_stages * stats.misses;
 
-    if let Some(dir) = cache {
-        persist(
-            dir,
-            &program,
-            &hashes,
-            &pipeline,
-            &reports,
-            &trace,
-            &replay,
-            proc_stages,
-            &mut index,
-            options,
-            &pipeline_fp,
-        );
+    if let (Some(st), Some(key)) = (store.as_mut(), &session_key) {
+        persist(st, key, &program, &hashes, &trace, &replay, proc_stages);
     }
+    optimization_remarks(&reports, &mut sink);
+    if let Some(st) = &store {
+        store_diagnostics(st, &mut sink);
+        fold_store_stats(st, &mut stats);
+    }
+    diagnostics.extend(sink.into_diagnostics());
 
     Ok(SessionCompilation {
         compilation: Compilation {
@@ -555,21 +570,78 @@ struct Manifest {
 
 titanc_il::struct_json!(Manifest, [version, records, globals, structs, files]);
 
-fn entry_path(dir: &Path, hash: &StableHash) -> PathBuf {
-    dir.join(format!("{}.json", hash.hex()))
+fn entry_name(hash: &StableHash) -> String {
+    format!("{}.json", hash.hex())
 }
 
-fn manifest_path(dir: &Path, key: &StableHash) -> PathBuf {
-    dir.join(format!("session-{}.json", key.hex()))
+fn manifest_name(key: &StableHash) -> String {
+    format!("session-{}.json", key.hex())
 }
 
-/// Loads one entry; any failure (missing, corrupt, version skew, name
-/// mismatch) is a miss.
-fn load_entry(dir: &Path, hash: &StableHash, name: &str) -> Option<(Procedure, Vec<RecordedCell>)> {
-    let text = std::fs::read_to_string(entry_path(dir, hash)).ok()?;
-    let doc = titanc_il::json::parse(&text).ok()?;
-    let entry = CacheEntry::from_json(&doc).ok()?;
-    (entry.version == ENTRY_VERSION && entry.proc.name == name).then_some((entry.proc, entry.cells))
+/// The name → key index file (invalidation accounting only).
+const INDEX_FILE: &str = "index.json";
+
+/// Surfaces the store's degradations as warnings — a format-skewed
+/// directory compiling cold, quarantined corruption, write failures.
+/// One line per kind, however many files were involved; a cache problem
+/// is loud but never fatal.
+fn store_diagnostics(store: &CacheStore, sink: &mut DiagnosticSink) {
+    if let Some(msg) = store.format_warning() {
+        sink.warning(msg.to_string(), Span::none());
+    }
+    if store.stats.corrupt > 0 {
+        sink.warning(
+            format!(
+                "{} corrupt cache file(s) detected ({} quarantined); the affected \
+                 procedures were recompiled cold",
+                store.stats.corrupt, store.stats.quarantined
+            ),
+            Span::none(),
+        );
+    }
+    if store.stats.write_failed > 0 {
+        sink.warning(
+            format!(
+                "{} cache write(s) failed ({}); compilation output is unaffected",
+                store.stats.write_failed,
+                store.first_write_error().unwrap_or("unknown error")
+            ),
+            Span::none(),
+        );
+    }
+}
+
+/// Copies the store's durability counters onto the session accounting.
+fn fold_store_stats(store: &CacheStore, stats: &mut SessionStats) {
+    stats.corrupt = store.stats.corrupt;
+    stats.quarantined = store.stats.quarantined;
+    stats.lock_contended = store.stats.lock_contended;
+    stats.write_failed = store.stats.write_failed;
+}
+
+/// Loads and validates one entry; any failure is a miss. A missing file
+/// is a plain (cold) miss; a file that read but failed its checksum,
+/// decode, version, name, or — crucially — the IL verifier is
+/// quarantined so the bad bytes are never trusted or re-read.
+fn load_entry(
+    store: &mut CacheStore,
+    hash: &StableHash,
+    name: &str,
+) -> Option<(Procedure, Vec<RecordedCell>)> {
+    let file = entry_name(hash);
+    let payload = store.read(&file)?;
+    let decoded = titanc_il::json::parse(&payload)
+        .ok()
+        .and_then(|doc| CacheEntry::from_json(&doc).ok())
+        .filter(|e| e.version == ENTRY_VERSION && e.proc.name == name)
+        .filter(|e| verify_proc_check(&e.proc).is_ok());
+    match decoded {
+        Some(entry) => Some((entry.proc, entry.cells)),
+        None => {
+            store.quarantine(&file);
+            None
+        }
+    }
 }
 
 /// Reconstructs a fully warm compilation: the program from the manifest
@@ -577,17 +649,23 @@ fn load_entry(dir: &Path, hash: &StableHash, name: &str) -> Option<(Procedure, V
 /// durations, and the aggregate reports re-merged from the per-pass
 /// deltas. `None` on any mismatch — the caller compiles for real.
 fn load_full_warm(
-    dir: &Path,
+    store: &mut CacheStore,
     key: &StableHash,
     program: &Program,
     hashes: &[StableHash],
     pipeline: &Pipeline,
 ) -> Option<(Program, Reports, PassTrace)> {
-    let text = std::fs::read_to_string(manifest_path(dir, key)).ok()?;
-    let manifest = Manifest::from_json(&titanc_il::json::parse(&text).ok()?).ok()?;
-    if manifest.version != ENTRY_VERSION {
+    let file = manifest_name(key);
+    let payload = store.read(&file)?;
+    let manifest = titanc_il::json::parse(&payload)
+        .ok()
+        .and_then(|doc| Manifest::from_json(&doc).ok())
+        .filter(|m| m.version == ENTRY_VERSION);
+    let Some(manifest) = manifest else {
+        // checksum passed but the payload does not decode: quarantine
+        store.quarantine(&file);
         return None;
-    }
+    };
     let names = pipeline.pass_names();
     if manifest.records.len() != names.len() {
         return None;
@@ -613,7 +691,7 @@ fn load_full_warm(
     }
     let mut procs = Vec::with_capacity(program.procs.len());
     for (p, h) in program.procs.iter().zip(hashes) {
-        let (il, _) = load_entry(dir, h, &p.name)?;
+        let (il, _) = load_entry(store, h, &p.name)?;
         procs.push(il);
     }
     Some((
@@ -628,34 +706,38 @@ fn load_full_warm(
     ))
 }
 
-/// Persists the run: per-procedure entries for cleanly compiled misses,
-/// the session manifest when every procedure is covered, and the name →
-/// key index that powers invalidation accounting. All failures are
-/// swallowed — the cache is an accelerator, never a correctness risk.
-#[allow(clippy::too_many_arguments)]
+/// Persists the run through the hardened store: per-procedure entries
+/// for cleanly compiled misses, the session manifest when every
+/// procedure is covered, and the name → key index that powers
+/// invalidation accounting.
+///
+/// Entries are published first, *without* the lock — they are
+/// content-addressed and atomically renamed into place, so concurrent
+/// sessions writing the same key produce identical bytes and the last
+/// rename wins harmlessly. The manifest and index are derived files
+/// with read-modify-write semantics, so they update under the advisory
+/// writer lock; on contention they are skipped (counted, never torn).
+/// The session key was computed on the parsed program, which is exactly
+/// what the next invocation hashes before running any pass.
 fn persist(
-    dir: &Path,
+    store: &mut CacheStore,
+    session_key: &StableHash,
     program: &Program,
     hashes: &[StableHash],
-    pipeline: &Pipeline,
-    reports: &Reports,
     trace: &PassTrace,
     replay: &SessionReplay,
     proc_stages: usize,
-    index: &mut BTreeMap<String, String>,
-    options: &Options,
-    pipeline_fp: &str,
 ) {
-    let _ = reports;
-    if trace.has_incidents() || program.procs.len() != hashes.len() {
+    if !store.enabled() || trace.has_incidents() || program.procs.len() != hashes.len() {
         // a degraded program must never be served from the cache, and a
         // pass that changed the procedure count leaves the keys stale
         return;
     }
+    let mut updates: BTreeMap<String, String> = BTreeMap::new();
     let mut all_cached = true;
     for (p, h) in program.procs.iter().zip(hashes) {
         if replay.replayed.contains(&p.name) {
-            index.insert(p.name.clone(), h.hex());
+            updates.insert(p.name.clone(), h.hex());
             continue;
         }
         match replay.recorded.get(&p.name) {
@@ -665,8 +747,8 @@ fn persist(
                     proc: p.clone(),
                     cells: cells.clone(),
                 };
-                if std::fs::write(entry_path(dir, h), entry.to_json().to_string_compact()).is_ok() {
-                    index.insert(p.name.clone(), h.hex());
+                if store.publish(&entry_name(h), &entry.to_json().to_string_compact()) {
+                    updates.insert(p.name.clone(), h.hex());
                 } else {
                     all_cached = false;
                 }
@@ -674,6 +756,11 @@ fn persist(
             _ => all_cached = false,
         }
     }
+    let Some(_lock) = store.lock() else {
+        // contended: skip the derived files rather than interleave a
+        // read-modify-write with another session (counted in stats)
+        return;
+    };
     let healthy = trace
         .records
         .iter()
@@ -698,51 +785,28 @@ fn persist(
             structs: program.structs.clone(),
             files: program.files.clone(),
         };
-        // the manifest key must match what the *next* run computes from
-        // its parsed program; `hashes` came from exactly that program
-        let key = {
-            let mut h = StableHasher::new();
-            h.write_str(CACHE_FORMAT);
-            h.write_str(&options_fingerprint(options));
-            h.write_str(pipeline_fp);
-            for (p, ph) in program.procs.iter().zip(hashes) {
-                h.write_str(&p.name);
-                h.write_str(&ph.hex());
-            }
-            h
-        };
-        let _ = pipeline;
-        let _ = std::fs::write(
-            manifest_path(dir, &key_with_env(key, program)),
-            manifest.to_json().to_string_compact(),
+        store.publish(
+            &manifest_name(session_key),
+            &manifest.to_json().to_string_compact(),
         );
     }
-    save_index(dir, index);
-}
-
-/// Folds the parsed-program environment into a partially built session
-/// key. **Caution:** the post-pipeline program's globals can differ from
-/// the parsed program's (inlining externalizes statics), so the caller
-/// must fold in the *parsed* environment — see [`persist`].
-fn key_with_env(mut h: StableHasher, program: &Program) -> StableHash {
-    h.write_str(&program.globals.to_json().to_string_compact());
-    h.write_str(&program.structs.to_json().to_string_compact());
-    h.write_str(&program.files.to_json().to_string_compact());
-    h.finish()
-}
-
-fn index_path(dir: &Path) -> PathBuf {
-    dir.join("index.json")
+    // reload-merge under the lock: another session may have extended the
+    // index since this one loaded it, and its entries must survive
+    let mut merged = load_index(store);
+    merged.extend(updates);
+    save_index(store, &merged);
 }
 
 /// The name → key index (invalidation accounting only; lookups never
-/// depend on it).
-fn load_index(dir: &Path) -> BTreeMap<String, String> {
+/// depend on it). Corruption quarantines the file and yields an empty
+/// map — hit/miss behavior is unaffected.
+fn load_index(store: &mut CacheStore) -> BTreeMap<String, String> {
     let mut map = BTreeMap::new();
-    let Ok(text) = std::fs::read_to_string(index_path(dir)) else {
+    let Some(payload) = store.read(INDEX_FILE) else {
         return map;
     };
-    let Ok(doc) = titanc_il::json::parse(&text) else {
+    let Ok(doc) = titanc_il::json::parse(&payload) else {
+        store.quarantine(INDEX_FILE);
         return map;
     };
     if let Some(Json::Obj(pairs)) = doc.get("procs") {
@@ -755,7 +819,7 @@ fn load_index(dir: &Path) -> BTreeMap<String, String> {
     map
 }
 
-fn save_index(dir: &Path, map: &BTreeMap<String, String>) {
+fn save_index(store: &mut CacheStore, map: &BTreeMap<String, String>) {
     let obj = Json::obj(vec![(
         "procs",
         Json::Obj(
@@ -764,5 +828,5 @@ fn save_index(dir: &Path, map: &BTreeMap<String, String>) {
                 .collect(),
         ),
     )]);
-    let _ = std::fs::write(index_path(dir), obj.to_string_compact());
+    store.publish(INDEX_FILE, &obj.to_string_compact());
 }

@@ -90,6 +90,16 @@ impl StableHash {
     pub fn hex(&self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// Parses the 32-hex-digit form back into a digest — the checksum
+    /// side of the cache's envelope headers. `None` for anything that
+    /// is not exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Option<StableHash> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(StableHash)
+    }
 }
 
 impl fmt::Display for StableHash {
@@ -400,6 +410,26 @@ mod tests {
     fn deterministic_and_input_sensitive() {
         assert_eq!(StableHash::of_str("daxpy"), StableHash::of_str("daxpy"));
         assert_ne!(StableHash::of_str("daxpy"), StableHash::of_str("ddot"));
+    }
+
+    #[test]
+    fn hex_round_trips_through_from_hex() {
+        let digest = StableHash::of_str("daxpy");
+        assert_eq!(StableHash::from_hex(&digest.hex()), Some(digest));
+        assert_eq!(
+            StableHash::from_hex(&StableHash(0).hex()),
+            Some(StableHash(0))
+        );
+        assert_eq!(
+            StableHash::from_hex(&StableHash(u128::MAX).hex()),
+            Some(StableHash(u128::MAX))
+        );
+        // anything that is not exactly 32 hex digits is rejected
+        assert_eq!(StableHash::from_hex(""), None);
+        assert_eq!(StableHash::from_hex("abc"), None);
+        assert_eq!(StableHash::from_hex(&"0".repeat(33)), None);
+        assert_eq!(StableHash::from_hex(&format!("+{}", "0".repeat(31))), None);
+        assert_eq!(StableHash::from_hex(&"g".repeat(32)), None);
     }
 
     #[test]

@@ -245,6 +245,103 @@ fn opt_report_attributes_loops_to_their_origin_file() {
     assert!(json.contains("\"file\":\"lib.c\""), "{json}");
 }
 
+/// Several sessions racing into one cache directory stay byte-identical
+/// to a no-cache compile, and the directory they leave behind is a
+/// consistent, fully warm cache — the advisory writer lock keeps the
+/// derived index and manifest from tearing.
+#[test]
+fn concurrent_sessions_share_one_directory_safely() {
+    let dir = cache_dir("concurrent");
+    let files = [corpus("daxpy.c"), corpus("blaslib.c")];
+    let options = Options::o2();
+    let reference = compile_session(&files, &options, None).expect("reference compile");
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (dir, files, options) = (&dir, &files, &options);
+                scope.spawn(move || {
+                    compile_session(files, options, Some(dir)).expect("racing compile")
+                })
+            })
+            .collect();
+        for h in handles {
+            let sc = h.join().expect("racing session must not panic");
+            assert_eq!(il_text(&reference), il_text(&sc));
+            assert_eq!(opt_report_json(&reference), opt_report_json(&sc));
+            assert_eq!(sc.stats.corrupt, 0, "a race is not corruption");
+        }
+    });
+
+    // whatever interleaving happened, the survivors form a complete,
+    // consistent cache: the next run is fully warm and clean
+    let warm = compile_session(&files, &options, Some(&dir)).expect("warm compile");
+    assert!(
+        warm.stats.full_warm,
+        "racing sessions must leave a fully warm cache"
+    );
+    assert_eq!(warm.stats.invalidated, 0, "no phantom invalidations");
+    assert_eq!(warm.stats.corrupt, 0, "no corruption from the race");
+    assert_eq!(il_text(&reference), il_text(&warm));
+    assert_eq!(opt_report_json(&reference), opt_report_json(&warm));
+}
+
+/// A cache directory written by a pre-v3 compiler (entries on disk, no
+/// `FORMAT` marker) is refused cleanly: the compile succeeds cold with
+/// exactly one explanatory remark, and the old files are left exactly
+/// as they were — never adopted, rewritten, or quarantined.
+#[test]
+fn v2_era_cache_dirs_fall_back_cold_with_one_remark() {
+    let dir = cache_dir("v2-era");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let stale_index = r#"{"procs":{"main":"00ff"}}"#;
+    std::fs::write(dir.join("index.json"), stale_index).expect("seed v2 index");
+    std::fs::write(dir.join("0123abcd.json"), "{\"version\":0}").expect("seed v2 entry");
+
+    let files = [corpus("daxpy.c"), corpus("blaslib.c")];
+    let reference = compile_session(&files, &Options::o2(), None).expect("reference compile");
+    let sc = compile_session(&files, &Options::o2(), Some(&dir)).expect("v2 dir must not error");
+
+    assert_eq!(sc.stats.hits, 0, "a refused directory cannot serve hits");
+    assert!(!sc.stats.full_warm);
+    assert_eq!(il_text(&reference), il_text(&sc));
+    assert_eq!(opt_report_json(&reference), opt_report_json(&sc));
+
+    let remarks: Vec<_> = sc
+        .compilation
+        .diagnostics
+        .iter()
+        .filter(|d| d.message.contains("predates"))
+        .collect();
+    assert_eq!(
+        remarks.len(),
+        1,
+        "exactly one format-skew remark: {:?}",
+        sc.compilation
+            .diagnostics
+            .iter()
+            .map(|d| &d.message)
+            .collect::<Vec<_>>()
+    );
+
+    assert!(
+        !dir.join("FORMAT").exists(),
+        "a refused directory must not be adopted"
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join("index.json")).expect("index survives"),
+        stale_index,
+        "the v2 files must be untouched"
+    );
+    assert!(dir.join("0123abcd.json").exists());
+
+    // a later run behaves the same way — refusal is stable, not sticky
+    // state that decays into an error
+    let again = compile_session(&files, &Options::o2(), Some(&dir)).expect("still compiles");
+    assert_eq!(again.stats.hits, 0);
+    assert_eq!(il_text(&reference), il_text(&again));
+}
+
 /// `keep_parsed` snapshots the program before any pass runs — the §7
 /// catalog payload.
 #[test]
