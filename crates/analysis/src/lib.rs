@@ -86,6 +86,67 @@ impl CallGraph {
         }
         false
     }
+
+    /// The *inline dependency cone* of every procedure: the indices (in
+    /// program order, self included) of all procedures whose parsed body
+    /// can influence that procedure's post-inline IL.
+    ///
+    /// The cone is the full transitive-callee closure, deliberately
+    /// **unfiltered** by `max_depth` or the size/recursion eligibility
+    /// gates. Both filters would be unsound in a cache key:
+    ///
+    /// * one inlining round can splice bodies from arbitrarily deep in
+    ///   the call chain — a callee processed earlier in the same round
+    ///   has already absorbed *its* callees, so depth-`max_depth`
+    ///   reachability is not a bound on whose code lands in a caller;
+    /// * whether a callee passes the recursion gate depends on call
+    ///   edges *through* procedures that are themselves ineligible (an
+    ///   edit anywhere on a cycle can flip a callee from recursive to
+    ///   inlinable), and whether it passes the size gate depends on its
+    ///   own inlining, i.e. on its whole reachable set.
+    ///
+    /// A simple over-approximation that is obviously sound beats a tight
+    /// one that silently replays stale IL.
+    pub fn inline_cones(&self, prog: &titanc_il::Program) -> Vec<Vec<usize>> {
+        let n = prog.procs.len();
+        let mut index: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (i, p) in prog.procs.iter().enumerate() {
+            // duplicate names cannot occur in a merged session program;
+            // first definition wins elsewhere, so mirror that here
+            index.entry(p.name.as_str()).or_insert(i);
+        }
+        // adjacency by index; unknown callees (intrinsics, externals) are
+        // not inlinable and drop out of the cone
+        let adj: Vec<Vec<usize>> = self
+            .calls
+            .iter()
+            .map(|list| {
+                let mut row: Vec<usize> = list
+                    .iter()
+                    .filter_map(|name| index.get(name.as_str()).copied())
+                    .collect();
+                row.sort_unstable();
+                row.dedup();
+                row
+            })
+            .collect();
+        (0..n)
+            .map(|start| {
+                let mut seen = vec![false; n];
+                seen[start] = true;
+                let mut stack = vec![start];
+                while let Some(i) = stack.pop() {
+                    for &j in &adj[i] {
+                        if !seen[j] {
+                            seen[j] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+                (0..n).filter(|&i| seen[i]).collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +168,47 @@ int leaf(int n) { return n + 1; }
         assert!(!cg.is_recursive(&prog, "helper"));
         assert!(!cg.is_recursive(&prog, "leaf"));
         assert_eq!(cg.calls[0].len(), 2);
+    }
+
+    #[test]
+    fn inline_cones_are_transitive_and_include_self() {
+        let prog = titanc_lower::compile_to_il(
+            r#"
+int leaf(int n) { return n + 1; }
+int mid(int n) { return leaf(n) * 2; }
+int top(int n) { return mid(n) + leaf(n); }
+int lone(int n) { return n; }
+"#,
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let cones = cg.inline_cones(&prog);
+        // program order: leaf=0, mid=1, top=2, lone=3
+        assert_eq!(cones[0], vec![0]);
+        assert_eq!(cones[1], vec![0, 1]);
+        assert_eq!(cones[2], vec![0, 1, 2]);
+        assert_eq!(cones[3], vec![3]);
+    }
+
+    #[test]
+    fn inline_cones_cover_cycles_and_ignore_intrinsics() {
+        let prog = titanc_lower::compile_to_il(
+            r#"
+int odd(int n);
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+int main(void) { print_int(even(4)); return 0; }
+"#,
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let cones = cg.inline_cones(&prog);
+        // even=0, odd=1, main=2; `print_int` is an intrinsic, not a cone
+        // member. The even/odd cycle keeps both in each other's cone —
+        // an edit anywhere on the cycle can change its recursion status.
+        assert_eq!(cones[0], vec![0, 1]);
+        assert_eq!(cones[1], vec![0, 1]);
+        assert_eq!(cones[2], vec![0, 1, 2]);
     }
 
     #[test]

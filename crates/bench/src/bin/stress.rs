@@ -27,7 +27,11 @@
 //! two sessions racing into one directory — asserting after every
 //! scenario that the optimized IL and the opt report are byte-identical
 //! to the no-cache reference, that nothing panics, and that detected
-//! corruption is counted and quarantined. An aggregate accounting
+//! corruption is counted and quarantined. Each case finishes with a
+//! cone-scoped edit: a generated multi-procedure session is populated,
+//! one procedure is mutated, and the warm run must miss exactly that
+//! procedure's inline cone while matching a no-cache compile of the
+//! edited source — clean and again under injected faults. An aggregate accounting
 //! summary (hits, misses, corrupt, quarantined, lock-contended,
 //! write-failed) prints at the end; CI uploads it as an artifact.
 //!
@@ -551,6 +555,69 @@ fn check_cache_case(cseed: u64, src: &str, totals: &mut CacheTotals) -> Result<(
             expect,
             "warm after race",
         )?;
+
+        // phase 5: cone-scoped edit — populate with a generated
+        // multi-procedure session (inlining on), mutate exactly the
+        // last helper (nothing but `main` calls it), and demand that a
+        // clean warm run misses exactly that cone while matching a
+        // no-cache compile of the edited source byte for byte; then
+        // repeat the edited warm run under injected IO faults
+        let nprocs = 4;
+        let salts = vec![0i64; nprocs];
+        let base = progen::session_program(&mut progen::Rng::new(cseed), nprocs, &salts);
+        let mut edited_salts = salts;
+        edited_salts[nprocs - 1] = (cseed % 1000) as i64 + 1;
+        let edited = progen::session_program(&mut progen::Rng::new(cseed), nprocs, &edited_salts);
+
+        let edited_ref = cache_run(&edited, &options, None, totals, None, "edited reference")?;
+        let edited_il = session_il(&edited_ref);
+        let edited_report = session_report(&edited_ref);
+        let edited_expect = Some((edited_il.as_str(), edited_report.as_str()));
+
+        let dir_edit = scratch.join("edit");
+        cache_run(
+            &base,
+            &options,
+            Some(&dir_edit),
+            totals,
+            None,
+            "session populate",
+        )?;
+        let warm_edit = cache_run(
+            &edited,
+            &options,
+            Some(&dir_edit),
+            totals,
+            edited_expect,
+            "edited warm (clean)",
+        )?;
+        let total_procs = warm_edit.compilation.program.procs.len();
+        if warm_edit.stats.misses != 2 {
+            return Err(format!(
+                "editing the last helper must miss exactly its cone (itself and main), \
+                 got {} miss(es) of {total_procs} procedure(s)",
+                warm_edit.stats.misses
+            ));
+        }
+        let dir_edit_faulty = scratch.join("edit-faulty");
+        cache_run(
+            &base,
+            &options,
+            Some(&dir_edit_faulty),
+            totals,
+            None,
+            "session populate (pre-fault)",
+        )?;
+        with_faults(case_fault_spec(cseed ^ 0x0DDB_175C_AFE0_0000), || {
+            cache_run(
+                &edited,
+                &options,
+                Some(&dir_edit_faulty),
+                totals,
+                edited_expect,
+                "edited warm under IO faults",
+            )
+        })?;
         Ok(())
     })();
     let _ = std::fs::remove_dir_all(&scratch);

@@ -198,6 +198,58 @@ fn render_block(stmts: &[Stmt], out: &mut String, indent: usize, depth: usize) {
     }
 }
 
+/// Generates an `n`-helper session corpus for incremental-cache tests.
+///
+/// Helpers `h1..hn` are defined in order; each may call already-defined
+/// lower-index helpers, so the call graph is acyclic but has real
+/// depth, and `main` calls every helper. `salts[k]` is folded into
+/// `h{k+1}` as one constant, so a test can "edit" exactly one procedure
+/// by changing one salt and regenerating with the same seed — every
+/// other procedure's text stays byte-identical (no RNG draw depends on
+/// a salt's value).
+pub fn session_program(rng: &mut Rng, n: usize, salts: &[i64]) -> String {
+    assert_eq!(salts.len(), n, "one salt per helper");
+    let decls = "int va, vb, vc, vd, k1, k2, k3;";
+    let inits = "k1 = 0; k2 = 0; k3 = 0;";
+    let mut out = format!("int out_g[{OUT_LEN}];\nfloat out_f[{OUT_LEN}];\n");
+    for k in 0..n {
+        let stmts: Vec<Stmt> = (0..rng.range(1, 4))
+            .map(|_| gen_stmt(rng, 1, false))
+            .collect();
+        let ret = gen_expr(rng, 2, false);
+        let mut body = String::new();
+        render_block(&stmts, &mut body, 1, 0);
+        // up to two calls into already-defined helpers; the draws run
+        // even when k == 0 so the RNG stream is position-independent
+        let mut calls = String::new();
+        for _ in 0..2 {
+            let want = rng.below(2) == 0;
+            let pick = rng.below((k.max(1)) as u64) as usize;
+            if want && k > 0 {
+                calls.push_str(&format!("    vb = vb + h{}(va, vc);\n", pick + 1));
+            }
+        }
+        let mut rtxt = String::new();
+        ret.render(&mut rtxt, 0);
+        out.push_str(&format!(
+            "int h{}(int ha, int hb)\n{{\n    {decls}\n    \
+             va = ha; vb = hb; vc = 5; vd = 7; {inits}\n    \
+             va = va + {};\n{body}{calls}    return {rtxt};\n}}\n",
+            k + 1,
+            salts[k],
+        ));
+    }
+    let mut mcalls = String::new();
+    for k in 0..n {
+        mcalls.push_str(&format!("    vd = vd + h{}(va, vb);\n", k + 1));
+    }
+    out.push_str(&format!(
+        "int main(void)\n{{\n    {decls}\n    \
+         va = 1; vb = 2; vc = 3; vd = 4; {inits}\n{mcalls}    return vd;\n}}\n"
+    ));
+    out
+}
+
 /// Generates one complete, self-contained C program.
 pub fn program(rng: &mut Rng) -> String {
     let main_stmts: Vec<Stmt> = (0..rng.range(2, 9))

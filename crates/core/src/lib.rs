@@ -472,7 +472,7 @@ fn optimization_remarks(reports: &Reports, sink: &mut DiagnosticSink) {
     if reports.inline.skipped_growth > 0 {
         sink.remark(
             format!(
-                "{} call site(s) left unexpanded by the inline IL-growth budget",
+                "{} call site(s) left unexpanded by the per-caller inline IL-growth budget",
                 reports.inline.skipped_growth
             ),
             Span::none(),

@@ -531,7 +531,9 @@ impl CachedProc {
 /// Per-procedure replay and record state for an incremental session.
 ///
 /// The session driver seeds [`SessionReplay::hits`] with the procedures
-/// whose content hash matched a cache entry; [`Pipeline::run_session`]
+/// whose per-procedure key (content hash plus environment and, with
+/// inlining on, the arena encodings of the procedure's inline dependency
+/// cone) matched a cache entry; [`Pipeline::run_session`]
 /// substitutes their cached IL instead of running their pass chains and
 /// replays the recorded cells through the normal pass-major merge — so
 /// reports, traces and the opt report stay byte-identical to a cold run.

@@ -17,13 +17,19 @@
 //!
 //! * the parsed procedure's catalog encoding (names, types, statement
 //!   tree, spans — everything the optimizer sees),
+//! * the shared program environment (globals, struct table, file
+//!   table), hashed once and folded into **every** key,
 //! * an [`Options`] fingerprint (every knob that can change generated
 //!   code: opt level, inlining policy, aliasing regime, strip length…),
 //! * the pipeline fingerprint (the exact pass sequence), and
-//! * with inlining enabled, the whole parsed program: the §7 growth
-//!   budget couples every call site to every other procedure's size, so
-//!   any edit must conservatively invalidate everything. `--no-inline`
-//!   sessions get true per-procedure invalidation.
+//! * with inlining enabled, the procedure's *inline dependency cone*:
+//!   the arena encodings of every transitive callee
+//!   ([`titanc_analysis::CallGraph::inline_cones`]). The inliner's
+//!   growth budget is per-caller, so a procedure's post-inline IL is a
+//!   function of its cone and the environment alone — an edit
+//!   invalidates exactly the edited procedure and the procedures whose
+//!   cones contain it, never the whole program. `--no-inline` sessions
+//!   key each procedure on its own encoding alone.
 //!
 //! A cache entry stores the post-pipeline IL *plus* the per-pass
 //! [`RecordedCell`]s — the statistics deltas, changed flags, and
@@ -53,6 +59,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Duration;
 
+use titanc_analysis::CallGraph;
 use titanc_cfront::{Diagnostic, DiagnosticSink, Span};
 use titanc_il::json::{FromJson, Json, ToJson};
 use titanc_il::{Procedure, Program, StableHash, StableHasher, StructDef, StructId, Type, VarInfo};
@@ -472,37 +479,62 @@ fn options_fingerprint(options: &Options) -> String {
     )
 }
 
+/// The shared program environment, hashed once: globals (an initializer
+/// edit changes generated data without touching any body), the struct
+/// table (layouts reach bodies through lowering and the passes), and
+/// the file table (span origin tags feed `--opt-report`). This is the
+/// **single** place the environment enters the cache — every per-proc
+/// key folds it in, and the session key covers it through those keys —
+/// so the manifest and per-procedure paths can never disagree about
+/// what the environment is.
+fn environment_hash(program: &Program) -> String {
+    let mut h = StableHasher::new();
+    h.write_str(&program.globals.to_json().to_string_compact());
+    h.write_str(&program.structs.to_json().to_string_compact());
+    h.write_str(&program.files.to_json().to_string_compact());
+    h.finish().hex()
+}
+
 /// One stable content hash per procedure of the parsed program.
+///
+/// With inlining on, each key covers the procedure's *inline dependency
+/// cone* ([`CallGraph::inline_cones`]): the arena encodings of itself
+/// plus every transitive callee, in program order. The per-caller
+/// `max_growth` budget keeps inline decisions local to each caller, so
+/// nothing outside the cone (and the shared environment) can change the
+/// procedure's post-inline IL — an edit invalidates exactly the edited
+/// procedure and its cone consumers, not the whole program. `--no-inline`
+/// sessions key each procedure on its own encoding alone.
 fn proc_hashes(program: &Program, options: &Options, pipeline_fp: &str) -> Vec<StableHash> {
     let opts_fp = options_fingerprint(options);
-    // §7 inlining couples procedures: the growth budget means an edit to
-    // *any* procedure can flip a call site's decision elsewhere, so with
-    // inlining on, every key conservatively covers the whole parsed
-    // program. `--no-inline` sessions key each procedure on its own
-    // encoding and get fine-grained invalidation.
-    let program_wide = options.inline.then(|| {
-        let mut h = StableHasher::new();
-        for p in &program.procs {
-            titanc_il::write_proc(&mut h, p);
-        }
-        h.write_str(&program.globals.to_json().to_string_compact());
-        h.write_str(&program.structs.to_json().to_string_compact());
-        h.write_str(&program.files.to_json().to_string_compact());
-        h.finish().hex()
-    });
+    let env = environment_hash(program);
+    let cones = options
+        .inline
+        .then(|| CallGraph::build(program).inline_cones(program));
     program
         .procs
         .iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
             let mut h = StableHasher::new();
             h.write_str(CACHE_FORMAT);
             h.write_str(&opts_fp);
             h.write_str(pipeline_fp);
+            h.write_str(&env);
             h.write_str(&p.name);
-            match &program_wide {
-                Some(pw) => h.write_str(pw),
+            match &cones {
                 // hash the arena columns directly — a linear byte sweep
-                // instead of a JSON re-encode of the whole body
+                // instead of a JSON re-encode of each body. Cone members
+                // are hashed in program order: the inliner's round loop
+                // visits callers in that order, so relative position is
+                // part of what determines the spliced code.
+                Some(cones) => {
+                    for &j in &cones[i] {
+                        let m = &program.procs[j];
+                        h.write_str(&m.name);
+                        titanc_il::write_proc(&mut h, m);
+                    }
+                }
                 None => titanc_il::write_proc(&mut h, p),
             }
             h.finish()
@@ -510,9 +542,11 @@ fn proc_hashes(program: &Program, options: &Options, pipeline_fp: &str) -> Vec<S
         .collect()
 }
 
-/// The whole session's key: the per-procedure keys in program order plus
-/// the parsed program environment (globals can change — an initializer
-/// edit, say — without any procedure body changing).
+/// The whole session's key: the per-procedure keys in program order.
+/// Each of those keys already folds in [`environment_hash`], so the
+/// manifest invalidates whenever any body, cone member, or environment
+/// detail changes — without hashing the environment a second time that
+/// could drift out of sync with the per-procedure keys.
 fn session_hash(
     program: &Program,
     options: &Options,
@@ -527,9 +561,6 @@ fn session_hash(
         h.write_str(&p.name);
         h.write_str(&ph.hex());
     }
-    h.write_str(&program.globals.to_json().to_string_compact());
-    h.write_str(&program.structs.to_json().to_string_compact());
-    h.write_str(&program.files.to_json().to_string_compact());
     h.finish()
 }
 

@@ -45,9 +45,13 @@ use titanc_il::{StableHash, StableHasher};
 /// On-disk cache format name. Written to the directory's `FORMAT`
 /// marker and prefixed to every envelope header; folded into every
 /// content hash so a format change invalidates wholesale. Bumped to v3
-/// when entries gained checksummed envelopes — a v2-era directory has
-/// no marker and is refused cleanly (one remark, cold compile).
-pub(crate) const CACHE_FORMAT: &str = "titanc-cache-v3";
+/// when entries gained checksummed envelopes (a v2-era directory has
+/// no marker and is refused cleanly — one remark, cold compile), and to
+/// v4 when per-procedure keys switched from the whole-program hash to
+/// inline dependency cones and `InlineEvent` gained its site ordinal —
+/// a v3-era directory's marker names another version and is refused
+/// the same way.
+pub(crate) const CACHE_FORMAT: &str = "titanc-cache-v4";
 
 /// The directory-level format marker file.
 const MARKER_FILE: &str = "FORMAT";

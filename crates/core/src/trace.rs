@@ -151,8 +151,10 @@ pub struct OptReport {
     /// One entry per (procedure, source span) that any pass made a loop
     /// decision about, in first-decision order.
     pub loops: Vec<LoopReport>,
-    /// Call-site decisions, deduplicated (the inliner revisits skipped
-    /// sites every round).
+    /// Call-site decisions, one per physical site — deduplicated by
+    /// `(caller, callee, span, site)` since the inliner revisits skipped
+    /// sites every round, while distinct sites sharing a source span
+    /// stay distinct through the per-caller site ordinal.
     pub inline: Vec<InlineEvent>,
     /// The compilation counters.
     pub counters: Counters,
@@ -217,9 +219,17 @@ impl OptReport {
             l.classification = class;
             l.reason = reason;
         }
+        // dedupe by site identity, not event equality: the inliner
+        // revisits skipped sites every round (and a growth-skip's payload
+        // drifts as the caller grows), while two distinct sites can share
+        // a span (two calls in one expression statement). The first
+        // decision per physical site wins.
         let mut inline: Vec<InlineEvent> = Vec::new();
         for e in &reports.inline.events {
-            if !inline.contains(e) {
+            let seen = inline.iter().any(|x| {
+                x.caller == e.caller && x.callee == e.callee && x.span == e.span && x.site == e.site
+            });
+            if !seen {
                 inline.push(e.clone());
             }
         }
@@ -349,6 +359,7 @@ impl OptReport {
                     ("callee", Json::Str(e.callee.clone())),
                     ("line", Json::Int(i64::from(e.span.line))),
                     ("col", Json::Int(i64::from(e.span.col))),
+                    ("site", Json::Int(i64::from(e.site))),
                 ];
                 if let Some(file) = self.origin(&e.span) {
                     fields.push(("file", Json::Str(file.to_string())));

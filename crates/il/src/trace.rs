@@ -211,11 +211,11 @@ pub enum InlineOutcome {
         /// The configured cap it exceeded.
         cap: usize,
     },
-    /// Skipped: expanding would exceed the whole-program growth budget.
+    /// Skipped: expanding would exceed the caller's growth budget.
     SkippedGrowth {
-        /// Program size (statements) at the moment of the decision.
-        program_len: usize,
-        /// The growth budget in effect.
+        /// The caller's size (statements) at the moment of the decision.
+        caller_len: usize,
+        /// The caller's growth budget in effect.
         budget: usize,
     },
 }
@@ -240,12 +240,9 @@ impl fmt::Display for InlineOutcome {
             InlineOutcome::SkippedSize { callee_len, cap } => {
                 write!(f, "skipped (callee {callee_len} stmts > cap {cap})")
             }
-            InlineOutcome::SkippedGrowth {
-                program_len,
-                budget,
-            } => write!(
+            InlineOutcome::SkippedGrowth { caller_len, budget } => write!(
                 f,
-                "skipped (program {program_len} stmts, growth budget {budget})"
+                "skipped (caller {caller_len} stmts, growth budget {budget})"
             ),
         }
     }
@@ -263,13 +260,10 @@ impl ToJson for InlineOutcome {
                     ("cap", cap.to_json()),
                 ]),
             ),
-            InlineOutcome::SkippedGrowth {
-                program_len,
-                budget,
-            } => Json::tagged(
+            InlineOutcome::SkippedGrowth { caller_len, budget } => Json::tagged(
                 "SkippedGrowth",
                 Json::obj(vec![
-                    ("program_len", program_len.to_json()),
+                    ("caller_len", caller_len.to_json()),
                     ("budget", budget.to_json()),
                 ]),
             ),
@@ -288,7 +282,7 @@ impl FromJson for InlineOutcome {
                 cap: usize::from_json(p.field("cap")?)?,
             }),
             ("SkippedGrowth", Some(p)) => Ok(InlineOutcome::SkippedGrowth {
-                program_len: usize::from_json(p.field("program_len")?)?,
+                caller_len: usize::from_json(p.field("caller_len")?)?,
                 budget: usize::from_json(p.field("budget")?)?,
             }),
             _ => Err(bad("inline outcome", tag)),
@@ -305,6 +299,11 @@ pub struct InlineEvent {
     pub callee: String,
     /// Source position of the call.
     pub span: SrcSpan,
+    /// Stable per-caller site ordinal: distinguishes distinct call sites
+    /// that share a source span (two calls in one expression statement),
+    /// and stays fixed when the round loop revisits a site — consumers
+    /// dedupe on `(caller, callee, span, site)`.
+    pub site: u32,
     /// What the inliner decided.
     pub outcome: InlineOutcome,
 }
@@ -315,6 +314,7 @@ impl ToJson for InlineEvent {
             ("caller", self.caller.to_json()),
             ("callee", self.callee.to_json()),
             ("span", self.span.to_json()),
+            ("site", self.site.to_json()),
             ("outcome", self.outcome.to_json()),
         ])
     }
@@ -326,6 +326,7 @@ impl FromJson for InlineEvent {
             caller: String::from_json(v.field("caller")?)?,
             callee: String::from_json(v.field("callee")?)?,
             span: SrcSpan::from_json(v.field("span")?)?,
+            site: u32::from_json(v.field("site")?)?,
             outcome: InlineOutcome::from_json(v.field("outcome")?)?,
         })
     }
@@ -419,15 +420,16 @@ mod tests {
                 cap: 400,
             },
             InlineOutcome::SkippedGrowth {
-                program_len: 900,
+                caller_len: 900,
                 budget: 800,
             },
         ];
-        for outcome in outcomes {
+        for (i, outcome) in outcomes.into_iter().enumerate() {
             let e = InlineEvent {
                 caller: "main".into(),
                 callee: "daxpy".into(),
                 span: SrcSpan::new(12, 3),
+                site: i as u32,
                 outcome,
             };
             let text = e.to_json().to_string_compact();
@@ -442,14 +444,15 @@ mod tests {
             caller: "main".into(),
             callee: "daxpy".into(),
             span: SrcSpan::new(12, 3),
+            site: 0,
             outcome: InlineOutcome::SkippedGrowth {
-                program_len: 900,
+                caller_len: 900,
                 budget: 800,
             },
         };
         assert_eq!(
             e.to_string(),
-            "call main→daxpy at 12:3: skipped (program 900 stmts, growth budget 800)"
+            "call main→daxpy at 12:3: skipped (caller 900 stmts, growth budget 800)"
         );
     }
 }

@@ -69,10 +69,14 @@ pub struct InlineOptions {
     pub max_depth: u32,
     /// Skip callees larger than this many statements.
     pub max_callee_size: usize,
-    /// Whole-program IL growth budget: once the program has grown past
-    /// `max_growth ×` its pre-inlining statement count (plus a small
-    /// absolute slack for tiny programs), further sites are skipped and
-    /// counted in [`InlineReport::skipped_growth`]. `0` disables the
+    /// Per-caller IL growth budget: once a caller has grown past
+    /// `max_growth ×` its own pre-inlining statement count (plus a small
+    /// absolute slack for tiny callers), further sites in that caller are
+    /// skipped and counted in [`InlineReport::skipped_growth`]. The
+    /// budget is deliberately local to each caller — an edit to one
+    /// procedure can then never flip an inline decision inside an
+    /// unrelated one, which is what lets the incremental cache key each
+    /// procedure on its inline dependency cone alone. `0` disables the
     /// budget.
     pub max_growth: usize,
 }
@@ -96,14 +100,16 @@ pub struct InlineReport {
     pub skipped_recursive: usize,
     /// Call sites skipped by the size budget.
     pub skipped_size: usize,
-    /// Call sites skipped by the whole-program growth budget
+    /// Call sites skipped by the per-caller growth budget
     /// ([`InlineOptions::max_growth`]).
     pub skipped_growth: usize,
     /// `static` variables externalized.
     pub statics_externalized: usize,
     /// Per-call-site decisions (expanded / skipped with budget state),
-    /// anchored to the call's source span. A site the round loop revisits
-    /// appears once per visit; consumers dedupe by (caller, callee, span).
+    /// anchored to the call's source span and a stable per-caller site
+    /// ordinal. A site the round loop revisits appears once per visit
+    /// under the same ordinal; consumers dedupe by site identity —
+    /// `(caller, callee, span, site)`.
     pub events: Vec<InlineEvent>,
 }
 
@@ -149,19 +155,35 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
         statics_externalized: externalize_statics(prog),
         ..InlineReport::default()
     };
-    // growth budget: measured against the pre-inlining program size, with
-    // absolute slack so tiny programs still get their first expansions
-    let initial: usize = prog.procs.iter().map(|p| p.len()).sum();
-    let growth_limit = if opts.max_growth == 0 {
-        usize::MAX
-    } else {
-        initial.saturating_mul(opts.max_growth).saturating_add(256)
+    // per-caller growth budgets: each caller may grow to `max_growth ×`
+    // its own pre-inlining statement count, with absolute slack so tiny
+    // callers still get their first expansions. Keeping the budget local
+    // to the caller means an edit to one procedure can never flip an
+    // inline decision inside an unrelated one — the property the
+    // incremental cache's inline-cone keys rely on.
+    let initial: Vec<usize> = prog.procs.iter().map(|p| p.len()).collect();
+    let caller_limit = |ci: usize| {
+        if opts.max_growth == 0 {
+            usize::MAX
+        } else {
+            initial[ci]
+                .saturating_mul(opts.max_growth)
+                .saturating_add(256)
+        }
     };
+    // stable site identities: `ords[ci]` parallels the caller's current
+    // `call_sites` list. A surviving site keeps its ordinal across rounds
+    // and spliced-in bodies' sites take fresh ones, so event consumers
+    // can tell two same-span sites apart while still collapsing the round
+    // loop's revisits of one site.
+    let mut ords: Vec<Option<Vec<u32>>> = vec![None; prog.procs.len()];
+    let mut next_ord: Vec<u32> = vec![0; prog.procs.len()];
     for _round in 0..opts.max_depth {
         let mut any = false;
         let cg = CallGraph::build(prog);
         for ci in 0..prog.procs.len() {
             let caller_name = prog.procs[ci].name.clone();
+            let growth_limit = caller_limit(ci);
             // Statement ids change on every restamp, so sites are
             // re-collected after each successful expansion; sites that
             // cannot inline are remembered by position to guarantee
@@ -176,9 +198,21 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                     break;
                 }
                 let sites = call_sites(&prog.procs[ci]);
-                let total: usize = prog.procs.iter().map(|p| p.len()).sum();
+                let site_ords = ords[ci].get_or_insert_with(|| {
+                    next_ord[ci] = sites.len() as u32;
+                    (0..sites.len() as u32).collect()
+                });
+                debug_assert_eq!(site_ords.len(), sites.len());
+                if site_ords.len() != sites.len() {
+                    // defensive resync; identities restart but stay unique
+                    *site_ords = (0..sites.len())
+                        .map(|k| next_ord[ci] + k as u32)
+                        .collect();
+                    next_ord[ci] += sites.len() as u32;
+                }
+                let caller_len = prog.procs[ci].len();
                 let mut expanded = false;
-                for &site in sites.iter().skip(skip) {
+                for (pos, &site) in sites.iter().enumerate().skip(skip) {
                     let callee_name = match callee_of(&prog.procs[ci], site) {
                         Some(n) => n,
                         None => {
@@ -187,10 +221,12 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                         }
                     };
                     let site_span = prog.procs[ci].stmts.span(site);
+                    let site_ord = site_ords[pos];
                     let event = |outcome: InlineOutcome| InlineEvent {
                         caller: caller_name.clone(),
                         callee: callee_name.clone(),
                         span: site_span,
+                        site: site_ord,
                         outcome,
                     };
                     let inlinable =
@@ -210,9 +246,9 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                                     report.events.push(e);
                                     false
                                 }
-                                Some(c) if total.saturating_add(c.len()) > growth_limit => {
+                                Some(c) if caller_len.saturating_add(c.len()) > growth_limit => {
                                     let e = event(InlineOutcome::SkippedGrowth {
-                                        program_len: total,
+                                        caller_len,
                                         budget: growth_limit,
                                     });
                                     report.skipped_growth += 1;
@@ -233,6 +269,15 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                         prog.procs[ci] = caller;
                         report.inlined += 1;
                         report.events.push(event(InlineOutcome::Expanded));
+                        // the spliced body's call sites take over this
+                        // position; give them fresh ordinals so their
+                        // next-round decisions carry distinct identities
+                        let new_count = call_sites(&prog.procs[ci]).len();
+                        let spliced = (new_count + 1).saturating_sub(sites.len());
+                        let fresh: Vec<u32> =
+                            (0..spliced).map(|k| next_ord[ci] + k as u32).collect();
+                        next_ord[ci] += spliced as u32;
+                        site_ords.splice(pos..=pos, fresh);
                         any = true;
                         expanded = true;
                         budget -= 1;

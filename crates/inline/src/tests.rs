@@ -199,6 +199,42 @@ int main(void) { return big(1); }
 }
 
 #[test]
+fn growth_budget_is_per_caller() {
+    // one callee, two callers: the small caller's budget rejects the
+    // expansion while the large caller — whose own initial size funds a
+    // bigger budget — absorbs it. Under the old whole-program pool the
+    // two decisions were coupled.
+    let mut callee_body = String::new();
+    for i in 0..300 {
+        callee_body.push_str(&format!("    x = x + {i};\n"));
+    }
+    let mut large_body = String::new();
+    for i in 0..600 {
+        large_body.push_str(&format!("    y = y + {i};\n"));
+    }
+    let src = format!(
+        "int grow(int x)\n{{\n{callee_body}    return x;\n}}\n\
+         int small(void)\n{{\n    return grow(1);\n}}\n\
+         int large(void)\n{{\n    int y;\n    y = 0;\n{large_body}    return grow(y);\n}}\n"
+    );
+    let mut prog = compile_to_il(&src).unwrap();
+    let rep = inline_program(
+        &mut prog,
+        &InlineOptions {
+            max_growth: 2,
+            max_callee_size: 100_000,
+            ..InlineOptions::default()
+        },
+    );
+    // `small` re-attempts (and re-skips) once per global round, so the
+    // counter is ≥ 1 rather than exactly 1
+    assert!(rep.skipped_growth >= 1, "small's budget rejects grow");
+    assert_eq!(rep.inlined, 1, "large's budget absorbs grow");
+    assert_eq!(count_calls(&prog, "small"), 1);
+    assert_eq!(count_calls(&prog, "large"), 0);
+}
+
+#[test]
 fn unknown_callees_left_alone() {
     let src = "int main(void) { print_int(3); return 0; }";
     let mut prog = compile_to_il(src).unwrap();

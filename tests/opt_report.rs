@@ -121,6 +121,45 @@ fn counters_track_the_corpus() {
     assert!(inlined > 0, "corpus inlines nothing");
 }
 
+/// Two distinct call sites sharing one source span — `sq(2) + sq(3)`
+/// lowers both calls onto the statement's span — are distinct inline
+/// decisions: the report dedupes on site identity, not span equality.
+#[test]
+fn same_span_call_sites_stay_distinct_in_the_report() {
+    let src = "\
+int sq(int x)
+{
+    return x * x;
+}
+
+int main(void)
+{
+    return sq(2) + sq(3);
+}
+";
+    let c = compile(src, &Options::o2()).expect("compiles");
+    let report = OptReport::build_for(&c.reports, &c.trace, &c.program.files);
+    let sites: Vec<_> = report
+        .inline
+        .iter()
+        .filter(|e| e.caller == "main" && e.callee == "sq")
+        .collect();
+    assert_eq!(
+        sites.len(),
+        2,
+        "both physical call sites must survive dedupe: {:?}",
+        report.inline
+    );
+    assert_ne!(
+        sites[0].site, sites[1].site,
+        "each site carries its own ordinal"
+    );
+    // and the JSON form exposes the ordinal so downstream consumers can
+    // key on it too
+    let json = report.to_json().to_string_compact();
+    assert!(json.contains("\"site\":"), "{json}");
+}
+
 /// The Chrome trace export is valid JSON with one complete event per
 /// (pass × procedure) timeline entry and consistent worker lanes.
 #[test]

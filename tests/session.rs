@@ -1,9 +1,11 @@
 //! End-to-end tests for multi-file sessions and the persistent
 //! compilation cache: warm runs are byte-identical to cold runs and to
 //! every `-j` value, a fully warm run executes zero optimization
-//! passes, `--no-inline` sessions invalidate per procedure, duplicate
-//! definitions are diagnosed with both origins named, and origin-tagged
-//! spans attribute loops to the file they were written in.
+//! passes, `--no-inline` sessions invalidate per procedure, inlining
+//! sessions invalidate the edited procedure's dependency cone only,
+//! duplicate definitions are diagnosed with both origins named, and
+//! origin-tagged spans attribute loops to the file they were written
+//! in.
 
 use std::path::PathBuf;
 
@@ -142,22 +144,64 @@ fn no_inline_sessions_invalidate_per_procedure() {
     assert!(!warm.stats.full_warm);
 }
 
-/// With inlining on, any edit conservatively invalidates everything —
-/// the §7 growth budget makes every procedure's code depend on every
-/// other's size.
+/// With inlining on, an edit invalidates exactly the procedures whose
+/// inline dependency cone contains the edited procedure — callers that
+/// can splice its body — while unrelated procedures stay warm.
 #[test]
-fn inline_sessions_invalidate_wholesale() {
-    let dir = cache_dir("wholesale");
+fn inline_sessions_invalidate_the_dependency_cone() {
+    let dir = cache_dir("cone");
     let options = Options::o2();
+    // `reset` calls `fill`; `main` calls neither.
+    let lib_with_caller = format!(
+        "{LIB_SRC}void reset(void)\n{{\n    fill(64, 0.0);\n}}\n"
+    );
+    let a = SourceFile::new("a.c", MAIN_SRC);
+    let b = SourceFile::new("b.c", lib_with_caller.clone());
+    let cold =
+        compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
+    assert_eq!(cold.stats.misses, 3, "main, fill, reset all compile cold");
+
+    // edit `fill` only: its cone consumers are itself and `reset`
+    let edited = lib_with_caller.replace("buf[i] = v;", "buf[i] = v + 1.0;");
+    let b2 = SourceFile::new("b.c", edited);
+    let warm = compile_session(&[a.clone(), b2.clone()], &options, Some(&dir))
+        .expect("edited compile");
+    assert_eq!(warm.stats.hits, 1, "main does not call fill and stays warm");
+    assert_eq!(warm.stats.misses, 2, "fill and its caller reset recompile");
+    assert_eq!(warm.stats.invalidated, 2, "both misses are invalidations");
+    assert!(!warm.stats.full_warm);
+
+    // the cone-scoped warm compile is byte-identical to a from-scratch one
+    let fresh = compile_session(&[a, b2], &options, None).expect("reference compile");
+    assert_eq!(il_text(&fresh), il_text(&warm));
+    assert_eq!(opt_report_json(&fresh), opt_report_json(&warm));
+}
+
+/// Regression: the environment fingerprint rides in every per-procedure
+/// key, so editing a global reaches procedures whose own text is
+/// untouched — even with inlining off, where no cone links them.
+#[test]
+fn global_edits_miss_every_procedure_without_inlining() {
+    let dir = cache_dir("global-edit");
+    let mut options = Options::o2();
+    options.inline = false;
     let a = SourceFile::new("a.c", MAIN_SRC);
     let b = SourceFile::new("b.c", LIB_SRC);
-    compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
-    let b2 = SourceFile::new("b.c", LIB_SRC.replace("buf[i] = v;", "buf[i] = v + 1.0;"));
-    let warm = compile_session(&[a, b2], &options, Some(&dir)).expect("edited compile");
-    assert_eq!(
-        warm.stats.hits, 0,
-        "an edit under inlining must miss everywhere"
-    );
+    let cold =
+        compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
+    let n = cold.compilation.program.procs.len();
+
+    // grow `buf`: no procedure body changes, but the layout every
+    // procedure was optimized against does
+    let b2 = SourceFile::new("b.c", LIB_SRC.replace("buf[64]", "buf[96]"));
+    let warm =
+        compile_session(&[a.clone(), b2.clone()], &options, Some(&dir)).expect("edited compile");
+    assert_eq!(warm.stats.hits, 0, "a global edit must reach every key");
+    assert_eq!(warm.stats.misses, n);
+
+    let fresh = compile_session(&[a, b2], &options, None).expect("reference compile");
+    assert_eq!(il_text(&fresh), il_text(&warm));
+    assert_eq!(opt_report_json(&fresh), opt_report_json(&warm));
 }
 
 /// Duplicate procedure definitions keep the first (CLI order) and name
@@ -340,6 +384,51 @@ fn v2_era_cache_dirs_fall_back_cold_with_one_remark() {
     let again = compile_session(&files, &Options::o2(), Some(&dir)).expect("still compiles");
     assert_eq!(again.stats.hits, 0);
     assert_eq!(il_text(&reference), il_text(&again));
+}
+
+/// A directory written by the v3 format — whole-program inline keys,
+/// pre-site-ordinal events — carries a marker naming the old version
+/// and is refused the same way: one remark, cold compile, files
+/// untouched.
+#[test]
+fn v3_era_cache_dirs_fall_back_cold_with_one_remark() {
+    let dir = cache_dir("v3-era");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("FORMAT"), "titanc-cache-v3").expect("seed v3 marker");
+    std::fs::write(dir.join("0123abcd.json"), "titanc-cache-v3 00ff\n{}").expect("seed v3 entry");
+
+    let files = [corpus("daxpy.c"), corpus("blaslib.c")];
+    let reference = compile_session(&files, &Options::o2(), None).expect("reference compile");
+    let sc = compile_session(&files, &Options::o2(), Some(&dir)).expect("v3 dir must not error");
+
+    assert_eq!(sc.stats.hits, 0, "a refused directory cannot serve hits");
+    assert!(!sc.stats.full_warm);
+    assert_eq!(il_text(&reference), il_text(&sc));
+    assert_eq!(opt_report_json(&reference), opt_report_json(&sc));
+
+    let remarks: Vec<_> = sc
+        .compilation
+        .diagnostics
+        .iter()
+        .filter(|d| d.message.contains("titanc-cache-v3"))
+        .collect();
+    assert_eq!(
+        remarks.len(),
+        1,
+        "exactly one format-skew remark: {:?}",
+        sc.compilation
+            .diagnostics
+            .iter()
+            .map(|d| &d.message)
+            .collect::<Vec<_>>()
+    );
+
+    assert_eq!(
+        std::fs::read_to_string(dir.join("FORMAT")).expect("marker survives"),
+        "titanc-cache-v3",
+        "the refused marker must not be rewritten"
+    );
+    assert!(dir.join("0123abcd.json").exists(), "old entries untouched");
 }
 
 /// `keep_parsed` snapshots the program before any pass runs — the §7
