@@ -158,8 +158,7 @@ fn main() {
     // acceptance: one more edit, checked for scope and byte-identity
     salt += 1;
     let edited_files = [SourceFile::new("gen.c", gen_src(salt))];
-    let edit_check =
-        compile_session(&edited_files, &options, Some(&edit_dir)).expect("edit check");
+    let edit_check = compile_session(&edited_files, &options, Some(&edit_dir)).expect("edit check");
     let procs_total = edit_check.compilation.program.procs.len();
     let procs_invalidated = edit_check.stats.misses;
     assert!(

@@ -1,0 +1,125 @@
+//! The compile-server benchmark: per-request latency and aggregate
+//! throughput against one long-lived in-process [`Server`], on the same
+//! 8-procedure corpus the incremental bench uses.
+//!
+//! Asserts the server acceptance bar itself — a warm request skips the
+//! pipeline and its response is byte-identical to the cold one — and
+//! persists the figures to `BENCH_server.json` at the workspace root:
+//! cold/warm request latency, warm requests per second across a
+//! concurrent client burst, and the server's aggregate accounting.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+use titanc::server::{CompileRequest, CompileResponse, Reply, Server, ServerConfig};
+use titanc::SourceFile;
+use titanc_bench::harness::Bench;
+use titanc_bench::multi_proc_source;
+use titanc_il::json::{parse, FromJson, ToJson};
+
+fn response(server: &Server, line: &str) -> CompileResponse {
+    match server.handle_line(line) {
+        Reply::Line(resp) => CompileResponse::from_json(&parse(&resp).unwrap()).unwrap(),
+        Reply::Shutdown(ack) => panic!("unexpected shutdown: {ack}"),
+    }
+}
+
+fn main() {
+    let bench = Bench::from_env();
+    let src = multi_proc_source(8, 30);
+    let request = CompileRequest {
+        id: 1,
+        files: vec![SourceFile::new("gen.c", src)],
+        parallelize: true,
+        opt_report: "json".to_string(),
+        ..CompileRequest::default()
+    };
+    let line = request.to_json().to_string_compact();
+
+    // cold latency: a fresh server (fresh resident cache) per sample
+    let cold = bench.stats("server/cold_request_8procs", || {
+        let server = Server::new(&ServerConfig::default()).quiet();
+        black_box(response(&server, &line).stdout.len())
+    });
+
+    // one long-lived server from here on — the daemon scenario
+    let server = Server::new(&ServerConfig::default()).quiet();
+    let cold_resp = response(&server, &line);
+    assert_eq!(cold_resp.exit, 0, "{}", cold_resp.stderr);
+
+    let warm = bench.stats("server/warm_request_8procs", || {
+        black_box(response(&server, &line).stdout.len())
+    });
+
+    // acceptance: warm requests skip the pipeline and answer
+    // byte-identically to the cold request
+    let warm_resp = response(&server, &line);
+    assert_eq!(warm_resp.stdout, cold_resp.stdout, "warm stdout diverged");
+    assert!(
+        warm_resp.stderr.contains("(fully warm)"),
+        "warm request did not skip the pipeline:\n{}",
+        warm_resp.stderr
+    );
+
+    // throughput: a burst of concurrent clients, all warm. Each thread
+    // plays one client hammering the shared server; requests/sec is the
+    // whole burst over wall-clock.
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let clients = host_cpus.clamp(2, 8);
+    const REQUESTS_PER_CLIENT: usize = 25;
+    let burst = bench.stats_timed("server/warm_burst", || {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..clients {
+                let server = &server;
+                let line = &line;
+                s.spawn(move || {
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        let resp = response(server, line);
+                        assert_eq!(resp.exit, 0);
+                    }
+                });
+            }
+        });
+        t0.elapsed()
+    });
+    let burst_requests = clients * REQUESTS_PER_CLIENT;
+    let requests_per_sec = burst_requests as f64 / burst.min.as_secs_f64().max(1e-9);
+    let requests_per_sec_median = burst_requests as f64 / burst.median.as_secs_f64().max(1e-9);
+    println!(
+        "bench server/requests_per_sec: {requests_per_sec:.0} \
+         (median {requests_per_sec_median:.0}, {clients} clients)"
+    );
+
+    let totals = server.totals();
+    assert_eq!(totals.protocol_errors, 0);
+    assert!(totals.fully_warm > 0);
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \
+         \"corpus\": {{\"procs\": 8, \"loops_per_proc\": 30}},\n  \
+         \"request_ms_cold\": {:.3},\n  \
+         \"request_ms_cold_median\": {:.3},\n  \
+         \"request_ms_warm\": {:.3},\n  \
+         \"request_ms_warm_median\": {:.3},\n  \
+         \"burst_clients\": {clients},\n  \
+         \"burst_requests\": {burst_requests},\n  \
+         \"requests_per_sec\": {requests_per_sec:.1},\n  \
+         \"requests_per_sec_median\": {requests_per_sec_median:.1},\n  \
+         \"byte_identical\": true,\n  \
+         \"totals\": {}\n}}\n",
+        cold.min.as_secs_f64() * 1e3,
+        cold.median.as_secs_f64() * 1e3,
+        warm.min.as_secs_f64() * 1e3,
+        warm.median.as_secs_f64() * 1e3,
+        totals.to_json().to_string_compact(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("bench server: wrote {path}"),
+        Err(e) => eprintln!("bench server: cannot write {path}: {e}"),
+    }
+}

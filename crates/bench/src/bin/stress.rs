@@ -17,6 +17,7 @@
 //! ```text
 //! stress [--cases N] [--seed S] [--case-seed S] [--engine interp|vm|both] [--verbose]
 //! stress --cache-faults [--cases N] [--seed S] [--case-seed S] [--verbose]
+//! stress --server [--cases N] [--seed S] [--case-seed S] [--verbose]
 //! ```
 //!
 //! `--cache-faults` switches to the **cache durability differential**:
@@ -35,6 +36,17 @@
 //! summary (hits, misses, corrupt, quarantined, lock-contended,
 //! write-failed) prints at the end; CI uploads it as an artifact.
 //!
+//! `--server` switches to the **compile-server differential**: every
+//! case compiles a progen program with no cache (the reference), then
+//! fires a burst of concurrent in-process [`titanc::server::Server`]
+//! requests racing concurrent one-shot `--cache-dir` sessions into the
+//! daemon's write-through directory. Every server response must carry
+//! the reference's exact stdout bytes, every one-shot session must
+//! match the reference IL and opt report, and a post-burst repeat must
+//! skip the pipeline entirely (fully warm). The daemon's aggregate
+//! accounting (and the one-shot sessions') prints at the end; CI
+//! uploads it as an artifact.
+//!
 //! Each case gets its own generator seed, mixed (splitmix64-style) from
 //! the run seed and the case index, so one case's program depends only on
 //! `(run seed, index)` — not on how many programs were generated before
@@ -48,11 +60,16 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use titanc::server::{
+    il_block, opt_report_block, CompileRequest, CompileResponse, Reply, Server, ServerConfig,
+    ServerTotals,
+};
 use titanc::{
     compile, compile_session, install_io_faults, Compilation, FaultMode, IoFaultSpec, IoOp,
     OptReport, Options, SessionCompilation, SourceFile,
 };
 use titanc_bench::progen;
+use titanc_il::json::{parse as parse_json, FromJson, ToJson};
 use titanc_il::{pretty_proc, ScalarType};
 use titanc_titan::{observe_with, ExecEngine, ExecStats, MachineConfig, Observation};
 
@@ -93,6 +110,9 @@ struct Args {
     /// Run the cache durability differential instead of the
     /// execution differential.
     cache_faults: bool,
+    /// Run the compile-server differential instead of the execution
+    /// differential.
+    server: bool,
     verbose: bool,
 }
 
@@ -123,6 +143,7 @@ fn parse_args() -> Args {
         case_seed: None,
         engine: EngineChoice::Both,
         cache_faults: false,
+        server: false,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -155,6 +176,7 @@ fn parse_args() -> Args {
                 };
             }
             "--cache-faults" => args.cache_faults = true,
+            "--server" => args.server = true,
             "--verbose" => args.verbose = true,
             _ => usage(),
         }
@@ -167,6 +189,7 @@ fn usage() -> ! {
         "usage: stress [--cases N] [--seed S] [--case-seed S] [--engine interp|vm|both] [--verbose]"
     );
     eprintln!("       stress --cache-faults [--cases N] [--seed S] [--case-seed S] [--verbose]");
+    eprintln!("       stress --server [--cases N] [--seed S] [--case-seed S] [--verbose]");
     eprintln!("       seeds are decimal or 0x-prefixed hex");
     std::process::exit(2);
 }
@@ -705,10 +728,255 @@ fn print_cache_totals(t: &CacheTotals) {
     );
 }
 
+// ---------------------------------------------------------------------
+// The compile-server differential (--server)
+// ---------------------------------------------------------------------
+
+/// Aggregate accounting for the server differential: the daemons' own
+/// totals plus the one-shot sessions that raced them.
+#[derive(Default)]
+struct ServerStressTotals {
+    daemon: ServerTotals,
+    sessions: CacheTotals,
+}
+
+/// Sends one request line to an in-process server and returns the
+/// decoded response.
+fn server_round_trip(
+    srv: &Server,
+    req: &CompileRequest,
+    what: &str,
+) -> Result<CompileResponse, String> {
+    let line = req.to_json().to_string_compact();
+    match srv.handle_line(&line) {
+        Reply::Line(l) => {
+            let doc = parse_json(&l).map_err(|e| format!("{what}: bad response json: {e}"))?;
+            CompileResponse::from_json(&doc).map_err(|e| format!("{what}: bad response: {e}"))
+        }
+        Reply::Shutdown(_) => Err(format!("{what}: unexpected shutdown acknowledgement")),
+    }
+}
+
+/// One compile-server case: a no-cache reference through the plain
+/// session entry point, then concurrent server requests racing
+/// concurrent one-shot `--cache-dir` sessions into the daemon's
+/// write-through directory — every response and every session
+/// byte-compared against the reference, and a post-burst repeat must
+/// answer fully warm.
+fn check_server_case(cseed: u64, src: &str, totals: &mut ServerStressTotals) -> Result<(), String> {
+    const SERVER_CLIENTS: usize = 4;
+    const ONE_SHOT_SESSIONS: usize = 2;
+
+    let req = CompileRequest {
+        files: vec![SourceFile::new("case.c", src)],
+        parallelize: true,
+        spread_lists: true,
+        verify: true,
+        print_il: true,
+        opt_report: "json".to_string(),
+        ..CompileRequest::default()
+    };
+    let options = req.options();
+    let files = [SourceFile::new("case.c", src)];
+
+    // the no-cache reference, and the exact stdout bytes every server
+    // response must carry for this request shape
+    let reference = compile_session(&files, &options, None)
+        .map_err(|e| format!("reference: front end rejected input: {e}"))?;
+    let ref_il = session_il(&reference);
+    let ref_report = session_report(&reference);
+    let ref_stdout = format!(
+        "{}{}",
+        il_block(&reference.compilation.program),
+        opt_report_block(&reference.compilation, true)
+    );
+
+    let scratch = std::env::temp_dir().join(format!(
+        "titanc-server-stress-{}-{cseed:016x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let dir = scratch.join("cache");
+    let srv = Server::new(&ServerConfig {
+        cache_dir: Some(dir.clone()),
+        workers: SERVER_CLIENTS,
+    })
+    .quiet();
+
+    let result = (|| -> Result<(), String> {
+        // the burst: server clients and one-shot sessions in flight
+        // together over one shared directory
+        std::thread::scope(|scope| -> Result<(), String> {
+            let mut handles = Vec::new();
+            for i in 0..SERVER_CLIENTS {
+                let (srv, req, ref_stdout) = (&srv, &req, ref_stdout.as_str());
+                handles.push(scope.spawn(move || -> Result<CacheTotals, String> {
+                    let what = format!("server client {i}");
+                    let mut req = req.clone();
+                    req.id = i as i64 + 1;
+                    let resp = server_round_trip(srv, &req, &what)?;
+                    if resp.exit != 0 {
+                        return Err(format!("{what}: exit {}:\n{}", resp.exit, resp.stderr));
+                    }
+                    if resp.stdout != ref_stdout {
+                        return Err(format!("{what}: stdout diverged from no-cache reference"));
+                    }
+                    Ok(CacheTotals::default())
+                }));
+            }
+            for i in 0..ONE_SHOT_SESSIONS {
+                let (dir, options, files) = (&dir, &options, &files);
+                let (ref_il, ref_report) = (ref_il.as_str(), ref_report.as_str());
+                handles.push(scope.spawn(move || -> Result<CacheTotals, String> {
+                    let what = format!("one-shot session {i}");
+                    let mut t = CacheTotals::default();
+                    let sc = compile_session(files, options, Some(dir.as_path()))
+                        .map_err(|e| format!("{what}: front end rejected input: {e}"))?;
+                    t.absorb(&sc);
+                    if session_il(&sc) != ref_il {
+                        return Err(format!("{what}: optimized IL diverged from no-cache run"));
+                    }
+                    if session_report(&sc) != ref_report {
+                        return Err(format!("{what}: opt report diverged from no-cache run"));
+                    }
+                    Ok(t)
+                }));
+            }
+            for h in handles {
+                let t = h
+                    .join()
+                    .map_err(|_| "burst participant panicked".to_string())??;
+                totals.sessions.merge(t);
+            }
+            Ok(())
+        })?;
+
+        // post-burst: every cone is published, so a repeat must skip the
+        // whole pipeline and still answer byte-identically
+        let mut warm_req = req.clone();
+        warm_req.id = SERVER_CLIENTS as i64 + 1;
+        let warm = server_round_trip(&srv, &warm_req, "post-burst repeat")?;
+        if warm.exit != 0 {
+            return Err(format!(
+                "post-burst repeat: exit {}:\n{}",
+                warm.exit, warm.stderr
+            ));
+        }
+        if warm.stdout != ref_stdout {
+            return Err("post-burst repeat: stdout diverged from no-cache reference".to_string());
+        }
+        if !warm.stderr.contains("(fully warm)") {
+            return Err(format!(
+                "post-burst repeat did not skip the pipeline:\n{}",
+                warm.stderr
+            ));
+        }
+
+        let st = srv.totals();
+        if st.protocol_errors != 0 {
+            return Err(format!("daemon counted protocol errors: {st}"));
+        }
+        if st.requests != SERVER_CLIENTS as i64 + 1 {
+            return Err(format!(
+                "daemon accounting lost requests: expected {}, {st}",
+                SERVER_CLIENTS + 1
+            ));
+        }
+        totals.daemon.merge(&st);
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+/// Generates and checks the compile-server case for one per-case seed;
+/// returns the failure description, if any.
+fn run_one_server(cseed: u64, totals: &mut ServerStressTotals) -> Option<String> {
+    let mut rng = progen::Rng::new(cseed);
+    let src = progen::program(&mut rng);
+    let verdict = catch_unwind(AssertUnwindSafe(|| check_server_case(cseed, &src, totals)));
+    let failure = match verdict {
+        Ok(Ok(())) => None,
+        Ok(Err(why)) => Some(why),
+        Err(_) => Some("escaping panic (not contained by the pipeline)".to_string()),
+    };
+    failure.map(|why| format!("{why}\n--- program ---\n{src}---------------"))
+}
+
+/// Driver for `--server`; prints the aggregate accounting summary and
+/// exits non-zero on any divergence.
+fn run_server_stress(args: &Args) -> ! {
+    let mut totals = ServerStressTotals::default();
+
+    if let Some(cseed) = args.case_seed {
+        let failed = match run_one_server(cseed, &mut totals) {
+            Some(why) => {
+                eprintln!("FAIL case seed 0x{cseed:X} (server): {why}");
+                true
+            }
+            None => false,
+        };
+        print_server_totals(&totals);
+        if failed {
+            println!("stress: server: case seed 0x{cseed:X} FAILED");
+            std::process::exit(1);
+        }
+        println!("stress: server: case seed 0x{cseed:X} ok");
+        std::process::exit(0);
+    }
+
+    let mut failures = 0u64;
+    for case in 0..args.cases {
+        let cseed = case_seed(args.seed, case);
+        if let Some(why) = run_one_server(cseed, &mut totals) {
+            failures += 1;
+            eprintln!(
+                "FAIL case {case} (case seed 0x{cseed:X}, run seed 0x{:X}, server): {why}\n\
+                 replay with: stress --server --case-seed 0x{cseed:X}",
+                args.seed
+            );
+        } else if args.verbose {
+            eprintln!("ok case {case} (case seed 0x{cseed:X}, server)");
+        }
+    }
+    print_server_totals(&totals);
+    if failures == 0 {
+        println!(
+            "stress: server: {} cases (run seed 0x{:X}), zero divergence",
+            args.cases, args.seed
+        );
+        std::process::exit(0);
+    }
+    println!(
+        "stress: server: {failures} of {} cases FAILED (run seed 0x{:X})",
+        args.cases, args.seed
+    );
+    std::process::exit(1);
+}
+
+fn print_server_totals(t: &ServerStressTotals) {
+    println!("stress: server: daemon totals: {}", t.daemon);
+    println!(
+        "stress: server: one-shot totals over {} session(s): {} hit(s), {} miss(es), \
+         {} invalidated; {} corrupt, {} quarantined, {} lock-contended, {} write-failed",
+        t.sessions.sessions,
+        t.sessions.hits,
+        t.sessions.misses,
+        t.sessions.invalidated,
+        t.sessions.corrupt,
+        t.sessions.quarantined,
+        t.sessions.lock_contended,
+        t.sessions.write_failed
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.cache_faults {
         run_cache_faults(&args);
+    }
+    if args.server {
+        run_server_stress(&args);
     }
     let engines = args.engine.engines();
     let engine_name = args.engine.name();

@@ -343,7 +343,7 @@ pub fn multi_proc_call_source(nprocs: usize, loops: usize, salts: &[i64]) -> Str
 
 fn multi_proc_call_body(nprocs: usize, loops: usize, salts: &[i64]) -> String {
     let mut src = String::new();
-    for k in 0..nprocs {
+    for (k, &salt) in salts.iter().enumerate().take(nprocs) {
         let seed = k % 7 + 2;
         src.push_str(&format!("float ma{k}[256], mb{k}[256], mc{k}[256];\n"));
         src.push_str(&format!("void mp{k}(int n)\n{{\n"));
@@ -353,7 +353,7 @@ fn multi_proc_call_body(nprocs: usize, loops: usize, salts: &[i64]) -> String {
              \x20   if (n) t1 = t0 * t0; else t1 = t0 * t0;\n\
              \x20   if (n) t2 = t1 + t1; else t2 = t1 + t1;\n\
              \x20   t3 = t2 * t1 + {};\n",
-            salts[k]
+            salt
         ));
         for l in 0..loops {
             match l % 3 {

@@ -212,7 +212,7 @@ pub fn session_program(rng: &mut Rng, n: usize, salts: &[i64]) -> String {
     let decls = "int va, vb, vc, vd, k1, k2, k3;";
     let inits = "k1 = 0; k2 = 0; k3 = 0;";
     let mut out = format!("int out_g[{OUT_LEN}];\nfloat out_f[{OUT_LEN}];\n");
-    for k in 0..n {
+    for (k, &salt) in salts.iter().enumerate() {
         let stmts: Vec<Stmt> = (0..rng.range(1, 4))
             .map(|_| gen_stmt(rng, 1, false))
             .collect();
@@ -236,7 +236,7 @@ pub fn session_program(rng: &mut Rng, n: usize, salts: &[i64]) -> String {
              va = ha; vb = hb; vc = 5; vd = 7; {inits}\n    \
              va = va + {};\n{body}{calls}    return {rtxt};\n}}\n",
             k + 1,
-            salts[k],
+            salt,
         ));
     }
     let mut mcalls = String::new();

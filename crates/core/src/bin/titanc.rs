@@ -52,39 +52,12 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use titanc::server;
 use titanc::{
-    compile_session_with, compile_with, Aliasing, Catalog, Compilation, Options, Pipeline,
-    SessionStats, SourceFile,
+    compile_session_with, compile_with, Aliasing, Catalog, Compilation, Options, SessionStats,
+    SourceFile,
 };
 use titanc_titan::{MachineConfig, Simulator};
-
-/// Test-only fault injection (`TITANC_INJECT_PANIC=<proc>`): a pass that
-/// panics on the named procedure, used by the exit-code integration tests
-/// to exercise the fail-soft containment path end to end.
-struct InjectPanic {
-    target: String,
-}
-
-impl titanc::ProcPass for InjectPanic {
-    fn name(&self) -> &'static str {
-        "inject-panic"
-    }
-
-    fn run_on(
-        &self,
-        proc: &mut titanc_il::Procedure,
-        _cx: &titanc::PassContext<'_>,
-        _analyses: &mut titanc::ProcAnalyses,
-        _delta: &mut titanc::Reports,
-    ) -> titanc::PassOutcome {
-        assert!(
-            proc.name != self.target,
-            "injected fault in `{}`",
-            proc.name
-        );
-        titanc::PassOutcome::unchanged()
-    }
-}
 
 struct Cli {
     files: Vec<String>,
@@ -103,10 +76,10 @@ struct Cli {
     emit_catalog_optimized: Option<String>,
     cache_dir: Option<String>,
     volatile_values: Vec<i64>,
+    /// `--server SOCKET`: compile via a running `titand` instead of
+    /// in-process.
+    server: Option<String>,
 }
-
-/// A contained pass incident was reported and `--strict` was given.
-const EXIT_INCIDENT: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
@@ -118,7 +91,7 @@ fn usage() -> ! {
          \x20             [--catalog FILE]... [--emit-catalog FILE]\n\
          \x20             [--emit-catalog-optimized FILE]\n\
          \x20             [--run [ENTRY]] [--volatile-values a,b,c] [--stats]\n\
-         \x20             file.c [file.c ...]"
+         \x20             [--server SOCKET] file.c [file.c ...]"
     );
     std::process::exit(2);
 }
@@ -140,6 +113,7 @@ fn parse_args() -> Cli {
         emit_catalog_optimized: None,
         cache_dir: None,
         volatile_values: Vec::new(),
+        server: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -218,6 +192,9 @@ fn parse_args() -> Cli {
             "--cache-dir" => {
                 cli.cache_dir = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--server" => {
+                cli.server = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--run" => {
                 cli.run = true;
                 if let Some(next) = args.peek() {
@@ -244,15 +221,10 @@ fn parse_args() -> Cli {
     cli
 }
 
-/// Prints a diagnostic: single-file invocations keep the classic
-/// `file:line:col: message` shape; multi-file sessions already carry the
-/// file name inside the message.
+/// Prints a diagnostic through the shared renderer (single-file
+/// invocations keep the classic `file:line:col: message` shape).
 fn print_diag(files: &[String], d: &impl std::fmt::Display) {
-    if let [file] = files {
-        eprintln!("{file}:{d}");
-    } else {
-        eprintln!("{d}");
-    }
+    eprint!("{}", server::diag_line(files, d));
 }
 
 fn main() -> ExitCode {
@@ -260,12 +232,14 @@ fn main() -> ExitCode {
     if cli.files.is_empty() {
         usage();
     }
+    if let Some(addr) = cli.server.clone() {
+        return run_client(cli, &addr);
+    }
     let file = cli.files[0].clone();
 
-    let mut pipeline = Pipeline::for_options(&cli.options);
-    if let Ok(target) = std::env::var("TITANC_INJECT_PANIC") {
-        pipeline.push_proc(InjectPanic { target });
-    }
+    // the server executor builds the same pipeline; byte identity between
+    // the two entry points is by shared construction
+    let pipeline = server::base_pipeline(&cli.options);
 
     // a plain single-file compile takes the classic path; several files
     // or a cache directory make it a session
@@ -322,31 +296,16 @@ fn main() -> ExitCode {
     }
     // the cache accounting line is stable: CI's cache-smoke job parses it
     if let (Some(stats), Some(_)) = (&session_stats, &cli.cache_dir) {
-        eprintln!(
-            "titanc: cache: {} hit(s), {} miss(es), {} invalidated; {} pass execution(s){}; \
-             {} corrupt, {} quarantined, {} lock-contended, {} write-failed",
-            stats.hits,
-            stats.misses,
-            stats.invalidated,
-            stats.passes_executed,
-            if stats.full_warm { " (fully warm)" } else { "" },
-            stats.corrupt,
-            stats.quarantined,
-            stats.lock_contended,
-            stats.write_failed,
-        );
+        eprintln!("{}", server::cache_line(stats));
     }
     // contained faults: the affected procedures were rolled back to their
     // last-verified IL and shipped unoptimized
     for incident in &compiled.trace.incidents {
-        eprintln!("titanc: warning: {incident}");
+        eprint!("{}", server::incident_line(incident));
     }
     if cli.strict && compiled.has_incidents() {
-        eprintln!(
-            "titanc: {} pass incident(s) contained; failing because of --strict",
-            compiled.trace.incidents.len()
-        );
-        return ExitCode::from(EXIT_INCIDENT);
+        eprint!("{}", server::strict_line(compiled.trace.incidents.len()));
+        return ExitCode::from(server::EXIT_INCIDENT);
     }
 
     if cli.options.snapshots {
@@ -358,51 +317,13 @@ fn main() -> ExitCode {
         }
     }
     if cli.print_il {
-        for p in &compiled.program.procs {
-            println!("{}", titanc_il::pretty_proc(p));
-        }
+        print!("{}", server::il_block(&compiled.program));
     }
     if cli.stats {
-        let r = &compiled.reports;
-        println!(
-            "inline:     {} sites ({} recursive skipped, {} growth-budget skipped)",
-            r.inline.inlined, r.inline.skipped_recursive, r.inline.skipped_growth
-        );
-        println!(
-            "while->DO:  {} converted, {} rejected",
-            r.whiledo.converted,
-            r.whiledo.rejects.len()
-        );
-        println!(
-            "ivsub:      {} variables, {} passes, {} backtracks",
-            r.ivsub.substituted, r.ivsub.passes, r.ivsub.backtracks
-        );
-        println!("forward:    {} substitutions", r.forward.substituted);
-        println!(
-            "constprop:  {} replaced, {} removed, {} rounds",
-            r.constprop.replaced, r.constprop.removed, r.constprop.rounds
-        );
-        println!("dce:        {} removed", r.dce.removed);
-        println!(
-            "vectorizer: {} vectorized, {} spread, {} scalar",
-            r.vector.vectorized, r.vector.spread, r.vector.scalar
-        );
-        println!(
-            "strength:   {} promoted, {} reduced, {} hoisted",
-            r.strength.promoted, r.strength.reduced, r.strength.hoisted
-        );
+        print!("{}", server::stats_block(&compiled.reports));
     }
     if let Some(json) = cli.opt_report {
-        let report = titanc::OptReport::build_for(
-            &compiled.reports,
-            &compiled.trace,
-            &compiled.program.files,
-        );
-        if json {
-            println!("{}", report.to_json().to_string_compact());
-        } else {
-            print!("{}", report.render());
-        }
+        print!("{}", server::opt_report_block(&compiled, json));
     }
     if let Some(path) = &cli.trace_json {
         let trace = titanc::chrome_trace(&compiled.trace).to_string_compact();
@@ -493,4 +414,88 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--server SOCKET`: ship the compile to a running `titand` and relay
+/// its response verbatim — stdout, stderr, and exit code are exactly
+/// what an in-process run would have produced (plus the daemon's
+/// `titanc: cache:` accounting line, which one-shot runs only print
+/// under `--cache-dir`).
+#[cfg(unix)]
+fn run_client(cli: Cli, addr: &str) -> ExitCode {
+    // flags that need the client's filesystem, its terminal, or the
+    // simulator cannot ride the protocol
+    let unsupported = [
+        (cli.run, "--run"),
+        (cli.time, "--time"),
+        (cli.trace_json.is_some(), "--trace-json"),
+        (cli.emit_catalog.is_some(), "--emit-catalog"),
+        (
+            cli.emit_catalog_optimized.is_some(),
+            "--emit-catalog-optimized",
+        ),
+        (cli.cache_dir.is_some(), "--cache-dir"),
+        (cli.options.snapshots, "--snapshots"),
+        (!cli.options.catalogs.is_empty(), "--catalog"),
+        (!cli.volatile_values.is_empty(), "--volatile-values"),
+    ];
+    for (set, flag) in unsupported {
+        if set {
+            eprintln!("titanc: {flag} cannot be combined with --server");
+            std::process::exit(2);
+        }
+    }
+    let mut files = Vec::with_capacity(cli.files.len());
+    for f in &cli.files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => files.push(SourceFile::new(f.clone(), src)),
+            Err(e) => {
+                eprintln!("titanc: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let req = server::CompileRequest {
+        id: i64::from(std::process::id()),
+        files,
+        opt: match cli.options.opt {
+            titanc::OptLevel::O0 => 0,
+            titanc::OptLevel::O1 => 1,
+            titanc::OptLevel::O2 => 2,
+        },
+        parallelize: cli.options.parallelize,
+        spread_lists: cli.options.spread_lists,
+        fortran_aliasing: matches!(cli.options.aliasing, Aliasing::Fortran),
+        inline: cli.options.inline,
+        strip: cli.options.strip,
+        jobs: cli.options.jobs as i64,
+        verify: cli.options.verify,
+        max_errors: cli.options.max_errors as i64,
+        strict: cli.strict,
+        print_il: cli.print_il,
+        stats: cli.stats,
+        opt_report: match cli.opt_report {
+            None => "none",
+            Some(false) => "text",
+            Some(true) => "json",
+        }
+        .to_string(),
+    };
+    match server::request_over_unix(Path::new(addr), &req) {
+        Ok(resp) => {
+            print!("{}", resp.stdout);
+            eprint!("{}", resp.stderr);
+            ExitCode::from((resp.exit & 0xff) as u8)
+        }
+        Err(e) => {
+            eprintln!("titanc: server {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn run_client(_cli: Cli, _addr: &str) -> ExitCode {
+    eprintln!("titanc: --server needs Unix domain sockets on this platform");
+    ExitCode::from(2)
 }

@@ -1,0 +1,122 @@
+//! `titand` — the long-lived titanc compile server.
+//!
+//! ```text
+//! titand [--socket PATH | --stdio] [--cache-dir DIR] [-j N] [--quiet]
+//!
+//!   --socket PATH       serve newline-delimited JSON compile requests
+//!                       on a Unix domain socket (the default transport
+//!                       for `titanc --server PATH`)
+//!   --stdio             serve the same protocol on stdin/stdout
+//!   --cache-dir DIR     write-through backing directory for the
+//!                       resident cache; one-shot `titanc --cache-dir`
+//!                       runs interoperate with the daemon on it
+//!   -j N | --jobs N     request worker pool size (default: available
+//!                       parallelism)
+//!   --quiet             suppress the per-request accounting log lines
+//! ```
+//!
+//! The daemon keeps the content-addressed IL cache resident in memory:
+//! the first compile of a program pays the full pipeline, every
+//! subsequent compile of unchanged procedures is served from the
+//! in-memory map, and warm repeats skip the pipeline outright. Requests
+//! are batched across the worker pool; responses stream back as they
+//! finish, tagged by request id. Responses are byte-identical to
+//! one-shot `titanc` on the same inputs (modulo the `titanc: cache:`
+//! accounting line, which reflects cache state).
+//!
+//! `{"shutdown": true}` stops the daemon; the acknowledgement and the
+//! final `titand: totals:` stderr line carry the aggregate accounting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use titanc::server::{Server, ServerConfig};
+
+struct Args {
+    socket: Option<PathBuf>,
+    stdio: bool,
+    cache_dir: Option<PathBuf>,
+    jobs: usize,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: titand [--socket PATH | --stdio] [--cache-dir DIR] [-j N|--jobs N] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        socket: None,
+        stdio: false,
+        cache_dir: None,
+        jobs: 0,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => out.socket = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--stdio" => out.stdio = true,
+            "--cache-dir" => {
+                out.cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "-j" | "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                out.jobs = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--quiet" => out.quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if out.stdio == out.socket.is_some() {
+        // exactly one transport
+        usage();
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let config = ServerConfig {
+        cache_dir: args.cache_dir.clone(),
+        workers: args.jobs,
+    };
+    let mut server = Server::new(&config);
+    if args.quiet {
+        server = server.quiet();
+    }
+
+    let served = if args.stdio {
+        eprintln!("titand: serving stdio");
+        server.serve_stdio()
+    } else {
+        let path = args.socket.expect("parse_args guarantees a transport");
+        serve_socket(&server, &path)
+    };
+    if let Err(e) = served {
+        eprintln!("titand: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("titand: totals: {}", server.totals());
+    ExitCode::SUCCESS
+}
+
+#[cfg(unix)]
+fn serve_socket(server: &Server, path: &std::path::Path) -> std::io::Result<()> {
+    let listener = titanc::server::bind_unix(path)?;
+    // the ready line goes out *after* bind succeeds, so a supervisor can
+    // wait for it before launching clients
+    eprintln!("titand: listening on {}", path.display());
+    server.serve_listener(listener, path)
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_server: &Server, _path: &std::path::Path) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket needs Unix domain sockets on this platform; use --stdio",
+    ))
+}

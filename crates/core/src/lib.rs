@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod pass;
+pub mod server;
 pub mod session;
 pub mod store;
 pub mod trace;
@@ -51,9 +52,10 @@ pub use pass::{
     Pipeline, ProcPass, RecordedCell, SessionReplay, Snapshot, WorkItem,
 };
 pub use session::{
-    compile_session, compile_session_with, SessionCompilation, SessionStats, SourceFile,
+    compile_session, compile_session_resident, compile_session_with, SessionCompilation,
+    SessionStats, SourceFile,
 };
-pub use store::{install_io_faults, FaultMode, IoFaultSpec, IoOp, StoreStats};
+pub use store::{install_io_faults, FaultMode, IoFaultSpec, IoOp, ResidentCache, StoreStats};
 pub use titanc_analysis::{AnalysisCache, CacheStats, ProcAnalyses};
 pub use titanc_cfront::{Diagnostic, DiagnosticSink, Severity, Span};
 pub use titanc_deps::Aliasing;

@@ -1,0 +1,1064 @@
+//! The compile server: the protocol, the request executor, and the
+//! long-lived serving loops behind `titand` and `titanc --server`.
+//!
+//! ## Protocol
+//!
+//! Newline-delimited JSON over stdio or a Unix socket. Each request line
+//! is a [`CompileRequest`] object carrying the source files *inline*
+//! (name + text — the daemon never touches the client's filesystem) plus
+//! the option and output flags the one-shot CLI would have parsed. Each
+//! response line is a [`CompileResponse`]: the request id, the exit code
+//! the one-shot CLI would have returned, and the exact bytes it would
+//! have written to stdout and stderr. A line of `{"shutdown": true}`
+//! stops the server; its acknowledgement carries the aggregate
+//! [`ServerTotals`].
+//!
+//! ## Byte identity
+//!
+//! Server responses must be byte-identical to a one-shot `titanc` run on
+//! the same inputs. That contract is kept *by construction*: the CLI
+//! driver and [`execute`] render through the same functions in this
+//! module ([`diag_line`], [`cache_line`], [`stats_block`], [`il_block`],
+//! [`opt_report_block`], …) — there is no second copy of the output
+//! formatting to drift. The only legitimate difference is the
+//! `titanc: cache:` accounting line, which reflects cache *state* (a
+//! long-lived daemon accumulates hits a cold one-shot run cannot see);
+//! comparisons strip it.
+//!
+//! ## Shared cache semantics
+//!
+//! All requests compile through one [`ResidentCache`]: an in-memory map
+//! of unsealed cache entries that write through to the daemon's
+//! `--cache-dir` (when it has one), so one-shot `titanc --cache-dir`
+//! invocations and the daemon interoperate on the same directory. The
+//! per-request pipeline still fans procedures across its own `-j`
+//! worker pool; the daemon's pool (its own `-j`) batches independent
+//! *requests*. Analysis caches stay per-request — they are keyed by
+//! in-memory generation counters that restart with every compilation —
+//! but a warm request skips the pipeline (and with it all analyses)
+//! outright.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+#[cfg(unix)]
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::session::{compile_session_resident, SourceFile};
+use crate::store::ResidentCache;
+use crate::trace::OptReport;
+use crate::{Compilation, Options, Pipeline, Reports, SessionStats};
+use titanc_il::json::{parse, FromJson, Json, ToJson};
+
+/// Exit code for "a contained pass incident was reported and `--strict`
+/// was given" — shared by the CLI and the server executor.
+pub const EXIT_INCIDENT: u8 = 3;
+
+/// Bumped when the request/response encoding changes shape.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------
+// Protocol types
+// ---------------------------------------------------------------------
+
+/// One compile request: inline sources plus the CLI flags the server
+/// supports. Flags that only make sense against the client's local
+/// filesystem or terminal (`--run`, `--trace-json`, `--emit-catalog`,
+/// `--catalog`, `--snapshots`, `--time`) are rejected client-side.
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    /// Client-chosen tag echoed on the response and in the daemon's
+    /// per-request accounting log line.
+    pub id: i64,
+    /// The translation units, carried inline.
+    pub files: Vec<SourceFile>,
+    /// Optimization level: 0, 1 or 2.
+    pub opt: i64,
+    /// `--parallel`.
+    pub parallelize: bool,
+    /// `--spread-lists`.
+    pub spread_lists: bool,
+    /// `--fortran-aliasing`.
+    pub fortran_aliasing: bool,
+    /// Inline expansion (§7); `false` for `--no-inline` / `-O0` / `-O1`.
+    pub inline: bool,
+    /// `--strip N`.
+    pub strip: i64,
+    /// `-j N` for the *per-request* pipeline. `0` resolves to 1 on the
+    /// server: concurrent requests already saturate the daemon's pool,
+    /// and output is byte-identical for every worker count.
+    pub jobs: i64,
+    /// `--verify`.
+    pub verify: bool,
+    /// `--max-errors N` (0 = no cap).
+    pub max_errors: i64,
+    /// `--strict`.
+    pub strict: bool,
+    /// `--print-il`.
+    pub print_il: bool,
+    /// `--stats`.
+    pub stats: bool,
+    /// `--opt-report` flavor: `"none"`, `"text"` or `"json"`.
+    pub opt_report: String,
+}
+
+titanc_il::struct_json!(
+    CompileRequest,
+    [
+        id,
+        files,
+        opt,
+        parallelize,
+        spread_lists,
+        fortran_aliasing,
+        inline,
+        strip,
+        jobs,
+        verify,
+        max_errors,
+        strict,
+        print_il,
+        stats,
+        opt_report
+    ]
+);
+
+impl Default for CompileRequest {
+    fn default() -> CompileRequest {
+        let o = Options::o2();
+        CompileRequest {
+            id: 0,
+            files: Vec::new(),
+            opt: 2,
+            parallelize: false,
+            spread_lists: false,
+            fortran_aliasing: false,
+            inline: true,
+            strip: o.strip,
+            jobs: 0,
+            verify: false,
+            max_errors: o.max_errors as i64,
+            strict: false,
+            print_il: false,
+            stats: false,
+            opt_report: "none".to_string(),
+        }
+    }
+}
+
+impl CompileRequest {
+    /// The [`Options`] this request describes. `jobs == 0` maps to one
+    /// pipeline worker (see the field docs).
+    pub fn options(&self) -> Options {
+        let mut o = match self.opt {
+            0 => Options::o0(),
+            1 => Options::o1(),
+            _ => Options::o2(),
+        };
+        o.inline = self.inline && self.opt >= 2;
+        o.parallelize = self.parallelize;
+        o.spread_lists = self.spread_lists;
+        if self.fortran_aliasing {
+            o.aliasing = crate::Aliasing::Fortran;
+        }
+        o.strip = self.strip;
+        o.jobs = if self.jobs <= 0 {
+            1
+        } else {
+            self.jobs as usize
+        };
+        o.verify = self.verify;
+        o.max_errors = self.max_errors.max(0) as usize;
+        o
+    }
+}
+
+/// One compile response: the one-shot CLI's exit code and its exact
+/// stdout/stderr bytes, tagged with the request id.
+#[derive(Clone, Debug, Default)]
+pub struct CompileResponse {
+    /// Echo of [`CompileRequest::id`] (`-1` when the request line was
+    /// unparseable).
+    pub id: i64,
+    /// The exit code one-shot `titanc` would have returned: `0` success,
+    /// `1` diagnostics, `2` bad request, `3` `--strict` incident.
+    pub exit: i64,
+    /// Exactly what the one-shot CLI writes to stdout.
+    pub stdout: String,
+    /// Exactly what the one-shot CLI writes to stderr (including the
+    /// `titanc: cache:` accounting line).
+    pub stderr: String,
+}
+
+titanc_il::struct_json!(CompileResponse, [id, exit, stdout, stderr]);
+
+/// Aggregate accounting across every request a server instance handled;
+/// returned on the shutdown acknowledgement and logged by `titand` at
+/// exit.
+#[derive(Clone, Debug, Default)]
+pub struct ServerTotals {
+    /// Compile requests executed (including ones that failed with
+    /// diagnostics).
+    pub requests: i64,
+    /// Lines that were not valid requests.
+    pub protocol_errors: i64,
+    /// Requests whose whole pipeline was skipped via the session
+    /// manifest.
+    pub fully_warm: i64,
+    /// Summed [`SessionStats::hits`].
+    pub hits: i64,
+    /// Summed [`SessionStats::misses`].
+    pub misses: i64,
+    /// Summed [`SessionStats::invalidated`].
+    pub invalidated: i64,
+    /// Summed [`SessionStats::passes_executed`].
+    pub passes_executed: i64,
+    /// Summed [`SessionStats::corrupt`].
+    pub corrupt: i64,
+    /// Summed [`SessionStats::quarantined`].
+    pub quarantined: i64,
+    /// Summed [`SessionStats::lock_contended`].
+    pub lock_contended: i64,
+    /// Summed [`SessionStats::write_failed`].
+    pub write_failed: i64,
+}
+
+titanc_il::struct_json!(
+    ServerTotals,
+    [
+        requests,
+        protocol_errors,
+        fully_warm,
+        hits,
+        misses,
+        invalidated,
+        passes_executed,
+        corrupt,
+        quarantined,
+        lock_contended,
+        write_failed
+    ]
+);
+
+impl ServerTotals {
+    /// Adds another instance's counters into this one (the stress
+    /// harness aggregates totals across many short-lived servers).
+    pub fn merge(&mut self, other: &ServerTotals) {
+        self.requests += other.requests;
+        self.protocol_errors += other.protocol_errors;
+        self.fully_warm += other.fully_warm;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidated += other.invalidated;
+        self.passes_executed += other.passes_executed;
+        self.corrupt += other.corrupt;
+        self.quarantined += other.quarantined;
+        self.lock_contended += other.lock_contended;
+        self.write_failed += other.write_failed;
+    }
+
+    fn fold(&mut self, stats: &SessionStats) {
+        self.fully_warm += i64::from(stats.full_warm);
+        self.hits += stats.hits as i64;
+        self.misses += stats.misses as i64;
+        self.invalidated += stats.invalidated as i64;
+        self.passes_executed += stats.passes_executed as i64;
+        self.corrupt += stats.corrupt as i64;
+        self.quarantined += stats.quarantined as i64;
+        self.lock_contended += stats.lock_contended as i64;
+        self.write_failed += stats.write_failed as i64;
+    }
+}
+
+impl std::fmt::Display for ServerTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} request(s), {} protocol error(s), {} fully warm; \
+             {} hit(s), {} miss(es), {} invalidated; {} pass execution(s); \
+             {} corrupt, {} quarantined, {} lock-contended, {} write-failed",
+            self.requests,
+            self.protocol_errors,
+            self.fully_warm,
+            self.hits,
+            self.misses,
+            self.invalidated,
+            self.passes_executed,
+            self.corrupt,
+            self.quarantined,
+            self.lock_contended,
+            self.write_failed
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared output rendering (the byte-identity functions)
+// ---------------------------------------------------------------------
+
+/// Renders one diagnostic line exactly as the CLI prints it:
+/// single-file invocations keep the classic `file:line:col: message`
+/// shape; multi-file sessions already carry the file name inside the
+/// message.
+pub fn diag_line(files: &[String], d: &impl std::fmt::Display) -> String {
+    if let [file] = files {
+        format!("{file}:{d}\n")
+    } else {
+        format!("{d}\n")
+    }
+}
+
+/// The `titanc: cache:` accounting line (no trailing newline); CI's
+/// cache-smoke job parses this exact shape.
+pub fn cache_line(stats: &SessionStats) -> String {
+    format!(
+        "titanc: cache: {} hit(s), {} miss(es), {} invalidated; {} pass execution(s){}; \
+         {} corrupt, {} quarantined, {} lock-contended, {} write-failed",
+        stats.hits,
+        stats.misses,
+        stats.invalidated,
+        stats.passes_executed,
+        if stats.full_warm { " (fully warm)" } else { "" },
+        stats.corrupt,
+        stats.quarantined,
+        stats.lock_contended,
+        stats.write_failed,
+    )
+}
+
+/// One contained-incident warning line.
+pub fn incident_line(incident: &impl std::fmt::Display) -> String {
+    format!("titanc: warning: {incident}\n")
+}
+
+/// The `--strict` failure line.
+pub fn strict_line(incidents: usize) -> String {
+    format!("titanc: {incidents} pass incident(s) contained; failing because of --strict\n")
+}
+
+/// The `--print-il` block: every procedure pretty-printed.
+pub fn il_block(program: &titanc_il::Program) -> String {
+    let mut out = String::new();
+    for p in &program.procs {
+        let _ = writeln!(out, "{}", titanc_il::pretty_proc(p));
+    }
+    out
+}
+
+/// The `--stats` block.
+pub fn stats_block(r: &Reports) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "inline:     {} sites ({} recursive skipped, {} growth-budget skipped)",
+        r.inline.inlined, r.inline.skipped_recursive, r.inline.skipped_growth
+    );
+    let _ = writeln!(
+        out,
+        "while->DO:  {} converted, {} rejected",
+        r.whiledo.converted,
+        r.whiledo.rejects.len()
+    );
+    let _ = writeln!(
+        out,
+        "ivsub:      {} variables, {} passes, {} backtracks",
+        r.ivsub.substituted, r.ivsub.passes, r.ivsub.backtracks
+    );
+    let _ = writeln!(out, "forward:    {} substitutions", r.forward.substituted);
+    let _ = writeln!(
+        out,
+        "constprop:  {} replaced, {} removed, {} rounds",
+        r.constprop.replaced, r.constprop.removed, r.constprop.rounds
+    );
+    let _ = writeln!(out, "dce:        {} removed", r.dce.removed);
+    let _ = writeln!(
+        out,
+        "vectorizer: {} vectorized, {} spread, {} scalar",
+        r.vector.vectorized, r.vector.spread, r.vector.scalar
+    );
+    let _ = writeln!(
+        out,
+        "strength:   {} promoted, {} reduced, {} hoisted",
+        r.strength.promoted, r.strength.reduced, r.strength.hoisted
+    );
+    out
+}
+
+/// The `--opt-report` block (text or JSON flavor).
+pub fn opt_report_block(compiled: &Compilation, json: bool) -> String {
+    let report = OptReport::build_for(&compiled.reports, &compiled.trace, &compiled.program.files);
+    if json {
+        format!("{}\n", report.to_json().to_string_compact())
+    } else {
+        report.render()
+    }
+}
+
+/// The pipeline the CLI and the server both compile with:
+/// [`Pipeline::for_options`] plus the `TITANC_INJECT_PANIC` test hook (a
+/// pass that panics on the named procedure, used by the exit-code
+/// integration tests to exercise fail-soft containment end to end).
+pub fn base_pipeline(options: &Options) -> Pipeline {
+    let mut pipeline = Pipeline::for_options(options);
+    if let Ok(target) = std::env::var("TITANC_INJECT_PANIC") {
+        pipeline.push_proc(InjectPanic { target });
+    }
+    pipeline
+}
+
+struct InjectPanic {
+    target: String,
+}
+
+impl crate::ProcPass for InjectPanic {
+    fn name(&self) -> &'static str {
+        "inject-panic"
+    }
+
+    fn run_on(
+        &self,
+        proc: &mut titanc_il::Procedure,
+        _cx: &crate::PassContext<'_>,
+        _analyses: &mut crate::ProcAnalyses,
+        _delta: &mut Reports,
+    ) -> crate::PassOutcome {
+        assert!(
+            proc.name != self.target,
+            "injected fault in `{}`",
+            proc.name
+        );
+        crate::PassOutcome::unchanged()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request execution
+// ---------------------------------------------------------------------
+
+/// A finished request: the wire response plus the session stats the
+/// server folds into its totals (absent for front-end failures).
+#[derive(Debug)]
+pub struct Executed {
+    /// The wire response.
+    pub response: CompileResponse,
+    /// Cache accounting for successful compiles.
+    pub stats: Option<SessionStats>,
+}
+
+/// Executes one request against the shared resident cache, rendering
+/// stdout/stderr exactly as one-shot `titanc` would (see the module
+/// docs on byte identity).
+pub fn execute(req: &CompileRequest, resident: &ResidentCache) -> Executed {
+    let mut out = String::new();
+    let mut err = String::new();
+    let names: Vec<String> = req.files.iter().map(|f| f.name.clone()).collect();
+
+    if req.files.is_empty() {
+        return Executed {
+            response: CompileResponse {
+                id: req.id,
+                exit: 2,
+                stdout: out,
+                stderr: "titanc: server: request carries no files\n".to_string(),
+            },
+            stats: None,
+        };
+    }
+
+    let options = req.options();
+    let pipeline = base_pipeline(&options);
+    let compiled = match compile_session_resident(&req.files, &options, pipeline, resident) {
+        Ok(sc) => {
+            let stats = sc.stats;
+            let compiled = sc.compilation;
+            for d in &compiled.diagnostics {
+                err.push_str(&diag_line(&names, d));
+            }
+            err.push_str(&cache_line(&stats));
+            err.push('\n');
+            for incident in &compiled.trace.incidents {
+                err.push_str(&incident_line(incident));
+            }
+            if req.strict && compiled.has_incidents() {
+                err.push_str(&strict_line(compiled.trace.incidents.len()));
+                return Executed {
+                    response: CompileResponse {
+                        id: req.id,
+                        exit: i64::from(EXIT_INCIDENT),
+                        stdout: out,
+                        stderr: err,
+                    },
+                    stats: Some(stats),
+                };
+            }
+            (compiled, stats)
+        }
+        Err(e) => {
+            for d in &e.diagnostics {
+                err.push_str(&diag_line(&names, d));
+            }
+            return Executed {
+                response: CompileResponse {
+                    id: req.id,
+                    exit: 1,
+                    stdout: out,
+                    stderr: err,
+                },
+                stats: None,
+            };
+        }
+    };
+    let (compiled, stats) = compiled;
+
+    if req.print_il {
+        out.push_str(&il_block(&compiled.program));
+    }
+    if req.stats {
+        out.push_str(&stats_block(&compiled.reports));
+    }
+    match req.opt_report.as_str() {
+        "text" => out.push_str(&opt_report_block(&compiled, false)),
+        "json" => out.push_str(&opt_report_block(&compiled, true)),
+        _ => {}
+    }
+
+    Executed {
+        response: CompileResponse {
+            id: req.id,
+            exit: 0,
+            stdout: out,
+            stderr: err,
+        },
+        stats: Some(stats),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server engine
+// ---------------------------------------------------------------------
+
+/// Server configuration: the write-through cache directory (optional —
+/// without one the cache lives purely in memory) and the request worker
+/// pool size (`0` = available parallelism).
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// `--cache-dir`: write-through backing directory shared with
+    /// one-shot `titanc` invocations.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Concurrent request workers (`-j`; `0` = available parallelism).
+    pub workers: usize,
+}
+
+/// The reply to one protocol line.
+#[derive(Debug)]
+pub enum Reply {
+    /// A serialized [`CompileResponse`] line.
+    Line(String),
+    /// The serialized shutdown acknowledgement (carrying
+    /// [`ServerTotals`]); the server stops accepting after sending it.
+    Shutdown(String),
+}
+
+/// A long-lived compile server: one shared [`ResidentCache`], a request
+/// worker pool, and aggregate accounting. Drive it with [`serve_stdio`]
+/// (newline-delimited JSON on stdin/stdout) or [`serve_unix`] (a Unix
+/// domain socket), or feed it lines directly with [`handle_line`] for
+/// in-process use (tests, benches).
+///
+/// [`serve_stdio`]: Server::serve_stdio
+/// [`serve_unix`]: Server::serve_unix
+/// [`handle_line`]: Server::handle_line
+pub struct Server {
+    resident: ResidentCache,
+    totals: Mutex<ServerTotals>,
+    workers: usize,
+    quiet: bool,
+}
+
+impl Server {
+    /// Builds a server over a fresh resident cache (seeded lazily from
+    /// `config.cache_dir` as entries are first read).
+    pub fn new(config: &ServerConfig) -> Server {
+        Server {
+            resident: ResidentCache::new(config.cache_dir.as_deref()),
+            totals: Mutex::new(ServerTotals::default()),
+            workers: match config.workers {
+                0 => std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+                n => n,
+            },
+            quiet: false,
+        }
+    }
+
+    /// Suppresses the per-request accounting log lines on stderr
+    /// (benches and tests drive thousands of requests).
+    pub fn quiet(mut self) -> Server {
+        self.quiet = true;
+        self
+    }
+
+    /// The shared resident cache (tests publish through it).
+    pub fn resident(&self) -> &ResidentCache {
+        &self.resident
+    }
+
+    /// A snapshot of the aggregate accounting.
+    pub fn totals(&self) -> ServerTotals {
+        self.totals.lock().unwrap().clone()
+    }
+
+    /// Handles one protocol line: parse, execute, account, serialize.
+    /// Unparseable lines get an `exit: 2` response rather than killing
+    /// the connection.
+    pub fn handle_line(&self, line: &str) -> Reply {
+        let doc = match parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                self.totals.lock().unwrap().protocol_errors += 1;
+                return Reply::Line(protocol_error(-1, &format!("bad request line: {e}")));
+            }
+        };
+        if let Some(flag) = doc.get("shutdown") {
+            if flag.as_bool().unwrap_or(false) {
+                let totals = self.totals();
+                let ack = Json::obj(vec![
+                    ("shutdown", Json::Bool(true)),
+                    ("totals", totals.to_json()),
+                ]);
+                return Reply::Shutdown(ack.to_string_compact());
+            }
+        }
+        let req = match CompileRequest::from_json(&doc) {
+            Ok(req) => req,
+            Err(e) => {
+                self.totals.lock().unwrap().protocol_errors += 1;
+                let id = doc.get("id").and_then(|v| v.as_i64().ok()).unwrap_or(-1);
+                return Reply::Line(protocol_error(id, &format!("bad request: {e}")));
+            }
+        };
+        let done = execute(&req, &self.resident);
+        {
+            let mut totals = self.totals.lock().unwrap();
+            totals.requests += 1;
+            if let Some(stats) = &done.stats {
+                totals.fold(stats);
+            }
+        }
+        if !self.quiet {
+            // the per-request accounting line, tagged by request id, on
+            // the daemon's own stderr (the response carries the client's
+            // copy inside its stderr field)
+            match &done.stats {
+                Some(stats) => eprintln!(
+                    "titand: req={} files={} exit={} {}",
+                    req.id,
+                    req.files.len(),
+                    done.response.exit,
+                    cache_line(stats)
+                ),
+                None => eprintln!(
+                    "titand: req={} files={} exit={}",
+                    req.id,
+                    req.files.len(),
+                    done.response.exit
+                ),
+            }
+        }
+        Reply::Line(done.response.to_json().to_string_compact())
+    }
+
+    /// Serves newline-delimited JSON on stdin/stdout: requests are
+    /// batched across the worker pool and responses stream back as they
+    /// finish (tagged by id — completion order is not request order).
+    /// EOF on stdin is a graceful shutdown, as is a `{"shutdown":true}`
+    /// line (acknowledged before the loop stops accepting).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stdin read error.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let stdout: Arc<Mutex<Box<dyn Write + Send>>> =
+            Arc::new(Mutex::new(Box::new(io::stdout())));
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<String>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                let out = Arc::clone(&stdout);
+                let rx = &rx;
+                let stop = &stop;
+                s.spawn(move || loop {
+                    let line = rx.lock().unwrap().recv();
+                    let Ok(line) = line else { break };
+                    match self.handle_line(&line) {
+                        Reply::Line(resp) => {
+                            let mut out = out.lock().unwrap();
+                            let _ = writeln!(out, "{resp}");
+                            let _ = out.flush();
+                        }
+                        Reply::Shutdown(ack) => {
+                            stop.store(true, Ordering::SeqCst);
+                            let mut out = out.lock().unwrap();
+                            let _ = writeln!(out, "{ack}");
+                            let _ = out.flush();
+                        }
+                    }
+                });
+            }
+            for line in io::stdin().lock().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        drop(tx);
+                        return Err(e);
+                    }
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let _ = tx.send(line);
+            }
+            drop(tx);
+            Ok(())
+        })
+    }
+
+    /// Serves a Unix domain socket: each accepted connection is handed
+    /// to the worker pool, which answers every request line on that
+    /// connection in order (concurrency comes from concurrent
+    /// connections). A `{"shutdown":true}` request is acknowledged,
+    /// then the listener stops accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/accept errors; per-connection IO errors just drop
+    /// that connection.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &Path) -> io::Result<()> {
+        let listener = bind_unix(path)?;
+        self.serve_listener(listener, path)
+    }
+
+    /// [`serve_unix`](Server::serve_unix) over an already-bound
+    /// listener — the daemon binds first so it can announce readiness
+    /// before the accept loop starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept errors; per-connection IO errors just drop that
+    /// connection.
+    #[cfg(unix)]
+    pub fn serve_listener(
+        &self,
+        listener: std::os::unix::net::UnixListener,
+        path: &Path,
+    ) -> io::Result<()> {
+        use std::os::unix::net::UnixStream;
+
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<UnixStream>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|s| -> io::Result<()> {
+            for _ in 0..self.workers {
+                let rx = &rx;
+                let stop = &stop;
+                s.spawn(move || loop {
+                    let stream = rx.lock().unwrap().recv();
+                    let Ok(stream) = stream else { break };
+                    let Ok(read) = stream.try_clone() else {
+                        continue;
+                    };
+                    let mut write = stream;
+                    let reader = BufReader::new(read);
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match self.handle_line(&line) {
+                            Reply::Line(resp) => {
+                                if writeln!(write, "{resp}")
+                                    .and_then(|()| write.flush())
+                                    .is_err()
+                                {
+                                    break;
+                                }
+                            }
+                            Reply::Shutdown(ack) => {
+                                let _ = writeln!(write, "{ack}");
+                                let _ = write.flush();
+                                stop.store(true, Ordering::SeqCst);
+                                // unblock the accept loop so it can see
+                                // the stop flag
+                                let _ = UnixStream::connect(path);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = tx.send(s);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx);
+            Ok(())
+        })?;
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+/// Binds the daemon's Unix socket, replacing any leftover socket file
+/// from a previous run.
+///
+/// # Errors
+///
+/// Returns the bind error.
+#[cfg(unix)]
+pub fn bind_unix(path: &Path) -> io::Result<std::os::unix::net::UnixListener> {
+    let _ = std::fs::remove_file(path);
+    std::os::unix::net::UnixListener::bind(path)
+}
+
+fn protocol_error(id: i64, message: &str) -> String {
+    CompileResponse {
+        id,
+        exit: 2,
+        stdout: String::new(),
+        stderr: format!("titanc: server: {message}\n"),
+    }
+    .to_json()
+    .to_string_compact()
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// Sends one request over a Unix socket and reads the response —
+/// the transport behind `titanc --server <socket>`.
+///
+/// # Errors
+///
+/// Returns connect/IO errors, or `InvalidData` when the server's reply
+/// is not a [`CompileResponse`] line.
+#[cfg(unix)]
+pub fn request_over_unix(addr: &Path, req: &CompileRequest) -> io::Result<CompileResponse> {
+    use std::os::unix::net::UnixStream;
+
+    let mut stream = UnixStream::connect(addr)?;
+    writeln!(stream, "{}", req.to_json().to_string_compact())?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let doc = parse(line.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))?;
+    CompileResponse::from_json(&doc)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+}
+
+/// Sends `{"shutdown":true}` over a Unix socket and returns the
+/// server's aggregate totals from the acknowledgement.
+///
+/// # Errors
+///
+/// Returns connect/IO errors, or `InvalidData` on a malformed
+/// acknowledgement.
+#[cfg(unix)]
+pub fn shutdown_over_unix(addr: &Path) -> io::Result<ServerTotals> {
+    use std::os::unix::net::UnixStream;
+
+    let mut stream = UnixStream::connect(addr)?;
+    writeln!(stream, "{{\"shutdown\":true}}")?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let doc = parse(line.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad ack: {e}")))?;
+    let totals = doc
+        .field("totals")
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad ack: {e}")))?;
+    ServerTotals::from_json(totals)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad ack: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CacheStore;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("titanc-server-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_request(id: i64, tag: usize) -> CompileRequest {
+        let src = format!(
+            "float a{tag}[64], b{tag}[64];\n\
+             void k{tag}(void) {{ int i; for (i = 0; i < 64; i++) \
+             a{tag}[i] = a{tag}[i] + 2.0f * b{tag}[i]; }}\n\
+             int main(void) {{ k{tag}(); return 0; }}\n"
+        );
+        CompileRequest {
+            id,
+            files: vec![SourceFile::new(format!("t{tag}.c"), src)],
+            opt_report: "json".to_string(),
+            ..CompileRequest::default()
+        }
+    }
+
+    fn response_of(reply: Reply) -> CompileResponse {
+        match reply {
+            Reply::Line(line) => CompileResponse::from_json(&parse(&line).unwrap()).unwrap(),
+            Reply::Shutdown(ack) => panic!("unexpected shutdown ack: {ack}"),
+        }
+    }
+
+    #[test]
+    fn protocol_errors_answer_exit_two_and_are_counted() {
+        let server = Server::new(&ServerConfig::default()).quiet();
+        let bad = response_of(server.handle_line("not json at all"));
+        assert_eq!((bad.id, bad.exit), (-1, 2));
+        assert!(bad.stderr.contains("bad request line"));
+
+        let missing = response_of(server.handle_line(r#"{"id": 9}"#));
+        assert_eq!((missing.id, missing.exit), (9, 2));
+        assert!(missing.stderr.contains("bad request"));
+
+        let totals = server.totals();
+        assert_eq!(totals.protocol_errors, 2);
+        assert_eq!(totals.requests, 0);
+    }
+
+    #[test]
+    fn shutdown_ack_carries_the_totals() {
+        let server = Server::new(&ServerConfig::default()).quiet();
+        let req = tiny_request(5, 0).to_json().to_string_compact();
+        assert_eq!(response_of(server.handle_line(&req)).exit, 0);
+        match server.handle_line(r#"{"shutdown": true}"#) {
+            Reply::Shutdown(ack) => {
+                let doc = parse(&ack).unwrap();
+                let totals = ServerTotals::from_json(doc.field("totals").unwrap()).unwrap();
+                assert_eq!(totals.requests, 1);
+                assert!(totals.misses > 0);
+            }
+            Reply::Line(line) => panic!("shutdown not acknowledged: {line}"),
+        }
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_shared_resident_cache() {
+        let server = Server::new(&ServerConfig::default()).quiet();
+        let line = tiny_request(1, 3).to_json().to_string_compact();
+        let cold = response_of(server.handle_line(&line));
+        let warm = response_of(server.handle_line(&line));
+        assert_eq!(cold.exit, 0, "{}", cold.stderr);
+        assert_eq!(cold.stdout, warm.stdout);
+        assert!(
+            warm.stderr.contains("(fully warm)"),
+            "repeat did not skip the pipeline:\n{}",
+            warm.stderr
+        );
+        let totals = server.totals();
+        assert_eq!(totals.fully_warm, 1);
+        assert!(totals.hits > 0);
+    }
+
+    /// The ISSUE's second stress bar: the lock-race fix must hold under
+    /// the server's concurrent load. Server workers compile through the
+    /// shared write-through directory while external contenders (one-shot
+    /// `titanc` processes in real life) hammer `CacheStore::lock` on the
+    /// same directory, asserting the identity-token contract the whole
+    /// time.
+    #[test]
+    fn external_lock_contenders_survive_concurrent_server_load() {
+        const SERVER_THREADS: usize = 3;
+        const REQUESTS_PER_THREAD: usize = 4;
+        const CONTENDERS: usize = 3;
+
+        let dir = scratch("lock-under-load");
+        let config = ServerConfig {
+            cache_dir: Some(dir.clone()),
+            workers: SERVER_THREADS,
+        };
+        let server = Server::new(&config).quiet();
+        let violations = AtomicUsize::new(0);
+        let acquired = AtomicUsize::new(0);
+        let serving = AtomicBool::new(true);
+
+        std::thread::scope(|s| {
+            for t in 0..SERVER_THREADS {
+                let server = &server;
+                s.spawn(move || {
+                    for r in 0..REQUESTS_PER_THREAD {
+                        let req = tiny_request((t * 100 + r) as i64, t * 100 + r);
+                        let line = req.to_json().to_string_compact();
+                        let resp = response_of(server.handle_line(&line));
+                        assert_eq!(resp.exit, 0, "{}", resp.stderr);
+                    }
+                });
+            }
+            for _ in 0..CONTENDERS {
+                let dir = &dir;
+                let violations = &violations;
+                let acquired = &acquired;
+                let serving = &serving;
+                s.spawn(move || {
+                    let lock_path = dir.join(".lock");
+                    while serving.load(Ordering::SeqCst) {
+                        let mut store = CacheStore::open(dir);
+                        if let Some(held) = store.lock() {
+                            acquired.fetch_add(1, Ordering::SeqCst);
+                            let read = std::fs::read_to_string(&lock_path).unwrap_or_default();
+                            if read != held.token() {
+                                violations.fetch_add(1, Ordering::SeqCst);
+                            }
+                            drop(held);
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                });
+            }
+            // signal the contenders once totals show every request done
+            loop {
+                if server.totals().requests >= (SERVER_THREADS * REQUESTS_PER_THREAD) as i64 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            serving.store(false, Ordering::SeqCst);
+        });
+
+        assert_eq!(
+            violations.load(Ordering::SeqCst),
+            0,
+            "a contender's lock was deleted out from under it during server load"
+        );
+        assert!(acquired.load(Ordering::SeqCst) > 0);
+        assert_eq!(
+            server.totals().requests as usize,
+            SERVER_THREADS * REQUESTS_PER_THREAD
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -68,7 +68,7 @@ use crate::pass::{
     snapshot_all, verify_proc_check, verify_program_check, CachedProc, PassRecord, PassTrace,
     RecordedCell, SessionReplay,
 };
-use crate::store::{CacheStore, CACHE_FORMAT};
+use crate::store::{CacheStore, ResidentCache, CACHE_FORMAT};
 use crate::{
     link_catalogs, optimization_remarks, Compilation, CompileError, Options, Pipeline, Reports,
 };
@@ -96,6 +96,8 @@ impl SourceFile {
         }
     }
 }
+
+titanc_il::struct_json!(SourceFile, [name, src]);
 
 /// What the cache did during one session.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -165,6 +167,41 @@ pub fn compile_session_with(
     options: &Options,
     pipeline: Pipeline,
     cache_dir: Option<&Path>,
+) -> Result<SessionCompilation, CompileError> {
+    compile_session_impl(files, options, pipeline, cache_dir.map(CacheStore::open))
+}
+
+/// [`compile_session_with`] against a shared [`ResidentCache`]: cache
+/// reads are served from the resident in-memory map (falling back to,
+/// and adopting from, the map's backing directory when it has one), and
+/// publishes write through to both. This is the compile server's entry
+/// point — many concurrent sessions in one process share a single
+/// resident cache, and a `--cache-dir` backing directory keeps one-shot
+/// `titanc` invocations interoperable with the daemon.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical, syntactic or semantic errors
+/// in any input file.
+pub fn compile_session_resident(
+    files: &[SourceFile],
+    options: &Options,
+    pipeline: Pipeline,
+    resident: &ResidentCache,
+) -> Result<SessionCompilation, CompileError> {
+    compile_session_impl(
+        files,
+        options,
+        pipeline,
+        Some(CacheStore::open_resident(resident)),
+    )
+}
+
+fn compile_session_impl(
+    files: &[SourceFile],
+    options: &Options,
+    pipeline: Pipeline,
+    store: Option<CacheStore>,
 ) -> Result<SessionCompilation, CompileError> {
     if files.is_empty() {
         return Err(CompileError::internal("no input files"));
@@ -238,7 +275,7 @@ pub fn compile_session_with(
     let (program_stages, proc_stages) = pipeline.stage_counts();
     let mut stats = SessionStats::default();
 
-    let mut store = cache_dir.map(CacheStore::open);
+    let mut store = store;
     let index = store.as_mut().map(load_index).unwrap_or_default();
     // the session key is computed on the *parsed* program — exactly what
     // the next invocation computes before any pass runs, so the manifest

@@ -1,0 +1,311 @@
+//! The compile server, end to end through the real binaries: `titand`
+//! responses must be byte-identical to one-shot `titanc` on the same
+//! inputs (stdout exactly; stderr modulo the `titanc: cache:` accounting
+//! line, which legitimately reflects cache state), warm repeats must
+//! skip the pipeline, and ≥8 concurrent clients over a Unix socket must
+//! each see their own one-shot-identical response.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use titanc::server::{CompileRequest, CompileResponse};
+use titanc::SourceFile;
+use titanc_il::json::{parse, FromJson, ToJson};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 7, "corpus went missing");
+    files
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("titanc-server-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The CLI flag set the whole file exercises, and its request twin.
+const ONE_SHOT_FLAGS: &[&str] = &[
+    "--parallel",
+    "--spread-lists",
+    "--opt-report=json",
+    "--stats",
+    "--print-il",
+];
+
+fn request_for(id: i64, path: &std::path::Path) -> CompileRequest {
+    let src = fs::read_to_string(path).unwrap();
+    CompileRequest {
+        id,
+        files: vec![SourceFile::new(path.display().to_string(), src)],
+        parallelize: true,
+        spread_lists: true,
+        print_il: true,
+        stats: true,
+        opt_report: "json".to_string(),
+        ..CompileRequest::default()
+    }
+}
+
+fn one_shot(path: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_titanc"))
+        .args(ONE_SHOT_FLAGS)
+        .arg(path)
+        .output()
+        .unwrap()
+}
+
+fn strip_cache_lines(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("titanc: cache:"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Runs `titand --stdio --quiet`, feeds it the given request lines plus
+/// a shutdown, and returns the responses keyed by request id.
+fn serve_stdio(lines: &[String]) -> BTreeMap<i64, CompileResponse> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_titand"))
+        .args(["--stdio", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for line in lines {
+            writeln!(stdin, "{line}").unwrap();
+        }
+        // EOF is a graceful shutdown
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "titand failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut responses = BTreeMap::new();
+    for line in String::from_utf8(out.stdout).unwrap().lines() {
+        let doc = parse(line).unwrap();
+        let resp = CompileResponse::from_json(&doc).unwrap();
+        responses.insert(resp.id, resp);
+    }
+    responses
+}
+
+#[test]
+fn stdio_responses_match_one_shot_titanc_for_every_corpus_file() {
+    let files = corpus_files();
+    let lines: Vec<String> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| request_for(i as i64, f).to_json().to_string_compact())
+        .collect();
+    let responses = serve_stdio(&lines);
+    assert_eq!(responses.len(), files.len());
+
+    for (i, file) in files.iter().enumerate() {
+        let resp = &responses[&(i as i64)];
+        let reference = one_shot(file);
+        assert_eq!(
+            resp.exit,
+            i64::from(reference.status.code().unwrap()),
+            "{}",
+            file.display()
+        );
+        assert_eq!(
+            resp.stdout,
+            String::from_utf8_lossy(&reference.stdout),
+            "stdout diverged for {}",
+            file.display()
+        );
+        assert_eq!(
+            strip_cache_lines(&resp.stderr),
+            String::from_utf8_lossy(&reference.stderr),
+            "stderr diverged for {}",
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn warm_repeat_skips_the_pipeline_and_stays_byte_identical() {
+    let file = &corpus_files()[0];
+    let lines = [
+        request_for(1, file).to_json().to_string_compact(),
+        request_for(2, file).to_json().to_string_compact(),
+    ];
+    // stdio requests are served concurrently, so the "second" request is
+    // not guaranteed to see the first one's published entries — run two
+    // daemons over one write-through directory instead, which also
+    // proves one-shot/daemon interop on the same cache dir.
+    let dir = scratch("warm");
+    let dir_arg = dir.join("cache");
+    let serve_one = |line: &String| {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_titand"))
+            .args(["--stdio", "--quiet", "--cache-dir"])
+            .arg(&dir_arg)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        writeln!(child.stdin.take().unwrap(), "{line}").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        let doc = parse(text.lines().next().unwrap()).unwrap();
+        CompileResponse::from_json(&doc).unwrap()
+    };
+    let cold = serve_one(&lines[0]);
+    let warm = serve_one(&lines[1]);
+
+    assert_eq!(cold.exit, 0, "{}", cold.stderr);
+    assert_eq!(warm.exit, 0, "{}", warm.stderr);
+    assert_eq!(cold.stdout, warm.stdout, "warm stdout diverged");
+    assert_eq!(
+        strip_cache_lines(&cold.stderr),
+        strip_cache_lines(&warm.stderr),
+        "warm stderr diverged"
+    );
+    assert!(
+        warm.stderr.contains("(fully warm)"),
+        "second run did not skip the pipeline:\n{}",
+        warm.stderr
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_rejects_flags_that_cannot_ride_the_protocol() {
+    for flag in [
+        &["--run"][..],
+        &["--time"][..],
+        &["--snapshots"][..],
+        &["--cache-dir", "x"][..],
+        &["--trace-json", "x"][..],
+        &["--emit-catalog", "x"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_titanc"))
+            .args(["--server", "/nonexistent.sock"])
+            .args(flag)
+            .arg("x.c")
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "flag {flag:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("cannot be combined with --server"),
+            "flag {flag:?}"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn eight_concurrent_socket_clients_each_match_one_shot() {
+    let dir = scratch("socket");
+    let sock = dir.join("titand.sock");
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_titand"))
+        .args(["--quiet", "--socket"])
+        .arg(&sock)
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(sock.exists(), "titand never bound its socket");
+
+    // 8+ concurrent clients: every corpus file once, plus repeats of the
+    // first two — distinct and identical requests in flight together
+    let files = corpus_files();
+    let mut batch: Vec<PathBuf> = files.clone();
+    batch.push(files[0].clone());
+    batch.push(files[1].clone());
+    assert!(batch.len() >= 8);
+
+    let outputs: Vec<(PathBuf, Output)> = std::thread::scope(|s| {
+        let handles: Vec<_> = batch
+            .iter()
+            .map(|f| {
+                let sock = &sock;
+                s.spawn(move || {
+                    let out = Command::new(env!("CARGO_BIN_EXE_titanc"))
+                        .args(["--server"])
+                        .arg(sock)
+                        .args(ONE_SHOT_FLAGS)
+                        .arg(f)
+                        .output()
+                        .unwrap();
+                    (f.clone(), out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (file, out) in &outputs {
+        let reference = one_shot(file);
+        assert_eq!(
+            out.status.code(),
+            reference.status.code(),
+            "{}: {}",
+            file.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&reference.stdout),
+            "stdout diverged for {}",
+            file.display()
+        );
+        assert_eq!(
+            strip_cache_lines(&String::from_utf8_lossy(&out.stderr)),
+            String::from_utf8_lossy(&reference.stderr),
+            "stderr diverged for {}",
+            file.display()
+        );
+    }
+
+    // a request issued after the batch finished is guaranteed to find
+    // the published entries in the resident map
+    let warm = Command::new(env!("CARGO_BIN_EXE_titanc"))
+        .args(["--server"])
+        .arg(&sock)
+        .args(ONE_SHOT_FLAGS)
+        .arg(&files[0])
+        .output()
+        .unwrap();
+    assert!(
+        String::from_utf8_lossy(&warm.stderr).contains("(fully warm)"),
+        "post-batch repeat did not skip the pipeline:\n{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+
+    let totals = titanc::server::shutdown_over_unix(&sock).unwrap();
+    assert_eq!(totals.requests, batch.len() as i64 + 1);
+    assert_eq!(totals.protocol_errors, 0);
+    assert!(
+        totals.hits > 0,
+        "repeat requests should have hit the resident cache: {totals}"
+    );
+    let status = daemon.wait().unwrap();
+    assert!(status.success());
+    let _ = fs::remove_dir_all(&dir);
+}

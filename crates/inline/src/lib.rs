@@ -205,9 +205,7 @@ pub fn inline_program(prog: &mut Program, opts: &InlineOptions) -> InlineReport 
                 debug_assert_eq!(site_ords.len(), sites.len());
                 if site_ords.len() != sites.len() {
                     // defensive resync; identities restart but stay unique
-                    *site_ords = (0..sites.len())
-                        .map(|k| next_ord[ci] + k as u32)
-                        .collect();
+                    *site_ords = (0..sites.len()).map(|k| next_ord[ci] + k as u32).collect();
                     next_ord[ci] += sites.len() as u32;
                 }
                 let caller_len = prog.procs[ci].len();

@@ -152,20 +152,17 @@ fn inline_sessions_invalidate_the_dependency_cone() {
     let dir = cache_dir("cone");
     let options = Options::o2();
     // `reset` calls `fill`; `main` calls neither.
-    let lib_with_caller = format!(
-        "{LIB_SRC}void reset(void)\n{{\n    fill(64, 0.0);\n}}\n"
-    );
+    let lib_with_caller = format!("{LIB_SRC}void reset(void)\n{{\n    fill(64, 0.0);\n}}\n");
     let a = SourceFile::new("a.c", MAIN_SRC);
     let b = SourceFile::new("b.c", lib_with_caller.clone());
-    let cold =
-        compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
+    let cold = compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
     assert_eq!(cold.stats.misses, 3, "main, fill, reset all compile cold");
 
     // edit `fill` only: its cone consumers are itself and `reset`
     let edited = lib_with_caller.replace("buf[i] = v;", "buf[i] = v + 1.0;");
     let b2 = SourceFile::new("b.c", edited);
-    let warm = compile_session(&[a.clone(), b2.clone()], &options, Some(&dir))
-        .expect("edited compile");
+    let warm =
+        compile_session(&[a.clone(), b2.clone()], &options, Some(&dir)).expect("edited compile");
     assert_eq!(warm.stats.hits, 1, "main does not call fill and stays warm");
     assert_eq!(warm.stats.misses, 2, "fill and its caller reset recompile");
     assert_eq!(warm.stats.invalidated, 2, "both misses are invalidations");
@@ -187,8 +184,7 @@ fn global_edits_miss_every_procedure_without_inlining() {
     options.inline = false;
     let a = SourceFile::new("a.c", MAIN_SRC);
     let b = SourceFile::new("b.c", LIB_SRC);
-    let cold =
-        compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
+    let cold = compile_session(&[a.clone(), b], &options, Some(&dir)).expect("cold compile");
     let n = cold.compilation.program.procs.len();
 
     // grow `buf`: no procedure body changes, but the layout every
